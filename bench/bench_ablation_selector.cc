@@ -1,0 +1,119 @@
+// E6 — Ablation of ChooseAlgorithm: resolution-matched vs mismatched.
+//
+// Section 3 argues algorithms must be selected "with respect to the
+// resolution best fitting to a production layer". This bench swaps the
+// selector policy and measures the detection-quality drop at the phase and
+// job levels, quantifying the claim.
+
+#include "bench_util.h"
+#include "core/hierarchical_detector.h"
+#include "eval/metrics.h"
+#include "sim/plant.h"
+
+namespace hod {
+namespace {
+
+struct LevelQuality {
+  double phase_auc = 0.0;
+  double job_auc = 0.0;
+};
+
+LevelQuality Measure(const sim::SimulatedPlant& plant,
+                     core::SelectorPolicy policy) {
+  core::HierarchicalDetectorOptions options;
+  options.policy = policy;
+  core::HierarchicalDetector detector(&plant.production, options);
+  LevelQuality quality;
+
+  // Phase level: AUC over injected phase series.
+  double auc_sum = 0.0;
+  size_t count = 0;
+  for (const sim::AnomalyRecord& record : plant.truth.records) {
+    if (record.level != hierarchy::ProductionLevel::kPhase) continue;
+    core::PhaseQuery query{record.machine_id, record.job_id,
+                           record.phase_name, record.sensor_id};
+    auto scores = detector.ScorePhaseSeries(query);
+    if (!scores.ok()) continue;
+    const auto labels = plant.truth.PhaseLabelsOrZero(
+        record.job_id, record.phase_name, record.sensor_id, scores->size());
+    auto auc = eval::RocAuc(scores.value(), labels);
+    if (auc.ok()) {
+      auc_sum += auc.value();
+      ++count;
+    }
+  }
+  quality.phase_auc = count > 0 ? auc_sum / count : 0.5;
+
+  // Job level: AUC of job scores vs job labels across machines.
+  auc_sum = 0.0;
+  count = 0;
+  for (const auto& line : plant.production.lines) {
+    for (const auto& machine : line.machines) {
+      auto scores_or = detector.ScoreJobs(machine.id);
+      if (!scores_or.ok()) continue;
+      eval::Truth truth;
+      size_t positives = 0;
+      for (const auto& job : machine.jobs) {
+        const uint8_t label =
+            plant.truth.job_labels.count(job.id) > 0 ? 1 : 0;
+        truth.push_back(label);
+        positives += label;
+      }
+      if (positives == 0 || positives == truth.size()) continue;
+      auc_sum += eval::RocAuc(scores_or.value(), truth).value();
+      ++count;
+    }
+  }
+  quality.job_auc = count > 0 ? auc_sum / count : 0.5;
+  return quality;
+}
+
+}  // namespace
+}  // namespace hod
+
+int main() {
+  using namespace hod;
+  bench::PrintHeader("E6", "ChooseAlgorithm ablation",
+                     "Section 3/4 (resolution-matched selection)");
+
+  sim::PlantOptions options;
+  options.num_lines = 2;
+  options.machines_per_line = 3;
+  options.jobs_per_machine = 16;
+  options.seed = 7;
+  sim::ScenarioOptions scenario;
+  scenario.process_anomaly_rate = 0.25;
+  scenario.glitch_rate = 0.1;
+  const sim::SimulatedPlant plant =
+      sim::BuildPlant(options, scenario).value();
+
+  const LevelQuality matched =
+      Measure(plant, core::SelectorPolicy::kResolutionMatched);
+  const LevelQuality mismatched =
+      Measure(plant, core::SelectorPolicy::kMismatched);
+
+  bench::PrintSection("Detection AUC by selector policy");
+  Table table({"Level", "matched algorithm", "matched AUC",
+               "mismatched algorithm", "mismatched AUC"});
+  core::AlgorithmSelector matched_selector(
+      core::SelectorPolicy::kResolutionMatched);
+  core::AlgorithmSelector mismatched_selector(
+      core::SelectorPolicy::kMismatched);
+  table.AddRow(
+      {"Phase (high-res series)",
+       matched_selector.Describe(hierarchy::ProductionLevel::kPhase),
+       bench::Fmt(matched.phase_auc),
+       mismatched_selector.Describe(hierarchy::ProductionLevel::kPhase),
+       bench::Fmt(mismatched.phase_auc)});
+  table.AddRow(
+      {"Job (aggregated vectors)",
+       matched_selector.Describe(hierarchy::ProductionLevel::kJob),
+       bench::Fmt(matched.job_auc),
+       mismatched_selector.Describe(hierarchy::ProductionLevel::kJob),
+       bench::Fmt(mismatched.job_auc)});
+  table.Print(std::cout);
+  std::cout << "\nExpected: the resolution-matched policy dominates — "
+               "temporal detectors on\nhigh-resolution data, point "
+               "detectors on aggregates (Section 3's guidance).\n";
+  return 0;
+}

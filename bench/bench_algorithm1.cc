@@ -1,0 +1,214 @@
+// E4 — Algorithm 1: the <global score, outlierness, support> triple.
+//
+// The paper's core proposal is evaluated here on the simulated plant:
+//   (a) support separates real process anomalies from single-sensor
+//       measurement glitches ("support values reduce the probability of
+//       finding a measurement error");
+//   (b) the global score distribution: real anomalies propagate upward,
+//       glitches stay local;
+//   (c) measurement-error warnings: precision/recall of the downward
+//       check at the job level;
+//   (d) the headline: ranking phase-level events by the fused triple beats
+//       ranking by raw outlierness alone (hierarchy helps).
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "bench_util.h"
+#include "core/hierarchical_detector.h"
+#include "eval/metrics.h"
+#include "sim/plant.h"
+
+namespace hod {
+namespace {
+
+struct EventRecord {
+  bool is_process_anomaly = false;  // truth: real vs glitch
+  core::OutlierFinding finding;
+};
+
+/// Runs phase-level queries for every injected record and keeps the
+/// nearest finding.
+std::vector<EventRecord> CollectEvents(const sim::SimulatedPlant& plant,
+                                       core::HierarchicalDetector& detector) {
+  std::vector<EventRecord> events;
+  for (const sim::AnomalyRecord& record : plant.truth.records) {
+    if (record.level != hierarchy::ProductionLevel::kPhase) continue;
+    core::PhaseQuery query{record.machine_id, record.job_id,
+                           record.phase_name, record.sensor_id};
+    auto report = detector.FindPhaseOutliers(query);
+    if (!report.ok()) continue;
+    const core::OutlierFinding* nearest = nullptr;
+    double best_gap = 30.0;
+    for (const core::OutlierFinding& finding : report->findings) {
+      const double gap = std::fabs(finding.origin.time - record.start_time);
+      if (gap <= best_gap) {
+        best_gap = gap;
+        nearest = &finding;
+      }
+    }
+    if (nearest == nullptr) continue;
+    events.push_back({!record.measurement_error, *nearest});
+  }
+  return events;
+}
+
+}  // namespace
+}  // namespace hod
+
+int main() {
+  using namespace hod;
+  bench::PrintHeader("E4", "The <global score, outlierness, support> triple",
+                     "Algorithm 1 (Section 4)");
+
+  sim::PlantOptions options;
+  options.num_lines = 2;
+  options.machines_per_line = 3;
+  options.jobs_per_machine = 16;
+  options.seed = 7;
+  sim::ScenarioOptions scenario;
+  scenario.process_anomaly_rate = 0.25;
+  scenario.glitch_rate = 0.25;
+  scenario.magnitude_sigmas = 7.0;
+  const sim::SimulatedPlant plant =
+      sim::BuildPlant(options, scenario).value();
+  core::HierarchicalDetector detector(&plant.production);
+  const std::vector<EventRecord> events = CollectEvents(plant, detector);
+
+  size_t process_count = 0;
+  size_t glitch_count = 0;
+  for (const EventRecord& event : events) {
+    if (event.is_process_anomaly) ++process_count;
+    else ++glitch_count;
+  }
+  std::cout << "Plant: 2 lines x 3 machines x 16 jobs; injected events "
+               "detected at phase level: "
+            << events.size() << " (" << process_count << " process, "
+            << glitch_count << " glitches)\n";
+
+  // ---- (a) support --------------------------------------------------------
+  bench::PrintSection("(a) Support by event kind (redundant sensors only)");
+  Table support_table({"Event kind", "n", "mean support",
+                       "share with support > 0"});
+  for (bool process : {true, false}) {
+    double support_sum = 0.0;
+    size_t supported = 0;
+    size_t n = 0;
+    for (const EventRecord& event : events) {
+      if (event.is_process_anomaly != process) continue;
+      if (event.finding.corresponding_sensors == 0) continue;
+      ++n;
+      support_sum += event.finding.support;
+      if (event.finding.support > 0.0) ++supported;
+    }
+    support_table.AddRow(
+        {process ? "process anomaly" : "measurement glitch",
+         std::to_string(n), n > 0 ? bench::Fmt(support_sum / n) : "-",
+         n > 0 ? bench::Fmt(static_cast<double>(supported) / n) : "-"});
+  }
+  support_table.Print(std::cout);
+  std::cout << "Expected: process anomalies enjoy near-full support; "
+               "glitches near none.\n";
+
+  // ---- (b) global score ---------------------------------------------------
+  bench::PrintSection("(b) Global-score distribution by event kind");
+  Table score_table({"Event kind", "gs=1", "gs=2", "gs=3+", "mean"});
+  for (bool process : {true, false}) {
+    std::map<int, size_t> histogram;
+    double sum = 0.0;
+    size_t n = 0;
+    for (const EventRecord& event : events) {
+      if (event.is_process_anomaly != process) continue;
+      ++histogram[std::min(event.finding.global_score, 3)];
+      sum += event.finding.global_score;
+      ++n;
+    }
+    score_table.AddRow({process ? "process anomaly" : "measurement glitch",
+                        std::to_string(histogram[1]),
+                        std::to_string(histogram[2]),
+                        std::to_string(histogram[3]),
+                        n > 0 ? bench::Fmt(sum / n, 2) : "-"});
+  }
+  score_table.Print(std::cout);
+  std::cout << "Expected: process anomalies confirm at higher levels (CAQ "
+               "degradation);\nglitches stay at global score 1.\n";
+
+  // ---- (c) measurement-error warnings --------------------------------------
+  bench::PrintSection(
+      "(c) Downward check: job-level warnings vs. phase evidence");
+  size_t warned_and_spurious = 0;
+  size_t warned_total = 0;
+  size_t spurious_total = 0;
+  for (const auto& line : plant.production.lines) {
+    for (const auto& machine : line.machines) {
+      auto report = detector.FindJobOutliers(machine.id);
+      if (!report.ok()) continue;
+      for (const core::OutlierFinding& finding : report->findings) {
+        // A job-level finding is "spurious" when the job truly had no
+        // process anomaly (CAQ noise / batch effects).
+        const bool truly_anomalous =
+            plant.truth.job_labels.count(finding.origin.entity) > 0;
+        if (finding.measurement_error_warning) {
+          ++warned_total;
+          if (!truly_anomalous) ++warned_and_spurious;
+        }
+        if (!truly_anomalous) ++spurious_total;
+      }
+    }
+  }
+  Table warning_table({"metric", "value"});
+  warning_table.AddRow({"job-level warnings emitted",
+                        std::to_string(warned_total)});
+  warning_table.AddRow(
+      {"warning precision (warned & truly spurious / warned)",
+       warned_total > 0
+           ? bench::Fmt(static_cast<double>(warned_and_spurious) /
+                        warned_total)
+           : "-"});
+  warning_table.AddRow(
+      {"spurious-finding recall (warned / all spurious findings)",
+       spurious_total > 0
+           ? bench::Fmt(static_cast<double>(warned_and_spurious) /
+                        spurious_total)
+           : "-"});
+  warning_table.Print(std::cout);
+
+  // ---- (d) fused ranking vs flat ranking -----------------------------------
+  bench::PrintSection(
+      "(d) Headline: fused-triple ranking vs raw outlierness (AUC, real "
+      "events = positives)");
+  std::vector<double> flat_scores;
+  std::vector<double> fused_scores;
+  eval::Truth truth;
+  for (const EventRecord& event : events) {
+    truth.push_back(event.is_process_anomaly ? 1 : 0);
+    flat_scores.push_back(event.finding.outlierness);
+    // Fusion per the paper's intent: outlierness weighted by upward
+    // confirmation and redundancy support, damped by the measurement-
+    // error warning.
+    const double level_weight =
+        static_cast<double>(event.finding.global_score) /
+        static_cast<double>(hierarchy::kNumLevels);
+    const double support_weight =
+        event.finding.corresponding_sensors == 0
+            ? 0.5
+            : event.finding.support;
+    double fused = event.finding.outlierness *
+                   (0.4 + 0.3 * level_weight + 0.3 * support_weight);
+    fused_scores.push_back(fused);
+  }
+  Table headline({"Ranking", "ROC-AUC (real vs glitch)"});
+  headline.AddRow(
+      {"flat: outlierness only",
+       bench::Fmt(eval::RocAuc(flat_scores, truth).value_or(0.5))});
+  headline.AddRow(
+      {"hierarchical: triple fusion",
+       bench::Fmt(eval::RocAuc(fused_scores, truth).value_or(0.5))});
+  headline.Print(std::cout);
+  std::cout << "\nExpected: the fused triple ranks real process anomalies "
+               "above measurement\nglitches far better than the raw score — "
+               "the paper's motivation for combining\noutlier information "
+               "between production levels.\n";
+  return 0;
+}

@@ -1,0 +1,282 @@
+// E8 — Extensions beyond the paper's Table 1 (its Sections 3/5 prose and
+// Section 1 promises): profile similarity, distance-based kNN, LOF,
+// reverse-NN hubness, outlier-vector ensembles, and concept-shift
+// discovery. Quantifies what each adds over the Table-1 toolbox.
+
+#include <memory>
+
+#include "bench_util.h"
+#include "core/concept_shift.h"
+#include "detect/adapters.h"
+#include "detect/ar_detector.h"
+#include "detect/baseline.h"
+#include "detect/em_detector.h"
+#include "detect/ensemble.h"
+#include "detect/fsa_detector.h"
+#include "detect/knn_detector.h"
+#include "detect/lof_detector.h"
+#include "detect/profile_similarity.h"
+#include "detect/var_detector.h"
+#include "eval/metrics.h"
+#include "hierarchy/level_data.h"
+#include "sim/datasets.h"
+#include "sim/plant.h"
+#include "util/rng.h"
+
+namespace hod {
+namespace {
+
+double VectorAuc(detect::VectorDetector& detector,
+                 const sim::PointDataset& dataset) {
+  if (!detector.Train(dataset.train).ok()) return 0.5;
+  auto scores = detector.Score(dataset.test);
+  if (!scores.ok()) return 0.5;
+  return eval::RocAuc(scores.value(), dataset.test_labels).value_or(0.5);
+}
+
+double SeriesMeanF1(detect::SeriesDetector& detector,
+                    const sim::SeriesDataset& dataset) {
+  if (!detector.Train(dataset.train).ok()) return 0.0;
+  double sum = 0.0;
+  for (size_t s = 0; s < dataset.test.size(); ++s) {
+    auto scores = detector.Score(dataset.test[s]);
+    if (!scores.ok()) return 0.0;
+    sum += eval::BestF1WithTolerance(scores.value(), dataset.test_labels[s],
+                                     3)
+               ->f1;
+  }
+  return sum / static_cast<double>(dataset.test.size());
+}
+
+}  // namespace
+}  // namespace hod
+
+int main() {
+  using namespace hod;
+  bench::PrintHeader(
+      "E8", "Extension techniques",
+      "Sections 3/5 prose (PS, knn, LOF, RNN, outlier vectors) + Section 1 "
+      "(concept shifts)");
+
+  // ---- Point-detector comparison ------------------------------------------
+  bench::PrintSection(
+      "Distance/density point detectors on the 3-D displaced-cluster set "
+      "(ROC-AUC)");
+  sim::PointDatasetOptions point_options;
+  point_options.seed = 7;
+  const auto points = sim::GeneratePointDataset(point_options).value();
+  Table point_table({"Detector", "ROC-AUC"});
+  {
+    detect::KnnDetector knn;
+    point_table.AddRow({"KnnDistance", bench::Fmt(VectorAuc(knn, points))});
+    detect::LofDetector lof;
+    point_table.AddRow(
+        {"LocalOutlierFactor", bench::Fmt(VectorAuc(lof, points))});
+    detect::ReverseNnDetector reverse_nn;
+    point_table.AddRow({"ReverseNearestNeighbors",
+                        bench::Fmt(VectorAuc(reverse_nn, points))});
+    detect::EmDetector em;
+    point_table.AddRow(
+        {"ExpectationMaximization (Table 1)", bench::Fmt(VectorAuc(em, points))});
+    detect::RobustZVectorDetector rz;
+    point_table.AddRow(
+        {"RobustZVector (baseline)", bench::Fmt(VectorAuc(rz, points))});
+  }
+  point_table.Print(std::cout);
+  std::cout << "Expected: neighborhood methods (knn/LOF/RNN) match or beat "
+               "the parametric\nmodel on multi-modal data; the global "
+               "baseline trails (random-direction\ndisplacements barely move "
+               "per-feature values).\n";
+
+  // ---- Ensembles ----------------------------------------------------------
+  bench::PrintSection(
+      "Outlier-vector ensembles on mixed-type series (best-F1, tol 3)");
+  sim::SeriesDatasetOptions series_options;
+  series_options.seed = 7;
+  const auto series = sim::GenerateSeriesDataset(series_options).value();
+  Table ensemble_table({"Detector", "best-F1"});
+  {
+    detect::ArDetector ar;
+    ensemble_table.AddRow(
+        {"AutoregressiveModel alone", bench::Fmt(SeriesMeanF1(ar, series))});
+    auto fsa = detect::MakeSeriesFromSequence(
+        std::make_unique<detect::FsaDetector>(), ts::SaxOptions{0, 5});
+    ensemble_table.AddRow(
+        {"FSA+SAX alone", bench::Fmt(SeriesMeanF1(*fsa, series))});
+    for (detect::Combination combination :
+         {detect::Combination::kMean, detect::Combination::kMax,
+          detect::Combination::kRankMean}) {
+      detect::SeriesEnsemble ensemble(combination);
+      (void)ensemble.AddMember(std::make_unique<detect::ArDetector>());
+      (void)ensemble.AddMember(detect::MakeSeriesFromSequence(
+          std::make_unique<detect::FsaDetector>(), ts::SaxOptions{0, 5}));
+      (void)ensemble.AddMember(
+          std::make_unique<detect::RobustZSeriesDetector>());
+      ensemble_table.AddRow(
+          {"Ensemble[" +
+               std::string(detect::CombinationName(combination)) +
+               "] AR+FSA+RobustZ",
+           bench::Fmt(SeriesMeanF1(ensemble, series))});
+    }
+  }
+  ensemble_table.Print(std::cout);
+  std::cout << "Expected: the mean/rank consensus degrades gracefully "
+               "toward the strongest\nmember despite the weak FSA member, "
+               "and far exceeds the weak members —\nthe point of outlier "
+               "vectors when no single best algorithm is known a priori.\n";
+
+  // ---- Profile similarity ---------------------------------------------------
+  bench::PrintSection(
+      "Profile similarity vs global baseline on phase-shaped data");
+  {
+    // Ramp phases: a mid-ramp value is only anomalous relative to the
+    // profile position, never to the global value range.
+    Rng rng(5);
+    auto make_ramp = [&rng](bool inject) {
+      std::vector<double> values(128);
+      for (size_t i = 0; i < values.size(); ++i) {
+        values[i] = 150.0 * static_cast<double>(i) / 127.0 +
+                    rng.Gaussian(0.0, 0.8);
+      }
+      std::vector<uint8_t> labels(values.size(), 0);
+      if (inject) {
+        values[20] = 120.0;  // end-of-ramp value early in the ramp
+        labels[20] = 1;
+      }
+      return std::make_pair(ts::TimeSeries("ramp", 0, 1, values), labels);
+    };
+    std::vector<ts::TimeSeries> train;
+    for (int i = 0; i < 6; ++i) train.push_back(make_ramp(false).first);
+    auto [probe, labels] = make_ramp(true);
+
+    detect::ProfileSimilarityDetector profile;
+    (void)profile.Train(train);
+    detect::RobustZSeriesDetector baseline;
+    (void)baseline.Train(train);
+    Table profile_table({"Detector", "score@anomaly", "max score elsewhere"});
+    for (auto* detector :
+         std::initializer_list<detect::SeriesDetector*>{&profile,
+                                                        &baseline}) {
+      auto scores = detector->Score(probe).value();
+      double elsewhere = 0.0;
+      for (size_t i = 0; i < scores.size(); ++i) {
+        if (i != 20) elsewhere = std::max(elsewhere, scores[i]);
+      }
+      profile_table.AddRow({detector->name(), bench::Fmt(scores[20], 2),
+                            bench::Fmt(elsewhere, 2)});
+    }
+    profile_table.Print(std::cout);
+    std::cout << "Expected: the profile detector isolates the in-range "
+                 "positional anomaly;\nthe value-range baseline cannot see "
+                 "it at all.\n";
+  }
+
+  // ---- Multivariate (VAR) vs per-sensor detection ---------------------------
+  bench::PrintSection(
+      "Cross-channel anomaly: per-sensor AR vs joint VAR (score at event)");
+  {
+    // Two coupled channels (y follows x with lag 1). The anomaly keeps
+    // both marginals in range but flips the coupling sign.
+    Rng rng(9);
+    auto make_channels = [&rng](size_t n) {
+      std::vector<double> x(n);
+      std::vector<double> y(n);
+      double state = 0.0;
+      for (size_t t = 0; t < n; ++t) {
+        state = 0.7 * state + rng.Gaussian(0.0, 0.5);
+        x[t] = state;
+        y[t] = (t > 0 ? 0.9 * x[t - 1] : 0.0) + rng.Gaussian(0.0, 0.1);
+      }
+      return std::vector<ts::TimeSeries>{
+          ts::TimeSeries("x", 0, 1, std::move(x)),
+          ts::TimeSeries("y", 0, 1, std::move(y))};
+    };
+    auto train = make_channels(3000);
+    auto probe = make_channels(400);
+    probe[0].mutable_values()[199] = 1.2;
+    probe[1].mutable_values()[200] = -0.9 * 1.2;  // coupling violated
+
+    detect::VarDetector var;
+    (void)var.Train({train});
+    auto var_scores = var.Score(probe).value();
+
+    detect::ArDetector ar_y;
+    (void)ar_y.Train({train[1]});
+    auto ar_scores = ar_y.Score(probe[1]).value();
+
+    Table var_table({"Detector", "score at violation (t=200)",
+                     "max score elsewhere"});
+    auto max_elsewhere = [](const std::vector<double>& scores) {
+      double best = 0.0;
+      for (size_t t = 0; t < scores.size(); ++t) {
+        if (t < 198 || t > 203) best = std::max(best, scores[t]);
+      }
+      return best;
+    };
+    var_table.AddRow({"VectorAutoregressive (joint)",
+                      bench::Fmt(var_scores[200], 2),
+                      bench::Fmt(max_elsewhere(var_scores), 2)});
+    var_table.AddRow({"AutoregressiveModel on y alone",
+                      bench::Fmt(ar_scores[200], 2),
+                      bench::Fmt(max_elsewhere(ar_scores), 2)});
+    var_table.Print(std::cout);
+    std::cout << "Expected: the joint model pins the violation; the "
+                 "per-sensor model sees an\nin-range value consistent with "
+                 "y's own history and stays quiet.\n";
+  }
+
+  // ---- Concept shifts --------------------------------------------------------
+  bench::PrintSection(
+      "Concept-shift discovery on the line-level powder-quality series");
+  {
+    sim::PlantOptions plant_options;
+    plant_options.num_lines = 1;
+    plant_options.machines_per_line = 2;
+    plant_options.jobs_per_machine = 32;
+    plant_options.seed = 7;
+    sim::ScenarioOptions scenario;
+    scenario.process_anomaly_rate = 0.05;
+    scenario.glitch_rate = 0.05;
+    scenario.bad_batch_jobs = 8;  // a sustained regime, not a blip
+    const auto plant = sim::BuildPlant(plant_options, scenario).value();
+    auto line_series =
+        hierarchy::LineJobSeries(plant.production.lines[0]).value();
+    const ts::TimeSeries* powder = nullptr;
+    for (const auto& s : line_series) {
+      if (s.name().find("powder_quality") != std::string::npos) powder = &s;
+    }
+    core::ConceptShiftOptions shift_options;
+    shift_options.min_persistence = 4;
+    shift_options.cusum_threshold = 6.0;
+    auto shifts = core::DetectConceptShifts(*powder, shift_options).value();
+    std::cout << "Bad-batch window: jobs "
+              << [&] {
+                   const auto& flags =
+                       plant.truth.line_job_labels.at("line1");
+                   size_t first = flags.size();
+                   size_t last = 0;
+                   for (size_t j = 0; j < flags.size(); ++j) {
+                     if (flags[j] != 0) {
+                       first = std::min(first, j);
+                       last = j;
+                     }
+                   }
+                   return std::to_string(first) + ".." +
+                          std::to_string(last);
+                 }()
+              << " of " << powder->size() << "\n";
+    Table shift_table({"#", "job index", "before", "after", "magnitude"});
+    for (size_t s = 0; s < shifts.size(); ++s) {
+      shift_table.AddRow({std::to_string(s + 1),
+                          std::to_string(shifts[s].index),
+                          bench::Fmt(shifts[s].before_mean),
+                          bench::Fmt(shifts[s].after_mean),
+                          bench::Fmt(shifts[s].magnitude_sigmas, 1) + " sigma"});
+    }
+    shift_table.Print(std::cout);
+    std::cout << "Expected: two shifts — into the degraded lot and back — at "
+                 "the window's\nedges; the detector re-baselines instead of "
+                 "alarming on every bad job.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,154 @@
+// E2 — Fig. 1: the four temporal outlier types (additive, innovative,
+// temporary change, level shift).
+//
+// The paper displays the shapes; this bench measures how detectable each
+// type is, by detector family and disturbance magnitude — the empirical
+// content behind the paper's claim that "different types of outliers must
+// be identified for each hierarchy" and that algorithms must be matched to
+// the outlier type.
+
+#include <functional>
+#include <memory>
+
+#include "bench_util.h"
+#include "detect/ar_detector.h"
+#include "detect/baseline.h"
+#include "detect/em_detector.h"
+#include "detect/fsa_detector.h"
+#include "detect/adapters.h"
+#include "detect/rare_subsequence.h"
+#include "detect/window_db.h"
+#include "eval/metrics.h"
+#include "sim/datasets.h"
+
+namespace hod {
+namespace {
+
+using DetectorFactory = std::function<std::unique_ptr<detect::SeriesDetector>()>;
+
+struct FamilyCase {
+  std::string label;
+  DetectorFactory make;
+};
+
+std::vector<FamilyCase> Families() {
+  return {
+      {"PM  AutoregressiveModel",
+       [] { return std::make_unique<detect::ArDetector>(); }},
+      {"DA  EM+Windows",
+       [] {
+         return detect::MakeSeriesFromVectorWindows(
+             std::make_unique<detect::EmDetector>(), 32, 8);
+       }},
+      {"UPA FSA+SAX",
+       [] {
+         return detect::MakeSeriesFromSequence(
+             std::make_unique<detect::FsaDetector>(), ts::SaxOptions{0, 5});
+       }},
+      {"NPD WindowDb+SAX",
+       [] {
+         return detect::MakeSeriesFromSequence(
+             std::make_unique<detect::WindowDbDetector>(),
+             ts::SaxOptions{0, 5});
+       }},
+      {"OS  RareSubsequence+SAX",
+       [] {
+         return detect::MakeSeriesFromSequence(
+             std::make_unique<detect::RareSubsequenceDetector>(),
+             ts::SaxOptions{0, 5});
+       }},
+      {"--  RobustZ baseline",
+       [] { return std::make_unique<detect::RobustZSeriesDetector>(); }},
+  };
+}
+
+/// Mean best-F1 of `detector` on series carrying only `type` at
+/// `magnitude` sigmas. `segment_level` switches between pointwise
+/// (tolerance-3) F1 and segment/event F1 — the latter is the fair metric
+/// for sustained disturbances, where catching the event once is what an
+/// operator needs.
+double MeasureF1(const DetectorFactory& make, sim::OutlierType type,
+                 double magnitude, bool segment_level = false) {
+  sim::SeriesDatasetOptions options;
+  options.seed = 7;
+  options.only_type = &type;
+  options.magnitude = magnitude;
+  options.anomalies_per_series = 3;
+  auto dataset = sim::GenerateSeriesDataset(options).value();
+  auto detector = make();
+  if (!detector->Train(dataset.train).ok()) return 0.0;
+  double f1_sum = 0.0;
+  for (size_t s = 0; s < dataset.test.size(); ++s) {
+    auto scores_or = detector->Score(dataset.test[s]);
+    if (!scores_or.ok()) return 0.0;
+    f1_sum += segment_level
+                  ? eval::BestSegmentF1(scores_or.value(),
+                                        dataset.test_labels[s], 3)
+                        ->f1
+                  : eval::BestF1WithTolerance(scores_or.value(),
+                                              dataset.test_labels[s], 3)
+                        ->f1;
+  }
+  return f1_sum / static_cast<double>(dataset.test.size());
+}
+
+}  // namespace
+}  // namespace hod
+
+int main() {
+  using namespace hod;
+  bench::PrintHeader("E2", "Detectability of the four outlier types",
+                     "Fig. 1 (outlier types)");
+
+  bench::PrintSection(
+      "Event-tolerant best-F1 by type and detector family (magnitude 6 "
+      "sigma)");
+  Table by_family({"Family / detector", "AO", "IO", "TC", "LS"});
+  for (const auto& family : Families()) {
+    std::vector<std::string> row = {family.label};
+    for (sim::OutlierType type : sim::AllOutlierTypes()) {
+      row.push_back(bench::Fmt(MeasureF1(family.make, type, 6.0), 2));
+    }
+    by_family.AddRow(row);
+  }
+  by_family.Print(std::cout);
+  std::cout << "\nExpected shape: the prediction model (PM) nails the "
+               "isolated spike (AO)\nand change onsets; window/database "
+               "families hold up better on the sustained\ntypes (TC/LS); "
+               "the global-value baseline misses in-range disturbances.\n";
+
+  bench::PrintSection("Magnitude sweep (AutoregressiveModel, best-F1)");
+  Table sweep({"Type", "2s", "3s", "4s", "6s", "8s"});
+  for (sim::OutlierType type : sim::AllOutlierTypes()) {
+    std::vector<std::string> row = {
+        std::string(sim::OutlierTypeName(type))};
+    for (double magnitude : {2.0, 3.0, 4.0, 6.0, 8.0}) {
+      row.push_back(bench::Fmt(
+          MeasureF1([] { return std::make_unique<detect::ArDetector>(); },
+                    type, magnitude),
+          2));
+    }
+    sweep.AddRow(row);
+  }
+  sweep.Print(std::cout);
+  std::cout << "\nExpected shape: detection quality rises monotonically with "
+               "magnitude;\nadditive outliers become detectable earliest.\n";
+
+  bench::PrintSection(
+      "Segment (event-level) best-F1 by type and family — the operator "
+      "metric");
+  Table segment_table({"Family / detector", "AO", "IO", "TC", "LS"});
+  for (const auto& family : Families()) {
+    std::vector<std::string> row = {family.label};
+    for (sim::OutlierType type : sim::AllOutlierTypes()) {
+      row.push_back(bench::Fmt(
+          MeasureF1(family.make, type, 6.0, /*segment_level=*/true), 2));
+    }
+    segment_table.AddRow(row);
+  }
+  segment_table.Print(std::cout);
+  std::cout << "\nExpected: sustained types (IO/TC/LS) score much higher "
+               "here than pointwise —\ncatching the event once is enough; "
+               "the family ordering is preserved.\n";
+  return 0;
+}

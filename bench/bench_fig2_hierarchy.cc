@@ -1,0 +1,263 @@
+// E3 — Fig. 2: the five-level production hierarchy.
+//
+// Builds the simulated additive-manufacturing production and shows, per
+// level: (a) what data shape lives there (the figure's structural claim)
+// and (b) how well the level-appropriate detector separates that level's
+// injected anomalies (the census the paper defers to future work).
+
+#include "bench_util.h"
+#include "core/hierarchical_detector.h"
+#include "eval/metrics.h"
+#include "hierarchy/level_data.h"
+#include "sim/plant.h"
+
+namespace hod {
+namespace {
+
+sim::SimulatedPlant BuildPlantForCensus() {
+  sim::PlantOptions options;
+  options.num_lines = 2;
+  options.machines_per_line = 3;
+  options.jobs_per_machine = 16;
+  options.seed = 7;
+  sim::ScenarioOptions scenario;
+  scenario.process_anomaly_rate = 0.2;
+  scenario.glitch_rate = 0.1;
+  return sim::BuildPlant(options, scenario).value();
+}
+
+}  // namespace
+}  // namespace hod
+
+int main() {
+  using namespace hod;
+  bench::PrintHeader("E3", "The five production levels",
+                     "Fig. 2 (hierarchical structure)");
+
+  const sim::SimulatedPlant plant = BuildPlantForCensus();
+  core::HierarchicalDetector detector(&plant.production);
+
+  // ---- Structural census ------------------------------------------------
+  bench::PrintSection("Data shapes per level (structural census)");
+  size_t phase_series = 0;
+  size_t phase_samples = 0;
+  size_t event_symbols = 0;
+  size_t jobs = 0;
+  for (const auto& line : plant.production.lines) {
+    for (const auto& machine : line.machines) {
+      for (const auto& job : machine.jobs) {
+        ++jobs;
+        for (const auto& phase : job.phases) {
+          phase_series += phase.sensor_series.size();
+          for (const auto& [id, series] : phase.sensor_series) {
+            phase_samples += series.size();
+          }
+          event_symbols += phase.events.size();
+        }
+      }
+    }
+  }
+  size_t environment_samples = 0;
+  for (const auto& line : plant.production.lines) {
+    for (const auto& channel : line.environment) {
+      environment_samples += channel.series.size();
+    }
+  }
+  const auto machine_matrix =
+      hierarchy::MachineSummaryMatrix(plant.production).value();
+
+  Table census({"Lvl", "Level", "Data shape", "Objects", "Resolution"});
+  census.AddRow({"1", "Phase Level",
+                 "multi-dim high-res series + event sequences",
+                 std::to_string(phase_series) + " series / " +
+                     std::to_string(phase_samples) + " samples, " +
+                     std::to_string(event_symbols) + " events",
+                 "1 s"});
+  census.AddRow({"2", "Job Level", "setup + CAQ vectors (10-D)",
+                 std::to_string(jobs) + " jobs", "per job"});
+  census.AddRow({"3", "Environment Level", "co-measured series (room temp)",
+                 std::to_string(environment_samples) + " samples", "10 s"});
+  census.AddRow({"4", "Production Line Level",
+                 "jobs over time: setup/CAQ series",
+                 std::to_string(plant.production.lines.size()) +
+                     " lines x 10 feature series",
+                 "per job"});
+  census.AddRow({"5", "Production Level", "cross-machine summary vectors",
+                 std::to_string(machine_matrix.machine_ids.size()) +
+                     " machines x " +
+                     std::to_string(machine_matrix.feature_names.size()) +
+                     " features",
+                 "per machine"});
+  census.Print(std::cout);
+
+  // ---- Detection quality per level ---------------------------------------
+  bench::PrintSection(
+      "Detection quality per level (level-matched detector vs. truth)");
+  Table quality({"Lvl", "Level", "Algorithm", "ROC-AUC", "Ground truth"});
+
+  // Level 1: phase series with injected anomalies.
+  {
+    double auc_sum = 0.0;
+    size_t count = 0;
+    for (const sim::AnomalyRecord& record : plant.truth.records) {
+      if (record.level != hierarchy::ProductionLevel::kPhase) continue;
+      core::PhaseQuery query{record.machine_id, record.job_id,
+                             record.phase_name, record.sensor_id};
+      auto scores = detector.ScorePhaseSeries(query);
+      if (!scores.ok()) continue;
+      const auto labels = plant.truth.PhaseLabelsOrZero(
+          record.job_id, record.phase_name, record.sensor_id,
+          scores->size());
+      auto auc = eval::RocAuc(scores.value(), labels);
+      if (auc.ok()) {
+        auc_sum += auc.value();
+        ++count;
+      }
+    }
+    quality.AddRow({"1", "Phase Level", "AutoregressiveModel",
+                    count > 0 ? bench::Fmt(auc_sum / count) : "-",
+                    std::to_string(count) + " injected series"});
+  }
+  // Level 1b: discrete event sequences (the paper's second phase-level
+  // data shape), scored by the UPA finite-state automaton.
+  {
+    double auc_sum = 0.0;
+    size_t count = 0;
+    for (const auto& line : plant.production.lines) {
+      for (const auto& machine : line.machines) {
+        for (const auto& job : machine.jobs) {
+          if (plant.truth.job_labels.count(job.id) == 0) continue;
+          for (const auto& phase : job.phases) {
+            auto scores =
+                detector.ScorePhaseEvents(machine.id, job.id, phase.name);
+            if (!scores.ok()) continue;
+            // Event truth: an event is anomalous when it is the FAULT
+            // symbol (the simulator emits it over injected samples).
+            eval::Truth truth(phase.events.size(), 0);
+            size_t positives = 0;
+            for (size_t e = 0; e < phase.events.size(); ++e) {
+              if (phase.events[e] == sim::kFaultSymbol) {
+                truth[e] = 1;
+                ++positives;
+              }
+            }
+            if (positives == 0 || positives == truth.size()) continue;
+            auto auc = eval::RocAuc(scores.value(), truth);
+            if (auc.ok()) {
+              auc_sum += auc.value();
+              ++count;
+            }
+          }
+        }
+      }
+    }
+    quality.AddRow({"1", "Phase Level (event sequences)",
+                    "FiniteStateAutomaton",
+                    count > 0 ? bench::Fmt(auc_sum / count) : "-",
+                    std::to_string(count) + " fault-bearing phases"});
+  }
+  // Level 1c: joint multivariate scoring across all phase channels.
+  {
+    double auc_sum = 0.0;
+    size_t count = 0;
+    for (const sim::AnomalyRecord& record : plant.truth.records) {
+      if (record.level != hierarchy::ProductionLevel::kPhase ||
+          record.measurement_error) {
+        continue;
+      }
+      auto scores = detector.ScorePhaseMultivariate(
+          record.machine_id, record.job_id, record.phase_name);
+      if (!scores.ok()) continue;
+      const auto labels = plant.truth.PhaseLabelsOrZero(
+          record.job_id, record.phase_name, record.sensor_id,
+          scores->size());
+      auto auc = eval::RocAuc(scores.value(), labels);
+      if (auc.ok()) {
+        auc_sum += auc.value();
+        ++count;
+      }
+    }
+    quality.AddRow({"1", "Phase Level (multivariate)",
+                    "VectorAutoregressive",
+                    count > 0 ? bench::Fmt(auc_sum / count) : "-",
+                    std::to_string(count) + " process anomalies"});
+  }
+  // Level 2: per-job scores vs job labels.
+  {
+    double auc_sum = 0.0;
+    size_t machines = 0;
+    for (const auto& line : plant.production.lines) {
+      for (const auto& machine : line.machines) {
+        auto scores = detector.ScoreJobs(machine.id).value();
+        eval::Truth truth;
+        for (const auto& job : machine.jobs) {
+          truth.push_back(plant.truth.job_labels.count(job.id) > 0 ? 1 : 0);
+        }
+        bool has_both = false;
+        size_t positives = 0;
+        for (uint8_t t : truth) positives += t;
+        has_both = positives > 0 && positives < truth.size();
+        if (!has_both) continue;
+        auc_sum += eval::RocAuc(scores, truth).value();
+        ++machines;
+      }
+    }
+    quality.AddRow({"2", "Job Level", "ExpectationMaximization",
+                    machines > 0 ? bench::Fmt(auc_sum / machines) : "-",
+                    "anomalous jobs per machine"});
+  }
+  // Level 3: environment series vs environment labels.
+  {
+    double auc_sum = 0.0;
+    size_t lines = 0;
+    for (const auto& line : plant.production.lines) {
+      auto scores = detector.ScoreEnvironment(line.id).value();
+      const auto& labels =
+          plant.truth.environment_labels.at(line.environment[0].sensor_id);
+      auto auc = eval::RocAuc(scores, labels);
+      if (auc.ok()) {
+        auc_sum += auc.value();
+        ++lines;
+      }
+    }
+    quality.AddRow({"3", "Environment Level", "AutoregressiveModel",
+                    lines > 0 ? bench::Fmt(auc_sum / lines) : "-",
+                    "injected room-temp anomalies"});
+  }
+  // Level 4: line job series vs bad-batch flags.
+  {
+    double auc_sum = 0.0;
+    size_t lines = 0;
+    for (const auto& line : plant.production.lines) {
+      const auto& flags = plant.truth.line_job_labels.at(line.id);
+      size_t positives = 0;
+      for (uint8_t flag : flags) positives += flag;
+      if (positives == 0) continue;  // line without a bad batch
+      auto scores = detector.ScoreLineJobs(line.id).value();
+      auc_sum += eval::RocAuc(scores, flags).value();
+      ++lines;
+    }
+    quality.AddRow({"4", "Production Line Level", "RobustZ",
+                    lines > 0 ? bench::Fmt(auc_sum / lines) : "-",
+                    "bad-powder-batch windows"});
+  }
+  // Level 5: machine scores vs rogue machine labels.
+  {
+    auto scores = detector.ScoreMachines().value();
+    std::vector<double> score_vector;
+    eval::Truth truth;
+    for (const auto& [machine_id, score] : scores) {
+      score_vector.push_back(score);
+      truth.push_back(
+          plant.truth.machine_labels.count(machine_id) > 0 ? 1 : 0);
+    }
+    quality.AddRow({"5", "Production Level", "RobustZVector",
+                    bench::Fmt(eval::RocAuc(score_vector, truth).value()),
+                    "rogue (degraded) machine"});
+  }
+  quality.Print(std::cout);
+  std::cout << "\nExpected shape: every level separates its own anomaly kind "
+               "well above\nchance (AUC >> 0.5), using the resolution-matched "
+               "algorithm of Section 3.\n";
+  return 0;
+}

@@ -1,0 +1,149 @@
+// E7 — Throughput microbenchmarks (google-benchmark).
+//
+// The paper's Sections 1/5 flag calculation speed as a core requirement
+// for production-level outlier detection. These microbenchmarks time the
+// detectors used at each level and the Algorithm-1 machinery so regression
+// in scoring cost is visible.
+
+#include <benchmark/benchmark.h>
+
+#include "core/hierarchical_detector.h"
+#include "detect/ar_detector.h"
+#include "detect/em_detector.h"
+#include "detect/fsa_detector.h"
+#include "detect/window_db.h"
+#include "sim/datasets.h"
+#include "sim/plant.h"
+#include "timeseries/sax.h"
+#include "timeseries/spectral.h"
+
+namespace hod {
+namespace {
+
+void BM_ArScore(benchmark::State& state) {
+  sim::SeriesDatasetOptions options;
+  options.length = static_cast<size_t>(state.range(0));
+  options.train_series = 2;
+  options.test_series = 1;
+  auto dataset = sim::GenerateSeriesDataset(options).value();
+  detect::ArDetector detector;
+  (void)detector.Train(dataset.train);
+  for (auto _ : state) {
+    auto scores = detector.Score(dataset.test[0]);
+    benchmark::DoNotOptimize(scores);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(options.length));
+}
+BENCHMARK(BM_ArScore)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_EmScore(benchmark::State& state) {
+  sim::PointDatasetOptions options;
+  options.train_size = 512;
+  options.test_size = static_cast<size_t>(state.range(0));
+  options.dim = 8;
+  auto dataset = sim::GeneratePointDataset(options).value();
+  detect::EmDetector detector;
+  (void)detector.Train(dataset.train);
+  for (auto _ : state) {
+    auto scores = detector.Score(dataset.test);
+    benchmark::DoNotOptimize(scores);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EmScore)->Arg(128)->Arg(1024);
+
+void BM_FsaScore(benchmark::State& state) {
+  sim::SequenceDatasetOptions options;
+  options.length = static_cast<size_t>(state.range(0));
+  options.train_sequences = 4;
+  options.test_sequences = 1;
+  auto dataset = sim::GenerateSequenceDataset(options).value();
+  detect::FsaDetector detector;
+  (void)detector.Train(dataset.train);
+  for (auto _ : state) {
+    auto scores = detector.Score(dataset.test[0]);
+    benchmark::DoNotOptimize(scores);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FsaScore)->Arg(256)->Arg(1024);
+
+void BM_WindowDbScore(benchmark::State& state) {
+  sim::SequenceDatasetOptions options;
+  options.length = static_cast<size_t>(state.range(0));
+  options.train_sequences = 4;
+  options.test_sequences = 1;
+  auto dataset = sim::GenerateSequenceDataset(options).value();
+  detect::WindowDbDetector detector;
+  (void)detector.Train(dataset.train);
+  for (auto _ : state) {
+    auto scores = detector.Score(dataset.test[0]);
+    benchmark::DoNotOptimize(scores);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WindowDbScore)->Arg(256)->Arg(1024);
+
+void BM_SaxDiscretize(benchmark::State& state) {
+  std::vector<double> values(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = std::sin(0.1 * static_cast<double>(i));
+  }
+  for (auto _ : state) {
+    auto sax = ts::ToSax(values, ts::SaxOptions{0, 5});
+    benchmark::DoNotOptimize(sax);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SaxDiscretize)->Arg(1024)->Arg(8192);
+
+void BM_Fft(benchmark::State& state) {
+  std::vector<double> values(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = std::sin(0.1 * static_cast<double>(i));
+  }
+  for (auto _ : state) {
+    auto spectrum = ts::PowerSpectrum(values);
+    benchmark::DoNotOptimize(spectrum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fft)->Arg(1024)->Arg(8192);
+
+void BM_Algorithm1PhaseQuery(benchmark::State& state) {
+  sim::PlantOptions options;
+  options.num_lines = 1;
+  options.machines_per_line = 2;
+  options.jobs_per_machine = 8;
+  options.seed = 7;
+  auto plant = sim::BuildPlant(options, sim::ScenarioOptions{}).value();
+  core::HierarchicalDetector detector(&plant.production);
+  const auto& machine = plant.production.lines[0].machines[0];
+  core::PhaseQuery query{machine.id, machine.jobs[0].id, "printing",
+                         machine.id + ".bed_temp_a"};
+  // Warm the caches once: steady-state latency is the relevant number.
+  (void)detector.FindPhaseOutliers(query);
+  for (auto _ : state) {
+    auto report = detector.FindPhaseOutliers(query);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_Algorithm1PhaseQuery);
+
+void BM_PlantBuild(benchmark::State& state) {
+  sim::PlantOptions options;
+  options.num_lines = 1;
+  options.machines_per_line = 2;
+  options.jobs_per_machine = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto plant = sim::BuildPlant(options, sim::ScenarioOptions{});
+    benchmark::DoNotOptimize(plant);
+  }
+}
+BENCHMARK(BM_PlantBuild)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace hod
+
+BENCHMARK_MAIN();

@@ -1,0 +1,175 @@
+// E9 — Scaling and sensitivity of Algorithm 1.
+//
+// The paper names calculation speed as a core constraint (Sections 1/5).
+// This bench measures (a) wall-clock cost of full-hierarchy analysis as
+// the plant grows, and (b) sensitivity of the support/global-score quality
+// to the two tolerance knobs, so deployments can size them.
+
+#include <chrono>
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/hierarchical_detector.h"
+#include "eval/metrics.h"
+#include "sim/plant.h"
+
+namespace hod {
+namespace {
+
+double MillisSince(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Full sweep: every phase query for every injected record plus all level
+/// primitives — the workload of one monitoring cycle over the plant.
+double SweepMillis(const sim::SimulatedPlant& plant,
+                   core::HierarchicalDetectorOptions options = {}) {
+  core::HierarchicalDetector detector(&plant.production, options);
+  const auto start = std::chrono::steady_clock::now();
+  for (const sim::AnomalyRecord& record : plant.truth.records) {
+    if (record.level != hierarchy::ProductionLevel::kPhase) continue;
+    core::PhaseQuery query{record.machine_id, record.job_id,
+                           record.phase_name, record.sensor_id};
+    (void)detector.FindPhaseOutliers(query);
+  }
+  for (const auto& line : plant.production.lines) {
+    for (const auto& machine : line.machines) {
+      (void)detector.FindJobOutliers(machine.id);
+    }
+    (void)detector.FindEnvironmentOutliers(line.id);
+    (void)detector.FindLineOutliers(line.id);
+  }
+  (void)detector.FindProductionOutliers();
+  return MillisSince(start);
+}
+
+struct SupportQuality {
+  double process_support = 0.0;
+  double glitch_support = 0.0;
+};
+
+SupportQuality MeasureSupport(const sim::SimulatedPlant& plant,
+                              double tolerance) {
+  core::HierarchicalDetectorOptions options;
+  options.support_time_tolerance = tolerance;
+  core::HierarchicalDetector detector(&plant.production, options);
+  SupportQuality quality;
+  size_t process_count = 0;
+  size_t glitch_count = 0;
+  for (const sim::AnomalyRecord& record : plant.truth.records) {
+    if (record.level != hierarchy::ProductionLevel::kPhase) continue;
+    if (record.sensor_id.find("_a") == std::string::npos &&
+        record.sensor_id.find("_b") == std::string::npos) {
+      continue;
+    }
+    core::PhaseQuery query{record.machine_id, record.job_id,
+                           record.phase_name, record.sensor_id};
+    auto report = detector.FindPhaseOutliers(query);
+    if (!report.ok()) continue;
+    const core::OutlierFinding* nearest = nullptr;
+    double best_gap = 30.0;
+    for (const auto& finding : report->findings) {
+      const double gap = std::fabs(finding.origin.time - record.start_time);
+      if (gap <= best_gap) {
+        best_gap = gap;
+        nearest = &finding;
+      }
+    }
+    if (nearest == nullptr) continue;
+    if (record.measurement_error) {
+      quality.glitch_support += nearest->support;
+      ++glitch_count;
+    } else {
+      quality.process_support += nearest->support;
+      ++process_count;
+    }
+  }
+  if (process_count > 0) quality.process_support /= process_count;
+  if (glitch_count > 0) quality.glitch_support /= glitch_count;
+  return quality;
+}
+
+}  // namespace
+}  // namespace hod
+
+int main() {
+  using namespace hod;
+  bench::PrintHeader("E9", "Scaling and tolerance sensitivity",
+                     "Sections 1/5 (calculation speed) + Algorithm 1 knobs");
+
+  bench::PrintSection(
+      "Full-hierarchy analysis wall time vs plant size (one monitoring "
+      "cycle)");
+  Table scaling({"lines x machines x jobs", "phase samples", "sweep [ms]",
+                 "ms / job"});
+  for (const auto& [lines, machines, jobs] :
+       {std::tuple<size_t, size_t, size_t>{1, 2, 8},
+        {2, 2, 8},
+        {2, 3, 16},
+        {2, 3, 32}}) {
+    sim::PlantOptions options;
+    options.num_lines = lines;
+    options.machines_per_line = machines;
+    options.jobs_per_machine = jobs;
+    options.seed = 7;
+    sim::ScenarioOptions scenario;
+    scenario.process_anomaly_rate = 0.2;
+    scenario.glitch_rate = 0.1;
+    const auto plant = sim::BuildPlant(options, scenario).value();
+    size_t samples = 0;
+    for (const auto& line : plant.production.lines) {
+      for (const auto& machine : line.machines) {
+        for (const auto& job : machine.jobs) {
+          for (const auto& phase : job.phases) {
+            for (const auto& [id, series] : phase.sensor_series) {
+              samples += series.size();
+            }
+          }
+        }
+      }
+    }
+    const double millis = SweepMillis(plant);
+    const size_t total_jobs = lines * machines * jobs;
+    scaling.AddRow({std::to_string(lines) + " x " + std::to_string(machines) +
+                        " x " + std::to_string(jobs),
+                    std::to_string(samples), bench::Fmt(millis, 1),
+                    bench::Fmt(millis / static_cast<double>(total_jobs), 2)});
+  }
+  scaling.Print(std::cout);
+  std::cout << "Expected: near-linear growth in plant size — models are "
+               "trained once per\n(sensor, phase) and cached; per-job cost "
+               "stays flat.\n";
+
+  bench::PrintSection(
+      "Support separation vs support_time_tolerance (process minus glitch "
+      "support)");
+  sim::PlantOptions options;
+  options.num_lines = 2;
+  options.machines_per_line = 2;
+  options.jobs_per_machine = 12;
+  options.seed = 7;
+  sim::ScenarioOptions scenario;
+  scenario.process_anomaly_rate = 0.3;
+  scenario.glitch_rate = 0.3;
+  const auto plant = sim::BuildPlant(options, scenario).value();
+  Table tolerance_table({"tolerance [s]", "process support", "glitch support",
+                         "separation"});
+  for (double tolerance : {1.0, 5.0, 15.0, 60.0, 300.0}) {
+    const SupportQuality quality = MeasureSupport(plant, tolerance);
+    tolerance_table.AddRow(
+        {bench::Fmt(tolerance, 0), bench::Fmt(quality.process_support, 2),
+         bench::Fmt(quality.glitch_support, 2),
+         bench::Fmt(quality.process_support - quality.glitch_support, 2)});
+  }
+  tolerance_table.Print(std::cout);
+  std::cout << "Expected: full separation across three orders of magnitude "
+               "of tolerance —\nsupport is evaluated within the same phase "
+               "and job, so a glitch's partner\nsensor simply has nothing "
+               "to offer at any tolerance; the knob only matters\nwhen "
+               "unrelated outliers land on the partner sensor in the same "
+               "phase.\n";
+  return 0;
+}

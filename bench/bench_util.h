@@ -1,0 +1,41 @@
+#ifndef HOD_BENCH_BENCH_UTIL_H_
+#define HOD_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the reproduction harness binaries: each bench prints
+// the rows/series of one table or figure from the paper.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace hod::bench {
+
+/// Prints the standard experiment banner.
+inline void PrintHeader(const std::string& experiment_id,
+                        const std::string& title,
+                        const std::string& paper_artifact) {
+  std::cout << "==============================================================="
+               "=================\n";
+  std::cout << experiment_id << " — " << title << "\n";
+  std::cout << "Reproduces: " << paper_artifact << "\n";
+  std::cout << "Paper: Hoppenstedt et al., \"Towards a Hierarchical Approach "
+               "for Outlier\n       Detection in Industrial Production "
+               "Settings\", EDBT workshops 2019\n";
+  std::cout << "==============================================================="
+               "=================\n";
+}
+
+inline void PrintSection(const std::string& name) {
+  std::cout << "\n--- " << name << " ---\n";
+}
+
+inline std::string Fmt(double value, int digits = 3) {
+  return FormatDouble(value, digits);
+}
+
+}  // namespace hod::bench
+
+#endif  // HOD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,70 @@
+// Plant dashboard: the whole library in one call.
+//
+// SummarizePlantHealth composes Algorithm 1 (all levels), alert episode
+// deduplication, CAQ process capability, maintenance urgency, and
+// concept-shift discovery into the report a plant engineer reads at shift
+// start.
+
+#include <cstdio>
+
+#include "hod.h"
+
+int main() {
+  using namespace hod;
+
+  sim::PlantOptions plant_options;
+  plant_options.num_lines = 2;
+  plant_options.machines_per_line = 2;
+  plant_options.jobs_per_machine = 24;
+  plant_options.seed = 314;
+  sim::ScenarioOptions scenario;
+  scenario.process_anomaly_rate = 0.15;
+  scenario.glitch_rate = 0.1;
+  scenario.bad_batch_jobs = 6;
+  auto plant_or = sim::BuildPlant(plant_options, scenario);
+  if (!plant_or.ok()) {
+    std::fprintf(stderr, "%s\n", plant_or.status().ToString().c_str());
+    return 1;
+  }
+  const sim::SimulatedPlant& plant = plant_or.value();
+
+  core::PlantHealthOptions options;
+  options.shifts.min_persistence = 4;
+  options.shifts.cusum_threshold = 6.0;
+  auto report_or = core::SummarizePlantHealth(
+      plant.production, hierarchy::DefaultPrinterCaqSpecification(),
+      options);
+  if (!report_or.ok()) {
+    std::fprintf(stderr, "%s\n", report_or.status().ToString().c_str());
+    return 1;
+  }
+  const core::PlantHealthReport& report = report_or.value();
+
+  std::printf("================ PLANT HEALTH DASHBOARD ================\n");
+  std::printf("(%zu findings analysed across all five levels)\n\n",
+              report.total_findings);
+  std::printf("%-10s %-8s %-8s %-9s %-9s %-9s %s\n", "machine", "prodScr",
+              "minCpk", "urgency", "critical", "warning", "calibration");
+  for (const core::MachineHealth& machine : report.machines) {
+    std::printf("%-10s %-8.2f %-8.2f %-9.2f %-9zu %-9zu %zu\n",
+                machine.machine_id.c_str(), machine.production_score,
+                machine.min_cpk, machine.maintenance_urgency,
+                machine.critical_episodes, machine.warning_episodes,
+                machine.calibration_suspects);
+  }
+
+  std::printf("\nLine-level concept shifts (re-baseline, don't page):\n");
+  if (report.line_shifts.empty()) std::printf("  (none)\n");
+  for (const core::LineShift& shift : report.line_shifts) {
+    std::printf("  %-8s %-22s job %-4zu %.3f -> %.3f (%.1f sigma)\n",
+                shift.line_id.c_str(), shift.feature.c_str(),
+                shift.shift.index, shift.shift.before_mean,
+                shift.shift.after_mean, shift.shift.magnitude_sigmas);
+  }
+
+  std::printf("\nGround truth: rogue machine = %s; bad batch on line1.\n",
+              plant.truth.machine_labels.empty()
+                  ? "(none)"
+                  : plant.truth.machine_labels.begin()->first.c_str());
+  return 0;
+}

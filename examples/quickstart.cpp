@@ -1,0 +1,83 @@
+// Quickstart: detect outliers in a single sensor series, hierarchically.
+//
+// Builds a miniature production (1 line, 1 machine, a handful of jobs),
+// runs Algorithm 1 from the phase level on one sensor, and prints the
+// <global score, outlierness, support> triple for every finding.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/hierarchical_detector.h"
+#include "sim/plant.h"
+
+int main() {
+  using namespace hod;
+
+  // 1. Get a production. Real deployments populate hierarchy::Production
+  //    from their historian; here the bundled additive-manufacturing
+  //    simulator provides one with known injected anomalies.
+  sim::PlantOptions plant_options;
+  plant_options.num_lines = 1;
+  plant_options.machines_per_line = 1;
+  plant_options.jobs_per_machine = 10;
+  plant_options.seed = 2026;
+  sim::ScenarioOptions scenario;
+  scenario.process_anomaly_rate = 0.3;
+  scenario.glitch_rate = 0.2;
+  auto plant_or = sim::BuildPlant(plant_options, scenario);
+  if (!plant_or.ok()) {
+    std::fprintf(stderr, "plant build failed: %s\n",
+                 plant_or.status().ToString().c_str());
+    return 1;
+  }
+  const sim::SimulatedPlant& plant = plant_or.value();
+
+  // 2. Create the hierarchical detector over the production.
+  core::HierarchicalDetector detector(&plant.production);
+
+  // 3. Run Algorithm 1 from the phase level for one sensor in one job.
+  const hierarchy::Machine& machine = plant.production.lines[0].machines[0];
+  std::printf("Scanning %zu jobs of %s, sensor bed_temp_a, phase "
+              "'printing'...\n\n",
+              machine.jobs.size(), machine.id.c_str());
+  std::printf("%-22s %-6s %-12s %-11s %-7s %s\n", "job", "t[s]",
+              "outlierness", "globalScore", "support", "notes");
+  for (const hierarchy::Job& job : machine.jobs) {
+    core::PhaseQuery query{machine.id, job.id, "printing",
+                           machine.id + ".bed_temp_a"};
+    auto report_or = detector.FindPhaseOutliers(query);
+    if (!report_or.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   report_or.status().ToString().c_str());
+      return 1;
+    }
+    for (const core::OutlierFinding& finding : report_or->findings) {
+      std::printf("%-22s %-6.0f %-12.2f %-11d %-7.2f %s%s\n",
+                  job.id.c_str(), finding.origin.time, finding.outlierness,
+                  finding.global_score, finding.support,
+                  std::string(core::AlertSeverityName(
+                      core::ClassifyAlert(finding))).c_str(),
+                  finding.measurement_error_warning
+                      ? "  [suspected measurement error]"
+                      : "");
+    }
+  }
+
+  // 4. Cross-check against the simulator's ground truth.
+  std::printf("\nGround truth (injected by the simulator):\n");
+  for (const sim::AnomalyRecord& record : plant.truth.records) {
+    if (record.sensor_id != machine.id + ".bed_temp_a" ||
+        record.phase_name != "printing") {
+      continue;
+    }
+    std::printf("  t=%-7.0f %-18s %s\n", record.start_time,
+                std::string(sim::OutlierTypeName(record.type)).c_str(),
+                record.measurement_error ? "measurement glitch (sensor _a "
+                                           "only)"
+                                         : "process anomaly (both sensors)");
+  }
+  return 0;
+}

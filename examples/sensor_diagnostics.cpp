@@ -1,0 +1,111 @@
+// Sensor diagnostics: telling process anomalies from broken sensors.
+//
+// The paper's central redundancy idea: "an outlier is more valuable if it
+// is also found in the supporting sensor at the same time ... support
+// values reduce the probability of finding a measurement error". This
+// example injects one real process excursion and one single-sensor glitch
+// into the same machine, runs Algorithm 1 on both redundant bed
+// thermocouples, and shows how support + the downward check diagnose each
+// event correctly.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/hierarchical_detector.h"
+#include "sim/anomaly.h"
+#include "sim/plant.h"
+
+int main() {
+  using namespace hod;
+
+  // Healthy plant; we inject the two events by hand so the contrast is
+  // exact.
+  sim::PlantOptions plant_options;
+  plant_options.num_lines = 1;
+  plant_options.machines_per_line = 1;
+  plant_options.jobs_per_machine = 8;
+  plant_options.seed = 77;
+  sim::ScenarioOptions scenario;
+  scenario.process_anomaly_rate = 0.0;
+  scenario.glitch_rate = 0.0;
+  scenario.rogue_machines = 0;
+  scenario.bad_batch_lines = 0;
+  auto plant_or = sim::BuildPlant(plant_options, scenario);
+  if (!plant_or.ok()) {
+    std::fprintf(stderr, "%s\n", plant_or.status().ToString().c_str());
+    return 1;
+  }
+  sim::SimulatedPlant plant = std::move(plant_or).value();
+  hierarchy::Machine& machine = plant.production.lines[0].machines[0];
+
+  // Event A (job 2): a real bed-temperature excursion — both redundant
+  // thermocouples see it because the physical bed overheated.
+  {
+    hierarchy::Job& job = machine.jobs[2];
+    for (const char* suffix : {"_a", "_b"}) {
+      auto& series =
+          job.phases[3].sensor_series.at(machine.id + ".bed_temp" + suffix);
+      std::vector<uint8_t> labels;
+      sim::InjectionSpec spec;
+      spec.type = sim::OutlierType::kTemporaryChange;
+      spec.position = 80;
+      spec.magnitude = 6.0 * 0.8;  // 6 process sigmas
+      (void)sim::Inject(spec, series.mutable_values(), labels);
+    }
+  }
+  // Event B (job 5): thermocouple _a glitches — sensor fault, the bed was
+  // fine and _b shows nothing.
+  {
+    hierarchy::Job& job = machine.jobs[5];
+    auto& series =
+        job.phases[3].sensor_series.at(machine.id + ".bed_temp_a");
+    std::vector<uint8_t> labels;
+    sim::InjectionSpec spec;
+    spec.type = sim::OutlierType::kAdditive;
+    spec.position = 100;
+    spec.magnitude = 6.0 * 0.8;
+    (void)sim::Inject(spec, series.mutable_values(), labels);
+  }
+
+  core::HierarchicalDetector detector(&plant.production);
+
+  std::printf("Two events on %s, phase 'printing', sensor bed_temp_a:\n",
+              machine.id.c_str());
+  std::printf("  A: job 2 — real bed overheating (both thermocouples)\n");
+  std::printf("  B: job 5 — thermocouple _a spike (sensor fault)\n\n");
+
+  for (size_t j : {size_t{2}, size_t{5}}) {
+    core::PhaseQuery query{machine.id, machine.jobs[j].id, "printing",
+                           machine.id + ".bed_temp_a"};
+    auto report_or = detector.FindPhaseOutliers(query);
+    if (!report_or.ok()) {
+      std::fprintf(stderr, "%s\n", report_or.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("Job %zu findings (%zu):\n", j,
+                report_or->findings.size());
+    for (const core::OutlierFinding& finding : report_or->findings) {
+      std::printf(
+          "  t=%-8.0f outlierness=%.2f support=%.2f (%zu corresponding "
+          "sensor%s)\n",
+          finding.origin.time, finding.outlierness, finding.support,
+          finding.corresponding_sensors,
+          finding.corresponding_sensors == 1 ? "" : "s");
+      std::printf("      diagnosis: %s\n",
+                  finding.support > 0.5
+                      ? "PROCESS ANOMALY — redundant sensor confirms; "
+                        "investigate the machine"
+                      : "SUSPECTED SENSOR FAULT — no redundant "
+                        "confirmation; check the thermocouple");
+    }
+    if (report_or->findings.empty()) {
+      std::printf("  (none)\n");
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "The support value is what distinguishes the two events: identical\n"
+      "outlierness on sensor _a, opposite stories on sensor _b.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Streaming monitor: per-sample condition monitoring with alarms.
+//
+// The paper's condition-monitoring application as a stream: samples of a
+// chamber-temperature signal arrive one at a time, the OnlineMonitor
+// scores each immediately (AR one-step prediction residuals), and alarm
+// episodes carry hysteresis so single noisy samples cannot flap the state.
+// Also demonstrates concept-shift discovery on the same stream: a
+// persistent setpoint change is re-baselined, not endlessly alarmed.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/concept_shift.h"
+#include "core/monitor.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace hod;
+
+  // Synthesize a chamber-temperature stream: stationary at 55 degC, one
+  // transient fault around t=400, and a deliberate setpoint change to
+  // 58 degC at t=700 (a concept shift, not a fault).
+  Rng rng(123);
+  std::vector<double> stream;
+  double noise = 0.0;
+  for (size_t t = 0; t < 1000; ++t) {
+    noise = 0.7 * noise + rng.Gaussian(0.0, 0.25);
+    double value = 55.0 + noise;
+    if (t >= 400 && t < 408) value += 4.0;  // transient fault
+    if (t >= 700) value += 3.0;             // setpoint change
+    stream.push_back(value);
+  }
+
+  core::OnlineMonitorOptions options;
+  options.warmup = 100;
+  options.raise_after = 2;
+  options.clear_after = 5;
+  core::OnlineMonitor monitor(options);
+
+  std::printf("Streaming 1000 samples (warmup 100)...\n\n");
+  std::printf("%-8s %-10s %s\n", "t", "score", "event");
+  for (size_t t = 0; t < stream.size(); ++t) {
+    auto update_or = monitor.Push(stream[t]);
+    if (!update_or.ok()) {
+      std::fprintf(stderr, "%s\n", update_or.status().ToString().c_str());
+      return 1;
+    }
+    const core::MonitorUpdate& update = update_or.value();
+    if (update.alarm_raised) {
+      std::printf("%-8zu %-10.2f ALARM RAISED\n", t, update.score);
+    } else if (update.alarm_cleared) {
+      std::printf("%-8zu %-10.2f alarm cleared\n", t, update.score);
+    }
+  }
+  std::printf("\nAlarm episodes: %zu (expected 2: the transient fault and "
+              "the onset of the\nsetpoint change)\n",
+              monitor.alarms_raised());
+
+  // Concept-shift pass over the recorded stream distinguishes the two:
+  // the fault reverted, the setpoint change persisted.
+  ts::TimeSeries recorded("chamber_temp", 0.0, 1.0, stream);
+  core::ConceptShiftOptions shift_options;
+  // Timescale choice: anything that reverts within 16 samples is a
+  // transient for this process (the fault lasts 8), and the chamber noise
+  // is strongly autocorrelated, so give CUSUM generous per-sample slack.
+  shift_options.min_persistence = 16;
+  shift_options.drift_allowance = 1.0;
+  auto shifts_or = core::DetectConceptShifts(recorded, shift_options);
+  if (!shifts_or.ok()) {
+    std::fprintf(stderr, "%s\n", shifts_or.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nConcept shifts found: %zu\n", shifts_or->size());
+  for (const core::ConceptShift& shift : shifts_or.value()) {
+    std::printf("  t=%-6zu %.1f -> %.1f degC (%.1f sigma) — re-baseline the "
+                "monitor here\n",
+                shift.index, shift.before_mean, shift.after_mean,
+                shift.magnitude_sigmas);
+  }
+  std::printf("\nThe transient fault at t=400 raised an alarm but is NOT a "
+              "concept shift;\nthe setpoint change at t=700 is.\n");
+  return 0;
+}

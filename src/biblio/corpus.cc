@@ -1,0 +1,198 @@
+#include "biblio/corpus.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace hod::biblio {
+
+void Corpus::Add(Record record) {
+  record.id = records_.size();
+  // Records are appended with increasing ids, so a duplicate keyword (or
+  // category) inside one record would land adjacent in the posting list —
+  // skip it to keep lists duplicate-free (Count must count documents, not
+  // keyword occurrences).
+  for (const std::string& keyword : record.keywords) {
+    auto& postings = keyword_index_[keyword];
+    if (postings.empty() || postings.back() != record.id) {
+      postings.push_back(record.id);
+    }
+  }
+  for (const std::string& category : record.categories) {
+    auto& postings = category_index_[category];
+    if (postings.empty() || postings.back() != record.id) {
+      postings.push_back(record.id);
+    }
+  }
+  records_.push_back(std::move(record));
+}
+
+const std::vector<uint64_t>* Corpus::Postings(const std::string& token,
+                                              bool is_category) const {
+  const auto& index = is_category ? category_index_ : keyword_index_;
+  const auto it = index.find(token);
+  return it != index.end() ? &it->second : nullptr;
+}
+
+std::vector<uint64_t> Corpus::Search(const Query& query) const {
+  // Collect all posting lists; an absent token means zero matches.
+  std::vector<const std::vector<uint64_t>*> lists;
+  for (const std::string& term : query.terms) {
+    const auto* postings = Postings(term, false);
+    if (postings == nullptr) return {};
+    lists.push_back(postings);
+  }
+  for (const std::string& category : query.categories) {
+    const auto* postings = Postings(category, true);
+    if (postings == nullptr) return {};
+    lists.push_back(postings);
+  }
+  if (lists.empty()) {
+    std::vector<uint64_t> all(records_.size());
+    for (size_t i = 0; i < records_.size(); ++i) all[i] = i;
+    return all;
+  }
+  // Intersect smallest-first.
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<uint64_t> result = *lists[0];
+  for (size_t l = 1; l < lists.size() && !result.empty(); ++l) {
+    std::vector<uint64_t> next;
+    std::set_intersection(result.begin(), result.end(), lists[l]->begin(),
+                          lists[l]->end(), std::back_inserter(next));
+    result = std::move(next);
+  }
+  return result;
+}
+
+size_t Corpus::Count(const Query& query) const { return Search(query).size(); }
+
+size_t Corpus::KeywordFrequency(const std::string& keyword) const {
+  const auto* postings = Postings(keyword, false);
+  return postings != nullptr ? postings->size() : 0;
+}
+
+const std::vector<std::string>& Fig3Fields() {
+  static const std::vector<std::string>* kFields =
+      new std::vector<std::string>{
+          "anomaly detection",      "outlier detection",
+          "event detection",        "novelty detection",
+          "deviant discovery",      "change point detection",
+          "fault detection",        "intrusion detection",
+      };
+  return *kFields;
+}
+
+namespace {
+
+struct FieldCalibration {
+  const char* field;
+  /// Relative volume of "time series"-tagged articles using the term.
+  double time_series_weight;
+  /// Probability that such an article is categorized under automation
+  /// control systems.
+  double automation_probability;
+};
+
+/// Shape taken from the paper's Fig.-3 bars: anomaly detection dominates
+/// the time-series literature, fault detection owns the automation-
+/// control niche, deviant discovery is a ghost term.
+constexpr FieldCalibration kCalibration[] = {
+    {"anomaly detection", 1900.0, 0.055},
+    {"outlier detection", 650.0, 0.045},
+    {"event detection", 550.0, 0.03},
+    {"novelty detection", 160.0, 0.05},
+    {"deviant discovery", 3.0, 0.0},
+    {"change point detection", 420.0, 0.035},
+    {"fault detection", 1450.0, 0.22},
+    {"intrusion detection", 520.0, 0.05},
+};
+
+constexpr const char* kFillerKeywords[] = {
+    "machine learning", "neural networks", "clustering", "classification",
+    "signal processing", "streaming data",  "big data",   "sensors",
+};
+
+constexpr const char* kOtherCategories[] = {
+    "computer science",        "engineering electrical",
+    "statistics probability",  "telecommunications",
+    "operations research",
+};
+
+}  // namespace
+
+Corpus GenerateResearchCorpus(const CorpusOptions& options) {
+  Corpus corpus;
+  Rng rng(options.seed);
+  double total_weight = 0.0;
+  for (const FieldCalibration& c : kCalibration) {
+    total_weight += c.time_series_weight;
+  }
+  // A fraction of the corpus is time-series literature split across the
+  // eight fields per calibration; the rest is unrelated noise documents
+  // that the query pipeline must filter out.
+  const double time_series_fraction = 0.12;
+  std::vector<double> weights;
+  for (const FieldCalibration& c : kCalibration) {
+    weights.push_back(c.time_series_weight);
+  }
+  for (size_t i = 0; i < options.records; ++i) {
+    Record record;
+    record.year = 1998 + static_cast<int>(rng.NextBelow(21));
+    const bool is_time_series = rng.NextBernoulli(time_series_fraction);
+    if (is_time_series) {
+      const FieldCalibration& c = kCalibration[rng.WeightedIndex(weights)];
+      record.keywords.push_back(c.field);
+      record.keywords.push_back("time series");
+      if (rng.NextBernoulli(c.automation_probability)) {
+        record.categories.push_back("automation control systems");
+      }
+      record.categories.push_back(
+          kOtherCategories[rng.NextBelow(std::size(kOtherCategories))]);
+      // Cross-terminology: some papers use two synonyms.
+      if (rng.NextBernoulli(0.06)) {
+        const FieldCalibration& second =
+            kCalibration[rng.WeightedIndex(weights)];
+        if (second.field != c.field) {
+          record.keywords.push_back(second.field);
+        }
+      }
+    } else {
+      // Unrelated document: filler topics, occasionally a field term
+      // WITHOUT the time-series tag (must not count toward Fig. 3).
+      record.keywords.push_back(
+          kFillerKeywords[rng.NextBelow(std::size(kFillerKeywords))]);
+      if (rng.NextBernoulli(0.08)) {
+        record.keywords.push_back(
+            kCalibration[rng.WeightedIndex(weights)].field);
+      }
+      record.categories.push_back(
+          kOtherCategories[rng.NextBelow(std::size(kOtherCategories))]);
+      if (rng.NextBernoulli(0.02)) {
+        record.categories.push_back("automation control systems");
+      }
+    }
+    record.keywords.push_back(
+        kFillerKeywords[rng.NextBelow(std::size(kFillerKeywords))]);
+    corpus.Add(std::move(record));
+  }
+  return corpus;
+}
+
+std::vector<Fig3Row> RunFig3Queries(const Corpus& corpus) {
+  std::vector<Fig3Row> rows;
+  for (const std::string& field : Fig3Fields()) {
+    Fig3Row row;
+    row.field = field;
+    Query time_series_query;
+    time_series_query.terms = {field, "time series"};
+    row.time_series_count = corpus.Count(time_series_query);
+    Query automation_query = time_series_query;
+    automation_query.categories = {"automation control systems"};
+    row.automation_count = corpus.Count(automation_query);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace hod::biblio

@@ -1,0 +1,87 @@
+#ifndef HOD_BIBLIO_CORPUS_H_
+#define HOD_BIBLIO_CORPUS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace hod::biblio {
+
+/// One bibliographic record: topic keywords and venue categories, as a
+/// literature search engine would index them.
+struct Record {
+  uint64_t id = 0;
+  int year = 2018;
+  std::vector<std::string> keywords;
+  std::vector<std::string> categories;
+};
+
+/// Boolean query: every term must appear among the record's keywords AND
+/// every category among its categories (the Web-of-Science refinement
+/// pipeline the paper used for Fig. 3).
+struct Query {
+  std::vector<std::string> terms;
+  std::vector<std::string> categories;
+};
+
+/// In-memory inverted-index corpus.
+class Corpus {
+ public:
+  /// Adds a record (keywords/categories are matched case-sensitively;
+  /// generators emit lowercase).
+  void Add(Record record);
+
+  size_t size() const { return records_.size(); }
+
+  /// Record ids matching the query (sorted ascending).
+  std::vector<uint64_t> Search(const Query& query) const;
+
+  /// Number of matches (faster than Search when only the count matters —
+  /// intersects posting lists smallest-first).
+  size_t Count(const Query& query) const;
+
+  /// Posting-list length of a keyword (0 when absent).
+  size_t KeywordFrequency(const std::string& keyword) const;
+
+ private:
+  const std::vector<uint64_t>* Postings(const std::string& token,
+                                        bool is_category) const;
+
+  std::vector<Record> records_;
+  std::map<std::string, std::vector<uint64_t>> keyword_index_;
+  std::map<std::string, std::vector<uint64_t>> category_index_;
+};
+
+/// The eight research-field synonyms of Fig. 3, in figure order.
+const std::vector<std::string>& Fig3Fields();
+
+/// Calibration of the synthetic research corpus. Field weights approximate
+/// the Web-of-Science landscape the paper charted: anomaly/fault detection
+/// dominate, deviant discovery is essentially unused, and automation-
+/// control work concentrates in fault detection.
+struct CorpusOptions {
+  size_t records = 60000;
+  uint64_t seed = 13;
+};
+
+/// Deterministically generates the corpus.
+Corpus GenerateResearchCorpus(const CorpusOptions& options);
+
+/// One Fig.-3 bar pair: field term counts after the "time series" filter
+/// and after the additional "automation control systems" refinement.
+struct Fig3Row {
+  std::string field;
+  size_t time_series_count = 0;
+  size_t automation_count = 0;
+};
+
+/// Runs the paper's query pipeline over a corpus.
+std::vector<Fig3Row> RunFig3Queries(const Corpus& corpus);
+
+}  // namespace hod::biblio
+
+#endif  // HOD_BIBLIO_CORPUS_H_

@@ -1,0 +1,92 @@
+#include "core/alert_manager.h"
+
+#include <algorithm>
+#include <map>
+
+namespace hod::core {
+
+AlertManager::AlertManager(AlertManagerOptions options) : options_(options) {}
+
+void AlertManager::Ingest(const OutlierFinding& finding) {
+  findings_.push_back(finding);
+}
+
+void AlertManager::IngestReport(const HierarchicalOutlierReport& report) {
+  for (const OutlierFinding& finding : report.findings) Ingest(finding);
+}
+
+std::vector<AlertEpisode> AlertManager::BuildEpisodes(
+    bool measurement_errors) const {
+  // Group by entity, then sweep time-sorted findings into episodes.
+  std::map<std::string, std::vector<const OutlierFinding*>> by_entity;
+  for (const OutlierFinding& finding : findings_) {
+    if (finding.measurement_error_warning != measurement_errors) continue;
+    by_entity[finding.origin.entity].push_back(&finding);
+  }
+  std::vector<AlertEpisode> episodes;
+  for (auto& [entity, group] : by_entity) {
+    std::sort(group.begin(), group.end(),
+              [](const OutlierFinding* a, const OutlierFinding* b) {
+                return a->origin.time < b->origin.time;
+              });
+    AlertEpisode current;
+    bool open = false;
+    auto flush = [&]() {
+      if (open) episodes.push_back(current);
+      open = false;
+    };
+    for (const OutlierFinding* finding : group) {
+      if (open &&
+          finding->origin.time - current.end_time > options_.merge_window) {
+        flush();
+      }
+      if (!open) {
+        current = AlertEpisode{};
+        current.entity = entity;
+        current.start_time = finding->origin.time;
+        current.suspected_measurement_error = measurement_errors;
+        open = true;
+      }
+      current.end_time = finding->origin.time;
+      ++current.finding_count;
+      current.peak_outlierness =
+          std::max(current.peak_outlierness, finding->outlierness);
+      current.peak_global_score =
+          std::max(current.peak_global_score, finding->global_score);
+      current.peak_support = std::max(current.peak_support, finding->support);
+      const AlertSeverity severity = ClassifyAlert(*finding);
+      if (static_cast<int>(severity) > static_cast<int>(current.severity)) {
+        current.severity = severity;
+      }
+    }
+    flush();
+  }
+  // Strongest first: severity, then peak outlierness.
+  std::sort(episodes.begin(), episodes.end(),
+            [](const AlertEpisode& a, const AlertEpisode& b) {
+              if (a.severity != b.severity) {
+                return static_cast<int>(a.severity) >
+                       static_cast<int>(b.severity);
+              }
+              return a.peak_outlierness > b.peak_outlierness;
+            });
+  return episodes;
+}
+
+std::vector<AlertEpisode> AlertManager::Episodes() const {
+  std::vector<AlertEpisode> all = BuildEpisodes(/*measurement_errors=*/false);
+  std::vector<AlertEpisode> filtered;
+  for (AlertEpisode& episode : all) {
+    if (static_cast<int>(episode.severity) >=
+        static_cast<int>(options_.min_severity)) {
+      filtered.push_back(std::move(episode));
+    }
+  }
+  return filtered;
+}
+
+std::vector<AlertEpisode> AlertManager::CalibrationQueue() const {
+  return BuildEpisodes(/*measurement_errors=*/true);
+}
+
+}  // namespace hod::core

@@ -1,0 +1,74 @@
+#ifndef HOD_CORE_ALERT_MANAGER_H_
+#define HOD_CORE_ALERT_MANAGER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "util/statusor.h"
+
+namespace hod::core {
+
+/// Alert management — the paper's second promised application ("generate
+/// Alerts"). Raw Algorithm-1 findings arrive point-by-point; operators
+/// need *episodes*: nearby findings on the same entity merged into one
+/// alert whose severity is the strongest of its members, routed by kind
+/// (process problem vs suspected sensor fault).
+struct AlertManagerOptions {
+  /// Findings on the same entity within this many seconds merge into one
+  /// episode.
+  double merge_window = 30.0;
+  /// Episodes below this severity are suppressed from the board.
+  AlertSeverity min_severity = AlertSeverity::kWarning;
+};
+
+/// One merged alert episode.
+struct AlertEpisode {
+  std::string entity;
+  ts::TimePoint start_time = 0.0;
+  ts::TimePoint end_time = 0.0;
+  size_t finding_count = 0;
+  /// Strongest member values.
+  double peak_outlierness = 0.0;
+  int peak_global_score = 1;
+  double peak_support = 0.0;
+  AlertSeverity severity = AlertSeverity::kInfo;
+  /// True when every member finding carried the measurement-error flag —
+  /// the episode belongs on the calibration queue, not the stop queue.
+  bool suspected_measurement_error = false;
+};
+
+/// Collects findings and produces the deduplicated alert board.
+class AlertManager {
+ public:
+  explicit AlertManager(AlertManagerOptions options = {});
+
+  /// Ingests one finding (any level, any order — episodes are rebuilt on
+  /// demand from the sorted set).
+  void Ingest(const OutlierFinding& finding);
+
+  /// Ingests every finding of a report.
+  void IngestReport(const HierarchicalOutlierReport& report);
+
+  size_t findings_ingested() const { return findings_.size(); }
+
+  /// Builds the episode list: per entity, time-sorted findings merged by
+  /// the merge window, filtered by min severity, strongest first.
+  std::vector<AlertEpisode> Episodes() const;
+
+  /// Episodes destined for the calibration queue (suspected sensor
+  /// faults) — these bypass the severity filter at WARNING level.
+  std::vector<AlertEpisode> CalibrationQueue() const;
+
+  void Clear() { findings_.clear(); }
+
+ private:
+  std::vector<AlertEpisode> BuildEpisodes(bool measurement_errors) const;
+
+  AlertManagerOptions options_;
+  std::vector<OutlierFinding> findings_;
+};
+
+}  // namespace hod::core
+
+#endif  // HOD_CORE_ALERT_MANAGER_H_

@@ -1,0 +1,93 @@
+#include "core/algorithm_selector.h"
+
+#include "detect/adapters.h"
+#include "detect/ar_detector.h"
+#include "detect/baseline.h"
+#include "detect/em_detector.h"
+#include "detect/histogram_deviant.h"
+
+namespace hod::core {
+
+std::unique_ptr<detect::SeriesDetector> AlgorithmSelector::MakePhaseDetector()
+    const {
+  if (policy_ == SelectorPolicy::kResolutionMatched) {
+    // High-resolution temporal data: one-step-ahead prediction residuals
+    // localize point anomalies exactly.
+    detect::ArOptions options;
+    options.order = 5;
+    return std::make_unique<detect::ArDetector>(options);
+  }
+  // Mismatched: value-histogram deviants ignore the temporal structure a
+  // phase signal lives on (ramps look like outliers, spikes inside the
+  // value range get missed).
+  return detect::MakeSeriesFromVectorPoints(
+      std::make_unique<detect::HistogramDeviantDetector>(),
+      /*include_phase=*/false);
+}
+
+std::unique_ptr<detect::VectorDetector> AlgorithmSelector::MakeJobDetector()
+    const {
+  if (policy_ == SelectorPolicy::kResolutionMatched) {
+    // Aggregated vectors: a point-density model over setup+CAQ space.
+    // One component: the job population is a single operating regime and
+    // a multi-component fit would absorb the anomalous jobs into their own
+    // cluster. Tight nll scale so 3-4 sigma CAQ degradations clear the 0.5
+    // detection threshold despite contaminated training.
+    detect::EmOptions options;
+    options.components = 1;
+    options.nll_scale = 2.0;
+    return std::make_unique<detect::EmDetector>(options);
+  }
+  // Mismatched: an AR model over the flattened job stream pretends the
+  // job vectors have sequential dynamics they do not possess. Low order so
+  // it still fits machines with few jobs.
+  detect::ArOptions options;
+  options.order = 2;
+  return detect::MakeVectorFromSeries(
+      std::make_unique<detect::ArDetector>(options));
+}
+
+std::unique_ptr<detect::SeriesDetector>
+AlgorithmSelector::MakeEnvironmentDetector() const {
+  if (policy_ == SelectorPolicy::kResolutionMatched) {
+    detect::ArOptions options;
+    options.order = 4;
+    return std::make_unique<detect::ArDetector>(options);
+  }
+  return detect::MakeSeriesFromVectorPoints(
+      std::make_unique<detect::HistogramDeviantDetector>(),
+      /*include_phase=*/false);
+}
+
+std::unique_ptr<detect::SeriesDetector> AlgorithmSelector::MakeLineDetector()
+    const {
+  if (policy_ == SelectorPolicy::kResolutionMatched) {
+    // Job-aggregated series are short and step-like: robust point
+    // deviations from the line's usual operating values flag every job in
+    // a bad window, not only the transition.
+    return std::make_unique<detect::RobustZSeriesDetector>();
+  }
+  detect::ArOptions options;
+  options.order = 3;
+  return std::make_unique<detect::ArDetector>(options);
+}
+
+std::string AlgorithmSelector::Describe(
+    hierarchy::ProductionLevel level) const {
+  const bool matched = policy_ == SelectorPolicy::kResolutionMatched;
+  switch (level) {
+    case hierarchy::ProductionLevel::kPhase:
+      return matched ? "AutoregressiveModel" : "HistogramDeviants+Points";
+    case hierarchy::ProductionLevel::kJob:
+      return matched ? "ExpectationMaximization" : "AutoregressiveModel+Stream";
+    case hierarchy::ProductionLevel::kEnvironment:
+      return matched ? "AutoregressiveModel" : "HistogramDeviants+Points";
+    case hierarchy::ProductionLevel::kProductionLine:
+      return matched ? "RobustZ" : "AutoregressiveModel";
+    case hierarchy::ProductionLevel::kProduction:
+      return "RobustZVector";
+  }
+  return "?";
+}
+
+}  // namespace hod::core

@@ -1,0 +1,59 @@
+#ifndef HOD_CORE_ALGORITHM_SELECTOR_H_
+#define HOD_CORE_ALGORITHM_SELECTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "detect/detector.h"
+#include "hierarchy/level.h"
+
+namespace hod::core {
+
+/// The paper's ChooseAlgorithm(level): "the algorithm should be selected
+/// with respect to the resolution best fitting to a production layer" —
+/// high-resolution levels get temporal (sequence/prediction) detectors,
+/// aggregated levels get point detectors.
+enum class SelectorPolicy {
+  /// Resolution-matched defaults (the paper's §3 guidance):
+  ///   phase (high-res series)  -> autoregressive prediction model (PM)
+  ///   job (aggregated vectors) -> Gaussian-mixture EM (DA, point-based)
+  ///   environment (series)     -> autoregressive prediction model (PM)
+  ///   line (job series)        -> robust point scores over job series
+  ///   production (few vectors) -> robust per-feature z comparison
+  kResolutionMatched,
+  /// Deliberately mismatched (ablation E6): point detectors on the
+  /// high-resolution levels, temporal detectors on the aggregated ones.
+  kMismatched,
+};
+
+/// Builds the level-appropriate detectors. Stateless; one instance per
+/// HierarchicalDetector.
+class AlgorithmSelector {
+ public:
+  explicit AlgorithmSelector(SelectorPolicy policy = SelectorPolicy::kResolutionMatched)
+      : policy_(policy) {}
+
+  SelectorPolicy policy() const { return policy_; }
+
+  /// Detector for phase-level sensor series.
+  std::unique_ptr<detect::SeriesDetector> MakePhaseDetector() const;
+
+  /// Detector for job-level setup+CAQ vectors.
+  std::unique_ptr<detect::VectorDetector> MakeJobDetector() const;
+
+  /// Detector for environment series.
+  std::unique_ptr<detect::SeriesDetector> MakeEnvironmentDetector() const;
+
+  /// Detector for production-line job series.
+  std::unique_ptr<detect::SeriesDetector> MakeLineDetector() const;
+
+  /// Human-readable name of the algorithm used at a level.
+  std::string Describe(hierarchy::ProductionLevel level) const;
+
+ private:
+  SelectorPolicy policy_;
+};
+
+}  // namespace hod::core
+
+#endif  // HOD_CORE_ALGORITHM_SELECTOR_H_

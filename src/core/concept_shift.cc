@@ -1,0 +1,107 @@
+#include "core/concept_shift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/stats.h"
+
+namespace hod::core {
+
+StatusOr<std::vector<ConceptShift>> DetectConceptShifts(
+    const ts::TimeSeries& series, const ConceptShiftOptions& options) {
+  HOD_RETURN_IF_ERROR(series.Validate());
+  if (series.size() < 2 * options.min_persistence) {
+    return Status::InvalidArgument(
+        "series too short for concept-shift detection");
+  }
+  if (options.cusum_threshold <= 0.0) {
+    return Status::InvalidArgument("cusum_threshold must be > 0");
+  }
+  const auto& values = series.values();
+  std::vector<ConceptShift> shifts;
+
+  size_t segment_start = 0;
+  while (segment_start + 2 * options.min_persistence <= values.size()) {
+    // Robust baseline of the current regime: first min_persistence..
+    // whole-segment samples (capped to avoid contaminating the baseline
+    // with the next shift).
+    const size_t baseline_end =
+        std::min(values.size(),
+                 segment_start + std::max<size_t>(options.min_persistence * 3,
+                                                  24));
+    std::vector<double> baseline(values.begin() + segment_start,
+                                 values.begin() + baseline_end);
+    const double level = ts::Median(baseline);
+    double sigma = ts::Mad(baseline);
+    if (sigma <= 0.0) sigma = std::max(ts::StdDev(baseline), 1e-9);
+
+    // Two-sided CUSUM from the segment start.
+    double cusum_up = 0.0;
+    double cusum_down = 0.0;
+    size_t up_anchor = segment_start;    // first sample contributing to up
+    size_t down_anchor = segment_start;
+    bool found = false;
+    for (size_t i = segment_start; i < values.size(); ++i) {
+      const double z = (values[i] - level) / sigma;
+      const double up_inc = z - options.drift_allowance;
+      const double down_inc = -z - options.drift_allowance;
+      if (cusum_up + up_inc <= 0.0) {
+        cusum_up = 0.0;
+        up_anchor = i + 1;
+      } else {
+        cusum_up += up_inc;
+      }
+      if (cusum_down + down_inc <= 0.0) {
+        cusum_down = 0.0;
+        down_anchor = i + 1;
+      } else {
+        cusum_down += down_inc;
+      }
+      const bool up_hit = cusum_up > options.cusum_threshold;
+      const bool down_hit = cusum_down > options.cusum_threshold;
+      if (!up_hit && !down_hit) continue;
+
+      const size_t change = up_hit ? up_anchor : down_anchor;
+      // Persistence check: the new level must *still* hold after any
+      // transient would have decayed. The audited window starts
+      // min_persistence samples past the *detection* index (the CUSUM
+      // crossing, which is at or after the disturbance onset) — a
+      // temporary change or spike has faded by then; a genuine shift has
+      // not.
+      const size_t post_begin = i + options.min_persistence;
+      const size_t post_end =
+          std::min(values.size(), post_begin + options.min_persistence);
+      if (post_end <= post_begin ||
+          post_end - post_begin < options.min_persistence) {
+        break;  // not enough future data to confirm persistence
+      }
+      std::vector<double> post(values.begin() + post_begin,
+                               values.begin() + post_end);
+      const double after = ts::Median(post);
+      const double magnitude = std::fabs(after - level) / sigma;
+      if (magnitude < options.min_magnitude) {
+        // A transient (e.g. additive outlier) tripped CUSUM but the level
+        // did not move: reset and continue scanning.
+        cusum_up = 0.0;
+        cusum_down = 0.0;
+        up_anchor = i + 1;
+        down_anchor = i + 1;
+        continue;
+      }
+      ConceptShift shift;
+      shift.index = change;
+      shift.time = series.TimeAt(change);
+      shift.before_mean = level;
+      shift.after_mean = after;
+      shift.magnitude_sigmas = magnitude;
+      shifts.push_back(shift);
+      segment_start = post_end;  // re-baseline in the new regime
+      found = true;
+      break;
+    }
+    if (!found) break;
+  }
+  return shifts;
+}
+
+}  // namespace hod::core

@@ -1,0 +1,53 @@
+#ifndef HOD_CORE_CONCEPT_SHIFT_H_
+#define HOD_CORE_CONCEPT_SHIFT_H_
+
+#include <vector>
+
+#include "timeseries/time_series.h"
+#include "util/statusor.h"
+
+namespace hod::core {
+
+/// Concept-shift discovery — one of the four applications the paper's
+/// introduction promises ("discover Concept Shifts"). A concept shift is
+/// a *persistent* change of operating level, i.e. the Level Shift of
+/// Fig. 1 observed at an aggregated level (line job series, environment):
+/// unlike a transient outlier it does not revert, so alerting should
+/// re-baseline instead of paging.
+///
+/// Detection is two-sided CUSUM on robustly standardized samples,
+/// followed by a persistence check on the post-change segment.
+struct ConceptShiftOptions {
+  /// CUSUM decision threshold, in robust sigmas (accumulated drift).
+  double cusum_threshold = 8.0;
+  /// Per-sample slack absorbed before evidence accumulates (sigmas).
+  double drift_allowance = 0.5;
+  /// The post-shift segment must hold the new level for at least this
+  /// many samples to count as a *concept* shift rather than an outlier.
+  /// Set it to the longest transient you expect (autocorrelated noise and
+  /// temporary changes must have decayed within this horizon).
+  size_t min_persistence = 8;
+  /// Minimum |after - before| in robust sigmas.
+  double min_magnitude = 2.0;
+};
+
+/// One discovered shift.
+struct ConceptShift {
+  /// First sample of the new regime.
+  size_t index = 0;
+  ts::TimePoint time = 0.0;
+  double before_mean = 0.0;
+  double after_mean = 0.0;
+  /// |after - before| in robust sigmas of the pre-shift regime.
+  double magnitude_sigmas = 0.0;
+};
+
+/// Scans the series for persistent level changes. Multiple shifts are
+/// found sequentially (detection restarts after each confirmed shift).
+/// Errors on invalid series or series shorter than 2*min_persistence.
+StatusOr<std::vector<ConceptShift>> DetectConceptShifts(
+    const ts::TimeSeries& series, const ConceptShiftOptions& options = {});
+
+}  // namespace hod::core
+
+#endif  // HOD_CORE_CONCEPT_SHIFT_H_

@@ -1,0 +1,641 @@
+#include "core/hierarchical_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "detect/baseline.h"
+#include "detect/fsa_detector.h"
+#include "detect/score_utils.h"
+#include "hierarchy/level_data.h"
+
+namespace hod::core {
+
+namespace {
+
+/// Largest score within `tolerance` seconds of `t` among timed scores.
+double MaxScoreNear(const std::vector<double>& scores,
+                    ts::TimePoint series_start, double interval,
+                    ts::TimePoint t, double tolerance) {
+  if (scores.empty() || interval <= 0.0) return 0.0;
+  const double lo = (t - tolerance - series_start) / interval;
+  const double hi = (t + tolerance - series_start) / interval;
+  const size_t begin =
+      lo <= 0.0 ? 0 : std::min(static_cast<size_t>(lo), scores.size());
+  const size_t end =
+      hi <= 0.0 ? 0
+                : std::min(static_cast<size_t>(hi) + 1, scores.size());
+  double best = 0.0;
+  for (size_t i = begin; i < end; ++i) best = std::max(best, scores[i]);
+  return best;
+}
+
+}  // namespace
+
+HierarchicalDetector::HierarchicalDetector(
+    const hierarchy::Production* production,
+    HierarchicalDetectorOptions options)
+    : production_(production),
+      options_(options),
+      selector_(options.policy) {}
+
+StatusOr<std::string> HierarchicalDetector::LineOfMachine(
+    const std::string& machine_id) const {
+  for (const hierarchy::ProductionLine& line : production_->lines) {
+    for (const hierarchy::Machine& machine : line.machines) {
+      if (machine.id == machine_id) return line.id;
+    }
+  }
+  return Status::NotFound("unknown machine '" + machine_id + "'");
+}
+
+// ---- Level primitives ----------------------------------------------------
+
+StatusOr<std::vector<double>> HierarchicalDetector::ScorePhaseSeries(
+    const PhaseQuery& query) {
+  HOD_ASSIGN_OR_RETURN(const hierarchy::Machine* machine,
+                       hierarchy::FindMachine(*production_, query.machine_id));
+  // Lazily train one detector per (machine, sensor, phase) on all series
+  // that sensor recorded in that phase across the machine's jobs.
+  const std::string key =
+      query.machine_id + "/" + query.sensor_id + "/" + query.phase_name;
+  auto it = phase_detectors_.find(key);
+  if (it == phase_detectors_.end()) {
+    std::vector<const ts::TimeSeries*> training_ptrs =
+        hierarchy::CollectSensorSeries(*machine, query.sensor_id,
+                                       query.phase_name);
+    if (training_ptrs.empty()) {
+      return Status::NotFound("no series for sensor '" + query.sensor_id +
+                              "' in phase '" + query.phase_name + "'");
+    }
+    std::vector<ts::TimeSeries> training;
+    training.reserve(training_ptrs.size());
+    for (const ts::TimeSeries* s : training_ptrs) training.push_back(*s);
+    std::unique_ptr<detect::SeriesDetector> detector =
+        selector_.MakePhaseDetector();
+    HOD_RETURN_IF_ERROR(detector->Train(training));
+    it = phase_detectors_.emplace(key, std::move(detector)).first;
+  }
+  // Locate the queried job's series.
+  HOD_ASSIGN_OR_RETURN(const hierarchy::Job* job,
+                       hierarchy::FindJob(*production_, query.job_id));
+  for (const hierarchy::Phase& phase : job->phases) {
+    if (phase.name != query.phase_name) continue;
+    const auto series_it = phase.sensor_series.find(query.sensor_id);
+    if (series_it == phase.sensor_series.end()) break;
+    return it->second->Score(series_it->second);
+  }
+  return Status::NotFound("job '" + query.job_id + "' has no series for '" +
+                          query.sensor_id + "' in phase '" +
+                          query.phase_name + "'");
+}
+
+StatusOr<std::vector<double>> HierarchicalDetector::ScorePhaseEvents(
+    const std::string& machine_id, const std::string& job_id,
+    const std::string& phase_name) {
+  HOD_ASSIGN_OR_RETURN(const hierarchy::Machine* machine,
+                       hierarchy::FindMachine(*production_, machine_id));
+  const std::string key = machine_id + "/" + phase_name;
+  auto it = event_detectors_.find(key);
+  if (it == event_detectors_.end()) {
+    // Train on every job's event sequence for this phase name (the
+    // queried job included — contamination is acceptable, anomalous FAULT
+    // symbols are rare).
+    std::vector<ts::DiscreteSequence> training;
+    for (const hierarchy::Job& job : machine->jobs) {
+      for (const hierarchy::Phase& phase : job.phases) {
+        if (phase.name == phase_name && !phase.events.empty()) {
+          training.push_back(phase.events);
+        }
+      }
+    }
+    if (training.empty()) {
+      return Status::NotFound("no event sequences for phase '" + phase_name +
+                              "'");
+    }
+    auto detector = std::make_unique<detect::FsaDetector>();
+    HOD_RETURN_IF_ERROR(detector->Train(training));
+    it = event_detectors_.emplace(key, std::move(detector)).first;
+  }
+  HOD_ASSIGN_OR_RETURN(const hierarchy::Job* job,
+                       hierarchy::FindJob(*production_, job_id));
+  for (const hierarchy::Phase& phase : job->phases) {
+    if (phase.name == phase_name) return it->second->Score(phase.events);
+  }
+  return Status::NotFound("job '" + job_id + "' has no phase '" +
+                          phase_name + "'");
+}
+
+namespace {
+
+/// Aligned channel vector of a phase, in deterministic (map) order.
+std::vector<ts::TimeSeries> PhaseChannels(const hierarchy::Phase& phase) {
+  std::vector<ts::TimeSeries> channels;
+  for (const auto& [sensor_id, series] : phase.sensor_series) {
+    channels.push_back(series);
+  }
+  return channels;
+}
+
+}  // namespace
+
+StatusOr<std::vector<double>> HierarchicalDetector::ScorePhaseMultivariate(
+    const std::string& machine_id, const std::string& job_id,
+    const std::string& phase_name) {
+  HOD_ASSIGN_OR_RETURN(const hierarchy::Machine* machine,
+                       hierarchy::FindMachine(*production_, machine_id));
+  const std::string key = machine_id + "/" + phase_name;
+  auto it = var_models_.find(key);
+  if (it == var_models_.end()) {
+    std::vector<std::vector<ts::TimeSeries>> groups;
+    for (const hierarchy::Job& job : machine->jobs) {
+      for (const hierarchy::Phase& phase : job.phases) {
+        if (phase.name == phase_name && !phase.sensor_series.empty()) {
+          groups.push_back(PhaseChannels(phase));
+        }
+      }
+    }
+    if (groups.empty()) {
+      return Status::NotFound("no sensor channels for phase '" + phase_name +
+                              "'");
+    }
+    auto model = std::make_unique<detect::VarDetector>();
+    HOD_RETURN_IF_ERROR(model->Train(groups));
+    it = var_models_.emplace(key, std::move(model)).first;
+  }
+  HOD_ASSIGN_OR_RETURN(const hierarchy::Job* job,
+                       hierarchy::FindJob(*production_, job_id));
+  for (const hierarchy::Phase& phase : job->phases) {
+    if (phase.name == phase_name) {
+      return it->second->Score(PhaseChannels(phase));
+    }
+  }
+  return Status::NotFound("job '" + job_id + "' has no phase '" +
+                          phase_name + "'");
+}
+
+StatusOr<const std::vector<HierarchicalDetector::TimedScore>*>
+HierarchicalDetector::JobScores(const std::string& machine_id) {
+  auto it = job_scores_.find(machine_id);
+  if (it != job_scores_.end()) return &it->second;
+
+  HOD_ASSIGN_OR_RETURN(const hierarchy::Machine* machine,
+                       hierarchy::FindMachine(*production_, machine_id));
+  HOD_ASSIGN_OR_RETURN(hierarchy::JobMatrix matrix,
+                       hierarchy::JobFeatureMatrix(*machine));
+  if (matrix.vectors.empty()) {
+    return Status::NotFound("machine '" + machine_id + "' has no jobs");
+  }
+  std::unique_ptr<detect::VectorDetector> detector =
+      selector_.MakeJobDetector();
+  HOD_RETURN_IF_ERROR(detector->Train(matrix.vectors));
+  HOD_ASSIGN_OR_RETURN(std::vector<double> scores,
+                       detector->Score(matrix.vectors));
+  std::vector<TimedScore> timed(matrix.vectors.size());
+  for (size_t j = 0; j < matrix.vectors.size(); ++j) {
+    timed[j].entity = matrix.job_ids[j];
+    timed[j].start = machine->jobs[j].start_time;
+    timed[j].end = machine->jobs[j].end_time;
+    timed[j].score = scores[j];
+  }
+  it = job_scores_.emplace(machine_id, std::move(timed)).first;
+  return &it->second;
+}
+
+StatusOr<std::vector<double>> HierarchicalDetector::ScoreJobs(
+    const std::string& machine_id) {
+  HOD_ASSIGN_OR_RETURN(const std::vector<TimedScore>* timed,
+                       JobScores(machine_id));
+  std::vector<double> scores;
+  scores.reserve(timed->size());
+  for (const TimedScore& entry : *timed) scores.push_back(entry.score);
+  return scores;
+}
+
+StatusOr<const std::vector<double>*> HierarchicalDetector::EnvironmentScores(
+    const std::string& line_id) {
+  auto it = environment_scores_.find(line_id);
+  if (it != environment_scores_.end()) return &it->second;
+
+  HOD_ASSIGN_OR_RETURN(const hierarchy::ProductionLine* line,
+                       hierarchy::FindLine(*production_, line_id));
+  if (line->environment.empty()) {
+    return Status::NotFound("line '" + line_id +
+                            "' has no environment channel");
+  }
+  const ts::TimeSeries& series = line->environment.front().series;
+  std::unique_ptr<detect::SeriesDetector> detector =
+      selector_.MakeEnvironmentDetector();
+  HOD_RETURN_IF_ERROR(detector->Train({series}));
+  HOD_ASSIGN_OR_RETURN(std::vector<double> scores, detector->Score(series));
+  it = environment_scores_.emplace(line_id, std::move(scores)).first;
+  return &it->second;
+}
+
+StatusOr<std::vector<double>> HierarchicalDetector::ScoreEnvironment(
+    const std::string& line_id) {
+  HOD_ASSIGN_OR_RETURN(const std::vector<double>* scores,
+                       EnvironmentScores(line_id));
+  return *scores;
+}
+
+StatusOr<const std::vector<HierarchicalDetector::TimedScore>*>
+HierarchicalDetector::LineJobScores(const std::string& line_id) {
+  auto it = line_job_scores_.find(line_id);
+  if (it != line_job_scores_.end()) return &it->second;
+
+  HOD_ASSIGN_OR_RETURN(const hierarchy::ProductionLine* line,
+                       hierarchy::FindLine(*production_, line_id));
+  HOD_ASSIGN_OR_RETURN(hierarchy::JobMatrix matrix,
+                       hierarchy::JobFeatureMatrix(*line));
+  if (matrix.vectors.empty()) {
+    return Status::NotFound("line '" + line_id + "' has no jobs");
+  }
+  HOD_ASSIGN_OR_RETURN(std::vector<ts::TimeSeries> feature_series,
+                       hierarchy::LineJobSeries(*line));
+  std::unique_ptr<detect::SeriesDetector> detector =
+      selector_.MakeLineDetector();
+  // Per-job score = mean of the top-3 per-feature scores: a real line
+  // event (bad powder lot) shifts several setup/CAQ features at once,
+  // while measurement noise spikes a single feature.
+  std::vector<std::vector<double>> per_feature(matrix.vectors.size());
+  for (const ts::TimeSeries& series : feature_series) {
+    HOD_RETURN_IF_ERROR(detector->Train({series}));
+    HOD_ASSIGN_OR_RETURN(std::vector<double> scores,
+                         detector->Score(series));
+    for (size_t j = 0; j < per_feature.size() && j < scores.size(); ++j) {
+      per_feature[j].push_back(scores[j]);
+    }
+  }
+  std::vector<double> combined(matrix.vectors.size(), 0.0);
+  for (size_t j = 0; j < combined.size(); ++j) {
+    combined[j] = detect::TopKMean(per_feature[j], 3);
+  }
+  std::vector<TimedScore> timed(combined.size());
+  for (size_t j = 0; j < combined.size(); ++j) {
+    timed[j].entity = matrix.job_ids[j];
+    timed[j].start = matrix.times[j];
+    timed[j].end = matrix.times[j];
+    timed[j].score = combined[j];
+  }
+  it = line_job_scores_.emplace(line_id, std::move(timed)).first;
+  return &it->second;
+}
+
+StatusOr<std::vector<double>> HierarchicalDetector::ScoreLineJobs(
+    const std::string& line_id) {
+  HOD_ASSIGN_OR_RETURN(const std::vector<TimedScore>* timed,
+                       LineJobScores(line_id));
+  std::vector<double> scores;
+  scores.reserve(timed->size());
+  for (const TimedScore& entry : *timed) scores.push_back(entry.score);
+  return scores;
+}
+
+StatusOr<const std::map<std::string, double>*>
+HierarchicalDetector::MachineScores() {
+  if (machine_scores_ready_) return &machine_scores_;
+  HOD_ASSIGN_OR_RETURN(hierarchy::MachineMatrix matrix,
+                       hierarchy::MachineSummaryMatrix(*production_));
+  if (matrix.vectors.empty()) {
+    return Status::NotFound("production has no machines with jobs");
+  }
+  detect::RobustZVectorDetector detector;
+  HOD_RETURN_IF_ERROR(detector.Train(matrix.vectors));
+  HOD_ASSIGN_OR_RETURN(std::vector<double> scores,
+                       detector.Score(matrix.vectors));
+  for (size_t m = 0; m < matrix.machine_ids.size(); ++m) {
+    machine_scores_[matrix.machine_ids[m]] = scores[m];
+  }
+  machine_scores_ready_ = true;
+  return &machine_scores_;
+}
+
+StatusOr<std::map<std::string, double>> HierarchicalDetector::ScoreMachines() {
+  HOD_ASSIGN_OR_RETURN(const auto* scores,
+                       MachineScores());
+  return *scores;
+}
+
+// ---- Cross-level visibility ----------------------------------------------
+
+StatusOr<bool> HierarchicalDetector::VisibleAtLevel(
+    hierarchy::ProductionLevel level, const std::string& line_id,
+    const std::string& machine_id, ts::TimePoint t) {
+  const double threshold = options_.outlier_threshold;
+  switch (level) {
+    case hierarchy::ProductionLevel::kPhase: {
+      // Any sensor in the job covering `t` showing a phase outlier.
+      HOD_ASSIGN_OR_RETURN(
+          const hierarchy::Machine* machine,
+          hierarchy::FindMachine(*production_, machine_id));
+      for (const hierarchy::Job& job : machine->jobs) {
+        if (t < job.start_time - options_.cross_level_tolerance ||
+            t > job.end_time + options_.cross_level_tolerance) {
+          continue;
+        }
+        for (const hierarchy::Phase& phase : job.phases) {
+          for (const auto& [sensor_id, series] : phase.sensor_series) {
+            PhaseQuery query{machine_id, job.id, phase.name, sensor_id};
+            HOD_ASSIGN_OR_RETURN(std::vector<double> scores,
+                                 ScorePhaseSeries(query));
+            if (MaxScoreNear(scores, series.start_time(), series.interval(),
+                             t, options_.cross_level_tolerance) > threshold) {
+              return true;
+            }
+          }
+        }
+      }
+      return false;
+    }
+    case hierarchy::ProductionLevel::kJob: {
+      HOD_ASSIGN_OR_RETURN(const std::vector<TimedScore>* jobs,
+                           JobScores(machine_id));
+      for (const TimedScore& job : *jobs) {
+        if (t >= job.start - options_.cross_level_tolerance &&
+            t <= job.end + options_.cross_level_tolerance &&
+            job.score > threshold) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case hierarchy::ProductionLevel::kEnvironment: {
+      auto scores_or = EnvironmentScores(line_id);
+      if (!scores_or.ok()) return false;  // no environment channel
+      HOD_ASSIGN_OR_RETURN(const hierarchy::ProductionLine* line,
+                           hierarchy::FindLine(*production_, line_id));
+      const ts::TimeSeries& series = line->environment.front().series;
+      return MaxScoreNear(*scores_or.value(), series.start_time(),
+                          series.interval(), t,
+                          options_.cross_level_tolerance) > threshold;
+    }
+    case hierarchy::ProductionLevel::kProductionLine: {
+      HOD_ASSIGN_OR_RETURN(const std::vector<TimedScore>* jobs,
+                           LineJobScores(line_id));
+      for (const TimedScore& job : *jobs) {
+        if (std::fabs(job.start - t) <= options_.cross_level_tolerance &&
+            job.score > threshold) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case hierarchy::ProductionLevel::kProduction: {
+      HOD_ASSIGN_OR_RETURN(const auto* machines,
+                           MachineScores());
+      const auto it = machines->find(machine_id);
+      return it != machines->end() && it->second > threshold;
+    }
+  }
+  return false;
+}
+
+// ---- Algorithm 1 ----------------------------------------------------------
+
+StatusOr<OutlierFinding> HierarchicalDetector::BuildFinding(
+    const LevelOutlier& origin, const std::string& line_id,
+    const std::string& machine_id, double support,
+    size_t corresponding_sensors) {
+  OutlierFinding finding;
+  finding.origin = origin;
+  finding.outlierness = origin.score;
+  finding.support = support;
+  finding.corresponding_sensors = corresponding_sensors;
+  finding.global_score = 1;
+  finding.confirmed_levels.push_back(origin.level);
+
+  // Upward recursion: CalcGlobalScore(level++, true) — increment while
+  // each next-higher level confirms, stop at the first miss.
+  hierarchy::ProductionLevel level = origin.level;
+  bool chain_alive = true;
+  while (true) {
+    auto above_or = hierarchy::LevelAbove(level);
+    if (!above_or.ok()) break;
+    level = above_or.value();
+    HOD_ASSIGN_OR_RETURN(
+        bool visible, VisibleAtLevel(level, line_id, machine_id, origin.time));
+    if (visible) {
+      finding.confirmed_levels.push_back(level);
+      if (chain_alive) ++finding.global_score;
+    } else {
+      chain_alive = false;  // the global-score chain ends; keep auditing
+    }
+  }
+
+  // Downward recursion: CalcGlobalScore(level--, false) — a higher-level
+  // outlier with no lower-level trace means a measurement error.
+  level = origin.level;
+  while (true) {
+    auto below_or = hierarchy::LevelBelow(level);
+    if (!below_or.ok()) break;
+    level = below_or.value();
+    HOD_ASSIGN_OR_RETURN(
+        bool visible, VisibleAtLevel(level, line_id, machine_id, origin.time));
+    if (visible) {
+      finding.confirmed_levels.push_back(level);
+    } else {
+      finding.measurement_error_warning = true;
+      finding.warnings.push_back(
+          "Warning for Wrong Measurement: no outlier at " +
+          std::string(hierarchy::LevelName(level)) + " near t=" +
+          std::to_string(origin.time));
+    }
+  }
+  std::sort(finding.confirmed_levels.begin(), finding.confirmed_levels.end());
+  finding.confirmed_levels.erase(
+      std::unique(finding.confirmed_levels.begin(),
+                  finding.confirmed_levels.end()),
+      finding.confirmed_levels.end());
+  return finding;
+}
+
+StatusOr<std::pair<double, size_t>> HierarchicalDetector::ComputePhaseSupport(
+    const PhaseQuery& query, ts::TimePoint outlier_time) {
+  HOD_ASSIGN_OR_RETURN(
+      std::vector<std::string> corresponding,
+      production_->sensors.CorrespondingSensors(query.sensor_id));
+  if (corresponding.empty()) return std::make_pair(0.0, size_t{0});
+  size_t supporting = 0;
+  for (const std::string& sensor_id : corresponding) {
+    PhaseQuery other = query;
+    other.sensor_id = sensor_id;
+    auto scores_or = ScorePhaseSeries(other);
+    if (!scores_or.ok()) continue;  // sensor absent in this phase
+    HOD_ASSIGN_OR_RETURN(const hierarchy::Job* job,
+                         hierarchy::FindJob(*production_, query.job_id));
+    for (const hierarchy::Phase& phase : job->phases) {
+      if (phase.name != query.phase_name) continue;
+      const auto it = phase.sensor_series.find(sensor_id);
+      if (it == phase.sensor_series.end()) break;
+      if (MaxScoreNear(scores_or.value(), it->second.start_time(),
+                       it->second.interval(), outlier_time,
+                       options_.support_time_tolerance) >
+          options_.outlier_threshold) {
+        ++supporting;
+      }
+      break;
+    }
+  }
+  return std::make_pair(
+      static_cast<double>(supporting) /
+          static_cast<double>(corresponding.size()),
+      corresponding.size());
+}
+
+StatusOr<HierarchicalOutlierReport> HierarchicalDetector::FindPhaseOutliers(
+    const PhaseQuery& query) {
+  HierarchicalOutlierReport report;
+  report.start_level = hierarchy::ProductionLevel::kPhase;
+  report.algorithm = selector_.Describe(report.start_level);
+  HOD_ASSIGN_OR_RETURN(std::string line_id, LineOfMachine(query.machine_id));
+
+  HOD_ASSIGN_OR_RETURN(std::vector<double> scores, ScorePhaseSeries(query));
+  HOD_ASSIGN_OR_RETURN(const hierarchy::Job* job,
+                       hierarchy::FindJob(*production_, query.job_id));
+  const ts::TimeSeries* series = nullptr;
+  for (const hierarchy::Phase& phase : job->phases) {
+    if (phase.name != query.phase_name) continue;
+    const auto it = phase.sensor_series.find(query.sensor_id);
+    if (it != phase.sensor_series.end()) series = &it->second;
+    break;
+  }
+  if (series == nullptr) {
+    return Status::NotFound("queried series not found");
+  }
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] <= options_.outlier_threshold) continue;
+    LevelOutlier origin;
+    origin.level = hierarchy::ProductionLevel::kPhase;
+    origin.entity = query.sensor_id;
+    origin.index = i;
+    origin.time = series->TimeAt(i);
+    origin.score = scores[i];
+    HOD_ASSIGN_OR_RETURN(auto support,
+                         ComputePhaseSupport(query, origin.time));
+    HOD_ASSIGN_OR_RETURN(OutlierFinding finding,
+                         BuildFinding(origin, line_id, query.machine_id,
+                                      support.first, support.second));
+    report.findings.push_back(std::move(finding));
+  }
+  return report;
+}
+
+StatusOr<HierarchicalOutlierReport> HierarchicalDetector::FindJobOutliers(
+    const std::string& machine_id) {
+  HierarchicalOutlierReport report;
+  report.start_level = hierarchy::ProductionLevel::kJob;
+  report.algorithm = selector_.Describe(report.start_level);
+  HOD_ASSIGN_OR_RETURN(std::string line_id, LineOfMachine(machine_id));
+  HOD_ASSIGN_OR_RETURN(const std::vector<TimedScore>* jobs,
+                       JobScores(machine_id));
+  for (size_t j = 0; j < jobs->size(); ++j) {
+    const TimedScore& job = (*jobs)[j];
+    if (job.score <= options_.outlier_threshold) continue;
+    LevelOutlier origin;
+    origin.level = hierarchy::ProductionLevel::kJob;
+    origin.entity = job.entity;
+    origin.index = j;
+    origin.time = (job.start + job.end) / 2.0;
+    origin.score = job.score;
+    HOD_ASSIGN_OR_RETURN(
+        OutlierFinding finding,
+        BuildFinding(origin, line_id, machine_id, 0.0, 0));
+    report.findings.push_back(std::move(finding));
+  }
+  return report;
+}
+
+StatusOr<HierarchicalOutlierReport>
+HierarchicalDetector::FindEnvironmentOutliers(const std::string& line_id) {
+  HierarchicalOutlierReport report;
+  report.start_level = hierarchy::ProductionLevel::kEnvironment;
+  report.algorithm = selector_.Describe(report.start_level);
+  HOD_ASSIGN_OR_RETURN(const hierarchy::ProductionLine* line,
+                       hierarchy::FindLine(*production_, line_id));
+  if (line->environment.empty()) {
+    return Status::NotFound("line has no environment channel");
+  }
+  const hierarchy::EnvironmentChannel& channel = line->environment.front();
+  HOD_ASSIGN_OR_RETURN(const std::vector<double>* scores,
+                       EnvironmentScores(line_id));
+  // Environment outliers are machine-agnostic; use the line's first
+  // machine as the scope for job/production checks (any machine works for
+  // the downward audit — the event either left a trace or it did not).
+  const std::string machine_id =
+      line->machines.empty() ? "" : line->machines.front().id;
+  for (size_t i = 0; i < scores->size(); ++i) {
+    if ((*scores)[i] <= options_.outlier_threshold) continue;
+    LevelOutlier origin;
+    origin.level = hierarchy::ProductionLevel::kEnvironment;
+    origin.entity = channel.sensor_id;
+    origin.index = i;
+    origin.time = channel.series.TimeAt(i);
+    origin.score = (*scores)[i];
+    HOD_ASSIGN_OR_RETURN(
+        std::vector<std::string> corresponding,
+        production_->sensors.CorrespondingSensors(channel.sensor_id));
+    HOD_ASSIGN_OR_RETURN(
+        OutlierFinding finding,
+        BuildFinding(origin, line_id, machine_id, 0.0, corresponding.size()));
+    report.findings.push_back(std::move(finding));
+  }
+  return report;
+}
+
+StatusOr<HierarchicalOutlierReport> HierarchicalDetector::FindLineOutliers(
+    const std::string& line_id) {
+  HierarchicalOutlierReport report;
+  report.start_level = hierarchy::ProductionLevel::kProductionLine;
+  report.algorithm = selector_.Describe(report.start_level);
+  HOD_ASSIGN_OR_RETURN(const std::vector<TimedScore>* jobs,
+                       LineJobScores(line_id));
+  for (size_t j = 0; j < jobs->size(); ++j) {
+    const TimedScore& job = (*jobs)[j];
+    if (job.score <= options_.outlier_threshold) continue;
+    HOD_ASSIGN_OR_RETURN(const hierarchy::Job* job_ref,
+                         hierarchy::FindJob(*production_, job.entity));
+    LevelOutlier origin;
+    origin.level = hierarchy::ProductionLevel::kProductionLine;
+    origin.entity = job.entity;
+    origin.index = j;
+    origin.time = job.start;
+    origin.score = job.score;
+    HOD_ASSIGN_OR_RETURN(
+        OutlierFinding finding,
+        BuildFinding(origin, line_id, job_ref->machine_id, 0.0, 0));
+    report.findings.push_back(std::move(finding));
+  }
+  return report;
+}
+
+StatusOr<HierarchicalOutlierReport>
+HierarchicalDetector::FindProductionOutliers() {
+  HierarchicalOutlierReport report;
+  report.start_level = hierarchy::ProductionLevel::kProduction;
+  report.algorithm = selector_.Describe(report.start_level);
+  HOD_ASSIGN_OR_RETURN(const auto* machines,
+                       MachineScores());
+  for (const auto& [machine_id, score] : *machines) {
+    if (score <= options_.outlier_threshold) continue;
+    HOD_ASSIGN_OR_RETURN(std::string line_id, LineOfMachine(machine_id));
+    HOD_ASSIGN_OR_RETURN(const hierarchy::Machine* machine,
+                         hierarchy::FindMachine(*production_, machine_id));
+    LevelOutlier origin;
+    origin.level = hierarchy::ProductionLevel::kProduction;
+    origin.entity = machine_id;
+    origin.index = 0;
+    // A machine-level anomaly spans its whole activity; anchor mid-way.
+    origin.time = machine->jobs.empty()
+                      ? 0.0
+                      : (machine->jobs.front().start_time +
+                         machine->jobs.back().end_time) /
+                            2.0;
+    origin.score = score;
+    HOD_ASSIGN_OR_RETURN(OutlierFinding finding,
+                         BuildFinding(origin, line_id, machine_id, 0.0, 0));
+    report.findings.push_back(std::move(finding));
+  }
+  return report;
+}
+
+}  // namespace hod::core

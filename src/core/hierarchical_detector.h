@@ -1,0 +1,151 @@
+#ifndef HOD_CORE_HIERARCHICAL_DETECTOR_H_
+#define HOD_CORE_HIERARCHICAL_DETECTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/algorithm_selector.h"
+#include "core/report.h"
+#include "detect/detector.h"
+#include "detect/var_detector.h"
+#include "hierarchy/production.h"
+#include "util/statusor.h"
+
+namespace hod::core {
+
+/// Tuning of Algorithm 1.
+struct HierarchicalDetectorOptions {
+  /// Outlierness above which an item counts as "outlier detected".
+  double outlier_threshold = 0.5;
+  /// Max time distance (seconds) for a corresponding sensor to support an
+  /// outlier at the same level.
+  double support_time_tolerance = 15.0;
+  /// Max time distance (seconds) when confirming an outlier at another
+  /// level. Must stay below the inter-job gap, or confirmation leaks into
+  /// neighboring jobs and the global score loses its meaning.
+  double cross_level_tolerance = 60.0;
+  /// ChooseAlgorithm policy.
+  SelectorPolicy policy = SelectorPolicy::kResolutionMatched;
+};
+
+/// Identifies a phase-level series: which sensor, in which phase of which
+/// job on which machine.
+struct PhaseQuery {
+  std::string machine_id;
+  std::string job_id;
+  std::string phase_name;
+  std::string sensor_id;
+};
+
+/// The paper's Algorithm 1, FindHierarchicalOutlier(TS, LV): detect
+/// outliers at a start level, compute the <global score, outlierness,
+/// support> triple for each, confirm upward through the hierarchy, and
+/// flag suspected measurement errors downward.
+///
+/// The detector owns trained per-level models, lazily built from the
+/// production's own data and cached, so repeated queries are cheap.
+class HierarchicalDetector {
+ public:
+  /// `production` must outlive the detector.
+  HierarchicalDetector(const hierarchy::Production* production,
+                       HierarchicalDetectorOptions options = {});
+
+  /// ---- Algorithm 1 entry points (one per start level) ----------------
+  StatusOr<HierarchicalOutlierReport> FindPhaseOutliers(
+      const PhaseQuery& query);
+  StatusOr<HierarchicalOutlierReport> FindJobOutliers(
+      const std::string& machine_id);
+  StatusOr<HierarchicalOutlierReport> FindEnvironmentOutliers(
+      const std::string& line_id);
+  StatusOr<HierarchicalOutlierReport> FindLineOutliers(
+      const std::string& line_id);
+  StatusOr<HierarchicalOutlierReport> FindProductionOutliers();
+
+  /// ---- Level primitives (raw scores, used by the benches) ------------
+  /// Per-sample outlierness of one phase series.
+  StatusOr<std::vector<double>> ScorePhaseSeries(const PhaseQuery& query);
+  /// Per-event outlierness of a phase's discrete event sequence (UPA
+  /// finite-state automaton trained on the machine's other phases of the
+  /// same name) — the paper's "discrete value sequences" path at level 1.
+  StatusOr<std::vector<double>> ScorePhaseEvents(
+      const std::string& machine_id, const std::string& job_id,
+      const std::string& phase_name);
+  /// Joint multivariate outlierness per sample across ALL of a phase's
+  /// sensor channels (vector-autoregressive model) — catches cross-channel
+  /// violations that every per-sensor detector misses.
+  StatusOr<std::vector<double>> ScorePhaseMultivariate(
+      const std::string& machine_id, const std::string& job_id,
+      const std::string& phase_name);
+  /// Per-job outlierness for a machine (job execution order).
+  StatusOr<std::vector<double>> ScoreJobs(const std::string& machine_id);
+  /// Per-sample outlierness of a line's environment series.
+  StatusOr<std::vector<double>> ScoreEnvironment(const std::string& line_id);
+  /// Per-job outlierness over a line's time-ordered job series.
+  StatusOr<std::vector<double>> ScoreLineJobs(const std::string& line_id);
+  /// Outlierness per machine id.
+  StatusOr<std::map<std::string, double>> ScoreMachines();
+
+  const HierarchicalDetectorOptions& options() const { return options_; }
+  const AlgorithmSelector& selector() const { return selector_; }
+
+ private:
+  struct TimedScore {
+    std::string entity;  // job id / machine id
+    ts::TimePoint start = 0.0;
+    ts::TimePoint end = 0.0;
+    double score = 0.0;
+  };
+
+  /// Is an outlier visible at `level` near time `t` for the given scope?
+  StatusOr<bool> VisibleAtLevel(hierarchy::ProductionLevel level,
+                                const std::string& line_id,
+                                const std::string& machine_id,
+                                ts::TimePoint t);
+
+  /// Runs the upward/downward recursion and support computation for one
+  /// origin occurrence.
+  StatusOr<OutlierFinding> BuildFinding(const LevelOutlier& origin,
+                                        const std::string& line_id,
+                                        const std::string& machine_id,
+                                        double support,
+                                        size_t corresponding_sensors);
+
+  /// Support over corresponding sensors for a phase-level outlier.
+  StatusOr<std::pair<double, size_t>> ComputePhaseSupport(
+      const PhaseQuery& query, ts::TimePoint outlier_time);
+
+  /// Cached level computations.
+  StatusOr<const std::vector<TimedScore>*> JobScores(
+      const std::string& machine_id);
+  StatusOr<const std::vector<TimedScore>*> LineJobScores(
+      const std::string& line_id);
+  StatusOr<const std::vector<double>*> EnvironmentScores(
+      const std::string& line_id);
+  StatusOr<const std::map<std::string, double>*> MachineScores();
+
+  StatusOr<std::string> LineOfMachine(const std::string& machine_id) const;
+
+  const hierarchy::Production* production_;
+  HierarchicalDetectorOptions options_;
+  AlgorithmSelector selector_;
+
+  /// Phase detectors keyed by machine/sensor/phase.
+  std::map<std::string, std::unique_ptr<detect::SeriesDetector>>
+      phase_detectors_;
+  /// Event-sequence detectors keyed by machine/phase.
+  std::map<std::string, std::unique_ptr<detect::SequenceDetector>>
+      event_detectors_;
+  /// Multivariate phase models keyed by machine/phase.
+  std::map<std::string, std::unique_ptr<detect::VarDetector>> var_models_;
+  std::map<std::string, std::vector<TimedScore>> job_scores_;
+  std::map<std::string, std::vector<TimedScore>> line_job_scores_;
+  std::map<std::string, std::vector<double>> environment_scores_;
+  std::map<std::string, double> machine_scores_;
+  bool machine_scores_ready_ = false;
+};
+
+}  // namespace hod::core
+
+#endif  // HOD_CORE_HIERARCHICAL_DETECTOR_H_

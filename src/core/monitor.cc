@@ -1,0 +1,106 @@
+#include "core/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "detect/ar_detector.h"
+#include "timeseries/stats.h"
+#include "timeseries/time_series.h"
+
+namespace hod::core {
+
+OnlineMonitor::OnlineMonitor(OnlineMonitorOptions options)
+    : options_(options) {
+  warmup_buffer_.reserve(options_.warmup);
+}
+
+Status OnlineMonitor::FitModel() {
+  detect::ArOptions ar_options;
+  ar_options.order = options_.ar_order;
+  detect::ArDetector fitter(ar_options);
+  ts::TimeSeries warmup("warmup", 0.0, 1.0, warmup_buffer_);
+  HOD_RETURN_IF_ERROR(fitter.Train({warmup}));
+  phi_ = fitter.coefficients();
+  intercept_ = fitter.intercept();
+  residual_sigma_ = std::max(fitter.residual_sigma(), 1e-9);
+  // Seed the prediction window with the last samples of the warmup.
+  recent_.assign(warmup_buffer_.end() - options_.ar_order,
+                 warmup_buffer_.end());
+  model_ready_ = true;
+  return Status::Ok();
+}
+
+double OnlineMonitor::Predict() const {
+  double prediction = intercept_;
+  // recent_ holds the last `order` samples, most recent at the back.
+  for (size_t k = 0; k < phi_.size(); ++k) {
+    prediction += phi_[k] * recent_[recent_.size() - 1 - k];
+  }
+  return prediction;
+}
+
+StatusOr<MonitorUpdate> OnlineMonitor::Push(double sample) {
+  if (!std::isfinite(sample)) {
+    return Status::InvalidArgument("non-finite sample");
+  }
+  ++samples_seen_;
+  MonitorUpdate update;
+
+  if (!model_ready_) {
+    warmup_buffer_.push_back(sample);
+    if (warmup_buffer_.size() >= options_.warmup) {
+      HOD_RETURN_IF_ERROR(FitModel());
+    }
+    update.model_ready = model_ready_;
+    return update;
+  }
+
+  const double residual = sample - Predict();
+  const double z = std::fabs(residual) / residual_sigma_;
+  const double excess = z - 1.0;
+  update.score =
+      excess <= 0.0 ? 0.0 : excess / (excess + options_.sigma_scale);
+  update.model_ready = true;
+
+  // Slow scale adaptation on non-alarming residuals only (alarming ones
+  // would inflate the scale and mask the fault).
+  if (update.score <= options_.threshold &&
+      options_.scale_forgetting < 1.0) {
+    const double alpha = 1.0 - options_.scale_forgetting;
+    residual_sigma_ = std::sqrt(
+        (1.0 - alpha) * residual_sigma_ * residual_sigma_ +
+        alpha * residual * residual);
+    residual_sigma_ = std::max(residual_sigma_, 1e-9);
+  }
+
+  // Hysteresis.
+  if (update.score > options_.threshold) {
+    ++above_streak_;
+    below_streak_ = 0;
+    if (!alarm_ && above_streak_ >= options_.raise_after) {
+      alarm_ = true;
+      update.alarm_raised = true;
+      ++alarms_raised_;
+    }
+  } else {
+    ++below_streak_;
+    above_streak_ = 0;
+    if (alarm_ && below_streak_ >= options_.clear_after) {
+      alarm_ = false;
+      update.alarm_cleared = true;
+    }
+  }
+  update.alarm = alarm_;
+
+  // Anomaly correction (Hill & Minsker): an alarming sample would poison
+  // the next `order` predictions if it entered the regression window, so
+  // the model's own forecast takes its place there. The raw sample still
+  // produced the score above — only the window is protected.
+  const double window_sample =
+      update.score > options_.threshold ? Predict() : sample;
+  recent_.push_back(window_sample);
+  if (recent_.size() > options_.ar_order) recent_.pop_front();
+  return update;
+}
+
+}  // namespace hod::core

@@ -1,0 +1,84 @@
+#ifndef HOD_CORE_MONITOR_H_
+#define HOD_CORE_MONITOR_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace hod::core {
+
+/// Streaming condition monitor — the paper's "Condition Monitoring"
+/// application: samples arrive one at a time from a running machine, each
+/// gets an outlierness score immediately, and alarms carry hysteresis so
+/// a single noisy sample cannot flap the alert state.
+///
+/// Internals: the first `warmup` samples fit an AR(order) one-step
+/// predictor (least squares) and a robust residual scale; afterwards each
+/// sample is scored by its prediction residual. The model optionally
+/// re-adapts slowly (exponential forgetting on the residual scale) so
+/// benign seasonal drift does not accumulate alarms.
+struct OnlineMonitorOptions {
+  size_t warmup = 64;
+  size_t ar_order = 4;
+  /// Alarm threshold on the per-sample outlierness.
+  double threshold = 0.5;
+  /// Consecutive samples above/below the threshold required to raise /
+  /// clear the alarm.
+  size_t raise_after = 2;
+  size_t clear_after = 4;
+  /// Residual z at which the score reaches 0.5 (after 1 of slack).
+  double sigma_scale = 3.0;
+  /// Exponential forgetting factor for the residual scale (1.0 = frozen).
+  double scale_forgetting = 0.999;
+};
+
+/// Result of pushing one sample.
+struct MonitorUpdate {
+  /// Outlierness of this sample in [0,1]; 0 during warmup.
+  double score = 0.0;
+  /// Alarm state after this sample.
+  bool alarm = false;
+  /// True exactly when this sample raised the alarm.
+  bool alarm_raised = false;
+  /// True exactly when this sample cleared the alarm.
+  bool alarm_cleared = false;
+  /// False while the model is still warming up.
+  bool model_ready = false;
+};
+
+class OnlineMonitor {
+ public:
+  explicit OnlineMonitor(OnlineMonitorOptions options = {});
+
+  /// Feeds one sample. Errors only on non-finite input.
+  StatusOr<MonitorUpdate> Push(double sample);
+
+  size_t samples_seen() const { return samples_seen_; }
+  bool model_ready() const { return model_ready_; }
+  bool alarm() const { return alarm_; }
+  /// Number of alarm episodes raised so far.
+  size_t alarms_raised() const { return alarms_raised_; }
+
+ private:
+  Status FitModel();
+  double Predict() const;
+
+  OnlineMonitorOptions options_;
+  std::vector<double> warmup_buffer_;
+  std::deque<double> recent_;  // last ar_order samples
+  std::vector<double> phi_;
+  double intercept_ = 0.0;
+  double residual_sigma_ = 1.0;
+  bool model_ready_ = false;
+  bool alarm_ = false;
+  size_t above_streak_ = 0;
+  size_t below_streak_ = 0;
+  size_t samples_seen_ = 0;
+  size_t alarms_raised_ = 0;
+};
+
+}  // namespace hod::core
+
+#endif  // HOD_CORE_MONITOR_H_

@@ -1,0 +1,118 @@
+#include "core/plant_health.h"
+
+#include <algorithm>
+#include <map>
+
+#include "hierarchy/level_data.h"
+
+namespace hod::core {
+
+StatusOr<PlantHealthReport> SummarizePlantHealth(
+    const hierarchy::Production& production,
+    const hierarchy::CaqSpecification& specification,
+    const PlantHealthOptions& options) {
+  HOD_RETURN_IF_ERROR(hierarchy::ValidateProduction(production));
+  HierarchicalDetector detector(&production, options.detector);
+  PlantHealthReport report;
+
+  // Per-machine finding collections for urgency + alerts.
+  std::map<std::string, std::vector<OutlierFinding>> findings_by_machine;
+  std::map<std::string, AlertManager> alerts_by_machine;
+
+  auto ingest = [&](const std::string& machine_id,
+                    const HierarchicalOutlierReport& level_report) {
+    auto [it, inserted] =
+        alerts_by_machine.try_emplace(machine_id, options.alerts);
+    it->second.IngestReport(level_report);
+    auto& findings = findings_by_machine[machine_id];
+    findings.insert(findings.end(), level_report.findings.begin(),
+                    level_report.findings.end());
+    report.total_findings += level_report.findings.size();
+  };
+
+  for (const hierarchy::ProductionLine& line : production.lines) {
+    for (const hierarchy::Machine& machine : line.machines) {
+      // Phase level: redundant temperature channels carry the process
+      // signal; scanning every sensor would multiply cost for little
+      // extra evidence (vibration/oxygen anomalies degrade CAQ and are
+      // caught at the job level).
+      for (const hierarchy::Job& job : machine.jobs) {
+        for (const hierarchy::Phase& phase : job.phases) {
+          for (const auto& [sensor_id, series] : phase.sensor_series) {
+            if (sensor_id.find("temp") == std::string::npos) continue;
+            PhaseQuery query{machine.id, job.id, phase.name, sensor_id};
+            auto phase_report = detector.FindPhaseOutliers(query);
+            if (phase_report.ok()) ingest(machine.id, phase_report.value());
+          }
+        }
+      }
+      if (auto job_report = detector.FindJobOutliers(machine.id);
+          job_report.ok()) {
+        ingest(machine.id, job_report.value());
+      }
+    }
+    // Line-level concept shifts per feature series.
+    auto series_or = hierarchy::LineJobSeries(line);
+    if (series_or.ok()) {
+      for (const ts::TimeSeries& series : series_or.value()) {
+        auto shifts = DetectConceptShifts(series, options.shifts);
+        if (!shifts.ok()) continue;  // short lines are fine to skip
+        for (const ConceptShift& shift : shifts.value()) {
+          // Feature name follows the "<line>." prefix.
+          std::string feature = series.name();
+          if (feature.rfind(line.id + ".", 0) == 0) {
+            feature = feature.substr(line.id.size() + 1);
+          }
+          report.line_shifts.push_back({line.id, feature, shift});
+        }
+      }
+    }
+  }
+
+  // Production-level scores.
+  auto machine_scores_or = detector.ScoreMachines();
+  std::map<std::string, double> machine_scores;
+  if (machine_scores_or.ok()) {
+    machine_scores = std::move(machine_scores_or).value();
+  }
+
+  for (const hierarchy::ProductionLine& line : production.lines) {
+    for (const hierarchy::Machine& machine : line.machines) {
+      MachineHealth health;
+      health.machine_id = machine.id;
+      const auto score_it = machine_scores.find(machine.id);
+      if (score_it != machine_scores.end()) {
+        health.production_score = score_it->second;
+      }
+      // Capability.
+      auto capability = hierarchy::MachineCapability(
+          specification, machine, options.capability_window);
+      if (capability.ok() && !capability->cpk.empty()) {
+        health.min_cpk =
+            *std::min_element(capability->cpk.begin(), capability->cpk.end());
+      }
+      // Urgency + alert counts.
+      const auto findings_it = findings_by_machine.find(machine.id);
+      if (findings_it != findings_by_machine.end()) {
+        health.maintenance_urgency = MaintenanceUrgency(
+            findings_it->second, machine.jobs.size());
+      }
+      const auto alerts_it = alerts_by_machine.find(machine.id);
+      if (alerts_it != alerts_by_machine.end()) {
+        for (const AlertEpisode& episode : alerts_it->second.Episodes()) {
+          if (episode.severity == AlertSeverity::kCritical) {
+            ++health.critical_episodes;
+          } else {
+            ++health.warning_episodes;
+          }
+        }
+        health.calibration_suspects =
+            alerts_it->second.CalibrationQueue().size();
+      }
+      report.machines.push_back(std::move(health));
+    }
+  }
+  return report;
+}
+
+}  // namespace hod::core

@@ -1,0 +1,68 @@
+#ifndef HOD_CORE_PLANT_HEALTH_H_
+#define HOD_CORE_PLANT_HEALTH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/alert_manager.h"
+#include "core/concept_shift.h"
+#include "core/hierarchical_detector.h"
+#include "hierarchy/caq.h"
+#include "hierarchy/production.h"
+#include "util/statusor.h"
+
+namespace hod::core {
+
+/// One-call plant health summary — the integration point a plant engineer
+/// actually consumes. Composes everything the library offers: Algorithm 1
+/// across all levels, episode deduplication, CAQ process capability,
+/// maintenance urgency, and concept-shift discovery on the line series.
+struct PlantHealthOptions {
+  HierarchicalDetectorOptions detector;
+  AlertManagerOptions alerts;
+  ConceptShiftOptions shifts;
+  /// Cpk window (recent jobs); 0 = all jobs.
+  size_t capability_window = 0;
+};
+
+/// Health summary of one machine.
+struct MachineHealth {
+  std::string machine_id;
+  /// Production-level (cross-machine) outlierness.
+  double production_score = 0.0;
+  /// Worst Cpk across CAQ features (capability; < 1 means scrap risk).
+  double min_cpk = 0.0;
+  /// Predictive-maintenance urgency in [0,1] from phase/job findings.
+  double maintenance_urgency = 0.0;
+  /// Alert episodes on this machine's sensors/jobs, by kind.
+  size_t critical_episodes = 0;
+  size_t warning_episodes = 0;
+  size_t calibration_suspects = 0;
+};
+
+/// A persistent regime change on a line-level feature series.
+struct LineShift {
+  std::string line_id;
+  std::string feature;
+  ConceptShift shift;
+};
+
+struct PlantHealthReport {
+  std::vector<MachineHealth> machines;
+  std::vector<LineShift> line_shifts;
+  /// Total findings Algorithm 1 produced across all scanned levels.
+  size_t total_findings = 0;
+};
+
+/// Builds the report. Scans every redundant temperature sensor at the
+/// phase level (the high-signal channels), all jobs, environments, lines,
+/// and the production level. The CAQ specification drives the capability
+/// column. Deterministic for a fixed production.
+StatusOr<PlantHealthReport> SummarizePlantHealth(
+    const hierarchy::Production& production,
+    const hierarchy::CaqSpecification& specification,
+    const PlantHealthOptions& options = {});
+
+}  // namespace hod::core
+
+#endif  // HOD_CORE_PLANT_HEALTH_H_

@@ -1,0 +1,65 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace hod::core {
+
+std::string_view AlertSeverityName(AlertSeverity severity) {
+  switch (severity) {
+    case AlertSeverity::kInfo:
+      return "INFO";
+    case AlertSeverity::kWarning:
+      return "WARNING";
+    case AlertSeverity::kCritical:
+      return "CRITICAL";
+  }
+  return "?";
+}
+
+AlertSeverity ClassifyAlert(const OutlierFinding& finding) {
+  if (finding.measurement_error_warning) {
+    // A suspected sensor fault deserves attention but must not trigger a
+    // production stop.
+    return AlertSeverity::kWarning;
+  }
+  const bool supported =
+      finding.corresponding_sensors == 0 || finding.support >= 0.5;
+  if (finding.global_score >= 3 && supported &&
+      finding.outlierness >= 0.5) {
+    return AlertSeverity::kCritical;
+  }
+  if (finding.global_score >= 2 || finding.outlierness >= 0.7) {
+    return AlertSeverity::kWarning;
+  }
+  return AlertSeverity::kInfo;
+}
+
+double MaintenanceUrgency(const std::vector<OutlierFinding>& findings,
+                          size_t recent_jobs) {
+  if (findings.empty()) return 0.0;
+  double strongest = 0.0;
+  size_t confirmed_findings = 0;
+  for (const OutlierFinding& finding : findings) {
+    if (finding.measurement_error_warning) continue;
+    ++confirmed_findings;
+    // Outlierness weighted by upward propagation; even an unconfirmed
+    // phase-level deviation keeps half weight — wear shows up in the
+    // signals long before it degrades CAQ.
+    const double weight =
+        std::max(0.5, static_cast<double>(finding.global_score) /
+                          static_cast<double>(hierarchy::kNumLevels));
+    strongest = std::max(strongest, finding.outlierness * weight);
+  }
+  const double breadth =
+      recent_jobs > 0
+          ? std::min(1.0, static_cast<double>(confirmed_findings) /
+                              static_cast<double>(recent_jobs))
+          : 0.0;
+  // Urgency grows with both the strongest confirmed deviation and how
+  // persistent the degradation is across recent jobs.
+  return std::min(1.0, 0.7 * strongest + 0.3 * breadth);
+}
+
+}  // namespace hod::core

@@ -1,0 +1,98 @@
+#ifndef HOD_CORE_REPORT_H_
+#define HOD_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "hierarchy/level.h"
+#include "timeseries/time_series.h"
+
+namespace hod::core {
+
+/// One outlier occurrence at a specific hierarchy level, localized in time
+/// and to the entity (sensor / job / machine) that exhibited it.
+struct LevelOutlier {
+  hierarchy::ProductionLevel level = hierarchy::ProductionLevel::kPhase;
+  /// Sensor id (phase/environment), job id (job/line), or machine id
+  /// (production).
+  std::string entity;
+  /// Index of the offending item within the scored object.
+  size_t index = 0;
+  ts::TimePoint time = 0.0;
+  /// Outlierness in [0, 1].
+  double score = 0.0;
+};
+
+/// The result triple of Algorithm 1 for one outlier, plus diagnostics.
+struct OutlierFinding {
+  /// Where and when the outlier was found at the start level.
+  LevelOutlier origin;
+
+  /// Global score: "denotes in which of the five proposed levels the
+  /// outlier was noticed ... the higher a global score is, the more
+  /// obvious was the outlier." Computed as 1 (the start level) plus one
+  /// for every higher level that confirms the outlier, following the
+  /// upward recursion of CalcGlobalScore. Range [1, 5].
+  int global_score = 1;
+
+  /// Outlierness: "the significance of the outlier as computed by the
+  /// actually used algorithm", normalized to [0, 1].
+  double outlierness = 0.0;
+
+  /// Support: fraction of corresponding (redundant) sensors that also
+  /// exhibit the outlier at the same level and time; "support values
+  /// reduce the probability of finding a measurement error". In [0, 1];
+  /// 0 when the entity has no corresponding sensors.
+  double support = 0.0;
+
+  /// Number of corresponding sensors consulted (the divisor in
+  /// Algorithm 1's `support /= Number of Corresponding Sensors`).
+  size_t corresponding_sensors = 0;
+
+  /// Set by the downward recursion: a higher level reported this outlier
+  /// but some lower level shows nothing -> "a measurement error must be
+  /// assumed".
+  bool measurement_error_warning = false;
+
+  /// Levels (including the start level) at which the outlier is visible.
+  std::vector<hierarchy::ProductionLevel> confirmed_levels;
+
+  /// Human-readable diagnostics (e.g. the wrong-measurement warning).
+  std::vector<std::string> warnings;
+};
+
+/// Everything Algorithm 1 produced for one query.
+struct HierarchicalOutlierReport {
+  /// Level the search started at.
+  hierarchy::ProductionLevel start_level =
+      hierarchy::ProductionLevel::kPhase;
+  /// Name of the algorithm chosen for the start level.
+  std::string algorithm;
+  std::vector<OutlierFinding> findings;
+};
+
+/// Alert severity derived from a finding — the paper's alert-management
+/// application of the triple.
+enum class AlertSeverity {
+  kInfo,      // low global score, weak outlierness, or unsupported
+  kWarning,   // notable outlierness or a measurement-error suspicion
+  kCritical,  // high global score with support: confirmed process problem
+};
+
+std::string_view AlertSeverityName(AlertSeverity severity);
+
+/// Maps a finding to a severity: critical when confirmed across >= 3
+/// levels with support or extreme outlierness; measurement-error suspects
+/// never exceed warning.
+AlertSeverity ClassifyAlert(const OutlierFinding& finding);
+
+/// Predictive-maintenance urgency in [0, 1] from a set of findings for
+/// one machine: combines the strongest confirmed outlierness with the
+/// fraction of recent jobs affected ("the degree of deviation from an
+/// expected value represents the urgency to maintain a system").
+double MaintenanceUrgency(const std::vector<OutlierFinding>& findings,
+                          size_t recent_jobs);
+
+}  // namespace hod::core
+
+#endif  // HOD_CORE_REPORT_H_

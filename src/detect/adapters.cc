@@ -1,0 +1,455 @@
+#include "detect/adapters.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/stats.h"
+#include "timeseries/window.h"
+
+namespace hod::detect {
+
+namespace {
+
+/// SAX-backed SeriesDetector.
+class SaxSeriesAdapter : public SeriesDetector {
+ public:
+  SaxSeriesAdapter(std::unique_ptr<SequenceDetector> inner,
+                   ts::SaxOptions sax_options)
+      : inner_(std::move(inner)), sax_(sax_options) {
+    sax_.word_length = 0;  // 1:1 symbol-to-sample mapping
+  }
+
+  std::string name() const override { return inner_->name() + "+SAX"; }
+  bool supervised() const override { return inner_->supervised(); }
+
+  Status Train(const std::vector<ts::TimeSeries>& normal) override {
+    HOD_ASSIGN_OR_RETURN(std::vector<ts::DiscreteSequence> sequences,
+                         Discretize(normal));
+    return inner_->Train(sequences);
+  }
+
+  Status TrainSupervised(const std::vector<ts::TimeSeries>& series,
+                         const std::vector<Labels>& labels) override {
+    HOD_ASSIGN_OR_RETURN(std::vector<ts::DiscreteSequence> sequences,
+                         Discretize(series));
+    return inner_->TrainSupervised(sequences, labels);
+  }
+
+  StatusOr<std::vector<double>> Score(
+      const ts::TimeSeries& series) const override {
+    HOD_ASSIGN_OR_RETURN(ts::DiscreteSequence sequence,
+                         ts::ToSax(series.values(), sax_, series.name()));
+    return inner_->Score(sequence);
+  }
+
+ private:
+  StatusOr<std::vector<ts::DiscreteSequence>> Discretize(
+      const std::vector<ts::TimeSeries>& series) const {
+    std::vector<ts::DiscreteSequence> sequences;
+    sequences.reserve(series.size());
+    for (const auto& s : series) {
+      HOD_RETURN_IF_ERROR(s.Validate());
+      HOD_ASSIGN_OR_RETURN(ts::DiscreteSequence sequence,
+                           ts::ToSax(s.values(), sax_, s.name()));
+      sequences.push_back(std::move(sequence));
+    }
+    return sequences;
+  }
+
+  std::unique_ptr<SequenceDetector> inner_;
+  ts::SaxOptions sax_;
+};
+
+/// Window-feature-backed SeriesDetector.
+class WindowVectorSeriesAdapter : public SeriesDetector {
+ public:
+  WindowVectorSeriesAdapter(std::unique_ptr<VectorDetector> inner,
+                            size_t window, size_t stride)
+      : inner_(std::move(inner)), window_(window), stride_(stride) {}
+
+  std::string name() const override { return inner_->name() + "+Windows"; }
+  bool supervised() const override { return inner_->supervised(); }
+
+  Status Train(const std::vector<ts::TimeSeries>& normal) override {
+    std::vector<std::vector<double>> features;
+    HOD_RETURN_IF_ERROR(Featurize(normal, nullptr, &features, nullptr));
+    return inner_->Train(features);
+  }
+
+  Status TrainSupervised(const std::vector<ts::TimeSeries>& series,
+                         const std::vector<Labels>& labels) override {
+    std::vector<std::vector<double>> features;
+    Labels window_labels;
+    HOD_RETURN_IF_ERROR(Featurize(series, &labels, &features, &window_labels));
+    return inner_->TrainSupervised(features, window_labels);
+  }
+
+  StatusOr<std::vector<double>> Score(
+      const ts::TimeSeries& series) const override {
+    const size_t n = series.size();
+    if (n < window_) return std::vector<double>(n, 0.0);
+    HOD_ASSIGN_OR_RETURN(std::vector<ts::WindowSpan> spans,
+                         ts::SlidingWindows(n, window_, stride_));
+    std::vector<std::vector<double>> features;
+    features.reserve(spans.size());
+    for (const auto& span : spans) {
+      features.push_back(
+          ts::ComputeWindowFeatures(series.values(), span).ToVector());
+    }
+    HOD_ASSIGN_OR_RETURN(std::vector<double> window_scores,
+                         inner_->Score(features));
+    return ts::WindowScoresToPointScores(n, spans, window_scores);
+  }
+
+ private:
+  Status Featurize(const std::vector<ts::TimeSeries>& series,
+                   const std::vector<Labels>* labels,
+                   std::vector<std::vector<double>>* features,
+                   Labels* window_labels) const {
+    if (labels != nullptr && labels->size() != series.size()) {
+      return Status::InvalidArgument("one label vector per series required");
+    }
+    for (size_t s = 0; s < series.size(); ++s) {
+      HOD_RETURN_IF_ERROR(series[s].Validate());
+      const size_t n = series[s].size();
+      if (n < window_) continue;
+      HOD_ASSIGN_OR_RETURN(std::vector<ts::WindowSpan> spans,
+                           ts::SlidingWindows(n, window_, stride_));
+      if (labels != nullptr && (*labels)[s].size() != n) {
+        return Status::InvalidArgument("label/series length mismatch");
+      }
+      for (const auto& span : spans) {
+        features->push_back(
+            ts::ComputeWindowFeatures(series[s].values(), span).ToVector());
+        if (window_labels != nullptr && labels != nullptr) {
+          uint8_t any = 0;
+          for (size_t i = span.begin; i < span.end; ++i) {
+            if ((*labels)[s][i] != 0) {
+              any = 1;
+              break;
+            }
+          }
+          window_labels->push_back(any);
+        }
+      }
+    }
+    if (features->empty()) {
+      return Status::InvalidArgument("no training windows");
+    }
+    return Status::Ok();
+  }
+
+  std::unique_ptr<VectorDetector> inner_;
+  size_t window_;
+  size_t stride_;
+};
+
+/// Per-sample point adapter.
+class PointVectorSeriesAdapter : public SeriesDetector {
+ public:
+  PointVectorSeriesAdapter(std::unique_ptr<VectorDetector> inner,
+                           bool include_phase)
+      : inner_(std::move(inner)), include_phase_(include_phase) {}
+
+  std::string name() const override { return inner_->name() + "+Points"; }
+  bool supervised() const override { return inner_->supervised(); }
+
+  Status Train(const std::vector<ts::TimeSeries>& normal) override {
+    std::vector<std::vector<double>> points;
+    for (const auto& series : normal) {
+      HOD_RETURN_IF_ERROR(series.Validate());
+      Append(series, &points);
+    }
+    if (points.empty()) return Status::InvalidArgument("no training samples");
+    return inner_->Train(points);
+  }
+
+  Status TrainSupervised(const std::vector<ts::TimeSeries>& series,
+                         const std::vector<Labels>& labels) override {
+    if (labels.size() != series.size()) {
+      return Status::InvalidArgument("one label vector per series required");
+    }
+    std::vector<std::vector<double>> points;
+    Labels flat;
+    for (size_t s = 0; s < series.size(); ++s) {
+      HOD_RETURN_IF_ERROR(series[s].Validate());
+      if (labels[s].size() != series[s].size()) {
+        return Status::InvalidArgument("label/series length mismatch");
+      }
+      Append(series[s], &points);
+      flat.insert(flat.end(), labels[s].begin(), labels[s].end());
+    }
+    if (points.empty()) return Status::InvalidArgument("no training samples");
+    return inner_->TrainSupervised(points, flat);
+  }
+
+  StatusOr<std::vector<double>> Score(
+      const ts::TimeSeries& series) const override {
+    std::vector<std::vector<double>> points;
+    Append(series, &points);
+    return inner_->Score(points);
+  }
+
+ private:
+  void Append(const ts::TimeSeries& series,
+              std::vector<std::vector<double>>* points) const {
+    const double denom =
+        series.size() > 1 ? static_cast<double>(series.size() - 1) : 1.0;
+    for (size_t i = 0; i < series.size(); ++i) {
+      if (include_phase_) {
+        points->push_back({static_cast<double>(i) / denom, series[i]});
+      } else {
+        points->push_back({series[i]});
+      }
+    }
+  }
+
+  std::unique_ptr<VectorDetector> inner_;
+  bool include_phase_;
+};
+
+/// Symbol-window-backed SequenceDetector.
+class WindowVectorSequenceAdapter : public SequenceDetector {
+ public:
+  WindowVectorSequenceAdapter(std::unique_ptr<VectorDetector> inner,
+                              size_t window)
+      : inner_(std::move(inner)), window_(window) {}
+
+  std::string name() const override { return inner_->name() + "+SymWin"; }
+  bool supervised() const override { return inner_->supervised(); }
+
+  Status Train(const std::vector<ts::DiscreteSequence>& normal) override {
+    std::vector<std::vector<double>> vectors;
+    HOD_RETURN_IF_ERROR(Featurize(normal, nullptr, &vectors, nullptr));
+    return inner_->Train(vectors);
+  }
+
+  Status TrainSupervised(const std::vector<ts::DiscreteSequence>& sequences,
+                         const std::vector<Labels>& labels) override {
+    std::vector<std::vector<double>> vectors;
+    Labels window_labels;
+    HOD_RETURN_IF_ERROR(
+        Featurize(sequences, &labels, &vectors, &window_labels));
+    return inner_->TrainSupervised(vectors, window_labels);
+  }
+
+  StatusOr<std::vector<double>> Score(
+      const ts::DiscreteSequence& sequence) const override {
+    const size_t n = sequence.size();
+    if (n < window_) return std::vector<double>(n, 0.0);
+    HOD_ASSIGN_OR_RETURN(std::vector<ts::WindowSpan> spans,
+                         ts::SlidingWindows(n, window_, 1));
+    std::vector<std::vector<double>> vectors;
+    vectors.reserve(spans.size());
+    for (const auto& span : spans) {
+      vectors.push_back(ToVector(sequence, span));
+    }
+    HOD_ASSIGN_OR_RETURN(std::vector<double> window_scores,
+                         inner_->Score(vectors));
+    return ts::WindowScoresToPointScores(n, spans, window_scores);
+  }
+
+ private:
+  static std::vector<double> ToVector(const ts::DiscreteSequence& sequence,
+                                      ts::WindowSpan span) {
+    std::vector<double> v;
+    v.reserve(span.size());
+    for (size_t i = span.begin; i < span.end; ++i) {
+      v.push_back(static_cast<double>(sequence[i]));
+    }
+    return v;
+  }
+
+  Status Featurize(const std::vector<ts::DiscreteSequence>& sequences,
+                   const std::vector<Labels>* labels,
+                   std::vector<std::vector<double>>* vectors,
+                   Labels* window_labels) const {
+    if (labels != nullptr && labels->size() != sequences.size()) {
+      return Status::InvalidArgument(
+          "one label vector per sequence required");
+    }
+    for (size_t s = 0; s < sequences.size(); ++s) {
+      HOD_RETURN_IF_ERROR(sequences[s].Validate());
+      const size_t n = sequences[s].size();
+      if (n < window_) continue;
+      if (labels != nullptr && (*labels)[s].size() != n) {
+        return Status::InvalidArgument("label/sequence length mismatch");
+      }
+      HOD_ASSIGN_OR_RETURN(std::vector<ts::WindowSpan> spans,
+                           ts::SlidingWindows(n, window_, 1));
+      for (const auto& span : spans) {
+        vectors->push_back(ToVector(sequences[s], span));
+        if (window_labels != nullptr && labels != nullptr) {
+          uint8_t any = 0;
+          for (size_t i = span.begin; i < span.end; ++i) {
+            if ((*labels)[s][i] != 0) {
+              any = 1;
+              break;
+            }
+          }
+          window_labels->push_back(any);
+        }
+      }
+    }
+    if (vectors->empty()) {
+      return Status::InvalidArgument("no training windows");
+    }
+    return Status::Ok();
+  }
+
+  std::unique_ptr<VectorDetector> inner_;
+  size_t window_;
+};
+
+/// Quantized-point-stream-backed VectorDetector.
+class SequenceVectorAdapter : public VectorDetector {
+ public:
+  SequenceVectorAdapter(std::unique_ptr<SequenceDetector> inner, int alphabet)
+      : inner_(std::move(inner)), alphabet_(alphabet) {}
+
+  std::string name() const override { return inner_->name() + "+Quantized"; }
+  bool supervised() const override { return inner_->supervised(); }
+
+  Status Train(const std::vector<std::vector<double>>& data) override {
+    HOD_RETURN_IF_ERROR(FitBreakpoints(data));
+    HOD_ASSIGN_OR_RETURN(ts::DiscreteSequence sequence, Quantize(data));
+    return inner_->Train({sequence});
+  }
+
+  Status TrainSupervised(const std::vector<std::vector<double>>& data,
+                         const Labels& labels) override {
+    HOD_RETURN_IF_ERROR(FitBreakpoints(data));
+    HOD_ASSIGN_OR_RETURN(ts::DiscreteSequence sequence, Quantize(data));
+    return inner_->TrainSupervised({sequence}, {labels});
+  }
+
+  StatusOr<std::vector<double>> Score(
+      const std::vector<std::vector<double>>& data) const override {
+    HOD_ASSIGN_OR_RETURN(ts::DiscreteSequence sequence, Quantize(data));
+    return inner_->Score(sequence);
+  }
+
+ private:
+  Status FitBreakpoints(const std::vector<std::vector<double>>& data) {
+    if (data.empty()) return Status::InvalidArgument("empty training data");
+    std::vector<double> values;
+    values.reserve(data.size());
+    for (const auto& row : data) {
+      if (row.empty()) return Status::InvalidArgument("empty point");
+      double sq = 0.0;
+      for (double v : row) sq += v * v;
+      values.push_back(row.size() == 1 ? row[0] : std::sqrt(sq));
+    }
+    breakpoints_.clear();
+    for (int b = 1; b < alphabet_; ++b) {
+      breakpoints_.push_back(ts::Quantile(
+          values, static_cast<double>(b) / static_cast<double>(alphabet_)));
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<ts::DiscreteSequence> Quantize(
+      const std::vector<std::vector<double>>& data) const {
+    if (breakpoints_.empty() && alphabet_ > 1) {
+      return Status::FailedPrecondition("adapter not trained");
+    }
+    ts::DiscreteSequence sequence("points", alphabet_);
+    for (const auto& row : data) {
+      if (row.empty()) return Status::InvalidArgument("empty point");
+      double sq = 0.0;
+      for (double v : row) sq += v * v;
+      const double value = row.size() == 1 ? row[0] : std::sqrt(sq);
+      const auto it =
+          std::upper_bound(breakpoints_.begin(), breakpoints_.end(), value);
+      sequence.Append(static_cast<ts::Symbol>(it - breakpoints_.begin()));
+    }
+    return sequence;
+  }
+
+  std::unique_ptr<SequenceDetector> inner_;
+  int alphabet_;
+  std::vector<double> breakpoints_;
+};
+
+/// Index-ordered-stream-backed VectorDetector.
+class SeriesVectorAdapter : public VectorDetector {
+ public:
+  explicit SeriesVectorAdapter(std::unique_ptr<SeriesDetector> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string name() const override { return inner_->name() + "+Stream"; }
+  bool supervised() const override { return inner_->supervised(); }
+
+  Status Train(const std::vector<std::vector<double>>& data) override {
+    HOD_ASSIGN_OR_RETURN(ts::TimeSeries series, ToSeries(data));
+    return inner_->Train({series});
+  }
+
+  Status TrainSupervised(const std::vector<std::vector<double>>& data,
+                         const Labels& labels) override {
+    HOD_ASSIGN_OR_RETURN(ts::TimeSeries series, ToSeries(data));
+    return inner_->TrainSupervised({series}, {labels});
+  }
+
+  StatusOr<std::vector<double>> Score(
+      const std::vector<std::vector<double>>& data) const override {
+    HOD_ASSIGN_OR_RETURN(ts::TimeSeries series, ToSeries(data));
+    return inner_->Score(series);
+  }
+
+ private:
+  static StatusOr<ts::TimeSeries> ToSeries(
+      const std::vector<std::vector<double>>& data) {
+    ts::TimeSeries series("points", 0.0, 1.0);
+    for (const auto& row : data) {
+      if (row.empty()) return Status::InvalidArgument("empty point");
+      if (row.size() == 1) {
+        series.Append(row[0]);
+      } else {
+        double sq = 0.0;
+        for (double v : row) sq += v * v;
+        series.Append(std::sqrt(sq));
+      }
+    }
+    return series;
+  }
+
+  std::unique_ptr<SeriesDetector> inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<VectorDetector> MakeVectorFromSeries(
+    std::unique_ptr<SeriesDetector> inner) {
+  return std::make_unique<SeriesVectorAdapter>(std::move(inner));
+}
+
+std::unique_ptr<SeriesDetector> MakeSeriesFromSequence(
+    std::unique_ptr<SequenceDetector> inner, ts::SaxOptions sax_options) {
+  return std::make_unique<SaxSeriesAdapter>(std::move(inner), sax_options);
+}
+
+std::unique_ptr<SeriesDetector> MakeSeriesFromVectorWindows(
+    std::unique_ptr<VectorDetector> inner, size_t window, size_t stride) {
+  return std::make_unique<WindowVectorSeriesAdapter>(std::move(inner), window,
+                                                     stride);
+}
+
+std::unique_ptr<SeriesDetector> MakeSeriesFromVectorPoints(
+    std::unique_ptr<VectorDetector> inner, bool include_phase) {
+  return std::make_unique<PointVectorSeriesAdapter>(std::move(inner),
+                                                    include_phase);
+}
+
+std::unique_ptr<SequenceDetector> MakeSequenceFromVector(
+    std::unique_ptr<VectorDetector> inner, size_t window) {
+  return std::make_unique<WindowVectorSequenceAdapter>(std::move(inner),
+                                                       window);
+}
+
+std::unique_ptr<VectorDetector> MakeVectorFromSequence(
+    std::unique_ptr<SequenceDetector> inner, int alphabet) {
+  return std::make_unique<SequenceVectorAdapter>(std::move(inner), alphabet);
+}
+
+}  // namespace hod::detect

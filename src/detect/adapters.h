@@ -1,0 +1,55 @@
+#ifndef HOD_DETECT_ADAPTERS_H_
+#define HOD_DETECT_ADAPTERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "detect/detector.h"
+#include "timeseries/sax.h"
+
+namespace hod::detect {
+
+/// Adapters that lift a detector from its native data shape onto another —
+/// how the same Table-1 technique serves several PTS/SSQ/TSS columns.
+/// Each adapter owns the wrapped detector and forwards supervision by
+/// translating labels to the wrapped granularity (a derived item is
+/// anomalous when any covered original item is).
+
+/// SequenceDetector -> SeriesDetector via SAX discretization. Per-symbol
+/// scores map 1:1 back onto samples (word_length is forced to 0 so the
+/// symbol sequence has the series' length).
+std::unique_ptr<SeriesDetector> MakeSeriesFromSequence(
+    std::unique_ptr<SequenceDetector> inner, ts::SaxOptions sax_options);
+
+/// VectorDetector -> SeriesDetector via sliding-window features. Window
+/// scores are spread back to samples by max over covering windows.
+std::unique_ptr<SeriesDetector> MakeSeriesFromVectorWindows(
+    std::unique_ptr<VectorDetector> inner, size_t window, size_t stride);
+
+/// VectorDetector -> SeriesDetector treating each sample as a point. With
+/// `include_phase` the vector is [phase_fraction, value] (position within
+/// the series as a pseudo-dimension, which OLAP-style detectors cube on);
+/// otherwise it is the 1-D [value].
+std::unique_ptr<SeriesDetector> MakeSeriesFromVectorPoints(
+    std::unique_ptr<VectorDetector> inner, bool include_phase);
+
+/// VectorDetector -> SequenceDetector: symbol windows become numeric
+/// vectors (one coordinate per position).
+std::unique_ptr<SequenceDetector> MakeSequenceFromVector(
+    std::unique_ptr<VectorDetector> inner, size_t window);
+
+/// SequenceDetector -> VectorDetector for PTS inputs: each 1-D point is
+/// quantized into `alphabet` quantile bins (fit on training data) and the
+/// point stream is scored as one long sequence.
+std::unique_ptr<VectorDetector> MakeVectorFromSequence(
+    std::unique_ptr<SequenceDetector> inner, int alphabet);
+
+/// SeriesDetector -> VectorDetector for PTS inputs: the point stream
+/// (1-D rows, or row norms for higher dimensions) is treated as one
+/// index-ordered series.
+std::unique_ptr<VectorDetector> MakeVectorFromSeries(
+    std::unique_ptr<SeriesDetector> inner);
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_ADAPTERS_H_

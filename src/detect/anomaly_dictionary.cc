@@ -1,0 +1,119 @@
+#include "detect/anomaly_dictionary.h"
+
+#include <algorithm>
+#include <set>
+
+#include "timeseries/distance.h"
+#include "timeseries/window.h"
+
+namespace hod::detect {
+
+AnomalyDictionaryDetector::AnomalyDictionaryDetector(
+    AnomalyDictionaryOptions options)
+    : options_(options) {}
+
+Status AnomalyDictionaryDetector::Train(
+    const std::vector<ts::DiscreteSequence>& normal) {
+  (void)normal;
+  return Status::FailedPrecondition(
+      "AnomalyDictionary needs labeled anomalies; call TrainSupervised or "
+      "AddAnomalousPattern");
+}
+
+Status AnomalyDictionaryDetector::AddAnomalousPattern(
+    const std::vector<ts::Symbol>& window) {
+  if (window.size() != options_.window) {
+    return Status::InvalidArgument("pattern length must equal window");
+  }
+  anomalous_.push_back(window);
+  trained_ = true;
+  return Status::Ok();
+}
+
+Status AnomalyDictionaryDetector::TrainSupervised(
+    const std::vector<ts::DiscreteSequence>& sequences,
+    const std::vector<Labels>& labels) {
+  if (options_.window == 0) {
+    return Status::InvalidArgument("window must be > 0");
+  }
+  if (sequences.size() != labels.size()) {
+    return Status::InvalidArgument("one label vector per sequence required");
+  }
+  std::set<std::vector<ts::Symbol>> anomalous_set;
+  normal_.clear();
+  for (size_t s = 0; s < sequences.size(); ++s) {
+    HOD_RETURN_IF_ERROR(sequences[s].Validate());
+    const auto& syms = sequences[s].symbols();
+    if (labels[s].size() != syms.size()) {
+      return Status::InvalidArgument("label/sequence length mismatch");
+    }
+    if (syms.size() < options_.window) continue;
+    for (size_t i = 0; i + options_.window <= syms.size(); ++i) {
+      std::vector<ts::Symbol> window(syms.begin() + i,
+                                     syms.begin() + i + options_.window);
+      // A window joins the dictionary only when its majority is anomalous
+      // — boundary windows that merely graze an anomaly would pollute the
+      // negative database with mostly-normal content and cause tolerant
+      // matching to flag normal traffic.
+      size_t anomalous_positions = 0;
+      for (size_t j = i; j < i + options_.window; ++j) {
+        if (labels[s][j] != 0) ++anomalous_positions;
+      }
+      if (anomalous_positions * 2 >= options_.window) {
+        anomalous_set.insert(std::move(window));
+      } else if (anomalous_positions == 0) {
+        ++normal_[std::move(window)];
+      }
+      // Mixed boundary windows contribute to neither database.
+    }
+  }
+  if (anomalous_set.empty()) {
+    return Status::InvalidArgument(
+        "no anomalous windows in supervised training data");
+  }
+  anomalous_.assign(anomalous_set.begin(), anomalous_set.end());
+  trained_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> AnomalyDictionaryDetector::Score(
+    const ts::DiscreteSequence& sequence) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  const size_t n = sequence.size();
+  std::vector<double> point_scores(n, 0.0);
+  if (n < options_.window) return point_scores;
+
+  auto spans_or = ts::SlidingWindows(n, options_.window, 1);
+  if (!spans_or.ok()) return spans_or.status();
+  const auto& spans = spans_or.value();
+
+  std::vector<double> window_scores(spans.size(), 0.0);
+  for (size_t w = 0; w < spans.size(); ++w) {
+    const std::vector<ts::Symbol> window(
+        sequence.symbols().begin() + spans[w].begin,
+        sequence.symbols().begin() + spans[w].end);
+    // Dictionary hit (within tolerance) -> anomalous, stronger when exact.
+    size_t best = options_.window + 1;
+    for (const auto& pattern : anomalous_) {
+      auto dist_or = ts::HammingDistance(window, pattern);
+      if (!dist_or.ok()) return dist_or.status();
+      best = std::min(best, dist_or.value());
+      if (best == 0) break;
+    }
+    if (best <= options_.tolerance) {
+      window_scores[w] =
+          1.0 - 0.3 * static_cast<double>(best) /
+                    static_cast<double>(std::max<size_t>(options_.tolerance, 1));
+      continue;
+    }
+    // Known-normal window -> 0; otherwise novel -> intermediate score.
+    if (normal_.find(window) != normal_.end()) {
+      window_scores[w] = 0.0;
+    } else {
+      window_scores[w] = options_.novelty_score;
+    }
+  }
+  return ts::WindowScoresToPointScores(n, spans, window_scores);
+}
+
+}  // namespace hod::detect

@@ -1,0 +1,60 @@
+#ifndef HOD_DETECT_ANOMALY_DICTIONARY_H_
+#define HOD_DETECT_ANOMALY_DICTIONARY_H_
+
+#include <map>
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace hod::detect {
+
+/// Negative/mixed pattern database via anomaly dictionaries (Cabrera et
+/// al. 2001) — Table 1 row 18, family NMD, data type SSQ.
+///
+/// The inverse of the NPD: the dictionary stores *anomalous* windows
+/// (mined from labeled traces or supplied directly); "test sequences are
+/// classified as anomalies if they match a sequence from the database".
+/// The mixed variant also keeps a small normal-window set so that windows
+/// matching neither database receive an intermediate novelty score.
+struct AnomalyDictionaryOptions {
+  size_t window = 6;
+  /// Allowed mismatches for a dictionary hit (0 = exact matching only).
+  size_t tolerance = 1;
+  /// Score of windows matching no database (novel territory).
+  double novelty_score = 0.5;
+};
+
+class AnomalyDictionaryDetector : public SequenceDetector {
+ public:
+  explicit AnomalyDictionaryDetector(AnomalyDictionaryOptions options = {});
+
+  std::string name() const override { return "AnomalyDictionary"; }
+  bool supervised() const override { return true; }
+
+  /// Unsupervised training cannot populate a *negative* database.
+  Status Train(const std::vector<ts::DiscreteSequence>& normal) override;
+
+  /// Builds the anomaly dictionary from windows overlapping labeled
+  /// positions and the normal set from the rest.
+  Status TrainSupervised(const std::vector<ts::DiscreteSequence>& sequences,
+                         const std::vector<Labels>& labels) override;
+
+  /// Directly installs dictionary entries (e.g. known fault signatures
+  /// from a CMMS). Windows must match the configured length.
+  Status AddAnomalousPattern(const std::vector<ts::Symbol>& window);
+
+  StatusOr<std::vector<double>> Score(
+      const ts::DiscreteSequence& sequence) const override;
+
+  size_t dictionary_size() const { return anomalous_.size(); }
+
+ private:
+  AnomalyDictionaryOptions options_;
+  std::vector<std::vector<ts::Symbol>> anomalous_;
+  std::map<std::vector<ts::Symbol>, size_t> normal_;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_ANOMALY_DICTIONARY_H_

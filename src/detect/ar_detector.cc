@@ -1,0 +1,126 @@
+#include "detect/ar_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/stats.h"
+
+namespace hod::detect {
+
+StatusOr<std::vector<double>> SolveLinearSystem(
+    std::vector<std::vector<double>> a, std::vector<double> b) {
+  const size_t n = a.size();
+  if (n == 0 || b.size() != n) {
+    return Status::InvalidArgument("bad system dimensions");
+  }
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    for (size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) {
+      return Status::Internal("singular system in AR fit");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      for (size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t row = n; row-- > 0;) {
+    double sum = b[row];
+    for (size_t k = row + 1; k < n; ++k) sum -= a[row][k] * x[k];
+    x[row] = sum / a[row][row];
+  }
+  return x;
+}
+
+ArDetector::ArDetector(ArOptions options) : options_(options) {}
+
+Status ArDetector::Train(const std::vector<ts::TimeSeries>& normal) {
+  if (options_.order == 0) return Status::InvalidArgument("order must be > 0");
+  const size_t p = options_.order;
+  // Assemble the least-squares normal equations over all training series:
+  // design rows are [1, x_{t-1}, ..., x_{t-p}], target x_t.
+  const size_t d = p + 1;
+  std::vector<std::vector<double>> ata(d, std::vector<double>(d, 0.0));
+  std::vector<double> atb(d, 0.0);
+  size_t rows = 0;
+  for (const auto& series : normal) {
+    HOD_RETURN_IF_ERROR(series.Validate());
+    const auto& x = series.values();
+    for (size_t t = p; t < x.size(); ++t) {
+      std::vector<double> row(d);
+      row[0] = 1.0;
+      for (size_t k = 0; k < p; ++k) row[k + 1] = x[t - 1 - k];
+      for (size_t i = 0; i < d; ++i) {
+        for (size_t j = i; j < d; ++j) ata[i][j] += row[i] * row[j];
+        atb[i] += row[i] * x[t];
+      }
+      ++rows;
+    }
+  }
+  if (rows < d) {
+    return Status::InvalidArgument("not enough samples for AR order");
+  }
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < i; ++j) ata[i][j] = ata[j][i];
+    ata[i][i] += options_.ridge * static_cast<double>(rows);
+  }
+  HOD_ASSIGN_OR_RETURN(std::vector<double> beta,
+                       SolveLinearSystem(std::move(ata), std::move(atb)));
+  intercept_ = beta[0];
+  phi_.assign(beta.begin() + 1, beta.end());
+
+  // Training residual sigma (robust: MAD over all residuals).
+  std::vector<double> residuals;
+  for (const auto& series : normal) {
+    const auto& x = series.values();
+    for (size_t t = p; t < x.size(); ++t) {
+      double pred = intercept_;
+      for (size_t k = 0; k < p; ++k) pred += phi_[k] * x[t - 1 - k];
+      residuals.push_back(x[t] - pred);
+    }
+  }
+  residual_sigma_ = ts::Mad(residuals);
+  if (residual_sigma_ <= 0.0) residual_sigma_ = ts::StdDev(residuals);
+  if (residual_sigma_ <= 0.0) residual_sigma_ = 1e-6;
+  trained_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> ArDetector::Forecast(
+    const ts::TimeSeries& series) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  const auto& x = series.values();
+  const size_t p = options_.order;
+  std::vector<double> forecast(x.size(), ts::Mean(x));
+  for (size_t t = p; t < x.size(); ++t) {
+    double pred = intercept_;
+    for (size_t k = 0; k < p; ++k) pred += phi_[k] * x[t - 1 - k];
+    forecast[t] = pred;
+  }
+  return forecast;
+}
+
+StatusOr<std::vector<double>> ArDetector::Score(
+    const ts::TimeSeries& series) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  HOD_RETURN_IF_ERROR(series.Validate());
+  HOD_ASSIGN_OR_RETURN(std::vector<double> forecast, Forecast(series));
+  const auto& x = series.values();
+  std::vector<double> scores(x.size(), 0.0);
+  for (size_t t = options_.order; t < x.size(); ++t) {
+    const double z = std::fabs(x[t] - forecast[t]) / residual_sigma_;
+    const double excess = z - 1.0;  // one sigma of slack
+    scores[t] =
+        excess <= 0.0 ? 0.0 : excess / (excess + options_.sigma_scale);
+  }
+  return scores;
+}
+
+}  // namespace hod::detect

@@ -1,0 +1,63 @@
+#ifndef HOD_DETECT_AR_DETECTOR_H_
+#define HOD_DETECT_AR_DETECTOR_H_
+
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace hod::detect {
+
+/// Autoregressive prediction-model detection (Hill & Minsker 2010,
+/// streaming environmental sensors) — Table 1 row 20, family PM, data
+/// types PTS + TSS.
+///
+/// Fits AR(p) coefficients by least squares (normal equations with ridge
+/// regularization) on normal series. "Prediction models define the
+/// outlier score based on the delta value to the predicted value": each
+/// sample's outlierness grows with its one-step-ahead forecast residual in
+/// units of the training residual sigma.
+struct ArOptions {
+  /// Model order p.
+  size_t order = 5;
+  /// Ridge term added to the normal equations' diagonal.
+  double ridge = 1e-6;
+  /// Residual (in training sigmas) at which outlierness reaches 0.5.
+  double sigma_scale = 3.0;
+};
+
+class ArDetector : public SeriesDetector {
+ public:
+  explicit ArDetector(ArOptions options = {});
+
+  std::string name() const override { return "AutoregressiveModel"; }
+
+  Status Train(const std::vector<ts::TimeSeries>& normal) override;
+
+  StatusOr<std::vector<double>> Score(
+      const ts::TimeSeries& series) const override;
+
+  /// AR coefficients (phi_1..phi_p) and intercept after training.
+  const std::vector<double>& coefficients() const { return phi_; }
+  double intercept() const { return intercept_; }
+  double residual_sigma() const { return residual_sigma_; }
+
+  /// One-step-ahead forecasts for a series (first `order` samples take the
+  /// series mean). Exposed for the predictive-maintenance example.
+  StatusOr<std::vector<double>> Forecast(const ts::TimeSeries& series) const;
+
+ private:
+  ArOptions options_;
+  std::vector<double> phi_;
+  double intercept_ = 0.0;
+  double residual_sigma_ = 1.0;
+  bool trained_ = false;
+};
+
+/// Solves the symmetric positive-definite system A x = b by Gaussian
+/// elimination with partial pivoting (exposed for reuse/tests).
+StatusOr<std::vector<double>> SolveLinearSystem(
+    std::vector<std::vector<double>> a, std::vector<double> b);
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_AR_DETECTOR_H_

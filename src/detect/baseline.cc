@@ -1,0 +1,104 @@
+#include "detect/baseline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/stats.h"
+#include "util/rng.h"
+
+namespace hod::detect {
+
+namespace {
+
+double ScoreDeviation(double deviation_in_mads, double slack,
+                      double sigma_scale) {
+  const double excess = deviation_in_mads - slack;
+  return excess <= 0.0 ? 0.0 : excess / (excess + sigma_scale);
+}
+
+}  // namespace
+
+RobustZSeriesDetector::RobustZSeriesDetector(RobustZOptions options)
+    : options_(options) {}
+
+Status RobustZSeriesDetector::Train(
+    const std::vector<ts::TimeSeries>& normal) {
+  std::vector<double> all;
+  for (const auto& series : normal) {
+    HOD_RETURN_IF_ERROR(series.Validate());
+    all.insert(all.end(), series.values().begin(), series.values().end());
+  }
+  if (all.empty()) return Status::InvalidArgument("no training samples");
+  median_ = ts::Median(all);
+  mad_ = ts::Mad(all);
+  if (mad_ <= 0.0) mad_ = std::max(ts::StdDev(all), 1e-9);
+  trained_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> RobustZSeriesDetector::Score(
+    const ts::TimeSeries& series) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  std::vector<double> scores(series.size(), 0.0);
+  for (size_t i = 0; i < series.size(); ++i) {
+    const double z = std::fabs(series[i] - median_) / mad_;
+    scores[i] = ScoreDeviation(z, options_.slack, options_.sigma_scale);
+  }
+  return scores;
+}
+
+RobustZVectorDetector::RobustZVectorDetector(RobustZOptions options)
+    : options_(options) {}
+
+Status RobustZVectorDetector::Train(
+    const std::vector<std::vector<double>>& data) {
+  if (data.empty()) return Status::InvalidArgument("no training vectors");
+  const size_t dim = data[0].size();
+  medians_.assign(dim, 0.0);
+  mads_.assign(dim, 1.0);
+  for (size_t d = 0; d < dim; ++d) {
+    std::vector<double> column;
+    column.reserve(data.size());
+    for (const auto& row : data) {
+      if (row.size() != dim) {
+        return Status::InvalidArgument("ragged data in robust-z train");
+      }
+      column.push_back(row[d]);
+    }
+    medians_[d] = ts::Median(column);
+    mads_[d] = ts::Mad(column);
+    if (mads_[d] <= 0.0) mads_[d] = std::max(ts::StdDev(column), 1e-9);
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> RobustZVectorDetector::Score(
+    const std::vector<std::vector<double>>& data) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  std::vector<double> scores(data.size(), 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i].size() != medians_.size()) {
+      return Status::InvalidArgument("dimension mismatch in robust-z score");
+    }
+    double worst = 0.0;
+    for (size_t d = 0; d < medians_.size(); ++d) {
+      worst = std::max(worst,
+                       std::fabs(data[i][d] - medians_[d]) / mads_[d]);
+    }
+    scores[i] = ScoreDeviation(worst, options_.slack, options_.sigma_scale);
+  }
+  return scores;
+}
+
+StatusOr<std::vector<double>> RandomScoreDetector::Score(
+    const ts::TimeSeries& series) const {
+  // Seed mixes in the series length so different series differ but runs
+  // stay deterministic.
+  Rng rng(seed_ ^ (static_cast<uint64_t>(series.size()) << 17));
+  std::vector<double> scores(series.size());
+  for (double& s : scores) s = rng.NextDouble();
+  return scores;
+}
+
+}  // namespace hod::detect

@@ -1,0 +1,82 @@
+#ifndef HOD_DETECT_BASELINE_H_
+#define HOD_DETECT_BASELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace hod::detect {
+
+/// Robust z-score detector: scores each sample by its deviation from the
+/// *training* median in training-MAD units. The canonical point-based
+/// reference method for aggregated production levels, and the comparison
+/// baseline the paper's §3 guidance implies for low-resolution data.
+struct RobustZOptions {
+  /// Deviations below this many MADs score 0 (noise floor).
+  double slack = 1.0;
+  /// Deviation (in MADs beyond the slack) at which the score reaches 0.5.
+  double sigma_scale = 3.0;
+};
+
+class RobustZSeriesDetector : public SeriesDetector {
+ public:
+  explicit RobustZSeriesDetector(RobustZOptions options = {});
+
+  std::string name() const override { return "RobustZ"; }
+
+  Status Train(const std::vector<ts::TimeSeries>& normal) override;
+
+  StatusOr<std::vector<double>> Score(
+      const ts::TimeSeries& series) const override;
+
+ private:
+  RobustZOptions options_;
+  double median_ = 0.0;
+  double mad_ = 1.0;
+  bool trained_ = false;
+};
+
+/// Vector variant: per-column robust z on the training data, score = the
+/// largest per-feature deviation.
+class RobustZVectorDetector : public VectorDetector {
+ public:
+  explicit RobustZVectorDetector(RobustZOptions options = {});
+
+  std::string name() const override { return "RobustZVector"; }
+
+  Status Train(const std::vector<std::vector<double>>& data) override;
+
+  StatusOr<std::vector<double>> Score(
+      const std::vector<std::vector<double>>& data) const override;
+
+ private:
+  RobustZOptions options_;
+  std::vector<double> medians_;
+  std::vector<double> mads_;
+  bool trained_ = false;
+};
+
+/// Random-score baseline: uniform scores independent of the data — the
+/// floor every Table-1 applicability claim must beat.
+class RandomScoreDetector : public SeriesDetector {
+ public:
+  explicit RandomScoreDetector(uint64_t seed = 99) : seed_(seed) {}
+
+  std::string name() const override { return "RandomBaseline"; }
+
+  Status Train(const std::vector<ts::TimeSeries>& normal) override {
+    (void)normal;
+    return Status::Ok();
+  }
+
+  StatusOr<std::vector<double>> Score(
+      const ts::TimeSeries& series) const override;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_BASELINE_H_

@@ -1,0 +1,65 @@
+#include "detect/detector.h"
+
+namespace hod::detect {
+
+std::string_view FamilyAbbreviation(Family family) {
+  switch (family) {
+    case Family::kDiscriminative:
+      return "DA";
+    case Family::kUnsupervisedParametric:
+      return "UPA";
+    case Family::kUnsupervisedOnline:
+      return "UOA";
+    case Family::kSupervised:
+      return "SA";
+    case Family::kNormalPatternDb:
+      return "NPD";
+    case Family::kNegativeMixedDb:
+      return "NMD";
+    case Family::kOutlierSubsequence:
+      return "OS";
+    case Family::kPredictiveModel:
+      return "PM";
+    case Family::kInformationTheoretic:
+      return "ITM";
+  }
+  return "?";
+}
+
+std::string_view FamilyName(Family family) {
+  switch (family) {
+    case Family::kDiscriminative:
+      return "Discriminative Approach";
+    case Family::kUnsupervisedParametric:
+      return "Unsupervised Parametric Approach";
+    case Family::kUnsupervisedOnline:
+      return "Unsupervised Online Approach";
+    case Family::kSupervised:
+      return "Supervised Approach";
+    case Family::kNormalPatternDb:
+      return "Normal Pattern Database";
+    case Family::kNegativeMixedDb:
+      return "Negative and Mixed Pattern Database";
+    case Family::kOutlierSubsequence:
+      return "Outlier Subsequence";
+    case Family::kPredictiveModel:
+      return "Predictive Model";
+    case Family::kInformationTheoretic:
+      return "Information-Theoretic Model";
+  }
+  return "?";
+}
+
+std::string DataTypeMask::ToString() const {
+  std::string out;
+  auto add = [&out](std::string_view tag) {
+    if (!out.empty()) out += ",";
+    out += tag;
+  };
+  if (points) add("PTS");
+  if (sequences) add("SSQ");
+  if (time_series) add("TSS");
+  return out;
+}
+
+}  // namespace hod::detect

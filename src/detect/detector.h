@@ -1,0 +1,148 @@
+#ifndef HOD_DETECT_DETECTOR_H_
+#define HOD_DETECT_DETECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "timeseries/discrete_sequence.h"
+#include "timeseries/time_series.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace hod::detect {
+
+/// The nine technique families of the paper's Table 1.
+enum class Family {
+  kDiscriminative,        // DA
+  kUnsupervisedParametric,  // UPA
+  kUnsupervisedOnline,    // UOA
+  kSupervised,            // SA
+  kNormalPatternDb,       // NPD
+  kNegativeMixedDb,       // NMD
+  kOutlierSubsequence,    // OS
+  kPredictiveModel,       // PM
+  kInformationTheoretic,  // ITM
+};
+
+/// Paper abbreviation, e.g. "DA".
+std::string_view FamilyAbbreviation(Family family);
+/// Long name, e.g. "Discriminative Approach".
+std::string_view FamilyName(Family family);
+
+/// Data-type applicability flags — the PTS / SSQ / TSS columns of Table 1.
+struct DataTypeMask {
+  bool points = false;       // PTS
+  bool sequences = false;    // SSQ
+  bool time_series = false;  // TSS
+
+  /// Renders e.g. "PTS,TSS".
+  std::string ToString() const;
+};
+
+/// One detected outlier occurrence with its significance.
+struct Outlier {
+  /// Index of the offending item (sample, window center, or point id).
+  size_t index = 0;
+  /// Outlierness in [0, 1] — the paper's "significance of the outlier as
+  /// computed by the actually used algorithm", normalized so scores are
+  /// comparable across algorithms and hierarchy levels.
+  double score = 0.0;
+  /// Absolute time of the occurrence when the input carries timestamps;
+  /// otherwise equals the index.
+  double time = 0.0;
+};
+
+/// Scoring result: one outlierness value per input item, plus the items
+/// exceeding the extraction threshold.
+struct Detection {
+  std::vector<double> scores;
+  std::vector<Outlier> outliers;
+};
+
+/// Binary anomaly labels (1 = anomalous). Used by the supervised family.
+using Labels = std::vector<uint8_t>;
+
+/// Detector over sets of numeric feature vectors ("points" in Table 1 —
+/// job setups, CAQ vectors, aggregated window features).
+///
+/// Lifecycle: construct -> Train (or TrainSupervised) -> Score any number
+/// of times. Train must be called before Score.
+class VectorDetector {
+ public:
+  virtual ~VectorDetector() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True when the detector requires labeled training data (SA family).
+  virtual bool supervised() const { return false; }
+
+  /// Fits the model to (assumed mostly normal) unlabeled data.
+  /// Supervised detectors return FailedPrecondition here.
+  virtual Status Train(const std::vector<std::vector<double>>& data) = 0;
+
+  /// Fits using labels. Default: ignore labels and train unsupervised.
+  virtual Status TrainSupervised(const std::vector<std::vector<double>>& data,
+                                 const Labels& labels) {
+    (void)labels;
+    return Train(data);
+  }
+
+  /// Outlierness in [0,1] for each vector. Errors when untrained or when
+  /// dimensions mismatch the training data.
+  virtual StatusOr<std::vector<double>> Score(
+      const std::vector<std::vector<double>>& data) const = 0;
+};
+
+/// Detector over discrete symbol sequences (SSQ). Scores are per symbol
+/// position so outliers can be localized exactly.
+class SequenceDetector {
+ public:
+  virtual ~SequenceDetector() = default;
+
+  virtual std::string name() const = 0;
+  virtual bool supervised() const { return false; }
+
+  /// Fits to normal training sequences.
+  virtual Status Train(const std::vector<ts::DiscreteSequence>& normal) = 0;
+
+  /// Fits using per-position labels (one Labels entry per sequence).
+  virtual Status TrainSupervised(
+      const std::vector<ts::DiscreteSequence>& sequences,
+      const std::vector<Labels>& labels) {
+    (void)labels;
+    return Train(sequences);
+  }
+
+  /// Outlierness in [0,1] per symbol position.
+  virtual StatusOr<std::vector<double>> Score(
+      const ts::DiscreteSequence& sequence) const = 0;
+};
+
+/// Detector over numeric time series (TSS). Scores are per sample.
+class SeriesDetector {
+ public:
+  virtual ~SeriesDetector() = default;
+
+  virtual std::string name() const = 0;
+  virtual bool supervised() const { return false; }
+
+  /// Fits to normal training series.
+  virtual Status Train(const std::vector<ts::TimeSeries>& normal) = 0;
+
+  /// Fits using per-sample labels (one Labels entry per series).
+  virtual Status TrainSupervised(const std::vector<ts::TimeSeries>& series,
+                                 const std::vector<Labels>& labels) {
+    (void)labels;
+    return Train(series);
+  }
+
+  /// Outlierness in [0,1] per sample.
+  virtual StatusOr<std::vector<double>> Score(
+      const ts::TimeSeries& series) const = 0;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_DETECTOR_H_

@@ -1,0 +1,101 @@
+#include "detect/dynamic_clustering.h"
+
+#include <algorithm>
+
+#include "timeseries/distance.h"
+#include "timeseries/window.h"
+
+namespace hod::detect {
+
+DynamicClusteringDetector::DynamicClusteringDetector(
+    DynamicClusteringOptions options)
+    : options_(options) {}
+
+Status DynamicClusteringDetector::Train(
+    const std::vector<ts::DiscreteSequence>& normal) {
+  if (options_.window == 0) {
+    return Status::InvalidArgument("window must be > 0");
+  }
+  if (options_.radius < 0.0 || options_.radius > 1.0) {
+    return Status::InvalidArgument("radius must be in [0,1]");
+  }
+  leaders_.clear();
+  cluster_counts_.clear();
+  total_windows_ = 0;
+  for (const auto& sequence : normal) {
+    HOD_RETURN_IF_ERROR(sequence.Validate());
+    for (auto& window : ts::SymbolWindows(sequence.symbols(), options_.window)) {
+      ++total_windows_;
+      bool placed = false;
+      for (size_t c = 0; c < leaders_.size(); ++c) {
+        auto match_or = ts::MatchFraction(window, leaders_[c]);
+        if (!match_or.ok()) return match_or.status();
+        if (1.0 - match_or.value() <= options_.radius) {
+          ++cluster_counts_[c];
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        leaders_.push_back(std::move(window));
+        cluster_counts_.push_back(1);
+      }
+    }
+  }
+  if (total_windows_ == 0) {
+    return Status::InvalidArgument("no training windows");
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> DynamicClusteringDetector::Score(
+    const ts::DiscreteSequence& sequence) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  const size_t n = sequence.size();
+  std::vector<double> point_scores(n, 0.0);
+  if (n < options_.window) return point_scores;
+
+  auto spans_or = ts::SlidingWindows(n, options_.window, 1);
+  if (!spans_or.ok()) return spans_or.status();
+  const auto& spans = spans_or.value();
+
+  const double small_threshold =
+      options_.small_cluster_fraction * static_cast<double>(total_windows_);
+  std::vector<double> window_scores(spans.size(), 0.0);
+  for (size_t w = 0; w < spans.size(); ++w) {
+    const std::vector<ts::Symbol> window(
+        sequence.symbols().begin() + spans[w].begin,
+        sequence.symbols().begin() + spans[w].end);
+    // Nearest leader by mismatch fraction.
+    double best_mismatch = 1.0;
+    size_t best_cluster = leaders_.size();
+    for (size_t c = 0; c < leaders_.size(); ++c) {
+      auto match_or = ts::MatchFraction(window, leaders_[c]);
+      if (!match_or.ok()) return match_or.status();
+      const double mismatch = 1.0 - match_or.value();
+      if (mismatch < best_mismatch) {
+        best_mismatch = mismatch;
+        best_cluster = c;
+      }
+    }
+    if (best_cluster == leaders_.size() || best_mismatch > options_.radius) {
+      // Would found a new cluster: maximally anomalous neighborhood.
+      window_scores[w] = 1.0;
+    } else {
+      const double mass =
+          static_cast<double>(cluster_counts_[best_cluster]);
+      if (mass < small_threshold && small_threshold > 0.0) {
+        // Small (rare) training cluster: anomalous in proportion to rarity.
+        window_scores[w] = 1.0 - mass / small_threshold;
+      } else {
+        // Dense cluster: mild score from the residual mismatch.
+        window_scores[w] =
+            options_.radius > 0.0 ? 0.5 * best_mismatch / options_.radius : 0.0;
+      }
+    }
+  }
+  return ts::WindowScoresToPointScores(n, spans, window_scores);
+}
+
+}  // namespace hod::detect

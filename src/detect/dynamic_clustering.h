@@ -1,0 +1,50 @@
+#ifndef HOD_DETECT_DYNAMIC_CLUSTERING_H_
+#define HOD_DETECT_DYNAMIC_CLUSTERING_H_
+
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace hod::detect {
+
+/// Dynamic (sequential leader) clustering, ADMIT-style (Sequeira & Zaki
+/// 2002) — Table 1 row 6, family DA, data types SSQ + TSS.
+///
+/// Windows stream through a leader clusterer: a window joins the first
+/// cluster whose leader is within `radius` (match-fraction distance), or
+/// founds a new cluster. Clusters that stay small relative to the training
+/// mass are anomalous; a test window inherits the outlierness of the
+/// cluster it lands in (or 1.0 if it founds a new one).
+struct DynamicClusteringOptions {
+  size_t window = 8;
+  /// Maximum mismatch fraction for joining a cluster, in [0,1].
+  double radius = 0.25;
+  /// Clusters holding fewer than this fraction of training windows are
+  /// considered anomalous neighborhoods.
+  double small_cluster_fraction = 0.02;
+};
+
+class DynamicClusteringDetector : public SequenceDetector {
+ public:
+  explicit DynamicClusteringDetector(DynamicClusteringOptions options = {});
+
+  std::string name() const override { return "DynamicClustering"; }
+
+  Status Train(const std::vector<ts::DiscreteSequence>& normal) override;
+
+  StatusOr<std::vector<double>> Score(
+      const ts::DiscreteSequence& sequence) const override;
+
+  size_t num_clusters() const { return leaders_.size(); }
+
+ private:
+  DynamicClusteringOptions options_;
+  std::vector<std::vector<ts::Symbol>> leaders_;
+  std::vector<size_t> cluster_counts_;
+  size_t total_windows_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_DYNAMIC_CLUSTERING_H_

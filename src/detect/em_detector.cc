@@ -1,0 +1,156 @@
+#include "detect/em_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "detect/kmeans.h"
+#include "timeseries/stats.h"
+
+namespace hod::detect {
+
+namespace {
+
+/// log( sum_i exp(xs[i]) ) computed stably.
+double LogSumExp(const std::vector<double>& xs) {
+  const double m = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(m)) return m;
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - m);
+  return m + std::log(sum);
+}
+
+}  // namespace
+
+EmDetector::EmDetector(EmOptions options) : options_(options) {}
+
+Status EmDetector::Train(const std::vector<std::vector<double>>& data) {
+  if (data.empty()) return Status::InvalidArgument("EM on empty data");
+  if (options_.components == 0) {
+    return Status::InvalidArgument("components must be > 0");
+  }
+  dim_ = data[0].size();
+  if (dim_ == 0) return Status::InvalidArgument("zero-dimensional data");
+  for (const auto& row : data) {
+    if (row.size() != dim_) {
+      return Status::InvalidArgument("ragged data in EM train");
+    }
+  }
+  const size_t k = std::min(options_.components, data.size());
+  const size_t n = data.size();
+
+  // Initialize from k-means.
+  HOD_ASSIGN_OR_RETURN(KMeansResult init, KMeans(data, k, 20, options_.seed));
+  weights_.assign(k, 1.0 / static_cast<double>(k));
+  means_ = init.centroids;
+  variances_.assign(k, std::vector<double>(dim_, 1.0));
+  // Per-cluster variance from the k-means assignment.
+  std::vector<std::vector<double>> ssq(k, std::vector<double>(dim_, 0.0));
+  std::vector<size_t> counts(k, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = init.assignments[i];
+    ++counts[c];
+    for (size_t d = 0; d < dim_; ++d) {
+      const double dev = data[i][d] - means_[c][d];
+      ssq[c][d] += dev * dev;
+    }
+  }
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t d = 0; d < dim_; ++d) {
+      variances_[c][d] =
+          counts[c] > 0 ? ssq[c][d] / static_cast<double>(counts[c]) : 1.0;
+      variances_[c][d] = std::max(variances_[c][d], options_.min_variance);
+    }
+  }
+
+  // EM iterations (log-space responsibilities).
+  std::vector<std::vector<double>> resp(n, std::vector<double>(k, 0.0));
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (size_t iter = 0; iter < options_.max_iters; ++iter) {
+    // E-step.
+    double total_ll = 0.0;
+    std::vector<double> logp(k);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t c = 0; c < k; ++c) {
+        double lp = std::log(std::max(weights_[c], 1e-300));
+        for (size_t d = 0; d < dim_; ++d) {
+          const double var = variances_[c][d];
+          const double dev = data[i][d] - means_[c][d];
+          lp += -0.5 * (std::log(2.0 * M_PI * var) + dev * dev / var);
+        }
+        logp[c] = lp;
+      }
+      const double lse = LogSumExp(logp);
+      total_ll += lse;
+      for (size_t c = 0; c < k; ++c) resp[i][c] = std::exp(logp[c] - lse);
+    }
+    total_ll /= static_cast<double>(n);
+    // M-step.
+    for (size_t c = 0; c < k; ++c) {
+      double rc = 0.0;
+      for (size_t i = 0; i < n; ++i) rc += resp[i][c];
+      weights_[c] = std::max(rc / static_cast<double>(n), 1e-12);
+      if (rc <= 0.0) continue;
+      for (size_t d = 0; d < dim_; ++d) {
+        double m = 0.0;
+        for (size_t i = 0; i < n; ++i) m += resp[i][c] * data[i][d];
+        means_[c][d] = m / rc;
+      }
+      for (size_t d = 0; d < dim_; ++d) {
+        double v = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          const double dev = data[i][d] - means_[c][d];
+          v += resp[i][c] * dev * dev;
+        }
+        variances_[c][d] = std::max(v / rc, options_.min_variance);
+      }
+    }
+    if (std::fabs(total_ll - prev_ll) < options_.tolerance) {
+      prev_ll = total_ll;
+      break;
+    }
+    prev_ll = total_ll;
+  }
+  train_ll_ = prev_ll;
+
+  // Baseline NLL: training median, so scores are relative to "typical".
+  std::vector<double> nlls;
+  nlls.reserve(n);
+  trained_ = true;  // LogDensity needs the model in place
+  for (const auto& row : data) nlls.push_back(-LogDensity(row));
+  baseline_nll_ = ts::Median(std::move(nlls));
+  return Status::Ok();
+}
+
+double EmDetector::LogDensity(const std::vector<double>& x) const {
+  std::vector<double> logp(weights_.size());
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    double lp = std::log(std::max(weights_[c], 1e-300));
+    for (size_t d = 0; d < dim_; ++d) {
+      const double var = variances_[c][d];
+      const double dev = x[d] - means_[c][d];
+      lp += -0.5 * (std::log(2.0 * M_PI * var) + dev * dev / var);
+    }
+    logp[c] = lp;
+  }
+  return LogSumExp(logp);
+}
+
+StatusOr<std::vector<double>> EmDetector::Score(
+    const std::vector<std::vector<double>>& data) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  std::vector<double> scores(data.size(), 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i].size() != dim_) {
+      return Status::InvalidArgument("dimension mismatch in EM score");
+    }
+    const double nll = -LogDensity(data[i]);
+    const double excess = nll - baseline_nll_;
+    scores[i] = excess <= 0.0
+                    ? 0.0
+                    : excess / (excess + options_.nll_scale);
+  }
+  return scores;
+}
+
+}  // namespace hod::detect

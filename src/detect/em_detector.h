@@ -1,0 +1,67 @@
+#ifndef HOD_DETECT_EM_DETECTOR_H_
+#define HOD_DETECT_EM_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace hod::detect {
+
+/// Expectation-Maximization density model (Pan et al. 2008 "Ganesha" style)
+/// — Table 1 row 4, family DA, data types PTS + SSQ + TSS.
+///
+/// Fits a diagonal-covariance Gaussian mixture to normal vectors with EM;
+/// a test vector's outlierness grows with its negative log-likelihood under
+/// the fitted mixture ("a sequence is an anomaly if it is unlikely to be
+/// generated from the summary model").
+struct EmOptions {
+  size_t components = 3;
+  size_t max_iters = 50;
+  /// Convergence tolerance on mean log-likelihood improvement.
+  double tolerance = 1e-5;
+  /// Variance floor (numerical stability / degenerate clusters).
+  double min_variance = 1e-6;
+  uint64_t seed = 42;
+  /// Negative-log-likelihood gap (in nats above the training median) at
+  /// which outlierness reaches 0.5.
+  double nll_scale = 6.0;
+};
+
+class EmDetector : public VectorDetector {
+ public:
+  explicit EmDetector(EmOptions options = {});
+
+  std::string name() const override { return "ExpectationMaximization"; }
+
+  Status Train(const std::vector<std::vector<double>>& data) override;
+
+  StatusOr<std::vector<double>> Score(
+      const std::vector<std::vector<double>>& data) const override;
+
+  /// Mixture internals (for tests): weights sum to 1, one mean/variance row
+  /// per component.
+  const std::vector<double>& weights() const { return weights_; }
+  const std::vector<std::vector<double>>& means() const { return means_; }
+  const std::vector<std::vector<double>>& variances() const {
+    return variances_;
+  }
+  /// Mean log-likelihood of the training data under the final model.
+  double train_log_likelihood() const { return train_ll_; }
+
+ private:
+  double LogDensity(const std::vector<double>& x) const;
+
+  EmOptions options_;
+  std::vector<double> weights_;
+  std::vector<std::vector<double>> means_;
+  std::vector<std::vector<double>> variances_;
+  double baseline_nll_ = 0.0;  // median training NLL
+  double train_ll_ = 0.0;
+  size_t dim_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_EM_DETECTOR_H_

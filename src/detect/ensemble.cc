@@ -1,0 +1,137 @@
+#include "detect/ensemble.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hod::detect {
+
+std::string_view CombinationName(Combination combination) {
+  switch (combination) {
+    case Combination::kMean:
+      return "mean";
+    case Combination::kMax:
+      return "max";
+    case Combination::kRankMean:
+      return "rank-mean";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<double> NormalizedRanks(const std::vector<double>& scores) {
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&scores](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double midrank =
+        (static_cast<double>(i) + static_cast<double>(j)) / 2.0;
+    for (size_t k = i; k <= j; ++k) {
+      ranks[order[k]] = n > 1 ? midrank / static_cast<double>(n - 1) : 0.0;
+    }
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+std::vector<double> Combine(const OutlierVectorMatrix& matrix,
+                            Combination combination) {
+  const size_t items = matrix.num_items();
+  std::vector<double> combined(items, 0.0);
+  if (matrix.scores.empty()) return combined;
+  switch (combination) {
+    case Combination::kMean: {
+      for (const auto& member : matrix.scores) {
+        for (size_t i = 0; i < items; ++i) combined[i] += member[i];
+      }
+      for (double& v : combined) {
+        v /= static_cast<double>(matrix.scores.size());
+      }
+      break;
+    }
+    case Combination::kMax: {
+      for (const auto& member : matrix.scores) {
+        for (size_t i = 0; i < items; ++i) {
+          combined[i] = std::max(combined[i], member[i]);
+        }
+      }
+      break;
+    }
+    case Combination::kRankMean: {
+      for (const auto& member : matrix.scores) {
+        const std::vector<double> ranks = NormalizedRanks(member);
+        for (size_t i = 0; i < items; ++i) combined[i] += ranks[i];
+      }
+      for (double& v : combined) {
+        v /= static_cast<double>(matrix.scores.size());
+      }
+      break;
+    }
+  }
+  return combined;
+}
+
+SeriesEnsemble::SeriesEnsemble(Combination combination)
+    : combination_(combination) {}
+
+Status SeriesEnsemble::AddMember(std::unique_ptr<SeriesDetector> member) {
+  if (member == nullptr) {
+    return Status::InvalidArgument("null ensemble member");
+  }
+  if (member->supervised()) {
+    return Status::InvalidArgument(
+        "ensemble members must be unsupervised (got '" + member->name() +
+        "')");
+  }
+  members_.push_back(std::move(member));
+  return Status::Ok();
+}
+
+std::string SeriesEnsemble::name() const {
+  std::string result = "Ensemble[";
+  result += CombinationName(combination_);
+  for (const auto& member : members_) {
+    result += "," + member->name();
+  }
+  result += "]";
+  return result;
+}
+
+Status SeriesEnsemble::Train(const std::vector<ts::TimeSeries>& normal) {
+  if (members_.empty()) {
+    return Status::FailedPrecondition("ensemble has no members");
+  }
+  for (auto& member : members_) {
+    HOD_RETURN_IF_ERROR(member->Train(normal));
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+StatusOr<OutlierVectorMatrix> SeriesEnsemble::ScoreVector(
+    const ts::TimeSeries& series) const {
+  if (!trained_) return Status::FailedPrecondition("ensemble not trained");
+  OutlierVectorMatrix matrix;
+  for (const auto& member : members_) {
+    HOD_ASSIGN_OR_RETURN(std::vector<double> scores, member->Score(series));
+    matrix.member_names.push_back(member->name());
+    matrix.scores.push_back(std::move(scores));
+  }
+  return matrix;
+}
+
+StatusOr<std::vector<double>> SeriesEnsemble::Score(
+    const ts::TimeSeries& series) const {
+  HOD_ASSIGN_OR_RETURN(OutlierVectorMatrix matrix, ScoreVector(series));
+  return Combine(matrix, combination_);
+}
+
+}  // namespace hod::detect

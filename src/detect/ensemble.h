@@ -1,0 +1,78 @@
+#ifndef HOD_DETECT_ENSEMBLE_H_
+#define HOD_DETECT_ENSEMBLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace hod::detect {
+
+/// Outlier vectors and score combination — the paper's Section 5 notes
+/// that "outlierness scores can be combined to outlier vectors" [8],
+/// "especially helpful in the context of online outlier detection".
+///
+/// An OutlierVector holds, per scored item, one outlierness value per
+/// member detector; the ensemble reduces it to a single consensus score.
+
+/// How member scores are combined per item.
+enum class Combination {
+  /// Arithmetic mean — smooth consensus, robust to one noisy member.
+  kMean,
+  /// Maximum — union of what any member sees (highest recall).
+  kMax,
+  /// Mean of per-member ranks (normalized) — immune to members with
+  /// mis-calibrated score scales.
+  kRankMean,
+};
+
+std::string_view CombinationName(Combination combination);
+
+/// Per-item score vectors from the ensemble members (members x items).
+struct OutlierVectorMatrix {
+  std::vector<std::string> member_names;
+  std::vector<std::vector<double>> scores;  // [member][item]
+
+  size_t num_items() const {
+    return scores.empty() ? 0 : scores[0].size();
+  }
+};
+
+/// Reduces an OutlierVectorMatrix to one consensus score per item.
+std::vector<double> Combine(const OutlierVectorMatrix& matrix,
+                            Combination combination);
+
+/// An ensemble of series detectors that trains every member and scores by
+/// consensus. Members are added before Train; the ensemble refuses
+/// supervised members (the combination semantics assume unsupervised
+/// scores).
+class SeriesEnsemble : public SeriesDetector {
+ public:
+  explicit SeriesEnsemble(Combination combination = Combination::kMean);
+
+  /// Adds a member (must be unsupervised; InvalidArgument otherwise).
+  Status AddMember(std::unique_ptr<SeriesDetector> member);
+
+  size_t num_members() const { return members_.size(); }
+
+  std::string name() const override;
+
+  Status Train(const std::vector<ts::TimeSeries>& normal) override;
+
+  StatusOr<std::vector<double>> Score(
+      const ts::TimeSeries& series) const override;
+
+  /// Full per-member score matrix for one series (the outlier vector).
+  StatusOr<OutlierVectorMatrix> ScoreVector(
+      const ts::TimeSeries& series) const;
+
+ private:
+  Combination combination_;
+  std::vector<std::unique_ptr<SeriesDetector>> members_;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_ENSEMBLE_H_

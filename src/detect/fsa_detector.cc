@@ -1,0 +1,76 @@
+#include "detect/fsa_detector.h"
+
+#include <algorithm>
+
+namespace hod::detect {
+
+FsaDetector::FsaDetector(FsaOptions options) : options_(options) {}
+
+Status FsaDetector::Train(const std::vector<ts::DiscreteSequence>& normal) {
+  if (options_.max_order == 0) {
+    return Status::InvalidArgument("max_order must be > 0");
+  }
+  contexts_.assign(options_.max_order + 1, {});
+  bool any = false;
+  for (const auto& sequence : normal) {
+    HOD_RETURN_IF_ERROR(sequence.Validate());
+    const auto& syms = sequence.symbols();
+    for (size_t i = 0; i < syms.size(); ++i) {
+      any = true;
+      // Record transitions for every context length that fits, including
+      // the empty context (unigram frequencies).
+      const size_t max_len = std::min(options_.max_order, i);
+      for (size_t len = 0; len <= max_len; ++len) {
+        std::vector<ts::Symbol> context(syms.begin() + (i - len),
+                                        syms.begin() + i);
+        ++contexts_[len][std::move(context)][syms[i]];
+      }
+    }
+  }
+  if (!any) return Status::InvalidArgument("no training symbols");
+  trained_ = true;
+  return Status::Ok();
+}
+
+size_t FsaDetector::num_transitions() const {
+  size_t total = 0;
+  for (const auto& level : contexts_) {
+    for (const auto& [context, nexts] : level) total += nexts.size();
+  }
+  return total;
+}
+
+StatusOr<std::vector<double>> FsaDetector::Score(
+    const ts::DiscreteSequence& sequence) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  HOD_RETURN_IF_ERROR(sequence.Validate());
+  const auto& syms = sequence.symbols();
+  std::vector<double> scores(syms.size(), 0.0);
+  for (size_t i = 0; i < syms.size(); ++i) {
+    // Find the longest matching context; back off toward the empty one.
+    const size_t max_len = std::min(options_.max_order, i);
+    double score = 1.0;  // symbol never seen in any context -> fully novel
+    for (size_t len = max_len + 1; len-- > 0;) {
+      const std::vector<ts::Symbol> context(syms.begin() + (i - len),
+                                            syms.begin() + i);
+      const auto ctx_it = contexts_[len].find(context);
+      if (ctx_it == contexts_[len].end()) continue;  // unseen context: back off
+      const auto sym_it = ctx_it->second.find(syms[i]);
+      if (sym_it == ctx_it->second.end()) {
+        // Known context, novel successor. Longer contexts give stronger
+        // evidence of anomaly; scale by how specific the context is.
+        score = 0.6 + 0.4 * static_cast<double>(len) /
+                          static_cast<double>(options_.max_order);
+      } else if (sym_it->second < options_.rare_count) {
+        score = 0.3;  // known but rare transition
+      } else {
+        score = 0.0;  // well-supported transition
+      }
+      break;
+    }
+    scores[i] = score;
+  }
+  return scores;
+}
+
+}  // namespace hod::detect

@@ -1,0 +1,54 @@
+#ifndef HOD_DETECT_FSA_DETECTOR_H_
+#define HOD_DETECT_FSA_DETECTOR_H_
+
+#include <map>
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace hod::detect {
+
+/// Finite-state-automaton anomaly detection with multiple-length n-grams
+/// (Marceau 2005) — Table 1 row 11, family UPA, data type SSQ (+ TSS via
+/// SAX discretization).
+///
+/// Training builds an automaton whose states are the n-gram contexts of
+/// lengths 1..max_order observed in normal data, with the set of symbols
+/// seen after each context. A position is anomalous when its symbol was
+/// never observed after the longest matching context; shorter-context
+/// backoff softens the score (an unseen long context with a seen short one
+/// scores lower than a fully novel transition).
+struct FsaOptions {
+  /// Longest context length (n-gram order - 1).
+  size_t max_order = 4;
+  /// Transitions observed fewer than this many times are still "known" but
+  /// contribute a partial score (rare-transition smoothing).
+  size_t rare_count = 2;
+};
+
+class FsaDetector : public SequenceDetector {
+ public:
+  explicit FsaDetector(FsaOptions options = {});
+
+  std::string name() const override { return "FiniteStateAutomaton"; }
+
+  Status Train(const std::vector<ts::DiscreteSequence>& normal) override;
+
+  StatusOr<std::vector<double>> Score(
+      const ts::DiscreteSequence& sequence) const override;
+
+  /// Number of distinct (context, symbol) transitions stored.
+  size_t num_transitions() const;
+
+ private:
+  FsaOptions options_;
+  /// transition count per (context, next symbol), one map per context
+  /// length: contexts_[L][context] -> {symbol -> count}.
+  std::vector<std::map<std::vector<ts::Symbol>, std::map<ts::Symbol, size_t>>>
+      contexts_;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_FSA_DETECTOR_H_

@@ -1,0 +1,135 @@
+#include "detect/histogram_deviant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/stats.h"
+
+namespace hod::detect {
+
+HistogramDeviantDetector::HistogramDeviantDetector(
+    HistogramDeviantOptions options)
+    : options_(options) {}
+
+double HistogramDeviantDetector::Reduce(const std::vector<double>& row) const {
+  if (row.size() == 1) return row[0];
+  double sq = 0.0;
+  for (double v : row) sq += v * v;
+  return std::sqrt(sq);
+}
+
+size_t HistogramDeviantDetector::BucketOf(double v) const {
+  if (v <= lo_) return 0;
+  if (v >= hi_) return buckets_.size() - 1;
+  const double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
+  return std::min(static_cast<size_t>((v - lo_) / width),
+                  buckets_.size() - 1);
+}
+
+Status HistogramDeviantDetector::Train(
+    const std::vector<std::vector<double>>& data) {
+  if (data.empty()) {
+    return Status::InvalidArgument("histogram on empty data");
+  }
+  if (options_.buckets == 0) {
+    return Status::InvalidArgument("buckets must be > 0");
+  }
+  dim_ = data[0].size();
+  std::vector<double> values;
+  values.reserve(data.size());
+  for (const auto& row : data) {
+    if (row.size() != dim_) {
+      return Status::InvalidArgument("ragged data in histogram train");
+    }
+    values.push_back(Reduce(row));
+  }
+  lo_ = ts::Min(values);
+  hi_ = ts::Max(values);
+  if (hi_ <= lo_) hi_ = lo_ + 1.0;
+  // Widen slightly so training extremes do not sit on the boundary.
+  const double margin = 0.05 * (hi_ - lo_);
+  lo_ -= margin;
+  hi_ += margin;
+
+  buckets_.assign(options_.buckets, {});
+  const double width = (hi_ - lo_) / static_cast<double>(options_.buckets);
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    buckets_[b].lo = lo_ + width * static_cast<double>(b);
+    buckets_[b].hi = buckets_[b].lo + width;
+  }
+  for (double v : values) {
+    Bucket& bucket = buckets_[BucketOf(v)];
+    ++bucket.count;
+    bucket.mean += v;
+  }
+  for (Bucket& bucket : buckets_) {
+    if (bucket.count > 0) bucket.mean /= static_cast<double>(bucket.count);
+  }
+  for (double v : values) {
+    Bucket& bucket = buckets_[BucketOf(v)];
+    const double d = v - bucket.mean;
+    bucket.sse += d * d;
+  }
+  // Typical per-point representation error.
+  double total_sse = 0.0;
+  for (const Bucket& bucket : buckets_) total_sse += bucket.sse;
+  typical_error_ = total_sse / static_cast<double>(values.size());
+  if (typical_error_ <= 0.0) typical_error_ = 1e-9;
+  total_count_ = values.size();
+  trained_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> HistogramDeviantDetector::Score(
+    const std::vector<std::vector<double>>& data) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  std::vector<double> scores(data.size(), 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i].size() != dim_) {
+      return Status::InvalidArgument("dimension mismatch in histogram score");
+    }
+    const double v = Reduce(data[i]);
+    const Bucket& bucket = buckets_[BucketOf(v)];
+    // Error this point adds to the bucket's representation: its squared
+    // deviation from the bucket representative (the deviant-deletion
+    // gain). Points beyond the trained range use distance to the range.
+    double deviation;
+    if (v < lo_) {
+      deviation = lo_ - v + (bucket.count > 0 ? std::fabs(bucket.mean - lo_) : 0.0);
+    } else if (v > hi_) {
+      deviation = v - hi_ + (bucket.count > 0 ? std::fabs(hi_ - bucket.mean) : 0.0);
+    } else if (bucket.count == 0) {
+      // Empty bucket: distance to the nearest populated bucket mean.
+      deviation = hi_ - lo_;
+      for (const Bucket& other : buckets_) {
+        if (other.count > 0) {
+          deviation = std::min(deviation, std::fabs(v - other.mean));
+        }
+      }
+    } else {
+      deviation = std::fabs(v - bucket.mean);
+    }
+    const double gain = deviation * deviation / typical_error_;
+    const double gain_excess = gain - 1.0;
+    const double gain_score =
+        gain_excess <= 0.0 ? 0.0
+                           : gain_excess / (gain_excess + options_.gain_scale);
+    // Rarity term: a point in a (near-)empty bucket is a deviant even when
+    // close to that bucket's few members — deleting it (and reallocating
+    // the bucket) improves the representation. Expected occupancy under a
+    // uniform spread is n/buckets.
+    const double expected_occupancy =
+        static_cast<double>(total_count_) /
+        static_cast<double>(buckets_.size());
+    const double occupancy_excess =
+        expected_occupancy / (static_cast<double>(bucket.count) + 1.0) - 1.0;
+    const double rarity_score =
+        occupancy_excess <= 0.0
+            ? 0.0
+            : occupancy_excess / (occupancy_excess + options_.gain_scale);
+    scores[i] = std::max(gain_score, rarity_score);
+  }
+  return scores;
+}
+
+}  // namespace hod::detect

@@ -1,0 +1,62 @@
+#ifndef HOD_DETECT_HISTOGRAM_DEVIANT_H_
+#define HOD_DETECT_HISTOGRAM_DEVIANT_H_
+
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace hod::detect {
+
+/// Information-theoretic deviant mining (Muthukrishnan et al. 2004) —
+/// Table 1 row 21, family ITM, data type PTS.
+///
+/// "Detects outlier points by removing points from a sequel and measuring
+/// the improvement in a histogram-based representation." Training fits an
+/// equi-width histogram to the (1-D) normal data; a point's outlierness is
+/// the reduction in total representation error (sum of squared in-bucket
+/// deviations) achieved by deleting it, normalized by the typical
+/// per-point error — points in sparse, wide-error buckets are deviants.
+struct HistogramDeviantOptions {
+  size_t buckets = 24;
+  /// Error-reduction ratio at which outlierness reaches 0.5.
+  double gain_scale = 4.0;
+};
+
+class HistogramDeviantDetector : public VectorDetector {
+ public:
+  explicit HistogramDeviantDetector(HistogramDeviantOptions options = {});
+
+  std::string name() const override { return "HistogramDeviants"; }
+
+  /// Expects 1-D vectors (the PTS shape); higher dimensions are reduced to
+  /// their Euclidean norm.
+  Status Train(const std::vector<std::vector<double>>& data) override;
+
+  StatusOr<std::vector<double>> Score(
+      const std::vector<std::vector<double>>& data) const override;
+
+ private:
+  struct Bucket {
+    double lo = 0.0;
+    double hi = 0.0;
+    size_t count = 0;
+    double mean = 0.0;
+    double sse = 0.0;  // sum of squared deviations from the bucket mean
+  };
+
+  double Reduce(const std::vector<double>& row) const;
+  size_t BucketOf(double v) const;
+
+  HistogramDeviantOptions options_;
+  std::vector<Bucket> buckets_;
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+  double typical_error_ = 1.0;
+  size_t total_count_ = 0;
+  size_t dim_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_HISTOGRAM_DEVIANT_H_

@@ -1,0 +1,219 @@
+#include "detect/hmm_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/stats.h"
+#include "util/rng.h"
+
+namespace hod::detect {
+
+namespace {
+
+void NormalizeRow(std::vector<double>& row, double smoothing) {
+  double sum = 0.0;
+  for (double& v : row) {
+    v += smoothing;
+    sum += v;
+  }
+  if (sum <= 0.0) {
+    const double uniform = 1.0 / static_cast<double>(row.size());
+    for (double& v : row) v = uniform;
+    return;
+  }
+  for (double& v : row) v /= sum;
+}
+
+}  // namespace
+
+HmmDetector::HmmDetector(HmmOptions options) : options_(options) {}
+
+Status HmmDetector::Train(const std::vector<ts::DiscreteSequence>& normal) {
+  if (options_.states == 0) {
+    return Status::InvalidArgument("states must be > 0");
+  }
+  alphabet_ = 0;
+  for (const auto& sequence : normal) {
+    HOD_RETURN_IF_ERROR(sequence.Validate());
+    alphabet_ = std::max(alphabet_,
+                         static_cast<size_t>(sequence.alphabet_size()));
+  }
+  if (alphabet_ == 0) return Status::InvalidArgument("no training sequences");
+  const size_t s = options_.states;
+
+  // Random row-stochastic initialization (deterministic seed).
+  Rng rng(options_.seed);
+  a_.assign(s, std::vector<double>(s, 0.0));
+  b_.assign(s, std::vector<double>(alphabet_, 0.0));
+  pi_.assign(s, 0.0);
+  for (auto& row : a_) {
+    for (double& v : row) v = 0.5 + rng.NextDouble();
+    NormalizeRow(row, 0.0);
+  }
+  for (auto& row : b_) {
+    for (double& v : row) v = 0.5 + rng.NextDouble();
+    NormalizeRow(row, 0.0);
+  }
+  for (double& v : pi_) v = 0.5 + rng.NextDouble();
+  NormalizeRow(pi_, 0.0);
+
+  // Baum-Welch over all training sequences (scaled forward-backward).
+  for (size_t iter = 0; iter < options_.baum_welch_iters; ++iter) {
+    std::vector<std::vector<double>> a_num(s, std::vector<double>(s, 0.0));
+    std::vector<std::vector<double>> b_num(s,
+                                           std::vector<double>(alphabet_, 0.0));
+    std::vector<double> a_den(s, 0.0);
+    std::vector<double> b_den(s, 0.0);
+    std::vector<double> pi_num(s, 0.0);
+    size_t num_sequences = 0;
+
+    for (const auto& sequence : normal) {
+      const auto& o = sequence.symbols();
+      const size_t t_len = o.size();
+      if (t_len == 0) continue;
+      ++num_sequences;
+      // Scaled forward.
+      std::vector<std::vector<double>> alpha(t_len, std::vector<double>(s));
+      std::vector<double> scale(t_len, 0.0);
+      for (size_t i = 0; i < s; ++i) {
+        alpha[0][i] = pi_[i] * b_[i][o[0]];
+        scale[0] += alpha[0][i];
+      }
+      if (scale[0] <= 0.0) scale[0] = 1e-300;
+      for (size_t i = 0; i < s; ++i) alpha[0][i] /= scale[0];
+      for (size_t t = 1; t < t_len; ++t) {
+        for (size_t j = 0; j < s; ++j) {
+          double sum = 0.0;
+          for (size_t i = 0; i < s; ++i) sum += alpha[t - 1][i] * a_[i][j];
+          alpha[t][j] = sum * b_[j][o[t]];
+          scale[t] += alpha[t][j];
+        }
+        if (scale[t] <= 0.0) scale[t] = 1e-300;
+        for (size_t j = 0; j < s; ++j) alpha[t][j] /= scale[t];
+      }
+      // Scaled backward.
+      std::vector<std::vector<double>> beta(t_len, std::vector<double>(s, 1.0));
+      for (size_t t = t_len - 1; t-- > 0;) {
+        for (size_t i = 0; i < s; ++i) {
+          double sum = 0.0;
+          for (size_t j = 0; j < s; ++j) {
+            sum += a_[i][j] * b_[j][o[t + 1]] * beta[t + 1][j];
+          }
+          beta[t][i] = sum / scale[t + 1];
+        }
+      }
+      // Accumulate expected counts.
+      for (size_t t = 0; t < t_len; ++t) {
+        double gamma_norm = 0.0;
+        for (size_t i = 0; i < s; ++i) gamma_norm += alpha[t][i] * beta[t][i];
+        if (gamma_norm <= 0.0) gamma_norm = 1e-300;
+        for (size_t i = 0; i < s; ++i) {
+          const double gamma = alpha[t][i] * beta[t][i] / gamma_norm;
+          if (t == 0) pi_num[i] += gamma;
+          b_num[i][o[t]] += gamma;
+          b_den[i] += gamma;
+          if (t + 1 < t_len) a_den[i] += gamma;
+        }
+        if (t + 1 < t_len) {
+          double xi_norm = 0.0;
+          for (size_t i = 0; i < s; ++i) {
+            for (size_t j = 0; j < s; ++j) {
+              xi_norm +=
+                  alpha[t][i] * a_[i][j] * b_[j][o[t + 1]] * beta[t + 1][j];
+            }
+          }
+          if (xi_norm <= 0.0) xi_norm = 1e-300;
+          for (size_t i = 0; i < s; ++i) {
+            for (size_t j = 0; j < s; ++j) {
+              a_num[i][j] += alpha[t][i] * a_[i][j] * b_[j][o[t + 1]] *
+                             beta[t + 1][j] / xi_norm;
+            }
+          }
+        }
+      }
+    }
+    if (num_sequences == 0) {
+      return Status::InvalidArgument("no non-empty training sequences");
+    }
+    // Re-estimate with smoothing.
+    for (size_t i = 0; i < s; ++i) {
+      for (size_t j = 0; j < s; ++j) {
+        a_[i][j] = a_den[i] > 0.0 ? a_num[i][j] / a_den[i] : a_[i][j];
+      }
+      NormalizeRow(a_[i], options_.smoothing);
+      for (size_t k = 0; k < alphabet_; ++k) {
+        b_[i][k] = b_den[i] > 0.0 ? b_num[i][k] / b_den[i] : b_[i][k];
+      }
+      NormalizeRow(b_[i], options_.smoothing);
+      pi_[i] = pi_num[i] / static_cast<double>(num_sequences);
+    }
+    NormalizeRow(pi_, options_.smoothing);
+  }
+
+  // Baseline per-symbol surprisal over the training corpus.
+  trained_ = true;
+  std::vector<double> all;
+  for (const auto& sequence : normal) {
+    auto surprisal_or = Surprisals(sequence.symbols());
+    if (!surprisal_or.ok()) return surprisal_or.status();
+    for (double v : surprisal_or.value()) all.push_back(v);
+  }
+  baseline_surprisal_ = ts::Median(std::move(all));
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> HmmDetector::Surprisals(
+    const std::vector<ts::Symbol>& symbols) const {
+  std::vector<double> surprisal(symbols.size(), 0.0);
+  const size_t s = options_.states;
+  std::vector<double> filter = pi_;  // filtered state distribution
+  for (size_t t = 0; t < symbols.size(); ++t) {
+    const ts::Symbol o = symbols[t];
+    if (o < 0 || static_cast<size_t>(o) >= alphabet_) {
+      // Symbol outside the trained alphabet: maximal surprisal.
+      surprisal[t] = 50.0;
+      continue;
+    }
+    // P(o_t | o_1..o_{t-1}) = sum_i filter_i * b_i(o_t).
+    double p = 0.0;
+    for (size_t i = 0; i < s; ++i) p += filter[i] * b_[i][o];
+    p = std::max(p, 1e-300);
+    surprisal[t] = -std::log(p);
+    // Condition on o_t and advance one step.
+    std::vector<double> posterior(s, 0.0);
+    for (size_t i = 0; i < s; ++i) posterior[i] = filter[i] * b_[i][o] / p;
+    for (size_t j = 0; j < s; ++j) {
+      double sum = 0.0;
+      for (size_t i = 0; i < s; ++i) sum += posterior[i] * a_[i][j];
+      filter[j] = sum;
+    }
+  }
+  return surprisal;
+}
+
+StatusOr<double> HmmDetector::LogLikelihood(
+    const ts::DiscreteSequence& sequence) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  HOD_ASSIGN_OR_RETURN(std::vector<double> surprisal,
+                       Surprisals(sequence.symbols()));
+  double total = 0.0;
+  for (double v : surprisal) total -= v;
+  return total;
+}
+
+StatusOr<std::vector<double>> HmmDetector::Score(
+    const ts::DiscreteSequence& sequence) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  HOD_RETURN_IF_ERROR(sequence.Validate());
+  HOD_ASSIGN_OR_RETURN(std::vector<double> surprisal,
+                       Surprisals(sequence.symbols()));
+  std::vector<double> scores(surprisal.size(), 0.0);
+  for (size_t t = 0; t < surprisal.size(); ++t) {
+    const double excess = surprisal[t] - baseline_surprisal_;
+    scores[t] =
+        excess <= 0.0 ? 0.0 : excess / (excess + options_.surprisal_scale);
+  }
+  return scores;
+}
+
+}  // namespace hod::detect

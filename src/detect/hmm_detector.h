@@ -1,0 +1,65 @@
+#ifndef HOD_DETECT_HMM_DETECTOR_H_
+#define HOD_DETECT_HMM_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace hod::detect {
+
+/// Discrete hidden Markov model anomaly detection (Florez-Larrahondo et
+/// al. 2005) — Table 1 row 12, family UPA, data type SSQ (+ TSS via SAX).
+///
+/// A discrete-emission HMM is trained on normal sequences with Baum-Welch.
+/// Scoring runs the scaled forward algorithm; the per-position outlierness
+/// derives from the instantaneous log-likelihood of each symbol given the
+/// filtered state distribution — an "efficient modeling of discrete
+/// events" that flags symbols the model finds improbable in context.
+struct HmmOptions {
+  size_t states = 4;
+  size_t baum_welch_iters = 20;
+  uint64_t seed = 42;
+  /// Per-symbol surprisal (nats above the training median) at which
+  /// outlierness reaches 0.5.
+  double surprisal_scale = 2.0;
+  /// Laplace smoothing added to every probability during training.
+  double smoothing = 1e-3;
+};
+
+class HmmDetector : public SequenceDetector {
+ public:
+  explicit HmmDetector(HmmOptions options = {});
+
+  std::string name() const override { return "HiddenMarkovModel"; }
+
+  Status Train(const std::vector<ts::DiscreteSequence>& normal) override;
+
+  StatusOr<std::vector<double>> Score(
+      const ts::DiscreteSequence& sequence) const override;
+
+  /// Model internals (rows are probability distributions).
+  const std::vector<std::vector<double>>& transition() const { return a_; }
+  const std::vector<std::vector<double>>& emission() const { return b_; }
+  const std::vector<double>& initial() const { return pi_; }
+
+  /// Total scaled-forward log-likelihood of a sequence under the model.
+  StatusOr<double> LogLikelihood(const ts::DiscreteSequence& sequence) const;
+
+ private:
+  /// Per-position surprisal -log P(o_t | o_1..o_{t-1}) via scaled forward.
+  StatusOr<std::vector<double>> Surprisals(
+      const std::vector<ts::Symbol>& symbols) const;
+
+  HmmOptions options_;
+  size_t alphabet_ = 0;
+  std::vector<std::vector<double>> a_;   // states x states
+  std::vector<std::vector<double>> b_;   // states x alphabet
+  std::vector<double> pi_;               // states
+  double baseline_surprisal_ = 0.0;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_HMM_DETECTOR_H_

@@ -1,0 +1,169 @@
+#include "detect/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace hod::detect {
+
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+StatusOr<NearestCentroid> FindNearestCentroid(
+    const std::vector<std::vector<double>>& centroids,
+    const std::vector<double>& point) {
+  if (centroids.empty()) {
+    return Status::FailedPrecondition("no centroids");
+  }
+  NearestCentroid best;
+  best.distance = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    if (centroids[c].size() != point.size()) {
+      return Status::InvalidArgument("dimension mismatch vs centroid");
+    }
+    const double d = SquaredDistance(centroids[c], point);
+    if (d < best.distance) {
+      best.distance = d;
+      best.index = c;
+    }
+  }
+  best.distance = std::sqrt(best.distance);
+  return best;
+}
+
+StatusOr<KMeansResult> KMeans(const std::vector<std::vector<double>>& data,
+                              size_t k, size_t max_iters, uint64_t seed) {
+  if (data.empty()) return Status::InvalidArgument("k-means on empty data");
+  if (k == 0) return Status::InvalidArgument("k must be > 0");
+  const size_t dim = data[0].size();
+  for (const auto& row : data) {
+    if (row.size() != dim) {
+      return Status::InvalidArgument("ragged data in k-means");
+    }
+  }
+  k = std::min(k, data.size());
+  Rng rng(seed);
+
+  // k-means++ seeding.
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(data[rng.NextBelow(data.size())]);
+  std::vector<double> min_sq(data.size(),
+                             std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    for (size_t i = 0; i < data.size(); ++i) {
+      min_sq[i] = std::min(min_sq[i], SquaredDistance(data[i], centroids.back()));
+    }
+    const size_t next = rng.WeightedIndex(min_sq);
+    centroids.push_back(data[next]);
+  }
+
+  KMeansResult result;
+  result.assignments.assign(data.size(), 0);
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    // Assignment step.
+    for (size_t i = 0; i < data.size(); ++i) {
+      size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < centroids.size(); ++c) {
+        const double d = SquaredDistance(data[i], centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (result.assignments[i] != best) {
+        result.assignments[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Update step.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < data.size(); ++i) {
+      const size_t c = result.assignments[i];
+      ++counts[c];
+      for (size_t d = 0; d < dim; ++d) sums[c][d] += data[i][d];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep the old centroid for empty clusters
+      for (size_t d = 0; d < dim; ++d) {
+        centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  result.centroids = std::move(centroids);
+  result.distances.resize(data.size());
+  result.cluster_sizes.assign(k, 0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    result.distances[i] = std::sqrt(
+        SquaredDistance(data[i], result.centroids[result.assignments[i]]));
+    ++result.cluster_sizes[result.assignments[i]];
+  }
+  return result;
+}
+
+StatusOr<ColumnScaler> ColumnScaler::Fit(
+    const std::vector<std::vector<double>>& data) {
+  if (data.empty()) return Status::InvalidArgument("scaler fit on empty data");
+  const size_t dim = data[0].size();
+  ColumnScaler scaler;
+  scaler.means.assign(dim, 0.0);
+  scaler.stddevs.assign(dim, 0.0);
+  for (const auto& row : data) {
+    if (row.size() != dim) {
+      return Status::InvalidArgument("ragged data in scaler fit");
+    }
+    for (size_t d = 0; d < dim; ++d) scaler.means[d] += row[d];
+  }
+  for (size_t d = 0; d < dim; ++d) {
+    scaler.means[d] /= static_cast<double>(data.size());
+  }
+  for (const auto& row : data) {
+    for (size_t d = 0; d < dim; ++d) {
+      const double dev = row[d] - scaler.means[d];
+      scaler.stddevs[d] += dev * dev;
+    }
+  }
+  for (size_t d = 0; d < dim; ++d) {
+    scaler.stddevs[d] =
+        std::sqrt(scaler.stddevs[d] / static_cast<double>(data.size()));
+  }
+  return scaler;
+}
+
+Status ColumnScaler::ApplyRow(std::vector<double>& row) const {
+  if (row.size() != means.size()) {
+    return Status::InvalidArgument("dimension mismatch in scaler apply");
+  }
+  for (size_t d = 0; d < row.size(); ++d) {
+    row[d] -= means[d];
+    if (stddevs[d] > 0.0) row[d] /= stddevs[d];
+  }
+  return Status::Ok();
+}
+
+Status ColumnScaler::Apply(std::vector<std::vector<double>>& data) const {
+  for (auto& row : data) {
+    HOD_RETURN_IF_ERROR(ApplyRow(row));
+  }
+  return Status::Ok();
+}
+
+}  // namespace hod::detect

@@ -1,0 +1,57 @@
+#ifndef HOD_DETECT_KMEANS_H_
+#define HOD_DETECT_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace hod::detect {
+
+/// Result of Lloyd's algorithm.
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;
+  /// Cluster index per input point.
+  std::vector<size_t> assignments;
+  /// Distance of each point to its centroid.
+  std::vector<double> distances;
+  /// Points per cluster.
+  std::vector<size_t> cluster_sizes;
+};
+
+/// k-means with k-means++ seeding. `k` is reduced to data.size() when
+/// larger. Errors on empty data, k == 0, or inconsistent dimensions.
+/// Deterministic for a fixed seed.
+StatusOr<KMeansResult> KMeans(const std::vector<std::vector<double>>& data,
+                              size_t k, size_t max_iters, uint64_t seed);
+
+/// Index of the centroid nearest to `point` and its distance.
+struct NearestCentroid {
+  size_t index = 0;
+  double distance = 0.0;
+};
+StatusOr<NearestCentroid> FindNearestCentroid(
+    const std::vector<std::vector<double>>& centroids,
+    const std::vector<double>& point);
+
+/// Z-normalization helper for feature matrices: returns per-column mean and
+/// stddev computed on `data`, and applies them in place (stddev 0 columns
+/// are left centered only).
+struct ColumnScaler {
+  std::vector<double> means;
+  std::vector<double> stddevs;
+
+  /// Fits on `data` (must be non-empty and rectangular).
+  static StatusOr<ColumnScaler> Fit(
+      const std::vector<std::vector<double>>& data);
+
+  /// Scales rows in place; rows must have the fitted dimension.
+  Status Apply(std::vector<std::vector<double>>& data) const;
+
+  /// Scales a single row.
+  Status ApplyRow(std::vector<double>& row) const;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_KMEANS_H_

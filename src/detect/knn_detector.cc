@@ -1,0 +1,175 @@
+#include "detect/knn_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "timeseries/stats.h"
+
+namespace hod::detect {
+
+namespace {
+
+double Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+/// Keeps the k smallest values seen (simple insertion; k is small).
+class TopKSmallest {
+ public:
+  explicit TopKSmallest(size_t k) : values_(k, std::numeric_limits<double>::infinity()) {}
+
+  void Offer(double v) {
+    auto it = std::max_element(values_.begin(), values_.end());
+    if (v < *it) *it = v;
+  }
+
+  double Mean() const {
+    double sum = 0.0;
+    size_t count = 0;
+    for (double v : values_) {
+      if (std::isfinite(v)) {
+        sum += v;
+        ++count;
+      }
+    }
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+
+  double Max() const {
+    double best = 0.0;
+    for (double v : values_) {
+      if (std::isfinite(v)) best = std::max(best, v);
+    }
+    return best;
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace
+
+KnnDetector::KnnDetector(KnnOptions options) : options_(options) {}
+
+Status KnnDetector::Train(const std::vector<std::vector<double>>& data) {
+  if (data.size() < 2) {
+    return Status::InvalidArgument("knn needs at least 2 training points");
+  }
+  if (options_.k == 0) return Status::InvalidArgument("k must be > 0");
+  dim_ = data[0].size();
+  HOD_ASSIGN_OR_RETURN(scaler_, ColumnScaler::Fit(data));
+  train_ = data;
+  HOD_RETURN_IF_ERROR(scaler_.Apply(train_));
+
+  // Baseline: q95 of the leave-one-out knn statistic on training data.
+  std::vector<double> stats(train_.size());
+  for (size_t i = 0; i < train_.size(); ++i) {
+    stats[i] = KnnDistance(train_[i], i);
+  }
+  trained_ = true;
+  baseline_ = ts::Quantile(std::move(stats), 0.95);
+  if (baseline_ <= 0.0) baseline_ = 1e-6;
+  return Status::Ok();
+}
+
+double KnnDetector::KnnDistance(const std::vector<double>& scaled,
+                                size_t skip) const {
+  TopKSmallest nearest(options_.k);
+  for (size_t j = 0; j < train_.size(); ++j) {
+    if (j == skip) continue;
+    nearest.Offer(Distance(scaled, train_[j]));
+  }
+  return nearest.Mean();
+}
+
+StatusOr<std::vector<double>> KnnDetector::Score(
+    const std::vector<std::vector<double>>& data) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  std::vector<double> scores(data.size(), 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i].size() != dim_) {
+      return Status::InvalidArgument("dimension mismatch in knn score");
+    }
+    std::vector<double> row = data[i];
+    HOD_RETURN_IF_ERROR(scaler_.ApplyRow(row));
+    const double ratio =
+        KnnDistance(row, std::numeric_limits<size_t>::max()) / baseline_;
+    const double excess = ratio - 1.0;
+    scores[i] = excess <= 0.0
+                    ? 0.0
+                    : excess / (excess + options_.distance_scale);
+  }
+  return scores;
+}
+
+ReverseNnDetector::ReverseNnDetector(ReverseNnOptions options)
+    : options_(options) {}
+
+Status ReverseNnDetector::Train(const std::vector<std::vector<double>>& data) {
+  if (data.size() < 3) {
+    return Status::InvalidArgument("reverse-nn needs at least 3 points");
+  }
+  if (options_.k == 0 || options_.k >= data.size()) {
+    return Status::InvalidArgument("k must be in [1, n)");
+  }
+  dim_ = data[0].size();
+  HOD_ASSIGN_OR_RETURN(scaler_, ColumnScaler::Fit(data));
+  train_ = data;
+  HOD_RETURN_IF_ERROR(scaler_.Apply(train_));
+  const size_t n = train_.size();
+
+  // k-NN lists of every training point; count reverse occurrences.
+  reverse_counts_.assign(n, 0);
+  k_distance_.assign(n, 0.0);
+  std::vector<std::pair<double, size_t>> distances(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      distances[j] = {j == i ? std::numeric_limits<double>::infinity()
+                             : Distance(train_[i], train_[j]),
+                      j};
+    }
+    std::partial_sort(distances.begin(), distances.begin() + options_.k,
+                      distances.end());
+    for (size_t r = 0; r < options_.k; ++r) {
+      ++reverse_counts_[distances[r].second];
+    }
+    k_distance_[i] = distances[options_.k - 1].first;
+  }
+  // Every point hands out k votes, so the expected reverse count is k.
+  expected_count_ = static_cast<double>(options_.k);
+  trained_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> ReverseNnDetector::Score(
+    const std::vector<std::vector<double>>& data) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  std::vector<double> scores(data.size(), 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i].size() != dim_) {
+      return Status::InvalidArgument("dimension mismatch in reverse-nn score");
+    }
+    std::vector<double> row = data[i];
+    HOD_RETURN_IF_ERROR(scaler_.ApplyRow(row));
+    // Estimated reverse count of the query: the number of training
+    // points that would include it among their k nearest, i.e. whose
+    // k-distance exceeds the distance to the query.
+    size_t reverse = 0;
+    for (size_t j = 0; j < train_.size(); ++j) {
+      if (Distance(row, train_[j]) <= k_distance_[j]) ++reverse;
+    }
+    // Antihub score: 0 reverse neighbors -> 1; expected count -> ~0.
+    const double deficit =
+        1.0 - static_cast<double>(reverse) / expected_count_;
+    scores[i] = std::clamp(deficit, 0.0, 1.0);
+  }
+  return scores;
+}
+
+}  // namespace hod::detect

@@ -1,0 +1,82 @@
+#ifndef HOD_DETECT_KNN_DETECTOR_H_
+#define HOD_DETECT_KNN_DETECTOR_H_
+
+#include <vector>
+
+#include "detect/detector.h"
+#include "detect/kmeans.h"
+
+namespace hod::detect {
+
+/// Distance-based k-nearest-neighbor outlier detection — the family the
+/// paper's Section 5 discusses via the MapReduce distance-based work [4]
+/// and the knn/hubness line [34]. Score = mean distance to the k nearest
+/// training points, relative to the training distribution of the same
+/// statistic.
+struct KnnOptions {
+  size_t k = 5;
+  /// Distance ratio (to the training q95) at which outlierness is 0.5.
+  double distance_scale = 1.0;
+};
+
+class KnnDetector : public VectorDetector {
+ public:
+  explicit KnnDetector(KnnOptions options = {});
+
+  std::string name() const override { return "KnnDistance"; }
+
+  Status Train(const std::vector<std::vector<double>>& data) override;
+
+  StatusOr<std::vector<double>> Score(
+      const std::vector<std::vector<double>>& data) const override;
+
+ private:
+  /// Mean distance to the k nearest training rows, excluding `skip`
+  /// (index into training data; pass npos for external points).
+  double KnnDistance(const std::vector<double>& scaled, size_t skip) const;
+
+  KnnOptions options_;
+  ColumnScaler scaler_;
+  std::vector<std::vector<double>> train_;
+  double baseline_ = 1.0;  // training q95 of the knn statistic
+  size_t dim_ = 0;
+  bool trained_ = false;
+};
+
+/// Reverse-nearest-neighbor (hubness-aware) outlier detection
+/// (Radovanovic et al. 2015, cited as [34]): points that appear in few
+/// other points' k-NN lists ("antihubs") are outliers. Robust in high
+/// dimensions where plain distances concentrate.
+struct ReverseNnOptions {
+  size_t k = 5;
+};
+
+class ReverseNnDetector : public VectorDetector {
+ public:
+  explicit ReverseNnDetector(ReverseNnOptions options = {});
+
+  std::string name() const override { return "ReverseNearestNeighbors"; }
+
+  Status Train(const std::vector<std::vector<double>>& data) override;
+
+  StatusOr<std::vector<double>> Score(
+      const std::vector<std::vector<double>>& data) const override;
+
+  /// Reverse-neighbor count per training point (hubness profile).
+  const std::vector<size_t>& reverse_counts() const { return reverse_counts_; }
+
+ private:
+  ReverseNnOptions options_;
+  ColumnScaler scaler_;
+  std::vector<std::vector<double>> train_;
+  std::vector<size_t> reverse_counts_;
+  /// k-distance of each training point (distance to its k-th neighbor).
+  std::vector<double> k_distance_;
+  double expected_count_ = 1.0;
+  size_t dim_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_KNN_DETECTOR_H_

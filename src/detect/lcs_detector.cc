@@ -1,0 +1,83 @@
+#include "detect/lcs_detector.h"
+
+#include <algorithm>
+#include <set>
+
+#include "timeseries/distance.h"
+#include "timeseries/window.h"
+
+namespace hod::detect {
+
+LcsDetector::LcsDetector(LcsOptions options) : options_(options) {}
+
+Status LcsDetector::Train(const std::vector<ts::DiscreteSequence>& normal) {
+  if (options_.window == 0) {
+    return Status::InvalidArgument("window must be > 0");
+  }
+  if (options_.medoids == 0) {
+    return Status::InvalidArgument("medoids must be > 0");
+  }
+  std::set<std::vector<ts::Symbol>> unique;
+  for (const auto& sequence : normal) {
+    HOD_RETURN_IF_ERROR(sequence.Validate());
+    for (auto& w : ts::SymbolWindows(sequence.symbols(), options_.window)) {
+      unique.insert(std::move(w));
+      if (unique.size() >= options_.max_candidates) break;
+    }
+  }
+  if (unique.empty()) {
+    return Status::InvalidArgument("no training windows");
+  }
+  std::vector<std::vector<ts::Symbol>> candidates(unique.begin(),
+                                                  unique.end());
+  // Greedy farthest-first medoid selection under LCS distance: start with
+  // the first candidate, repeatedly add the candidate least similar to the
+  // current medoid set. This covers the variety of normal shapes.
+  medoids_.clear();
+  medoids_.push_back(candidates.front());
+  std::vector<double> best_sim(candidates.size(), 0.0);
+  while (medoids_.size() < std::min(options_.medoids, candidates.size())) {
+    size_t farthest = 0;
+    double farthest_sim = 2.0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      best_sim[i] = std::max(best_sim[i],
+                             ts::LcsSimilarity(candidates[i], medoids_.back()));
+      if (best_sim[i] < farthest_sim) {
+        farthest_sim = best_sim[i];
+        farthest = i;
+      }
+    }
+    if (farthest_sim >= 1.0) break;  // everything already covered exactly
+    medoids_.push_back(candidates[farthest]);
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> LcsDetector::Score(
+    const ts::DiscreteSequence& sequence) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  const size_t n = sequence.size();
+  std::vector<double> point_scores(n, 0.0);
+  if (n < options_.window) return point_scores;
+
+  auto spans_or = ts::SlidingWindows(n, options_.window, 1);
+  if (!spans_or.ok()) return spans_or.status();
+  const auto& spans = spans_or.value();
+
+  std::vector<double> window_scores(spans.size(), 0.0);
+  for (size_t w = 0; w < spans.size(); ++w) {
+    const std::vector<ts::Symbol> window(
+        sequence.symbols().begin() + spans[w].begin,
+        sequence.symbols().begin() + spans[w].end);
+    double best = 0.0;
+    for (const auto& medoid : medoids_) {
+      best = std::max(best, ts::LcsSimilarity(window, medoid));
+      if (best >= 1.0) break;
+    }
+    window_scores[w] = 1.0 - best;
+  }
+  return ts::WindowScoresToPointScores(n, spans, window_scores);
+}
+
+}  // namespace hod::detect

@@ -1,0 +1,49 @@
+#ifndef HOD_DETECT_LCS_DETECTOR_H_
+#define HOD_DETECT_LCS_DETECTOR_H_
+
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace hod::detect {
+
+/// Longest-common-subsequence anomaly detection (Budalakoti et al. 2006) —
+/// Table 1 row 2, family DA, data type SSQ.
+///
+/// Normal windows are clustered around medoids by LCS similarity; a test
+/// window's outlierness is 1 - (best LCS similarity to any medoid). Unlike
+/// the positional match count, LCS tolerates insertions/deletions, so it
+/// detects structural deviations rather than misalignments.
+struct LcsOptions {
+  size_t window = 12;
+  /// Number of medoids kept per training pass (greedy k-medoid selection).
+  size_t medoids = 16;
+  /// Cap on distinct training windows considered when picking medoids.
+  size_t max_candidates = 1024;
+};
+
+class LcsDetector : public SequenceDetector {
+ public:
+  explicit LcsDetector(LcsOptions options = {});
+
+  std::string name() const override { return "LongestCommonSubsequence"; }
+
+  Status Train(const std::vector<ts::DiscreteSequence>& normal) override;
+
+  StatusOr<std::vector<double>> Score(
+      const ts::DiscreteSequence& sequence) const override;
+
+  /// Medoid windows selected during training (exposed for inspection).
+  const std::vector<std::vector<ts::Symbol>>& medoids() const {
+    return medoids_;
+  }
+
+ private:
+  LcsOptions options_;
+  std::vector<std::vector<ts::Symbol>> medoids_;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_LCS_DETECTOR_H_

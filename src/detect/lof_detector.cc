@@ -1,0 +1,116 @@
+#include "detect/lof_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace hod::detect {
+
+namespace {
+
+double Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+LofDetector::LofDetector(LofOptions options) : options_(options) {}
+
+LofDetector::Neighbors LofDetector::FindNeighbors(
+    const std::vector<double>& scaled, size_t skip) const {
+  std::vector<std::pair<double, size_t>> all;
+  all.reserve(train_.size());
+  for (size_t j = 0; j < train_.size(); ++j) {
+    if (j == skip) continue;
+    all.emplace_back(Distance(scaled, train_[j]), j);
+  }
+  const size_t k = std::min(options_.k, all.size());
+  std::partial_sort(all.begin(), all.begin() + k, all.end());
+  Neighbors neighbors;
+  for (size_t r = 0; r < k; ++r) {
+    neighbors.distance.push_back(all[r].first);
+    neighbors.index.push_back(all[r].second);
+  }
+  neighbors.k_distance = k > 0 ? all[k - 1].first : 0.0;
+  return neighbors;
+}
+
+Status LofDetector::Train(const std::vector<std::vector<double>>& data) {
+  if (data.size() < 3) {
+    return Status::InvalidArgument("LOF needs at least 3 points");
+  }
+  if (options_.k == 0) return Status::InvalidArgument("k must be > 0");
+  dim_ = data[0].size();
+  HOD_ASSIGN_OR_RETURN(scaler_, ColumnScaler::Fit(data));
+  train_ = data;
+  HOD_RETURN_IF_ERROR(scaler_.Apply(train_));
+  const size_t n = train_.size();
+
+  // Pass 1: k-distances.
+  k_distance_.assign(n, 0.0);
+  std::vector<Neighbors> all_neighbors(n);
+  for (size_t i = 0; i < n; ++i) {
+    all_neighbors[i] = FindNeighbors(train_[i], i);
+    k_distance_[i] = all_neighbors[i].k_distance;
+  }
+  // Pass 2: local reachability densities.
+  lrd_.assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double reach_sum = 0.0;
+    for (size_t r = 0; r < all_neighbors[i].index.size(); ++r) {
+      const size_t j = all_neighbors[i].index[r];
+      reach_sum +=
+          std::max(all_neighbors[i].distance[r], k_distance_[j]);
+    }
+    const double mean_reach =
+        reach_sum / static_cast<double>(all_neighbors[i].index.size());
+    lrd_[i] = mean_reach > 0.0 ? 1.0 / mean_reach : 1e12;
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+StatusOr<double> LofDetector::RawLof(
+    const std::vector<double>& unscaled_row) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  if (unscaled_row.size() != dim_) {
+    return Status::InvalidArgument("dimension mismatch in LOF query");
+  }
+  std::vector<double> row = unscaled_row;
+  HOD_RETURN_IF_ERROR(scaler_.ApplyRow(row));
+  const Neighbors neighbors =
+      FindNeighbors(row, std::numeric_limits<size_t>::max());
+  if (neighbors.index.empty()) return 1.0;
+  double reach_sum = 0.0;
+  double neighbor_lrd_sum = 0.0;
+  for (size_t r = 0; r < neighbors.index.size(); ++r) {
+    const size_t j = neighbors.index[r];
+    reach_sum += std::max(neighbors.distance[r], k_distance_[j]);
+    neighbor_lrd_sum += lrd_[j];
+  }
+  const double count = static_cast<double>(neighbors.index.size());
+  const double mean_reach = reach_sum / count;
+  const double own_lrd = mean_reach > 0.0 ? 1.0 / mean_reach : 1e12;
+  return (neighbor_lrd_sum / count) / own_lrd;
+}
+
+StatusOr<std::vector<double>> LofDetector::Score(
+    const std::vector<std::vector<double>>& data) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  std::vector<double> scores(data.size(), 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    HOD_ASSIGN_OR_RETURN(double lof, RawLof(data[i]));
+    const double excess = lof - 1.0;
+    scores[i] =
+        excess <= 0.0 ? 0.0 : excess / (excess + options_.lof_scale);
+  }
+  return scores;
+}
+
+}  // namespace hod::detect

@@ -1,0 +1,59 @@
+#ifndef HOD_DETECT_LOF_DETECTOR_H_
+#define HOD_DETECT_LOF_DETECTOR_H_
+
+#include <vector>
+
+#include "detect/detector.h"
+#include "detect/kmeans.h"
+
+namespace hod::detect {
+
+/// Local outlier factor — the density-ratio method the paper's Section 5
+/// pairs with PCA for "robust detection of noisy variables" [29].
+/// Classic Breunig-style LOF: a point's outlierness is the ratio of its
+/// neighbors' local reachability density to its own; values near 1 are
+/// inliers, larger values are outliers in locally sparse regions that a
+/// global distance threshold would miss.
+struct LofOptions {
+  size_t k = 8;
+  /// LOF excess (lof - 1) at which outlierness reaches 0.5.
+  double lof_scale = 1.0;
+};
+
+class LofDetector : public VectorDetector {
+ public:
+  explicit LofDetector(LofOptions options = {});
+
+  std::string name() const override { return "LocalOutlierFactor"; }
+
+  Status Train(const std::vector<std::vector<double>>& data) override;
+
+  StatusOr<std::vector<double>> Score(
+      const std::vector<std::vector<double>>& data) const override;
+
+  /// Raw LOF value of one (already scaled) query — exposed for tests.
+  StatusOr<double> RawLof(const std::vector<double>& unscaled_row) const;
+
+ private:
+  struct Neighbors {
+    std::vector<size_t> index;
+    std::vector<double> distance;
+    double k_distance = 0.0;
+  };
+
+  Neighbors FindNeighbors(const std::vector<double>& scaled,
+                          size_t skip) const;
+
+  LofOptions options_;
+  ColumnScaler scaler_;
+  std::vector<std::vector<double>> train_;
+  /// Local reachability density of every training point.
+  std::vector<double> lrd_;
+  std::vector<double> k_distance_;
+  size_t dim_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_LOF_DETECTOR_H_

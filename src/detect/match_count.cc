@@ -1,0 +1,82 @@
+#include "detect/match_count.h"
+
+#include <algorithm>
+#include <set>
+
+#include "detect/score_utils.h"
+#include "timeseries/distance.h"
+#include "timeseries/window.h"
+
+namespace hod::detect {
+
+MatchCountDetector::MatchCountDetector(MatchCountOptions options)
+    : options_(options) {}
+
+Status MatchCountDetector::Train(
+    const std::vector<ts::DiscreteSequence>& normal) {
+  if (options_.window == 0) {
+    return Status::InvalidArgument("window must be > 0");
+  }
+  std::set<std::vector<ts::Symbol>> unique;
+  for (const auto& sequence : normal) {
+    HOD_RETURN_IF_ERROR(sequence.Validate());
+    for (auto& w : ts::SymbolWindows(sequence.symbols(), options_.window)) {
+      unique.insert(std::move(w));
+    }
+  }
+  if (unique.empty()) {
+    return Status::InvalidArgument(
+        "no training windows (sequences shorter than window?)");
+  }
+  library_.assign(unique.begin(), unique.end());
+  if (library_.size() > options_.max_library) {
+    // Deterministic subsample: keep every ceil(n/max)-th window of the
+    // sorted library.
+    const size_t step =
+        (library_.size() + options_.max_library - 1) / options_.max_library;
+    std::vector<std::vector<ts::Symbol>> sampled;
+    for (size_t i = 0; i < library_.size(); i += step) {
+      sampled.push_back(std::move(library_[i]));
+    }
+    library_ = std::move(sampled);
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> MatchCountDetector::Score(
+    const ts::DiscreteSequence& sequence) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  const size_t n = sequence.size();
+  std::vector<double> point_scores(n, 0.0);
+  if (n < options_.window) return point_scores;
+
+  auto spans_or = ts::SlidingWindows(n, options_.window, 1);
+  if (!spans_or.ok()) return spans_or.status();
+  const auto& spans = spans_or.value();
+
+  std::vector<double> window_scores(spans.size(), 0.0);
+  const size_t k = std::max<size_t>(1, options_.smoothing_k);
+  std::vector<double> best(k);
+  for (size_t w = 0; w < spans.size(); ++w) {
+    const std::vector<ts::Symbol> window(
+        sequence.symbols().begin() + spans[w].begin,
+        sequence.symbols().begin() + spans[w].end);
+    std::fill(best.begin(), best.end(), 0.0);
+    for (const auto& stored : library_) {
+      auto sim_or = ts::MatchFraction(window, stored);
+      if (!sim_or.ok()) return sim_or.status();
+      const double sim = sim_or.value();
+      // Maintain the top-k similarities (small k: linear insert).
+      auto it = std::min_element(best.begin(), best.end());
+      if (sim > *it) *it = sim;
+    }
+    double sum = 0.0;
+    for (double b : best) sum += b;
+    const double similarity = sum / static_cast<double>(k);
+    window_scores[w] = 1.0 - similarity;
+  }
+  return ts::WindowScoresToPointScores(n, spans, window_scores);
+}
+
+}  // namespace hod::detect

@@ -1,0 +1,47 @@
+#ifndef HOD_DETECT_MATCH_COUNT_H_
+#define HOD_DETECT_MATCH_COUNT_H_
+
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace hod::detect {
+
+/// Match-count sequence similarity (Lane & Brodley 1997) — Table 1 row 1,
+/// family DA, data type SSQ.
+///
+/// Training stores the library of length-`window` symbol windows observed
+/// in normal sequences. A test window's similarity is the best positional
+/// match fraction against the library (optionally smoothed over the top-k
+/// matches); its outlierness is 1 - similarity. Position scores are the
+/// maximum over covering windows.
+struct MatchCountOptions {
+  size_t window = 8;
+  /// Similarity is averaged over the best `smoothing_k` library matches to
+  /// be robust against a single accidental near-match.
+  size_t smoothing_k = 3;
+  /// Training windows are deduplicated; libraries larger than this are
+  /// subsampled deterministically to bound scoring cost.
+  size_t max_library = 4096;
+};
+
+class MatchCountDetector : public SequenceDetector {
+ public:
+  explicit MatchCountDetector(MatchCountOptions options = {});
+
+  std::string name() const override { return "MatchCountSequenceSimilarity"; }
+
+  Status Train(const std::vector<ts::DiscreteSequence>& normal) override;
+
+  StatusOr<std::vector<double>> Score(
+      const ts::DiscreteSequence& sequence) const override;
+
+ private:
+  MatchCountOptions options_;
+  std::vector<std::vector<ts::Symbol>> library_;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_MATCH_COUNT_H_

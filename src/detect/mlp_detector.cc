@@ -1,0 +1,142 @@
+#include "detect/mlp_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace hod::detect {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+MlpDetector::MlpDetector(MlpOptions options) : options_(options) {}
+
+Status MlpDetector::Train(const std::vector<std::vector<double>>& data) {
+  (void)data;
+  return Status::FailedPrecondition(
+      "NeuralNetwork is supervised; call TrainSupervised with labels");
+}
+
+Status MlpDetector::TrainSupervised(
+    const std::vector<std::vector<double>>& data, const Labels& labels) {
+  if (data.empty()) return Status::InvalidArgument("MLP on empty data");
+  if (data.size() != labels.size()) {
+    return Status::InvalidArgument("one label per vector required");
+  }
+  if (options_.hidden_units == 0) {
+    return Status::InvalidArgument("hidden_units must be > 0");
+  }
+  dim_ = data[0].size();
+  HOD_ASSIGN_OR_RETURN(scaler_, ColumnScaler::Fit(data));
+  std::vector<std::vector<double>> x = data;
+  HOD_RETURN_IF_ERROR(scaler_.Apply(x));
+
+  // Class weights: balance anomalous vs normal loss contributions.
+  size_t positives = 0;
+  for (uint8_t label : labels) {
+    if (label != 0) ++positives;
+  }
+  if (positives == 0 || positives == labels.size()) {
+    return Status::InvalidArgument(
+        "supervised training needs both classes present");
+  }
+  const double pos_weight = static_cast<double>(labels.size()) /
+                            (2.0 * static_cast<double>(positives));
+  const double neg_weight =
+      static_cast<double>(labels.size()) /
+      (2.0 * static_cast<double>(labels.size() - positives));
+
+  // Xavier-style init.
+  Rng rng(options_.seed);
+  const double scale1 = 1.0 / std::sqrt(static_cast<double>(dim_));
+  w1_.assign(options_.hidden_units, std::vector<double>(dim_, 0.0));
+  b1_.assign(options_.hidden_units, 0.0);
+  for (auto& row : w1_) {
+    for (double& w : row) w = rng.Gaussian(0.0, scale1);
+  }
+  const double scale2 =
+      1.0 / std::sqrt(static_cast<double>(options_.hidden_units));
+  w2_.assign(options_.hidden_units, 0.0);
+  for (double& w : w2_) w = rng.Gaussian(0.0, scale2);
+  b2_ = 0.0;
+
+  std::vector<size_t> order(x.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> hidden(options_.hidden_units);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    const double lr =
+        options_.learning_rate / (1.0 + 0.05 * static_cast<double>(epoch));
+    for (size_t idx : order) {
+      const double y = labels[idx] != 0 ? 1.0 : 0.0;
+      const double weight = y > 0.5 ? pos_weight : neg_weight;
+      const double p = Forward(x[idx], &hidden);
+      // dLoss/dz_out for weighted cross-entropy with sigmoid output.
+      const double delta_out = weight * (p - y);
+      // Output layer update (and collect hidden deltas first).
+      for (size_t h = 0; h < options_.hidden_units; ++h) {
+        const double delta_h =
+            delta_out * w2_[h] * (1.0 - hidden[h] * hidden[h]);  // tanh'
+        w2_[h] -= lr * (delta_out * hidden[h] + options_.l2 * w2_[h]);
+        for (size_t k = 0; k < dim_; ++k) {
+          w1_[h][k] -= lr * (delta_h * x[idx][k] + options_.l2 * w1_[h][k]);
+        }
+        b1_[h] -= lr * delta_h;
+      }
+      b2_ -= lr * delta_out;
+    }
+  }
+  // Final training loss for diagnostics.
+  double loss = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double y = labels[i] != 0 ? 1.0 : 0.0;
+    const double p = std::clamp(Forward(x[i], &hidden), 1e-9, 1.0 - 1e-9);
+    loss -= y * std::log(p) + (1.0 - y) * std::log(1.0 - p);
+  }
+  train_loss_ = loss / static_cast<double>(x.size());
+  trained_ = true;
+  return Status::Ok();
+}
+
+double MlpDetector::Forward(const std::vector<double>& x,
+                            std::vector<double>* hidden) const {
+  double z_out = b2_;
+  for (size_t h = 0; h < w1_.size(); ++h) {
+    double z = b1_[h];
+    for (size_t k = 0; k < dim_; ++k) z += w1_[h][k] * x[k];
+    const double a = std::tanh(z);
+    (*hidden)[h] = a;
+    z_out += w2_[h] * a;
+  }
+  return Sigmoid(z_out);
+}
+
+StatusOr<std::vector<double>> MlpDetector::Score(
+    const std::vector<std::vector<double>>& data) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  std::vector<double> scores(data.size(), 0.0);
+  std::vector<double> hidden(options_.hidden_units);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i].size() != dim_) {
+      return Status::InvalidArgument("dimension mismatch in MLP score");
+    }
+    std::vector<double> row = data[i];
+    HOD_RETURN_IF_ERROR(scaler_.ApplyRow(row));
+    scores[i] = Forward(row, &hidden);
+  }
+  return scores;
+}
+
+}  // namespace hod::detect

@@ -1,0 +1,64 @@
+#ifndef HOD_DETECT_MLP_DETECTOR_H_
+#define HOD_DETECT_MLP_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/detector.h"
+#include "detect/kmeans.h"
+
+namespace hod::detect {
+
+/// Neural-network behavior profiling (Ghosh et al. 1999) — Table 1 row 15,
+/// family SA, data types PTS + SSQ + TSS.
+///
+/// A from-scratch multilayer perceptron (one tanh hidden layer, sigmoid
+/// output) trained with SGD + backprop on labeled vectors; the predicted
+/// anomaly probability is the outlierness. Class imbalance is handled by
+/// weighting the minority (anomalous) class inversely to its frequency.
+struct MlpOptions {
+  size_t hidden_units = 16;
+  size_t epochs = 80;
+  double learning_rate = 0.05;
+  double l2 = 1e-4;
+  uint64_t seed = 42;
+};
+
+class MlpDetector : public VectorDetector {
+ public:
+  explicit MlpDetector(MlpOptions options = {});
+
+  std::string name() const override { return "NeuralNetwork"; }
+  bool supervised() const override { return true; }
+
+  Status Train(const std::vector<std::vector<double>>& data) override;
+
+  Status TrainSupervised(const std::vector<std::vector<double>>& data,
+                         const Labels& labels) override;
+
+  StatusOr<std::vector<double>> Score(
+      const std::vector<std::vector<double>>& data) const override;
+
+  /// Mean cross-entropy on the training set after fitting.
+  double train_loss() const { return train_loss_; }
+
+ private:
+  double Forward(const std::vector<double>& x,
+                 std::vector<double>* hidden) const;
+
+  MlpOptions options_;
+  ColumnScaler scaler_;
+  /// w1_[h]: input weights of hidden unit h; b1_[h] its bias.
+  std::vector<std::vector<double>> w1_;
+  std::vector<double> b1_;
+  /// Output weights/bias.
+  std::vector<double> w2_;
+  double b2_ = 0.0;
+  double train_loss_ = 0.0;
+  size_t dim_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_MLP_DETECTOR_H_

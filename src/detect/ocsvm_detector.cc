@@ -1,0 +1,124 @@
+#include "detect/ocsvm_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "timeseries/stats.h"
+#include "util/rng.h"
+
+namespace hod::detect {
+
+OcsvmDetector::OcsvmDetector(OcsvmOptions options) : options_(options) {}
+
+double OcsvmDetector::NearestSq(const std::vector<double>& scaled) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& center : centers_) {
+    double d = 0.0;
+    for (size_t k = 0; k < scaled.size(); ++k) {
+      const double dev = scaled[k] - center[k];
+      d += dev * dev;
+    }
+    best = std::min(best, d);
+  }
+  return best;
+}
+
+Status OcsvmDetector::Train(const std::vector<std::vector<double>>& data) {
+  if (data.empty()) return Status::InvalidArgument("OCSVM on empty data");
+  if (options_.nu <= 0.0 || options_.nu > 1.0) {
+    return Status::InvalidArgument("nu must be in (0,1]");
+  }
+  if (options_.centers == 0) {
+    return Status::InvalidArgument("centers must be > 0");
+  }
+  dim_ = data[0].size();
+  HOD_ASSIGN_OR_RETURN(scaler_, ColumnScaler::Fit(data));
+  std::vector<std::vector<double>> scaled = data;
+  HOD_RETURN_IF_ERROR(scaler_.Apply(scaled));
+  const size_t n = scaled.size();
+
+  // Initialize centers from k-means; then refine centers and radius by
+  // subgradient descent on the SVDD objective.
+  HOD_ASSIGN_OR_RETURN(KMeansResult init,
+                       KMeans(scaled, options_.centers, 20, options_.seed));
+  centers_ = std::move(init.centroids);
+  {
+    std::vector<double> sq(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double d = init.distances[i];
+      sq[i] = d * d;
+    }
+    radius_sq_ = ts::Quantile(std::move(sq), 1.0 - options_.nu);
+  }
+
+  Rng rng(options_.seed ^ 0x5fd1);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const double inv_nu_n = 1.0 / (options_.nu * static_cast<double>(n));
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    const double lr = options_.learning_rate /
+                      (1.0 + 0.2 * static_cast<double>(epoch));
+    for (size_t idx : order) {
+      const auto& x = scaled[idx];
+      // Nearest center and violation check.
+      size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < centers_.size(); ++c) {
+        double d = 0.0;
+        for (size_t k = 0; k < dim_; ++k) {
+          const double dev = x[k] - centers_[c][k];
+          d += dev * dev;
+        }
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      const bool violated = best_d > radius_sq_;
+      // Per-sample subgradient of J = R^2 + inv_nu_n * sum_i xi_i:
+      //   dJ/dR^2   = 1/n - inv_nu_n * [violated]
+      //   dJ/dc     = -2 * inv_nu_n * (x - c) * [violated]
+      radius_sq_ -=
+          lr * (1.0 / static_cast<double>(n) - (violated ? inv_nu_n : 0.0));
+      radius_sq_ = std::max(radius_sq_, 1e-6);
+      if (violated) {
+        const double step = lr * 2.0 * inv_nu_n;
+        for (size_t k = 0; k < dim_; ++k) {
+          centers_[best][k] += step * (x[k] - centers_[best][k]);
+        }
+      }
+    }
+  }
+
+  // Calibrate the radius at the (1-nu) quantile of final distances so the
+  // advertised training-outlier fraction holds exactly.
+  std::vector<double> final_sq(n);
+  for (size_t i = 0; i < n; ++i) final_sq[i] = NearestSq(scaled[i]);
+  radius_sq_ =
+      std::max(ts::Quantile(std::move(final_sq), 1.0 - options_.nu), 1e-6);
+  trained_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> OcsvmDetector::Score(
+    const std::vector<std::vector<double>>& data) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  std::vector<double> scores(data.size(), 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i].size() != dim_) {
+      return Status::InvalidArgument("dimension mismatch in OCSVM score");
+    }
+    std::vector<double> row = data[i];
+    HOD_RETURN_IF_ERROR(scaler_.ApplyRow(row));
+    const double overshoot = NearestSq(row) / radius_sq_ - 1.0;
+    scores[i] = overshoot <= 0.0
+                    ? 0.0
+                    : overshoot / (overshoot + options_.margin_scale);
+  }
+  return scores;
+}
+
+}  // namespace hod::detect

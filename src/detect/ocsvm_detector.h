@@ -1,0 +1,64 @@
+#ifndef HOD_DETECT_OCSVM_DETECTOR_H_
+#define HOD_DETECT_OCSVM_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/detector.h"
+#include "detect/kmeans.h"
+
+namespace hod::detect {
+
+/// One-class SVM in the geometric framework of Eskin et al. 2002 —
+/// Table 1 row 9, family DA, data types PTS + SSQ + TSS.
+///
+/// Implemented as support vector data description (SVDD, the sphere form
+/// of the one-class SVM, equivalent to the Schoelkopf formulation under a
+/// Gaussian kernel): find centers c_k and radius R minimizing
+///   R^2 + 1/(nu*n) * sum_i max(0, min_k ||x_i - c_k||^2 - R^2)
+/// by subgradient descent on z-scaled data. Several centers (one per
+/// k-means seed cluster) handle multi-modal normality, matching Eskin's
+/// cluster-based geometric framing. A point's outlierness grows with its
+/// squared distance beyond the sphere.
+struct OcsvmOptions {
+  /// Upper bound on the training outlier fraction (sets the radius at the
+  /// (1-nu) quantile of training distances after descent).
+  double nu = 0.05;
+  /// Spheres fitted (k-means initialization).
+  size_t centers = 2;
+  size_t epochs = 30;
+  double learning_rate = 0.1;
+  uint64_t seed = 42;
+  /// Relative radius overshoot at which outlierness reaches 0.5.
+  double margin_scale = 1.0;
+};
+
+class OcsvmDetector : public VectorDetector {
+ public:
+  explicit OcsvmDetector(OcsvmOptions options = {});
+
+  std::string name() const override { return "OneClassSVM"; }
+
+  Status Train(const std::vector<std::vector<double>>& data) override;
+
+  StatusOr<std::vector<double>> Score(
+      const std::vector<std::vector<double>>& data) const override;
+
+  const std::vector<std::vector<double>>& centers() const { return centers_; }
+  double radius_squared() const { return radius_sq_; }
+
+ private:
+  /// Squared distance to the nearest center of a z-scaled row.
+  double NearestSq(const std::vector<double>& scaled) const;
+
+  OcsvmOptions options_;
+  ColumnScaler scaler_;
+  std::vector<std::vector<double>> centers_;
+  double radius_sq_ = 1.0;
+  size_t dim_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_OCSVM_DETECTOR_H_

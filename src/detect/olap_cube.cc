@@ -1,0 +1,179 @@
+#include "detect/olap_cube.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/stats.h"
+
+namespace hod::detect {
+
+OlapCubeDetector::OlapCubeDetector(OlapCubeOptions options)
+    : options_(options) {}
+
+Status OlapCubeDetector::TrainRecords(
+    const std::vector<CubeRecord>& records) {
+  if (records.empty()) {
+    return Status::InvalidArgument("OLAP cube on empty data");
+  }
+  num_dims_ = records[0].dims.size();
+  if (num_dims_ == 0) {
+    return Status::InvalidArgument("records need at least one dimension");
+  }
+  for (const auto& record : records) {
+    if (record.dims.size() != num_dims_) {
+      return Status::InvalidArgument("inconsistent record dimensionality");
+    }
+  }
+  // Subspace list: each single dimension, then the full group-by (when it
+  // differs from a single dimension).
+  const size_t num_subspaces = num_dims_ > 1 ? num_dims_ + 1 : 1;
+  subspaces_.assign(num_subspaces, {});
+
+  // Two-pass mean/std per cell.
+  auto project = [this](const CubeRecord& r, size_t subspace) {
+    if (subspace < num_dims_) {
+      return std::vector<int64_t>{r.dims[subspace]};
+    }
+    return r.dims;
+  };
+  for (size_t s = 0; s < num_subspaces; ++s) {
+    for (const auto& record : records) {
+      CellStats& cell = subspaces_[s][project(record, s)];
+      cell.mean += record.measure;
+      ++cell.count;
+    }
+    for (auto& [key, cell] : subspaces_[s]) {
+      cell.mean /= static_cast<double>(cell.count);
+    }
+    for (const auto& record : records) {
+      CellStats& cell = subspaces_[s][project(record, s)];
+      const double d = record.measure - cell.mean;
+      cell.stddev += d * d;
+    }
+    for (auto& [key, cell] : subspaces_[s]) {
+      cell.stddev = std::sqrt(cell.stddev / static_cast<double>(cell.count));
+    }
+  }
+  // Global fallback statistics.
+  std::vector<double> measures;
+  measures.reserve(records.size());
+  for (const auto& record : records) measures.push_back(record.measure);
+  global_.mean = ts::Mean(measures);
+  global_.stddev = ts::StdDev(measures);
+  global_.count = records.size();
+  trained_ = true;
+  return Status::Ok();
+}
+
+double OlapCubeDetector::ScoreRecord(const CubeRecord& record) const {
+  double worst = 0.0;
+  auto cell_score = [this, &record](const CellStats& cell) {
+    const double sigma = std::max(cell.stddev, 1e-9);
+    const double z = std::fabs(record.measure - cell.mean) / sigma;
+    const double excess = z - 1.0;  // 1 sigma of slack inside the cell
+    return excess <= 0.0 ? 0.0
+                         : excess / (excess + options_.sigma_scale);
+  };
+  for (size_t s = 0; s < subspaces_.size(); ++s) {
+    std::vector<int64_t> key;
+    if (s < num_dims_) {
+      key = {record.dims[s]};
+    } else {
+      key = record.dims;
+    }
+    const auto it = subspaces_[s].find(key);
+    const CellStats* cell = &global_;
+    if (it != subspaces_[s].end() &&
+        it->second.count >= options_.min_cell_support) {
+      cell = &it->second;
+    }
+    worst = std::max(worst, cell_score(*cell));
+  }
+  return worst;
+}
+
+StatusOr<std::vector<double>> OlapCubeDetector::ScoreRecords(
+    const std::vector<CubeRecord>& records) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  std::vector<double> scores(records.size(), 0.0);
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].dims.size() != num_dims_) {
+      return Status::InvalidArgument("record dimensionality mismatch");
+    }
+    scores[i] = ScoreRecord(records[i]);
+  }
+  return scores;
+}
+
+StatusOr<CubeRecord> OlapCubeDetector::ToRecord(
+    const std::vector<double>& row) const {
+  if (row.size() != vector_dim_) {
+    return Status::InvalidArgument("dimension mismatch in cube score");
+  }
+  CubeRecord record;
+  record.measure = row.back();
+  if (vector_dim_ == 1) {
+    record.dims = {0};  // single global cell
+    return record;
+  }
+  for (size_t c = 0; c + 1 < vector_dim_; ++c) {
+    const auto& breaks = breakpoints_[c];
+    const auto it = std::upper_bound(breaks.begin(), breaks.end(), row[c]);
+    record.dims.push_back(static_cast<int64_t>(it - breaks.begin()));
+  }
+  return record;
+}
+
+Status OlapCubeDetector::Train(const std::vector<std::vector<double>>& data) {
+  if (data.empty()) return Status::InvalidArgument("OLAP cube on empty data");
+  vector_dim_ = data[0].size();
+  if (vector_dim_ == 0) {
+    return Status::InvalidArgument("zero-dimensional data");
+  }
+  // Quantile breakpoints for dimension columns.
+  breakpoints_.assign(vector_dim_ > 1 ? vector_dim_ - 1 : 0, {});
+  for (size_t c = 0; c + 1 < vector_dim_; ++c) {
+    std::vector<double> column;
+    column.reserve(data.size());
+    for (const auto& row : data) {
+      if (row.size() != vector_dim_) {
+        return Status::InvalidArgument("ragged data in cube train");
+      }
+      column.push_back(row[c]);
+    }
+    for (size_t b = 1; b < options_.bins; ++b) {
+      breakpoints_[c].push_back(ts::Quantile(
+          column, static_cast<double>(b) / static_cast<double>(options_.bins)));
+    }
+  }
+  std::vector<CubeRecord> records;
+  records.reserve(data.size());
+  for (const auto& row : data) {
+    // ToRecord needs vector_dim_ set; breakpoints_ already fitted above.
+    auto record_or = ToRecord(row);
+    if (!record_or.ok()) return record_or.status();
+    records.push_back(std::move(record_or).value());
+  }
+  return TrainRecords(records);
+}
+
+StatusOr<std::vector<double>> OlapCubeDetector::Score(
+    const std::vector<std::vector<double>>& data) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  std::vector<CubeRecord> records;
+  records.reserve(data.size());
+  for (const auto& row : data) {
+    auto record_or = ToRecord(row);
+    if (!record_or.ok()) return record_or.status();
+    records.push_back(std::move(record_or).value());
+  }
+  return ScoreRecords(records);
+}
+
+size_t OlapCubeDetector::num_cells() const {
+  size_t total = 0;
+  for (const auto& subspace : subspaces_) total += subspace.size();
+  return total;
+}
+
+}  // namespace hod::detect

@@ -1,0 +1,90 @@
+#ifndef HOD_DETECT_OLAP_CUBE_H_
+#define HOD_DETECT_OLAP_CUBE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace hod::detect {
+
+/// OLAP-cube anomaly detection over multi-dimensional data (Li & Han 2007,
+/// approximate subspace anomalies) — Table 1 row 13, family UOA, data
+/// types PTS + TSS.
+///
+/// Records carry categorical dimension coordinates plus one numeric
+/// measure. Training aggregates the measure into every cell of every
+/// analyzed subspace (all single dimensions and the full group-by) and
+/// stores per-cell mean/spread. A record is anomalous when its measure
+/// deviates from its cell statistics in some subspace — "analyzing the
+/// cube with each cell as a measure".
+struct OlapCubeOptions {
+  /// Quantile bins used when quantizing continuous columns to dimensions.
+  size_t bins = 4;
+  /// Deviation (in cell robust sigmas) at which outlierness reaches 0.5.
+  double sigma_scale = 3.0;
+  /// Cells with fewer training records than this fall back to their
+  /// parent (whole-subspace) statistics.
+  size_t min_cell_support = 5;
+};
+
+/// One multidimensional record: integer coordinates per dimension plus the
+/// numeric measure to analyze.
+struct CubeRecord {
+  std::vector<int64_t> dims;
+  double measure = 0.0;
+};
+
+class OlapCubeDetector : public VectorDetector {
+ public:
+  explicit OlapCubeDetector(OlapCubeOptions options = {});
+
+  std::string name() const override { return "OlapCube"; }
+
+  /// Native interface: fit cell statistics from training records. All
+  /// records must have the same dimensionality (>= 1).
+  Status TrainRecords(const std::vector<CubeRecord>& records);
+
+  /// Outlierness per record: max deviation across analyzed subspaces.
+  StatusOr<std::vector<double>> ScoreRecords(
+      const std::vector<CubeRecord>& records) const;
+
+  /// VectorDetector view: the last column is the measure, earlier columns
+  /// are quantized into `bins` quantile bins to form dimensions. For
+  /// 1-column input a single constant dimension is synthesized (global
+  /// histogram cell).
+  Status Train(const std::vector<std::vector<double>>& data) override;
+  StatusOr<std::vector<double>> Score(
+      const std::vector<std::vector<double>>& data) const override;
+
+  /// Number of populated cells across all analyzed subspaces.
+  size_t num_cells() const;
+
+ private:
+  struct CellStats {
+    double mean = 0.0;
+    double stddev = 0.0;
+    size_t count = 0;
+  };
+  /// Key: coordinates restricted to a subspace.
+  using CellMap = std::map<std::vector<int64_t>, CellStats>;
+
+  StatusOr<CubeRecord> ToRecord(const std::vector<double>& row) const;
+  double ScoreRecord(const CubeRecord& record) const;
+
+  OlapCubeOptions options_;
+  size_t num_dims_ = 0;
+  /// Analyzed subspaces: one CellMap per single dimension, plus the full
+  /// group-by as the last entry.
+  std::vector<CellMap> subspaces_;
+  CellStats global_;
+  /// Quantile breakpoints per continuous column (VectorDetector view).
+  std::vector<std::vector<double>> breakpoints_;
+  size_t vector_dim_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_OLAP_CUBE_H_

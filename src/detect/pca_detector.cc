@@ -1,0 +1,193 @@
+#include "detect/pca_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "timeseries/stats.h"
+
+namespace hod::detect {
+
+StatusOr<EigenResult> JacobiEigenSymmetric(
+    const std::vector<std::vector<double>>& matrix, size_t max_sweeps) {
+  const size_t n = matrix.size();
+  if (n == 0) return Status::InvalidArgument("empty matrix");
+  for (const auto& row : matrix) {
+    if (row.size() != n) return Status::InvalidArgument("non-square matrix");
+  }
+  // Working copy A and accumulated rotations V (A = V^T diag V eventually).
+  std::vector<std::vector<double>> a = matrix;
+  std::vector<std::vector<double>> v(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) v[i][i] = 1.0;
+
+  for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Sum of off-diagonal magnitudes: convergence criterion.
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off += std::fabs(a[p][q]);
+    }
+    if (off < 1e-12) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        if (std::fabs(a[p][q]) < 1e-15) continue;
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/columns p and q of A.
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a[k][p];
+          const double akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a[p][k];
+          const double aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+        }
+        // Accumulate the rotation into V (rows are eigenvectors-to-be).
+        for (size_t k = 0; k < n; ++k) {
+          const double vpk = v[p][k];
+          const double vqk = v[q][k];
+          v[p][k] = c * vpk - s * vqk;
+          v[q][k] = s * vpk + c * vqk;
+        }
+      }
+    }
+  }
+
+  EigenResult result;
+  result.values.resize(n);
+  for (size_t i = 0; i < n; ++i) result.values[i] = a[i][i];
+  result.vectors = std::move(v);
+  // Sort descending by eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&result](size_t x, size_t y) {
+    return result.values[x] > result.values[y];
+  });
+  EigenResult sorted;
+  sorted.values.reserve(n);
+  sorted.vectors.reserve(n);
+  for (size_t idx : order) {
+    sorted.values.push_back(result.values[idx]);
+    sorted.vectors.push_back(std::move(result.vectors[idx]));
+  }
+  return sorted;
+}
+
+PcaDetector::PcaDetector(PcaOptions options) : options_(options) {}
+
+Status PcaDetector::Train(const std::vector<std::vector<double>>& data) {
+  if (data.size() < 2) {
+    return Status::InvalidArgument("PCA needs at least 2 vectors");
+  }
+  if (options_.explained_variance <= 0.0 ||
+      options_.explained_variance > 1.0) {
+    return Status::InvalidArgument("explained_variance must be in (0,1]");
+  }
+  dim_ = data[0].size();
+  HOD_ASSIGN_OR_RETURN(scaler_, ColumnScaler::Fit(data));
+  std::vector<std::vector<double>> scaled = data;
+  HOD_RETURN_IF_ERROR(scaler_.Apply(scaled));
+
+  // Covariance of the scaled data.
+  std::vector<std::vector<double>> cov(dim_, std::vector<double>(dim_, 0.0));
+  for (const auto& row : scaled) {
+    for (size_t i = 0; i < dim_; ++i) {
+      for (size_t j = i; j < dim_; ++j) cov[i][j] += row[i] * row[j];
+    }
+  }
+  for (size_t i = 0; i < dim_; ++i) {
+    for (size_t j = i; j < dim_; ++j) {
+      cov[i][j] /= static_cast<double>(scaled.size());
+      cov[j][i] = cov[i][j];
+    }
+  }
+
+  HOD_ASSIGN_OR_RETURN(EigenResult eigen, JacobiEigenSymmetric(cov));
+  double total = 0.0;
+  for (double v : eigen.values) total += std::max(v, 0.0);
+  components_.clear();
+  eigenvalues_.clear();
+  double explained = 0.0;
+  for (size_t i = 0; i < eigen.values.size(); ++i) {
+    if (total > 0.0 && explained / total >= options_.explained_variance &&
+        !components_.empty()) {
+      break;
+    }
+    explained += std::max(eigen.values[i], 0.0);
+    components_.push_back(std::move(eigen.vectors[i]));
+    eigenvalues_.push_back(std::max(eigen.values[i], 1e-9));
+  }
+
+  // Baseline reconstruction error on training data.
+  trained_ = true;
+  std::vector<double> errors;
+  errors.reserve(scaled.size());
+  for (const auto& row : scaled) {
+    // Residual norm orthogonal to the subspace.
+    std::vector<double> projection(dim_, 0.0);
+    for (size_t c = 0; c < components_.size(); ++c) {
+      double dot = 0.0;
+      for (size_t k = 0; k < dim_; ++k) dot += row[k] * components_[c][k];
+      for (size_t k = 0; k < dim_; ++k) projection[k] += dot * components_[c][k];
+    }
+    double err = 0.0;
+    for (size_t k = 0; k < dim_; ++k) {
+      const double r = row[k] - projection[k];
+      err += r * r;
+    }
+    errors.push_back(std::sqrt(err));
+  }
+  baseline_error_ = ts::Median(std::move(errors));
+  if (baseline_error_ <= 0.0) baseline_error_ = 1e-3;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> PcaDetector::Score(
+    const std::vector<std::vector<double>>& data) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  std::vector<double> scores(data.size(), 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i].size() != dim_) {
+      return Status::InvalidArgument("dimension mismatch in PCA score");
+    }
+    std::vector<double> row = data[i];
+    HOD_RETURN_IF_ERROR(scaler_.ApplyRow(row));
+    std::vector<double> projection(dim_, 0.0);
+    double inside = 0.0;  // standardized in-subspace distance (T^2-like)
+    for (size_t c = 0; c < components_.size(); ++c) {
+      double dot = 0.0;
+      for (size_t k = 0; k < dim_; ++k) dot += row[k] * components_[c][k];
+      for (size_t k = 0; k < dim_; ++k) {
+        projection[k] += dot * components_[c][k];
+      }
+      inside += dot * dot / eigenvalues_[c];
+    }
+    double err = 0.0;
+    for (size_t k = 0; k < dim_; ++k) {
+      const double r = row[k] - projection[k];
+      err += r * r;
+    }
+    err = std::sqrt(err);
+    const double rel_err = err / baseline_error_;
+    const double inside_dev =
+        std::sqrt(inside / static_cast<double>(components_.size()));
+    // Combine: novel directions (Q statistic) or extreme aligned values
+    // (T^2 statistic), whichever is stronger.
+    const double q_excess = rel_err - 1.0;
+    const double q_score =
+        q_excess <= 0.0 ? 0.0 : q_excess / (q_excess + options_.error_scale);
+    const double t_excess = inside_dev - 2.0;  // ~2 sigma inside the subspace
+    const double t_score =
+        t_excess <= 0.0 ? 0.0 : t_excess / (t_excess + options_.error_scale);
+    scores[i] = std::max(q_score, t_score);
+  }
+  return scores;
+}
+
+}  // namespace hod::detect

@@ -1,0 +1,64 @@
+#ifndef HOD_DETECT_PCA_DETECTOR_H_
+#define HOD_DETECT_PCA_DETECTOR_H_
+
+#include <vector>
+
+#include "detect/detector.h"
+#include "detect/kmeans.h"
+
+namespace hod::detect {
+
+/// Principal-component-space anomaly detection (Gupta & Singh 2013) —
+/// Table 1 row 8, family DA, data type TSS (via windowed feature vectors).
+///
+/// Training fits a principal subspace to z-scaled normal vectors (Jacobi
+/// eigendecomposition of the covariance matrix). A test vector's
+/// outlierness combines its reconstruction error orthogonal to the
+/// subspace (novel directions) and its standardized distance inside the
+/// subspace (extreme but aligned values).
+struct PcaOptions {
+  /// Fraction of variance the retained subspace must explain, in (0, 1].
+  double explained_variance = 0.95;
+  /// Reconstruction error (relative to the training median) at which
+  /// outlierness reaches 0.5.
+  double error_scale = 2.0;
+};
+
+class PcaDetector : public VectorDetector {
+ public:
+  explicit PcaDetector(PcaOptions options = {});
+
+  std::string name() const override { return "PrincipalComponentSpace"; }
+
+  Status Train(const std::vector<std::vector<double>>& data) override;
+
+  StatusOr<std::vector<double>> Score(
+      const std::vector<std::vector<double>>& data) const override;
+
+  size_t num_components() const { return components_.size(); }
+  const std::vector<double>& eigenvalues() const { return eigenvalues_; }
+
+ private:
+  PcaOptions options_;
+  ColumnScaler scaler_;
+  /// Retained principal directions (row-major, unit vectors).
+  std::vector<std::vector<double>> components_;
+  std::vector<double> eigenvalues_;  // matching the retained components
+  double baseline_error_ = 1.0;
+  size_t dim_ = 0;
+  bool trained_ = false;
+};
+
+/// Jacobi eigendecomposition of a symmetric matrix (row-major, n x n).
+/// Returns eigenvalues (descending) and matching unit eigenvectors (rows).
+/// Exposed for reuse by tests and other detectors.
+struct EigenResult {
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+};
+StatusOr<EigenResult> JacobiEigenSymmetric(
+    const std::vector<std::vector<double>>& matrix, size_t max_sweeps = 64);
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_PCA_DETECTOR_H_

@@ -1,0 +1,83 @@
+#include "detect/phased_kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/sax.h"
+#include "timeseries/stats.h"
+
+namespace hod::detect {
+
+PhasedKMeansDetector::PhasedKMeansDetector(PhasedKMeansOptions options)
+    : options_(options) {}
+
+StatusOr<std::vector<double>> PhasedKMeansDetector::PhaseAlignedProfile(
+    const ts::TimeSeries& series, size_t profile_length) {
+  if (series.size() < profile_length) {
+    return Status::InvalidArgument("series shorter than profile length");
+  }
+  // Rotate so the global minimum is at position 0 (canonical phase),
+  // z-normalize, then PAA down to the profile length.
+  const auto& values = series.values();
+  const size_t min_pos = static_cast<size_t>(
+      std::min_element(values.begin(), values.end()) - values.begin());
+  std::vector<double> rotated(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    rotated[i] = values[(i + min_pos) % values.size()];
+  }
+  const double m = ts::Mean(rotated);
+  const double s = ts::StdDev(rotated);
+  for (double& v : rotated) v = s > 0.0 ? (v - m) / s : 0.0;
+  return ts::Paa(rotated, profile_length);
+}
+
+Status PhasedKMeansDetector::Train(const std::vector<ts::TimeSeries>& normal) {
+  if (options_.profile_length == 0 || options_.clusters == 0) {
+    return Status::InvalidArgument("profile_length/clusters must be > 0");
+  }
+  std::vector<std::vector<double>> profiles;
+  for (const auto& series : normal) {
+    HOD_RETURN_IF_ERROR(series.Validate());
+    auto profile = PhaseAlignedProfile(series, options_.profile_length);
+    if (!profile.ok()) return profile.status();
+    profiles.push_back(std::move(profile).value());
+  }
+  if (profiles.empty()) {
+    return Status::InvalidArgument("no training series");
+  }
+  HOD_ASSIGN_OR_RETURN(
+      KMeansResult result,
+      KMeans(profiles, options_.clusters, options_.max_iters, options_.seed));
+  centroids_ = std::move(result.centroids);
+  baseline_distance_ = ts::Median(std::move(result.distances));
+  if (baseline_distance_ <= 0.0) baseline_distance_ = 1e-3;
+  trained_ = true;
+  return Status::Ok();
+}
+
+StatusOr<double> PhasedKMeansDetector::ScoreSeries(
+    const ts::TimeSeries& series) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  HOD_ASSIGN_OR_RETURN(
+      std::vector<double> profile,
+      PhaseAlignedProfile(series, options_.profile_length));
+  HOD_ASSIGN_OR_RETURN(NearestCentroid nearest,
+                       FindNearestCentroid(centroids_, profile));
+  const double relative = nearest.distance / baseline_distance_;
+  const double excess = relative - 1.0;
+  if (excess <= 0.0) return 0.0;
+  return excess / (excess + options_.distance_scale);
+}
+
+StatusOr<std::vector<double>> PhasedKMeansDetector::ScoreBatch(
+    const std::vector<ts::TimeSeries>& batch) const {
+  std::vector<double> scores;
+  scores.reserve(batch.size());
+  for (const auto& series : batch) {
+    HOD_ASSIGN_OR_RETURN(double score, ScoreSeries(series));
+    scores.push_back(score);
+  }
+  return scores;
+}
+
+}  // namespace hod::detect

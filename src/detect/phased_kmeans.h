@@ -1,0 +1,61 @@
+#ifndef HOD_DETECT_PHASED_KMEANS_H_
+#define HOD_DETECT_PHASED_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/detector.h"
+#include "detect/kmeans.h"
+
+namespace hod::detect {
+
+/// Phased k-means (Rebbapragada et al. 2009, anomalous periodic series) —
+/// Table 1 row 5, family DA, data type TSS.
+///
+/// Whole series are the unit of anomaly: each training series is reduced to
+/// a fixed-length, phase-aligned profile (PAA after shifting the series so
+/// its minimum sits at phase 0, which removes phase offsets between
+/// repetitions of the same periodic behavior), the profiles are clustered
+/// by k-means, and a test series scores by its distance to the nearest
+/// centroid ("the distance of a time series to the centroid of the nearest
+/// cluster denotes the anomaly score").
+struct PhasedKMeansOptions {
+  size_t profile_length = 32;
+  size_t clusters = 4;
+  size_t max_iters = 50;
+  uint64_t seed = 42;
+  /// Centroid distance (relative to the training median) at which the
+  /// outlierness reaches 0.5.
+  double distance_scale = 1.0;
+};
+
+class PhasedKMeansDetector {
+ public:
+  explicit PhasedKMeansDetector(PhasedKMeansOptions options = {});
+
+  std::string name() const { return "PhasedKMeans"; }
+
+  /// Fits cluster centroids to normal series.
+  Status Train(const std::vector<ts::TimeSeries>& normal);
+
+  /// Outlierness in [0,1] of one whole series.
+  StatusOr<double> ScoreSeries(const ts::TimeSeries& series) const;
+
+  /// Outlierness per series in a batch.
+  StatusOr<std::vector<double>> ScoreBatch(
+      const std::vector<ts::TimeSeries>& batch) const;
+
+  /// Phase-aligned fixed-length profile of a series (exposed for tests).
+  static StatusOr<std::vector<double>> PhaseAlignedProfile(
+      const ts::TimeSeries& series, size_t profile_length);
+
+ private:
+  PhasedKMeansOptions options_;
+  std::vector<std::vector<double>> centroids_;
+  double baseline_distance_ = 1.0;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_PHASED_KMEANS_H_

@@ -1,0 +1,75 @@
+#include "detect/profile_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/sax.h"
+
+namespace hod::detect {
+
+ProfileSimilarityDetector::ProfileSimilarityDetector(
+    ProfileSimilarityOptions options)
+    : options_(options) {}
+
+Status ProfileSimilarityDetector::Train(
+    const std::vector<ts::TimeSeries>& normal) {
+  if (options_.profile_length == 0) {
+    return Status::InvalidArgument("profile_length must be > 0");
+  }
+  std::vector<std::vector<double>> profiles;
+  for (const ts::TimeSeries& series : normal) {
+    HOD_RETURN_IF_ERROR(series.Validate());
+    if (series.size() < options_.profile_length) {
+      return Status::InvalidArgument(
+          "training series shorter than profile length");
+    }
+    HOD_ASSIGN_OR_RETURN(std::vector<double> profile,
+                         ts::Paa(series.values(), options_.profile_length));
+    profiles.push_back(std::move(profile));
+  }
+  if (profiles.empty()) {
+    return Status::InvalidArgument("no training series");
+  }
+  const size_t p = options_.profile_length;
+  mean_.assign(p, 0.0);
+  sigma_.assign(p, 0.0);
+  for (const auto& profile : profiles) {
+    for (size_t i = 0; i < p; ++i) mean_[i] += profile[i];
+  }
+  for (size_t i = 0; i < p; ++i) {
+    mean_[i] /= static_cast<double>(profiles.size());
+  }
+  for (const auto& profile : profiles) {
+    for (size_t i = 0; i < p; ++i) {
+      const double d = profile[i] - mean_[i];
+      sigma_[i] += d * d;
+    }
+  }
+  for (size_t i = 0; i < p; ++i) {
+    sigma_[i] = std::sqrt(sigma_[i] / static_cast<double>(profiles.size()));
+    sigma_[i] = std::max(sigma_[i], options_.min_sigma);
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> ProfileSimilarityDetector::Score(
+    const ts::TimeSeries& series) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  HOD_RETURN_IF_ERROR(series.Validate());
+  const size_t n = series.size();
+  std::vector<double> scores(n, 0.0);
+  if (n == 0) return scores;
+  const size_t p = options_.profile_length;
+  for (size_t i = 0; i < n; ++i) {
+    // Position in profile coordinates.
+    const size_t pos = std::min(i * p / n, p - 1);
+    const double z = std::fabs(series[i] - mean_[pos]) / sigma_[pos];
+    const double excess = z - 2.0;  // two envelope sigmas of slack
+    scores[i] =
+        excess <= 0.0 ? 0.0 : excess / (excess + options_.sigma_scale);
+  }
+  return scores;
+}
+
+}  // namespace hod::detect

@@ -1,0 +1,52 @@
+#ifndef HOD_DETECT_PROFILE_SIMILARITY_H_
+#define HOD_DETECT_PROFILE_SIMILARITY_H_
+
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace hod::detect {
+
+/// Profile similarity (PS) — described in the paper's Section 3 prose
+/// ("another way to detect outliers is to compare a normal profile with
+/// new time points; this procedure is denoted as profile similarity") but
+/// not listed in Table 1. Natural fit for phase-level data, where every
+/// job replays the same nominal trajectory.
+///
+/// Training resamples each normal series to `profile_length` positions
+/// (PAA) and learns the per-position mean and spread. Scoring compares a
+/// test series position-by-position against the profile envelope; the
+/// outlierness of a sample is its deviation in envelope sigmas.
+struct ProfileSimilarityOptions {
+  size_t profile_length = 64;
+  /// Envelope floor in absolute units (guards constant training data).
+  double min_sigma = 1e-4;
+  /// Deviation (in envelope sigmas beyond 2) at which the score is 0.5.
+  double sigma_scale = 3.0;
+};
+
+class ProfileSimilarityDetector : public SeriesDetector {
+ public:
+  explicit ProfileSimilarityDetector(ProfileSimilarityOptions options = {});
+
+  std::string name() const override { return "ProfileSimilarity"; }
+
+  Status Train(const std::vector<ts::TimeSeries>& normal) override;
+
+  StatusOr<std::vector<double>> Score(
+      const ts::TimeSeries& series) const override;
+
+  /// Learned per-position profile (exposed for plotting/tests).
+  const std::vector<double>& profile_mean() const { return mean_; }
+  const std::vector<double>& profile_sigma() const { return sigma_; }
+
+ private:
+  ProfileSimilarityOptions options_;
+  std::vector<double> mean_;
+  std::vector<double> sigma_;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_PROFILE_SIMILARITY_H_

@@ -1,0 +1,112 @@
+#include "detect/rare_subsequence.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/window.h"
+
+namespace hod::detect {
+
+RareSubsequenceDetector::RareSubsequenceDetector(
+    RareSubsequenceOptions options)
+    : options_(options) {}
+
+Status RareSubsequenceDetector::Train(
+    const std::vector<ts::DiscreteSequence>& normal) {
+  if (options_.word == 0) return Status::InvalidArgument("word must be > 0");
+  counts_.clear();
+  total_words_ = 0;
+  size_t alphabet = 0;
+  std::vector<size_t> symbol_counts;
+  size_t total_symbols = 0;
+  for (const auto& sequence : normal) {
+    HOD_RETURN_IF_ERROR(sequence.Validate());
+    alphabet = std::max(alphabet,
+                        static_cast<size_t>(sequence.alphabet_size()));
+    symbol_counts.resize(alphabet, 0);
+    for (size_t i = 0; i < sequence.size(); ++i) {
+      ++symbol_counts[sequence[i]];
+      ++total_symbols;
+    }
+    for (auto& w : ts::SymbolWindows(sequence.symbols(), options_.word)) {
+      ++counts_[std::move(w)];
+      ++total_words_;
+    }
+  }
+  if (total_words_ == 0) {
+    return Status::InvalidArgument("no training words");
+  }
+  symbol_prob_.assign(alphabet, 0.0);
+  for (size_t s = 0; s < alphabet; ++s) {
+    symbol_prob_[s] = (static_cast<double>(symbol_counts[s]) + 1.0) /
+                      (static_cast<double>(total_symbols) +
+                       static_cast<double>(alphabet));
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> RareSubsequenceDetector::Score(
+    const ts::DiscreteSequence& sequence) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  HOD_RETURN_IF_ERROR(sequence.Validate());
+  const size_t n = sequence.size();
+  std::vector<double> point_scores(n, 0.0);
+  if (n < options_.word) return point_scores;
+
+  auto spans_or = ts::SlidingWindows(n, options_.word, 1);
+  if (!spans_or.ok()) return spans_or.status();
+  const auto& spans = spans_or.value();
+
+  std::vector<double> window_scores(spans.size(), 0.0);
+  for (size_t w = 0; w < spans.size(); ++w) {
+    const std::vector<ts::Symbol> word(
+        sequence.symbols().begin() + spans[w].begin,
+        sequence.symbols().begin() + spans[w].end);
+    // Expected count under the unigram model.
+    double p = 1.0;
+    for (ts::Symbol s : word) {
+      p *= static_cast<size_t>(s) < symbol_prob_.size()
+               ? symbol_prob_[s]
+               : 1.0 / static_cast<double>(std::max<size_t>(
+                           symbol_prob_.size(), 2));
+    }
+    const double expected = p * static_cast<double>(total_words_);
+    const auto it = counts_.find(word);
+    const double observed =
+        it != counts_.end() ? static_cast<double>(it->second) : 0.0;
+    // Surprise = log((expected + 1) / (observed + 1)), clamped at 0:
+    // words as frequent as expected (or more) are normal. A word entirely
+    // absent from the database is surprising even when its unigram
+    // expectation is low — the database, not the unigram model, is the
+    // ground truth for what normal behaviour contains (floor at log 2).
+    double surprise =
+        std::max(0.0, std::log((expected + 1.0) / (observed + 1.0)));
+    if (observed == 0.0) surprise = std::max(surprise, std::log(2.0));
+    window_scores[w] = surprise / (surprise + 1.0);
+  }
+  return ts::WindowScoresToPointScores(n, spans, window_scores);
+}
+
+Status RareSubsequenceDetector::TrainSeries(
+    const std::vector<ts::TimeSeries>& normal) {
+  std::vector<ts::DiscreteSequence> sequences;
+  sequences.reserve(normal.size());
+  for (const auto& series : normal) {
+    HOD_RETURN_IF_ERROR(series.Validate());
+    auto sax_or = ts::ToSax(series.values(), options_.sax, series.name());
+    if (!sax_or.ok()) return sax_or.status();
+    sequences.push_back(std::move(sax_or).value());
+  }
+  return Train(sequences);
+}
+
+StatusOr<std::vector<double>> RareSubsequenceDetector::ScoreSeries(
+    const ts::TimeSeries& series) const {
+  HOD_ASSIGN_OR_RETURN(
+      ts::DiscreteSequence sax,
+      ts::ToSax(series.values(), options_.sax, series.name()));
+  return Score(sax);
+}
+
+}  // namespace hod::detect

@@ -1,0 +1,57 @@
+#ifndef HOD_DETECT_RARE_SUBSEQUENCE_H_
+#define HOD_DETECT_RARE_SUBSEQUENCE_H_
+
+#include <map>
+#include <vector>
+
+#include "detect/detector.h"
+#include "timeseries/sax.h"
+
+namespace hod::detect {
+
+/// Outlier subsequences via symbolic representation (Lin et al. 2003) —
+/// Table 1 row 19, family OS, data types SSQ + TSS.
+///
+/// "Patterns are compared to their expected frequency in the database."
+/// Training counts SAX-word frequencies over normal data; a test
+/// subsequence's outlierness grows with the ratio of expected to observed
+/// frequency of its word — rare words are surprising, unseen words
+/// maximally so. For numeric series the detector discretizes with SAX
+/// first (the TSS path); discrete sequences are consumed directly (SSQ).
+struct RareSubsequenceOptions {
+  /// Subsequence (word) length in symbols.
+  size_t word = 5;
+  /// SAX discretization used on numeric series.
+  ts::SaxOptions sax = {.word_length = 0, .alphabet_size = 5};
+};
+
+class RareSubsequenceDetector : public SequenceDetector {
+ public:
+  explicit RareSubsequenceDetector(RareSubsequenceOptions options = {});
+
+  std::string name() const override { return "RareSubsequence"; }
+
+  Status Train(const std::vector<ts::DiscreteSequence>& normal) override;
+
+  StatusOr<std::vector<double>> Score(
+      const ts::DiscreteSequence& sequence) const override;
+
+  /// Numeric-series convenience: SAX-discretize then train/score.
+  Status TrainSeries(const std::vector<ts::TimeSeries>& normal);
+  StatusOr<std::vector<double>> ScoreSeries(const ts::TimeSeries& series) const;
+
+  size_t vocabulary_size() const { return counts_.size(); }
+
+ private:
+  RareSubsequenceOptions options_;
+  std::map<std::vector<ts::Symbol>, size_t> counts_;
+  size_t total_words_ = 0;
+  /// Expected count of a word under the fitted unigram model, cached per
+  /// alphabet symbol: P(symbol) estimates.
+  std::vector<double> symbol_prob_;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_RARE_SUBSEQUENCE_H_

@@ -1,0 +1,264 @@
+#include "detect/registry.h"
+
+#include "detect/adapters.h"
+#include "detect/anomaly_dictionary.h"
+#include "detect/ar_detector.h"
+#include "detect/dynamic_clustering.h"
+#include "detect/em_detector.h"
+#include "detect/fsa_detector.h"
+#include "detect/histogram_deviant.h"
+#include "detect/hmm_detector.h"
+#include "detect/lcs_detector.h"
+#include "detect/match_count.h"
+#include "detect/mlp_detector.h"
+#include "detect/ocsvm_detector.h"
+#include "detect/olap_cube.h"
+#include "detect/pca_detector.h"
+#include "detect/phased_kmeans.h"
+#include "detect/rare_subsequence.h"
+#include "detect/rule_classifier.h"
+#include "detect/rule_learning.h"
+#include "detect/single_linkage.h"
+#include "detect/som_detector.h"
+#include "detect/vibration_signature.h"
+#include "detect/window_db.h"
+
+namespace hod::detect {
+
+namespace {
+
+/// SeriesDetector facade over the whole-series PhasedKMeansDetector: the
+/// per-sample score is the series-level outlierness broadcast to every
+/// sample (the anomaly unit is the series itself).
+class PhasedKMeansSeriesFacade : public SeriesDetector {
+ public:
+  std::string name() const override { return "PhasedKMeans"; }
+
+  Status Train(const std::vector<ts::TimeSeries>& normal) override {
+    return inner_.Train(normal);
+  }
+
+  StatusOr<std::vector<double>> Score(
+      const ts::TimeSeries& series) const override {
+    HOD_ASSIGN_OR_RETURN(double score, inner_.ScoreSeries(series));
+    return std::vector<double>(series.size(), score);
+  }
+
+ private:
+  PhasedKMeansDetector inner_;
+};
+
+ts::SaxOptions DefaultSax() {
+  return ts::SaxOptions{.word_length = 0, .alphabet_size = 5};
+}
+
+constexpr size_t kWindow = 32;
+constexpr size_t kStride = 8;
+constexpr size_t kSymbolWindow = 6;
+
+}  // namespace
+
+const std::vector<TechniqueInfo>& Table1() {
+  static const std::vector<TechniqueInfo>* kTable = new std::vector<
+      TechniqueInfo>{
+      {1, "Match Count Sequence Similarity", "[16] Lane & Brodley 1997",
+       Family::kDiscriminative, {false, true, false}, false, false},
+      {2, "Longest Common Subsequence", "[2] Budalakoti et al. 2006",
+       Family::kDiscriminative, {false, true, false}, false, false},
+      {3, "Vibration Signature", "[28] Nairac et al. 1999",
+       Family::kDiscriminative, {true, false, true}, false, false},
+      {4, "Expectation-Maximization", "[30] Pan et al. 2008",
+       Family::kDiscriminative, {true, true, true}, false, false},
+      {5, "Phased k-Means", "[36] Rebbapragada et al. 2009",
+       Family::kDiscriminative, {false, false, true}, false, true},
+      {6, "Dynamic Clustering", "[37] Sequeira & Zaki 2002",
+       Family::kDiscriminative, {false, true, true}, false, false},
+      {7, "Single-linkage clustering", "[32] Portnoy et al. 2001",
+       Family::kDiscriminative, {true, true, true}, false, false},
+      {8, "Principal Component Space", "[13] Gupta & Singh 2013",
+       Family::kDiscriminative, {false, false, true}, false, false},
+      {9, "Support Vector Machine", "[6] Eskin et al. 2002",
+       Family::kDiscriminative, {true, true, true}, false, false},
+      {10, "Self-Organizing Map", "[11] Gonzalez & Dasgupta 2003",
+       Family::kDiscriminative, {true, true, true}, false, false},
+      {11, "Finite State Automata", "[25] Marceau 2005",
+       Family::kUnsupervisedParametric, {false, true, true}, false, false},
+      {12, "Hidden Markov Models", "[7] Florez-Larrahondo et al. 2005",
+       Family::kUnsupervisedParametric, {false, true, true}, false, false},
+      {13, "Online Analytical Processing Cube", "[20] Li & Han 2007",
+       Family::kUnsupervisedOnline, {true, false, true}, false, false},
+      {14, "Rule Learning", "[18] Lee & Stolfo 1998", Family::kSupervised,
+       {false, true, true}, true, false},
+      {15, "Neural Networks", "[10] Ghosh et al. 1999", Family::kSupervised,
+       {true, true, true}, true, false},
+      {16, "Rule Based Classifier", "[19] Li et al. 2007",
+       Family::kSupervised, {true, false, false}, true, false},
+      {17, "Window Sequence", "[17] Lane & Brodley 1997",
+       Family::kNormalPatternDb, {false, true, false}, false, false},
+      {18, "Anomaly Dictionary", "[3] Cabrera et al. 2001",
+       Family::kNegativeMixedDb, {false, true, false}, true, false},
+      {19, "Symbolic Representation", "[22] Lin et al. 2003",
+       Family::kOutlierSubsequence, {false, true, true}, false, false},
+      {20, "Autoregressive Model", "[15] Hill & Minsker 2010",
+       Family::kPredictiveModel, {true, false, true}, false, false},
+      {21, "Histogram Representation", "[27] Muthukrishnan et al. 2004",
+       Family::kInformationTheoretic, {true, false, false}, false, false},
+  };
+  return *kTable;
+}
+
+StatusOr<TechniqueInfo> FindTechnique(int row) {
+  for (const TechniqueInfo& info : Table1()) {
+    if (info.row == row) return info;
+  }
+  return Status::NotFound("no Table-1 row " + std::to_string(row));
+}
+
+StatusOr<std::unique_ptr<SequenceDetector>> MakeSequenceDetector(int row) {
+  HOD_ASSIGN_OR_RETURN(TechniqueInfo info, FindTechnique(row));
+  if (!info.mask.sequences) {
+    return Status::InvalidArgument("Table 1 does not claim SSQ for row " +
+                                   std::to_string(row));
+  }
+  switch (row) {
+    case 1:
+      return std::unique_ptr<SequenceDetector>(new MatchCountDetector());
+    case 2:
+      return std::unique_ptr<SequenceDetector>(new LcsDetector());
+    case 4:
+      return MakeSequenceFromVector(std::make_unique<EmDetector>(),
+                                    kSymbolWindow);
+    case 6:
+      return std::unique_ptr<SequenceDetector>(
+          new DynamicClusteringDetector());
+    case 7:
+      return MakeSequenceFromVector(std::make_unique<SingleLinkageDetector>(),
+                                    kSymbolWindow);
+    case 9:
+      return MakeSequenceFromVector(std::make_unique<OcsvmDetector>(),
+                                    kSymbolWindow);
+    case 10:
+      return MakeSequenceFromVector(std::make_unique<SomDetector>(),
+                                    kSymbolWindow);
+    case 11:
+      return std::unique_ptr<SequenceDetector>(new FsaDetector());
+    case 12:
+      return std::unique_ptr<SequenceDetector>(new HmmDetector());
+    case 14:
+      return std::unique_ptr<SequenceDetector>(new RuleLearningDetector());
+    case 15:
+      return MakeSequenceFromVector(std::make_unique<MlpDetector>(),
+                                    kSymbolWindow);
+    case 17:
+      return std::unique_ptr<SequenceDetector>(new WindowDbDetector());
+    case 18:
+      return std::unique_ptr<SequenceDetector>(
+          new AnomalyDictionaryDetector());
+    case 19:
+      return std::unique_ptr<SequenceDetector>(new RareSubsequenceDetector());
+    default:
+      return Status::Internal("missing SSQ factory for row " +
+                              std::to_string(row));
+  }
+}
+
+StatusOr<std::unique_ptr<SeriesDetector>> MakeSeriesDetector(int row) {
+  HOD_ASSIGN_OR_RETURN(TechniqueInfo info, FindTechnique(row));
+  if (!info.mask.time_series) {
+    return Status::InvalidArgument("Table 1 does not claim TSS for row " +
+                                   std::to_string(row));
+  }
+  switch (row) {
+    case 3:
+      return std::unique_ptr<SeriesDetector>(new VibrationSignatureDetector());
+    case 4:
+      return MakeSeriesFromVectorWindows(std::make_unique<EmDetector>(),
+                                         kWindow, kStride);
+    case 5:
+      return std::unique_ptr<SeriesDetector>(new PhasedKMeansSeriesFacade());
+    case 6: {
+      HOD_ASSIGN_OR_RETURN(std::unique_ptr<SequenceDetector> inner,
+                           MakeSequenceDetector(6));
+      return MakeSeriesFromSequence(std::move(inner), DefaultSax());
+    }
+    case 7:
+      return MakeSeriesFromVectorWindows(
+          std::make_unique<SingleLinkageDetector>(), kWindow, kStride);
+    case 8:
+      return MakeSeriesFromVectorWindows(std::make_unique<PcaDetector>(),
+                                         kWindow, kStride);
+    case 9:
+      return MakeSeriesFromVectorWindows(std::make_unique<OcsvmDetector>(),
+                                         kWindow, kStride);
+    case 10:
+      return MakeSeriesFromVectorWindows(std::make_unique<SomDetector>(),
+                                         kWindow, kStride);
+    case 11: {
+      HOD_ASSIGN_OR_RETURN(std::unique_ptr<SequenceDetector> inner,
+                           MakeSequenceDetector(11));
+      return MakeSeriesFromSequence(std::move(inner), DefaultSax());
+    }
+    case 12: {
+      HOD_ASSIGN_OR_RETURN(std::unique_ptr<SequenceDetector> inner,
+                           MakeSequenceDetector(12));
+      return MakeSeriesFromSequence(std::move(inner), DefaultSax());
+    }
+    case 13:
+      return MakeSeriesFromVectorPoints(std::make_unique<OlapCubeDetector>(),
+                                        /*include_phase=*/true);
+    case 14: {
+      HOD_ASSIGN_OR_RETURN(std::unique_ptr<SequenceDetector> inner,
+                           MakeSequenceDetector(14));
+      return MakeSeriesFromSequence(std::move(inner), DefaultSax());
+    }
+    case 15:
+      return MakeSeriesFromVectorWindows(std::make_unique<MlpDetector>(),
+                                         kWindow, kStride);
+    case 19: {
+      HOD_ASSIGN_OR_RETURN(std::unique_ptr<SequenceDetector> inner,
+                           MakeSequenceDetector(19));
+      return MakeSeriesFromSequence(std::move(inner), DefaultSax());
+    }
+    case 20:
+      return std::unique_ptr<SeriesDetector>(new ArDetector());
+    default:
+      return Status::Internal("missing TSS factory for row " +
+                              std::to_string(row));
+  }
+}
+
+StatusOr<std::unique_ptr<VectorDetector>> MakeVectorDetector(int row) {
+  HOD_ASSIGN_OR_RETURN(TechniqueInfo info, FindTechnique(row));
+  if (!info.mask.points) {
+    return Status::InvalidArgument("Table 1 does not claim PTS for row " +
+                                   std::to_string(row));
+  }
+  switch (row) {
+    case 3:
+      return MakeVectorFromSeries(
+          std::make_unique<VibrationSignatureDetector>());
+    case 4:
+      return std::unique_ptr<VectorDetector>(new EmDetector());
+    case 7:
+      return std::unique_ptr<VectorDetector>(new SingleLinkageDetector());
+    case 9:
+      return std::unique_ptr<VectorDetector>(new OcsvmDetector());
+    case 10:
+      return std::unique_ptr<VectorDetector>(new SomDetector());
+    case 13:
+      return std::unique_ptr<VectorDetector>(new OlapCubeDetector());
+    case 15:
+      return std::unique_ptr<VectorDetector>(new MlpDetector());
+    case 16:
+      return std::unique_ptr<VectorDetector>(new RuleClassifierDetector());
+    case 20:
+      return MakeVectorFromSeries(std::make_unique<ArDetector>());
+    case 21:
+      return std::unique_ptr<VectorDetector>(new HistogramDeviantDetector());
+    default:
+      return Status::Internal("missing PTS factory for row " +
+                              std::to_string(row));
+  }
+}
+
+}  // namespace hod::detect

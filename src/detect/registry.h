@@ -1,0 +1,42 @@
+#ifndef HOD_DETECT_REGISTRY_H_
+#define HOD_DETECT_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/detector.h"
+#include "util/statusor.h"
+
+namespace hod::detect {
+
+/// One row of the paper's Table 1 ("Categorization of Literature on
+/// Outliers"): technique, family, citation, and the data types it applies
+/// to. `whole_series` marks techniques whose anomaly unit is an entire
+/// series (phased k-means) rather than a position inside one.
+struct TechniqueInfo {
+  int row = 0;
+  std::string name;
+  std::string citation;
+  Family family;
+  DataTypeMask mask;
+  bool supervised = false;
+  bool whole_series = false;
+};
+
+/// The 21 Table-1 rows in paper order.
+const std::vector<TechniqueInfo>& Table1();
+
+/// Looks up a row by number (1-based, as printed in the paper).
+StatusOr<TechniqueInfo> FindTechnique(int row);
+
+/// Factories: build the technique adapted to the requested data shape.
+/// Each errors with InvalidArgument when Table 1 does not claim that shape
+/// for the row (the adapter wiring below mirrors the printed checkmarks).
+StatusOr<std::unique_ptr<SeriesDetector>> MakeSeriesDetector(int row);
+StatusOr<std::unique_ptr<SequenceDetector>> MakeSequenceDetector(int row);
+StatusOr<std::unique_ptr<VectorDetector>> MakeVectorDetector(int row);
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_REGISTRY_H_

@@ -1,0 +1,138 @@
+#include "detect/rule_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/stats.h"
+
+namespace hod::detect {
+
+namespace {
+
+double BinaryEntropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+}  // namespace
+
+RuleClassifierDetector::RuleClassifierDetector(RuleClassifierOptions options)
+    : options_(options) {}
+
+Status RuleClassifierDetector::Train(
+    const std::vector<std::vector<double>>& data) {
+  (void)data;
+  return Status::FailedPrecondition(
+      "RuleBasedClassifier is supervised; call TrainSupervised with labels");
+}
+
+Status RuleClassifierDetector::TrainSupervised(
+    const std::vector<std::vector<double>>& data, const Labels& labels) {
+  if (data.empty()) {
+    return Status::InvalidArgument("rule classifier on empty data");
+  }
+  if (data.size() != labels.size()) {
+    return Status::InvalidArgument("one label per point required");
+  }
+  dim_ = data[0].size();
+  size_t positives = 0;
+  for (uint8_t label : labels) {
+    if (label != 0) ++positives;
+  }
+  if (positives == 0 || positives == labels.size()) {
+    return Status::InvalidArgument(
+        "supervised training needs both classes present");
+  }
+  const size_t n = data.size();
+  base_rate_ = static_cast<double>(positives) / static_cast<double>(n);
+  const double root_entropy = BinaryEntropy(base_rate_);
+
+  rules_.clear();
+  for (size_t f = 0; f < dim_; ++f) {
+    std::vector<double> column(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (data[i].size() != dim_) {
+        return Status::InvalidArgument("ragged data in rule train");
+      }
+      column[i] = data[i][f];
+    }
+    // Quantile threshold grid.
+    IntervalRule best;
+    best.gain = 0.0;
+    for (size_t t = 1; t < options_.candidate_thresholds; ++t) {
+      const double q = static_cast<double>(t) /
+                       static_cast<double>(options_.candidate_thresholds);
+      const double threshold = ts::Quantile(column, q);
+      size_t above = 0;
+      size_t above_pos = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (column[i] > threshold) {
+          ++above;
+          if (labels[i] != 0) ++above_pos;
+        }
+      }
+      const size_t below = n - above;
+      const size_t below_pos = positives - above_pos;
+      if (above == 0 || below == 0) continue;
+      const double p_above =
+          static_cast<double>(above_pos) / static_cast<double>(above);
+      const double p_below =
+          static_cast<double>(below_pos) / static_cast<double>(below);
+      const double split_entropy =
+          (static_cast<double>(above) * BinaryEntropy(p_above) +
+           static_cast<double>(below) * BinaryEntropy(p_below)) /
+          static_cast<double>(n);
+      const double gain = root_entropy - split_entropy;
+      if (gain <= best.gain) continue;
+      // The rule fires on whichever side is more anomalous.
+      IntervalRule rule;
+      rule.feature = f;
+      rule.threshold = threshold;
+      rule.greater = p_above >= p_below;
+      rule.confidence = rule.greater ? p_above : p_below;
+      rule.gain = gain;
+      const size_t coverage = rule.greater ? above : below;
+      if (coverage < options_.min_coverage) continue;
+      best = rule;
+    }
+    if (best.gain > 0.0) rules_.push_back(best);
+  }
+  if (rules_.empty()) {
+    return Status::Internal("no informative rule found on any feature");
+  }
+  std::sort(rules_.begin(), rules_.end(),
+            [](const IntervalRule& a, const IntervalRule& b) {
+              return a.gain > b.gain;
+            });
+  if (rules_.size() > options_.max_rules) rules_.resize(options_.max_rules);
+  trained_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> RuleClassifierDetector::Score(
+    const std::vector<std::vector<double>>& data) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  std::vector<double> scores(data.size(), 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i].size() != dim_) {
+      return Status::InvalidArgument("dimension mismatch in rule score");
+    }
+    // Gain-weighted average of the firing rules' confidences; points firing
+    // no rule take the base rate.
+    double weighted = 0.0;
+    double weight = 0.0;
+    for (const IntervalRule& rule : rules_) {
+      const double v = data[i][rule.feature];
+      const bool fires = rule.greater ? v > rule.threshold
+                                      : v <= rule.threshold;
+      if (fires) {
+        weighted += rule.gain * rule.confidence;
+        weight += rule.gain;
+      }
+    }
+    scores[i] = weight > 0.0 ? weighted / weight : base_rate_;
+  }
+  return scores;
+}
+
+}  // namespace hod::detect

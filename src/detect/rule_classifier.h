@@ -1,0 +1,67 @@
+#ifndef HOD_DETECT_RULE_CLASSIFIER_H_
+#define HOD_DETECT_RULE_CLASSIFIER_H_
+
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace hod::detect {
+
+/// Rule- and motif-based classification (Li et al. 2007 "ROAM") — Table 1
+/// row 16, family SA, data type PTS.
+///
+/// Learns interpretable interval rules "feature f in [lo, hi] => anomalous
+/// with confidence c" from labeled points. Each feature contributes its
+/// best threshold split (decision stump maximizing weighted information
+/// gain); prediction averages the firing rules' confidences weighted by
+/// their training accuracy. Rules are exposed for inspection — the model
+/// is intentionally human-readable, as in the original rule-based systems.
+struct RuleClassifierOptions {
+  /// Candidate thresholds examined per feature (quantile grid).
+  size_t candidate_thresholds = 16;
+  /// Keep at most this many rules (highest-gain first).
+  size_t max_rules = 8;
+  /// Minimum training points a rule must cover.
+  size_t min_coverage = 5;
+};
+
+/// One learned rule.
+struct IntervalRule {
+  size_t feature = 0;
+  double threshold = 0.0;
+  /// True: fires when value > threshold; false: fires when value <=.
+  bool greater = true;
+  /// Empirical anomaly probability when the rule fires.
+  double confidence = 0.0;
+  /// Information gain achieved on the training split (rule weight).
+  double gain = 0.0;
+};
+
+class RuleClassifierDetector : public VectorDetector {
+ public:
+  explicit RuleClassifierDetector(RuleClassifierOptions options = {});
+
+  std::string name() const override { return "RuleBasedClassifier"; }
+  bool supervised() const override { return true; }
+
+  Status Train(const std::vector<std::vector<double>>& data) override;
+
+  Status TrainSupervised(const std::vector<std::vector<double>>& data,
+                         const Labels& labels) override;
+
+  StatusOr<std::vector<double>> Score(
+      const std::vector<std::vector<double>>& data) const override;
+
+  const std::vector<IntervalRule>& rules() const { return rules_; }
+
+ private:
+  RuleClassifierOptions options_;
+  std::vector<IntervalRule> rules_;
+  double base_rate_ = 0.0;
+  size_t dim_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_RULE_CLASSIFIER_H_

@@ -1,0 +1,89 @@
+#include "detect/rule_learning.h"
+
+#include <algorithm>
+
+namespace hod::detect {
+
+RuleLearningDetector::RuleLearningDetector(RuleLearningOptions options)
+    : options_(options) {}
+
+Status RuleLearningDetector::Train(
+    const std::vector<ts::DiscreteSequence>& normal) {
+  (void)normal;
+  return Status::FailedPrecondition(
+      "RuleLearning is supervised; call TrainSupervised with labels");
+}
+
+Status RuleLearningDetector::TrainSupervised(
+    const std::vector<ts::DiscreteSequence>& sequences,
+    const std::vector<Labels>& labels) {
+  if (options_.max_order == 0) {
+    return Status::InvalidArgument("max_order must be > 0");
+  }
+  if (sequences.size() != labels.size()) {
+    return Status::InvalidArgument("one label vector per sequence required");
+  }
+  rules_.assign(options_.max_order, {});
+  size_t total = 0;
+  size_t anomalous = 0;
+  for (size_t s = 0; s < sequences.size(); ++s) {
+    HOD_RETURN_IF_ERROR(sequences[s].Validate());
+    const auto& syms = sequences[s].symbols();
+    if (labels[s].size() != syms.size()) {
+      return Status::InvalidArgument("label/sequence length mismatch");
+    }
+    for (size_t i = 0; i < syms.size(); ++i) {
+      ++total;
+      const bool is_anomalous = labels[s][i] != 0;
+      if (is_anomalous) ++anomalous;
+      const size_t max_len = std::min(options_.max_order, i + 1);
+      for (size_t len = 1; len <= max_len; ++len) {
+        std::vector<ts::Symbol> body(syms.begin() + (i + 1 - len),
+                                     syms.begin() + i + 1);
+        RuleStats& stats = rules_[len - 1][std::move(body)];
+        ++stats.count;
+        if (is_anomalous) ++stats.anomalous;
+      }
+    }
+  }
+  if (total == 0) return Status::InvalidArgument("no training positions");
+  base_rate_ = static_cast<double>(anomalous) / static_cast<double>(total);
+  trained_ = true;
+  return Status::Ok();
+}
+
+size_t RuleLearningDetector::num_rules() const {
+  size_t total = 0;
+  for (const auto& level : rules_) total += level.size();
+  return total;
+}
+
+StatusOr<std::vector<double>> RuleLearningDetector::Score(
+    const ts::DiscreteSequence& sequence) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  HOD_RETURN_IF_ERROR(sequence.Validate());
+  const auto& syms = sequence.symbols();
+  std::vector<double> scores(syms.size(), 0.0);
+  for (size_t i = 0; i < syms.size(); ++i) {
+    // Longest supported rule wins; a window never seen in training is
+    // itself suspicious (mixed rule: novel pattern).
+    const size_t max_len = std::min(options_.max_order, i + 1);
+    double score = 1.0;  // novel unigram: never saw this symbol labeled
+    for (size_t len = max_len; len >= 1; --len) {
+      std::vector<ts::Symbol> body(syms.begin() + (i + 1 - len),
+                                   syms.begin() + i + 1);
+      const auto it = rules_[len - 1].find(body);
+      if (it == rules_[len - 1].end() ||
+          it->second.count < options_.min_support) {
+        continue;  // back off to a shorter body
+      }
+      score = static_cast<double>(it->second.anomalous) /
+              static_cast<double>(it->second.count);
+      break;
+    }
+    scores[i] = score;
+  }
+  return scores;
+}
+
+}  // namespace hod::detect

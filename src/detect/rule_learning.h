@@ -1,0 +1,60 @@
+#ifndef HOD_DETECT_RULE_LEARNING_H_
+#define HOD_DETECT_RULE_LEARNING_H_
+
+#include <map>
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace hod::detect {
+
+/// Supervised rule learning on sequences (Lee & Stolfo 1998, data-mining
+/// intrusion detection) — Table 1 row 14, family SA, data types SSQ + TSS.
+///
+/// From labeled training sequences the detector mines association rules
+/// "context n-gram => anomaly probability": every window of length 1..
+/// max_order is a rule body whose head is the empirical anomaly rate of
+/// the window's final position. Scoring looks up the longest matching rule
+/// (longer bodies are more specific) with a support threshold, backing off
+/// to shorter bodies.
+struct RuleLearningOptions {
+  size_t max_order = 4;
+  /// Rules observed fewer than this many times are not trusted.
+  size_t min_support = 3;
+};
+
+class RuleLearningDetector : public SequenceDetector {
+ public:
+  explicit RuleLearningDetector(RuleLearningOptions options = {});
+
+  std::string name() const override { return "RuleLearning"; }
+  bool supervised() const override { return true; }
+
+  /// Supervised detectors refuse unlabeled training.
+  Status Train(const std::vector<ts::DiscreteSequence>& normal) override;
+
+  Status TrainSupervised(const std::vector<ts::DiscreteSequence>& sequences,
+                         const std::vector<Labels>& labels) override;
+
+  StatusOr<std::vector<double>> Score(
+      const ts::DiscreteSequence& sequence) const override;
+
+  size_t num_rules() const;
+
+ private:
+  struct RuleStats {
+    size_t count = 0;
+    size_t anomalous = 0;
+  };
+
+  RuleLearningOptions options_;
+  /// rules_[L]: window of length L+1 (ending at the scored position) ->
+  /// stats of the label at that position.
+  std::vector<std::map<std::vector<ts::Symbol>, RuleStats>> rules_;
+  double base_rate_ = 0.0;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_RULE_LEARNING_H_

@@ -1,0 +1,76 @@
+#include "detect/score_utils.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/stats.h"
+
+namespace hod::detect {
+
+void ClampScores(std::vector<double>& scores) {
+  for (double& s : scores) {
+    if (!(s >= 0.0)) s = 0.0;  // also catches NaN
+    if (s > 1.0) s = 1.0;
+  }
+}
+
+std::vector<double> MinMaxNormalize(const std::vector<double>& raw) {
+  std::vector<double> out(raw.size(), 0.0);
+  if (raw.empty()) return out;
+  const double lo = *std::min_element(raw.begin(), raw.end());
+  const double hi = *std::max_element(raw.begin(), raw.end());
+  if (hi <= lo) return out;
+  for (size_t i = 0; i < raw.size(); ++i) out[i] = (raw[i] - lo) / (hi - lo);
+  return out;
+}
+
+std::vector<double> SoftNormalize(const std::vector<double>& raw) {
+  std::vector<double> positives;
+  for (double r : raw) {
+    if (r > 0.0 && std::isfinite(r)) positives.push_back(r);
+  }
+  double scale = positives.empty() ? 1.0 : ts::Median(std::move(positives));
+  if (scale <= 0.0) scale = 1.0;
+  std::vector<double> out(raw.size(), 0.0);
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const double r = raw[i];
+    if (r > 0.0 && std::isfinite(r)) out[i] = r / (r + scale);
+    else if (r > 0.0) out[i] = 1.0;  // +inf deviation
+  }
+  return out;
+}
+
+std::vector<Outlier> ExtractOutliers(const std::vector<double>& scores,
+                                     double threshold, double start_time,
+                                     double interval) {
+  std::vector<Outlier> outliers;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] > threshold) {
+      outliers.push_back(Outlier{i, scores[i],
+                                 start_time + interval * static_cast<double>(i)});
+    }
+  }
+  return outliers;
+}
+
+Detection MakeDetection(std::vector<double> scores, double threshold,
+                        double start_time, double interval) {
+  Detection detection;
+  ClampScores(scores);
+  detection.outliers =
+      ExtractOutliers(scores, threshold, start_time, interval);
+  detection.scores = std::move(scores);
+  return detection;
+}
+
+double TopKMean(const std::vector<double>& scores, size_t k) {
+  if (scores.empty() || k == 0) return 0.0;
+  std::vector<double> sorted(scores);
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  const size_t count = std::min(k, sorted.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < count; ++i) sum += sorted[i];
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace hod::detect

@@ -1,0 +1,39 @@
+#ifndef HOD_DETECT_SCORE_UTILS_H_
+#define HOD_DETECT_SCORE_UTILS_H_
+
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace hod::detect {
+
+/// Clamps every score into [0, 1].
+void ClampScores(std::vector<double>& scores);
+
+/// Min-max normalizes raw scores into [0, 1]; constant input maps to 0.
+std::vector<double> MinMaxNormalize(const std::vector<double>& raw);
+
+/// Maps raw non-negative deviations into (0, 1) with d / (d + scale) where
+/// `scale` is the median positive deviation (robust soft normalization that
+/// preserves ordering and keeps typical values near 0.5).
+std::vector<double> SoftNormalize(const std::vector<double>& raw);
+
+/// Extracts the items whose score exceeds `threshold` as Outlier records.
+/// `start_time` / `interval` stamp occurrence times (pass 0/1 for index
+/// time).
+std::vector<Outlier> ExtractOutliers(const std::vector<double>& scores,
+                                     double threshold, double start_time = 0.0,
+                                     double interval = 1.0);
+
+/// Builds a Detection from scores with the given extraction threshold.
+Detection MakeDetection(std::vector<double> scores, double threshold,
+                        double start_time = 0.0, double interval = 1.0);
+
+/// Mean of the top `k` scores (0 when empty) — turns a per-point score
+/// vector into a whole-entity outlierness, used when rolling phase scores
+/// up to the job level.
+double TopKMean(const std::vector<double>& scores, size_t k);
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_SCORE_UTILS_H_

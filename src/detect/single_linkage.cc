@@ -1,0 +1,114 @@
+#include "detect/single_linkage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "timeseries/stats.h"
+
+namespace hod::detect {
+
+SingleLinkageDetector::SingleLinkageDetector(SingleLinkageOptions options)
+    : options_(options) {}
+
+Status SingleLinkageDetector::Train(
+    const std::vector<std::vector<double>>& data) {
+  if (data.empty()) {
+    return Status::InvalidArgument("single-linkage on empty data");
+  }
+  if (options_.width <= 0.0) {
+    return Status::InvalidArgument("width must be > 0");
+  }
+  HOD_ASSIGN_OR_RETURN(scaler_, ColumnScaler::Fit(data));
+  std::vector<std::vector<double>> scaled = data;
+  HOD_RETURN_IF_ERROR(scaler_.Apply(scaled));
+
+  centers_.clear();
+  counts_.clear();
+  for (const auto& point : scaled) {
+    // Nearest existing center.
+    size_t best = centers_.size();
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < centers_.size(); ++c) {
+      double d = 0.0;
+      for (size_t k = 0; k < point.size(); ++k) {
+        const double dev = point[k] - centers_[c][k];
+        d += dev * dev;
+      }
+      d = std::sqrt(d);
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    if (best < centers_.size() && best_d <= options_.width) {
+      // Join: update the running centroid.
+      const double n = static_cast<double>(++counts_[best]);
+      for (size_t k = 0; k < point.size(); ++k) {
+        centers_[best][k] += (point[k] - centers_[best][k]) / n;
+      }
+    } else {
+      centers_.push_back(point);
+      counts_.push_back(1);
+    }
+  }
+
+  // Label the largest clusters normal until `normal_mass` of the training
+  // mass is covered (Portnoy's heuristic: intrusions are rare, so big
+  // clusters are normal).
+  std::vector<size_t> order(centers_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [this](size_t a, size_t b) { return counts_[a] > counts_[b]; });
+  const size_t total = data.size();
+  const size_t target =
+      static_cast<size_t>(options_.normal_mass * static_cast<double>(total));
+  is_normal_.assign(centers_.size(), false);
+  size_t covered = 0;
+  for (size_t idx : order) {
+    if (covered >= target && covered > 0) break;
+    is_normal_[idx] = true;
+    covered += counts_[idx];
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> SingleLinkageDetector::Score(
+    const std::vector<std::vector<double>>& data) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  std::vector<double> scores(data.size(), 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::vector<double> point = data[i];
+    HOD_RETURN_IF_ERROR(scaler_.ApplyRow(point));
+    size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < centers_.size(); ++c) {
+      double d = 0.0;
+      for (size_t k = 0; k < point.size(); ++k) {
+        const double dev = point[k] - centers_[c][k];
+        d += dev * dev;
+      }
+      d = std::sqrt(d);
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    if (best_d > options_.width) {
+      // Outside every cluster: outlierness grows with the overshoot.
+      const double excess = best_d / options_.width - 1.0;
+      scores[i] = 0.5 + 0.5 * excess / (excess + 1.0);
+    } else if (!is_normal_[best]) {
+      // Inside a small (anomalous) cluster.
+      scores[i] = 0.5;
+    } else {
+      // Inside a normal cluster: mild score from relative distance.
+      scores[i] = 0.25 * best_d / options_.width;
+    }
+  }
+  return scores;
+}
+
+}  // namespace hod::detect

@@ -1,0 +1,51 @@
+#ifndef HOD_DETECT_SINGLE_LINKAGE_H_
+#define HOD_DETECT_SINGLE_LINKAGE_H_
+
+#include <vector>
+
+#include "detect/detector.h"
+#include "detect/kmeans.h"
+
+namespace hod::detect {
+
+/// Single-linkage clustering for intrusion/outlier detection (Portnoy et
+/// al. 2001) — Table 1 row 7, family DA, data types PTS + SSQ + TSS.
+///
+/// Training z-scales the data and grows clusters with fixed width `w`:
+/// a point joins the nearest cluster center if within `w`, else it starts a
+/// new cluster (single-linkage style agglomeration over a stream). The
+/// largest clusters are labeled "normal"; test points score by the size of
+/// the cluster they fall into and their distance to it.
+struct SingleLinkageOptions {
+  /// Cluster width in scaled units.
+  double width = 1.5;
+  /// Fraction of training mass that must be covered by the clusters
+  /// labeled normal (largest first).
+  double normal_mass = 0.9;
+};
+
+class SingleLinkageDetector : public VectorDetector {
+ public:
+  explicit SingleLinkageDetector(SingleLinkageOptions options = {});
+
+  std::string name() const override { return "SingleLinkageClustering"; }
+
+  Status Train(const std::vector<std::vector<double>>& data) override;
+
+  StatusOr<std::vector<double>> Score(
+      const std::vector<std::vector<double>>& data) const override;
+
+  size_t num_clusters() const { return centers_.size(); }
+
+ private:
+  SingleLinkageOptions options_;
+  ColumnScaler scaler_;
+  std::vector<std::vector<double>> centers_;
+  std::vector<size_t> counts_;
+  std::vector<bool> is_normal_;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_SINGLE_LINKAGE_H_

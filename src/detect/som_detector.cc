@@ -1,0 +1,124 @@
+#include "detect/som_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "timeseries/stats.h"
+#include "util/rng.h"
+
+namespace hod::detect {
+
+SomDetector::SomDetector(SomOptions options) : options_(options) {}
+
+Status SomDetector::Train(const std::vector<std::vector<double>>& data) {
+  if (data.empty()) return Status::InvalidArgument("SOM on empty data");
+  if (options_.rows == 0 || options_.cols == 0) {
+    return Status::InvalidArgument("grid must be non-empty");
+  }
+  dim_ = data[0].size();
+  HOD_ASSIGN_OR_RETURN(scaler_, ColumnScaler::Fit(data));
+  std::vector<std::vector<double>> scaled = data;
+  HOD_RETURN_IF_ERROR(scaler_.Apply(scaled));
+
+  const size_t units = options_.rows * options_.cols;
+  Rng rng(options_.seed);
+  units_.assign(units, std::vector<double>(dim_, 0.0));
+  for (auto& unit : units_) {
+    // Initialize from random training samples (jittered).
+    const auto& sample = scaled[rng.NextBelow(scaled.size())];
+    for (size_t k = 0; k < dim_; ++k) {
+      unit[k] = sample[k] + 0.01 * rng.NextGaussian();
+    }
+  }
+
+  double radius0 = options_.initial_radius;
+  if (radius0 <= 0.0) {
+    radius0 = static_cast<double>(std::max(options_.rows, options_.cols)) / 2.0;
+  }
+  std::vector<size_t> order(scaled.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    const double progress =
+        static_cast<double>(epoch) / static_cast<double>(options_.epochs);
+    const double lr = options_.initial_learning_rate * (1.0 - progress);
+    const double radius = std::max(radius0 * (1.0 - progress), 0.5);
+    const double two_r2 = 2.0 * radius * radius;
+    rng.Shuffle(order);
+    for (size_t idx : order) {
+      const auto& x = scaled[idx];
+      // Best matching unit.
+      size_t bmu = 0;
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t u = 0; u < units; ++u) {
+        double d = 0.0;
+        for (size_t k = 0; k < dim_; ++k) {
+          const double dev = x[k] - units_[u][k];
+          d += dev * dev;
+        }
+        if (d < best) {
+          best = d;
+          bmu = u;
+        }
+      }
+      const double br = static_cast<double>(bmu / options_.cols);
+      const double bc = static_cast<double>(bmu % options_.cols);
+      // Neighborhood update.
+      for (size_t u = 0; u < units; ++u) {
+        const double ur = static_cast<double>(u / options_.cols);
+        const double uc = static_cast<double>(u % options_.cols);
+        const double grid_d2 = (ur - br) * (ur - br) + (uc - bc) * (uc - bc);
+        if (grid_d2 > 9.0 * radius * radius) continue;  // negligible influence
+        const double h = std::exp(-grid_d2 / two_r2);
+        const double step = lr * h;
+        for (size_t k = 0; k < dim_; ++k) {
+          units_[u][k] += step * (x[k] - units_[u][k]);
+        }
+      }
+    }
+  }
+
+  // Baseline: 95th percentile of training quantization errors.
+  trained_ = true;
+  std::vector<double> errors;
+  errors.reserve(scaled.size());
+  for (const auto& row : scaled) errors.push_back(QuantizationError(row));
+  baseline_error_ = ts::Quantile(std::move(errors), 0.95);
+  if (baseline_error_ <= 0.0) baseline_error_ = 1e-3;
+  return Status::Ok();
+}
+
+double SomDetector::QuantizationError(
+    const std::vector<double>& scaled_row) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& unit : units_) {
+    double d = 0.0;
+    for (size_t k = 0; k < dim_; ++k) {
+      const double dev = scaled_row[k] - unit[k];
+      d += dev * dev;
+    }
+    best = std::min(best, d);
+  }
+  return std::sqrt(best);
+}
+
+StatusOr<std::vector<double>> SomDetector::Score(
+    const std::vector<std::vector<double>>& data) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  std::vector<double> scores(data.size(), 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i].size() != dim_) {
+      return Status::InvalidArgument("dimension mismatch in SOM score");
+    }
+    std::vector<double> row = data[i];
+    HOD_RETURN_IF_ERROR(scaler_.ApplyRow(row));
+    const double excess = QuantizationError(row) / baseline_error_ - 1.0;
+    scores[i] =
+        excess <= 0.0 ? 0.0 : excess / (excess + options_.error_scale);
+  }
+  return scores;
+}
+
+}  // namespace hod::detect

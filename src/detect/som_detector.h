@@ -1,0 +1,62 @@
+#ifndef HOD_DETECT_SOM_DETECTOR_H_
+#define HOD_DETECT_SOM_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/detector.h"
+#include "detect/kmeans.h"
+
+namespace hod::detect {
+
+/// Self-organizing map for real-valued anomaly detection (Gonzalez &
+/// Dasgupta 2003) — Table 1 row 10, family DA, data types PTS + SSQ + TSS.
+///
+/// A rows x cols grid of prototype vectors is trained on normal data with
+/// the classic SOM update (winner + Gaussian neighborhood, both learning
+/// rate and radius decaying over epochs). A test vector's outlierness
+/// grows with its quantization error (distance to the best matching unit)
+/// relative to the training error distribution.
+struct SomOptions {
+  size_t rows = 6;
+  size_t cols = 6;
+  size_t epochs = 30;
+  double initial_learning_rate = 0.5;
+  /// Initial neighborhood radius in grid units (0 = max(rows, cols)/2).
+  double initial_radius = 0.0;
+  uint64_t seed = 42;
+  /// Quantization-error ratio above the training 95th percentile at which
+  /// outlierness reaches 0.5.
+  double error_scale = 1.0;
+};
+
+class SomDetector : public VectorDetector {
+ public:
+  explicit SomDetector(SomOptions options = {});
+
+  std::string name() const override { return "SelfOrganizingMap"; }
+
+  Status Train(const std::vector<std::vector<double>>& data) override;
+
+  StatusOr<std::vector<double>> Score(
+      const std::vector<std::vector<double>>& data) const override;
+
+  /// Prototype vector of unit (r, c).
+  const std::vector<double>& Prototype(size_t r, size_t c) const {
+    return units_[r * options_.cols + c];
+  }
+
+ private:
+  double QuantizationError(const std::vector<double>& scaled_row) const;
+
+  SomOptions options_;
+  ColumnScaler scaler_;
+  std::vector<std::vector<double>> units_;
+  double baseline_error_ = 1.0;  // training q95 quantization error
+  size_t dim_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_SOM_DETECTOR_H_

@@ -1,0 +1,137 @@
+#include "detect/var_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "detect/ar_detector.h"  // SolveLinearSystem
+#include "timeseries/stats.h"
+
+namespace hod::detect {
+
+VarDetector::VarDetector(VarOptions options) : options_(options) {}
+
+Status VarDetector::CheckAligned(
+    const std::vector<ts::TimeSeries>& channels) const {
+  if (channels.empty()) {
+    return Status::InvalidArgument("no channels");
+  }
+  const size_t n = channels[0].size();
+  for (const ts::TimeSeries& channel : channels) {
+    HOD_RETURN_IF_ERROR(channel.Validate());
+    if (channel.size() != n) {
+      return Status::InvalidArgument("channels are not aligned in length");
+    }
+  }
+  return Status::Ok();
+}
+
+Status VarDetector::Train(
+    const std::vector<std::vector<ts::TimeSeries>>& groups) {
+  if (groups.empty()) return Status::InvalidArgument("no training groups");
+  dim_ = groups[0].size();
+  if (dim_ == 0) return Status::InvalidArgument("zero channels");
+  for (const auto& group : groups) {
+    if (group.size() != dim_) {
+      return Status::InvalidArgument("inconsistent channel counts");
+    }
+    HOD_RETURN_IF_ERROR(CheckAligned(group));
+  }
+
+  // Per-equation least squares: for each target channel d, regress x_d[t]
+  // on [1, x_1[t-1], ..., x_dim[t-1]]. The design matrix is shared.
+  const size_t p = dim_ + 1;
+  std::vector<std::vector<double>> ata(p, std::vector<double>(p, 0.0));
+  std::vector<std::vector<double>> atb(dim_, std::vector<double>(p, 0.0));
+  size_t rows = 0;
+  std::vector<double> design(p);
+  for (const auto& group : groups) {
+    const size_t n = group[0].size();
+    for (size_t t = 1; t < n; ++t) {
+      design[0] = 1.0;
+      for (size_t k = 0; k < dim_; ++k) design[k + 1] = group[k][t - 1];
+      for (size_t i = 0; i < p; ++i) {
+        for (size_t j = i; j < p; ++j) ata[i][j] += design[i] * design[j];
+        for (size_t d = 0; d < dim_; ++d) {
+          atb[d][i] += design[i] * group[d][t];
+        }
+      }
+      ++rows;
+    }
+  }
+  if (rows < p) {
+    return Status::InvalidArgument("not enough samples for VAR(1) fit");
+  }
+  for (size_t i = 0; i < p; ++i) {
+    for (size_t j = 0; j < i; ++j) ata[i][j] = ata[j][i];
+    ata[i][i] += options_.ridge * static_cast<double>(rows);
+  }
+  a_.assign(dim_, std::vector<double>(dim_, 0.0));
+  c_.assign(dim_, 0.0);
+  for (size_t d = 0; d < dim_; ++d) {
+    HOD_ASSIGN_OR_RETURN(std::vector<double> beta,
+                         SolveLinearSystem(ata, atb[d]));
+    c_[d] = beta[0];
+    for (size_t k = 0; k < dim_; ++k) a_[d][k] = beta[k + 1];
+  }
+
+  // Residual scales per channel (robust).
+  std::vector<std::vector<double>> residuals(dim_);
+  for (const auto& group : groups) {
+    const size_t n = group[0].size();
+    for (size_t t = 1; t < n; ++t) {
+      for (size_t d = 0; d < dim_; ++d) {
+        double prediction = c_[d];
+        for (size_t k = 0; k < dim_; ++k) {
+          prediction += a_[d][k] * group[k][t - 1];
+        }
+        residuals[d].push_back(group[d][t] - prediction);
+      }
+    }
+  }
+  residual_sigma_.assign(dim_, 1.0);
+  for (size_t d = 0; d < dim_; ++d) {
+    double sigma = ts::Mad(residuals[d]);
+    if (sigma <= 0.0) sigma = ts::StdDev(residuals[d]);
+    residual_sigma_[d] = std::max(sigma, 1e-9);
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> VarDetector::ResidualZ(
+    const std::vector<ts::TimeSeries>& channels) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  if (channels.size() != dim_) {
+    return Status::InvalidArgument("channel count mismatch");
+  }
+  HOD_RETURN_IF_ERROR(CheckAligned(channels));
+  const size_t n = channels[0].size();
+  std::vector<double> z(n, 0.0);
+  for (size_t t = 1; t < n; ++t) {
+    double sum_sq = 0.0;
+    for (size_t d = 0; d < dim_; ++d) {
+      double prediction = c_[d];
+      for (size_t k = 0; k < dim_; ++k) {
+        prediction += a_[d][k] * channels[k][t - 1];
+      }
+      const double r = (channels[d][t] - prediction) / residual_sigma_[d];
+      sum_sq += r * r;
+    }
+    z[t] = std::sqrt(sum_sq / static_cast<double>(dim_));
+  }
+  return z;
+}
+
+StatusOr<std::vector<double>> VarDetector::Score(
+    const std::vector<ts::TimeSeries>& channels) const {
+  HOD_ASSIGN_OR_RETURN(std::vector<double> z, ResidualZ(channels));
+  std::vector<double> scores(z.size(), 0.0);
+  for (size_t t = 0; t < z.size(); ++t) {
+    const double excess = z[t] - 1.0;
+    scores[t] =
+        excess <= 0.0 ? 0.0 : excess / (excess + options_.sigma_scale);
+  }
+  return scores;
+}
+
+}  // namespace hod::detect

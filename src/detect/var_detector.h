@@ -1,0 +1,65 @@
+#ifndef HOD_DETECT_VAR_DETECTOR_H_
+#define HOD_DETECT_VAR_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "timeseries/time_series.h"
+#include "util/statusor.h"
+
+namespace hod::detect {
+
+/// Vector-autoregressive outlier detection for multivariate phase data —
+/// the paper emphasizes "multi-dimensional, high-resolution sensor values"
+/// at the phase level and cites multivariate time-series outlier work [5].
+///
+/// Fits VAR(1): x_t = c + A x_{t-1} + e_t by per-equation least squares on
+/// aligned sensor channels. Scoring uses the joint one-step residual in a
+/// diagonal Mahalanobis metric, so a disturbance that respects each
+/// channel's own history but breaks the *cross-channel* relationship (bed
+/// hot while laser off) is caught — exactly what per-sensor detectors miss.
+struct VarOptions {
+  /// Ridge regularization on the normal equations.
+  double ridge = 1e-6;
+  /// Joint residual (in training sigmas beyond 1) at which the score is 0.5.
+  double sigma_scale = 3.0;
+};
+
+class VarDetector {
+ public:
+  explicit VarDetector(VarOptions options = {});
+
+  std::string name() const { return "VectorAutoregressive"; }
+
+  /// Trains on one or more groups of aligned channels. Each group is a
+  /// vector of equally long series (the channels); all groups must share
+  /// the channel count.
+  Status Train(const std::vector<std::vector<ts::TimeSeries>>& groups);
+
+  /// Per-time-step joint outlierness in [0,1] for aligned channels.
+  StatusOr<std::vector<double>> Score(
+      const std::vector<ts::TimeSeries>& channels) const;
+
+  /// Per-time-step raw residual z (joint, in sigmas) — for diagnostics.
+  StatusOr<std::vector<double>> ResidualZ(
+      const std::vector<ts::TimeSeries>& channels) const;
+
+  size_t num_channels() const { return dim_; }
+  /// Fitted transition matrix A (row-major, dim x dim).
+  const std::vector<std::vector<double>>& transition() const { return a_; }
+  const std::vector<double>& intercept() const { return c_; }
+
+ private:
+  Status CheckAligned(const std::vector<ts::TimeSeries>& channels) const;
+
+  VarOptions options_;
+  size_t dim_ = 0;
+  std::vector<std::vector<double>> a_;  // dim x dim
+  std::vector<double> c_;               // dim
+  std::vector<double> residual_sigma_;  // dim
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_VAR_DETECTOR_H_

@@ -1,0 +1,94 @@
+#include "detect/vibration_signature.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/spectral.h"
+#include "timeseries/stats.h"
+#include "timeseries/window.h"
+
+namespace hod::detect {
+
+VibrationSignatureDetector::VibrationSignatureDetector(
+    VibrationSignatureOptions options)
+    : options_(options) {}
+
+Status VibrationSignatureDetector::Train(
+    const std::vector<ts::TimeSeries>& normal) {
+  if (options_.window == 0 || options_.stride == 0 || options_.bands == 0) {
+    return Status::InvalidArgument("window/stride/bands must be > 0");
+  }
+  std::vector<std::vector<double>> signatures;
+  for (const auto& series : normal) {
+    HOD_RETURN_IF_ERROR(series.Validate());
+    if (series.size() < options_.window) continue;
+    auto spans_or =
+        ts::SlidingWindows(series.size(), options_.window, options_.stride);
+    if (!spans_or.ok()) return spans_or.status();
+    for (const auto& span : spans_or.value()) {
+      std::vector<double> chunk(series.values().begin() + span.begin,
+                                series.values().begin() + span.end);
+      HOD_ASSIGN_OR_RETURN(std::vector<double> sig,
+                           ts::VibrationSignature(chunk, options_.bands));
+      signatures.push_back(std::move(sig));
+    }
+  }
+  if (signatures.empty()) {
+    return Status::InvalidArgument(
+        "no training windows (series shorter than window?)");
+  }
+  mean_.assign(options_.bands, 0.0);
+  stddev_.assign(options_.bands, 0.0);
+  for (const auto& sig : signatures) {
+    for (size_t b = 0; b < options_.bands; ++b) mean_[b] += sig[b];
+  }
+  for (size_t b = 0; b < options_.bands; ++b) {
+    mean_[b] /= static_cast<double>(signatures.size());
+  }
+  for (const auto& sig : signatures) {
+    for (size_t b = 0; b < options_.bands; ++b) {
+      const double d = sig[b] - mean_[b];
+      stddev_[b] += d * d;
+    }
+  }
+  for (size_t b = 0; b < options_.bands; ++b) {
+    stddev_[b] =
+        std::sqrt(stddev_[b] / static_cast<double>(signatures.size()));
+    // Floor the spread so exact-constant training bands do not produce
+    // infinite distances on the slightest deviation.
+    stddev_[b] = std::max(stddev_[b], 1e-4);
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> VibrationSignatureDetector::Score(
+    const ts::TimeSeries& series) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  const size_t n = series.size();
+  std::vector<double> point_scores(n, 0.0);
+  if (n < options_.window) return point_scores;
+
+  auto spans_or =
+      ts::SlidingWindows(n, options_.window, options_.stride);
+  if (!spans_or.ok()) return spans_or.status();
+  const auto& spans = spans_or.value();
+
+  std::vector<double> window_scores(spans.size(), 0.0);
+  for (size_t w = 0; w < spans.size(); ++w) {
+    std::vector<double> chunk(series.values().begin() + spans[w].begin,
+                              series.values().begin() + spans[w].end);
+    HOD_ASSIGN_OR_RETURN(std::vector<double> sig,
+                         ts::VibrationSignature(chunk, options_.bands));
+    double dist = 0.0;
+    for (size_t b = 0; b < options_.bands; ++b) {
+      const double z = (sig[b] - mean_[b]) / stddev_[b];
+      dist += z * z;
+    }
+    dist = std::sqrt(dist / static_cast<double>(options_.bands));
+    window_scores[w] = ts::DeviationToScore(dist, options_.sigma_scale);
+  }
+  return ts::WindowScoresToPointScores(n, spans, window_scores);
+}
+
+}  // namespace hod::detect

@@ -1,0 +1,49 @@
+#ifndef HOD_DETECT_VIBRATION_SIGNATURE_H_
+#define HOD_DETECT_VIBRATION_SIGNATURE_H_
+
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace hod::detect {
+
+/// Vibration-signature analysis (Nairac et al. 1999, jet-engine vibration)
+/// — Table 1 row 3, family DA, data types PTS + TSS.
+///
+/// Each window of the signal is summarized by its normalized spectral band
+/// energies (the "signature"); training learns the mean signature and the
+/// per-band spread over normal windows. Scoring measures the Mahalanobis-
+/// style distance of a window's signature from the learned envelope.
+struct VibrationSignatureOptions {
+  size_t window = 64;
+  size_t stride = 16;
+  size_t bands = 8;
+  /// Score scale: band distance (in pooled sigmas) at which outlierness
+  /// reaches 0.5.
+  double sigma_scale = 3.0;
+};
+
+class VibrationSignatureDetector : public SeriesDetector {
+ public:
+  explicit VibrationSignatureDetector(VibrationSignatureOptions options = {});
+
+  std::string name() const override { return "VibrationSignature"; }
+
+  Status Train(const std::vector<ts::TimeSeries>& normal) override;
+
+  StatusOr<std::vector<double>> Score(
+      const ts::TimeSeries& series) const override;
+
+  /// Learned reference signature (band energies summing to 1).
+  const std::vector<double>& reference_signature() const { return mean_; }
+
+ private:
+  VibrationSignatureOptions options_;
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_VIBRATION_SIGNATURE_H_

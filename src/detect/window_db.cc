@@ -1,0 +1,89 @@
+#include "detect/window_db.h"
+
+#include <algorithm>
+
+#include "timeseries/distance.h"
+#include "timeseries/window.h"
+
+namespace hod::detect {
+
+WindowDbDetector::WindowDbDetector(WindowDbOptions options)
+    : options_(options) {}
+
+Status WindowDbDetector::Train(
+    const std::vector<ts::DiscreteSequence>& normal) {
+  if (options_.window == 0) {
+    return Status::InvalidArgument("window must be > 0");
+  }
+  frequencies_.clear();
+  for (const auto& sequence : normal) {
+    HOD_RETURN_IF_ERROR(sequence.Validate());
+    for (auto& w : ts::SymbolWindows(sequence.symbols(), options_.window)) {
+      ++frequencies_[std::move(w)];
+    }
+  }
+  if (frequencies_.empty()) {
+    return Status::InvalidArgument("no training windows");
+  }
+  // Probe set: most frequent windows first.
+  std::vector<std::pair<size_t, const std::vector<ts::Symbol>*>> ranked;
+  ranked.reserve(frequencies_.size());
+  for (const auto& [window, count] : frequencies_) {
+    ranked.emplace_back(count, &window);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  probe_set_.clear();
+  for (size_t i = 0; i < std::min(ranked.size(), options_.soft_probes); ++i) {
+    probe_set_.push_back(*ranked[i].second);
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> WindowDbDetector::Score(
+    const ts::DiscreteSequence& sequence) const {
+  if (!trained_) return Status::FailedPrecondition("detector not trained");
+  const size_t n = sequence.size();
+  std::vector<double> point_scores(n, 0.0);
+  if (n < options_.window) return point_scores;
+
+  auto spans_or = ts::SlidingWindows(n, options_.window, 1);
+  if (!spans_or.ok()) return spans_or.status();
+  const auto& spans = spans_or.value();
+
+  std::vector<double> window_scores(spans.size(), 0.0);
+  for (size_t w = 0; w < spans.size(); ++w) {
+    const std::vector<ts::Symbol> window(
+        sequence.symbols().begin() + spans[w].begin,
+        sequence.symbols().begin() + spans[w].end);
+    const auto it = frequencies_.find(window);
+    if (it != frequencies_.end()) {
+      if (it->second >= options_.frequent_count) {
+        window_scores[w] = 0.0;
+      } else {
+        // Rare in the database: partial score decreasing with frequency.
+        window_scores[w] =
+            0.4 * (1.0 - static_cast<double>(it->second) /
+                             static_cast<double>(options_.frequent_count));
+      }
+      continue;
+    }
+    // Unseen: soft mismatch = min Hamming distance to the probe set,
+    // normalized by window length. Score starts at 0.5 and grows with the
+    // number of mismatching positions.
+    size_t best = options_.window;
+    for (const auto& stored : probe_set_) {
+      auto dist_or = ts::HammingDistance(window, stored);
+      if (!dist_or.ok()) return dist_or.status();
+      best = std::min(best, dist_or.value());
+      if (best <= 1) break;
+    }
+    window_scores[w] =
+        0.5 + 0.5 * static_cast<double>(best) /
+                  static_cast<double>(options_.window);
+  }
+  return ts::WindowScoresToPointScores(n, spans, window_scores);
+}
+
+}  // namespace hod::detect

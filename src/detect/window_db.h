@@ -1,0 +1,54 @@
+#ifndef HOD_DETECT_WINDOW_DB_H_
+#define HOD_DETECT_WINDOW_DB_H_
+
+#include <map>
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace hod::detect {
+
+/// Normal pattern database over window sequences (Lane & Brodley 1997) —
+/// Table 1 row 17, family NPD, data type SSQ.
+///
+/// "The frequencies of overlapping windows are stored in a database. If a
+/// new subsequence has many mismatches, it is considered as an anomaly.
+/// This procedure can be extended by not including only exact matches, but
+/// rather compute soft mismatch scores." Exactly that: the database maps
+/// each training window to its frequency; a test window's score is 0 when
+/// frequent, rises for rare windows, and for unseen windows falls back to
+/// a soft mismatch score (minimum Hamming distance to any stored window,
+/// bounded probes).
+struct WindowDbOptions {
+  size_t window = 6;
+  /// Windows seen at least this often are fully normal.
+  size_t frequent_count = 3;
+  /// Max stored windows examined for the soft mismatch of an unseen
+  /// window (cost bound; probes take the most frequent entries).
+  size_t soft_probes = 256;
+};
+
+class WindowDbDetector : public SequenceDetector {
+ public:
+  explicit WindowDbDetector(WindowDbOptions options = {});
+
+  std::string name() const override { return "WindowSequenceDatabase"; }
+
+  Status Train(const std::vector<ts::DiscreteSequence>& normal) override;
+
+  StatusOr<std::vector<double>> Score(
+      const ts::DiscreteSequence& sequence) const override;
+
+  size_t database_size() const { return frequencies_.size(); }
+
+ private:
+  WindowDbOptions options_;
+  std::map<std::vector<ts::Symbol>, size_t> frequencies_;
+  /// Most frequent windows, used as soft-mismatch probe set.
+  std::vector<std::vector<ts::Symbol>> probe_set_;
+  bool trained_ = false;
+};
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_WINDOW_DB_H_

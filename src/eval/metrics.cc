@@ -1,0 +1,315 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace hod::eval {
+
+double Confusion::Precision() const {
+  const size_t flagged = true_positives + false_positives;
+  return flagged > 0 ? static_cast<double>(true_positives) /
+                           static_cast<double>(flagged)
+                     : 0.0;
+}
+
+double Confusion::Recall() const {
+  const size_t actual = true_positives + false_negatives;
+  return actual > 0 ? static_cast<double>(true_positives) /
+                          static_cast<double>(actual)
+                    : 0.0;
+}
+
+double Confusion::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+double Confusion::FalsePositiveRate() const {
+  const size_t negatives = false_positives + true_negatives;
+  return negatives > 0 ? static_cast<double>(false_positives) /
+                             static_cast<double>(negatives)
+                       : 0.0;
+}
+
+StatusOr<Confusion> Confuse(const std::vector<double>& scores,
+                            const Truth& truth, double threshold) {
+  if (scores.size() != truth.size()) {
+    return Status::InvalidArgument("score/truth size mismatch");
+  }
+  Confusion c;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool flagged = scores[i] > threshold;
+    const bool anomalous = truth[i] != 0;
+    if (flagged && anomalous) ++c.true_positives;
+    else if (flagged && !anomalous) ++c.false_positives;
+    else if (!flagged && anomalous) ++c.false_negatives;
+    else ++c.true_negatives;
+  }
+  return c;
+}
+
+StatusOr<Confusion> ConfuseWithTolerance(const std::vector<double>& scores,
+                                         const Truth& truth, double threshold,
+                                         size_t tolerance) {
+  if (scores.size() != truth.size()) {
+    return Status::InvalidArgument("score/truth size mismatch");
+  }
+  const size_t n = scores.size();
+  Confusion c;
+  // Precompute flagged positions and true positions.
+  for (size_t i = 0; i < n; ++i) {
+    const bool anomalous = truth[i] != 0;
+    if (anomalous) {
+      // Detected when any flag within tolerance.
+      bool detected = false;
+      const size_t lo = i >= tolerance ? i - tolerance : 0;
+      const size_t hi = std::min(n - 1, i + tolerance);
+      for (size_t j = lo; j <= hi && !detected; ++j) {
+        detected = scores[j] > threshold;
+      }
+      if (detected) ++c.true_positives;
+      else ++c.false_negatives;
+    } else {
+      const bool flagged = scores[i] > threshold;
+      if (!flagged) {
+        ++c.true_negatives;
+        continue;
+      }
+      // Excused when a true anomaly is nearby.
+      bool excused = false;
+      const size_t lo = i >= tolerance ? i - tolerance : 0;
+      const size_t hi = std::min(n - 1, i + tolerance);
+      for (size_t j = lo; j <= hi && !excused; ++j) {
+        excused = truth[j] != 0;
+      }
+      if (excused) ++c.true_negatives;
+      else ++c.false_positives;
+    }
+  }
+  return c;
+}
+
+StatusOr<double> RocAuc(const std::vector<double>& scores,
+                        const Truth& truth) {
+  if (scores.size() != truth.size()) {
+    return Status::InvalidArgument("score/truth size mismatch");
+  }
+  size_t positives = 0;
+  for (uint8_t t : truth) {
+    if (t != 0) ++positives;
+  }
+  const size_t negatives = truth.size() - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  // Midrank-based Mann-Whitney U.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::vector<double> ranks(scores.size(), 0.0);
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double midrank = (static_cast<double>(i) + static_cast<double>(j)) /
+                               2.0 +
+                           1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+  double rank_sum = 0.0;
+  for (size_t k = 0; k < truth.size(); ++k) {
+    if (truth[k] != 0) rank_sum += ranks[k];
+  }
+  const double u = rank_sum - static_cast<double>(positives) *
+                                  (static_cast<double>(positives) + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) *
+              static_cast<double>(negatives));
+}
+
+StatusOr<double> PrAuc(const std::vector<double>& scores, const Truth& truth) {
+  if (scores.size() != truth.size()) {
+    return Status::InvalidArgument("score/truth size mismatch");
+  }
+  size_t positives = 0;
+  for (uint8_t t : truth) {
+    if (t != 0) ++positives;
+  }
+  if (positives == 0) return 0.0;
+  // Average precision: sum over positives of precision at their rank.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  double ap = 0.0;
+  size_t seen_positives = 0;
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    if (truth[order[rank]] != 0) {
+      ++seen_positives;
+      ap += static_cast<double>(seen_positives) /
+            static_cast<double>(rank + 1);
+    }
+  }
+  return ap / static_cast<double>(positives);
+}
+
+namespace {
+
+StatusOr<BestF1Result> BestF1Impl(const std::vector<double>& scores,
+                                  const Truth& truth, size_t tolerance,
+                                  bool use_tolerance) {
+  if (scores.size() != truth.size()) {
+    return Status::InvalidArgument("score/truth size mismatch");
+  }
+  std::set<double> distinct(scores.begin(), scores.end());
+  BestF1Result best;
+  best.f1 = -1.0;
+  // Thresholds midway below each distinct score (plus one catching all).
+  std::vector<double> thresholds;
+  double prev = -1.0;
+  for (double v : distinct) {
+    thresholds.push_back((prev + v) / 2.0);
+    prev = v;
+  }
+  if (thresholds.empty()) thresholds.push_back(0.5);
+  for (double threshold : thresholds) {
+    auto confusion_or =
+        use_tolerance ? ConfuseWithTolerance(scores, truth, threshold,
+                                             tolerance)
+                      : Confuse(scores, truth, threshold);
+    if (!confusion_or.ok()) return confusion_or.status();
+    const double f1 = confusion_or.value().F1();
+    if (f1 > best.f1) {
+      best.f1 = f1;
+      best.threshold = threshold;
+      best.confusion = confusion_or.value();
+    }
+  }
+  if (best.f1 < 0.0) best.f1 = 0.0;
+  return best;
+}
+
+}  // namespace
+
+StatusOr<BestF1Result> BestF1(const std::vector<double>& scores,
+                              const Truth& truth) {
+  return BestF1Impl(scores, truth, 0, /*use_tolerance=*/false);
+}
+
+StatusOr<BestF1Result> BestF1WithTolerance(const std::vector<double>& scores,
+                                           const Truth& truth,
+                                           size_t tolerance) {
+  return BestF1Impl(scores, truth, tolerance, /*use_tolerance=*/true);
+}
+
+std::vector<Segment> ExtractSegments(const Truth& truth) {
+  std::vector<Segment> segments;
+  size_t i = 0;
+  while (i < truth.size()) {
+    if (truth[i] == 0) {
+      ++i;
+      continue;
+    }
+    Segment segment;
+    segment.begin = i;
+    while (i < truth.size() && truth[i] != 0) ++i;
+    segment.end = i;
+    segments.push_back(segment);
+  }
+  return segments;
+}
+
+StatusOr<SegmentConfusion> ConfuseSegments(const std::vector<double>& scores,
+                                           const Truth& truth,
+                                           double threshold,
+                                           size_t tolerance) {
+  if (scores.size() != truth.size()) {
+    return Status::InvalidArgument("score/truth size mismatch");
+  }
+  const std::vector<Segment> segments = ExtractSegments(truth);
+  SegmentConfusion confusion;
+  const size_t n = scores.size();
+  for (const Segment& segment : segments) {
+    const size_t lo =
+        segment.begin >= tolerance ? segment.begin - tolerance : 0;
+    const size_t hi = std::min(n, segment.end + tolerance);
+    bool detected = false;
+    for (size_t i = lo; i < hi && !detected; ++i) {
+      detected = scores[i] > threshold;
+    }
+    if (detected) ++confusion.detected_events;
+    else ++confusion.missed_events;
+  }
+  // False-positive points: flagged, not near any event.
+  for (size_t i = 0; i < n; ++i) {
+    if (scores[i] <= threshold) continue;
+    bool excused = false;
+    for (const Segment& segment : segments) {
+      const size_t lo =
+          segment.begin >= tolerance ? segment.begin - tolerance : 0;
+      const size_t hi = std::min(n, segment.end + tolerance);
+      if (i >= lo && i < hi) {
+        excused = true;
+        break;
+      }
+    }
+    if (!excused) ++confusion.false_positive_points;
+  }
+  return confusion;
+}
+
+double SegmentConfusion::EventRecall() const {
+  const size_t total = detected_events + missed_events;
+  return total > 0 ? static_cast<double>(detected_events) /
+                         static_cast<double>(total)
+                   : 0.0;
+}
+
+StatusOr<double> SegmentF1(const std::vector<double>& scores,
+                           const Truth& truth, double threshold,
+                           size_t tolerance) {
+  HOD_ASSIGN_OR_RETURN(SegmentConfusion confusion,
+                       ConfuseSegments(scores, truth, threshold, tolerance));
+  const double recall = confusion.EventRecall();
+  const double precision =
+      confusion.detected_events + confusion.false_positive_points > 0
+          ? static_cast<double>(confusion.detected_events) /
+                static_cast<double>(confusion.detected_events +
+                                    confusion.false_positive_points)
+          : 0.0;
+  return precision + recall > 0.0
+             ? 2.0 * precision * recall / (precision + recall)
+             : 0.0;
+}
+
+StatusOr<BestF1Result> BestSegmentF1(const std::vector<double>& scores,
+                                     const Truth& truth, size_t tolerance) {
+  if (scores.size() != truth.size()) {
+    return Status::InvalidArgument("score/truth size mismatch");
+  }
+  std::set<double> distinct(scores.begin(), scores.end());
+  BestF1Result best;
+  best.f1 = -1.0;
+  double prev = -1.0;
+  for (double v : distinct) {
+    const double threshold = (prev + v) / 2.0;
+    prev = v;
+    HOD_ASSIGN_OR_RETURN(double f1,
+                         SegmentF1(scores, truth, threshold, tolerance));
+    if (f1 > best.f1) {
+      best.f1 = f1;
+      best.threshold = threshold;
+    }
+  }
+  if (best.f1 < 0.0) best.f1 = 0.0;
+  return best;
+}
+
+}  // namespace hod::eval

@@ -1,0 +1,106 @@
+#ifndef HOD_EVAL_METRICS_H_
+#define HOD_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace hod::eval {
+
+/// Binary ground truth (1 = anomalous).
+using Truth = std::vector<uint8_t>;
+
+/// Confusion counts at a fixed threshold.
+struct Confusion {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t true_negatives = 0;
+  size_t false_negatives = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+  double FalsePositiveRate() const;
+};
+
+/// Point-wise confusion of thresholded scores vs truth (size mismatch is
+/// an error).
+StatusOr<Confusion> Confuse(const std::vector<double>& scores,
+                            const Truth& truth, double threshold);
+
+/// Event-tolerant confusion: a true anomalous point counts as detected
+/// when any score within `tolerance` indices exceeds the threshold, and a
+/// flagged point is a false positive only when no true anomaly lies within
+/// `tolerance`. This matches how window detectors localize anomalies.
+StatusOr<Confusion> ConfuseWithTolerance(const std::vector<double>& scores,
+                                         const Truth& truth, double threshold,
+                                         size_t tolerance);
+
+/// Area under the ROC curve via the rank statistic (ties get midranks).
+/// Returns 0.5 when either class is empty.
+StatusOr<double> RocAuc(const std::vector<double>& scores, const Truth& truth);
+
+/// Area under the precision-recall curve (average precision).
+/// Returns the positive rate when there are no positives.
+StatusOr<double> PrAuc(const std::vector<double>& scores, const Truth& truth);
+
+/// Maximum F1 over all score thresholds, with the achieving threshold.
+struct BestF1Result {
+  double f1 = 0.0;
+  double threshold = 0.5;
+  Confusion confusion;
+};
+StatusOr<BestF1Result> BestF1(const std::vector<double>& scores,
+                              const Truth& truth);
+
+/// BestF1 with event tolerance (sweeps distinct score values).
+StatusOr<BestF1Result> BestF1WithTolerance(const std::vector<double>& scores,
+                                           const Truth& truth,
+                                           size_t tolerance);
+
+/// ---- Segment-level evaluation ------------------------------------------
+/// Sustained anomalies (temporary changes, level shifts) are *events*, not
+/// points: an operator needs each event caught once, and pointwise metrics
+/// over-reward flagging every sample of a long event. Segment scoring
+/// treats each maximal run of anomalous truth labels as one event.
+
+/// One maximal run of anomalous labels.
+struct Segment {
+  size_t begin = 0;
+  size_t end = 0;  // half-open
+};
+
+/// Extracts maximal anomalous runs from truth labels.
+std::vector<Segment> ExtractSegments(const Truth& truth);
+
+/// Segment confusion at a threshold: an event counts as detected when any
+/// score within it (or within `tolerance` samples of its edges) exceeds
+/// the threshold; flagged points not within `tolerance` of any event are
+/// false-positive points.
+struct SegmentConfusion {
+  size_t detected_events = 0;
+  size_t missed_events = 0;
+  size_t false_positive_points = 0;
+
+  double EventRecall() const;
+};
+StatusOr<SegmentConfusion> ConfuseSegments(const std::vector<double>& scores,
+                                           const Truth& truth,
+                                           double threshold,
+                                           size_t tolerance);
+
+/// Segment F1 at a threshold: harmonic mean of event recall and a point
+/// precision that charges each false-positive point (events detected /
+/// (events detected + FP points) as the precision proxy).
+StatusOr<double> SegmentF1(const std::vector<double>& scores,
+                           const Truth& truth, double threshold,
+                           size_t tolerance);
+
+/// Max segment F1 over all thresholds.
+StatusOr<BestF1Result> BestSegmentF1(const std::vector<double>& scores,
+                                     const Truth& truth, size_t tolerance);
+
+}  // namespace hod::eval
+
+#endif  // HOD_EVAL_METRICS_H_

@@ -1,0 +1,116 @@
+#include "hierarchy/caq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/stats.h"
+
+namespace hod::hierarchy {
+
+Status CaqSpecification::AddLimit(CaqLimit limit) {
+  if (limit.feature.empty()) {
+    return Status::InvalidArgument("limit needs a feature name");
+  }
+  if (limit.lower >= limit.upper) {
+    return Status::InvalidArgument("lower limit must be below upper limit");
+  }
+  if (limit.target < limit.lower || limit.target > limit.upper) {
+    return Status::InvalidArgument("target must lie inside the band");
+  }
+  for (const CaqLimit& existing : limits_) {
+    if (existing.feature == limit.feature) {
+      return Status::InvalidArgument("duplicate limit for '" +
+                                     limit.feature + "'");
+    }
+  }
+  limits_.push_back(std::move(limit));
+  return Status::Ok();
+}
+
+StatusOr<CaqLimit> CaqSpecification::LimitFor(
+    const std::string& feature) const {
+  for (const CaqLimit& limit : limits_) {
+    if (limit.feature == feature) return limit;
+  }
+  return Status::NotFound("no CAQ limit for '" + feature + "'");
+}
+
+StatusOr<CaqResult> EvaluateCaq(const CaqSpecification& specification,
+                                const ts::FeatureVector& caq) {
+  HOD_RETURN_IF_ERROR(caq.Validate());
+  CaqResult result;
+  for (const CaqLimit& limit : specification.limits()) {
+    HOD_ASSIGN_OR_RETURN(double value, caq.Get(limit.feature));
+    // Normalized margin: 1 at target, 0 on the nearer limit, < 0 outside.
+    const double half_band = value >= limit.target
+                                 ? limit.upper - limit.target
+                                 : limit.target - limit.lower;
+    const double margin =
+        half_band > 0.0
+            ? 1.0 - std::fabs(value - limit.target) / half_band
+            : (value == limit.target ? 1.0 : -1.0);
+    result.worst_margin = std::min(result.worst_margin, margin);
+    if (value < limit.lower || value > limit.upper) {
+      result.pass = false;
+      result.violations.push_back(limit.feature);
+    }
+  }
+  return result;
+}
+
+StatusOr<double> ProcessCapability(const CaqSpecification& specification,
+                                   const std::vector<const Job*>& jobs,
+                                   const std::string& feature) {
+  HOD_ASSIGN_OR_RETURN(CaqLimit limit, specification.LimitFor(feature));
+  std::vector<double> values;
+  for (const Job* job : jobs) {
+    auto value = job->caq.Get(feature);
+    if (value.ok()) values.push_back(value.value());
+  }
+  if (values.size() < 2) {
+    return Status::InvalidArgument("need at least 2 jobs with feature '" +
+                                   feature + "'");
+  }
+  const double mean = ts::Mean(values);
+  const double sigma = ts::StdDev(values);
+  if (sigma <= 0.0) {
+    return Status::InvalidArgument("zero spread, Cpk undefined");
+  }
+  return std::min(mean - limit.lower, limit.upper - mean) / (3.0 * sigma);
+}
+
+StatusOr<CapabilityReport> MachineCapability(
+    const CaqSpecification& specification, const Machine& machine,
+    size_t window) {
+  std::vector<const Job*> jobs;
+  const size_t begin =
+      window > 0 && machine.jobs.size() > window
+          ? machine.jobs.size() - window
+          : 0;
+  for (size_t j = begin; j < machine.jobs.size(); ++j) {
+    jobs.push_back(&machine.jobs[j]);
+  }
+  CapabilityReport report;
+  for (const CaqLimit& limit : specification.limits()) {
+    HOD_ASSIGN_OR_RETURN(double cpk,
+                         ProcessCapability(specification, jobs, limit.feature));
+    report.features.push_back(limit.feature);
+    report.cpk.push_back(cpk);
+  }
+  return report;
+}
+
+CaqSpecification DefaultPrinterCaqSpecification() {
+  CaqSpecification specification;
+  // Bands sized at +/- 5 simulator sigmas around nominal: a healthy
+  // machine is comfortably capable (ideal Cpk ~1.67) even with sampling
+  // noise in the sigma estimate, while the rogue machine's 3.5-sigma mean
+  // shift drags its Cpk to ~0.5.
+  (void)specification.AddLimit({"density", 97.35, 99.85, 98.6});
+  (void)specification.AddLimit({"roughness", 4.45, 7.95, 6.2});
+  (void)specification.AddLimit({"dim_deviation", 0.018, 0.078, 0.048});
+  (void)specification.AddLimit({"tensile", 45.5, 56.5, 51.0});
+  return specification;
+}
+
+}  // namespace hod::hierarchy

@@ -1,0 +1,81 @@
+#ifndef HOD_HIERARCHY_CAQ_H_
+#define HOD_HIERARCHY_CAQ_H_
+
+#include <string>
+#include <vector>
+
+#include "hierarchy/production.h"
+#include "util/statusor.h"
+
+namespace hod::hierarchy {
+
+/// Computer-aided quality assurance — the paper's job-level anchor: "a job
+/// ... starts with a setup and ends with a computer-aided quality (CAQ)
+/// check". This module gives CAQ vectors engineering meaning: tolerance
+/// bands per quality feature, pass/fail evaluation, and process-capability
+/// (Cpk) tracking over a machine's recent jobs.
+
+/// Tolerance specification of one quality feature.
+struct CaqLimit {
+  std::string feature;
+  double lower = 0.0;
+  double upper = 0.0;
+  /// Nominal target inside [lower, upper].
+  double target = 0.0;
+};
+
+/// A full CAQ specification (one limit per feature).
+class CaqSpecification {
+ public:
+  /// Adds a limit; lower < upper and target inside the band are enforced.
+  Status AddLimit(CaqLimit limit);
+
+  const std::vector<CaqLimit>& limits() const { return limits_; }
+
+  /// Looks up the limit for a feature, or NotFound.
+  StatusOr<CaqLimit> LimitFor(const std::string& feature) const;
+
+ private:
+  std::vector<CaqLimit> limits_;
+};
+
+/// Outcome of checking one job's CAQ vector against the specification.
+struct CaqResult {
+  bool pass = true;
+  /// Features outside their band.
+  std::vector<std::string> violations;
+  /// Worst normalized margin across features: 1 = on target, 0 = on a
+  /// limit, negative = outside the band.
+  double worst_margin = 1.0;
+};
+
+/// Checks a job's CAQ vector. Features present in the specification but
+/// missing from the vector are errors; extra CAQ features are ignored.
+StatusOr<CaqResult> EvaluateCaq(const CaqSpecification& specification,
+                                const ts::FeatureVector& caq);
+
+/// Process-capability index of one feature over a set of jobs:
+/// Cpk = min(mean - lower, upper - mean) / (3 * sigma). Values >= 1.33 are
+/// conventionally "capable"; < 1 means the process produces scrap.
+/// Errors when fewer than 2 jobs carry the feature or sigma is 0.
+StatusOr<double> ProcessCapability(const CaqSpecification& specification,
+                                   const std::vector<const Job*>& jobs,
+                                   const std::string& feature);
+
+/// Per-feature Cpk over a machine's most recent `window` jobs (all jobs
+/// when window == 0).
+struct CapabilityReport {
+  std::vector<std::string> features;
+  std::vector<double> cpk;
+};
+StatusOr<CapabilityReport> MachineCapability(
+    const CaqSpecification& specification, const Machine& machine,
+    size_t window = 0);
+
+/// Default specification matching the simulator's CAQ schema (density %,
+/// roughness um, dim_deviation mm, tensile MPa).
+CaqSpecification DefaultPrinterCaqSpecification();
+
+}  // namespace hod::hierarchy
+
+#endif  // HOD_HIERARCHY_CAQ_H_

@@ -1,0 +1,44 @@
+#include "hierarchy/level.h"
+
+namespace hod::hierarchy {
+
+std::string_view LevelName(ProductionLevel level) {
+  switch (level) {
+    case ProductionLevel::kPhase:
+      return "Phase Level";
+    case ProductionLevel::kJob:
+      return "Job Level";
+    case ProductionLevel::kEnvironment:
+      return "Environment Level";
+    case ProductionLevel::kProductionLine:
+      return "Production Line Level";
+    case ProductionLevel::kProduction:
+      return "Production Level";
+  }
+  return "Unknown Level";
+}
+
+StatusOr<ProductionLevel> LevelAbove(ProductionLevel level) {
+  const int value = LevelValue(level);
+  if (value >= kNumLevels) {
+    return Status::OutOfRange("no level above Production Level");
+  }
+  return static_cast<ProductionLevel>(value + 1);
+}
+
+StatusOr<ProductionLevel> LevelBelow(ProductionLevel level) {
+  const int value = LevelValue(level);
+  if (value <= 1) {
+    return Status::OutOfRange("no level below Phase Level");
+  }
+  return static_cast<ProductionLevel>(value - 1);
+}
+
+StatusOr<ProductionLevel> LevelFromValue(int value) {
+  if (value < 1 || value > kNumLevels) {
+    return Status::OutOfRange("production level must be in [1, 5]");
+  }
+  return static_cast<ProductionLevel>(value);
+}
+
+}  // namespace hod::hierarchy

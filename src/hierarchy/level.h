@@ -1,0 +1,40 @@
+#ifndef HOD_HIERARCHY_LEVEL_H_
+#define HOD_HIERARCHY_LEVEL_H_
+
+#include <string_view>
+
+#include "util/statusor.h"
+
+namespace hod::hierarchy {
+
+/// The five production levels of the paper's Fig. 2, ordered from the most
+/// detailed view (phase) to the most complex scenario (production). The
+/// numeric values match the circled numbers in the figure and are what the
+/// global score counts over.
+enum class ProductionLevel : int {
+  kPhase = 1,           // multi-dimensional, high-resolution sensor data
+  kJob = 2,             // setup + CAQ check: high-dimensional job vectors
+  kEnvironment = 3,     // series measured alongside production (room temp)
+  kProductionLine = 4,  // jobs over time: setups form a time series
+  kProduction = 5,      // data from different machines
+};
+
+/// Number of levels in the hierarchy.
+inline constexpr int kNumLevels = 5;
+
+/// Human-readable name, e.g. "Phase Level".
+std::string_view LevelName(ProductionLevel level);
+
+/// Level above/below, or OutOfRange at the hierarchy's ends.
+StatusOr<ProductionLevel> LevelAbove(ProductionLevel level);
+StatusOr<ProductionLevel> LevelBelow(ProductionLevel level);
+
+/// Integer value (1..5) of a level.
+inline int LevelValue(ProductionLevel level) { return static_cast<int>(level); }
+
+/// Level from its integer value, or OutOfRange.
+StatusOr<ProductionLevel> LevelFromValue(int value);
+
+}  // namespace hod::hierarchy
+
+#endif  // HOD_HIERARCHY_LEVEL_H_

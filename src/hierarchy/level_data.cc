@@ -1,0 +1,161 @@
+#include "hierarchy/level_data.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "timeseries/stats.h"
+
+namespace hod::hierarchy {
+
+namespace {
+
+/// Setup+CAQ feature vector of a job, with names. Schema is validated
+/// against `expected_names` when non-empty.
+Status AppendJobVector(const Job& job, std::vector<std::string>* names,
+                       std::vector<std::vector<double>>* vectors) {
+  std::vector<std::string> job_names;
+  std::vector<double> values;
+  for (size_t i = 0; i < job.setup.size(); ++i) {
+    job_names.push_back("setup." + job.setup.names()[i]);
+    values.push_back(job.setup.values()[i]);
+  }
+  for (size_t i = 0; i < job.caq.size(); ++i) {
+    job_names.push_back("caq." + job.caq.names()[i]);
+    values.push_back(job.caq.values()[i]);
+  }
+  if (names->empty()) {
+    *names = std::move(job_names);
+  } else if (*names != job_names) {
+    return Status::InvalidArgument("job '" + job.id +
+                                   "' has a different setup/CAQ schema");
+  }
+  vectors->push_back(std::move(values));
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<JobMatrix> JobFeatureMatrix(const Machine& machine) {
+  JobMatrix matrix;
+  for (const Job& job : machine.jobs) {
+    HOD_RETURN_IF_ERROR(
+        AppendJobVector(job, &matrix.feature_names, &matrix.vectors));
+    matrix.job_ids.push_back(job.id);
+    matrix.times.push_back(job.start_time);
+  }
+  return matrix;
+}
+
+StatusOr<JobMatrix> JobFeatureMatrix(const ProductionLine& line) {
+  // Gather (time, machine index, job index) and sort by time.
+  struct Entry {
+    ts::TimePoint time;
+    const Job* job;
+  };
+  std::vector<Entry> entries;
+  for (const Machine& machine : line.machines) {
+    for (const Job& job : machine.jobs) {
+      entries.push_back({job.start_time, &job});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.time < b.time; });
+  JobMatrix matrix;
+  for (const Entry& entry : entries) {
+    HOD_RETURN_IF_ERROR(
+        AppendJobVector(*entry.job, &matrix.feature_names, &matrix.vectors));
+    matrix.job_ids.push_back(entry.job->id);
+    matrix.times.push_back(entry.time);
+  }
+  return matrix;
+}
+
+StatusOr<std::vector<ts::TimeSeries>> LineJobSeries(
+    const ProductionLine& line) {
+  HOD_ASSIGN_OR_RETURN(JobMatrix matrix, JobFeatureMatrix(line));
+  std::vector<ts::TimeSeries> series;
+  if (matrix.vectors.empty()) return series;
+  // Mean inter-job spacing as the nominal sampling interval.
+  double interval = 1.0;
+  if (matrix.times.size() > 1) {
+    interval = (matrix.times.back() - matrix.times.front()) /
+               static_cast<double>(matrix.times.size() - 1);
+    if (interval <= 0.0) interval = 1.0;
+  }
+  for (size_t f = 0; f < matrix.feature_names.size(); ++f) {
+    ts::TimeSeries s(line.id + "." + matrix.feature_names[f],
+                     matrix.times.front(), interval);
+    for (const auto& row : matrix.vectors) s.Append(row[f]);
+    series.push_back(std::move(s));
+  }
+  return series;
+}
+
+StatusOr<MachineMatrix> MachineSummaryMatrix(const Production& production) {
+  MachineMatrix matrix;
+  for (const ProductionLine& line : production.lines) {
+    for (const Machine& machine : line.machines) {
+      if (machine.jobs.empty()) continue;
+      // CAQ schema from the first job.
+      const auto& caq_names = machine.jobs.front().caq.names();
+      std::vector<std::string> names;
+      std::vector<double> values;
+      for (size_t f = 0; f < caq_names.size(); ++f) {
+        std::vector<double> feature;
+        feature.reserve(machine.jobs.size());
+        for (const Job& job : machine.jobs) {
+          if (f < job.caq.size()) feature.push_back(job.caq.values()[f]);
+        }
+        // Median/MAD, not mean/stddev: a short bad-batch window must not
+        // make a healthy machine's summary look degraded at the
+        // production level.
+        names.push_back("caq." + caq_names[f] + ".median");
+        values.push_back(ts::Median(feature));
+        names.push_back("caq." + caq_names[f] + ".mad");
+        values.push_back(ts::Mad(feature));
+      }
+      std::vector<double> durations;
+      durations.reserve(machine.jobs.size());
+      for (const Job& job : machine.jobs) {
+        durations.push_back(job.end_time - job.start_time);
+      }
+      names.push_back("job.duration.median");
+      values.push_back(ts::Median(durations));
+      names.push_back("job.duration.mad");
+      values.push_back(ts::Mad(durations));
+      if (matrix.feature_names.empty()) {
+        matrix.feature_names = std::move(names);
+      } else if (matrix.feature_names != names) {
+        return Status::InvalidArgument("machine '" + machine.id +
+                                       "' has a different CAQ schema");
+      }
+      matrix.machine_ids.push_back(machine.id);
+      matrix.vectors.push_back(std::move(values));
+    }
+  }
+  return matrix;
+}
+
+std::vector<const ts::TimeSeries*> CollectSensorSeries(
+    const Machine& machine, const std::string& sensor_id,
+    const std::string& phase_name) {
+  std::vector<const ts::TimeSeries*> result;
+  for (const Job& job : machine.jobs) {
+    for (const Phase& phase : job.phases) {
+      if (!phase_name.empty() && phase.name != phase_name) continue;
+      const auto it = phase.sensor_series.find(sensor_id);
+      if (it != phase.sensor_series.end()) result.push_back(&it->second);
+    }
+  }
+  return result;
+}
+
+const ts::TimeSeries* FindEnvironmentSeries(const ProductionLine& line,
+                                            const std::string& sensor_id) {
+  for (const EnvironmentChannel& channel : line.environment) {
+    if (channel.sensor_id == sensor_id) return &channel.series;
+  }
+  return nullptr;
+}
+
+}  // namespace hod::hierarchy

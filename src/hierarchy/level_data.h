@@ -1,0 +1,61 @@
+#ifndef HOD_HIERARCHY_LEVEL_DATA_H_
+#define HOD_HIERARCHY_LEVEL_DATA_H_
+
+#include <string>
+#include <vector>
+
+#include "hierarchy/production.h"
+#include "util/statusor.h"
+
+namespace hod::hierarchy {
+
+/// Extraction of the per-level datasets of Fig. 2: which data shape exists
+/// at each production level, ready for the matching detector family.
+
+/// Job-level dataset: one high-dimensional vector per job (setup followed
+/// by CAQ values) with the job's id and start time.
+struct JobMatrix {
+  std::vector<std::string> job_ids;
+  std::vector<ts::TimePoint> times;
+  std::vector<std::string> feature_names;
+  std::vector<std::vector<double>> vectors;
+};
+
+/// Jobs of one machine in execution order. Jobs must share the setup/CAQ
+/// schema (same feature names); InvalidArgument otherwise.
+StatusOr<JobMatrix> JobFeatureMatrix(const Machine& machine);
+
+/// Jobs of every machine on a line, ordered by start time.
+StatusOr<JobMatrix> JobFeatureMatrix(const ProductionLine& line);
+
+/// Production-line level: "if jobs over time are investigated, the
+/// high-dimensional setup provides also a time series" — one TimeSeries
+/// per setup/CAQ feature, one sample per job. Job arrival is treated as
+/// regular with the mean inter-job spacing (jobs are the sampling unit;
+/// the exact wall-clock jitter is not meaningful at this level).
+StatusOr<std::vector<ts::TimeSeries>> LineJobSeries(
+    const ProductionLine& line);
+
+/// Production level: one summary vector per machine (per-CAQ-feature mean
+/// and spread plus job duration statistics), for cross-machine comparison.
+struct MachineMatrix {
+  std::vector<std::string> machine_ids;
+  std::vector<std::string> feature_names;
+  std::vector<std::vector<double>> vectors;
+};
+StatusOr<MachineMatrix> MachineSummaryMatrix(const Production& production);
+
+/// Phase-level training data: every series recorded by `sensor_id` across
+/// the machine's jobs (optionally restricted to phases named
+/// `phase_name`). Pointers remain owned by the production structure.
+std::vector<const ts::TimeSeries*> CollectSensorSeries(
+    const Machine& machine, const std::string& sensor_id,
+    const std::string& phase_name = "");
+
+/// Environment series for a sensor on a line (nullptr when absent).
+const ts::TimeSeries* FindEnvironmentSeries(const ProductionLine& line,
+                                            const std::string& sensor_id);
+
+}  // namespace hod::hierarchy
+
+#endif  // HOD_HIERARCHY_LEVEL_DATA_H_

@@ -1,0 +1,96 @@
+#include "hierarchy/production.h"
+
+namespace hod::hierarchy {
+
+StatusOr<const ProductionLine*> FindLine(const Production& production,
+                                         const std::string& line_id) {
+  for (const ProductionLine& line : production.lines) {
+    if (line.id == line_id) return &line;
+  }
+  return Status::NotFound("unknown production line '" + line_id + "'");
+}
+
+StatusOr<const Machine*> FindMachine(const Production& production,
+                                     const std::string& machine_id) {
+  for (const ProductionLine& line : production.lines) {
+    for (const Machine& machine : line.machines) {
+      if (machine.id == machine_id) return &machine;
+    }
+  }
+  return Status::NotFound("unknown machine '" + machine_id + "'");
+}
+
+StatusOr<const Job*> FindJob(const Production& production,
+                             const std::string& job_id) {
+  for (const ProductionLine& line : production.lines) {
+    for (const Machine& machine : line.machines) {
+      for (const Job& job : machine.jobs) {
+        if (job.id == job_id) return &job;
+      }
+    }
+  }
+  return Status::NotFound("unknown job '" + job_id + "'");
+}
+
+Status ValidateProduction(const Production& production) {
+  for (const ProductionLine& line : production.lines) {
+    if (line.id.empty()) {
+      return Status::InvalidArgument("production line with empty id");
+    }
+    for (const EnvironmentChannel& channel : line.environment) {
+      if (!production.sensors.Contains(channel.sensor_id)) {
+        return Status::InvalidArgument("unregistered environment sensor '" +
+                                       channel.sensor_id + "'");
+      }
+      HOD_RETURN_IF_ERROR(channel.series.Validate());
+    }
+    for (const Machine& machine : line.machines) {
+      if (machine.id.empty()) {
+        return Status::InvalidArgument("machine with empty id");
+      }
+      HOD_RETURN_IF_ERROR(machine.configuration.Validate());
+      for (const Job& job : machine.jobs) {
+        if (job.id.empty()) {
+          return Status::InvalidArgument("job with empty id");
+        }
+        if (job.machine_id != machine.id) {
+          return Status::InvalidArgument("job '" + job.id +
+                                         "' has mismatched machine id");
+        }
+        if (job.end_time < job.start_time) {
+          return Status::InvalidArgument("job '" + job.id +
+                                         "' ends before it starts");
+        }
+        HOD_RETURN_IF_ERROR(job.setup.Validate());
+        HOD_RETURN_IF_ERROR(job.caq.Validate());
+        for (const Phase& phase : job.phases) {
+          if (phase.end_time < phase.start_time) {
+            return Status::InvalidArgument("phase '" + phase.name +
+                                           "' ends before it starts");
+          }
+          HOD_RETURN_IF_ERROR(phase.events.Validate());
+          for (const auto& [sensor_id, series] : phase.sensor_series) {
+            if (!production.sensors.Contains(sensor_id)) {
+              return Status::InvalidArgument("unregistered sensor '" +
+                                             sensor_id + "'");
+            }
+            HOD_RETURN_IF_ERROR(series.Validate());
+          }
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+size_t CountJobs(const Production& production) {
+  size_t count = 0;
+  for (const ProductionLine& line : production.lines) {
+    for (const Machine& machine : line.machines) {
+      count += machine.jobs.size();
+    }
+  }
+  return count;
+}
+
+}  // namespace hod::hierarchy

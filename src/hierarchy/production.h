@@ -1,0 +1,90 @@
+#ifndef HOD_HIERARCHY_PRODUCTION_H_
+#define HOD_HIERARCHY_PRODUCTION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hierarchy/sensor_registry.h"
+#include "timeseries/discrete_sequence.h"
+#include "timeseries/time_series.h"
+#include "util/statusor.h"
+
+namespace hod::hierarchy {
+
+/// One production phase (preparation, warm-up, calibration, print, ...):
+/// the most detailed view — multi-dimensional high-resolution sensor
+/// values as time series plus a discrete event sequence.
+struct Phase {
+  std::string name;
+  ts::TimePoint start_time = 0.0;
+  ts::TimePoint end_time = 0.0;
+  /// Sensor id -> high-resolution series recorded during the phase.
+  std::map<std::string, ts::TimeSeries> sensor_series;
+  /// Discrete value sequence (machine event/state labels) for the phase.
+  ts::DiscreteSequence events{"events", 1};
+};
+
+/// One production job: "starts with a setup and ends with a computer-aided
+/// quality (CAQ) check"; consists of several phases.
+struct Job {
+  std::string id;
+  std::string machine_id;
+  ts::TimePoint start_time = 0.0;
+  ts::TimePoint end_time = 0.0;
+  /// Job configuration selected during setup (high-dimensional, not a
+  /// time series).
+  ts::FeatureVector setup;
+  std::vector<Phase> phases;
+  /// CAQ quality measurements taken after the job.
+  ts::FeatureVector caq;
+};
+
+/// A machine executing jobs sequentially; carries a static machine
+/// configuration (Fig. 2's "machine configuration").
+struct Machine {
+  std::string id;
+  ts::FeatureVector configuration;
+  std::vector<Job> jobs;
+};
+
+/// An environment measurement channel: "a time series ... which does not
+/// correspond directly to the production process, but is measured in the
+/// same period", e.g. the room temperature.
+struct EnvironmentChannel {
+  std::string sensor_id;
+  ts::TimeSeries series{"", 0.0, 1.0};
+};
+
+/// A production line: several machines sharing an environment.
+struct ProductionLine {
+  std::string id;
+  std::vector<Machine> machines;
+  std::vector<EnvironmentChannel> environment;
+};
+
+/// The whole production — the most complex scenario, spanning machines on
+/// several lines, plus the sensor registry used for redundancy queries.
+struct Production {
+  std::vector<ProductionLine> lines;
+  SensorRegistry sensors;
+};
+
+/// Lookup helpers (NotFound on miss).
+StatusOr<const ProductionLine*> FindLine(const Production& production,
+                                         const std::string& line_id);
+StatusOr<const Machine*> FindMachine(const Production& production,
+                                     const std::string& machine_id);
+StatusOr<const Job*> FindJob(const Production& production,
+                             const std::string& job_id);
+
+/// Validation: timestamps ordered, series valid, setup/CAQ vectors valid,
+/// sensor ids registered. Returns the first violation found.
+Status ValidateProduction(const Production& production);
+
+/// Total number of jobs across all lines and machines.
+size_t CountJobs(const Production& production);
+
+}  // namespace hod::hierarchy
+
+#endif  // HOD_HIERARCHY_PRODUCTION_H_

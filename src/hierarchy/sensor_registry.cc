@@ -1,0 +1,48 @@
+#include "hierarchy/sensor_registry.h"
+
+namespace hod::hierarchy {
+
+Status SensorRegistry::Register(SensorInfo info) {
+  if (info.id.empty()) {
+    return Status::InvalidArgument("sensor id must be non-empty");
+  }
+  if (sensors_.count(info.id) > 0) {
+    return Status::InvalidArgument("duplicate sensor id '" + info.id + "'");
+  }
+  if (!info.redundancy_group.empty()) {
+    groups_[info.redundancy_group].push_back(info.id);
+  }
+  order_.push_back(info.id);
+  sensors_.emplace(info.id, std::move(info));
+  return Status::Ok();
+}
+
+StatusOr<SensorInfo> SensorRegistry::Get(const std::string& id) const {
+  const auto it = sensors_.find(id);
+  if (it == sensors_.end()) {
+    return Status::NotFound("unknown sensor '" + id + "'");
+  }
+  return it->second;
+}
+
+bool SensorRegistry::Contains(const std::string& id) const {
+  return sensors_.count(id) > 0;
+}
+
+StatusOr<std::vector<std::string>> SensorRegistry::CorrespondingSensors(
+    const std::string& id) const {
+  const auto it = sensors_.find(id);
+  if (it == sensors_.end()) {
+    return Status::NotFound("unknown sensor '" + id + "'");
+  }
+  std::vector<std::string> result;
+  if (it->second.redundancy_group.empty()) return result;
+  const auto group_it = groups_.find(it->second.redundancy_group);
+  if (group_it == groups_.end()) return result;
+  for (const std::string& member : group_it->second) {
+    if (member != id) result.push_back(member);
+  }
+  return result;
+}
+
+}  // namespace hod::hierarchy

@@ -1,0 +1,61 @@
+#ifndef HOD_HIERARCHY_SENSOR_REGISTRY_H_
+#define HOD_HIERARCHY_SENSOR_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace hod::hierarchy {
+
+/// Static description of one physical sensor.
+struct SensorInfo {
+  /// Globally unique id, e.g. "m1.bed_temp_a".
+  std::string id;
+  /// Human name, e.g. "Bed temperature (front)".
+  std::string name;
+  /// Unit, e.g. "degC".
+  std::string unit;
+  /// Machine the sensor is mounted on; empty for environment sensors.
+  std::string machine_id;
+  /// Sensors measuring the same physical quantity share a redundancy
+  /// group ("machines are often equipped with redundant sensors, e.g., to
+  /// measure the temperature of the same machine at different places").
+  /// Empty = no redundancy. This is what the paper's support value is
+  /// computed over.
+  std::string redundancy_group;
+};
+
+/// Registry of all sensors in a production, answering the "corresponding
+/// sensors" query of Algorithm 1.
+class SensorRegistry {
+ public:
+  /// Registers a sensor; the id must be unique.
+  Status Register(SensorInfo info);
+
+  /// Info for `id`, or NotFound.
+  StatusOr<SensorInfo> Get(const std::string& id) const;
+
+  /// True when `id` is registered.
+  bool Contains(const std::string& id) const;
+
+  /// Ids of the *other* sensors in `id`'s redundancy group (empty when the
+  /// sensor has no group or is alone in it). NotFound for unknown ids.
+  StatusOr<std::vector<std::string>> CorrespondingSensors(
+      const std::string& id) const;
+
+  /// All sensor ids in registration order.
+  const std::vector<std::string>& ids() const { return order_; }
+
+  size_t size() const { return sensors_.size(); }
+
+ private:
+  std::map<std::string, SensorInfo> sensors_;
+  std::map<std::string, std::vector<std::string>> groups_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace hod::hierarchy
+
+#endif  // HOD_HIERARCHY_SENSOR_REGISTRY_H_

@@ -1,0 +1,40 @@
+#ifndef HOD_HIERARCHY_SERIALIZATION_H_
+#define HOD_HIERARCHY_SERIALIZATION_H_
+
+#include <istream>
+#include <ostream>
+
+#include "hierarchy/production.h"
+#include "util/statusor.h"
+
+namespace hod::hierarchy {
+
+/// Text serialization of a whole Production — the interchange point
+/// between a plant historian and this library. The format is line
+/// oriented, versioned, and lossless for doubles (round-trips bit-exact):
+///
+///   HODPROD 1
+///   SENSOR <id> <unit> <machine|-> <group|-> <name...>
+///   LINE <id>
+///   MACHINE <id>
+///   CONFIG <n> <name> <value> ...
+///   JOB <id> <start> <end>
+///   SETUP <n> <name> <value> ...
+///   CAQ <n> <name> <value> ...
+///   PHASE <name> <start> <end>
+///   EVENTS <alphabet> <n> <s1> ... <sn>
+///   SERIES <sensor-id> <start> <interval> <n> <v1> ... <vn>
+///   ENV <sensor-id> <start> <interval> <n> <v1> ... <vn>
+///   END
+///
+/// Identifiers must not contain whitespace; the trailing free-text field
+/// of SENSOR may.
+Status WriteProduction(const Production& production, std::ostream& os);
+
+/// Parses a production written by WriteProduction. Errors carry the
+/// offending line number.
+StatusOr<Production> ReadProduction(std::istream& is);
+
+}  // namespace hod::hierarchy
+
+#endif  // HOD_HIERARCHY_SERIALIZATION_H_

@@ -1,0 +1,37 @@
+#ifndef HOD_HOD_H_
+#define HOD_HOD_H_
+
+/// Umbrella header: the public API of libhod in one include.
+///
+///   #include "hod.h"
+///
+/// Brings in the production hierarchy, the hierarchical detector
+/// (Algorithm 1), the full Table-1 detector registry, the simulator, and
+/// the evaluation metrics. Individual headers remain includable directly
+/// for faster builds.
+
+#include "core/algorithm_selector.h"    // IWYU pragma: export
+#include "core/concept_shift.h"         // IWYU pragma: export
+#include "core/hierarchical_detector.h" // IWYU pragma: export
+#include "core/monitor.h"               // IWYU pragma: export
+#include "core/plant_health.h"          // IWYU pragma: export
+#include "core/report.h"                // IWYU pragma: export
+#include "detect/adapters.h"            // IWYU pragma: export
+#include "detect/baseline.h"            // IWYU pragma: export
+#include "detect/detector.h"            // IWYU pragma: export
+#include "detect/ensemble.h"            // IWYU pragma: export
+#include "detect/registry.h"            // IWYU pragma: export
+#include "eval/metrics.h"               // IWYU pragma: export
+#include "hierarchy/level.h"            // IWYU pragma: export
+#include "hierarchy/level_data.h"       // IWYU pragma: export
+#include "hierarchy/production.h"       // IWYU pragma: export
+#include "hierarchy/sensor_registry.h"  // IWYU pragma: export
+#include "hierarchy/serialization.h"    // IWYU pragma: export
+#include "sim/datasets.h"               // IWYU pragma: export
+#include "sim/plant.h"                  // IWYU pragma: export
+#include "timeseries/discrete_sequence.h"  // IWYU pragma: export
+#include "timeseries/time_series.h"     // IWYU pragma: export
+#include "util/status.h"                // IWYU pragma: export
+#include "util/statusor.h"              // IWYU pragma: export
+
+#endif  // HOD_HOD_H_

@@ -1,0 +1,81 @@
+#include "sim/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hod::sim {
+
+std::string_view OutlierTypeName(OutlierType type) {
+  switch (type) {
+    case OutlierType::kAdditive:
+      return "Additive Outlier";
+    case OutlierType::kInnovative:
+      return "Innovative Outlier";
+    case OutlierType::kTemporaryChange:
+      return "Temporary Change";
+    case OutlierType::kLevelShift:
+      return "Level Shift";
+  }
+  return "Unknown";
+}
+
+const std::vector<OutlierType>& AllOutlierTypes() {
+  static const std::vector<OutlierType>* kTypes =
+      new std::vector<OutlierType>{
+          OutlierType::kAdditive, OutlierType::kInnovative,
+          OutlierType::kTemporaryChange, OutlierType::kLevelShift};
+  return *kTypes;
+}
+
+Status Inject(const InjectionSpec& spec, std::vector<double>& values,
+              std::vector<uint8_t>& labels,
+              const InjectionLabeling& labeling) {
+  if (spec.position >= values.size()) {
+    return Status::OutOfRange("injection position beyond series end");
+  }
+  if (labels.size() < values.size()) labels.resize(values.size(), 0);
+  const size_t n = values.size();
+  const double threshold =
+      std::fabs(spec.magnitude) * labeling.label_threshold_fraction;
+
+  switch (spec.type) {
+    case OutlierType::kAdditive: {
+      values[spec.position] += spec.magnitude;
+      labels[spec.position] = 1;
+      break;
+    }
+    case OutlierType::kInnovative: {
+      // Shock propagates through the AR(1) impulse response phi^k.
+      double effect = spec.magnitude;
+      for (size_t k = spec.position; k < n; ++k) {
+        values[k] += effect;
+        if (std::fabs(effect) > threshold) labels[k] = 1;
+        effect *= spec.ar_coefficient;
+        if (std::fabs(effect) < 1e-6 * std::fabs(spec.magnitude)) break;
+      }
+      break;
+    }
+    case OutlierType::kTemporaryChange: {
+      double effect = spec.magnitude;
+      for (size_t k = spec.position; k < n; ++k) {
+        values[k] += effect;
+        if (std::fabs(effect) > threshold) labels[k] = 1;
+        effect *= spec.decay;
+        if (std::fabs(effect) < 1e-6 * std::fabs(spec.magnitude)) break;
+      }
+      break;
+    }
+    case OutlierType::kLevelShift: {
+      for (size_t k = spec.position; k < n; ++k) {
+        values[k] += spec.magnitude;
+      }
+      const size_t span =
+          std::min(n, spec.position + labeling.level_shift_label_span);
+      for (size_t k = spec.position; k < span; ++k) labels[k] = 1;
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace hod::sim

@@ -1,0 +1,62 @@
+#ifndef HOD_SIM_ANOMALY_H_
+#define HOD_SIM_ANOMALY_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hod::sim {
+
+/// The four classic temporal outlier types of the paper's Fig. 1
+/// (Fox 1972): how a disturbance of magnitude delta enters a series.
+enum class OutlierType {
+  /// Additive outlier: an isolated spike at one sample.
+  kAdditive,
+  /// Innovative outlier: a shock entering the process dynamics, decaying
+  /// through the AR structure (delta * phi^k).
+  kInnovative,
+  /// Temporary change: an exponential-decay bump (delta * decay^k).
+  kTemporaryChange,
+  /// Level shift: a permanent step of height delta.
+  kLevelShift,
+};
+
+/// Short name as printed in Fig. 1, e.g. "Additive Outlier".
+std::string_view OutlierTypeName(OutlierType type);
+
+/// All four types in figure order.
+const std::vector<OutlierType>& AllOutlierTypes();
+
+/// Parameters of one injection.
+struct InjectionSpec {
+  OutlierType type = OutlierType::kAdditive;
+  /// Sample index where the disturbance starts.
+  size_t position = 0;
+  /// Magnitude in absolute units (callers typically pass k * sigma).
+  double magnitude = 1.0;
+  /// AR(1) coefficient of the underlying process (innovative outliers
+  /// propagate with it).
+  double ar_coefficient = 0.7;
+  /// Decay rate of temporary changes.
+  double decay = 0.8;
+};
+
+/// Adds the disturbance described by `spec` to `values` and marks the
+/// affected samples in `labels` (resized to values.size() when needed).
+/// A sample is labeled anomalous while the disturbance contributes more
+/// than `label_threshold_fraction` of its peak magnitude; level shifts
+/// label `level_shift_label_span` samples from the step (the *change* is
+/// the anomaly, not the new regime). Errors when position is out of range.
+struct InjectionLabeling {
+  double label_threshold_fraction = 0.3;
+  size_t level_shift_label_span = 8;
+};
+Status Inject(const InjectionSpec& spec, std::vector<double>& values,
+              std::vector<uint8_t>& labels,
+              const InjectionLabeling& labeling = {});
+
+}  // namespace hod::sim
+
+#endif  // HOD_SIM_ANOMALY_H_

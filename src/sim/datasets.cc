@@ -1,0 +1,211 @@
+#include "sim/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace hod::sim {
+
+StatusOr<PointDataset> GeneratePointDataset(
+    const PointDatasetOptions& options) {
+  if (options.dim == 0) return Status::InvalidArgument("dim must be > 0");
+  Rng rng(options.seed);
+  PointDataset dataset;
+
+  // Two cluster centers at +/- 4 along alternating axes.
+  std::vector<std::vector<double>> centers(2,
+                                           std::vector<double>(options.dim));
+  for (size_t d = 0; d < options.dim; ++d) {
+    centers[0][d] = (d % 2 == 0) ? 4.0 : -2.0;
+    centers[1][d] = (d % 2 == 0) ? -4.0 : 2.0;
+  }
+  auto emit = [&](size_t count, std::vector<std::vector<double>>* out,
+                  LabelVector* labels) {
+    for (size_t i = 0; i < count; ++i) {
+      const auto& center = centers[rng.NextBelow(2)];
+      std::vector<double> point(options.dim);
+      for (size_t d = 0; d < options.dim; ++d) {
+        point[d] = center[d] + rng.NextGaussian();
+      }
+      const bool anomalous = rng.NextBernoulli(options.anomaly_rate);
+      if (anomalous) {
+        // Displace along a random unit direction.
+        std::vector<double> direction(options.dim);
+        double norm = 0.0;
+        for (size_t d = 0; d < options.dim; ++d) {
+          direction[d] = rng.NextGaussian();
+          norm += direction[d] * direction[d];
+        }
+        norm = std::sqrt(std::max(norm, 1e-12));
+        for (size_t d = 0; d < options.dim; ++d) {
+          point[d] += options.magnitude * direction[d] / norm;
+        }
+      }
+      out->push_back(std::move(point));
+      labels->push_back(anomalous ? 1 : 0);
+    }
+  };
+  emit(options.train_size, &dataset.train, &dataset.train_labels);
+  emit(options.test_size, &dataset.test, &dataset.test_labels);
+  return dataset;
+}
+
+StatusOr<SequenceDataset> GenerateSequenceDataset(
+    const SequenceDatasetOptions& options) {
+  if (options.alphabet < 3) {
+    return Status::InvalidArgument("alphabet must be >= 3");
+  }
+  Rng rng(options.seed);
+  SequenceDataset dataset;
+
+  // Cyclic grammar over symbols 0..alphabet-2 (the last symbol is
+  // reserved as "rare"): position i emits (i + phase) % cycle with a small
+  // substitution rate.
+  const int cycle = options.alphabet - 1;
+  auto emit_normal = [&](size_t length, ts::DiscreteSequence* sequence) {
+    const int phase = static_cast<int>(rng.NextBelow(cycle));
+    for (size_t i = 0; i < length; ++i) {
+      ts::Symbol symbol =
+          static_cast<ts::Symbol>((static_cast<int>(i) + phase) % cycle);
+      if (rng.NextBernoulli(options.benign_substitution_rate)) {
+        symbol = static_cast<ts::Symbol>(rng.NextBelow(cycle));
+      }
+      sequence->Append(symbol);
+    }
+  };
+
+  for (size_t s = 0; s < options.train_sequences; ++s) {
+    ts::DiscreteSequence sequence("train" + std::to_string(s),
+                                  options.alphabet);
+    emit_normal(options.length, &sequence);
+    LabelVector labels(options.length, 0);
+    // A minority of training sequences carry labeled anomalies so the
+    // supervised family has positives to learn from.
+    if (s % 3 == 0 && options.length > options.burst_length + 16) {
+      const size_t start =
+          8 + rng.NextBelow(options.length - options.burst_length - 16);
+      for (size_t i = start; i < start + options.burst_length; ++i) {
+        sequence.mutable_symbol(i) = static_cast<ts::Symbol>(
+            options.alphabet - 1);  // grammar-violating rare symbol
+        labels[i] = 1;
+      }
+    }
+    dataset.train.push_back(std::move(sequence));
+    dataset.train_labels.push_back(std::move(labels));
+  }
+
+  for (size_t s = 0; s < options.test_sequences; ++s) {
+    ts::DiscreteSequence sequence("test" + std::to_string(s),
+                                  options.alphabet);
+    emit_normal(options.length, &sequence);
+    LabelVector labels(options.length, 0);
+    // Expected number of corrupted bursts from the per-position rate.
+    const double expected_bursts =
+        options.anomaly_rate * static_cast<double>(options.length) /
+        static_cast<double>(options.burst_length);
+    const size_t bursts = std::max<size_t>(
+        1, static_cast<size_t>(std::lround(expected_bursts)));
+    for (size_t b = 0; b < bursts; ++b) {
+      if (options.length <= options.burst_length + 16) break;
+      const size_t start =
+          8 + rng.NextBelow(options.length - options.burst_length - 16);
+      for (size_t i = start; i < start + options.burst_length; ++i) {
+        // Burst symbols: either the rare symbol or a shuffled grammar
+        // symbol (out-of-order), both violating local structure.
+        sequence.mutable_symbol(i) =
+            rng.NextBernoulli(0.5)
+                ? static_cast<ts::Symbol>(options.alphabet - 1)
+                : static_cast<ts::Symbol>(rng.NextBelow(cycle));
+        labels[i] = 1;
+      }
+    }
+    dataset.test.push_back(std::move(sequence));
+    dataset.test_labels.push_back(std::move(labels));
+  }
+  return dataset;
+}
+
+StatusOr<SeriesDataset> GenerateSeriesDataset(
+    const SeriesDatasetOptions& options) {
+  if (options.length < 64) {
+    return Status::InvalidArgument("series length must be >= 64");
+  }
+  Rng rng(options.seed);
+  SeriesDataset dataset;
+
+  auto emit_base = [&](const std::string& name) {
+    std::vector<double> values(options.length);
+    const double innovation_sigma =
+        options.sigma *
+        std::sqrt(1.0 - options.ar_coefficient * options.ar_coefficient);
+    double noise = rng.Gaussian(0.0, options.sigma);
+    for (size_t i = 0; i < options.length; ++i) {
+      values[i] = options.seasonal_amplitude *
+                      std::sin(2.0 * M_PI * static_cast<double>(i) /
+                               options.seasonal_period) +
+                  noise;
+      noise = options.ar_coefficient * noise +
+              rng.Gaussian(0.0, innovation_sigma);
+    }
+    return ts::TimeSeries(name, 0.0, 1.0, std::move(values));
+  };
+
+  for (size_t s = 0; s < options.train_series; ++s) {
+    dataset.train.push_back(emit_base("train" + std::to_string(s)));
+    dataset.train_labels.emplace_back(options.length, 0);
+  }
+  size_t type_cursor = 0;
+  for (size_t s = 0; s < options.test_series; ++s) {
+    ts::TimeSeries series = emit_base("test" + std::to_string(s));
+    LabelVector labels(options.length, 0);
+    for (size_t a = 0; a < options.anomalies_per_series; ++a) {
+      InjectionSpec injection;
+      injection.type = options.only_type != nullptr
+                           ? *options.only_type
+                           : AllOutlierTypes()[type_cursor++ %
+                                               AllOutlierTypes().size()];
+      injection.position = 16 + rng.NextBelow(options.length - 48);
+      injection.magnitude = options.magnitude * options.sigma *
+                            (rng.NextBernoulli(0.5) ? 1.0 : -1.0);
+      injection.ar_coefficient = options.ar_coefficient;
+      HOD_RETURN_IF_ERROR(
+          Inject(injection, series.mutable_values(), labels));
+    }
+    dataset.test.push_back(std::move(series));
+    dataset.test_labels.push_back(std::move(labels));
+  }
+  return dataset;
+}
+
+StatusOr<WholeSeriesDataset> GenerateWholeSeriesDataset(
+    size_t train_series, size_t test_series, double anomaly_fraction,
+    uint64_t seed) {
+  Rng rng(seed);
+  WholeSeriesDataset dataset;
+  const size_t length = 256;
+  auto emit = [&](bool anomalous, const std::string& name) {
+    std::vector<double> values(length);
+    // Normal: one dominant period; anomalous: different period + phase
+    // spike structure.
+    const double period = anomalous ? 23.0 : 40.0;
+    const double amplitude = anomalous ? 3.5 : 2.5;
+    for (size_t i = 0; i < length; ++i) {
+      values[i] = amplitude * std::sin(2.0 * M_PI *
+                                       static_cast<double>(i) / period) +
+                  rng.Gaussian(0.0, 0.6);
+    }
+    return ts::TimeSeries(name, 0.0, 1.0, std::move(values));
+  };
+  for (size_t s = 0; s < train_series; ++s) {
+    dataset.train.push_back(emit(false, "train" + std::to_string(s)));
+  }
+  for (size_t s = 0; s < test_series; ++s) {
+    const bool anomalous = rng.NextBernoulli(anomaly_fraction);
+    dataset.test.push_back(emit(anomalous, "test" + std::to_string(s)));
+    dataset.test_labels.push_back(anomalous ? 1 : 0);
+  }
+  return dataset;
+}
+
+}  // namespace hod::sim

@@ -1,0 +1,115 @@
+#ifndef HOD_SIM_DATASETS_H_
+#define HOD_SIM_DATASETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/anomaly.h"
+#include "sim/ground_truth.h"
+#include "timeseries/discrete_sequence.h"
+#include "timeseries/time_series.h"
+#include "util/statusor.h"
+
+namespace hod::sim {
+
+/// Self-contained labeled datasets in the paper's three data shapes (PTS /
+/// SSQ / TSS), with a clean training split and a contaminated test split.
+/// Used by the Table-1 validation bench, the Fig.-1 outlier-type study,
+/// and the detector unit tests.
+
+/// ---- PTS -------------------------------------------------------------
+struct PointDatasetOptions {
+  size_t train_size = 600;
+  size_t test_size = 400;
+  size_t dim = 3;
+  /// Fraction of anomalous points in both splits (train anomalies are
+  /// labeled, for the supervised family).
+  double anomaly_rate = 0.05;
+  /// Anomaly displacement in cluster sigmas.
+  double magnitude = 6.0;
+  uint64_t seed = 7;
+};
+
+struct PointDataset {
+  std::vector<std::vector<double>> train;
+  LabelVector train_labels;
+  std::vector<std::vector<double>> test;
+  LabelVector test_labels;
+};
+
+/// Normal points come from two Gaussian clusters; anomalies are cluster
+/// points displaced by `magnitude` sigmas in a random direction.
+StatusOr<PointDataset> GeneratePointDataset(const PointDatasetOptions& options);
+
+/// ---- SSQ -------------------------------------------------------------
+struct SequenceDatasetOptions {
+  size_t train_sequences = 12;
+  size_t test_sequences = 8;
+  size_t length = 256;
+  int alphabet = 6;
+  double anomaly_rate = 0.04;  // per-position corruption probability mass
+  size_t burst_length = 6;     // corrupted run length
+  /// Rate of benign single-symbol substitutions in normal data (process
+  /// noise). Set to 0 for datasets where every rare word is an anomaly
+  /// (frequency-based detectors cannot tell benign rare events apart).
+  double benign_substitution_rate = 0.02;
+  uint64_t seed = 7;
+};
+
+struct SequenceDataset {
+  std::vector<ts::DiscreteSequence> train;
+  std::vector<LabelVector> train_labels;
+  std::vector<ts::DiscreteSequence> test;
+  std::vector<LabelVector> test_labels;
+};
+
+/// Normal sequences follow a noisy cyclic grammar (state machine with
+/// occasional benign substitutions); anomalies are bursts of grammar-
+/// violating symbols.
+StatusOr<SequenceDataset> GenerateSequenceDataset(
+    const SequenceDatasetOptions& options);
+
+/// ---- TSS -------------------------------------------------------------
+struct SeriesDatasetOptions {
+  size_t train_series = 8;
+  size_t test_series = 6;
+  size_t length = 512;
+  /// AR(1) coefficient and sigma of the base process.
+  double ar_coefficient = 0.7;
+  double sigma = 1.0;
+  /// Sinusoidal component amplitude (seasonal structure).
+  double seasonal_amplitude = 2.0;
+  double seasonal_period = 64.0;
+  /// Injections per test series.
+  size_t anomalies_per_series = 3;
+  double magnitude = 6.0;
+  /// When set, only this outlier type is injected (Fig.-1 study);
+  /// otherwise types rotate through all four.
+  const OutlierType* only_type = nullptr;
+  uint64_t seed = 7;
+};
+
+struct SeriesDataset {
+  std::vector<ts::TimeSeries> train;
+  std::vector<LabelVector> train_labels;
+  std::vector<ts::TimeSeries> test;
+  std::vector<LabelVector> test_labels;
+};
+
+StatusOr<SeriesDataset> GenerateSeriesDataset(
+    const SeriesDatasetOptions& options);
+
+/// Whole-series variant for series-unit techniques (phased k-means):
+/// normal test series vs structurally different anomalous series.
+struct WholeSeriesDataset {
+  std::vector<ts::TimeSeries> train;
+  std::vector<ts::TimeSeries> test;
+  LabelVector test_labels;  // one label per test series
+};
+StatusOr<WholeSeriesDataset> GenerateWholeSeriesDataset(
+    size_t train_series, size_t test_series, double anomaly_fraction,
+    uint64_t seed);
+
+}  // namespace hod::sim
+
+#endif  // HOD_SIM_DATASETS_H_

@@ -1,0 +1,31 @@
+#include "sim/ground_truth.h"
+
+namespace hod::sim {
+
+std::string GroundTruth::PhaseSeriesKey(const std::string& job_id,
+                                        const std::string& phase_name,
+                                        const std::string& sensor_id) {
+  return job_id + "/" + phase_name + "/" + sensor_id;
+}
+
+LabelVector GroundTruth::PhaseLabelsOrZero(const std::string& job_id,
+                                           const std::string& phase_name,
+                                           const std::string& sensor_id,
+                                           size_t size) const {
+  const auto it =
+      phase_labels.find(PhaseSeriesKey(job_id, phase_name, sensor_id));
+  if (it == phase_labels.end()) return LabelVector(size, 0);
+  LabelVector labels = it->second;
+  labels.resize(size, 0);
+  return labels;
+}
+
+size_t GroundTruth::CountAtLevel(hierarchy::ProductionLevel level) const {
+  size_t count = 0;
+  for (const AnomalyRecord& record : records) {
+    if (record.level == level) ++count;
+  }
+  return count;
+}
+
+}  // namespace hod::sim

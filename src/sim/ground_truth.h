@@ -1,0 +1,75 @@
+#ifndef HOD_SIM_GROUND_TRUTH_H_
+#define HOD_SIM_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hierarchy/level.h"
+#include "sim/anomaly.h"
+#include "timeseries/time_series.h"
+
+namespace hod::sim {
+
+/// One injected anomaly, with everything needed to audit a detection:
+/// where in the hierarchy it lives, its Fig.-1 type, and whether it is a
+/// real process disturbance (visible to all redundant sensors and
+/// propagated upward into CAQ) or a single-sensor measurement error (the
+/// case Algorithm 1's downward check and support value are designed to
+/// expose).
+struct AnomalyRecord {
+  hierarchy::ProductionLevel level = hierarchy::ProductionLevel::kPhase;
+  OutlierType type = OutlierType::kAdditive;
+  bool measurement_error = false;
+  std::string line_id;
+  std::string machine_id;
+  std::string job_id;
+  std::string phase_name;
+  /// Affected sensor (measurement errors) or representative sensor
+  /// (process anomalies); empty above the phase level.
+  std::string sensor_id;
+  ts::TimePoint start_time = 0.0;
+  ts::TimePoint end_time = 0.0;
+  double magnitude_sigmas = 0.0;
+};
+
+/// Binary labels (1 = anomalous).
+using LabelVector = std::vector<uint8_t>;
+
+/// Complete labeling of a simulated plant, at every hierarchy level.
+struct GroundTruth {
+  std::vector<AnomalyRecord> records;
+
+  /// Point labels for each phase sensor series, keyed by PhaseSeriesKey.
+  std::map<std::string, LabelVector> phase_labels;
+  /// Point labels for environment series, keyed by sensor id.
+  std::map<std::string, LabelVector> environment_labels;
+  /// Job id -> 1 when the job suffered a real process anomaly.
+  std::map<std::string, uint8_t> job_labels;
+  /// Line id -> label per time-ordered job on that line (bad-batch
+  /// windows: the production-line-level anomaly).
+  std::map<std::string, LabelVector> line_job_labels;
+  /// Machine id -> 1 when the machine is systematically degraded (the
+  /// production-level anomaly).
+  std::map<std::string, uint8_t> machine_labels;
+
+  /// Canonical key of a phase sensor series.
+  static std::string PhaseSeriesKey(const std::string& job_id,
+                                    const std::string& phase_name,
+                                    const std::string& sensor_id);
+
+  /// Labels for a phase series (all-zero vector of length `size` when the
+  /// series was never injected).
+  LabelVector PhaseLabelsOrZero(const std::string& job_id,
+                                const std::string& phase_name,
+                                const std::string& sensor_id,
+                                size_t size) const;
+
+  /// Counts records at a level.
+  size_t CountAtLevel(hierarchy::ProductionLevel level) const;
+};
+
+}  // namespace hod::sim
+
+#endif  // HOD_SIM_GROUND_TRUTH_H_

@@ -1,0 +1,544 @@
+#include "sim/plant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/sensor_model.h"
+#include "timeseries/stats.h"
+#include "util/rng.h"
+
+namespace hod::sim {
+
+namespace {
+
+struct QuantitySpec {
+  std::string quantity;
+  bool redundant;
+  NoiseModel process;
+  double measurement_sigma;
+  std::string unit;
+};
+
+const std::vector<QuantitySpec>& Quantities() {
+  static const std::vector<QuantitySpec>* kSpecs =
+      new std::vector<QuantitySpec>{
+          {"bed_temp", true, {0.8, 0.7}, 0.15, "degC"},
+          {"chamber_temp", true, {0.5, 0.7}, 0.10, "degC"},
+          {"laser_power", false, {3.0, 0.4}, 0.50, "W"},
+          {"vibration", false, {0.15, 0.5}, 0.03, "mm/s"},
+          {"oxygen", false, {0.08, 0.6}, 0.02, "%"},
+      };
+  return *kSpecs;
+}
+
+const QuantitySpec* FindQuantity(const std::string& quantity) {
+  for (const QuantitySpec& spec : Quantities()) {
+    if (spec.quantity == quantity) return &spec;
+  }
+  return nullptr;
+}
+
+struct PhaseSpec {
+  std::string name;
+  size_t samples;
+};
+
+std::vector<PhaseSpec> PhasePlan(const PlantOptions& options) {
+  return {{"preparation", options.preparation_samples},
+          {"warm_up", options.warm_up_samples},
+          {"calibration", options.calibration_samples},
+          {"printing", options.printing_samples},
+          {"cool_down", options.cool_down_samples}};
+}
+
+/// Baseline CAQ values and noise (density %, roughness um, dimensional
+/// deviation mm, tensile strength MPa). Degradation direction: density and
+/// tensile drop, roughness and deviation rise.
+struct CaqSpec {
+  std::string name;
+  double nominal;
+  double sigma;
+  double degrade_sign;
+};
+
+const std::vector<CaqSpec>& CaqSpecs() {
+  static const std::vector<CaqSpec>* kSpecs = new std::vector<CaqSpec>{
+      {"density", 98.6, 0.25, -1.0},
+      {"roughness", 6.2, 0.35, +1.0},
+      {"dim_deviation", 0.048, 0.006, +1.0},
+      {"tensile", 51.0, 1.1, -1.0},
+  };
+  return *kSpecs;
+}
+
+/// Nominal setup parameters (value, jitter sigma).
+struct SetupSpec {
+  std::string name;
+  double nominal;
+  double sigma;
+};
+
+const std::vector<SetupSpec>& SetupSpecs() {
+  static const std::vector<SetupSpec>* kSpecs = new std::vector<SetupSpec>{
+      {"layer_height", 0.030, 0.0015},
+      {"laser_speed", 1000.0, 25.0},
+      {"laser_power_set", 195.0, 2.5},
+      {"hatch_spacing", 0.120, 0.008},
+      {"powder_quality", 1.00, 0.03},
+      {"chamber_pressure", 10.0, 0.15},
+  };
+  return *kSpecs;
+}
+
+/// Builds the cyclic event sequence of a phase, with fault symbols near
+/// anomalous samples.
+ts::DiscreteSequence BuildEvents(const std::string& phase_name,
+                                 size_t samples,
+                                 const LabelVector& anomaly_labels,
+                                 Rng& rng) {
+  // One event per 8 samples, cycling IDLE(0) RECOAT(1) EXPOSE(2)
+  // MEASURE(3) with occasional SERVICE(4); FAULT(5) replaces events that
+  // overlap anomalous samples.
+  ts::DiscreteSequence events(phase_name + ".events", kEventAlphabetSize);
+  const size_t stride = 8;
+  for (size_t start = 0; start < samples; start += stride) {
+    ts::Symbol symbol = static_cast<ts::Symbol>((start / stride) % 4);
+    if (rng.NextBernoulli(0.03)) symbol = 4;
+    const size_t end = std::min(start + stride, samples);
+    for (size_t i = start; i < end; ++i) {
+      if (i < anomaly_labels.size() && anomaly_labels[i] != 0) {
+        symbol = kFaultSymbol;
+        break;
+      }
+    }
+    events.Append(symbol);
+  }
+  return events;
+}
+
+OutlierType RandomOutlierType(Rng& rng) {
+  const auto& types = AllOutlierTypes();
+  return types[rng.NextBelow(types.size())];
+}
+
+}  // namespace
+
+const std::vector<std::string>& PhaseNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "preparation", "warm_up", "calibration", "printing", "cool_down"};
+  return *kNames;
+}
+
+const std::vector<std::string>& MachineQuantities() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "bed_temp", "chamber_temp", "laser_power", "vibration", "oxygen"};
+  return *kNames;
+}
+
+bool RedundantQuantity(const std::string& quantity) {
+  const QuantitySpec* spec = FindQuantity(quantity);
+  return spec != nullptr && spec->redundant;
+}
+
+StatusOr<SimulatedPlant> BuildPlant(const PlantOptions& plant_options,
+                                    const ScenarioOptions& scenario) {
+  if (plant_options.num_lines == 0 || plant_options.machines_per_line == 0 ||
+      plant_options.jobs_per_machine == 0) {
+    return Status::InvalidArgument("plant dimensions must be positive");
+  }
+  SimulatedPlant plant;
+  Rng rng(plant_options.seed);
+  const std::vector<PhaseSpec> phase_plan = PhasePlan(plant_options);
+
+  // ---- Sensor registration -------------------------------------------
+  for (size_t l = 0; l < plant_options.num_lines; ++l) {
+    const std::string line_id = "line" + std::to_string(l + 1);
+    for (size_t m = 0; m < plant_options.machines_per_line; ++m) {
+      const std::string machine_id =
+          line_id + ".m" + std::to_string(m + 1);
+      for (const QuantitySpec& spec : Quantities()) {
+        if (spec.redundant) {
+          for (const char* suffix : {"_a", "_b"}) {
+            HOD_RETURN_IF_ERROR(plant.production.sensors.Register(
+                {machine_id + "." + spec.quantity + suffix,
+                 spec.quantity + std::string(suffix), spec.unit, machine_id,
+                 machine_id + "." + spec.quantity}));
+          }
+        } else {
+          HOD_RETURN_IF_ERROR(plant.production.sensors.Register(
+              {machine_id + "." + spec.quantity, spec.quantity, spec.unit,
+               machine_id, ""}));
+        }
+      }
+    }
+    HOD_RETURN_IF_ERROR(plant.production.sensors.Register(
+        {line_id + ".room_temp", "room_temp", "degC", "", ""}));
+  }
+
+  // Rogue machines: last `rogue_machines` machines overall.
+  std::vector<std::string> all_machine_ids;
+  for (size_t l = 0; l < plant_options.num_lines; ++l) {
+    for (size_t m = 0; m < plant_options.machines_per_line; ++m) {
+      all_machine_ids.push_back("line" + std::to_string(l + 1) + ".m" +
+                                std::to_string(m + 1));
+    }
+  }
+  const size_t rogue_count =
+      std::min(scenario.rogue_machines, all_machine_ids.size());
+  for (size_t r = 0; r < rogue_count; ++r) {
+    plant.truth
+        .machine_labels[all_machine_ids[all_machine_ids.size() - 1 - r]] = 1;
+  }
+
+  // ---- Lines / machines / jobs ---------------------------------------
+  size_t job_counter = 0;
+  for (size_t l = 0; l < plant_options.num_lines; ++l) {
+    hierarchy::ProductionLine line;
+    line.id = "line" + std::to_string(l + 1);
+    const bool bad_batch_line = l < scenario.bad_batch_lines;
+    // Bad batch covers jobs [start, start + bad_batch_jobs) of each
+    // machine on the line (synchronized powder lot change).
+    const size_t bad_batch_start =
+        plant_options.jobs_per_machine > scenario.bad_batch_jobs
+            ? plant_options.jobs_per_machine / 2
+            : 0;
+
+    LabelVector line_job_flags;  // per machine-major ordering, fixed below
+
+    for (size_t m = 0; m < plant_options.machines_per_line; ++m) {
+      hierarchy::Machine machine;
+      machine.id = line.id + ".m" + std::to_string(m + 1);
+      const bool rogue = plant.truth.machine_labels.count(machine.id) > 0;
+      machine.configuration = ts::FeatureVector(
+          {"max_laser_power", "build_volume", "firmware"},
+          {200.0 + 5.0 * static_cast<double>(m), 250.0,
+           3.0 + static_cast<double>(l)});
+
+      // Machines are staggered so line-level job ordering interleaves.
+      double clock = 300.0 * static_cast<double>(m);
+
+      for (size_t j = 0; j < plant_options.jobs_per_machine; ++j) {
+        hierarchy::Job job;
+        job.id = machine.id + ".job" + std::to_string(++job_counter);
+        job.machine_id = machine.id;
+        job.start_time = clock;
+
+        const bool in_bad_batch = bad_batch_line &&
+                                  j >= bad_batch_start &&
+                                  j < bad_batch_start + scenario.bad_batch_jobs;
+
+        // ---- Setup vector -------------------------------------------
+        std::vector<std::string> setup_names;
+        std::vector<double> setup_values;
+        for (const SetupSpec& spec : SetupSpecs()) {
+          setup_names.push_back(spec.name);
+          double value = rng.Gaussian(spec.nominal, spec.sigma);
+          if (spec.name == "powder_quality" && in_bad_batch) {
+            value -= 0.25;  // degraded lot: visible in the setup series
+          }
+          setup_values.push_back(value);
+        }
+        job.setup = ts::FeatureVector(std::move(setup_names),
+                                      std::move(setup_values));
+
+        // ---- Anomaly selection --------------------------------------
+        const bool process_anomaly =
+            rng.NextBernoulli(scenario.process_anomaly_rate);
+        const bool glitch = rng.NextBernoulli(scenario.glitch_rate);
+        // Pick targets up front so every phase generation is uniform.
+        size_t anomaly_phase = rng.NextBelow(phase_plan.size());
+        const auto& quantities = Quantities();
+        size_t anomaly_quantity = rng.NextBelow(quantities.size());
+        size_t glitch_phase = rng.NextBelow(phase_plan.size());
+        size_t glitch_quantity = rng.NextBelow(quantities.size());
+
+        double total_anomaly_magnitude = 0.0;
+
+        // ---- Phases --------------------------------------------------
+        for (size_t p = 0; p < phase_plan.size(); ++p) {
+          hierarchy::Phase phase;
+          phase.name = phase_plan[p].name;
+          phase.start_time = clock;
+          const size_t samples = phase_plan[p].samples;
+          phase.end_time =
+              clock + plant_options.sample_interval *
+                          static_cast<double>(samples);
+
+          LabelVector phase_anomaly_labels(samples, 0);
+
+          for (size_t q = 0; q < quantities.size(); ++q) {
+            const QuantitySpec& spec = quantities[q];
+            HOD_ASSIGN_OR_RETURN(
+                PhaseProfile profile,
+                PrinterPhaseProfile(phase.name, spec.quantity));
+            HOD_ASSIGN_OR_RETURN(
+                std::vector<double> true_signal,
+                GenerateTrueSignal(profile, spec.process, samples, rng));
+            LabelVector labels(samples, 0);
+
+            if (process_anomaly && p == anomaly_phase &&
+                q == anomaly_quantity && samples > 16) {
+              InjectionSpec injection;
+              injection.type = RandomOutlierType(rng);
+              injection.position =
+                  8 + rng.NextBelow(samples - 16);
+              injection.magnitude =
+                  scenario.magnitude_sigmas * spec.process.sigma *
+                  (rng.NextBernoulli(0.5) ? 1.0 : -1.0);
+              injection.ar_coefficient = spec.process.ar_coefficient;
+              HOD_RETURN_IF_ERROR(Inject(injection, true_signal, labels));
+              total_anomaly_magnitude += scenario.magnitude_sigmas;
+
+              AnomalyRecord record;
+              record.level = hierarchy::ProductionLevel::kPhase;
+              record.type = injection.type;
+              record.measurement_error = false;
+              record.line_id = line.id;
+              record.machine_id = machine.id;
+              record.job_id = job.id;
+              record.phase_name = phase.name;
+              record.sensor_id =
+                  machine.id + "." + spec.quantity +
+                  (spec.redundant ? "_a" : "");
+              record.start_time =
+                  phase.start_time + plant_options.sample_interval *
+                                         static_cast<double>(
+                                             injection.position);
+              record.end_time = record.start_time;
+              record.magnitude_sigmas = scenario.magnitude_sigmas;
+              plant.truth.records.push_back(record);
+
+              for (size_t i = 0; i < samples; ++i) {
+                if (labels[i] != 0) phase_anomaly_labels[i] = 1;
+              }
+
+              // Cross-level environment coupling for chamber anomalies.
+              if (spec.quantity == "chamber_temp" &&
+                  rng.NextBernoulli(scenario.environment_coupling)) {
+                // Remember the event time; environment injection happens
+                // after all jobs are built (series spans the whole line).
+                AnomalyRecord env_record = record;
+                env_record.level = hierarchy::ProductionLevel::kEnvironment;
+                env_record.sensor_id = line.id + ".room_temp";
+                env_record.phase_name.clear();
+                plant.truth.records.push_back(env_record);
+              }
+            }
+
+            // Emit sensor readings (one or two depending on redundancy).
+            std::vector<std::string> sensor_ids;
+            if (spec.redundant) {
+              sensor_ids = {machine.id + "." + spec.quantity + "_a",
+                            machine.id + "." + spec.quantity + "_b"};
+            } else {
+              sensor_ids = {machine.id + "." + spec.quantity};
+            }
+            for (size_t s = 0; s < sensor_ids.size(); ++s) {
+              const double bias =
+                  0.2 * spec.measurement_sigma * static_cast<double>(s);
+              std::vector<double> reading = ObserveSignal(
+                  true_signal, spec.measurement_sigma, bias, rng);
+              LabelVector reading_labels = labels;
+
+              // Single-sensor measurement glitch (only on sensor _a /
+              // the lone sensor).
+              if (glitch && p == glitch_phase && q == glitch_quantity &&
+                  s == 0 && samples > 16) {
+                InjectionSpec injection;
+                injection.type = OutlierType::kAdditive;
+                injection.position = 8 + rng.NextBelow(samples - 16);
+                injection.magnitude =
+                    scenario.magnitude_sigmas * spec.process.sigma *
+                    (rng.NextBernoulli(0.5) ? 1.0 : -1.0);
+                HOD_RETURN_IF_ERROR(
+                    Inject(injection, reading, reading_labels));
+
+                AnomalyRecord record;
+                record.level = hierarchy::ProductionLevel::kPhase;
+                record.type = injection.type;
+                record.measurement_error = true;
+                record.line_id = line.id;
+                record.machine_id = machine.id;
+                record.job_id = job.id;
+                record.phase_name = phase.name;
+                record.sensor_id = sensor_ids[s];
+                record.start_time =
+                    phase.start_time +
+                    plant_options.sample_interval *
+                        static_cast<double>(injection.position);
+                record.end_time = record.start_time;
+                record.magnitude_sigmas = scenario.magnitude_sigmas;
+                plant.truth.records.push_back(record);
+              }
+
+              bool any_label = false;
+              for (uint8_t v : reading_labels) {
+                if (v != 0) {
+                  any_label = true;
+                  break;
+                }
+              }
+              if (any_label) {
+                plant.truth.phase_labels[GroundTruth::PhaseSeriesKey(
+                    job.id, phase.name, sensor_ids[s])] = reading_labels;
+              }
+              phase.sensor_series.emplace(
+                  sensor_ids[s],
+                  ts::TimeSeries(sensor_ids[s], phase.start_time,
+                                 plant_options.sample_interval,
+                                 std::move(reading)));
+            }
+          }
+
+          phase.events =
+              BuildEvents(phase.name, samples, phase_anomaly_labels, rng);
+          clock = phase.end_time;
+          job.phases.push_back(std::move(phase));
+        }
+
+        // ---- CAQ vector ----------------------------------------------
+        std::vector<std::string> caq_names;
+        std::vector<double> caq_values;
+        const double rogue_shift = rogue ? 3.5 : 0.0;
+        const double batch_shift = in_bad_batch ? 3.0 : 0.0;
+        const double anomaly_shift =
+            scenario.caq_degradation *
+            std::min(total_anomaly_magnitude / scenario.magnitude_sigmas,
+                     2.0);
+        for (const CaqSpec& spec : CaqSpecs()) {
+          caq_names.push_back(spec.name);
+          const double shift =
+              (rogue_shift + batch_shift + anomaly_shift) * spec.sigma *
+              spec.degrade_sign;
+          caq_values.push_back(rng.Gaussian(spec.nominal, spec.sigma) +
+                               shift);
+        }
+        job.caq =
+            ts::FeatureVector(std::move(caq_names), std::move(caq_values));
+
+        job.end_time = clock;
+        clock += plant_options.gap_between_jobs;
+
+        if (process_anomaly) plant.truth.job_labels[job.id] = 1;
+        machine.jobs.push_back(std::move(job));
+      }
+      line.machines.push_back(std::move(machine));
+    }
+
+    // ---- Line-level job ordering labels (bad batch) -------------------
+    {
+      struct Entry {
+        ts::TimePoint time;
+        bool bad;
+      };
+      std::vector<Entry> entries;
+      for (const hierarchy::Machine& machine : line.machines) {
+        for (size_t j = 0; j < machine.jobs.size(); ++j) {
+          const bool in_bad_batch =
+              bad_batch_line && j >= bad_batch_start &&
+              j < bad_batch_start + scenario.bad_batch_jobs;
+          entries.push_back({machine.jobs[j].start_time, in_bad_batch});
+        }
+      }
+      std::sort(entries.begin(), entries.end(),
+                [](const Entry& a, const Entry& b) {
+                  return a.time < b.time;
+                });
+      LabelVector flags;
+      flags.reserve(entries.size());
+      for (const Entry& entry : entries) {
+        flags.push_back(entry.bad ? 1 : 0);
+      }
+      plant.truth.line_job_labels[line.id] = std::move(flags);
+      if (bad_batch_line && !line.machines.empty() &&
+          !line.machines.front().jobs.empty()) {
+        AnomalyRecord record;
+        record.level = hierarchy::ProductionLevel::kProductionLine;
+        record.type = OutlierType::kTemporaryChange;
+        record.line_id = line.id;
+        record.start_time =
+            line.machines.front().jobs[bad_batch_start].start_time;
+        record.magnitude_sigmas = 2.0;
+        plant.truth.records.push_back(record);
+      }
+    }
+
+    // ---- Environment series -------------------------------------------
+    {
+      // Span the line's full active time range.
+      ts::TimePoint line_start = 0.0;
+      ts::TimePoint line_end = 0.0;
+      for (const hierarchy::Machine& machine : line.machines) {
+        if (machine.jobs.empty()) continue;
+        line_start = std::min(line_start, machine.jobs.front().start_time);
+        line_end = std::max(line_end, machine.jobs.back().end_time);
+      }
+      const size_t samples = static_cast<size_t>(
+                                 (line_end - line_start) /
+                                 plant_options.environment_interval) +
+                             1;
+      HOD_ASSIGN_OR_RETURN(PhaseProfile profile,
+                           PrinterPhaseProfile("", "room_temp"));
+      NoiseModel room_noise{0.3, 0.8};
+      HOD_ASSIGN_OR_RETURN(
+          std::vector<double> room,
+          GenerateTrueSignal(profile, room_noise, samples, rng));
+      LabelVector room_labels(samples, 0);
+
+      // Injections coupled to chamber anomalies (recorded earlier).
+      for (AnomalyRecord& record : plant.truth.records) {
+        if (record.level != hierarchy::ProductionLevel::kEnvironment ||
+            record.line_id != line.id) {
+          continue;
+        }
+        const size_t position = std::min(
+            samples - 1,
+            static_cast<size_t>((record.start_time - line_start) /
+                                plant_options.environment_interval));
+        InjectionSpec injection;
+        injection.type = OutlierType::kTemporaryChange;
+        injection.position = position;
+        injection.magnitude = scenario.magnitude_sigmas * room_noise.sigma;
+        HOD_RETURN_IF_ERROR(Inject(injection, room, room_labels));
+      }
+      // Independent environment anomalies.
+      for (size_t e = 0; e < scenario.environment_anomalies; ++e) {
+        if (samples <= 16) break;
+        InjectionSpec injection;
+        injection.type = RandomOutlierType(rng);
+        injection.position = 8 + rng.NextBelow(samples - 16);
+        injection.magnitude = scenario.magnitude_sigmas * room_noise.sigma *
+                              (rng.NextBernoulli(0.5) ? 1.0 : -1.0);
+        HOD_RETURN_IF_ERROR(Inject(injection, room, room_labels));
+
+        AnomalyRecord record;
+        record.level = hierarchy::ProductionLevel::kEnvironment;
+        record.type = injection.type;
+        record.line_id = line.id;
+        record.sensor_id = line.id + ".room_temp";
+        record.start_time =
+            line_start + plant_options.environment_interval *
+                             static_cast<double>(injection.position);
+        record.end_time = record.start_time;
+        record.magnitude_sigmas = scenario.magnitude_sigmas;
+        plant.truth.records.push_back(record);
+      }
+
+      hierarchy::EnvironmentChannel channel;
+      channel.sensor_id = line.id + ".room_temp";
+      channel.series =
+          ts::TimeSeries(channel.sensor_id, line_start,
+                         plant_options.environment_interval, std::move(room));
+      plant.truth.environment_labels[channel.sensor_id] =
+          std::move(room_labels);
+      line.environment.push_back(std::move(channel));
+    }
+
+    plant.production.lines.push_back(std::move(line));
+  }
+
+  HOD_RETURN_IF_ERROR(hierarchy::ValidateProduction(plant.production));
+  return plant;
+}
+
+}  // namespace hod::sim

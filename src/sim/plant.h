@@ -1,0 +1,87 @@
+#ifndef HOD_SIM_PLANT_H_
+#define HOD_SIM_PLANT_H_
+
+#include <cstdint>
+
+#include "hierarchy/production.h"
+#include "sim/ground_truth.h"
+#include "util/statusor.h"
+
+namespace hod::sim {
+
+/// Size/shape of the simulated additive-manufacturing production. The
+/// defaults build a plant that exercises every Fig.-2 level while staying
+/// fast enough for unit tests; benches scale the counts up.
+struct PlantOptions {
+  size_t num_lines = 2;
+  size_t machines_per_line = 3;
+  size_t jobs_per_machine = 12;
+  /// Samples per phase at `sample_interval` resolution.
+  size_t preparation_samples = 48;
+  size_t warm_up_samples = 96;
+  size_t calibration_samples = 48;
+  size_t printing_samples = 192;
+  size_t cool_down_samples = 64;
+  /// Phase-level sensor sampling interval (seconds).
+  double sample_interval = 1.0;
+  /// Environment sampling interval (coarser, per the paper's resolution
+  /// hierarchy).
+  double environment_interval = 10.0;
+  /// Idle time between consecutive jobs on a machine (seconds).
+  double gap_between_jobs = 120.0;
+  uint64_t seed = 7;
+};
+
+/// What goes wrong in the plant, and how often.
+struct ScenarioOptions {
+  /// Per-job probability of a real process anomaly in a random phase and
+  /// quantity (visible to the whole redundancy group, degrades CAQ).
+  double process_anomaly_rate = 0.15;
+  /// Per-job probability of a single-sensor measurement glitch (visible
+  /// to one sensor only — the case support/downward checks must expose).
+  double glitch_rate = 0.08;
+  /// Anomalies injected into each line's environment series.
+  size_t environment_anomalies = 2;
+  /// Machines (taken from the last line backwards) with systematically
+  /// degraded CAQ — the production-level anomaly.
+  size_t rogue_machines = 1;
+  /// Lines (from the first) that receive a bad-powder-batch window — the
+  /// production-line-level anomaly.
+  size_t bad_batch_lines = 1;
+  /// Consecutive jobs affected by a bad batch.
+  size_t bad_batch_jobs = 4;
+  /// Injection magnitude in process sigmas.
+  double magnitude_sigmas = 6.0;
+  /// CAQ degradation (in CAQ sigmas) caused by a process anomaly.
+  double caq_degradation = 4.0;
+  /// Probability that a chamber-temperature process anomaly co-occurs
+  /// with a visible room-temperature deviation (cross-level support).
+  double environment_coupling = 0.5;
+};
+
+/// A fully built plant plus complete ground truth.
+struct SimulatedPlant {
+  hierarchy::Production production;
+  GroundTruth truth;
+};
+
+/// Builds the plant deterministically from the options' seed.
+StatusOr<SimulatedPlant> BuildPlant(const PlantOptions& plant_options,
+                                    const ScenarioOptions& scenario);
+
+/// Phase names in execution order.
+const std::vector<std::string>& PhaseNames();
+
+/// Quantities measured on every machine; `RedundantQuantity` says whether
+/// two sensors (suffix _a/_b, shared redundancy group) observe it.
+const std::vector<std::string>& MachineQuantities();
+bool RedundantQuantity(const std::string& quantity);
+
+/// Event alphabet used by phase event sequences. Symbol kFaultSymbol is
+/// emitted near process anomalies.
+inline constexpr int kEventAlphabetSize = 6;
+inline constexpr int kFaultSymbol = 5;
+
+}  // namespace hod::sim
+
+#endif  // HOD_SIM_PLANT_H_

@@ -1,0 +1,93 @@
+#include "sim/sensor_model.h"
+
+#include <cmath>
+
+namespace hod::sim {
+
+double PhaseProfile::ValueAt(size_t i, size_t n) const {
+  const double t =
+      n > 1 ? static_cast<double>(i) / static_cast<double>(n - 1) : 0.0;
+  double value = start_level + (end_level - start_level) * t;
+  if (periodic_amplitude != 0.0 && periodic_period > 0.0) {
+    value += periodic_amplitude *
+             std::sin(2.0 * M_PI * static_cast<double>(i) / periodic_period);
+  }
+  return value;
+}
+
+StatusOr<std::vector<double>> GenerateTrueSignal(const PhaseProfile& profile,
+                                                 const NoiseModel& process,
+                                                 size_t n, Rng& rng) {
+  if (n == 0) return Status::InvalidArgument("signal length must be > 0");
+  if (process.ar_coefficient <= -1.0 || process.ar_coefficient >= 1.0) {
+    return Status::InvalidArgument("AR coefficient must be in (-1, 1)");
+  }
+  std::vector<double> signal(n);
+  // Stationary AR(1): innovations scaled so the marginal variance is
+  // sigma^2 regardless of the AR coefficient.
+  const double innovation_sigma =
+      process.sigma *
+      std::sqrt(1.0 - process.ar_coefficient * process.ar_coefficient);
+  double noise = rng.Gaussian(0.0, process.sigma);
+  for (size_t i = 0; i < n; ++i) {
+    signal[i] = profile.ValueAt(i, n) + noise;
+    noise = process.ar_coefficient * noise +
+            rng.Gaussian(0.0, innovation_sigma);
+  }
+  return signal;
+}
+
+std::vector<double> ObserveSignal(const std::vector<double>& true_signal,
+                                  double measurement_sigma, double bias,
+                                  Rng& rng) {
+  std::vector<double> reading(true_signal.size());
+  for (size_t i = 0; i < true_signal.size(); ++i) {
+    reading[i] = true_signal[i] + bias + rng.Gaussian(0.0, measurement_sigma);
+  }
+  return reading;
+}
+
+StatusOr<PhaseProfile> PrinterPhaseProfile(const std::string& phase_name,
+                                           const std::string& quantity) {
+  // Nominal levels for an SLS/SLM-style industrial printer. Temperatures
+  // in degC, laser power in W, vibration in mm/s RMS, oxygen in %.
+  if (quantity == "bed_temp") {
+    if (phase_name == "preparation") return PhaseProfile{25.0, 25.0, 0.0, 0.0};
+    if (phase_name == "warm_up") return PhaseProfile{25.0, 180.0, 0.0, 0.0};
+    if (phase_name == "calibration") {
+      return PhaseProfile{180.0, 180.0, 0.0, 0.0};
+    }
+    if (phase_name == "printing") return PhaseProfile{180.0, 185.0, 1.5, 60.0};
+    if (phase_name == "cool_down") return PhaseProfile{185.0, 60.0, 0.0, 0.0};
+  } else if (quantity == "chamber_temp") {
+    if (phase_name == "preparation") return PhaseProfile{25.0, 25.0, 0.0, 0.0};
+    if (phase_name == "warm_up") return PhaseProfile{25.0, 55.0, 0.0, 0.0};
+    if (phase_name == "calibration") return PhaseProfile{55.0, 55.0, 0.0, 0.0};
+    if (phase_name == "printing") return PhaseProfile{55.0, 58.0, 0.8, 80.0};
+    if (phase_name == "cool_down") return PhaseProfile{58.0, 30.0, 0.0, 0.0};
+  } else if (quantity == "laser_power") {
+    if (phase_name == "preparation") return PhaseProfile{0.0, 0.0, 0.0, 0.0};
+    if (phase_name == "warm_up") return PhaseProfile{0.0, 0.0, 0.0, 0.0};
+    if (phase_name == "calibration") return PhaseProfile{40.0, 40.0, 0.0, 0.0};
+    if (phase_name == "printing") return PhaseProfile{195.0, 195.0, 12.0, 40.0};
+    if (phase_name == "cool_down") return PhaseProfile{0.0, 0.0, 0.0, 0.0};
+  } else if (quantity == "vibration") {
+    if (phase_name == "preparation") return PhaseProfile{0.2, 0.2, 0.0, 0.0};
+    if (phase_name == "warm_up") return PhaseProfile{0.3, 0.3, 0.0, 0.0};
+    if (phase_name == "calibration") return PhaseProfile{0.5, 0.5, 0.1, 25.0};
+    if (phase_name == "printing") return PhaseProfile{1.2, 1.2, 0.4, 30.0};
+    if (phase_name == "cool_down") return PhaseProfile{0.3, 0.2, 0.0, 0.0};
+  } else if (quantity == "oxygen") {
+    if (phase_name == "preparation") return PhaseProfile{20.9, 20.9, 0.0, 0.0};
+    if (phase_name == "warm_up") return PhaseProfile{20.9, 2.0, 0.0, 0.0};
+    if (phase_name == "calibration") return PhaseProfile{2.0, 0.5, 0.0, 0.0};
+    if (phase_name == "printing") return PhaseProfile{0.5, 0.5, 0.05, 90.0};
+    if (phase_name == "cool_down") return PhaseProfile{0.5, 15.0, 0.0, 0.0};
+  } else if (quantity == "room_temp") {
+    return PhaseProfile{21.0, 21.0, 1.2, 900.0};  // slow daily-ish cycle
+  }
+  return Status::NotFound("no profile for quantity '" + quantity +
+                          "' in phase '" + phase_name + "'");
+}
+
+}  // namespace hod::sim

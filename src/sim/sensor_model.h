@@ -1,0 +1,56 @@
+#ifndef HOD_SIM_SENSOR_MODEL_H_
+#define HOD_SIM_SENSOR_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace hod::sim {
+
+/// Deterministic nominal trajectory of a physical quantity during one
+/// production phase: a piecewise profile (start level ramping to end
+/// level, optional periodic component) that the sensor-noise model rides
+/// on. This is the "true" process signal shared by redundant sensors.
+struct PhaseProfile {
+  double start_level = 0.0;
+  double end_level = 0.0;
+  /// Amplitude of a superimposed sinusoid (e.g. layer cycling while
+  /// printing); 0 disables it.
+  double periodic_amplitude = 0.0;
+  /// Period in samples of the sinusoid.
+  double periodic_period = 50.0;
+
+  /// Nominal value at sample `i` of `n`.
+  double ValueAt(size_t i, size_t n) const;
+};
+
+/// AR(1) measurement/process noise parameters.
+struct NoiseModel {
+  double sigma = 1.0;
+  double ar_coefficient = 0.6;
+};
+
+/// Generates `n` samples of profile + AR(1) process noise. The process
+/// noise is part of the *true* signal (shared across redundant sensors);
+/// per-sensor measurement noise is added separately by ObserveSignal.
+StatusOr<std::vector<double>> GenerateTrueSignal(const PhaseProfile& profile,
+                                                 const NoiseModel& process,
+                                                 size_t n, Rng& rng);
+
+/// A sensor's reading of a true signal: adds iid Gaussian measurement
+/// noise and a constant calibration bias.
+std::vector<double> ObserveSignal(const std::vector<double>& true_signal,
+                                  double measurement_sigma, double bias,
+                                  Rng& rng);
+
+/// Nominal phase profiles of the additive-manufacturing (industrial
+/// 3D-printing) use case, keyed by phase name. Supported names:
+/// "preparation", "warm_up", "calibration", "printing", "cool_down".
+StatusOr<PhaseProfile> PrinterPhaseProfile(const std::string& phase_name,
+                                           const std::string& quantity);
+
+}  // namespace hod::sim
+
+#endif  // HOD_SIM_SENSOR_MODEL_H_

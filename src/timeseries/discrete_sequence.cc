@@ -1,0 +1,72 @@
+#include "timeseries/discrete_sequence.h"
+
+namespace hod::ts {
+
+Symbol Vocabulary::Intern(const std::string& label) {
+  auto it = by_label_.find(label);
+  if (it != by_label_.end()) return it->second;
+  Symbol id = static_cast<Symbol>(labels_.size());
+  labels_.push_back(label);
+  by_label_.emplace(label, id);
+  return id;
+}
+
+StatusOr<Symbol> Vocabulary::Lookup(const std::string& label) const {
+  auto it = by_label_.find(label);
+  if (it == by_label_.end()) {
+    return Status::NotFound("unknown label '" + label + "'");
+  }
+  return it->second;
+}
+
+StatusOr<std::string> Vocabulary::LabelOf(Symbol id) const {
+  if (id < 0 || static_cast<size_t>(id) >= labels_.size()) {
+    return Status::OutOfRange("symbol id out of range");
+  }
+  return labels_[static_cast<size_t>(id)];
+}
+
+DiscreteSequence::DiscreteSequence(std::string name, int alphabet_size)
+    : name_(std::move(name)), alphabet_size_(alphabet_size) {}
+
+DiscreteSequence::DiscreteSequence(std::string name, int alphabet_size,
+                                   std::vector<Symbol> symbols)
+    : name_(std::move(name)),
+      alphabet_size_(alphabet_size),
+      symbols_(std::move(symbols)) {}
+
+StatusOr<DiscreteSequence> DiscreteSequence::Slice(size_t begin,
+                                                   size_t end) const {
+  if (begin > end || end > symbols_.size()) {
+    return Status::InvalidArgument("invalid slice range");
+  }
+  DiscreteSequence out(name_, alphabet_size_);
+  out.symbols_.assign(symbols_.begin() + begin, symbols_.begin() + end);
+  return out;
+}
+
+Status DiscreteSequence::Validate() const {
+  if (alphabet_size_ <= 0) {
+    return Status::InvalidArgument("alphabet size must be positive");
+  }
+  for (Symbol s : symbols_) {
+    if (s < 0 || s >= alphabet_size_) {
+      return Status::InvalidArgument("symbol outside alphabet in '" + name_ +
+                                     "'");
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<std::vector<Symbol>> SymbolWindows(
+    const std::vector<Symbol>& symbols, size_t n) {
+  std::vector<std::vector<Symbol>> windows;
+  if (n == 0 || n > symbols.size()) return windows;
+  windows.reserve(symbols.size() - n + 1);
+  for (size_t i = 0; i + n <= symbols.size(); ++i) {
+    windows.emplace_back(symbols.begin() + i, symbols.begin() + i + n);
+  }
+  return windows;
+}
+
+}  // namespace hod::ts

@@ -1,0 +1,78 @@
+#ifndef HOD_TIMESERIES_DISCRETE_SEQUENCE_H_
+#define HOD_TIMESERIES_DISCRETE_SEQUENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace hod::ts {
+
+/// Symbol identifier within a Vocabulary.
+using Symbol = int32_t;
+
+/// Maps between symbol labels ("HEATING", "IDLE", SAX letters, ...) and the
+/// dense integer ids used by sequence detectors (FSA, HMM, dictionaries).
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `label`, interning it on first use.
+  Symbol Intern(const std::string& label);
+
+  /// Id of `label`, or NotFound when never interned.
+  StatusOr<Symbol> Lookup(const std::string& label) const;
+
+  /// Label of `id`, or OutOfRange.
+  StatusOr<std::string> LabelOf(Symbol id) const;
+
+  size_t size() const { return labels_.size(); }
+
+ private:
+  std::unordered_map<std::string, Symbol> by_label_;
+  std::vector<std::string> labels_;
+};
+
+/// A discrete value sequence — the paper's second phase-level data shape
+/// ("discrete value sequences ... made of labels"). Symbols index into an
+/// external Vocabulary; alphabet_size bounds the ids.
+class DiscreteSequence {
+ public:
+  DiscreteSequence(std::string name, int alphabet_size);
+  DiscreteSequence(std::string name, int alphabet_size,
+                   std::vector<Symbol> symbols);
+
+  const std::string& name() const { return name_; }
+  int alphabet_size() const { return alphabet_size_; }
+
+  size_t size() const { return symbols_.size(); }
+  bool empty() const { return symbols_.empty(); }
+  const std::vector<Symbol>& symbols() const { return symbols_; }
+
+  Symbol operator[](size_t i) const { return symbols_[i]; }
+  Symbol& mutable_symbol(size_t i) { return symbols_[i]; }
+
+  void Append(Symbol s) { symbols_.push_back(s); }
+
+  /// Copies symbols [begin, end) into a new sequence.
+  StatusOr<DiscreteSequence> Slice(size_t begin, size_t end) const;
+
+  /// OK when all symbols are in [0, alphabet_size).
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  int alphabet_size_;
+  std::vector<Symbol> symbols_;
+};
+
+/// All length-`n` contiguous windows of `symbols` (empty when n == 0 or
+/// n > symbols.size()).
+std::vector<std::vector<Symbol>> SymbolWindows(
+    const std::vector<Symbol>& symbols, size_t n);
+
+}  // namespace hod::ts
+
+#endif  // HOD_TIMESERIES_DISCRETE_SEQUENCE_H_

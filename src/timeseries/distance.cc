@@ -1,0 +1,113 @@
+#include "timeseries/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hod::ts {
+
+StatusOr<double> SquaredEuclideanDistance(const std::vector<double>& a,
+                                          const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("size mismatch in Euclidean distance");
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+StatusOr<double> EuclideanDistance(const std::vector<double>& a,
+                                   const std::vector<double>& b) {
+  HOD_ASSIGN_OR_RETURN(double sq, SquaredEuclideanDistance(a, b));
+  return std::sqrt(sq);
+}
+
+double DtwDistance(const std::vector<double>& a, const std::vector<double>& b,
+                   size_t band) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) return n == m ? 0.0 : std::numeric_limits<double>::infinity();
+  const double kInf = std::numeric_limits<double>::infinity();
+  // Two-row DP over the (n+1) x (m+1) cost matrix.
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> curr(m + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    size_t j_lo = 1;
+    size_t j_hi = m;
+    if (band > 0) {
+      // Sakoe-Chiba band around the (scaled) diagonal.
+      const double diag = static_cast<double>(i) * m / n;
+      const double lo = diag - static_cast<double>(band);
+      const double hi = diag + static_cast<double>(band);
+      j_lo = lo < 1.0 ? 1 : static_cast<size_t>(lo);
+      j_hi = hi > static_cast<double>(m) ? m : static_cast<size_t>(hi);
+      if (j_lo > m) break;
+    }
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      const double cost = std::fabs(a[i - 1] - b[j - 1]);
+      const double best =
+          std::min({prev[j], curr[j - 1], prev[j - 1]});
+      if (best < kInf) curr[j] = cost + best;
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+size_t LcsLength(const std::vector<Symbol>& a, const std::vector<Symbol>& b) {
+  if (a.empty() || b.empty()) return 0;
+  // One-row DP.
+  std::vector<size_t> row(b.size() + 1, 0);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = 0;  // row[j-1] from the previous iteration of i.
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t saved = row[j];
+      if (a[i - 1] == b[j - 1]) {
+        row[j] = diag + 1;
+      } else {
+        row[j] = std::max(row[j], row[j - 1]);
+      }
+      diag = saved;
+    }
+  }
+  return row[b.size()];
+}
+
+double LcsSimilarity(const std::vector<Symbol>& a,
+                     const std::vector<Symbol>& b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return static_cast<double>(LcsLength(a, b)) / static_cast<double>(longest);
+}
+
+StatusOr<double> MatchFraction(const std::vector<Symbol>& a,
+                               const std::vector<Symbol>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("size mismatch in match fraction");
+  }
+  if (a.empty()) return 1.0;
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(a.size());
+}
+
+StatusOr<size_t> HammingDistance(const std::vector<Symbol>& a,
+                                 const std::vector<Symbol>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("size mismatch in Hamming distance");
+  }
+  size_t mismatches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++mismatches;
+  }
+  return mismatches;
+}
+
+}  // namespace hod::ts

@@ -1,0 +1,43 @@
+#ifndef HOD_TIMESERIES_DISTANCE_H_
+#define HOD_TIMESERIES_DISTANCE_H_
+
+#include <vector>
+
+#include "timeseries/discrete_sequence.h"
+#include "util/statusor.h"
+
+namespace hod::ts {
+
+/// Euclidean distance of two equal-length vectors; error on size mismatch.
+StatusOr<double> EuclideanDistance(const std::vector<double>& a,
+                                   const std::vector<double>& b);
+
+/// Squared Euclidean distance (cheaper when only ordering matters).
+StatusOr<double> SquaredEuclideanDistance(const std::vector<double>& a,
+                                          const std::vector<double>& b);
+
+/// Dynamic time warping distance with a Sakoe-Chiba band of half-width
+/// `band` (0 = unconstrained). Handles unequal lengths. O(n*m) worst case.
+double DtwDistance(const std::vector<double>& a, const std::vector<double>& b,
+                   size_t band = 0);
+
+/// Length of the longest common subsequence of two symbol sequences.
+size_t LcsLength(const std::vector<Symbol>& a, const std::vector<Symbol>& b);
+
+/// Normalized LCS similarity in [0,1]: LCS length / max(|a|, |b|).
+/// 1 when both are empty.
+double LcsSimilarity(const std::vector<Symbol>& a,
+                     const std::vector<Symbol>& b);
+
+/// Fraction of positions where equal-length symbol windows agree, in [0,1];
+/// used by the match-count sequence-similarity detector (Lane & Brodley).
+StatusOr<double> MatchFraction(const std::vector<Symbol>& a,
+                               const std::vector<Symbol>& b);
+
+/// Hamming distance of equal-length symbol windows.
+StatusOr<size_t> HammingDistance(const std::vector<Symbol>& a,
+                                 const std::vector<Symbol>& b);
+
+}  // namespace hod::ts
+
+#endif  // HOD_TIMESERIES_DISTANCE_H_

@@ -1,0 +1,71 @@
+#include "timeseries/resample.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/stats.h"
+
+namespace hod::ts {
+
+double AggregateAll(const std::vector<double>& values, Aggregation how) {
+  if (values.empty()) return 0.0;
+  switch (how) {
+    case Aggregation::kMean:
+      return Mean(values);
+    case Aggregation::kMin:
+      return Min(values);
+    case Aggregation::kMax:
+      return Max(values);
+    case Aggregation::kLast:
+      return values.back();
+    case Aggregation::kSum: {
+      double sum = 0.0;
+      for (double v : values) sum += v;
+      return sum;
+    }
+    case Aggregation::kStdDev:
+      return StdDev(values);
+  }
+  return 0.0;
+}
+
+StatusOr<TimeSeries> Downsample(const TimeSeries& series, size_t factor,
+                                Aggregation how) {
+  if (factor == 0) {
+    return Status::InvalidArgument("downsample factor must be >= 1");
+  }
+  TimeSeries out(series.name(), series.start_time(),
+                 series.interval() * static_cast<double>(factor));
+  std::vector<double> group;
+  group.reserve(factor);
+  for (size_t i = 0; i < series.size(); i += factor) {
+    const size_t end = std::min(i + factor, series.size());
+    group.assign(series.values().begin() + i, series.values().begin() + end);
+    out.Append(AggregateAll(group, how));
+  }
+  return out;
+}
+
+StatusOr<AlignedRange> AlignByTime(const TimeSeries& a, const TimeSeries& b) {
+  if (a.empty() || b.empty()) {
+    return Status::NotFound("series do not overlap (empty input)");
+  }
+  const TimePoint start = std::max(a.start_time(), b.start_time());
+  const TimePoint end = std::min(a.end_time(), b.end_time());
+  if (start >= end) return Status::NotFound("series do not overlap in time");
+  // Use the coarser interval as the step; index both series at that rate.
+  auto a_begin = a.IndexAt(start);
+  auto b_begin = b.IndexAt(start);
+  if (!a_begin.ok() || !b_begin.ok()) {
+    return Status::NotFound("series do not overlap in time");
+  }
+  AlignedRange range;
+  range.a_begin = a_begin.value();
+  range.b_begin = b_begin.value();
+  const size_t a_len = a.size() - range.a_begin;
+  const size_t b_len = b.size() - range.b_begin;
+  range.length = std::min(a_len, b_len);
+  return range;
+}
+
+}  // namespace hod::ts

@@ -1,0 +1,44 @@
+#ifndef HOD_TIMESERIES_RESAMPLE_H_
+#define HOD_TIMESERIES_RESAMPLE_H_
+
+#include <vector>
+
+#include "timeseries/time_series.h"
+#include "util/statusor.h"
+
+namespace hod::ts {
+
+/// How consecutive samples are combined when rolling a high-resolution
+/// series up to a lower-resolution production level (phase -> job -> line).
+enum class Aggregation {
+  kMean,
+  kMin,
+  kMax,
+  kLast,
+  kSum,
+  kStdDev,
+};
+
+/// Downsamples `series` by `factor` (>= 1): each output sample aggregates
+/// `factor` consecutive inputs; a trailing partial group is aggregated too.
+/// This implements the paper's CAQ rule that data is assigned to a higher
+/// hierarchy level when it has lower resolution.
+StatusOr<TimeSeries> Downsample(const TimeSeries& series, size_t factor,
+                                Aggregation how);
+
+/// Aggregates a whole series to a single value.
+double AggregateAll(const std::vector<double>& values, Aggregation how);
+
+/// Returns the overlap [max(start), min(end)) of two series as index ranges
+/// into each, or NotFound when they do not overlap in time. Used by support
+/// computation to compare corresponding sensors sample-by-sample.
+struct AlignedRange {
+  size_t a_begin = 0;
+  size_t b_begin = 0;
+  size_t length = 0;
+};
+StatusOr<AlignedRange> AlignByTime(const TimeSeries& a, const TimeSeries& b);
+
+}  // namespace hod::ts
+
+#endif  // HOD_TIMESERIES_RESAMPLE_H_

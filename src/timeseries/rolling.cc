@@ -1,0 +1,80 @@
+#include "timeseries/rolling.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hod::ts {
+
+RollingWindow::RollingWindow(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void RollingWindow::Add(double x) {
+  if (window_.size() == capacity_) {
+    const double evicted = window_.front();
+    window_.pop_front();
+    sum_ -= evicted;
+    sum_sq_ -= evicted * evicted;
+    auto it = ordered_.find(evicted);
+    if (it != ordered_.end()) {
+      if (--it->second == 0) ordered_.erase(it);
+      --ordered_count_;
+    }
+  }
+  window_.push_back(x);
+  sum_ += x;
+  sum_sq_ += x * x;
+  ++ordered_[x];
+  ++ordered_count_;
+}
+
+double RollingWindow::mean() const {
+  return window_.empty() ? 0.0 : sum_ / static_cast<double>(window_.size());
+}
+
+double RollingWindow::variance() const {
+  if (window_.empty()) return 0.0;
+  const double m = mean();
+  const double v = sum_sq_ / static_cast<double>(window_.size()) - m * m;
+  return std::max(v, 0.0);  // guard against catastrophic cancellation
+}
+
+double RollingWindow::stddev() const { return std::sqrt(variance()); }
+
+double RollingWindow::median() const {
+  if (ordered_count_ == 0) return 0.0;
+  // Walk the multimap to the middle rank(s).
+  const size_t lower_rank = (ordered_count_ - 1) / 2;
+  const size_t upper_rank = ordered_count_ / 2;
+  double lower_value = 0.0;
+  double upper_value = 0.0;
+  size_t seen = 0;
+  for (const auto& [value, count] : ordered_) {
+    if (seen <= lower_rank && lower_rank < seen + count) {
+      lower_value = value;
+    }
+    if (seen <= upper_rank && upper_rank < seen + count) {
+      upper_value = value;
+      break;
+    }
+    seen += count;
+  }
+  return (lower_value + upper_value) / 2.0;
+}
+
+double RollingWindow::min() const {
+  return ordered_.empty() ? 0.0 : ordered_.begin()->first;
+}
+
+double RollingWindow::max() const {
+  return ordered_.empty() ? 0.0 : ordered_.rbegin()->first;
+}
+
+void RollingWindow::Clear() {
+  window_.clear();
+  ordered_.clear();
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+  ordered_count_ = 0;
+}
+
+}  // namespace hod::ts

@@ -1,0 +1,57 @@
+#ifndef HOD_TIMESERIES_ROLLING_H_
+#define HOD_TIMESERIES_ROLLING_H_
+
+#include <cstddef>
+#include <deque>
+#include <map>
+
+namespace hod::ts {
+
+/// Fixed-capacity rolling window with O(1) mean/variance updates and
+/// O(log n) median — the building block for streaming detectors at the
+/// phase level, where per-sample cost decides whether monitoring keeps up
+/// with the sensor bus.
+class RollingWindow {
+ public:
+  /// `capacity` must be > 0; Add() evicts the oldest sample when full.
+  explicit RollingWindow(size_t capacity);
+
+  void Add(double x);
+
+  size_t size() const { return window_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool full() const { return window_.size() == capacity_; }
+
+  /// Mean / population variance / stddev of the current window (0 when
+  /// empty).
+  double mean() const;
+  double variance() const;
+  double stddev() const;
+
+  /// Median of the current window (0 when empty); O(log n) amortized via
+  /// an order-statistics multimap.
+  double median() const;
+
+  /// Min / max of the current window (0 when empty); O(log n).
+  double min() const;
+  double max() const;
+
+  /// Latest / oldest sample (0 when empty).
+  double back() const { return window_.empty() ? 0.0 : window_.back(); }
+  double front() const { return window_.empty() ? 0.0 : window_.front(); }
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  std::deque<double> window_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  /// Value -> multiplicity; supports order statistics and min/max.
+  std::map<double, size_t> ordered_;
+  size_t ordered_count_ = 0;
+};
+
+}  // namespace hod::ts
+
+#endif  // HOD_TIMESERIES_ROLLING_H_

@@ -1,0 +1,90 @@
+#include "timeseries/sax.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/stats.h"
+
+namespace hod::ts {
+
+StatusOr<std::vector<double>> Paa(const std::vector<double>& values,
+                                  size_t frames) {
+  if (frames == 0) return Status::InvalidArgument("frames must be > 0");
+  if (frames > values.size()) {
+    return Status::InvalidArgument("more PAA frames than samples");
+  }
+  std::vector<double> out(frames, 0.0);
+  const size_t n = values.size();
+  // Each sample contributes to the frame(s) it overlaps; with integer
+  // arithmetic we assign sample i to frame i*frames/n (standard PAA for
+  // n not divisible by frames).
+  std::vector<size_t> counts(frames, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t f = i * frames / n;
+    out[f] += values[i];
+    ++counts[f];
+  }
+  for (size_t f = 0; f < frames; ++f) {
+    if (counts[f] > 0) out[f] /= static_cast<double>(counts[f]);
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> SaxBreakpoints(int alphabet_size) {
+  // Equiprobable breakpoints of the standard normal for alphabets 2..10
+  // (Lin et al. 2003, Table 3).
+  static const std::vector<std::vector<double>> kTables = {
+      /*2*/ {0.0},
+      /*3*/ {-0.43, 0.43},
+      /*4*/ {-0.67, 0.0, 0.67},
+      /*5*/ {-0.84, -0.25, 0.25, 0.84},
+      /*6*/ {-0.97, -0.43, 0.0, 0.43, 0.97},
+      /*7*/ {-1.07, -0.57, -0.18, 0.18, 0.57, 1.07},
+      /*8*/ {-1.15, -0.67, -0.32, 0.0, 0.32, 0.67, 1.15},
+      /*9*/ {-1.22, -0.76, -0.43, -0.14, 0.14, 0.43, 0.76, 1.22},
+      /*10*/ {-1.28, -0.84, -0.52, -0.25, 0.0, 0.25, 0.52, 0.84, 1.28},
+  };
+  if (alphabet_size < 2 || alphabet_size > 10) {
+    return Status::InvalidArgument("SAX alphabet size must be in [2, 10]");
+  }
+  return kTables[static_cast<size_t>(alphabet_size) - 2];
+}
+
+StatusOr<DiscreteSequence> ToSax(const std::vector<double>& values,
+                                 const SaxOptions& options,
+                                 const std::string& name) {
+  if (values.empty()) return Status::InvalidArgument("empty series");
+  HOD_ASSIGN_OR_RETURN(std::vector<double> breakpoints,
+                       SaxBreakpoints(options.alphabet_size));
+  // Z-normalize. Constant series map to the middle symbol.
+  const double m = Mean(values);
+  const double s = StdDev(values);
+  std::vector<double> norm(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    norm[i] = s > 0.0 ? (values[i] - m) / s : 0.0;
+  }
+  std::vector<double> frames;
+  if (options.word_length == 0) {
+    frames = std::move(norm);
+  } else {
+    HOD_ASSIGN_OR_RETURN(frames, Paa(norm, options.word_length));
+  }
+  DiscreteSequence sequence(name, options.alphabet_size);
+  for (double v : frames) {
+    // Symbol = number of breakpoints below v.
+    const auto it = std::upper_bound(breakpoints.begin(), breakpoints.end(), v);
+    sequence.Append(static_cast<Symbol>(it - breakpoints.begin()));
+  }
+  return sequence;
+}
+
+std::string SaxToString(const DiscreteSequence& sequence) {
+  std::string out;
+  out.reserve(sequence.size());
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    out += static_cast<char>('a' + sequence[i]);
+  }
+  return out;
+}
+
+}  // namespace hod::ts

@@ -1,0 +1,47 @@
+#ifndef HOD_TIMESERIES_SAX_H_
+#define HOD_TIMESERIES_SAX_H_
+
+#include <string>
+#include <vector>
+
+#include "timeseries/discrete_sequence.h"
+#include "util/statusor.h"
+
+namespace hod::ts {
+
+/// Symbolic Aggregate approXimation (Lin et al. 2003) — the "symbolic
+/// representation" row of the paper's Table 1 and the bridge between
+/// numeric time series and the sequence detectors (FSA, HMM, NPD, NMD, OS).
+///
+/// Pipeline: z-normalize -> piecewise aggregate approximation (PAA) ->
+/// quantize against N(0,1) equiprobable breakpoints.
+struct SaxOptions {
+  /// Number of PAA frames the series is reduced to. 0 = one frame per
+  /// sample (no dimensionality reduction).
+  size_t word_length = 0;
+  /// Alphabet cardinality, in [2, 10].
+  int alphabet_size = 4;
+};
+
+/// Piecewise aggregate approximation: mean of each of `frames` equal spans.
+/// Errors when frames == 0 or frames > values.size().
+StatusOr<std::vector<double>> Paa(const std::vector<double>& values,
+                                  size_t frames);
+
+/// Equiprobable N(0,1) breakpoints for the given alphabet size (size-1
+/// values). Errors outside [2, 10].
+StatusOr<std::vector<double>> SaxBreakpoints(int alphabet_size);
+
+/// Converts a numeric series to a SAX symbol sequence. The output sequence
+/// has length `word_length` (or values.size() when word_length == 0) and
+/// alphabet `alphabet_size`.
+StatusOr<DiscreteSequence> ToSax(const std::vector<double>& values,
+                                 const SaxOptions& options,
+                                 const std::string& name = "sax");
+
+/// Renders SAX symbols as letters 'a'..'j' for human-readable output.
+std::string SaxToString(const DiscreteSequence& sequence);
+
+}  // namespace hod::ts
+
+#endif  // HOD_TIMESERIES_SAX_H_

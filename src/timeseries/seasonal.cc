@@ -1,0 +1,53 @@
+#include "timeseries/seasonal.h"
+
+#include "timeseries/stats.h"
+
+namespace hod::ts {
+
+StatusOr<SeasonalDecomposition> Deseasonalize(
+    const std::vector<double>& values, size_t period) {
+  if (period == 0) return Status::InvalidArgument("period must be > 0");
+  if (period > values.size()) {
+    return Status::InvalidArgument("period exceeds series length");
+  }
+  SeasonalDecomposition result;
+  result.seasonal.assign(period, 0.0);
+  std::vector<size_t> counts(period, 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    result.seasonal[i % period] += values[i];
+    ++counts[i % period];
+  }
+  for (size_t p = 0; p < period; ++p) {
+    if (counts[p] > 0) {
+      result.seasonal[p] /= static_cast<double>(counts[p]);
+    }
+  }
+  result.adjusted.resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    result.adjusted[i] = values[i] - result.seasonal[i % period];
+  }
+  return result;
+}
+
+StatusOr<size_t> DominantPeriod(const std::vector<double>& values,
+                                size_t min_lag, size_t max_lag,
+                                double min_correlation) {
+  if (min_lag < 2 || min_lag > max_lag) {
+    return Status::InvalidArgument("need 2 <= min_lag <= max_lag");
+  }
+  if (max_lag >= values.size()) {
+    return Status::InvalidArgument("max_lag must be below series length");
+  }
+  size_t best_lag = 0;
+  double best_correlation = min_correlation;
+  for (size_t lag = min_lag; lag <= max_lag; ++lag) {
+    const double correlation = Autocorrelation(values, lag);
+    if (correlation > best_correlation) {
+      best_correlation = correlation;
+      best_lag = lag;
+    }
+  }
+  return best_lag;
+}
+
+}  // namespace hod::ts

@@ -1,0 +1,38 @@
+#ifndef HOD_TIMESERIES_SEASONAL_H_
+#define HOD_TIMESERIES_SEASONAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace hod::ts {
+
+/// Seasonal structure handling for cyclic production signals (layer
+/// cycling while printing, daily environment rhythms). Prediction-model
+/// detectors improve markedly once the deterministic cycle is removed.
+
+/// Result of a seasonal decomposition with known period.
+struct SeasonalDecomposition {
+  /// Per-phase means, length `period`.
+  std::vector<double> seasonal;
+  /// values[i] - seasonal[i % period].
+  std::vector<double> adjusted;
+};
+
+/// Subtracts the per-phase mean cycle of length `period`. Errors when
+/// period == 0 or period > values.size().
+StatusOr<SeasonalDecomposition> Deseasonalize(
+    const std::vector<double>& values, size_t period);
+
+/// Estimates the dominant period as the autocorrelation-maximizing lag in
+/// [min_lag, max_lag]. Returns 0 when no lag achieves `min_correlation`
+/// (the series is not meaningfully periodic). Errors on degenerate
+/// bounds.
+StatusOr<size_t> DominantPeriod(const std::vector<double>& values,
+                                size_t min_lag, size_t max_lag,
+                                double min_correlation = 0.3);
+
+}  // namespace hod::ts
+
+#endif  // HOD_TIMESERIES_SEASONAL_H_

@@ -1,0 +1,99 @@
+#include "timeseries/spectral.h"
+
+#include <cmath>
+
+namespace hod::ts {
+
+namespace {
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+Status Fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const size_t n = data.size();
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument("FFT size must be a power of two");
+  }
+  if (n == 1) return Status::Ok();
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Danielson-Lanczos butterflies.
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+  return Status::Ok();
+}
+
+std::vector<std::complex<double>> ZeroPadToPow2(
+    const std::vector<double>& values, size_t min_size) {
+  size_t n = 1;
+  while (n < values.size() || n < min_size) n <<= 1;
+  std::vector<std::complex<double>> data(n, {0.0, 0.0});
+  for (size_t i = 0; i < values.size(); ++i) data[i] = {values[i], 0.0};
+  return data;
+}
+
+std::vector<double> PowerSpectrum(const std::vector<double>& values) {
+  if (values.empty()) return {};
+  std::vector<std::complex<double>> data = ZeroPadToPow2(values);
+  // Padded size is a power of two by construction; Fft cannot fail.
+  (void)Fft(data);
+  const size_t n = data.size();
+  std::vector<double> power(n / 2 + 1, 0.0);
+  for (size_t k = 0; k <= n / 2; ++k) {
+    power[k] = std::norm(data[k]) / static_cast<double>(n);
+  }
+  return power;
+}
+
+StatusOr<std::vector<double>> BandEnergies(const std::vector<double>& spectrum,
+                                           size_t bands) {
+  if (bands == 0) return Status::InvalidArgument("bands must be > 0");
+  std::vector<double> energies(bands, 0.0);
+  if (spectrum.empty()) {
+    // No spectrum: uniform signature by convention.
+    for (double& e : energies) e = 1.0 / static_cast<double>(bands);
+    return energies;
+  }
+  for (size_t k = 0; k < spectrum.size(); ++k) {
+    const size_t band = k * bands / spectrum.size();
+    energies[band] += spectrum[k];
+  }
+  double total = 0.0;
+  for (double e : energies) total += e;
+  if (total <= 0.0) {
+    for (double& e : energies) e = 1.0 / static_cast<double>(bands);
+  } else {
+    for (double& e : energies) e /= total;
+  }
+  return energies;
+}
+
+StatusOr<std::vector<double>> VibrationSignature(
+    const std::vector<double>& values, size_t bands) {
+  std::vector<double> spectrum = PowerSpectrum(values);
+  if (!spectrum.empty()) spectrum.erase(spectrum.begin());  // drop DC
+  return BandEnergies(spectrum, bands);
+}
+
+}  // namespace hod::ts

@@ -1,0 +1,39 @@
+#ifndef HOD_TIMESERIES_SPECTRAL_H_
+#define HOD_TIMESERIES_SPECTRAL_H_
+
+#include <complex>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace hod::ts {
+
+/// In-place radix-2 Cooley-Tukey FFT. Errors unless data.size() is a power
+/// of two (callers pad with ZeroPadToPow2). `inverse` applies the 1/N
+/// normalization so Fft(Fft(x), inverse=true) == x.
+Status Fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Copies `values` into a complex buffer zero-padded to the next power of
+/// two (at least `min_size`).
+std::vector<std::complex<double>> ZeroPadToPow2(
+    const std::vector<double>& values, size_t min_size = 1);
+
+/// One-sided power spectrum |X_k|^2 / N for k = 0 .. N/2 of the
+/// zero-padded input.
+std::vector<double> PowerSpectrum(const std::vector<double>& values);
+
+/// Splits a power spectrum into `bands` contiguous frequency bands and
+/// returns the total energy per band, normalized so the bands sum to 1
+/// (all-zero spectrum: uniform). This is the "vibration signature" feature
+/// (Nairac et al. 1999). Errors when bands == 0.
+StatusOr<std::vector<double>> BandEnergies(const std::vector<double>& spectrum,
+                                           size_t bands);
+
+/// Convenience: BandEnergies(PowerSpectrum(values), bands); the DC bin is
+/// dropped first so constant offsets do not dominate the signature.
+StatusOr<std::vector<double>> VibrationSignature(
+    const std::vector<double>& values, size_t bands);
+
+}  // namespace hod::ts
+
+#endif  // HOD_TIMESERIES_SPECTRAL_H_

@@ -1,0 +1,152 @@
+#include "timeseries/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hod::ts {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 1) return 0.0;
+  const double m = Mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Min(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double Median(std::vector<double> xs) { return Quantile(std::move(xs), 0.5); }
+
+double Mad(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  const double med = Median(xs);
+  std::vector<double> devs;
+  devs.reserve(xs.size());
+  for (double x : xs) devs.push_back(std::fabs(x - med));
+  // 1.4826 makes MAD a consistent estimator of sigma under normality.
+  return 1.4826 * Median(std::move(devs));
+}
+
+std::vector<double> ZScores(const std::vector<double>& xs) {
+  const double m = Mean(xs);
+  const double s = StdDev(xs);
+  std::vector<double> out(xs.size(), 0.0);
+  if (s <= 0.0) return out;
+  for (size_t i = 0; i < xs.size(); ++i) out[i] = (xs[i] - m) / s;
+  return out;
+}
+
+std::vector<double> RobustZScores(const std::vector<double>& xs) {
+  const double med = Median(xs);
+  const double mad = Mad(xs);
+  std::vector<double> out(xs.size(), 0.0);
+  if (mad <= 0.0) return out;
+  for (size_t i = 0; i < xs.size(); ++i) out[i] = (xs[i] - med) / mad;
+  return out;
+}
+
+double Correlation(const std::vector<double>& xs,
+                   const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.empty()) return 0.0;
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double Autocorrelation(const std::vector<double>& xs, size_t lag) {
+  if (lag >= xs.size()) return 0.0;
+  const double m = Mean(xs);
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    den += (xs[i] - m) * (xs[i] - m);
+  }
+  if (den <= 0.0) return 0.0;
+  for (size_t i = lag; i < xs.size(); ++i) {
+    num += (xs[i] - m) * (xs[i - lag] - m);
+  }
+  return num / den;
+}
+
+double Slope(const std::vector<double>& xs) {
+  const size_t n = xs.size();
+  if (n < 2) return 0.0;
+  // Closed-form simple linear regression against t = 0..n-1.
+  const double tm = static_cast<double>(n - 1) / 2.0;
+  const double xm = Mean(xs);
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dt = static_cast<double>(i) - tm;
+    num += dt * (xs[i] - xm);
+    den += dt * dt;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double Energy(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x * x;
+  return sum;
+}
+
+double DeviationToScore(double deviation, double scale) {
+  if (deviation <= 0.0) return 0.0;
+  if (scale <= 0.0) return 1.0;
+  return deviation / (deviation + scale);
+}
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 1) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace hod::ts

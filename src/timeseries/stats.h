@@ -1,0 +1,78 @@
+#ifndef HOD_TIMESERIES_STATS_H_
+#define HOD_TIMESERIES_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hod::ts {
+
+/// Summary statistics over a sample. All functions return 0 on empty input
+/// unless documented otherwise; none allocate beyond O(n) scratch.
+
+/// Arithmetic mean.
+double Mean(const std::vector<double>& xs);
+
+/// Population variance (divides by n). 0 when n < 1.
+double Variance(const std::vector<double>& xs);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& xs);
+
+/// Sample minimum / maximum (0 on empty input).
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+
+/// q-quantile via linear interpolation on the sorted sample, q in [0,1].
+double Quantile(std::vector<double> xs, double q);
+
+/// Median (0.5 quantile).
+double Median(std::vector<double> xs);
+
+/// Median absolute deviation, scaled by 1.4826 so it estimates sigma for
+/// Gaussian data. Robust to up to ~50% contamination.
+double Mad(const std::vector<double>& xs);
+
+/// Classic z-scores (x - mean) / stddev; all-zero when stddev == 0.
+std::vector<double> ZScores(const std::vector<double>& xs);
+
+/// Robust z-scores (x - median) / MAD; all-zero when MAD == 0.
+std::vector<double> RobustZScores(const std::vector<double>& xs);
+
+/// Pearson correlation of two equal-length samples; 0 when degenerate.
+double Correlation(const std::vector<double>& xs,
+                   const std::vector<double>& ys);
+
+/// Lag-k autocorrelation; 0 when k >= n or variance is 0.
+double Autocorrelation(const std::vector<double>& xs, size_t lag);
+
+/// Least-squares slope of xs against index 0..n-1 (trend per step).
+double Slope(const std::vector<double>& xs);
+
+/// Sum of squares (signal energy).
+double Energy(const std::vector<double>& xs);
+
+/// Maps a non-negative deviation magnitude to an outlierness score in
+/// [0, 1) that grows monotonically: score = d / (d + scale). `scale` is the
+/// deviation at which the score reaches 0.5 (defaults to 3 "sigmas").
+double DeviationToScore(double deviation, double scale = 3.0);
+
+/// Online mean/variance accumulator (Welford). Suitable for streaming
+/// condition monitoring at the phase level.
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance; 0 when count < 1.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace hod::ts
+
+#endif  // HOD_TIMESERIES_STATS_H_

@@ -1,0 +1,69 @@
+#include "timeseries/time_series.h"
+
+#include <cmath>
+
+namespace hod::ts {
+
+TimeSeries::TimeSeries(std::string name, TimePoint start_time, double interval)
+    : name_(std::move(name)), start_time_(start_time), interval_(interval) {}
+
+TimeSeries::TimeSeries(std::string name, TimePoint start_time, double interval,
+                       std::vector<double> values)
+    : name_(std::move(name)),
+      start_time_(start_time),
+      interval_(interval),
+      values_(std::move(values)) {}
+
+StatusOr<size_t> TimeSeries::IndexAt(TimePoint t) const {
+  if (t < start_time_ || t >= end_time()) {
+    return Status::OutOfRange("time outside series range");
+  }
+  return static_cast<size_t>((t - start_time_) / interval_);
+}
+
+StatusOr<TimeSeries> TimeSeries::Slice(size_t begin, size_t end) const {
+  if (begin > end || end > values_.size()) {
+    return Status::InvalidArgument("invalid slice range");
+  }
+  TimeSeries out(name_, TimeAt(begin), interval_);
+  out.values_.assign(values_.begin() + begin, values_.begin() + end);
+  return out;
+}
+
+Status TimeSeries::Validate() const {
+  if (interval_ <= 0.0) {
+    return Status::InvalidArgument("interval must be positive");
+  }
+  for (double v : values_) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("non-finite sample in series '" + name_ +
+                                     "'");
+    }
+  }
+  return Status::Ok();
+}
+
+FeatureVector::FeatureVector(std::vector<std::string> names,
+                             std::vector<double> values)
+    : names_(std::move(names)), values_(std::move(values)) {}
+
+StatusOr<double> FeatureVector::Get(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return values_[i];
+  }
+  return Status::NotFound("no feature named '" + name + "'");
+}
+
+Status FeatureVector::Validate() const {
+  if (names_.size() != values_.size()) {
+    return Status::InvalidArgument("feature name/value size mismatch");
+  }
+  for (double v : values_) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("non-finite feature value");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace hod::ts

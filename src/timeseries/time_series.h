@@ -1,0 +1,101 @@
+#ifndef HOD_TIMESERIES_TIME_SERIES_H_
+#define HOD_TIMESERIES_TIME_SERIES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace hod::ts {
+
+/// Seconds since an arbitrary epoch. All hierarchy levels share one clock so
+/// that outliers found at different levels can be matched in time.
+using TimePoint = double;
+
+/// A regularly sampled, named, univariate time series — the basic data shape
+/// at the phase and environment levels of the production hierarchy.
+///
+/// Sampling is uniform: sample i has timestamp `start_time() + i * interval()`.
+/// This matches industrial sensor buses, keeps storage compact, and makes
+/// window extraction O(1) per window.
+class TimeSeries {
+ public:
+  /// Creates an empty series sampled every `interval` seconds starting at
+  /// `start_time`. `interval` must be > 0 (checked by Validate()).
+  TimeSeries(std::string name, TimePoint start_time, double interval);
+
+  /// Convenience: wraps existing samples.
+  TimeSeries(std::string name, TimePoint start_time, double interval,
+             std::vector<double> values);
+
+  const std::string& name() const { return name_; }
+  TimePoint start_time() const { return start_time_; }
+  double interval() const { return interval_; }
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  double operator[](size_t i) const { return values_[i]; }
+  double& operator[](size_t i) { return values_[i]; }
+
+  /// Timestamp of sample i.
+  TimePoint TimeAt(size_t i) const { return start_time_ + interval_ * i; }
+
+  /// Timestamp one past the final sample (empty series: start_time()).
+  TimePoint end_time() const { return TimeAt(values_.size()); }
+
+  /// Index of the sample covering time `t`, or error when `t` lies outside
+  /// [start_time, end_time).
+  StatusOr<size_t> IndexAt(TimePoint t) const;
+
+  /// Appends one sample.
+  void Append(double value) { values_.push_back(value); }
+
+  /// Copies samples [begin, end) into a new series with adjusted start time.
+  /// Errors when the range is invalid.
+  StatusOr<TimeSeries> Slice(size_t begin, size_t end) const;
+
+  /// OK when the series is structurally sound (positive interval, finite
+  /// values).
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  TimePoint start_time_;
+  double interval_;
+  std::vector<double> values_;
+};
+
+/// A fixed-length numeric feature vector with named components — the data
+/// shape of job setups and CAQ quality checks ("high-dimensional data" in
+/// the paper, one vector per job rather than a stream).
+class FeatureVector {
+ public:
+  FeatureVector() = default;
+  FeatureVector(std::vector<std::string> names, std::vector<double> values);
+
+  size_t size() const { return values_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+  const std::vector<double>& values() const { return values_; }
+
+  double operator[](size_t i) const { return values_[i]; }
+
+  /// Value by component name, or NotFound.
+  StatusOr<double> Get(const std::string& name) const;
+
+  /// OK when names and values have matching sizes and values are finite.
+  Status Validate() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> values_;
+};
+
+}  // namespace hod::ts
+
+#endif  // HOD_TIMESERIES_TIME_SERIES_H_

@@ -1,0 +1,68 @@
+#include "timeseries/window.h"
+
+#include <algorithm>
+
+#include "timeseries/stats.h"
+
+namespace hod::ts {
+
+StatusOr<std::vector<WindowSpan>> SlidingWindows(size_t n, size_t length,
+                                                 size_t stride) {
+  if (length == 0) return Status::InvalidArgument("window length must be > 0");
+  if (stride == 0) return Status::InvalidArgument("window stride must be > 0");
+  if (length > n) {
+    return Status::InvalidArgument("window length exceeds series length");
+  }
+  std::vector<WindowSpan> spans;
+  for (size_t begin = 0; begin + length <= n; begin += stride) {
+    spans.push_back(WindowSpan{begin, begin + length});
+  }
+  return spans;
+}
+
+StatusOr<std::vector<WindowSpan>> TumblingWindows(size_t n, size_t length) {
+  return SlidingWindows(n, length, length);
+}
+
+std::vector<double> WindowFeatures::ToVector() const {
+  return {mean, stddev, min, max, slope, energy};
+}
+
+WindowFeatures ComputeWindowFeatures(const std::vector<double>& values,
+                                     WindowSpan span) {
+  std::vector<double> xs(values.begin() + span.begin,
+                         values.begin() + span.end);
+  WindowFeatures f;
+  f.mean = Mean(xs);
+  f.stddev = StdDev(xs);
+  f.min = Min(xs);
+  f.max = Max(xs);
+  f.slope = Slope(xs);
+  f.energy = Energy(xs) / std::max<size_t>(xs.size(), 1);
+  return f;
+}
+
+std::vector<WindowFeatures> ComputeAllWindowFeatures(
+    const std::vector<double>& values, const std::vector<WindowSpan>& spans) {
+  std::vector<WindowFeatures> features;
+  features.reserve(spans.size());
+  for (const WindowSpan& span : spans) {
+    features.push_back(ComputeWindowFeatures(values, span));
+  }
+  return features;
+}
+
+std::vector<double> WindowScoresToPointScores(
+    size_t n, const std::vector<WindowSpan>& spans,
+    const std::vector<double>& window_scores) {
+  std::vector<double> point_scores(n, 0.0);
+  const size_t count = std::min(spans.size(), window_scores.size());
+  for (size_t w = 0; w < count; ++w) {
+    for (size_t i = spans[w].begin; i < spans[w].end && i < n; ++i) {
+      point_scores[i] = std::max(point_scores[i], window_scores[w]);
+    }
+  }
+  return point_scores;
+}
+
+}  // namespace hod::ts

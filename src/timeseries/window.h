@@ -1,0 +1,66 @@
+#ifndef HOD_TIMESERIES_WINDOW_H_
+#define HOD_TIMESERIES_WINDOW_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace hod::ts {
+
+/// A half-open index range [begin, end) into a series, produced by the
+/// window planners below. Window-based detectors (NPD, NMD, OS, discrim-
+/// inative windows) score these ranges rather than raw points.
+struct WindowSpan {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+  /// Index of the window's central sample (used to localize window scores
+  /// back onto points, per the paper's "exact positions of anomalies").
+  size_t center() const { return begin + (end - begin) / 2; }
+};
+
+/// Overlapping fixed-size windows of `length`, advancing by `stride`.
+/// Errors when length == 0, stride == 0, or length > n.
+StatusOr<std::vector<WindowSpan>> SlidingWindows(size_t n, size_t length,
+                                                 size_t stride);
+
+/// Non-overlapping windows (stride == length); the final partial window is
+/// dropped.
+StatusOr<std::vector<WindowSpan>> TumblingWindows(size_t n, size_t length);
+
+/// Compact per-window description used by detectors that cluster or
+/// classify windows (phased k-means, SOM, SVM, MLP, ...).
+struct WindowFeatures {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double slope = 0.0;
+  double energy = 0.0;
+
+  /// Flattened to a vector in the order above.
+  std::vector<double> ToVector() const;
+
+  static constexpr size_t kDimension = 6;
+};
+
+/// Computes features of values[span].
+WindowFeatures ComputeWindowFeatures(const std::vector<double>& values,
+                                     WindowSpan span);
+
+/// Features for every window.
+std::vector<WindowFeatures> ComputeAllWindowFeatures(
+    const std::vector<double>& values, const std::vector<WindowSpan>& spans);
+
+/// Distributes per-window scores back to per-point scores: each point takes
+/// the maximum score over the windows covering it. Points covered by no
+/// window get 0.
+std::vector<double> WindowScoresToPointScores(
+    size_t n, const std::vector<WindowSpan>& spans,
+    const std::vector<double>& window_scores);
+
+}  // namespace hod::ts
+
+#endif  // HOD_TIMESERIES_WINDOW_H_

@@ -1,0 +1,58 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace hod {
+
+namespace {
+
+LogLevel g_min_level = LogLevel::kInfo;
+
+void DefaultSink(LogLevel level, const std::string& message) {
+  const char* name = "INFO";
+  switch (level) {
+    case LogLevel::kDebug:
+      name = "DEBUG";
+      break;
+    case LogLevel::kInfo:
+      name = "INFO";
+      break;
+    case LogLevel::kWarning:
+      name = "WARN";
+      break;
+    case LogLevel::kError:
+      name = "ERROR";
+      break;
+  }
+  std::fprintf(stderr, "[%s] %s\n", name, message.c_str());
+}
+
+LogSink g_sink = &DefaultSink;
+
+}  // namespace
+
+void SetMinLogLevel(LogLevel level) { g_min_level = level; }
+LogLevel MinLogLevel() { return g_min_level; }
+
+void SetLogSink(LogSink sink) { g_sink = sink != nullptr ? sink : &DefaultSink; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Strip directories: keep the basename for compact records.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < g_min_level) return;
+  g_sink(level_, stream_.str());
+}
+
+}  // namespace internal_logging
+
+}  // namespace hod

@@ -1,0 +1,54 @@
+#ifndef HOD_UTIL_LOGGING_H_
+#define HOD_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hod {
+
+/// Log severities in increasing order of importance.
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Process-wide minimum severity; messages below it are dropped.
+/// Defaults to kInfo. Not thread-safe by design (set once at startup).
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+/// Sink invoked for every emitted record; defaults to stderr.
+/// Replaceable for tests.
+using LogSink = void (*)(LogLevel, const std::string& message);
+void SetLogSink(LogSink sink);
+
+namespace internal_logging {
+
+/// Stream-style log record that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define HOD_LOG(level)                                             \
+  ::hod::internal_logging::LogMessage(::hod::LogLevel::k##level,   \
+                                      __FILE__, __LINE__)          \
+      .stream()
+
+}  // namespace hod
+
+#endif  // HOD_UTIL_LOGGING_H_

@@ -1,0 +1,82 @@
+#ifndef HOD_UTIL_STATUS_H_
+#define HOD_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+
+namespace hod {
+
+/// Error categories used throughout the library. Modeled after the
+/// RocksDB/Abseil status idiom: functions that can fail return a `Status`
+/// (or `StatusOr<T>`, see statusor.h) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// A lightweight success-or-error result. Cheap to copy in the OK case
+/// (no allocation); carries a message only on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and human-readable message.
+  Status(StatusCode code, std::string_view message)
+      : code_(code), message_(message) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(StatusCode::kFailedPrecondition, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(StatusCode::kOutOfRange, msg);
+  }
+  static Status Unimplemented(std::string_view msg) {
+    return Status(StatusCode::kUnimplemented, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(StatusCode::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders e.g. "InvalidArgument: window must be positive".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Name of a status code, e.g. "NotFound".
+std::string_view StatusCodeName(StatusCode code);
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK. The enclosing function must return Status.
+#define HOD_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::hod::Status hod_return_if_error_s = (expr); \
+    if (!hod_return_if_error_s.ok()) return hod_return_if_error_s; \
+  } while (false)
+
+}  // namespace hod
+
+#endif  // HOD_UTIL_STATUS_H_

@@ -1,0 +1,79 @@
+#ifndef HOD_UTIL_STATUSOR_H_
+#define HOD_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace hod {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. The usual pattern:
+///
+///   StatusOr<Model> m = Model::Train(data);
+///   if (!m.ok()) return m.status();
+///   Use(m.value());
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit so functions can `return value;`).
+  StatusOr(T value) : status_(), value_(std::move(value)) {}
+
+  /// Constructs from an error status. `status` must not be OK: an OK status
+  /// without a value is a logic error and is converted to kInternal.
+  StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a StatusOr expression to `lhs`, or returns its
+/// status from the enclosing function. Usable several times per scope
+/// (the temporary's name is unique per line).
+#define HOD_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define HOD_INTERNAL_CONCAT(a, b) HOD_INTERNAL_CONCAT_IMPL(a, b)
+#define HOD_ASSIGN_OR_RETURN(lhs, expr) \
+  HOD_ASSIGN_OR_RETURN_IMPL(            \
+      HOD_INTERNAL_CONCAT(hod_statusor_tmp_, __LINE__), lhs, expr)
+#define HOD_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+}  // namespace hod
+
+#endif  // HOD_UTIL_STATUSOR_H_

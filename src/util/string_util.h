@@ -1,0 +1,31 @@
+#ifndef HOD_UTIL_STRING_UTIL_H_
+#define HOD_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hod {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// True if `text` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Formats a double with `digits` decimal places ("3.142").
+std::string FormatDouble(double value, int digits);
+
+}  // namespace hod
+
+#endif  // HOD_UTIL_STRING_UTIL_H_

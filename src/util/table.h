@@ -1,0 +1,37 @@
+#ifndef HOD_UTIL_TABLE_H_
+#define HOD_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hod {
+
+/// Column-aligned text table used by the benchmark harness to print the
+/// paper's tables/figure series, plus a CSV export for plotting.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row. Missing cells render as empty; surplus cells widen the
+  /// table is an error -> row is truncated to the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Writes an aligned, human-readable rendering.
+  void Print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (fields containing comma/quote are quoted).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hod
+
+#endif  // HOD_UTIL_TABLE_H_

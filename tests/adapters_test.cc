@@ -1,0 +1,208 @@
+// Cross-data-type adapter tests: every adapter must preserve score bounds,
+// propagate supervision, and keep anomaly separation through the lift.
+
+#include <gtest/gtest.h>
+
+#include "detect/adapters.h"
+
+#include <cmath>
+#include "detect/ar_detector.h"
+#include "detect/em_detector.h"
+#include "detect/fsa_detector.h"
+#include "detect/mlp_detector.h"
+#include "detect/rule_learning.h"
+#include "detector_test_util.h"
+#include "eval/metrics.h"
+
+namespace hod::detect {
+namespace {
+
+using detect_test::CanonicalSeries;
+using detect_test::CleanSequences;
+using detect_test::ExpectAnomaliesScoreHigher;
+using detect_test::ExpectScoresInUnitInterval;
+
+TEST(SaxSeriesAdapter, LiftsSequenceDetectorOntoSeries) {
+  const auto dataset = CanonicalSeries();
+  auto detector = MakeSeriesFromSequence(std::make_unique<FsaDetector>(),
+                                         ts::SaxOptions{0, 5});
+  EXPECT_EQ(detector->name(), "FiniteStateAutomaton+SAX");
+  EXPECT_FALSE(detector->supervised());
+  ASSERT_TRUE(detector->Train(dataset.train).ok());
+  auto scores = detector->Score(dataset.test[0]);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), dataset.test[0].size());
+  ExpectScoresInUnitInterval(scores.value());
+}
+
+TEST(WindowVectorSeriesAdapter, WindowScoresSpreadToPoints) {
+  const auto dataset = CanonicalSeries();
+  auto detector =
+      MakeSeriesFromVectorWindows(std::make_unique<EmDetector>(), 32, 8);
+  ASSERT_TRUE(detector->Train(dataset.train).ok());
+  auto scores = detector->Score(dataset.test[0]);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), dataset.test[0].size());
+  ExpectScoresInUnitInterval(scores.value());
+}
+
+TEST(WindowVectorSeriesAdapter, ShortSeriesScoresZero) {
+  const auto dataset = CanonicalSeries();
+  auto detector =
+      MakeSeriesFromVectorWindows(std::make_unique<EmDetector>(), 32, 8);
+  ASSERT_TRUE(detector->Train(dataset.train).ok());
+  ts::TimeSeries tiny("t", 0, 1, {1.0, 2.0});
+  auto scores = detector->Score(tiny).value();
+  for (double s : scores) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(WindowVectorSeriesAdapter, SupervisionPropagates) {
+  const auto dataset = CanonicalSeries();
+  auto detector =
+      MakeSeriesFromVectorWindows(std::make_unique<MlpDetector>(), 32, 8);
+  EXPECT_TRUE(detector->supervised());
+  // Unsupervised training must be rejected by the wrapped MLP.
+  EXPECT_FALSE(detector->Train(dataset.train).ok());
+  // Supervised training with per-sample labels works end to end. Train on
+  // the *test* split (the train split has no positive labels).
+  ASSERT_TRUE(
+      detector->TrainSupervised(dataset.test, dataset.test_labels).ok());
+  auto scores = detector->Score(dataset.test[0]);
+  ASSERT_TRUE(scores.ok());
+  ExpectScoresInUnitInterval(scores.value());
+}
+
+TEST(PointVectorSeriesAdapter, OneScorePerSample) {
+  const auto dataset = CanonicalSeries();
+  auto detector = MakeSeriesFromVectorPoints(std::make_unique<EmDetector>(),
+                                             /*include_phase=*/false);
+  ASSERT_TRUE(detector->Train(dataset.train).ok());
+  auto scores = detector->Score(dataset.test[0]);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), dataset.test[0].size());
+}
+
+TEST(PointVectorSeriesAdapter, PhaseFeatureChangesInput) {
+  // With include_phase, a value normal early but abnormal late can be
+  // distinguished; sanity-check it trains and scores.
+  const auto dataset = CanonicalSeries();
+  auto detector = MakeSeriesFromVectorPoints(std::make_unique<EmDetector>(),
+                                             /*include_phase=*/true);
+  ASSERT_TRUE(detector->Train(dataset.train).ok());
+  auto scores = detector->Score(dataset.test[1]);
+  ASSERT_TRUE(scores.ok());
+  ExpectScoresInUnitInterval(scores.value());
+}
+
+TEST(WindowVectorSequenceAdapter, LiftsVectorDetectorOntoSequences) {
+  const auto dataset = CleanSequences();
+  auto detector =
+      MakeSequenceFromVector(std::make_unique<EmDetector>(), 6);
+  ASSERT_TRUE(detector->Train(dataset.train).ok());
+  for (size_t s = 0; s < dataset.test.size(); ++s) {
+    auto scores = detector->Score(dataset.test[s]);
+    ASSERT_TRUE(scores.ok());
+    EXPECT_EQ(scores->size(), dataset.test[s].size());
+    ExpectScoresInUnitInterval(scores.value());
+  }
+}
+
+TEST(SequenceVectorAdapter, QuantizesPointsToSymbols) {
+  auto detector =
+      MakeVectorFromSequence(std::make_unique<FsaDetector>(), 5);
+  // Ramp-cycle data: quantized symbols are cyclic and learnable.
+  std::vector<std::vector<double>> train;
+  for (int i = 0; i < 400; ++i) {
+    train.push_back({static_cast<double>(i % 5)});
+  }
+  ASSERT_TRUE(detector->Train(train).ok());
+  // Break the cycle at one point.
+  std::vector<std::vector<double>> test;
+  for (int i = 0; i < 40; ++i) test.push_back({static_cast<double>(i % 5)});
+  test[20] = {4.0};  // out-of-cycle jump
+  auto scores = detector->Score(test);
+  ASSERT_TRUE(scores.ok());
+  ExpectScoresInUnitInterval(scores.value());
+  EXPECT_GT((*scores)[20], 0.3);
+}
+
+TEST(SeriesVectorAdapter, StreamsPointsThroughSeriesDetector) {
+  auto detector = MakeVectorFromSeries(std::make_unique<ArDetector>());
+  std::vector<std::vector<double>> train;
+  for (int i = 0; i < 500; ++i) {
+    train.push_back({std::sin(0.2 * i)});
+  }
+  ASSERT_TRUE(detector->Train(train).ok());
+  std::vector<std::vector<double>> test;
+  for (int i = 0; i < 100; ++i) test.push_back({std::sin(0.2 * i)});
+  test[50][0] += 8.0;  // additive spike
+  auto scores = detector->Score(test);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT((*scores)[50], 0.5);
+  double max_other = 0.0;
+  for (size_t i = 0; i < scores->size(); ++i) {
+    if (i < 49 || i > 52) max_other = std::max(max_other, (*scores)[i]);
+  }
+  EXPECT_GT((*scores)[50], max_other);
+}
+
+TEST(SeriesVectorAdapter, MultiDimensionalRowsUseNorm) {
+  auto detector = MakeVectorFromSeries(std::make_unique<ArDetector>());
+  std::vector<std::vector<double>> train;
+  for (int i = 0; i < 300; ++i) {
+    // Norm cycles mildly so the AR fit has signal.
+    train.push_back({3.0 + 0.1 * (i % 3), 4.0});
+  }
+  ASSERT_TRUE(detector->Train(train).ok());
+  // Stream must exceed the AR order for interior samples to be scored.
+  std::vector<std::vector<double>> test;
+  for (int i = 0; i < 20; ++i) test.push_back({3.0 + 0.1 * (i % 3), 4.0});
+  test[10] = {30.0, 40.0};  // norm jumps 5 -> 50
+  auto scores = detector->Score(test);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT((*scores)[10], (*scores)[5]);
+  EXPECT_GT((*scores)[10], 0.5);
+}
+
+TEST(SaxSeriesAdapter, SupervisionPropagatesThroughDiscretization) {
+  const auto dataset = CanonicalSeries();
+  // RuleLearning is supervised and sequence-native; lifted onto series it
+  // must accept per-sample labels and reject unlabeled training.
+  auto detector = MakeSeriesFromSequence(
+      std::make_unique<RuleLearningDetector>(), ts::SaxOptions{0, 5});
+  EXPECT_TRUE(detector->supervised());
+  EXPECT_FALSE(detector->Train(dataset.train).ok());
+  ASSERT_TRUE(
+      detector->TrainSupervised(dataset.test, dataset.test_labels).ok());
+  auto scores = detector->Score(dataset.test[0]);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), dataset.test[0].size());
+  ExpectScoresInUnitInterval(scores.value());
+}
+
+TEST(PointVectorSeriesAdapter, SupervisedPointPathWorks) {
+  const auto dataset = CanonicalSeries();
+  auto detector = MakeSeriesFromVectorPoints(std::make_unique<MlpDetector>(),
+                                             /*include_phase=*/true);
+  EXPECT_TRUE(detector->supervised());
+  ASSERT_TRUE(
+      detector->TrainSupervised(dataset.test, dataset.test_labels).ok());
+  auto scores = detector->Score(dataset.test[1]);
+  ASSERT_TRUE(scores.ok());
+  ExpectScoresInUnitInterval(scores.value());
+}
+
+TEST(Adapters, LabelLengthMismatchRejectedEverywhere) {
+  const auto dataset = CanonicalSeries();
+  std::vector<Labels> wrong = dataset.test_labels;
+  wrong[0].pop_back();
+  auto window_adapter =
+      MakeSeriesFromVectorWindows(std::make_unique<MlpDetector>(), 32, 8);
+  EXPECT_FALSE(window_adapter->TrainSupervised(dataset.test, wrong).ok());
+  auto point_adapter = MakeSeriesFromVectorPoints(
+      std::make_unique<MlpDetector>(), /*include_phase=*/false);
+  EXPECT_FALSE(point_adapter->TrainSupervised(dataset.test, wrong).ok());
+}
+
+}  // namespace
+}  // namespace hod::detect

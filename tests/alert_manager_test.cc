@@ -1,0 +1,127 @@
+#include "core/alert_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace hod::core {
+namespace {
+
+OutlierFinding MakeFinding(const std::string& entity, double time,
+                           double outlierness, int global_score = 1,
+                           double support = 0.0,
+                           bool measurement_error = false) {
+  OutlierFinding finding;
+  finding.origin.entity = entity;
+  finding.origin.time = time;
+  finding.outlierness = outlierness;
+  finding.global_score = global_score;
+  finding.support = support;
+  finding.measurement_error_warning = measurement_error;
+  return finding;
+}
+
+TEST(AlertManager, MergesNearbyFindingsIntoOneEpisode) {
+  AlertManager manager(AlertManagerOptions{.merge_window = 30.0,
+                                           .min_severity =
+                                               AlertSeverity::kInfo});
+  manager.Ingest(MakeFinding("s1", 100.0, 0.9, 3, 1.0));
+  manager.Ingest(MakeFinding("s1", 110.0, 0.7, 3, 1.0));
+  manager.Ingest(MakeFinding("s1", 125.0, 0.6, 2, 1.0));
+  auto episodes = manager.Episodes();
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(episodes[0].finding_count, 3u);
+  EXPECT_DOUBLE_EQ(episodes[0].start_time, 100.0);
+  EXPECT_DOUBLE_EQ(episodes[0].end_time, 125.0);
+  EXPECT_DOUBLE_EQ(episodes[0].peak_outlierness, 0.9);
+  EXPECT_EQ(episodes[0].peak_global_score, 3);
+}
+
+TEST(AlertManager, SplitsDistantFindings) {
+  AlertManager manager(AlertManagerOptions{.merge_window = 30.0,
+                                           .min_severity =
+                                               AlertSeverity::kInfo});
+  manager.Ingest(MakeFinding("s1", 100.0, 0.9, 3, 1.0));
+  manager.Ingest(MakeFinding("s1", 500.0, 0.8, 3, 1.0));
+  EXPECT_EQ(manager.Episodes().size(), 2u);
+}
+
+TEST(AlertManager, SeparateEntitiesSeparateEpisodes) {
+  AlertManager manager(AlertManagerOptions{.merge_window = 30.0,
+                                           .min_severity =
+                                               AlertSeverity::kInfo});
+  manager.Ingest(MakeFinding("s1", 100.0, 0.9, 3, 1.0));
+  manager.Ingest(MakeFinding("s2", 101.0, 0.9, 3, 1.0));
+  EXPECT_EQ(manager.Episodes().size(), 2u);
+}
+
+TEST(AlertManager, OutOfOrderIngestionHandled) {
+  AlertManager manager(AlertManagerOptions{.merge_window = 30.0,
+                                           .min_severity =
+                                               AlertSeverity::kInfo});
+  manager.Ingest(MakeFinding("s1", 125.0, 0.6, 2, 1.0));
+  manager.Ingest(MakeFinding("s1", 100.0, 0.9, 3, 1.0));
+  manager.Ingest(MakeFinding("s1", 110.0, 0.7, 3, 1.0));
+  auto episodes = manager.Episodes();
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_DOUBLE_EQ(episodes[0].start_time, 100.0);
+}
+
+TEST(AlertManager, SeverityFilterSuppressesInfo) {
+  AlertManager manager(AlertManagerOptions{.merge_window = 30.0,
+                                           .min_severity =
+                                               AlertSeverity::kWarning});
+  manager.Ingest(MakeFinding("weak", 10.0, 0.2, 1, 0.0));   // INFO
+  manager.Ingest(MakeFinding("strong", 10.0, 0.9, 3, 1.0));  // CRITICAL
+  auto episodes = manager.Episodes();
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(episodes[0].entity, "strong");
+  EXPECT_EQ(episodes[0].severity, AlertSeverity::kCritical);
+}
+
+TEST(AlertManager, MeasurementErrorsRoutedToCalibration) {
+  AlertManager manager;
+  manager.Ingest(MakeFinding("sensor", 10.0, 0.9, 1, 0.0,
+                             /*measurement_error=*/true));
+  manager.Ingest(MakeFinding("process", 10.0, 0.9, 3, 1.0));
+  auto board = manager.Episodes();
+  ASSERT_EQ(board.size(), 1u);
+  EXPECT_EQ(board[0].entity, "process");
+  auto calibration = manager.CalibrationQueue();
+  ASSERT_EQ(calibration.size(), 1u);
+  EXPECT_EQ(calibration[0].entity, "sensor");
+  EXPECT_TRUE(calibration[0].suspected_measurement_error);
+}
+
+TEST(AlertManager, EpisodesSortedStrongestFirst) {
+  AlertManager manager(AlertManagerOptions{.merge_window = 1.0,
+                                           .min_severity =
+                                               AlertSeverity::kInfo});
+  manager.Ingest(MakeFinding("weak", 10.0, 0.3, 1, 0.0));
+  manager.Ingest(MakeFinding("critical", 20.0, 0.9, 4, 1.0));
+  manager.Ingest(MakeFinding("warning", 30.0, 0.8, 2, 0.0));
+  auto episodes = manager.Episodes();
+  ASSERT_EQ(episodes.size(), 3u);
+  EXPECT_EQ(episodes[0].entity, "critical");
+  EXPECT_EQ(episodes[1].entity, "warning");
+  EXPECT_EQ(episodes[2].entity, "weak");
+}
+
+TEST(AlertManager, ClearResets) {
+  AlertManager manager;
+  manager.Ingest(MakeFinding("s", 1.0, 0.9, 3, 1.0));
+  EXPECT_EQ(manager.findings_ingested(), 1u);
+  manager.Clear();
+  EXPECT_EQ(manager.findings_ingested(), 0u);
+  EXPECT_TRUE(manager.Episodes().empty());
+}
+
+TEST(AlertManager, IngestReportTakesAllFindings) {
+  HierarchicalOutlierReport report;
+  report.findings.push_back(MakeFinding("a", 1.0, 0.9, 3, 1.0));
+  report.findings.push_back(MakeFinding("b", 2.0, 0.8, 3, 1.0));
+  AlertManager manager;
+  manager.IngestReport(report);
+  EXPECT_EQ(manager.findings_ingested(), 2u);
+}
+
+}  // namespace
+}  // namespace hod::core

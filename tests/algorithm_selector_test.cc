@@ -1,0 +1,58 @@
+#include "core/algorithm_selector.h"
+
+#include <gtest/gtest.h>
+
+namespace hod::core {
+namespace {
+
+TEST(Selector, ResolutionMatchedDefaults) {
+  AlgorithmSelector selector;
+  EXPECT_EQ(selector.policy(), SelectorPolicy::kResolutionMatched);
+  EXPECT_EQ(selector.Describe(hierarchy::ProductionLevel::kPhase),
+            "AutoregressiveModel");
+  EXPECT_EQ(selector.Describe(hierarchy::ProductionLevel::kJob),
+            "ExpectationMaximization");
+  EXPECT_EQ(selector.Describe(hierarchy::ProductionLevel::kEnvironment),
+            "AutoregressiveModel");
+  EXPECT_EQ(selector.Describe(hierarchy::ProductionLevel::kProductionLine),
+            "RobustZ");
+  EXPECT_EQ(selector.Describe(hierarchy::ProductionLevel::kProduction),
+            "RobustZVector");
+}
+
+TEST(Selector, MismatchedPolicySwapsAlgorithmClasses) {
+  AlgorithmSelector selector(SelectorPolicy::kMismatched);
+  EXPECT_EQ(selector.Describe(hierarchy::ProductionLevel::kPhase),
+            "HistogramDeviants+Points");
+  EXPECT_EQ(selector.Describe(hierarchy::ProductionLevel::kJob),
+            "AutoregressiveModel+Stream");
+}
+
+TEST(Selector, FactoriesProduceNamedDetectors) {
+  AlgorithmSelector selector;
+  auto phase = selector.MakePhaseDetector();
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->name(), "AutoregressiveModel");
+  auto job = selector.MakeJobDetector();
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(job->name(), "ExpectationMaximization");
+  auto environment = selector.MakeEnvironmentDetector();
+  ASSERT_NE(environment, nullptr);
+  auto line = selector.MakeLineDetector();
+  ASSERT_NE(line, nullptr);
+  EXPECT_EQ(line->name(), "RobustZ");
+}
+
+TEST(Selector, MismatchedFactoriesDiffer) {
+  AlgorithmSelector matched;
+  AlgorithmSelector mismatched(SelectorPolicy::kMismatched);
+  EXPECT_NE(matched.MakePhaseDetector()->name(),
+            mismatched.MakePhaseDetector()->name());
+  EXPECT_NE(matched.MakeJobDetector()->name(),
+            mismatched.MakeJobDetector()->name());
+  EXPECT_NE(matched.MakeLineDetector()->name(),
+            mismatched.MakeLineDetector()->name());
+}
+
+}  // namespace
+}  // namespace hod::core

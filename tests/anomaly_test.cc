@@ -1,0 +1,113 @@
+// Fig.-1 outlier-type injection semantics.
+
+#include "sim/anomaly.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hod::sim {
+namespace {
+
+std::vector<double> Flat(size_t n) { return std::vector<double>(n, 10.0); }
+
+TEST(Anomaly, TypeNamesMatchFigure1) {
+  EXPECT_EQ(OutlierTypeName(OutlierType::kAdditive), "Additive Outlier");
+  EXPECT_EQ(OutlierTypeName(OutlierType::kInnovative), "Innovative Outlier");
+  EXPECT_EQ(OutlierTypeName(OutlierType::kTemporaryChange),
+            "Temporary Change");
+  EXPECT_EQ(OutlierTypeName(OutlierType::kLevelShift), "Level Shift");
+  EXPECT_EQ(AllOutlierTypes().size(), 4u);
+}
+
+TEST(Anomaly, AdditiveAffectsSinglePoint) {
+  std::vector<double> values = Flat(20);
+  std::vector<uint8_t> labels;
+  InjectionSpec spec{OutlierType::kAdditive, 7, 5.0, 0.7, 0.8};
+  ASSERT_TRUE(Inject(spec, values, labels).ok());
+  EXPECT_DOUBLE_EQ(values[7], 15.0);
+  EXPECT_DOUBLE_EQ(values[6], 10.0);
+  EXPECT_DOUBLE_EQ(values[8], 10.0);
+  EXPECT_EQ(labels[7], 1);
+  size_t labeled = 0;
+  for (uint8_t l : labels) labeled += l;
+  EXPECT_EQ(labeled, 1u);
+}
+
+TEST(Anomaly, InnovativeDecaysWithArCoefficient) {
+  std::vector<double> values = Flat(20);
+  std::vector<uint8_t> labels;
+  InjectionSpec spec{OutlierType::kInnovative, 5, 4.0, 0.5, 0.8};
+  ASSERT_TRUE(Inject(spec, values, labels).ok());
+  EXPECT_DOUBLE_EQ(values[5], 14.0);
+  EXPECT_DOUBLE_EQ(values[6], 12.0);
+  EXPECT_DOUBLE_EQ(values[7], 11.0);
+  // Decays toward the base level.
+  EXPECT_NEAR(values[15], 10.0, 0.01);
+  // Labels cover the region where the effect exceeds 30% of peak.
+  EXPECT_EQ(labels[5], 1);
+  EXPECT_EQ(labels[6], 1);
+  EXPECT_EQ(labels[10], 0);
+}
+
+TEST(Anomaly, TemporaryChangeUsesDecayParameter) {
+  std::vector<double> values = Flat(20);
+  std::vector<uint8_t> labels;
+  InjectionSpec spec{OutlierType::kTemporaryChange, 3, 2.0, 0.7, 0.5};
+  ASSERT_TRUE(Inject(spec, values, labels).ok());
+  EXPECT_DOUBLE_EQ(values[3], 12.0);
+  EXPECT_DOUBLE_EQ(values[4], 11.0);
+  EXPECT_DOUBLE_EQ(values[5], 10.5);
+}
+
+TEST(Anomaly, LevelShiftIsPermanent) {
+  std::vector<double> values = Flat(20);
+  std::vector<uint8_t> labels;
+  InjectionSpec spec{OutlierType::kLevelShift, 10, -3.0, 0.7, 0.8};
+  ASSERT_TRUE(Inject(spec, values, labels).ok());
+  EXPECT_DOUBLE_EQ(values[9], 10.0);
+  EXPECT_DOUBLE_EQ(values[10], 7.0);
+  EXPECT_DOUBLE_EQ(values[19], 7.0);
+  // Only the transition is labeled.
+  EXPECT_EQ(labels[10], 1);
+  EXPECT_EQ(labels[19], 0);
+}
+
+TEST(Anomaly, LevelShiftLabelSpanConfigurable) {
+  std::vector<double> values = Flat(30);
+  std::vector<uint8_t> labels;
+  InjectionSpec spec{OutlierType::kLevelShift, 5, 1.0, 0.7, 0.8};
+  InjectionLabeling labeling;
+  labeling.level_shift_label_span = 3;
+  ASSERT_TRUE(Inject(spec, values, labels, labeling).ok());
+  EXPECT_EQ(labels[5], 1);
+  EXPECT_EQ(labels[7], 1);
+  EXPECT_EQ(labels[8], 0);
+}
+
+TEST(Anomaly, NegativeMagnitudeLabelsToo) {
+  std::vector<double> values = Flat(20);
+  std::vector<uint8_t> labels;
+  InjectionSpec spec{OutlierType::kTemporaryChange, 5, -6.0, 0.7, 0.8};
+  ASSERT_TRUE(Inject(spec, values, labels).ok());
+  EXPECT_EQ(labels[5], 1);
+  EXPECT_LT(values[5], 10.0);
+}
+
+TEST(Anomaly, OutOfRangePositionRejected) {
+  std::vector<double> values = Flat(5);
+  std::vector<uint8_t> labels;
+  InjectionSpec spec{OutlierType::kAdditive, 5, 1.0, 0.7, 0.8};
+  EXPECT_FALSE(Inject(spec, values, labels).ok());
+}
+
+TEST(Anomaly, LabelsResizedWhenShort) {
+  std::vector<double> values = Flat(10);
+  std::vector<uint8_t> labels;  // empty
+  InjectionSpec spec{OutlierType::kAdditive, 2, 1.0, 0.7, 0.8};
+  ASSERT_TRUE(Inject(spec, values, labels).ok());
+  EXPECT_EQ(labels.size(), 10u);
+}
+
+}  // namespace
+}  // namespace hod::sim

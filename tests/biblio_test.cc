@@ -1,0 +1,123 @@
+#include "biblio/corpus.h"
+
+#include <gtest/gtest.h>
+
+namespace hod::biblio {
+namespace {
+
+TEST(Corpus, AddAndCount) {
+  Corpus corpus;
+  corpus.Add({0, 2015, {"anomaly detection", "time series"}, {"cs"}});
+  corpus.Add({0, 2016, {"anomaly detection"}, {"cs"}});
+  corpus.Add({0, 2017, {"clustering", "time series"}, {"engineering"}});
+  EXPECT_EQ(corpus.size(), 3u);
+  EXPECT_EQ(corpus.Count({{"anomaly detection"}, {}}), 2u);
+  EXPECT_EQ(corpus.Count({{"anomaly detection", "time series"}, {}}), 1u);
+  EXPECT_EQ(corpus.Count({{"time series"}, {"engineering"}}), 1u);
+  EXPECT_EQ(corpus.Count({{"ghost"}, {}}), 0u);
+  EXPECT_EQ(corpus.Count({{"time series"}, {"ghost"}}), 0u);
+}
+
+TEST(Corpus, EmptyQueryMatchesEverything) {
+  Corpus corpus;
+  corpus.Add({0, 2015, {"a"}, {}});
+  corpus.Add({0, 2015, {"b"}, {}});
+  EXPECT_EQ(corpus.Count({}), 2u);
+}
+
+TEST(Corpus, SearchReturnsSortedIds) {
+  Corpus corpus;
+  corpus.Add({0, 2015, {"x"}, {}});
+  corpus.Add({0, 2015, {"y"}, {}});
+  corpus.Add({0, 2015, {"x"}, {}});
+  auto hits = corpus.Search({{"x"}, {}});
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_LT(hits[0], hits[1]);
+}
+
+TEST(Corpus, KeywordFrequency) {
+  Corpus corpus;
+  corpus.Add({0, 2015, {"x"}, {}});
+  corpus.Add({0, 2015, {"x", "y"}, {}});
+  EXPECT_EQ(corpus.KeywordFrequency("x"), 2u);
+  EXPECT_EQ(corpus.KeywordFrequency("z"), 0u);
+}
+
+TEST(Corpus, DuplicateKeywordInOneRecordCountsOnce) {
+  Corpus corpus;
+  corpus.Add({0, 2015, {"x", "x", "y"}, {"c", "c"}});
+  EXPECT_EQ(corpus.Count({{"x"}, {}}), 1u);
+  EXPECT_EQ(corpus.KeywordFrequency("x"), 1u);
+  EXPECT_EQ(corpus.Count({{}, {"c"}}), 1u);
+  auto hits = corpus.Search({{"x"}, {}});
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(Fig3, EightFieldsInFigureOrder) {
+  const auto& fields = Fig3Fields();
+  ASSERT_EQ(fields.size(), 8u);
+  EXPECT_EQ(fields.front(), "anomaly detection");
+  EXPECT_EQ(fields.back(), "intrusion detection");
+}
+
+TEST(Fig3, GeneratedCorpusReproducesShape) {
+  CorpusOptions options;
+  options.records = 40000;
+  options.seed = 13;
+  const Corpus corpus = GenerateResearchCorpus(options);
+  EXPECT_EQ(corpus.size(), 40000u);
+  const auto rows = RunFig3Queries(corpus);
+  ASSERT_EQ(rows.size(), 8u);
+
+  auto count_of = [&rows](const std::string& field) {
+    for (const auto& row : rows) {
+      if (row.field == field) return row;
+    }
+    return Fig3Row{};
+  };
+  const auto anomaly = count_of("anomaly detection");
+  const auto fault = count_of("fault detection");
+  const auto deviant = count_of("deviant discovery");
+  const auto outlier = count_of("outlier detection");
+
+  // Shape assertions from the paper's bar chart:
+  // anomaly detection dominates the time-series literature...
+  for (const auto& row : rows) {
+    EXPECT_LE(row.time_series_count, anomaly.time_series_count)
+        << row.field;
+    // refinement can only shrink counts
+    EXPECT_LE(row.automation_count, row.time_series_count) << row.field;
+  }
+  // ...fault detection is second and owns the automation-control niche...
+  EXPECT_GT(fault.time_series_count, outlier.time_series_count);
+  for (const auto& row : rows) {
+    EXPECT_LE(row.automation_count, fault.automation_count) << row.field;
+  }
+  // ...and deviant discovery is a ghost term.
+  EXPECT_LT(deviant.time_series_count, 20u);
+}
+
+TEST(Fig3, CorpusGenerationDeterministic) {
+  CorpusOptions options;
+  options.records = 5000;
+  const auto a = RunFig3Queries(GenerateResearchCorpus(options));
+  const auto b = RunFig3Queries(GenerateResearchCorpus(options));
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time_series_count, b[i].time_series_count);
+    EXPECT_EQ(a[i].automation_count, b[i].automation_count);
+  }
+}
+
+TEST(Fig3, FieldTermWithoutTimeSeriesTagExcluded) {
+  // The paper filters every term with "time series"; documents using a
+  // field term in other contexts must not count.
+  Corpus corpus;
+  corpus.Add({0, 2015, {"fault detection"}, {}});
+  const auto rows = RunFig3Queries(corpus);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.time_series_count, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hod::biblio

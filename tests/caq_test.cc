@@ -1,0 +1,138 @@
+#include "hierarchy/caq.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/plant.h"
+
+namespace hod::hierarchy {
+namespace {
+
+TEST(CaqSpecification, AddLimitValidation) {
+  CaqSpecification specification;
+  EXPECT_TRUE(specification.AddLimit({"density", 97.0, 99.0, 98.0}).ok());
+  EXPECT_FALSE(specification.AddLimit({"", 0.0, 1.0, 0.5}).ok());
+  EXPECT_FALSE(specification.AddLimit({"x", 2.0, 1.0, 1.5}).ok());  // inverted
+  EXPECT_FALSE(specification.AddLimit({"y", 0.0, 1.0, 2.0}).ok());  // target out
+  EXPECT_FALSE(
+      specification.AddLimit({"density", 90.0, 99.0, 95.0}).ok());  // dup
+  EXPECT_TRUE(specification.LimitFor("density").ok());
+  EXPECT_FALSE(specification.LimitFor("ghost").ok());
+}
+
+TEST(EvaluateCaq, PassAndMargins) {
+  CaqSpecification specification;
+  ASSERT_TRUE(specification.AddLimit({"density", 97.0, 99.0, 98.0}).ok());
+  ts::FeatureVector on_target({"density"}, {98.0});
+  auto result = EvaluateCaq(specification, on_target).value();
+  EXPECT_TRUE(result.pass);
+  EXPECT_DOUBLE_EQ(result.worst_margin, 1.0);
+
+  ts::FeatureVector near_limit({"density"}, {98.9});
+  result = EvaluateCaq(specification, near_limit).value();
+  EXPECT_TRUE(result.pass);
+  EXPECT_NEAR(result.worst_margin, 0.1, 1e-9);
+}
+
+TEST(EvaluateCaq, ViolationsReported) {
+  CaqSpecification specification;
+  ASSERT_TRUE(specification.AddLimit({"density", 97.0, 99.0, 98.0}).ok());
+  ASSERT_TRUE(specification.AddLimit({"tensile", 45.0, 55.0, 50.0}).ok());
+  ts::FeatureVector bad({"density", "tensile"}, {96.0, 50.0});
+  auto result = EvaluateCaq(specification, bad).value();
+  EXPECT_FALSE(result.pass);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0], "density");
+  EXPECT_LT(result.worst_margin, 0.0);
+}
+
+TEST(EvaluateCaq, MissingFeatureIsError) {
+  CaqSpecification specification;
+  ASSERT_TRUE(specification.AddLimit({"density", 97.0, 99.0, 98.0}).ok());
+  ts::FeatureVector missing({"roughness"}, {6.0});
+  EXPECT_FALSE(EvaluateCaq(specification, missing).ok());
+}
+
+TEST(ProcessCapability, KnownValues) {
+  CaqSpecification specification;
+  ASSERT_TRUE(specification.AddLimit({"q", 0.0, 12.0, 6.0}).ok());
+  // Jobs with q = {5,6,7}: mean 6, sigma ~0.8165; Cpk = 6 / (3*0.8165).
+  std::vector<Job> jobs(3);
+  jobs[0].caq = ts::FeatureVector({"q"}, {5.0});
+  jobs[1].caq = ts::FeatureVector({"q"}, {6.0});
+  jobs[2].caq = ts::FeatureVector({"q"}, {7.0});
+  std::vector<const Job*> pointers = {&jobs[0], &jobs[1], &jobs[2]};
+  auto cpk = ProcessCapability(specification, pointers, "q").value();
+  EXPECT_NEAR(cpk, 6.0 / (3.0 * 0.816496580927726), 1e-9);
+}
+
+TEST(ProcessCapability, RejectsDegenerate) {
+  CaqSpecification specification;
+  ASSERT_TRUE(specification.AddLimit({"q", 0.0, 10.0, 5.0}).ok());
+  std::vector<Job> jobs(2);
+  jobs[0].caq = ts::FeatureVector({"q"}, {5.0});
+  jobs[1].caq = ts::FeatureVector({"q"}, {5.0});
+  std::vector<const Job*> pointers = {&jobs[0], &jobs[1]};
+  EXPECT_FALSE(
+      ProcessCapability(specification, pointers, "q").ok());  // zero sigma
+  EXPECT_FALSE(
+      ProcessCapability(specification, {&jobs[0]}, "q").ok());  // one job
+  EXPECT_FALSE(
+      ProcessCapability(specification, pointers, "ghost").ok());
+}
+
+TEST(MachineCapability, RogueMachineLessCapable) {
+  sim::PlantOptions options;
+  options.num_lines = 1;
+  options.machines_per_line = 2;
+  options.jobs_per_machine = 16;
+  options.seed = 17;
+  sim::ScenarioOptions scenario;
+  scenario.process_anomaly_rate = 0.0;
+  scenario.glitch_rate = 0.0;
+  scenario.bad_batch_lines = 0;
+  scenario.rogue_machines = 1;
+  const auto plant = sim::BuildPlant(options, scenario).value();
+  const CaqSpecification specification = DefaultPrinterCaqSpecification();
+
+  const std::string rogue = plant.truth.machine_labels.begin()->first;
+  double rogue_min_cpk = 1e9;
+  double healthy_min_cpk = 1e9;
+  for (const auto& machine : plant.production.lines[0].machines) {
+    auto report = MachineCapability(specification, machine).value();
+    double min_cpk = 1e9;
+    for (double cpk : report.cpk) min_cpk = std::min(min_cpk, cpk);
+    (machine.id == rogue ? rogue_min_cpk : healthy_min_cpk) = min_cpk;
+  }
+  EXPECT_LT(rogue_min_cpk, healthy_min_cpk);
+  EXPECT_GT(healthy_min_cpk, 1.0) << "healthy machine should be capable";
+}
+
+TEST(MachineCapability, WindowRestrictsJobs) {
+  sim::PlantOptions options;
+  options.num_lines = 1;
+  options.machines_per_line = 1;
+  options.jobs_per_machine = 12;
+  options.seed = 18;
+  sim::ScenarioOptions scenario;
+  scenario.process_anomaly_rate = 0.0;
+  scenario.glitch_rate = 0.0;
+  scenario.bad_batch_lines = 0;
+  scenario.rogue_machines = 0;
+  const auto plant = sim::BuildPlant(options, scenario).value();
+  const CaqSpecification specification = DefaultPrinterCaqSpecification();
+  const auto& machine = plant.production.lines[0].machines[0];
+  auto full = MachineCapability(specification, machine, 0).value();
+  auto windowed = MachineCapability(specification, machine, 4).value();
+  EXPECT_EQ(full.features.size(), windowed.features.size());
+  // Different job sets almost surely give different Cpk estimates.
+  bool any_difference = false;
+  for (size_t f = 0; f < full.cpk.size(); ++f) {
+    if (std::abs(full.cpk[f] - windowed.cpk[f]) > 1e-12) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace hod::hierarchy

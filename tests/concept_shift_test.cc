@@ -1,0 +1,102 @@
+#include "core/concept_shift.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/anomaly.h"
+#include "util/rng.h"
+
+namespace hod::core {
+namespace {
+
+ts::TimeSeries NoisyLevel(double level, size_t n, uint64_t seed,
+                          double sigma = 0.5) {
+  Rng rng(seed);
+  std::vector<double> values(n);
+  for (double& v : values) v = rng.Gaussian(level, sigma);
+  return ts::TimeSeries("s", 0.0, 1.0, std::move(values));
+}
+
+TEST(ConceptShift, NoShiftOnStationarySeries) {
+  auto shifts = DetectConceptShifts(NoisyLevel(10.0, 200, 1));
+  ASSERT_TRUE(shifts.ok());
+  EXPECT_TRUE(shifts->empty());
+}
+
+TEST(ConceptShift, FindsSingleLevelShift) {
+  ts::TimeSeries series = NoisyLevel(10.0, 200, 2);
+  std::vector<uint8_t> labels;
+  sim::InjectionSpec spec{sim::OutlierType::kLevelShift, 120, 4.0, 0.7, 0.8};
+  ASSERT_TRUE(sim::Inject(spec, series.mutable_values(), labels).ok());
+  auto shifts = DetectConceptShifts(series);
+  ASSERT_TRUE(shifts.ok());
+  ASSERT_EQ(shifts->size(), 1u);
+  EXPECT_NEAR(static_cast<double>((*shifts)[0].index), 120.0, 6.0);
+  EXPECT_NEAR((*shifts)[0].after_mean - (*shifts)[0].before_mean, 4.0, 1.0);
+  EXPECT_GT((*shifts)[0].magnitude_sigmas, 2.0);
+}
+
+TEST(ConceptShift, IgnoresTransientOutliers) {
+  // A huge additive spike and a temporary change must not register as
+  // concept shifts: the level reverts.
+  ts::TimeSeries series = NoisyLevel(5.0, 250, 3);
+  std::vector<uint8_t> labels;
+  sim::InjectionSpec spike{sim::OutlierType::kAdditive, 80, 12.0, 0.7, 0.8};
+  ASSERT_TRUE(sim::Inject(spike, series.mutable_values(), labels).ok());
+  sim::InjectionSpec bump{sim::OutlierType::kTemporaryChange, 160, 6.0, 0.7,
+                          0.6};
+  ASSERT_TRUE(sim::Inject(bump, series.mutable_values(), labels).ok());
+  auto shifts = DetectConceptShifts(series);
+  ASSERT_TRUE(shifts.ok());
+  EXPECT_TRUE(shifts->empty());
+}
+
+TEST(ConceptShift, FindsBothDirections) {
+  ts::TimeSeries series = NoisyLevel(0.0, 320, 4);
+  std::vector<uint8_t> labels;
+  sim::InjectionSpec up{sim::OutlierType::kLevelShift, 100, 5.0, 0.7, 0.8};
+  ASSERT_TRUE(sim::Inject(up, series.mutable_values(), labels).ok());
+  sim::InjectionSpec down{sim::OutlierType::kLevelShift, 220, -5.0, 0.7, 0.8};
+  ASSERT_TRUE(sim::Inject(down, series.mutable_values(), labels).ok());
+  auto shifts = DetectConceptShifts(series);
+  ASSERT_TRUE(shifts.ok());
+  ASSERT_EQ(shifts->size(), 2u);
+  EXPECT_GT((*shifts)[0].after_mean, (*shifts)[0].before_mean);
+  EXPECT_LT((*shifts)[1].after_mean, (*shifts)[1].before_mean);
+}
+
+TEST(ConceptShift, SmallShiftBelowMagnitudeIgnored) {
+  ts::TimeSeries series = NoisyLevel(0.0, 200, 5, /*sigma=*/1.0);
+  std::vector<uint8_t> labels;
+  sim::InjectionSpec spec{sim::OutlierType::kLevelShift, 100, 0.8, 0.7, 0.8};
+  ASSERT_TRUE(sim::Inject(spec, series.mutable_values(), labels).ok());
+  // A 0.8-sigma step plus sampling noise can graze 2 measured sigmas;
+  // with a 3-sigma materiality bar it must never register.
+  ConceptShiftOptions options;
+  options.min_magnitude = 3.0;
+  auto shifts = DetectConceptShifts(series, options);
+  ASSERT_TRUE(shifts.ok());
+  EXPECT_TRUE(shifts->empty());
+}
+
+TEST(ConceptShift, RejectsBadInput) {
+  EXPECT_FALSE(DetectConceptShifts(NoisyLevel(0.0, 4, 6)).ok());
+  ConceptShiftOptions bad;
+  bad.cusum_threshold = 0.0;
+  EXPECT_FALSE(DetectConceptShifts(NoisyLevel(0.0, 100, 7), bad).ok());
+}
+
+TEST(ConceptShift, TimeStampsMatchSeriesClock) {
+  ts::TimeSeries series = NoisyLevel(0.0, 200, 8);
+  // Give it a non-trivial clock.
+  ts::TimeSeries clocked("s", 1000.0, 2.0, series.values());
+  std::vector<uint8_t> labels;
+  sim::InjectionSpec spec{sim::OutlierType::kLevelShift, 100, 5.0, 0.7, 0.8};
+  ASSERT_TRUE(sim::Inject(spec, clocked.mutable_values(), labels).ok());
+  auto shifts = DetectConceptShifts(clocked);
+  ASSERT_TRUE(shifts.ok());
+  ASSERT_EQ(shifts->size(), 1u);
+  EXPECT_NEAR((*shifts)[0].time, 1000.0 + 2.0 * (*shifts)[0].index, 1e-9);
+}
+
+}  // namespace
+}  // namespace hod::core

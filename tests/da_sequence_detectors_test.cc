@@ -1,0 +1,143 @@
+// DA-family sequence detectors: match count, LCS, dynamic clustering.
+
+#include <gtest/gtest.h>
+
+#include "detect/dynamic_clustering.h"
+#include "detect/lcs_detector.h"
+#include "detect/match_count.h"
+#include "detector_test_util.h"
+
+namespace hod::detect {
+namespace {
+
+using detect_test::CanonicalSequences;
+using detect_test::ExpectAnomaliesScoreHigher;
+using detect_test::ExpectScoresInUnitInterval;
+
+TEST(MatchCount, RequiresTraining) {
+  MatchCountDetector detector;
+  ts::DiscreteSequence seq("x", 4, {0, 1, 2, 3});
+  EXPECT_EQ(detector.Score(seq).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(MatchCount, RejectsZeroWindow) {
+  MatchCountDetector detector(MatchCountOptions{.window = 0});
+  EXPECT_FALSE(detector.Train({ts::DiscreteSequence("x", 2, {0, 1})}).ok());
+}
+
+TEST(MatchCount, RejectsTooShortTraining) {
+  MatchCountDetector detector(MatchCountOptions{.window = 8});
+  EXPECT_FALSE(detector.Train({ts::DiscreteSequence("x", 2, {0, 1})}).ok());
+}
+
+TEST(MatchCount, ScoresKnownSequenceLow) {
+  const auto dataset = CanonicalSequences();
+  MatchCountDetector detector;
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  auto scores = detector.Score(dataset.train[1]);
+  ASSERT_TRUE(scores.ok());
+  ExpectScoresInUnitInterval(scores.value());
+  double mean = 0.0;
+  for (double s : scores.value()) mean += s;
+  mean /= static_cast<double>(scores->size());
+  EXPECT_LT(mean, 0.3) << "training-like data should score low";
+}
+
+TEST(MatchCount, FlagsCorruptedBursts) {
+  const auto dataset = CanonicalSequences();
+  MatchCountDetector detector;
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  for (size_t s = 0; s < dataset.test.size(); ++s) {
+    auto scores = detector.Score(dataset.test[s]);
+    ASSERT_TRUE(scores.ok());
+    ExpectAnomaliesScoreHigher(scores.value(), dataset.test_labels[s]);
+  }
+}
+
+TEST(MatchCount, ShortSequenceScoresAllZero) {
+  const auto dataset = CanonicalSequences();
+  MatchCountDetector detector;
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  ts::DiscreteSequence tiny("tiny", dataset.train[0].alphabet_size(), {0, 1});
+  auto scores = detector.Score(tiny);
+  ASSERT_TRUE(scores.ok());
+  for (double s : scores.value()) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(Lcs, MedoidsSelectedFromTraining) {
+  const auto dataset = CanonicalSequences();
+  LcsDetector detector(LcsOptions{.window = 12, .medoids = 8});
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  EXPECT_GE(detector.medoids().size(), 1u);
+  EXPECT_LE(detector.medoids().size(), 8u);
+}
+
+TEST(Lcs, FlagsCorruptedBursts) {
+  const auto dataset = CanonicalSequences();
+  LcsDetector detector;
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  for (size_t s = 0; s < dataset.test.size(); ++s) {
+    auto scores = detector.Score(dataset.test[s]);
+    ASSERT_TRUE(scores.ok());
+    ExpectScoresInUnitInterval(scores.value());
+    ExpectAnomaliesScoreHigher(scores.value(), dataset.test_labels[s], 0.05);
+  }
+}
+
+TEST(Lcs, ToleratesSmallShifts) {
+  // LCS should forgive an alignment shift that positional matching
+  // punishes: a rotated-by-one normal sequence must score low.
+  const auto dataset = CanonicalSequences();
+  LcsDetector detector;
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  const auto& base = dataset.train[0];
+  std::vector<ts::Symbol> rotated(base.symbols().begin() + 1,
+                                  base.symbols().end());
+  rotated.push_back(base.symbols().front());
+  ts::DiscreteSequence shifted("shifted", base.alphabet_size(), rotated);
+  auto scores = detector.Score(shifted).value();
+  double mean = 0.0;
+  for (double s : scores) mean += s;
+  mean /= static_cast<double>(scores.size());
+  EXPECT_LT(mean, 0.35);
+}
+
+TEST(DynamicClustering, BuildsClusters) {
+  const auto dataset = CanonicalSequences();
+  DynamicClusteringDetector detector;
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  EXPECT_GT(detector.num_clusters(), 0u);
+}
+
+TEST(DynamicClustering, RejectsBadRadius) {
+  DynamicClusteringDetector detector(
+      DynamicClusteringOptions{.window = 4, .radius = 1.5});
+  EXPECT_FALSE(detector.Train({ts::DiscreteSequence("x", 2,
+                                                    {0, 1, 0, 1, 0})}).ok());
+}
+
+TEST(DynamicClustering, FlagsCorruptedBursts) {
+  const auto dataset = CanonicalSequences();
+  DynamicClusteringDetector detector;
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  for (size_t s = 0; s < dataset.test.size(); ++s) {
+    auto scores = detector.Score(dataset.test[s]);
+    ASSERT_TRUE(scores.ok());
+    ExpectScoresInUnitInterval(scores.value());
+    ExpectAnomaliesScoreHigher(scores.value(), dataset.test_labels[s], 0.05);
+  }
+}
+
+TEST(DynamicClustering, NovelWindowsScoreMaximal) {
+  DynamicClusteringDetector detector(
+      DynamicClusteringOptions{.window = 4, .radius = 0.0});
+  ts::DiscreteSequence normal("n", 4, {0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3});
+  ASSERT_TRUE(detector.Train({normal}).ok());
+  ts::DiscreteSequence novel("x", 4, {3, 3, 3, 3, 3, 3, 3, 3});
+  auto scores = detector.Score(novel).value();
+  EXPECT_DOUBLE_EQ(*std::max_element(scores.begin(), scores.end()), 1.0);
+}
+
+}  // namespace
+}  // namespace hod::detect

@@ -1,0 +1,136 @@
+// DA-family series detectors: vibration signature and phased k-means.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/phased_kmeans.h"
+#include "detect/vibration_signature.h"
+#include "detector_test_util.h"
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace hod::detect {
+namespace {
+
+using detect_test::ExpectScoresInUnitInterval;
+
+/// Vibration-style signal: base tone + noise, with an optional section of
+/// high-frequency content (the "bearing fault").
+ts::TimeSeries MakeVibration(size_t n, bool faulty_section, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = std::sin(0.2 * static_cast<double>(i)) +
+                0.3 * rng.NextGaussian();
+    if (faulty_section && i >= n / 2 && i < n / 2 + 128) {
+      values[i] += 1.5 * std::sin(2.9 * static_cast<double>(i));
+    }
+  }
+  return ts::TimeSeries("vib", 0.0, 1.0, std::move(values));
+}
+
+TEST(VibrationSignature, LearnsNormalizedReference) {
+  VibrationSignatureDetector detector;
+  ASSERT_TRUE(detector.Train({MakeVibration(512, false, 1)}).ok());
+  double total = 0.0;
+  for (double e : detector.reference_signature()) {
+    EXPECT_GE(e, 0.0);
+    total += e;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(VibrationSignature, FlagsSpectralChange) {
+  VibrationSignatureDetector detector;
+  ASSERT_TRUE(detector
+                  .Train({MakeVibration(512, false, 1),
+                          MakeVibration(512, false, 2)})
+                  .ok());
+  const ts::TimeSeries faulty = MakeVibration(512, true, 3);
+  auto scores = detector.Score(faulty);
+  ASSERT_TRUE(scores.ok());
+  ExpectScoresInUnitInterval(scores.value());
+  // Mean score in the faulty section exceeds the clean sections.
+  double fault_mean = 0.0;
+  double clean_mean = 0.0;
+  size_t fault_count = 0;
+  size_t clean_count = 0;
+  for (size_t i = 0; i < scores->size(); ++i) {
+    if (i >= 256 && i < 256 + 128) {
+      fault_mean += (*scores)[i];
+      ++fault_count;
+    } else {
+      clean_mean += (*scores)[i];
+      ++clean_count;
+    }
+  }
+  fault_mean /= static_cast<double>(fault_count);
+  clean_mean /= static_cast<double>(clean_count);
+  EXPECT_GT(fault_mean, clean_mean + 0.15);
+}
+
+TEST(VibrationSignature, RejectsBadOptions) {
+  VibrationSignatureDetector zero_window(
+      VibrationSignatureOptions{.window = 0});
+  EXPECT_FALSE(zero_window.Train({MakeVibration(128, false, 1)}).ok());
+  VibrationSignatureDetector detector;
+  EXPECT_FALSE(detector.Train({}).ok());
+}
+
+TEST(VibrationSignature, ShortSeriesScoresZero) {
+  VibrationSignatureDetector detector;
+  ASSERT_TRUE(detector.Train({MakeVibration(512, false, 1)}).ok());
+  const ts::TimeSeries tiny("t", 0.0, 1.0, {1.0, 2.0, 3.0});
+  auto scores = detector.Score(tiny).value();
+  for (double s : scores) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(PhasedKMeans, ProfileIsPhaseInvariant) {
+  // A series and its rotation produce (nearly) the same profile.
+  std::vector<double> base(128);
+  for (size_t i = 0; i < base.size(); ++i) {
+    base[i] = std::sin(2.0 * M_PI * static_cast<double>(i) / 64.0);
+  }
+  std::vector<double> rotated(base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    rotated[i] = base[(i + 37) % base.size()];
+  }
+  auto p1 = PhasedKMeansDetector::PhaseAlignedProfile(
+                ts::TimeSeries("a", 0, 1, base), 16)
+                .value();
+  auto p2 = PhasedKMeansDetector::PhaseAlignedProfile(
+                ts::TimeSeries("b", 0, 1, rotated), 16)
+                .value();
+  for (size_t f = 0; f < p1.size(); ++f) {
+    EXPECT_NEAR(p1[f], p2[f], 0.15) << "frame " << f;
+  }
+}
+
+TEST(PhasedKMeans, SeparatesStructurallyDifferentSeries) {
+  auto dataset = sim::GenerateWholeSeriesDataset(10, 12, 0.4, 5).value();
+  PhasedKMeansDetector detector;
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  auto scores = detector.ScoreBatch(dataset.test);
+  ASSERT_TRUE(scores.ok());
+  auto auc = eval::RocAuc(scores.value(), dataset.test_labels);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_GT(auc.value(), 0.9);
+}
+
+TEST(PhasedKMeans, RejectsShortSeries) {
+  PhasedKMeansDetector detector(
+      PhasedKMeansOptions{.profile_length = 32});
+  ts::TimeSeries tiny("t", 0, 1, {1.0, 2.0});
+  EXPECT_FALSE(detector.Train({tiny}).ok());
+}
+
+TEST(PhasedKMeans, RequiresTraining) {
+  PhasedKMeansDetector detector;
+  ts::TimeSeries s("s", 0, 1, std::vector<double>(64, 0.0));
+  EXPECT_EQ(detector.ScoreSeries(s).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace hod::detect

@@ -1,0 +1,197 @@
+// DA-family vector detectors: EM, single-linkage, PCA, one-class SVM, SOM.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/em_detector.h"
+#include "detect/ocsvm_detector.h"
+#include "detect/pca_detector.h"
+#include "detect/single_linkage.h"
+#include "detect/som_detector.h"
+#include "detector_test_util.h"
+#include "eval/metrics.h"
+
+namespace hod::detect {
+namespace {
+
+using detect_test::CanonicalPoints;
+using detect_test::ExpectAnomaliesScoreHigher;
+using detect_test::ExpectScoresInUnitInterval;
+
+/// Runs an unsupervised vector detector over the canonical point dataset
+/// and checks bounds + separation + ranking quality.
+void CheckUnsupervisedVectorDetector(VectorDetector& detector,
+                                     double min_auc) {
+  const auto dataset = CanonicalPoints();
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  auto scores = detector.Score(dataset.test);
+  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+  ExpectScoresInUnitInterval(scores.value());
+  auto auc = eval::RocAuc(scores.value(), dataset.test_labels);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_GT(auc.value(), min_auc) << detector.name();
+}
+
+TEST(Em, SeparatesDisplacedPoints) {
+  EmDetector detector;
+  CheckUnsupervisedVectorDetector(detector, 0.9);
+}
+
+TEST(Em, MixtureIsNormalized) {
+  EmDetector detector;
+  const auto dataset = CanonicalPoints();
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  double weight_sum = 0.0;
+  for (double w : detector.weights()) weight_sum += w;
+  EXPECT_NEAR(weight_sum, 1.0, 1e-6);
+  for (const auto& var_row : detector.variances()) {
+    for (double v : var_row) EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(Em, RejectsDegenerateInput) {
+  EmDetector detector;
+  EXPECT_FALSE(detector.Train({}).ok());
+  EmDetector zero_comp(EmOptions{.components = 0});
+  EXPECT_FALSE(zero_comp.Train({{1.0}}).ok());
+  EXPECT_FALSE(detector.Score({{1.0}}).ok());  // untrained
+}
+
+TEST(Em, DimensionMismatchRejected) {
+  EmDetector detector;
+  ASSERT_TRUE(detector.Train({{1.0, 2.0}, {1.5, 2.5}, {0.5, 1.5}}).ok());
+  EXPECT_FALSE(detector.Score({{1.0}}).ok());
+}
+
+TEST(SingleLinkage, SeparatesDisplacedPoints) {
+  SingleLinkageDetector detector;
+  CheckUnsupervisedVectorDetector(detector, 0.85);
+}
+
+TEST(SingleLinkage, BuildsMultipleClusters) {
+  SingleLinkageDetector detector(SingleLinkageOptions{.width = 0.5});
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 30; ++i) {
+    data.push_back({0.0 + 0.01 * i});
+    data.push_back({100.0 - 0.01 * i});
+  }
+  ASSERT_TRUE(detector.Train(data).ok());
+  EXPECT_GE(detector.num_clusters(), 2u);
+}
+
+TEST(SingleLinkage, FarPointScoresAboveHalf) {
+  SingleLinkageDetector detector;
+  std::vector<std::vector<double>> data(50, {0.0, 0.0});
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i][0] = 0.1 * static_cast<double>(i % 7);
+  }
+  ASSERT_TRUE(detector.Train(data).ok());
+  auto scores = detector.Score({{50.0, 50.0}}).value();
+  EXPECT_GT(scores[0], 0.5);
+}
+
+TEST(Pca, SeparatesDisplacedPoints) {
+  PcaDetector detector;
+  CheckUnsupervisedVectorDetector(detector, 0.85);
+}
+
+TEST(Pca, ComponentsExplainVariance) {
+  // Data living on a line in 3-D: one component should suffice.
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 100; ++i) {
+    const double t = 0.1 * i;
+    data.push_back({t, 2.0 * t + 0.001 * (i % 3), -t});
+  }
+  PcaDetector detector(PcaOptions{.explained_variance = 0.9});
+  ASSERT_TRUE(detector.Train(data).ok());
+  EXPECT_EQ(detector.num_components(), 1u);
+}
+
+TEST(Pca, OffSubspacePointFlagged) {
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 100; ++i) {
+    const double t = 0.1 * i;
+    data.push_back({t, 2.0 * t + 0.01 * (i % 5), 0.0});
+  }
+  PcaDetector detector;
+  ASSERT_TRUE(detector.Train(data).ok());
+  // On-line point vs orthogonally displaced point.
+  auto scores = detector.Score({{5.0, 10.0, 0.0}, {5.0, 10.0, 8.0}}).value();
+  EXPECT_GT(scores[1], scores[0] + 0.2);
+}
+
+TEST(Pca, RejectsTooFewVectors) {
+  PcaDetector detector;
+  EXPECT_FALSE(detector.Train({{1.0}}).ok());
+}
+
+TEST(Jacobi, DiagonalizesKnownMatrix) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  auto eigen = JacobiEigenSymmetric({{2.0, 1.0}, {1.0, 2.0}});
+  ASSERT_TRUE(eigen.ok());
+  EXPECT_NEAR(eigen->values[0], 3.0, 1e-9);
+  EXPECT_NEAR(eigen->values[1], 1.0, 1e-9);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(eigen->vectors[0][0]), 1.0 / std::sqrt(2.0), 1e-6);
+}
+
+TEST(Jacobi, RejectsNonSquare) {
+  EXPECT_FALSE(JacobiEigenSymmetric({{1.0, 2.0}}).ok());
+  EXPECT_FALSE(JacobiEigenSymmetric({}).ok());
+}
+
+TEST(Ocsvm, SeparatesDisplacedPoints) {
+  OcsvmDetector detector;
+  CheckUnsupervisedVectorDetector(detector, 0.8);
+}
+
+TEST(Ocsvm, NuControlsTrainingOutlierFraction) {
+  const auto dataset = CanonicalPoints();
+  OcsvmDetector detector(OcsvmOptions{.nu = 0.2});
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  auto scores = detector.Score(dataset.train).value();
+  size_t flagged = 0;
+  for (double s : scores) {
+    if (s > 0.0) ++flagged;
+  }
+  // Roughly nu of the training data sits outside the learned region.
+  const double fraction =
+      static_cast<double>(flagged) / static_cast<double>(scores.size());
+  EXPECT_NEAR(fraction, 0.2, 0.12);
+}
+
+TEST(Ocsvm, RejectsBadNu) {
+  OcsvmDetector detector(OcsvmOptions{.nu = 0.0});
+  EXPECT_FALSE(detector.Train({{1.0}}).ok());
+  OcsvmDetector big(OcsvmOptions{.nu = 1.5});
+  EXPECT_FALSE(big.Train({{1.0}}).ok());
+}
+
+TEST(Som, SeparatesDisplacedPoints) {
+  SomDetector detector;
+  CheckUnsupervisedVectorDetector(detector, 0.85);
+}
+
+TEST(Som, PrototypesCoverTrainingRange) {
+  SomDetector detector(SomOptions{.rows = 3, .cols = 3, .epochs = 20});
+  const auto dataset = CanonicalPoints();
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  // Every prototype is finite and within a plausible scaled range.
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      for (double v : detector.Prototype(r, c)) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_LT(std::fabs(v), 10.0);
+      }
+    }
+  }
+}
+
+TEST(Som, RejectsEmptyGrid) {
+  SomDetector detector(SomOptions{.rows = 0, .cols = 3});
+  EXPECT_FALSE(detector.Train({{1.0}}).ok());
+}
+
+}  // namespace
+}  // namespace hod::detect

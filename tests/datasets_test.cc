@@ -1,0 +1,137 @@
+#include "sim/datasets.h"
+
+#include <gtest/gtest.h>
+
+namespace hod::sim {
+namespace {
+
+TEST(PointDataset, SizesAndLabels) {
+  PointDatasetOptions options;
+  options.train_size = 100;
+  options.test_size = 50;
+  options.dim = 4;
+  auto dataset = GeneratePointDataset(options).value();
+  EXPECT_EQ(dataset.train.size(), 100u);
+  EXPECT_EQ(dataset.train_labels.size(), 100u);
+  EXPECT_EQ(dataset.test.size(), 50u);
+  for (const auto& point : dataset.train) EXPECT_EQ(point.size(), 4u);
+}
+
+TEST(PointDataset, AnomalyRateApproximatelyRespected) {
+  PointDatasetOptions options;
+  options.train_size = 4000;
+  options.test_size = 0;
+  options.anomaly_rate = 0.1;
+  auto dataset = GeneratePointDataset(options).value();
+  size_t positives = 0;
+  for (uint8_t label : dataset.train_labels) positives += label;
+  EXPECT_NEAR(static_cast<double>(positives) / 4000.0, 0.1, 0.02);
+}
+
+TEST(PointDataset, Deterministic) {
+  PointDatasetOptions options;
+  options.seed = 55;
+  auto a = GeneratePointDataset(options).value();
+  auto b = GeneratePointDataset(options).value();
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test_labels, b.test_labels);
+}
+
+TEST(PointDataset, RejectsZeroDim) {
+  PointDatasetOptions options;
+  options.dim = 0;
+  EXPECT_FALSE(GeneratePointDataset(options).ok());
+}
+
+TEST(SequenceDataset, ShapesAndValidity) {
+  auto dataset = GenerateSequenceDataset(SequenceDatasetOptions{}).value();
+  EXPECT_EQ(dataset.train.size(), 12u);
+  EXPECT_EQ(dataset.test.size(), 8u);
+  for (const auto& seq : dataset.train) {
+    EXPECT_TRUE(seq.Validate().ok());
+    EXPECT_EQ(seq.size(), 256u);
+  }
+  for (size_t s = 0; s < dataset.test.size(); ++s) {
+    EXPECT_EQ(dataset.test_labels[s].size(), dataset.test[s].size());
+  }
+}
+
+TEST(SequenceDataset, EveryTestSequenceHasAnomalies) {
+  auto dataset = GenerateSequenceDataset(SequenceDatasetOptions{}).value();
+  for (const auto& labels : dataset.test_labels) {
+    size_t positives = 0;
+    for (uint8_t flag : labels) positives += flag;
+    EXPECT_GT(positives, 0u);
+  }
+}
+
+TEST(SequenceDataset, SomeTrainSequencesLabeled) {
+  auto dataset = GenerateSequenceDataset(SequenceDatasetOptions{}).value();
+  size_t labeled_sequences = 0;
+  for (const auto& labels : dataset.train_labels) {
+    for (uint8_t flag : labels) {
+      if (flag != 0) {
+        ++labeled_sequences;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(labeled_sequences, 0u);  // supervised family needs positives
+}
+
+TEST(SequenceDataset, RejectsTinyAlphabet) {
+  SequenceDatasetOptions options;
+  options.alphabet = 2;
+  EXPECT_FALSE(GenerateSequenceDataset(options).ok());
+}
+
+TEST(SeriesDataset, ShapesAndLabels) {
+  auto dataset = GenerateSeriesDataset(SeriesDatasetOptions{}).value();
+  EXPECT_EQ(dataset.train.size(), 8u);
+  EXPECT_EQ(dataset.test.size(), 6u);
+  for (size_t s = 0; s < dataset.test.size(); ++s) {
+    EXPECT_EQ(dataset.test_labels[s].size(), dataset.test[s].size());
+    size_t positives = 0;
+    for (uint8_t flag : dataset.test_labels[s]) positives += flag;
+    EXPECT_GT(positives, 0u);
+  }
+  for (const auto& labels : dataset.train_labels) {
+    for (uint8_t flag : labels) EXPECT_EQ(flag, 0);
+  }
+}
+
+TEST(SeriesDataset, OnlyTypeRestrictsInjections) {
+  SeriesDatasetOptions options;
+  static const OutlierType kType = OutlierType::kLevelShift;
+  options.only_type = &kType;
+  options.anomalies_per_series = 1;
+  auto dataset = GenerateSeriesDataset(options).value();
+  // A level shift moves the series tail permanently: last sample differs
+  // from a fresh un-shifted base by roughly the magnitude.
+  for (size_t s = 0; s < dataset.test.size(); ++s) {
+    size_t positives = 0;
+    for (uint8_t flag : dataset.test_labels[s]) positives += flag;
+    EXPECT_GT(positives, 0u);
+    EXPECT_LE(positives, 8u);  // level-shift label span
+  }
+}
+
+TEST(SeriesDataset, RejectsTooShort) {
+  SeriesDatasetOptions options;
+  options.length = 10;
+  EXPECT_FALSE(GenerateSeriesDataset(options).ok());
+}
+
+TEST(WholeSeriesDataset, LabelsMatchStructure) {
+  auto dataset = GenerateWholeSeriesDataset(5, 10, 0.5, 3).value();
+  EXPECT_EQ(dataset.train.size(), 5u);
+  EXPECT_EQ(dataset.test.size(), 10u);
+  EXPECT_EQ(dataset.test_labels.size(), 10u);
+  size_t positives = 0;
+  for (uint8_t flag : dataset.test_labels) positives += flag;
+  EXPECT_GT(positives, 0u);
+  EXPECT_LT(positives, 10u);
+}
+
+}  // namespace
+}  // namespace hod::sim

@@ -1,0 +1,94 @@
+#ifndef HOD_TESTS_DETECTOR_TEST_UTIL_H_
+#define HOD_TESTS_DETECTOR_TEST_UTIL_H_
+
+// Shared fixtures for detector tests: canonical small datasets with known
+// anomalies, plus assertion helpers on score vectors.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "sim/datasets.h"
+
+namespace hod::detect_test {
+
+/// All scores finite and within [0, 1].
+inline void ExpectScoresInUnitInterval(const std::vector<double>& scores) {
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+/// Mean score over labeled-anomalous positions must exceed the mean over
+/// normal positions by `margin`.
+inline void ExpectAnomaliesScoreHigher(const std::vector<double>& scores,
+                                       const std::vector<uint8_t>& labels,
+                                       double margin = 0.1) {
+  ASSERT_EQ(scores.size(), labels.size());
+  double anomalous_sum = 0.0;
+  size_t anomalous_count = 0;
+  double normal_sum = 0.0;
+  size_t normal_count = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i] != 0) {
+      anomalous_sum += scores[i];
+      ++anomalous_count;
+    } else {
+      normal_sum += scores[i];
+      ++normal_count;
+    }
+  }
+  ASSERT_GT(anomalous_count, 0u);
+  ASSERT_GT(normal_count, 0u);
+  const double anomalous_mean =
+      anomalous_sum / static_cast<double>(anomalous_count);
+  const double normal_mean = normal_sum / static_cast<double>(normal_count);
+  EXPECT_GT(anomalous_mean, normal_mean + margin)
+      << "anomalous mean " << anomalous_mean << " vs normal mean "
+      << normal_mean;
+}
+
+/// Canonical datasets (fixed seeds so failures are reproducible).
+inline sim::PointDataset CanonicalPoints() {
+  sim::PointDatasetOptions options;
+  options.seed = 101;
+  return sim::GeneratePointDataset(options).value();
+}
+
+inline sim::SequenceDataset CanonicalSequences() {
+  sim::SequenceDatasetOptions options;
+  options.seed = 102;
+  return sim::GenerateSequenceDataset(options).value();
+}
+
+/// Noise-free variant: every rare word is a genuine anomaly. Used for
+/// frequency/dictionary detectors that by design cannot distinguish
+/// benign rare events from injected ones.
+inline sim::SequenceDataset CleanSequences() {
+  sim::SequenceDatasetOptions options;
+  options.seed = 104;
+  options.benign_substitution_rate = 0.0;
+  return sim::GenerateSequenceDataset(options).value();
+}
+
+/// 1-D point dataset where displacement is always visible in the value
+/// itself (for strictly univariate techniques like histogram deviants).
+inline sim::PointDataset CanonicalPoints1D() {
+  sim::PointDatasetOptions options;
+  options.seed = 105;
+  options.dim = 1;
+  return sim::GeneratePointDataset(options).value();
+}
+
+inline sim::SeriesDataset CanonicalSeries() {
+  sim::SeriesDatasetOptions options;
+  options.seed = 103;
+  return sim::GenerateSeriesDataset(options).value();
+}
+
+}  // namespace hod::detect_test
+
+#endif  // HOD_TESTS_DETECTOR_TEST_UTIL_H_

@@ -1,0 +1,76 @@
+#include "timeseries/discrete_sequence.h"
+
+#include <gtest/gtest.h>
+
+namespace hod::ts {
+namespace {
+
+TEST(Vocabulary, InternAssignsDenseIds) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Intern("IDLE"), 0);
+  EXPECT_EQ(vocab.Intern("RUN"), 1);
+  EXPECT_EQ(vocab.Intern("IDLE"), 0);  // idempotent
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(Vocabulary, LookupAndLabelOf) {
+  Vocabulary vocab;
+  vocab.Intern("A");
+  vocab.Intern("B");
+  EXPECT_EQ(vocab.Lookup("B").value(), 1);
+  EXPECT_FALSE(vocab.Lookup("C").ok());
+  EXPECT_EQ(vocab.LabelOf(0).value(), "A");
+  EXPECT_FALSE(vocab.LabelOf(2).ok());
+  EXPECT_FALSE(vocab.LabelOf(-1).ok());
+}
+
+TEST(DiscreteSequence, BasicOps) {
+  DiscreteSequence seq("events", 4, {0, 1, 2, 3});
+  EXPECT_EQ(seq.size(), 4u);
+  EXPECT_EQ(seq[2], 2);
+  seq.Append(1);
+  EXPECT_EQ(seq.size(), 5u);
+  EXPECT_TRUE(seq.Validate().ok());
+}
+
+TEST(DiscreteSequence, MutableSymbol) {
+  DiscreteSequence seq("x", 3, {0, 1});
+  seq.mutable_symbol(0) = 2;
+  EXPECT_EQ(seq[0], 2);
+}
+
+TEST(DiscreteSequence, ValidateRejectsOutOfAlphabet) {
+  DiscreteSequence seq("x", 2, {0, 1, 2});
+  EXPECT_FALSE(seq.Validate().ok());
+  DiscreteSequence neg("x", 2, {0, -1});
+  EXPECT_FALSE(neg.Validate().ok());
+  DiscreteSequence bad_alpha("x", 0, {});
+  EXPECT_FALSE(bad_alpha.Validate().ok());
+}
+
+TEST(DiscreteSequence, SliceRanges) {
+  DiscreteSequence seq("x", 5, {0, 1, 2, 3, 4});
+  auto slice = seq.Slice(1, 4);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->symbols(), (std::vector<Symbol>{1, 2, 3}));
+  EXPECT_FALSE(seq.Slice(4, 2).ok());
+  EXPECT_FALSE(seq.Slice(0, 6).ok());
+}
+
+TEST(SymbolWindows, ProducesAllContiguousWindows) {
+  const std::vector<Symbol> symbols = {0, 1, 2, 3};
+  const auto windows = SymbolWindows(symbols, 2);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0], (std::vector<Symbol>{0, 1}));
+  EXPECT_EQ(windows[2], (std::vector<Symbol>{2, 3}));
+}
+
+TEST(SymbolWindows, EdgeCases) {
+  const std::vector<Symbol> symbols = {0, 1, 2};
+  EXPECT_TRUE(SymbolWindows(symbols, 0).empty());
+  EXPECT_TRUE(SymbolWindows(symbols, 4).empty());
+  EXPECT_EQ(SymbolWindows(symbols, 3).size(), 1u);
+}
+
+}  // namespace
+}  // namespace hod::ts

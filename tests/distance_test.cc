@@ -1,0 +1,94 @@
+#include "timeseries/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hod::ts {
+namespace {
+
+TEST(Distance, Euclidean) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0.0, 0.0}, {3.0, 4.0}).value(), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredEuclideanDistance({0.0, 0.0}, {3.0, 4.0}).value(),
+                   25.0);
+  EXPECT_FALSE(EuclideanDistance({1.0}, {1.0, 2.0}).ok());
+}
+
+TEST(Distance, DtwEqualSeriesIsZero) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a), 0.0);
+}
+
+TEST(Distance, DtwAbsorbsTimeShift) {
+  // A shifted copy should be much closer under DTW than Euclidean.
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(std::sin(0.3 * i));
+    b.push_back(std::sin(0.3 * (i - 3)));
+  }
+  double pointwise = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) pointwise += std::fabs(a[i] - b[i]);
+  EXPECT_LT(DtwDistance(a, b), 0.5 * pointwise);
+}
+
+TEST(Distance, DtwHandlesUnequalLengths) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 1.5, 2.0, 2.5, 3.0};
+  const double d = DtwDistance(a, b);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LT(d, 2.0);
+}
+
+TEST(Distance, DtwEmptyInputs) {
+  EXPECT_DOUBLE_EQ(DtwDistance({}, {}), 0.0);
+  EXPECT_TRUE(std::isinf(DtwDistance({1.0}, {})));
+}
+
+TEST(Distance, DtwBandLimitsWarping) {
+  // With a tight band, the distance can only grow (fewer paths).
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 40; ++i) {
+    a.push_back(std::sin(0.4 * i));
+    b.push_back(std::sin(0.4 * (i - 5)));
+  }
+  EXPECT_LE(DtwDistance(a, b, 0), DtwDistance(a, b, 2) + 1e-9);
+}
+
+TEST(Distance, LcsLengthClassic) {
+  const std::vector<Symbol> a = {1, 2, 3, 4, 1};
+  const std::vector<Symbol> b = {3, 4, 1, 2, 1, 3};
+  // LCS of "ABCDA"/"CDABAC" style: {3,4,1} length 3.
+  EXPECT_EQ(LcsLength(a, b), 3u);
+}
+
+TEST(Distance, LcsEmptyAndIdentical) {
+  EXPECT_EQ(LcsLength({}, {1, 2}), 0u);
+  const std::vector<Symbol> a = {1, 2, 3};
+  EXPECT_EQ(LcsLength(a, a), 3u);
+}
+
+TEST(Distance, LcsSimilarityNormalized) {
+  const std::vector<Symbol> a = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(LcsSimilarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(LcsSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(LcsSimilarity(a, {}), 0.0);
+  const std::vector<Symbol> half = {1, 2};
+  EXPECT_DOUBLE_EQ(LcsSimilarity(a, half), 0.5);
+}
+
+TEST(Distance, MatchFraction) {
+  EXPECT_DOUBLE_EQ(MatchFraction({1, 2, 3, 4}, {1, 0, 3, 0}).value(), 0.5);
+  EXPECT_DOUBLE_EQ(MatchFraction({}, {}).value(), 1.0);
+  EXPECT_FALSE(MatchFraction({1}, {1, 2}).ok());
+}
+
+TEST(Distance, Hamming) {
+  EXPECT_EQ(HammingDistance({1, 2, 3}, {1, 0, 3}).value(), 1u);
+  EXPECT_EQ(HammingDistance({1, 2}, {1, 2}).value(), 0u);
+  EXPECT_FALSE(HammingDistance({1}, {1, 2}).ok());
+}
+
+}  // namespace
+}  // namespace hod::ts

@@ -1,0 +1,223 @@
+// Extension detectors beyond Table 1: profile similarity (Section 3
+// prose), knn distance, reverse-NN hubness, LOF (Section 5 related work),
+// and ensemble outlier vectors.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/adapters.h"
+#include "detect/ar_detector.h"
+#include "detect/baseline.h"
+#include "detect/ensemble.h"
+#include "detect/knn_detector.h"
+#include "detect/lof_detector.h"
+#include "detect/mlp_detector.h"
+#include "detect/profile_similarity.h"
+#include "detector_test_util.h"
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace hod::detect {
+namespace {
+
+using detect_test::CanonicalPoints;
+using detect_test::CanonicalSeries;
+using detect_test::ExpectScoresInUnitInterval;
+
+/// Ramp-shaped training series with small noise (a repeatable phase).
+ts::TimeSeries RampSeries(uint64_t seed, size_t n = 128) {
+  Rng rng(seed);
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = 25.0 + 150.0 * static_cast<double>(i) /
+                           static_cast<double>(n - 1) +
+                rng.Gaussian(0.0, 0.8);
+  }
+  return ts::TimeSeries("ramp", 0.0, 1.0, std::move(values));
+}
+
+TEST(ProfileSimilarity, LearnsTheRamp) {
+  ProfileSimilarityDetector detector;
+  ASSERT_TRUE(detector.Train({RampSeries(1), RampSeries(2), RampSeries(3)})
+                  .ok());
+  EXPECT_EQ(detector.profile_mean().size(), 64u);
+  // Profile follows the ramp: later positions higher.
+  EXPECT_GT(detector.profile_mean().back(),
+            detector.profile_mean().front() + 100.0);
+}
+
+TEST(ProfileSimilarity, FlagsDeviationFromProfileNotFromValueRange) {
+  // The killer feature vs a global z-score: a value that is normal at the
+  // END of the ramp is an anomaly at the START.
+  ProfileSimilarityDetector detector;
+  ASSERT_TRUE(detector.Train({RampSeries(1), RampSeries(2), RampSeries(3),
+                              RampSeries(4)})
+                  .ok());
+  ts::TimeSeries probe = RampSeries(9);
+  probe.mutable_values()[5] = 170.0;  // end-of-ramp value at the start
+  auto scores = detector.Score(probe).value();
+  ExpectScoresInUnitInterval(scores);
+  EXPECT_GT(scores[5], 0.8);
+  // The same value at the end is perfectly normal.
+  EXPECT_LT(scores[120], 0.2);
+}
+
+TEST(ProfileSimilarity, RejectsShortSeries) {
+  ProfileSimilarityDetector detector(
+      ProfileSimilarityOptions{.profile_length = 64});
+  ts::TimeSeries tiny("t", 0, 1, {1.0, 2.0});
+  EXPECT_FALSE(detector.Train({tiny}).ok());
+  EXPECT_EQ(detector.Score(tiny).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Knn, SeparatesDisplacedPoints) {
+  const auto dataset = CanonicalPoints();
+  KnnDetector detector;
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  auto scores = detector.Score(dataset.test);
+  ASSERT_TRUE(scores.ok());
+  ExpectScoresInUnitInterval(scores.value());
+  EXPECT_GT(eval::RocAuc(scores.value(), dataset.test_labels).value(), 0.9);
+}
+
+TEST(Knn, TrainingPointsScoreNearZero) {
+  const auto dataset = CanonicalPoints();
+  KnnDetector detector;
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  auto scores = detector.Score(dataset.train).value();
+  // By the q95 baseline, ~95% of training points sit at score 0.
+  size_t zero = 0;
+  for (double s : scores) {
+    if (s == 0.0) ++zero;
+  }
+  EXPECT_GT(zero, scores.size() * 8 / 10);
+}
+
+TEST(Knn, RejectsDegenerateInput) {
+  KnnDetector detector;
+  EXPECT_FALSE(detector.Train({{1.0}}).ok());
+  KnnDetector zero_k(KnnOptions{.k = 0});
+  EXPECT_FALSE(zero_k.Train({{1.0}, {2.0}}).ok());
+}
+
+TEST(ReverseNn, AntihubsScoreHigh) {
+  const auto dataset = CanonicalPoints();
+  ReverseNnDetector detector;
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  auto scores = detector.Score(dataset.test);
+  ASSERT_TRUE(scores.ok());
+  ExpectScoresInUnitInterval(scores.value());
+  EXPECT_GT(eval::RocAuc(scores.value(), dataset.test_labels).value(), 0.8);
+}
+
+TEST(ReverseNn, ReverseCountsSumToKn) {
+  const auto dataset = CanonicalPoints();
+  ReverseNnDetector detector(ReverseNnOptions{.k = 5});
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  size_t total = 0;
+  for (size_t c : detector.reverse_counts()) total += c;
+  EXPECT_EQ(total, dataset.train.size() * 5);
+}
+
+TEST(ReverseNn, RejectsBadK) {
+  ReverseNnDetector detector(ReverseNnOptions{.k = 10});
+  EXPECT_FALSE(detector.Train({{1.0}, {2.0}, {3.0}}).ok());
+}
+
+TEST(Lof, LocalDensityBeatsGlobalDistance) {
+  // Two clusters of very different density plus one point just outside
+  // the tight cluster: globally unremarkable, locally anomalous.
+  std::vector<std::vector<double>> train;
+  Rng rng(11);
+  for (int i = 0; i < 60; ++i) {
+    train.push_back({rng.Gaussian(0.0, 0.05), rng.Gaussian(0.0, 0.05)});
+    train.push_back({rng.Gaussian(10.0, 2.0), rng.Gaussian(0.0, 2.0)});
+  }
+  LofDetector detector;
+  ASSERT_TRUE(detector.Train(train).ok());
+  // Near the tight cluster but 10 tight-sigmas out; inside the loose one.
+  auto near_tight = detector.RawLof({0.5, 0.5}).value();
+  auto inside_loose = detector.RawLof({10.5, 0.5}).value();
+  EXPECT_GT(near_tight, inside_loose);
+  EXPECT_GT(near_tight, 1.5);
+  EXPECT_LT(inside_loose, 1.5);
+}
+
+TEST(Lof, InliersNearOne) {
+  const auto dataset = CanonicalPoints();
+  LofDetector detector;
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  // Score a known training inlier.
+  auto lof = detector.RawLof(dataset.train[0]).value();
+  EXPECT_NEAR(lof, 1.0, 0.6);
+}
+
+TEST(Lof, SeparatesDisplacedPoints) {
+  const auto dataset = CanonicalPoints();
+  LofDetector detector;
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  auto scores = detector.Score(dataset.test);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(eval::RocAuc(scores.value(), dataset.test_labels).value(), 0.85);
+}
+
+TEST(Ensemble, RefusesSupervisedMembers) {
+  SeriesEnsemble ensemble;
+  EXPECT_FALSE(ensemble
+                   .AddMember(detect::MakeSeriesFromVectorWindows(
+                       std::make_unique<MlpDetector>(), 32, 8))
+                   .ok());
+  EXPECT_FALSE(ensemble.AddMember(nullptr).ok());
+}
+
+TEST(Ensemble, CombinationsBehave) {
+  OutlierVectorMatrix matrix;
+  matrix.member_names = {"a", "b"};
+  matrix.scores = {{0.0, 0.4, 1.0}, {0.2, 0.8, 0.0}};
+  auto mean = Combine(matrix, Combination::kMean);
+  EXPECT_DOUBLE_EQ(mean[1], 0.6);
+  auto max = Combine(matrix, Combination::kMax);
+  EXPECT_DOUBLE_EQ(max[2], 1.0);
+  auto rank = Combine(matrix, Combination::kRankMean);
+  // Item 1 is middle-ranked by a (0.5) and top-ranked by b (1.0).
+  EXPECT_DOUBLE_EQ(rank[1], 0.75);
+}
+
+TEST(Ensemble, TrainsAndScoresAllMembers) {
+  const auto dataset = CanonicalSeries();
+  SeriesEnsemble ensemble(Combination::kMean);
+  ASSERT_TRUE(ensemble.AddMember(std::make_unique<ArDetector>()).ok());
+  ASSERT_TRUE(
+      ensemble.AddMember(std::make_unique<RobustZSeriesDetector>()).ok());
+  EXPECT_EQ(ensemble.num_members(), 2u);
+  ASSERT_TRUE(ensemble.Train(dataset.train).ok());
+  auto vector = ensemble.ScoreVector(dataset.test[0]).value();
+  EXPECT_EQ(vector.scores.size(), 2u);
+  EXPECT_EQ(vector.num_items(), dataset.test[0].size());
+  auto combined = ensemble.Score(dataset.test[0]).value();
+  ExpectScoresInUnitInterval(combined);
+  EXPECT_EQ(combined.size(), dataset.test[0].size());
+}
+
+TEST(Ensemble, EmptyEnsembleRefusesTraining) {
+  SeriesEnsemble ensemble;
+  EXPECT_EQ(ensemble.Train({}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Ensemble, RankMeanImmuneToScaleMiscalibration) {
+  // Member b's scores are member a's divided by 100 (bad calibration);
+  // rank-mean consensus must equal the consensus of identically-scaled
+  // members.
+  OutlierVectorMatrix matrix;
+  matrix.scores = {{0.1, 0.5, 0.9, 0.3}, {0.001, 0.005, 0.009, 0.003}};
+  auto rank = Combine(matrix, Combination::kRankMean);
+  // Both members rank the items identically -> consensus = rank of a.
+  EXPECT_GT(rank[2], rank[1]);
+  EXPECT_GT(rank[1], rank[3]);
+  EXPECT_GT(rank[3], rank[0]);
+}
+
+}  // namespace
+}  // namespace hod::detect

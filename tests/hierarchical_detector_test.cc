@@ -1,0 +1,160 @@
+// HierarchicalDetector unit behaviour: level primitives, caching, scope
+// resolution, error paths.
+
+#include "core/hierarchical_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/plant.h"
+
+namespace hod::core {
+namespace {
+
+class HierarchicalDetectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim::PlantOptions options;
+    options.num_lines = 1;
+    options.machines_per_line = 2;
+    options.jobs_per_machine = 8;
+    options.seed = 41;
+    sim::ScenarioOptions scenario;
+    scenario.process_anomaly_rate = 0.3;
+    scenario.glitch_rate = 0.2;
+    plant_ = sim::BuildPlant(options, scenario).value();
+    detector_ = std::make_unique<HierarchicalDetector>(&plant_.production);
+  }
+
+  sim::SimulatedPlant plant_;
+  std::unique_ptr<HierarchicalDetector> detector_;
+};
+
+TEST_F(HierarchicalDetectorTest, ScorePhaseSeriesSizesMatch) {
+  const auto& machine = plant_.production.lines[0].machines[0];
+  const auto& job = machine.jobs[0];
+  PhaseQuery query{machine.id, job.id, "printing",
+                   machine.id + ".bed_temp_a"};
+  auto scores = detector_->ScorePhaseSeries(query);
+  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+  EXPECT_EQ(scores->size(),
+            job.phases[3].sensor_series.at(query.sensor_id).size());
+  for (double s : scores.value()) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST_F(HierarchicalDetectorTest, UnknownScopesRejected) {
+  PhaseQuery bad{"ghost-machine", "ghost-job", "printing", "ghost"};
+  EXPECT_FALSE(detector_->ScorePhaseSeries(bad).ok());
+  EXPECT_FALSE(detector_->ScoreJobs("ghost").ok());
+  EXPECT_FALSE(detector_->ScoreEnvironment("ghost").ok());
+  EXPECT_FALSE(detector_->ScoreLineJobs("ghost").ok());
+  EXPECT_FALSE(detector_->FindJobOutliers("ghost").ok());
+  EXPECT_FALSE(detector_->FindEnvironmentOutliers("ghost").ok());
+  EXPECT_FALSE(detector_->FindLineOutliers("ghost").ok());
+}
+
+TEST_F(HierarchicalDetectorTest, UnknownSensorInKnownJobRejected) {
+  const auto& machine = plant_.production.lines[0].machines[0];
+  PhaseQuery query{machine.id, machine.jobs[0].id, "printing", "ghost"};
+  EXPECT_FALSE(detector_->ScorePhaseSeries(query).ok());
+}
+
+TEST_F(HierarchicalDetectorTest, ScoreJobsOnePerJob) {
+  const auto& machine = plant_.production.lines[0].machines[0];
+  auto scores = detector_->ScoreJobs(machine.id);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), machine.jobs.size());
+}
+
+TEST_F(HierarchicalDetectorTest, ScoreEnvironmentMatchesSeriesLength) {
+  auto scores = detector_->ScoreEnvironment("line1");
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(),
+            plant_.production.lines[0].environment[0].series.size());
+}
+
+TEST_F(HierarchicalDetectorTest, ScoreLineJobsAcrossMachines) {
+  auto scores = detector_->ScoreLineJobs("line1");
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), 16u);  // 2 machines x 8 jobs
+}
+
+TEST_F(HierarchicalDetectorTest, ScoreMachinesCoversAll) {
+  auto scores = detector_->ScoreMachines();
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), 2u);
+  for (const auto& [machine_id, score] : scores.value()) {
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+TEST_F(HierarchicalDetectorTest, RepeatedQueriesAreCachedAndStable) {
+  const auto& machine = plant_.production.lines[0].machines[0];
+  auto first = detector_->ScoreJobs(machine.id).value();
+  auto second = detector_->ScoreJobs(machine.id).value();
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(HierarchicalDetectorTest, ReportCarriesAlgorithmAndLevel) {
+  const auto& machine = plant_.production.lines[0].machines[0];
+  auto report = detector_->FindJobOutliers(machine.id);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->start_level, hierarchy::ProductionLevel::kJob);
+  EXPECT_EQ(report->algorithm, "ExpectationMaximization");
+}
+
+TEST_F(HierarchicalDetectorTest, FindingsRespectThreshold) {
+  const auto& machine = plant_.production.lines[0].machines[0];
+  auto report = detector_->FindJobOutliers(machine.id).value();
+  for (const auto& finding : report.findings) {
+    EXPECT_GT(finding.outlierness, detector_->options().outlier_threshold);
+    EXPECT_GE(finding.global_score, 1);
+    EXPECT_LE(finding.global_score, hierarchy::kNumLevels);
+    EXPECT_GE(finding.support, 0.0);
+    EXPECT_LE(finding.support, 1.0);
+    EXPECT_FALSE(finding.confirmed_levels.empty());
+  }
+}
+
+TEST_F(HierarchicalDetectorTest, GlobalScoreCountsConfirmedChain) {
+  // For every finding: global_score <= confirmed levels count and the
+  // start level is always confirmed.
+  const auto& machine = plant_.production.lines[0].machines[0];
+  auto report = detector_->FindJobOutliers(machine.id).value();
+  for (const auto& finding : report.findings) {
+    EXPECT_LE(static_cast<size_t>(finding.global_score),
+              finding.confirmed_levels.size() +
+                  static_cast<size_t>(hierarchy::kNumLevels));
+    bool start_confirmed = false;
+    for (auto level : finding.confirmed_levels) {
+      if (level == hierarchy::ProductionLevel::kJob) start_confirmed = true;
+    }
+    EXPECT_TRUE(start_confirmed);
+  }
+}
+
+TEST_F(HierarchicalDetectorTest, MismatchedPolicyChangesAlgorithm) {
+  HierarchicalDetectorOptions options;
+  options.policy = SelectorPolicy::kMismatched;
+  HierarchicalDetector mismatched(&plant_.production, options);
+  const auto& machine = plant_.production.lines[0].machines[0];
+  auto report = mismatched.FindJobOutliers(machine.id);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->algorithm, "AutoregressiveModel+Stream");
+}
+
+TEST_F(HierarchicalDetectorTest, ProductionReportRunsGlobally) {
+  auto report = detector_->FindProductionOutliers();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->start_level, hierarchy::ProductionLevel::kProduction);
+  for (const auto& finding : report->findings) {
+    // Production findings have no corresponding sensors.
+    EXPECT_EQ(finding.corresponding_sensors, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hod::core

@@ -1,0 +1,148 @@
+// Production-hierarchy tests: levels, sensor registry, production model.
+
+#include <gtest/gtest.h>
+
+#include "hierarchy/level.h"
+#include "hierarchy/production.h"
+#include "hierarchy/sensor_registry.h"
+
+namespace hod::hierarchy {
+namespace {
+
+TEST(Level, NamesMatchFigure2) {
+  EXPECT_EQ(LevelName(ProductionLevel::kPhase), "Phase Level");
+  EXPECT_EQ(LevelName(ProductionLevel::kJob), "Job Level");
+  EXPECT_EQ(LevelName(ProductionLevel::kEnvironment), "Environment Level");
+  EXPECT_EQ(LevelName(ProductionLevel::kProductionLine),
+            "Production Line Level");
+  EXPECT_EQ(LevelName(ProductionLevel::kProduction), "Production Level");
+}
+
+TEST(Level, ValuesMatchCircledNumbers) {
+  EXPECT_EQ(LevelValue(ProductionLevel::kPhase), 1);
+  EXPECT_EQ(LevelValue(ProductionLevel::kProduction), 5);
+  EXPECT_EQ(kNumLevels, 5);
+}
+
+TEST(Level, AboveBelowNavigation) {
+  EXPECT_EQ(LevelAbove(ProductionLevel::kPhase).value(),
+            ProductionLevel::kJob);
+  EXPECT_EQ(LevelAbove(ProductionLevel::kProductionLine).value(),
+            ProductionLevel::kProduction);
+  EXPECT_FALSE(LevelAbove(ProductionLevel::kProduction).ok());
+  EXPECT_EQ(LevelBelow(ProductionLevel::kJob).value(),
+            ProductionLevel::kPhase);
+  EXPECT_FALSE(LevelBelow(ProductionLevel::kPhase).ok());
+}
+
+TEST(Level, FromValueBounds) {
+  EXPECT_EQ(LevelFromValue(3).value(), ProductionLevel::kEnvironment);
+  EXPECT_FALSE(LevelFromValue(0).ok());
+  EXPECT_FALSE(LevelFromValue(6).ok());
+}
+
+TEST(SensorRegistry, RegisterAndLookup) {
+  SensorRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register({"m1.bed_a", "Bed A", "degC", "m1", "m1.bed"})
+                  .ok());
+  EXPECT_TRUE(registry.Contains("m1.bed_a"));
+  EXPECT_FALSE(registry.Contains("m1.bed_b"));
+  auto info = registry.Get("m1.bed_a");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->unit, "degC");
+  EXPECT_FALSE(registry.Get("nope").ok());
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(SensorRegistry, RejectsDuplicatesAndEmptyIds) {
+  SensorRegistry registry;
+  ASSERT_TRUE(registry.Register({"s1", "", "", "", ""}).ok());
+  EXPECT_FALSE(registry.Register({"s1", "", "", "", ""}).ok());
+  EXPECT_FALSE(registry.Register({"", "", "", "", ""}).ok());
+}
+
+TEST(SensorRegistry, CorrespondingSensorsExcludeSelf) {
+  SensorRegistry registry;
+  ASSERT_TRUE(registry.Register({"a", "", "", "m", "grp"}).ok());
+  ASSERT_TRUE(registry.Register({"b", "", "", "m", "grp"}).ok());
+  ASSERT_TRUE(registry.Register({"c", "", "", "m", "grp"}).ok());
+  ASSERT_TRUE(registry.Register({"lonely", "", "", "m", ""}).ok());
+  auto group = registry.CorrespondingSensors("a").value();
+  EXPECT_EQ(group, (std::vector<std::string>{"b", "c"}));
+  EXPECT_TRUE(registry.CorrespondingSensors("lonely").value().empty());
+  EXPECT_FALSE(registry.CorrespondingSensors("missing").ok());
+}
+
+Production MakeTinyProduction() {
+  Production production;
+  (void)production.sensors.Register({"m1.t", "", "degC", "m1", ""});
+  ProductionLine line;
+  line.id = "l1";
+  Machine machine;
+  machine.id = "m1";
+  machine.configuration = ts::FeatureVector({"p"}, {1.0});
+  Job job;
+  job.id = "j1";
+  job.machine_id = "m1";
+  job.start_time = 0.0;
+  job.end_time = 100.0;
+  job.setup = ts::FeatureVector({"s"}, {2.0});
+  job.caq = ts::FeatureVector({"q"}, {3.0});
+  Phase phase;
+  phase.name = "printing";
+  phase.start_time = 0.0;
+  phase.end_time = 10.0;
+  phase.sensor_series.emplace(
+      "m1.t", ts::TimeSeries("m1.t", 0.0, 1.0, {1.0, 2.0, 3.0}));
+  phase.events = ts::DiscreteSequence("e", 2, {0, 1, 0});
+  job.phases.push_back(std::move(phase));
+  machine.jobs.push_back(std::move(job));
+  line.machines.push_back(std::move(machine));
+  production.lines.push_back(std::move(line));
+  return production;
+}
+
+TEST(Production, FindHelpers) {
+  Production production = MakeTinyProduction();
+  EXPECT_TRUE(FindLine(production, "l1").ok());
+  EXPECT_FALSE(FindLine(production, "l2").ok());
+  EXPECT_TRUE(FindMachine(production, "m1").ok());
+  EXPECT_FALSE(FindMachine(production, "m2").ok());
+  EXPECT_TRUE(FindJob(production, "j1").ok());
+  EXPECT_FALSE(FindJob(production, "j2").ok());
+  EXPECT_EQ(CountJobs(production), 1u);
+}
+
+TEST(Production, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(ValidateProduction(MakeTinyProduction()).ok());
+}
+
+TEST(Production, ValidateCatchesUnregisteredSensor) {
+  Production production = MakeTinyProduction();
+  production.lines[0].machines[0].jobs[0].phases[0].sensor_series.emplace(
+      "ghost", ts::TimeSeries("ghost", 0.0, 1.0, {1.0}));
+  EXPECT_FALSE(ValidateProduction(production).ok());
+}
+
+TEST(Production, ValidateCatchesTimeInversion) {
+  Production production = MakeTinyProduction();
+  production.lines[0].machines[0].jobs[0].end_time = -5.0;
+  EXPECT_FALSE(ValidateProduction(production).ok());
+}
+
+TEST(Production, ValidateCatchesMachineIdMismatch) {
+  Production production = MakeTinyProduction();
+  production.lines[0].machines[0].jobs[0].machine_id = "other";
+  EXPECT_FALSE(ValidateProduction(production).ok());
+}
+
+TEST(Production, ValidateCatchesBadEventSequence) {
+  Production production = MakeTinyProduction();
+  production.lines[0].machines[0].jobs[0].phases[0].events =
+      ts::DiscreteSequence("e", 2, {0, 5});
+  EXPECT_FALSE(ValidateProduction(production).ok());
+}
+
+}  // namespace
+}  // namespace hod::hierarchy

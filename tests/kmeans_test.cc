@@ -1,0 +1,97 @@
+#include "detect/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hod::detect {
+namespace {
+
+std::vector<std::vector<double>> TwoBlobs() {
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 20; ++i) {
+    const double jitter = 0.01 * static_cast<double>(i % 5);
+    data.push_back({0.0 + jitter, 0.0 - jitter});
+    data.push_back({10.0 - jitter, 10.0 + jitter});
+  }
+  return data;
+}
+
+TEST(KMeans, SeparatesTwoBlobs) {
+  auto result = KMeans(TwoBlobs(), 2, 50, 42);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->centroids.size(), 2u);
+  // One centroid near (0,0), one near (10,10), in either order.
+  const double c0 = result->centroids[0][0];
+  const double c1 = result->centroids[1][0];
+  EXPECT_NEAR(std::min(c0, c1), 0.0, 0.5);
+  EXPECT_NEAR(std::max(c0, c1), 10.0, 0.5);
+  // All points close to their centroid.
+  for (double d : result->distances) EXPECT_LT(d, 1.0);
+  EXPECT_EQ(result->cluster_sizes[0] + result->cluster_sizes[1], 40u);
+}
+
+TEST(KMeans, DeterministicForSeed) {
+  auto a = KMeans(TwoBlobs(), 3, 30, 7).value();
+  auto b = KMeans(TwoBlobs(), 3, 30, 7).value();
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_EQ(a.centroids, b.centroids);
+}
+
+TEST(KMeans, KLargerThanDataIsClamped) {
+  std::vector<std::vector<double>> data = {{0.0}, {1.0}};
+  auto result = KMeans(data, 10, 10, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->centroids.size(), 2u);
+}
+
+TEST(KMeans, RejectsBadInput) {
+  EXPECT_FALSE(KMeans({}, 2, 10, 1).ok());
+  EXPECT_FALSE(KMeans({{1.0}}, 0, 10, 1).ok());
+  EXPECT_FALSE(KMeans({{1.0}, {1.0, 2.0}}, 1, 10, 1).ok());  // ragged
+}
+
+TEST(KMeans, FindNearestCentroid) {
+  const std::vector<std::vector<double>> centroids = {{0.0, 0.0},
+                                                      {10.0, 0.0}};
+  auto nearest = FindNearestCentroid(centroids, {7.0, 0.0});
+  ASSERT_TRUE(nearest.ok());
+  EXPECT_EQ(nearest->index, 1u);
+  EXPECT_NEAR(nearest->distance, 3.0, 1e-12);
+  EXPECT_FALSE(FindNearestCentroid({}, {1.0}).ok());
+  EXPECT_FALSE(FindNearestCentroid(centroids, {1.0}).ok());  // dim mismatch
+}
+
+TEST(ColumnScaler, StandardizesColumns) {
+  std::vector<std::vector<double>> data = {{0.0, 100.0},
+                                           {10.0, 300.0},
+                                           {20.0, 200.0}};
+  auto scaler = ColumnScaler::Fit(data);
+  ASSERT_TRUE(scaler.ok());
+  ASSERT_TRUE(scaler->Apply(data).ok());
+  // Column means ~0.
+  for (size_t c = 0; c < 2; ++c) {
+    double sum = 0.0;
+    for (const auto& row : data) sum += row[c];
+    EXPECT_NEAR(sum, 0.0, 1e-9);
+  }
+}
+
+TEST(ColumnScaler, ConstantColumnOnlyCentered) {
+  std::vector<std::vector<double>> data = {{5.0}, {5.0}, {5.0}};
+  auto scaler = ColumnScaler::Fit(data).value();
+  std::vector<double> row = {7.0};
+  ASSERT_TRUE(scaler.ApplyRow(row).ok());
+  EXPECT_DOUBLE_EQ(row[0], 2.0);  // centered, not divided by zero sigma
+}
+
+TEST(ColumnScaler, RejectsBadInput) {
+  EXPECT_FALSE(ColumnScaler::Fit({}).ok());
+  EXPECT_FALSE(ColumnScaler::Fit({{1.0}, {1.0, 2.0}}).ok());
+  auto scaler = ColumnScaler::Fit({{1.0, 2.0}}).value();
+  std::vector<double> wrong = {1.0};
+  EXPECT_FALSE(scaler.ApplyRow(wrong).ok());
+}
+
+}  // namespace
+}  // namespace hod::detect

@@ -1,0 +1,92 @@
+// Level-wise dataset extraction (Fig. 2's data shapes per level).
+
+#include <gtest/gtest.h>
+
+#include "hierarchy/level_data.h"
+#include "sim/plant.h"
+
+namespace hod::hierarchy {
+namespace {
+
+sim::SimulatedPlant BuildSmallPlant() {
+  sim::PlantOptions plant_options;
+  plant_options.num_lines = 1;
+  plant_options.machines_per_line = 2;
+  plant_options.jobs_per_machine = 5;
+  plant_options.seed = 9;
+  return sim::BuildPlant(plant_options, sim::ScenarioOptions{}).value();
+}
+
+TEST(LevelData, JobFeatureMatrixPerMachine) {
+  const auto plant = BuildSmallPlant();
+  const Machine& machine = plant.production.lines[0].machines[0];
+  auto matrix = JobFeatureMatrix(machine);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_EQ(matrix->vectors.size(), 5u);
+  EXPECT_EQ(matrix->job_ids.size(), 5u);
+  // Setup (6 features) + CAQ (4 features) with prefixed names.
+  EXPECT_EQ(matrix->feature_names.size(), 10u);
+  EXPECT_EQ(matrix->feature_names.front().rfind("setup.", 0), 0u);
+  EXPECT_EQ(matrix->feature_names.back().rfind("caq.", 0), 0u);
+  for (const auto& row : matrix->vectors) {
+    EXPECT_EQ(row.size(), matrix->feature_names.size());
+  }
+}
+
+TEST(LevelData, JobFeatureMatrixSchemaMismatchRejected) {
+  auto plant = BuildSmallPlant();
+  Machine& machine = plant.production.lines[0].machines[0];
+  machine.jobs[1].setup = ts::FeatureVector({"odd"}, {1.0});
+  EXPECT_FALSE(JobFeatureMatrix(machine).ok());
+}
+
+TEST(LevelData, LineJobMatrixTimeOrdered) {
+  const auto plant = BuildSmallPlant();
+  auto matrix = JobFeatureMatrix(plant.production.lines[0]);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_EQ(matrix->vectors.size(), 10u);  // 2 machines x 5 jobs
+  for (size_t j = 1; j < matrix->times.size(); ++j) {
+    EXPECT_LE(matrix->times[j - 1], matrix->times[j]);
+  }
+}
+
+TEST(LevelData, LineJobSeriesOnePerFeature) {
+  const auto plant = BuildSmallPlant();
+  auto series = LineJobSeries(plant.production.lines[0]);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->size(), 10u);  // one series per setup/CAQ feature
+  for (const auto& s : *series) {
+    EXPECT_EQ(s.size(), 10u);  // one sample per job
+    EXPECT_GT(s.interval(), 0.0);
+  }
+}
+
+TEST(LevelData, MachineSummaryMatrixOneRowPerMachine) {
+  const auto plant = BuildSmallPlant();
+  auto matrix = MachineSummaryMatrix(plant.production);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_EQ(matrix->machine_ids.size(), 2u);
+  // 4 CAQ features x (mean, stddev) + duration mean/stddev.
+  EXPECT_EQ(matrix->feature_names.size(), 10u);
+}
+
+TEST(LevelData, CollectSensorSeriesAcrossJobs) {
+  const auto plant = BuildSmallPlant();
+  const Machine& machine = plant.production.lines[0].machines[0];
+  const std::string sensor = machine.id + ".bed_temp_a";
+  const auto all = CollectSensorSeries(machine, sensor);
+  EXPECT_EQ(all.size(), 5u * 5u);  // every phase of every job
+  const auto printing_only = CollectSensorSeries(machine, sensor, "printing");
+  EXPECT_EQ(printing_only.size(), 5u);
+  EXPECT_TRUE(CollectSensorSeries(machine, "ghost").empty());
+}
+
+TEST(LevelData, FindEnvironmentSeries) {
+  const auto plant = BuildSmallPlant();
+  const ProductionLine& line = plant.production.lines[0];
+  EXPECT_NE(FindEnvironmentSeries(line, line.id + ".room_temp"), nullptr);
+  EXPECT_EQ(FindEnvironmentSeries(line, "ghost"), nullptr);
+}
+
+}  // namespace
+}  // namespace hod::hierarchy

@@ -1,0 +1,195 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace hod::eval {
+namespace {
+
+TEST(Confusion, DerivedRates) {
+  Confusion c;
+  c.true_positives = 6;
+  c.false_positives = 2;
+  c.false_negatives = 4;
+  c.true_negatives = 88;
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.75);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.6);
+  EXPECT_NEAR(c.F1(), 2.0 * 0.75 * 0.6 / 1.35, 1e-12);
+  EXPECT_NEAR(c.FalsePositiveRate(), 2.0 / 90.0, 1e-12);
+}
+
+TEST(Confusion, DegenerateCounts) {
+  Confusion empty;
+  EXPECT_DOUBLE_EQ(empty.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.F1(), 0.0);
+}
+
+TEST(Confuse, BasicThresholding) {
+  const std::vector<double> scores = {0.1, 0.9, 0.6, 0.2};
+  const Truth truth = {0, 1, 0, 1};
+  auto c = Confuse(scores, truth, 0.5).value();
+  EXPECT_EQ(c.true_positives, 1u);
+  EXPECT_EQ(c.false_positives, 1u);
+  EXPECT_EQ(c.false_negatives, 1u);
+  EXPECT_EQ(c.true_negatives, 1u);
+  EXPECT_FALSE(Confuse(scores, {0, 1}, 0.5).ok());
+}
+
+TEST(ConfuseWithTolerance, NearbyFlagsCount) {
+  // Anomaly at 5, flag at 6: tolerance 1 counts it as detected and
+  // excuses the flag.
+  std::vector<double> scores(10, 0.0);
+  scores[6] = 1.0;
+  Truth truth(10, 0);
+  truth[5] = 1;
+  auto strict = ConfuseWithTolerance(scores, truth, 0.5, 0).value();
+  EXPECT_EQ(strict.true_positives, 0u);
+  EXPECT_EQ(strict.false_positives, 1u);
+  auto tolerant = ConfuseWithTolerance(scores, truth, 0.5, 1).value();
+  EXPECT_EQ(tolerant.true_positives, 1u);
+  EXPECT_EQ(tolerant.false_positives, 0u);
+}
+
+TEST(RocAuc, PerfectAndInverted) {
+  const Truth truth = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.2, 0.8, 0.9}, truth).value(), 1.0);
+  EXPECT_DOUBLE_EQ(RocAuc({0.9, 0.8, 0.2, 0.1}, truth).value(), 0.0);
+}
+
+TEST(RocAuc, TiesGiveHalfCredit) {
+  const Truth truth = {0, 1};
+  EXPECT_DOUBLE_EQ(RocAuc({0.5, 0.5}, truth).value(), 0.5);
+}
+
+TEST(RocAuc, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {0, 0}).value(), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {1, 1}).value(), 0.5);
+}
+
+TEST(PrAuc, PerfectRankingIsOne) {
+  const Truth truth = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(PrAuc({0.1, 0.2, 0.8, 0.9}, truth).value(), 1.0);
+}
+
+TEST(PrAuc, KnownInterleaving) {
+  // Ranking: pos, neg, pos -> AP = (1/1 + 2/3) / 2.
+  const Truth truth = {1, 0, 1};
+  const std::vector<double> scores = {0.9, 0.8, 0.7};
+  EXPECT_NEAR(PrAuc(scores, truth).value(), (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(PrAuc, NoPositivesIsZero) {
+  EXPECT_DOUBLE_EQ(PrAuc({0.5}, {0}).value(), 0.0);
+}
+
+TEST(BestF1, FindsSeparatingThreshold) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const Truth truth = {0, 0, 1, 1};
+  auto best = BestF1(scores, truth).value();
+  EXPECT_DOUBLE_EQ(best.f1, 1.0);
+  EXPECT_GT(best.threshold, 0.2);
+  EXPECT_LT(best.threshold, 0.8);
+  EXPECT_EQ(best.confusion.true_positives, 2u);
+}
+
+TEST(BestF1, ImperfectScores) {
+  const std::vector<double> scores = {0.9, 0.1, 0.8, 0.2};
+  const Truth truth = {1, 1, 0, 0};
+  auto best = BestF1(scores, truth).value();
+  EXPECT_GT(best.f1, 0.5);
+  EXPECT_LT(best.f1, 1.0);
+}
+
+TEST(BestF1WithTolerance, RescuesOffByOneDetections) {
+  std::vector<double> scores(20, 0.0);
+  scores[4] = 0.9;
+  scores[11] = 0.9;
+  Truth truth(20, 0);
+  truth[5] = 1;
+  truth[10] = 1;
+  // Without tolerance the best threshold degenerates to flag-everything
+  // (recall 1 at precision 2/20).
+  EXPECT_LT(BestF1(scores, truth).value().f1, 0.25);
+  EXPECT_DOUBLE_EQ(BestF1WithTolerance(scores, truth, 1).value().f1, 1.0);
+}
+
+TEST(BestF1, SizeMismatchRejected) {
+  EXPECT_FALSE(BestF1({0.5}, {0, 1}).ok());
+}
+
+TEST(Segments, ExtractMaximalRuns) {
+  const Truth truth = {0, 1, 1, 0, 0, 1, 0, 1, 1, 1};
+  const auto segments = ExtractSegments(truth);
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_EQ(segments[0].begin, 1u);
+  EXPECT_EQ(segments[0].end, 3u);
+  EXPECT_EQ(segments[1].begin, 5u);
+  EXPECT_EQ(segments[1].end, 6u);
+  EXPECT_EQ(segments[2].begin, 7u);
+  EXPECT_EQ(segments[2].end, 10u);
+  EXPECT_TRUE(ExtractSegments({0, 0, 0}).empty());
+  EXPECT_EQ(ExtractSegments({1, 1}).size(), 1u);
+}
+
+TEST(Segments, OneFlagDetectsWholeEvent) {
+  // A 6-sample event with a single flag inside: pointwise recall would be
+  // 1/6, segment recall is 1.
+  std::vector<double> scores(20, 0.0);
+  scores[8] = 0.9;
+  Truth truth(20, 0);
+  for (size_t i = 5; i < 11; ++i) truth[i] = 1;
+  auto confusion = ConfuseSegments(scores, truth, 0.5, 0).value();
+  EXPECT_EQ(confusion.detected_events, 1u);
+  EXPECT_EQ(confusion.missed_events, 0u);
+  EXPECT_EQ(confusion.false_positive_points, 0u);
+  EXPECT_DOUBLE_EQ(confusion.EventRecall(), 1.0);
+}
+
+TEST(Segments, EdgeToleranceRescuesEarlyDetection) {
+  std::vector<double> scores(20, 0.0);
+  scores[3] = 0.9;  // two samples before the event
+  Truth truth(20, 0);
+  for (size_t i = 5; i < 9; ++i) truth[i] = 1;
+  EXPECT_EQ(ConfuseSegments(scores, truth, 0.5, 0)->detected_events, 0u);
+  EXPECT_EQ(ConfuseSegments(scores, truth, 0.5, 2)->detected_events, 1u);
+  // Without tolerance the early flag is a false positive.
+  EXPECT_EQ(ConfuseSegments(scores, truth, 0.5, 0)->false_positive_points,
+            1u);
+}
+
+TEST(Segments, FalsePositivePointsCounted) {
+  std::vector<double> scores(20, 0.0);
+  scores[1] = 0.9;
+  scores[15] = 0.9;
+  Truth truth(20, 0);
+  truth[10] = 1;
+  auto confusion = ConfuseSegments(scores, truth, 0.5, 1).value();
+  EXPECT_EQ(confusion.missed_events, 1u);
+  EXPECT_EQ(confusion.false_positive_points, 2u);
+}
+
+TEST(Segments, SegmentF1Behaviour) {
+  // Perfect: one flag per event, no FPs.
+  std::vector<double> scores(30, 0.0);
+  scores[5] = 0.9;
+  scores[20] = 0.9;
+  Truth truth(30, 0);
+  for (size_t i = 4; i < 8; ++i) truth[i] = 1;
+  for (size_t i = 19; i < 25; ++i) truth[i] = 1;
+  EXPECT_DOUBLE_EQ(SegmentF1(scores, truth, 0.5, 0).value(), 1.0);
+  // Degraded by an FP point.
+  scores[0] = 0.9;
+  EXPECT_LT(SegmentF1(scores, truth, 0.5, 0).value(), 1.0);
+}
+
+TEST(Segments, BestSegmentF1SweepsThresholds) {
+  std::vector<double> scores = {0.1, 0.2, 0.9, 0.3, 0.1, 0.8, 0.2};
+  Truth truth = {0, 0, 1, 0, 0, 1, 0};
+  auto best = BestSegmentF1(scores, truth, 0).value();
+  EXPECT_DOUBLE_EQ(best.f1, 1.0);
+  EXPECT_GT(best.threshold, 0.3);
+  EXPECT_FALSE(BestSegmentF1({0.5}, {0, 1}, 0).ok());
+}
+
+}  // namespace
+}  // namespace hod::eval

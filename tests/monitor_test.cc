@@ -1,0 +1,100 @@
+#include "core/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace hod::core {
+namespace {
+
+/// Feeds `n` stationary AR(1)-ish samples.
+void FeedNormal(OnlineMonitor& monitor, size_t n, Rng& rng,
+                double level = 50.0) {
+  double noise = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    noise = 0.6 * noise + rng.Gaussian(0.0, 0.4);
+    ASSERT_TRUE(monitor.Push(level + noise).ok());
+  }
+}
+
+TEST(OnlineMonitor, WarmupProducesNoScores) {
+  OnlineMonitor monitor(OnlineMonitorOptions{.warmup = 32});
+  Rng rng(1);
+  for (size_t i = 0; i < 31; ++i) {
+    auto update = monitor.Push(rng.Gaussian(10.0, 1.0));
+    ASSERT_TRUE(update.ok());
+    EXPECT_FALSE(update->model_ready);
+    EXPECT_DOUBLE_EQ(update->score, 0.0);
+  }
+  auto update = monitor.Push(10.0);
+  ASSERT_TRUE(update.ok());
+  EXPECT_TRUE(update->model_ready);  // model fits on the 32nd sample
+}
+
+TEST(OnlineMonitor, NormalStreamStaysQuiet) {
+  OnlineMonitor monitor;
+  Rng rng(2);
+  FeedNormal(monitor, 400, rng);
+  EXPECT_FALSE(monitor.alarm());
+  EXPECT_EQ(monitor.alarms_raised(), 0u);
+}
+
+TEST(OnlineMonitor, SpikeRaisesAlarmWithHysteresis) {
+  OnlineMonitorOptions options;
+  options.raise_after = 2;
+  options.clear_after = 3;
+  OnlineMonitor monitor(options);
+  Rng rng(3);
+  FeedNormal(monitor, 200, rng);
+  // Two consecutive large deviations raise the alarm; one does not.
+  auto first = monitor.Push(70.0).value();
+  EXPECT_GT(first.score, 0.5);
+  EXPECT_FALSE(first.alarm) << "one sample must not raise the alarm";
+  auto second = monitor.Push(70.0).value();
+  EXPECT_TRUE(second.alarm);
+  EXPECT_TRUE(second.alarm_raised);
+  EXPECT_EQ(monitor.alarms_raised(), 1u);
+  // Alarm persists until clear_after quiet samples...
+  auto quiet1 = monitor.Push(50.0).value();
+  EXPECT_TRUE(quiet1.alarm);
+  auto quiet2 = monitor.Push(50.0).value();
+  EXPECT_TRUE(quiet2.alarm);
+  auto quiet3 = monitor.Push(50.0).value();
+  EXPECT_FALSE(quiet3.alarm);
+  EXPECT_TRUE(quiet3.alarm_cleared);
+}
+
+TEST(OnlineMonitor, RejectsNonFiniteSamples) {
+  OnlineMonitor monitor;
+  EXPECT_FALSE(monitor.Push(std::nan("")).ok());
+  EXPECT_FALSE(monitor.Push(std::numeric_limits<double>::infinity()).ok());
+}
+
+TEST(OnlineMonitor, SamplesSeenCounts) {
+  OnlineMonitor monitor;
+  Rng rng(4);
+  FeedNormal(monitor, 100, rng);
+  EXPECT_EQ(monitor.samples_seen(), 100u);
+}
+
+TEST(OnlineMonitor, SlowDriftAbsorbedByAdaptation) {
+  // A very slow mean drift (far below the alarm scale per-sample) should
+  // not raise alarms when adaptation is on.
+  OnlineMonitorOptions options;
+  options.scale_forgetting = 0.99;
+  OnlineMonitor monitor(options);
+  Rng rng(5);
+  FeedNormal(monitor, 100, rng);
+  double noise = 0.0;
+  for (size_t i = 0; i < 500; ++i) {
+    noise = 0.6 * noise + rng.Gaussian(0.0, 0.4);
+    const double drift = 0.002 * static_cast<double>(i);
+    ASSERT_TRUE(monitor.Push(50.0 + drift + noise).ok());
+  }
+  EXPECT_EQ(monitor.alarms_raised(), 0u);
+}
+
+}  // namespace
+}  // namespace hod::core

@@ -1,0 +1,130 @@
+#include "core/plant_health.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/plant.h"
+
+namespace hod::core {
+namespace {
+
+sim::SimulatedPlant BuildPlant(double process_rate, double glitch_rate,
+                               size_t rogue, uint64_t seed) {
+  sim::PlantOptions options;
+  options.num_lines = 1;
+  options.machines_per_line = 3;
+  options.jobs_per_machine = 16;
+  options.seed = seed;
+  sim::ScenarioOptions scenario;
+  scenario.process_anomaly_rate = process_rate;
+  scenario.glitch_rate = glitch_rate;
+  scenario.rogue_machines = rogue;
+  return sim::BuildPlant(options, scenario).value();
+}
+
+TEST(PlantHealth, ReportCoversEveryMachine) {
+  const auto plant = BuildPlant(0.2, 0.1, 1, 81);
+  auto report = SummarizePlantHealth(
+      plant.production, hierarchy::DefaultPrinterCaqSpecification());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->machines.size(), 3u);
+  for (const MachineHealth& health : report->machines) {
+    EXPECT_FALSE(health.machine_id.empty());
+    EXPECT_GE(health.production_score, 0.0);
+    EXPECT_LE(health.production_score, 1.0);
+    EXPECT_GE(health.maintenance_urgency, 0.0);
+    EXPECT_LE(health.maintenance_urgency, 1.0);
+  }
+  EXPECT_GT(report->total_findings, 0u);
+}
+
+TEST(PlantHealth, RogueMachineDominatesEveryColumn) {
+  const auto plant = BuildPlant(0.05, 0.05, 1, 82);
+  auto report = SummarizePlantHealth(
+                    plant.production,
+                    hierarchy::DefaultPrinterCaqSpecification())
+                    .value();
+  const std::string rogue = plant.truth.machine_labels.begin()->first;
+  const MachineHealth* rogue_health = nullptr;
+  double best_other_score = 0.0;
+  double worst_other_cpk = 1e9;
+  for (const MachineHealth& health : report.machines) {
+    if (health.machine_id == rogue) {
+      rogue_health = &health;
+    } else {
+      best_other_score = std::max(best_other_score, health.production_score);
+      worst_other_cpk = std::min(worst_other_cpk, health.min_cpk);
+    }
+  }
+  ASSERT_NE(rogue_health, nullptr);
+  EXPECT_GT(rogue_health->production_score, best_other_score);
+  EXPECT_LT(rogue_health->min_cpk, worst_other_cpk);
+}
+
+TEST(PlantHealth, HealthyPlantIsQuiet) {
+  sim::PlantOptions options;
+  options.num_lines = 1;
+  options.machines_per_line = 2;
+  options.jobs_per_machine = 10;
+  options.seed = 83;
+  sim::ScenarioOptions scenario;
+  scenario.process_anomaly_rate = 0.0;
+  scenario.glitch_rate = 0.0;
+  scenario.rogue_machines = 0;
+  scenario.bad_batch_lines = 0;
+  const auto plant = sim::BuildPlant(options, scenario).value();
+  auto report = SummarizePlantHealth(
+                    plant.production,
+                    hierarchy::DefaultPrinterCaqSpecification())
+                    .value();
+  for (const MachineHealth& health : report.machines) {
+    EXPECT_EQ(health.critical_episodes, 0u) << health.machine_id;
+    EXPECT_LT(health.maintenance_urgency, 0.3) << health.machine_id;
+    EXPECT_GT(health.min_cpk, 1.0) << health.machine_id;
+  }
+  EXPECT_TRUE(report.line_shifts.empty());
+}
+
+TEST(PlantHealth, BadBatchSurfacesAsLineShift) {
+  sim::PlantOptions options;
+  options.num_lines = 1;
+  options.machines_per_line = 2;
+  options.jobs_per_machine = 32;
+  options.seed = 84;
+  sim::ScenarioOptions scenario;
+  scenario.process_anomaly_rate = 0.0;
+  scenario.glitch_rate = 0.0;
+  scenario.rogue_machines = 0;
+  scenario.bad_batch_lines = 1;
+  scenario.bad_batch_jobs = 8;
+  const auto plant = sim::BuildPlant(options, scenario).value();
+  PlantHealthOptions health_options;
+  health_options.shifts.min_persistence = 4;
+  health_options.shifts.cusum_threshold = 6.0;
+  auto report = SummarizePlantHealth(
+                    plant.production,
+                    hierarchy::DefaultPrinterCaqSpecification(),
+                    health_options)
+                    .value();
+  bool powder_shift_found = false;
+  for (const LineShift& shift : report.line_shifts) {
+    if (shift.feature.find("powder_quality") != std::string::npos) {
+      powder_shift_found = true;
+      EXPECT_EQ(shift.line_id, "line1");
+    }
+  }
+  EXPECT_TRUE(powder_shift_found)
+      << "bad-batch regime must surface as a powder-quality line shift";
+}
+
+TEST(PlantHealth, InvalidProductionRejected) {
+  hierarchy::Production broken;
+  hierarchy::ProductionLine line;
+  line.id = "";  // invalid
+  broken.lines.push_back(line);
+  EXPECT_FALSE(SummarizePlantHealth(
+                   broken, hierarchy::DefaultPrinterCaqSpecification())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace hod::core

@@ -1,0 +1,202 @@
+// PM (autoregressive), ITM (histogram deviants), UOA (OLAP cube), and the
+// robust-z / random baselines.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/ar_detector.h"
+#include "detect/baseline.h"
+#include "detect/histogram_deviant.h"
+#include "detect/olap_cube.h"
+#include "detector_test_util.h"
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace hod::detect {
+namespace {
+
+using detect_test::CanonicalPoints;
+using detect_test::CanonicalSeries;
+using detect_test::ExpectScoresInUnitInterval;
+
+TEST(Ar, RecoversKnownCoefficients) {
+  // x_t = 0.6 x_{t-1} + small noise; the fit should find phi_1 ~ 0.6.
+  Rng rng(3);
+  std::vector<double> values(2000);
+  double x = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    x = 0.6 * x + rng.Gaussian(0.0, 0.1);
+    values[i] = x;
+  }
+  ArDetector detector(ArOptions{.order = 2});
+  ASSERT_TRUE(detector.Train({ts::TimeSeries("x", 0, 1, values)}).ok());
+  EXPECT_NEAR(detector.coefficients()[0], 0.6, 0.08);
+  EXPECT_NEAR(detector.coefficients()[1], 0.0, 0.08);
+  EXPECT_NEAR(detector.intercept(), 0.0, 0.05);
+}
+
+TEST(Ar, AdditiveSpikesDetectedExactly) {
+  auto dataset = [] {
+    sim::SeriesDatasetOptions options;
+    options.seed = 5;
+    static const sim::OutlierType kType = sim::OutlierType::kAdditive;
+    options.only_type = &kType;
+    return sim::GenerateSeriesDataset(options).value();
+  }();
+  ArDetector detector;
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  for (size_t s = 0; s < dataset.test.size(); ++s) {
+    auto scores = detector.Score(dataset.test[s]).value();
+    auto f1 = eval::BestF1WithTolerance(scores, dataset.test_labels[s], 1);
+    EXPECT_GT(f1.value().f1, 0.9) << "series " << s;
+  }
+}
+
+TEST(Ar, ForecastTracksSeries) {
+  const auto dataset = CanonicalSeries();
+  ArDetector detector;
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  const auto& series = dataset.train[0];
+  auto forecast = detector.Forecast(series).value();
+  // One-step forecasts should correlate strongly with the actual values.
+  double num = 0.0;
+  double mean_sq = 0.0;
+  for (size_t t = 10; t < series.size(); ++t) {
+    num += std::fabs(series[t] - forecast[t]);
+    mean_sq += std::fabs(series[t]);
+  }
+  EXPECT_LT(num, 0.6 * mean_sq);
+}
+
+TEST(Ar, RejectsInsufficientData) {
+  ArDetector detector(ArOptions{.order = 10});
+  ts::TimeSeries tiny("t", 0, 1, {1.0, 2.0, 3.0});
+  EXPECT_FALSE(detector.Train({tiny}).ok());
+}
+
+TEST(SolveLinearSystem, KnownSolution) {
+  // 2x + y = 5, x + 3y = 10 -> x = 1, y = 3.
+  auto x = SolveLinearSystem({{2.0, 1.0}, {1.0, 3.0}}, {5.0, 10.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-9);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-9);
+}
+
+TEST(SolveLinearSystem, SingularRejected) {
+  EXPECT_FALSE(SolveLinearSystem({{1.0, 1.0}, {1.0, 1.0}}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(SolveLinearSystem({}, {}).ok());
+}
+
+TEST(HistogramDeviant, FlagsValueOutliers) {
+  // 1-D data: a univariate histogram technique sees displacement directly
+  // in the value (a random-direction displacement in 3-D barely moves the
+  // norm, which is all the histogram can see).
+  const auto dataset = detect_test::CanonicalPoints1D();
+  HistogramDeviantDetector detector;
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  auto scores = detector.Score(dataset.test);
+  ASSERT_TRUE(scores.ok());
+  ExpectScoresInUnitInterval(scores.value());
+  auto auc = eval::RocAuc(scores.value(), dataset.test_labels);
+  EXPECT_GT(auc.value(), 0.75);
+}
+
+TEST(HistogramDeviant, OutOfRangePointsScoreHigh) {
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 200; ++i) data.push_back({std::sin(0.1 * i)});
+  HistogramDeviantDetector detector;
+  ASSERT_TRUE(detector.Train(data).ok());
+  auto scores = detector.Score({{0.0}, {500.0}}).value();
+  EXPECT_LT(scores[0], 0.3);
+  EXPECT_GT(scores[1], 0.8);
+}
+
+TEST(HistogramDeviant, RejectsBadOptions) {
+  HistogramDeviantDetector zero_buckets(
+      HistogramDeviantOptions{.buckets = 0});
+  EXPECT_FALSE(zero_buckets.Train({{1.0}}).ok());
+  HistogramDeviantDetector detector;
+  EXPECT_FALSE(detector.Train({}).ok());
+}
+
+TEST(OlapCube, NativeRecordsFlagDeviantCellMeasures) {
+  // Cells keyed by machine id; one record has a wildly deviant measure.
+  std::vector<CubeRecord> records;
+  Rng rng(7);
+  for (int machine = 0; machine < 3; ++machine) {
+    for (int i = 0; i < 40; ++i) {
+      records.push_back(
+          {{machine}, 10.0 * machine + rng.Gaussian(0.0, 0.5)});
+    }
+  }
+  OlapCubeDetector detector;
+  ASSERT_TRUE(detector.TrainRecords(records).ok());
+  EXPECT_GT(detector.num_cells(), 0u);
+  std::vector<CubeRecord> probes = {{{1}, 10.0}, {{1, }, 35.0}};
+  auto scores = detector.ScoreRecords(probes).value();
+  EXPECT_LT(scores[0], 0.2);
+  EXPECT_GT(scores[1], 0.6);
+}
+
+TEST(OlapCube, VectorViewQuantizesDimensions) {
+  std::vector<std::vector<double>> data;
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const double dim = static_cast<double>(i % 4);
+    data.push_back({dim, 5.0 * dim + rng.Gaussian(0.0, 0.3)});
+  }
+  OlapCubeDetector detector;
+  ASSERT_TRUE(detector.Train(data).ok());
+  // Measure deviant for its cell even though globally unremarkable.
+  auto scores = detector.Score({{0.0, 0.0}, {0.0, 15.0}}).value();
+  EXPECT_LT(scores[0], 0.3);
+  EXPECT_GT(scores[1], scores[0] + 0.3);
+}
+
+TEST(OlapCube, RejectsInconsistentRecords) {
+  OlapCubeDetector detector;
+  EXPECT_FALSE(detector.TrainRecords({}).ok());
+  EXPECT_FALSE(
+      detector.TrainRecords({{{1}, 0.0}, {{1, 2}, 0.0}}).ok());
+}
+
+TEST(RobustZSeries, FlagsDeviationsFromTrainingMedian) {
+  ts::TimeSeries train("t", 0, 1, std::vector<double>(100, 5.0));
+  for (size_t i = 0; i < 100; ++i) {
+    train.mutable_values()[i] += 0.1 * static_cast<double>(i % 7);
+  }
+  RobustZSeriesDetector detector;
+  ASSERT_TRUE(detector.Train({train}).ok());
+  ts::TimeSeries probe("p", 0, 1, {5.2, 25.0, 5.3});
+  auto scores = detector.Score(probe).value();
+  EXPECT_LT(scores[0], 0.2);
+  EXPECT_GT(scores[1], 0.6);
+}
+
+TEST(RobustZVector, PerFeatureDeviations) {
+  std::vector<std::vector<double>> train;
+  for (int i = 0; i < 60; ++i) {
+    train.push_back({1.0 + 0.01 * (i % 5), 100.0 + 0.5 * (i % 7)});
+  }
+  RobustZVectorDetector detector;
+  ASSERT_TRUE(detector.Train(train).ok());
+  auto scores = detector.Score({{1.0, 100.0}, {1.0, 300.0}}).value();
+  EXPECT_LT(scores[0], 0.2);
+  EXPECT_GT(scores[1], 0.6);
+  EXPECT_FALSE(detector.Score({{1.0}}).ok());
+}
+
+TEST(RandomBaseline, UniformScoresNoSkill) {
+  RandomScoreDetector detector;
+  ts::TimeSeries series("s", 0, 1, std::vector<double>(1000, 0.0));
+  ASSERT_TRUE(detector.Train({series}).ok());
+  auto scores = detector.Score(series).value();
+  ExpectScoresInUnitInterval(scores);
+  double mean = 0.0;
+  for (double s : scores) mean += s;
+  EXPECT_NEAR(mean / static_cast<double>(scores.size()), 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace hod::detect

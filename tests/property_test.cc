@@ -1,0 +1,222 @@
+// Property sweeps across every Table-1 technique:
+//   * determinism — identical training data and inputs give identical
+//     scores across independently constructed detectors;
+//   * robustness — constant, short, and extreme inputs never crash, never
+//     produce out-of-range or non-finite scores.
+// Parameterized over the registry so a new technique is covered the day it
+// is added.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/registry.h"
+#include "detector_test_util.h"
+#include "hod.h"  // umbrella header must compile and suffice
+
+namespace hod::detect {
+namespace {
+
+std::vector<int> SeriesRows() {
+  std::vector<int> rows;
+  for (const TechniqueInfo& info : Table1()) {
+    if (info.mask.time_series && !info.supervised) rows.push_back(info.row);
+  }
+  return rows;
+}
+
+std::vector<int> VectorRows() {
+  std::vector<int> rows;
+  for (const TechniqueInfo& info : Table1()) {
+    if (info.mask.points && !info.supervised) rows.push_back(info.row);
+  }
+  return rows;
+}
+
+std::string RowName(const ::testing::TestParamInfo<int>& info) {
+  return "Row" + std::to_string(info.param);
+}
+
+class SeriesDetectorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeriesDetectorProperty, Deterministic) {
+  sim::SeriesDatasetOptions options;
+  options.seed = 42;
+  const auto dataset = sim::GenerateSeriesDataset(options).value();
+  auto a = MakeSeriesDetector(GetParam()).value();
+  auto b = MakeSeriesDetector(GetParam()).value();
+  ASSERT_TRUE(a->Train(dataset.train).ok());
+  ASSERT_TRUE(b->Train(dataset.train).ok());
+  for (const auto& series : dataset.test) {
+    auto scores_a = a->Score(series).value();
+    auto scores_b = b->Score(series).value();
+    EXPECT_EQ(scores_a, scores_b) << a->name();
+  }
+}
+
+TEST_P(SeriesDetectorProperty, ConstantSeriesHandled) {
+  sim::SeriesDatasetOptions options;
+  options.seed = 43;
+  const auto dataset = sim::GenerateSeriesDataset(options).value();
+  auto detector = MakeSeriesDetector(GetParam()).value();
+  ASSERT_TRUE(detector->Train(dataset.train).ok());
+  ts::TimeSeries flat("flat", 0.0, 1.0, std::vector<double>(300, 7.0));
+  auto scores = detector->Score(flat);
+  ASSERT_TRUE(scores.ok()) << detector->name() << ": "
+                           << scores.status().ToString();
+  for (double s : scores.value()) {
+    EXPECT_TRUE(std::isfinite(s)) << detector->name();
+    EXPECT_GE(s, 0.0) << detector->name();
+    EXPECT_LE(s, 1.0) << detector->name();
+  }
+}
+
+TEST_P(SeriesDetectorProperty, ExtremeValuesBounded) {
+  sim::SeriesDatasetOptions options;
+  options.seed = 44;
+  const auto dataset = sim::GenerateSeriesDataset(options).value();
+  auto detector = MakeSeriesDetector(GetParam()).value();
+  ASSERT_TRUE(detector->Train(dataset.train).ok());
+  ts::TimeSeries wild = dataset.test[0];
+  wild.mutable_values()[100] = 1e9;
+  wild.mutable_values()[200] = -1e9;
+  auto scores = detector->Score(wild);
+  ASSERT_TRUE(scores.ok()) << detector->name();
+  for (double s : scores.value()) {
+    EXPECT_TRUE(std::isfinite(s)) << detector->name();
+    EXPECT_GE(s, 0.0) << detector->name();
+    EXPECT_LE(s, 1.0) << detector->name();
+  }
+}
+
+TEST_P(SeriesDetectorProperty, ShortSeriesDoesNotCrash) {
+  sim::SeriesDatasetOptions options;
+  options.seed = 45;
+  const auto dataset = sim::GenerateSeriesDataset(options).value();
+  auto detector = MakeSeriesDetector(GetParam()).value();
+  ASSERT_TRUE(detector->Train(dataset.train).ok());
+  ts::TimeSeries tiny("tiny", 0.0, 1.0, {1.0, 2.0, 1.5});
+  auto scores = detector->Score(tiny);
+  // Either a clean error or bounded scores; never a crash.
+  if (scores.ok()) {
+    for (double s : scores.value()) {
+      EXPECT_TRUE(std::isfinite(s)) << detector->name();
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+TEST_P(SeriesDetectorProperty, ConstantTrainingHandled) {
+  // Training on constant data is degenerate but must not crash or emit
+  // unbounded scores afterwards.
+  std::vector<ts::TimeSeries> flat_training;
+  for (int s = 0; s < 3; ++s) {
+    flat_training.emplace_back("flat" + std::to_string(s), 0.0, 1.0,
+                               std::vector<double>(256, 5.0));
+  }
+  auto detector = MakeSeriesDetector(GetParam()).value();
+  const Status trained = detector->Train(flat_training);
+  if (!trained.ok()) return;  // refusing degenerate data is acceptable
+  ts::TimeSeries probe("p", 0.0, 1.0, std::vector<double>(128, 5.0));
+  probe.mutable_values()[64] = 6.0;
+  auto scores = detector->Score(probe);
+  ASSERT_TRUE(scores.ok()) << detector->name();
+  for (double s : scores.value()) {
+    EXPECT_TRUE(std::isfinite(s)) << detector->name();
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllUnsupervisedTssRows, SeriesDetectorProperty,
+                         ::testing::ValuesIn(SeriesRows()), RowName);
+
+std::vector<int> SequenceRows() {
+  std::vector<int> rows;
+  for (const TechniqueInfo& info : Table1()) {
+    if (info.mask.sequences && !info.supervised) rows.push_back(info.row);
+  }
+  return rows;
+}
+
+class SequenceDetectorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SequenceDetectorProperty, Deterministic) {
+  sim::SequenceDatasetOptions options;
+  options.seed = 47;
+  const auto dataset = sim::GenerateSequenceDataset(options).value();
+  auto a = MakeSequenceDetector(GetParam()).value();
+  auto b = MakeSequenceDetector(GetParam()).value();
+  ASSERT_TRUE(a->Train(dataset.train).ok());
+  ASSERT_TRUE(b->Train(dataset.train).ok());
+  for (const auto& sequence : dataset.test) {
+    EXPECT_EQ(a->Score(sequence).value(), b->Score(sequence).value())
+        << a->name();
+  }
+}
+
+TEST_P(SequenceDetectorProperty, ConstantSequenceHandled) {
+  sim::SequenceDatasetOptions options;
+  options.seed = 48;
+  const auto dataset = sim::GenerateSequenceDataset(options).value();
+  auto detector = MakeSequenceDetector(GetParam()).value();
+  ASSERT_TRUE(detector->Train(dataset.train).ok());
+  ts::DiscreteSequence constant("c", options.alphabet,
+                                std::vector<ts::Symbol>(200, 0));
+  auto scores = detector->Score(constant);
+  ASSERT_TRUE(scores.ok()) << detector->name();
+  for (double s : scores.value()) {
+    EXPECT_TRUE(std::isfinite(s)) << detector->name();
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllUnsupervisedSsqRows, SequenceDetectorProperty,
+                         ::testing::ValuesIn(SequenceRows()), RowName);
+
+class VectorDetectorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(VectorDetectorProperty, Deterministic) {
+  sim::PointDatasetOptions options;
+  options.seed = 46;
+  const auto dataset = sim::GeneratePointDataset(options).value();
+  auto a = MakeVectorDetector(GetParam()).value();
+  auto b = MakeVectorDetector(GetParam()).value();
+  ASSERT_TRUE(a->Train(dataset.train).ok());
+  ASSERT_TRUE(b->Train(dataset.train).ok());
+  EXPECT_EQ(a->Score(dataset.test).value(), b->Score(dataset.test).value())
+      << a->name();
+}
+
+TEST_P(VectorDetectorProperty, ConstantColumnHandled) {
+  // One feature is constant across training — a common real-world
+  // degeneracy (a stuck setpoint).
+  std::vector<std::vector<double>> train;
+  for (int i = 0; i < 100; ++i) {
+    train.push_back({static_cast<double>(i % 7), 42.0});
+  }
+  auto detector = MakeVectorDetector(GetParam()).value();
+  const Status trained = detector->Train(train);
+  if (!trained.ok()) return;  // refusal is acceptable
+  auto scores = detector->Score({{3.0, 42.0}, {3.0, 100.0}});
+  ASSERT_TRUE(scores.ok()) << detector->name();
+  for (double s : scores.value()) {
+    EXPECT_TRUE(std::isfinite(s)) << detector->name();
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST_P(VectorDetectorProperty, UntrainedScoreIsCleanError) {
+  auto detector = MakeVectorDetector(GetParam()).value();
+  auto scores = detector->Score({{1.0}});
+  EXPECT_FALSE(scores.ok()) << detector->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllUnsupervisedPtsRows, VectorDetectorProperty,
+                         ::testing::ValuesIn(VectorRows()), RowName);
+
+}  // namespace
+}  // namespace hod::detect

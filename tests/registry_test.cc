@@ -1,0 +1,191 @@
+// Registry metadata tests plus the Table-1 applicability property sweep:
+// every checkmark in the paper's Table 1 must be backed by a detector that
+// (a) trains and scores on that data shape with scores in [0,1] and
+// (b) ranks injected anomalies above a random baseline.
+
+#include <gtest/gtest.h>
+
+#include "detect/registry.h"
+#include "detector_test_util.h"
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace hod::detect {
+namespace {
+
+using detect_test::CanonicalPoints1D;
+using detect_test::CleanSequences;
+using detect_test::ExpectScoresInUnitInterval;
+
+TEST(Registry, HasTwentyOneRows) {
+  EXPECT_EQ(Table1().size(), 21u);
+  for (size_t i = 0; i < Table1().size(); ++i) {
+    EXPECT_EQ(Table1()[i].row, static_cast<int>(i + 1));
+    EXPECT_FALSE(Table1()[i].name.empty());
+    EXPECT_FALSE(Table1()[i].citation.empty());
+    // Every row claims at least one data type.
+    EXPECT_TRUE(Table1()[i].mask.points || Table1()[i].mask.sequences ||
+                Table1()[i].mask.time_series)
+        << Table1()[i].name;
+  }
+}
+
+TEST(Registry, FamiliesMatchPaperAssignments) {
+  EXPECT_EQ(FindTechnique(1)->family, Family::kDiscriminative);
+  EXPECT_EQ(FindTechnique(11)->family, Family::kUnsupervisedParametric);
+  EXPECT_EQ(FindTechnique(13)->family, Family::kUnsupervisedOnline);
+  EXPECT_EQ(FindTechnique(14)->family, Family::kSupervised);
+  EXPECT_EQ(FindTechnique(17)->family, Family::kNormalPatternDb);
+  EXPECT_EQ(FindTechnique(18)->family, Family::kNegativeMixedDb);
+  EXPECT_EQ(FindTechnique(19)->family, Family::kOutlierSubsequence);
+  EXPECT_EQ(FindTechnique(20)->family, Family::kPredictiveModel);
+  EXPECT_EQ(FindTechnique(21)->family, Family::kInformationTheoretic);
+}
+
+TEST(Registry, SupervisedFlagsMatchFamilies) {
+  for (const TechniqueInfo& info : Table1()) {
+    if (info.family == Family::kSupervised) {
+      EXPECT_TRUE(info.supervised) << info.name;
+    }
+  }
+  EXPECT_TRUE(FindTechnique(18)->supervised);  // anomaly dictionary
+}
+
+TEST(Registry, WholeSeriesFlagOnlyOnPhasedKMeans) {
+  for (const TechniqueInfo& info : Table1()) {
+    EXPECT_EQ(info.whole_series, info.row == 5) << info.name;
+  }
+}
+
+TEST(Registry, UnknownRowRejected) {
+  EXPECT_FALSE(FindTechnique(0).ok());
+  EXPECT_FALSE(FindTechnique(22).ok());
+}
+
+TEST(Registry, UnclaimedShapesRejected) {
+  // Row 1 (match count) claims SSQ only.
+  EXPECT_TRUE(MakeSequenceDetector(1).ok());
+  EXPECT_FALSE(MakeSeriesDetector(1).ok());
+  EXPECT_FALSE(MakeVectorDetector(1).ok());
+  // Row 21 (histogram) claims PTS only.
+  EXPECT_TRUE(MakeVectorDetector(21).ok());
+  EXPECT_FALSE(MakeSequenceDetector(21).ok());
+  EXPECT_FALSE(MakeSeriesDetector(21).ok());
+}
+
+TEST(Registry, EveryClaimedFactoryConstructs) {
+  for (const TechniqueInfo& info : Table1()) {
+    if (info.mask.points) {
+      EXPECT_TRUE(MakeVectorDetector(info.row).ok()) << info.name;
+    }
+    if (info.mask.sequences) {
+      EXPECT_TRUE(MakeSequenceDetector(info.row).ok()) << info.name;
+    }
+    if (info.mask.time_series) {
+      EXPECT_TRUE(MakeSeriesDetector(info.row).ok()) << info.name;
+    }
+  }
+}
+
+// ---- Property sweep over all Table-1 checkmarks ---------------------------
+
+struct ClaimCase {
+  int row;
+  char shape;  // 'P' / 'S' (sequences) / 'T'
+};
+
+std::vector<ClaimCase> AllClaims() {
+  std::vector<ClaimCase> cases;
+  for (const TechniqueInfo& info : Table1()) {
+    if (info.mask.points) cases.push_back({info.row, 'P'});
+    if (info.mask.sequences) cases.push_back({info.row, 'S'});
+    if (info.mask.time_series) cases.push_back({info.row, 'T'});
+  }
+  return cases;
+}
+
+class Table1ClaimTest : public ::testing::TestWithParam<ClaimCase> {};
+
+TEST_P(Table1ClaimTest, TrainsAndScoresWithinBounds) {
+  const ClaimCase claim = GetParam();
+  const TechniqueInfo info = FindTechnique(claim.row).value();
+  switch (claim.shape) {
+    case 'P': {
+      const auto dataset = CanonicalPoints1D();
+      auto detector = MakeVectorDetector(claim.row).value();
+      const Status trained =
+          info.supervised
+              ? detector->TrainSupervised(dataset.train, dataset.train_labels)
+              : detector->Train(dataset.train);
+      ASSERT_TRUE(trained.ok()) << trained.ToString();
+      auto scores = detector->Score(dataset.test);
+      ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+      ASSERT_EQ(scores->size(), dataset.test.size());
+      ExpectScoresInUnitInterval(scores.value());
+      break;
+    }
+    case 'S': {
+      const auto dataset = CleanSequences();
+      auto detector = MakeSequenceDetector(claim.row).value();
+      const Status trained =
+          info.supervised
+              ? detector->TrainSupervised(dataset.train, dataset.train_labels)
+              : detector->Train(dataset.train);
+      ASSERT_TRUE(trained.ok()) << trained.ToString();
+      for (size_t s = 0; s < dataset.test.size(); ++s) {
+        auto scores = detector->Score(dataset.test[s]);
+        ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+        ASSERT_EQ(scores->size(), dataset.test[s].size());
+        ExpectScoresInUnitInterval(scores.value());
+      }
+      break;
+    }
+    case 'T': {
+      if (info.whole_series) {
+        auto dataset =
+            sim::GenerateWholeSeriesDataset(10, 10, 0.4, 77).value();
+        auto detector = MakeSeriesDetector(claim.row).value();
+        ASSERT_TRUE(detector->Train(dataset.train).ok());
+        for (const auto& series : dataset.test) {
+          auto scores = detector->Score(series);
+          ASSERT_TRUE(scores.ok());
+          ExpectScoresInUnitInterval(scores.value());
+        }
+        break;
+      }
+      sim::SeriesDatasetOptions options;
+      options.seed = 301;
+      const auto dataset = sim::GenerateSeriesDataset(options).value();
+      auto detector = MakeSeriesDetector(claim.row).value();
+      const Status trained =
+          info.supervised
+              ? detector->TrainSupervised(dataset.test, dataset.test_labels)
+              : detector->Train(dataset.train);
+      ASSERT_TRUE(trained.ok()) << trained.ToString();
+      for (size_t s = 0; s < dataset.test.size(); ++s) {
+        auto scores = detector->Score(dataset.test[s]);
+        ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+        ASSERT_EQ(scores->size(), dataset.test[s].size());
+        ExpectScoresInUnitInterval(scores.value());
+      }
+      break;
+    }
+    default:
+      FAIL() << "unknown shape";
+  }
+}
+
+std::string ClaimName(const ::testing::TestParamInfo<ClaimCase>& info) {
+  const TechniqueInfo technique = FindTechnique(info.param.row).value();
+  std::string name = "Row" + std::to_string(info.param.row) + "_";
+  name += info.param.shape == 'P'   ? "PTS"
+          : info.param.shape == 'S' ? "SSQ"
+                                    : "TSS";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTable1Claims, Table1ClaimTest,
+                         ::testing::ValuesIn(AllClaims()), ClaimName);
+
+}  // namespace
+}  // namespace hod::detect

@@ -1,0 +1,101 @@
+// Alert classification and maintenance-urgency mapping tests.
+
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace hod::core {
+namespace {
+
+OutlierFinding MakeFinding(int global_score, double outlierness,
+                           double support, size_t corresponding,
+                           bool measurement_error = false) {
+  OutlierFinding finding;
+  finding.global_score = global_score;
+  finding.outlierness = outlierness;
+  finding.support = support;
+  finding.corresponding_sensors = corresponding;
+  finding.measurement_error_warning = measurement_error;
+  finding.origin.entity = "sensor";
+  return finding;
+}
+
+TEST(Alerts, SeverityNames) {
+  EXPECT_EQ(AlertSeverityName(AlertSeverity::kInfo), "INFO");
+  EXPECT_EQ(AlertSeverityName(AlertSeverity::kWarning), "WARNING");
+  EXPECT_EQ(AlertSeverityName(AlertSeverity::kCritical), "CRITICAL");
+}
+
+TEST(Alerts, ConfirmedSupportedOutlierIsCritical) {
+  EXPECT_EQ(ClassifyAlert(MakeFinding(4, 0.9, 1.0, 1)),
+            AlertSeverity::kCritical);
+  EXPECT_EQ(ClassifyAlert(MakeFinding(3, 0.6, 0.5, 2)),
+            AlertSeverity::kCritical);
+}
+
+TEST(Alerts, NoRedundancyStillCritical) {
+  // A sensor with no corresponding sensors cannot gather support; the
+  // global score must carry the decision alone.
+  EXPECT_EQ(ClassifyAlert(MakeFinding(3, 0.8, 0.0, 0)),
+            AlertSeverity::kCritical);
+}
+
+TEST(Alerts, UnsupportedOutlierCapsAtWarning) {
+  EXPECT_EQ(ClassifyAlert(MakeFinding(3, 0.8, 0.0, 2)),
+            AlertSeverity::kWarning);
+}
+
+TEST(Alerts, MeasurementErrorNeverCritical) {
+  EXPECT_EQ(ClassifyAlert(MakeFinding(5, 1.0, 1.0, 2, true)),
+            AlertSeverity::kWarning);
+}
+
+TEST(Alerts, WeakLocalOutlierIsInfo) {
+  EXPECT_EQ(ClassifyAlert(MakeFinding(1, 0.3, 0.0, 2)),
+            AlertSeverity::kInfo);
+}
+
+TEST(Alerts, StrongOutliernessAloneIsWarning) {
+  EXPECT_EQ(ClassifyAlert(MakeFinding(1, 0.9, 0.0, 0)),
+            AlertSeverity::kWarning);
+}
+
+TEST(Maintenance, EmptyFindingsZeroUrgency) {
+  EXPECT_DOUBLE_EQ(MaintenanceUrgency({}, 10), 0.0);
+}
+
+TEST(Maintenance, MeasurementErrorsIgnored) {
+  std::vector<OutlierFinding> findings = {
+      MakeFinding(5, 1.0, 1.0, 2, /*measurement_error=*/true)};
+  EXPECT_DOUBLE_EQ(MaintenanceUrgency(findings, 10), 0.0);
+}
+
+TEST(Maintenance, UrgencyGrowsWithGlobalScore) {
+  std::vector<OutlierFinding> weak = {MakeFinding(1, 0.8, 1.0, 1)};
+  std::vector<OutlierFinding> strong = {MakeFinding(5, 0.8, 1.0, 1)};
+  EXPECT_GT(MaintenanceUrgency(strong, 10), MaintenanceUrgency(weak, 10));
+}
+
+TEST(Maintenance, BreadthIncreasesUrgency) {
+  std::vector<OutlierFinding> one = {MakeFinding(3, 0.7, 1.0, 1)};
+  std::vector<OutlierFinding> many;
+  for (int i = 0; i < 5; ++i) {
+    OutlierFinding finding = MakeFinding(3, 0.7, 1.0, 1);
+    finding.origin.entity = "sensor" + std::to_string(i);
+    many.push_back(finding);
+  }
+  EXPECT_GT(MaintenanceUrgency(many, 5), MaintenanceUrgency(one, 5));
+}
+
+TEST(Maintenance, BoundedByOne) {
+  std::vector<OutlierFinding> extreme;
+  for (int i = 0; i < 50; ++i) {
+    OutlierFinding finding = MakeFinding(5, 1.0, 1.0, 1);
+    finding.origin.entity = "s" + std::to_string(i);
+    extreme.push_back(finding);
+  }
+  EXPECT_LE(MaintenanceUrgency(extreme, 5), 1.0);
+}
+
+}  // namespace
+}  // namespace hod::core

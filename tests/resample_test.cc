@@ -1,0 +1,98 @@
+#include "timeseries/resample.h"
+
+#include <gtest/gtest.h>
+
+namespace hod::ts {
+namespace {
+
+TEST(Resample, AggregateAllModes) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(AggregateAll(xs, Aggregation::kMean), 2.5);
+  EXPECT_DOUBLE_EQ(AggregateAll(xs, Aggregation::kMin), 1.0);
+  EXPECT_DOUBLE_EQ(AggregateAll(xs, Aggregation::kMax), 4.0);
+  EXPECT_DOUBLE_EQ(AggregateAll(xs, Aggregation::kLast), 4.0);
+  EXPECT_DOUBLE_EQ(AggregateAll(xs, Aggregation::kSum), 10.0);
+  EXPECT_NEAR(AggregateAll(xs, Aggregation::kStdDev), 1.1180339887, 1e-9);
+  EXPECT_DOUBLE_EQ(AggregateAll({}, Aggregation::kMean), 0.0);
+}
+
+TEST(Resample, DownsampleMean) {
+  TimeSeries s("x", 0.0, 1.0, {1, 2, 3, 4, 5, 6});
+  auto down = Downsample(s, 2, Aggregation::kMean);
+  ASSERT_TRUE(down.ok());
+  EXPECT_EQ(down->size(), 3u);
+  EXPECT_DOUBLE_EQ((*down)[0], 1.5);
+  EXPECT_DOUBLE_EQ((*down)[2], 5.5);
+  EXPECT_DOUBLE_EQ(down->interval(), 2.0);
+}
+
+TEST(Resample, DownsamplePartialTrailingGroup) {
+  TimeSeries s("x", 0.0, 1.0, {1, 2, 3, 4, 5});
+  auto down = Downsample(s, 2, Aggregation::kMax);
+  ASSERT_TRUE(down.ok());
+  ASSERT_EQ(down->size(), 3u);
+  EXPECT_DOUBLE_EQ((*down)[2], 5.0);  // lone trailing sample
+}
+
+TEST(Resample, DownsampleFactorOneIsIdentity) {
+  TimeSeries s("x", 3.0, 0.5, {1, 2, 3});
+  auto down = Downsample(s, 1, Aggregation::kMean);
+  ASSERT_TRUE(down.ok());
+  EXPECT_EQ(down->values(), s.values());
+  EXPECT_DOUBLE_EQ(down->interval(), 0.5);
+}
+
+TEST(Resample, DownsampleRejectsZeroFactor) {
+  TimeSeries s("x", 0.0, 1.0, {1});
+  EXPECT_FALSE(Downsample(s, 0, Aggregation::kMean).ok());
+}
+
+TEST(Resample, AlignByTimeOverlap) {
+  TimeSeries a("a", 0.0, 1.0, std::vector<double>(10, 0.0));
+  TimeSeries b("b", 4.0, 1.0, std::vector<double>(10, 0.0));
+  auto range = AlignByTime(a, b);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->a_begin, 4u);
+  EXPECT_EQ(range->b_begin, 0u);
+  EXPECT_EQ(range->length, 6u);
+}
+
+TEST(Resample, AlignByTimeNoOverlap) {
+  TimeSeries a("a", 0.0, 1.0, std::vector<double>(3, 0.0));
+  TimeSeries b("b", 10.0, 1.0, std::vector<double>(3, 0.0));
+  EXPECT_FALSE(AlignByTime(a, b).ok());
+}
+
+TEST(Resample, AlignByTimeEmptySeries) {
+  TimeSeries a("a", 0.0, 1.0);
+  TimeSeries b("b", 0.0, 1.0, {1.0});
+  EXPECT_FALSE(AlignByTime(a, b).ok());
+}
+
+TEST(Resample, PhaseToEnvironmentResolutionRollup) {
+  // The paper's CAQ rule: "data is assigned ... to a higher hierarchy
+  // level if it has a lower resolution". A 1 Hz phase series downsampled
+  // by 10 aligns sample-for-sample with a 0.1 Hz environment series over
+  // their overlap.
+  std::vector<double> phase_values(600);
+  for (size_t i = 0; i < phase_values.size(); ++i) {
+    phase_values[i] = static_cast<double>(i);
+  }
+  TimeSeries phase("chamber", 1000.0, 1.0, phase_values);
+  TimeSeries environment("room", 900.0, 10.0,
+                         std::vector<double>(120, 21.0));
+
+  auto rolled = Downsample(phase, 10, Aggregation::kMean).value();
+  EXPECT_DOUBLE_EQ(rolled.interval(), environment.interval());
+  auto range = AlignByTime(rolled, environment).value();
+  // Overlap starts at the phase series start (t=1000 >= 900).
+  EXPECT_EQ(range.a_begin, 0u);
+  EXPECT_EQ(range.b_begin, 10u);
+  EXPECT_EQ(range.length, 60u);
+  // Aggregated values are the means of each 10-sample block.
+  EXPECT_DOUBLE_EQ(rolled[0], 4.5);
+  EXPECT_DOUBLE_EQ(rolled[59], 594.5);
+}
+
+}  // namespace
+}  // namespace hod::ts

@@ -1,0 +1,111 @@
+#include "timeseries/rolling.h"
+
+#include <gtest/gtest.h>
+
+#include "timeseries/stats.h"
+#include "util/rng.h"
+
+namespace hod::ts {
+namespace {
+
+TEST(RollingWindow, EmptyIsZero) {
+  RollingWindow window(4);
+  EXPECT_EQ(window.size(), 0u);
+  EXPECT_DOUBLE_EQ(window.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(window.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(window.median(), 0.0);
+  EXPECT_DOUBLE_EQ(window.min(), 0.0);
+  EXPECT_DOUBLE_EQ(window.max(), 0.0);
+}
+
+TEST(RollingWindow, FillsToCapacityThenEvicts) {
+  RollingWindow window(3);
+  window.Add(1.0);
+  window.Add(2.0);
+  EXPECT_FALSE(window.full());
+  window.Add(3.0);
+  EXPECT_TRUE(window.full());
+  EXPECT_DOUBLE_EQ(window.front(), 1.0);
+  window.Add(4.0);  // evicts 1
+  EXPECT_EQ(window.size(), 3u);
+  EXPECT_DOUBLE_EQ(window.front(), 2.0);
+  EXPECT_DOUBLE_EQ(window.back(), 4.0);
+  EXPECT_DOUBLE_EQ(window.mean(), 3.0);
+}
+
+TEST(RollingWindow, StatsMatchBatchComputation) {
+  RollingWindow window(16);
+  Rng rng(3);
+  std::vector<double> last16;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.Gaussian(5.0, 2.0);
+    window.Add(x);
+    last16.push_back(x);
+    if (last16.size() > 16) last16.erase(last16.begin());
+    EXPECT_NEAR(window.mean(), Mean(last16), 1e-9);
+    EXPECT_NEAR(window.variance(), Variance(last16), 1e-9);
+    EXPECT_NEAR(window.min(), Min(last16), 1e-12);
+    EXPECT_NEAR(window.max(), Max(last16), 1e-12);
+    EXPECT_NEAR(window.median(), Median(last16), 1e-12);
+  }
+}
+
+TEST(RollingWindow, MedianEvenAndOdd) {
+  RollingWindow window(5);
+  window.Add(3.0);
+  EXPECT_DOUBLE_EQ(window.median(), 3.0);
+  window.Add(1.0);
+  EXPECT_DOUBLE_EQ(window.median(), 2.0);  // {1,3}
+  window.Add(2.0);
+  EXPECT_DOUBLE_EQ(window.median(), 2.0);  // {1,2,3}
+  window.Add(2.0);
+  EXPECT_DOUBLE_EQ(window.median(), 2.0);  // {1,2,2,3}
+  window.Add(10.0);
+  EXPECT_DOUBLE_EQ(window.median(), 2.0);  // {1,2,2,3,10}
+}
+
+TEST(RollingWindow, DuplicateValuesEvictCorrectly) {
+  RollingWindow window(3);
+  window.Add(5.0);
+  window.Add(5.0);
+  window.Add(5.0);
+  window.Add(5.0);  // evicts one 5, still three 5s
+  EXPECT_DOUBLE_EQ(window.median(), 5.0);
+  EXPECT_DOUBLE_EQ(window.min(), 5.0);
+  window.Add(1.0);  // {5,5,1}
+  window.Add(1.0);  // {5,1,1}
+  EXPECT_DOUBLE_EQ(window.median(), 1.0);
+  EXPECT_DOUBLE_EQ(window.max(), 5.0);
+  window.Add(1.0);  // {1,1,1}
+  EXPECT_DOUBLE_EQ(window.max(), 1.0);
+}
+
+TEST(RollingWindow, ZeroCapacityClampedToOne) {
+  RollingWindow window(0);
+  window.Add(1.0);
+  window.Add(2.0);
+  EXPECT_EQ(window.size(), 1u);
+  EXPECT_DOUBLE_EQ(window.back(), 2.0);
+}
+
+TEST(RollingWindow, ClearEmpties) {
+  RollingWindow window(4);
+  window.Add(1.0);
+  window.Add(2.0);
+  window.Clear();
+  EXPECT_EQ(window.size(), 0u);
+  EXPECT_DOUBLE_EQ(window.mean(), 0.0);
+  window.Add(7.0);
+  EXPECT_DOUBLE_EQ(window.mean(), 7.0);
+}
+
+TEST(RollingWindow, VarianceNeverNegative) {
+  RollingWindow window(8);
+  for (int i = 0; i < 50; ++i) {
+    window.Add(1e9 + 0.0001 * i);  // catastrophic-cancellation territory
+    EXPECT_GE(window.variance(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace hod::ts

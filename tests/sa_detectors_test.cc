@@ -1,0 +1,144 @@
+// SA-family (supervised) detectors: rule learning, MLP, rule classifier.
+
+#include <gtest/gtest.h>
+
+#include "detect/mlp_detector.h"
+#include "detect/rule_classifier.h"
+#include "detect/rule_learning.h"
+#include "detector_test_util.h"
+#include "eval/metrics.h"
+
+namespace hod::detect {
+namespace {
+
+using detect_test::CanonicalPoints;
+using detect_test::CanonicalSequences;
+using detect_test::ExpectAnomaliesScoreHigher;
+using detect_test::ExpectScoresInUnitInterval;
+
+TEST(RuleLearning, RefusesUnsupervisedTraining) {
+  RuleLearningDetector detector;
+  EXPECT_TRUE(detector.supervised());
+  EXPECT_EQ(detector.Train({}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RuleLearning, LearnsRulesFromLabels) {
+  const auto dataset = CanonicalSequences();
+  RuleLearningDetector detector;
+  ASSERT_TRUE(
+      detector.TrainSupervised(dataset.train, dataset.train_labels).ok());
+  EXPECT_GT(detector.num_rules(), 0u);
+}
+
+TEST(RuleLearning, FlagsCorruptedBursts) {
+  const auto dataset = CanonicalSequences();
+  RuleLearningDetector detector;
+  ASSERT_TRUE(
+      detector.TrainSupervised(dataset.train, dataset.train_labels).ok());
+  for (size_t s = 0; s < dataset.test.size(); ++s) {
+    auto scores = detector.Score(dataset.test[s]);
+    ASSERT_TRUE(scores.ok());
+    ExpectScoresInUnitInterval(scores.value());
+    ExpectAnomaliesScoreHigher(scores.value(), dataset.test_labels[s], 0.05);
+  }
+}
+
+TEST(RuleLearning, RejectsMismatchedLabels) {
+  RuleLearningDetector detector;
+  ts::DiscreteSequence seq("x", 2, {0, 1, 0});
+  EXPECT_FALSE(detector.TrainSupervised({seq}, {}).ok());
+  EXPECT_FALSE(detector.TrainSupervised({seq}, {{0, 1}}).ok());
+}
+
+TEST(Mlp, RefusesUnsupervisedTraining) {
+  MlpDetector detector;
+  EXPECT_TRUE(detector.supervised());
+  EXPECT_EQ(detector.Train({{1.0}}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Mlp, LearnsDisplacedPoints) {
+  const auto dataset = CanonicalPoints();
+  MlpDetector detector;
+  ASSERT_TRUE(
+      detector.TrainSupervised(dataset.train, dataset.train_labels).ok());
+  auto scores = detector.Score(dataset.test);
+  ASSERT_TRUE(scores.ok());
+  ExpectScoresInUnitInterval(scores.value());
+  auto auc = eval::RocAuc(scores.value(), dataset.test_labels);
+  EXPECT_GT(auc.value(), 0.9);
+  EXPECT_LT(detector.train_loss(), 0.7);
+}
+
+TEST(Mlp, RequiresBothClasses) {
+  MlpDetector detector;
+  const std::vector<std::vector<double>> data = {{1.0}, {2.0}};
+  EXPECT_FALSE(detector.TrainSupervised(data, {0, 0}).ok());
+  EXPECT_FALSE(detector.TrainSupervised(data, {1, 1}).ok());
+  EXPECT_FALSE(detector.TrainSupervised(data, {1}).ok());  // size mismatch
+}
+
+TEST(Mlp, DimensionMismatchRejected) {
+  const auto dataset = CanonicalPoints();
+  MlpDetector detector;
+  ASSERT_TRUE(
+      detector.TrainSupervised(dataset.train, dataset.train_labels).ok());
+  EXPECT_FALSE(detector.Score({{1.0}}).ok());
+}
+
+TEST(RuleClassifier, LearnsInterpretableRules) {
+  const auto dataset = CanonicalPoints();
+  RuleClassifierDetector detector;
+  ASSERT_TRUE(
+      detector.TrainSupervised(dataset.train, dataset.train_labels).ok());
+  ASSERT_FALSE(detector.rules().empty());
+  for (const IntervalRule& rule : detector.rules()) {
+    EXPECT_GT(rule.gain, 0.0);
+    EXPECT_GE(rule.confidence, 0.0);
+    EXPECT_LE(rule.confidence, 1.0);
+  }
+}
+
+TEST(RuleClassifier, SeparatesObviousSplit) {
+  // Anomalies live strictly above x = 10.
+  std::vector<std::vector<double>> data;
+  Labels labels;
+  for (int i = 0; i < 100; ++i) {
+    data.push_back({static_cast<double>(i % 10)});
+    labels.push_back(0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    data.push_back({20.0 + i});
+    labels.push_back(1);
+  }
+  RuleClassifierDetector detector;
+  ASSERT_TRUE(detector.TrainSupervised(data, labels).ok());
+  auto scores = detector.Score({{5.0}, {25.0}}).value();
+  EXPECT_LT(scores[0], 0.3);
+  EXPECT_GT(scores[1], 0.7);
+}
+
+TEST(RuleClassifier, RefusesUnsupervised) {
+  RuleClassifierDetector detector;
+  EXPECT_EQ(detector.Train({{1.0}}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RuleClassifier, PointsFiringNoRuleTakeBaseRate) {
+  std::vector<std::vector<double>> data;
+  Labels labels;
+  for (int i = 0; i < 60; ++i) {
+    data.push_back({static_cast<double>(i % 6)});
+    labels.push_back(0);
+  }
+  for (int i = 0; i < 6; ++i) {
+    data.push_back({50.0});
+    labels.push_back(1);
+  }
+  RuleClassifierDetector detector(
+      RuleClassifierOptions{.candidate_thresholds = 8, .min_coverage = 2});
+  ASSERT_TRUE(detector.TrainSupervised(data, labels).ok());
+  ExpectScoresInUnitInterval(detector.Score(data).value());
+}
+
+}  // namespace
+}  // namespace hod::detect

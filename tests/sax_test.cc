@@ -1,0 +1,115 @@
+#include "timeseries/sax.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hod::ts {
+namespace {
+
+TEST(Paa, ExactDivision) {
+  auto frames = Paa({1, 1, 2, 2, 3, 3}, 3);
+  ASSERT_TRUE(frames.ok());
+  EXPECT_EQ(frames->size(), 3u);
+  EXPECT_DOUBLE_EQ((*frames)[0], 1.0);
+  EXPECT_DOUBLE_EQ((*frames)[2], 3.0);
+}
+
+TEST(Paa, UnevenDivision) {
+  auto frames = Paa({1, 2, 3, 4, 5}, 2);
+  ASSERT_TRUE(frames.ok());
+  ASSERT_EQ(frames->size(), 2u);
+  // Samples 0,1,2 -> frame 0; samples 3,4 -> frame 1.
+  EXPECT_DOUBLE_EQ((*frames)[0], 2.0);
+  EXPECT_DOUBLE_EQ((*frames)[1], 4.5);
+}
+
+TEST(Paa, RejectsBadFrameCounts) {
+  EXPECT_FALSE(Paa({1, 2}, 0).ok());
+  EXPECT_FALSE(Paa({1, 2}, 3).ok());
+}
+
+TEST(SaxBreakpoints, SizesAndMonotonicity) {
+  for (int alphabet = 2; alphabet <= 10; ++alphabet) {
+    auto breaks = SaxBreakpoints(alphabet);
+    ASSERT_TRUE(breaks.ok());
+    EXPECT_EQ(breaks->size(), static_cast<size_t>(alphabet - 1));
+    for (size_t i = 1; i < breaks->size(); ++i) {
+      EXPECT_LT((*breaks)[i - 1], (*breaks)[i]);
+    }
+  }
+  EXPECT_FALSE(SaxBreakpoints(1).ok());
+  EXPECT_FALSE(SaxBreakpoints(11).ok());
+}
+
+TEST(SaxBreakpoints, SymmetricAroundZero) {
+  auto breaks = SaxBreakpoints(4).value();
+  EXPECT_DOUBLE_EQ(breaks[1], 0.0);
+  EXPECT_DOUBLE_EQ(breaks[0], -breaks[2]);
+}
+
+TEST(ToSax, OutputWithinAlphabet) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(std::sin(0.3 * i));
+  SaxOptions options{.word_length = 10, .alphabet_size = 5};
+  auto sax = ToSax(values, options);
+  ASSERT_TRUE(sax.ok());
+  EXPECT_EQ(sax->size(), 10u);
+  EXPECT_TRUE(sax->Validate().ok());
+}
+
+TEST(ToSax, WordLengthZeroKeepsFullResolution) {
+  const std::vector<double> values = {-3.0, -1.0, 0.0, 1.0, 3.0};
+  SaxOptions options{.word_length = 0, .alphabet_size = 4};
+  auto sax = ToSax(values, options);
+  ASSERT_TRUE(sax.ok());
+  EXPECT_EQ(sax->size(), values.size());
+  // Monotone input must map to non-decreasing symbols.
+  for (size_t i = 1; i < sax->size(); ++i) {
+    EXPECT_LE((*sax)[i - 1], (*sax)[i]);
+  }
+}
+
+TEST(ToSax, ConstantSeriesMapsToMiddleSymbol) {
+  SaxOptions options{.word_length = 0, .alphabet_size = 4};
+  auto sax = ToSax({5.0, 5.0, 5.0, 5.0}, options);
+  ASSERT_TRUE(sax.ok());
+  // z-normalized 0 lands in bucket 2 of 4 (breakpoints -0.67, 0, 0.67):
+  // upper_bound(0.0) skips -0.67 and 0.0 -> symbol 2.
+  for (size_t i = 0; i < sax->size(); ++i) EXPECT_EQ((*sax)[i], 2);
+}
+
+TEST(ToSax, EmptyInputRejected) {
+  EXPECT_FALSE(ToSax({}, SaxOptions{}).ok());
+}
+
+TEST(ToSax, EquiprobableSymbolsOnGaussianData) {
+  // Standard-normal-ish data should populate all symbols roughly equally.
+  std::vector<double> values;
+  for (int i = 0; i < 4096; ++i) {
+    // Sum of 12 uniforms - 6 approximates N(0,1).
+    double sum = 0.0;
+    uint64_t state = static_cast<uint64_t>(i) * 2654435761u + 12345;
+    for (int k = 0; k < 12; ++k) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      sum += static_cast<double>(state >> 11) * 0x1.0p-53;
+    }
+    values.push_back(sum - 6.0);
+  }
+  SaxOptions options{.word_length = 0, .alphabet_size = 4};
+  auto sax = ToSax(values, options).value();
+  std::vector<size_t> counts(4, 0);
+  for (size_t i = 0; i < sax.size(); ++i) ++counts[sax[i]];
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_GT(counts[c], values.size() / 8) << "symbol " << c;
+    EXPECT_LT(counts[c], values.size() * 3 / 8) << "symbol " << c;
+  }
+}
+
+TEST(SaxToString, RendersLetters) {
+  DiscreteSequence seq("x", 4, {0, 1, 2, 3});
+  EXPECT_EQ(SaxToString(seq), "abcd");
+}
+
+}  // namespace
+}  // namespace hod::ts

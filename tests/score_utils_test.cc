@@ -1,0 +1,91 @@
+#include "detect/score_utils.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hod::detect {
+namespace {
+
+TEST(ScoreUtils, ClampScores) {
+  std::vector<double> scores = {-0.5, 0.3, 1.7, std::nan("")};
+  ClampScores(scores);
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+  EXPECT_DOUBLE_EQ(scores[1], 0.3);
+  EXPECT_DOUBLE_EQ(scores[2], 1.0);
+  EXPECT_DOUBLE_EQ(scores[3], 0.0);  // NaN neutralized
+}
+
+TEST(ScoreUtils, MinMaxNormalize) {
+  const auto out = MinMaxNormalize({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+}
+
+TEST(ScoreUtils, MinMaxConstantInputAllZero) {
+  const auto out = MinMaxNormalize({3.0, 3.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_TRUE(MinMaxNormalize({}).empty());
+}
+
+TEST(ScoreUtils, SoftNormalizePreservesOrderAndBounds) {
+  const std::vector<double> raw = {0.0, 1.0, 5.0, 100.0};
+  const auto out = SoftNormalize(raw);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GT(out[i], out[i - 1]);
+    EXPECT_LT(out[i], 1.0);
+  }
+}
+
+TEST(ScoreUtils, SoftNormalizeMedianMapsToHalf) {
+  // Median of positives {2, 4, 6} is 4 -> 4/(4+4) = 0.5.
+  const auto out = SoftNormalize({2.0, 4.0, 6.0});
+  EXPECT_NEAR(out[1], 0.5, 1e-12);
+}
+
+TEST(ScoreUtils, ExtractOutliersThresholdAndTimes) {
+  const std::vector<double> scores = {0.1, 0.9, 0.4, 0.95};
+  const auto outliers = ExtractOutliers(scores, 0.5, 100.0, 2.0);
+  ASSERT_EQ(outliers.size(), 2u);
+  EXPECT_EQ(outliers[0].index, 1u);
+  EXPECT_DOUBLE_EQ(outliers[0].time, 102.0);
+  EXPECT_EQ(outliers[1].index, 3u);
+  EXPECT_DOUBLE_EQ(outliers[1].score, 0.95);
+}
+
+TEST(ScoreUtils, MakeDetectionClampsAndExtracts) {
+  Detection d = MakeDetection({1.5, 0.2}, 0.5);
+  EXPECT_DOUBLE_EQ(d.scores[0], 1.0);
+  ASSERT_EQ(d.outliers.size(), 1u);
+  EXPECT_EQ(d.outliers[0].index, 0u);
+}
+
+TEST(ScoreUtils, TopKMean) {
+  const std::vector<double> scores = {0.1, 0.9, 0.5, 0.7};
+  EXPECT_DOUBLE_EQ(TopKMean(scores, 2), 0.8);
+  EXPECT_DOUBLE_EQ(TopKMean(scores, 100), (0.1 + 0.9 + 0.5 + 0.7) / 4.0);
+  EXPECT_DOUBLE_EQ(TopKMean({}, 3), 0.0);
+  EXPECT_DOUBLE_EQ(TopKMean(scores, 0), 0.0);
+}
+
+TEST(ScoreUtils, FamilyNames) {
+  EXPECT_EQ(FamilyAbbreviation(Family::kDiscriminative), "DA");
+  EXPECT_EQ(FamilyAbbreviation(Family::kInformationTheoretic), "ITM");
+  EXPECT_EQ(FamilyName(Family::kNormalPatternDb), "Normal Pattern Database");
+}
+
+TEST(ScoreUtils, DataTypeMaskToString) {
+  DataTypeMask mask;
+  EXPECT_EQ(mask.ToString(), "");
+  mask.points = true;
+  mask.time_series = true;
+  EXPECT_EQ(mask.ToString(), "PTS,TSS");
+  mask.sequences = true;
+  EXPECT_EQ(mask.ToString(), "PTS,SSQ,TSS");
+}
+
+}  // namespace
+}  // namespace hod::detect

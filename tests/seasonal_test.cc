@@ -1,0 +1,86 @@
+#include "timeseries/seasonal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "timeseries/stats.h"
+#include "util/rng.h"
+
+namespace hod::ts {
+namespace {
+
+std::vector<double> Cycle(size_t n, size_t period, double amplitude,
+                          uint64_t seed, double noise_sigma = 0.1) {
+  Rng rng(seed);
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = amplitude * std::sin(2.0 * M_PI * static_cast<double>(i) /
+                                     static_cast<double>(period)) +
+                rng.Gaussian(0.0, noise_sigma);
+  }
+  return values;
+}
+
+TEST(Deseasonalize, RemovesExactCycle) {
+  std::vector<double> values = Cycle(400, 8, 5.0, 1, /*noise_sigma=*/0.0);
+  auto result = Deseasonalize(values, 8).value();
+  EXPECT_EQ(result.seasonal.size(), 8u);
+  for (double v : result.adjusted) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(Deseasonalize, ReducesVarianceOnNoisyCycle) {
+  std::vector<double> values = Cycle(800, 16, 3.0, 2, /*noise_sigma=*/0.5);
+  auto result = Deseasonalize(values, 16).value();
+  EXPECT_LT(StdDev(result.adjusted), 0.4 * StdDev(values));
+  // Residual noise level survives.
+  EXPECT_NEAR(StdDev(result.adjusted), 0.5, 0.1);
+}
+
+TEST(Deseasonalize, PreservesAnomalies) {
+  std::vector<double> values = Cycle(400, 8, 5.0, 3, /*noise_sigma=*/0.0);
+  values[100] += 4.0;
+  auto result = Deseasonalize(values, 8).value();
+  // The spike survives (slightly shrunk by its own leverage on the phase
+  // mean: 4 * (1 - 1/50)).
+  EXPECT_GT(result.adjusted[100], 3.5);
+}
+
+TEST(Deseasonalize, RejectsBadPeriod) {
+  const std::vector<double> values(10, 0.0);
+  EXPECT_FALSE(Deseasonalize(values, 0).ok());
+  EXPECT_FALSE(Deseasonalize(values, 11).ok());
+  EXPECT_TRUE(Deseasonalize(values, 10).ok());
+}
+
+TEST(DominantPeriod, FindsTruePeriod) {
+  std::vector<double> values = Cycle(1000, 24, 2.0, 4, /*noise_sigma=*/0.3);
+  auto period = DominantPeriod(values, 2, 64).value();
+  EXPECT_EQ(period, 24u);
+}
+
+TEST(DominantPeriod, WhiteNoiseHasNone) {
+  Rng rng(5);
+  std::vector<double> values(1000);
+  for (double& v : values) v = rng.NextGaussian();
+  auto period = DominantPeriod(values, 2, 64).value();
+  EXPECT_EQ(period, 0u);
+}
+
+TEST(DominantPeriod, RejectsBadBounds) {
+  const std::vector<double> values(100, 0.0);
+  EXPECT_FALSE(DominantPeriod(values, 1, 10).ok());
+  EXPECT_FALSE(DominantPeriod(values, 10, 5).ok());
+  EXPECT_FALSE(DominantPeriod(values, 2, 100).ok());
+}
+
+TEST(DominantPeriod, ComposesWithDeseasonalize) {
+  std::vector<double> values = Cycle(1200, 32, 4.0, 6, /*noise_sigma=*/0.4);
+  const size_t period = DominantPeriod(values, 2, 100).value();
+  ASSERT_EQ(period, 32u);
+  auto result = Deseasonalize(values, period).value();
+  EXPECT_LT(StdDev(result.adjusted), 0.3 * StdDev(values));
+}
+
+}  // namespace
+}  // namespace hod::ts

@@ -1,0 +1,84 @@
+#include "sim/sensor_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "timeseries/stats.h"
+
+namespace hod::sim {
+namespace {
+
+TEST(PhaseProfile, LinearRamp) {
+  PhaseProfile profile{0.0, 100.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(profile.ValueAt(0, 11), 0.0);
+  EXPECT_DOUBLE_EQ(profile.ValueAt(10, 11), 100.0);
+  EXPECT_DOUBLE_EQ(profile.ValueAt(5, 11), 50.0);
+}
+
+TEST(PhaseProfile, PeriodicComponent) {
+  PhaseProfile profile{0.0, 0.0, 2.0, 8.0};
+  EXPECT_NEAR(profile.ValueAt(2, 100), 2.0, 1e-9);  // sin(pi/2) peak
+  EXPECT_NEAR(profile.ValueAt(4, 100), 0.0, 1e-9);
+}
+
+TEST(GenerateTrueSignal, MarginalVarianceMatchesSigma) {
+  Rng rng(5);
+  PhaseProfile flat{0.0, 0.0, 0.0, 0.0};
+  NoiseModel noise{2.0, 0.7};
+  auto signal = GenerateTrueSignal(flat, noise, 20000, rng).value();
+  EXPECT_NEAR(ts::StdDev(signal), 2.0, 0.15);
+  EXPECT_NEAR(ts::Mean(signal), 0.0, 0.3);
+}
+
+TEST(GenerateTrueSignal, ArStructurePresent) {
+  Rng rng(6);
+  PhaseProfile flat{0.0, 0.0, 0.0, 0.0};
+  NoiseModel noise{1.0, 0.8};
+  auto signal = GenerateTrueSignal(flat, noise, 5000, rng).value();
+  EXPECT_GT(ts::Autocorrelation(signal, 1), 0.6);
+}
+
+TEST(GenerateTrueSignal, RejectsBadParameters) {
+  Rng rng(7);
+  PhaseProfile flat{};
+  EXPECT_FALSE(GenerateTrueSignal(flat, NoiseModel{1.0, 1.0}, 10, rng).ok());
+  EXPECT_FALSE(GenerateTrueSignal(flat, NoiseModel{1.0, 0.5}, 0, rng).ok());
+}
+
+TEST(ObserveSignal, AddsBiasAndNoise) {
+  Rng rng(8);
+  const std::vector<double> truth(5000, 10.0);
+  auto reading = ObserveSignal(truth, 0.5, 1.0, rng);
+  EXPECT_NEAR(ts::Mean(reading), 11.0, 0.05);
+  EXPECT_NEAR(ts::StdDev(reading), 0.5, 0.05);
+}
+
+TEST(PrinterPhaseProfile, KnownPhasesResolve) {
+  for (const char* phase :
+       {"preparation", "warm_up", "calibration", "printing", "cool_down"}) {
+    for (const char* quantity : {"bed_temp", "chamber_temp", "laser_power",
+                                 "vibration", "oxygen"}) {
+      EXPECT_TRUE(PrinterPhaseProfile(phase, quantity).ok())
+          << phase << "/" << quantity;
+    }
+  }
+  EXPECT_TRUE(PrinterPhaseProfile("", "room_temp").ok());
+  EXPECT_FALSE(PrinterPhaseProfile("printing", "ghost").ok());
+}
+
+TEST(PrinterPhaseProfile, WarmUpRampsBedTemperature) {
+  auto profile = PrinterPhaseProfile("warm_up", "bed_temp").value();
+  EXPECT_LT(profile.start_level, profile.end_level);
+  EXPECT_NEAR(profile.start_level, 25.0, 1.0);
+}
+
+TEST(PrinterPhaseProfile, LaserOffOutsidePrinting) {
+  EXPECT_DOUBLE_EQ(
+      PrinterPhaseProfile("preparation", "laser_power")->start_level, 0.0);
+  EXPECT_GT(PrinterPhaseProfile("printing", "laser_power")->start_level,
+            100.0);
+}
+
+}  // namespace
+}  // namespace hod::sim

@@ -1,0 +1,166 @@
+#include "hierarchy/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/plant.h"
+#include "util/rng.h"
+
+namespace hod::hierarchy {
+namespace {
+
+sim::SimulatedPlant SmallPlant() {
+  sim::PlantOptions options;
+  options.num_lines = 1;
+  options.machines_per_line = 2;
+  options.jobs_per_machine = 3;
+  options.preparation_samples = 16;
+  options.warm_up_samples = 24;
+  options.calibration_samples = 16;
+  options.printing_samples = 32;
+  options.cool_down_samples = 16;
+  options.seed = 12;
+  return sim::BuildPlant(options, sim::ScenarioOptions{}).value();
+}
+
+TEST(Serialization, RoundTripPreservesStructure) {
+  const auto plant = SmallPlant();
+  std::stringstream stream;
+  ASSERT_TRUE(WriteProduction(plant.production, stream).ok());
+
+  auto restored_or = ReadProduction(stream);
+  ASSERT_TRUE(restored_or.ok()) << restored_or.status().ToString();
+  const Production& restored = restored_or.value();
+
+  ASSERT_EQ(restored.lines.size(), plant.production.lines.size());
+  EXPECT_EQ(restored.sensors.size(), plant.production.sensors.size());
+  for (size_t l = 0; l < restored.lines.size(); ++l) {
+    const auto& a = plant.production.lines[l];
+    const auto& b = restored.lines[l];
+    EXPECT_EQ(a.id, b.id);
+    ASSERT_EQ(a.machines.size(), b.machines.size());
+    ASSERT_EQ(a.environment.size(), b.environment.size());
+    for (size_t m = 0; m < a.machines.size(); ++m) {
+      ASSERT_EQ(a.machines[m].jobs.size(), b.machines[m].jobs.size());
+      EXPECT_EQ(a.machines[m].configuration.values(),
+                b.machines[m].configuration.values());
+    }
+  }
+}
+
+TEST(Serialization, RoundTripIsBitExactOnSeries) {
+  const auto plant = SmallPlant();
+  std::stringstream stream;
+  ASSERT_TRUE(WriteProduction(plant.production, stream).ok());
+  auto restored = ReadProduction(stream).value();
+
+  const auto& original_job = plant.production.lines[0].machines[0].jobs[0];
+  const auto& restored_job = restored.lines[0].machines[0].jobs[0];
+  ASSERT_EQ(original_job.id, restored_job.id);
+  EXPECT_EQ(original_job.setup.values(), restored_job.setup.values());
+  EXPECT_EQ(original_job.caq.values(), restored_job.caq.values());
+  ASSERT_EQ(original_job.phases.size(), restored_job.phases.size());
+  for (size_t p = 0; p < original_job.phases.size(); ++p) {
+    const auto& phase_a = original_job.phases[p];
+    const auto& phase_b = restored_job.phases[p];
+    EXPECT_EQ(phase_a.events.symbols(), phase_b.events.symbols());
+    ASSERT_EQ(phase_a.sensor_series.size(), phase_b.sensor_series.size());
+    for (const auto& [sensor_id, series] : phase_a.sensor_series) {
+      const auto it = phase_b.sensor_series.find(sensor_id);
+      ASSERT_NE(it, phase_b.sensor_series.end());
+      // Bit-exact double round trip via %.17g.
+      EXPECT_EQ(series.values(), it->second.values()) << sensor_id;
+      EXPECT_EQ(series.start_time(), it->second.start_time());
+      EXPECT_EQ(series.interval(), it->second.interval());
+    }
+  }
+}
+
+TEST(Serialization, SensorMetadataSurvives) {
+  const auto plant = SmallPlant();
+  std::stringstream stream;
+  ASSERT_TRUE(WriteProduction(plant.production, stream).ok());
+  auto restored = ReadProduction(stream).value();
+  const std::string id = "line1.m1.bed_temp_a";
+  auto original = plant.production.sensors.Get(id).value();
+  auto copied = restored.sensors.Get(id).value();
+  EXPECT_EQ(original.unit, copied.unit);
+  EXPECT_EQ(original.machine_id, copied.machine_id);
+  EXPECT_EQ(original.redundancy_group, copied.redundancy_group);
+  auto group = restored.sensors.CorrespondingSensors(id).value();
+  ASSERT_EQ(group.size(), 1u);
+  EXPECT_EQ(group[0], "line1.m1.bed_temp_b");
+}
+
+TEST(Serialization, RejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_FALSE(ReadProduction(empty).ok());
+
+  std::stringstream bad_magic("NOPE 1\nEND\n");
+  EXPECT_FALSE(ReadProduction(bad_magic).ok());
+
+  std::stringstream bad_version("HODPROD 99\nEND\n");
+  EXPECT_FALSE(ReadProduction(bad_version).ok());
+
+  std::stringstream truncated("HODPROD 1\nLINE l1\n");
+  EXPECT_FALSE(ReadProduction(truncated).ok());
+
+  std::stringstream orphan_job("HODPROD 1\nJOB j1 0 1\nEND\n");
+  auto status = ReadProduction(orphan_job);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(Serialization, UnknownTagReported) {
+  std::stringstream stream("HODPROD 1\nWIDGET x\nEND\n");
+  auto status = ReadProduction(stream);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.status().message().find("unknown tag"),
+            std::string::npos);
+}
+
+TEST(Serialization, DetectorRunsOnRestoredProduction) {
+  // The practical point of serialization: a restored plant must be fully
+  // usable by the hierarchical detector.
+  const auto plant = SmallPlant();
+  std::stringstream stream;
+  ASSERT_TRUE(WriteProduction(plant.production, stream).ok());
+  auto restored = ReadProduction(stream).value();
+  EXPECT_TRUE(ValidateProduction(restored).ok());
+  EXPECT_EQ(CountJobs(restored), CountJobs(plant.production));
+}
+
+TEST(Serialization, FuzzedGarbageNeverCrashes) {
+  // Deterministic structured fuzz: random tags, counts, and tokens. The
+  // parser must always return a clean Status, never crash or hang.
+  hod::Rng rng(2026);
+  const char* tags[] = {"SENSOR", "LINE", "MACHINE", "CONFIG", "JOB",
+                        "SETUP",  "CAQ",  "PHASE",   "EVENTS", "SERIES",
+                        "ENV",    "END",  "GARBAGE"};
+  for (int round = 0; round < 200; ++round) {
+    std::stringstream stream;
+    if (rng.NextBernoulli(0.8)) stream << "HODPROD 1\n";
+    const int lines = static_cast<int>(rng.NextBelow(12));
+    for (int l = 0; l < lines; ++l) {
+      stream << tags[rng.NextBelow(std::size(tags))];
+      const int tokens = static_cast<int>(rng.NextBelow(6));
+      for (int t = 0; t < tokens; ++t) {
+        if (rng.NextBernoulli(0.5)) {
+          stream << " " << rng.UniformInt(-5, 100);
+        } else {
+          stream << " tok" << rng.NextBelow(5);
+        }
+      }
+      stream << "\n";
+    }
+    auto result = ReadProduction(stream);
+    // Either a (rare) valid parse or a clean error — both acceptable.
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hod::hierarchy

@@ -1,0 +1,112 @@
+#include "timeseries/spectral.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hod::ts {
+namespace {
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(6, {1.0, 0.0});
+  EXPECT_FALSE(Fft(data).ok());
+}
+
+TEST(Fft, RoundTripRecoversInput) {
+  std::vector<std::complex<double>> data;
+  for (int i = 0; i < 16; ++i) {
+    data.emplace_back(std::sin(0.5 * i) + 0.1 * i, 0.0);
+  }
+  const auto original = data;
+  ASSERT_TRUE(Fft(data).ok());
+  ASSERT_TRUE(Fft(data, /*inverse=*/true).ok());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, PureToneConcentratesAtItsBin) {
+  const size_t n = 64;
+  std::vector<double> values(n);
+  const size_t tone_bin = 8;
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = std::cos(2.0 * M_PI * static_cast<double>(tone_bin) *
+                         static_cast<double>(i) / static_cast<double>(n));
+  }
+  const auto power = PowerSpectrum(values);
+  ASSERT_EQ(power.size(), n / 2 + 1);
+  size_t argmax = 0;
+  for (size_t k = 1; k < power.size(); ++k) {
+    if (power[k] > power[argmax]) argmax = k;
+  }
+  EXPECT_EQ(argmax, tone_bin);
+}
+
+TEST(Fft, ZeroPadToPow2Sizes) {
+  EXPECT_EQ(ZeroPadToPow2(std::vector<double>(5, 1.0)).size(), 8u);
+  EXPECT_EQ(ZeroPadToPow2(std::vector<double>(8, 1.0)).size(), 8u);
+  EXPECT_EQ(ZeroPadToPow2({}, 4).size(), 4u);
+}
+
+TEST(Spectral, PowerSpectrumEmptyInput) {
+  EXPECT_TRUE(PowerSpectrum({}).empty());
+}
+
+TEST(Spectral, BandEnergiesNormalized) {
+  std::vector<double> values;
+  for (int i = 0; i < 128; ++i) {
+    values.push_back(std::sin(0.8 * i) + 0.5 * std::sin(2.1 * i));
+  }
+  auto bands = BandEnergies(PowerSpectrum(values), 8);
+  ASSERT_TRUE(bands.ok());
+  EXPECT_EQ(bands->size(), 8u);
+  double total = 0.0;
+  for (double e : *bands) {
+    EXPECT_GE(e, 0.0);
+    total += e;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Spectral, BandEnergiesRejectsZeroBands) {
+  EXPECT_FALSE(BandEnergies({1.0}, 0).ok());
+}
+
+TEST(Spectral, BandEnergiesUniformOnZeroSpectrum) {
+  auto bands = BandEnergies(std::vector<double>(16, 0.0), 4);
+  ASSERT_TRUE(bands.ok());
+  for (double e : *bands) EXPECT_DOUBLE_EQ(e, 0.25);
+}
+
+TEST(Spectral, VibrationSignatureIgnoresDcOffset) {
+  std::vector<double> base;
+  std::vector<double> shifted;
+  for (int i = 0; i < 128; ++i) {
+    const double v = std::sin(0.9 * i);
+    base.push_back(v);
+    shifted.push_back(v + 100.0);  // big constant offset
+  }
+  auto sig_a = VibrationSignature(base, 6).value();
+  auto sig_b = VibrationSignature(shifted, 6).value();
+  for (size_t b = 0; b < sig_a.size(); ++b) {
+    EXPECT_NEAR(sig_a[b], sig_b[b], 0.05) << "band " << b;
+  }
+}
+
+TEST(Spectral, SignatureSeparatesLowAndHighFrequencies) {
+  std::vector<double> slow;
+  std::vector<double> fast;
+  for (int i = 0; i < 256; ++i) {
+    slow.push_back(std::sin(0.1 * i));
+    fast.push_back(std::sin(2.5 * i));
+  }
+  auto sig_slow = VibrationSignature(slow, 4).value();
+  auto sig_fast = VibrationSignature(fast, 4).value();
+  // Slow tone concentrates in band 0; fast tone in a higher band.
+  EXPECT_GT(sig_slow[0], 0.8);
+  EXPECT_LT(sig_fast[0], 0.2);
+}
+
+}  // namespace
+}  // namespace hod::ts

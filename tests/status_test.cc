@@ -1,0 +1,104 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/statusor.h"
+
+namespace hod {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(Status, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::InvalidArgument("bad window").ToString(),
+            "InvalidArgument: bad window");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(Status, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::OutOfRange("boom"); };
+  auto outer = [&]() -> Status {
+    HOD_RETURN_IF_ERROR(inner());
+    return Status::Ok();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kOutOfRange);
+}
+
+TEST(Status, ReturnIfErrorPassesOk) {
+  auto outer = []() -> Status {
+    HOD_RETURN_IF_ERROR(Status::Ok());
+    return Status::Internal("reached");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOr, OkStatusBecomesInternalError) {
+  StatusOr<int> v = Status::Ok();
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello");
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(StatusOr, AssignOrReturnMacro) {
+  auto source = [](bool fail) -> StatusOr<int> {
+    if (fail) return Status::InvalidArgument("fail");
+    return 7;
+  };
+  auto consumer = [&](bool fail) -> StatusOr<int> {
+    HOD_ASSIGN_OR_RETURN(int x, source(fail));
+    HOD_ASSIGN_OR_RETURN(int y, source(fail));
+    return x + y;
+  };
+  auto ok = consumer(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 14);
+  EXPECT_EQ(consumer(true).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOr, ArrowOperator) {
+  StatusOr<std::string> v = std::string("abc");
+  EXPECT_EQ(v->size(), 3u);
+}
+
+}  // namespace
+}  // namespace hod

@@ -1,0 +1,91 @@
+#include "timeseries/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace hod::ts {
+namespace {
+
+TEST(TimeSeries, BasicAccessors) {
+  TimeSeries s("temp", 100.0, 0.5, {1.0, 2.0, 3.0});
+  EXPECT_EQ(s.name(), "temp");
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  EXPECT_DOUBLE_EQ(s.TimeAt(0), 100.0);
+  EXPECT_DOUBLE_EQ(s.TimeAt(2), 101.0);
+  EXPECT_DOUBLE_EQ(s.end_time(), 101.5);
+}
+
+TEST(TimeSeries, AppendGrows) {
+  TimeSeries s("x", 0.0, 1.0);
+  EXPECT_TRUE(s.empty());
+  s.Append(5.0);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0], 5.0);
+}
+
+TEST(TimeSeries, IndexAtMapsTimesToSamples) {
+  TimeSeries s("x", 10.0, 2.0, {0, 0, 0, 0});
+  EXPECT_EQ(s.IndexAt(10.0).value(), 0u);
+  EXPECT_EQ(s.IndexAt(11.9).value(), 0u);
+  EXPECT_EQ(s.IndexAt(12.0).value(), 1u);
+  EXPECT_EQ(s.IndexAt(17.9).value(), 3u);
+  EXPECT_FALSE(s.IndexAt(9.9).ok());
+  EXPECT_FALSE(s.IndexAt(18.0).ok());
+}
+
+TEST(TimeSeries, SliceAdjustsStartTime) {
+  TimeSeries s("x", 0.0, 1.0, {1, 2, 3, 4, 5});
+  auto slice = s.Slice(2, 4);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->size(), 2u);
+  EXPECT_DOUBLE_EQ(slice->start_time(), 2.0);
+  EXPECT_DOUBLE_EQ((*slice)[0], 3.0);
+}
+
+TEST(TimeSeries, SliceRejectsBadRanges) {
+  TimeSeries s("x", 0.0, 1.0, {1, 2, 3});
+  EXPECT_FALSE(s.Slice(2, 1).ok());
+  EXPECT_FALSE(s.Slice(0, 4).ok());
+  EXPECT_TRUE(s.Slice(3, 3).ok());  // empty slice at the end is legal
+}
+
+TEST(TimeSeries, ValidateCatchesBadInterval) {
+  TimeSeries s("x", 0.0, 0.0, {1.0});
+  EXPECT_FALSE(s.Validate().ok());
+  TimeSeries t("x", 0.0, -1.0, {1.0});
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TimeSeries, ValidateCatchesNonFiniteValues) {
+  TimeSeries s("x", 0.0, 1.0, {1.0, std::nan(""), 2.0});
+  EXPECT_FALSE(s.Validate().ok());
+  TimeSeries inf("x", 0.0, 1.0,
+                 {1.0, std::numeric_limits<double>::infinity()});
+  EXPECT_FALSE(inf.Validate().ok());
+  TimeSeries good("x", 0.0, 1.0, {1.0, 2.0});
+  EXPECT_TRUE(good.Validate().ok());
+}
+
+TEST(FeatureVector, GetByName) {
+  FeatureVector v({"a", "b"}, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(v.Get("b").value(), 2.0);
+  EXPECT_FALSE(v.Get("c").ok());
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+}
+
+TEST(FeatureVector, ValidateCatchesMismatch) {
+  FeatureVector bad({"a"}, {1.0, 2.0});
+  EXPECT_FALSE(bad.Validate().ok());
+  FeatureVector nan_vec({"a"}, {std::nan("")});
+  EXPECT_FALSE(nan_vec.Validate().ok());
+  FeatureVector good({"a", "b"}, {1.0, 2.0});
+  EXPECT_TRUE(good.Validate().ok());
+}
+
+}  // namespace
+}  // namespace hod::ts

@@ -1,0 +1,136 @@
+// UPA-family detectors: finite state automaton and hidden Markov model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/fsa_detector.h"
+#include "detect/hmm_detector.h"
+#include "detector_test_util.h"
+
+namespace hod::detect {
+namespace {
+
+using detect_test::CanonicalSequences;
+using detect_test::ExpectAnomaliesScoreHigher;
+using detect_test::ExpectScoresInUnitInterval;
+
+TEST(Fsa, KnownTransitionsScoreZero) {
+  ts::DiscreteSequence cyclic("c", 4);
+  for (int i = 0; i < 200; ++i) cyclic.Append(i % 4);
+  FsaDetector detector;
+  ASSERT_TRUE(detector.Train({cyclic}).ok());
+  auto scores = detector.Score(cyclic).value();
+  // After warm-up, everything is a well-supported transition.
+  for (size_t i = 8; i < scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scores[i], 0.0) << "position " << i;
+  }
+}
+
+TEST(Fsa, NovelSuccessorScoresHigh) {
+  ts::DiscreteSequence cyclic("c", 5);
+  for (int i = 0; i < 200; ++i) cyclic.Append(i % 4);
+  FsaDetector detector;
+  ASSERT_TRUE(detector.Train({cyclic}).ok());
+  // 0,1,2,3,0,1, then a 4 (never seen anywhere).
+  ts::DiscreteSequence probe("p", 5, {0, 1, 2, 3, 0, 1, 4, 2});
+  auto scores = detector.Score(probe).value();
+  EXPECT_GE(scores[6], 0.6);
+}
+
+TEST(Fsa, LongerContextGivesStrongerScore) {
+  // Symbol seen in training but never after this long context.
+  ts::DiscreteSequence train("t", 4);
+  for (int i = 0; i < 200; ++i) train.Append(i % 4);
+  FsaDetector detector(FsaOptions{.max_order = 4});
+  ASSERT_TRUE(detector.Train({train}).ok());
+  // 0,1,2,3 context followed by 2 (expected 0): known symbol, novel
+  // successor for a length-4 context.
+  ts::DiscreteSequence probe("p", 4, {0, 1, 2, 3, 2});
+  auto scores = detector.Score(probe).value();
+  EXPECT_NEAR(scores[4], 1.0, 1e-9);  // 0.6 + 0.4 * 4/4
+}
+
+TEST(Fsa, NumTransitionsGrowsWithData) {
+  FsaDetector detector;
+  ts::DiscreteSequence train("t", 3, {0, 1, 2, 0, 1, 2, 0, 1, 2});
+  ASSERT_TRUE(detector.Train({train}).ok());
+  EXPECT_GT(detector.num_transitions(), 0u);
+}
+
+TEST(Fsa, FlagsCorruptedBursts) {
+  const auto dataset = CanonicalSequences();
+  FsaDetector detector;
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  for (size_t s = 0; s < dataset.test.size(); ++s) {
+    auto scores = detector.Score(dataset.test[s]);
+    ASSERT_TRUE(scores.ok());
+    ExpectScoresInUnitInterval(scores.value());
+    ExpectAnomaliesScoreHigher(scores.value(), dataset.test_labels[s]);
+  }
+}
+
+TEST(Hmm, ModelRowsAreStochastic) {
+  const auto dataset = CanonicalSequences();
+  HmmDetector detector(HmmOptions{.states = 3, .baum_welch_iters = 5});
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  for (const auto& row : detector.transition()) {
+    double sum = 0.0;
+    for (double p : row) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  for (const auto& row : detector.emission()) {
+    double sum = 0.0;
+    for (double p : row) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  double pi_sum = 0.0;
+  for (double p : detector.initial()) pi_sum += p;
+  EXPECT_NEAR(pi_sum, 1.0, 1e-9);
+}
+
+TEST(Hmm, TrainingImprovesLikelihoodOverRandomModel) {
+  const auto dataset = CanonicalSequences();
+  HmmDetector trained(HmmOptions{.states = 4, .baum_welch_iters = 15});
+  ASSERT_TRUE(trained.Train(dataset.train).ok());
+  HmmDetector barely(HmmOptions{.states = 4, .baum_welch_iters = 0});
+  ASSERT_TRUE(barely.Train(dataset.train).ok());
+  const auto& probe = dataset.train[1];
+  EXPECT_GT(trained.LogLikelihood(probe).value(),
+            barely.LogLikelihood(probe).value());
+}
+
+TEST(Hmm, FlagsCorruptedBursts) {
+  const auto dataset = CanonicalSequences();
+  HmmDetector detector;
+  ASSERT_TRUE(detector.Train(dataset.train).ok());
+  for (size_t s = 0; s < dataset.test.size(); ++s) {
+    auto scores = detector.Score(dataset.test[s]);
+    ASSERT_TRUE(scores.ok());
+    ExpectScoresInUnitInterval(scores.value());
+    ExpectAnomaliesScoreHigher(scores.value(), dataset.test_labels[s], 0.05);
+  }
+}
+
+TEST(Hmm, OutOfAlphabetSymbolMaximallySurprising) {
+  ts::DiscreteSequence train("t", 3);
+  for (int i = 0; i < 100; ++i) train.Append(i % 3);
+  HmmDetector detector(HmmOptions{.states = 2});
+  ASSERT_TRUE(detector.Train({train}).ok());
+  ts::DiscreteSequence probe("p", 5, {0, 1, 2, 4, 0});
+  auto scores = detector.Score(probe).value();
+  EXPECT_GT(scores[3], 0.9);
+}
+
+TEST(Hmm, RejectsEmptyTraining) {
+  HmmDetector detector;
+  EXPECT_FALSE(detector.Train({}).ok());
+  HmmDetector zero_states(HmmOptions{.states = 0});
+  EXPECT_FALSE(zero_states.Train({ts::DiscreteSequence("x", 2, {0})}).ok());
+}
+
+}  // namespace
+}  // namespace hod::detect

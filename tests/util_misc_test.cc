@@ -1,0 +1,120 @@
+// Tests for logging, string utilities, and the table writer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace hod {
+namespace {
+
+std::vector<std::pair<LogLevel, std::string>>& CapturedLogs() {
+  static auto* logs = new std::vector<std::pair<LogLevel, std::string>>();
+  return *logs;
+}
+
+void CaptureSink(LogLevel level, const std::string& message) {
+  CapturedLogs().emplace_back(level, message);
+}
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CapturedLogs().clear();
+    SetLogSink(&CaptureSink);
+    SetMinLogLevel(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetMinLogLevel(LogLevel::kInfo);
+  }
+};
+
+TEST_F(LoggingTest, EmitsToSink) {
+  HOD_LOG(Info) << "hello " << 42;
+  ASSERT_EQ(CapturedLogs().size(), 1u);
+  EXPECT_EQ(CapturedLogs()[0].first, LogLevel::kInfo);
+  EXPECT_NE(CapturedLogs()[0].second.find("hello 42"), std::string::npos);
+  EXPECT_NE(CapturedLogs()[0].second.find("util_misc_test.cc"),
+            std::string::npos);
+}
+
+TEST_F(LoggingTest, RespectsMinLevel) {
+  SetMinLogLevel(LogLevel::kError);
+  HOD_LOG(Warning) << "dropped";
+  HOD_LOG(Error) << "kept";
+  ASSERT_EQ(CapturedLogs().size(), 1u);
+  EXPECT_EQ(CapturedLogs()[0].first, LogLevel::kError);
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtil, JoinRoundTrips) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtil, ToLower) {
+  EXPECT_EQ(ToLower("AbC-42"), "abc-42");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(Trim("  abc \t\n"), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtil, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("line1.m2", "line1"));
+  EXPECT_FALSE(StartsWith("line1", "line1.m2"));
+  EXPECT_TRUE(EndsWith("bed_temp_a", "_a"));
+  EXPECT_FALSE(EndsWith("_a", "bed_temp_a"));
+}
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-0.5, 0), "-0");
+  EXPECT_EQ(FormatDouble(2.0, 3), "2.000");
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "10000"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table table({"a", "b", "c"});
+  table.AddRow({"1"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table table({"k", "v"});
+  table.AddRow({"with,comma", "with\"quote"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_NE(os.str().find("\"with,comma\",\"with\"\"quote\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hod

@@ -1,0 +1,114 @@
+#include "detect/var_detector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace hod::detect {
+namespace {
+
+/// Two coupled channels: y follows x with lag 1 (y_t = 0.9 x_{t-1} + eps).
+std::vector<ts::TimeSeries> CoupledChannels(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  double state = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    state = 0.7 * state + rng.Gaussian(0.0, 0.5);
+    x[t] = state;
+    y[t] = (t > 0 ? 0.9 * x[t - 1] : 0.0) + rng.Gaussian(0.0, 0.1);
+  }
+  return {ts::TimeSeries("x", 0, 1, std::move(x)),
+          ts::TimeSeries("y", 0, 1, std::move(y))};
+}
+
+TEST(Var, RecoversCouplingCoefficient) {
+  VarDetector detector;
+  ASSERT_TRUE(detector
+                  .Train({CoupledChannels(2000, 1), CoupledChannels(2000, 2)})
+                  .ok());
+  ASSERT_EQ(detector.num_channels(), 2u);
+  // y's equation: coefficient on lagged x ~ 0.9, on lagged y ~ 0.
+  EXPECT_NEAR(detector.transition()[1][0], 0.9, 0.05);
+  EXPECT_NEAR(detector.transition()[1][1], 0.0, 0.1);
+  // x's own AR coefficient ~ 0.7.
+  EXPECT_NEAR(detector.transition()[0][0], 0.7, 0.08);
+}
+
+TEST(Var, CatchesCrossChannelViolation) {
+  VarDetector detector;
+  ASSERT_TRUE(detector.Train({CoupledChannels(2000, 3)}).ok());
+  auto channels = CoupledChannels(300, 4);
+  // Break the relationship at t=150: y gets a value its own history and
+  // x's history do not explain.
+  channels[1].mutable_values()[150] += 2.0;
+  auto scores = detector.Score(channels).value();
+  EXPECT_GT(scores[150], 0.6);
+  double max_elsewhere = 0.0;
+  for (size_t t = 0; t < scores.size(); ++t) {
+    if (t < 149 || t > 152) max_elsewhere = std::max(max_elsewhere, scores[t]);
+  }
+  EXPECT_GT(scores[150], max_elsewhere);
+}
+
+TEST(Var, JointAnomalyInvisibleToMarginalsIsCaught) {
+  // Flip the SIGN of the coupling at one step: both values stay well
+  // inside their marginal ranges, but y contradicts what x's history
+  // dictates — only a joint model can see it.
+  VarDetector detector;
+  ASSERT_TRUE(detector.Train({CoupledChannels(3000, 5)}).ok());
+  auto channels = CoupledChannels(400, 6);
+  channels[0].mutable_values()[199] = 1.2;  // in-range x excursion
+  channels[1].mutable_values()[200] =
+      -0.9 * 1.2;  // y mirrors x with the WRONG sign (in-range value)
+  auto z = detector.ResidualZ(channels).value();
+  double typical = 0.0;
+  size_t count = 0;
+  for (size_t t = 1; t < z.size(); ++t) {
+    if (t < 198 || t > 203) {
+      typical += z[t];
+      ++count;
+    }
+  }
+  typical /= static_cast<double>(count);
+  EXPECT_GT(z[200], 4.0 * typical)
+      << "coupling violation must dominate the residual";
+}
+
+TEST(Var, ScoresBounded) {
+  VarDetector detector;
+  ASSERT_TRUE(detector.Train({CoupledChannels(500, 7)}).ok());
+  auto channels = CoupledChannels(200, 8);
+  channels[0].mutable_values()[50] = 1e6;
+  auto scores = detector.Score(channels).value();
+  for (double s : scores) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(Var, RejectsBadInput) {
+  VarDetector detector;
+  EXPECT_FALSE(detector.Train({}).ok());
+  // Misaligned channels.
+  std::vector<ts::TimeSeries> ragged = {
+      ts::TimeSeries("a", 0, 1, {1, 2, 3}),
+      ts::TimeSeries("b", 0, 1, {1, 2})};
+  EXPECT_FALSE(detector.Train({ragged}).ok());
+  // Channel-count mismatch at scoring.
+  ASSERT_TRUE(detector.Train({CoupledChannels(300, 9)}).ok());
+  EXPECT_FALSE(
+      detector.Score({ts::TimeSeries("a", 0, 1, {1, 2, 3})}).ok());
+}
+
+TEST(Var, UntrainedScoreRejected) {
+  VarDetector detector;
+  EXPECT_EQ(detector.Score(CoupledChannels(100, 10)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace hod::detect

@@ -1,0 +1,75 @@
+#include "timeseries/window.h"
+
+#include <gtest/gtest.h>
+
+namespace hod::ts {
+namespace {
+
+TEST(Windows, SlidingBasics) {
+  auto spans = SlidingWindows(10, 4, 2);
+  ASSERT_TRUE(spans.ok());
+  ASSERT_EQ(spans->size(), 4u);
+  EXPECT_EQ((*spans)[0].begin, 0u);
+  EXPECT_EQ((*spans)[0].end, 4u);
+  EXPECT_EQ((*spans)[3].begin, 6u);
+  EXPECT_EQ((*spans)[3].end, 10u);
+}
+
+TEST(Windows, SlidingRejectsBadParameters) {
+  EXPECT_FALSE(SlidingWindows(10, 0, 1).ok());
+  EXPECT_FALSE(SlidingWindows(10, 4, 0).ok());
+  EXPECT_FALSE(SlidingWindows(3, 4, 1).ok());
+}
+
+TEST(Windows, TumblingDropsPartialTail) {
+  auto spans = TumblingWindows(10, 3);
+  ASSERT_TRUE(spans.ok());
+  EXPECT_EQ(spans->size(), 3u);  // 9 samples covered, 1 dropped
+}
+
+TEST(Windows, SpanCenter) {
+  WindowSpan span{4, 10};
+  EXPECT_EQ(span.size(), 6u);
+  EXPECT_EQ(span.center(), 7u);
+}
+
+TEST(WindowFeatures, ComputedOnSpan) {
+  const std::vector<double> values = {0.0, 0.0, 1.0, 2.0, 3.0, 0.0};
+  const WindowFeatures f = ComputeWindowFeatures(values, WindowSpan{2, 5});
+  EXPECT_DOUBLE_EQ(f.mean, 2.0);
+  EXPECT_DOUBLE_EQ(f.min, 1.0);
+  EXPECT_DOUBLE_EQ(f.max, 3.0);
+  EXPECT_NEAR(f.slope, 1.0, 1e-12);
+  EXPECT_NEAR(f.energy, (1.0 + 4.0 + 9.0) / 3.0, 1e-12);
+  EXPECT_EQ(f.ToVector().size(), WindowFeatures::kDimension);
+}
+
+TEST(WindowFeatures, AllWindows) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  auto spans = SlidingWindows(values.size(), 2, 1).value();
+  const auto features = ComputeAllWindowFeatures(values, spans);
+  ASSERT_EQ(features.size(), 3u);
+  EXPECT_DOUBLE_EQ(features[1].mean, 2.5);
+}
+
+TEST(WindowScores, MaxOverCoveringWindows) {
+  const std::vector<WindowSpan> spans = {{0, 3}, {2, 5}};
+  const std::vector<double> window_scores = {0.2, 0.8};
+  const auto points = WindowScoresToPointScores(6, spans, window_scores);
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_DOUBLE_EQ(points[0], 0.2);
+  EXPECT_DOUBLE_EQ(points[2], 0.8);  // covered by both: max wins
+  EXPECT_DOUBLE_EQ(points[4], 0.8);
+  EXPECT_DOUBLE_EQ(points[5], 0.0);  // uncovered
+}
+
+TEST(WindowScores, MismatchedSizesHandled) {
+  const std::vector<WindowSpan> spans = {{0, 2}, {2, 4}};
+  const std::vector<double> scores = {0.5};  // fewer scores than spans
+  const auto points = WindowScoresToPointScores(4, spans, scores);
+  EXPECT_DOUBLE_EQ(points[0], 0.5);
+  EXPECT_DOUBLE_EQ(points[3], 0.0);
+}
+
+}  // namespace
+}  // namespace hod::ts
