@@ -1,0 +1,178 @@
+// E10 — streaming ingestion & scoring throughput (hod::stream).
+//
+// The paper's §1/§5 calculation-speed requirement, applied to the online
+// path: samples/sec through the StreamEngine as a function of shard count
+// and micro-batch size. Emits the human-readable table on stdout and a
+// machine-readable BENCH_STREAM.json in the working directory so the perf
+// trajectory can be tracked across PRs.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "stream/engine.h"
+#include "stream/router.h"
+#include "util/rng.h"
+
+namespace {
+
+using hod::stream::BackpressurePolicy;
+using hod::stream::SensorSample;
+using hod::stream::StreamEngine;
+using hod::stream::StreamEngineOptions;
+using Clock = std::chrono::steady_clock;
+
+struct RunResult {
+  size_t shards = 0;
+  size_t batch = 0;
+  size_t samples = 0;
+  double seconds = 0.0;
+  double samples_per_sec = 0.0;
+  uint64_t alarms = 0;
+};
+
+std::string SensorId(size_t i) { return "sensor_" + std::to_string(i); }
+
+/// Pre-generates the workload: `sensors` interleaved streams with sparse
+/// fault bursts, flattened into ingest order.
+std::vector<SensorSample> MakeWorkload(size_t sensors,
+                                       size_t samples_per_sensor) {
+  std::vector<std::vector<double>> streams(sensors);
+  for (size_t i = 0; i < sensors; ++i) {
+    hod::Rng rng(1000 + i);
+    double noise = 0.0;
+    streams[i].reserve(samples_per_sensor);
+    const size_t fault_at = 2000 + (i * 137) % 1500;
+    for (size_t t = 0; t < samples_per_sensor; ++t) {
+      noise = 0.7 * noise + rng.Gaussian(0.0, 0.25);
+      double value = 50.0 + noise;
+      if (t >= fault_at && t < fault_at + 10) value += 6.0;
+      streams[i].push_back(value);
+    }
+  }
+  std::vector<SensorSample> workload;
+  workload.reserve(sensors * samples_per_sensor);
+  for (size_t t = 0; t < samples_per_sensor; ++t) {
+    for (size_t i = 0; i < sensors; ++i) {
+      workload.push_back({SensorId(i),
+                          hod::hierarchy::ProductionLevel::kPhase,
+                          static_cast<double>(t), streams[i][t]});
+    }
+  }
+  return workload;
+}
+
+RunResult RunOnce(const std::vector<SensorSample>& workload, size_t sensors,
+                  size_t shards, size_t batch) {
+  StreamEngineOptions options;
+  options.num_shards = shards;
+  options.max_batch = batch;
+  options.queue_capacity = 4096;
+  options.backpressure = BackpressurePolicy::kBlock;
+  options.monitor.warmup = 256;
+  StreamEngine engine(options);
+  for (size_t i = 0; i < sensors; ++i) {
+    (void)engine.AddSensor(SensorId(i));
+  }
+  (void)engine.Start();
+
+  // One producer per shard, each feeding exactly its shard's sensors (the
+  // same stable hash the router uses) — models an upstream that partitions
+  // traffic by sensor id, so ingest parallelizes with the shard count and
+  // each queue runs single-producer/single-consumer.
+  std::vector<std::vector<const SensorSample*>> per_shard(shards);
+  for (const SensorSample& sample : workload) {
+    per_shard[hod::stream::StableHash64(sample.sensor_id) % shards]
+        .push_back(&sample);
+  }
+
+  const auto start = Clock::now();
+  std::vector<std::thread> producers;
+  producers.reserve(shards);
+  for (size_t p = 0; p < shards; ++p) {
+    producers.emplace_back([&engine, &per_shard, p] {
+      for (const SensorSample* sample : per_shard[p]) {
+        (void)engine.Ingest(*sample);
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  (void)engine.Stop();  // drains everything
+  const auto end = Clock::now();
+
+  RunResult result;
+  result.shards = shards;
+  result.batch = batch;
+  result.samples = workload.size();
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.samples_per_sec =
+      result.seconds > 0.0 ? static_cast<double>(result.samples) /
+                                 result.seconds
+                           : 0.0;
+  result.alarms = engine.stats().alarms_raised;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  hod::bench::PrintHeader(
+      "E10", "Streaming ingestion & scoring throughput",
+      "§1/§5 calculation-speed requirement, online path (hod::stream)");
+
+  constexpr size_t kSensors = 64;
+  constexpr size_t kSamplesPerSensor = 6000;
+  const std::vector<SensorSample> workload =
+      MakeWorkload(kSensors, kSamplesPerSensor);
+  std::printf("\nWorkload: %zu sensors x %zu samples = %zu total\n", kSensors,
+              kSamplesPerSensor, workload.size());
+
+  const std::vector<size_t> shard_counts = {1, 2, 4, 8};
+  const std::vector<size_t> batch_sizes = {1, 16, 64};
+  std::vector<RunResult> results;
+
+  hod::bench::PrintSection("samples/sec by shard count and micro-batch size");
+  std::printf("%-8s %-8s %-14s %-10s %s\n", "shards", "batch", "samples/sec",
+              "seconds", "alarms");
+  for (size_t shards : shard_counts) {
+    for (size_t batch : batch_sizes) {
+      RunResult result = RunOnce(workload, kSensors, shards, batch);
+      results.push_back(result);
+      std::printf("%-8zu %-8zu %-14.0f %-10.3f %llu\n", result.shards,
+                  result.batch, result.samples_per_sec, result.seconds,
+                  static_cast<unsigned long long>(result.alarms));
+    }
+  }
+
+  // Scaling summary at the largest batch size (the intended operating
+  // point): throughput relative to 1 shard.
+  hod::bench::PrintSection("scaling vs 1 shard (batch=64)");
+  double base = 0.0;
+  for (const RunResult& result : results) {
+    if (result.batch != 64) continue;
+    if (result.shards == 1) base = result.samples_per_sec;
+    std::printf("shards=%zu  %.2fx\n", result.shards,
+                base > 0.0 ? result.samples_per_sec / base : 0.0);
+  }
+
+  std::ofstream json("BENCH_STREAM.json");
+  json << "{\n  \"experiment\": \"stream_throughput\",\n"
+       << "  \"sensors\": " << kSensors << ",\n"
+       << "  \"samples_total\": " << workload.size() << ",\n"
+       << "  \"runs\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    json << "    {\"shards\": " << r.shards << ", \"batch\": " << r.batch
+         << ", \"samples_per_sec\": " << static_cast<uint64_t>(r.samples_per_sec)
+         << ", \"seconds\": " << r.seconds << ", \"alarms\": " << r.alarms
+         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::printf("\nWrote BENCH_STREAM.json\n");
+  return 0;
+}

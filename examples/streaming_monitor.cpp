@@ -1,68 +1,134 @@
-// Streaming monitor: per-sample condition monitoring with alarms.
+// Streaming monitor: the condition-monitoring application on top of the
+// hod::stream engine.
 //
-// The paper's condition-monitoring application as a stream: samples of a
-// chamber-temperature signal arrive one at a time, the OnlineMonitor
-// scores each immediately (AR one-step prediction residuals), and alarm
-// episodes carry hysteresis so single noisy samples cannot flap the state.
-// Also demonstrates concept-shift discovery on the same stream: a
-// persistent setpoint change is re-baselined, not endlessly alarmed.
+// Samples from a small sensor fleet flow through StreamEngine: the ingest
+// router validates and routes them, per-sensor OnlineMonitors score each
+// sample with alarm hysteresis, and the collector merges alarm episodes
+// via core::AlertManager and keeps a per-level outlier snapshot — the
+// hook for escalating flagged sensors into Algorithm 1.
+//
+// This run uses the deterministic synchronous configuration (one shard,
+// no threads) so the output is identical across runs; the same code
+// drives the multi-threaded engine in production (see the stream tests
+// and bench_stream_throughput). A concept-shift pass afterwards separates
+// the transient fault from the deliberate setpoint change.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/concept_shift.h"
-#include "core/monitor.h"
+#include "stream/engine.h"
 #include "util/rng.h"
 
 int main() {
   using namespace hod;
+  using hierarchy::ProductionLevel;
 
-  // Synthesize a chamber-temperature stream: stationary at 55 degC, one
-  // transient fault around t=400, and a deliberate setpoint change to
-  // 58 degC at t=700 (a concept shift, not a fault).
-  Rng rng(123);
-  std::vector<double> stream;
-  double noise = 0.0;
+  // Synthesize the fleet's streams: two redundant chamber thermocouples
+  // (b sees the same process, different noise), plus the room temperature.
+  // One transient fault around t=400 hits only thermocouple A (a sensor
+  // problem, not a process problem), and a deliberate setpoint change at
+  // t=700 moves both (a concept shift, not a fault).
+  Rng rng_a(123), rng_b(321), rng_room(77);
+  std::vector<double> temp_a, temp_b, room;
+  double na = 0.0, nb = 0.0, nr = 0.0;
   for (size_t t = 0; t < 1000; ++t) {
-    noise = 0.7 * noise + rng.Gaussian(0.0, 0.25);
-    double value = 55.0 + noise;
-    if (t >= 400 && t < 408) value += 4.0;  // transient fault
-    if (t >= 700) value += 3.0;             // setpoint change
-    stream.push_back(value);
+    na = 0.7 * na + rng_a.Gaussian(0.0, 0.25);
+    nb = 0.7 * nb + rng_b.Gaussian(0.0, 0.25);
+    nr = 0.9 * nr + rng_room.Gaussian(0.0, 0.1);
+    double process = 55.0 + (t >= 700 ? 3.0 : 0.0);  // setpoint change
+    double a = process + na;
+    if (t >= 400 && t < 408) a += 4.0;  // transient fault on A only
+    temp_a.push_back(a);
+    temp_b.push_back(process + nb);
+    room.push_back(21.0 + nr);
   }
 
-  core::OnlineMonitorOptions options;
-  options.warmup = 100;
-  options.raise_after = 2;
-  options.clear_after = 5;
-  core::OnlineMonitor monitor(options);
+  stream::StreamEngineOptions options;
+  options.synchronous = true;  // deterministic demo; threaded in prod
+  options.monitor.warmup = 100;
+  options.monitor.raise_after = 2;
+  options.monitor.clear_after = 5;
+  options.snapshot_every = 50;
+  stream::StreamEngine engine(options);
+  engine.AddSensor("chamber_temp_a", ProductionLevel::kPhase);
+  engine.AddSensor("chamber_temp_b", ProductionLevel::kPhase);
+  engine.AddSensor("room_temp", ProductionLevel::kEnvironment);
+  if (!engine.Start().ok()) return 1;
 
-  std::printf("Streaming 1000 samples (warmup 100)...\n\n");
-  std::printf("%-8s %-10s %s\n", "t", "score", "event");
-  for (size_t t = 0; t < stream.size(); ++t) {
-    auto update_or = monitor.Push(stream[t]);
-    if (!update_or.ok()) {
-      std::fprintf(stderr, "%s\n", update_or.status().ToString().c_str());
-      return 1;
-    }
-    const core::MonitorUpdate& update = update_or.value();
-    if (update.alarm_raised) {
-      std::printf("%-8zu %-10.2f ALARM RAISED\n", t, update.score);
-    } else if (update.alarm_cleared) {
-      std::printf("%-8zu %-10.2f alarm cleared\n", t, update.score);
+  std::printf("Streaming 3 sensors x 1000 samples through StreamEngine "
+              "(warmup 100)...\n\n");
+  std::printf("%-8s %-16s %-10s %s\n", "t", "sensor", "score", "event");
+  for (size_t t = 0; t < 1000; ++t) {
+    const double ts = static_cast<double>(t);
+    const std::vector<std::pair<std::string, double>> readings = {
+        {"chamber_temp_a", temp_a[t]},
+        {"chamber_temp_b", temp_b[t]},
+        {"room_temp", room[t]},
+    };
+    for (const auto& [sensor, value] : readings) {
+      const ProductionLevel level = sensor == "room_temp"
+                                        ? ProductionLevel::kEnvironment
+                                        : ProductionLevel::kPhase;
+      auto ack = engine.Ingest({sensor, level, ts, value});
+      if (!ack.ok()) {
+        std::fprintf(stderr, "%s\n", ack.status().ToString().c_str());
+        return 1;
+      }
+      const core::MonitorUpdate& update = ack->update.value();
+      if (update.alarm_raised) {
+        std::printf("%-8zu %-16s %-10.2f ALARM RAISED\n", t, sensor.c_str(),
+                    update.score);
+      } else if (update.alarm_cleared) {
+        std::printf("%-8zu %-16s %-10.2f alarm cleared\n", t, sensor.c_str(),
+                    update.score);
+      }
     }
   }
-  std::printf("\nAlarm episodes: %zu (expected 2: the transient fault and "
-              "the onset of the\nsetpoint change)\n",
-              monitor.alarms_raised());
+  engine.Flush();
 
-  // Concept-shift pass over the recorded stream distinguishes the two:
-  // the fault reverted, the setpoint change persisted.
-  ts::TimeSeries recorded("chamber_temp", 0.0, 1.0, stream);
+  stream::StreamStatsSnapshot stats = engine.stats();
+  std::printf("\nEngine counters:\n%s", stats.ToString().c_str());
+
+  // The collector's per-level outlier snapshot — what a dashboard polls,
+  // and the escalation hook: each active/raised alarm entity is a
+  // candidate for a full Algorithm-1 query (HierarchicalDetector) to get
+  // the <global score, outlierness, support> triple.
+  stream::EngineSnapshot snapshot = engine.Snapshot();
+  std::printf("\nPer-level outlier state (snapshot #%llu):\n",
+              static_cast<unsigned long long>(snapshot.sequence));
+  for (int value = 1; value <= hierarchy::kNumLevels; ++value) {
+    const stream::LevelOutlierState& level =
+        snapshot.levels[static_cast<size_t>(value) - 1];
+    if (level.outlier_samples == 0 && level.alarms_raised == 0) continue;
+    std::printf(
+        "  %-20s outlier_samples=%-4llu alarms=%llu peak_score=%.2f\n",
+        std::string(hierarchy::LevelName(
+                        hierarchy::LevelFromValue(value).value()))
+            .c_str(),
+        static_cast<unsigned long long>(level.outlier_samples),
+        static_cast<unsigned long long>(level.alarms_raised),
+        level.peak_score);
+  }
+
+  // Alert episodes: the fault burst and the setpoint-change onset on A;
+  // chamber_temp_b alarms only at the setpoint change — the redundant
+  // sensor NOT seeing the t=400 burst is exactly the paper's support
+  // signal for suspecting a measurement error.
+  std::printf("\nAlert episodes (merged, strongest first):\n");
+  for (const core::AlertEpisode& episode : engine.Episodes()) {
+    std::printf("  %-16s t=[%.0f,%.0f] findings=%zu peak=%.2f %s\n",
+                episode.entity.c_str(), episode.start_time, episode.end_time,
+                episode.finding_count, episode.peak_outlierness,
+                std::string(core::AlertSeverityName(episode.severity)).c_str());
+  }
+  engine.Stop();
+
+  // Concept-shift pass over sensor A distinguishes the two events: the
+  // fault reverted, the setpoint change persisted.
+  ts::TimeSeries recorded("chamber_temp_a", 0.0, 1.0, temp_a);
   core::ConceptShiftOptions shift_options;
-  // Timescale choice: anything that reverts within 16 samples is a
-  // transient for this process (the fault lasts 8), and the chamber noise
-  // is strongly autocorrelated, so give CUSUM generous per-sample slack.
   shift_options.min_persistence = 16;
   shift_options.drift_allowance = 1.0;
   auto shifts_or = core::DetectConceptShifts(recorded, shift_options);

@@ -15,6 +15,11 @@ void AlertManager::IngestReport(const HierarchicalOutlierReport& report) {
   for (const OutlierFinding& finding : report.findings) Ingest(finding);
 }
 
+void AlertManager::IngestBatch(const std::vector<OutlierFinding>& findings) {
+  findings_.reserve(findings_.size() + findings.size());
+  for (const OutlierFinding& finding : findings) Ingest(finding);
+}
+
 std::vector<AlertEpisode> AlertManager::BuildEpisodes(
     bool measurement_errors) const {
   // Group by entity, then sweep time-sorted findings into episodes.

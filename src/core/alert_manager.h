@@ -50,6 +50,10 @@ class AlertManager {
   /// Ingests every finding of a report.
   void IngestReport(const HierarchicalOutlierReport& report);
 
+  /// Ingests a batch of findings (the streaming collector's path: one
+  /// call per drained micro-batch instead of one per finding).
+  void IngestBatch(const std::vector<OutlierFinding>& findings);
+
   size_t findings_ingested() const { return findings_.size(); }
 
   /// Builds the episode list: per entity, time-sorted findings merged by

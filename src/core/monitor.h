@@ -56,6 +56,7 @@ class OnlineMonitor {
   StatusOr<MonitorUpdate> Push(double sample);
 
   size_t samples_seen() const { return samples_seen_; }
+  const OnlineMonitorOptions& options() const { return options_; }
   bool model_ready() const { return model_ready_; }
   bool alarm() const { return alarm_; }
   /// Number of alarm episodes raised so far.

@@ -6,10 +6,11 @@
 ///   #include "hod.h"
 ///
 /// Brings in the production hierarchy, the hierarchical detector
-/// (Algorithm 1), the full Table-1 detector registry, the simulator, and
-/// the evaluation metrics. Individual headers remain includable directly
-/// for faster builds.
+/// (Algorithm 1), the full Table-1 detector registry, the streaming
+/// engine, the simulator, and the evaluation metrics. Individual headers
+/// remain includable directly for faster builds.
 
+#include "core/alert_manager.h"         // IWYU pragma: export
 #include "core/algorithm_selector.h"    // IWYU pragma: export
 #include "core/concept_shift.h"         // IWYU pragma: export
 #include "core/hierarchical_detector.h" // IWYU pragma: export
@@ -29,8 +30,11 @@
 #include "hierarchy/serialization.h"    // IWYU pragma: export
 #include "sim/datasets.h"               // IWYU pragma: export
 #include "sim/plant.h"                  // IWYU pragma: export
+#include "stream/engine.h"              // IWYU pragma: export
 #include "timeseries/discrete_sequence.h"  // IWYU pragma: export
+#include "timeseries/rolling.h"         // IWYU pragma: export
 #include "timeseries/time_series.h"     // IWYU pragma: export
+#include "timeseries/window.h"          // IWYU pragma: export
 #include "util/status.h"                // IWYU pragma: export
 #include "util/statusor.h"              // IWYU pragma: export
 

@@ -1,0 +1,243 @@
+#include "stream/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hod::stream {
+
+namespace {
+
+size_t EffectiveShards(const StreamEngineOptions& options) {
+  if (options.synchronous) return 1;  // one shard, scored inline
+  return options.num_shards == 0 ? 1 : options.num_shards;
+}
+
+ShardedScorerOptions MakeScorerOptions(const StreamEngineOptions& options) {
+  ShardedScorerOptions scorer;
+  scorer.num_shards = EffectiveShards(options);
+  scorer.queue_capacity = options.queue_capacity;
+  scorer.max_batch = options.max_batch;
+  scorer.backpressure = options.backpressure;
+  scorer.monitor = options.monitor;
+  scorer.forward_threshold = options.monitor.threshold;
+  return scorer;
+}
+
+}  // namespace
+
+StreamEngine::StreamEngine(StreamEngineOptions options)
+    : options_(options),
+      stats_(EffectiveShards(options)),
+      collector_queue_(options.collector_queue_capacity,
+                       BackpressurePolicy::kBlock),
+      router_(EffectiveShards(options), options.out_of_order_tolerance,
+              &stats_),
+      scorer_(MakeScorerOptions(options), &stats_, &collector_queue_),
+      alerts_(options.alerts) {}
+
+StreamEngine::~StreamEngine() { (void)Stop(); }
+
+Status StreamEngine::AddSensor(const std::string& sensor_id,
+                               hierarchy::ProductionLevel level) {
+  if (state_.load() != kConfiguring) {
+    return Status::FailedPrecondition("engine already started");
+  }
+  return router_.AddSensor(sensor_id, level);
+}
+
+Status StreamEngine::Start() {
+  if (state_.load() != kConfiguring) {
+    return Status::FailedPrecondition("engine already started");
+  }
+  if (router_.num_sensors() == 0) {
+    return Status::FailedPrecondition("no sensors registered");
+  }
+  for (size_t shard = 0; shard < scorer_.num_shards(); ++shard) {
+    for (const std::string& sensor_id : router_.SensorsForShard(shard)) {
+      HOD_RETURN_IF_ERROR(scorer_.AddSensor(shard, sensor_id));
+    }
+  }
+  if (!options_.synchronous) {
+    HOD_RETURN_IF_ERROR(scorer_.Start());
+    collector_ = std::jthread([this] { CollectorLoop(); });
+  }
+  state_.store(kRunning);
+  return Status::Ok();
+}
+
+StatusOr<IngestAck> StreamEngine::Ingest(const SensorSample& sample) {
+  if (state_.load() != kRunning) {
+    return Status::FailedPrecondition("engine not running");
+  }
+  HOD_ASSIGN_OR_RETURN(size_t shard, router_.Route(sample));
+  IngestAck ack;
+  if (options_.synchronous) {
+    HOD_ASSIGN_OR_RETURN(core::MonitorUpdate update,
+                         scorer_.ScoreNow(shard, sample));
+    ack.enqueued = true;
+    ack.update = update;
+    // Drain whatever the scorer forwarded, inline.
+    std::vector<ScoredSample> forwarded;
+    while (collector_queue_.TryPopBatch(forwarded, options_.max_batch) > 0) {
+      for (const ScoredSample& scored : forwarded) ConsumeScored(scored);
+      forwarded.clear();
+    }
+    if (!pending_findings_.empty()) {
+      std::lock_guard<std::mutex> lock(alerts_mu_);
+      alerts_.IngestBatch(pending_findings_);
+      pending_findings_.clear();
+    }
+    return ack;
+  }
+  HOD_RETURN_IF_ERROR(scorer_.Submit(shard, sample));
+  ack.enqueued = true;
+  return ack;
+}
+
+Status StreamEngine::Flush() {
+  const int state = state_.load();
+  if (state == kStopped) return Status::Ok();
+  if (state != kRunning) {
+    return Status::FailedPrecondition("engine not running");
+  }
+  if (options_.synchronous) {
+    PublishSnapshot();
+    return Status::Ok();
+  }
+  HOD_RETURN_IF_ERROR(scorer_.Flush());
+  std::unique_lock<std::mutex> lock(collector_mu_);
+  collector_cv_.wait(lock, [&] {
+    return collected_.load(std::memory_order_acquire) == scorer_.forwarded();
+  });
+  return Status::Ok();
+}
+
+Status StreamEngine::Stop() {
+  const int state = state_.exchange(kStopped);
+  if (state == kStopped) return Status::Ok();
+  if (state == kConfiguring || options_.synchronous) {
+    if (state == kRunning) PublishSnapshot();
+    return Status::Ok();
+  }
+  // Workers first: joining them guarantees every accepted sample has been
+  // scored and every interesting one forwarded. Then the collector drains
+  // the closed queue, publishes the final snapshot, and exits.
+  scorer_.Stop();
+  collector_queue_.Close();
+  if (collector_.joinable()) collector_.join();
+  return Status::Ok();
+}
+
+StreamStatsSnapshot StreamEngine::stats() const {
+  StreamStatsSnapshot snapshot = stats_.Snapshot();
+  scorer_.FillQueueStats(snapshot);
+  return snapshot;
+}
+
+EngineSnapshot StreamEngine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return published_;
+}
+
+std::vector<core::AlertEpisode> StreamEngine::Episodes() const {
+  std::lock_guard<std::mutex> lock(alerts_mu_);
+  return alerts_.Episodes();
+}
+
+StatusOr<SensorProbe> StreamEngine::Probe(const std::string& sensor_id) const {
+  return scorer_.Probe(sensor_id);
+}
+
+void StreamEngine::CollectorLoop() {
+  std::vector<ScoredSample> batch;
+  batch.reserve(options_.max_batch);
+  while (collector_queue_.PopBatch(batch, options_.max_batch)) {
+    for (const ScoredSample& scored : batch) ConsumeScored(scored);
+    if (!pending_findings_.empty()) {
+      std::lock_guard<std::mutex> lock(alerts_mu_);
+      alerts_.IngestBatch(pending_findings_);
+      pending_findings_.clear();
+    }
+    collected_.fetch_add(batch.size(), std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(collector_mu_);
+    }
+    collector_cv_.notify_all();
+    // A drained queue is a quiescent point — publish so Flush() callers
+    // observe a current snapshot.
+    if (collector_queue_.size() == 0) PublishSnapshot();
+    batch.clear();
+  }
+  PublishSnapshot();
+}
+
+void StreamEngine::ConsumeScored(const ScoredSample& scored) {
+  ++events_seen_;
+  const int level_value = hierarchy::LevelValue(scored.level);
+  const size_t level_index =
+      static_cast<size_t>(std::clamp(level_value, 1, hierarchy::kNumLevels)) -
+      1;
+  LevelOutlierState& level = levels_[level_index];
+  const core::MonitorUpdate& update = scored.update;
+  const bool outlier = update.score > options_.monitor.threshold;
+
+  if (outlier) {
+    ++level.outlier_samples;
+    level.peak_score = std::max(level.peak_score, update.score);
+    level.last_outlier_ts = scored.ts;
+  }
+  if (update.alarm_raised) {
+    ++level.alarms_raised;
+    ++level.active_alarms;
+    ActiveAlarm& alarm = active_alarms_[scored.sensor_id];
+    alarm.sensor_id = scored.sensor_id;
+    alarm.level = scored.level;
+    alarm.since = scored.ts;
+    alarm.peak_score = update.score;
+  } else if (update.alarm) {
+    auto it = active_alarms_.find(scored.sensor_id);
+    if (it != active_alarms_.end()) {
+      it->second.peak_score = std::max(it->second.peak_score, update.score);
+    }
+  }
+  if (update.alarm_cleared) {
+    ++level.alarms_cleared;
+    if (level.active_alarms > 0) --level.active_alarms;
+    active_alarms_.erase(scored.sensor_id);
+  }
+
+  if (outlier) {
+    core::OutlierFinding finding;
+    finding.origin.level = scored.level;
+    finding.origin.entity = scored.sensor_id;
+    finding.origin.time = scored.ts;
+    finding.origin.score = update.score;
+    finding.global_score = 1;
+    finding.outlierness = update.score;
+    finding.support = 0.0;
+    finding.corresponding_sensors = 0;
+    finding.confirmed_levels = {scored.level};
+    pending_findings_.push_back(std::move(finding));
+  }
+
+  if (options_.snapshot_every > 0 &&
+      events_seen_ - events_at_last_snapshot_ >= options_.snapshot_every) {
+    PublishSnapshot();
+  }
+}
+
+void StreamEngine::PublishSnapshot() {
+  EngineSnapshot snapshot;
+  snapshot.sequence = next_sequence_++;
+  snapshot.events_seen = events_seen_;
+  snapshot.levels = levels_;
+  snapshot.active_alarms.reserve(active_alarms_.size());
+  for (const auto& [id, alarm] : active_alarms_) {
+    snapshot.active_alarms.push_back(alarm);
+  }
+  events_at_last_snapshot_ = events_seen_;
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  published_ = std::move(snapshot);
+}
+
+}  // namespace hod::stream

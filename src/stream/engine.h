@@ -1,0 +1,202 @@
+#ifndef HOD_STREAM_ENGINE_H_
+#define HOD_STREAM_ENGINE_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/alert_manager.h"
+#include "core/monitor.h"
+#include "hierarchy/level.h"
+#include "stream/queue.h"
+#include "stream/router.h"
+#include "stream/sharded_scorer.h"
+#include "stream/stats.h"
+#include "util/statusor.h"
+
+namespace hod::stream {
+
+/// Configuration of the whole streaming engine.
+struct StreamEngineOptions {
+  /// Worker shards. Sensors are partitioned by stable hash of their id.
+  size_t num_shards = 4;
+  /// Per-shard ingress queue capacity (samples).
+  size_t queue_capacity = 1024;
+  /// Max samples a worker scores per queue drain (micro-batch size).
+  size_t max_batch = 64;
+  /// What a full shard queue does with a new sample.
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Synchronous mode: no threads at all — Ingest validates, scores, and
+  /// collects inline on the caller's thread, and the ack carries the
+  /// monitor update. Deterministic; scores are byte-identical to feeding
+  /// one core::OnlineMonitor per sensor. For tests and replay tools.
+  bool synchronous = false;
+  /// Seconds a sample's timestamp may regress behind its sensor's
+  /// frontier before it is rejected as out-of-order.
+  double out_of_order_tolerance = 0.0;
+  /// Configuration applied to every per-sensor monitor.
+  core::OnlineMonitorOptions monitor;
+  /// Alert episode building. Stream findings start at global score 1, so
+  /// the default board admits INFO — otherwise weak-but-real alarm
+  /// episodes would be invisible.
+  core::AlertManagerOptions alerts{30.0, core::AlertSeverity::kInfo};
+  /// Capacity of the scorer → collector queue (always lossless/blocking).
+  size_t collector_queue_capacity = 4096;
+  /// Collector publishes a fresh EngineSnapshot every this many outlier
+  /// events (and always on Flush/Stop).
+  size_t snapshot_every = 256;
+};
+
+/// Result of one Ingest call.
+struct IngestAck {
+  /// True when the sample was enqueued (threaded) or scored (synchronous).
+  bool enqueued = false;
+  /// Synchronous mode only: the monitor's verdict for this sample.
+  std::optional<core::MonitorUpdate> update;
+};
+
+/// Aggregate outlier state of one hierarchy level.
+struct LevelOutlierState {
+  uint64_t outlier_samples = 0;  ///< forwarded samples above threshold
+  uint64_t alarms_raised = 0;
+  uint64_t alarms_cleared = 0;
+  uint64_t active_alarms = 0;
+  double peak_score = 0.0;
+  ts::TimePoint last_outlier_ts = 0.0;
+};
+
+/// One sensor currently in alarm.
+struct ActiveAlarm {
+  std::string sensor_id;
+  hierarchy::ProductionLevel level = hierarchy::ProductionLevel::kPhase;
+  ts::TimePoint since = 0.0;
+  double peak_score = 0.0;
+};
+
+/// Periodic cross-level outlier snapshot — the escalation hook: feed the
+/// active-alarm entities into core::HierarchicalDetector (e.g. a
+/// FindPhaseOutliers query per alarming sensor) to compute the full
+/// ⟨global score, outlierness, support⟩ triple for what the stream tier
+/// flagged cheaply.
+struct EngineSnapshot {
+  /// Monotone snapshot counter (0 = nothing published yet).
+  uint64_t sequence = 0;
+  /// Collector events consumed when this snapshot was taken.
+  uint64_t events_seen = 0;
+  /// Indexed by LevelValue(level) - 1.
+  std::array<LevelOutlierState, hierarchy::kNumLevels> levels{};
+  /// Sensors in alarm right now, sorted by id.
+  std::vector<ActiveAlarm> active_alarms;
+};
+
+/// The streaming facade: router → sharded scorer → collector.
+///
+///   StreamEngine engine(options);
+///   engine.AddSensor("m1.bed_temp_a", hierarchy::ProductionLevel::kPhase);
+///   engine.Start();
+///   engine.Ingest({"m1.bed_temp_a", level, ts, value});   // any thread
+///   engine.Stop();                // drains every queue, joins workers
+///   auto episodes = engine.Episodes();
+///
+/// Threading: Ingest is safe from any number of producer threads. Each
+/// sensor's samples are scored in arrival order by exactly one worker
+/// (stable hash → shard), so per-sensor results are identical to a
+/// single-threaded run. The collector is the only thread touching the
+/// AlertManager and the snapshot state.
+class StreamEngine {
+ public:
+  explicit StreamEngine(StreamEngineOptions options = {});
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// Registers a sensor before Start(). Unregistered sensors are rejected
+  /// at ingest with NotFound.
+  Status AddSensor(const std::string& sensor_id,
+                   hierarchy::ProductionLevel level =
+                       hierarchy::ProductionLevel::kPhase);
+
+  /// Seals the registry and (threaded mode) spawns workers + collector.
+  Status Start();
+
+  /// Validates, routes, and scores (sync) or enqueues (threaded) one
+  /// sample. Typed errors: InvalidArgument (non-finite, level mismatch),
+  /// NotFound (unknown sensor), OutOfRange (out-of-order or queue full
+  /// under kReject).
+  StatusOr<IngestAck> Ingest(const SensorSample& sample);
+
+  /// Blocks until every accepted sample has been scored and collected,
+  /// then publishes a fresh snapshot. Call with producers quiescent.
+  Status Flush();
+
+  /// Drains all queues, joins all threads, publishes the final snapshot.
+  /// Idempotent; the engine cannot be restarted.
+  Status Stop();
+
+  bool running() const { return state_.load() == kRunning; }
+  size_t num_shards() const { return scorer_.num_shards(); }
+  size_t num_sensors() const { return router_.num_sensors(); }
+  const StreamEngineOptions& options() const { return options_; }
+
+  /// Counter snapshot. Exact in synchronous mode and after Stop();
+  /// instantaneous-but-consistent-enough while threads run.
+  StreamStatsSnapshot stats() const;
+
+  /// Latest published per-level outlier snapshot (sequence 0 if none).
+  EngineSnapshot Snapshot() const;
+
+  /// Alert episodes built from forwarded outlier findings.
+  std::vector<core::AlertEpisode> Episodes() const;
+
+  /// Monitor state of one sensor. FailedPrecondition while workers run
+  /// (stop or flush-in-sync-mode first).
+  StatusOr<SensorProbe> Probe(const std::string& sensor_id) const;
+
+ private:
+  enum State { kConfiguring, kRunning, kStopped };
+
+  void CollectorLoop();
+  /// Collector-thread only (or caller thread in synchronous mode).
+  void ConsumeScored(const ScoredSample& scored);
+  void PublishSnapshot();
+
+  StreamEngineOptions options_;
+  StreamStats stats_;
+  BoundedQueue<ScoredSample> collector_queue_;
+  IngestRouter router_;
+  ShardedScorer scorer_;
+  std::jthread collector_;
+  std::atomic<int> state_{kConfiguring};
+
+  /// Collector-private (unsynchronized: single consumer — the collector
+  /// thread, or the caller thread in synchronous mode).
+  std::array<LevelOutlierState, hierarchy::kNumLevels> levels_{};
+  std::map<std::string, ActiveAlarm> active_alarms_;
+  uint64_t events_seen_ = 0;
+  uint64_t events_at_last_snapshot_ = 0;
+  uint64_t next_sequence_ = 1;
+
+  /// Collector drain tracking, for Flush.
+  std::mutex collector_mu_;
+  std::condition_variable collector_cv_;
+  std::atomic<uint64_t> collected_{0};
+
+  mutable std::mutex alerts_mu_;
+  core::AlertManager alerts_;
+  std::vector<core::OutlierFinding> pending_findings_;
+
+  mutable std::mutex snapshot_mu_;
+  EngineSnapshot published_;
+};
+
+}  // namespace hod::stream
+
+#endif  // HOD_STREAM_ENGINE_H_

@@ -1,0 +1,173 @@
+#ifndef HOD_STREAM_QUEUE_H_
+#define HOD_STREAM_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hod::stream {
+
+/// What a full queue does with a new sample.
+enum class BackpressurePolicy {
+  /// Producer blocks until the consumer frees a slot (lossless; transfers
+  /// backpressure upstream — the right default for replay/batch feeds).
+  kBlock,
+  /// Evict the oldest queued sample to admit the new one (bounded
+  /// staleness; the right policy for live telemetry where the newest
+  /// reading is worth more than the oldest). Evictions are counted.
+  kDropOldest,
+  /// Refuse the new sample with OutOfRange (caller-visible load shedding).
+  kReject,
+};
+
+std::string_view BackpressurePolicyName(BackpressurePolicy policy);
+
+/// Bounded multi-producer / single-consumer FIFO over a fixed ring buffer.
+///
+/// Producers call `Push` concurrently; the single consumer drains with
+/// `PopBatch`. All state is guarded by one mutex — the consumer amortizes
+/// it by taking up to `max_batch` items per acquisition, so the scoring
+/// hot path (which runs *between* drains, on shard-private state) holds no
+/// lock at all.
+///
+/// `Close()` ends the stream: blocked producers and the consumer wake,
+/// further pushes fail, and `PopBatch` keeps returning queued items until
+/// the ring is empty, then reports exhaustion.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity,
+                        BackpressurePolicy policy = BackpressurePolicy::kBlock)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        policy_(policy),
+        ring_(capacity_) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues one item, applying the backpressure policy when full.
+  /// Returns FailedPrecondition after Close(), OutOfRange when rejected.
+  Status Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return Status::FailedPrecondition("queue closed");
+    if (size_ == capacity_) {
+      switch (policy_) {
+        case BackpressurePolicy::kBlock:
+          not_full_.wait(lock, [&] { return size_ < capacity_ || closed_; });
+          if (closed_) return Status::FailedPrecondition("queue closed");
+          break;
+        case BackpressurePolicy::kDropOldest:
+          head_ = (head_ + 1) % capacity_;
+          --size_;
+          ++dropped_;
+          break;
+        case BackpressurePolicy::kReject:
+          ++rejected_;
+          return Status::OutOfRange("queue full");
+      }
+    }
+    ring_[(head_ + size_) % capacity_] = std::move(item);
+    ++size_;
+    if (size_ > high_water_) high_water_ = size_;
+    not_empty_.notify_one();
+    return Status::Ok();
+  }
+
+  /// Moves up to `max_batch` items into `out` (appended). Blocks while the
+  /// queue is open and empty. Returns false once the queue is closed AND
+  /// drained — the consumer's signal to exit its loop.
+  bool PopBatch(std::vector<T>& out, size_t max_batch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return false;  // closed and drained
+    const size_t n = std::min(size_, max_batch == 0 ? size_t{1} : max_batch);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(ring_[head_]));
+      head_ = (head_ + 1) % capacity_;
+      --size_;
+    }
+    not_full_.notify_all();
+    return true;
+  }
+
+  /// Non-blocking PopBatch: takes whatever is queued right now (up to
+  /// `max_batch`) without waiting. Returns the number of items taken.
+  size_t TryPopBatch(std::vector<T>& out, size_t max_batch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t n = std::min(size_, max_batch == 0 ? size_ : max_batch);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(ring_[head_]));
+      head_ = (head_ + 1) % capacity_;
+      --size_;
+    }
+    if (n > 0) not_full_.notify_all();
+    return n;
+  }
+
+  /// Ends the stream (idempotent): wakes every waiter; queued items remain
+  /// poppable.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+  size_t capacity() const { return capacity_; }
+  BackpressurePolicy policy() const { return policy_; }
+  /// Samples evicted by kDropOldest.
+  uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+  /// Samples refused by kReject.
+  uint64_t rejected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_;
+  }
+  /// Deepest the queue has ever been (sizing/backpressure diagnostics).
+  size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+ private:
+  const size_t capacity_;
+  const BackpressurePolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<T> ring_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  size_t high_water_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t rejected_ = 0;
+  bool closed_ = false;
+};
+
+inline std::string_view BackpressurePolicyName(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock: return "block";
+    case BackpressurePolicy::kDropOldest: return "drop-oldest";
+    case BackpressurePolicy::kReject: return "reject";
+  }
+  return "?";
+}
+
+}  // namespace hod::stream
+
+#endif  // HOD_STREAM_QUEUE_H_

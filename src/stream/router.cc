@@ -1,0 +1,85 @@
+#include "stream/router.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hod::stream {
+
+uint64_t StableHash64(std::string_view bytes) {
+  uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+IngestRouter::IngestRouter(size_t num_shards, double out_of_order_tolerance,
+                           StreamStats* stats)
+    : num_shards_(num_shards == 0 ? 1 : num_shards),
+      out_of_order_tolerance_(out_of_order_tolerance < 0.0
+                                  ? 0.0
+                                  : out_of_order_tolerance),
+      stats_(stats) {}
+
+Status IngestRouter::AddSensor(const std::string& sensor_id,
+                               hierarchy::ProductionLevel level) {
+  if (sensor_id.empty()) {
+    return Status::InvalidArgument("empty sensor id");
+  }
+  auto entry = std::make_unique<SensorEntry>();
+  entry->level = level;
+  entry->shard = static_cast<size_t>(StableHash64(sensor_id) % num_shards_);
+  auto [it, inserted] = sensors_.emplace(sensor_id, std::move(entry));
+  if (!inserted) {
+    return Status::InvalidArgument("sensor already registered: " + sensor_id);
+  }
+  return Status::Ok();
+}
+
+StatusOr<size_t> IngestRouter::Route(const SensorSample& sample) {
+  if (!std::isfinite(sample.value) || !std::isfinite(sample.ts)) {
+    if (stats_ != nullptr) stats_->RecordRejectedNonFinite();
+    return Status::InvalidArgument("non-finite sample for sensor " +
+                                   sample.sensor_id);
+  }
+  auto it = sensors_.find(sample.sensor_id);
+  if (it == sensors_.end()) {
+    if (stats_ != nullptr) stats_->RecordRejectedUnknownSensor();
+    return Status::NotFound("unknown sensor: " + sample.sensor_id);
+  }
+  SensorEntry& entry = *it->second;
+  if (entry.level != sample.level) {
+    if (stats_ != nullptr) stats_->RecordRejectedLevelMismatch();
+    return Status::InvalidArgument("sensor " + sample.sensor_id +
+                                   " registered at a different level");
+  }
+  // CAS-max: accept a sample whose timestamp is no more than the tolerance
+  // behind the furthest accepted one, and advance the frontier otherwise.
+  ts::TimePoint seen = entry.last_ts.load(std::memory_order_relaxed);
+  while (true) {
+    if (sample.ts + out_of_order_tolerance_ < seen) {
+      if (stats_ != nullptr) stats_->RecordRejectedOutOfOrder();
+      return Status::OutOfRange("out-of-order sample for sensor " +
+                                sample.sensor_id);
+    }
+    if (sample.ts <= seen) break;  // within tolerance, frontier unchanged
+    if (entry.last_ts.compare_exchange_weak(seen, sample.ts,
+                                            std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  if (stats_ != nullptr) stats_->RecordIngested();
+  return entry.shard;
+}
+
+std::vector<std::string> IngestRouter::SensorsForShard(size_t shard) const {
+  std::vector<std::string> ids;
+  for (const auto& [id, entry] : sensors_) {
+    if (entry->shard == shard) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace hod::stream

@@ -1,0 +1,87 @@
+#ifndef HOD_STREAM_ROUTER_H_
+#define HOD_STREAM_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "hierarchy/level.h"
+#include "stream/stats.h"
+#include "timeseries/time_series.h"
+#include "util/statusor.h"
+
+namespace hod::stream {
+
+/// One timestamped reading from one sensor, as it arrives off the wire.
+struct SensorSample {
+  std::string sensor_id;
+  /// Hierarchy level the sensor reports at (phase sensors, environment
+  /// channels, ...). Carried on every sample so the collector can keep
+  /// per-level outlier state without a registry lookup.
+  hierarchy::ProductionLevel level = hierarchy::ProductionLevel::kPhase;
+  ts::TimePoint ts = 0.0;
+  double value = 0.0;
+};
+
+/// Stable 64-bit FNV-1a hash — the shard assignment must not change across
+/// runs or platforms, or per-sensor ordering (and test determinism) breaks.
+uint64_t StableHash64(std::string_view bytes);
+
+/// Ingress validation and shard routing.
+///
+/// Sensors are registered before the engine starts; the registry is
+/// immutable afterwards, so concurrent `Route` calls only ever read the
+/// map (no lock). The single mutable per-sensor field — the last accepted
+/// timestamp, used for the out-of-order check — is an atomic advanced by
+/// CAS-max, which keeps `Route` thread-safe even if one sensor's samples
+/// arrive from several producer threads.
+class IngestRouter {
+ public:
+  /// `stats` must outlive the router; may be nullptr (no counting).
+  IngestRouter(size_t num_shards, double out_of_order_tolerance,
+               StreamStats* stats);
+
+  /// Registers a sensor and assigns its shard (stable hash of the id).
+  /// Not thread-safe; call before any `Route`.
+  Status AddSensor(const std::string& sensor_id,
+                   hierarchy::ProductionLevel level);
+
+  /// Validates one sample and returns the shard to score it on. Errors:
+  /// InvalidArgument (non-finite value, level mismatch), NotFound (unknown
+  /// sensor), OutOfRange (timestamp regressed beyond tolerance). Each
+  /// rejection bumps its typed counter.
+  StatusOr<size_t> Route(const SensorSample& sample);
+
+  size_t num_shards() const { return num_shards_; }
+  size_t num_sensors() const { return sensors_.size(); }
+
+  /// Ids of the sensors assigned to `shard`, sorted — used by the scorer
+  /// to build each shard's monitors.
+  std::vector<std::string> SensorsForShard(size_t shard) const;
+
+ private:
+  struct SensorEntry {
+    hierarchy::ProductionLevel level;
+    size_t shard;
+    /// Last accepted timestamp; CAS-max so it only moves forward.
+    std::atomic<ts::TimePoint> last_ts{
+        -std::numeric_limits<ts::TimePoint>::infinity()};
+  };
+
+  const size_t num_shards_;
+  const double out_of_order_tolerance_;
+  StreamStats* stats_;
+  /// Hot-path lookup table: O(1) per Route (the map is read-only once the
+  /// engine starts). unique_ptr values: SensorEntry holds an atomic
+  /// (immovable), and node stability keeps entry pointers valid.
+  std::unordered_map<std::string, std::unique_ptr<SensorEntry>> sensors_;
+};
+
+}  // namespace hod::stream
+
+#endif  // HOD_STREAM_ROUTER_H_

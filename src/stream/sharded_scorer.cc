@@ -1,0 +1,194 @@
+#include "stream/sharded_scorer.h"
+
+#include <utility>
+
+namespace hod::stream {
+
+ShardedScorer::ShardedScorer(const ShardedScorerOptions& options,
+                             StreamStats* stats,
+                             BoundedQueue<ScoredSample>* collector)
+    : options_(options), stats_(stats), collector_(collector) {
+  const size_t n = options_.num_shards == 0 ? 1 : options_.num_shards;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(options_.queue_capacity,
+                                              options_.backpressure));
+  }
+}
+
+ShardedScorer::~ShardedScorer() { Stop(); }
+
+Status ShardedScorer::AddSensor(size_t shard, const std::string& sensor_id) {
+  if (running_) {
+    return Status::FailedPrecondition("scorer already started");
+  }
+  if (shard >= shards_.size()) {
+    return Status::OutOfRange("shard index out of range");
+  }
+  auto [it, inserted] = shards_[shard]->monitors.emplace(
+      sensor_id, core::OnlineMonitor(options_.monitor));
+  if (!inserted) {
+    return Status::InvalidArgument("sensor already on shard: " + sensor_id);
+  }
+  return Status::Ok();
+}
+
+Status ShardedScorer::Start() {
+  if (running_) return Status::FailedPrecondition("scorer already started");
+  if (stopped_) return Status::FailedPrecondition("scorer already stopped");
+  running_ = true;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->worker = std::jthread([this, i] { WorkerLoop(i); });
+  }
+  return Status::Ok();
+}
+
+Status ShardedScorer::Submit(size_t shard, SensorSample sample) {
+  if (shard >= shards_.size()) {
+    return Status::OutOfRange("shard index out of range");
+  }
+  Shard& s = *shards_[shard];
+  // Count before pushing: the worker may process the sample before this
+  // line otherwise, and Flush would see processed > submitted.
+  s.submitted.fetch_add(1, std::memory_order_relaxed);
+  Status status = s.queue.Push(std::move(sample));
+  if (!status.ok()) {
+    s.submitted.fetch_sub(1, std::memory_order_relaxed);
+    if (status.code() == StatusCode::kOutOfRange && stats_ != nullptr) {
+      stats_->RecordRejectedQueueFull();
+    }
+    return status;
+  }
+  return Status::Ok();
+}
+
+StatusOr<core::MonitorUpdate> ShardedScorer::ScoreNow(
+    size_t shard, const SensorSample& sample) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "ScoreNow is synchronous-mode only; workers are running");
+  }
+  if (shard >= shards_.size()) {
+    return Status::OutOfRange("shard index out of range");
+  }
+  Shard& s = *shards_[shard];
+  auto it = s.monitors.find(sample.sensor_id);
+  if (it == s.monitors.end()) {
+    return Status::NotFound("no monitor for sensor: " + sample.sensor_id);
+  }
+  HOD_ASSIGN_OR_RETURN(core::MonitorUpdate update,
+                       it->second.Push(sample.value));
+  if (stats_ != nullptr) {
+    stats_->RecordScored(1);
+    stats_->RecordBatch(1);
+    if (update.alarm_raised) stats_->RecordAlarmRaised();
+    if (update.alarm_cleared) stats_->RecordAlarmCleared();
+  }
+  if (collector_ != nullptr &&
+      (update.alarm_raised || update.alarm_cleared ||
+       update.score > options_.forward_threshold)) {
+    ScoredSample scored{sample.sensor_id, sample.level, sample.ts,
+                        sample.value, update};
+    // Internal pipeline edge: lossless regardless of the ingress policy.
+    (void)collector_->Push(std::move(scored));
+    forwarded_.fetch_add(1, std::memory_order_release);
+  }
+  return update;
+}
+
+Status ShardedScorer::Flush() {
+  if (!running_) return Status::Ok();
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  flush_cv_.wait(lock, [&] {
+    for (const auto& shard : shards_) {
+      // Evicted (kDropOldest) samples were submitted but never reach the
+      // worker — they count as handled.
+      if (shard->processed.load(std::memory_order_acquire) +
+              shard->queue.dropped() !=
+          shard->submitted.load(std::memory_order_acquire)) {
+        return false;
+      }
+    }
+    return true;
+  });
+  return Status::Ok();
+}
+
+void ShardedScorer::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& shard : shards_) shard->queue.Close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  running_ = false;
+}
+
+void ShardedScorer::FillQueueStats(StreamStatsSnapshot& snapshot) const {
+  snapshot.dropped = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const uint64_t high_water = shards_[i]->queue.high_water();
+    if (i < snapshot.shard_queue_high_water.size()) {
+      snapshot.shard_queue_high_water[i] = high_water;
+    }
+    snapshot.dropped += shards_[i]->queue.dropped();
+  }
+}
+
+StatusOr<SensorProbe> ShardedScorer::Probe(
+    const std::string& sensor_id) const {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "Probe requires a stopped or synchronous scorer");
+  }
+  for (const auto& shard : shards_) {
+    auto it = shard->monitors.find(sensor_id);
+    if (it == shard->monitors.end()) continue;
+    SensorProbe probe;
+    probe.samples_seen = it->second.samples_seen();
+    probe.alarms_raised = it->second.alarms_raised();
+    probe.alarm = it->second.alarm();
+    probe.model_ready = it->second.model_ready();
+    return probe;
+  }
+  return Status::NotFound("no monitor for sensor: " + sensor_id);
+}
+
+void ShardedScorer::WorkerLoop(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  std::vector<SensorSample> batch;
+  batch.reserve(options_.max_batch);
+  while (shard.queue.PopBatch(batch, options_.max_batch)) {
+    if (stats_ != nullptr) stats_->RecordBatch(batch.size());
+    for (SensorSample& sample : batch) ScoreOne(shard, sample);
+    if (stats_ != nullptr) stats_->RecordScored(batch.size());
+    shard.processed.fetch_add(batch.size(), std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+    }
+    flush_cv_.notify_all();
+    batch.clear();
+  }
+}
+
+void ShardedScorer::ScoreOne(Shard& shard, SensorSample& sample) {
+  auto it = shard.monitors.find(sample.sensor_id);
+  if (it == shard.monitors.end()) return;  // router guarantees registration
+  auto update_or = it->second.Push(sample.value);
+  if (!update_or.ok()) return;  // router already filtered non-finite values
+  const core::MonitorUpdate& update = update_or.value();
+  if (stats_ != nullptr) {
+    if (update.alarm_raised) stats_->RecordAlarmRaised();
+    if (update.alarm_cleared) stats_->RecordAlarmCleared();
+  }
+  if (collector_ != nullptr &&
+      (update.alarm_raised || update.alarm_cleared ||
+       update.score > options_.forward_threshold)) {
+    ScoredSample scored{std::move(sample.sensor_id), sample.level, sample.ts,
+                        sample.value, update};
+    (void)collector_->Push(std::move(scored));
+    forwarded_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+}  // namespace hod::stream

@@ -1,0 +1,140 @@
+#ifndef HOD_STREAM_SHARDED_SCORER_H_
+#define HOD_STREAM_SHARDED_SCORER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/monitor.h"
+#include "stream/queue.h"
+#include "stream/router.h"
+#include "stream/stats.h"
+#include "util/statusor.h"
+
+namespace hod::stream {
+
+/// A scored sample forwarded to the collector: the original reading plus
+/// the per-sensor monitor's verdict. Only interesting samples travel this
+/// path (alarm transitions and scores above the forwarding threshold), so
+/// collector traffic stays proportional to outliers, not throughput.
+struct ScoredSample {
+  std::string sensor_id;
+  hierarchy::ProductionLevel level = hierarchy::ProductionLevel::kPhase;
+  ts::TimePoint ts = 0.0;
+  double value = 0.0;
+  core::MonitorUpdate update;
+};
+
+/// Read-only view of one sensor's monitor, for tests and diagnostics.
+/// Only coherent while no worker owns the monitor (synchronous mode, or a
+/// stopped engine).
+struct SensorProbe {
+  uint64_t samples_seen = 0;
+  uint64_t alarms_raised = 0;
+  bool alarm = false;
+  bool model_ready = false;
+};
+
+struct ShardedScorerOptions {
+  size_t num_shards = 4;
+  /// Per-shard queue capacity (samples).
+  size_t queue_capacity = 1024;
+  /// Max samples a worker drains per queue acquisition.
+  size_t max_batch = 64;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Configuration of every per-sensor OnlineMonitor.
+  core::OnlineMonitorOptions monitor;
+  /// Scores above this are forwarded to the collector even without an
+  /// alarm transition (feeds the per-level outlier snapshot).
+  double forward_threshold = 0.5;
+};
+
+/// The scoring tier: N shards, each owning a bounded queue, a worker
+/// thread, and the `core::OnlineMonitor` instances of the sensors hashed
+/// to it. Shard state is strictly thread-private — a sensor's samples are
+/// only ever scored by its shard's worker, so the hot path touches no
+/// shared mutable state and takes no lock (the queue mutex is amortized
+/// over micro-batches).
+class ShardedScorer {
+ public:
+  /// `stats` and `collector` must outlive the scorer; `collector` receives
+  /// forwarded ScoredSamples and may be nullptr (forwarding disabled).
+  ShardedScorer(const ShardedScorerOptions& options, StreamStats* stats,
+                BoundedQueue<ScoredSample>* collector);
+  ~ShardedScorer();
+
+  ShardedScorer(const ShardedScorer&) = delete;
+  ShardedScorer& operator=(const ShardedScorer&) = delete;
+
+  /// Creates the monitor for one sensor on its shard. Call before Start().
+  Status AddSensor(size_t shard, const std::string& sensor_id);
+
+  /// Spawns one worker per shard. Without Start() the scorer is usable
+  /// synchronously via ScoreNow().
+  Status Start();
+
+  /// Enqueues a routed sample onto its shard, applying backpressure.
+  Status Submit(size_t shard, SensorSample sample);
+
+  /// Scores a sample inline on the caller's thread (synchronous mode).
+  /// Must not be mixed with running workers.
+  StatusOr<core::MonitorUpdate> ScoreNow(size_t shard,
+                                         const SensorSample& sample);
+
+  /// Blocks until every submitted sample has been scored. Producers must
+  /// be quiescent for the post-condition to be meaningful.
+  Status Flush();
+
+  /// Closes every queue, drains remaining samples, and joins workers.
+  /// Idempotent.
+  void Stop();
+
+  /// Copies per-shard queue high-water marks and kDropOldest eviction
+  /// counts into `snapshot` (they live in the queues, not in StreamStats).
+  void FillQueueStats(StreamStatsSnapshot& snapshot) const;
+
+  bool running() const { return running_; }
+  size_t num_shards() const { return shards_.size(); }
+  /// Samples forwarded to the collector so far.
+  uint64_t forwarded() const {
+    return forwarded_.load(std::memory_order_acquire);
+  }
+
+  /// Monitor state of one sensor. FailedPrecondition while workers run.
+  StatusOr<SensorProbe> Probe(const std::string& sensor_id) const;
+
+ private:
+  struct Shard {
+    Shard(size_t capacity, BackpressurePolicy policy)
+        : queue(capacity, policy) {}
+    BoundedQueue<SensorSample> queue;
+    std::map<std::string, core::OnlineMonitor> monitors;
+    std::atomic<uint64_t> submitted{0};
+    std::atomic<uint64_t> processed{0};
+    std::jthread worker;
+  };
+
+  void WorkerLoop(size_t shard_index);
+  /// Scores one sample against its monitor; forwards interesting updates.
+  void ScoreOne(Shard& shard, SensorSample& sample);
+
+  ShardedScorerOptions options_;
+  StreamStats* stats_;
+  BoundedQueue<ScoredSample>* collector_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> forwarded_{0};
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  bool running_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace hod::stream
+
+#endif  // HOD_STREAM_SHARDED_SCORER_H_

@@ -1,0 +1,76 @@
+#include "stream/stats.h"
+
+#include <sstream>
+
+namespace hod::stream {
+
+void StreamStats::RecordBatch(size_t batch) {
+  size_t bucket = 0;
+  while ((size_t{1} << (bucket + 1)) <= batch && bucket + 1 < kBatchBuckets) {
+    ++bucket;
+  }
+  batch_histogram_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+void StreamStats::UpdateShardHighWater(size_t shard, uint64_t depth) {
+  if (shard >= shard_high_water_.size()) return;
+  std::atomic<uint64_t>& hw = shard_high_water_[shard];
+  uint64_t seen = hw.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !hw.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+StreamStatsSnapshot StreamStats::Snapshot() const {
+  StreamStatsSnapshot snapshot;
+  snapshot.ingested = ingested_.load(std::memory_order_relaxed);
+  snapshot.scored = scored_.load(std::memory_order_relaxed);
+  snapshot.rejected_queue_full =
+      rejected_queue_full_.load(std::memory_order_relaxed);
+  snapshot.rejected_non_finite =
+      rejected_non_finite_.load(std::memory_order_relaxed);
+  snapshot.rejected_unknown_sensor =
+      rejected_unknown_sensor_.load(std::memory_order_relaxed);
+  snapshot.rejected_level_mismatch =
+      rejected_level_mismatch_.load(std::memory_order_relaxed);
+  snapshot.rejected_out_of_order =
+      rejected_out_of_order_.load(std::memory_order_relaxed);
+  snapshot.alarms_raised = alarms_raised_.load(std::memory_order_relaxed);
+  snapshot.alarms_cleared = alarms_cleared_.load(std::memory_order_relaxed);
+  snapshot.shard_queue_high_water.reserve(shard_high_water_.size());
+  for (const auto& hw : shard_high_water_) {
+    snapshot.shard_queue_high_water.push_back(
+        hw.load(std::memory_order_relaxed));
+  }
+  for (size_t i = 0; i < kBatchBuckets; ++i) {
+    snapshot.batch_size_histogram[i] =
+        batch_histogram_[i].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+std::string StreamStatsSnapshot::ToString() const {
+  std::ostringstream out;
+  out << "ingested=" << ingested << " scored=" << scored
+      << " dropped=" << dropped << " rejected=" << rejected_total()
+      << " (queue_full=" << rejected_queue_full
+      << " non_finite=" << rejected_non_finite
+      << " unknown_sensor=" << rejected_unknown_sensor
+      << " level_mismatch=" << rejected_level_mismatch
+      << " out_of_order=" << rejected_out_of_order << ")"
+      << " alarms_raised=" << alarms_raised
+      << " alarms_cleared=" << alarms_cleared << "\n";
+  out << "shard queue high-water:";
+  for (size_t i = 0; i < shard_queue_high_water.size(); ++i) {
+    out << " [" << i << "]=" << shard_queue_high_water[i];
+  }
+  out << "\nbatch sizes:";
+  for (size_t i = 0; i < batch_size_histogram.size(); ++i) {
+    if (batch_size_histogram[i] == 0) continue;
+    out << " " << (size_t{1} << i) << "+:" << batch_size_histogram[i];
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace hod::stream

@@ -1,0 +1,98 @@
+#ifndef HOD_STREAM_STATS_H_
+#define HOD_STREAM_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hod::stream {
+
+/// Number of log2 buckets in the drain-batch-size histogram: bucket i
+/// counts batches of size [2^i, 2^(i+1)).
+inline constexpr size_t kBatchBuckets = 16;
+
+/// A coherent copy of every engine counter, safe to hold across the
+/// engine's lifetime. In synchronous mode (and after `Stop()` in threaded
+/// mode) the values are exact and deterministic, so tests can assert them.
+struct StreamStatsSnapshot {
+  uint64_t ingested = 0;  ///< samples that passed router validation
+  uint64_t scored = 0;    ///< samples scored by a shard worker
+  /// Evicted by kDropOldest backpressure (filled from the shard queues by
+  /// the engine, not tracked in StreamStats itself).
+  uint64_t dropped = 0;
+  uint64_t rejected_queue_full = 0;     ///< refused by kReject backpressure
+  uint64_t rejected_non_finite = 0;     ///< NaN / infinite values
+  uint64_t rejected_unknown_sensor = 0; ///< sensor id never registered
+  uint64_t rejected_level_mismatch = 0; ///< level differs from registration
+  uint64_t rejected_out_of_order = 0;   ///< ts regressed beyond tolerance
+  uint64_t alarms_raised = 0;
+  uint64_t alarms_cleared = 0;
+  /// Deepest each shard's queue has ever been.
+  std::vector<uint64_t> shard_queue_high_water;
+  /// Histogram of worker drain batch sizes (log2 buckets).
+  std::array<uint64_t, kBatchBuckets> batch_size_histogram{};
+
+  uint64_t rejected_total() const {
+    return rejected_queue_full + rejected_non_finite +
+           rejected_unknown_sensor + rejected_level_mismatch +
+           rejected_out_of_order;
+  }
+
+  /// Multi-line human-readable rendering for examples/benches.
+  std::string ToString() const;
+};
+
+/// Lock-free counter block shared by router, shard workers, and collector.
+/// Every member is a relaxed atomic: counters are monotone event counts
+/// with no cross-counter invariant enforced mid-flight, so relaxed order
+/// is sufficient; `Snapshot()` taken at a quiescent point is exact.
+class StreamStats {
+ public:
+  explicit StreamStats(size_t num_shards)
+      : shard_high_water_(num_shards) {
+    for (auto& hw : shard_high_water_) hw.store(0, std::memory_order_relaxed);
+  }
+
+  void RecordIngested() { Bump(ingested_); }
+  void RecordScored(uint64_t n) {
+    scored_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void RecordRejectedQueueFull() { Bump(rejected_queue_full_); }
+  void RecordRejectedNonFinite() { Bump(rejected_non_finite_); }
+  void RecordRejectedUnknownSensor() { Bump(rejected_unknown_sensor_); }
+  void RecordRejectedLevelMismatch() { Bump(rejected_level_mismatch_); }
+  void RecordRejectedOutOfOrder() { Bump(rejected_out_of_order_); }
+  void RecordAlarmRaised() { Bump(alarms_raised_); }
+  void RecordAlarmCleared() { Bump(alarms_cleared_); }
+  /// Records one worker drain of `batch` samples into the histogram.
+  void RecordBatch(size_t batch);
+  /// Raises shard `shard`'s high-water mark to `depth` if deeper.
+  void UpdateShardHighWater(size_t shard, uint64_t depth);
+
+  size_t num_shards() const { return shard_high_water_.size(); }
+
+  StreamStatsSnapshot Snapshot() const;
+
+ private:
+  static void Bump(std::atomic<uint64_t>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> ingested_{0};
+  std::atomic<uint64_t> scored_{0};
+  std::atomic<uint64_t> rejected_queue_full_{0};
+  std::atomic<uint64_t> rejected_non_finite_{0};
+  std::atomic<uint64_t> rejected_unknown_sensor_{0};
+  std::atomic<uint64_t> rejected_level_mismatch_{0};
+  std::atomic<uint64_t> rejected_out_of_order_{0};
+  std::atomic<uint64_t> alarms_raised_{0};
+  std::atomic<uint64_t> alarms_cleared_{0};
+  std::vector<std::atomic<uint64_t>> shard_high_water_;
+  std::array<std::atomic<uint64_t>, kBatchBuckets> batch_histogram_{};
+};
+
+}  // namespace hod::stream
+
+#endif  // HOD_STREAM_STATS_H_

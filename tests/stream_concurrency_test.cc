@@ -1,0 +1,216 @@
+// Multi-threaded smoke tests for hod::stream — these are the tests the CI
+// ThreadSanitizer job runs. Assertions avoid timing-dependent quantities:
+// per-sensor results are deterministic because each sensor's samples are
+// produced by one thread and scored by one worker, in order.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/monitor.h"
+#include "stream/engine.h"
+#include "util/rng.h"
+
+namespace hod::stream {
+namespace {
+
+using hierarchy::ProductionLevel;
+
+/// Per-sensor deterministic stream: stationary noise plus one fault burst
+/// at a sensor-dependent position.
+std::vector<double> SensorStream(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  double noise = 0.0;
+  const size_t fault_at = 300 + static_cast<size_t>(seed % 7) * 50;
+  for (size_t t = 0; t < n; ++t) {
+    noise = 0.7 * noise + rng.Gaussian(0.0, 0.25);
+    double value = 50.0 + noise;
+    if (t >= fault_at && t < fault_at + 12) value += 6.0;
+    values.push_back(value);
+  }
+  return values;
+}
+
+std::string SensorId(size_t i) { return "sensor_" + std::to_string(i); }
+
+TEST(StreamConcurrency, MultiProducerParityWithSerialReference) {
+  constexpr size_t kSensors = 8;
+  constexpr size_t kProducers = 4;
+  constexpr size_t kSamplesPerSensor = 1200;
+
+  StreamEngineOptions options;
+  options.num_shards = 4;
+  options.queue_capacity = 256;
+  options.max_batch = 32;
+  options.monitor.warmup = 64;
+  StreamEngine engine(options);
+  for (size_t i = 0; i < kSensors; ++i) {
+    ASSERT_TRUE(engine.AddSensor(SensorId(i), ProductionLevel::kPhase).ok());
+  }
+  ASSERT_TRUE(engine.Start().ok());
+
+  // Each producer owns a disjoint set of sensors, so per-sensor sample
+  // order is well-defined.
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&engine, p] {
+      for (size_t i = p; i < kSensors; i += kProducers) {
+        const std::vector<double> values = SensorStream(i + 1, kSamplesPerSensor);
+        for (size_t t = 0; t < values.size(); ++t) {
+          auto ack = engine.Ingest({SensorId(i), ProductionLevel::kPhase,
+                                    static_cast<double>(t), values[t]});
+          ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+        }
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  ASSERT_TRUE(engine.Flush().ok());
+  ASSERT_TRUE(engine.Stop().ok());
+
+  StreamStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(stats.ingested, kSensors * kSamplesPerSensor);
+  EXPECT_EQ(stats.scored, kSensors * kSamplesPerSensor)
+      << "Stop() must drain every queue";
+  EXPECT_EQ(stats.dropped, 0u) << "kBlock loses nothing";
+  EXPECT_EQ(stats.rejected_total(), 0u);
+
+  // Every sensor's monitor must agree exactly with a serial reference run:
+  // the sharded engine may not reorder any sensor's samples.
+  uint64_t total_alarms = 0;
+  for (size_t i = 0; i < kSensors; ++i) {
+    core::OnlineMonitor reference(options.monitor);
+    for (double value : SensorStream(i + 1, kSamplesPerSensor)) {
+      ASSERT_TRUE(reference.Push(value).ok());
+    }
+    auto probe = engine.Probe(SensorId(i));
+    ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+    EXPECT_EQ(probe->samples_seen, kSamplesPerSensor) << SensorId(i);
+    EXPECT_EQ(probe->alarms_raised, reference.alarms_raised()) << SensorId(i);
+    EXPECT_EQ(probe->alarm, reference.alarm()) << SensorId(i);
+    total_alarms += probe->alarms_raised;
+  }
+  EXPECT_GE(total_alarms, kSensors) << "every fault burst must alarm";
+  EXPECT_EQ(stats.alarms_raised, total_alarms);
+
+  // The collector saw the alarms too.
+  EngineSnapshot snapshot = engine.Snapshot();
+  EXPECT_GT(snapshot.sequence, 0u);
+  const LevelOutlierState& phase =
+      snapshot.levels[hierarchy::LevelValue(ProductionLevel::kPhase) - 1];
+  EXPECT_EQ(phase.alarms_raised, total_alarms);
+  EXPECT_FALSE(engine.Episodes().empty());
+}
+
+TEST(StreamConcurrency, FlushMakesCountersExactMidStream) {
+  StreamEngineOptions options;
+  options.num_shards = 2;
+  options.queue_capacity = 64;
+  options.monitor.warmup = 32;
+  StreamEngine engine(options);
+  ASSERT_TRUE(engine.AddSensor("a").ok());
+  ASSERT_TRUE(engine.AddSensor("b").ok());
+  ASSERT_TRUE(engine.Start().ok());
+  for (size_t t = 0; t < 500; ++t) {
+    ASSERT_TRUE(engine
+                    .Ingest({"a", ProductionLevel::kPhase,
+                             static_cast<double>(t), 50.0})
+                    .ok());
+    ASSERT_TRUE(engine
+                    .Ingest({"b", ProductionLevel::kPhase,
+                             static_cast<double>(t), 60.0})
+                    .ok());
+  }
+  ASSERT_TRUE(engine.Flush().ok());
+  StreamStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(stats.ingested, 1000u);
+  EXPECT_EQ(stats.scored, 1000u) << "Flush waits for full drain";
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+TEST(StreamConcurrency, DropOldestShedsLoadButTerminates) {
+  StreamEngineOptions options;
+  options.num_shards = 2;
+  options.queue_capacity = 4;  // deliberately starved
+  options.max_batch = 2;
+  options.backpressure = BackpressurePolicy::kDropOldest;
+  options.monitor.warmup = 16;
+  StreamEngine engine(options);
+  ASSERT_TRUE(engine.AddSensor("a").ok());
+  ASSERT_TRUE(engine.AddSensor("b").ok());
+  ASSERT_TRUE(engine.Start().ok());
+  constexpr size_t kTotal = 4000;
+  for (size_t t = 0; t < kTotal; ++t) {
+    const std::string& id = (t % 2 == 0) ? "a" : "b";
+    ASSERT_TRUE(engine
+                    .Ingest({id, ProductionLevel::kPhase,
+                             static_cast<double>(t), 50.0})
+                    .ok());
+  }
+  ASSERT_TRUE(engine.Stop().ok());
+  StreamStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(stats.ingested, kTotal);
+  // Conservation: every accepted sample was either scored or evicted.
+  EXPECT_EQ(stats.scored + stats.dropped, kTotal);
+  EXPECT_EQ(stats.rejected_total(), 0u);
+}
+
+TEST(StreamConcurrency, RejectPolicyConservesSamples) {
+  StreamEngineOptions options;
+  options.num_shards = 1;
+  options.queue_capacity = 8;
+  options.backpressure = BackpressurePolicy::kReject;
+  options.monitor.warmup = 16;
+  StreamEngine engine(options);
+  ASSERT_TRUE(engine.AddSensor("a").ok());
+  ASSERT_TRUE(engine.Start().ok());
+  size_t accepted = 0;
+  for (size_t t = 0; t < 2000; ++t) {
+    auto ack = engine.Ingest(
+        {"a", ProductionLevel::kPhase, static_cast<double>(t), 50.0});
+    if (ack.ok()) {
+      ++accepted;
+    } else {
+      ASSERT_EQ(ack.status().code(), StatusCode::kOutOfRange);
+    }
+  }
+  ASSERT_TRUE(engine.Stop().ok());
+  StreamStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(stats.ingested, 2000u) << "reject happens after validation";
+  EXPECT_EQ(stats.scored, accepted);
+  EXPECT_EQ(stats.rejected_queue_full, 2000u - accepted);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_GT(stats.scored, 0u);
+}
+
+TEST(StreamConcurrency, StopWithoutFlushDrainsEverything) {
+  StreamEngineOptions options;
+  options.num_shards = 4;
+  options.queue_capacity = 1024;
+  options.monitor.warmup = 32;
+  StreamEngine engine(options);
+  for (size_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(engine.AddSensor(SensorId(i)).ok());
+  }
+  ASSERT_TRUE(engine.Start().ok());
+  for (size_t t = 0; t < 300; ++t) {
+    for (size_t i = 0; i < 6; ++i) {
+      ASSERT_TRUE(engine
+                      .Ingest({SensorId(i), ProductionLevel::kPhase,
+                               static_cast<double>(t), 50.0})
+                      .ok());
+    }
+  }
+  // No Flush: Stop alone must not lose queued samples.
+  ASSERT_TRUE(engine.Stop().ok());
+  StreamStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(stats.ingested, 1800u);
+  EXPECT_EQ(stats.scored, 1800u);
+}
+
+}  // namespace
+}  // namespace hod::stream

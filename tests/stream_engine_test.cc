@@ -1,0 +1,226 @@
+#include "stream/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/monitor.h"
+#include "util/rng.h"
+
+namespace hod::stream {
+namespace {
+
+using hierarchy::ProductionLevel;
+
+/// A deterministic chamber-temperature-like stream with one fault burst.
+std::vector<double> MakeStream(uint64_t seed, size_t n, size_t fault_at,
+                               size_t fault_len, double fault_mag) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  double noise = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    noise = 0.7 * noise + rng.Gaussian(0.0, 0.25);
+    double value = 55.0 + noise;
+    if (t >= fault_at && t < fault_at + fault_len) value += fault_mag;
+    values.push_back(value);
+  }
+  return values;
+}
+
+StreamEngineOptions SyncOptions() {
+  StreamEngineOptions options;
+  options.synchronous = true;
+  options.monitor.warmup = 64;
+  return options;
+}
+
+TEST(StreamEngine, SynchronousScoresMatchPlainOnlineMonitorExactly) {
+  StreamEngineOptions options = SyncOptions();
+  StreamEngine engine(options);
+  ASSERT_TRUE(engine.AddSensor("s1", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.Start().ok());
+
+  core::OnlineMonitor reference(options.monitor);
+  const std::vector<double> values = MakeStream(11, 600, 400, 8, 5.0);
+  for (size_t t = 0; t < values.size(); ++t) {
+    SensorSample sample{"s1", ProductionLevel::kPhase,
+                        static_cast<double>(t), values[t]};
+    auto ack = engine.Ingest(sample);
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+    ASSERT_TRUE(ack->update.has_value());
+    auto expected = reference.Push(values[t]);
+    ASSERT_TRUE(expected.ok());
+    // Byte-identical scoring: the engine runs the same OnlineMonitor code
+    // on the same sample sequence.
+    EXPECT_DOUBLE_EQ(ack->update->score, expected->score) << "t=" << t;
+    EXPECT_EQ(ack->update->alarm, expected->alarm) << "t=" << t;
+    EXPECT_EQ(ack->update->alarm_raised, expected->alarm_raised);
+    EXPECT_EQ(ack->update->alarm_cleared, expected->alarm_cleared);
+  }
+  ASSERT_TRUE(engine.Stop().ok());
+  auto probe = engine.Probe("s1");
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ(probe->samples_seen, values.size());
+  EXPECT_EQ(probe->alarms_raised, reference.alarms_raised());
+  EXPECT_GE(probe->alarms_raised, 1u) << "the fault burst must alarm";
+}
+
+TEST(StreamEngine, RejectsInvalidSamplesWithTypedCounters) {
+  StreamEngine engine(SyncOptions());
+  ASSERT_TRUE(engine.AddSensor("s1", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.Start().ok());
+
+  auto nan = engine.Ingest(
+      {"s1", ProductionLevel::kPhase, 0.0, std::nan("")});
+  EXPECT_EQ(nan.status().code(), StatusCode::kInvalidArgument);
+  auto inf = engine.Ingest({"s1", ProductionLevel::kPhase, 1.0,
+                            std::numeric_limits<double>::infinity()});
+  EXPECT_EQ(inf.status().code(), StatusCode::kInvalidArgument);
+  auto unknown =
+      engine.Ingest({"nope", ProductionLevel::kPhase, 2.0, 1.0});
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  auto wrong_level =
+      engine.Ingest({"s1", ProductionLevel::kEnvironment, 3.0, 1.0});
+  EXPECT_EQ(wrong_level.status().code(), StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(engine.Ingest({"s1", ProductionLevel::kPhase, 10.0, 1.0}).ok());
+  auto stale = engine.Ingest({"s1", ProductionLevel::kPhase, 4.0, 1.0});
+  EXPECT_EQ(stale.status().code(), StatusCode::kOutOfRange);
+
+  StreamStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(stats.rejected_non_finite, 2u);
+  EXPECT_EQ(stats.rejected_unknown_sensor, 1u);
+  EXPECT_EQ(stats.rejected_level_mismatch, 1u);
+  EXPECT_EQ(stats.rejected_out_of_order, 1u);
+  EXPECT_EQ(stats.rejected_total(), 5u);
+  EXPECT_EQ(stats.ingested, 1u);
+  EXPECT_EQ(stats.scored, 1u);
+}
+
+TEST(StreamEngine, OutOfOrderToleranceAdmitsSlightRegression) {
+  StreamEngineOptions options = SyncOptions();
+  options.out_of_order_tolerance = 2.0;
+  StreamEngine engine(options);
+  ASSERT_TRUE(engine.AddSensor("s1", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  ASSERT_TRUE(engine.Ingest({"s1", ProductionLevel::kPhase, 10.0, 1.0}).ok());
+  // 1.5 s behind the frontier: inside tolerance.
+  EXPECT_TRUE(engine.Ingest({"s1", ProductionLevel::kPhase, 8.5, 1.0}).ok());
+  // 3 s behind: rejected.
+  EXPECT_FALSE(engine.Ingest({"s1", ProductionLevel::kPhase, 7.0, 1.0}).ok());
+  EXPECT_EQ(engine.stats().rejected_out_of_order, 1u);
+}
+
+TEST(StreamEngine, LifecycleGuards) {
+  StreamEngine engine(SyncOptions());
+  EXPECT_FALSE(engine.Start().ok()) << "no sensors registered";
+  ASSERT_TRUE(engine.AddSensor("s1").ok());
+  EXPECT_FALSE(engine.Ingest({"s1", ProductionLevel::kPhase, 0.0, 1.0}).ok())
+      << "not started";
+  ASSERT_TRUE(engine.Start().ok());
+  EXPECT_FALSE(engine.AddSensor("s2").ok()) << "registry sealed";
+  EXPECT_FALSE(engine.Start().ok()) << "double start";
+  ASSERT_TRUE(engine.Stop().ok());
+  ASSERT_TRUE(engine.Stop().ok()) << "Stop is idempotent";
+  EXPECT_FALSE(engine.Ingest({"s1", ProductionLevel::kPhase, 0.0, 1.0}).ok());
+}
+
+TEST(StreamEngine, DuplicateSensorRegistrationFails) {
+  StreamEngine engine(SyncOptions());
+  ASSERT_TRUE(engine.AddSensor("s1").ok());
+  EXPECT_FALSE(engine.AddSensor("s1").ok());
+}
+
+TEST(StreamEngine, AlarmTransitionsFeedAlertEpisodes) {
+  StreamEngineOptions options = SyncOptions();
+  StreamEngine engine(options);
+  ASSERT_TRUE(engine.AddSensor("m1.bed_temp", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  const std::vector<double> values = MakeStream(13, 600, 300, 10, 6.0);
+  for (size_t t = 0; t < values.size(); ++t) {
+    ASSERT_TRUE(engine
+                    .Ingest({"m1.bed_temp", ProductionLevel::kPhase,
+                             static_cast<double>(t), values[t]})
+                    .ok());
+  }
+  ASSERT_TRUE(engine.Flush().ok());
+
+  StreamStatsSnapshot stats = engine.stats();
+  EXPECT_GE(stats.alarms_raised, 1u);
+  std::vector<core::AlertEpisode> episodes = engine.Episodes();
+  ASSERT_FALSE(episodes.empty());
+  EXPECT_EQ(episodes[0].entity, "m1.bed_temp");
+  EXPECT_GT(episodes[0].peak_outlierness, 0.5);
+  // The 10-sample burst merges into one episode, not ten.
+  EXPECT_EQ(episodes.size(), 1u);
+}
+
+TEST(StreamEngine, SnapshotTracksPerLevelOutlierState) {
+  StreamEngineOptions options = SyncOptions();
+  options.snapshot_every = 1;
+  StreamEngine engine(options);
+  ASSERT_TRUE(
+      engine.AddSensor("room_temp", ProductionLevel::kEnvironment).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  // End the stream inside the fault so the alarm is still active.
+  const std::vector<double> values = MakeStream(17, 520, 500, 20, 6.0);
+  for (size_t t = 0; t < values.size(); ++t) {
+    ASSERT_TRUE(engine
+                    .Ingest({"room_temp", ProductionLevel::kEnvironment,
+                             static_cast<double>(t), values[t]})
+                    .ok());
+  }
+  ASSERT_TRUE(engine.Flush().ok());
+
+  EngineSnapshot snapshot = engine.Snapshot();
+  ASSERT_GT(snapshot.sequence, 0u);
+  const LevelOutlierState& environment =
+      snapshot.levels[hierarchy::LevelValue(ProductionLevel::kEnvironment) -
+                      1];
+  EXPECT_GE(environment.alarms_raised, 1u);
+  EXPECT_GT(environment.outlier_samples, 0u);
+  EXPECT_GT(environment.peak_score, 0.5);
+  EXPECT_EQ(environment.active_alarms, 1u);
+  ASSERT_EQ(snapshot.active_alarms.size(), 1u);
+  EXPECT_EQ(snapshot.active_alarms[0].sensor_id, "room_temp");
+  EXPECT_EQ(snapshot.active_alarms[0].level, ProductionLevel::kEnvironment);
+  // Untouched levels stay zero.
+  const LevelOutlierState& phase =
+      snapshot.levels[hierarchy::LevelValue(ProductionLevel::kPhase) - 1];
+  EXPECT_EQ(phase.outlier_samples, 0u);
+  EXPECT_EQ(phase.alarms_raised, 0u);
+}
+
+TEST(StreamEngine, SyncStatsAreExact) {
+  StreamEngine engine(SyncOptions());
+  ASSERT_TRUE(engine.AddSensor("s1").ok());
+  ASSERT_TRUE(engine.Start().ok());
+  for (size_t t = 0; t < 200; ++t) {
+    ASSERT_TRUE(engine
+                    .Ingest({"s1", ProductionLevel::kPhase,
+                             static_cast<double>(t), 55.0})
+                    .ok());
+  }
+  StreamStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(stats.ingested, 200u);
+  EXPECT_EQ(stats.scored, 200u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.rejected_total(), 0u);
+  // Synchronous mode scores one sample per "batch".
+  EXPECT_EQ(stats.batch_size_histogram[0], 200u);
+}
+
+TEST(StableHash64, IsStableAcrossRuns) {
+  // Pinned values: shard assignment must never change between versions,
+  // or per-sensor stream ordering silently breaks on rolling restarts.
+  EXPECT_EQ(StableHash64(""), 14695981039346656037ull);
+  EXPECT_EQ(StableHash64("a"), 12638187200555641996ull);
+  EXPECT_EQ(StableHash64("m1.bed_temp_a") % 4,
+            StableHash64("m1.bed_temp_a") % 4);
+}
+
+}  // namespace
+}  // namespace hod::stream

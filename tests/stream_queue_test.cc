@@ -1,0 +1,162 @@
+#include "stream/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace hod::stream {
+namespace {
+
+TEST(BoundedQueue, FifoWithinCapacity) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.Push(i).ok());
+  EXPECT_EQ(queue.size(), 5u);
+  std::vector<int> out;
+  EXPECT_TRUE(queue.PopBatch(out, 16));
+  ASSERT_EQ(out.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i);
+}
+
+TEST(BoundedQueue, PopBatchHonorsMaxBatch) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(queue.Push(i).ok());
+  std::vector<int> out;
+  EXPECT_TRUE(queue.PopBatch(out, 4));
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_TRUE(queue.PopBatch(out, 4));
+  EXPECT_EQ(out.size(), 6u);  // appended
+  EXPECT_EQ(out.back(), 5);
+}
+
+TEST(BoundedQueue, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  ASSERT_TRUE(queue.Push(7).ok());
+}
+
+TEST(BoundedQueue, DropOldestEvictsAndCounts) {
+  BoundedQueue<int> queue(4, BackpressurePolicy::kDropOldest);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(queue.Push(i).ok());
+  EXPECT_EQ(queue.dropped(), 6u);
+  std::vector<int> out;
+  EXPECT_TRUE(queue.PopBatch(out, 16));
+  ASSERT_EQ(out.size(), 4u);
+  // The newest four survive, in order.
+  EXPECT_EQ(out[0], 6);
+  EXPECT_EQ(out[3], 9);
+}
+
+TEST(BoundedQueue, RejectPolicyRefusesWhenFullAndCounts) {
+  BoundedQueue<int> queue(3, BackpressurePolicy::kReject);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(queue.Push(i).ok());
+  Status status = queue.Push(99);
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(queue.rejected(), 1u);
+  EXPECT_EQ(queue.dropped(), 0u);
+  // Freeing a slot admits new items again.
+  std::vector<int> out;
+  ASSERT_TRUE(queue.PopBatch(out, 1));
+  EXPECT_TRUE(queue.Push(99).ok());
+}
+
+TEST(BoundedQueue, BlockPolicyWaitsForConsumer) {
+  BoundedQueue<int> queue(2, BackpressurePolicy::kBlock);
+  ASSERT_TRUE(queue.Push(0).ok());
+  ASSERT_TRUE(queue.Push(1).ok());
+  std::vector<int> received;
+  // Producer blocks on the third push until the consumer drains.
+  std::thread producer([&] {
+    for (int i = 2; i < 20; ++i) ASSERT_TRUE(queue.Push(i).ok());
+    queue.Close();
+  });
+  std::vector<int> batch;
+  while (queue.PopBatch(batch, 4)) {
+    received.insert(received.end(), batch.begin(), batch.end());
+    batch.clear();
+  }
+  producer.join();
+  ASSERT_EQ(received.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(received[static_cast<size_t>(i)], i);
+  EXPECT_EQ(queue.dropped(), 0u);
+  EXPECT_EQ(queue.rejected(), 0u);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer) {
+  BoundedQueue<int> queue(1, BackpressurePolicy::kBlock);
+  ASSERT_TRUE(queue.Push(0).ok());
+  Status blocked_result;
+  std::thread producer([&] { blocked_result = queue.Push(1); });
+  // Give the producer a moment to block, then close without consuming.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  producer.join();
+  EXPECT_EQ(blocked_result.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BoundedQueue, CloseDrainsRemainingItemsThenStops) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(queue.Push(i).ok());
+  queue.Close();
+  EXPECT_FALSE(queue.Push(3).ok());
+  std::vector<int> out;
+  EXPECT_TRUE(queue.PopBatch(out, 2));
+  EXPECT_TRUE(queue.PopBatch(out, 2));
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_FALSE(queue.PopBatch(out, 2)) << "closed and drained";
+}
+
+TEST(BoundedQueue, HighWaterTracksDeepestFill) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(queue.Push(i).ok());
+  std::vector<int> out;
+  queue.PopBatch(out, 16);
+  ASSERT_TRUE(queue.Push(0).ok());
+  EXPECT_EQ(queue.high_water(), 6u);
+}
+
+TEST(BoundedQueue, TryPopBatchDoesNotBlock) {
+  BoundedQueue<int> queue(8);
+  std::vector<int> out;
+  EXPECT_EQ(queue.TryPopBatch(out, 4), 0u);
+  ASSERT_TRUE(queue.Push(42).ok());
+  EXPECT_EQ(queue.TryPopBatch(out, 4), 1u);
+  EXPECT_EQ(out[0], 42);
+}
+
+TEST(BoundedQueue, ManyProducersAllItemsArrive) {
+  BoundedQueue<int> queue(16, BackpressurePolicy::kBlock);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i).ok());
+      }
+    });
+  }
+  std::vector<int> received;
+  std::thread consumer([&] {
+    std::vector<int> batch;
+    while (queue.PopBatch(batch, 32)) {
+      received.insert(received.end(), batch.begin(), batch.end());
+      batch.clear();
+    }
+  });
+  for (auto& producer : producers) producer.join();
+  queue.Close();
+  consumer.join();
+  ASSERT_EQ(received.size(),
+            static_cast<size_t>(kProducers * kPerProducer));
+  // Per-producer order is preserved even though producers interleave.
+  std::vector<int> last(kProducers, -1);
+  for (int value : received) {
+    const int producer = value / kPerProducer;
+    EXPECT_LT(last[static_cast<size_t>(producer)], value % kPerProducer);
+    last[static_cast<size_t>(producer)] = value % kPerProducer;
+  }
+}
+
+}  // namespace
+}  // namespace hod::stream
