@@ -1,0 +1,266 @@
+// E11 — fault detection latency, quarantine precision/recall, and the
+// throughput cost of sensor-health tracking (hod::stream + hod::sim).
+//
+// Two parts:
+//   1. A deterministic fault drill (synchronous engine): the FaultInjector
+//      corrupts victims with stuck-at, NaN-burst, and dropout faults; we
+//      measure per-kind detection latency from the health FSM's transition
+//      log and score quarantine precision/recall against the injector's
+//      ground truth.
+//   2. A threaded throughput A/B: the identical workload with health
+//      tracking on vs off. The robustness layer's overhead budget is <10%.
+//
+// Emits the human-readable tables on stdout and BENCH_FAULT.json in the
+// working directory so the robustness trajectory is tracked across PRs.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/fault_injector.h"
+#include "stream/engine.h"
+#include "util/rng.h"
+
+namespace {
+
+using hod::sim::FaultInjector;
+using hod::sim::FaultKind;
+using hod::sim::FaultProfile;
+using hod::stream::SensorHealthState;
+using hod::stream::SensorSample;
+using hod::stream::StreamEngine;
+using hod::stream::StreamEngineOptions;
+using Clock = std::chrono::steady_clock;
+
+std::string SensorId(size_t i) { return "sensor_" + std::to_string(i); }
+
+StreamEngineOptions DrillOptions() {
+  StreamEngineOptions options;
+  options.synchronous = true;
+  options.monitor.warmup = 100;
+  options.snapshot_every = 64;
+  options.health.flatline_window = 16;
+  options.health.suspect_after = 4;
+  options.health.quarantine_after = 8;
+  options.health.recovery_clean_streak = 64;
+  options.health.staleness_timeout = 30.0;
+  options.health_sweep_every = 64;
+  return options;
+}
+
+struct LatencyRow {
+  std::string sensor;
+  std::string kind;
+  double latency = -1.0;  // seconds from fault start to quarantine; -1 = miss
+};
+
+struct DrillResult {
+  std::vector<LatencyRow> latencies;
+  double precision = 0.0;
+  double recall = 0.0;
+  size_t quarantine_transitions = 0;
+  size_t intervals = 0;
+};
+
+/// Part 1: deterministic drill; latency + precision/recall vs ground truth.
+DrillResult RunDrill() {
+  constexpr size_t kSensors = 32;
+  constexpr size_t kSteps = 1400;
+
+  FaultInjector injector;
+  struct Drill {
+    size_t sensor;
+    FaultKind kind;
+    double start, duration;
+  };
+  const std::vector<Drill> drills = {
+      {7, FaultKind::kStuckAt, 300.0, 180.0},
+      {13, FaultKind::kNaNBurst, 450.0, 120.0},
+      {21, FaultKind::kDropout, 600.0, 150.0},
+  };
+  for (const Drill& drill : drills) {
+    FaultProfile profile;
+    profile.kind = drill.kind;
+    profile.start = drill.start;
+    profile.duration = drill.duration;
+    (void)injector.AddFault(SensorId(drill.sensor), profile);
+  }
+
+  StreamEngine engine(DrillOptions());
+  for (size_t i = 0; i < kSensors; ++i) (void)engine.AddSensor(SensorId(i));
+  (void)engine.Start();
+
+  std::vector<hod::Rng> rngs;
+  std::vector<double> noise(kSensors, 0.0);
+  for (size_t i = 0; i < kSensors; ++i) rngs.emplace_back(900 + i);
+  for (size_t t = 0; t < kSteps; ++t) {
+    for (size_t i = 0; i < kSensors; ++i) {
+      noise[i] = 0.7 * noise[i] + rngs[i].Gaussian(0.0, 0.25);
+      SensorSample clean{SensorId(i), hod::hierarchy::ProductionLevel::kPhase,
+                         static_cast<double>(t), 50.0 + noise[i]};
+      for (const auto& sample : injector.Apply(clean)) {
+        (void)engine.Ingest(sample);
+      }
+    }
+  }
+  (void)engine.Flush();
+
+  DrillResult result;
+  const auto truth = injector.GroundTruth();
+  const auto transitions = engine.HealthTransitions();
+  result.intervals = truth.size();
+
+  size_t true_positives = 0;
+  for (const auto& transition : transitions) {
+    if (transition.to != SensorHealthState::kQuarantined) continue;
+    ++result.quarantine_transitions;
+    if (injector.IsFaulted(transition.sensor_id, transition.ts)) {
+      ++true_positives;
+    }
+  }
+  result.precision =
+      result.quarantine_transitions > 0
+          ? static_cast<double>(true_positives) / result.quarantine_transitions
+          : 1.0;
+
+  size_t detected = 0;
+  for (const auto& interval : truth) {
+    LatencyRow row;
+    row.sensor = interval.sensor_id;
+    row.kind = std::string(hod::sim::FaultKindName(interval.kind));
+    for (const auto& transition : transitions) {
+      if (transition.sensor_id != interval.sensor_id) continue;
+      if (transition.to != SensorHealthState::kQuarantined) continue;
+      if (transition.ts < interval.start || transition.ts >= interval.end) {
+        continue;
+      }
+      row.latency = transition.ts - interval.start;
+      break;
+    }
+    if (row.latency >= 0.0) ++detected;
+    result.latencies.push_back(row);
+  }
+  result.recall = truth.empty()
+                      ? 1.0
+                      : static_cast<double>(detected) / truth.size();
+  (void)engine.Stop();
+  return result;
+}
+
+struct ThroughputResult {
+  bool health = false;
+  size_t samples = 0;
+  double seconds = 0.0;
+  double samples_per_sec = 0.0;
+};
+
+/// Part 2: threaded A/B — the same workload with health tracking on/off.
+ThroughputResult RunThroughput(bool health_enabled) {
+  constexpr size_t kSensors = 64;
+  constexpr size_t kSamplesPerSensor = 4000;
+
+  std::vector<SensorSample> workload;
+  workload.reserve(kSensors * kSamplesPerSensor);
+  {
+    std::vector<hod::Rng> rngs;
+    std::vector<double> noise(kSensors, 0.0);
+    for (size_t i = 0; i < kSensors; ++i) rngs.emplace_back(2000 + i);
+    for (size_t t = 0; t < kSamplesPerSensor; ++t) {
+      for (size_t i = 0; i < kSensors; ++i) {
+        noise[i] = 0.7 * noise[i] + rngs[i].Gaussian(0.0, 0.25);
+        workload.push_back({SensorId(i),
+                            hod::hierarchy::ProductionLevel::kPhase,
+                            static_cast<double>(t), 50.0 + noise[i]});
+      }
+    }
+  }
+
+  StreamEngineOptions options;
+  options.num_shards = 2;
+  options.max_batch = 64;
+  options.queue_capacity = 4096;
+  options.monitor.warmup = 256;
+  options.health.enabled = health_enabled;
+  StreamEngine engine(options);
+  for (size_t i = 0; i < kSensors; ++i) (void)engine.AddSensor(SensorId(i));
+  (void)engine.Start();
+
+  const auto start = Clock::now();
+  for (const SensorSample& sample : workload) (void)engine.Ingest(sample);
+  (void)engine.Stop();  // drains everything
+  const auto end = Clock::now();
+
+  ThroughputResult result;
+  result.health = health_enabled;
+  result.samples = workload.size();
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.samples_per_sec =
+      result.seconds > 0.0
+          ? static_cast<double>(result.samples) / result.seconds
+          : 0.0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  hod::bench::PrintHeader(
+      "E11", "Fault detection latency & health-tracking overhead",
+      "robustness layer: FaultInjector drill + health on/off A/B");
+
+  hod::bench::PrintSection("detection latency by fault kind (drill)");
+  const DrillResult drill = RunDrill();
+  std::printf("%-12s %-10s %s\n", "sensor", "fault", "latency");
+  for (const LatencyRow& row : drill.latencies) {
+    if (row.latency >= 0.0) {
+      std::printf("%-12s %-10s %.0fs\n", row.sensor.c_str(), row.kind.c_str(),
+                  row.latency);
+    } else {
+      std::printf("%-12s %-10s MISSED\n", row.sensor.c_str(),
+                  row.kind.c_str());
+    }
+  }
+  std::printf("quarantine precision %.3f  recall %.3f  (%zu transitions, "
+              "%zu intervals)\n",
+              drill.precision, drill.recall, drill.quarantine_transitions,
+              drill.intervals);
+
+  hod::bench::PrintSection("throughput: health tracking on vs off");
+  const ThroughputResult off = RunThroughput(false);
+  const ThroughputResult on = RunThroughput(true);
+  const double overhead =
+      off.samples_per_sec > 0.0
+          ? (off.samples_per_sec - on.samples_per_sec) / off.samples_per_sec
+          : 0.0;
+  std::printf("%-10s %-14s %s\n", "health", "samples/sec", "seconds");
+  std::printf("%-10s %-14.0f %.3f\n", "off", off.samples_per_sec, off.seconds);
+  std::printf("%-10s %-14.0f %.3f\n", "on", on.samples_per_sec, on.seconds);
+  std::printf("overhead: %.1f%% (budget <10%%)\n", overhead * 100.0);
+
+  std::ofstream json("BENCH_FAULT.json");
+  json << "{\n  \"experiment\": \"fault_recovery\",\n"
+       << "  \"drill\": {\n"
+       << "    \"precision\": " << drill.precision << ",\n"
+       << "    \"recall\": " << drill.recall << ",\n"
+       << "    \"latencies\": [\n";
+  for (size_t i = 0; i < drill.latencies.size(); ++i) {
+    const LatencyRow& row = drill.latencies[i];
+    json << "      {\"sensor\": \"" << row.sensor << "\", \"kind\": \""
+         << row.kind << "\", \"latency_s\": " << row.latency << "}"
+         << (i + 1 < drill.latencies.size() ? "," : "") << "\n";
+  }
+  json << "    ]\n  },\n"
+       << "  \"throughput\": {\n"
+       << "    \"health_off_samples_per_sec\": "
+       << static_cast<uint64_t>(off.samples_per_sec) << ",\n"
+       << "    \"health_on_samples_per_sec\": "
+       << static_cast<uint64_t>(on.samples_per_sec) << ",\n"
+       << "    \"overhead_fraction\": " << overhead << "\n"
+       << "  }\n}\n";
+  json.close();
+  std::printf("\nWrote BENCH_FAULT.json\n");
+  return 0;
+}

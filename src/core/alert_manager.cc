@@ -25,7 +25,11 @@ std::vector<AlertEpisode> AlertManager::BuildEpisodes(
   // Group by entity, then sweep time-sorted findings into episodes.
   std::map<std::string, std::vector<const OutlierFinding*>> by_entity;
   for (const OutlierFinding& finding : findings_) {
-    if (finding.measurement_error_warning != measurement_errors) continue;
+    // Sensor-fault findings belong on the calibration queue regardless of
+    // how the producer set the measurement-error flag.
+    const bool calibration = finding.measurement_error_warning ||
+                             finding.kind == FindingKind::kSensorFault;
+    if (calibration != measurement_errors) continue;
     by_entity[finding.origin.entity].push_back(&finding);
   }
   std::vector<AlertEpisode> episodes;

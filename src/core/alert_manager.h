@@ -56,6 +56,16 @@ class AlertManager {
 
   size_t findings_ingested() const { return findings_.size(); }
 
+  /// Raw ingested findings, in arrival order — the manager's entire
+  /// mutable state, exposed so an engine checkpoint can persist open alert
+  /// episodes and restore them byte-identically.
+  const std::vector<OutlierFinding>& Findings() const { return findings_; }
+
+  /// Replaces the ingested findings wholesale (checkpoint restore).
+  void RestoreFindings(std::vector<OutlierFinding> findings) {
+    findings_ = std::move(findings);
+  }
+
   /// Builds the episode list: per entity, time-sorted findings merged by
   /// the merge window, filtered by min severity, strongest first.
   std::vector<AlertEpisode> Episodes() const;

@@ -103,4 +103,46 @@ StatusOr<MonitorUpdate> OnlineMonitor::Push(double sample) {
   return update;
 }
 
+OnlineMonitorState OnlineMonitor::SaveState() const {
+  OnlineMonitorState state;
+  state.warmup_buffer = warmup_buffer_;
+  state.recent.assign(recent_.begin(), recent_.end());
+  state.phi = phi_;
+  state.intercept = intercept_;
+  state.residual_sigma = residual_sigma_;
+  state.model_ready = model_ready_;
+  state.alarm = alarm_;
+  state.above_streak = above_streak_;
+  state.below_streak = below_streak_;
+  state.samples_seen = samples_seen_;
+  state.alarms_raised = alarms_raised_;
+  return state;
+}
+
+Status OnlineMonitor::RestoreState(const OnlineMonitorState& state) {
+  if (state.model_ready && state.recent.size() != options_.ar_order) {
+    return Status::InvalidArgument(
+        "monitor state window length does not match ar_order");
+  }
+  if (!state.model_ready && state.warmup_buffer.size() >= options_.warmup) {
+    return Status::InvalidArgument(
+        "monitor state has a full warmup buffer but no fitted model");
+  }
+  if (state.residual_sigma <= 0.0) {
+    return Status::InvalidArgument("monitor state residual sigma must be > 0");
+  }
+  warmup_buffer_ = state.warmup_buffer;
+  recent_.assign(state.recent.begin(), state.recent.end());
+  phi_ = state.phi;
+  intercept_ = state.intercept;
+  residual_sigma_ = state.residual_sigma;
+  model_ready_ = state.model_ready;
+  alarm_ = state.alarm;
+  above_streak_ = state.above_streak;
+  below_streak_ = state.below_streak;
+  samples_seen_ = state.samples_seen;
+  alarms_raised_ = state.alarms_raised;
+  return Status::Ok();
+}
+
 }  // namespace hod::core

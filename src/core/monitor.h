@@ -34,6 +34,25 @@ struct OnlineMonitorOptions {
   double scale_forgetting = 0.999;
 };
 
+/// The complete mutable state of an OnlineMonitor, as a plain value —
+/// what an engine checkpoint persists so a restored monitor resumes
+/// byte-identically (same scores, same alarm transitions) from the next
+/// sample on. Options are not part of the state; the restoring side must
+/// construct the monitor with the same options it was checkpointed under.
+struct OnlineMonitorState {
+  std::vector<double> warmup_buffer;
+  std::vector<double> recent;  ///< last ar_order samples, oldest first
+  std::vector<double> phi;
+  double intercept = 0.0;
+  double residual_sigma = 1.0;
+  bool model_ready = false;
+  bool alarm = false;
+  uint64_t above_streak = 0;
+  uint64_t below_streak = 0;
+  uint64_t samples_seen = 0;
+  uint64_t alarms_raised = 0;
+};
+
 /// Result of pushing one sample.
 struct MonitorUpdate {
   /// Outlierness of this sample in [0,1]; 0 during warmup.
@@ -61,6 +80,14 @@ class OnlineMonitor {
   bool alarm() const { return alarm_; }
   /// Number of alarm episodes raised so far.
   size_t alarms_raised() const { return alarms_raised_; }
+
+  /// Copies out the full mutable state (checkpointing).
+  OnlineMonitorState SaveState() const;
+
+  /// Overwrites the monitor's state with a previously saved one. Errors
+  /// when the state is inconsistent with this monitor's options (e.g. a
+  /// ready model whose window length differs from ar_order).
+  Status RestoreState(const OnlineMonitorState& state);
 
  private:
   Status FitModel();

@@ -18,8 +18,19 @@ std::string_view AlertSeverityName(AlertSeverity severity) {
   return "?";
 }
 
+std::string_view FindingKindName(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kOutlier:
+      return "outlier";
+    case FindingKind::kSensorFault:
+      return "sensor-fault";
+  }
+  return "?";
+}
+
 AlertSeverity ClassifyAlert(const OutlierFinding& finding) {
-  if (finding.measurement_error_warning) {
+  if (finding.kind == FindingKind::kSensorFault ||
+      finding.measurement_error_warning) {
     // A suspected sensor fault deserves attention but must not trigger a
     // production stop.
     return AlertSeverity::kWarning;
@@ -42,7 +53,10 @@ double MaintenanceUrgency(const std::vector<OutlierFinding>& findings,
   double strongest = 0.0;
   size_t confirmed_findings = 0;
   for (const OutlierFinding& finding : findings) {
-    if (finding.measurement_error_warning) continue;
+    if (finding.measurement_error_warning ||
+        finding.kind == FindingKind::kSensorFault) {
+      continue;
+    }
     ++confirmed_findings;
     // Outlierness weighted by upward propagation; even an unconfirmed
     // phase-level deviation keeps half weight — wear shows up in the

@@ -23,8 +23,22 @@ struct LevelOutlier {
   double score = 0.0;
 };
 
+/// What a finding asserts about the plant: a genuine process outlier, or
+/// a sensor/engine fault detected by the health layer (the paper's
+/// measurement-error branch made operational). Sensor-fault findings are
+/// routed to the calibration queue, never to the stop-the-line board.
+enum class FindingKind {
+  kOutlier,
+  kSensorFault,
+};
+
+std::string_view FindingKindName(FindingKind kind);
+
 /// The result triple of Algorithm 1 for one outlier, plus diagnostics.
 struct OutlierFinding {
+  /// What this finding asserts (process outlier vs sensor fault).
+  FindingKind kind = FindingKind::kOutlier;
+
   /// Where and when the outlier was found at the start level.
   LevelOutlier origin;
 

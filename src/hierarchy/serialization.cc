@@ -1,6 +1,7 @@
 #include "hierarchy/serialization.h"
 
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -272,5 +273,95 @@ StatusOr<Production> ReadProduction(std::istream& is) {
   HOD_RETURN_IF_ERROR(ValidateProduction(production));
   return production;
 }
+
+namespace bin {
+
+namespace {
+
+void PutBytes(std::ostream& os, const unsigned char* bytes, size_t n) {
+  os.write(reinterpret_cast<const char*>(bytes), static_cast<std::streamsize>(n));
+}
+
+Status GetBytes(std::istream& is, unsigned char* bytes, size_t n) {
+  is.read(reinterpret_cast<char*>(bytes), static_cast<std::streamsize>(n));
+  if (static_cast<size_t>(is.gcount()) != n) {
+    return Status::OutOfRange("truncated binary stream");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void WriteU8(std::ostream& os, uint8_t value) { PutBytes(os, &value, 1); }
+
+void WriteU32(std::ostream& os, uint32_t value) {
+  unsigned char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = (value >> (8 * i)) & 0xff;
+  PutBytes(os, bytes, 4);
+}
+
+void WriteU64(std::ostream& os, uint64_t value) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = (value >> (8 * i)) & 0xff;
+  PutBytes(os, bytes, 8);
+}
+
+void WriteF64(std::ostream& os, double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  WriteU64(os, bits);
+}
+
+void WriteString(std::ostream& os, const std::string& value) {
+  WriteU32(os, static_cast<uint32_t>(value.size()));
+  os.write(value.data(), static_cast<std::streamsize>(value.size()));
+}
+
+StatusOr<uint8_t> ReadU8(std::istream& is) {
+  unsigned char byte;
+  HOD_RETURN_IF_ERROR(GetBytes(is, &byte, 1));
+  return static_cast<uint8_t>(byte);
+}
+
+StatusOr<uint32_t> ReadU32(std::istream& is) {
+  unsigned char bytes[4];
+  HOD_RETURN_IF_ERROR(GetBytes(is, bytes, 4));
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) value |= static_cast<uint32_t>(bytes[i]) << (8 * i);
+  return value;
+}
+
+StatusOr<uint64_t> ReadU64(std::istream& is) {
+  unsigned char bytes[8];
+  HOD_RETURN_IF_ERROR(GetBytes(is, bytes, 8));
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) value |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+  return value;
+}
+
+StatusOr<double> ReadF64(std::istream& is) {
+  HOD_ASSIGN_OR_RETURN(uint64_t bits, ReadU64(is));
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+StatusOr<std::string> ReadString(std::istream& is, size_t max_length) {
+  HOD_ASSIGN_OR_RETURN(uint32_t length, ReadU32(is));
+  if (length > max_length) {
+    return Status::OutOfRange("binary string length exceeds limit");
+  }
+  std::string value(length, '\0');
+  if (length > 0) {
+    is.read(value.data(), static_cast<std::streamsize>(length));
+    if (static_cast<size_t>(is.gcount()) != length) {
+      return Status::OutOfRange("truncated binary stream");
+    }
+  }
+  return value;
+}
+
+}  // namespace bin
 
 }  // namespace hod::hierarchy

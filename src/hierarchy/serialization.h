@@ -1,8 +1,10 @@
 #ifndef HOD_HIERARCHY_SERIALIZATION_H_
 #define HOD_HIERARCHY_SERIALIZATION_H_
 
+#include <cstdint>
 #include <istream>
 #include <ostream>
+#include <string>
 
 #include "hierarchy/production.h"
 #include "util/statusor.h"
@@ -34,6 +36,31 @@ Status WriteProduction(const Production& production, std::ostream& os);
 /// Parses a production written by WriteProduction. Errors carry the
 /// offending line number.
 StatusOr<Production> ReadProduction(std::istream& is);
+
+/// Fixed-width little-endian binary primitives — the building blocks of
+/// versioned binary snapshots (engine checkpoints). Byte order is pinned
+/// so a snapshot written on one host restores on any other. Readers
+/// return typed errors on truncated input instead of leaving the caller
+/// with a half-read struct.
+namespace bin {
+
+void WriteU8(std::ostream& os, uint8_t value);
+void WriteU32(std::ostream& os, uint32_t value);
+void WriteU64(std::ostream& os, uint64_t value);
+/// Doubles travel as their IEEE-754 bit pattern (round-trips bit-exact).
+void WriteF64(std::ostream& os, double value);
+/// u32 length followed by the raw bytes.
+void WriteString(std::ostream& os, const std::string& value);
+
+StatusOr<uint8_t> ReadU8(std::istream& is);
+StatusOr<uint32_t> ReadU32(std::istream& is);
+StatusOr<uint64_t> ReadU64(std::istream& is);
+StatusOr<double> ReadF64(std::istream& is);
+/// `max_length` guards against corrupt length prefixes allocating GBs.
+StatusOr<std::string> ReadString(std::istream& is,
+                                 size_t max_length = 1 << 20);
+
+}  // namespace bin
 
 }  // namespace hod::hierarchy
 

@@ -29,8 +29,11 @@
 #include "hierarchy/sensor_registry.h"  // IWYU pragma: export
 #include "hierarchy/serialization.h"    // IWYU pragma: export
 #include "sim/datasets.h"               // IWYU pragma: export
+#include "sim/fault_injector.h"         // IWYU pragma: export
 #include "sim/plant.h"                  // IWYU pragma: export
+#include "stream/checkpoint.h"          // IWYU pragma: export
 #include "stream/engine.h"              // IWYU pragma: export
+#include "stream/health.h"              // IWYU pragma: export
 #include "timeseries/discrete_sequence.h"  // IWYU pragma: export
 #include "timeseries/rolling.h"         // IWYU pragma: export
 #include "timeseries/time_series.h"     // IWYU pragma: export

@@ -1,0 +1,141 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace hod::sim {
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropout: return "dropout";
+    case FaultKind::kStuckAt: return "stuck-at";
+    case FaultKind::kNaNBurst: return "nan-burst";
+    case FaultKind::kGainDrift: return "gain-drift";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kClockSkew: return "clock-skew";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(FaultInjectorOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  if (options_.kinds.empty()) {
+    options_.kinds = {FaultKind::kDropout,   FaultKind::kStuckAt,
+                      FaultKind::kNaNBurst,  FaultKind::kGainDrift,
+                      FaultKind::kDuplicate, FaultKind::kClockSkew};
+  }
+}
+
+Status FaultInjector::AddFault(const std::string& sensor_id,
+                               FaultProfile profile) {
+  if (sensor_id.empty()) return Status::InvalidArgument("empty sensor id");
+  if (!(profile.duration > 0.0)) {
+    return Status::InvalidArgument("fault duration must be positive");
+  }
+  faults_[sensor_id].push_back(ScheduledFault{profile, false, 0.0});
+  FaultInterval interval;
+  interval.sensor_id = sensor_id;
+  interval.kind = profile.kind;
+  interval.start = profile.start;
+  interval.end = profile.start + profile.duration;
+  ground_truth_.push_back(std::move(interval));
+  std::sort(ground_truth_.begin(), ground_truth_.end(),
+            [](const FaultInterval& a, const FaultInterval& b) {
+              if (a.sensor_id != b.sensor_id) return a.sensor_id < b.sensor_id;
+              return a.start < b.start;
+            });
+  return Status::Ok();
+}
+
+Status FaultInjector::PlanRandom(const std::vector<std::string>& sensor_ids,
+                                 size_t count, ts::TimePoint window_start,
+                                 ts::TimePoint window_end) {
+  if (count > sensor_ids.size()) {
+    return Status::InvalidArgument("more faults than sensors");
+  }
+  if (!(window_end > window_start)) {
+    return Status::InvalidArgument("empty fault window");
+  }
+  std::vector<std::string> victims = sensor_ids;
+  rng_.Shuffle(victims);
+  victims.resize(count);
+  std::sort(victims.begin(), victims.end());  // draw order independent of
+                                              // the shuffle's tail
+  for (const std::string& victim : victims) {
+    FaultProfile profile;
+    profile.kind =
+        options_.kinds[rng_.NextBelow(options_.kinds.size())];
+    const double max_duration =
+        std::min(options_.max_duration, window_end - window_start);
+    const double min_duration = std::min(options_.min_duration, max_duration);
+    profile.duration = min_duration < max_duration
+                           ? rng_.Uniform(min_duration, max_duration)
+                           : min_duration;
+    if (!(profile.duration > 0.0)) profile.duration = 1.0;
+    profile.start =
+        rng_.Uniform(window_start,
+                     std::max(window_start + 1e-9,
+                              window_end - profile.duration));
+    profile.gain_rate = options_.gain_rate;
+    profile.skew = options_.skew;
+    HOD_RETURN_IF_ERROR(AddFault(victim, profile));
+  }
+  return Status::Ok();
+}
+
+std::vector<stream::SensorSample> FaultInjector::Apply(
+    const stream::SensorSample& sample) {
+  std::vector<stream::SensorSample> out;
+  auto it = faults_.find(sample.sensor_id);
+  if (it == faults_.end()) {
+    out.push_back(sample);
+    return out;
+  }
+  stream::SensorSample corrupted = sample;
+  bool dropped = false;
+  bool duplicated = false;
+  for (ScheduledFault& fault : it->second) {
+    if (!Active(fault.profile, sample.ts)) continue;
+    switch (fault.profile.kind) {
+      case FaultKind::kDropout:
+        dropped = true;
+        break;
+      case FaultKind::kStuckAt:
+        if (!fault.has_stuck_value) {
+          fault.has_stuck_value = true;
+          fault.stuck_value = corrupted.value;
+        }
+        corrupted.value = fault.stuck_value;
+        break;
+      case FaultKind::kNaNBurst:
+        corrupted.value = std::numeric_limits<double>::quiet_NaN();
+        break;
+      case FaultKind::kGainDrift:
+        corrupted.value *=
+            1.0 + fault.profile.gain_rate * (sample.ts - fault.profile.start);
+        break;
+      case FaultKind::kDuplicate:
+        duplicated = true;
+        break;
+      case FaultKind::kClockSkew:
+        corrupted.ts -= fault.profile.skew;
+        break;
+    }
+  }
+  if (dropped) return out;
+  out.push_back(corrupted);
+  if (duplicated) out.push_back(corrupted);
+  return out;
+}
+
+bool FaultInjector::IsFaulted(const std::string& sensor_id,
+                              ts::TimePoint ts) const {
+  auto it = faults_.find(sensor_id);
+  if (it == faults_.end()) return false;
+  for (const ScheduledFault& fault : it->second) {
+    if (Active(fault.profile, ts)) return true;
+  }
+  return false;
+}
+
+}  // namespace hod::sim

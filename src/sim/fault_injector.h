@@ -1,0 +1,132 @@
+#ifndef HOD_SIM_FAULT_INJECTOR_H_
+#define HOD_SIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stream/router.h"
+#include "timeseries/time_series.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace hod::sim {
+
+/// The sensor/transport failure modes the robustness layer must survive —
+/// the measurement-error half of the paper's outlier taxonomy, produced on
+/// purpose: a faulted stream with exact ground truth is what turns "the
+/// health FSM seems to work" into a measurable detection problem.
+enum class FaultKind {
+  kDropout,    ///< samples silently vanish (dead channel / lost link)
+  kStuckAt,    ///< value freezes at its level when the fault hit
+  kNaNBurst,   ///< values become NaN (ADC glitch, failed conversion)
+  kGainDrift,  ///< multiplicative gain ramps away from 1 (decalibration)
+  kDuplicate,  ///< every sample is delivered twice (at-least-once replay)
+  kClockSkew,  ///< timestamps regress by a constant skew (bad clock)
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+/// One scheduled fault on one sensor, active over [start, start+duration).
+struct FaultProfile {
+  FaultKind kind = FaultKind::kDropout;
+  ts::TimePoint start = 0.0;
+  double duration = 0.0;
+  /// kGainDrift: relative gain added per second of fault time (the value
+  /// is multiplied by 1 + rate * (ts - start)).
+  double gain_rate = 0.02;
+  /// kClockSkew: seconds subtracted from each timestamp.
+  double skew = 32.0;
+};
+
+/// Ground-truth record of one injected fault (for detection metrics).
+struct FaultInterval {
+  std::string sensor_id;
+  FaultKind kind = FaultKind::kDropout;
+  ts::TimePoint start = 0.0;
+  ts::TimePoint end = 0.0;  ///< exclusive
+};
+
+struct FaultInjectorOptions {
+  uint64_t seed = 1234;
+  /// PlanRandom draws each fault's duration uniformly from this range.
+  double min_duration = 50.0;
+  double max_duration = 200.0;
+  /// Defaults applied to randomly planned faults.
+  double gain_rate = 0.02;
+  double skew = 32.0;
+  /// Kinds PlanRandom chooses from; empty = all six.
+  std::vector<FaultKind> kinds;
+};
+
+/// Deterministic fault injector for streaming simulations: sits between a
+/// clean sample source and StreamEngine::Ingest, corrupting the samples of
+/// scheduled sensors and recording exact ground-truth intervals.
+///
+/// Determinism: randomness is consumed only while planning (construction +
+/// PlanRandom, driven by the seeded util Rng); `Apply` itself is a pure
+/// function of the schedule and the per-sensor sample order. The same seed
+/// and the same per-sensor input stream therefore produce the same faulted
+/// stream regardless of thread interleaving across sensors.
+///
+/// Thread model (matches the engine's per-sensor ordering invariant):
+/// after planning, concurrent `Apply` calls are safe as long as any single
+/// sensor's samples come from one thread; the only mutable state is the
+/// per-fault stuck-value latch of that sensor's own faults.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectorOptions options = {});
+
+  /// Schedules one fault by hand. InvalidArgument on empty id or
+  /// non-positive duration.
+  Status AddFault(const std::string& sensor_id, FaultProfile profile);
+
+  /// Randomly picks `count` distinct victims from `sensor_ids` and gives
+  /// each one fault with a random kind, start, and duration inside
+  /// [window_start, window_end). Deterministic for a fixed seed.
+  Status PlanRandom(const std::vector<std::string>& sensor_ids, size_t count,
+                    ts::TimePoint window_start, ts::TimePoint window_end);
+
+  /// Transforms one clean sample into the samples the wire would deliver:
+  /// empty (dropout), one (possibly corrupted), or two (duplicate).
+  /// Faults are matched on the sample's original timestamp.
+  std::vector<stream::SensorSample> Apply(const stream::SensorSample& sample);
+
+  /// Scheduled intervals, sorted by (sensor id, start).
+  const std::vector<FaultInterval>& GroundTruth() const {
+    return ground_truth_;
+  }
+
+  /// True when `sensor_id` has a fault covering `ts`.
+  bool IsFaulted(const std::string& sensor_id, ts::TimePoint ts) const;
+
+  /// True when `sensor_id` has any scheduled fault.
+  bool IsVictim(const std::string& sensor_id) const {
+    return faults_.find(sensor_id) != faults_.end();
+  }
+
+  size_t num_faults() const { return ground_truth_.size(); }
+
+ private:
+  struct ScheduledFault {
+    FaultProfile profile;
+    /// kStuckAt: the value latched from the first in-fault sample.
+    bool has_stuck_value = false;
+    double stuck_value = 0.0;
+  };
+
+  static bool Active(const FaultProfile& profile, ts::TimePoint ts) {
+    return ts >= profile.start && ts < profile.start + profile.duration;
+  }
+
+  FaultInjectorOptions options_;
+  Rng rng_;
+  std::map<std::string, std::vector<ScheduledFault>> faults_;
+  std::vector<FaultInterval> ground_truth_;
+};
+
+}  // namespace hod::sim
+
+#endif  // HOD_SIM_FAULT_INJECTOR_H_

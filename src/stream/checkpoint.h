@@ -1,0 +1,69 @@
+#ifndef HOD_STREAM_CHECKPOINT_H_
+#define HOD_STREAM_CHECKPOINT_H_
+
+#include <array>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/monitor.h"
+#include "core/report.h"
+#include "stream/engine.h"
+#include "stream/health.h"
+#include "stream/stats.h"
+#include "util/statusor.h"
+
+namespace hod::stream {
+
+/// Everything a StreamEngine must persist to resume where it left off:
+/// per-sensor monitor baselines, timestamp frontiers, and health FSMs,
+/// plus the collector's aggregates, the alert manager's findings, and the
+/// stats counters. The monitor configuration travels along as a
+/// fingerprint — restore refuses a checkpoint taken under different
+/// scoring options, because "resume byte-identically" would be a lie.
+struct EngineCheckpoint {
+  /// Configuration fingerprint (validated on restore).
+  core::OnlineMonitorOptions monitor;
+  double out_of_order_tolerance = 0.0;
+
+  struct SensorState {
+    std::string sensor_id;
+    hierarchy::ProductionLevel level = hierarchy::ProductionLevel::kPhase;
+    bool has_policy = false;
+    BackpressurePolicy policy = BackpressurePolicy::kBlock;
+    /// Router out-of-order frontier (may be -inf: nothing accepted yet).
+    ts::TimePoint frontier = 0.0;
+    SensorHealthStatus health;
+    core::OnlineMonitorState monitor;
+  };
+  /// Sorted by sensor id (deterministic bytes for identical state).
+  std::vector<SensorState> sensors;
+
+  /// Collector aggregates.
+  std::array<LevelOutlierState, hierarchy::kNumLevels> levels{};
+  std::vector<ActiveAlarm> active_alarms;
+  std::vector<QuarantinedSensor> quarantined;
+  uint64_t events_seen = 0;
+  uint64_t events_at_last_snapshot = 0;
+  uint64_t next_sequence = 1;
+
+  /// Alert manager input (episodes are re-derived on demand).
+  std::vector<core::OutlierFinding> findings;
+
+  StreamStatsSnapshot stats;
+};
+
+/// Writes a versioned little-endian binary image of `checkpoint`.
+/// The encoding is deterministic: identical state -> identical bytes.
+Status WriteEngineCheckpoint(const EngineCheckpoint& checkpoint,
+                             std::ostream& os);
+
+/// Parses an image written by WriteEngineCheckpoint. Typed errors on
+/// truncation, bad magic, unsupported version, or out-of-range enums.
+StatusOr<EngineCheckpoint> ReadEngineCheckpoint(std::istream& is);
+
+}  // namespace hod::stream
+
+#endif  // HOD_STREAM_CHECKPOINT_H_

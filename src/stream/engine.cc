@@ -1,7 +1,10 @@
 #include "stream/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
+
+#include "stream/checkpoint.h"
 
 namespace hod::stream {
 
@@ -18,8 +21,10 @@ ShardedScorerOptions MakeScorerOptions(const StreamEngineOptions& options) {
   scorer.queue_capacity = options.queue_capacity;
   scorer.max_batch = options.max_batch;
   scorer.backpressure = options.backpressure;
+  scorer.block_timeout = options.block_timeout;
   scorer.monitor = options.monitor;
   scorer.forward_threshold = options.monitor.threshold;
+  scorer.worker_tick_hook = options.worker_tick_hook_for_test;
   return scorer;
 }
 
@@ -32,17 +37,34 @@ StreamEngine::StreamEngine(StreamEngineOptions options)
                        BackpressurePolicy::kBlock),
       router_(EffectiveShards(options), options.out_of_order_tolerance,
               &stats_),
-      scorer_(MakeScorerOptions(options), &stats_, &collector_queue_),
-      alerts_(options.alerts) {}
+      health_(options.health, &stats_),
+      scorer_(MakeScorerOptions(options), &stats_, &collector_queue_,
+              &health_),
+      stalled_(EffectiveShards(options)) {
+  for (auto& flag : stalled_) flag.store(0, std::memory_order_relaxed);
+}
 
 StreamEngine::~StreamEngine() { (void)Stop(); }
 
 Status StreamEngine::AddSensor(const std::string& sensor_id,
-                               hierarchy::ProductionLevel level) {
+                               hierarchy::ProductionLevel level,
+                               std::optional<BackpressurePolicy> policy) {
   if (state_.load() != kConfiguring) {
     return Status::FailedPrecondition("engine already started");
   }
-  return router_.AddSensor(sensor_id, level);
+  HOD_RETURN_IF_ERROR(router_.AddSensor(sensor_id, level, policy));
+  return health_.AddSensor(sensor_id, level);
+}
+
+Status StreamEngine::PopulateScorer() {
+  if (scorer_populated_) return Status::Ok();
+  for (size_t shard = 0; shard < scorer_.num_shards(); ++shard) {
+    for (const std::string& sensor_id : router_.SensorsForShard(shard)) {
+      HOD_RETURN_IF_ERROR(scorer_.AddSensor(shard, sensor_id));
+    }
+  }
+  scorer_populated_ = true;
+  return Status::Ok();
 }
 
 Status StreamEngine::Start() {
@@ -52,14 +74,14 @@ Status StreamEngine::Start() {
   if (router_.num_sensors() == 0) {
     return Status::FailedPrecondition("no sensors registered");
   }
-  for (size_t shard = 0; shard < scorer_.num_shards(); ++shard) {
-    for (const std::string& sensor_id : router_.SensorsForShard(shard)) {
-      HOD_RETURN_IF_ERROR(scorer_.AddSensor(shard, sensor_id));
-    }
-  }
+  HOD_RETURN_IF_ERROR(PopulateScorer());
   if (!options_.synchronous) {
     HOD_RETURN_IF_ERROR(scorer_.Start());
     collector_ = std::jthread([this] { CollectorLoop(); });
+    if (options_.watchdog_interval.count() > 0) {
+      watchdog_ = std::jthread(
+          [this](std::stop_token stop) { WatchdogLoop(stop); });
+    }
   }
   state_.store(kRunning);
   return Status::Ok();
@@ -69,27 +91,40 @@ StatusOr<IngestAck> StreamEngine::Ingest(const SensorSample& sample) {
   if (state_.load() != kRunning) {
     return Status::FailedPrecondition("engine not running");
   }
-  HOD_ASSIGN_OR_RETURN(size_t shard, router_.Route(sample));
+  auto route_or = router_.Route(sample);
+  if (!route_or.ok()) {
+    // Typed rejections are fault evidence: a sensor spewing NaNs or
+    // regressed timestamps never reaches its scoring thread, so the FSM
+    // must be driven from the ingest side.
+    if (!std::isfinite(sample.value) || !std::isfinite(sample.ts)) {
+      RecordIngestFault(sample, HealthSignal::kNonFinite);
+    } else if (route_or.status().code() == StatusCode::kOutOfRange) {
+      RecordIngestFault(sample, HealthSignal::kOutOfOrder);
+    }
+    if (options_.synchronous) DrainCollectorQueueSync();
+    return route_or.status();
+  }
+  const RouteTarget target = route_or.value();
   IngestAck ack;
   if (options_.synchronous) {
-    HOD_ASSIGN_OR_RETURN(core::MonitorUpdate update,
-                         scorer_.ScoreNow(shard, sample));
+    HOD_ASSIGN_OR_RETURN(InlineScore result,
+                         scorer_.ScoreNow(target.shard, sample));
     ack.enqueued = true;
-    ack.update = update;
+    if (result.scored) ack.update = result.update;
+    ++ingested_since_sweep_;
+    if (options_.health_sweep_every > 0 &&
+        ingested_since_sweep_ >= options_.health_sweep_every) {
+      ingested_since_sweep_ = 0;
+      for (const HealthTransition& transition : health_.SweepStale()) {
+        PushHealthEvent(transition);
+      }
+    }
     // Drain whatever the scorer forwarded, inline.
-    std::vector<ScoredSample> forwarded;
-    while (collector_queue_.TryPopBatch(forwarded, options_.max_batch) > 0) {
-      for (const ScoredSample& scored : forwarded) ConsumeScored(scored);
-      forwarded.clear();
-    }
-    if (!pending_findings_.empty()) {
-      std::lock_guard<std::mutex> lock(alerts_mu_);
-      alerts_.IngestBatch(pending_findings_);
-      pending_findings_.clear();
-    }
+    DrainCollectorQueueSync();
     return ack;
   }
-  HOD_RETURN_IF_ERROR(scorer_.Submit(shard, sample));
+  HOD_RETURN_IF_ERROR(scorer_.Submit(
+      target.shard, sample, target.policy.value_or(options_.backpressure)));
   ack.enqueued = true;
   return ack;
 }
@@ -107,7 +142,12 @@ Status StreamEngine::Flush() {
   HOD_RETURN_IF_ERROR(scorer_.Flush());
   std::unique_lock<std::mutex> lock(collector_mu_);
   collector_cv_.wait(lock, [&] {
-    return collected_.load(std::memory_order_acquire) == scorer_.forwarded();
+    // Both terms only grow; health events (ingest faults, staleness
+    // sweeps) are counted before their push, so the target is never
+    // behind the queue's content.
+    return collected_.load(std::memory_order_acquire) >=
+           scorer_.forwarded() +
+               health_events_pushed_.load(std::memory_order_acquire);
   });
   return Status::Ok();
 }
@@ -115,8 +155,15 @@ Status StreamEngine::Flush() {
 Status StreamEngine::Stop() {
   const int state = state_.exchange(kStopped);
   if (state == kStopped) return Status::Ok();
+  if (watchdog_.joinable()) {
+    watchdog_.request_stop();
+    watchdog_.join();
+  }
   if (state == kConfiguring || options_.synchronous) {
-    if (state == kRunning) PublishSnapshot();
+    if (state == kRunning) {
+      DrainCollectorQueueSync();
+      PublishSnapshot();
+    }
     return Status::Ok();
   }
   // Workers first: joining them guarantees every accepted sample has been
@@ -128,9 +175,139 @@ Status StreamEngine::Stop() {
   return Status::Ok();
 }
 
+Status StreamEngine::Checkpoint(std::ostream& os) const {
+  const int state = state_.load();
+  if (state == kConfiguring) {
+    return Status::FailedPrecondition("engine never started");
+  }
+  if (state == kRunning && !options_.synchronous) {
+    return Status::FailedPrecondition(
+        "checkpoint requires a synchronous engine or a stopped one");
+  }
+  EngineCheckpoint checkpoint;
+  HOD_RETURN_IF_ERROR(FillCheckpoint(checkpoint));
+  return WriteEngineCheckpoint(checkpoint, os);
+}
+
+Status StreamEngine::FillCheckpoint(EngineCheckpoint& checkpoint) const {
+  checkpoint.monitor = options_.monitor;
+  checkpoint.out_of_order_tolerance = options_.out_of_order_tolerance;
+
+  std::map<std::string, SensorHealthStatus> health_by_id;
+  for (SensorHealthStatus& status : health_.SaveState()) {
+    health_by_id[status.sensor_id] = std::move(status);
+  }
+  for (const RegisteredSensor& registered : router_.Sensors()) {
+    EngineCheckpoint::SensorState sensor;
+    sensor.sensor_id = registered.sensor_id;
+    sensor.level = registered.level;
+    sensor.has_policy = registered.policy.has_value();
+    sensor.policy = registered.policy.value_or(BackpressurePolicy::kBlock);
+    sensor.frontier = registered.frontier;
+    auto health_it = health_by_id.find(registered.sensor_id);
+    if (health_it != health_by_id.end()) {
+      sensor.health = health_it->second;
+    } else {
+      sensor.health.sensor_id = registered.sensor_id;
+      sensor.health.level = registered.level;
+    }
+    HOD_ASSIGN_OR_RETURN(sensor.monitor,
+                         scorer_.SaveMonitor(registered.sensor_id));
+    checkpoint.sensors.push_back(std::move(sensor));
+  }
+
+  checkpoint.levels = levels_;
+  for (const auto& [id, alarm] : active_alarms_) {
+    checkpoint.active_alarms.push_back(alarm);
+  }
+  for (const auto& [id, sensor] : quarantined_) {
+    checkpoint.quarantined.push_back(sensor);
+  }
+  checkpoint.events_seen = events_seen_;
+  checkpoint.events_at_last_snapshot = events_at_last_snapshot_;
+  checkpoint.next_sequence = next_sequence_;
+
+  {
+    std::lock_guard<std::mutex> lock(alerts_mu_);
+    checkpoint.findings = alerts_.Findings();
+  }
+  checkpoint.stats = stats();
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<StreamEngine>> StreamEngine::Restore(
+    std::istream& is, StreamEngineOptions options) {
+  HOD_ASSIGN_OR_RETURN(EngineCheckpoint checkpoint, ReadEngineCheckpoint(is));
+  auto engine = std::make_unique<StreamEngine>(std::move(options));
+  HOD_RETURN_IF_ERROR(engine->ApplyCheckpoint(checkpoint));
+  HOD_RETURN_IF_ERROR(engine->Start());
+  return engine;
+}
+
+Status StreamEngine::ApplyCheckpoint(const EngineCheckpoint& checkpoint) {
+  const core::OnlineMonitorOptions& ours = options_.monitor;
+  const core::OnlineMonitorOptions& theirs = checkpoint.monitor;
+  if (ours.warmup != theirs.warmup || ours.ar_order != theirs.ar_order ||
+      ours.threshold != theirs.threshold ||
+      ours.raise_after != theirs.raise_after ||
+      ours.clear_after != theirs.clear_after ||
+      ours.sigma_scale != theirs.sigma_scale ||
+      ours.scale_forgetting != theirs.scale_forgetting ||
+      options_.out_of_order_tolerance != checkpoint.out_of_order_tolerance) {
+    return Status::InvalidArgument(
+        "checkpoint was taken under different scoring options; a restored "
+        "engine could not resume byte-identically");
+  }
+  for (const EngineCheckpoint::SensorState& sensor : checkpoint.sensors) {
+    std::optional<BackpressurePolicy> policy;
+    if (sensor.has_policy) policy = sensor.policy;
+    HOD_RETURN_IF_ERROR(AddSensor(sensor.sensor_id, sensor.level, policy));
+  }
+  HOD_RETURN_IF_ERROR(PopulateScorer());
+  std::vector<SensorHealthStatus> health_states;
+  health_states.reserve(checkpoint.sensors.size());
+  for (const EngineCheckpoint::SensorState& sensor : checkpoint.sensors) {
+    HOD_RETURN_IF_ERROR(
+        scorer_.RestoreMonitor(sensor.sensor_id, sensor.monitor));
+    HOD_RETURN_IF_ERROR(router_.SetFrontier(sensor.sensor_id,
+                                            sensor.frontier));
+    health_states.push_back(sensor.health);
+  }
+  HOD_RETURN_IF_ERROR(health_.RestoreState(health_states));
+
+  levels_ = checkpoint.levels;
+  active_alarms_.clear();
+  for (const ActiveAlarm& alarm : checkpoint.active_alarms) {
+    active_alarms_[alarm.sensor_id] = alarm;
+  }
+  quarantined_.clear();
+  for (const QuarantinedSensor& sensor : checkpoint.quarantined) {
+    quarantined_[sensor.sensor_id] = sensor;
+  }
+  events_seen_ = checkpoint.events_seen;
+  events_at_last_snapshot_ = checkpoint.events_at_last_snapshot;
+  next_sequence_ = checkpoint.next_sequence;
+
+  {
+    std::lock_guard<std::mutex> lock(alerts_mu_);
+    alerts_.RestoreFindings(checkpoint.findings);
+  }
+  stats_.Restore(checkpoint.stats);
+  // Live eviction counts restart at zero with the fresh shard queues;
+  // carry the historical count separately so stats() stays monotone.
+  restored_dropped_ = checkpoint.stats.dropped;
+  return Status::Ok();
+}
+
 StreamStatsSnapshot StreamEngine::stats() const {
   StreamStatsSnapshot snapshot = stats_.Snapshot();
   scorer_.FillQueueStats(snapshot);
+  snapshot.dropped += restored_dropped_;
+  snapshot.shard_stalled.clear();
+  snapshot.shard_stalled.reserve(stalled_.size());
+  for (const auto& flag : stalled_) {
+    snapshot.shard_stalled.push_back(flag.load(std::memory_order_relaxed));
+  }
   return snapshot;
 }
 
@@ -171,59 +348,182 @@ void StreamEngine::CollectorLoop() {
   PublishSnapshot();
 }
 
-void StreamEngine::ConsumeScored(const ScoredSample& scored) {
-  ++events_seen_;
-  const int level_value = hierarchy::LevelValue(scored.level);
-  const size_t level_index =
-      static_cast<size_t>(std::clamp(level_value, 1, hierarchy::kNumLevels)) -
-      1;
-  LevelOutlierState& level = levels_[level_index];
-  const core::MonitorUpdate& update = scored.update;
-  const bool outlier = update.score > options_.monitor.threshold;
-
-  if (outlier) {
-    ++level.outlier_samples;
-    level.peak_score = std::max(level.peak_score, update.score);
-    level.last_outlier_ts = scored.ts;
-  }
-  if (update.alarm_raised) {
-    ++level.alarms_raised;
-    ++level.active_alarms;
-    ActiveAlarm& alarm = active_alarms_[scored.sensor_id];
-    alarm.sensor_id = scored.sensor_id;
-    alarm.level = scored.level;
-    alarm.since = scored.ts;
-    alarm.peak_score = update.score;
-  } else if (update.alarm) {
-    auto it = active_alarms_.find(scored.sensor_id);
-    if (it != active_alarms_.end()) {
-      it->second.peak_score = std::max(it->second.peak_score, update.score);
+void StreamEngine::WatchdogLoop(const std::stop_token& stop) {
+  std::vector<uint64_t> last_heartbeat(scorer_.num_shards(), 0);
+  std::mutex mu;
+  std::condition_variable_any cv;
+  std::unique_lock<std::mutex> lock(mu);
+  while (!stop.stop_requested()) {
+    cv.wait_for(lock, stop, options_.watchdog_interval, [] { return false; });
+    if (stop.stop_requested()) break;
+    for (size_t i = 0; i < last_heartbeat.size(); ++i) {
+      const uint64_t beat = scorer_.ShardHeartbeat(i);
+      const size_t depth = scorer_.ShardQueueDepth(i);
+      if (depth > 0 && beat == last_heartbeat[i]) {
+        // Samples are waiting but the worker made no progress over a full
+        // interval: flag it (graceful degradation — the engine keeps
+        // serving the healthy shards; the flag clears if the worker
+        // resumes).
+        if (stalled_[i].exchange(1, std::memory_order_relaxed) == 0) {
+          stats_.RecordWatchdogStall();
+        }
+      } else {
+        stalled_[i].store(0, std::memory_order_relaxed);
+      }
+      last_heartbeat[i] = beat;
+    }
+    for (const HealthTransition& transition : health_.SweepStale()) {
+      PushHealthEvent(transition);
     }
   }
-  if (update.alarm_cleared) {
-    ++level.alarms_cleared;
-    if (level.active_alarms > 0) --level.active_alarms;
-    active_alarms_.erase(scored.sensor_id);
-  }
+}
 
-  if (outlier) {
-    core::OutlierFinding finding;
-    finding.origin.level = scored.level;
-    finding.origin.entity = scored.sensor_id;
-    finding.origin.time = scored.ts;
-    finding.origin.score = update.score;
-    finding.global_score = 1;
-    finding.outlierness = update.score;
-    finding.support = 0.0;
-    finding.corresponding_sensors = 0;
-    finding.confirmed_levels = {scored.level};
-    pending_findings_.push_back(std::move(finding));
+void StreamEngine::DrainCollectorQueueSync() {
+  std::vector<ScoredSample> forwarded;
+  while (collector_queue_.TryPopBatch(forwarded, options_.max_batch) > 0) {
+    for (const ScoredSample& scored : forwarded) ConsumeScored(scored);
+    forwarded.clear();
+  }
+  if (!pending_findings_.empty()) {
+    std::lock_guard<std::mutex> lock(alerts_mu_);
+    alerts_.IngestBatch(pending_findings_);
+    pending_findings_.clear();
+  }
+}
+
+void StreamEngine::RecordIngestFault(const SensorSample& sample,
+                                     HealthSignal signal) {
+  std::optional<HealthTransition> transition =
+      health_.RecordRejection(sample.sensor_id, signal, sample.ts);
+  if (transition.has_value()) PushHealthEvent(*transition);
+}
+
+void StreamEngine::PushHealthEvent(const HealthTransition& transition) {
+  const bool quarantine =
+      transition.to == SensorHealthState::kQuarantined;
+  const bool recovery = transition.to == SensorHealthState::kHealthy &&
+                        transition.from == SensorHealthState::kRecovering;
+  if (!quarantine && !recovery) return;
+  ScoredSample event;
+  event.kind = quarantine ? StreamEventKind::kSensorFault
+                          : StreamEventKind::kSensorRecovered;
+  event.sensor_id = transition.sensor_id;
+  event.level = transition.level;
+  event.ts = transition.ts;
+  event.fault_reason = transition.reason;
+  // Count before pushing, so Flush's target is never behind the queue.
+  health_events_pushed_.fetch_add(1, std::memory_order_release);
+  (void)collector_queue_.Push(std::move(event));
+}
+
+void StreamEngine::ConsumeScored(const ScoredSample& scored) {
+  ++events_seen_;
+  switch (scored.kind) {
+    case StreamEventKind::kSensorFault:
+      ConsumeSensorFault(scored);
+      break;
+    case StreamEventKind::kSensorRecovered:
+      ConsumeSensorRecovery(scored);
+      break;
+    case StreamEventKind::kScore: {
+      const size_t level_index = StreamStats::LevelIndex(scored.level);
+      LevelOutlierState& level = levels_[level_index];
+      const core::MonitorUpdate& update = scored.update;
+      const bool outlier = update.score > options_.monitor.threshold;
+
+      if (outlier) {
+        ++level.outlier_samples;
+        level.peak_score = std::max(level.peak_score, update.score);
+        level.last_outlier_ts = scored.ts;
+      }
+      if (update.alarm_raised) {
+        ++level.alarms_raised;
+        ++level.active_alarms;
+        ActiveAlarm& alarm = active_alarms_[scored.sensor_id];
+        alarm.sensor_id = scored.sensor_id;
+        alarm.level = scored.level;
+        alarm.since = scored.ts;
+        alarm.peak_score = update.score;
+      } else if (update.alarm) {
+        auto it = active_alarms_.find(scored.sensor_id);
+        if (it != active_alarms_.end()) {
+          it->second.peak_score =
+              std::max(it->second.peak_score, update.score);
+        }
+      }
+      if (update.alarm_cleared) {
+        ++level.alarms_cleared;
+        if (level.active_alarms > 0) --level.active_alarms;
+        active_alarms_.erase(scored.sensor_id);
+      }
+
+      if (outlier) {
+        core::OutlierFinding finding;
+        finding.origin.level = scored.level;
+        finding.origin.entity = scored.sensor_id;
+        finding.origin.time = scored.ts;
+        finding.origin.score = update.score;
+        finding.global_score = 1;
+        finding.outlierness = update.score;
+        finding.support = 0.0;
+        finding.corresponding_sensors = 0;
+        finding.confirmed_levels = {scored.level};
+        pending_findings_.push_back(std::move(finding));
+      }
+      break;
+    }
   }
 
   if (options_.snapshot_every > 0 &&
       events_seen_ - events_at_last_snapshot_ >= options_.snapshot_every) {
     PublishSnapshot();
   }
+}
+
+void StreamEngine::ConsumeSensorFault(const ScoredSample& event) {
+  const size_t level_index = StreamStats::LevelIndex(event.level);
+  LevelOutlierState& level = levels_[level_index];
+  ++level.sensor_faults;
+  auto [it, inserted] = quarantined_.try_emplace(event.sensor_id);
+  if (inserted) ++level.quarantined_sensors;
+  it->second.sensor_id = event.sensor_id;
+  it->second.level = event.level;
+  it->second.since = event.ts;
+  it->second.reason = event.fault_reason;
+
+  // A quarantined sensor's open alarm is not a process alarm: retract it
+  // from the level aggregates instead of letting a broken channel hold a
+  // stop-the-line signal.
+  auto alarm_it = active_alarms_.find(event.sensor_id);
+  if (alarm_it != active_alarms_.end()) {
+    if (level.active_alarms > 0) --level.active_alarms;
+    active_alarms_.erase(alarm_it);
+  }
+
+  core::OutlierFinding finding;
+  finding.kind = core::FindingKind::kSensorFault;
+  finding.origin.level = event.level;
+  finding.origin.entity = event.sensor_id;
+  finding.origin.time = event.ts;
+  finding.origin.score = 1.0;
+  finding.global_score = 1;
+  finding.outlierness = 1.0;
+  finding.support = 0.0;
+  finding.corresponding_sensors = 0;
+  finding.measurement_error_warning = true;
+  finding.confirmed_levels = {event.level};
+  finding.warnings = {"sensor fault: " +
+                      std::string(HealthSignalName(event.fault_reason))};
+  pending_findings_.push_back(std::move(finding));
+}
+
+void StreamEngine::ConsumeSensorRecovery(const ScoredSample& event) {
+  auto it = quarantined_.find(event.sensor_id);
+  if (it == quarantined_.end()) return;
+  const size_t level_index = StreamStats::LevelIndex(it->second.level);
+  LevelOutlierState& level = levels_[level_index];
+  if (level.quarantined_sensors > 0) --level.quarantined_sensors;
+  quarantined_.erase(it);
 }
 
 void StreamEngine::PublishSnapshot() {
@@ -234,6 +534,10 @@ void StreamEngine::PublishSnapshot() {
   snapshot.active_alarms.reserve(active_alarms_.size());
   for (const auto& [id, alarm] : active_alarms_) {
     snapshot.active_alarms.push_back(alarm);
+  }
+  snapshot.quarantined.reserve(quarantined_.size());
+  for (const auto& [id, sensor] : quarantined_) {
+    snapshot.quarantined.push_back(sensor);
   }
   events_at_last_snapshot_ = events_seen_;
   std::lock_guard<std::mutex> lock(snapshot_mu_);

@@ -3,9 +3,13 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -15,6 +19,7 @@
 #include "core/alert_manager.h"
 #include "core/monitor.h"
 #include "hierarchy/level.h"
+#include "stream/health.h"
 #include "stream/queue.h"
 #include "stream/router.h"
 #include "stream/sharded_scorer.h"
@@ -22,6 +27,8 @@
 #include "util/statusor.h"
 
 namespace hod::stream {
+
+struct EngineCheckpoint;
 
 /// Configuration of the whole streaming engine.
 struct StreamEngineOptions {
@@ -31,8 +38,12 @@ struct StreamEngineOptions {
   size_t queue_capacity = 1024;
   /// Max samples a worker scores per queue drain (micro-batch size).
   size_t max_batch = 64;
-  /// What a full shard queue does with a new sample.
+  /// What a full shard queue does with a new sample (engine default; a
+  /// sensor class can override per sensor via AddSensor).
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Producer wait bound under kBlockWithTimeout before the push fails
+  /// with DeadlineExceeded.
+  std::chrono::milliseconds block_timeout{100};
   /// Synchronous mode: no threads at all — Ingest validates, scores, and
   /// collects inline on the caller's thread, and the ack carries the
   /// monitor update. Deterministic; scores are byte-identical to feeding
@@ -43,6 +54,15 @@ struct StreamEngineOptions {
   double out_of_order_tolerance = 0.0;
   /// Configuration applied to every per-sensor monitor.
   core::OnlineMonitorOptions monitor;
+  /// Sensor health FSM thresholds (set health.enabled = false to run
+  /// without the fault-tolerance layer).
+  SensorHealthOptions health;
+  /// Synchronous mode: run the staleness sweep every this many accepted
+  /// samples. Threaded mode sweeps on the watchdog cadence instead.
+  size_t health_sweep_every = 256;
+  /// Watchdog period (threaded mode): stall detection over shard worker
+  /// heartbeats plus the staleness sweep. Zero disables the watchdog.
+  std::chrono::milliseconds watchdog_interval{200};
   /// Alert episode building. Stream findings start at global score 1, so
   /// the default board admits INFO — otherwise weak-but-real alarm
   /// episodes would be invisible.
@@ -52,13 +72,16 @@ struct StreamEngineOptions {
   /// Collector publishes a fresh EngineSnapshot every this many outlier
   /// events (and always on Flush/Stop).
   size_t snapshot_every = 256;
+  /// Test seam, forwarded to ShardedScorerOptions::worker_tick_hook.
+  std::function<void(size_t)> worker_tick_hook_for_test;
 };
 
 /// Result of one Ingest call.
 struct IngestAck {
   /// True when the sample was enqueued (threaded) or scored (synchronous).
   bool enqueued = false;
-  /// Synchronous mode only: the monitor's verdict for this sample.
+  /// Synchronous mode only: the monitor's verdict for this sample. Empty
+  /// when the sensor is quarantined and the sample was withheld.
   std::optional<core::MonitorUpdate> update;
 };
 
@@ -68,6 +91,11 @@ struct LevelOutlierState {
   uint64_t alarms_raised = 0;
   uint64_t alarms_cleared = 0;
   uint64_t active_alarms = 0;
+  /// Sensor-fault findings emitted at this level (quarantine entries).
+  uint64_t sensor_faults = 0;
+  /// Sensors of this level currently quarantined (excluded from the
+  /// aggregates above until they recover).
+  uint64_t quarantined_sensors = 0;
   double peak_score = 0.0;
   ts::TimePoint last_outlier_ts = 0.0;
 };
@@ -78,6 +106,14 @@ struct ActiveAlarm {
   hierarchy::ProductionLevel level = hierarchy::ProductionLevel::kPhase;
   ts::TimePoint since = 0.0;
   double peak_score = 0.0;
+};
+
+/// One sensor currently quarantined by the health layer.
+struct QuarantinedSensor {
+  std::string sensor_id;
+  hierarchy::ProductionLevel level = hierarchy::ProductionLevel::kPhase;
+  ts::TimePoint since = 0.0;
+  HealthSignal reason = HealthSignal::kClean;
 };
 
 /// Periodic cross-level outlier snapshot — the escalation hook: feed the
@@ -94,9 +130,13 @@ struct EngineSnapshot {
   std::array<LevelOutlierState, hierarchy::kNumLevels> levels{};
   /// Sensors in alarm right now, sorted by id.
   std::vector<ActiveAlarm> active_alarms;
+  /// Sensors quarantined right now, sorted by id.
+  std::vector<QuarantinedSensor> quarantined;
 };
 
-/// The streaming facade: router → sharded scorer → collector.
+/// The streaming facade: router → sharded scorer → collector, wrapped in
+/// the fault-tolerance layer (sensor health FSM, liveness watchdog,
+/// checkpoint/restore).
 ///
 ///   StreamEngine engine(options);
 ///   engine.AddSensor("m1.bed_temp_a", hierarchy::ProductionLevel::kPhase);
@@ -109,7 +149,9 @@ struct EngineSnapshot {
 /// sensor's samples are scored in arrival order by exactly one worker
 /// (stable hash → shard), so per-sensor results are identical to a
 /// single-threaded run. The collector is the only thread touching the
-/// AlertManager and the snapshot state.
+/// AlertManager and the snapshot state; the watchdog thread only reads
+/// shard heartbeats and drives health transitions through the tracker's
+/// per-sensor locks.
 class StreamEngine {
  public:
   explicit StreamEngine(StreamEngineOptions options = {});
@@ -119,18 +161,23 @@ class StreamEngine {
   StreamEngine& operator=(const StreamEngine&) = delete;
 
   /// Registers a sensor before Start(). Unregistered sensors are rejected
-  /// at ingest with NotFound.
+  /// at ingest with NotFound. `policy` overrides the engine-wide
+  /// backpressure for this sensor's pushes (per-sensor-class QoS:
+  /// critical channels kBlock, best-effort ones kDropOldest).
   Status AddSensor(const std::string& sensor_id,
                    hierarchy::ProductionLevel level =
-                       hierarchy::ProductionLevel::kPhase);
+                       hierarchy::ProductionLevel::kPhase,
+                   std::optional<BackpressurePolicy> policy = std::nullopt);
 
-  /// Seals the registry and (threaded mode) spawns workers + collector.
+  /// Seals the registry and (threaded mode) spawns workers + collector +
+  /// watchdog.
   Status Start();
 
   /// Validates, routes, and scores (sync) or enqueues (threaded) one
   /// sample. Typed errors: InvalidArgument (non-finite, level mismatch),
   /// NotFound (unknown sensor), OutOfRange (out-of-order or queue full
-  /// under kReject).
+  /// under kReject), DeadlineExceeded (kBlockWithTimeout expired).
+  /// Rejections feed the sensor's health FSM as fault evidence.
   StatusOr<IngestAck> Ingest(const SensorSample& sample);
 
   /// Blocks until every accepted sample has been scored and collected,
@@ -140,6 +187,22 @@ class StreamEngine {
   /// Drains all queues, joins all threads, publishes the final snapshot.
   /// Idempotent; the engine cannot be restarted.
   Status Stop();
+
+  /// Serializes the engine's complete mutable state (monitor baselines,
+  /// timestamp frontiers, health FSMs, collector aggregates, open alert
+  /// findings, counters) as a versioned binary snapshot. Requires a
+  /// quiescent engine: synchronous mode (between Ingest calls) or a
+  /// stopped engine. A restored engine resumes byte-identically in
+  /// synchronous mode.
+  Status Checkpoint(std::ostream& os) const;
+
+  /// Rebuilds an engine from a checkpoint. `options` must describe the
+  /// same monitor configuration and out-of-order tolerance the checkpoint
+  /// was taken under (validated; InvalidArgument on mismatch); threading
+  /// options may differ. The restored engine is started and ready to
+  /// ingest.
+  static StatusOr<std::unique_ptr<StreamEngine>> Restore(
+      std::istream& is, StreamEngineOptions options);
 
   bool running() const { return state_.load() == kRunning; }
   size_t num_shards() const { return scorer_.num_shards(); }
@@ -153,6 +216,20 @@ class StreamEngine {
   /// Latest published per-level outlier snapshot (sequence 0 if none).
   EngineSnapshot Snapshot() const;
 
+  /// Per-sensor health states (safe from any thread).
+  SensorHealthSnapshot Health() const { return health_.Snapshot(); }
+
+  /// Current health FSM state of one sensor.
+  SensorHealthState HealthStateOf(const std::string& sensor_id) const {
+    return health_.StateOf(sensor_id);
+  }
+
+  /// Every health FSM transition so far, in order — the audit trail fault
+  /// drills and detection-latency benchmarks measure against.
+  std::vector<HealthTransition> HealthTransitions() const {
+    return health_.Transitions();
+  }
+
   /// Alert episodes built from forwarded outlier findings.
   std::vector<core::AlertEpisode> Episodes() const;
 
@@ -163,31 +240,67 @@ class StreamEngine {
  private:
   enum State { kConfiguring, kRunning, kStopped };
 
+  /// Builds each shard's monitors from the router registry. Split out of
+  /// Start() so Restore can inject monitor state before threads exist.
+  Status PopulateScorer();
+
   void CollectorLoop();
+  void WatchdogLoop(const std::stop_token& stop);
   /// Collector-thread only (or caller thread in synchronous mode).
   void ConsumeScored(const ScoredSample& scored);
   void PublishSnapshot();
+  /// Drains the collector queue inline (synchronous mode only).
+  void DrainCollectorQueueSync();
+  /// Feeds one ingest rejection into the health FSM and forwards any
+  /// resulting quarantine to the collector. Safe from producer threads.
+  void RecordIngestFault(const SensorSample& sample, HealthSignal signal);
+  /// Pushes one health transition as a collector event (any thread).
+  void PushHealthEvent(const HealthTransition& transition);
+  /// Converts a quarantine entry into a kSensorFault finding + bookkeeping.
+  void ConsumeSensorFault(const ScoredSample& event);
+  void ConsumeSensorRecovery(const ScoredSample& event);
+
+  Status FillCheckpoint(EngineCheckpoint& checkpoint) const;
+  Status ApplyCheckpoint(const EngineCheckpoint& checkpoint);
 
   StreamEngineOptions options_;
   StreamStats stats_;
   BoundedQueue<ScoredSample> collector_queue_;
   IngestRouter router_;
+  SensorHealthTracker health_;
   ShardedScorer scorer_;
   std::jthread collector_;
+  std::jthread watchdog_;
   std::atomic<int> state_{kConfiguring};
+  bool scorer_populated_ = false;
+
+  /// Dropped count carried over from a restored checkpoint (the live
+  /// count lives in the shard queues, which restart at zero).
+  uint64_t restored_dropped_ = 0;
+
+  /// Watchdog state: per-shard stall flags (read by stats()).
+  std::vector<std::atomic<uint8_t>> stalled_;
 
   /// Collector-private (unsynchronized: single consumer — the collector
   /// thread, or the caller thread in synchronous mode).
   std::array<LevelOutlierState, hierarchy::kNumLevels> levels_{};
   std::map<std::string, ActiveAlarm> active_alarms_;
+  std::map<std::string, QuarantinedSensor> quarantined_;
   uint64_t events_seen_ = 0;
   uint64_t events_at_last_snapshot_ = 0;
   uint64_t next_sequence_ = 1;
 
-  /// Collector drain tracking, for Flush.
+  /// Synchronous-mode staleness sweep cadence counter.
+  uint64_t ingested_since_sweep_ = 0;
+
+  /// Collector drain tracking, for Flush. `health_events_pushed_` counts
+  /// collector events originating outside the scorer (ingest-side faults,
+  /// watchdog staleness sweeps) so Flush can wait for exactly
+  /// forwarded() + health_events_pushed_ events.
   std::mutex collector_mu_;
   std::condition_variable collector_cv_;
   std::atomic<uint64_t> collected_{0};
+  std::atomic<uint64_t> health_events_pushed_{0};
 
   mutable std::mutex alerts_mu_;
   core::AlertManager alerts_;

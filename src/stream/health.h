@@ -1,0 +1,226 @@
+#ifndef HOD_STREAM_HEALTH_H_
+#define HOD_STREAM_HEALTH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hierarchy/level.h"
+#include "stream/stats.h"
+#include "timeseries/time_series.h"
+#include "util/statusor.h"
+
+namespace hod::stream {
+
+/// Health state of one sensor channel — the paper's measurement-error
+/// branch (§4) made operational: Algorithm 1 separates process outliers
+/// from measurement errors after the fact; this FSM does it while the
+/// stream runs, so a failing sensor is removed from aggregation before it
+/// poisons level state or raises spurious process alarms.
+///
+///   kHealthy ──evidence≥suspect_after──► kSuspect
+///   kSuspect ──evidence≥quarantine_after──► kQuarantined
+///   kSuspect ──clean streak──► kHealthy
+///   kQuarantined ──first clean sample──► kRecovering
+///   kRecovering ──clean streak≥recovery_clean_streak──► kHealthy
+///   kRecovering ──any fault signal──► kQuarantined
+///   any state ──stale beyond staleness_timeout──► kQuarantined
+enum class SensorHealthState {
+  kHealthy,
+  kSuspect,
+  kQuarantined,
+  kRecovering,
+};
+
+std::string_view SensorHealthStateName(SensorHealthState state);
+
+/// What one observation (or rejection) said about the channel.
+enum class HealthSignal {
+  kClean,       ///< plausible in-order finite sample
+  kFlatline,    ///< value stuck beyond the flatline window
+  kNonFinite,   ///< router rejected a NaN/inf value
+  kOutOfOrder,  ///< router rejected a regressed timestamp
+  kDuplicate,   ///< timestamp did not advance (duplicate delivery)
+  kStale,       ///< no samples while the rest of the plant moved on
+};
+
+std::string_view HealthSignalName(HealthSignal signal);
+
+struct SensorHealthOptions {
+  /// Master switch; a disabled tracker reports every sensor healthy and
+  /// costs nothing on the scoring path.
+  bool enabled = true;
+  /// A run of this many consecutive near-identical values starts counting
+  /// as flatline evidence (every further stuck sample adds one).
+  size_t flatline_window = 32;
+  /// Two samples within this absolute distance count as "identical".
+  double flatline_epsilon = 1e-9;
+  /// Accumulated fault evidence at which a healthy sensor turns suspect.
+  uint64_t suspect_after = 4;
+  /// Accumulated fault evidence at which a suspect sensor is quarantined.
+  uint64_t quarantine_after = 16;
+  /// Clean samples that clear a suspect sensor back to healthy.
+  uint64_t suspect_clear_streak = 64;
+  /// Clean samples a recovering sensor must deliver before it is trusted
+  /// (aggregated / alerted on) again.
+  uint64_t recovery_clean_streak = 128;
+  /// A sensor whose last accepted sample is this far (stream time) behind
+  /// the global frontier is quarantined as stale. <= 0 disables the
+  /// staleness watchdog.
+  double staleness_timeout = 256.0;
+};
+
+/// One FSM transition, timestamped in stream time.
+struct HealthTransition {
+  std::string sensor_id;
+  hierarchy::ProductionLevel level = hierarchy::ProductionLevel::kPhase;
+  SensorHealthState from = SensorHealthState::kHealthy;
+  SensorHealthState to = SensorHealthState::kHealthy;
+  HealthSignal reason = HealthSignal::kClean;
+  ts::TimePoint ts = 0.0;
+};
+
+/// Verdict for one accepted sample, returned to the scoring path.
+struct HealthObservation {
+  SensorHealthState state = SensorHealthState::kHealthy;
+  HealthSignal signal = HealthSignal::kClean;
+  /// This sample pushed the sensor into quarantine (emit kSensorFault).
+  bool entered_quarantine = false;
+  /// This sample completed recovery (emit kSensorRecovered).
+  bool recovered = false;
+};
+
+/// Complete per-sensor health state — snapshot unit and checkpoint unit.
+struct SensorHealthStatus {
+  std::string sensor_id;
+  hierarchy::ProductionLevel level = hierarchy::ProductionLevel::kPhase;
+  SensorHealthState state = SensorHealthState::kHealthy;
+  uint64_t fault_evidence = 0;
+  uint64_t clean_streak = 0;
+  uint64_t flatline_run = 0;
+  bool has_last_value = false;
+  double last_value = 0.0;
+  ts::TimePoint last_seen_ts = 0.0;
+  ts::TimePoint last_transition_ts = 0.0;
+  HealthSignal last_reason = HealthSignal::kClean;
+  /// Times this sensor has entered quarantine.
+  uint64_t quarantines = 0;
+};
+
+/// Aggregate view for dashboards and snapshots.
+struct SensorHealthSnapshot {
+  uint64_t healthy = 0;
+  uint64_t suspect = 0;
+  uint64_t quarantined = 0;
+  uint64_t recovering = 0;
+  /// Sorted by sensor id.
+  std::vector<SensorHealthStatus> sensors;
+};
+
+/// Per-sensor health FSM registry. Thread model: the registry is sealed
+/// once the engine starts (AddSensor before, lookups after are read-only);
+/// each sensor's FSM is guarded by its own mutex, so the single scoring
+/// thread of a sensor (Observe), any ingest thread (RecordRejection) and
+/// the collector's staleness sweep can all drive transitions without a
+/// global lock. The mutex is per sensor and uncontended in the common
+/// case, keeping the hot-path cost to one lock/unlock pair per sample.
+class SensorHealthTracker {
+ public:
+  /// `stats` may be nullptr (no counting); must outlive the tracker.
+  explicit SensorHealthTracker(SensorHealthOptions options,
+                               StreamStats* stats = nullptr);
+
+  /// Registers a sensor. Not thread-safe; call before any observation.
+  Status AddSensor(const std::string& sensor_id,
+                   hierarchy::ProductionLevel level);
+
+  bool enabled() const { return options_.enabled; }
+  const SensorHealthOptions& options() const { return options_; }
+
+  /// Feeds one router-accepted sample (the sensor's scoring thread).
+  /// Returns the state the sample should be handled under: kQuarantined
+  /// means "do not let this sample touch the monitor or the aggregates".
+  /// Unknown sensors (never registered) report healthy.
+  HealthObservation Observe(const std::string& sensor_id, ts::TimePoint ts,
+                            double value);
+
+  /// Feeds one router rejection (any ingest thread). `signal` must be a
+  /// fault signal (kNonFinite / kOutOfOrder / kDuplicate). Returns the
+  /// transition if this rejection caused one.
+  std::optional<HealthTransition> RecordRejection(const std::string& sensor_id,
+                                                  HealthSignal signal,
+                                                  ts::TimePoint ts);
+
+  /// Quarantines every sensor whose last accepted sample lags the global
+  /// frontier beyond the staleness timeout (collector thread / snapshot
+  /// cadence). Sensors that have never reported are skipped — absent is
+  /// not stale. Returns the transitions performed.
+  std::vector<HealthTransition> SweepStale();
+
+  /// Current state of one sensor (kHealthy for unknown ids).
+  SensorHealthState StateOf(const std::string& sensor_id) const;
+
+  /// Furthest accepted timestamp across all sensors.
+  ts::TimePoint frontier() const {
+    return frontier_.load(std::memory_order_relaxed);
+  }
+
+  size_t num_sensors() const { return sensors_.size(); }
+
+  SensorHealthSnapshot Snapshot() const;
+
+  /// Every transition since construction (or state restore), in order.
+  std::vector<HealthTransition> Transitions() const;
+
+  /// Checkpoint support: per-sensor state out / in. RestoreState requires
+  /// every status to name a registered sensor.
+  std::vector<SensorHealthStatus> SaveState() const;
+  Status RestoreState(const std::vector<SensorHealthStatus>& states);
+
+ private:
+  struct Entry {
+    explicit Entry(hierarchy::ProductionLevel l) : level(l) {}
+    const hierarchy::ProductionLevel level;
+    mutable std::mutex mu;
+    SensorHealthState state = SensorHealthState::kHealthy;
+    uint64_t fault_evidence = 0;
+    uint64_t clean_streak = 0;
+    uint64_t flatline_run = 0;
+    bool has_last_value = false;
+    double last_value = 0.0;
+    ts::TimePoint last_seen_ts = 0.0;
+    ts::TimePoint last_transition_ts = 0.0;
+    HealthSignal last_reason = HealthSignal::kClean;
+    uint64_t quarantines = 0;
+  };
+
+  /// Applies one fault/clean signal to the FSM. Caller holds `entry.mu`.
+  /// Returns the transition, if any.
+  std::optional<HealthTransition> Apply(const std::string& sensor_id,
+                                        Entry& entry, HealthSignal signal,
+                                        ts::TimePoint ts);
+  void SetState(const std::string& sensor_id, Entry& entry,
+                SensorHealthState to, HealthSignal reason, ts::TimePoint ts,
+                HealthTransition* out);
+  void LogTransition(const HealthTransition& transition);
+  void AdvanceFrontier(ts::TimePoint ts);
+
+  SensorHealthOptions options_;
+  StreamStats* stats_;
+  /// std::map: deterministic iteration for snapshots and checkpoints.
+  std::map<std::string, std::unique_ptr<Entry>> sensors_;
+  std::atomic<ts::TimePoint> frontier_;
+
+  mutable std::mutex log_mu_;
+  std::vector<HealthTransition> log_;
+};
+
+}  // namespace hod::stream
+
+#endif  // HOD_STREAM_HEALTH_H_

@@ -1,10 +1,13 @@
 #ifndef HOD_STREAM_QUEUE_H_
 #define HOD_STREAM_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <optional>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -23,6 +26,11 @@ enum class BackpressurePolicy {
   kDropOldest,
   /// Refuse the new sample with OutOfRange (caller-visible load shedding).
   kReject,
+  /// Like kBlock, but gives up after the queue's block timeout with a
+  /// typed DeadlineExceeded error instead of parking forever — the
+  /// liveness-safe lossless policy: a stalled consumer degrades into
+  /// bounded producer latency plus a visible error, never a hung plant.
+  kBlockWithTimeout,
 };
 
 std::string_view BackpressurePolicyName(BackpressurePolicy policy);
@@ -37,35 +45,65 @@ std::string_view BackpressurePolicyName(BackpressurePolicy policy);
 ///
 /// `Close()` ends the stream: blocked producers and the consumer wake,
 /// further pushes fail, and `PopBatch` keeps returning queued items until
-/// the ring is empty, then reports exhaustion.
+/// the ring is empty, then reports exhaustion. Shutdown liveness
+/// invariant: every producer parked inside `Push` (kBlock or
+/// kBlockWithTimeout) re-checks `closed_` on wakeup and `Close()` notifies
+/// under the lock, so a `Close` concurrent with any number of saturating
+/// producers wakes all of them promptly — no lost wakeup, no indefinite
+/// block (regression-tested in stream_queue_test).
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(size_t capacity,
-                        BackpressurePolicy policy = BackpressurePolicy::kBlock)
+  explicit BoundedQueue(
+      size_t capacity, BackpressurePolicy policy = BackpressurePolicy::kBlock,
+      std::chrono::milliseconds block_timeout = std::chrono::milliseconds(100))
       : capacity_(capacity == 0 ? 1 : capacity),
         policy_(policy),
+        block_timeout_(block_timeout),
         ring_(capacity_) {}
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  /// Enqueues one item, applying the backpressure policy when full.
-  /// Returns FailedPrecondition after Close(), OutOfRange when rejected.
-  Status Push(T item) {
+  /// Enqueues one item under the queue's default policy.
+  Status Push(T item) { return Push(std::move(item), policy_, nullptr); }
+
+  /// Enqueues one item, applying `policy` when the queue is full — the
+  /// per-sensor-class backpressure hook: one shard queue can serve
+  /// critical sensors losslessly (kBlock) and environment channels with
+  /// bounded staleness (kDropOldest) at the same time. When kDropOldest
+  /// evicts and `evicted` is non-null, the victim is moved into it so the
+  /// caller can account for it (e.g. per-level drop counters).
+  /// Returns FailedPrecondition after Close(), OutOfRange when rejected,
+  /// DeadlineExceeded when kBlockWithTimeout expires.
+  Status Push(T item, BackpressurePolicy policy, std::optional<T>* evicted) {
     std::unique_lock<std::mutex> lock(mu_);
     if (closed_) return Status::FailedPrecondition("queue closed");
     if (size_ == capacity_) {
-      switch (policy_) {
+      switch (policy) {
         case BackpressurePolicy::kBlock:
           not_full_.wait(lock, [&] { return size_ < capacity_ || closed_; });
           if (closed_) return Status::FailedPrecondition("queue closed");
           break;
-        case BackpressurePolicy::kDropOldest:
+        case BackpressurePolicy::kBlockWithTimeout: {
+          const bool admitted = not_full_.wait_for(
+              lock, block_timeout_,
+              [&] { return size_ < capacity_ || closed_; });
+          if (closed_) return Status::FailedPrecondition("queue closed");
+          if (!admitted) {
+            ++timed_out_;
+            return Status::DeadlineExceeded("queue full beyond block timeout");
+          }
+          break;
+        }
+        case BackpressurePolicy::kDropOldest: {
+          T victim = std::move(ring_[head_]);
           head_ = (head_ + 1) % capacity_;
           --size_;
           ++dropped_;
+          if (evicted != nullptr) *evicted = std::move(victim);
           break;
+        }
         case BackpressurePolicy::kReject:
           ++rejected_;
           return Status::OutOfRange("queue full");
@@ -138,6 +176,11 @@ class BoundedQueue {
     std::lock_guard<std::mutex> lock(mu_);
     return rejected_;
   }
+  /// Pushes that expired under kBlockWithTimeout.
+  uint64_t timed_out() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return timed_out_;
+  }
   /// Deepest the queue has ever been (sizing/backpressure diagnostics).
   size_t high_water() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -147,6 +190,7 @@ class BoundedQueue {
  private:
   const size_t capacity_;
   const BackpressurePolicy policy_;
+  const std::chrono::milliseconds block_timeout_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
@@ -156,6 +200,7 @@ class BoundedQueue {
   size_t high_water_ = 0;
   uint64_t dropped_ = 0;
   uint64_t rejected_ = 0;
+  uint64_t timed_out_ = 0;
   bool closed_ = false;
 };
 
@@ -164,6 +209,7 @@ inline std::string_view BackpressurePolicyName(BackpressurePolicy policy) {
     case BackpressurePolicy::kBlock: return "block";
     case BackpressurePolicy::kDropOldest: return "drop-oldest";
     case BackpressurePolicy::kReject: return "reject";
+    case BackpressurePolicy::kBlockWithTimeout: return "block-with-timeout";
   }
   return "?";
 }

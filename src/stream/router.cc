@@ -23,13 +23,15 @@ IngestRouter::IngestRouter(size_t num_shards, double out_of_order_tolerance,
       stats_(stats) {}
 
 Status IngestRouter::AddSensor(const std::string& sensor_id,
-                               hierarchy::ProductionLevel level) {
+                               hierarchy::ProductionLevel level,
+                               std::optional<BackpressurePolicy> policy) {
   if (sensor_id.empty()) {
     return Status::InvalidArgument("empty sensor id");
   }
   auto entry = std::make_unique<SensorEntry>();
   entry->level = level;
   entry->shard = static_cast<size_t>(StableHash64(sensor_id) % num_shards_);
+  entry->policy = policy;
   auto [it, inserted] = sensors_.emplace(sensor_id, std::move(entry));
   if (!inserted) {
     return Status::InvalidArgument("sensor already registered: " + sensor_id);
@@ -37,20 +39,29 @@ Status IngestRouter::AddSensor(const std::string& sensor_id,
   return Status::Ok();
 }
 
-StatusOr<size_t> IngestRouter::Route(const SensorSample& sample) {
+StatusOr<RouteTarget> IngestRouter::Route(const SensorSample& sample) {
   if (!std::isfinite(sample.value) || !std::isfinite(sample.ts)) {
-    if (stats_ != nullptr) stats_->RecordRejectedNonFinite();
+    if (stats_ != nullptr) {
+      stats_->RecordRejectedNonFinite();
+      stats_->RecordLevelRejected(sample.level);
+    }
     return Status::InvalidArgument("non-finite sample for sensor " +
                                    sample.sensor_id);
   }
   auto it = sensors_.find(sample.sensor_id);
   if (it == sensors_.end()) {
-    if (stats_ != nullptr) stats_->RecordRejectedUnknownSensor();
+    if (stats_ != nullptr) {
+      stats_->RecordRejectedUnknownSensor();
+      stats_->RecordLevelRejected(sample.level);
+    }
     return Status::NotFound("unknown sensor: " + sample.sensor_id);
   }
   SensorEntry& entry = *it->second;
   if (entry.level != sample.level) {
-    if (stats_ != nullptr) stats_->RecordRejectedLevelMismatch();
+    if (stats_ != nullptr) {
+      stats_->RecordRejectedLevelMismatch();
+      stats_->RecordLevelRejected(entry.level);
+    }
     return Status::InvalidArgument("sensor " + sample.sensor_id +
                                    " registered at a different level");
   }
@@ -59,7 +70,10 @@ StatusOr<size_t> IngestRouter::Route(const SensorSample& sample) {
   ts::TimePoint seen = entry.last_ts.load(std::memory_order_relaxed);
   while (true) {
     if (sample.ts + out_of_order_tolerance_ < seen) {
-      if (stats_ != nullptr) stats_->RecordRejectedOutOfOrder();
+      if (stats_ != nullptr) {
+        stats_->RecordRejectedOutOfOrder();
+        stats_->RecordLevelRejected(entry.level);
+      }
       return Status::OutOfRange("out-of-order sample for sensor " +
                                 sample.sensor_id);
     }
@@ -70,7 +84,7 @@ StatusOr<size_t> IngestRouter::Route(const SensorSample& sample) {
     }
   }
   if (stats_ != nullptr) stats_->RecordIngested();
-  return entry.shard;
+  return RouteTarget{entry.shard, entry.policy};
 }
 
 std::vector<std::string> IngestRouter::SensorsForShard(size_t shard) const {
@@ -80,6 +94,43 @@ std::vector<std::string> IngestRouter::SensorsForShard(size_t shard) const {
   }
   std::sort(ids.begin(), ids.end());
   return ids;
+}
+
+std::vector<RegisteredSensor> IngestRouter::Sensors() const {
+  std::vector<RegisteredSensor> sensors;
+  sensors.reserve(sensors_.size());
+  for (const auto& [id, entry] : sensors_) {
+    RegisteredSensor sensor;
+    sensor.sensor_id = id;
+    sensor.level = entry->level;
+    sensor.policy = entry->policy;
+    sensor.frontier = entry->last_ts.load(std::memory_order_relaxed);
+    sensors.push_back(std::move(sensor));
+  }
+  std::sort(sensors.begin(), sensors.end(),
+            [](const RegisteredSensor& a, const RegisteredSensor& b) {
+              return a.sensor_id < b.sensor_id;
+            });
+  return sensors;
+}
+
+StatusOr<ts::TimePoint> IngestRouter::Frontier(
+    const std::string& sensor_id) const {
+  auto it = sensors_.find(sensor_id);
+  if (it == sensors_.end()) {
+    return Status::NotFound("unknown sensor: " + sensor_id);
+  }
+  return it->second->last_ts.load(std::memory_order_relaxed);
+}
+
+Status IngestRouter::SetFrontier(const std::string& sensor_id,
+                                 ts::TimePoint frontier) {
+  auto it = sensors_.find(sensor_id);
+  if (it == sensors_.end()) {
+    return Status::NotFound("unknown sensor: " + sensor_id);
+  }
+  it->second->last_ts.store(frontier, std::memory_order_relaxed);
+  return Status::Ok();
 }
 
 }  // namespace hod::stream

@@ -5,12 +5,14 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "hierarchy/level.h"
+#include "stream/queue.h"
 #include "stream/stats.h"
 #include "timeseries/time_series.h"
 #include "util/statusor.h"
@@ -32,6 +34,24 @@ struct SensorSample {
 /// runs or platforms, or per-sensor ordering (and test determinism) breaks.
 uint64_t StableHash64(std::string_view bytes);
 
+/// A validated sample's destination: which shard scores it and which
+/// backpressure policy its queue push runs under (the sensor's own class
+/// policy, or the engine default when the sensor has none).
+struct RouteTarget {
+  size_t shard = 0;
+  /// Empty = use the engine-wide default.
+  std::optional<BackpressurePolicy> policy;
+};
+
+/// Registration record, exposed for checkpointing.
+struct RegisteredSensor {
+  std::string sensor_id;
+  hierarchy::ProductionLevel level = hierarchy::ProductionLevel::kPhase;
+  std::optional<BackpressurePolicy> policy;
+  /// Last accepted timestamp (the out-of-order frontier).
+  ts::TimePoint frontier = -std::numeric_limits<ts::TimePoint>::infinity();
+};
+
 /// Ingress validation and shard routing.
 ///
 /// Sensors are registered before the engine starts; the registry is
@@ -47,15 +67,20 @@ class IngestRouter {
                StreamStats* stats);
 
   /// Registers a sensor and assigns its shard (stable hash of the id).
+  /// `policy` selects the sensor class's backpressure behaviour when its
+  /// shard queue is full (critical sensors kBlock, best-effort environment
+  /// channels kDropOldest); nullopt inherits the engine default.
   /// Not thread-safe; call before any `Route`.
   Status AddSensor(const std::string& sensor_id,
-                   hierarchy::ProductionLevel level);
+                   hierarchy::ProductionLevel level,
+                   std::optional<BackpressurePolicy> policy = std::nullopt);
 
-  /// Validates one sample and returns the shard to score it on. Errors:
-  /// InvalidArgument (non-finite value, level mismatch), NotFound (unknown
-  /// sensor), OutOfRange (timestamp regressed beyond tolerance). Each
-  /// rejection bumps its typed counter.
-  StatusOr<size_t> Route(const SensorSample& sample);
+  /// Validates one sample and returns its shard and backpressure policy.
+  /// Errors: InvalidArgument (non-finite value, level mismatch), NotFound
+  /// (unknown sensor), OutOfRange (timestamp regressed beyond tolerance).
+  /// Each rejection bumps its typed counter and the per-level reject
+  /// counter of the sample's claimed level.
+  StatusOr<RouteTarget> Route(const SensorSample& sample);
 
   size_t num_shards() const { return num_shards_; }
   size_t num_sensors() const { return sensors_.size(); }
@@ -64,10 +89,21 @@ class IngestRouter {
   /// to build each shard's monitors.
   std::vector<std::string> SensorsForShard(size_t shard) const;
 
+  /// Every registered sensor with its level, policy, and current
+  /// frontier, sorted by id (checkpoint serialization).
+  std::vector<RegisteredSensor> Sensors() const;
+
+  /// Out-of-order frontier of one sensor (NotFound for unknown ids).
+  StatusOr<ts::TimePoint> Frontier(const std::string& sensor_id) const;
+
+  /// Restores a sensor's frontier from a checkpoint.
+  Status SetFrontier(const std::string& sensor_id, ts::TimePoint frontier);
+
  private:
   struct SensorEntry {
     hierarchy::ProductionLevel level;
     size_t shard;
+    std::optional<BackpressurePolicy> policy;
     /// Last accepted timestamp; CAS-max so it only moves forward.
     std::atomic<ts::TimePoint> last_ts{
         -std::numeric_limits<ts::TimePoint>::infinity()};

@@ -6,13 +6,18 @@ namespace hod::stream {
 
 ShardedScorer::ShardedScorer(const ShardedScorerOptions& options,
                              StreamStats* stats,
-                             BoundedQueue<ScoredSample>* collector)
-    : options_(options), stats_(stats), collector_(collector) {
+                             BoundedQueue<ScoredSample>* collector,
+                             SensorHealthTracker* health)
+    : options_(options),
+      stats_(stats),
+      collector_(collector),
+      health_(health) {
   const size_t n = options_.num_shards == 0 ? 1 : options_.num_shards;
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    shards_.push_back(std::make_unique<Shard>(options_.queue_capacity,
-                                              options_.backpressure));
+    shards_.push_back(std::make_unique<Shard>(
+        options_.queue_capacity, options_.backpressure,
+        options_.block_timeout));
   }
 }
 
@@ -43,27 +48,41 @@ Status ShardedScorer::Start() {
   return Status::Ok();
 }
 
-Status ShardedScorer::Submit(size_t shard, SensorSample sample) {
+Status ShardedScorer::Submit(size_t shard, SensorSample sample,
+                             BackpressurePolicy policy) {
   if (shard >= shards_.size()) {
     return Status::OutOfRange("shard index out of range");
   }
   Shard& s = *shards_[shard];
+  const hierarchy::ProductionLevel level = sample.level;
   // Count before pushing: the worker may process the sample before this
   // line otherwise, and Flush would see processed > submitted.
   s.submitted.fetch_add(1, std::memory_order_relaxed);
-  Status status = s.queue.Push(std::move(sample));
+  std::optional<SensorSample> evicted;
+  Status status = s.queue.Push(std::move(sample), policy, &evicted);
+  if (evicted.has_value() && stats_ != nullptr) {
+    // kDropOldest made room by discarding the queue head; charge the drop
+    // to the level of the sample that was actually lost.
+    stats_->RecordLevelDropped(evicted->level);
+  }
   if (!status.ok()) {
     s.submitted.fetch_sub(1, std::memory_order_relaxed);
-    if (status.code() == StatusCode::kOutOfRange && stats_ != nullptr) {
-      stats_->RecordRejectedQueueFull();
+    if (stats_ != nullptr) {
+      if (status.code() == StatusCode::kOutOfRange) {
+        stats_->RecordRejectedQueueFull();
+        stats_->RecordLevelRejected(level);
+      } else if (status.code() == StatusCode::kDeadlineExceeded) {
+        stats_->RecordRejectedTimeout();
+        stats_->RecordLevelRejected(level);
+      }
     }
     return status;
   }
   return Status::Ok();
 }
 
-StatusOr<core::MonitorUpdate> ShardedScorer::ScoreNow(
-    size_t shard, const SensorSample& sample) {
+StatusOr<InlineScore> ShardedScorer::ScoreNow(size_t shard,
+                                              const SensorSample& sample) {
   if (running_) {
     return Status::FailedPrecondition(
         "ScoreNow is synchronous-mode only; workers are running");
@@ -76,24 +95,36 @@ StatusOr<core::MonitorUpdate> ShardedScorer::ScoreNow(
   if (it == s.monitors.end()) {
     return Status::NotFound("no monitor for sensor: " + sample.sensor_id);
   }
-  HOD_ASSIGN_OR_RETURN(core::MonitorUpdate update,
-                       it->second.Push(sample.value));
+  const HealthGateResult gate = HealthGate(sample);
+  InlineScore result;
+  if (!gate.score) return result;  // quarantined: withheld from the monitor
+  HOD_ASSIGN_OR_RETURN(result.update, it->second.Push(sample.value));
+  result.scored = true;
+  const core::MonitorUpdate& update = result.update;
   if (stats_ != nullptr) {
     stats_->RecordScored(1);
     stats_->RecordBatch(1);
-    if (update.alarm_raised) stats_->RecordAlarmRaised();
-    if (update.alarm_cleared) stats_->RecordAlarmCleared();
+    // Same gating as the threaded path: recovery-phase alarm transitions
+    // are withheld along with the update itself.
+    if (gate.forward) {
+      if (update.alarm_raised) stats_->RecordAlarmRaised();
+      if (update.alarm_cleared) stats_->RecordAlarmCleared();
+    }
   }
-  if (collector_ != nullptr &&
+  if (collector_ != nullptr && gate.forward &&
       (update.alarm_raised || update.alarm_cleared ||
        update.score > options_.forward_threshold)) {
-    ScoredSample scored{sample.sensor_id, sample.level, sample.ts,
-                        sample.value, update};
+    ScoredSample scored;
+    scored.sensor_id = sample.sensor_id;
+    scored.level = sample.level;
+    scored.ts = sample.ts;
+    scored.value = sample.value;
+    scored.update = update;
     // Internal pipeline edge: lossless regardless of the ingress policy.
     (void)collector_->Push(std::move(scored));
     forwarded_.fetch_add(1, std::memory_order_release);
   }
-  return update;
+  return result;
 }
 
 Status ShardedScorer::Flush() {
@@ -135,6 +166,16 @@ void ShardedScorer::FillQueueStats(StreamStatsSnapshot& snapshot) const {
   }
 }
 
+uint64_t ShardedScorer::ShardHeartbeat(size_t shard) const {
+  if (shard >= shards_.size()) return 0;
+  return shards_[shard]->heartbeat.load(std::memory_order_acquire);
+}
+
+size_t ShardedScorer::ShardQueueDepth(size_t shard) const {
+  if (shard >= shards_.size()) return 0;
+  return shards_[shard]->queue.size();
+}
+
 StatusOr<SensorProbe> ShardedScorer::Probe(
     const std::string& sensor_id) const {
   if (running_) {
@@ -154,15 +195,48 @@ StatusOr<SensorProbe> ShardedScorer::Probe(
   return Status::NotFound("no monitor for sensor: " + sensor_id);
 }
 
+StatusOr<core::OnlineMonitorState> ShardedScorer::SaveMonitor(
+    const std::string& sensor_id) const {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "SaveMonitor requires a stopped or synchronous scorer");
+  }
+  for (const auto& shard : shards_) {
+    auto it = shard->monitors.find(sensor_id);
+    if (it == shard->monitors.end()) continue;
+    return it->second.SaveState();
+  }
+  return Status::NotFound("no monitor for sensor: " + sensor_id);
+}
+
+Status ShardedScorer::RestoreMonitor(const std::string& sensor_id,
+                                     const core::OnlineMonitorState& state) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "RestoreMonitor requires a stopped or synchronous scorer");
+  }
+  for (const auto& shard : shards_) {
+    auto it = shard->monitors.find(sensor_id);
+    if (it == shard->monitors.end()) continue;
+    return it->second.RestoreState(state);
+  }
+  return Status::NotFound("no monitor for sensor: " + sensor_id);
+}
+
 void ShardedScorer::WorkerLoop(size_t shard_index) {
   Shard& shard = *shards_[shard_index];
   std::vector<SensorSample> batch;
   batch.reserve(options_.max_batch);
   while (shard.queue.PopBatch(batch, options_.max_batch)) {
+    if (options_.worker_tick_hook) options_.worker_tick_hook(shard_index);
     if (stats_ != nullptr) stats_->RecordBatch(batch.size());
-    for (SensorSample& sample : batch) ScoreOne(shard, sample);
-    if (stats_ != nullptr) stats_->RecordScored(batch.size());
+    size_t scored = 0;
+    for (SensorSample& sample : batch) {
+      if (ScoreOne(shard, sample)) ++scored;
+    }
+    if (stats_ != nullptr && scored > 0) stats_->RecordScored(scored);
     shard.processed.fetch_add(batch.size(), std::memory_order_release);
+    shard.heartbeat.fetch_add(1, std::memory_order_release);
     {
       std::lock_guard<std::mutex> lock(flush_mu_);
     }
@@ -171,24 +245,81 @@ void ShardedScorer::WorkerLoop(size_t shard_index) {
   }
 }
 
-void ShardedScorer::ScoreOne(Shard& shard, SensorSample& sample) {
+ShardedScorer::HealthGateResult ShardedScorer::HealthGate(
+    const SensorSample& sample) {
+  HealthGateResult gate;
+  if (health_ == nullptr || !health_->enabled()) return gate;
+  const HealthObservation obs =
+      health_->Observe(sample.sensor_id, sample.ts, sample.value);
+  if (obs.entered_quarantine) {
+    ForwardEvent(StreamEventKind::kSensorFault, sample, obs.signal);
+  } else if (obs.recovered) {
+    ForwardEvent(StreamEventKind::kSensorRecovered, sample,
+                 HealthSignal::kClean);
+  }
+  switch (obs.state) {
+    case SensorHealthState::kQuarantined:
+      // Protect the baseline: a faulting channel must not move its own
+      // model, and must not feed level aggregation.
+      gate.score = false;
+      gate.forward = false;
+      break;
+    case SensorHealthState::kRecovering:
+      // Refill the AR window with post-fault data, but keep the channel
+      // out of aggregates until it has earned trust back.
+      gate.forward = false;
+      break;
+    case SensorHealthState::kHealthy:
+    case SensorHealthState::kSuspect:
+      break;
+  }
+  return gate;
+}
+
+void ShardedScorer::ForwardEvent(StreamEventKind kind,
+                                 const SensorSample& sample,
+                                 HealthSignal reason) {
+  if (collector_ == nullptr) return;
+  ScoredSample event;
+  event.kind = kind;
+  event.sensor_id = sample.sensor_id;
+  event.level = sample.level;
+  event.ts = sample.ts;
+  event.value = sample.value;
+  event.fault_reason = reason;
+  (void)collector_->Push(std::move(event));
+  forwarded_.fetch_add(1, std::memory_order_release);
+}
+
+bool ShardedScorer::ScoreOne(Shard& shard, SensorSample& sample) {
   auto it = shard.monitors.find(sample.sensor_id);
-  if (it == shard.monitors.end()) return;  // router guarantees registration
+  if (it == shard.monitors.end()) return false;  // router guarantees this
+  const HealthGateResult gate = HealthGate(sample);
+  if (!gate.score) return false;  // quarantined: withheld from the monitor
   auto update_or = it->second.Push(sample.value);
-  if (!update_or.ok()) return;  // router already filtered non-finite values
+  if (!update_or.ok()) return false;  // router already filtered non-finites
   const core::MonitorUpdate& update = update_or.value();
-  if (stats_ != nullptr) {
+  // Recovering sensors feed their monitor (to re-warm the baseline) but
+  // their updates are withheld from the collector — and from the alarm
+  // counters, or a phantom alarm raised against a half-warmed model would
+  // be reported while the level aggregates never see it.
+  if (stats_ != nullptr && gate.forward) {
     if (update.alarm_raised) stats_->RecordAlarmRaised();
     if (update.alarm_cleared) stats_->RecordAlarmCleared();
   }
-  if (collector_ != nullptr &&
+  if (collector_ != nullptr && gate.forward &&
       (update.alarm_raised || update.alarm_cleared ||
        update.score > options_.forward_threshold)) {
-    ScoredSample scored{std::move(sample.sensor_id), sample.level, sample.ts,
-                        sample.value, update};
+    ScoredSample scored;
+    scored.sensor_id = std::move(sample.sensor_id);
+    scored.level = sample.level;
+    scored.ts = sample.ts;
+    scored.value = sample.value;
+    scored.update = update;
     (void)collector_->Push(std::move(scored));
     forwarded_.fetch_add(1, std::memory_order_release);
   }
+  return true;
 }
 
 }  // namespace hod::stream

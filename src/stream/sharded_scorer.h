@@ -2,16 +2,20 @@
 #define HOD_STREAM_SHARDED_SCORER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/monitor.h"
+#include "stream/health.h"
 #include "stream/queue.h"
 #include "stream/router.h"
 #include "stream/stats.h"
@@ -19,16 +23,29 @@
 
 namespace hod::stream {
 
+/// What one collector event means. Score events carry a monitor verdict;
+/// health events mark a sensor entering quarantine (the stream tier's
+/// measurement-error verdict) or completing recovery.
+enum class StreamEventKind {
+  kScore,
+  kSensorFault,
+  kSensorRecovered,
+};
+
 /// A scored sample forwarded to the collector: the original reading plus
 /// the per-sensor monitor's verdict. Only interesting samples travel this
-/// path (alarm transitions and scores above the forwarding threshold), so
-/// collector traffic stays proportional to outliers, not throughput.
+/// path (alarm transitions, scores above the forwarding threshold, and
+/// sensor health transitions), so collector traffic stays proportional to
+/// outliers, not throughput.
 struct ScoredSample {
+  StreamEventKind kind = StreamEventKind::kScore;
   std::string sensor_id;
   hierarchy::ProductionLevel level = hierarchy::ProductionLevel::kPhase;
   ts::TimePoint ts = 0.0;
   double value = 0.0;
   core::MonitorUpdate update;
+  /// Set on kSensorFault events: what tripped the quarantine.
+  HealthSignal fault_reason = HealthSignal::kClean;
 };
 
 /// Read-only view of one sensor's monitor, for tests and diagnostics.
@@ -41,6 +58,14 @@ struct SensorProbe {
   bool model_ready = false;
 };
 
+/// Result of scoring one sample inline (synchronous mode).
+struct InlineScore {
+  /// False when the sensor is quarantined and the sample was withheld
+  /// from its monitor.
+  bool scored = false;
+  core::MonitorUpdate update;
+};
+
 struct ShardedScorerOptions {
   size_t num_shards = 4;
   /// Per-shard queue capacity (samples).
@@ -48,11 +73,18 @@ struct ShardedScorerOptions {
   /// Max samples a worker drains per queue acquisition.
   size_t max_batch = 64;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Producer wait bound under kBlockWithTimeout.
+  std::chrono::milliseconds block_timeout{100};
   /// Configuration of every per-sensor OnlineMonitor.
   core::OnlineMonitorOptions monitor;
   /// Scores above this are forwarded to the collector even without an
   /// alarm transition (feeds the per-level outlier snapshot).
   double forward_threshold = 0.5;
+  /// Test seam: called by each worker once per drain iteration with its
+  /// shard index. Lets liveness tests wedge a worker deterministically
+  /// (watchdog / shutdown-under-saturation coverage). Must be cheap and
+  /// thread-safe; leave empty in production.
+  std::function<void(size_t)> worker_tick_hook;
 };
 
 /// The scoring tier: N shards, each owning a bounded queue, a worker
@@ -60,13 +92,16 @@ struct ShardedScorerOptions {
 /// to it. Shard state is strictly thread-private — a sensor's samples are
 /// only ever scored by its shard's worker, so the hot path touches no
 /// shared mutable state and takes no lock (the queue mutex is amortized
-/// over micro-batches).
+/// over micro-batches; the optional health tracker adds one uncontended
+/// per-sensor mutex acquisition per sample).
 class ShardedScorer {
  public:
-  /// `stats` and `collector` must outlive the scorer; `collector` receives
-  /// forwarded ScoredSamples and may be nullptr (forwarding disabled).
+  /// `stats`, `collector`, and `health` must outlive the scorer.
+  /// `collector` receives forwarded ScoredSamples and may be nullptr
+  /// (forwarding disabled); `health` may be nullptr (no health gating).
   ShardedScorer(const ShardedScorerOptions& options, StreamStats* stats,
-                BoundedQueue<ScoredSample>* collector);
+                BoundedQueue<ScoredSample>* collector,
+                SensorHealthTracker* health);
   ~ShardedScorer();
 
   ShardedScorer(const ShardedScorer&) = delete;
@@ -79,13 +114,14 @@ class ShardedScorer {
   /// synchronously via ScoreNow().
   Status Start();
 
-  /// Enqueues a routed sample onto its shard, applying backpressure.
-  Status Submit(size_t shard, SensorSample sample);
+  /// Enqueues a routed sample onto its shard under `policy` (the sensor
+  /// class's backpressure), accounting evictions and timeouts.
+  Status Submit(size_t shard, SensorSample sample, BackpressurePolicy policy);
 
   /// Scores a sample inline on the caller's thread (synchronous mode).
-  /// Must not be mixed with running workers.
-  StatusOr<core::MonitorUpdate> ScoreNow(size_t shard,
-                                         const SensorSample& sample);
+  /// Must not be mixed with running workers. A quarantined sensor's
+  /// sample is withheld from its monitor (result.scored == false).
+  StatusOr<InlineScore> ScoreNow(size_t shard, const SensorSample& sample);
 
   /// Blocks until every submitted sample has been scored. Producers must
   /// be quiescent for the post-condition to be meaningful.
@@ -106,27 +142,53 @@ class ShardedScorer {
     return forwarded_.load(std::memory_order_acquire);
   }
 
+  /// Liveness telemetry for the engine watchdog: a shard worker's
+  /// heartbeat advances once per drain iteration; a queue with waiting
+  /// samples whose heartbeat stands still is a stalled worker.
+  uint64_t ShardHeartbeat(size_t shard) const;
+  size_t ShardQueueDepth(size_t shard) const;
+
   /// Monitor state of one sensor. FailedPrecondition while workers run.
   StatusOr<SensorProbe> Probe(const std::string& sensor_id) const;
 
+  /// Checkpoint support: copy a sensor's monitor state out / in.
+  /// FailedPrecondition while workers run.
+  StatusOr<core::OnlineMonitorState> SaveMonitor(
+      const std::string& sensor_id) const;
+  Status RestoreMonitor(const std::string& sensor_id,
+                        const core::OnlineMonitorState& state);
+
  private:
   struct Shard {
-    Shard(size_t capacity, BackpressurePolicy policy)
-        : queue(capacity, policy) {}
+    Shard(size_t capacity, BackpressurePolicy policy,
+          std::chrono::milliseconds block_timeout)
+        : queue(capacity, policy, block_timeout) {}
     BoundedQueue<SensorSample> queue;
     std::map<std::string, core::OnlineMonitor> monitors;
     std::atomic<uint64_t> submitted{0};
     std::atomic<uint64_t> processed{0};
+    std::atomic<uint64_t> heartbeat{0};
     std::jthread worker;
   };
 
   void WorkerLoop(size_t shard_index);
   /// Scores one sample against its monitor; forwards interesting updates.
-  void ScoreOne(Shard& shard, SensorSample& sample);
+  /// Returns true when the sample reached the monitor (not quarantined).
+  bool ScoreOne(Shard& shard, SensorSample& sample);
+  /// Health-gates one sample: forwards fault/recovery events, and reports
+  /// whether to score it and whether its results may feed the collector.
+  struct HealthGateResult {
+    bool score = true;    ///< feed the sample to the monitor
+    bool forward = true;  ///< let scores/alarms reach the collector
+  };
+  HealthGateResult HealthGate(const SensorSample& sample);
+  void ForwardEvent(StreamEventKind kind, const SensorSample& sample,
+                    HealthSignal reason);
 
   ShardedScorerOptions options_;
   StreamStats* stats_;
   BoundedQueue<ScoredSample>* collector_;
+  SensorHealthTracker* health_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> forwarded_{0};
   std::mutex flush_mu_;

@@ -27,6 +27,7 @@ StreamStatsSnapshot StreamStats::Snapshot() const {
   snapshot.scored = scored_.load(std::memory_order_relaxed);
   snapshot.rejected_queue_full =
       rejected_queue_full_.load(std::memory_order_relaxed);
+  snapshot.rejected_timeout = rejected_timeout_.load(std::memory_order_relaxed);
   snapshot.rejected_non_finite =
       rejected_non_finite_.load(std::memory_order_relaxed);
   snapshot.rejected_unknown_sensor =
@@ -37,6 +38,20 @@ StreamStatsSnapshot StreamStats::Snapshot() const {
       rejected_out_of_order_.load(std::memory_order_relaxed);
   snapshot.alarms_raised = alarms_raised_.load(std::memory_order_relaxed);
   snapshot.alarms_cleared = alarms_cleared_.load(std::memory_order_relaxed);
+  snapshot.quarantined_samples =
+      quarantined_samples_.load(std::memory_order_relaxed);
+  snapshot.sensor_faults = sensor_faults_.load(std::memory_order_relaxed);
+  snapshot.sensor_recoveries =
+      sensor_recoveries_.load(std::memory_order_relaxed);
+  snapshot.watchdog_stall_events =
+      watchdog_stall_events_.load(std::memory_order_relaxed);
+  for (int i = 0; i < hierarchy::kNumLevels; ++i) {
+    snapshot.level_dropped[i] = level_dropped_[i].load(std::memory_order_relaxed);
+    snapshot.level_rejected[i] =
+        level_rejected_[i].load(std::memory_order_relaxed);
+    snapshot.level_quarantined[i] =
+        level_quarantined_[i].load(std::memory_order_relaxed);
+  }
   snapshot.shard_queue_high_water.reserve(shard_high_water_.size());
   for (const auto& hw : shard_high_water_) {
     snapshot.shard_queue_high_water.push_back(
@@ -49,20 +64,73 @@ StreamStatsSnapshot StreamStats::Snapshot() const {
   return snapshot;
 }
 
+void StreamStats::Restore(const StreamStatsSnapshot& snapshot) {
+  ingested_.store(snapshot.ingested, std::memory_order_relaxed);
+  scored_.store(snapshot.scored, std::memory_order_relaxed);
+  rejected_queue_full_.store(snapshot.rejected_queue_full,
+                             std::memory_order_relaxed);
+  rejected_timeout_.store(snapshot.rejected_timeout,
+                          std::memory_order_relaxed);
+  rejected_non_finite_.store(snapshot.rejected_non_finite,
+                             std::memory_order_relaxed);
+  rejected_unknown_sensor_.store(snapshot.rejected_unknown_sensor,
+                                 std::memory_order_relaxed);
+  rejected_level_mismatch_.store(snapshot.rejected_level_mismatch,
+                                 std::memory_order_relaxed);
+  rejected_out_of_order_.store(snapshot.rejected_out_of_order,
+                               std::memory_order_relaxed);
+  alarms_raised_.store(snapshot.alarms_raised, std::memory_order_relaxed);
+  alarms_cleared_.store(snapshot.alarms_cleared, std::memory_order_relaxed);
+  quarantined_samples_.store(snapshot.quarantined_samples,
+                             std::memory_order_relaxed);
+  sensor_faults_.store(snapshot.sensor_faults, std::memory_order_relaxed);
+  sensor_recoveries_.store(snapshot.sensor_recoveries,
+                           std::memory_order_relaxed);
+  watchdog_stall_events_.store(snapshot.watchdog_stall_events,
+                               std::memory_order_relaxed);
+  for (int i = 0; i < hierarchy::kNumLevels; ++i) {
+    level_dropped_[i].store(snapshot.level_dropped[i],
+                            std::memory_order_relaxed);
+    level_rejected_[i].store(snapshot.level_rejected[i],
+                             std::memory_order_relaxed);
+    level_quarantined_[i].store(snapshot.level_quarantined[i],
+                                std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < kBatchBuckets; ++i) {
+    batch_histogram_[i].store(snapshot.batch_size_histogram[i],
+                              std::memory_order_relaxed);
+  }
+}
+
 std::string StreamStatsSnapshot::ToString() const {
   std::ostringstream out;
   out << "ingested=" << ingested << " scored=" << scored
       << " dropped=" << dropped << " rejected=" << rejected_total()
       << " (queue_full=" << rejected_queue_full
+      << " timeout=" << rejected_timeout
       << " non_finite=" << rejected_non_finite
       << " unknown_sensor=" << rejected_unknown_sensor
       << " level_mismatch=" << rejected_level_mismatch
       << " out_of_order=" << rejected_out_of_order << ")"
       << " alarms_raised=" << alarms_raised
       << " alarms_cleared=" << alarms_cleared << "\n";
-  out << "shard queue high-water:";
+  out << "health: quarantined_samples=" << quarantined_samples
+      << " sensor_faults=" << sensor_faults
+      << " sensor_recoveries=" << sensor_recoveries
+      << " watchdog_stalls=" << watchdog_stall_events << "\n";
+  out << "per-level drop/reject/quarantine:";
+  for (int i = 0; i < hierarchy::kNumLevels; ++i) {
+    if (level_dropped[i] == 0 && level_rejected[i] == 0 &&
+        level_quarantined[i] == 0) {
+      continue;
+    }
+    out << " L" << (i + 1) << "=" << level_dropped[i] << "/"
+        << level_rejected[i] << "/" << level_quarantined[i];
+  }
+  out << "\nshard queue high-water:";
   for (size_t i = 0; i < shard_queue_high_water.size(); ++i) {
     out << " [" << i << "]=" << shard_queue_high_water[i];
+    if (i < shard_stalled.size() && shard_stalled[i] != 0) out << "(STALLED)";
   }
   out << "\nbatch sizes:";
   for (size_t i = 0; i < batch_size_histogram.size(); ++i) {

@@ -7,11 +7,16 @@
 #include <string>
 #include <vector>
 
+#include "hierarchy/level.h"
+
 namespace hod::stream {
 
 /// Number of log2 buckets in the drain-batch-size histogram: bucket i
 /// counts batches of size [2^i, 2^(i+1)).
 inline constexpr size_t kBatchBuckets = 16;
+
+/// Per-level counter array, indexed by LevelValue(level) - 1.
+using LevelCounters = std::array<uint64_t, hierarchy::kNumLevels>;
 
 /// A coherent copy of every engine counter, safe to hold across the
 /// engine's lifetime. In synchronous mode (and after `Stop()` in threaded
@@ -23,19 +28,37 @@ struct StreamStatsSnapshot {
   /// the engine, not tracked in StreamStats itself).
   uint64_t dropped = 0;
   uint64_t rejected_queue_full = 0;     ///< refused by kReject backpressure
+  uint64_t rejected_timeout = 0;        ///< kBlockWithTimeout pushes expired
   uint64_t rejected_non_finite = 0;     ///< NaN / infinite values
   uint64_t rejected_unknown_sensor = 0; ///< sensor id never registered
   uint64_t rejected_level_mismatch = 0; ///< level differs from registration
   uint64_t rejected_out_of_order = 0;   ///< ts regressed beyond tolerance
   uint64_t alarms_raised = 0;
   uint64_t alarms_cleared = 0;
+  /// Samples of quarantined sensors withheld from their monitors.
+  uint64_t quarantined_samples = 0;
+  /// Sensor-fault findings emitted (quarantine entries) / full recoveries.
+  uint64_t sensor_faults = 0;
+  uint64_t sensor_recoveries = 0;
+  /// Shard workers the watchdog has ever flagged as stalled.
+  uint64_t watchdog_stall_events = 0;
+  /// Per-level accounting (indexed by LevelValue(level) - 1): what was
+  /// lost (drops + rejects) and what was withheld (quarantine) at each
+  /// hierarchy level — the observability half of per-sensor-class
+  /// backpressure.
+  LevelCounters level_dropped{};
+  LevelCounters level_rejected{};
+  LevelCounters level_quarantined{};
   /// Deepest each shard's queue has ever been.
   std::vector<uint64_t> shard_queue_high_water;
+  /// Shards the watchdog currently considers stalled (threaded mode with
+  /// the watchdog enabled; empty otherwise).
+  std::vector<uint8_t> shard_stalled;
   /// Histogram of worker drain batch sizes (log2 buckets).
   std::array<uint64_t, kBatchBuckets> batch_size_histogram{};
 
   uint64_t rejected_total() const {
-    return rejected_queue_full + rejected_non_finite +
+    return rejected_queue_full + rejected_timeout + rejected_non_finite +
            rejected_unknown_sensor + rejected_level_mismatch +
            rejected_out_of_order;
   }
@@ -60,12 +83,26 @@ class StreamStats {
     scored_.fetch_add(n, std::memory_order_relaxed);
   }
   void RecordRejectedQueueFull() { Bump(rejected_queue_full_); }
+  void RecordRejectedTimeout() { Bump(rejected_timeout_); }
   void RecordRejectedNonFinite() { Bump(rejected_non_finite_); }
   void RecordRejectedUnknownSensor() { Bump(rejected_unknown_sensor_); }
   void RecordRejectedLevelMismatch() { Bump(rejected_level_mismatch_); }
   void RecordRejectedOutOfOrder() { Bump(rejected_out_of_order_); }
   void RecordAlarmRaised() { Bump(alarms_raised_); }
   void RecordAlarmCleared() { Bump(alarms_cleared_); }
+  void RecordQuarantinedSample(hierarchy::ProductionLevel level) {
+    Bump(quarantined_samples_);
+    Bump(level_quarantined_[LevelIndex(level)]);
+  }
+  void RecordSensorFault() { Bump(sensor_faults_); }
+  void RecordSensorRecovery() { Bump(sensor_recoveries_); }
+  void RecordWatchdogStall() { Bump(watchdog_stall_events_); }
+  void RecordLevelDropped(hierarchy::ProductionLevel level) {
+    Bump(level_dropped_[LevelIndex(level)]);
+  }
+  void RecordLevelRejected(hierarchy::ProductionLevel level) {
+    Bump(level_rejected_[LevelIndex(level)]);
+  }
   /// Records one worker drain of `batch` samples into the histogram.
   void RecordBatch(size_t batch);
   /// Raises shard `shard`'s high-water mark to `depth` if deeper.
@@ -75,6 +112,19 @@ class StreamStats {
 
   StreamStatsSnapshot Snapshot() const;
 
+  /// Overwrites every counter from a snapshot (checkpoint restore). Queue
+  /// high-water marks are owned by the shard queues and reset to zero in
+  /// a restored engine.
+  void Restore(const StreamStatsSnapshot& snapshot);
+
+  /// Clamps a level to a valid per-level counter index.
+  static size_t LevelIndex(hierarchy::ProductionLevel level) {
+    const int value = hierarchy::LevelValue(level);
+    if (value < 1) return 0;
+    if (value > hierarchy::kNumLevels) return hierarchy::kNumLevels - 1;
+    return static_cast<size_t>(value) - 1;
+  }
+
  private:
   static void Bump(std::atomic<uint64_t>& counter) {
     counter.fetch_add(1, std::memory_order_relaxed);
@@ -83,12 +133,21 @@ class StreamStats {
   std::atomic<uint64_t> ingested_{0};
   std::atomic<uint64_t> scored_{0};
   std::atomic<uint64_t> rejected_queue_full_{0};
+  std::atomic<uint64_t> rejected_timeout_{0};
   std::atomic<uint64_t> rejected_non_finite_{0};
   std::atomic<uint64_t> rejected_unknown_sensor_{0};
   std::atomic<uint64_t> rejected_level_mismatch_{0};
   std::atomic<uint64_t> rejected_out_of_order_{0};
   std::atomic<uint64_t> alarms_raised_{0};
   std::atomic<uint64_t> alarms_cleared_{0};
+  std::atomic<uint64_t> quarantined_samples_{0};
+  std::atomic<uint64_t> sensor_faults_{0};
+  std::atomic<uint64_t> sensor_recoveries_{0};
+  std::atomic<uint64_t> watchdog_stall_events_{0};
+  std::array<std::atomic<uint64_t>, hierarchy::kNumLevels> level_dropped_{};
+  std::array<std::atomic<uint64_t>, hierarchy::kNumLevels> level_rejected_{};
+  std::array<std::atomic<uint64_t>, hierarchy::kNumLevels>
+      level_quarantined_{};
   std::vector<std::atomic<uint64_t>> shard_high_water_;
   std::array<std::atomic<uint64_t>, kBatchBuckets> batch_histogram_{};
 };

@@ -17,6 +17,7 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,
 };
 
 /// A lightweight success-or-error result. Cheap to copy in the OK case
@@ -48,6 +49,9 @@ class Status {
   }
   static Status Internal(std::string_view msg) {
     return Status(StatusCode::kInternal, msg);
+  }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(StatusCode::kDeadlineExceeded, msg);
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,266 @@
+#include "stream/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stream/engine.h"
+#include "util/rng.h"
+
+namespace hod::stream {
+namespace {
+
+using hierarchy::ProductionLevel;
+
+StreamEngineOptions SyncOptions() {
+  StreamEngineOptions options;
+  options.synchronous = true;
+  options.monitor.warmup = 32;
+  options.snapshot_every = 8;
+  // These tests feed sensors sequentially, so the staleness sweep (which
+  // compares each sensor against the *global* frontier) would quarantine
+  // the later-fed ones. Staleness is covered by stream_health_test; here
+  // we want serialization, not sweep artifacts.
+  options.health.staleness_timeout = 0.0;
+  return options;
+}
+
+/// Deterministic stream with a fault burst and a quarantine-worthy
+/// flatline, so checkpoints carry non-trivial alarm and health state.
+std::vector<double> MakeStream(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  double noise = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    noise = 0.7 * noise + rng.Gaussian(0.0, 0.25);
+    double value = 50.0 + noise;
+    if (t >= 200 && t < 215) value += 6.0;  // process fault burst
+    values.push_back(value);
+  }
+  return values;
+}
+
+void Feed(StreamEngine& engine, const std::string& id,
+          const std::vector<double>& values, size_t from, size_t to,
+          ProductionLevel level = ProductionLevel::kPhase) {
+  for (size_t t = from; t < to; ++t) {
+    auto ack = engine.Ingest(
+        {id, level, static_cast<double>(t), values[t]});
+    ASSERT_TRUE(ack.ok()) << id << " t=" << t << ": "
+                          << ack.status().ToString();
+  }
+}
+
+std::string CheckpointBytes(const StreamEngine& engine) {
+  std::ostringstream os;
+  Status status = engine.Checkpoint(os);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return os.str();
+}
+
+TEST(EngineCheckpoint, WriteReadRoundTripsEveryField) {
+  StreamEngineOptions options = SyncOptions();
+  StreamEngine engine(options);
+  ASSERT_TRUE(engine.AddSensor("a", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine
+                  .AddSensor("b", ProductionLevel::kEnvironment,
+                             BackpressurePolicy::kDropOldest)
+                  .ok());
+  ASSERT_TRUE(engine.Start().ok());
+  const std::vector<double> values = MakeStream(21, 400);
+  Feed(engine, "a", values, 0, 400);
+  Feed(engine, "b", values, 0, 300, ProductionLevel::kEnvironment);
+  ASSERT_TRUE(engine.Flush().ok());
+
+  const std::string bytes = CheckpointBytes(engine);
+  ASSERT_FALSE(bytes.empty());
+
+  std::istringstream is(bytes);
+  auto checkpoint = ReadEngineCheckpoint(is);
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
+  ASSERT_EQ(checkpoint->sensors.size(), 2u);
+  EXPECT_EQ(checkpoint->sensors[0].sensor_id, "a");
+  EXPECT_EQ(checkpoint->sensors[1].sensor_id, "b");
+  EXPECT_FALSE(checkpoint->sensors[0].has_policy);
+  EXPECT_TRUE(checkpoint->sensors[1].has_policy);
+  EXPECT_EQ(checkpoint->sensors[1].policy, BackpressurePolicy::kDropOldest);
+  EXPECT_EQ(checkpoint->sensors[0].monitor.samples_seen, 400u);
+  EXPECT_EQ(checkpoint->sensors[1].monitor.samples_seen, 300u);
+  EXPECT_DOUBLE_EQ(checkpoint->sensors[0].frontier, 399.0);
+  EXPECT_EQ(checkpoint->stats.ingested, 700u);
+  EXPECT_GT(checkpoint->stats.alarms_raised, 0u);
+  EXPECT_FALSE(checkpoint->findings.empty());
+
+  // Re-encoding the parsed checkpoint reproduces the bytes exactly —
+  // the encoding is canonical.
+  std::ostringstream os;
+  ASSERT_TRUE(WriteEngineCheckpoint(*checkpoint, os).ok());
+  EXPECT_EQ(os.str(), bytes);
+}
+
+TEST(EngineCheckpoint, KillAndRestoreResumesByteIdentically) {
+  // The tentpole acceptance test: run A streams the whole sequence in one
+  // uninterrupted life; run B ingests the identical sequence but is killed
+  // at the midpoint and restored from its checkpoint. Their final
+  // checkpoints must be byte-equal — the restore left no seam. (The
+  // *global* ingest order must match between runs: the findings log and
+  // snapshot cadence are faithful to arrival order by design.)
+  const std::vector<double> s1 = MakeStream(31, 600);
+  const std::vector<double> s2 = MakeStream(32, 600);
+
+  StreamEngine run_a(SyncOptions());
+  ASSERT_TRUE(run_a.AddSensor("s1", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(run_a.AddSensor("s2", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(run_a.Start().ok());
+  Feed(run_a, "s1", s1, 0, 205);
+  Feed(run_a, "s2", s2, 0, 205);
+  Feed(run_a, "s1", s1, 205, 600);
+  Feed(run_a, "s2", s2, 205, 600);
+  const std::string final_a = CheckpointBytes(run_a);
+
+  // Run B, first life: stop at the midpoint (mid-burst for s1, so alarm
+  // state and monitor baselines are both "hot").
+  std::string midpoint;
+  {
+    StreamEngine engine(SyncOptions());
+    ASSERT_TRUE(engine.AddSensor("s1", ProductionLevel::kPhase).ok());
+    ASSERT_TRUE(engine.AddSensor("s2", ProductionLevel::kPhase).ok());
+    ASSERT_TRUE(engine.Start().ok());
+    Feed(engine, "s1", s1, 0, 205);
+    Feed(engine, "s2", s2, 0, 205);
+    midpoint = CheckpointBytes(engine);
+    // The engine is destroyed here without Stop(): the "kill".
+  }
+
+  // Run B, second life: restore and feed the identical remainder.
+  std::istringstream is(midpoint);
+  auto restored = StreamEngine::Restore(is, SyncOptions());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  StreamEngine& run_b = **restored;
+  EXPECT_TRUE(run_b.running());
+  EXPECT_EQ(run_b.stats().ingested, 410u) << "counters carried over";
+  Feed(run_b, "s1", s1, 205, 600);
+  Feed(run_b, "s2", s2, 205, 600);
+  const std::string final_b = CheckpointBytes(run_b);
+
+  EXPECT_EQ(final_a.size(), final_b.size());
+  EXPECT_TRUE(final_a == final_b)
+      << "restore must resume byte-identically in synchronous mode";
+
+  // And the domain-level state agrees too.
+  auto probe_a = run_a.Probe("s1");
+  auto probe_b = run_b.Probe("s1");
+  ASSERT_TRUE(probe_a.ok());
+  ASSERT_TRUE(probe_b.ok());
+  EXPECT_EQ(probe_a->samples_seen, probe_b->samples_seen);
+  EXPECT_EQ(probe_a->alarms_raised, probe_b->alarms_raised);
+  EXPECT_EQ(run_a.Episodes().size(), run_b.Episodes().size());
+}
+
+TEST(EngineCheckpoint, RestoreRejectsMismatchedMonitorOptions) {
+  StreamEngine engine(SyncOptions());
+  ASSERT_TRUE(engine.AddSensor("s", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  const std::vector<double> values = MakeStream(41, 100);
+  Feed(engine, "s", values, 0, 100);
+  const std::string bytes = CheckpointBytes(engine);
+
+  StreamEngineOptions different = SyncOptions();
+  different.monitor.warmup = 99;  // different scoring configuration
+  std::istringstream is(bytes);
+  auto restored = StreamEngine::Restore(is, different);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+
+  StreamEngineOptions tolerance = SyncOptions();
+  tolerance.out_of_order_tolerance = 5.0;
+  std::istringstream is2(bytes);
+  EXPECT_FALSE(StreamEngine::Restore(is2, tolerance).ok());
+}
+
+TEST(EngineCheckpoint, RestoreToleratesDifferentThreadingOptions) {
+  // Threading knobs are not part of the scoring fingerprint: a checkpoint
+  // from a 1-shard sync engine restores into a 4-shard threaded one.
+  StreamEngine engine(SyncOptions());
+  ASSERT_TRUE(engine.AddSensor("s", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  const std::vector<double> values = MakeStream(51, 300);
+  Feed(engine, "s", values, 0, 300);
+  const std::string bytes = CheckpointBytes(engine);
+
+  StreamEngineOptions threaded = SyncOptions();
+  threaded.synchronous = false;
+  threaded.num_shards = 4;
+  threaded.queue_capacity = 64;
+  std::istringstream is(bytes);
+  auto restored = StreamEngine::Restore(is, threaded);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  StreamEngine& run = **restored;
+  for (size_t t = 300; t < 400; ++t) {
+    ASSERT_TRUE(run.Ingest({"s", ProductionLevel::kPhase,
+                            static_cast<double>(t), values[t % 300]})
+                    .ok());
+  }
+  ASSERT_TRUE(run.Flush().ok());
+  ASSERT_TRUE(run.Stop().ok());
+  EXPECT_EQ(run.stats().ingested, 400u);
+  auto probe = run.Probe("s");
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ(probe->samples_seen, 400u);
+}
+
+TEST(EngineCheckpoint, CheckpointRequiresQuiescence) {
+  // Never started: nothing meaningful to save.
+  StreamEngine unstarted(SyncOptions());
+  ASSERT_TRUE(unstarted.AddSensor("s").ok());
+  std::ostringstream os;
+  EXPECT_EQ(unstarted.Checkpoint(os).code(), StatusCode::kFailedPrecondition);
+
+  // Threaded and running: refused (counters are in flight).
+  StreamEngineOptions threaded = SyncOptions();
+  threaded.synchronous = false;
+  threaded.num_shards = 2;
+  StreamEngine engine(threaded);
+  ASSERT_TRUE(engine.AddSensor("s").ok());
+  ASSERT_TRUE(engine.Start().ok());
+  EXPECT_EQ(engine.Checkpoint(os).code(), StatusCode::kFailedPrecondition);
+  // Stopped: allowed.
+  ASSERT_TRUE(engine.Stop().ok());
+  EXPECT_TRUE(engine.Checkpoint(os).ok());
+}
+
+TEST(EngineCheckpoint, ReadRejectsCorruptImages) {
+  StreamEngine engine(SyncOptions());
+  ASSERT_TRUE(engine.AddSensor("s", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  const std::vector<double> values = MakeStream(61, 100);
+  Feed(engine, "s", values, 0, 100);
+  const std::string bytes = CheckpointBytes(engine);
+
+  {
+    std::istringstream empty("");
+    EXPECT_FALSE(ReadEngineCheckpoint(empty).ok());
+  }
+  {
+    std::string bad_magic = bytes;
+    bad_magic[0] = 'X';
+    std::istringstream is(bad_magic);
+    auto result = ReadEngineCheckpoint(is);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    std::string truncated = bytes.substr(0, bytes.size() / 2);
+    std::istringstream is(truncated);
+    EXPECT_FALSE(ReadEngineCheckpoint(is).ok());
+  }
+  // The pristine image still parses (the corruption tests aren't flaky).
+  std::istringstream is(bytes);
+  EXPECT_TRUE(ReadEngineCheckpoint(is).ok());
+}
+
+}  // namespace
+}  // namespace hod::stream

@@ -111,6 +111,9 @@ TEST(StreamConcurrency, FlushMakesCountersExactMidStream) {
   options.num_shards = 2;
   options.queue_capacity = 64;
   options.monitor.warmup = 32;
+  // Constant-value feeds would trip the flatline quarantine; this test is
+  // about drain accounting only.
+  options.health.enabled = false;
   StreamEngine engine(options);
   ASSERT_TRUE(engine.AddSensor("a").ok());
   ASSERT_TRUE(engine.AddSensor("b").ok());
@@ -192,6 +195,9 @@ TEST(StreamConcurrency, StopWithoutFlushDrainsEverything) {
   options.num_shards = 4;
   options.queue_capacity = 1024;
   options.monitor.warmup = 32;
+  // Constant-value feeds would trip the flatline quarantine; this test is
+  // about drain-on-stop accounting only.
+  options.health.enabled = false;
   StreamEngine engine(options);
   for (size_t i = 0; i < 6; ++i) {
     ASSERT_TRUE(engine.AddSensor(SensorId(i)).ok());

@@ -1,0 +1,376 @@
+#include "stream/health.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "stream/engine.h"
+#include "util/rng.h"
+
+namespace hod::stream {
+namespace {
+
+using hierarchy::ProductionLevel;
+
+/// Small thresholds so tests can walk the FSM in a handful of samples.
+SensorHealthOptions FastOptions() {
+  SensorHealthOptions options;
+  options.flatline_window = 4;
+  options.suspect_after = 2;
+  options.quarantine_after = 4;
+  options.suspect_clear_streak = 4;
+  options.recovery_clean_streak = 8;
+  options.staleness_timeout = 100.0;
+  return options;
+}
+
+TEST(SensorHealthTracker, FlatlineWalksHealthySuspectQuarantined) {
+  SensorHealthTracker tracker(FastOptions());
+  ASSERT_TRUE(tracker.AddSensor("s", ProductionLevel::kPhase).ok());
+
+  // First sample plus three repeats: flatline run below the window.
+  for (int t = 0; t < 4; ++t) {
+    auto obs = tracker.Observe("s", t, 5.0);
+    EXPECT_EQ(obs.signal, HealthSignal::kClean) << "t=" << t;
+    EXPECT_EQ(obs.state, SensorHealthState::kHealthy);
+  }
+  // Run reaches the window: every further stuck sample is fault evidence.
+  auto evidence1 = tracker.Observe("s", 4, 5.0);
+  EXPECT_EQ(evidence1.signal, HealthSignal::kFlatline);
+  EXPECT_EQ(evidence1.state, SensorHealthState::kHealthy);
+  auto evidence2 = tracker.Observe("s", 5, 5.0);
+  EXPECT_EQ(evidence2.state, SensorHealthState::kSuspect);
+  tracker.Observe("s", 6, 5.0);
+  auto quarantine = tracker.Observe("s", 7, 5.0);
+  EXPECT_EQ(quarantine.state, SensorHealthState::kQuarantined);
+  EXPECT_TRUE(quarantine.entered_quarantine);
+  EXPECT_EQ(tracker.StateOf("s"), SensorHealthState::kQuarantined);
+
+  SensorHealthSnapshot snapshot = tracker.Snapshot();
+  EXPECT_EQ(snapshot.quarantined, 1u);
+  ASSERT_EQ(snapshot.sensors.size(), 1u);
+  EXPECT_EQ(snapshot.sensors[0].quarantines, 1u);
+}
+
+TEST(SensorHealthTracker, RecoveryNeedsAFullCleanStreak) {
+  SensorHealthTracker tracker(FastOptions());
+  ASSERT_TRUE(tracker.AddSensor("s", ProductionLevel::kPhase).ok());
+  // Drive straight into quarantine with a flatline.
+  for (int t = 0; t < 8; ++t) tracker.Observe("s", t, 5.0);
+  ASSERT_EQ(tracker.StateOf("s"), SensorHealthState::kQuarantined);
+
+  // First clean (varying) sample: recovering, but not yet trusted.
+  auto first_clean = tracker.Observe("s", 8, 6.0);
+  EXPECT_EQ(first_clean.state, SensorHealthState::kRecovering);
+  EXPECT_FALSE(first_clean.recovered);
+
+  // Seven more clean samples complete the streak of eight.
+  HealthObservation last;
+  for (int t = 9; t < 16; ++t) {
+    last = tracker.Observe("s", t, 6.0 + 0.5 * (t % 3));
+  }
+  EXPECT_EQ(last.state, SensorHealthState::kHealthy);
+  EXPECT_TRUE(last.recovered);
+  EXPECT_EQ(tracker.StateOf("s"), SensorHealthState::kHealthy);
+}
+
+TEST(SensorHealthTracker, FaultDuringRecoveryRequarantinesImmediately) {
+  SensorHealthTracker tracker(FastOptions());
+  ASSERT_TRUE(tracker.AddSensor("s", ProductionLevel::kPhase).ok());
+  for (int t = 0; t < 8; ++t) tracker.Observe("s", t, 5.0);
+  ASSERT_EQ(tracker.StateOf("s"), SensorHealthState::kQuarantined);
+  tracker.Observe("s", 8, 6.0);  // recovering
+  ASSERT_EQ(tracker.StateOf("s"), SensorHealthState::kRecovering);
+  // A duplicate timestamp mid-recovery: back to quarantine, one strike.
+  auto obs = tracker.Observe("s", 8, 7.0);
+  EXPECT_EQ(obs.signal, HealthSignal::kDuplicate);
+  EXPECT_EQ(obs.state, SensorHealthState::kQuarantined);
+  EXPECT_TRUE(obs.entered_quarantine);
+  SensorHealthSnapshot snapshot = tracker.Snapshot();
+  ASSERT_EQ(snapshot.sensors.size(), 1u);
+  EXPECT_EQ(snapshot.sensors[0].quarantines, 2u);
+}
+
+TEST(SensorHealthTracker, SuspectClearsBackToHealthy) {
+  SensorHealthTracker tracker(FastOptions());
+  ASSERT_TRUE(tracker.AddSensor("s", ProductionLevel::kPhase).ok());
+  // Two rejections make the sensor suspect, but not quarantined.
+  tracker.RecordRejection("s", HealthSignal::kNonFinite, 1.0);
+  tracker.RecordRejection("s", HealthSignal::kNonFinite, 2.0);
+  ASSERT_EQ(tracker.StateOf("s"), SensorHealthState::kSuspect);
+  // Four clean samples clear it.
+  for (int t = 3; t < 7; ++t) tracker.Observe("s", t, 10.0 + t);
+  EXPECT_EQ(tracker.StateOf("s"), SensorHealthState::kHealthy);
+}
+
+TEST(SensorHealthTracker, RejectionsAloneCanQuarantine) {
+  SensorHealthTracker tracker(FastOptions());
+  ASSERT_TRUE(tracker.AddSensor("s", ProductionLevel::kPhase).ok());
+  std::optional<HealthTransition> quarantine;
+  for (int t = 0; t < 4; ++t) {
+    quarantine = tracker.RecordRejection("s", HealthSignal::kNonFinite, t);
+  }
+  ASSERT_TRUE(quarantine.has_value());
+  EXPECT_EQ(quarantine->to, SensorHealthState::kQuarantined);
+  EXPECT_EQ(quarantine->reason, HealthSignal::kNonFinite);
+  EXPECT_EQ(tracker.StateOf("s"), SensorHealthState::kQuarantined);
+}
+
+TEST(SensorHealthTracker, SweepStaleQuarantinesLaggingSensors) {
+  SensorHealthTracker tracker(FastOptions());  // staleness_timeout = 100
+  ASSERT_TRUE(tracker.AddSensor("live", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(tracker.AddSensor("dead", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(tracker.AddSensor("silent", ProductionLevel::kPhase).ok());
+
+  tracker.Observe("dead", 0.0, 1.0);  // reports once, then goes quiet
+  for (int t = 0; t <= 200; t += 10) tracker.Observe("live", t, 50.0 + t);
+
+  std::vector<HealthTransition> transitions = tracker.SweepStale();
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].sensor_id, "dead");
+  EXPECT_EQ(transitions[0].reason, HealthSignal::kStale);
+  EXPECT_EQ(tracker.StateOf("dead"), SensorHealthState::kQuarantined);
+  // Never-reporting sensors are absent, not stale.
+  EXPECT_EQ(tracker.StateOf("silent"), SensorHealthState::kHealthy);
+  EXPECT_EQ(tracker.StateOf("live"), SensorHealthState::kHealthy);
+  // A second sweep is idempotent: already-quarantined sensors are skipped.
+  EXPECT_TRUE(tracker.SweepStale().empty());
+}
+
+TEST(SensorHealthTracker, DisabledTrackerIsInert) {
+  SensorHealthOptions options = FastOptions();
+  options.enabled = false;
+  SensorHealthTracker tracker(options);
+  ASSERT_TRUE(tracker.AddSensor("s", ProductionLevel::kPhase).ok());
+  for (int t = 0; t < 100; ++t) {
+    auto obs = tracker.Observe("s", 0.0, 5.0);  // duplicates AND flatline
+    EXPECT_EQ(obs.state, SensorHealthState::kHealthy);
+  }
+  EXPECT_FALSE(
+      tracker.RecordRejection("s", HealthSignal::kNonFinite, 0.0).has_value());
+  EXPECT_TRUE(tracker.SweepStale().empty());
+  EXPECT_TRUE(tracker.Transitions().empty());
+}
+
+TEST(SensorHealthTracker, SaveRestoreRoundTripsTheFsm) {
+  SensorHealthTracker tracker(FastOptions());
+  ASSERT_TRUE(tracker.AddSensor("a", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(tracker.AddSensor("b", ProductionLevel::kEnvironment).ok());
+  for (int t = 0; t < 8; ++t) tracker.Observe("a", t, 5.0);  // quarantined
+  for (int t = 0; t < 5; ++t) tracker.Observe("b", t, 1.0 + t);
+
+  std::vector<SensorHealthStatus> saved = tracker.SaveState();
+
+  SensorHealthTracker restored(FastOptions());
+  ASSERT_TRUE(restored.AddSensor("a", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(restored.AddSensor("b", ProductionLevel::kEnvironment).ok());
+  ASSERT_TRUE(restored.RestoreState(saved).ok());
+  EXPECT_EQ(restored.StateOf("a"), SensorHealthState::kQuarantined);
+  EXPECT_EQ(restored.StateOf("b"), SensorHealthState::kHealthy);
+  EXPECT_DOUBLE_EQ(restored.frontier(), tracker.frontier());
+  // The restored FSM continues identically: a clean sample starts recovery.
+  auto obs = restored.Observe("a", 100.0, 9.0);
+  EXPECT_EQ(obs.state, SensorHealthState::kRecovering);
+
+  // Restoring state for an unknown sensor fails loudly.
+  SensorHealthTracker empty(FastOptions());
+  EXPECT_FALSE(empty.RestoreState(saved).ok());
+}
+
+// --- Engine-level fault scenarios (synchronous mode: deterministic) ---
+
+StreamEngineOptions FaultDrillOptions() {
+  StreamEngineOptions options;
+  options.synchronous = true;
+  options.snapshot_every = 1;
+  options.monitor.warmup = 16;
+  options.health = FastOptions();
+  return options;
+}
+
+TEST(StreamEngineHealth, FlatlineQuarantineThenRecovery) {
+  StreamEngineOptions options = FaultDrillOptions();
+  StreamEngine engine(options);
+  ASSERT_TRUE(engine.AddSensor("s", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.Start().ok());
+
+  Rng rng(3);
+  double t = 0.0;
+  // Healthy phase: varying values.
+  for (int i = 0; i < 40; ++i, t += 1.0) {
+    auto ack = engine.Ingest({"s", ProductionLevel::kPhase, t,
+                              rng.Gaussian(50.0, 0.5)});
+    ASSERT_TRUE(ack.ok());
+    EXPECT_TRUE(ack->update.has_value());
+  }
+  // Sensor freezes: the FSM must quarantine it.
+  bool saw_withheld = false;
+  for (int i = 0; i < 20; ++i, t += 1.0) {
+    auto ack = engine.Ingest({"s", ProductionLevel::kPhase, t, 50.0});
+    ASSERT_TRUE(ack.ok()) << "quarantine withholds, it does not reject";
+    if (!ack->update.has_value()) saw_withheld = true;
+  }
+  EXPECT_TRUE(saw_withheld);
+  EXPECT_EQ(engine.HealthStateOf("s"), SensorHealthState::kQuarantined);
+
+  StreamStatsSnapshot mid = engine.stats();
+  EXPECT_EQ(mid.sensor_faults, 1u);
+  EXPECT_GT(mid.quarantined_samples, 0u);
+  const size_t phase_index =
+      static_cast<size_t>(hierarchy::LevelValue(ProductionLevel::kPhase)) - 1;
+  EXPECT_GT(mid.level_quarantined[phase_index], 0u);
+
+  EngineSnapshot snapshot = engine.Snapshot();
+  EXPECT_EQ(snapshot.levels[phase_index].sensor_faults, 1u);
+  EXPECT_EQ(snapshot.levels[phase_index].quarantined_sensors, 1u);
+  ASSERT_EQ(snapshot.quarantined.size(), 1u);
+  EXPECT_EQ(snapshot.quarantined[0].sensor_id, "s");
+  EXPECT_EQ(snapshot.quarantined[0].reason, HealthSignal::kFlatline);
+
+  // The sensor comes back to life and earns its way out of quarantine.
+  for (int i = 0; i < 20; ++i, t += 1.0) {
+    ASSERT_TRUE(engine
+                    .Ingest({"s", ProductionLevel::kPhase, t,
+                             rng.Gaussian(50.0, 0.5)})
+                    .ok());
+  }
+  EXPECT_EQ(engine.HealthStateOf("s"), SensorHealthState::kHealthy);
+  ASSERT_TRUE(engine.Flush().ok());
+  StreamStatsSnapshot after = engine.stats();
+  EXPECT_EQ(after.sensor_recoveries, 1u);
+  EngineSnapshot final_snapshot = engine.Snapshot();
+  EXPECT_TRUE(final_snapshot.quarantined.empty());
+  EXPECT_EQ(final_snapshot.levels[phase_index].quarantined_sensors, 0u);
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+TEST(StreamEngineHealth, NaNBurstQuarantinesWithoutMovingLevelPeaks) {
+  StreamEngineOptions options = FaultDrillOptions();
+  StreamEngine engine(options);
+  ASSERT_TRUE(engine.AddSensor("bad", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.AddSensor("good", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.Start().ok());
+
+  Rng rng(7);
+  double t = 0.0;
+  for (int i = 0; i < 30; ++i, t += 1.0) {
+    ASSERT_TRUE(engine
+                    .Ingest({"good", ProductionLevel::kPhase, t,
+                             rng.Gaussian(50.0, 0.4)})
+                    .ok());
+    ASSERT_TRUE(engine
+                    .Ingest({"bad", ProductionLevel::kPhase, t,
+                             rng.Gaussian(50.0, 0.4)})
+                    .ok());
+  }
+  // ADC glitch: the bad sensor emits only NaN. Each is rejected at the
+  // router (never reaches a monitor) and counts as fault evidence.
+  for (int i = 0; i < 6; ++i, t += 1.0) {
+    auto ack =
+        engine.Ingest({"bad", ProductionLevel::kPhase, t, std::nan("")});
+    EXPECT_EQ(ack.status().code(), StatusCode::kInvalidArgument);
+    ASSERT_TRUE(engine
+                    .Ingest({"good", ProductionLevel::kPhase, t,
+                             rng.Gaussian(50.0, 0.4)})
+                    .ok());
+  }
+  EXPECT_EQ(engine.HealthStateOf("bad"), SensorHealthState::kQuarantined);
+  ASSERT_TRUE(engine.Flush().ok());
+
+  const size_t phase_index =
+      static_cast<size_t>(hierarchy::LevelValue(ProductionLevel::kPhase)) - 1;
+  EngineSnapshot snapshot = engine.Snapshot();
+  // The fault surfaced as a sensor-fault finding, not as a process
+  // outlier: no alarms, no outlier samples, untouched peak.
+  EXPECT_EQ(snapshot.levels[phase_index].sensor_faults, 1u);
+  EXPECT_EQ(snapshot.levels[phase_index].alarms_raised, 0u);
+  EXPECT_EQ(snapshot.levels[phase_index].outlier_samples, 0u);
+  EXPECT_LT(snapshot.levels[phase_index].peak_score, 0.99);
+  ASSERT_EQ(snapshot.quarantined.size(), 1u);
+  EXPECT_EQ(snapshot.quarantined[0].sensor_id, "bad");
+  EXPECT_EQ(snapshot.quarantined[0].reason, HealthSignal::kNonFinite);
+
+  StreamStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(stats.rejected_non_finite, 6u);
+  EXPECT_EQ(stats.sensor_faults, 1u);
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+TEST(StreamEngineHealth, SilentSensorIsSweptStaleInSyncMode) {
+  StreamEngineOptions options = FaultDrillOptions();
+  options.health.staleness_timeout = 50.0;
+  options.health_sweep_every = 16;
+  StreamEngine engine(options);
+  ASSERT_TRUE(engine.AddSensor("live", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.AddSensor("dead", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.Start().ok());
+
+  Rng rng(11);
+  ASSERT_TRUE(engine
+                  .Ingest({"dead", ProductionLevel::kPhase, 0.0,
+                           rng.Gaussian(50.0, 0.4)})
+                  .ok());
+  // The live sensor streams on; the dead one never reports again. The
+  // periodic sweep must notice the widening gap.
+  for (int t = 1; t <= 200; ++t) {
+    ASSERT_TRUE(engine
+                    .Ingest({"live", ProductionLevel::kPhase,
+                             static_cast<double>(t),
+                             rng.Gaussian(50.0, 0.4)})
+                    .ok());
+  }
+  EXPECT_EQ(engine.HealthStateOf("dead"), SensorHealthState::kQuarantined);
+  ASSERT_TRUE(engine.Flush().ok());
+  EngineSnapshot snapshot = engine.Snapshot();
+  ASSERT_EQ(snapshot.quarantined.size(), 1u);
+  EXPECT_EQ(snapshot.quarantined[0].sensor_id, "dead");
+  EXPECT_EQ(snapshot.quarantined[0].reason, HealthSignal::kStale);
+  EXPECT_EQ(engine.stats().sensor_faults, 1u);
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+TEST(StreamEngineHealth, QuarantineRetractsAnActiveAlarm) {
+  StreamEngineOptions options = FaultDrillOptions();
+  options.monitor.warmup = 16;
+  StreamEngine engine(options);
+  ASSERT_TRUE(engine.AddSensor("s", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.Start().ok());
+
+  Rng rng(13);
+  double t = 0.0;
+  for (int i = 0; i < 64; ++i, t += 1.0) {
+    ASSERT_TRUE(engine
+                    .Ingest({"s", ProductionLevel::kPhase, t,
+                             rng.Gaussian(50.0, 0.3)})
+                    .ok());
+  }
+  // A hard level shift raises a process alarm...
+  for (int i = 0; i < 6; ++i, t += 1.0) {
+    ASSERT_TRUE(
+        engine.Ingest({"s", ProductionLevel::kPhase, t, 58.0 + 0.01 * i})
+            .ok());
+  }
+  const size_t phase_index =
+      static_cast<size_t>(hierarchy::LevelValue(ProductionLevel::kPhase)) - 1;
+  ASSERT_TRUE(engine.Flush().ok());
+  ASSERT_EQ(engine.Snapshot().levels[phase_index].active_alarms, 1u);
+
+  // ...then the value freezes there: the flatline quarantine must retract
+  // the alarm rather than leave a faulted sensor holding it open.
+  for (int i = 0; i < 20; ++i, t += 1.0) {
+    ASSERT_TRUE(
+        engine.Ingest({"s", ProductionLevel::kPhase, t, 58.05}).ok());
+  }
+  ASSERT_EQ(engine.HealthStateOf("s"), SensorHealthState::kQuarantined);
+  ASSERT_TRUE(engine.Flush().ok());
+  EngineSnapshot snapshot = engine.Snapshot();
+  EXPECT_EQ(snapshot.levels[phase_index].active_alarms, 0u);
+  EXPECT_TRUE(snapshot.active_alarms.empty());
+  ASSERT_EQ(snapshot.quarantined.size(), 1u);
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+}  // namespace
+}  // namespace hod::stream

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -122,6 +124,105 @@ TEST(BoundedQueue, TryPopBatchDoesNotBlock) {
   ASSERT_TRUE(queue.Push(42).ok());
   EXPECT_EQ(queue.TryPopBatch(out, 4), 1u);
   EXPECT_EQ(out[0], 42);
+}
+
+TEST(BoundedQueue, BlockWithTimeoutFailsTypedWhenConsumerStalls) {
+  BoundedQueue<int> queue(2, BackpressurePolicy::kBlockWithTimeout,
+                          std::chrono::milliseconds(10));
+  ASSERT_TRUE(queue.Push(0).ok());
+  ASSERT_TRUE(queue.Push(1).ok());
+  // No consumer: the push must give up with a typed error, not hang.
+  Status status = queue.Push(2);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(queue.timed_out(), 1u);
+  EXPECT_EQ(queue.dropped(), 0u);
+  EXPECT_EQ(queue.rejected(), 0u);
+  // Once the consumer frees a slot, pushes succeed again.
+  std::vector<int> out;
+  ASSERT_TRUE(queue.PopBatch(out, 1));
+  EXPECT_TRUE(queue.Push(2).ok());
+}
+
+TEST(BoundedQueue, BlockWithTimeoutAdmitsWhenConsumerCatchesUp) {
+  BoundedQueue<int> queue(1, BackpressurePolicy::kBlockWithTimeout,
+                          std::chrono::milliseconds(2000));
+  ASSERT_TRUE(queue.Push(0).ok());
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::vector<int> out;
+    queue.TryPopBatch(out, 1);
+  });
+  // Blocks briefly, then the consumer frees the slot well inside the
+  // timeout.
+  EXPECT_TRUE(queue.Push(1).ok());
+  consumer.join();
+  EXPECT_EQ(queue.timed_out(), 0u);
+}
+
+TEST(BoundedQueue, PerPushPolicyOverridesTheQueueDefault) {
+  // One queue, two sensor classes: the default is lossless, but a
+  // best-effort producer can opt into kDropOldest for its own pushes.
+  BoundedQueue<int> queue(2, BackpressurePolicy::kBlock);
+  ASSERT_TRUE(queue.Push(10).ok());
+  ASSERT_TRUE(queue.Push(11).ok());
+  std::optional<int> evicted;
+  ASSERT_TRUE(
+      queue.Push(12, BackpressurePolicy::kDropOldest, &evicted).ok());
+  ASSERT_TRUE(evicted.has_value()) << "the victim is handed back";
+  EXPECT_EQ(*evicted, 10);
+  EXPECT_EQ(queue.dropped(), 1u);
+  Status rejected = queue.Push(13, BackpressurePolicy::kReject, nullptr);
+  EXPECT_EQ(rejected.code(), StatusCode::kOutOfRange);
+  std::vector<int> out;
+  ASSERT_TRUE(queue.PopBatch(out, 4));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 11);
+  EXPECT_EQ(out[1], 12);
+}
+
+TEST(BoundedQueue, DropOldestWithoutOutParamStillEvicts) {
+  BoundedQueue<int> queue(1, BackpressurePolicy::kBlock);
+  ASSERT_TRUE(queue.Push(1).ok());
+  ASSERT_TRUE(queue.Push(2, BackpressurePolicy::kDropOldest, nullptr).ok());
+  EXPECT_EQ(queue.dropped(), 1u);
+  std::vector<int> out;
+  ASSERT_TRUE(queue.PopBatch(out, 1));
+  EXPECT_EQ(out[0], 2);
+}
+
+TEST(BoundedQueue, CloseWakesManySaturatingProducersPromptly) {
+  // Shutdown-liveness regression: N producers all parked in a blocking
+  // Push (both flavors) against a full queue must ALL return promptly
+  // when Close() fires — no lost wakeup, no producer left behind.
+  BoundedQueue<int> queue(1, BackpressurePolicy::kBlock);
+  ASSERT_TRUE(queue.Push(0).ok());
+  constexpr int kProducers = 8;
+  std::vector<Status> results(kProducers);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &results, p] {
+      const BackpressurePolicy policy =
+          (p % 2 == 0) ? BackpressurePolicy::kBlock
+                       : BackpressurePolicy::kBlockWithTimeout;
+      results[static_cast<size_t>(p)] = queue.Push(p, policy, nullptr);
+    });
+  }
+  // Let every producer reach the wait, then close without consuming.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  queue.Close();
+  for (auto& producer : producers) producer.join();  // must not hang
+  for (const Status& result : results) {
+    // Producers that raced ahead of saturation may have timed out (the
+    // kBlockWithTimeout default is 100 ms); everyone else saw the close.
+    EXPECT_TRUE(result.code() == StatusCode::kFailedPrecondition ||
+                result.code() == StatusCode::kDeadlineExceeded)
+        << result.ToString();
+  }
+  // The queued item is still poppable after close.
+  std::vector<int> out;
+  EXPECT_TRUE(queue.PopBatch(out, 4));
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_FALSE(queue.PopBatch(out, 4));
 }
 
 TEST(BoundedQueue, ManyProducersAllItemsArrive) {
