@@ -15,13 +15,17 @@
 
 #include "bench_util.h"
 #include "stream/engine.h"
+#include "stream/queue.h"
 #include "stream/router.h"
+#include "stream/spsc_ring.h"
 #include "util/rng.h"
 
 namespace {
 
 using hod::stream::BackpressurePolicy;
+using hod::stream::ProducerHint;
 using hod::stream::SensorSample;
+using hod::stream::ShardQueue;
 using hod::stream::StreamEngine;
 using hod::stream::StreamEngineOptions;
 using Clock = std::chrono::steady_clock;
@@ -33,6 +37,16 @@ struct RunResult {
   double seconds = 0.0;
   double samples_per_sec = 0.0;
   uint64_t alarms = 0;
+  ProducerHint hint = ProducerHint::kUnknown;
+  std::string queue_kind;
+};
+
+/// Raw shard-queue throughput: one producer, one consumer, no scoring —
+/// isolates exactly the hand-off the SPSC ring optimizes.
+struct QueueCompareResult {
+  double mpsc_per_sec = 0.0;
+  double spsc_per_sec = 0.0;
+  double speedup = 0.0;
 };
 
 std::string SensorId(size_t i) { return "sensor_" + std::to_string(i); }
@@ -66,14 +80,66 @@ std::vector<SensorSample> MakeWorkload(size_t sensors,
   return workload;
 }
 
+/// Pushes `total` samples through one queue on a dedicated producer thread
+/// while the calling thread drains in batches of 64 — the shape of one
+/// shard's ingest path at saturation. Returns samples/sec.
+double BenchQueueOnce(ShardQueue<SensorSample>& queue, size_t total) {
+  const SensorSample prototype{"sensor_0",
+                               hod::hierarchy::ProductionLevel::kPhase, 0.0,
+                               50.0};
+  const auto start = Clock::now();
+  std::thread producer([&queue, &prototype, total] {
+    for (size_t i = 0; i < total; ++i) {
+      SensorSample sample = prototype;
+      sample.ts = static_cast<double>(i);
+      (void)queue.Push(std::move(sample));
+    }
+    queue.Close();
+  });
+  std::vector<SensorSample> batch;
+  batch.reserve(64);
+  size_t popped = 0;
+  while (queue.PopBatch(batch, 64)) {
+    popped += batch.size();
+    batch.clear();
+  }
+  producer.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return seconds > 0.0 && popped == total
+             ? static_cast<double>(total) / seconds
+             : 0.0;
+}
+
+QueueCompareResult RunQueueCompare(size_t total) {
+  QueueCompareResult result;
+  // Equal capacity, equal policy; only the implementation differs. One
+  // throwaway warm-up lap each, then the measured lap.
+  for (int lap = 0; lap < 2; ++lap) {
+    hod::stream::BoundedQueue<SensorSample> mpsc(4096,
+                                                 BackpressurePolicy::kBlock);
+    result.mpsc_per_sec = BenchQueueOnce(mpsc, total);
+  }
+  for (int lap = 0; lap < 2; ++lap) {
+    hod::stream::SpscRing<SensorSample> spsc(4096,
+                                             BackpressurePolicy::kBlock);
+    result.spsc_per_sec = BenchQueueOnce(spsc, total);
+  }
+  result.speedup = result.mpsc_per_sec > 0.0
+                       ? result.spsc_per_sec / result.mpsc_per_sec
+                       : 0.0;
+  return result;
+}
+
 RunResult RunOnce(const std::vector<SensorSample>& workload, size_t sensors,
-                  size_t shards, size_t batch) {
+                  size_t shards, size_t batch, ProducerHint hint) {
   StreamEngineOptions options;
   options.num_shards = shards;
   options.max_batch = batch;
   options.queue_capacity = 4096;
   options.backpressure = BackpressurePolicy::kBlock;
   options.monitor.warmup = 256;
+  options.producer_hint = hint;
   StreamEngine engine(options);
   for (size_t i = 0; i < sensors; ++i) {
     (void)engine.AddSensor(SensorId(i));
@@ -114,6 +180,9 @@ RunResult RunOnce(const std::vector<SensorSample>& workload, size_t sensors,
                                  result.seconds
                            : 0.0;
   result.alarms = engine.stats().alarms_raised;
+  result.hint = hint;
+  result.queue_kind =
+      hint == ProducerHint::kSinglePerShard ? "spsc" : "mpsc";
   return result;
 }
 
@@ -131,20 +200,35 @@ int main() {
   std::printf("\nWorkload: %zu sensors x %zu samples = %zu total\n", kSensors,
               kSamplesPerSensor, workload.size());
 
+  // Queue-level comparison first: one producer + one consumer against each
+  // implementation at equal capacity. This is the hand-off the SPSC ring
+  // replaces, with the scoring cost stripped away.
+  hod::bench::PrintSection("shard queue: SPSC ring vs MPSC mutex queue");
+  const QueueCompareResult queue_compare = RunQueueCompare(1'000'000);
+  std::printf("mpsc (BoundedQueue)  %-14.0f samples/sec\n",
+              queue_compare.mpsc_per_sec);
+  std::printf("spsc (SpscRing)      %-14.0f samples/sec\n",
+              queue_compare.spsc_per_sec);
+  std::printf("speedup              %.2fx\n", queue_compare.speedup);
+
   const std::vector<size_t> shard_counts = {1, 2, 4, 8};
   const std::vector<size_t> batch_sizes = {1, 16, 64};
   std::vector<RunResult> results;
 
-  hod::bench::PrintSection("samples/sec by shard count and micro-batch size");
-  std::printf("%-8s %-8s %-14s %-10s %s\n", "shards", "batch", "samples/sec",
-              "seconds", "alarms");
-  for (size_t shards : shard_counts) {
-    for (size_t batch : batch_sizes) {
-      RunResult result = RunOnce(workload, kSensors, shards, batch);
-      results.push_back(result);
-      std::printf("%-8zu %-8zu %-14.0f %-10.3f %llu\n", result.shards,
-                  result.batch, result.samples_per_sec, result.seconds,
-                  static_cast<unsigned long long>(result.alarms));
+  hod::bench::PrintSection("samples/sec by shard count, batch size and queue");
+  std::printf("%-8s %-8s %-8s %-14s %-10s %s\n", "shards", "batch", "queue",
+              "samples/sec", "seconds", "alarms");
+  for (ProducerHint hint :
+       {ProducerHint::kUnknown, ProducerHint::kSinglePerShard}) {
+    for (size_t shards : shard_counts) {
+      for (size_t batch : batch_sizes) {
+        RunResult result = RunOnce(workload, kSensors, shards, batch, hint);
+        results.push_back(result);
+        std::printf("%-8zu %-8zu %-8s %-14.0f %-10.3f %llu\n", result.shards,
+                    result.batch, result.queue_kind.c_str(),
+                    result.samples_per_sec, result.seconds,
+                    static_cast<unsigned long long>(result.alarms));
+      }
     }
   }
 
@@ -153,7 +237,7 @@ int main() {
   hod::bench::PrintSection("scaling vs 1 shard (batch=64)");
   double base = 0.0;
   for (const RunResult& result : results) {
-    if (result.batch != 64) continue;
+    if (result.batch != 64 || result.hint != ProducerHint::kUnknown) continue;
     if (result.shards == 1) base = result.samples_per_sec;
     std::printf("shards=%zu  %.2fx\n", result.shards,
                 base > 0.0 ? result.samples_per_sec / base : 0.0);
@@ -163,10 +247,16 @@ int main() {
   json << "{\n  \"experiment\": \"stream_throughput\",\n"
        << "  \"sensors\": " << kSensors << ",\n"
        << "  \"samples_total\": " << workload.size() << ",\n"
+       << "  \"queue_compare\": {\"mpsc_per_sec\": "
+       << static_cast<uint64_t>(queue_compare.mpsc_per_sec)
+       << ", \"spsc_per_sec\": "
+       << static_cast<uint64_t>(queue_compare.spsc_per_sec)
+       << ", \"speedup\": " << queue_compare.speedup << "},\n"
        << "  \"runs\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];
     json << "    {\"shards\": " << r.shards << ", \"batch\": " << r.batch
+         << ", \"queue\": \"" << r.queue_kind << "\""
          << ", \"samples_per_sec\": " << static_cast<uint64_t>(r.samples_per_sec)
          << ", \"seconds\": " << r.seconds << ", \"alarms\": " << r.alarms
          << "}" << (i + 1 < results.size() ? "," : "") << "\n";

@@ -9,8 +9,9 @@ namespace {
 namespace bin = hierarchy::bin;
 
 /// "HODC" little-endian + format version.
+/// v2: StreamStatsSnapshot gained rejected_closed and forward_failed.
 constexpr uint32_t kMagic = 0x43444F48u;
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
 
 void WriteBool(std::ostream& os, bool value) {
   bin::WriteU8(os, value ? 1 : 0);
@@ -246,12 +247,14 @@ void WriteStats(std::ostream& os, const StreamStatsSnapshot& stats) {
   bin::WriteU64(os, stats.rejected_unknown_sensor);
   bin::WriteU64(os, stats.rejected_level_mismatch);
   bin::WriteU64(os, stats.rejected_out_of_order);
+  bin::WriteU64(os, stats.rejected_closed);
   bin::WriteU64(os, stats.alarms_raised);
   bin::WriteU64(os, stats.alarms_cleared);
   bin::WriteU64(os, stats.quarantined_samples);
   bin::WriteU64(os, stats.sensor_faults);
   bin::WriteU64(os, stats.sensor_recoveries);
   bin::WriteU64(os, stats.watchdog_stall_events);
+  bin::WriteU64(os, stats.forward_failed);
   for (uint64_t count : stats.level_dropped) bin::WriteU64(os, count);
   for (uint64_t count : stats.level_rejected) bin::WriteU64(os, count);
   for (uint64_t count : stats.level_quarantined) bin::WriteU64(os, count);
@@ -268,12 +271,14 @@ Status ReadStats(std::istream& is, StreamStatsSnapshot& stats) {
   HOD_ASSIGN_OR_RETURN(stats.rejected_unknown_sensor, bin::ReadU64(is));
   HOD_ASSIGN_OR_RETURN(stats.rejected_level_mismatch, bin::ReadU64(is));
   HOD_ASSIGN_OR_RETURN(stats.rejected_out_of_order, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(stats.rejected_closed, bin::ReadU64(is));
   HOD_ASSIGN_OR_RETURN(stats.alarms_raised, bin::ReadU64(is));
   HOD_ASSIGN_OR_RETURN(stats.alarms_cleared, bin::ReadU64(is));
   HOD_ASSIGN_OR_RETURN(stats.quarantined_samples, bin::ReadU64(is));
   HOD_ASSIGN_OR_RETURN(stats.sensor_faults, bin::ReadU64(is));
   HOD_ASSIGN_OR_RETURN(stats.sensor_recoveries, bin::ReadU64(is));
   HOD_ASSIGN_OR_RETURN(stats.watchdog_stall_events, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(stats.forward_failed, bin::ReadU64(is));
   for (uint64_t& count : stats.level_dropped) {
     HOD_ASSIGN_OR_RETURN(count, bin::ReadU64(is));
   }

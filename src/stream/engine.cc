@@ -22,6 +22,9 @@ ShardedScorerOptions MakeScorerOptions(const StreamEngineOptions& options) {
   scorer.max_batch = options.max_batch;
   scorer.backpressure = options.backpressure;
   scorer.block_timeout = options.block_timeout;
+  // Synchronous mode never spawns producers; the hint is irrelevant there
+  // but harmless (ScoreNow bypasses the queue entirely).
+  scorer.producer_hint = options.producer_hint;
   scorer.monitor = options.monitor;
   scorer.forward_threshold = options.monitor.threshold;
   scorer.worker_tick_hook = options.worker_tick_hook_for_test;
@@ -413,7 +416,14 @@ void StreamEngine::PushHealthEvent(const HealthTransition& transition) {
   event.fault_reason = transition.reason;
   // Count before pushing, so Flush's target is never behind the queue.
   health_events_pushed_.fetch_add(1, std::memory_order_release);
-  (void)collector_queue_.Push(std::move(event));
+  Status status = collector_queue_.Push(std::move(event));
+  if (!status.ok()) {
+    // Collector already closed (shutdown race). Undo the pre-count —
+    // otherwise Flush waits forever for an event that never arrives — and
+    // surface the loss instead of silently swallowing it.
+    health_events_pushed_.fetch_sub(1, std::memory_order_release);
+    stats_.RecordForwardFailed();
+  }
 }
 
 void StreamEngine::ConsumeScored(const ScoredSample& scored) {

@@ -44,6 +44,14 @@ struct StreamEngineOptions {
   /// Producer wait bound under kBlockWithTimeout before the push fails
   /// with DeadlineExceeded.
   std::chrono::milliseconds block_timeout{100};
+  /// Promise about ingest concurrency. kSinglePerShard — exactly one
+  /// thread pushes to each shard (a single ingest thread trivially
+  /// qualifies, as do producers partitioned by the router's shard hash) —
+  /// swaps each shard's ingress queue for the lock-free SPSC ring. The
+  /// default keeps the mutex-based MPSC queue, correct for any number of
+  /// concurrent Ingest callers. Never enters the checkpoint fingerprint:
+  /// a checkpoint taken under either queue restores under the other.
+  ProducerHint producer_hint = ProducerHint::kUnknown;
   /// Synchronous mode: no threads at all — Ingest validates, scores, and
   /// collects inline on the caller's thread, and the ack carries the
   /// monitor update. Deterministic; scores are byte-identical to feeding

@@ -15,6 +15,22 @@
 
 namespace hod::stream {
 
+/// How many producer threads feed each shard's ingress queue. The scorer
+/// uses this to pick the queue implementation: with exactly one producer
+/// pinned per shard (an upstream that partitions traffic by the same
+/// stable hash the router uses), the lock-free SPSC ring replaces the
+/// mutex+CV MPSC queue on the ingest hot path.
+enum class ProducerHint {
+  /// Unknown or several producers may push to the same shard — the safe
+  /// default; selects the mutex-based MPSC `BoundedQueue`.
+  kUnknown,
+  /// The caller guarantees exactly one producer thread per shard; selects
+  /// the lock-free `SpscRing`. Violating the guarantee is a data race.
+  kSinglePerShard,
+};
+
+std::string_view ProducerHintName(ProducerHint hint);
+
 /// What a full queue does with a new sample.
 enum class BackpressurePolicy {
   /// Producer blocks until the consumer frees a slot (lossless; transfers
@@ -35,6 +51,63 @@ enum class BackpressurePolicy {
 
 std::string_view BackpressurePolicyName(BackpressurePolicy policy);
 
+/// What every shard ingress queue must provide: one bounded FIFO with
+/// per-push backpressure policies, batched consumer drain, close-based
+/// shutdown, and the drop/reject/timeout/high-water counters the engine
+/// surfaces in `StreamStatsSnapshot`. Two implementations exist — the
+/// mutex+CV MPSC `BoundedQueue` (any number of producers) and the
+/// lock-free `SpscRing` (exactly one producer) — selected by the scorer
+/// from `ProducerHint`. Semantics are identical across both:
+///
+/// - `Push` applies the given policy when full (kBlock parks, kDropOldest
+///   evicts the head into `*evicted`, kReject fails OutOfRange,
+///   kBlockWithTimeout fails DeadlineExceeded after the bound) and fails
+///   FailedPrecondition after `Close()`.
+/// - `PopBatch` blocks while open and empty, and returns false only once
+///   the queue is closed AND drained.
+/// - `Close()` is idempotent, wakes every parked producer and the
+///   consumer, and leaves queued items poppable.
+template <typename T>
+class ShardQueue {
+ public:
+  virtual ~ShardQueue() = default;
+
+  /// Enqueues one item under the queue's default policy.
+  Status Push(T item) { return Push(std::move(item), policy(), nullptr); }
+
+  /// Enqueues one item, applying `policy` when the queue is full. When
+  /// kDropOldest evicts and `evicted` is non-null, the victim is moved
+  /// into it so the caller can account for it.
+  virtual Status Push(T item, BackpressurePolicy policy,
+                      std::optional<T>* evicted) = 0;
+
+  /// Moves up to `max_batch` items into `out` (appended). Blocks while
+  /// the queue is open and empty; false once closed and drained.
+  virtual bool PopBatch(std::vector<T>& out, size_t max_batch) = 0;
+
+  /// Non-blocking PopBatch; returns the number of items taken.
+  virtual size_t TryPopBatch(std::vector<T>& out, size_t max_batch) = 0;
+
+  /// Ends the stream (idempotent): wakes every waiter; queued items
+  /// remain poppable.
+  virtual void Close() = 0;
+
+  virtual size_t size() const = 0;
+  virtual bool closed() const = 0;
+  virtual size_t capacity() const = 0;
+  virtual BackpressurePolicy policy() const = 0;
+  /// Samples evicted by kDropOldest.
+  virtual uint64_t dropped() const = 0;
+  /// Samples refused by kReject.
+  virtual uint64_t rejected() const = 0;
+  /// Pushes that expired under kBlockWithTimeout.
+  virtual uint64_t timed_out() const = 0;
+  /// Deepest the queue has ever been (sizing/backpressure diagnostics).
+  virtual size_t high_water() const = 0;
+  /// Implementation tag for diagnostics: "mpsc" or "spsc".
+  virtual std::string_view kind() const = 0;
+};
+
 /// Bounded multi-producer / single-consumer FIFO over a fixed ring buffer.
 ///
 /// Producers call `Push` concurrently; the single consumer drains with
@@ -52,7 +125,7 @@ std::string_view BackpressurePolicyName(BackpressurePolicy policy);
 /// producers wakes all of them promptly — no lost wakeup, no indefinite
 /// block (regression-tested in stream_queue_test).
 template <typename T>
-class BoundedQueue {
+class BoundedQueue final : public ShardQueue<T> {
  public:
   explicit BoundedQueue(
       size_t capacity, BackpressurePolicy policy = BackpressurePolicy::kBlock,
@@ -65,8 +138,7 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  /// Enqueues one item under the queue's default policy.
-  Status Push(T item) { return Push(std::move(item), policy_, nullptr); }
+  using ShardQueue<T>::Push;
 
   /// Enqueues one item, applying `policy` when the queue is full — the
   /// per-sensor-class backpressure hook: one shard queue can serve
@@ -76,7 +148,8 @@ class BoundedQueue {
   /// caller can account for it (e.g. per-level drop counters).
   /// Returns FailedPrecondition after Close(), OutOfRange when rejected,
   /// DeadlineExceeded when kBlockWithTimeout expires.
-  Status Push(T item, BackpressurePolicy policy, std::optional<T>* evicted) {
+  Status Push(T item, BackpressurePolicy policy,
+              std::optional<T>* evicted) override {
     std::unique_lock<std::mutex> lock(mu_);
     if (closed_) return Status::FailedPrecondition("queue closed");
     if (size_ == capacity_) {
@@ -119,7 +192,7 @@ class BoundedQueue {
   /// Moves up to `max_batch` items into `out` (appended). Blocks while the
   /// queue is open and empty. Returns false once the queue is closed AND
   /// drained — the consumer's signal to exit its loop.
-  bool PopBatch(std::vector<T>& out, size_t max_batch) {
+  bool PopBatch(std::vector<T>& out, size_t max_batch) override {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
     if (size_ == 0) return false;  // closed and drained
@@ -135,7 +208,7 @@ class BoundedQueue {
 
   /// Non-blocking PopBatch: takes whatever is queued right now (up to
   /// `max_batch`) without waiting. Returns the number of items taken.
-  size_t TryPopBatch(std::vector<T>& out, size_t max_batch) {
+  size_t TryPopBatch(std::vector<T>& out, size_t max_batch) override {
     std::lock_guard<std::mutex> lock(mu_);
     const size_t n = std::min(size_, max_batch == 0 ? size_ : max_batch);
     for (size_t i = 0; i < n; ++i) {
@@ -149,43 +222,44 @@ class BoundedQueue {
 
   /// Ends the stream (idempotent): wakes every waiter; queued items remain
   /// poppable.
-  void Close() {
+  void Close() override {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
-  size_t size() const {
+  size_t size() const override {
     std::lock_guard<std::mutex> lock(mu_);
     return size_;
   }
-  bool closed() const {
+  bool closed() const override {
     std::lock_guard<std::mutex> lock(mu_);
     return closed_;
   }
-  size_t capacity() const { return capacity_; }
-  BackpressurePolicy policy() const { return policy_; }
+  size_t capacity() const override { return capacity_; }
+  BackpressurePolicy policy() const override { return policy_; }
   /// Samples evicted by kDropOldest.
-  uint64_t dropped() const {
+  uint64_t dropped() const override {
     std::lock_guard<std::mutex> lock(mu_);
     return dropped_;
   }
   /// Samples refused by kReject.
-  uint64_t rejected() const {
+  uint64_t rejected() const override {
     std::lock_guard<std::mutex> lock(mu_);
     return rejected_;
   }
   /// Pushes that expired under kBlockWithTimeout.
-  uint64_t timed_out() const {
+  uint64_t timed_out() const override {
     std::lock_guard<std::mutex> lock(mu_);
     return timed_out_;
   }
   /// Deepest the queue has ever been (sizing/backpressure diagnostics).
-  size_t high_water() const {
+  size_t high_water() const override {
     std::lock_guard<std::mutex> lock(mu_);
     return high_water_;
   }
+  std::string_view kind() const override { return "mpsc"; }
 
  private:
   const size_t capacity_;
@@ -210,6 +284,14 @@ inline std::string_view BackpressurePolicyName(BackpressurePolicy policy) {
     case BackpressurePolicy::kDropOldest: return "drop-oldest";
     case BackpressurePolicy::kReject: return "reject";
     case BackpressurePolicy::kBlockWithTimeout: return "block-with-timeout";
+  }
+  return "?";
+}
+
+inline std::string_view ProducerHintName(ProducerHint hint) {
+  switch (hint) {
+    case ProducerHint::kUnknown: return "unknown";
+    case ProducerHint::kSinglePerShard: return "single-per-shard";
   }
   return "?";
 }

@@ -16,15 +16,15 @@ ShardedScorer::ShardedScorer(const ShardedScorerOptions& options,
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>(
-        options_.queue_capacity, options_.backpressure,
-        options_.block_timeout));
+        options_.producer_hint, options_.queue_capacity,
+        options_.backpressure, options_.block_timeout));
   }
 }
 
 ShardedScorer::~ShardedScorer() { Stop(); }
 
 Status ShardedScorer::AddSensor(size_t shard, const std::string& sensor_id) {
-  if (running_) {
+  if (running()) {
     return Status::FailedPrecondition("scorer already started");
   }
   if (shard >= shards_.size()) {
@@ -39,9 +39,11 @@ Status ShardedScorer::AddSensor(size_t shard, const std::string& sensor_id) {
 }
 
 Status ShardedScorer::Start() {
-  if (running_) return Status::FailedPrecondition("scorer already started");
-  if (stopped_) return Status::FailedPrecondition("scorer already stopped");
-  running_ = true;
+  if (running()) return Status::FailedPrecondition("scorer already started");
+  if (stopped_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("scorer already stopped");
+  }
+  running_.store(true, std::memory_order_release);
   for (size_t i = 0; i < shards_.size(); ++i) {
     shards_[i]->worker = std::jthread([this, i] { WorkerLoop(i); });
   }
@@ -59,7 +61,7 @@ Status ShardedScorer::Submit(size_t shard, SensorSample sample,
   // line otherwise, and Flush would see processed > submitted.
   s.submitted.fetch_add(1, std::memory_order_relaxed);
   std::optional<SensorSample> evicted;
-  Status status = s.queue.Push(std::move(sample), policy, &evicted);
+  Status status = s.queue->Push(std::move(sample), policy, &evicted);
   if (evicted.has_value() && stats_ != nullptr) {
     // kDropOldest made room by discarding the queue head; charge the drop
     // to the level of the sample that was actually lost.
@@ -74,6 +76,13 @@ Status ShardedScorer::Submit(size_t shard, SensorSample sample,
       } else if (status.code() == StatusCode::kDeadlineExceeded) {
         stats_->RecordRejectedTimeout();
         stats_->RecordLevelRejected(level);
+      } else if (status.code() == StatusCode::kFailedPrecondition) {
+        // Queue already closed (shutdown race). The sample was counted as
+        // ingested by the router, so it must land in a rejection bucket or
+        // the conservation identity ingested == scored + dropped +
+        // rejected + quarantined breaks on every shutdown.
+        stats_->RecordRejectedQueueClosed();
+        stats_->RecordLevelRejected(level);
       }
     }
     return status;
@@ -83,7 +92,7 @@ Status ShardedScorer::Submit(size_t shard, SensorSample sample,
 
 StatusOr<InlineScore> ShardedScorer::ScoreNow(size_t shard,
                                               const SensorSample& sample) {
-  if (running_) {
+  if (running()) {
     return Status::FailedPrecondition(
         "ScoreNow is synchronous-mode only; workers are running");
   }
@@ -121,21 +130,20 @@ StatusOr<InlineScore> ShardedScorer::ScoreNow(size_t shard,
     scored.value = sample.value;
     scored.update = update;
     // Internal pipeline edge: lossless regardless of the ingress policy.
-    (void)collector_->Push(std::move(scored));
-    forwarded_.fetch_add(1, std::memory_order_release);
+    ForwardToCollector(std::move(scored));
   }
   return result;
 }
 
 Status ShardedScorer::Flush() {
-  if (!running_) return Status::Ok();
+  if (!running()) return Status::Ok();
   std::unique_lock<std::mutex> lock(flush_mu_);
   flush_cv_.wait(lock, [&] {
     for (const auto& shard : shards_) {
       // Evicted (kDropOldest) samples were submitted but never reach the
       // worker — they count as handled.
       if (shard->processed.load(std::memory_order_acquire) +
-              shard->queue.dropped() !=
+              shard->queue->dropped() !=
           shard->submitted.load(std::memory_order_acquire)) {
         return false;
       }
@@ -146,23 +154,42 @@ Status ShardedScorer::Flush() {
 }
 
 void ShardedScorer::Stop() {
-  if (stopped_) return;
-  stopped_ = true;
-  for (auto& shard : shards_) shard->queue.Close();
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  for (auto& shard : shards_) shard->queue->Close();
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
-  running_ = false;
+  // Straggler drain: the SPSC ring's Close() is lock-free on the producer
+  // side, so a Submit that passed the closed check may publish its sample
+  // after the worker already observed "closed and drained" and exited.
+  // Score those here, on the Stop thread, until every submitted sample is
+  // accounted for. Convergence: each in-flight Submit either lands (we pop
+  // it) or fails and undoes its `submitted` increment.
+  std::vector<SensorSample> batch;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    while (shard.processed.load(std::memory_order_acquire) +
+               shard.queue->dropped() <
+           shard.submitted.load(std::memory_order_acquire)) {
+      batch.clear();
+      if (shard.queue->TryPopBatch(batch, options_.max_batch) == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      ProcessBatch(i, batch);
+    }
+  }
+  running_.store(false, std::memory_order_release);
 }
 
 void ShardedScorer::FillQueueStats(StreamStatsSnapshot& snapshot) const {
   snapshot.dropped = 0;
   for (size_t i = 0; i < shards_.size(); ++i) {
-    const uint64_t high_water = shards_[i]->queue.high_water();
+    const uint64_t high_water = shards_[i]->queue->high_water();
     if (i < snapshot.shard_queue_high_water.size()) {
       snapshot.shard_queue_high_water[i] = high_water;
     }
-    snapshot.dropped += shards_[i]->queue.dropped();
+    snapshot.dropped += shards_[i]->queue->dropped();
   }
 }
 
@@ -173,12 +200,12 @@ uint64_t ShardedScorer::ShardHeartbeat(size_t shard) const {
 
 size_t ShardedScorer::ShardQueueDepth(size_t shard) const {
   if (shard >= shards_.size()) return 0;
-  return shards_[shard]->queue.size();
+  return shards_[shard]->queue->size();
 }
 
 StatusOr<SensorProbe> ShardedScorer::Probe(
     const std::string& sensor_id) const {
-  if (running_) {
+  if (running()) {
     return Status::FailedPrecondition(
         "Probe requires a stopped or synchronous scorer");
   }
@@ -197,7 +224,7 @@ StatusOr<SensorProbe> ShardedScorer::Probe(
 
 StatusOr<core::OnlineMonitorState> ShardedScorer::SaveMonitor(
     const std::string& sensor_id) const {
-  if (running_) {
+  if (running()) {
     return Status::FailedPrecondition(
         "SaveMonitor requires a stopped or synchronous scorer");
   }
@@ -211,7 +238,7 @@ StatusOr<core::OnlineMonitorState> ShardedScorer::SaveMonitor(
 
 Status ShardedScorer::RestoreMonitor(const std::string& sensor_id,
                                      const core::OnlineMonitorState& state) {
-  if (running_) {
+  if (running()) {
     return Status::FailedPrecondition(
         "RestoreMonitor requires a stopped or synchronous scorer");
   }
@@ -227,22 +254,28 @@ void ShardedScorer::WorkerLoop(size_t shard_index) {
   Shard& shard = *shards_[shard_index];
   std::vector<SensorSample> batch;
   batch.reserve(options_.max_batch);
-  while (shard.queue.PopBatch(batch, options_.max_batch)) {
+  while (shard.queue->PopBatch(batch, options_.max_batch)) {
     if (options_.worker_tick_hook) options_.worker_tick_hook(shard_index);
-    if (stats_ != nullptr) stats_->RecordBatch(batch.size());
-    size_t scored = 0;
-    for (SensorSample& sample : batch) {
-      if (ScoreOne(shard, sample)) ++scored;
-    }
-    if (stats_ != nullptr && scored > 0) stats_->RecordScored(scored);
-    shard.processed.fetch_add(batch.size(), std::memory_order_release);
-    shard.heartbeat.fetch_add(1, std::memory_order_release);
-    {
-      std::lock_guard<std::mutex> lock(flush_mu_);
-    }
-    flush_cv_.notify_all();
+    ProcessBatch(shard_index, batch);
     batch.clear();
   }
+}
+
+void ShardedScorer::ProcessBatch(size_t shard_index,
+                                 std::vector<SensorSample>& batch) {
+  Shard& shard = *shards_[shard_index];
+  if (stats_ != nullptr) stats_->RecordBatch(batch.size());
+  size_t scored = 0;
+  for (SensorSample& sample : batch) {
+    if (ScoreOne(shard, sample)) ++scored;
+  }
+  if (stats_ != nullptr && scored > 0) stats_->RecordScored(scored);
+  shard.processed.fetch_add(batch.size(), std::memory_order_release);
+  shard.heartbeat.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+  }
+  flush_cv_.notify_all();
 }
 
 ShardedScorer::HealthGateResult ShardedScorer::HealthGate(
@@ -287,8 +320,21 @@ void ShardedScorer::ForwardEvent(StreamEventKind kind,
   event.ts = sample.ts;
   event.value = sample.value;
   event.fault_reason = reason;
-  (void)collector_->Push(std::move(event));
-  forwarded_.fetch_add(1, std::memory_order_release);
+  ForwardToCollector(std::move(event));
+}
+
+void ShardedScorer::ForwardToCollector(ScoredSample event) {
+  if (collector_ == nullptr) return;
+  Status status = collector_->Push(std::move(event));
+  if (status.ok()) {
+    forwarded_.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  // The collector refused (it closes before the scorer during engine
+  // shutdown). Counting this push as forwarded would make the engine's
+  // Flush wait for a collected_ count that can never arrive.
+  forward_failed_.fetch_add(1, std::memory_order_release);
+  if (stats_ != nullptr) stats_->RecordForwardFailed();
 }
 
 bool ShardedScorer::ScoreOne(Shard& shard, SensorSample& sample) {
@@ -316,8 +362,7 @@ bool ShardedScorer::ScoreOne(Shard& shard, SensorSample& sample) {
     scored.ts = sample.ts;
     scored.value = sample.value;
     scored.update = update;
-    (void)collector_->Push(std::move(scored));
-    forwarded_.fetch_add(1, std::memory_order_release);
+    ForwardToCollector(std::move(scored));
   }
   return true;
 }

@@ -11,6 +11,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "stream/health.h"
 #include "stream/queue.h"
 #include "stream/router.h"
+#include "stream/spsc_ring.h"
 #include "stream/stats.h"
 #include "util/statusor.h"
 
@@ -75,6 +77,12 @@ struct ShardedScorerOptions {
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
   /// Producer wait bound under kBlockWithTimeout.
   std::chrono::milliseconds block_timeout{100};
+  /// How many threads push to each shard. With kSinglePerShard the shard
+  /// ingress queue is the lock-free SpscRing instead of the mutex-based
+  /// BoundedQueue — same backpressure/accounting semantics, no lock on
+  /// the per-sample fast path. The caller owns the guarantee (e.g. one
+  /// replay thread, or producers partitioned by the router's StableHash64).
+  ProducerHint producer_hint = ProducerHint::kUnknown;
   /// Configuration of every per-sensor OnlineMonitor.
   core::OnlineMonitorOptions monitor;
   /// Scores above this are forwarded to the collector even without an
@@ -135,11 +143,21 @@ class ShardedScorer {
   /// counts into `snapshot` (they live in the queues, not in StreamStats).
   void FillQueueStats(StreamStatsSnapshot& snapshot) const;
 
-  bool running() const { return running_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
   size_t num_shards() const { return shards_.size(); }
-  /// Samples forwarded to the collector so far.
+  /// Samples forwarded to the collector so far. Counts only pushes the
+  /// collector accepted — failed forwards land in forward_failed().
   uint64_t forwarded() const {
     return forwarded_.load(std::memory_order_acquire);
+  }
+  /// Forwards the collector refused (normally: closed during shutdown).
+  uint64_t forward_failed() const {
+    return forward_failed_.load(std::memory_order_acquire);
+  }
+  /// Implementation tag of a shard's ingress queue ("mpsc" or "spsc").
+  std::string_view QueueKind(size_t shard) const {
+    return shard < shards_.size() ? shards_[shard]->queue->kind()
+                                  : std::string_view{"?"};
   }
 
   /// Liveness telemetry for the engine watchdog: a shard worker's
@@ -160,10 +178,11 @@ class ShardedScorer {
 
  private:
   struct Shard {
-    Shard(size_t capacity, BackpressurePolicy policy,
+    Shard(ProducerHint hint, size_t capacity, BackpressurePolicy policy,
           std::chrono::milliseconds block_timeout)
-        : queue(capacity, policy, block_timeout) {}
-    BoundedQueue<SensorSample> queue;
+        : queue(MakeShardQueue<SensorSample>(hint, capacity, policy,
+                                            block_timeout)) {}
+    std::unique_ptr<ShardQueue<SensorSample>> queue;
     std::map<std::string, core::OnlineMonitor> monitors;
     std::atomic<uint64_t> submitted{0};
     std::atomic<uint64_t> processed{0};
@@ -172,9 +191,16 @@ class ShardedScorer {
   };
 
   void WorkerLoop(size_t shard_index);
+  /// Scores one drained batch on the calling thread and publishes the
+  /// shard's progress counters. Shared by WorkerLoop and the post-join
+  /// straggler drain in Stop().
+  void ProcessBatch(size_t shard_index, std::vector<SensorSample>& batch);
   /// Scores one sample against its monitor; forwards interesting updates.
   /// Returns true when the sample reached the monitor (not quarantined).
   bool ScoreOne(Shard& shard, SensorSample& sample);
+  /// Pushes one event to the collector, counting it in forwarded_ only on
+  /// success and in forward_failed_ (+ stats) otherwise.
+  void ForwardToCollector(ScoredSample event);
   /// Health-gates one sample: forwards fault/recovery events, and reports
   /// whether to score it and whether its results may feed the collector.
   struct HealthGateResult {
@@ -191,10 +217,14 @@ class ShardedScorer {
   SensorHealthTracker* health_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> forwarded_{0};
+  std::atomic<uint64_t> forward_failed_{0};
   std::mutex flush_mu_;
   std::condition_variable flush_cv_;
-  bool running_ = false;
-  bool stopped_ = false;
+  // Atomics: running() / Submit / ScoreNow read these from caller threads
+  // while Stop() writes them from another (e.g. a watchdog or a test
+  // harness tearing down mid-stream).
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopped_{false};
 };
 
 }  // namespace hod::stream

@@ -36,6 +36,7 @@ StreamStatsSnapshot StreamStats::Snapshot() const {
       rejected_level_mismatch_.load(std::memory_order_relaxed);
   snapshot.rejected_out_of_order =
       rejected_out_of_order_.load(std::memory_order_relaxed);
+  snapshot.rejected_closed = rejected_closed_.load(std::memory_order_relaxed);
   snapshot.alarms_raised = alarms_raised_.load(std::memory_order_relaxed);
   snapshot.alarms_cleared = alarms_cleared_.load(std::memory_order_relaxed);
   snapshot.quarantined_samples =
@@ -45,6 +46,7 @@ StreamStatsSnapshot StreamStats::Snapshot() const {
       sensor_recoveries_.load(std::memory_order_relaxed);
   snapshot.watchdog_stall_events =
       watchdog_stall_events_.load(std::memory_order_relaxed);
+  snapshot.forward_failed = forward_failed_.load(std::memory_order_relaxed);
   for (int i = 0; i < hierarchy::kNumLevels; ++i) {
     snapshot.level_dropped[i] = level_dropped_[i].load(std::memory_order_relaxed);
     snapshot.level_rejected[i] =
@@ -79,6 +81,7 @@ void StreamStats::Restore(const StreamStatsSnapshot& snapshot) {
                                  std::memory_order_relaxed);
   rejected_out_of_order_.store(snapshot.rejected_out_of_order,
                                std::memory_order_relaxed);
+  rejected_closed_.store(snapshot.rejected_closed, std::memory_order_relaxed);
   alarms_raised_.store(snapshot.alarms_raised, std::memory_order_relaxed);
   alarms_cleared_.store(snapshot.alarms_cleared, std::memory_order_relaxed);
   quarantined_samples_.store(snapshot.quarantined_samples,
@@ -88,6 +91,7 @@ void StreamStats::Restore(const StreamStatsSnapshot& snapshot) {
                            std::memory_order_relaxed);
   watchdog_stall_events_.store(snapshot.watchdog_stall_events,
                                std::memory_order_relaxed);
+  forward_failed_.store(snapshot.forward_failed, std::memory_order_relaxed);
   for (int i = 0; i < hierarchy::kNumLevels; ++i) {
     level_dropped_[i].store(snapshot.level_dropped[i],
                             std::memory_order_relaxed);
@@ -111,13 +115,15 @@ std::string StreamStatsSnapshot::ToString() const {
       << " non_finite=" << rejected_non_finite
       << " unknown_sensor=" << rejected_unknown_sensor
       << " level_mismatch=" << rejected_level_mismatch
-      << " out_of_order=" << rejected_out_of_order << ")"
+      << " out_of_order=" << rejected_out_of_order
+      << " closed=" << rejected_closed << ")"
       << " alarms_raised=" << alarms_raised
       << " alarms_cleared=" << alarms_cleared << "\n";
   out << "health: quarantined_samples=" << quarantined_samples
       << " sensor_faults=" << sensor_faults
       << " sensor_recoveries=" << sensor_recoveries
-      << " watchdog_stalls=" << watchdog_stall_events << "\n";
+      << " watchdog_stalls=" << watchdog_stall_events
+      << " forward_failed=" << forward_failed << "\n";
   out << "per-level drop/reject/quarantine:";
   for (int i = 0; i < hierarchy::kNumLevels; ++i) {
     if (level_dropped[i] == 0 && level_rejected[i] == 0 &&

@@ -33,6 +33,12 @@ struct StreamStatsSnapshot {
   uint64_t rejected_unknown_sensor = 0; ///< sensor id never registered
   uint64_t rejected_level_mismatch = 0; ///< level differs from registration
   uint64_t rejected_out_of_order = 0;   ///< ts regressed beyond tolerance
+  /// Submitted after the shard queue closed (engine shutting down). Without
+  /// this bucket such samples would vanish from the audit: Submit undoes its
+  /// `submitted` count on failure, so the conservation identity
+  /// `ingested == scored + dropped + rejected + quarantined` would leak one
+  /// sample per shutdown race.
+  uint64_t rejected_closed = 0;
   uint64_t alarms_raised = 0;
   uint64_t alarms_cleared = 0;
   /// Samples of quarantined sensors withheld from their monitors.
@@ -42,6 +48,11 @@ struct StreamStatsSnapshot {
   uint64_t sensor_recoveries = 0;
   /// Shard workers the watchdog has ever flagged as stalled.
   uint64_t watchdog_stall_events = 0;
+  /// Forwards (scores or health events) the collector refused — normally
+  /// only during shutdown when the collector queue is already closed. These
+  /// are NOT counted in `forwarded`, so
+  /// `collected == forwarded + health_events_pushed` stays exact.
+  uint64_t forward_failed = 0;
   /// Per-level accounting (indexed by LevelValue(level) - 1): what was
   /// lost (drops + rejects) and what was withheld (quarantine) at each
   /// hierarchy level — the observability half of per-sensor-class
@@ -60,7 +71,7 @@ struct StreamStatsSnapshot {
   uint64_t rejected_total() const {
     return rejected_queue_full + rejected_timeout + rejected_non_finite +
            rejected_unknown_sensor + rejected_level_mismatch +
-           rejected_out_of_order;
+           rejected_out_of_order + rejected_closed;
   }
 
   /// Multi-line human-readable rendering for examples/benches.
@@ -88,6 +99,8 @@ class StreamStats {
   void RecordRejectedUnknownSensor() { Bump(rejected_unknown_sensor_); }
   void RecordRejectedLevelMismatch() { Bump(rejected_level_mismatch_); }
   void RecordRejectedOutOfOrder() { Bump(rejected_out_of_order_); }
+  void RecordRejectedQueueClosed() { Bump(rejected_closed_); }
+  void RecordForwardFailed() { Bump(forward_failed_); }
   void RecordAlarmRaised() { Bump(alarms_raised_); }
   void RecordAlarmCleared() { Bump(alarms_cleared_); }
   void RecordQuarantinedSample(hierarchy::ProductionLevel level) {
@@ -138,12 +151,14 @@ class StreamStats {
   std::atomic<uint64_t> rejected_unknown_sensor_{0};
   std::atomic<uint64_t> rejected_level_mismatch_{0};
   std::atomic<uint64_t> rejected_out_of_order_{0};
+  std::atomic<uint64_t> rejected_closed_{0};
   std::atomic<uint64_t> alarms_raised_{0};
   std::atomic<uint64_t> alarms_cleared_{0};
   std::atomic<uint64_t> quarantined_samples_{0};
   std::atomic<uint64_t> sensor_faults_{0};
   std::atomic<uint64_t> sensor_recoveries_{0};
   std::atomic<uint64_t> watchdog_stall_events_{0};
+  std::atomic<uint64_t> forward_failed_{0};
   std::array<std::atomic<uint64_t>, hierarchy::kNumLevels> level_dropped_{};
   std::array<std::atomic<uint64_t>, hierarchy::kNumLevels> level_rejected_{};
   std::array<std::atomic<uint64_t>, hierarchy::kNumLevels>

@@ -212,6 +212,39 @@ TEST(EngineCheckpoint, RestoreToleratesDifferentThreadingOptions) {
   EXPECT_EQ(probe->samples_seen, 400u);
 }
 
+TEST(EngineCheckpoint, QueueKindStaysOutOfTheFingerprint) {
+  // The shard queue implementation (SPSC vs MPSC) is a threading detail,
+  // like shard count: a checkpoint taken under the default MPSC queue must
+  // restore into an engine running the lock-free SPSC ring, and resume
+  // scoring identically.
+  StreamEngine engine(SyncOptions());
+  ASSERT_TRUE(engine.AddSensor("s", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  const std::vector<double> values = MakeStream(77, 300);
+  Feed(engine, "s", values, 0, 300);
+  const std::string bytes = CheckpointBytes(engine);
+
+  StreamEngineOptions spsc = SyncOptions();
+  spsc.synchronous = false;
+  spsc.num_shards = 2;
+  spsc.producer_hint = ProducerHint::kSinglePerShard;
+  std::istringstream is(bytes);
+  auto restored = StreamEngine::Restore(is, spsc);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  StreamEngine& run = **restored;
+  for (size_t t = 300; t < 400; ++t) {
+    ASSERT_TRUE(run.Ingest({"s", ProductionLevel::kPhase,
+                            static_cast<double>(t), values[t % 300]})
+                    .ok());
+  }
+  ASSERT_TRUE(run.Flush().ok());
+  ASSERT_TRUE(run.Stop().ok());
+  EXPECT_EQ(run.stats().ingested, 400u);
+  auto probe = run.Probe("s");
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ(probe->samples_seen, 400u);
+}
+
 TEST(EngineCheckpoint, CheckpointRequiresQuiescence) {
   // Never started: nothing meaningful to save.
   StreamEngine unstarted(SyncOptions());

@@ -5,12 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/monitor.h"
 #include "stream/engine.h"
+#include "stream/sharded_scorer.h"
 #include "util/rng.h"
 
 namespace hod::stream {
@@ -142,6 +145,12 @@ TEST(StreamConcurrency, DropOldestShedsLoadButTerminates) {
   options.max_batch = 2;
   options.backpressure = BackpressurePolicy::kDropOldest;
   options.monitor.warmup = 16;
+  // This test is about eviction accounting, not sensor health: the
+  // constant-value feed would flatline-quarantine the sensors once the
+  // worker outpaces ~48 samples (timing-dependent — it reliably happens
+  // under TSan's slowdown), and quarantined samples are deliberately
+  // neither scored nor dropped.
+  options.health.enabled = false;
   StreamEngine engine(options);
   ASSERT_TRUE(engine.AddSensor("a").ok());
   ASSERT_TRUE(engine.AddSensor("b").ok());
@@ -168,6 +177,9 @@ TEST(StreamConcurrency, RejectPolicyConservesSamples) {
   options.queue_capacity = 8;
   options.backpressure = BackpressurePolicy::kReject;
   options.monitor.warmup = 16;
+  // Same as above: isolate the backpressure policy from the flatline
+  // quarantine a constant feed would otherwise (timing-dependently) earn.
+  options.health.enabled = false;
   StreamEngine engine(options);
   ASSERT_TRUE(engine.AddSensor("a").ok());
   ASSERT_TRUE(engine.Start().ok());
@@ -216,6 +228,257 @@ TEST(StreamConcurrency, StopWithoutFlushDrainsEverything) {
   StreamStatsSnapshot stats = engine.stats();
   EXPECT_EQ(stats.ingested, 1800u);
   EXPECT_EQ(stats.scored, 1800u);
+}
+
+TEST(StreamConcurrency, SpscEnginePartityWithSerialReference) {
+  // producer_hint = kSinglePerShard with producers partitioned by the
+  // router's own shard hash: each shard's queue genuinely has exactly one
+  // producer, so the SPSC ring is legal — and per-sensor results must
+  // still match a serial reference exactly.
+  constexpr size_t kSensors = 8;
+  constexpr size_t kSamplesPerSensor = 1200;
+
+  StreamEngineOptions options;
+  options.num_shards = 4;
+  options.queue_capacity = 256;
+  options.max_batch = 32;
+  options.monitor.warmup = 64;
+  options.producer_hint = ProducerHint::kSinglePerShard;
+  StreamEngine engine(options);
+  for (size_t i = 0; i < kSensors; ++i) {
+    ASSERT_TRUE(engine.AddSensor(SensorId(i), ProductionLevel::kPhase).ok());
+  }
+  ASSERT_TRUE(engine.Start().ok());
+
+  // One producer thread per shard, owning exactly the sensors the router
+  // hashes there.
+  std::vector<std::thread> producers;
+  for (size_t shard = 0; shard < options.num_shards; ++shard) {
+    producers.emplace_back([&engine, &options, shard] {
+      for (size_t i = 0; i < kSensors; ++i) {
+        if (StableHash64(SensorId(i)) % options.num_shards != shard) continue;
+        const std::vector<double> values =
+            SensorStream(i + 1, kSamplesPerSensor);
+        for (size_t t = 0; t < values.size(); ++t) {
+          auto ack = engine.Ingest({SensorId(i), ProductionLevel::kPhase,
+                                    static_cast<double>(t), values[t]});
+          ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+        }
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  ASSERT_TRUE(engine.Flush().ok());
+  ASSERT_TRUE(engine.Stop().ok());
+
+  StreamStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(stats.ingested, kSensors * kSamplesPerSensor);
+  EXPECT_EQ(stats.scored, kSensors * kSamplesPerSensor);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.rejected_total(), 0u);
+  EXPECT_EQ(stats.forward_failed, 0u);
+
+  for (size_t i = 0; i < kSensors; ++i) {
+    core::OnlineMonitor reference(options.monitor);
+    for (double value : SensorStream(i + 1, kSamplesPerSensor)) {
+      ASSERT_TRUE(reference.Push(value).ok());
+    }
+    auto probe = engine.Probe(SensorId(i));
+    ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+    EXPECT_EQ(probe->samples_seen, kSamplesPerSensor) << SensorId(i);
+    EXPECT_EQ(probe->alarms_raised, reference.alarms_raised()) << SensorId(i);
+    EXPECT_EQ(probe->alarm, reference.alarm()) << SensorId(i);
+  }
+}
+
+// Direct-scorer fixture for the bugfix regressions: its own stats block
+// and collector queue, no engine around it, so the collector can be closed
+// mid-stream deterministically.
+struct ScorerHarness {
+  explicit ScorerHarness(ShardedScorerOptions options)
+      : stats(options.num_shards),
+        collector(1 << 16, BackpressurePolicy::kBlock),
+        scorer(options, &stats, &collector, nullptr) {}
+  StreamStats stats;
+  BoundedQueue<ScoredSample> collector;
+  ShardedScorer scorer;
+};
+
+ShardedScorerOptions TinyScorerOptions(ProducerHint hint) {
+  ShardedScorerOptions options;
+  options.num_shards = 2;
+  options.queue_capacity = 32;
+  options.max_batch = 8;
+  // Enough warmup rows for the AR(4) fit: an underdetermined fit makes
+  // the warmup-completing Push fail, which is monitor behavior, not what
+  // these tests are about.
+  options.monitor.warmup = 32;
+  // Forward every scored sample, so collector failures are exercised hard.
+  options.forward_threshold = -1.0;
+  options.producer_hint = hint;
+  return options;
+}
+
+TEST(StreamConcurrency, ClosedCollectorCountsForwardFailuresNotForwards) {
+  // Regression (sharded_scorer.cc bugfix): forwarded_ used to increment
+  // even when collector_->Push failed, so forwarded() overstated what the
+  // collector would ever see and the engine's Flush could wait forever.
+  for (ProducerHint hint :
+       {ProducerHint::kUnknown, ProducerHint::kSinglePerShard}) {
+    ScorerHarness h(TinyScorerOptions(hint));
+    ASSERT_TRUE(h.scorer.AddSensor(0, "a").ok());
+    ASSERT_TRUE(h.scorer.Start().ok());
+    constexpr size_t kBefore = 400, kAfter = 400;
+    for (size_t t = 0; t < kBefore; ++t) {
+      ASSERT_TRUE(h.scorer
+                      .Submit(0,
+                              {"a", ProductionLevel::kPhase,
+                               static_cast<double>(t), 50.0},
+                              BackpressurePolicy::kBlock)
+                      .ok());
+    }
+    ASSERT_TRUE(h.scorer.Flush().ok());
+    const uint64_t forwarded_before = h.scorer.forwarded();
+    EXPECT_EQ(h.scorer.forward_failed(), 0u);
+
+    // Close the collector mid-stream; every further forward must fail.
+    h.collector.Close();
+    for (size_t t = kBefore; t < kBefore + kAfter; ++t) {
+      ASSERT_TRUE(h.scorer
+                      .Submit(0,
+                              {"a", ProductionLevel::kPhase,
+                               static_cast<double>(t), 50.0},
+                              BackpressurePolicy::kBlock)
+                      .ok());
+    }
+    ASSERT_TRUE(h.scorer.Flush().ok());  // must not hang
+    h.scorer.Stop();
+
+    StreamStatsSnapshot stats = h.stats.Snapshot();
+    EXPECT_EQ(stats.scored, kBefore + kAfter) << "scoring is unaffected";
+    EXPECT_EQ(h.scorer.forwarded(), forwarded_before)
+        << "failed pushes must not count as forwarded";
+    EXPECT_EQ(h.scorer.forward_failed(), kAfter)
+        << "warmup is over, every post-close sample forwards and fails";
+    EXPECT_EQ(stats.forward_failed, h.scorer.forward_failed());
+    // Conservation: the collector received exactly forwarded() events.
+    std::vector<ScoredSample> received;
+    while (h.collector.TryPopBatch(received, 1024) > 0) {
+    }
+    EXPECT_EQ(received.size(), h.scorer.forwarded());
+  }
+}
+
+TEST(StreamConcurrency, StartScoreStopInterleavingIsRaceFree) {
+  // Regression (sharded_scorer.h bugfix): running_/stopped_ were plain
+  // bools written by Stop() while Submit callers read them — a data race
+  // TSan flags. Now atomics: hammer Submit from two threads while another
+  // stops the scorer mid-stream; every sample must still be accounted.
+  for (ProducerHint hint :
+       {ProducerHint::kUnknown, ProducerHint::kSinglePerShard}) {
+    ShardedScorerOptions options = TinyScorerOptions(hint);
+    options.num_shards = 2;
+    ScorerHarness h(options);
+    ASSERT_TRUE(h.scorer.AddSensor(0, "a").ok());
+    ASSERT_TRUE(h.scorer.AddSensor(1, "b").ok());
+    ASSERT_TRUE(h.scorer.Start().ok());
+    EXPECT_TRUE(h.scorer.running());
+
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> rejected_closed{0};
+    auto submitter = [&](size_t shard, const char* id) {
+      for (size_t t = 0; t < 20000; ++t) {
+        Status status = h.scorer.Submit(
+            shard,
+            {id, ProductionLevel::kPhase, static_cast<double>(t), 50.0},
+            BackpressurePolicy::kBlock);
+        if (status.ok()) {
+          accepted.fetch_add(1);
+        } else {
+          ASSERT_EQ(status.code(), StatusCode::kFailedPrecondition);
+          rejected_closed.fetch_add(1);
+          break;  // queue closed under us: the scorer is stopping
+        }
+        if (!h.scorer.running()) break;  // racy read — the point of the test
+      }
+    };
+    std::thread p1(submitter, 0, "a");
+    std::thread p2(submitter, 1, "b");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    h.scorer.Stop();
+    p1.join();
+    p2.join();
+    EXPECT_FALSE(h.scorer.running());
+
+    // Conservation across the shutdown race: every accepted sample was
+    // scored (kBlock drops nothing), every refused one was counted.
+    StreamStatsSnapshot stats = h.stats.Snapshot();
+    EXPECT_EQ(stats.scored, accepted.load());
+    EXPECT_EQ(stats.rejected_closed, rejected_closed.load());
+  }
+}
+
+TEST(StreamConcurrency, SubmitOnClosedQueueIsRecordedAsRejected) {
+  // Regression (sharded_scorer.cc bugfix): Submit on a closed queue used
+  // to silently vanish — submitted was decremented but nothing recorded,
+  // so `ingested == scored + dropped + rejected + quarantined` broke on
+  // every shutdown race.
+  ScorerHarness h(TinyScorerOptions(ProducerHint::kUnknown));
+  ASSERT_TRUE(h.scorer.AddSensor(0, "a").ok());
+  ASSERT_TRUE(h.scorer.Start().ok());
+  h.scorer.Stop();
+  Status status = h.scorer.Submit(
+      0, {"a", ProductionLevel::kPhase, 0.0, 50.0},
+      BackpressurePolicy::kBlock);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  StreamStatsSnapshot stats = h.stats.Snapshot();
+  EXPECT_EQ(stats.rejected_closed, 1u);
+  EXPECT_EQ(stats.rejected_total(), 1u);
+  const size_t phase_index =
+      StreamStats::LevelIndex(ProductionLevel::kPhase);
+  EXPECT_EQ(stats.level_rejected[phase_index], 1u);
+}
+
+TEST(StreamConcurrency, FlushConvergesUnderEvictionStorm) {
+  // Flush's predicate is processed + dropped == submitted per shard;
+  // kDropOldest evictions move the `dropped` term concurrently with the
+  // drain loop. Flush must still return, for both queue kinds.
+  for (ProducerHint hint :
+       {ProducerHint::kUnknown, ProducerHint::kSinglePerShard}) {
+    ShardedScorerOptions options = TinyScorerOptions(hint);
+    options.num_shards = 1;
+    options.queue_capacity = 8;  // deliberately starved: constant eviction
+    options.max_batch = 4;
+    ScorerHarness h(options);
+    ASSERT_TRUE(h.scorer.AddSensor(0, "a").ok());
+    ASSERT_TRUE(h.scorer.Start().ok());
+
+    std::atomic<bool> done{false};
+    std::thread producer([&] {
+      for (size_t t = 0; t < 30000; ++t) {
+        ASSERT_TRUE(h.scorer
+                        .Submit(0,
+                                {"a", ProductionLevel::kPhase,
+                                 static_cast<double>(t), 50.0},
+                                BackpressurePolicy::kDropOldest)
+                        .ok());
+      }
+      done.store(true);
+    });
+    // Flush repeatedly while evictions race the drain loop. Each call must
+    // return (the wait predicate converges between pushes), not deadlock.
+    while (!done.load()) {
+      ASSERT_TRUE(h.scorer.Flush().ok());
+    }
+    producer.join();
+    ASSERT_TRUE(h.scorer.Flush().ok());
+    h.scorer.Stop();
+
+    StreamStatsSnapshot stats = h.stats.Snapshot();
+    h.scorer.FillQueueStats(stats);
+    EXPECT_EQ(stats.scored + stats.dropped, 30000u)
+        << "hint=" << ProducerHintName(hint);
+  }
 }
 
 }  // namespace
