@@ -12,8 +12,12 @@
 //       ranking by raw outlierness alone (hierarchy helps).
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstring>
+#include <fstream>
 #include <map>
+#include <string>
 
 #include "bench_util.h"
 #include "core/hierarchical_detector.h"
@@ -54,13 +58,175 @@ std::vector<EventRecord> CollectEvents(const sim::SimulatedPlant& plant,
   return events;
 }
 
+/// Runs one full Algorithm-1 batch pass over the whole plant (every line's
+/// environment and job series, every machine's job order, the production
+/// summary). Returns the number of findings so the work cannot be elided.
+size_t FullBatchPass(const sim::SimulatedPlant& plant,
+                     core::HierarchicalDetector& detector) {
+  size_t findings = 0;
+  for (const auto& line : plant.production.lines) {
+    if (auto report = detector.FindEnvironmentOutliers(line.id); report.ok()) {
+      findings += report->findings.size();
+    }
+    if (auto report = detector.FindLineOutliers(line.id); report.ok()) {
+      findings += report->findings.size();
+    }
+    for (const auto& machine : line.machines) {
+      if (auto report = detector.FindJobOutliers(machine.id); report.ok()) {
+        findings += report->findings.size();
+      }
+    }
+  }
+  if (auto report = detector.FindProductionOutliers(); report.ok()) {
+    findings += report->findings.size();
+  }
+  return findings;
+}
+
+/// Bitwise triple equality: the incremental path must not merely be close,
+/// it must produce the SAME findings a cold batch pass would.
+bool SameFindings(const std::vector<core::OutlierFinding>& a,
+                  const std::vector<core::OutlierFinding>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].global_score != b[i].global_score) return false;
+    if (std::memcmp(&a[i].outlierness, &b[i].outlierness, sizeof(double)) !=
+        0) {
+      return false;
+    }
+    if (std::memcmp(&a[i].support, &b[i].support, sizeof(double)) != 0) {
+      return false;
+    }
+    if (a[i].origin.entity != b[i].origin.entity) return false;
+    if (std::memcmp(&a[i].origin.time, &b[i].origin.time, sizeof(double)) !=
+        0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The perf headline: after ONE machine's data changes, how much cheaper is
+/// dirty-entity escalation (epoch cache + EscalateAlarm) than re-running
+/// the full batch pass? Writes BENCH_ALG1.json for the CI gate (>= 5x).
+int RunEscalationCompare() {
+  using Clock = std::chrono::steady_clock;
+  bench::PrintSection("escalation_compare: full batch vs incremental "
+                      "escalation, 1 dirty machine");
+
+  // Bigger than the E4 plant on purpose: the speedup scales with the
+  // number of UNtouched entities the cache saves, so a realistic plant
+  // (12 machines) shows the effect a 6-machine toy would understate.
+  sim::PlantOptions options;
+  options.num_lines = 3;
+  options.machines_per_line = 4;
+  options.jobs_per_machine = 16;
+  options.seed = 7;
+  sim::ScenarioOptions scenario;
+  scenario.process_anomaly_rate = 0.25;
+  scenario.glitch_rate = 0.25;
+  scenario.magnitude_sigmas = 7.0;
+  const sim::SimulatedPlant plant =
+      sim::BuildPlant(options, scenario).value();
+  const std::string dirty_machine =
+      plant.production.lines.front().machines.front().id;
+  const ts::TimePoint alarm_time =
+      plant.production.lines.front().machines.front().jobs.front().start_time;
+
+  // Parity first: a cold detector's job findings for the dirty machine
+  // must match what a warm detector reports through MarkDirty +
+  // EscalateAlarm after the same (simulated) data change.
+  core::HierarchicalDetector cold(&plant.production);
+  const auto cold_report = cold.FindJobOutliers(dirty_machine);
+  core::HierarchicalDetector warm(&plant.production);
+  FullBatchPass(plant, warm);  // populate the epoch cache
+  (void)warm.MarkDirty(dirty_machine);
+  const auto escalated = warm.EscalateAlarm(
+      hierarchy::ProductionLevel::kJob, dirty_machine, alarm_time);
+  const bool parity_ok =
+      cold_report.ok() && escalated.ok() &&
+      SameFindings(cold_report->findings, escalated->findings);
+
+  // Batch cost: a data change with no cache means a fresh detector and a
+  // full pass over every level.
+  constexpr int kBatchIters = 5;
+  const auto batch_start = Clock::now();
+  size_t batch_findings = 0;
+  for (int i = 0; i < kBatchIters; ++i) {
+    core::HierarchicalDetector detector(&plant.production);
+    batch_findings += FullBatchPass(plant, detector);
+  }
+  const double batch_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - batch_start)
+          .count() /
+      kBatchIters;
+
+  // Incremental cost: same data change, but only the touched machine is
+  // re-evaluated; every neighbor is served from the epoch cache.
+  constexpr int kIncrementalIters = 50;
+  const core::DetectorCacheStats stats_before = warm.cache_stats();
+  const auto incremental_start = Clock::now();
+  size_t incremental_findings = 0;
+  for (int i = 0; i < kIncrementalIters; ++i) {
+    (void)warm.MarkDirty(dirty_machine);
+    auto report = warm.EscalateAlarm(hierarchy::ProductionLevel::kJob,
+                                     dirty_machine, alarm_time);
+    if (report.ok()) incremental_findings += report->findings.size();
+  }
+  const double incremental_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() -
+                                                incremental_start)
+          .count() /
+      kIncrementalIters;
+  const core::DetectorCacheStats stats_after = warm.cache_stats();
+
+  const double speedup =
+      incremental_ms > 0.0 ? batch_ms / incremental_ms : 0.0;
+
+  Table table({"metric", "value"});
+  table.AddRow({"full batch pass (ms, avg of " +
+                    std::to_string(kBatchIters) + ")",
+                bench::Fmt(batch_ms)});
+  table.AddRow({"incremental escalation (ms, avg of " +
+                    std::to_string(kIncrementalIters) + ")",
+                bench::Fmt(incremental_ms)});
+  table.AddRow({"speedup", bench::Fmt(speedup, 1) + "x"});
+  table.AddRow({"parity (bit-identical triples)", parity_ok ? "yes" : "NO"});
+  table.AddRow({"cache hits during incremental",
+                std::to_string(stats_after.hits() - stats_before.hits())});
+  table.AddRow(
+      {"cache misses during incremental",
+       std::to_string(stats_after.misses() - stats_before.misses())});
+  table.Print(std::cout);
+  std::cout << "(batch findings/iter: " << batch_findings / kBatchIters
+            << ", incremental findings/iter: "
+            << incremental_findings / kIncrementalIters << ")\n";
+
+  std::ofstream json("BENCH_ALG1.json");
+  json << "{\n  \"experiment\": \"algorithm1_escalation_compare\",\n"
+       << "  \"batch_ms\": " << batch_ms << ",\n"
+       << "  \"incremental_ms\": " << incremental_ms << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"parity_ok\": " << (parity_ok ? "true" : "false") << ",\n"
+       << "  \"cache_hits\": "
+       << (stats_after.hits() - stats_before.hits()) << ",\n"
+       << "  \"cache_misses\": "
+       << (stats_after.misses() - stats_before.misses()) << "\n}\n";
+  json.close();
+  std::cout << "Wrote BENCH_ALG1.json\n";
+  return parity_ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace hod
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hod;
   bench::PrintHeader("E4", "The <global score, outlierness, support> triple",
                      "Algorithm 1 (Section 4)");
+  if (argc > 1 && std::string(argv[1]) == "escalation_compare") {
+    return RunEscalationCompare();
+  }
 
   sim::PlantOptions options;
   options.num_lines = 2;
@@ -210,5 +376,5 @@ int main() {
                "above measurement\nglitches far better than the raw score — "
                "the paper's motivation for combining\noutlier information "
                "between production levels.\n";
-  return 0;
+  return RunEscalationCompare();
 }

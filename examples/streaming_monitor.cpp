@@ -18,7 +18,10 @@
 #include <vector>
 
 #include "core/concept_shift.h"
+#include "core/hierarchical_detector.h"
+#include "sim/plant.h"
 #include "stream/engine.h"
+#include "stream/escalation.h"
 #include "util/rng.h"
 
 int main() {
@@ -145,5 +148,82 @@ int main() {
   }
   std::printf("\nThe transient fault at t=400 raised an alarm but is NOT a "
               "concept shift;\nthe setpoint change at t=700 is.\n");
+
+  // ---- Snapshot-triggered escalation --------------------------------------
+  // A stream alarm is only a cheap per-sensor verdict. When the engine's
+  // sensors map onto a real production hierarchy, the EscalationBridge
+  // diffs consecutive EngineSnapshots and runs the paper's Algorithm 1
+  // (core::HierarchicalDetector::EscalateAlarm) over each NEWLY-flagged
+  // sensor — the detector's epoch cache keeps the cost at one entity, and
+  // the resulting <global score, outlierness, support> triple lands on the
+  // same alert episode as the raw alarm.
+  std::printf("\n=== Snapshot-triggered escalation into Algorithm 1 ===\n");
+  sim::PlantOptions plant_options;
+  plant_options.num_lines = 1;
+  plant_options.machines_per_line = 2;
+  plant_options.jobs_per_machine = 6;
+  plant_options.seed = 41;
+  sim::SimulatedPlant plant =
+      sim::BuildPlant(plant_options, sim::ScenarioOptions{}).value();
+  auto& machine = plant.production.lines[0].machines[0];
+  const std::string plant_sensor = machine.id + ".bed_temp_a";
+  const double job_t0 = machine.jobs.front().start_time;
+  // Plant a bed-temperature excursion in the production data itself (the
+  // whole redundancy group sees it), so escalation has evidence to score.
+  for (auto& phase : machine.jobs.front().phases) {
+    for (auto& [series_id, series] : phase.sensor_series) {
+      if (!series.empty()) series[series.size() / 2] += 1000.0;
+    }
+  }
+
+  stream::StreamEngineOptions plant_engine_options;
+  plant_engine_options.synchronous = true;
+  plant_engine_options.monitor.warmup = 32;
+  plant_engine_options.snapshot_every = 8;
+  plant_engine_options.health.staleness_timeout = 0.0;
+  stream::StreamEngine plant_engine(plant_engine_options);
+  plant_engine.AddSensor(plant_sensor, ProductionLevel::kPhase);
+  if (!plant_engine.Start().ok()) return 1;
+  Rng rng_plant(7);
+  double noise = 0.0;
+  for (size_t i = 0; i < 120; ++i) {
+    noise = 0.7 * noise + rng_plant.Gaussian(0.0, 0.25);
+    double value = 50.0 + noise + (i >= 100 ? 8.0 : 0.0);  // alarm burst
+    (void)plant_engine.Ingest(
+        {plant_sensor, ProductionLevel::kPhase, job_t0 + i, value});
+  }
+  plant_engine.Flush();
+
+  core::HierarchicalDetector detector(&plant.production);
+  stream::EscalationBridge bridge(&plant_engine, &detector);
+  // Threaded deployments call bridge.Start() for a background poll loop;
+  // the synchronous demo polls once, deterministically.
+  auto escalated = bridge.Poll();
+  if (!escalated.ok()) {
+    std::fprintf(stderr, "%s\n", escalated.status().ToString().c_str());
+    return 1;
+  }
+  stream::StreamStatsSnapshot plant_stats = plant_engine.stats();
+  std::printf(
+      "Escalated %llu newly-flagged sensor(s): runs=%llu findings=%llu "
+      "cache_hits=%llu cache_misses=%llu\n",
+      static_cast<unsigned long long>(escalated.value()),
+      static_cast<unsigned long long>(plant_stats.escalation_runs),
+      static_cast<unsigned long long>(plant_stats.escalation_findings),
+      static_cast<unsigned long long>(plant_stats.escalation_cache_hits),
+      static_cast<unsigned long long>(plant_stats.escalation_cache_misses));
+  for (const core::AlertEpisode& episode : plant_engine.Episodes()) {
+    if (episode.escalated_findings == 0) continue;
+    std::printf(
+        "  %-22s escalated_findings=%zu global_score=%d outlierness=%.2f "
+        "support=%.2f\n",
+        episode.entity.c_str(), episode.escalated_findings,
+        episode.peak_global_score, episode.peak_outlierness,
+        episode.peak_support);
+  }
+  std::printf("The raw stream alarm carried <1, score, 0>; the escalated "
+              "episode carries the\nfull Algorithm-1 triple, including "
+              "redundancy support.\n");
+  plant_engine.Stop();
   return 0;
 }

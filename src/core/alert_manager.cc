@@ -63,6 +63,7 @@ std::vector<AlertEpisode> AlertManager::BuildEpisodes(
       current.peak_global_score =
           std::max(current.peak_global_score, finding->global_score);
       current.peak_support = std::max(current.peak_support, finding->support);
+      if (finding->escalated) ++current.escalated_findings;
       const AlertSeverity severity = ClassifyAlert(*finding);
       if (static_cast<int>(severity) > static_cast<int>(current.severity)) {
         current.severity = severity;

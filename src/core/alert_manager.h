@@ -28,10 +28,16 @@ struct AlertEpisode {
   ts::TimePoint start_time = 0.0;
   ts::TimePoint end_time = 0.0;
   size_t finding_count = 0;
-  /// Strongest member values.
+  /// Strongest member values — the Algorithm-1 ⟨global score, outlierness,
+  /// support⟩ triple of the episode.
   double peak_outlierness = 0.0;
   int peak_global_score = 1;
   double peak_support = 0.0;
+  /// Member findings that came through the incremental escalation path.
+  /// Zero means the episode only ever saw raw stream-tier alarms (global
+  /// score 1, no support) — its triple is provisional, not confirmed by
+  /// the hierarchical recursion.
+  size_t escalated_findings = 0;
   AlertSeverity severity = AlertSeverity::kInfo;
   /// True when every member finding carried the measurement-error flag —
   /// the episode belongs on the calibration queue, not the stop queue.

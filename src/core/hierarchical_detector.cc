@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "detect/baseline.h"
 #include "detect/fsa_detector.h"
@@ -48,6 +49,135 @@ StatusOr<std::string> HierarchicalDetector::LineOfMachine(
   return Status::NotFound("unknown machine '" + machine_id + "'");
 }
 
+// ---- Epoch cache ----------------------------------------------------------
+//
+// Every cached entry carries the epoch it was built at. A scope's dirty
+// watermark is the epoch of the last MarkDirty/Invalidate touching it; an
+// entry is stale when its build epoch is below that watermark (or below
+// the global all_dirty_ watermark). Stale entries are rebuilt in place on
+// the next query — invalidation itself is O(1) and never frees models.
+
+uint64_t HierarchicalDetector::MachineEpochFloor(
+    const std::string& machine_id) const {
+  uint64_t floor = all_dirty_;
+  const auto it = machine_dirty_.find(machine_id);
+  if (it != machine_dirty_.end()) floor = std::max(floor, it->second);
+  return floor;
+}
+
+uint64_t HierarchicalDetector::LineJobsEpochFloor(
+    const std::string& line_id) const {
+  uint64_t floor = all_dirty_;
+  const auto it = line_jobs_dirty_.find(line_id);
+  if (it != line_jobs_dirty_.end()) floor = std::max(floor, it->second);
+  return floor;
+}
+
+uint64_t HierarchicalDetector::LineEnvEpochFloor(
+    const std::string& line_id) const {
+  uint64_t floor = all_dirty_;
+  const auto it = line_env_dirty_.find(line_id);
+  if (it != line_env_dirty_.end()) floor = std::max(floor, it->second);
+  return floor;
+}
+
+uint64_t HierarchicalDetector::MachineScoresEpochFloor() const {
+  return std::max(all_dirty_, production_dirty_);
+}
+
+void HierarchicalDetector::DirtyMachine(const std::string& machine_id) {
+  ++epoch_;
+  machine_dirty_[machine_id] = epoch_;
+  // The machine's jobs feed its line's job series and the production-wide
+  // machine summary matrix, so those scopes inherit the dirt.
+  production_dirty_ = epoch_;
+  auto line_or = LineOfMachine(machine_id);
+  if (line_or.ok()) line_jobs_dirty_[line_or.value()] = epoch_;
+  cache_stats_.epoch = epoch_;
+}
+
+Status HierarchicalDetector::MarkDirty(const std::string& entity_id) {
+  // Machine id?
+  if (hierarchy::FindMachine(*production_, entity_id).ok()) {
+    DirtyMachine(entity_id);
+    ++cache_stats_.invalidations;
+    return Status::Ok();
+  }
+  // Line id? New line data touches both the environment channel and the
+  // line-level job series.
+  if (hierarchy::FindLine(*production_, entity_id).ok()) {
+    ++epoch_;
+    line_env_dirty_[entity_id] = epoch_;
+    line_jobs_dirty_[entity_id] = epoch_;
+    cache_stats_.epoch = epoch_;
+    ++cache_stats_.invalidations;
+    return Status::Ok();
+  }
+  // Sensor id: resolve to its machine, or — for environment sensors — to
+  // the line whose environment channel it feeds.
+  auto info_or = production_->sensors.Get(entity_id);
+  if (info_or.ok()) {
+    const hierarchy::SensorInfo& info = info_or.value();
+    if (!info.machine_id.empty()) {
+      DirtyMachine(info.machine_id);
+      ++cache_stats_.invalidations;
+      return Status::Ok();
+    }
+    for (const hierarchy::ProductionLine& line : production_->lines) {
+      for (const hierarchy::EnvironmentChannel& channel : line.environment) {
+        if (channel.sensor_id == entity_id) {
+          ++epoch_;
+          line_env_dirty_[line.id] = epoch_;
+          cache_stats_.epoch = epoch_;
+          ++cache_stats_.invalidations;
+          return Status::Ok();
+        }
+      }
+    }
+  }
+  return Status::NotFound("MarkDirty: entity '" + entity_id +
+                          "' is not a known machine, line, or sensor");
+}
+
+Status HierarchicalDetector::Invalidate(hierarchy::ProductionLevel level,
+                                        const std::string& id) {
+  switch (level) {
+    case hierarchy::ProductionLevel::kPhase:
+    case hierarchy::ProductionLevel::kJob: {
+      HOD_RETURN_IF_ERROR(hierarchy::FindMachine(*production_, id).status());
+      DirtyMachine(id);
+      ++cache_stats_.invalidations;
+      return Status::Ok();
+    }
+    case hierarchy::ProductionLevel::kEnvironment: {
+      HOD_RETURN_IF_ERROR(hierarchy::FindLine(*production_, id).status());
+      ++epoch_;
+      line_env_dirty_[id] = epoch_;
+      cache_stats_.epoch = epoch_;
+      ++cache_stats_.invalidations;
+      return Status::Ok();
+    }
+    case hierarchy::ProductionLevel::kProductionLine: {
+      HOD_RETURN_IF_ERROR(hierarchy::FindLine(*production_, id).status());
+      ++epoch_;
+      line_jobs_dirty_[id] = epoch_;
+      cache_stats_.epoch = epoch_;
+      ++cache_stats_.invalidations;
+      return Status::Ok();
+    }
+    case hierarchy::ProductionLevel::kProduction:
+      InvalidateAll();
+      return Status::Ok();
+  }
+  return Status::InvalidArgument("Invalidate: unknown level");
+}
+
+void HierarchicalDetector::InvalidateAll() {
+  all_dirty_ = ++epoch_;
+  cache_stats_.epoch = epoch_;
+  ++cache_stats_.invalidations;
+}
+
 // ---- Level primitives ----------------------------------------------------
 
 StatusOr<std::vector<double>> HierarchicalDetector::ScorePhaseSeries(
@@ -58,8 +188,9 @@ StatusOr<std::vector<double>> HierarchicalDetector::ScorePhaseSeries(
   // that sensor recorded in that phase across the machine's jobs.
   const std::string key =
       query.machine_id + "/" + query.sensor_id + "/" + query.phase_name;
+  const uint64_t floor = MachineEpochFloor(query.machine_id);
   auto it = phase_detectors_.find(key);
-  if (it == phase_detectors_.end()) {
+  if (it == phase_detectors_.end() || it->second.epoch < floor) {
     std::vector<const ts::TimeSeries*> training_ptrs =
         hierarchy::CollectSensorSeries(*machine, query.sensor_id,
                                        query.phase_name);
@@ -73,7 +204,13 @@ StatusOr<std::vector<double>> HierarchicalDetector::ScorePhaseSeries(
     std::unique_ptr<detect::SeriesDetector> detector =
         selector_.MakePhaseDetector();
     HOD_RETURN_IF_ERROR(detector->Train(training));
-    it = phase_detectors_.emplace(key, std::move(detector)).first;
+    auto& entry = phase_detectors_[key];
+    entry.epoch = epoch_;
+    entry.value = std::move(detector);
+    it = phase_detectors_.find(key);
+    ++cache_stats_.models_built;
+  } else {
+    ++cache_stats_.models_reused;
   }
   // Locate the queried job's series.
   HOD_ASSIGN_OR_RETURN(const hierarchy::Job* job,
@@ -82,7 +219,7 @@ StatusOr<std::vector<double>> HierarchicalDetector::ScorePhaseSeries(
     if (phase.name != query.phase_name) continue;
     const auto series_it = phase.sensor_series.find(query.sensor_id);
     if (series_it == phase.sensor_series.end()) break;
-    return it->second->Score(series_it->second);
+    return it->second.value->Score(series_it->second);
   }
   return Status::NotFound("job '" + query.job_id + "' has no series for '" +
                           query.sensor_id + "' in phase '" +
@@ -95,8 +232,9 @@ StatusOr<std::vector<double>> HierarchicalDetector::ScorePhaseEvents(
   HOD_ASSIGN_OR_RETURN(const hierarchy::Machine* machine,
                        hierarchy::FindMachine(*production_, machine_id));
   const std::string key = machine_id + "/" + phase_name;
+  const uint64_t floor = MachineEpochFloor(machine_id);
   auto it = event_detectors_.find(key);
-  if (it == event_detectors_.end()) {
+  if (it == event_detectors_.end() || it->second.epoch < floor) {
     // Train on every job's event sequence for this phase name (the
     // queried job included — contamination is acceptable, anomalous FAULT
     // symbols are rare).
@@ -114,12 +252,18 @@ StatusOr<std::vector<double>> HierarchicalDetector::ScorePhaseEvents(
     }
     auto detector = std::make_unique<detect::FsaDetector>();
     HOD_RETURN_IF_ERROR(detector->Train(training));
-    it = event_detectors_.emplace(key, std::move(detector)).first;
+    auto& entry = event_detectors_[key];
+    entry.epoch = epoch_;
+    entry.value = std::move(detector);
+    it = event_detectors_.find(key);
+    ++cache_stats_.models_built;
+  } else {
+    ++cache_stats_.models_reused;
   }
   HOD_ASSIGN_OR_RETURN(const hierarchy::Job* job,
                        hierarchy::FindJob(*production_, job_id));
   for (const hierarchy::Phase& phase : job->phases) {
-    if (phase.name == phase_name) return it->second->Score(phase.events);
+    if (phase.name == phase_name) return it->second.value->Score(phase.events);
   }
   return Status::NotFound("job '" + job_id + "' has no phase '" +
                           phase_name + "'");
@@ -144,8 +288,9 @@ StatusOr<std::vector<double>> HierarchicalDetector::ScorePhaseMultivariate(
   HOD_ASSIGN_OR_RETURN(const hierarchy::Machine* machine,
                        hierarchy::FindMachine(*production_, machine_id));
   const std::string key = machine_id + "/" + phase_name;
+  const uint64_t floor = MachineEpochFloor(machine_id);
   auto it = var_models_.find(key);
-  if (it == var_models_.end()) {
+  if (it == var_models_.end() || it->second.epoch < floor) {
     std::vector<std::vector<ts::TimeSeries>> groups;
     for (const hierarchy::Job& job : machine->jobs) {
       for (const hierarchy::Phase& phase : job.phases) {
@@ -160,13 +305,19 @@ StatusOr<std::vector<double>> HierarchicalDetector::ScorePhaseMultivariate(
     }
     auto model = std::make_unique<detect::VarDetector>();
     HOD_RETURN_IF_ERROR(model->Train(groups));
-    it = var_models_.emplace(key, std::move(model)).first;
+    auto& entry = var_models_[key];
+    entry.epoch = epoch_;
+    entry.value = std::move(model);
+    it = var_models_.find(key);
+    ++cache_stats_.models_built;
+  } else {
+    ++cache_stats_.models_reused;
   }
   HOD_ASSIGN_OR_RETURN(const hierarchy::Job* job,
                        hierarchy::FindJob(*production_, job_id));
   for (const hierarchy::Phase& phase : job->phases) {
     if (phase.name == phase_name) {
-      return it->second->Score(PhaseChannels(phase));
+      return it->second.value->Score(PhaseChannels(phase));
     }
   }
   return Status::NotFound("job '" + job_id + "' has no phase '" +
@@ -175,8 +326,12 @@ StatusOr<std::vector<double>> HierarchicalDetector::ScorePhaseMultivariate(
 
 StatusOr<const std::vector<HierarchicalDetector::TimedScore>*>
 HierarchicalDetector::JobScores(const std::string& machine_id) {
+  const uint64_t floor = MachineEpochFloor(machine_id);
   auto it = job_scores_.find(machine_id);
-  if (it != job_scores_.end()) return &it->second;
+  if (it != job_scores_.end() && it->second.epoch >= floor) {
+    ++cache_stats_.scores_reused;
+    return &it->second.value;
+  }
 
   HOD_ASSIGN_OR_RETURN(const hierarchy::Machine* machine,
                        hierarchy::FindMachine(*production_, machine_id));
@@ -197,8 +352,11 @@ HierarchicalDetector::JobScores(const std::string& machine_id) {
     timed[j].end = machine->jobs[j].end_time;
     timed[j].score = scores[j];
   }
-  it = job_scores_.emplace(machine_id, std::move(timed)).first;
-  return &it->second;
+  auto& entry = job_scores_[machine_id];
+  entry.epoch = epoch_;
+  entry.value = std::move(timed);
+  ++cache_stats_.scores_built;
+  return &entry.value;
 }
 
 StatusOr<std::vector<double>> HierarchicalDetector::ScoreJobs(
@@ -213,8 +371,12 @@ StatusOr<std::vector<double>> HierarchicalDetector::ScoreJobs(
 
 StatusOr<const std::vector<double>*> HierarchicalDetector::EnvironmentScores(
     const std::string& line_id) {
+  const uint64_t floor = LineEnvEpochFloor(line_id);
   auto it = environment_scores_.find(line_id);
-  if (it != environment_scores_.end()) return &it->second;
+  if (it != environment_scores_.end() && it->second.epoch >= floor) {
+    ++cache_stats_.scores_reused;
+    return &it->second.value;
+  }
 
   HOD_ASSIGN_OR_RETURN(const hierarchy::ProductionLine* line,
                        hierarchy::FindLine(*production_, line_id));
@@ -227,8 +389,11 @@ StatusOr<const std::vector<double>*> HierarchicalDetector::EnvironmentScores(
       selector_.MakeEnvironmentDetector();
   HOD_RETURN_IF_ERROR(detector->Train({series}));
   HOD_ASSIGN_OR_RETURN(std::vector<double> scores, detector->Score(series));
-  it = environment_scores_.emplace(line_id, std::move(scores)).first;
-  return &it->second;
+  auto& entry = environment_scores_[line_id];
+  entry.epoch = epoch_;
+  entry.value = std::move(scores);
+  ++cache_stats_.scores_built;
+  return &entry.value;
 }
 
 StatusOr<std::vector<double>> HierarchicalDetector::ScoreEnvironment(
@@ -240,8 +405,12 @@ StatusOr<std::vector<double>> HierarchicalDetector::ScoreEnvironment(
 
 StatusOr<const std::vector<HierarchicalDetector::TimedScore>*>
 HierarchicalDetector::LineJobScores(const std::string& line_id) {
+  const uint64_t floor = LineJobsEpochFloor(line_id);
   auto it = line_job_scores_.find(line_id);
-  if (it != line_job_scores_.end()) return &it->second;
+  if (it != line_job_scores_.end() && it->second.epoch >= floor) {
+    ++cache_stats_.scores_reused;
+    return &it->second.value;
+  }
 
   HOD_ASSIGN_OR_RETURN(const hierarchy::ProductionLine* line,
                        hierarchy::FindLine(*production_, line_id));
@@ -277,8 +446,11 @@ HierarchicalDetector::LineJobScores(const std::string& line_id) {
     timed[j].end = matrix.times[j];
     timed[j].score = combined[j];
   }
-  it = line_job_scores_.emplace(line_id, std::move(timed)).first;
-  return &it->second;
+  auto& entry = line_job_scores_[line_id];
+  entry.epoch = epoch_;
+  entry.value = std::move(timed);
+  ++cache_stats_.scores_built;
+  return &entry.value;
 }
 
 StatusOr<std::vector<double>> HierarchicalDetector::ScoreLineJobs(
@@ -293,7 +465,11 @@ StatusOr<std::vector<double>> HierarchicalDetector::ScoreLineJobs(
 
 StatusOr<const std::map<std::string, double>*>
 HierarchicalDetector::MachineScores() {
-  if (machine_scores_ready_) return &machine_scores_;
+  const uint64_t floor = MachineScoresEpochFloor();
+  if (machine_scores_.epoch > 0 && machine_scores_.epoch >= floor) {
+    ++cache_stats_.scores_reused;
+    return &machine_scores_.value;
+  }
   HOD_ASSIGN_OR_RETURN(hierarchy::MachineMatrix matrix,
                        hierarchy::MachineSummaryMatrix(*production_));
   if (matrix.vectors.empty()) {
@@ -303,11 +479,13 @@ HierarchicalDetector::MachineScores() {
   HOD_RETURN_IF_ERROR(detector.Train(matrix.vectors));
   HOD_ASSIGN_OR_RETURN(std::vector<double> scores,
                        detector.Score(matrix.vectors));
+  machine_scores_.value.clear();
   for (size_t m = 0; m < matrix.machine_ids.size(); ++m) {
-    machine_scores_[matrix.machine_ids[m]] = scores[m];
+    machine_scores_.value[matrix.machine_ids[m]] = scores[m];
   }
-  machine_scores_ready_ = true;
-  return &machine_scores_;
+  machine_scores_.epoch = epoch_;
+  ++cache_stats_.scores_built;
+  return &machine_scores_.value;
 }
 
 StatusOr<std::map<std::string, double>> HierarchicalDetector::ScoreMachines() {
@@ -636,6 +814,107 @@ HierarchicalDetector::FindProductionOutliers() {
     report.findings.push_back(std::move(finding));
   }
   return report;
+}
+
+// ---- Incremental escalation -----------------------------------------------
+
+StatusOr<HierarchicalOutlierReport> HierarchicalDetector::EscalateAlarm(
+    hierarchy::ProductionLevel level, const std::string& entity_id,
+    ts::TimePoint t) {
+  switch (level) {
+    case hierarchy::ProductionLevel::kPhase: {
+      // A phase-level alarm names a sensor. Resolve it to its machine and
+      // the job covering `t`, then run Algorithm 1 only for the phases of
+      // that job the sensor recorded — every neighbor consulted by the
+      // upward/downward passes comes from the cache.
+      HOD_ASSIGN_OR_RETURN(hierarchy::SensorInfo info,
+                           production_->sensors.Get(entity_id));
+      if (info.machine_id.empty()) {
+        // Environment sensors carry no machine; escalate at their level.
+        return EscalateAlarm(hierarchy::ProductionLevel::kEnvironment,
+                             entity_id, t);
+      }
+      HOD_ASSIGN_OR_RETURN(
+          const hierarchy::Machine* machine,
+          hierarchy::FindMachine(*production_, info.machine_id));
+      const hierarchy::Job* covering = nullptr;
+      for (const hierarchy::Job& job : machine->jobs) {
+        if (t >= job.start_time - options_.cross_level_tolerance &&
+            t <= job.end_time + options_.cross_level_tolerance) {
+          covering = &job;
+          break;
+        }
+      }
+      if (covering == nullptr) {
+        return Status::NotFound("no job on machine '" + info.machine_id +
+                                "' near t=" + std::to_string(t));
+      }
+      HierarchicalOutlierReport report;
+      report.start_level = hierarchy::ProductionLevel::kPhase;
+      report.algorithm = selector_.Describe(report.start_level);
+      bool any_series = false;
+      for (const hierarchy::Phase& phase : covering->phases) {
+        if (phase.sensor_series.find(entity_id) ==
+            phase.sensor_series.end()) {
+          continue;
+        }
+        any_series = true;
+        PhaseQuery query{info.machine_id, covering->id, phase.name,
+                         entity_id};
+        HOD_ASSIGN_OR_RETURN(HierarchicalOutlierReport phase_report,
+                             FindPhaseOutliers(query));
+        report.algorithm = phase_report.algorithm;
+        for (OutlierFinding& finding : phase_report.findings) {
+          report.findings.push_back(std::move(finding));
+        }
+      }
+      if (!any_series) {
+        return Status::NotFound("sensor '" + entity_id +
+                                "' recorded no series in job '" +
+                                covering->id + "'");
+      }
+      return report;
+    }
+    case hierarchy::ProductionLevel::kJob: {
+      // A job-level alarm names a machine (or a sensor on one).
+      if (hierarchy::FindMachine(*production_, entity_id).ok()) {
+        return FindJobOutliers(entity_id);
+      }
+      HOD_ASSIGN_OR_RETURN(hierarchy::SensorInfo info,
+                           production_->sensors.Get(entity_id));
+      if (info.machine_id.empty()) {
+        return Status::NotFound("entity '" + entity_id +
+                                "' resolves to no machine");
+      }
+      return FindJobOutliers(info.machine_id);
+    }
+    case hierarchy::ProductionLevel::kEnvironment: {
+      // A line id, or an environment sensor id on some line.
+      if (hierarchy::FindLine(*production_, entity_id).ok()) {
+        return FindEnvironmentOutliers(entity_id);
+      }
+      for (const hierarchy::ProductionLine& line : production_->lines) {
+        for (const hierarchy::EnvironmentChannel& channel :
+             line.environment) {
+          if (channel.sensor_id == entity_id) {
+            return FindEnvironmentOutliers(line.id);
+          }
+        }
+      }
+      return Status::NotFound("entity '" + entity_id +
+                              "' resolves to no environment channel");
+    }
+    case hierarchy::ProductionLevel::kProductionLine: {
+      if (hierarchy::FindLine(*production_, entity_id).ok()) {
+        return FindLineOutliers(entity_id);
+      }
+      HOD_ASSIGN_OR_RETURN(std::string line_id, LineOfMachine(entity_id));
+      return FindLineOutliers(line_id);
+    }
+    case hierarchy::ProductionLevel::kProduction:
+      return FindProductionOutliers();
+  }
+  return Status::InvalidArgument("EscalateAlarm: unknown level");
 }
 
 }  // namespace hod::core

@@ -1,6 +1,7 @@
 #ifndef HOD_CORE_HIERARCHICAL_DETECTOR_H_
 #define HOD_CORE_HIERARCHICAL_DETECTOR_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -39,13 +40,42 @@ struct PhaseQuery {
   std::string sensor_id;
 };
 
+/// Accounting for the detector's epoch cache: how often trained models and
+/// per-level score vectors were reused vs (re)built, and how often data
+/// changes invalidated them. An escalation tier diffs two copies of this
+/// to report per-run hit/miss counts.
+struct DetectorCacheStats {
+  /// Current data epoch (bumped by every MarkDirty/Invalidate call).
+  uint64_t epoch = 1;
+  /// Trained models (phase/event/multivariate detectors) built vs served
+  /// from cache.
+  uint64_t models_built = 0;
+  uint64_t models_reused = 0;
+  /// Per-level score vectors (job/line/environment/machine) built vs
+  /// served from cache.
+  uint64_t scores_built = 0;
+  uint64_t scores_reused = 0;
+  /// MarkDirty/Invalidate calls that dirtied at least one scope.
+  uint64_t invalidations = 0;
+
+  uint64_t hits() const { return models_reused + scores_reused; }
+  uint64_t misses() const { return models_built + scores_built; }
+};
+
 /// The paper's Algorithm 1, FindHierarchicalOutlier(TS, LV): detect
 /// outliers at a start level, compute the <global score, outlierness,
 /// support> triple for each, confirm upward through the hierarchy, and
 /// flag suspected measurement errors downward.
 ///
 /// The detector owns trained per-level models, lazily built from the
-/// production's own data and cached, so repeated queries are cheap.
+/// production's own data and cached under an epoch watermark, so repeated
+/// queries are cheap. When the production gains data (a new job, fresh
+/// environment samples), call MarkDirty/Invalidate for the touched entity:
+/// only that scope's models and score vectors are rebuilt on the next
+/// query — the upward-confirmation and downward-measurement-error passes
+/// keep reusing every cached neighbor. This is what makes the incremental
+/// escalation path (EscalateAlarm) cheap enough to run per stream
+/// snapshot instead of per batch.
 class HierarchicalDetector {
  public:
   /// `production` must outlive the detector.
@@ -62,6 +92,38 @@ class HierarchicalDetector {
   StatusOr<HierarchicalOutlierReport> FindLineOutliers(
       const std::string& line_id);
   StatusOr<HierarchicalOutlierReport> FindProductionOutliers();
+
+  /// ---- Incremental escalation entry point ----------------------------
+  /// Re-evaluates Algorithm 1 for ONE flagged entity instead of a full
+  /// batch pass: resolves `entity_id` (a sensor id at the phase and
+  /// environment levels, a machine id at the job and production levels, a
+  /// line id at the line level) to its production scope near time `t` and
+  /// runs only the affected queries. All untouched neighbors are served
+  /// from the epoch cache, so the marginal cost is one entity's models —
+  /// this is the path a streaming tier calls when an EngineSnapshot shows
+  /// a newly-raised alarm. Results are identical to the same queries in a
+  /// full batch pass over the same data epoch.
+  StatusOr<HierarchicalOutlierReport> EscalateAlarm(
+      hierarchy::ProductionLevel level, const std::string& entity_id,
+      ts::TimePoint t);
+
+  /// ---- Epoch cache API ------------------------------------------------
+  /// Invalidates everything derived from `entity_id`'s data: a machine id
+  /// dirties its phase/event/multivariate models, its job scores, its
+  /// line's job series and the machine summary scores; a line id dirties
+  /// the line's environment and job-series scores; a sensor id resolves to
+  /// its machine (or, for environment channels, its line). NotFound when
+  /// the entity matches nothing.
+  Status MarkDirty(const std::string& entity_id);
+  /// Level-targeted invalidation: kPhase/kJob take a machine id,
+  /// kEnvironment/kProductionLine a line id, kProduction invalidates all.
+  Status Invalidate(hierarchy::ProductionLevel level, const std::string& id);
+  /// Drops every cached model and score vector (epoch bump; entries are
+  /// rebuilt lazily on the next query).
+  void InvalidateAll();
+
+  const DetectorCacheStats& cache_stats() const { return cache_stats_; }
+  uint64_t epoch() const { return epoch_; }
 
   /// ---- Level primitives (raw scores, used by the benches) ------------
   /// Per-sample outlierness of one phase series.
@@ -98,6 +160,14 @@ class HierarchicalDetector {
     double score = 0.0;
   };
 
+  /// One cache entry: the value plus the epoch it was built at. Valid
+  /// while `epoch >=` every dirty watermark covering its scope.
+  template <typename T>
+  struct Cached {
+    uint64_t epoch = 0;
+    T value;
+  };
+
   /// Is an outlier visible at `level` near time `t` for the given scope?
   StatusOr<bool> VisibleAtLevel(hierarchy::ProductionLevel level,
                                 const std::string& line_id,
@@ -127,23 +197,39 @@ class HierarchicalDetector {
 
   StatusOr<std::string> LineOfMachine(const std::string& machine_id) const;
 
+  /// Dirty watermarks by scope (0 = never dirtied).
+  uint64_t MachineEpochFloor(const std::string& machine_id) const;
+  uint64_t LineJobsEpochFloor(const std::string& line_id) const;
+  uint64_t LineEnvEpochFloor(const std::string& line_id) const;
+  uint64_t MachineScoresEpochFloor() const;
+  void DirtyMachine(const std::string& machine_id);
+
   const hierarchy::Production* production_;
   HierarchicalDetectorOptions options_;
   AlgorithmSelector selector_;
 
   /// Phase detectors keyed by machine/sensor/phase.
-  std::map<std::string, std::unique_ptr<detect::SeriesDetector>>
+  std::map<std::string, Cached<std::unique_ptr<detect::SeriesDetector>>>
       phase_detectors_;
   /// Event-sequence detectors keyed by machine/phase.
-  std::map<std::string, std::unique_ptr<detect::SequenceDetector>>
+  std::map<std::string, Cached<std::unique_ptr<detect::SequenceDetector>>>
       event_detectors_;
   /// Multivariate phase models keyed by machine/phase.
-  std::map<std::string, std::unique_ptr<detect::VarDetector>> var_models_;
-  std::map<std::string, std::vector<TimedScore>> job_scores_;
-  std::map<std::string, std::vector<TimedScore>> line_job_scores_;
-  std::map<std::string, std::vector<double>> environment_scores_;
-  std::map<std::string, double> machine_scores_;
-  bool machine_scores_ready_ = false;
+  std::map<std::string, Cached<std::unique_ptr<detect::VarDetector>>>
+      var_models_;
+  std::map<std::string, Cached<std::vector<TimedScore>>> job_scores_;
+  std::map<std::string, Cached<std::vector<TimedScore>>> line_job_scores_;
+  std::map<std::string, Cached<std::vector<double>>> environment_scores_;
+  Cached<std::map<std::string, double>> machine_scores_;
+
+  /// Epoch bookkeeping.
+  uint64_t epoch_ = 1;
+  uint64_t all_dirty_ = 0;
+  uint64_t production_dirty_ = 0;
+  std::map<std::string, uint64_t> machine_dirty_;
+  std::map<std::string, uint64_t> line_jobs_dirty_;
+  std::map<std::string, uint64_t> line_env_dirty_;
+  DetectorCacheStats cache_stats_;
 };
 
 }  // namespace hod::core

@@ -68,6 +68,12 @@ struct OutlierFinding {
   /// assumed".
   bool measurement_error_warning = false;
 
+  /// True when this finding came from the incremental escalation path (a
+  /// stream alarm re-evaluated through Algorithm 1) rather than a batch
+  /// query — alert consumers can tell a confirmed hierarchical triple from
+  /// a raw stream-tier alarm.
+  bool escalated = false;
+
   /// Levels (including the start level) at which the outlier is visible.
   std::vector<hierarchy::ProductionLevel> confirmed_levels;
 

@@ -10,8 +10,10 @@ namespace bin = hierarchy::bin;
 
 /// "HODC" little-endian + format version.
 /// v2: StreamStatsSnapshot gained rejected_closed and forward_failed.
+/// v3: OutlierFinding gained the escalated flag; StreamStatsSnapshot
+///     gained the escalation and checkpoint counter block.
 constexpr uint32_t kMagic = 0x43444F48u;
-constexpr uint32_t kVersion = 2;
+constexpr uint32_t kVersion = 3;
 
 void WriteBool(std::ostream& os, bool value) {
   bin::WriteU8(os, value ? 1 : 0);
@@ -187,6 +189,7 @@ void WriteFinding(std::ostream& os, const core::OutlierFinding& finding) {
   bin::WriteF64(os, finding.support);
   bin::WriteU64(os, finding.corresponding_sensors);
   WriteBool(os, finding.measurement_error_warning);
+  WriteBool(os, finding.escalated);
   bin::WriteU32(os, static_cast<uint32_t>(finding.confirmed_levels.size()));
   for (hierarchy::ProductionLevel level : finding.confirmed_levels) {
     WriteLevel(os, level);
@@ -216,6 +219,7 @@ Status ReadFinding(std::istream& is, core::OutlierFinding& finding) {
   HOD_ASSIGN_OR_RETURN(uint64_t corresponding, bin::ReadU64(is));
   finding.corresponding_sensors = static_cast<size_t>(corresponding);
   HOD_ASSIGN_OR_RETURN(finding.measurement_error_warning, ReadBool(is));
+  HOD_ASSIGN_OR_RETURN(finding.escalated, ReadBool(is));
   HOD_ASSIGN_OR_RETURN(uint32_t num_levels, bin::ReadU32(is));
   if (num_levels > 64) {
     return Status::InvalidArgument("implausible confirmed-level count");
@@ -255,6 +259,15 @@ void WriteStats(std::ostream& os, const StreamStatsSnapshot& stats) {
   bin::WriteU64(os, stats.sensor_recoveries);
   bin::WriteU64(os, stats.watchdog_stall_events);
   bin::WriteU64(os, stats.forward_failed);
+  bin::WriteU64(os, stats.escalation_runs);
+  bin::WriteU64(os, stats.escalation_entities);
+  bin::WriteU64(os, stats.escalation_findings);
+  bin::WriteU64(os, stats.escalation_unresolved);
+  bin::WriteU64(os, stats.escalation_cache_hits);
+  bin::WriteU64(os, stats.escalation_cache_misses);
+  bin::WriteU64(os, stats.escalation_latency_us);
+  bin::WriteU64(os, stats.checkpoints_written);
+  bin::WriteU64(os, stats.checkpoint_failures);
   for (uint64_t count : stats.level_dropped) bin::WriteU64(os, count);
   for (uint64_t count : stats.level_rejected) bin::WriteU64(os, count);
   for (uint64_t count : stats.level_quarantined) bin::WriteU64(os, count);
@@ -279,6 +292,15 @@ Status ReadStats(std::istream& is, StreamStatsSnapshot& stats) {
   HOD_ASSIGN_OR_RETURN(stats.sensor_recoveries, bin::ReadU64(is));
   HOD_ASSIGN_OR_RETURN(stats.watchdog_stall_events, bin::ReadU64(is));
   HOD_ASSIGN_OR_RETURN(stats.forward_failed, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(stats.escalation_runs, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(stats.escalation_entities, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(stats.escalation_findings, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(stats.escalation_unresolved, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(stats.escalation_cache_hits, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(stats.escalation_cache_misses, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(stats.escalation_latency_us, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(stats.checkpoints_written, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(stats.checkpoint_failures, bin::ReadU64(is));
   for (uint64_t& count : stats.level_dropped) {
     HOD_ASSIGN_OR_RETURN(count, bin::ReadU64(is));
   }

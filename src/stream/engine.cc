@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <utility>
 
 #include "stream/checkpoint.h"
@@ -43,6 +45,7 @@ StreamEngine::StreamEngine(StreamEngineOptions options)
       health_(options.health, &stats_),
       scorer_(MakeScorerOptions(options), &stats_, &collector_queue_,
               &health_),
+      checkpoint_gate_enabled_(!options.checkpoint_path.empty()),
       stalled_(EffectiveShards(options)) {
   for (auto& flag : stalled_) flag.store(0, std::memory_order_relaxed);
 }
@@ -86,6 +89,10 @@ Status StreamEngine::Start() {
           [this](std::stop_token stop) { WatchdogLoop(stop); });
     }
   }
+  if (checkpoint_gate_enabled_ && options_.checkpoint_interval.count() > 0) {
+    checkpoint_timer_ = std::jthread(
+        [this](std::stop_token stop) { CheckpointLoop(stop); });
+  }
   state_.store(kRunning);
   return Status::Ok();
 }
@@ -93,6 +100,14 @@ Status StreamEngine::Start() {
 StatusOr<IngestAck> StreamEngine::Ingest(const SensorSample& sample) {
   if (state_.load() != kRunning) {
     return Status::FailedPrecondition("engine not running");
+  }
+  // Live checkpointing: hold the gate shared for the duration of the call
+  // so CheckpointToFile (exclusive) observes a moment with no sample in
+  // flight between the router and a shard queue. Engines that never
+  // checkpoint skip the lock entirely.
+  std::shared_lock<std::shared_mutex> gate;
+  if (checkpoint_gate_enabled_) {
+    gate = std::shared_lock<std::shared_mutex>(ingest_gate_);
   }
   auto route_or = router_.Route(sample);
   if (!route_or.ok()) {
@@ -158,6 +173,13 @@ Status StreamEngine::Flush() {
 Status StreamEngine::Stop() {
   const int state = state_.exchange(kStopped);
   if (state == kStopped) return Status::Ok();
+  // Timer first, while the pipeline is still alive: an in-flight periodic
+  // checkpoint holds the ingest gate and waits on the collector, so it
+  // must complete before workers are torn down.
+  if (checkpoint_timer_.joinable()) {
+    checkpoint_timer_.request_stop();
+    checkpoint_timer_.join();
+  }
   if (watchdog_.joinable()) {
     watchdog_.request_stop();
     watchdog_.join();
@@ -192,6 +214,98 @@ Status StreamEngine::Checkpoint(std::ostream& os) const {
   return WriteEngineCheckpoint(checkpoint, os);
 }
 
+Status StreamEngine::CheckpointToFile(const std::string& path) {
+  const int state = state_.load();
+  if (state == kConfiguring) {
+    return Status::FailedPrecondition("engine never started");
+  }
+  EngineCheckpoint checkpoint;
+  if (state == kRunning && !options_.synchronous) {
+    if (!checkpoint_gate_enabled_) {
+      return Status::FailedPrecondition(
+          "live checkpointing requires options.checkpoint_path (the ingest "
+          "gate is armed at construction)");
+    }
+    // Quiesce: block new producers, drain everything already accepted
+    // through the scorer and the collector, then serialize. The collector
+    // keeps running — its release fetch_add on collected_ is the
+    // happens-before edge that makes reading its private state safe here.
+    std::unique_lock<std::shared_mutex> gate(ingest_gate_);
+    if (state_.load() != kRunning) {
+      return Status::FailedPrecondition("engine is stopping");
+    }
+    HOD_RETURN_IF_ERROR(scorer_.Flush());
+    {
+      std::unique_lock<std::mutex> lock(collector_mu_);
+      collector_cv_.wait(lock, [&] {
+        return collected_.load(std::memory_order_acquire) >=
+               scorer_.forwarded() +
+                   health_events_pushed_.load(std::memory_order_acquire);
+      });
+    }
+    HOD_RETURN_IF_ERROR(FillCheckpoint(checkpoint));
+  } else if (state == kRunning) {
+    // Synchronous engine: the caller's thread is the only mutator, but the
+    // gate still serializes against a background timer (if armed).
+    std::unique_lock<std::shared_mutex> gate(ingest_gate_);
+    HOD_RETURN_IF_ERROR(FillCheckpoint(checkpoint));
+  } else {
+    if (collector_.joinable()) {
+      // Stop() raced us and has not finished draining yet.
+      return Status::FailedPrecondition("engine is stopping");
+    }
+    HOD_RETURN_IF_ERROR(FillCheckpoint(checkpoint));
+  }
+
+  // Crash-safe publication: write the image beside the target and rename
+  // over it, so readers only ever see a complete checkpoint.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      stats_.RecordCheckpointFailure();
+      return Status::InvalidArgument("cannot open checkpoint file: " + tmp);
+    }
+    Status status = WriteEngineCheckpoint(checkpoint, os);
+    if (!status.ok() || !os.good()) {
+      stats_.RecordCheckpointFailure();
+      return status.ok() ? Status::InvalidArgument("checkpoint write failed: " +
+                                                   tmp)
+                         : status;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    stats_.RecordCheckpointFailure();
+    return Status::InvalidArgument("cannot rename checkpoint into place: " +
+                                   path);
+  }
+  stats_.RecordCheckpointWritten();
+  return Status::Ok();
+}
+
+void StreamEngine::CheckpointLoop(const std::stop_token& stop) {
+  std::mutex mu;
+  std::condition_variable_any cv;
+  std::unique_lock<std::mutex> lock(mu);
+  while (!stop.stop_requested()) {
+    cv.wait_for(lock, stop, options_.checkpoint_interval, [] { return false; });
+    if (stop.stop_requested()) break;
+    // Failures are already counted in stats; the timer keeps trying.
+    (void)CheckpointToFile(options_.checkpoint_path);
+  }
+}
+
+void StreamEngine::ReportEscalation(
+    const EscalationRunStats& run,
+    const std::vector<core::OutlierFinding>& findings) {
+  if (!findings.empty()) {
+    std::lock_guard<std::mutex> lock(alerts_mu_);
+    alerts_.IngestBatch(findings);
+  }
+  stats_.RecordEscalationRun(run.entities, run.findings, run.unresolved,
+                             run.cache_hits, run.cache_misses, run.latency_us);
+}
+
 Status StreamEngine::FillCheckpoint(EngineCheckpoint& checkpoint) const {
   checkpoint.monitor = options_.monitor;
   checkpoint.out_of_order_tolerance = options_.out_of_order_tolerance;
@@ -215,7 +329,7 @@ Status StreamEngine::FillCheckpoint(EngineCheckpoint& checkpoint) const {
       sensor.health.level = registered.level;
     }
     HOD_ASSIGN_OR_RETURN(sensor.monitor,
-                         scorer_.SaveMonitor(registered.sensor_id));
+                         scorer_.SaveMonitorQuiesced(registered.sensor_id));
     checkpoint.sensors.push_back(std::move(sensor));
   }
 
@@ -338,14 +452,17 @@ void StreamEngine::CollectorLoop() {
       alerts_.IngestBatch(pending_findings_);
       pending_findings_.clear();
     }
+    // A drained queue is a quiescent point — publish so Flush() callers
+    // observe a current snapshot. Publish BEFORE the release fetch_add:
+    // that store is the edge a quiesced checkpointer (or Flush caller)
+    // acquires, so every collector-private write — including the snapshot
+    // bookkeeping — must be sequenced before it.
+    if (collector_queue_.size() == 0) PublishSnapshot();
     collected_.fetch_add(batch.size(), std::memory_order_release);
     {
       std::lock_guard<std::mutex> lock(collector_mu_);
     }
     collector_cv_.notify_all();
-    // A drained queue is a quiescent point — publish so Flush() callers
-    // observe a current snapshot.
-    if (collector_queue_.size() == 0) PublishSnapshot();
     batch.clear();
   }
   PublishSnapshot();
@@ -375,8 +492,14 @@ void StreamEngine::WatchdogLoop(const std::stop_token& stop) {
       }
       last_heartbeat[i] = beat;
     }
-    for (const HealthTransition& transition : health_.SweepStale()) {
-      PushHealthEvent(transition);
+    // The staleness sweep pushes collector events, which would break the
+    // checkpointer's "drained means drained" invariant — skip the sweep
+    // while a checkpoint holds the gate (it runs again next interval).
+    std::shared_lock<std::shared_mutex> gate(ingest_gate_, std::try_to_lock);
+    if (!checkpoint_gate_enabled_ || gate.owns_lock()) {
+      for (const HealthTransition& transition : health_.SweepStale()) {
+        PushHealthEvent(transition);
+      }
     }
   }
 }

@@ -12,6 +12,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -75,6 +76,15 @@ struct StreamEngineOptions {
   /// the default board admits INFO — otherwise weak-but-real alarm
   /// episodes would be invisible.
   core::AlertManagerOptions alerts{30.0, core::AlertSeverity::kInfo};
+  /// Background periodic checkpointing: when `checkpoint_path` is
+  /// non-empty and `checkpoint_interval` positive, a timer thread calls
+  /// CheckpointToFile(checkpoint_path) on that cadence. Each image is
+  /// written to `<path>.tmp` and atomically renamed over the target, so a
+  /// crash mid-write never corrupts the last good checkpoint. A non-empty
+  /// path also arms the ingest gate CheckpointToFile needs, so manual
+  /// calls on a live threaded engine work too (interval 0 = manual only).
+  std::string checkpoint_path;
+  std::chrono::milliseconds checkpoint_interval{0};
   /// Capacity of the scorer → collector queue (always lossless/blocking).
   size_t collector_queue_capacity = 4096;
   /// Collector publishes a fresh EngineSnapshot every this many outlier
@@ -124,11 +134,11 @@ struct QuarantinedSensor {
   HealthSignal reason = HealthSignal::kClean;
 };
 
-/// Periodic cross-level outlier snapshot — the escalation hook: feed the
-/// active-alarm entities into core::HierarchicalDetector (e.g. a
-/// FindPhaseOutliers query per alarming sensor) to compute the full
-/// ⟨global score, outlierness, support⟩ triple for what the stream tier
-/// flagged cheaply.
+/// Periodic cross-level outlier snapshot — the escalation hook: the
+/// EscalationBridge (stream/escalation.h) diffs consecutive snapshots'
+/// active alarms and runs core::HierarchicalDetector::EscalateAlarm over
+/// the newly-flagged entities to compute the full ⟨global score,
+/// outlierness, support⟩ triple for what the stream tier flagged cheaply.
 struct EngineSnapshot {
   /// Monotone snapshot counter (0 = nothing published yet).
   uint64_t sequence = 0;
@@ -140,6 +150,17 @@ struct EngineSnapshot {
   std::vector<ActiveAlarm> active_alarms;
   /// Sensors quarantined right now, sorted by id.
   std::vector<QuarantinedSensor> quarantined;
+};
+
+/// Aggregate result of one escalation pass (one snapshot diff), reported
+/// by the EscalationBridge so the counters land in StreamStatsSnapshot.
+struct EscalationRunStats {
+  uint64_t entities = 0;      ///< newly-flagged alarms re-scored
+  uint64_t findings = 0;      ///< hierarchical findings produced
+  uint64_t unresolved = 0;    ///< alarms the detector could not resolve
+  uint64_t cache_hits = 0;    ///< detector cache entries reused
+  uint64_t cache_misses = 0;  ///< detector models/scores (re)built
+  uint64_t latency_us = 0;    ///< wall time inside the detector
 };
 
 /// The streaming facade: router → sharded scorer → collector, wrapped in
@@ -204,6 +225,22 @@ class StreamEngine {
   /// synchronous mode.
   Status Checkpoint(std::ostream& os) const;
 
+  /// Checkpoints a LIVE engine to `path` (write-to-temp + atomic rename).
+  /// Unlike Checkpoint(), this also works while threaded workers run: it
+  /// closes the ingest gate (producers block for the duration), drains the
+  /// scorer and collector, and serializes the quiesced state. Requires
+  /// `options.checkpoint_path` non-empty on a threaded engine (that is
+  /// what arms the gate Ingest honors); synchronous and stopped engines
+  /// need no gate. This is what the background checkpoint timer calls.
+  Status CheckpointToFile(const std::string& path);
+
+  /// Ingests an escalation pass's findings into the alert board (merged
+  /// into the same per-entity episodes as the stream tier's raw alarms)
+  /// and folds its counters into the engine stats. Thread-safe; called by
+  /// the EscalationBridge.
+  void ReportEscalation(const EscalationRunStats& run,
+                        const std::vector<core::OutlierFinding>& findings);
+
   /// Rebuilds an engine from a checkpoint. `options` must describe the
   /// same monitor configuration and out-of-order tolerance the checkpoint
   /// was taken under (validated; InvalidArgument on mismatch); threading
@@ -254,6 +291,7 @@ class StreamEngine {
 
   void CollectorLoop();
   void WatchdogLoop(const std::stop_token& stop);
+  void CheckpointLoop(const std::stop_token& stop);
   /// Collector-thread only (or caller thread in synchronous mode).
   void ConsumeScored(const ScoredSample& scored);
   void PublishSnapshot();
@@ -279,8 +317,17 @@ class StreamEngine {
   ShardedScorer scorer_;
   std::jthread collector_;
   std::jthread watchdog_;
+  std::jthread checkpoint_timer_;
   std::atomic<int> state_{kConfiguring};
   bool scorer_populated_ = false;
+
+  /// Quiescence gate for live checkpointing. Ingest holds it shared (only
+  /// when `checkpoint_gate_enabled_`, keeping the lock off the hot path
+  /// for engines that never checkpoint); the watchdog's staleness sweep
+  /// try-locks it shared; CheckpointToFile holds it exclusively while
+  /// draining and serializing.
+  mutable std::shared_mutex ingest_gate_;
+  const bool checkpoint_gate_enabled_;
 
   /// Dropped count carried over from a restored checkpoint (the live
   /// count lives in the shard queues, which restart at zero).

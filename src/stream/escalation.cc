@@ -1,0 +1,105 @@
+#include "stream/escalation.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/report.h"
+
+namespace hod::stream {
+
+EscalationBridge::EscalationBridge(StreamEngine* engine,
+                                   core::HierarchicalDetector* detector,
+                                   EscalationOptions options)
+    : engine_(engine), detector_(detector), options_(options) {}
+
+EscalationBridge::~EscalationBridge() { Stop(); }
+
+void EscalationBridge::Start() {
+  if (worker_.joinable()) return;
+  worker_ = std::jthread([this](std::stop_token stop) { Loop(stop); });
+}
+
+void EscalationBridge::Stop() {
+  if (!worker_.joinable()) return;
+  worker_.request_stop();
+  worker_.join();
+}
+
+void EscalationBridge::Loop(const std::stop_token& stop) {
+  std::mutex mu;
+  std::condition_variable_any cv;
+  std::unique_lock<std::mutex> lock(mu);
+  while (!stop.stop_requested()) {
+    cv.wait_for(lock, stop, options_.poll_interval, [] { return false; });
+    if (stop.stop_requested()) break;
+    // Unresolvable alarms are counted in the run stats; keep polling.
+    (void)Poll();
+  }
+}
+
+StatusOr<size_t> EscalationBridge::Poll() {
+  const EngineSnapshot snapshot = engine_->Snapshot();
+  if (snapshot.sequence == 0 || snapshot.sequence == last_sequence_) {
+    return size_t{0};
+  }
+  last_sequence_ = snapshot.sequence;
+
+  // Diff: fresh = alarms we have not escalated at this `since` yet.
+  std::vector<ActiveAlarm> fresh;
+  std::set<std::string> active_ids;
+  for (const ActiveAlarm& alarm : snapshot.active_alarms) {
+    active_ids.insert(alarm.sensor_id);
+    auto it = escalated_.find(alarm.sensor_id);
+    if (it == escalated_.end() || it->second != alarm.since) {
+      fresh.push_back(alarm);
+    }
+  }
+  // Prune cleared alarms so a later re-raise of the same sensor is fresh
+  // even if its `since` collides, and the map stays bounded.
+  for (auto it = escalated_.begin(); it != escalated_.end();) {
+    if (active_ids.count(it->first) == 0) {
+      it = escalated_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (fresh.empty()) return size_t{0};
+
+  const core::DetectorCacheStats before = detector_->cache_stats();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  EscalationRunStats run;
+  run.entities = fresh.size();
+  std::vector<core::OutlierFinding> findings;
+  for (const ActiveAlarm& alarm : fresh) {
+    escalated_[alarm.sensor_id] = alarm.since;
+    auto report_or =
+        detector_->EscalateAlarm(alarm.level, alarm.sensor_id, alarm.since);
+    if (!report_or.ok()) {
+      ++run.unresolved;
+      continue;
+    }
+    for (core::OutlierFinding& finding : report_or.value().findings) {
+      finding.escalated = true;
+      findings.push_back(std::move(finding));
+    }
+  }
+
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  run.latency_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+  const core::DetectorCacheStats after = detector_->cache_stats();
+  run.cache_hits = after.hits() - before.hits();
+  run.cache_misses = after.misses() - before.misses();
+  run.findings = findings.size();
+
+  engine_->ReportEscalation(run, findings);
+  ++runs_;
+  return fresh.size();
+}
+
+}  // namespace hod::stream

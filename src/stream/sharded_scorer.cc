@@ -236,6 +236,16 @@ StatusOr<core::OnlineMonitorState> ShardedScorer::SaveMonitor(
   return Status::NotFound("no monitor for sensor: " + sensor_id);
 }
 
+StatusOr<core::OnlineMonitorState> ShardedScorer::SaveMonitorQuiesced(
+    const std::string& sensor_id) const {
+  for (const auto& shard : shards_) {
+    auto it = shard->monitors.find(sensor_id);
+    if (it == shard->monitors.end()) continue;
+    return it->second.SaveState();
+  }
+  return Status::NotFound("no monitor for sensor: " + sensor_id);
+}
+
 Status ShardedScorer::RestoreMonitor(const std::string& sensor_id,
                                      const core::OnlineMonitorState& state) {
   if (running()) {

@@ -173,6 +173,14 @@ class ShardedScorer {
   /// FailedPrecondition while workers run.
   StatusOr<core::OnlineMonitorState> SaveMonitor(
       const std::string& sensor_id) const;
+  /// SaveMonitor for a running-but-quiesced scorer (background
+  /// checkpointing): workers may be alive, but the caller guarantees every
+  /// submitted sample has been scored (Flush returned) and no producer can
+  /// submit until the save completes. The Flush release/acquire chain on
+  /// the shard `processed` counters makes the monitor reads safe; without
+  /// that guarantee this is a data race.
+  StatusOr<core::OnlineMonitorState> SaveMonitorQuiesced(
+      const std::string& sensor_id) const;
   Status RestoreMonitor(const std::string& sensor_id,
                         const core::OnlineMonitorState& state);
 

@@ -47,6 +47,23 @@ StreamStatsSnapshot StreamStats::Snapshot() const {
   snapshot.watchdog_stall_events =
       watchdog_stall_events_.load(std::memory_order_relaxed);
   snapshot.forward_failed = forward_failed_.load(std::memory_order_relaxed);
+  snapshot.escalation_runs = escalation_runs_.load(std::memory_order_relaxed);
+  snapshot.escalation_entities =
+      escalation_entities_.load(std::memory_order_relaxed);
+  snapshot.escalation_findings =
+      escalation_findings_.load(std::memory_order_relaxed);
+  snapshot.escalation_unresolved =
+      escalation_unresolved_.load(std::memory_order_relaxed);
+  snapshot.escalation_cache_hits =
+      escalation_cache_hits_.load(std::memory_order_relaxed);
+  snapshot.escalation_cache_misses =
+      escalation_cache_misses_.load(std::memory_order_relaxed);
+  snapshot.escalation_latency_us =
+      escalation_latency_us_.load(std::memory_order_relaxed);
+  snapshot.checkpoints_written =
+      checkpoints_written_.load(std::memory_order_relaxed);
+  snapshot.checkpoint_failures =
+      checkpoint_failures_.load(std::memory_order_relaxed);
   for (int i = 0; i < hierarchy::kNumLevels; ++i) {
     snapshot.level_dropped[i] = level_dropped_[i].load(std::memory_order_relaxed);
     snapshot.level_rejected[i] =
@@ -92,6 +109,23 @@ void StreamStats::Restore(const StreamStatsSnapshot& snapshot) {
   watchdog_stall_events_.store(snapshot.watchdog_stall_events,
                                std::memory_order_relaxed);
   forward_failed_.store(snapshot.forward_failed, std::memory_order_relaxed);
+  escalation_runs_.store(snapshot.escalation_runs, std::memory_order_relaxed);
+  escalation_entities_.store(snapshot.escalation_entities,
+                             std::memory_order_relaxed);
+  escalation_findings_.store(snapshot.escalation_findings,
+                             std::memory_order_relaxed);
+  escalation_unresolved_.store(snapshot.escalation_unresolved,
+                               std::memory_order_relaxed);
+  escalation_cache_hits_.store(snapshot.escalation_cache_hits,
+                               std::memory_order_relaxed);
+  escalation_cache_misses_.store(snapshot.escalation_cache_misses,
+                                 std::memory_order_relaxed);
+  escalation_latency_us_.store(snapshot.escalation_latency_us,
+                               std::memory_order_relaxed);
+  checkpoints_written_.store(snapshot.checkpoints_written,
+                             std::memory_order_relaxed);
+  checkpoint_failures_.store(snapshot.checkpoint_failures,
+                             std::memory_order_relaxed);
   for (int i = 0; i < hierarchy::kNumLevels; ++i) {
     level_dropped_[i].store(snapshot.level_dropped[i],
                             std::memory_order_relaxed);
@@ -124,6 +158,15 @@ std::string StreamStatsSnapshot::ToString() const {
       << " sensor_recoveries=" << sensor_recoveries
       << " watchdog_stalls=" << watchdog_stall_events
       << " forward_failed=" << forward_failed << "\n";
+  out << "escalation: runs=" << escalation_runs
+      << " entities=" << escalation_entities
+      << " findings=" << escalation_findings
+      << " unresolved=" << escalation_unresolved
+      << " cache_hits=" << escalation_cache_hits
+      << " cache_misses=" << escalation_cache_misses
+      << " latency_us=" << escalation_latency_us
+      << " checkpoints=" << checkpoints_written
+      << " checkpoint_failures=" << checkpoint_failures << "\n";
   out << "per-level drop/reject/quarantine:";
   for (int i = 0; i < hierarchy::kNumLevels; ++i) {
     if (level_dropped[i] == 0 && level_rejected[i] == 0 &&

@@ -53,6 +53,25 @@ struct StreamStatsSnapshot {
   /// are NOT counted in `forwarded`, so
   /// `collected == forwarded + health_events_pushed` stays exact.
   uint64_t forward_failed = 0;
+  /// ---- Escalation tier (snapshot-triggered Algorithm 1 runs) ----------
+  /// Times the escalation bridge ran the hierarchical detector over a
+  /// snapshot diff (only snapshots with newly-flagged alarms count).
+  uint64_t escalation_runs = 0;
+  /// Alarmed entities re-scored across all runs.
+  uint64_t escalation_entities = 0;
+  /// Hierarchical findings those runs produced / alarms the detector
+  /// could not resolve to a production scope.
+  uint64_t escalation_findings = 0;
+  uint64_t escalation_unresolved = 0;
+  /// Detector cache traffic attributable to escalation (models + score
+  /// vectors reused vs rebuilt) — the incrementality measure.
+  uint64_t escalation_cache_hits = 0;
+  uint64_t escalation_cache_misses = 0;
+  /// Total wall time spent inside EscalateAlarm calls, microseconds.
+  uint64_t escalation_latency_us = 0;
+  /// ---- Background checkpointing ----------------------------------------
+  uint64_t checkpoints_written = 0;
+  uint64_t checkpoint_failures = 0;
   /// Per-level accounting (indexed by LevelValue(level) - 1): what was
   /// lost (drops + rejects) and what was withheld (quarantine) at each
   /// hierarchy level — the observability half of per-sensor-class
@@ -116,6 +135,21 @@ class StreamStats {
   void RecordLevelRejected(hierarchy::ProductionLevel level) {
     Bump(level_rejected_[LevelIndex(level)]);
   }
+  /// Records one escalation run over a snapshot diff.
+  void RecordEscalationRun(uint64_t entities, uint64_t findings,
+                           uint64_t unresolved, uint64_t cache_hits,
+                           uint64_t cache_misses, uint64_t latency_us) {
+    escalation_runs_.fetch_add(1, std::memory_order_relaxed);
+    escalation_entities_.fetch_add(entities, std::memory_order_relaxed);
+    escalation_findings_.fetch_add(findings, std::memory_order_relaxed);
+    escalation_unresolved_.fetch_add(unresolved, std::memory_order_relaxed);
+    escalation_cache_hits_.fetch_add(cache_hits, std::memory_order_relaxed);
+    escalation_cache_misses_.fetch_add(cache_misses,
+                                       std::memory_order_relaxed);
+    escalation_latency_us_.fetch_add(latency_us, std::memory_order_relaxed);
+  }
+  void RecordCheckpointWritten() { Bump(checkpoints_written_); }
+  void RecordCheckpointFailure() { Bump(checkpoint_failures_); }
   /// Records one worker drain of `batch` samples into the histogram.
   void RecordBatch(size_t batch);
   /// Raises shard `shard`'s high-water mark to `depth` if deeper.
@@ -159,6 +193,15 @@ class StreamStats {
   std::atomic<uint64_t> sensor_recoveries_{0};
   std::atomic<uint64_t> watchdog_stall_events_{0};
   std::atomic<uint64_t> forward_failed_{0};
+  std::atomic<uint64_t> escalation_runs_{0};
+  std::atomic<uint64_t> escalation_entities_{0};
+  std::atomic<uint64_t> escalation_findings_{0};
+  std::atomic<uint64_t> escalation_unresolved_{0};
+  std::atomic<uint64_t> escalation_cache_hits_{0};
+  std::atomic<uint64_t> escalation_cache_misses_{0};
+  std::atomic<uint64_t> escalation_latency_us_{0};
+  std::atomic<uint64_t> checkpoints_written_{0};
+  std::atomic<uint64_t> checkpoint_failures_{0};
   std::array<std::atomic<uint64_t>, hierarchy::kNumLevels> level_dropped_{};
   std::array<std::atomic<uint64_t>, hierarchy::kNumLevels> level_rejected_{};
   std::array<std::atomic<uint64_t>, hierarchy::kNumLevels>

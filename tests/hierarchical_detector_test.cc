@@ -156,5 +156,246 @@ TEST_F(HierarchicalDetectorTest, ProductionReportRunsGlobally) {
   }
 }
 
+// ---- Epoch cache ----------------------------------------------------------
+
+TEST_F(HierarchicalDetectorTest, AppendedJobInvisibleUntilMarkDirty) {
+  auto& machine = plant_.production.lines[0].machines[0];
+  const size_t n = machine.jobs.size();
+  ASSERT_EQ(detector_->ScoreJobs(machine.id)->size(), n);
+
+  // The production gains a job (copy the last one, shifted past the end).
+  hierarchy::Job appended = machine.jobs.back();
+  appended.id = machine.id + ".j-appended";
+  const double shift =
+      machine.jobs.back().end_time - machine.jobs.back().start_time + 120.0;
+  appended.start_time += shift;
+  appended.end_time += shift;
+  for (auto& phase : appended.phases) {
+    phase.start_time += shift;
+    phase.end_time += shift;
+    for (auto& [sensor_id, series] : phase.sensor_series) {
+      series = ts::TimeSeries(series.name(), series.start_time() + shift,
+                              series.interval(), series.values());
+    }
+  }
+  machine.jobs.push_back(std::move(appended));
+
+  // Cached result: the detector has not been told the data changed.
+  EXPECT_EQ(detector_->ScoreJobs(machine.id)->size(), n);
+
+  // MarkDirty invalidates exactly this machine's scope; the next query
+  // rebuilds from the current data and sees the appended job.
+  ASSERT_TRUE(detector_->MarkDirty(machine.id).ok());
+  EXPECT_EQ(detector_->ScoreJobs(machine.id)->size(), n + 1);
+  // The line's job series (which folds in this machine) rebuilds too.
+  EXPECT_EQ(detector_->ScoreLineJobs("line1")->size(), 2 * n + 1);
+}
+
+TEST_F(HierarchicalDetectorTest, MarkDirtyCoversLazilyBuiltPhaseModels) {
+  // Regression: lazily-built phase models (trained on the machine's OTHER
+  // jobs) must rebuild when the training data changes.
+  auto& machine = plant_.production.lines[0].machines[0];
+  const auto& job = machine.jobs[0];
+  PhaseQuery query{machine.id, job.id, "printing",
+                   machine.id + ".bed_temp_a"};
+  const auto before = detector_->ScorePhaseSeries(query).value();
+
+  // Corrupt the training data: every other job's printing series for this
+  // sensor gets a massive offset, which shifts the trained baseline.
+  for (size_t j = 1; j < machine.jobs.size(); ++j) {
+    for (auto& phase : machine.jobs[j].phases) {
+      if (phase.name != "printing") continue;
+      auto it = phase.sensor_series.find(query.sensor_id);
+      if (it == phase.sensor_series.end()) continue;
+      for (double& v : it->second.mutable_values()) v += 1000.0;
+    }
+  }
+
+  // Same scores while the cached model survives...
+  EXPECT_EQ(detector_->ScorePhaseSeries(query).value(), before);
+  // ...different scores once the epoch moves past the model's build stamp.
+  ASSERT_TRUE(detector_->MarkDirty(machine.id).ok());
+  EXPECT_NE(detector_->ScorePhaseSeries(query).value(), before);
+}
+
+TEST_F(HierarchicalDetectorTest, CacheStatsCountBuildsAndReuse) {
+  const auto& machine = plant_.production.lines[0].machines[0];
+  ASSERT_TRUE(detector_->FindJobOutliers(machine.id).ok());
+  const DetectorCacheStats warm = detector_->cache_stats();
+  EXPECT_GT(warm.misses(), 0u);
+
+  ASSERT_TRUE(detector_->FindJobOutliers(machine.id).ok());
+  const DetectorCacheStats again = detector_->cache_stats();
+  // A repeated query on an unchanged epoch builds nothing new.
+  EXPECT_EQ(again.misses(), warm.misses());
+  EXPECT_GT(again.hits(), warm.hits());
+}
+
+TEST_F(HierarchicalDetectorTest, MarkDirtyIsScopedToTheTouchedMachine) {
+  const auto& m0 = plant_.production.lines[0].machines[0];
+  const auto& m1 = plant_.production.lines[0].machines[1];
+  ASSERT_TRUE(detector_->ScoreJobs(m0.id).ok());
+  ASSERT_TRUE(detector_->ScoreJobs(m1.id).ok());
+
+  ASSERT_TRUE(detector_->MarkDirty(m0.id).ok());
+  const DetectorCacheStats before = detector_->cache_stats();
+  EXPECT_GT(before.invalidations, 0u);
+  // The untouched neighbor is still served from cache...
+  ASSERT_TRUE(detector_->ScoreJobs(m1.id).ok());
+  EXPECT_EQ(detector_->cache_stats().misses(), before.misses());
+  // ...while the dirtied machine rebuilds.
+  ASSERT_TRUE(detector_->ScoreJobs(m0.id).ok());
+  EXPECT_GT(detector_->cache_stats().misses(), before.misses());
+}
+
+TEST_F(HierarchicalDetectorTest, MarkDirtyUnknownEntityIsNotFound) {
+  EXPECT_EQ(detector_->MarkDirty("ghost").code(), StatusCode::kNotFound);
+  EXPECT_EQ(detector_->Invalidate(hierarchy::ProductionLevel::kJob, "ghost")
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(HierarchicalDetectorTest, InvalidateAllBumpsEpoch) {
+  const uint64_t before = detector_->epoch();
+  detector_->InvalidateAll();
+  EXPECT_GT(detector_->epoch(), before);
+}
+
+// ---- Incremental escalation ----------------------------------------------
+
+TEST_F(HierarchicalDetectorTest, EscalateAlarmMatchesColdBatchPass) {
+  const auto& machine = plant_.production.lines[0].machines[0];
+  const ts::TimePoint t = machine.jobs.front().start_time;
+
+  // Cold pass: nothing cached.
+  HierarchicalDetector cold(&plant_.production);
+  const auto batch = cold.FindJobOutliers(machine.id).value();
+
+  // Warm pass: populate the cache with a full-plant sweep, dirty the one
+  // machine, escalate.
+  ASSERT_TRUE(detector_->FindEnvironmentOutliers("line1").ok());
+  ASSERT_TRUE(detector_->FindLineOutliers("line1").ok());
+  for (const auto& m : plant_.production.lines[0].machines) {
+    ASSERT_TRUE(detector_->FindJobOutliers(m.id).ok());
+  }
+  ASSERT_TRUE(detector_->FindProductionOutliers().ok());
+  ASSERT_TRUE(detector_->MarkDirty(machine.id).ok());
+  const auto escalated =
+      detector_->EscalateAlarm(hierarchy::ProductionLevel::kJob, machine.id, t)
+          .value();
+
+  ASSERT_EQ(escalated.findings.size(), batch.findings.size());
+  for (size_t i = 0; i < batch.findings.size(); ++i) {
+    EXPECT_EQ(escalated.findings[i].global_score,
+              batch.findings[i].global_score);
+    EXPECT_EQ(escalated.findings[i].outlierness,
+              batch.findings[i].outlierness);
+    EXPECT_EQ(escalated.findings[i].support, batch.findings[i].support);
+    EXPECT_EQ(escalated.findings[i].origin.entity,
+              batch.findings[i].origin.entity);
+  }
+}
+
+TEST_F(HierarchicalDetectorTest, EscalateAlarmResolvesSensorToItsScopes) {
+  const auto& machine = plant_.production.lines[0].machines[0];
+  const std::string sensor = machine.id + ".bed_temp_a";
+  const ts::TimePoint t = machine.jobs.front().start_time + 1.0;
+
+  auto phase = detector_->EscalateAlarm(hierarchy::ProductionLevel::kPhase,
+                                        sensor, t);
+  ASSERT_TRUE(phase.ok()) << phase.status().ToString();
+  EXPECT_EQ(phase->start_level, hierarchy::ProductionLevel::kPhase);
+
+  auto job =
+      detector_->EscalateAlarm(hierarchy::ProductionLevel::kJob, sensor, t);
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(job->start_level, hierarchy::ProductionLevel::kJob);
+
+  // An environment sensor id escalates at its line, even when asked at
+  // phase level (environment channels carry no machine).
+  const std::string env_sensor =
+      plant_.production.lines[0].environment.front().sensor_id;
+  auto env = detector_->EscalateAlarm(hierarchy::ProductionLevel::kPhase,
+                                      env_sensor, t);
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  EXPECT_EQ(env->start_level, hierarchy::ProductionLevel::kEnvironment);
+
+  EXPECT_FALSE(detector_
+                   ->EscalateAlarm(hierarchy::ProductionLevel::kPhase,
+                                   "ghost", t)
+                   .ok());
+}
+
+// ---- cross_level_tolerance boundary ---------------------------------------
+
+TEST_F(HierarchicalDetectorTest, EscalationJobResolutionHonorsTolerance) {
+  const auto& machine = plant_.production.lines[0].machines[0];
+  const std::string sensor = machine.id + ".bed_temp_a";
+  // The sim leaves a 120 s gap between jobs; aim at the middle of it.
+  const ts::TimePoint mid_gap = machine.jobs[0].end_time + 60.0;
+
+  HierarchicalDetectorOptions strict;
+  strict.cross_level_tolerance = 10.0;
+  HierarchicalDetector strict_detector(&plant_.production, strict);
+  // t is 60 s past the job's end: outside a 10 s tolerance...
+  EXPECT_EQ(strict_detector
+                .EscalateAlarm(hierarchy::ProductionLevel::kPhase, sensor,
+                               mid_gap)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  // ...but just inside the job under the same tolerance.
+  EXPECT_TRUE(strict_detector
+                  .EscalateAlarm(hierarchy::ProductionLevel::kPhase, sensor,
+                                 machine.jobs[0].end_time + 5.0)
+                  .ok());
+  // The default 60 s tolerance covers the gap midpoint.
+  EXPECT_TRUE(detector_
+                  ->EscalateAlarm(hierarchy::ProductionLevel::kPhase, sensor,
+                                  mid_gap)
+                  .ok());
+}
+
+TEST_F(HierarchicalDetectorTest, ToleranceAboveJobGapLeaksIntoNeighbor) {
+  // Documents WHY cross_level_tolerance must stay below the inter-job gap:
+  // when it exceeds the gap, an alarm raised squarely inside job 1 resolves
+  // to job 0 (the first job whose widened window covers t), so confirmation
+  // leaks into the neighboring job. Each query is anchored by an injected
+  // spike so both jobs are guaranteed to produce findings.
+  auto& machine = plant_.production.lines[0].machines[0];
+  const std::string sensor = machine.id + ".bed_temp_a";
+  for (size_t j : {size_t{0}, size_t{1}}) {
+    for (auto& phase : machine.jobs[j].phases) {
+      auto it = phase.sensor_series.find(sensor);
+      if (it == phase.sensor_series.end() || it->second.empty()) continue;
+      it->second[it->second.size() / 2] += 1000.0;
+    }
+  }
+  const ts::TimePoint inside_job1 = machine.jobs[1].start_time + 1.0;
+
+  HierarchicalDetectorOptions leaky;
+  leaky.cross_level_tolerance = 200.0;  // > 120 s inter-job gap
+  HierarchicalDetector leaky_detector(&plant_.production, leaky);
+  auto leaked = leaky_detector.EscalateAlarm(
+      hierarchy::ProductionLevel::kPhase, sensor, inside_job1);
+  ASSERT_TRUE(leaked.ok()) << leaked.status().ToString();
+  ASSERT_FALSE(leaked->findings.empty());
+  for (const auto& finding : leaked->findings) {
+    EXPECT_LE(finding.origin.time, machine.jobs[0].end_time)
+        << "finding escaped into the wrong job";
+  }
+
+  // With the default tolerance (below the gap) the same alarm stays in the
+  // job that actually covers it.
+  HierarchicalDetector bounded(&plant_.production);
+  auto contained = bounded.EscalateAlarm(hierarchy::ProductionLevel::kPhase,
+                                         sensor, inside_job1);
+  ASSERT_TRUE(contained.ok()) << contained.status().ToString();
+  ASSERT_FALSE(contained->findings.empty());
+  for (const auto& finding : contained->findings) {
+    EXPECT_GE(finding.origin.time, machine.jobs[1].start_time);
+  }
+}
+
 }  // namespace
 }  // namespace hod::core

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "stream/engine.h"
@@ -293,6 +297,144 @@ TEST(EngineCheckpoint, ReadRejectsCorruptImages) {
   // The pristine image still parses (the corruption tests aren't flaky).
   std::istringstream is(bytes);
   EXPECT_TRUE(ReadEngineCheckpoint(is).ok());
+}
+
+// ---- CheckpointToFile / background checkpointing ---------------------------
+
+/// Fresh per-test checkpoint path with no leftovers from earlier runs.
+std::string CheckpointPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  return path;
+}
+
+TEST(EngineCheckpoint, CheckpointToFileIsAtomicAndRestorable) {
+  const std::string path = CheckpointPath("hod_ckpt_sync.bin");
+  StreamEngineOptions options = SyncOptions();
+  options.checkpoint_path = path;
+  const std::vector<double> values = MakeStream(71, 600);
+
+  StreamEngine engine(options);
+  ASSERT_TRUE(engine.AddSensor("s", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  Feed(engine, "s", values, 0, 300);
+  Status status = engine.CheckpointToFile(path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(engine.stats().checkpoints_written, 1u);
+  EXPECT_EQ(engine.stats().checkpoint_failures, 0u);
+  // Atomic publication: the temp image was renamed away, not left behind.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+  std::ifstream is(path, std::ios::binary);
+  ASSERT_TRUE(is.good());
+  auto restored = StreamEngine::Restore(is, options);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->stats().ingested, 300u);
+
+  // Both lives feed the identical remainder and perform the same number
+  // of file checkpoints (the image is filled BEFORE the written-counter
+  // increments, so the restored life starts one write behind); after the
+  // restored engine's own write the two must end byte-equal.
+  Feed(engine, "s", values, 300, 600);
+  Feed(**restored, "s", values, 300, 600);
+  status = (*restored)->CheckpointToFile(CheckpointPath("hod_ckpt_sync2.bin"));
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(CheckpointBytes(engine) == CheckpointBytes(**restored));
+}
+
+TEST(EngineCheckpoint, CheckpointToFileRequiresArmedGateOnThreadedEngine) {
+  StreamEngineOptions options = SyncOptions();
+  options.synchronous = false;
+  options.num_shards = 2;
+  // No checkpoint_path: the ingest gate is not armed, so a live threaded
+  // checkpoint would race producers — refused, not raced.
+  StreamEngine engine(options);
+  ASSERT_TRUE(engine.AddSensor("s").ok());
+  ASSERT_TRUE(engine.Start().ok());
+  EXPECT_EQ(engine
+                .CheckpointToFile(CheckpointPath("hod_ckpt_unarmed.bin"))
+                .code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+TEST(EngineCheckpoint, CheckpointToFileWorksOnALiveThreadedEngine) {
+  const std::string path = CheckpointPath("hod_ckpt_live.bin");
+  StreamEngineOptions options = SyncOptions();
+  options.synchronous = false;
+  options.num_shards = 2;
+  options.checkpoint_path = path;
+  const std::vector<double> values = MakeStream(81, 600);
+
+  StreamEngine engine(options);
+  ASSERT_TRUE(engine.AddSensor("s1", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.AddSensor("s2", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  Feed(engine, "s1", values, 0, 200);
+  Feed(engine, "s2", values, 0, 200);
+
+  // Mid-stream, workers running: the call quiesces, serializes, resumes.
+  Status status = engine.CheckpointToFile(path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  // The engine keeps ingesting afterwards.
+  Feed(engine, "s1", values, 200, 400);
+  ASSERT_TRUE(engine.Flush().ok());
+  ASSERT_TRUE(engine.Stop().ok());
+
+  std::ifstream is(path, std::ios::binary);
+  auto checkpoint = ReadEngineCheckpoint(is);
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
+  ASSERT_EQ(checkpoint->sensors.size(), 2u);
+  // Everything submitted before the call was drained into the image.
+  EXPECT_EQ(checkpoint->sensors[0].monitor.samples_seen +
+                checkpoint->sensors[1].monitor.samples_seen,
+            400u);
+  EXPECT_EQ(checkpoint->stats.ingested, 400u);
+}
+
+TEST(EngineCheckpoint, BackgroundTimerCheckpointsAndSurvivesKill) {
+  const std::string path = CheckpointPath("hod_ckpt_timer.bin");
+  StreamEngineOptions options = SyncOptions();
+  options.synchronous = false;
+  options.num_shards = 2;
+  options.checkpoint_path = path;
+  options.checkpoint_interval = std::chrono::milliseconds(5);
+  const std::vector<double> values = MakeStream(91, 400);
+
+  {
+    StreamEngine engine(options);
+    ASSERT_TRUE(engine.AddSensor("s", ProductionLevel::kPhase).ok());
+    ASSERT_TRUE(engine.Start().ok());
+    Feed(engine, "s", values, 0, 400);
+    ASSERT_TRUE(engine.Flush().ok());
+    // Wait for TWO timer checkpoints after the flush: the second one must
+    // have STARTED after the flush, so it provably contains all 400
+    // samples (the first might have begun mid-feed).
+    const uint64_t flushed_at = engine.stats().checkpoints_written;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (engine.stats().checkpoints_written < flushed_at + 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_GE(engine.stats().checkpoints_written, flushed_at + 2)
+        << "background timer produced no checkpoints";
+    EXPECT_EQ(engine.stats().checkpoint_failures, 0u);
+    // The "kill": drop the engine without asking for a final checkpoint.
+  }
+
+  std::ifstream is(path, std::ios::binary);
+  ASSERT_TRUE(is.good());
+  auto restored = StreamEngine::Restore(is, options);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  StreamEngine& engine = **restored;
+  EXPECT_TRUE(engine.running());
+  EXPECT_EQ(engine.stats().ingested, 400u);
+  // The restored engine resumes ingesting (and its own timer is live).
+  auto ack = engine.Ingest({"s", ProductionLevel::kPhase, 400.0, 50.0});
+  EXPECT_TRUE(ack.ok()) << ack.status().ToString();
+  ASSERT_TRUE(engine.Stop().ok());
 }
 
 }  // namespace
