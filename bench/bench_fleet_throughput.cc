@@ -1,0 +1,245 @@
+// E12 — multi-plant fleet throughput (hod::fleet).
+//
+// The paper's §1/§5 calculation-speed requirement, scaled to a fleet: one
+// FleetManager, every plant engine sharing one util::ThreadPool, swept
+// from 1 to 64 plants at constant TOTAL load (same sample count every
+// run, 160 sensors per plant — the 64-plant point covers 10240 sensors).
+// Because total work is constant, aggregate throughput at 64 plants
+// divided by the single-plant baseline measures what the routing tier and
+// the task-per-shard scheduling COST, not what more hardware would buy:
+// that ratio is the `retention` the CI gate floors at 0.5.
+//
+// Also proves the pooled-thread claim: the OS thread count observed
+// mid-run at 64 plants must be bounded by pool size + producers + a
+// constant, never by plant count (per-plant threads would need
+// 64 * (shards + collector + watchdog) ≈ 256 threads).
+//
+// Emits the human-readable table on stdout and BENCH_FLEET.json in the
+// working directory for the CI trajectory.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "fleet/manager.h"
+#include "stream/engine.h"
+
+namespace {
+
+using hod::fleet::FleetManager;
+using hod::fleet::FleetManagerOptions;
+using hod::fleet::FleetStatsSnapshot;
+using hod::fleet::PlantSensorSpec;
+using hod::hierarchy::ProductionLevel;
+using hod::stream::SensorSample;
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kSensorsPerPlant = 160;
+// Long enough that each sweep point runs for ~1s+ — the retention ratio is
+// two noisy rates divided, and sub-second runs made the CI gate flaky.
+constexpr size_t kTotalSamples = 64 * kSensorsPerPlant * 96;  // ≈ 983k
+constexpr size_t kPoolThreads = 4;
+constexpr size_t kProducers = 2;
+
+struct RunResult {
+  size_t plants = 0;
+  size_t sensors_total = 0;
+  size_t samples_total = 0;
+  double seconds = 0.0;
+  double aggregate_per_sec = 0.0;
+  double per_plant_min = 0.0;
+  double per_plant_mean = 0.0;
+  double per_plant_max = 0.0;
+  uint64_t alarms = 0;
+  size_t os_threads = 0;
+};
+
+std::string PlantId(size_t p) { return "plant_" + std::to_string(p); }
+std::string SensorId(size_t s) { return "s" + std::to_string(s); }
+
+size_t CountOsThreads() {
+#ifdef __linux__
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return static_cast<size_t>(std::stoul(line.substr(8)));
+    }
+  }
+#endif
+  return 0;
+}
+
+/// One sweep point: `plants` plants x 160 sensors, total samples held
+/// constant across the sweep by scaling samples-per-sensor down as the
+/// plant count grows.
+RunResult RunOnce(size_t plants) {
+  FleetManagerOptions options;
+  options.engine.num_shards = 2;
+  options.engine.queue_capacity = 1024;
+  options.engine.backpressure = hod::stream::BackpressurePolicy::kBlock;
+  // All sweep points stay inside warmup so the per-sample scoring cost is
+  // identical across the sweep — the ratio isolates fleet overhead.
+  options.engine.monitor.warmup = 1 << 20;
+  options.engine.watchdog_interval = std::chrono::milliseconds(0);
+  options.pool_threads = kPoolThreads;
+  FleetManager fleet(options);
+
+  std::vector<PlantSensorSpec> sensors;
+  for (size_t s = 0; s < kSensorsPerPlant; ++s) {
+    sensors.push_back({SensorId(s), ProductionLevel::kPhase, {}});
+  }
+  for (size_t p = 0; p < plants; ++p) {
+    if (!fleet.AddPlant(PlantId(p), sensors).ok()) return {};
+  }
+
+  const size_t steps = kTotalSamples / (plants * kSensorsPerPlant);
+  std::vector<std::string> plant_ids;
+  for (size_t p = 0; p < plants; ++p) plant_ids.push_back(PlantId(p));
+  std::vector<std::string> sensor_ids;
+  for (size_t s = 0; s < kSensorsPerPlant; ++s) {
+    sensor_ids.push_back(SensorId(s));
+  }
+
+  // kProducers ingest threads, plants partitioned across them — an
+  // upstream gateway per region, not one socket per plant.
+  size_t mid_run_threads = 0;
+  const auto start = Clock::now();
+  std::vector<std::thread> producers;
+  for (size_t w = 0; w < kProducers; ++w) {
+    producers.emplace_back([&, w] {
+      for (size_t t = 0; t < steps; ++t) {
+        if (w == 0 && t == steps / 2) mid_run_threads = CountOsThreads();
+        for (size_t p = w; p < plants; p += kProducers) {
+          for (size_t s = 0; s < kSensorsPerPlant; ++s) {
+            const double value =
+                50.0 + 0.001 * static_cast<double>(t) +
+                0.01 * static_cast<double>(s % 7);
+            (void)fleet.Ingest(plant_ids[p],
+                               {sensor_ids[s], ProductionLevel::kPhase,
+                                static_cast<double>(t), value});
+          }
+        }
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  if (!fleet.Flush().ok()) return {};
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  const FleetStatsSnapshot stats = fleet.Stats();
+  RunResult result;
+  result.plants = plants;
+  result.sensors_total = plants * kSensorsPerPlant;
+  result.samples_total = plants * kSensorsPerPlant * steps;
+  result.seconds = seconds;
+  result.aggregate_per_sec =
+      seconds > 0.0 ? static_cast<double>(stats.aggregate.ingested) / seconds
+                    : 0.0;
+  double min_rate = 0.0;
+  double max_rate = 0.0;
+  double sum_rate = 0.0;
+  for (size_t i = 0; i < stats.per_plant.size(); ++i) {
+    const double rate =
+        seconds > 0.0
+            ? static_cast<double>(stats.per_plant[i].stats.ingested) / seconds
+            : 0.0;
+    min_rate = i == 0 ? rate : std::min(min_rate, rate);
+    max_rate = std::max(max_rate, rate);
+    sum_rate += rate;
+  }
+  result.per_plant_min = min_rate;
+  result.per_plant_max = max_rate;
+  result.per_plant_mean =
+      stats.per_plant.empty() ? 0.0 : sum_rate / stats.per_plant.size();
+  result.alarms = stats.aggregate.alarms_raised;
+  result.os_threads = mid_run_threads;
+  (void)fleet.Stop();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  hod::bench::PrintHeader(
+      "E12", "Multi-plant fleet throughput",
+      "§1/§5 calculation-speed requirement, fleet tier (hod::fleet)");
+
+  const size_t baseline_threads = CountOsThreads();
+  std::printf("\nConstant total load: %zu samples per run, %zu sensors/plant, "
+              "pool=%zu+1 threads, %zu producers\n",
+              kTotalSamples, kSensorsPerPlant, kPoolThreads, kProducers);
+
+  const std::vector<size_t> plant_counts = {1, 4, 16, 64};
+  std::vector<RunResult> results;
+
+  hod::bench::PrintSection("aggregate and per-plant samples/sec by fleet size");
+  std::printf("%-8s %-9s %-10s %-14s %-12s %-12s %-12s %s\n", "plants",
+              "sensors", "seconds", "aggregate/s", "plant-min/s",
+              "plant-mean/s", "plant-max/s", "threads");
+  for (const size_t plants : plant_counts) {
+    RunResult result = RunOnce(plants);
+    results.push_back(result);
+    std::printf("%-8zu %-9zu %-10.3f %-14.0f %-12.0f %-12.0f %-12.0f %zu\n",
+                result.plants, result.sensors_total, result.seconds,
+                result.aggregate_per_sec, result.per_plant_min,
+                result.per_plant_mean, result.per_plant_max,
+                result.os_threads);
+  }
+
+  // Retention: fleet overhead at 64 plants vs the single-plant baseline at
+  // the SAME total sample count. 1.0 = routing + task scheduling are free.
+  const double base = results.front().aggregate_per_sec;
+  const double at64 = results.back().aggregate_per_sec;
+  const double retention = base > 0.0 ? at64 / base : 0.0;
+
+  // Thread bound: pool workers + service + timer + producers + main +
+  // slack. Per-plant threading would sit near 64 * 4 = 256.
+  const size_t thread_limit =
+      baseline_threads + kPoolThreads + 1 + 1 + kProducers + 4;
+  const size_t threads_at64 = results.back().os_threads;
+  const bool threads_ok = threads_at64 > 0 && threads_at64 <= thread_limit;
+
+  hod::bench::PrintSection("fleet-tier verdict");
+  std::printf("retention (64 plants vs 1, equal load)  %.3f  (floor 0.5)\n",
+              retention);
+  std::printf("os threads at 64 plants                 %zu  (limit %zu)  %s\n",
+              threads_at64, thread_limit, threads_ok ? "ok" : "VIOLATION");
+
+  std::ofstream json("BENCH_FLEET.json");
+  json << "{\n  \"experiment\": \"fleet_throughput\",\n"
+       << "  \"sensors_per_plant\": " << kSensorsPerPlant << ",\n"
+       << "  \"samples_per_run\": " << kTotalSamples << ",\n"
+       << "  \"pool_threads\": " << kPoolThreads << ",\n"
+       << "  \"producers\": " << kProducers << ",\n"
+       << "  \"retention\": " << retention << ",\n"
+       << "  \"retention_floor\": 0.5,\n"
+       << "  \"threads_at_64_plants\": " << threads_at64 << ",\n"
+       << "  \"thread_limit\": " << thread_limit << ",\n"
+       << "  \"threads_ok\": " << (threads_ok ? "true" : "false") << ",\n"
+       << "  \"runs\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    json << "    {\"plants\": " << r.plants
+         << ", \"sensors_total\": " << r.sensors_total
+         << ", \"samples_total\": " << r.samples_total
+         << ", \"seconds\": " << r.seconds << ", \"aggregate_per_sec\": "
+         << static_cast<uint64_t>(r.aggregate_per_sec)
+         << ", \"per_plant_min\": " << static_cast<uint64_t>(r.per_plant_min)
+         << ", \"per_plant_mean\": "
+         << static_cast<uint64_t>(r.per_plant_mean)
+         << ", \"per_plant_max\": " << static_cast<uint64_t>(r.per_plant_max)
+         << ", \"os_threads\": " << r.os_threads << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::printf("\nWrote BENCH_FLEET.json\n");
+  return threads_ok ? 0 : 1;
+}

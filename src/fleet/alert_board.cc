@@ -1,0 +1,78 @@
+#include "fleet/alert_board.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hod::fleet {
+
+void FleetAlertBoard::UpdatePlant(const std::string& plant_id,
+                                  std::vector<core::AlertEpisode> episodes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (episodes.empty()) {
+    live_.erase(plant_id);
+    return;
+  }
+  live_[plant_id] = std::move(episodes);
+}
+
+void FleetAlertBoard::ArchivePlant(const std::string& plant_id,
+                                   std::vector<core::AlertEpisode> episodes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.erase(plant_id);
+  if (episodes.empty()) {
+    archived_.erase(plant_id);
+    return;
+  }
+  archived_[plant_id] = std::move(episodes);
+}
+
+void FleetAlertBoard::ForgetPlant(const std::string& plant_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.erase(plant_id);
+  archived_.erase(plant_id);
+}
+
+std::vector<FleetAlertRow> FleetAlertBoard::Board() const {
+  std::vector<FleetAlertRow> rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [plant_id, episodes] : live_) {
+      for (const core::AlertEpisode& episode : episodes) {
+        rows.push_back({plant_id, episode, /*archived=*/false});
+      }
+    }
+    for (const auto& [plant_id, episodes] : archived_) {
+      for (const core::AlertEpisode& episode : episodes) {
+        rows.push_back({plant_id, episode, /*archived=*/true});
+      }
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const FleetAlertRow& a, const FleetAlertRow& b) {
+                     const int sa = static_cast<int>(a.episode.severity);
+                     const int sb = static_cast<int>(b.episode.severity);
+                     if (sa != sb) return sa > sb;  // critical first
+                     if (a.episode.peak_outlierness !=
+                         b.episode.peak_outlierness) {
+                       return a.episode.peak_outlierness >
+                              b.episode.peak_outlierness;
+                     }
+                     if (a.plant_id != b.plant_id) {
+                       return a.plant_id < b.plant_id;
+                     }
+                     return a.episode.entity < b.episode.entity;
+                   });
+  return rows;
+}
+
+size_t FleetAlertBoard::live_plants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.size();
+}
+
+size_t FleetAlertBoard::archived_plants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return archived_.size();
+}
+
+}  // namespace hod::fleet

@@ -1,0 +1,62 @@
+#ifndef HOD_FLEET_ALERT_BOARD_H_
+#define HOD_FLEET_ALERT_BOARD_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/alert_manager.h"
+
+namespace hod::fleet {
+
+/// One row of the fleet board: a plant-tagged alert episode.
+struct FleetAlertRow {
+  std::string plant_id;
+  core::AlertEpisode episode;
+  /// True when the plant has been removed from the fleet: its final
+  /// episodes stay visible (an operator must still see why a line was
+  /// drained) but are marked as historical.
+  bool archived = false;
+};
+
+/// The fleet-level analogue of core::AlertManager: merges every plant's
+/// episode board into one cross-plant view. Deduplication is structural —
+/// UpdatePlant REPLACES the plant's live rows wholesale, so an episode
+/// refreshed on every poll appears exactly once, keyed by (plant,
+/// entity), no matter how often the board is rebuilt.
+///
+/// Thread-safe; FleetManager calls it from API threads and drain paths.
+class FleetAlertBoard {
+ public:
+  /// Replaces `plant_id`'s live rows with `episodes` (tagging each).
+  void UpdatePlant(const std::string& plant_id,
+                   std::vector<core::AlertEpisode> episodes);
+
+  /// Moves the plant's live rows (after a final `episodes` refresh) to
+  /// the archive — RemovePlant's drain calls this with the engine's final
+  /// episode board.
+  void ArchivePlant(const std::string& plant_id,
+                    std::vector<core::AlertEpisode> episodes);
+
+  /// Forgets a plant entirely — live and archived rows. Called when a
+  /// plant id is re-added so stale history does not shadow the new line.
+  void ForgetPlant(const std::string& plant_id);
+
+  /// The merged board: live rows first-class, archived rows flagged;
+  /// sorted by severity (critical first), then peak outlierness, then
+  /// (plant, entity) for a stable rendering.
+  std::vector<FleetAlertRow> Board() const;
+
+  size_t live_plants() const;
+  size_t archived_plants() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<core::AlertEpisode>> live_;
+  std::map<std::string, std::vector<core::AlertEpisode>> archived_;
+};
+
+}  // namespace hod::fleet
+
+#endif  // HOD_FLEET_ALERT_BOARD_H_

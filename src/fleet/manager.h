@@ -1,0 +1,179 @@
+#ifndef HOD_FLEET_MANAGER_H_
+#define HOD_FLEET_MANAGER_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fleet/alert_board.h"
+#include "fleet/router.h"
+#include "fleet/stats.h"
+#include "stream/engine.h"
+#include "util/statusor.h"
+#include "util/thread_pool.h"
+
+namespace hod::fleet {
+
+/// One registered plant: its engine plus immutable placement metadata.
+struct PlantHandle {
+  std::string plant_id;
+  PlantPlacement placement;
+  std::unique_ptr<stream::StreamEngine> engine;
+};
+
+/// One sensor of a plant being registered.
+struct PlantSensorSpec {
+  std::string sensor_id;
+  hierarchy::ProductionLevel level = hierarchy::ProductionLevel::kPhase;
+  /// Per-sensor backpressure override (per-sensor-class QoS).
+  std::optional<stream::BackpressurePolicy> policy;
+};
+
+struct FleetManagerOptions {
+  /// Engine template applied to every plant. `executor`,
+  /// `checkpoint_path`, `checkpoint_interval`, and `checkpoint_phase` are
+  /// overwritten per plant by the manager.
+  stream::StreamEngineOptions engine;
+  /// Owned-pool sizing (used when `executor` is null). 0 worker threads
+  /// selects util::ThreadPool::DefaultThreads().
+  size_t pool_threads = 0;
+  size_t service_threads = 1;
+  /// Borrow an external pool instead of owning one. Must outlive the
+  /// manager.
+  util::ThreadPool* executor = nullptr;
+  /// Periodic per-plant checkpointing: every plant checkpoints to
+  /// `<checkpoint_dir>/<sanitized plant id>.ckpt` every
+  /// `checkpoint_interval`, phase-offset by its stable hash (see
+  /// CheckpointPhaseOf). Empty dir or zero interval = manual
+  /// CheckpointPlant() only (with a non-empty dir arming the gate).
+  std::string checkpoint_dir;
+  std::chrono::milliseconds checkpoint_interval{0};
+  /// Stagger resolution: plants are spread over this many phase slots
+  /// within one checkpoint interval. Hash-derived, so the stagger
+  /// pattern survives process restarts.
+  size_t checkpoint_stagger_slots = 16;
+  /// Placement slot space of the FleetRouter.
+  size_t router_slots = 256;
+};
+
+/// The multi-plant tier: owns one stream::StreamEngine per plant behind a
+/// FleetRouter, all engines sharing one util::ThreadPool — so a fleet of
+/// N plants costs pool-size OS threads, not N * (shards + 3). Aggregates
+/// per-plant stats into a FleetStatsSnapshot and per-plant alert episodes
+/// into a cross-plant FleetAlertBoard.
+///
+///   FleetManager fleet(options);
+///   fleet.AddPlant("berlin", sensors);
+///   fleet.Ingest("berlin", sample);          // any thread
+///   auto board = fleet.AlertBoard();         // merged, plant-tagged
+///   fleet.RemovePlant("berlin");             // drain, archive, fold
+///
+/// Threading: AddPlant/RemovePlant/RestorePlant serialize on an admin
+/// mutex; Ingest/Flush/Stats/AlertBoard are safe from any thread.
+class FleetManager {
+ public:
+  explicit FleetManager(FleetManagerOptions options = {});
+  ~FleetManager();
+
+  FleetManager(const FleetManager&) = delete;
+  FleetManager& operator=(const FleetManager&) = delete;
+
+  /// Registers a plant, builds its engine (sensors from `sensors`),
+  /// starts it, and routes it. InvalidArgument on duplicate id.
+  Status AddPlant(const std::string& plant_id,
+                  const std::vector<PlantSensorSpec>& sensors);
+
+  /// Rebuilds one plant from its checkpoint file (CheckpointPathFor) and
+  /// routes it — the kill-and-restore path. Siblings keep ingesting
+  /// throughout; nothing here touches another plant's engine.
+  Status RestorePlant(const std::string& plant_id);
+
+  /// Drain-on-remove: unroutes the plant (new samples stop resolving),
+  /// flushes its pipeline, archives its final alert episodes on the
+  /// fleet board, stops the engine, and folds its final stats into the
+  /// `retired` roll-up so fleet aggregates stay monotone.
+  Status RemovePlant(const std::string& plant_id);
+
+  /// Routes one sample to its plant's engine. NotFound for unrouted ids.
+  StatusOr<stream::IngestAck> Ingest(const std::string& plant_id,
+                                     const stream::SensorSample& sample);
+
+  /// Flushes one plant / every routed plant.
+  Status FlushPlant(const std::string& plant_id);
+  Status Flush();
+
+  /// Checkpoints one plant to its CheckpointPathFor file, immediately.
+  Status CheckpointPlant(const std::string& plant_id);
+
+  /// Stops every engine (handles stay routed so stats/boards remain
+  /// readable). Idempotent; called by the destructor before the owned
+  /// pool shuts down.
+  Status Stop();
+
+  /// Fleet-wide roll-up: live plants summed + retired fold.
+  FleetStatsSnapshot Stats() const;
+
+  /// Refreshes every live plant's episodes and returns the merged,
+  /// plant-tagged board.
+  std::vector<FleetAlertRow> AlertBoard();
+
+  /// Latest published EngineSnapshot of one plant (default-constructed
+  /// for unknown ids).
+  stream::EngineSnapshot PlantSnapshot(const std::string& plant_id) const;
+
+  /// Health states of one plant's sensors.
+  stream::SensorHealthSnapshot PlantHealth(const std::string& plant_id) const;
+
+  /// A plant's checkpoint phase offset within the checkpoint interval:
+  ///   (StableHash64(plant_id) % stagger_slots) * interval / stagger_slots
+  /// Pure function of the id and the options — restarts keep the stagger.
+  std::chrono::milliseconds CheckpointPhaseOf(
+      const std::string& plant_id) const;
+
+  /// `<checkpoint_dir>/<sanitized plant id>.ckpt` (empty when
+  /// checkpointing is off). Sanitization maps anything outside
+  /// [A-Za-z0-9._-] to '_' so arbitrary plant ids stay filesystem-safe.
+  std::string CheckpointPathFor(const std::string& plant_id) const;
+
+  PlantPlacement PlacementOf(const std::string& plant_id) const {
+    return router_.Place(plant_id);
+  }
+
+  size_t num_plants() const { return router_.size(); }
+  std::vector<std::string> PlantIds() const { return router_.PlantIds(); }
+  /// The shared executor every plant engine runs on.
+  util::ThreadPool& executor() { return *pool_; }
+  const FleetManagerOptions& options() const { return options_; }
+
+ private:
+  /// Per-plant engine options: the template plus executor + checkpoint
+  /// wiring (path, interval, hash-derived phase).
+  stream::StreamEngineOptions BuildEngineOptions(
+      const std::string& plant_id) const;
+  Status RemovePlantLocked(const std::string& plant_id);
+
+  FleetManagerOptions options_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_;
+  FleetRouter router_;
+  FleetAlertBoard board_;
+
+  /// Serializes plant admission/removal (engine construction is not
+  /// cheap; racing Add/Remove on one id would be a user bug anyway).
+  std::mutex admin_mu_;
+
+  /// Fold of removed plants' final stats.
+  mutable std::mutex retired_mu_;
+  stream::StreamStatsSnapshot retired_;
+  uint64_t removed_plants_ = 0;
+
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace hod::fleet
+
+#endif  // HOD_FLEET_MANAGER_H_

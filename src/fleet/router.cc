@@ -1,0 +1,54 @@
+#include "fleet/router.h"
+
+#include <utility>
+
+namespace hod::fleet {
+
+Status FleetRouter::Add(const std::string& plant_id,
+                        std::shared_ptr<PlantHandle> handle) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = plants_.emplace(plant_id, std::move(handle));
+  if (!inserted) {
+    return Status::InvalidArgument("plant already routed: " + plant_id);
+  }
+  return Status::Ok();
+}
+
+std::shared_ptr<PlantHandle> FleetRouter::Resolve(
+    std::string_view plant_id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = plants_.find(plant_id);
+  return it == plants_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<PlantHandle> FleetRouter::Remove(const std::string& plant_id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = plants_.find(plant_id);
+  if (it == plants_.end()) return nullptr;
+  std::shared_ptr<PlantHandle> handle = std::move(it->second);
+  plants_.erase(it);
+  return handle;
+}
+
+std::vector<std::string> FleetRouter::PlantIds() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(plants_.size());
+  for (const auto& [id, handle] : plants_) ids.push_back(id);
+  return ids;
+}
+
+std::vector<std::shared_ptr<PlantHandle>> FleetRouter::Handles() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::shared_ptr<PlantHandle>> handles;
+  handles.reserve(plants_.size());
+  for (const auto& [id, handle] : plants_) handles.push_back(handle);
+  return handles;
+}
+
+size_t FleetRouter::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return plants_.size();
+}
+
+}  // namespace hod::fleet

@@ -1,0 +1,79 @@
+#ifndef HOD_FLEET_ROUTER_H_
+#define HOD_FLEET_ROUTER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stream/router.h"
+#include "util/statusor.h"
+
+namespace hod::fleet {
+
+struct PlantHandle;
+
+/// Where a plant lands in the fleet's placement space. Derived purely
+/// from the plant id via the stream tier's StableHash64 (FNV-1a), so it
+/// is identical across processes and restarts: a plant's slot — and
+/// everything keyed off it, like its checkpoint stagger phase — never
+/// moves because an unrelated plant joined or left.
+struct PlantPlacement {
+  uint64_t hash = 0;  ///< StableHash64(plant_id)
+  size_t slot = 0;    ///< hash % num_slots
+};
+
+/// Plant-id keyed routing tier: resolves a plant id to its engine handle
+/// under a reader/writer lock, with stable-hash placement metadata.
+/// Handles are shared_ptr so a racing Ingest keeps the engine alive while
+/// RemovePlant drains it — the engine's own state machine rejects samples
+/// arriving after its Stop().
+class FleetRouter {
+ public:
+  explicit FleetRouter(size_t num_slots = 256)
+      : num_slots_(num_slots == 0 ? 1 : num_slots) {}
+
+  /// Pure function of (plant_id, num_slots): deterministic placement.
+  static PlantPlacement Place(std::string_view plant_id, size_t num_slots) {
+    PlantPlacement placement;
+    placement.hash = stream::StableHash64(plant_id);
+    placement.slot = num_slots == 0 ? 0 : placement.hash % num_slots;
+    return placement;
+  }
+
+  PlantPlacement Place(std::string_view plant_id) const {
+    return Place(plant_id, num_slots_);
+  }
+
+  /// Registers a plant. InvalidArgument if the id is already routed.
+  Status Add(const std::string& plant_id, std::shared_ptr<PlantHandle> handle);
+
+  /// Looks up a plant's handle; nullptr when unknown (or removed).
+  std::shared_ptr<PlantHandle> Resolve(std::string_view plant_id) const;
+
+  /// Unroutes a plant and returns its handle (nullptr when unknown). New
+  /// Ingest calls stop resolving immediately; in-flight holders of the
+  /// shared_ptr finish against the still-live engine.
+  std::shared_ptr<PlantHandle> Remove(const std::string& plant_id);
+
+  /// Sorted ids of every routed plant.
+  std::vector<std::string> PlantIds() const;
+
+  /// Handles of every routed plant, in id order.
+  std::vector<std::shared_ptr<PlantHandle>> Handles() const;
+
+  size_t size() const;
+  size_t num_slots() const { return num_slots_; }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::shared_ptr<PlantHandle>, std::less<>> plants_;
+  size_t num_slots_;
+};
+
+}  // namespace hod::fleet
+
+#endif  // HOD_FLEET_ROUTER_H_

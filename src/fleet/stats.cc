@@ -1,0 +1,29 @@
+#include "fleet/stats.h"
+
+#include <sstream>
+
+namespace hod::fleet {
+
+std::string FleetStatsSnapshot::ToString() const {
+  std::ostringstream out;
+  out << "fleet: plants=" << plants << " removed=" << removed_plants
+      << " ingested=" << aggregate.ingested
+      << " scored=" << aggregate.scored
+      << " dropped=" << aggregate.dropped
+      << " rejected=" << aggregate.rejected_total()
+      << " quarantined_samples=" << aggregate.quarantined_samples
+      << " alarms_raised=" << aggregate.alarms_raised
+      << " sensor_faults=" << aggregate.sensor_faults
+      << " checkpoints=" << aggregate.checkpoints_written << "\n";
+  for (const PlantStats& plant : per_plant) {
+    out << "  [" << plant.plant_id << " slot=" << plant.placement.slot
+        << "] ingested=" << plant.stats.ingested
+        << " scored=" << plant.stats.scored
+        << " alarms=" << plant.stats.alarms_raised
+        << " faults=" << plant.stats.sensor_faults
+        << " checkpoints=" << plant.stats.checkpoints_written << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hod::fleet

@@ -1,0 +1,41 @@
+#ifndef HOD_FLEET_STATS_H_
+#define HOD_FLEET_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/router.h"
+#include "stream/stats.h"
+
+namespace hod::fleet {
+
+/// One plant's contribution to the fleet roll-up.
+struct PlantStats {
+  std::string plant_id;
+  PlantPlacement placement;
+  stream::StreamStatsSnapshot stats;
+};
+
+/// Fleet-wide counter roll-up: the elementwise sum of every live plant's
+/// StreamStatsSnapshot plus the `retired` fold of plants removed since
+/// startup — so `aggregate` is monotone over the fleet's whole history
+/// (no counts vanish when a line is drained, none double-count when it
+/// is polled again).
+struct FleetStatsSnapshot {
+  size_t plants = 0;            ///< live plants at snapshot time
+  uint64_t removed_plants = 0;  ///< plants drained-and-removed so far
+  /// Sum over live plants + `retired`.
+  stream::StreamStatsSnapshot aggregate;
+  /// Final snapshots of removed plants, folded at drain time.
+  stream::StreamStatsSnapshot retired;
+  /// Live per-plant snapshots, sorted by plant id.
+  std::vector<PlantStats> per_plant;
+
+  /// Multi-line human-readable rendering for examples/benches.
+  std::string ToString() const;
+};
+
+}  // namespace hod::fleet
+
+#endif  // HOD_FLEET_STATS_H_

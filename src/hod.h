@@ -23,6 +23,10 @@
 #include "detect/ensemble.h"            // IWYU pragma: export
 #include "detect/registry.h"            // IWYU pragma: export
 #include "eval/metrics.h"               // IWYU pragma: export
+#include "fleet/alert_board.h"          // IWYU pragma: export
+#include "fleet/manager.h"              // IWYU pragma: export
+#include "fleet/router.h"               // IWYU pragma: export
+#include "fleet/stats.h"                // IWYU pragma: export
 #include "hierarchy/level.h"            // IWYU pragma: export
 #include "hierarchy/level_data.h"       // IWYU pragma: export
 #include "hierarchy/production.h"       // IWYU pragma: export
@@ -40,5 +44,6 @@
 #include "timeseries/window.h"          // IWYU pragma: export
 #include "util/status.h"                // IWYU pragma: export
 #include "util/statusor.h"              // IWYU pragma: export
+#include "util/thread_pool.h"           // IWYU pragma: export
 
 #endif  // HOD_HOD_H_

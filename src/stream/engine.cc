@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "stream/checkpoint.h"
+#include "util/thread_pool.h"
 
 namespace hod::stream {
 
@@ -17,7 +18,10 @@ size_t EffectiveShards(const StreamEngineOptions& options) {
   return options.num_shards == 0 ? 1 : options.num_shards;
 }
 
-ShardedScorerOptions MakeScorerOptions(const StreamEngineOptions& options) {
+}  // namespace
+
+ShardedScorerOptions StreamEngine::MakeScorerOptions(
+    const StreamEngineOptions& options, StreamEngine* engine) {
   ShardedScorerOptions scorer;
   scorer.num_shards = EffectiveShards(options);
   scorer.queue_capacity = options.queue_capacity;
@@ -30,10 +34,12 @@ ShardedScorerOptions MakeScorerOptions(const StreamEngineOptions& options) {
   scorer.monitor = options.monitor;
   scorer.forward_threshold = options.monitor.threshold;
   scorer.worker_tick_hook = options.worker_tick_hook_for_test;
+  if (options.executor != nullptr && !options.synchronous) {
+    scorer.executor = options.executor;
+    scorer.collector_notify = [engine] { engine->NotifyCollector(); };
+  }
   return scorer;
 }
-
-}  // namespace
 
 StreamEngine::StreamEngine(StreamEngineOptions options)
     : options_(options),
@@ -43,7 +49,7 @@ StreamEngine::StreamEngine(StreamEngineOptions options)
       router_(EffectiveShards(options), options.out_of_order_tolerance,
               &stats_),
       health_(options.health, &stats_),
-      scorer_(MakeScorerOptions(options), &stats_, &collector_queue_,
+      scorer_(MakeScorerOptions(options, this), &stats_, &collector_queue_,
               &health_),
       checkpoint_gate_enabled_(!options.checkpoint_path.empty()),
       stalled_(EffectiveShards(options)) {
@@ -83,15 +89,37 @@ Status StreamEngine::Start() {
   HOD_RETURN_IF_ERROR(PopulateScorer());
   if (!options_.synchronous) {
     HOD_RETURN_IF_ERROR(scorer_.Start());
-    collector_ = std::jthread([this] { CollectorLoop(); });
-    if (options_.watchdog_interval.count() > 0) {
-      watchdog_ = std::jthread(
-          [this](std::stop_token stop) { WatchdogLoop(stop); });
+    if (pooled()) {
+      // No threads: the collector drains on the pool's service lane when
+      // notified; the watchdog runs as an executor timer.
+      watchdog_last_heartbeat_.assign(scorer_.num_shards(), 0);
+      if (options_.watchdog_interval.count() > 0) {
+        watchdog_timer_id_ = options_.executor->ScheduleEvery(
+            options_.watchdog_interval, options_.watchdog_interval,
+            [this] { WatchdogTick(); });
+      }
+    } else {
+      collector_ = std::jthread([this] { CollectorLoop(); });
+      if (options_.watchdog_interval.count() > 0) {
+        watchdog_ = std::jthread(
+            [this](std::stop_token stop) { WatchdogLoop(stop); });
+      }
     }
   }
   if (checkpoint_gate_enabled_ && options_.checkpoint_interval.count() > 0) {
-    checkpoint_timer_ = std::jthread(
-        [this](std::stop_token stop) { CheckpointLoop(stop); });
+    // First write fires after `checkpoint_phase` (stagger offset), then
+    // every interval.
+    if (pooled()) {
+      const auto initial = options_.checkpoint_phase.count() > 0
+                               ? options_.checkpoint_phase
+                               : options_.checkpoint_interval;
+      checkpoint_timer_id_ = options_.executor->ScheduleEvery(
+          initial, options_.checkpoint_interval,
+          [this] { (void)CheckpointToFile(options_.checkpoint_path); });
+    } else {
+      checkpoint_timer_ = std::jthread(
+          [this](std::stop_token stop) { CheckpointLoop(stop); });
+    }
   }
   state_.store(kRunning);
   return Status::Ok();
@@ -175,7 +203,20 @@ Status StreamEngine::Stop() {
   if (state == kStopped) return Status::Ok();
   // Timer first, while the pipeline is still alive: an in-flight periodic
   // checkpoint holds the ingest gate and waits on the collector, so it
-  // must complete before workers are torn down.
+  // must complete before workers are torn down. Cancel has join
+  // semantics, so the executor timers are equally settled on return (a
+  // callback that started after the state_ exchange above sees kStopped
+  // and returns without touching the pipeline).
+  if (pooled()) {
+    if (checkpoint_timer_id_ != 0) {
+      options_.executor->Cancel(checkpoint_timer_id_);
+      checkpoint_timer_id_ = 0;
+    }
+    if (watchdog_timer_id_ != 0) {
+      options_.executor->Cancel(watchdog_timer_id_);
+      watchdog_timer_id_ = 0;
+    }
+  }
   if (checkpoint_timer_.joinable()) {
     checkpoint_timer_.request_stop();
     checkpoint_timer_.join();
@@ -189,13 +230,45 @@ Status StreamEngine::Stop() {
       DrainCollectorQueueSync();
       PublishSnapshot();
     }
+    if (pooled()) pooled_stopped_.store(true, std::memory_order_release);
     return Status::Ok();
   }
-  // Workers first: joining them guarantees every accepted sample has been
-  // scored and every interesting one forwarded. Then the collector drains
-  // the closed queue, publishes the final snapshot, and exits.
+  // Workers first: joining (or quiescing, in pooled mode) guarantees every
+  // accepted sample has been scored and every interesting one forwarded.
+  // Then the collector drains the closed queue, publishes the final
+  // snapshot, and exits.
   scorer_.Stop();
   collector_queue_.Close();
+  if (pooled()) {
+    // Arm the collector once for the tail (Close leaves events poppable),
+    // then wait for its task machinery to retire. A racing PushHealthEvent
+    // either lands before it is drained (its own notify re-arms the task)
+    // or fails on the closed queue and is undone.
+    NotifyCollector();
+    // Wait under collector_mu_ so the last task's retirement (which also
+    // happens under the lock) is ordered before this predicate observing
+    // quiescence — otherwise the engine could be destroyed while the task
+    // still notifies on collector_cv_. Poll with a short timeout: the
+    // failed-SubmitService undo path in NotifyCollector does not notify.
+    {
+      std::unique_lock<std::mutex> lock(collector_mu_);
+      const auto quiesced = [&] {
+        return collector_tasks_in_flight_.load(std::memory_order_acquire) ==
+                   0 &&
+               collector_task_state_.load(std::memory_order_acquire) ==
+                   kCollectorIdle &&
+               collector_queue_.size() == 0;
+      };
+      while (!quiesced()) {
+        collector_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      }
+    }
+    // Safe: the acquire loads above pair with the task's release exits, so
+    // every collector-private write is visible here.
+    PublishSnapshot();
+    pooled_stopped_.store(true, std::memory_order_release);
+    return Status::Ok();
+  }
   if (collector_.joinable()) collector_.join();
   return Status::Ok();
 }
@@ -250,7 +323,8 @@ Status StreamEngine::CheckpointToFile(const std::string& path) {
     std::unique_lock<std::shared_mutex> gate(ingest_gate_);
     HOD_RETURN_IF_ERROR(FillCheckpoint(checkpoint));
   } else {
-    if (collector_.joinable()) {
+    if (collector_.joinable() ||
+        (pooled() && !pooled_stopped_.load(std::memory_order_acquire))) {
       // Stop() raced us and has not finished draining yet.
       return Status::FailedPrecondition("engine is stopping");
     }
@@ -287,11 +361,16 @@ void StreamEngine::CheckpointLoop(const std::stop_token& stop) {
   std::mutex mu;
   std::condition_variable_any cv;
   std::unique_lock<std::mutex> lock(mu);
+  // Stagger support: the first write fires after `checkpoint_phase` (when
+  // set) instead of a full interval, same contract as the executor timer.
+  const auto initial = options_.checkpoint_phase.count() > 0
+                           ? options_.checkpoint_phase
+                           : options_.checkpoint_interval;
+  cv.wait_for(lock, stop, initial, [] { return false; });
   while (!stop.stop_requested()) {
-    cv.wait_for(lock, stop, options_.checkpoint_interval, [] { return false; });
-    if (stop.stop_requested()) break;
     // Failures are already counted in stats; the timer keeps trying.
     (void)CheckpointToFile(options_.checkpoint_path);
+    cv.wait_for(lock, stop, options_.checkpoint_interval, [] { return false; });
   }
 }
 
@@ -438,6 +517,11 @@ std::vector<core::AlertEpisode> StreamEngine::Episodes() const {
   return alerts_.Episodes();
 }
 
+std::vector<core::AlertEpisode> StreamEngine::CalibrationQueue() const {
+  std::lock_guard<std::mutex> lock(alerts_mu_);
+  return alerts_.CalibrationQueue();
+}
+
 StatusOr<SensorProbe> StreamEngine::Probe(const std::string& sensor_id) const {
   return scorer_.Probe(sensor_id);
 }
@@ -469,38 +553,101 @@ void StreamEngine::CollectorLoop() {
 }
 
 void StreamEngine::WatchdogLoop(const std::stop_token& stop) {
-  std::vector<uint64_t> last_heartbeat(scorer_.num_shards(), 0);
+  watchdog_last_heartbeat_.assign(scorer_.num_shards(), 0);
   std::mutex mu;
   std::condition_variable_any cv;
   std::unique_lock<std::mutex> lock(mu);
   while (!stop.stop_requested()) {
     cv.wait_for(lock, stop, options_.watchdog_interval, [] { return false; });
     if (stop.stop_requested()) break;
-    for (size_t i = 0; i < last_heartbeat.size(); ++i) {
-      const uint64_t beat = scorer_.ShardHeartbeat(i);
-      const size_t depth = scorer_.ShardQueueDepth(i);
-      if (depth > 0 && beat == last_heartbeat[i]) {
-        // Samples are waiting but the worker made no progress over a full
-        // interval: flag it (graceful degradation — the engine keeps
-        // serving the healthy shards; the flag clears if the worker
-        // resumes).
-        if (stalled_[i].exchange(1, std::memory_order_relaxed) == 0) {
-          stats_.RecordWatchdogStall();
-        }
-      } else {
-        stalled_[i].store(0, std::memory_order_relaxed);
+    WatchdogTick();
+  }
+}
+
+void StreamEngine::WatchdogTick() {
+  // Executor-timer mode can fire between the state_ exchange in Stop()
+  // and the timer's cancellation; the pipeline is being torn down then.
+  if (state_.load() != kRunning) return;
+  for (size_t i = 0; i < watchdog_last_heartbeat_.size(); ++i) {
+    const uint64_t beat = scorer_.ShardHeartbeat(i);
+    const size_t depth = scorer_.ShardQueueDepth(i);
+    if (depth > 0 && beat == watchdog_last_heartbeat_[i]) {
+      // Samples are waiting but the worker made no progress over a full
+      // interval: flag it (graceful degradation — the engine keeps
+      // serving the healthy shards; the flag clears if the worker
+      // resumes).
+      if (stalled_[i].exchange(1, std::memory_order_relaxed) == 0) {
+        stats_.RecordWatchdogStall();
       }
-      last_heartbeat[i] = beat;
+    } else {
+      stalled_[i].store(0, std::memory_order_relaxed);
     }
-    // The staleness sweep pushes collector events, which would break the
-    // checkpointer's "drained means drained" invariant — skip the sweep
-    // while a checkpoint holds the gate (it runs again next interval).
-    std::shared_lock<std::shared_mutex> gate(ingest_gate_, std::try_to_lock);
-    if (!checkpoint_gate_enabled_ || gate.owns_lock()) {
-      for (const HealthTransition& transition : health_.SweepStale()) {
-        PushHealthEvent(transition);
+    watchdog_last_heartbeat_[i] = beat;
+  }
+  // The staleness sweep pushes collector events, which would break the
+  // checkpointer's "drained means drained" invariant — skip the sweep
+  // while a checkpoint holds the gate (it runs again next interval).
+  std::shared_lock<std::shared_mutex> gate(ingest_gate_, std::try_to_lock);
+  if (!checkpoint_gate_enabled_ || gate.owns_lock()) {
+    for (const HealthTransition& transition : health_.SweepStale()) {
+      PushHealthEvent(transition);
+    }
+  }
+}
+
+void StreamEngine::NotifyCollector() {
+  const int prev =
+      collector_task_state_.exchange(kCollectorArmed, std::memory_order_acq_rel);
+  if (prev != kCollectorIdle) return;  // a task is pending or will loop
+  collector_tasks_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  // Service lane: collector drains must make progress even when every
+  // worker-lane thread is blocked pushing into a full collector queue —
+  // that is the deadlock this lane exists to break.
+  if (!options_.executor->SubmitService([this] { CollectorDrainTask(); })) {
+    collector_task_state_.store(kCollectorIdle, std::memory_order_release);
+    collector_tasks_in_flight_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void StreamEngine::CollectorDrainTask() {
+  std::vector<ScoredSample> batch;
+  batch.reserve(options_.max_batch);
+  for (;;) {
+    collector_task_state_.store(kCollectorRunning, std::memory_order_release);
+    for (;;) {
+      batch.clear();
+      const size_t n = collector_queue_.TryPopBatch(batch, options_.max_batch);
+      if (n == 0) break;
+      for (const ScoredSample& scored : batch) ConsumeScored(scored);
+      if (!pending_findings_.empty()) {
+        std::lock_guard<std::mutex> lock(alerts_mu_);
+        alerts_.IngestBatch(pending_findings_);
+        pending_findings_.clear();
       }
+      // Same ordering contract as CollectorLoop: publish BEFORE the
+      // release fetch_add on collected_ — that store is the edge a
+      // quiesced checkpointer or Flush caller acquires.
+      if (collector_queue_.size() == 0) PublishSnapshot();
+      collected_.fetch_add(n, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> lock(collector_mu_);
+      }
+      collector_cv_.notify_all();
     }
+    int expected = kCollectorRunning;
+    if (collector_task_state_.compare_exchange_strong(
+            expected, kCollectorIdle, std::memory_order_acq_rel)) {
+      break;  // no notify raced the empty pop; task retires
+    }
+    // Re-armed between the empty pop and the CAS: drain again.
+  }
+  // Retire under the lock: Stop() re-checks quiescence while holding
+  // collector_mu_, so it cannot observe zero tasks in flight (and destroy
+  // the engine) until this task has released the mutex.
+  {
+    std::lock_guard<std::mutex> lock(collector_mu_);
+    collector_tasks_in_flight_.fetch_sub(1, std::memory_order_release);
+    collector_cv_.notify_all();
   }
 }
 
@@ -540,13 +687,15 @@ void StreamEngine::PushHealthEvent(const HealthTransition& transition) {
   // Count before pushing, so Flush's target is never behind the queue.
   health_events_pushed_.fetch_add(1, std::memory_order_release);
   Status status = collector_queue_.Push(std::move(event));
-  if (!status.ok()) {
-    // Collector already closed (shutdown race). Undo the pre-count —
-    // otherwise Flush waits forever for an event that never arrives — and
-    // surface the loss instead of silently swallowing it.
-    health_events_pushed_.fetch_sub(1, std::memory_order_release);
-    stats_.RecordForwardFailed();
+  if (status.ok()) {
+    if (pooled()) NotifyCollector();
+    return;
   }
+  // Collector already closed (shutdown race). Undo the pre-count —
+  // otherwise Flush waits forever for an event that never arrives — and
+  // surface the loss instead of silently swallowing it.
+  health_events_pushed_.fetch_sub(1, std::memory_order_release);
+  stats_.RecordForwardFailed();
 }
 
 void StreamEngine::ConsumeScored(const ScoredSample& scored) {

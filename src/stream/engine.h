@@ -27,6 +27,10 @@
 #include "stream/stats.h"
 #include "util/statusor.h"
 
+namespace hod::util {
+class ThreadPool;
+}  // namespace hod::util
+
 namespace hod::stream {
 
 struct EngineCheckpoint;
@@ -90,6 +94,22 @@ struct StreamEngineOptions {
   /// Collector publishes a fresh EngineSnapshot every this many outlier
   /// events (and always on Flush/Stop).
   size_t snapshot_every = 256;
+  /// Borrowed executor (fleet mode). When set on a threaded engine, the
+  /// engine spawns NO threads of its own: shard drains run as pooled
+  /// tasks on the executor's worker lane, the collector drain on its
+  /// reserved service lane, and the watchdog + periodic checkpoint as
+  /// executor timers. N engines on one pool cost pool-size threads, not
+  /// N * (shards + 3). The pool must outlive the engine, and the engine
+  /// must be Stop()ped before the pool shuts down. Ignored in
+  /// synchronous mode (no threads either way).
+  util::ThreadPool* executor = nullptr;
+  /// Initial delay before the FIRST periodic checkpoint (subsequent ones
+  /// fire every `checkpoint_interval`). The fleet tier derives this from
+  /// the stable hash of the plant id, so a thousand plants spread their
+  /// checkpoint I/O across the interval instead of writing in lockstep —
+  /// and the stagger survives restarts. Zero = first write after one
+  /// full interval.
+  std::chrono::milliseconds checkpoint_phase{0};
   /// Test seam, forwarded to ShardedScorerOptions::worker_tick_hook.
   std::function<void(size_t)> worker_tick_hook_for_test;
 };
@@ -278,12 +298,34 @@ class StreamEngine {
   /// Alert episodes built from forwarded outlier findings.
   std::vector<core::AlertEpisode> Episodes() const;
 
+  /// Suspected-measurement-error episodes (the calibration queue) — the
+  /// sensor-fault half of the board that Episodes() filters out.
+  std::vector<core::AlertEpisode> CalibrationQueue() const;
+
   /// Monitor state of one sensor. FailedPrecondition while workers run
   /// (stop or flush-in-sync-mode first).
   StatusOr<SensorProbe> Probe(const std::string& sensor_id) const;
 
  private:
   enum State { kConfiguring, kRunning, kStopped };
+  /// Pooled collector-task states — same machine as the scorer's shard
+  /// drain tasks (see ShardedScorer::NotifyShard).
+  enum CollectorTaskState : int {
+    kCollectorIdle = 0,
+    kCollectorArmed = 1,
+    kCollectorRunning = 2,
+  };
+
+  /// True when this engine runs on a borrowed executor instead of its own
+  /// jthreads (threaded semantics, pooled mechanics).
+  bool pooled() const {
+    return options_.executor != nullptr && !options_.synchronous;
+  }
+
+  /// Builds the scorer configuration, wiring the engine's collector
+  /// notify hook when running pooled.
+  static ShardedScorerOptions MakeScorerOptions(
+      const StreamEngineOptions& options, StreamEngine* engine);
 
   /// Builds each shard's monitors from the router registry. Split out of
   /// Start() so Restore can inject monitor state before threads exist.
@@ -292,6 +334,16 @@ class StreamEngine {
   void CollectorLoop();
   void WatchdogLoop(const std::stop_token& stop);
   void CheckpointLoop(const std::stop_token& stop);
+  /// One watchdog pass: stall detection over shard heartbeats + the
+  /// staleness sweep. Body of WatchdogLoop (jthread mode) and of the
+  /// executor watchdog timer (pooled mode).
+  void WatchdogTick();
+  /// Pooled mode: arms the collector drain task (no-op if already armed).
+  /// Called by the scorer after every successful collector push and by
+  /// PushHealthEvent.
+  void NotifyCollector();
+  /// Pooled mode: the collector drain body, run on the service lane.
+  void CollectorDrainTask();
   /// Collector-thread only (or caller thread in synchronous mode).
   void ConsumeScored(const ScoredSample& scored);
   void PublishSnapshot();
@@ -318,6 +370,19 @@ class StreamEngine {
   std::jthread collector_;
   std::jthread watchdog_;
   std::jthread checkpoint_timer_;
+  /// Pooled mode: executor timer registrations (0 = not scheduled) and
+  /// the collector task state machine.
+  uint64_t watchdog_timer_id_ = 0;
+  uint64_t checkpoint_timer_id_ = 0;
+  std::atomic<int> collector_task_state_{kCollectorIdle};
+  std::atomic<uint64_t> collector_tasks_in_flight_{0};
+  /// Pooled mode: set once Stop() has fully quiesced the pipeline — the
+  /// pooled analogue of `!collector_.joinable()` for the "is Stop still
+  /// in flight?" check in CheckpointToFile.
+  std::atomic<bool> pooled_stopped_{false};
+  /// Watchdog stall-detection baseline. Written only by the watchdog
+  /// jthread or the executor timer thread (never both for one engine).
+  std::vector<uint64_t> watchdog_last_heartbeat_;
   std::atomic<int> state_{kConfiguring};
   bool scorer_populated_ = false;
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/thread_pool.h"
+
 namespace hod::stream {
 
 ShardedScorer::ShardedScorer(const ShardedScorerOptions& options,
@@ -44,6 +46,11 @@ Status ShardedScorer::Start() {
     return Status::FailedPrecondition("scorer already stopped");
   }
   running_.store(true, std::memory_order_release);
+  if (options_.executor != nullptr) {
+    // Executor mode: no threads to spawn. Drain tasks are armed lazily by
+    // NotifyShard on the first Submit to each shard.
+    return Status::Ok();
+  }
   for (size_t i = 0; i < shards_.size(); ++i) {
     shards_[i]->worker = std::jthread([this, i] { WorkerLoop(i); });
   }
@@ -87,7 +94,71 @@ Status ShardedScorer::Submit(size_t shard, SensorSample sample,
     }
     return status;
   }
+  if (options_.executor != nullptr && running()) NotifyShard(shard);
   return Status::Ok();
+}
+
+void ShardedScorer::NotifyShard(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  const int prev =
+      shard.task_state.exchange(kTaskArmed, std::memory_order_acq_rel);
+  if (prev != kTaskIdle) return;  // a task is pending or will loop again
+  tasks_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (!options_.executor->Submit([this, shard_index] {
+        DrainTask(shard_index);
+      })) {
+    // Pool already shut down (engines must stop first; defensive). Undo so
+    // Stop()'s quiescence wait does not hang on a task that never runs.
+    shard.task_state.store(kTaskIdle, std::memory_order_release);
+    tasks_in_flight_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void ShardedScorer::DrainTask(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  std::vector<SensorSample> batch;
+  batch.reserve(options_.max_batch);
+  for (;;) {
+    shard.task_state.store(kTaskRunning, std::memory_order_release);
+    size_t batches = 0;
+    bool more = false;
+    while (batches < kBatchesPerSlice) {
+      batch.clear();
+      if (shard.queue->TryPopBatch(batch, options_.max_batch) == 0) break;
+      if (options_.worker_tick_hook) options_.worker_tick_hook(shard_index);
+      ProcessBatch(shard_index, batch);
+      ++batches;
+      more = batches == kBatchesPerSlice && shard.queue->size() > 0;
+    }
+    if (more) {
+      // Slice exhausted with work left: re-arm and resubmit instead of
+      // looping, so other plants' shards get pool time in between.
+      shard.task_state.store(kTaskArmed, std::memory_order_release);
+      if (options_.executor->Submit([this, shard_index] {
+            DrainTask(shard_index);
+          })) {
+        return;  // in_flight carries over to the resubmitted task
+      }
+      // Pool shutting down: fall through and finish the drain inline.
+      continue;
+    }
+    int expected = kTaskRunning;
+    if (shard.task_state.compare_exchange_strong(
+            expected, kTaskIdle, std::memory_order_acq_rel)) {
+      break;  // no notify raced the final empty pop; task retires
+    }
+    // A producer re-armed us between the empty pop and the CAS — its
+    // sample may already be in the queue. Loop and drain again.
+  }
+  // The decrement, notify, and the quiescence predicate in Stop()/Flush()
+  // must all be ordered by flush_mu_: if the count dropped before the lock,
+  // a waiter could observe "no task in flight", return, and destroy the
+  // scorer while this task still touches flush_mu_/flush_cv_.
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    tasks_in_flight_.fetch_sub(1, std::memory_order_release);
+    flush_cv_.notify_all();
+  }
 }
 
 StatusOr<InlineScore> ShardedScorer::ScoreNow(size_t shard,
@@ -156,6 +227,36 @@ Status ShardedScorer::Flush() {
 void ShardedScorer::Stop() {
   if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
   for (auto& shard : shards_) shard->queue->Close();
+  if (options_.executor != nullptr) {
+    // Pooled drains own the tail: Close() leaves queued samples poppable,
+    // so arming every shard once guarantees a task sees whatever is left
+    // (including samples submitted before Start, which never notified).
+    for (size_t i = 0; i < shards_.size(); ++i) NotifyShard(i);
+    // Quiesce: no drain task in flight and every submitted sample
+    // processed or dropped. A racing Submit that hits the closed queue
+    // undoes its `submitted` count without a notify, so poll with a short
+    // timeout instead of relying purely on wakeups.
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    const auto quiesced = [&] {
+      if (tasks_in_flight_.load(std::memory_order_acquire) != 0) {
+        return false;
+      }
+      for (const auto& shard : shards_) {
+        if (shard->processed.load(std::memory_order_acquire) +
+                shard->queue->dropped() !=
+            shard->submitted.load(std::memory_order_acquire)) {
+          return false;
+        }
+      }
+      return true;
+    };
+    while (!quiesced()) {
+      flush_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    lock.unlock();
+    running_.store(false, std::memory_order_release);
+    return;
+  }
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
@@ -338,6 +439,7 @@ void ShardedScorer::ForwardToCollector(ScoredSample event) {
   Status status = collector_->Push(std::move(event));
   if (status.ok()) {
     forwarded_.fetch_add(1, std::memory_order_release);
+    if (options_.collector_notify) options_.collector_notify();
     return;
   }
   // The collector refused (it closes before the scorer during engine

@@ -23,6 +23,10 @@
 #include "stream/stats.h"
 #include "util/statusor.h"
 
+namespace hod::util {
+class ThreadPool;
+}  // namespace hod::util
+
 namespace hod::stream {
 
 /// What one collector event means. Score events carry a monitor verdict;
@@ -93,6 +97,16 @@ struct ShardedScorerOptions {
   /// (watchdog / shutdown-under-saturation coverage). Must be cheap and
   /// thread-safe; leave empty in production.
   std::function<void(size_t)> worker_tick_hook;
+  /// Borrowed executor (fleet mode). When set, Start() spawns no worker
+  /// threads: shard drains run as notify-driven pooled tasks on the
+  /// executor's worker lane, so N scorers share one fixed thread set. The
+  /// executor must outlive the scorer and must not shut down before
+  /// Stop() returns.
+  util::ThreadPool* executor = nullptr;
+  /// Called after every successful push to the collector queue (executor
+  /// mode): the engine uses it to arm its pooled collector-drain task,
+  /// replacing the blocking PopBatch thread.
+  std::function<void()> collector_notify;
 };
 
 /// The scoring tier: N shards, each owning a bounded queue, a worker
@@ -195,10 +209,29 @@ class ShardedScorer {
     std::atomic<uint64_t> submitted{0};
     std::atomic<uint64_t> processed{0};
     std::atomic<uint64_t> heartbeat{0};
+    /// Executor mode only: kTaskIdle / kTaskArmed / kTaskRunning (see
+    /// NotifyShard). Exactly one drain task is in flight per shard.
+    std::atomic<int> task_state{0};
     std::jthread worker;
   };
 
+  /// Pooled-task state machine (executor mode). A shard (or the engine's
+  /// collector) has at most one drain task in flight; a notify while the
+  /// task runs re-arms it so no push is ever missed:
+  ///   Idle    --notify-->  Armed (+ submit task)
+  ///   Armed   --notify-->  Armed (task already pending)
+  ///   Running --notify-->  Armed (task loops instead of exiting)
+  enum TaskState : int { kTaskIdle = 0, kTaskArmed = 1, kTaskRunning = 2 };
+  /// Batches a drain task processes before resubmitting itself — bounds a
+  /// busy shard's slice so co-scheduled plants share the pool fairly.
+  static constexpr size_t kBatchesPerSlice = 4;
+
   void WorkerLoop(size_t shard_index);
+  /// Executor mode: arms shard `shard_index`'s drain task (no-op when one
+  /// is already armed). Called after every successful Submit push.
+  void NotifyShard(size_t shard_index);
+  /// Executor mode: the pooled drain body for one shard.
+  void DrainTask(size_t shard_index);
   /// Scores one drained batch on the calling thread and publishes the
   /// shard's progress counters. Shared by WorkerLoop and the post-join
   /// straggler drain in Stop().
@@ -224,6 +257,10 @@ class ShardedScorer {
   BoundedQueue<ScoredSample>* collector_;
   SensorHealthTracker* health_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Executor mode: pooled drain tasks currently submitted or running.
+  /// Stop() waits for zero (release on task exit / acquire in the wait)
+  /// before declaring the shards quiescent.
+  std::atomic<uint64_t> tasks_in_flight_{0};
   std::atomic<uint64_t> forwarded_{0};
   std::atomic<uint64_t> forward_failed_{0};
   std::mutex flush_mu_;

@@ -140,6 +140,61 @@ void StreamStats::Restore(const StreamStatsSnapshot& snapshot) {
   }
 }
 
+StreamStatsSnapshot& StreamStatsSnapshot::operator+=(
+    const StreamStatsSnapshot& other) {
+  ingested += other.ingested;
+  scored += other.scored;
+  dropped += other.dropped;
+  rejected_queue_full += other.rejected_queue_full;
+  rejected_timeout += other.rejected_timeout;
+  rejected_non_finite += other.rejected_non_finite;
+  rejected_unknown_sensor += other.rejected_unknown_sensor;
+  rejected_level_mismatch += other.rejected_level_mismatch;
+  rejected_out_of_order += other.rejected_out_of_order;
+  rejected_closed += other.rejected_closed;
+  alarms_raised += other.alarms_raised;
+  alarms_cleared += other.alarms_cleared;
+  quarantined_samples += other.quarantined_samples;
+  sensor_faults += other.sensor_faults;
+  sensor_recoveries += other.sensor_recoveries;
+  watchdog_stall_events += other.watchdog_stall_events;
+  forward_failed += other.forward_failed;
+  escalation_runs += other.escalation_runs;
+  escalation_entities += other.escalation_entities;
+  escalation_findings += other.escalation_findings;
+  escalation_unresolved += other.escalation_unresolved;
+  escalation_cache_hits += other.escalation_cache_hits;
+  escalation_cache_misses += other.escalation_cache_misses;
+  escalation_latency_us += other.escalation_latency_us;
+  checkpoints_written += other.checkpoints_written;
+  checkpoint_failures += other.checkpoint_failures;
+  for (int i = 0; i < hierarchy::kNumLevels; ++i) {
+    level_dropped[i] += other.level_dropped[i];
+    level_rejected[i] += other.level_rejected[i];
+    level_quarantined[i] += other.level_quarantined[i];
+  }
+  if (other.shard_queue_high_water.size() > shard_queue_high_water.size()) {
+    shard_queue_high_water.resize(other.shard_queue_high_water.size(), 0);
+  }
+  for (size_t i = 0; i < other.shard_queue_high_water.size(); ++i) {
+    if (other.shard_queue_high_water[i] > shard_queue_high_water[i]) {
+      shard_queue_high_water[i] = other.shard_queue_high_water[i];
+    }
+  }
+  if (other.shard_stalled.size() > shard_stalled.size()) {
+    shard_stalled.resize(other.shard_stalled.size(), 0);
+  }
+  for (size_t i = 0; i < other.shard_stalled.size(); ++i) {
+    shard_stalled[i] = shard_stalled[i] != 0 || other.shard_stalled[i] != 0
+                           ? uint8_t{1}
+                           : uint8_t{0};
+  }
+  for (size_t i = 0; i < kBatchBuckets; ++i) {
+    batch_size_histogram[i] += other.batch_size_histogram[i];
+  }
+  return *this;
+}
+
 std::string StreamStatsSnapshot::ToString() const {
   std::ostringstream out;
   out << "ingested=" << ingested << " scored=" << scored

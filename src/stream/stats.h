@@ -93,9 +93,26 @@ struct StreamStatsSnapshot {
            rejected_out_of_order + rejected_closed;
   }
 
+  /// Folds another engine's snapshot into this one (fleet roll-up).
+  /// Event counters — including every escalation_* and checkpoint_*
+  /// counter — and the per-level / batch-histogram arrays add
+  /// elementwise, so the conservation identity
+  /// `ingested == scored + dropped + rejected + quarantined` holds for
+  /// the sum iff it holds for each operand. Non-additive vectors merge by
+  /// shape: `shard_queue_high_water` takes the per-index MAX (a depth,
+  /// not a count) and `shard_stalled` the per-index OR, both extended to
+  /// the longer operand — fleet plants need not share a shard count.
+  StreamStatsSnapshot& operator+=(const StreamStatsSnapshot& other);
+
   /// Multi-line human-readable rendering for examples/benches.
   std::string ToString() const;
 };
+
+inline StreamStatsSnapshot operator+(StreamStatsSnapshot lhs,
+                                     const StreamStatsSnapshot& rhs) {
+  lhs += rhs;
+  return lhs;
+}
 
 /// Lock-free counter block shared by router, shard workers, and collector.
 /// Every member is a relaxed atomic: counters are monotone event counts
