@@ -1,0 +1,336 @@
+// E12 — fail-slow detection on the space axis (hod::stream peer groups).
+//
+// Two parts:
+//   1. Gain-drift lead time: slow multiplicative decalibration is the one
+//      injected fault with ground truth that neither the health FSM (the
+//      values stay finite, ordered, and moving) nor the per-sensor AR
+//      baseline can see. The signal carries common-mode process variation
+//      (a shared wandering setpoint) whose local slope is comparable to
+//      the injected drift, so the time axis must tolerate slopes of that
+//      size and is structurally blind to the decalibration; the space
+//      axis compares each channel against its redundancy group, where the
+//      common mode cancels and only the victim's drift survives. We score
+//      recall and how often the space axis fired before the victim's own
+//      baseline alarm.
+//   2. Quarantine-onset correlation: a line outage silences eight sensors
+//      at once. The engine must collapse the storm into exactly ONE
+//      kGroupOutage finding (zero per-sensor kSensorFault findings),
+//      then drain the outage when the line comes back.
+//
+// Emits human-readable tables on stdout and BENCH_FAILSLOW.json in the
+// working directory; CI gates on the JSON.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/report.h"
+#include "hierarchy/sensor_registry.h"
+#include "sim/fault_injector.h"
+#include "stream/engine.h"
+#include "util/rng.h"
+
+namespace {
+
+using hod::hierarchy::ProductionLevel;
+using hod::hierarchy::SensorRegistry;
+using hod::sim::FaultInjector;
+using hod::sim::FaultKind;
+using hod::sim::FaultProfile;
+using hod::stream::PeerDeviation;
+using hod::stream::SensorSample;
+using hod::stream::StreamEngine;
+using hod::stream::StreamEngineOptions;
+
+constexpr size_t kGroups = 8;
+constexpr size_t kPerGroup = 4;
+
+std::string SensorId(size_t group, size_t slot) {
+  return "g" + std::to_string(group) + ".s" + std::to_string(slot);
+}
+
+// Common-mode process variation shared by every sensor of a group: two
+// slow sinusoids. The short component's peak slope (~0.056 units/s) is
+// deliberately on par with the injected drift (50 * 0.001 = 0.05/s): a
+// per-sensor baseline that tolerates the process wander cannot also flag
+// the drift, while the group median cancels the wander exactly.
+double Setpoint(size_t group, double t) {
+  const double g = static_cast<double>(group);
+  return 50.0 + 1.5 * std::sin(2.0 * M_PI * t / 347.0 + g) +
+         0.8 * std::sin(2.0 * M_PI * t / 89.0 + 2.0 * g);
+}
+
+SensorRegistry MakeRegistry() {
+  SensorRegistry registry;
+  for (size_t g = 0; g < kGroups; ++g) {
+    for (size_t s = 0; s < kPerGroup; ++s) {
+      (void)registry.Register({SensorId(g, s), "", "degC",
+                               "m" + std::to_string(g),
+                               "grp" + std::to_string(g)});
+    }
+  }
+  return registry;
+}
+
+// ---------------------------------------------------------------------------
+// Part 1: gain-drift lead time.
+
+struct DriftRow {
+  std::string sensor;
+  double fault_start = 0.0;
+  std::optional<double> peer_ts;      // first space-axis deviation
+  std::optional<double> baseline_ts;  // first time-axis alarm
+};
+
+struct DriftResult {
+  std::vector<DriftRow> rows;
+  size_t victims = 0;
+  size_t detected_before_baseline = 0;
+  size_t false_peer_fires = 0;  // deviations on non-victims
+  double recall = 0.0;
+  double mean_detection_delay = 0.0;
+};
+
+DriftResult RunDriftDrill() {
+  constexpr size_t kSteps = 1200;
+  constexpr double kDriftStart = 600.0;
+  constexpr size_t kVictims = 6;  // one per group, two groups stay clean
+
+  FaultInjector injector;
+  std::vector<std::string> victims;
+  for (size_t g = 0; g < kVictims; ++g) {
+    FaultProfile profile;
+    profile.kind = FaultKind::kGainDrift;
+    profile.start = kDriftStart;
+    profile.duration = static_cast<double>(kSteps) - kDriftStart;
+    profile.gain_rate = 0.001;  // 0.1%/s: ~5 units of skew per 100 s
+    victims.push_back(SensorId(g, 0));
+    (void)injector.AddFault(victims.back(), profile);
+  }
+
+  StreamEngineOptions options;
+  options.synchronous = true;
+  options.monitor.warmup = 100;
+  const SensorRegistry registry = MakeRegistry();
+  StreamEngine engine(options);
+  for (const std::string& id : registry.ids()) (void)engine.AddSensor(id);
+  (void)engine.AddPeerGroupsFromRegistry(registry);
+  (void)engine.Start();
+
+  std::map<std::string, double> first_alarm;
+  std::vector<hod::Rng> rngs;
+  std::vector<double> noise(registry.size(), 0.0);
+  for (size_t i = 0; i < registry.size(); ++i) rngs.emplace_back(4100 + i);
+  for (size_t t = 0; t < kSteps; ++t) {
+    for (size_t i = 0; i < registry.size(); ++i) {
+      const std::string& id = registry.ids()[i];
+      noise[i] = 0.3 * noise[i] + rngs[i].Gaussian(0.0, 0.25);
+      SensorSample clean{id, ProductionLevel::kPhase, static_cast<double>(t),
+                         Setpoint(i / kPerGroup, static_cast<double>(t)) +
+                             noise[i]};
+      for (const SensorSample& sample : injector.Apply(clean)) {
+        auto ack = engine.Ingest(sample);
+        // First time-axis alarm DURING the fault; noise-level false
+        // alarms before the drift starts are the baseline's own problem
+        // and must not count as it "seeing" the drift.
+        if (ack.ok() && ack->update.has_value() &&
+            ack->update->alarm_raised && sample.ts >= kDriftStart &&
+            first_alarm.find(id) == first_alarm.end()) {
+          first_alarm[id] = sample.ts;
+        }
+      }
+    }
+  }
+  (void)engine.Flush();
+
+  std::map<std::string, double> first_peer;
+  DriftResult result;
+  for (const PeerDeviation& deviation : engine.PeerDeviations()) {
+    if (!injector.IsVictim(deviation.sensor_id)) {
+      ++result.false_peer_fires;
+      continue;
+    }
+    if (first_peer.find(deviation.sensor_id) == first_peer.end()) {
+      first_peer[deviation.sensor_id] = deviation.ts;
+    }
+  }
+
+  result.victims = victims.size();
+  double delay_sum = 0.0;
+  size_t delay_n = 0;
+  for (const std::string& id : victims) {
+    DriftRow row;
+    row.sensor = id;
+    row.fault_start = kDriftStart;
+    auto peer_it = first_peer.find(id);
+    if (peer_it != first_peer.end()) row.peer_ts = peer_it->second;
+    auto alarm_it = first_alarm.find(id);
+    if (alarm_it != first_alarm.end()) row.baseline_ts = alarm_it->second;
+    // Detected = the space axis fired during the fault, and before the
+    // time axis said anything (a baseline that never alarms counts as
+    // "after": the drift would have shipped bad parts forever).
+    const bool peer_first =
+        row.peer_ts.has_value() && *row.peer_ts >= kDriftStart &&
+        (!row.baseline_ts.has_value() || *row.peer_ts < *row.baseline_ts);
+    if (peer_first) {
+      ++result.detected_before_baseline;
+      delay_sum += *row.peer_ts - kDriftStart;
+      ++delay_n;
+    }
+    result.rows.push_back(row);
+  }
+  result.recall = result.victims > 0
+                      ? static_cast<double>(result.detected_before_baseline) /
+                            static_cast<double>(result.victims)
+                      : 1.0;
+  result.mean_detection_delay = delay_n > 0 ? delay_sum / delay_n : -1.0;
+  (void)engine.Stop();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: line outage correlation.
+
+struct OutageResult {
+  size_t line_sensors = 0;
+  size_t group_outage_findings = 0;
+  size_t sensor_fault_findings = 0;  // per-sensor storm — must be zero
+  uint64_t suppressed = 0;
+  double detection_delay = -1.0;  // outage finding ts - fault start
+  bool recovered = false;
+};
+
+OutageResult RunOutageDrill() {
+  constexpr size_t kSteps = 900;
+  constexpr double kOutageStart = 400.0;
+  constexpr double kOutageDuration = 200.0;
+
+  const SensorRegistry registry = MakeRegistry();
+  // "Line 0" carries the sensors of the first two machines.
+  std::vector<std::string> line;
+  for (size_t g = 0; g < 2; ++g) {
+    for (size_t s = 0; s < kPerGroup; ++s) line.push_back(SensorId(g, s));
+  }
+
+  FaultInjector injector;
+  (void)injector.AddLineOutage(line, kOutageStart, kOutageDuration);
+
+  StreamEngineOptions options;
+  options.synchronous = true;
+  options.monitor.warmup = 100;
+  options.health.staleness_timeout = 30.0;
+  options.health.recovery_clean_streak = 64;
+  options.health_sweep_every = 64;
+  options.peer.outage_min_sensors = 6;
+  options.peer.outage_window = 32.0;
+  options.peer.outage_entity = "line0";
+  StreamEngine engine(options);
+  for (const std::string& id : registry.ids()) (void)engine.AddSensor(id);
+  (void)engine.AddPeerGroupsFromRegistry(registry);
+  (void)engine.Start();
+
+  std::vector<hod::Rng> rngs;
+  std::vector<double> noise(registry.size(), 0.0);
+  for (size_t i = 0; i < registry.size(); ++i) rngs.emplace_back(5200 + i);
+  for (size_t t = 0; t < kSteps; ++t) {
+    for (size_t i = 0; i < registry.size(); ++i) {
+      noise[i] = 0.3 * noise[i] + rngs[i].Gaussian(0.0, 0.25);
+      SensorSample clean{registry.ids()[i], ProductionLevel::kPhase,
+                         static_cast<double>(t),
+                         Setpoint(i / kPerGroup, static_cast<double>(t)) +
+                             noise[i]};
+      for (const SensorSample& sample : injector.Apply(clean)) {
+        (void)engine.Ingest(sample);
+      }
+    }
+  }
+  (void)engine.Flush();
+
+  OutageResult result;
+  result.line_sensors = line.size();
+  for (const hod::core::OutlierFinding& finding : engine.Findings()) {
+    if (finding.kind == hod::core::FindingKind::kGroupOutage) {
+      ++result.group_outage_findings;
+      if (result.detection_delay < 0.0) {
+        result.detection_delay = finding.origin.time - kOutageStart;
+      }
+    }
+    if (finding.kind == hod::core::FindingKind::kSensorFault) {
+      ++result.sensor_fault_findings;
+    }
+  }
+  const auto stats = engine.stats();
+  result.suppressed = stats.suppressed_sensor_faults;
+  result.recovered = stats.group_outage_recoveries == 1 &&
+                     !engine.Snapshot().group_outage_active;
+  (void)engine.Stop();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  hod::bench::PrintHeader(
+      "E12", "Fail-slow detection lead time & outage correlation",
+      "space-axis peer groups: gain-drift recall + kGroupOutage collapse");
+
+  hod::bench::PrintSection("gain drift: space axis vs time axis");
+  const DriftResult drift = RunDriftDrill();
+  std::printf("%-10s %-12s %-14s %s\n", "victim", "drift start", "peer fired",
+              "baseline alarm");
+  for (const DriftRow& row : drift.rows) {
+    std::printf("%-10s %-12.0f %-14s %s\n", row.sensor.c_str(),
+                row.fault_start,
+                row.peer_ts ? (std::to_string(*row.peer_ts) + "s").c_str()
+                            : "MISSED",
+                row.baseline_ts ? (std::to_string(*row.baseline_ts) + "s")
+                                      .c_str()
+                                : "never");
+  }
+  std::printf("recall (peer fired first) %.3f  mean delay %.1fs  "
+              "false peer fires %zu\n",
+              drift.recall, drift.mean_detection_delay,
+              drift.false_peer_fires);
+
+  hod::bench::PrintSection("line outage: one finding, no storm");
+  const OutageResult outage = RunOutageDrill();
+  std::printf("line sensors silenced   %zu\n", outage.line_sensors);
+  std::printf("kGroupOutage findings   %zu (want exactly 1)\n",
+              outage.group_outage_findings);
+  std::printf("kSensorFault findings   %zu (want 0 — storm suppressed)\n",
+              outage.sensor_fault_findings);
+  std::printf("onsets absorbed         %llu\n",
+              static_cast<unsigned long long>(outage.suppressed));
+  std::printf("detection delay         %.0fs after the trunk died\n",
+              outage.detection_delay);
+  std::printf("recovered               %s\n",
+              outage.recovered ? "yes" : "NO");
+
+  std::ofstream json("BENCH_FAILSLOW.json");
+  json << "{\n  \"experiment\": \"failslow\",\n"
+       << "  \"gain_drift\": {\n"
+       << "    \"victims\": " << drift.victims << ",\n"
+       << "    \"detected_before_baseline\": "
+       << drift.detected_before_baseline << ",\n"
+       << "    \"recall\": " << drift.recall << ",\n"
+       << "    \"false_peer_fires\": " << drift.false_peer_fires << ",\n"
+       << "    \"mean_detection_delay_s\": " << drift.mean_detection_delay
+       << "\n  },\n"
+       << "  \"line_outage\": {\n"
+       << "    \"line_sensors\": " << outage.line_sensors << ",\n"
+       << "    \"group_outage_findings\": " << outage.group_outage_findings
+       << ",\n"
+       << "    \"sensor_fault_findings\": " << outage.sensor_fault_findings
+       << ",\n"
+       << "    \"suppressed_onsets\": " << outage.suppressed << ",\n"
+       << "    \"detection_delay_s\": " << outage.detection_delay << ",\n"
+       << "    \"recovered\": " << (outage.recovered ? "true" : "false")
+       << "\n  }\n}\n";
+  std::printf("\nwrote BENCH_FAILSLOW.json\n");
+  return 0;
+}

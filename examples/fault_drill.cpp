@@ -2,15 +2,19 @@
 //
 // A 32-sensor fleet streams clean AR(1) telemetry while the FaultInjector
 // corrupts three victims with three distinct failure modes — a stuck-at
-// flatline, a NaN burst, and a dropout. The drill verifies the contract
-// of the sensor-health layer:
+// flatline, a NaN burst, and a dropout — and then takes out a whole
+// eight-sensor line at once. The drill verifies the contract of the
+// sensor-health layer:
 //
 //   1. every faulted sensor is quarantined *inside* its fault interval,
 //   2. faults surface as kSensorFault findings, never as process alarms —
 //      no faulted sensor raises a single level alarm (clean sensors may
 //      still trip the occasional statistical alarm; that is the detector
-//      working, not the fault leaking), and
-//   3. every victim recovers to healthy once its fault clears.
+//      working, not the fault leaking),
+//   3. every victim recovers to healthy once its fault clears, and
+//   4. the line outage collapses into exactly ONE kGroupOutage finding —
+//      the per-sensor storm is suppressed — while the three lone faults
+//      above still get their individual kSensorFault findings.
 //
 // Like every example, this doubles as an end-to-end smoke test: it exits
 // non-zero if any of the three guarantees is violated. Deterministic
@@ -51,6 +55,21 @@ int main() {
     if (!injector.AddFault(drill.sensor, profile).ok()) return 1;
   }
 
+  // Act two: at t=900 the trunk cable of "line B" (sensors 24..31) is cut
+  // for 150 s. Eight sensors go stale within one sweep of each other; the
+  // engine must file ONE infrastructure finding, not eight sensor faults.
+  constexpr double kOutageStart = 900.0;
+  constexpr double kOutageDuration = 150.0;
+  std::vector<std::string> line_b;
+  for (size_t i = 24; i < 32; ++i) {
+    char id[16];
+    std::snprintf(id, sizeof(id), "sensor_%02zu", i);
+    line_b.push_back(id);
+  }
+  if (!injector.AddLineOutage(line_b, kOutageStart, kOutageDuration).ok()) {
+    return 1;
+  }
+
   // --- Configure the engine ------------------------------------------------
   stream::StreamEngineOptions options;
   options.synchronous = true;  // deterministic drill; threaded in prod
@@ -62,6 +81,12 @@ int main() {
   options.health.recovery_clean_streak = 64;
   options.health.staleness_timeout = 30.0;  // dropout detection bound
   options.health_sweep_every = 64;          // sweep every 2 stream-seconds
+  // Quarantine-onset correlation: >= 6 staleness onsets within 32 s are
+  // one infrastructure event. The lone dropout on sensor_21 stays below
+  // this bar and still gets its own kSensorFault finding.
+  options.peer.outage_min_sensors = 6;
+  options.peer.outage_window = 32.0;
+  options.peer.outage_entity = "line_b";
 
   stream::StreamEngine engine(options);
   std::vector<std::string> ids;
@@ -73,8 +98,8 @@ int main() {
   }
   if (!engine.Start().ok()) return 1;
 
-  std::printf("fault drill: %zu sensors, %zu faulted\n", kSensors,
-              drills.size());
+  std::printf("fault drill: %zu sensors, %zu faulted (%zu lone + line B)\n",
+              kSensors, injector.GroundTruth().size(), drills.size());
   std::printf("%-12s %-10s %8s %8s\n", "sensor", "fault", "start", "end");
   for (const auto& interval : injector.GroundTruth()) {
     std::printf("%-12s %-10s %8.0f %8.0f\n", interval.sensor_id.c_str(),
@@ -153,7 +178,7 @@ int main() {
 
   const size_t phase =
       static_cast<size_t>(hierarchy::LevelValue(ProductionLevel::kPhase)) - 1;
-  std::printf("\nsensor-fault findings: %llu   victim process alarms: %llu   "
+  std::printf("\nquarantine entries: %llu   victim process alarms: %llu   "
               "fleet process alarms: %llu   quarantined samples: %llu\n",
               static_cast<unsigned long long>(stats.sensor_faults),
               static_cast<unsigned long long>(victim_alarms),
@@ -161,6 +186,24 @@ int main() {
               static_cast<unsigned long long>(stats.quarantined_samples));
   std::printf("fault coverage: %zu/%zu intervals flagged kSensorFault\n",
               detected, injector.GroundTruth().size());
+
+  // Guarantee 4: the line outage is one infrastructure finding, not a
+  // storm of eight sensor faults.
+  size_t group_outages = 0;
+  size_t line_sensor_faults = 0;
+  for (const auto& finding : engine.Findings()) {
+    if (finding.kind == core::FindingKind::kGroupOutage) ++group_outages;
+    if (finding.kind == core::FindingKind::kSensorFault) {
+      for (const std::string& id : line_b) {
+        if (finding.origin.entity == id) ++line_sensor_faults;
+      }
+    }
+  }
+  std::printf("line outage: %zu kGroupOutage finding(s), %zu per-sensor "
+              "finding(s) on line B, %llu onsets absorbed\n",
+              group_outages, line_sensor_faults,
+              static_cast<unsigned long long>(
+                  stats.suppressed_sensor_faults));
 
   bool ok = true;
   if (detected < injector.GroundTruth().size()) {
@@ -181,6 +224,18 @@ int main() {
                   sensor.sensor_id.c_str());
       ok = false;
     }
+  }
+  if (group_outages != 1) {
+    std::printf("FAIL: expected exactly one kGroupOutage finding\n");
+    ok = false;
+  }
+  if (line_sensor_faults != 0) {
+    std::printf("FAIL: the per-sensor storm leaked past the correlator\n");
+    ok = false;
+  }
+  if (stats.group_outage_recoveries != 1) {
+    std::printf("FAIL: the line outage never recovered\n");
+    ok = false;
   }
   if (!engine.Stop().ok()) return 1;
   std::printf("%s\n", ok ? "drill PASSED" : "drill FAILED");

@@ -25,10 +25,11 @@ std::vector<AlertEpisode> AlertManager::BuildEpisodes(
   // Group by entity, then sweep time-sorted findings into episodes.
   std::map<std::string, std::vector<const OutlierFinding*>> by_entity;
   for (const OutlierFinding& finding : findings_) {
-    // Sensor-fault findings belong on the calibration queue regardless of
-    // how the producer set the measurement-error flag.
+    // Sensor-fault and peer-drift findings belong on the calibration queue
+    // regardless of how the producer set the measurement-error flag.
     const bool calibration = finding.measurement_error_warning ||
-                             finding.kind == FindingKind::kSensorFault;
+                             finding.kind == FindingKind::kSensorFault ||
+                             finding.kind == FindingKind::kPeerDrift;
     if (calibration != measurement_errors) continue;
     by_entity[finding.origin.entity].push_back(&finding);
   }
@@ -64,6 +65,9 @@ std::vector<AlertEpisode> AlertManager::BuildEpisodes(
           std::max(current.peak_global_score, finding->global_score);
       current.peak_support = std::max(current.peak_support, finding->support);
       if (finding->escalated) ++current.escalated_findings;
+      if (finding->kind == FindingKind::kGroupOutage) {
+        current.group_outage = true;
+      }
       const AlertSeverity severity = ClassifyAlert(*finding);
       if (static_cast<int>(severity) > static_cast<int>(current.severity)) {
         current.severity = severity;

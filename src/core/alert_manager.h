@@ -42,6 +42,10 @@ struct AlertEpisode {
   /// True when every member finding carried the measurement-error flag —
   /// the episode belongs on the calibration queue, not the stop queue.
   bool suspected_measurement_error = false;
+  /// True when a member finding is a kGroupOutage (correlated quarantine
+  /// onsets across a line/plant) — fleet boards pin these rows first
+  /// within their severity class.
+  bool group_outage = false;
 };
 
 /// Collects findings and produces the deduplicated alert board.

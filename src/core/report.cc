@@ -24,12 +24,22 @@ std::string_view FindingKindName(FindingKind kind) {
       return "outlier";
     case FindingKind::kSensorFault:
       return "sensor-fault";
+    case FindingKind::kPeerDrift:
+      return "peer-drift";
+    case FindingKind::kGroupOutage:
+      return "group-outage";
   }
   return "?";
 }
 
 AlertSeverity ClassifyAlert(const OutlierFinding& finding) {
+  if (finding.kind == FindingKind::kGroupOutage) {
+    // A whole line going silent at once is an infrastructure incident —
+    // operators must see it above any single-sensor episode.
+    return AlertSeverity::kCritical;
+  }
   if (finding.kind == FindingKind::kSensorFault ||
+      finding.kind == FindingKind::kPeerDrift ||
       finding.measurement_error_warning) {
     // A suspected sensor fault deserves attention but must not trigger a
     // production stop.
@@ -54,7 +64,9 @@ double MaintenanceUrgency(const std::vector<OutlierFinding>& findings,
   size_t confirmed_findings = 0;
   for (const OutlierFinding& finding : findings) {
     if (finding.measurement_error_warning ||
-        finding.kind == FindingKind::kSensorFault) {
+        finding.kind != FindingKind::kOutlier) {
+      // Sensor faults, peer drifts, and group outages are instrumentation
+      // problems — fix the sensor or the network, not the machine.
       continue;
     }
     ++confirmed_findings;

@@ -23,13 +23,19 @@ struct LevelOutlier {
   double score = 0.0;
 };
 
-/// What a finding asserts about the plant: a genuine process outlier, or
-/// a sensor/engine fault detected by the health layer (the paper's
-/// measurement-error branch made operational). Sensor-fault findings are
-/// routed to the calibration queue, never to the stop-the-line board.
+/// What a finding asserts about the plant: a genuine process outlier, a
+/// sensor/engine fault detected by the health layer (the paper's
+/// measurement-error branch made operational), a space-axis peer-group
+/// drift, or a correlated group outage. Sensor-fault and peer-drift
+/// findings are routed to the calibration queue, never to the
+/// stop-the-line board; a group outage (a whole line going silent at
+/// once — a transport/power problem, not N independent sensor faults) is
+/// a first-class critical board row.
 enum class FindingKind {
   kOutlier,
   kSensorFault,
+  kPeerDrift,
+  kGroupOutage,
 };
 
 std::string_view FindingKindName(FindingKind kind);

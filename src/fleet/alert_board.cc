@@ -52,6 +52,11 @@ std::vector<FleetAlertRow> FleetAlertBoard::Board() const {
                      const int sa = static_cast<int>(a.episode.severity);
                      const int sb = static_cast<int>(b.episode.severity);
                      if (sa != sb) return sa > sb;  // critical first
+                     if (a.episode.group_outage != b.episode.group_outage) {
+                       // A line-down incident outranks any single-entity
+                       // episode of the same severity.
+                       return a.episode.group_outage;
+                     }
                      if (a.episode.peak_outlierness !=
                          b.episode.peak_outlierness) {
                        return a.episode.peak_outlierness >

@@ -44,8 +44,9 @@ class FleetAlertBoard {
   void ForgetPlant(const std::string& plant_id);
 
   /// The merged board: live rows first-class, archived rows flagged;
-  /// sorted by severity (critical first), then peak outlierness, then
-  /// (plant, entity) for a stable rendering.
+  /// sorted by severity (critical first), then group-outage rows before
+  /// single-entity ones, then peak outlierness, then (plant, entity) for
+  /// a stable rendering.
   std::vector<FleetAlertRow> Board() const;
 
   size_t live_plants() const;

@@ -38,6 +38,7 @@
 #include "stream/checkpoint.h"          // IWYU pragma: export
 #include "stream/engine.h"              // IWYU pragma: export
 #include "stream/health.h"              // IWYU pragma: export
+#include "stream/peer_group.h"          // IWYU pragma: export
 #include "timeseries/discrete_sequence.h"  // IWYU pragma: export
 #include "timeseries/rolling.h"         // IWYU pragma: export
 #include "timeseries/time_series.h"     // IWYU pragma: export

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <set>
 
 namespace hod::sim {
 
@@ -13,6 +14,7 @@ std::string_view FaultKindName(FaultKind kind) {
     case FaultKind::kGainDrift: return "gain-drift";
     case FaultKind::kDuplicate: return "duplicate";
     case FaultKind::kClockSkew: return "clock-skew";
+    case FaultKind::kLineOutage: return "line-outage";
   }
   return "?";
 }
@@ -20,6 +22,8 @@ std::string_view FaultKindName(FaultKind kind) {
 FaultInjector::FaultInjector(FaultInjectorOptions options)
     : options_(std::move(options)), rng_(options_.seed) {
   if (options_.kinds.empty()) {
+    // kLineOutage is deliberately absent: it only makes sense scheduled as
+    // a correlated group (AddLineOutage), not drawn sensor by sensor.
     options_.kinds = {FaultKind::kDropout,   FaultKind::kStuckAt,
                       FaultKind::kNaNBurst,  FaultKind::kGainDrift,
                       FaultKind::kDuplicate, FaultKind::kClockSkew};
@@ -83,6 +87,34 @@ Status FaultInjector::PlanRandom(const std::vector<std::string>& sensor_ids,
   return Status::Ok();
 }
 
+Status FaultInjector::AddLineOutage(
+    const std::vector<std::string>& sensor_ids, ts::TimePoint start,
+    double duration) {
+  if (sensor_ids.empty()) {
+    return Status::InvalidArgument("line outage needs at least one sensor");
+  }
+  std::set<std::string> distinct(sensor_ids.begin(), sensor_ids.end());
+  if (distinct.size() != sensor_ids.size()) {
+    return Status::InvalidArgument("duplicate sensor id in line outage");
+  }
+  // Validate everything before scheduling anything: a rejected call must
+  // not leave half a line faulted.
+  if (distinct.count("") > 0) {
+    return Status::InvalidArgument("empty sensor id");
+  }
+  if (!(duration > 0.0)) {
+    return Status::InvalidArgument("fault duration must be positive");
+  }
+  FaultProfile profile;
+  profile.kind = FaultKind::kLineOutage;
+  profile.start = start;
+  profile.duration = duration;
+  for (const std::string& sensor_id : sensor_ids) {
+    HOD_RETURN_IF_ERROR(AddFault(sensor_id, profile));
+  }
+  return Status::Ok();
+}
+
 std::vector<stream::SensorSample> FaultInjector::Apply(
     const stream::SensorSample& sample) {
   std::vector<stream::SensorSample> out;
@@ -98,6 +130,7 @@ std::vector<stream::SensorSample> FaultInjector::Apply(
     if (!Active(fault.profile, sample.ts)) continue;
     switch (fault.profile.kind) {
       case FaultKind::kDropout:
+      case FaultKind::kLineOutage:
         dropped = true;
         break;
       case FaultKind::kStuckAt:

@@ -25,6 +25,14 @@ enum class FaultKind {
   kGainDrift,  ///< multiplicative gain ramps away from 1 (decalibration)
   kDuplicate,  ///< every sample is delivered twice (at-least-once replay)
   kClockSkew,  ///< timestamps regress by a constant skew (bad clock)
+  /// Correlated infrastructure failure: every sensor of a line goes silent
+  /// over the same window (switch death, PLC reboot, severed trunk). Per
+  /// sensor it behaves like kDropout; the point is the shared interval —
+  /// ground truth for the engine's quarantine-onset correlation, which
+  /// should collapse the storm into one group-outage finding. Scheduled
+  /// via AddLineOutage, never drawn by PlanRandom (a random per-sensor
+  /// draw would destroy exactly the correlation the kind exists to model).
+  kLineOutage,
 };
 
 std::string_view FaultKindName(FaultKind kind);
@@ -88,6 +96,13 @@ class FaultInjector {
   /// [window_start, window_end). Deterministic for a fixed seed.
   Status PlanRandom(const std::vector<std::string>& sensor_ids, size_t count,
                     ts::TimePoint window_start, ts::TimePoint window_end);
+
+  /// Schedules one correlated kLineOutage across every listed sensor:
+  /// all of them go silent over the same [start, start+duration) window,
+  /// each with its own ground-truth interval. InvalidArgument on an empty
+  /// list, a duplicated id, an empty id, or a non-positive duration.
+  Status AddLineOutage(const std::vector<std::string>& sensor_ids,
+                       ts::TimePoint start, double duration);
 
   /// Transforms one clean sample into the samples the wire would deliver:
   /// empty (dropout), one (possibly corrupted), or two (duplicate).

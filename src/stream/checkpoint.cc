@@ -12,8 +12,13 @@ namespace bin = hierarchy::bin;
 /// v2: StreamStatsSnapshot gained rejected_closed and forward_failed.
 /// v3: OutlierFinding gained the escalated flag; StreamStatsSnapshot
 ///     gained the escalation and checkpoint counter block.
+/// v4: space-axis layer — peer-group state, the quarantine-onset
+///     correlation deque, and the open group outage; FindingKind gained
+///     kPeerDrift and kGroupOutage; StreamStatsSnapshot gained the
+///     peer_deviations / group_outages / group_outage_recoveries /
+///     suppressed_sensor_faults counters.
 constexpr uint32_t kMagic = 0x43444F48u;
-constexpr uint32_t kVersion = 3;
+constexpr uint32_t kVersion = 4;
 
 void WriteBool(std::ostream& os, bool value) {
   bin::WriteU8(os, value ? 1 : 0);
@@ -204,7 +209,7 @@ Status ReadFinding(std::istream& is, core::OutlierFinding& finding) {
   HOD_ASSIGN_OR_RETURN(
       finding.kind,
       ReadEnum<core::FindingKind>(
-          is, static_cast<uint8_t>(core::FindingKind::kSensorFault),
+          is, static_cast<uint8_t>(core::FindingKind::kGroupOutage),
           "finding kind"));
   HOD_ASSIGN_OR_RETURN(finding.origin.level, ReadLevel(is));
   HOD_ASSIGN_OR_RETURN(finding.origin.entity, bin::ReadString(is));
@@ -268,6 +273,10 @@ void WriteStats(std::ostream& os, const StreamStatsSnapshot& stats) {
   bin::WriteU64(os, stats.escalation_latency_us);
   bin::WriteU64(os, stats.checkpoints_written);
   bin::WriteU64(os, stats.checkpoint_failures);
+  bin::WriteU64(os, stats.peer_deviations);
+  bin::WriteU64(os, stats.group_outages);
+  bin::WriteU64(os, stats.group_outage_recoveries);
+  bin::WriteU64(os, stats.suppressed_sensor_faults);
   for (uint64_t count : stats.level_dropped) bin::WriteU64(os, count);
   for (uint64_t count : stats.level_rejected) bin::WriteU64(os, count);
   for (uint64_t count : stats.level_quarantined) bin::WriteU64(os, count);
@@ -301,6 +310,10 @@ Status ReadStats(std::istream& is, StreamStatsSnapshot& stats) {
   HOD_ASSIGN_OR_RETURN(stats.escalation_latency_us, bin::ReadU64(is));
   HOD_ASSIGN_OR_RETURN(stats.checkpoints_written, bin::ReadU64(is));
   HOD_ASSIGN_OR_RETURN(stats.checkpoint_failures, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(stats.peer_deviations, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(stats.group_outages, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(stats.group_outage_recoveries, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(stats.suppressed_sensor_faults, bin::ReadU64(is));
   for (uint64_t& count : stats.level_dropped) {
     HOD_ASSIGN_OR_RETURN(count, bin::ReadU64(is));
   }
@@ -318,6 +331,54 @@ Status ReadStats(std::istream& is, StreamStatsSnapshot& stats) {
 
 constexpr uint8_t kMaxPolicy =
     static_cast<uint8_t>(BackpressurePolicy::kBlockWithTimeout);
+
+void WriteQuarantined(std::ostream& os, const QuarantinedSensor& sensor) {
+  bin::WriteString(os, sensor.sensor_id);
+  WriteLevel(os, sensor.level);
+  bin::WriteF64(os, sensor.since);
+  bin::WriteU8(os, static_cast<uint8_t>(sensor.reason));
+}
+
+Status ReadQuarantined(std::istream& is, QuarantinedSensor& sensor) {
+  HOD_ASSIGN_OR_RETURN(sensor.sensor_id, bin::ReadString(is));
+  HOD_ASSIGN_OR_RETURN(sensor.level, ReadLevel(is));
+  HOD_ASSIGN_OR_RETURN(sensor.since, bin::ReadF64(is));
+  HOD_ASSIGN_OR_RETURN(
+      sensor.reason,
+      ReadEnum<HealthSignal>(is, static_cast<uint8_t>(HealthSignal::kStale),
+                             "health signal"));
+  return Status::Ok();
+}
+
+void WritePeerMember(std::ostream& os, const PeerMemberState& member) {
+  bin::WriteString(os, member.sensor_id);
+  WriteBool(os, member.has_last);
+  bin::WriteF64(os, member.last_ts);
+  bin::WriteF64(os, member.last_value);
+  WriteF64Vector(os, member.ring_ts);
+  WriteF64Vector(os, member.ring_residual);
+  bin::WriteU64(os, member.breach_streak);
+  bin::WriteU64(os, member.calm_streak);
+  WriteBool(os, member.fired);
+  bin::WriteU64(os, member.deviations);
+}
+
+Status ReadPeerMember(std::istream& is, PeerMemberState& member) {
+  HOD_ASSIGN_OR_RETURN(member.sensor_id, bin::ReadString(is));
+  HOD_ASSIGN_OR_RETURN(member.has_last, ReadBool(is));
+  HOD_ASSIGN_OR_RETURN(member.last_ts, bin::ReadF64(is));
+  HOD_ASSIGN_OR_RETURN(member.last_value, bin::ReadF64(is));
+  HOD_ASSIGN_OR_RETURN(member.ring_ts, ReadF64Vector(is));
+  HOD_ASSIGN_OR_RETURN(member.ring_residual, ReadF64Vector(is));
+  if (member.ring_ts.size() != member.ring_residual.size()) {
+    return Status::InvalidArgument("peer ring length mismatch");
+  }
+  HOD_ASSIGN_OR_RETURN(member.breach_streak, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(member.calm_streak, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(member.fired, ReadBool(is));
+  HOD_ASSIGN_OR_RETURN(member.deviations, bin::ReadU64(is));
+  return Status::Ok();
+}
 
 }  // namespace
 
@@ -359,6 +420,26 @@ Status WriteEngineCheckpoint(const EngineCheckpoint& checkpoint,
   bin::WriteU64(os, checkpoint.events_seen);
   bin::WriteU64(os, checkpoint.events_at_last_snapshot);
   bin::WriteU64(os, checkpoint.next_sequence);
+
+  bin::WriteU32(os, static_cast<uint32_t>(checkpoint.peer_groups.size()));
+  for (const PeerGroupState& group : checkpoint.peer_groups) {
+    bin::WriteString(os, group.group_id);
+    bin::WriteU32(os, static_cast<uint32_t>(group.members.size()));
+    for (const PeerMemberState& member : group.members) {
+      WritePeerMember(os, member);
+    }
+  }
+  bin::WriteU32(os, static_cast<uint32_t>(checkpoint.pending_faults.size()));
+  for (const QuarantinedSensor& sensor : checkpoint.pending_faults) {
+    WriteQuarantined(os, sensor);
+  }
+  WriteBool(os, checkpoint.outage_active);
+  bin::WriteF64(os, checkpoint.outage_since);
+  bin::WriteU32(os, static_cast<uint32_t>(checkpoint.outage_members.size()));
+  for (const std::string& member : checkpoint.outage_members) {
+    bin::WriteString(os, member);
+  }
+  bin::WriteF64(os, checkpoint.collector_frontier);
 
   bin::WriteU32(os, static_cast<uint32_t>(checkpoint.findings.size()));
   for (const core::OutlierFinding& finding : checkpoint.findings) {
@@ -440,6 +521,45 @@ StatusOr<EngineCheckpoint> ReadEngineCheckpoint(std::istream& is) {
   HOD_ASSIGN_OR_RETURN(checkpoint.events_seen, bin::ReadU64(is));
   HOD_ASSIGN_OR_RETURN(checkpoint.events_at_last_snapshot, bin::ReadU64(is));
   HOD_ASSIGN_OR_RETURN(checkpoint.next_sequence, bin::ReadU64(is));
+
+  HOD_ASSIGN_OR_RETURN(uint32_t num_groups, bin::ReadU32(is));
+  if (num_groups > (1u << 20)) {
+    return Status::InvalidArgument("implausible peer-group count");
+  }
+  checkpoint.peer_groups.reserve(num_groups);
+  for (uint32_t i = 0; i < num_groups; ++i) {
+    PeerGroupState group;
+    HOD_ASSIGN_OR_RETURN(group.group_id, bin::ReadString(is));
+    HOD_ASSIGN_OR_RETURN(uint32_t num_members, bin::ReadU32(is));
+    if (num_members > (1u << 20)) {
+      return Status::InvalidArgument("implausible peer-member count");
+    }
+    group.members.resize(num_members);
+    for (uint32_t j = 0; j < num_members; ++j) {
+      HOD_RETURN_IF_ERROR(ReadPeerMember(is, group.members[j]));
+    }
+    checkpoint.peer_groups.push_back(std::move(group));
+  }
+  HOD_ASSIGN_OR_RETURN(uint32_t num_pending, bin::ReadU32(is));
+  if (num_pending > (1u << 22)) {
+    return Status::InvalidArgument("implausible pending-fault count");
+  }
+  checkpoint.pending_faults.resize(num_pending);
+  for (uint32_t i = 0; i < num_pending; ++i) {
+    HOD_RETURN_IF_ERROR(ReadQuarantined(is, checkpoint.pending_faults[i]));
+  }
+  HOD_ASSIGN_OR_RETURN(checkpoint.outage_active, ReadBool(is));
+  HOD_ASSIGN_OR_RETURN(checkpoint.outage_since, bin::ReadF64(is));
+  HOD_ASSIGN_OR_RETURN(uint32_t num_outage_members, bin::ReadU32(is));
+  if (num_outage_members > (1u << 22)) {
+    return Status::InvalidArgument("implausible outage-member count");
+  }
+  checkpoint.outage_members.reserve(num_outage_members);
+  for (uint32_t i = 0; i < num_outage_members; ++i) {
+    HOD_ASSIGN_OR_RETURN(std::string member, bin::ReadString(is));
+    checkpoint.outage_members.push_back(std::move(member));
+  }
+  HOD_ASSIGN_OR_RETURN(checkpoint.collector_frontier, bin::ReadF64(is));
 
   HOD_ASSIGN_OR_RETURN(uint32_t num_findings, bin::ReadU32(is));
   if (num_findings > (1u << 24)) {

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -48,6 +49,16 @@ struct EngineCheckpoint {
   uint64_t events_seen = 0;
   uint64_t events_at_last_snapshot = 0;
   uint64_t next_sequence = 1;
+
+  /// Space-axis layer (v4): peer-group membership + rolling state, the
+  /// quarantine-onset correlation deque, and the open outage, if any.
+  std::vector<PeerGroupState> peer_groups;
+  std::vector<QuarantinedSensor> pending_faults;
+  bool outage_active = false;
+  ts::TimePoint outage_since = 0.0;
+  std::vector<std::string> outage_members;
+  ts::TimePoint collector_frontier =
+      -std::numeric_limits<ts::TimePoint>::infinity();
 
   /// Alert manager input (episodes are re-derived on demand).
   std::vector<core::OutlierFinding> findings;

@@ -49,8 +49,9 @@ StreamEngine::StreamEngine(StreamEngineOptions options)
       router_(EffectiveShards(options), options.out_of_order_tolerance,
               &stats_),
       health_(options.health, &stats_),
+      peers_(options.peer, &stats_),
       scorer_(MakeScorerOptions(options, this), &stats_, &collector_queue_,
-              &health_),
+              &health_, &peers_),
       checkpoint_gate_enabled_(!options.checkpoint_path.empty()),
       stalled_(EffectiveShards(options)) {
   for (auto& flag : stalled_) flag.store(0, std::memory_order_relaxed);
@@ -66,6 +67,40 @@ Status StreamEngine::AddSensor(const std::string& sensor_id,
   }
   HOD_RETURN_IF_ERROR(router_.AddSensor(sensor_id, level, policy));
   return health_.AddSensor(sensor_id, level);
+}
+
+Status StreamEngine::AddPeerGroup(const std::string& group_id,
+                                  const std::vector<std::string>& members) {
+  if (state_.load() != kConfiguring) {
+    return Status::FailedPrecondition("engine already started");
+  }
+  for (const std::string& member : members) {
+    if (!router_.Frontier(member).ok()) {
+      return Status::NotFound("peer group member not registered: " + member);
+    }
+  }
+  return peers_.AddGroup(group_id, members);
+}
+
+Status StreamEngine::AddPeerGroupsFromRegistry(
+    const hierarchy::SensorRegistry& registry) {
+  if (state_.load() != kConfiguring) {
+    return Status::FailedPrecondition("engine already started");
+  }
+  std::map<std::string, std::vector<std::string>> groups;
+  for (const std::string& id : registry.ids()) {
+    auto info_or = registry.Get(id);
+    if (!info_or.ok()) continue;
+    const hierarchy::SensorInfo& info = info_or.value();
+    if (info.redundancy_group.empty()) continue;
+    if (!router_.Frontier(id).ok()) continue;  // registry-only sensor
+    groups[info.redundancy_group].push_back(id);
+  }
+  for (const auto& [group_id, members] : groups) {
+    if (members.size() < 2) continue;
+    HOD_RETURN_IF_ERROR(peers_.AddGroup(group_id, members));
+  }
+  return Status::Ok();
 }
 
 Status StreamEngine::PopulateScorer() {
@@ -228,6 +263,8 @@ Status StreamEngine::Stop() {
   if (state == kConfiguring || options_.synchronous) {
     if (state == kRunning) {
       DrainCollectorQueueSync();
+      FlushPendingFaults();
+      IngestPendingFindings();
       PublishSnapshot();
     }
     if (pooled()) pooled_stopped_.store(true, std::memory_order_release);
@@ -265,6 +302,8 @@ Status StreamEngine::Stop() {
     }
     // Safe: the acquire loads above pair with the task's release exits, so
     // every collector-private write is visible here.
+    FlushPendingFaults();
+    IngestPendingFindings();
     PublishSnapshot();
     pooled_stopped_.store(true, std::memory_order_release);
     return Status::Ok();
@@ -423,6 +462,17 @@ Status StreamEngine::FillCheckpoint(EngineCheckpoint& checkpoint) const {
   checkpoint.events_at_last_snapshot = events_at_last_snapshot_;
   checkpoint.next_sequence = next_sequence_;
 
+  checkpoint.peer_groups = peers_.SaveState();
+  checkpoint.pending_faults.assign(pending_faults_.begin(),
+                                   pending_faults_.end());
+  checkpoint.outage_active = outage_.has_value();
+  if (outage_.has_value()) {
+    checkpoint.outage_since = outage_->since;
+    checkpoint.outage_members.assign(outage_->members.begin(),
+                                     outage_->members.end());
+  }
+  checkpoint.collector_frontier = collector_frontier_;
+
   {
     std::lock_guard<std::mutex> lock(alerts_mu_);
     checkpoint.findings = alerts_.Findings();
@@ -484,6 +534,29 @@ Status StreamEngine::ApplyCheckpoint(const EngineCheckpoint& checkpoint) {
   events_at_last_snapshot_ = checkpoint.events_at_last_snapshot;
   next_sequence_ = checkpoint.next_sequence;
 
+  // Peer-group membership travels in the checkpoint (it is configured via
+  // AddPeerGroup, not options), so re-register before restoring state.
+  for (const PeerGroupState& group : checkpoint.peer_groups) {
+    std::vector<std::string> members;
+    members.reserve(group.members.size());
+    for (const PeerMemberState& member : group.members) {
+      members.push_back(member.sensor_id);
+    }
+    HOD_RETURN_IF_ERROR(peers_.AddGroup(group.group_id, members));
+  }
+  HOD_RETURN_IF_ERROR(peers_.RestoreState(checkpoint.peer_groups));
+  pending_faults_.assign(checkpoint.pending_faults.begin(),
+                         checkpoint.pending_faults.end());
+  outage_.reset();
+  if (checkpoint.outage_active) {
+    ActiveOutage outage;
+    outage.since = checkpoint.outage_since;
+    outage.members.insert(checkpoint.outage_members.begin(),
+                          checkpoint.outage_members.end());
+    outage_ = std::move(outage);
+  }
+  collector_frontier_ = checkpoint.collector_frontier;
+
   {
     std::lock_guard<std::mutex> lock(alerts_mu_);
     alerts_.RestoreFindings(checkpoint.findings);
@@ -522,6 +595,11 @@ std::vector<core::AlertEpisode> StreamEngine::CalibrationQueue() const {
   return alerts_.CalibrationQueue();
 }
 
+std::vector<core::OutlierFinding> StreamEngine::Findings() const {
+  std::lock_guard<std::mutex> lock(alerts_mu_);
+  return alerts_.Findings();
+}
+
 StatusOr<SensorProbe> StreamEngine::Probe(const std::string& sensor_id) const {
   return scorer_.Probe(sensor_id);
 }
@@ -531,11 +609,7 @@ void StreamEngine::CollectorLoop() {
   batch.reserve(options_.max_batch);
   while (collector_queue_.PopBatch(batch, options_.max_batch)) {
     for (const ScoredSample& scored : batch) ConsumeScored(scored);
-    if (!pending_findings_.empty()) {
-      std::lock_guard<std::mutex> lock(alerts_mu_);
-      alerts_.IngestBatch(pending_findings_);
-      pending_findings_.clear();
-    }
+    IngestPendingFindings();
     // A drained queue is a quiescent point — publish so Flush() callers
     // observe a current snapshot. Publish BEFORE the release fetch_add:
     // that store is the edge a quiesced checkpointer (or Flush caller)
@@ -549,6 +623,8 @@ void StreamEngine::CollectorLoop() {
     collector_cv_.notify_all();
     batch.clear();
   }
+  FlushPendingFaults();
+  IngestPendingFindings();
   PublishSnapshot();
 }
 
@@ -619,11 +695,7 @@ void StreamEngine::CollectorDrainTask() {
       const size_t n = collector_queue_.TryPopBatch(batch, options_.max_batch);
       if (n == 0) break;
       for (const ScoredSample& scored : batch) ConsumeScored(scored);
-      if (!pending_findings_.empty()) {
-        std::lock_guard<std::mutex> lock(alerts_mu_);
-        alerts_.IngestBatch(pending_findings_);
-        pending_findings_.clear();
-      }
+      IngestPendingFindings();
       // Same ordering contract as CollectorLoop: publish BEFORE the
       // release fetch_add on collected_ — that store is the edge a
       // quiesced checkpointer or Flush caller acquires.
@@ -657,11 +729,14 @@ void StreamEngine::DrainCollectorQueueSync() {
     for (const ScoredSample& scored : forwarded) ConsumeScored(scored);
     forwarded.clear();
   }
-  if (!pending_findings_.empty()) {
-    std::lock_guard<std::mutex> lock(alerts_mu_);
-    alerts_.IngestBatch(pending_findings_);
-    pending_findings_.clear();
-  }
+  IngestPendingFindings();
+}
+
+void StreamEngine::IngestPendingFindings() {
+  if (pending_findings_.empty()) return;
+  std::lock_guard<std::mutex> lock(alerts_mu_);
+  alerts_.IngestBatch(pending_findings_);
+  pending_findings_.clear();
 }
 
 void StreamEngine::RecordIngestFault(const SensorSample& sample,
@@ -700,12 +775,21 @@ void StreamEngine::PushHealthEvent(const HealthTransition& transition) {
 
 void StreamEngine::ConsumeScored(const ScoredSample& scored) {
   ++events_seen_;
+  if (options_.peer.outage_min_sensors > 0) {
+    collector_frontier_ = std::max(collector_frontier_, scored.ts);
+    // Pending onsets age against the event clock; once the window has
+    // passed without the cluster forming, they were uncorrelated faults.
+    if (!outage_.has_value()) ExpirePendingFaults(collector_frontier_);
+  }
   switch (scored.kind) {
     case StreamEventKind::kSensorFault:
       ConsumeSensorFault(scored);
       break;
     case StreamEventKind::kSensorRecovered:
       ConsumeSensorRecovery(scored);
+      break;
+    case StreamEventKind::kPeerDeviation:
+      ConsumePeerDeviation(scored);
       break;
     case StreamEventKind::kScore: {
       const size_t level_index = StreamStats::LevelIndex(scored.level);
@@ -782,20 +866,113 @@ void StreamEngine::ConsumeSensorFault(const ScoredSample& event) {
     active_alarms_.erase(alarm_it);
   }
 
+  const QuarantinedSensor onset = it->second;
+  if (options_.peer.outage_min_sensors == 0) {
+    EmitSensorFaultFinding(onset);
+    return;
+  }
+  if (event.fault_reason != HealthSignal::kStale) {
+    // Only staleness onsets correlate: a NaN burst or a timestamp fault is
+    // sensor-local evidence, not an infrastructure signature.
+    EmitSensorFaultFinding(onset);
+    return;
+  }
+  if (outage_.has_value()) {
+    // The line is already down; this channel joined the incident instead
+    // of adding one more row to the storm.
+    outage_->members.insert(event.sensor_id);
+    stats_.RecordSuppressedSensorFault();
+    return;
+  }
+  pending_faults_.push_back(onset);
+  std::set<std::string> distinct;
+  for (const QuarantinedSensor& pending : pending_faults_) {
+    distinct.insert(pending.sensor_id);
+  }
+  if (distinct.size() >= options_.peer.outage_min_sensors) {
+    DeclareGroupOutage(event.ts);
+  }
+}
+
+void StreamEngine::EmitSensorFaultFinding(const QuarantinedSensor& onset) {
   core::OutlierFinding finding;
   finding.kind = core::FindingKind::kSensorFault;
-  finding.origin.level = event.level;
-  finding.origin.entity = event.sensor_id;
-  finding.origin.time = event.ts;
+  finding.origin.level = onset.level;
+  finding.origin.entity = onset.sensor_id;
+  finding.origin.time = onset.since;
   finding.origin.score = 1.0;
   finding.global_score = 1;
   finding.outlierness = 1.0;
   finding.support = 0.0;
   finding.corresponding_sensors = 0;
   finding.measurement_error_warning = true;
-  finding.confirmed_levels = {event.level};
+  finding.confirmed_levels = {onset.level};
   finding.warnings = {"sensor fault: " +
-                      std::string(HealthSignalName(event.fault_reason))};
+                      std::string(HealthSignalName(onset.reason))};
+  pending_findings_.push_back(std::move(finding));
+}
+
+void StreamEngine::DeclareGroupOutage(ts::TimePoint ts) {
+  ActiveOutage outage;
+  outage.since = ts;
+  for (const QuarantinedSensor& pending : pending_faults_) {
+    outage.members.insert(pending.sensor_id);
+    stats_.RecordSuppressedSensorFault();
+  }
+  pending_faults_.clear();
+  const size_t affected = outage.members.size();
+  outage_ = std::move(outage);
+  stats_.RecordGroupOutage();
+
+  core::OutlierFinding finding;
+  finding.kind = core::FindingKind::kGroupOutage;
+  finding.origin.level = hierarchy::ProductionLevel::kProduction;
+  finding.origin.entity = options_.peer.outage_entity;
+  finding.origin.time = ts;
+  finding.origin.score = 1.0;
+  finding.global_score = 1;
+  finding.outlierness = 1.0;
+  finding.support = 0.0;
+  finding.corresponding_sensors = 0;
+  finding.confirmed_levels = {hierarchy::ProductionLevel::kProduction};
+  finding.warnings = {"group outage: " + std::to_string(affected) +
+                      " sensors went stale within " +
+                      std::to_string(options_.peer.outage_window) + "s"};
+  pending_findings_.push_back(std::move(finding));
+}
+
+void StreamEngine::ExpirePendingFaults(ts::TimePoint now) {
+  while (!pending_faults_.empty() &&
+         now - pending_faults_.front().since > options_.peer.outage_window) {
+    EmitSensorFaultFinding(pending_faults_.front());
+    pending_faults_.pop_front();
+  }
+}
+
+void StreamEngine::FlushPendingFaults() {
+  for (const QuarantinedSensor& pending : pending_faults_) {
+    EmitSensorFaultFinding(pending);
+  }
+  pending_faults_.clear();
+}
+
+void StreamEngine::ConsumePeerDeviation(const ScoredSample& event) {
+  const double strength = std::max(event.peer_value_z, event.peer_slope_z);
+  core::OutlierFinding finding;
+  finding.kind = core::FindingKind::kPeerDrift;
+  finding.origin.level = event.level;
+  finding.origin.entity = event.sensor_id;
+  finding.origin.time = event.ts;
+  finding.origin.score = strength;
+  finding.global_score = 1;
+  finding.outlierness = std::min(1.0, strength / 10.0);
+  finding.support = 0.0;
+  finding.corresponding_sensors = 0;
+  finding.measurement_error_warning = true;
+  finding.confirmed_levels = {event.level};
+  finding.warnings = {"peer drift: group " + event.peer_group +
+                      " value_z=" + std::to_string(event.peer_value_z) +
+                      " slope_z=" + std::to_string(event.peer_slope_z)};
   pending_findings_.push_back(std::move(finding));
 }
 
@@ -806,6 +983,15 @@ void StreamEngine::ConsumeSensorRecovery(const ScoredSample& event) {
   LevelOutlierState& level = levels_[level_index];
   if (level.quarantined_sensors > 0) --level.quarantined_sensors;
   quarantined_.erase(it);
+  if (outage_.has_value()) {
+    outage_->members.erase(event.sensor_id);
+    if (outage_->members.empty()) {
+      // Every affected channel reported back — the incident is over and
+      // the (frozen, not poisoned) baselines resume from where they were.
+      outage_.reset();
+      stats_.RecordGroupOutageRecovery();
+    }
+  }
 }
 
 void StreamEngine::PublishSnapshot() {
@@ -820,6 +1006,12 @@ void StreamEngine::PublishSnapshot() {
   snapshot.quarantined.reserve(quarantined_.size());
   for (const auto& [id, sensor] : quarantined_) {
     snapshot.quarantined.push_back(sensor);
+  }
+  if (outage_.has_value()) {
+    snapshot.group_outage_active = true;
+    snapshot.group_outage_entity = options_.peer.outage_entity;
+    snapshot.group_outage_since = outage_->since;
+    snapshot.group_outage_sensors = outage_->members.size();
   }
   events_at_last_snapshot_ = events_seen_;
   std::lock_guard<std::mutex> lock(snapshot_mu_);

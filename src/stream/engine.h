@@ -6,12 +6,15 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <iosfwd>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <thread>
@@ -21,6 +24,7 @@
 #include "core/monitor.h"
 #include "hierarchy/level.h"
 #include "stream/health.h"
+#include "stream/peer_group.h"
 #include "stream/queue.h"
 #include "stream/router.h"
 #include "stream/sharded_scorer.h"
@@ -70,6 +74,11 @@ struct StreamEngineOptions {
   /// Sensor health FSM thresholds (set health.enabled = false to run
   /// without the fault-tolerance layer).
   SensorHealthOptions health;
+  /// Space-axis comparison layer (stream/peer_group.h): peer-group
+  /// deviation scoring plus quarantine-onset correlation. Inert until
+  /// groups are registered via AddPeerGroup / AddPeerGroupsFromRegistry;
+  /// outage correlation stays off until peer.outage_min_sensors > 0.
+  PeerGroupOptions peer;
   /// Synchronous mode: run the staleness sweep every this many accepted
   /// samples. Threaded mode sweeps on the watchdog cadence instead.
   size_t health_sweep_every = 256;
@@ -170,6 +179,11 @@ struct EngineSnapshot {
   std::vector<ActiveAlarm> active_alarms;
   /// Sensors quarantined right now, sorted by id.
   std::vector<QuarantinedSensor> quarantined;
+  /// Quarantine-onset correlation: a declared, still-open group outage.
+  bool group_outage_active = false;
+  std::string group_outage_entity;
+  ts::TimePoint group_outage_since = 0.0;
+  uint64_t group_outage_sensors = 0;
 };
 
 /// Aggregate result of one escalation pass (one snapshot diff), reported
@@ -217,6 +231,16 @@ class StreamEngine {
                    hierarchy::ProductionLevel level =
                        hierarchy::ProductionLevel::kPhase,
                    std::optional<BackpressurePolicy> policy = std::nullopt);
+
+  /// Registers a redundancy group for space-axis comparison. Every member
+  /// must already be registered via AddSensor. Call before Start().
+  Status AddPeerGroup(const std::string& group_id,
+                      const std::vector<std::string>& members);
+
+  /// Registers every redundancy group of `registry` with at least two
+  /// engine-registered members (sensors the registry knows but the engine
+  /// does not are skipped, as are singleton groups). Call before Start().
+  Status AddPeerGroupsFromRegistry(const hierarchy::SensorRegistry& registry);
 
   /// Seals the registry and (threaded mode) spawns workers + collector +
   /// watchdog.
@@ -295,6 +319,19 @@ class StreamEngine {
     return health_.Transitions();
   }
 
+  /// Every fired space-axis (peer-group) deviation so far, in fire order —
+  /// the fail-slow audit trail bench_failslow measures lead time against.
+  std::vector<PeerDeviation> PeerDeviations() const {
+    return peers_.Deviations();
+  }
+
+  size_t num_peer_groups() const { return peers_.num_groups(); }
+
+  /// Raw findings ingested into the alert board so far (stream alarms,
+  /// sensor faults, peer drifts, group outages, escalations), in arrival
+  /// order. Thread-safe.
+  std::vector<core::OutlierFinding> Findings() const;
+
   /// Alert episodes built from forwarded outlier findings.
   std::vector<core::AlertEpisode> Episodes() const;
 
@@ -357,6 +394,21 @@ class StreamEngine {
   /// Converts a quarantine entry into a kSensorFault finding + bookkeeping.
   void ConsumeSensorFault(const ScoredSample& event);
   void ConsumeSensorRecovery(const ScoredSample& event);
+  /// Converts a fired peer deviation into a kPeerDrift finding.
+  void ConsumePeerDeviation(const ScoredSample& event);
+  /// Quarantine-onset correlation (collector-private). With correlation
+  /// off (peer.outage_min_sensors == 0) every quarantine emits its own
+  /// kSensorFault finding immediately; with it on, staleness onsets are
+  /// held in `pending_faults_` and either cluster into one kGroupOutage
+  /// finding or expire into individual findings.
+  void EmitSensorFaultFinding(const QuarantinedSensor& onset);
+  void DeclareGroupOutage(ts::TimePoint ts);
+  void ExpirePendingFaults(ts::TimePoint now);
+  /// End-of-stream: emit every still-pending onset individually (they
+  /// never clustered; losing them would hide real sensor faults).
+  void FlushPendingFaults();
+  /// Moves pending_findings_ into the alert manager (takes alerts_mu_).
+  void IngestPendingFindings();
 
   Status FillCheckpoint(EngineCheckpoint& checkpoint) const;
   Status ApplyCheckpoint(const EngineCheckpoint& checkpoint);
@@ -366,6 +418,7 @@ class StreamEngine {
   BoundedQueue<ScoredSample> collector_queue_;
   IngestRouter router_;
   SensorHealthTracker health_;
+  PeerGroupMonitor peers_;
   ShardedScorer scorer_;
   std::jthread collector_;
   std::jthread watchdog_;
@@ -406,6 +459,17 @@ class StreamEngine {
   std::array<LevelOutlierState, hierarchy::kNumLevels> levels_{};
   std::map<std::string, ActiveAlarm> active_alarms_;
   std::map<std::string, QuarantinedSensor> quarantined_;
+  /// Quarantine-onset correlation state (collector-private, like the
+  /// aggregates above). `collector_frontier_` is the max event timestamp
+  /// consumed so far — the clock pending onsets expire against.
+  struct ActiveOutage {
+    ts::TimePoint since = 0.0;
+    std::set<std::string> members;
+  };
+  std::deque<QuarantinedSensor> pending_faults_;
+  std::optional<ActiveOutage> outage_;
+  ts::TimePoint collector_frontier_ =
+      -std::numeric_limits<ts::TimePoint>::infinity();
   uint64_t events_seen_ = 0;
   uint64_t events_at_last_snapshot_ = 0;
   uint64_t next_sequence_ = 1;

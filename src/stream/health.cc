@@ -31,7 +31,8 @@ SensorHealthTracker::SensorHealthTracker(SensorHealthOptions options,
                                          StreamStats* stats)
     : options_(options),
       stats_(stats),
-      frontier_(-std::numeric_limits<ts::TimePoint>::infinity()) {}
+      frontier_(-std::numeric_limits<ts::TimePoint>::infinity()),
+      last_sweep_frontier_(-std::numeric_limits<ts::TimePoint>::infinity()) {}
 
 Status SensorHealthTracker::AddSensor(const std::string& sensor_id,
                                       hierarchy::ProductionLevel level) {
@@ -211,6 +212,14 @@ std::vector<HealthTransition> SensorHealthTracker::SweepStale() {
   }
   const ts::TimePoint frontier = frontier_.load(std::memory_order_relaxed);
   if (!std::isfinite(frontier)) return transitions;
+  // No ingest advanced stream time since the previous sweep: the whole
+  // plant is paused, and "lagging the frontier" carries no information.
+  // Without this gate, a quiesced engine (checkpoint, Stop, or an idle
+  // restored one) would quarantine every channel on the watchdog cadence.
+  if (frontier <= last_sweep_frontier_.load(std::memory_order_relaxed)) {
+    return transitions;
+  }
+  last_sweep_frontier_.store(frontier, std::memory_order_relaxed);
   for (auto& [sensor_id, entry] : sensors_) {
     std::lock_guard<std::mutex> lock(entry->mu);
     // A sensor that has never reported is absent, not stale: quarantining
@@ -297,6 +306,13 @@ Status SensorHealthTracker::RestoreState(
     entry.quarantines = status.quarantines;
     if (status.has_last_value) AdvanceFrontier(status.last_seen_ts);
   }
+  // A restored engine resumes with the frontier where the checkpoint left
+  // it. Treat that as already swept: quarantine decisions belong to fresh
+  // ingest advancing stream time, not to the restart itself (a victim
+  // already lagging at checkpoint time would otherwise be quarantined by
+  // the first wall-clock sweep of an idle restored engine).
+  last_sweep_frontier_.store(frontier_.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
   return Status::Ok();
 }
 

@@ -160,7 +160,11 @@ class SensorHealthTracker {
   /// Quarantines every sensor whose last accepted sample lags the global
   /// frontier beyond the staleness timeout (collector thread / snapshot
   /// cadence). Sensors that have never reported are skipped — absent is
-  /// not stale. Returns the transitions performed.
+  /// not stale. A sweep only runs when the frontier has advanced since
+  /// the previous one: staleness means "the rest of the plant moved on
+  /// without you", so a paused stream (engine quiesced for checkpoint or
+  /// Stop, or simply idle) must not age its channels toward quarantine.
+  /// Returns the transitions performed.
   std::vector<HealthTransition> SweepStale();
 
   /// Current state of one sensor (kHealthy for unknown ids).
@@ -216,6 +220,9 @@ class SensorHealthTracker {
   /// std::map: deterministic iteration for snapshots and checkpoints.
   std::map<std::string, std::unique_ptr<Entry>> sensors_;
   std::atomic<ts::TimePoint> frontier_;
+  /// Frontier value at the end of the last staleness sweep — the gate that
+  /// keeps wall-clock sweep cadences from quarantining a paused stream.
+  std::atomic<ts::TimePoint> last_sweep_frontier_;
 
   mutable std::mutex log_mu_;
   std::vector<HealthTransition> log_;

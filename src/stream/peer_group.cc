@@ -1,0 +1,289 @@
+#include "stream/peer_group.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace hod::stream {
+
+namespace {
+
+double MedianInPlace(std::vector<double>& values) {
+  const size_t n = values.size();
+  const size_t mid = n / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  const double upper = values[mid];
+  if (n % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+}  // namespace
+
+PeerGroupMonitor::PeerGroupMonitor(PeerGroupOptions options,
+                                   StreamStats* stats)
+    : options_(std::move(options)), stats_(stats) {
+  if (options_.window == 0) options_.window = 1;
+  if (options_.warmup == 0) options_.warmup = 1;
+  if (options_.warmup > options_.window) options_.warmup = options_.window;
+  if (options_.deviation_after == 0) options_.deviation_after = 1;
+}
+
+Status PeerGroupMonitor::AddGroup(const std::string& group_id,
+                                  const std::vector<std::string>& members) {
+  if (group_id.empty()) return Status::InvalidArgument("empty group id");
+  std::set<std::string> distinct(members.begin(), members.end());
+  distinct.erase(std::string{});
+  if (distinct.size() < 2) {
+    return Status::InvalidArgument(
+        "peer group needs at least two distinct members: " + group_id);
+  }
+  if (groups_.find(group_id) != groups_.end()) {
+    return Status::InvalidArgument("peer group already registered: " +
+                                   group_id);
+  }
+  auto group = std::make_unique<Group>();
+  group->group_id = group_id;
+  group->members.reserve(distinct.size());
+  for (const std::string& sensor_id : distinct) {
+    group->member_index[sensor_id] = group->members.size();
+    Member member;
+    member.sensor_id = sensor_id;
+    group->members.push_back(std::move(member));
+  }
+  Group* raw = group.get();
+  groups_.emplace(group_id, std::move(group));
+  for (const auto& [sensor_id, slot] : raw->member_index) {
+    index_[sensor_id].emplace_back(raw, slot);
+  }
+  return Status::Ok();
+}
+
+Status PeerGroupMonitor::AddGroupsFromRegistry(
+    const hierarchy::SensorRegistry& registry) {
+  std::map<std::string, std::vector<std::string>> by_group;
+  for (const std::string& id : registry.ids()) {
+    HOD_ASSIGN_OR_RETURN(hierarchy::SensorInfo info, registry.Get(id));
+    if (info.redundancy_group.empty()) continue;
+    by_group[info.redundancy_group].push_back(id);
+  }
+  for (const auto& [group_id, members] : by_group) {
+    if (members.size() < 2) continue;  // singleton groups have no peers
+    HOD_RETURN_IF_ERROR(AddGroup(group_id, members));
+  }
+  return Status::Ok();
+}
+
+void PeerGroupMonitor::LogDeviation(const PeerDeviation& deviation) {
+  if (stats_ != nullptr) stats_->RecordPeerDeviation();
+  std::lock_guard<std::mutex> lock(log_mu_);
+  log_.push_back(deviation);
+}
+
+std::optional<PeerDeviation> PeerGroupMonitor::Observe(
+    const std::string& sensor_id, hierarchy::ProductionLevel level,
+    ts::TimePoint ts, double value) {
+  if (!options_.enabled) return std::nullopt;
+  auto it = index_.find(sensor_id);
+  if (it == index_.end()) return std::nullopt;
+  std::optional<PeerDeviation> strongest;
+  for (const auto& [group, slot] : it->second) {
+    std::lock_guard<std::mutex> lock(group->mu);
+    std::optional<PeerDeviation> fired =
+        ObserveInGroup(*group, slot, level, ts, value);
+    if (!fired.has_value()) continue;
+    if (!strongest.has_value() ||
+        std::max(fired->value_z, fired->slope_z) >
+            std::max(strongest->value_z, strongest->slope_z)) {
+      strongest = std::move(fired);
+    }
+  }
+  if (strongest.has_value()) LogDeviation(*strongest);
+  return strongest;
+}
+
+std::optional<PeerDeviation> PeerGroupMonitor::ObserveInGroup(
+    Group& group, size_t member_index, hierarchy::ProductionLevel level,
+    ts::TimePoint ts, double value) {
+  Member& self = group.members[member_index];
+  // Reference: the median of the OTHER members' latest values, freshness-
+  // gated so a silent peer cannot anchor the group at a stale level.
+  std::vector<double> peers;
+  peers.reserve(group.members.size() - 1);
+  for (size_t i = 0; i < group.members.size(); ++i) {
+    if (i == member_index) continue;
+    const Member& peer = group.members[i];
+    if (!peer.has_last) continue;
+    if (ts - peer.last_ts > options_.peer_freshness) continue;
+    peers.push_back(peer.last_value);
+  }
+  self.has_last = true;
+  self.last_ts = ts;
+  self.last_value = value;
+  if (peers.size() < options_.min_peers) return std::nullopt;
+
+  const double residual = value - MedianInPlace(peers);
+
+  std::optional<PeerDeviation> fired;
+  if (self.ring_residual.size() >= options_.warmup) {
+    std::vector<double> ring(self.ring_residual.begin(),
+                             self.ring_residual.end());
+    const double med = MedianInPlace(ring);
+    for (double& r : ring) r = std::fabs(r - med);
+    // 1.4826: MAD -> sigma under normality, so deviation_z reads as a
+    // familiar z threshold.
+    const double scale =
+        std::max(1.4826 * MedianInPlace(ring), options_.min_scale);
+    const double value_z = std::fabs(residual - med) / scale;
+
+    // Drift test: OLS slope of the residual ring over stream time,
+    // expressed as total drift across the window in scale units. The
+    // denominator is the MAD of the residuals around the FITTED line, not
+    // the raw ring: a sustained ramp inflates the raw MAD in proportion
+    // to its own slope, capping a raw-scaled statistic at a constant
+    // (~2.7 for a pure ramp) no matter how steep the drift. Detrending
+    // leaves only the noise floor below the fraction line, so the
+    // statistic grows with the drift instead of saturating.
+    double slope_stat = 0.0;
+    const size_t n = self.ring_residual.size();
+    const double span = self.ring_ts.back() - self.ring_ts.front();
+    if (n >= 3 && span > 0.0) {
+      double mean_t = 0.0, mean_r = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        mean_t += self.ring_ts[i];
+        mean_r += self.ring_residual[i];
+      }
+      mean_t /= static_cast<double>(n);
+      mean_r /= static_cast<double>(n);
+      double num = 0.0, den = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double dt = self.ring_ts[i] - mean_t;
+        num += dt * (self.ring_residual[i] - mean_r);
+        den += dt * dt;
+      }
+      if (den > 0.0) {
+        const double slope = num / den;
+        std::vector<double> detrended(n);
+        for (size_t i = 0; i < n; ++i) {
+          detrended[i] = self.ring_residual[i] - mean_r -
+                         slope * (self.ring_ts[i] - mean_t);
+        }
+        std::vector<double> spread = detrended;
+        const double med_e = MedianInPlace(spread);
+        for (size_t i = 0; i < n; ++i) {
+          spread[i] = std::fabs(detrended[i] - med_e);
+        }
+        const double noise_scale =
+            std::max(1.4826 * MedianInPlace(spread), options_.min_scale);
+        slope_stat = std::fabs(slope) * span / noise_scale;
+      }
+    }
+
+    const bool breach =
+        value_z > options_.deviation_z || slope_stat > options_.slope_z;
+    if (breach) {
+      self.calm_streak = 0;
+      ++self.breach_streak;
+      if (self.breach_streak >= options_.deviation_after && !self.fired) {
+        self.fired = true;
+        ++self.deviations;
+        PeerDeviation deviation;
+        deviation.sensor_id = self.sensor_id;
+        deviation.group_id = group.group_id;
+        deviation.level = level;
+        deviation.ts = ts;
+        deviation.value = value;
+        deviation.residual = residual;
+        deviation.value_z = value_z;
+        deviation.slope_z = slope_stat;
+        fired = std::move(deviation);
+      }
+    } else {
+      self.breach_streak = 0;
+      ++self.calm_streak;
+      if (self.fired && self.calm_streak >= options_.rearm_streak) {
+        self.fired = false;
+      }
+    }
+  }
+
+  self.ring_ts.push_back(ts);
+  self.ring_residual.push_back(residual);
+  while (self.ring_residual.size() > options_.window) {
+    self.ring_ts.pop_front();
+    self.ring_residual.pop_front();
+  }
+  return fired;
+}
+
+std::vector<PeerDeviation> PeerGroupMonitor::Deviations() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return log_;
+}
+
+std::vector<PeerGroupState> PeerGroupMonitor::SaveState() const {
+  std::vector<PeerGroupState> out;
+  out.reserve(groups_.size());
+  for (const auto& [group_id, group] : groups_) {
+    std::lock_guard<std::mutex> lock(group->mu);
+    PeerGroupState state;
+    state.group_id = group_id;
+    state.members.reserve(group->members.size());
+    for (const Member& member : group->members) {
+      PeerMemberState ms;
+      ms.sensor_id = member.sensor_id;
+      ms.has_last = member.has_last;
+      ms.last_ts = member.last_ts;
+      ms.last_value = member.last_value;
+      ms.ring_ts.assign(member.ring_ts.begin(), member.ring_ts.end());
+      ms.ring_residual.assign(member.ring_residual.begin(),
+                              member.ring_residual.end());
+      ms.breach_streak = member.breach_streak;
+      ms.calm_streak = member.calm_streak;
+      ms.fired = member.fired;
+      ms.deviations = member.deviations;
+      state.members.push_back(std::move(ms));
+    }
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+
+Status PeerGroupMonitor::RestoreState(
+    const std::vector<PeerGroupState>& groups) {
+  for (const PeerGroupState& state : groups) {
+    auto it = groups_.find(state.group_id);
+    if (it == groups_.end()) {
+      return Status::NotFound("peer state for unregistered group: " +
+                              state.group_id);
+    }
+    Group& group = *it->second;
+    std::lock_guard<std::mutex> lock(group.mu);
+    for (const PeerMemberState& ms : state.members) {
+      auto slot = group.member_index.find(ms.sensor_id);
+      if (slot == group.member_index.end()) {
+        return Status::NotFound("peer state for unregistered member: " +
+                                ms.sensor_id + " in " + state.group_id);
+      }
+      if (ms.ring_ts.size() != ms.ring_residual.size()) {
+        return Status::InvalidArgument("peer ring length mismatch for " +
+                                       ms.sensor_id);
+      }
+      Member& member = group.members[slot->second];
+      member.has_last = ms.has_last;
+      member.last_ts = ms.last_ts;
+      member.last_value = ms.last_value;
+      member.ring_ts.assign(ms.ring_ts.begin(), ms.ring_ts.end());
+      member.ring_residual.assign(ms.ring_residual.begin(),
+                                  ms.ring_residual.end());
+      member.breach_streak = ms.breach_streak;
+      member.calm_streak = ms.calm_streak;
+      member.fired = ms.fired;
+      member.deviations = ms.deviations;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace hod::stream

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "stream/peer_group.h"
 #include "util/thread_pool.h"
 
 namespace hod::stream {
@@ -9,11 +10,13 @@ namespace hod::stream {
 ShardedScorer::ShardedScorer(const ShardedScorerOptions& options,
                              StreamStats* stats,
                              BoundedQueue<ScoredSample>* collector,
-                             SensorHealthTracker* health)
+                             SensorHealthTracker* health,
+                             PeerGroupMonitor* peers)
     : options_(options),
       stats_(stats),
       collector_(collector),
-      health_(health) {
+      health_(health),
+      peers_(peers) {
   const size_t n = options_.num_shards == 0 ? 1 : options_.num_shards;
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -180,6 +183,7 @@ StatusOr<InlineScore> ShardedScorer::ScoreNow(size_t shard,
   if (!gate.score) return result;  // quarantined: withheld from the monitor
   HOD_ASSIGN_OR_RETURN(result.update, it->second.Push(sample.value));
   result.scored = true;
+  ObservePeers(sample, gate.forward);
   const core::MonitorUpdate& update = result.update;
   if (stats_ != nullptr) {
     stats_->RecordScored(1);
@@ -434,6 +438,23 @@ void ShardedScorer::ForwardEvent(StreamEventKind kind,
   ForwardToCollector(std::move(event));
 }
 
+void ShardedScorer::ObservePeers(const SensorSample& sample, bool forward) {
+  if (peers_ == nullptr || !peers_->enabled()) return;
+  std::optional<PeerDeviation> fired =
+      peers_->Observe(sample.sensor_id, sample.level, sample.ts, sample.value);
+  if (!fired.has_value() || collector_ == nullptr || !forward) return;
+  ScoredSample event;
+  event.kind = StreamEventKind::kPeerDeviation;
+  event.sensor_id = sample.sensor_id;
+  event.level = sample.level;
+  event.ts = sample.ts;
+  event.value = sample.value;
+  event.peer_group = fired->group_id;
+  event.peer_value_z = fired->value_z;
+  event.peer_slope_z = fired->slope_z;
+  ForwardToCollector(std::move(event));
+}
+
 void ShardedScorer::ForwardToCollector(ScoredSample event) {
   if (collector_ == nullptr) return;
   Status status = collector_->Push(std::move(event));
@@ -456,6 +477,7 @@ bool ShardedScorer::ScoreOne(Shard& shard, SensorSample& sample) {
   if (!gate.score) return false;  // quarantined: withheld from the monitor
   auto update_or = it->second.Push(sample.value);
   if (!update_or.ok()) return false;  // router already filtered non-finites
+  ObservePeers(sample, gate.forward);
   const core::MonitorUpdate& update = update_or.value();
   // Recovering sensors feed their monitor (to re-warm the baseline) but
   // their updates are withheld from the collector — and from the alarm

@@ -29,13 +29,18 @@ class ThreadPool;
 
 namespace hod::stream {
 
+class PeerGroupMonitor;
+
 /// What one collector event means. Score events carry a monitor verdict;
 /// health events mark a sensor entering quarantine (the stream tier's
-/// measurement-error verdict) or completing recovery.
+/// measurement-error verdict) or completing recovery; peer-deviation
+/// events mark a channel drifting away from its redundancy group (the
+/// space-axis verdict — see stream/peer_group.h).
 enum class StreamEventKind {
   kScore,
   kSensorFault,
   kSensorRecovered,
+  kPeerDeviation,
 };
 
 /// A scored sample forwarded to the collector: the original reading plus
@@ -52,6 +57,11 @@ struct ScoredSample {
   core::MonitorUpdate update;
   /// Set on kSensorFault events: what tripped the quarantine.
   HealthSignal fault_reason = HealthSignal::kClean;
+  /// Set on kPeerDeviation events: the redundancy group the channel broke
+  /// from, and the robust deviation / slope statistics that fired.
+  std::string peer_group;
+  double peer_value_z = 0.0;
+  double peer_slope_z = 0.0;
 };
 
 /// Read-only view of one sensor's monitor, for tests and diagnostics.
@@ -118,12 +128,16 @@ struct ShardedScorerOptions {
 /// per-sensor mutex acquisition per sample).
 class ShardedScorer {
  public:
-  /// `stats`, `collector`, and `health` must outlive the scorer.
+  /// `stats`, `collector`, `health`, and `peers` must outlive the scorer.
   /// `collector` receives forwarded ScoredSamples and may be nullptr
-  /// (forwarding disabled); `health` may be nullptr (no health gating).
+  /// (forwarding disabled); `health` may be nullptr (no health gating);
+  /// `peers` may be nullptr (no peer-group comparison). Peer observation
+  /// happens on the scoring thread, after the health gate: a quarantined
+  /// channel's samples never move its peers' reference medians.
   ShardedScorer(const ShardedScorerOptions& options, StreamStats* stats,
                 BoundedQueue<ScoredSample>* collector,
-                SensorHealthTracker* health);
+                SensorHealthTracker* health,
+                PeerGroupMonitor* peers = nullptr);
   ~ShardedScorer();
 
   ShardedScorer(const ShardedScorer&) = delete;
@@ -251,11 +265,16 @@ class ShardedScorer {
   HealthGateResult HealthGate(const SensorSample& sample);
   void ForwardEvent(StreamEventKind kind, const SensorSample& sample,
                     HealthSignal reason);
+  /// Feeds one health-admitted sample to the peer-group monitor; a fired
+  /// deviation is forwarded to the collector when `forward` allows it (a
+  /// recovering channel still updates its peer state silently).
+  void ObservePeers(const SensorSample& sample, bool forward);
 
   ShardedScorerOptions options_;
   StreamStats* stats_;
   BoundedQueue<ScoredSample>* collector_;
   SensorHealthTracker* health_;
+  PeerGroupMonitor* peers_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Executor mode: pooled drain tasks currently submitted or running.
   /// Stop() waits for zero (release on task exit / acquire in the wait)

@@ -64,6 +64,12 @@ StreamStatsSnapshot StreamStats::Snapshot() const {
       checkpoints_written_.load(std::memory_order_relaxed);
   snapshot.checkpoint_failures =
       checkpoint_failures_.load(std::memory_order_relaxed);
+  snapshot.peer_deviations = peer_deviations_.load(std::memory_order_relaxed);
+  snapshot.group_outages = group_outages_.load(std::memory_order_relaxed);
+  snapshot.group_outage_recoveries =
+      group_outage_recoveries_.load(std::memory_order_relaxed);
+  snapshot.suppressed_sensor_faults =
+      suppressed_sensor_faults_.load(std::memory_order_relaxed);
   for (int i = 0; i < hierarchy::kNumLevels; ++i) {
     snapshot.level_dropped[i] = level_dropped_[i].load(std::memory_order_relaxed);
     snapshot.level_rejected[i] =
@@ -126,6 +132,12 @@ void StreamStats::Restore(const StreamStatsSnapshot& snapshot) {
                              std::memory_order_relaxed);
   checkpoint_failures_.store(snapshot.checkpoint_failures,
                              std::memory_order_relaxed);
+  peer_deviations_.store(snapshot.peer_deviations, std::memory_order_relaxed);
+  group_outages_.store(snapshot.group_outages, std::memory_order_relaxed);
+  group_outage_recoveries_.store(snapshot.group_outage_recoveries,
+                                 std::memory_order_relaxed);
+  suppressed_sensor_faults_.store(snapshot.suppressed_sensor_faults,
+                                  std::memory_order_relaxed);
   for (int i = 0; i < hierarchy::kNumLevels; ++i) {
     level_dropped_[i].store(snapshot.level_dropped[i],
                             std::memory_order_relaxed);
@@ -168,6 +180,10 @@ StreamStatsSnapshot& StreamStatsSnapshot::operator+=(
   escalation_latency_us += other.escalation_latency_us;
   checkpoints_written += other.checkpoints_written;
   checkpoint_failures += other.checkpoint_failures;
+  peer_deviations += other.peer_deviations;
+  group_outages += other.group_outages;
+  group_outage_recoveries += other.group_outage_recoveries;
+  suppressed_sensor_faults += other.suppressed_sensor_faults;
   for (int i = 0; i < hierarchy::kNumLevels; ++i) {
     level_dropped[i] += other.level_dropped[i];
     level_rejected[i] += other.level_rejected[i];
@@ -222,6 +238,10 @@ std::string StreamStatsSnapshot::ToString() const {
       << " latency_us=" << escalation_latency_us
       << " checkpoints=" << checkpoints_written
       << " checkpoint_failures=" << checkpoint_failures << "\n";
+  out << "peer: deviations=" << peer_deviations
+      << " group_outages=" << group_outages
+      << " group_outage_recoveries=" << group_outage_recoveries
+      << " suppressed_sensor_faults=" << suppressed_sensor_faults << "\n";
   out << "per-level drop/reject/quarantine:";
   for (int i = 0; i < hierarchy::kNumLevels; ++i) {
     if (level_dropped[i] == 0 && level_rejected[i] == 0 &&

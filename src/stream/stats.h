@@ -72,6 +72,19 @@ struct StreamStatsSnapshot {
   /// ---- Background checkpointing ----------------------------------------
   uint64_t checkpoints_written = 0;
   uint64_t checkpoint_failures = 0;
+  /// ---- Peer-group (space-axis) tier -------------------------------------
+  /// Deviations fired by the peer-group monitor (a channel leaving its
+  /// redundancy group's band, by level or by slope).
+  uint64_t peer_deviations = 0;
+  /// Group outages declared by quarantine-onset correlation / outages
+  /// fully recovered (every member back from quarantine).
+  uint64_t group_outages = 0;
+  uint64_t group_outage_recoveries = 0;
+  /// Per-sensor kSensorFault findings suppressed because their onset was
+  /// folded into a group outage. The FSM-side `sensor_faults` counter is
+  /// untouched by suppression — it counts quarantine entries, not
+  /// findings.
+  uint64_t suppressed_sensor_faults = 0;
   /// Per-level accounting (indexed by LevelValue(level) - 1): what was
   /// lost (drops + rejects) and what was withheld (quarantine) at each
   /// hierarchy level — the observability half of per-sensor-class
@@ -167,6 +180,10 @@ class StreamStats {
   }
   void RecordCheckpointWritten() { Bump(checkpoints_written_); }
   void RecordCheckpointFailure() { Bump(checkpoint_failures_); }
+  void RecordPeerDeviation() { Bump(peer_deviations_); }
+  void RecordGroupOutage() { Bump(group_outages_); }
+  void RecordGroupOutageRecovery() { Bump(group_outage_recoveries_); }
+  void RecordSuppressedSensorFault() { Bump(suppressed_sensor_faults_); }
   /// Records one worker drain of `batch` samples into the histogram.
   void RecordBatch(size_t batch);
   /// Raises shard `shard`'s high-water mark to `depth` if deeper.
@@ -219,6 +236,10 @@ class StreamStats {
   std::atomic<uint64_t> escalation_latency_us_{0};
   std::atomic<uint64_t> checkpoints_written_{0};
   std::atomic<uint64_t> checkpoint_failures_{0};
+  std::atomic<uint64_t> peer_deviations_{0};
+  std::atomic<uint64_t> group_outages_{0};
+  std::atomic<uint64_t> group_outage_recoveries_{0};
+  std::atomic<uint64_t> suppressed_sensor_faults_{0};
   std::array<std::atomic<uint64_t>, hierarchy::kNumLevels> level_dropped_{};
   std::array<std::atomic<uint64_t>, hierarchy::kNumLevels> level_rejected_{};
   std::array<std::atomic<uint64_t>, hierarchy::kNumLevels>

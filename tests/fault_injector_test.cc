@@ -222,6 +222,50 @@ TEST(FaultInjector, ApplyStreamIsDeterministicPerSensorOrder) {
   EXPECT_EQ(run(), run());
 }
 
+TEST(FaultInjector, LineOutageSilencesEverySensorOverOneWindow) {
+  FaultInjector injector;
+  const std::vector<std::string> line = {"l1.a", "l1.b", "l1.c"};
+  ASSERT_TRUE(injector.AddLineOutage(line, 100.0, 50.0).ok());
+  ASSERT_EQ(injector.num_faults(), line.size())
+      << "one ground-truth interval per affected sensor";
+  for (const FaultInterval& interval : injector.GroundTruth()) {
+    EXPECT_EQ(interval.kind, FaultKind::kLineOutage);
+    EXPECT_DOUBLE_EQ(interval.start, 100.0);
+    EXPECT_DOUBLE_EQ(interval.end, 150.0) << "the window is shared";
+  }
+  for (const std::string& id : line) {
+    EXPECT_EQ(injector.Apply(Sample(id, 99.9, 1.0)).size(), 1u);
+    EXPECT_EQ(injector.Apply(Sample(id, 100.0, 1.0)).size(), 0u);
+    EXPECT_EQ(injector.Apply(Sample(id, 149.9, 1.0)).size(), 0u);
+    EXPECT_EQ(injector.Apply(Sample(id, 150.0, 1.0)).size(), 1u);
+    EXPECT_TRUE(injector.IsFaulted(id, 120.0));
+  }
+  EXPECT_EQ(injector.Apply(Sample("other", 120.0, 1.0)).size(), 1u)
+      << "sensors off the line are untouched";
+}
+
+TEST(FaultInjector, LineOutageValidates) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.AddLineOutage({}, 0.0, 10.0).ok());
+  EXPECT_FALSE(injector.AddLineOutage({"a", "a"}, 0.0, 10.0).ok());
+  EXPECT_FALSE(injector.AddLineOutage({"a", ""}, 0.0, 10.0).ok());
+  EXPECT_FALSE(injector.AddLineOutage({"a", "b"}, 0.0, 0.0).ok());
+  EXPECT_TRUE(injector.AddLineOutage({"a", "b"}, 0.0, 10.0).ok());
+}
+
+TEST(FaultInjector, PlanRandomNeverDrawsLineOutages) {
+  FaultInjectorOptions options;
+  options.seed = 99;
+  FaultInjector injector(options);
+  std::vector<std::string> ids;
+  for (int i = 0; i < 40; ++i) ids.push_back("s" + std::to_string(i));
+  ASSERT_TRUE(injector.PlanRandom(ids, ids.size(), 0.0, 1000.0).ok());
+  for (const FaultInterval& interval : injector.GroundTruth()) {
+    EXPECT_NE(interval.kind, FaultKind::kLineOutage)
+        << "correlated outages are scheduled, not drawn per sensor";
+  }
+}
+
 TEST(FaultKindNames, AreHumanReadable) {
   EXPECT_EQ(FaultKindName(FaultKind::kDropout), "dropout");
   EXPECT_EQ(FaultKindName(FaultKind::kStuckAt), "stuck-at");
@@ -229,6 +273,7 @@ TEST(FaultKindNames, AreHumanReadable) {
   EXPECT_EQ(FaultKindName(FaultKind::kGainDrift), "gain-drift");
   EXPECT_EQ(FaultKindName(FaultKind::kDuplicate), "duplicate");
   EXPECT_EQ(FaultKindName(FaultKind::kClockSkew), "clock-skew");
+  EXPECT_EQ(FaultKindName(FaultKind::kLineOutage), "line-outage");
 }
 
 }  // namespace

@@ -74,6 +74,43 @@ TEST(SensorRegistry, CorrespondingSensorsExcludeSelf) {
   EXPECT_FALSE(registry.CorrespondingSensors("missing").ok());
 }
 
+TEST(SensorRegistry, CorrespondingSensorsSingletonGroupHasNoPeers) {
+  SensorRegistry registry;
+  // A *named* group with a single member: the redundancy annotation exists
+  // but there is nobody to corroborate with — empty, not an error, and
+  // distinct from the no-group case only in the metadata.
+  ASSERT_TRUE(registry.Register({"solo", "", "", "m", "gyro"}).ok());
+  ASSERT_TRUE(registry.Register({"plain", "", "", "m", ""}).ok());
+  EXPECT_TRUE(registry.CorrespondingSensors("solo").value().empty());
+  EXPECT_TRUE(registry.CorrespondingSensors("plain").value().empty());
+  EXPECT_EQ(registry.Get("solo")->redundancy_group, "gyro");
+}
+
+TEST(SensorRegistry, CorrespondingSensorsUnknownIdIsTypedNotEmpty) {
+  SensorRegistry registry;
+  ASSERT_TRUE(registry.Register({"a", "", "", "m", "grp"}).ok());
+  auto missing = registry.CorrespondingSensors("ghost");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound)
+      << "unknown must be distinguishable from known-but-peerless";
+}
+
+TEST(SensorRegistry, CorrespondingSensorsMembershipIsSymmetric) {
+  SensorRegistry registry;
+  ASSERT_TRUE(registry.Register({"a", "", "", "m1", "bed"}).ok());
+  ASSERT_TRUE(registry.Register({"b", "", "", "m1", "bed"}).ok());
+  ASSERT_TRUE(registry.Register({"c", "", "", "m2", "bed"}).ok());
+  for (const char* id : {"a", "b", "c"}) {
+    auto peers = registry.CorrespondingSensors(id).value();
+    EXPECT_EQ(peers.size(), 2u) << id;
+    for (const std::string& peer : peers) {
+      auto back = registry.CorrespondingSensors(peer).value();
+      EXPECT_TRUE(std::find(back.begin(), back.end(), id) != back.end())
+          << peer << " does not list " << id;
+    }
+  }
+}
+
 Production MakeTinyProduction() {
   Production production;
   (void)production.sensors.Register({"m1.t", "", "degC", "m1", ""});

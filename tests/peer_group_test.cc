@@ -1,0 +1,511 @@
+// Space-axis layer tests: PeerGroupMonitor scoring (deviation + slope
+// against the redundancy group), the engine integration (kPeerDrift
+// findings on the calibration queue), quarantine-onset correlation
+// (kGroupOutage findings that suppress per-sensor storms), and the
+// checkpoint round trip of all of it.
+
+#include "stream/peer_group.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "hierarchy/sensor_registry.h"
+#include "stream/engine.h"
+#include "util/rng.h"
+
+namespace hod::stream {
+namespace {
+
+using hierarchy::ProductionLevel;
+
+PeerGroupOptions FastOptions() {
+  PeerGroupOptions options;
+  options.window = 32;
+  options.warmup = 8;
+  options.deviation_after = 3;
+  return options;
+}
+
+/// Noise around `base`; the victim additionally ramps away multiplicatively
+/// from `drift_at` on — the fault signature the time axis is blind to.
+double MemberValue(Rng& rng, double base, size_t t, bool victim,
+                   size_t drift_at, double rate) {
+  double value = base + rng.Gaussian(0.0, 0.05);
+  if (victim && t >= drift_at) {
+    value *= 1.0 + rate * static_cast<double>(t - drift_at);
+  }
+  return value;
+}
+
+TEST(PeerGroupMonitor, AddGroupValidation) {
+  PeerGroupMonitor monitor;
+  EXPECT_FALSE(monitor.AddGroup("", {"a", "b"}).ok());
+  EXPECT_FALSE(monitor.AddGroup("g", {"a"}).ok()) << "singleton";
+  EXPECT_FALSE(monitor.AddGroup("g", {"a", "a"}).ok())
+      << "two slots, one distinct sensor";
+  ASSERT_TRUE(monitor.AddGroup("g", {"a", "b"}).ok());
+  EXPECT_FALSE(monitor.AddGroup("g", {"c", "d"}).ok()) << "duplicate id";
+  EXPECT_EQ(monitor.num_groups(), 1u);
+  EXPECT_TRUE(monitor.Tracks("a"));
+  EXPECT_FALSE(monitor.Tracks("c"));
+}
+
+TEST(PeerGroupMonitor, RegistryImportSkipsSingletonsAndUngrouped) {
+  hierarchy::SensorRegistry registry;
+  ASSERT_TRUE(registry.Register({"a", "", "", "m1", "bed"}).ok());
+  ASSERT_TRUE(registry.Register({"b", "", "", "m1", "bed"}).ok());
+  ASSERT_TRUE(registry.Register({"alone", "", "", "m1", "nozzle"}).ok());
+  ASSERT_TRUE(registry.Register({"free", "", "", "m1", ""}).ok());
+  PeerGroupMonitor monitor;
+  ASSERT_TRUE(monitor.AddGroupsFromRegistry(registry).ok());
+  EXPECT_EQ(monitor.num_groups(), 1u);
+  EXPECT_TRUE(monitor.Tracks("a"));
+  EXPECT_TRUE(monitor.Tracks("b"));
+  EXPECT_FALSE(monitor.Tracks("alone")) << "singleton group has no peers";
+  EXPECT_FALSE(monitor.Tracks("free"));
+}
+
+TEST(PeerGroupMonitor, SteadyGroupNeverFires) {
+  PeerGroupMonitor monitor(FastOptions());
+  const std::vector<std::string> members = {"a", "b", "c", "d"};
+  ASSERT_TRUE(monitor.AddGroup("g", members).ok());
+  Rng rng(7);
+  for (size_t t = 0; t < 400; ++t) {
+    for (const std::string& id : members) {
+      auto fired = monitor.Observe(id, ProductionLevel::kPhase,
+                                   static_cast<double>(t),
+                                   MemberValue(rng, 50.0, t, false, 0, 0.0));
+      EXPECT_FALSE(fired.has_value()) << id << " t=" << t;
+    }
+  }
+  EXPECT_TRUE(monitor.Deviations().empty());
+}
+
+TEST(PeerGroupMonitor, GainDriftFiresOnTheVictimOnly) {
+  PeerGroupMonitor monitor(FastOptions());
+  const std::vector<std::string> members = {"a", "b", "victim", "d"};
+  ASSERT_TRUE(monitor.AddGroup("g", members).ok());
+  Rng rng(11);
+  for (size_t t = 0; t < 300; ++t) {
+    for (const std::string& id : members) {
+      (void)monitor.Observe(
+          id, ProductionLevel::kPhase, static_cast<double>(t),
+          MemberValue(rng, 50.0, t, id == "victim", 100, 0.002));
+    }
+  }
+  const std::vector<PeerDeviation> deviations = monitor.Deviations();
+  ASSERT_FALSE(deviations.empty());
+  for (const PeerDeviation& deviation : deviations) {
+    EXPECT_EQ(deviation.sensor_id, "victim");
+    EXPECT_EQ(deviation.group_id, "g");
+    EXPECT_GE(deviation.ts, 100.0) << "fired before the drift began";
+  }
+  // Space-axis detection is fast: 0.2%/s gain on a 50-unit signal with
+  // 0.05-sigma peers leaves the band within a couple dozen seconds.
+  EXPECT_LT(deviations.front().ts, 160.0);
+  EXPECT_GT(std::max(deviations.front().value_z, deviations.front().slope_z),
+            FastOptions().slope_z);
+}
+
+TEST(PeerGroupMonitor, TooFewFreshPeersOnlyRefreshesTheCache) {
+  PeerGroupOptions options = FastOptions();
+  options.peer_freshness = 5.0;
+  PeerGroupMonitor monitor(options);
+  ASSERT_TRUE(monitor.AddGroup("g", {"a", "b"}).ok());
+  // b reports once, then goes silent; a keeps reporting with a wild value.
+  (void)monitor.Observe("b", ProductionLevel::kPhase, 0.0, 50.0);
+  for (size_t t = 1; t < 100; ++t) {
+    auto fired = monitor.Observe("a", ProductionLevel::kPhase,
+                                 static_cast<double>(t), 500.0);
+    EXPECT_FALSE(fired.has_value())
+        << "no fresh peer after t=5 -> nothing to deviate from";
+  }
+  EXPECT_TRUE(monitor.Deviations().empty());
+}
+
+TEST(PeerGroupMonitor, SaveRestoreRoundTrip) {
+  PeerGroupMonitor original(FastOptions());
+  ASSERT_TRUE(original.AddGroup("g1", {"a", "b", "c"}).ok());
+  ASSERT_TRUE(original.AddGroup("g2", {"x", "y"}).ok());
+  Rng rng(13);
+  for (size_t t = 0; t < 120; ++t) {
+    for (const std::string id : {"a", "b", "c"}) {
+      (void)original.Observe(id, ProductionLevel::kPhase,
+                             static_cast<double>(t),
+                             MemberValue(rng, 50.0, t, id == "c", 40, 0.004));
+    }
+    for (const std::string id : {"x", "y"}) {
+      (void)original.Observe(id, ProductionLevel::kPhase,
+                             static_cast<double>(t),
+                             MemberValue(rng, 20.0, t, false, 0, 0.0));
+    }
+  }
+  const std::vector<PeerGroupState> saved = original.SaveState();
+  ASSERT_EQ(saved.size(), 2u);
+
+  PeerGroupMonitor restored(FastOptions());
+  ASSERT_TRUE(restored.AddGroup("g1", {"a", "b", "c"}).ok());
+  ASSERT_TRUE(restored.AddGroup("g2", {"x", "y"}).ok());
+  ASSERT_TRUE(restored.RestoreState(saved).ok());
+  const std::vector<PeerGroupState> resaved = restored.SaveState();
+  ASSERT_EQ(resaved.size(), saved.size());
+  for (size_t g = 0; g < saved.size(); ++g) {
+    EXPECT_EQ(resaved[g].group_id, saved[g].group_id);
+    ASSERT_EQ(resaved[g].members.size(), saved[g].members.size());
+    for (size_t m = 0; m < saved[g].members.size(); ++m) {
+      const PeerMemberState& want = saved[g].members[m];
+      const PeerMemberState& got = resaved[g].members[m];
+      EXPECT_EQ(got.sensor_id, want.sensor_id);
+      EXPECT_EQ(got.has_last, want.has_last);
+      EXPECT_EQ(got.last_value, want.last_value);
+      EXPECT_EQ(got.ring_residual, want.ring_residual);
+      EXPECT_EQ(got.breach_streak, want.breach_streak);
+      EXPECT_EQ(got.fired, want.fired);
+      EXPECT_EQ(got.deviations, want.deviations);
+    }
+  }
+
+  PeerGroupState unknown;
+  unknown.group_id = "nope";
+  EXPECT_FALSE(restored.RestoreState({unknown}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration.
+
+StreamEngineOptions SyncEngineOptions() {
+  StreamEngineOptions options;
+  options.synchronous = true;
+  options.monitor.warmup = 64;
+  options.peer = FastOptions();
+  // Sequentially-fed test sensors must not trip the staleness watchdog.
+  options.health.staleness_timeout = 0.0;
+  return options;
+}
+
+TEST(StreamEnginePeer, GroupRegistrationIsValidatedAndSealed) {
+  StreamEngine engine(SyncEngineOptions());
+  ASSERT_TRUE(engine.AddSensor("a", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.AddSensor("b", ProductionLevel::kPhase).ok());
+  EXPECT_EQ(engine.AddPeerGroup("g", {"a", "ghost"}).code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(engine.AddPeerGroup("g", {"a", "b"}).ok());
+  EXPECT_EQ(engine.num_peer_groups(), 1u);
+  ASSERT_TRUE(engine.Start().ok());
+  EXPECT_EQ(engine.AddPeerGroup("late", {"a", "b"}).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+TEST(StreamEnginePeer, RegistryGroupsNeedTwoEngineRegisteredMembers) {
+  hierarchy::SensorRegistry registry;
+  ASSERT_TRUE(registry.Register({"a", "", "", "m1", "bed"}).ok());
+  ASSERT_TRUE(registry.Register({"b", "", "", "m1", "bed"}).ok());
+  ASSERT_TRUE(registry.Register({"c", "", "", "m1", "nozzle"}).ok());
+  ASSERT_TRUE(registry.Register({"d", "", "", "m1", "nozzle"}).ok());
+  StreamEngine engine(SyncEngineOptions());
+  ASSERT_TRUE(engine.AddSensor("a", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.AddSensor("b", ProductionLevel::kPhase).ok());
+  // Only one nozzle sensor streams into this engine: its group degrades
+  // to a singleton and is skipped instead of failing registration.
+  ASSERT_TRUE(engine.AddSensor("c", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.AddPeerGroupsFromRegistry(registry).ok());
+  EXPECT_EQ(engine.num_peer_groups(), 1u);
+}
+
+TEST(StreamEnginePeer, GainDriftLandsOnTheCalibrationQueue) {
+  StreamEngine engine(SyncEngineOptions());
+  const std::vector<std::string> members = {"a", "b", "victim", "d"};
+  for (const std::string& id : members) {
+    ASSERT_TRUE(engine.AddSensor(id, ProductionLevel::kPhase).ok());
+  }
+  ASSERT_TRUE(engine.AddPeerGroup("bed", members).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  Rng rng(17);
+  for (size_t t = 0; t < 300; ++t) {
+    for (const std::string& id : members) {
+      auto ack = engine.Ingest(
+          {id, ProductionLevel::kPhase, static_cast<double>(t),
+           MemberValue(rng, 50.0, t, id == "victim", 100, 0.002)});
+      ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+    }
+  }
+  ASSERT_TRUE(engine.Stop().ok());
+
+  const std::vector<PeerDeviation> deviations = engine.PeerDeviations();
+  ASSERT_FALSE(deviations.empty());
+  EXPECT_EQ(deviations.front().sensor_id, "victim");
+  EXPECT_EQ(engine.stats().peer_deviations, deviations.size());
+
+  size_t drift_findings = 0;
+  for (const core::OutlierFinding& finding : engine.Findings()) {
+    if (finding.kind != core::FindingKind::kPeerDrift) continue;
+    ++drift_findings;
+    EXPECT_EQ(finding.origin.entity, "victim");
+    EXPECT_TRUE(finding.measurement_error_warning)
+        << "peer drift is calibration evidence, not a process alarm";
+  }
+  EXPECT_EQ(drift_findings, deviations.size());
+  // The drift rides the calibration queue; the process-alert board stays
+  // free of it.
+  bool on_calibration_queue = false;
+  for (const core::AlertEpisode& episode : engine.CalibrationQueue()) {
+    on_calibration_queue |= episode.entity == "victim";
+  }
+  EXPECT_TRUE(on_calibration_queue);
+}
+
+// ---------------------------------------------------------------------------
+// Quarantine-onset correlation.
+
+StreamEngineOptions OutageOptions() {
+  StreamEngineOptions options = SyncEngineOptions();
+  options.health.staleness_timeout = 30.0;
+  options.health.recovery_clean_streak = 8;
+  options.health_sweep_every = 16;
+  options.peer.outage_min_sensors = 6;
+  options.peer.outage_window = 20.0;
+  options.peer.outage_entity = "line1";
+  return options;
+}
+
+std::vector<std::string> LineSensors() {
+  std::vector<std::string> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back("line1.s" + std::to_string(i));
+  return ids;
+}
+
+/// One interleaved tick: every listed sensor reports at `t`.
+void FeedTick(StreamEngine& engine, const std::vector<std::string>& ids,
+              size_t t, Rng& rng) {
+  for (const std::string& id : ids) {
+    auto ack = engine.Ingest({id, ProductionLevel::kPhase,
+                              static_cast<double>(t),
+                              50.0 + rng.Gaussian(0.0, 0.25)});
+    ASSERT_TRUE(ack.ok()) << id << " t=" << t << ": "
+                          << ack.status().ToString();
+  }
+}
+
+TEST(StreamEngineOutage, CorrelatedStalenessCollapsesIntoOneFinding) {
+  StreamEngine engine(OutageOptions());
+  const std::vector<std::string> ids = LineSensors();
+  for (const std::string& id : ids) {
+    ASSERT_TRUE(engine.AddSensor(id, ProductionLevel::kPhase).ok());
+  }
+  ASSERT_TRUE(engine.Start().ok());
+  Rng rng(23);
+  for (size_t t = 0; t < 100; ++t) FeedTick(engine, ids, t, rng);
+  // The line's trunk dies: six sensors go silent at once; two survivors
+  // keep the frontier moving, which is what ages the silent ones stale.
+  const std::vector<std::string> survivors = {ids[0], ids[1]};
+  for (size_t t = 100; t < 200; ++t) FeedTick(engine, survivors, t, rng);
+  ASSERT_TRUE(engine.Flush().ok());
+
+  StreamStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(stats.group_outages, 1u);
+  EXPECT_EQ(stats.suppressed_sensor_faults, 6u)
+      << "every member onset absorbed into the one group finding";
+  size_t group_findings = 0;
+  size_t fault_findings = 0;
+  for (const core::OutlierFinding& finding : engine.Findings()) {
+    if (finding.kind == core::FindingKind::kGroupOutage) {
+      ++group_findings;
+      EXPECT_EQ(finding.origin.entity, "line1");
+      EXPECT_FALSE(finding.measurement_error_warning)
+          << "an infrastructure outage belongs on the main board";
+    }
+    if (finding.kind == core::FindingKind::kSensorFault) ++fault_findings;
+  }
+  EXPECT_EQ(group_findings, 1u);
+  EXPECT_EQ(fault_findings, 0u) << "the per-sensor storm must be suppressed";
+
+  EngineSnapshot snapshot = engine.Snapshot();
+  EXPECT_TRUE(snapshot.group_outage_active);
+  EXPECT_EQ(snapshot.group_outage_entity, "line1");
+  EXPECT_EQ(snapshot.group_outage_sensors, 6u);
+
+  // Power returns: the silent six resume and the outage drains away as
+  // each one finishes recovery.
+  for (size_t t = 200; t < 240; ++t) FeedTick(engine, ids, t, rng);
+  ASSERT_TRUE(engine.Flush().ok());
+  stats = engine.stats();
+  EXPECT_EQ(stats.group_outage_recoveries, 1u);
+  EXPECT_FALSE(engine.Snapshot().group_outage_active);
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+TEST(StreamEngineOutage, LoneStaleSensorStillGetsItsOwnFinding) {
+  StreamEngine engine(OutageOptions());
+  const std::vector<std::string> ids = LineSensors();
+  for (const std::string& id : ids) {
+    ASSERT_TRUE(engine.AddSensor(id, ProductionLevel::kPhase).ok());
+  }
+  ASSERT_TRUE(engine.Start().ok());
+  Rng rng(29);
+  for (size_t t = 0; t < 100; ++t) FeedTick(engine, ids, t, rng);
+  std::vector<std::string> survivors(ids.begin(), ids.end() - 1);
+  for (size_t t = 100; t < 250; ++t) FeedTick(engine, survivors, t, rng);
+  ASSERT_TRUE(engine.Stop().ok());
+
+  // One onset never clusters: after the correlation window passes it is
+  // released as the kSensorFault it always was.
+  EXPECT_EQ(engine.stats().group_outages, 0u);
+  size_t fault_findings = 0;
+  for (const core::OutlierFinding& finding : engine.Findings()) {
+    if (finding.kind == core::FindingKind::kGroupOutage) ADD_FAILURE();
+    if (finding.kind == core::FindingKind::kSensorFault) {
+      ++fault_findings;
+      EXPECT_EQ(finding.origin.entity, ids.back());
+    }
+  }
+  EXPECT_EQ(fault_findings, 1u);
+}
+
+TEST(StreamEngineOutage, NonStaleQuarantineBypassesCorrelation) {
+  StreamEngine engine(OutageOptions());
+  const std::vector<std::string> ids = LineSensors();
+  for (const std::string& id : ids) {
+    ASSERT_TRUE(engine.AddSensor(id, ProductionLevel::kPhase).ok());
+  }
+  ASSERT_TRUE(engine.Start().ok());
+  Rng rng(31);
+  for (size_t t = 0; t < 50; ++t) FeedTick(engine, ids, t, rng);
+  // An ADC dies on one sensor: a NaN burst is sensor-local evidence and
+  // must not be parked in the correlation deque.
+  size_t rejected = 0;
+  for (size_t t = 50; t < 90; ++t) {
+    FeedTick(engine, {ids.begin() + 1, ids.end()}, t, rng);
+    auto ack = engine.Ingest({ids[0], ProductionLevel::kPhase,
+                              static_cast<double>(t), std::nan("")});
+    if (!ack.ok()) ++rejected;
+  }
+  ASSERT_TRUE(engine.Flush().ok());
+  EXPECT_GT(rejected, 0u);
+  EXPECT_EQ(engine.HealthStateOf(ids[0]), SensorHealthState::kQuarantined);
+  size_t fault_findings = 0;
+  for (const core::OutlierFinding& finding : engine.Findings()) {
+    if (finding.kind == core::FindingKind::kSensorFault) ++fault_findings;
+  }
+  EXPECT_EQ(fault_findings, 1u)
+      << "the NaN quarantine must surface immediately, not await clustering";
+  EXPECT_EQ(engine.stats().group_outages, 0u);
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint round trip of the space-axis state.
+
+TEST(StreamEnginePeer, CheckpointCarriesPeerStateAndOpenOutage) {
+  StreamEngineOptions options = OutageOptions();
+  StreamEngine engine(options);
+  const std::vector<std::string> ids = LineSensors();
+  for (const std::string& id : ids) {
+    ASSERT_TRUE(engine.AddSensor(id, ProductionLevel::kPhase).ok());
+  }
+  ASSERT_TRUE(engine.AddPeerGroup("line1.bed", ids).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  Rng rng(37);
+  for (size_t t = 0; t < 100; ++t) FeedTick(engine, ids, t, rng);
+  const std::vector<std::string> survivors = {ids[0], ids[1]};
+  for (size_t t = 100; t < 200; ++t) FeedTick(engine, survivors, t, rng);
+  ASSERT_TRUE(engine.Flush().ok());
+  ASSERT_EQ(engine.stats().group_outages, 1u);
+
+  std::ostringstream os;
+  ASSERT_TRUE(engine.Checkpoint(os).ok());
+  const std::string bytes = os.str();
+
+  std::istringstream is(bytes);
+  auto restored = StreamEngine::Restore(is, options);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  StreamEngine& revived = **restored;
+  EXPECT_EQ(revived.num_peer_groups(), 1u);
+  EXPECT_EQ(revived.stats().group_outages, 1u);
+  EXPECT_EQ(revived.stats().suppressed_sensor_faults, 6u);
+
+  // The canonical-encoding property extends to the new v4 sections: an
+  // immediate re-checkpoint of the restored engine is byte-identical.
+  std::ostringstream os2;
+  ASSERT_TRUE(revived.Checkpoint(os2).ok());
+  EXPECT_TRUE(os2.str() == bytes) << "restore left a seam in the v4 state";
+
+  // And the restored outage still drains when the line comes back.
+  Rng rng2(rng);
+  for (size_t t = 200; t < 240; ++t) FeedTick(revived, ids, t, rng2);
+  ASSERT_TRUE(revived.Flush().ok());
+  EXPECT_EQ(revived.stats().group_outage_recoveries, 1u);
+  EXPECT_FALSE(revived.Snapshot().group_outage_active);
+  ASSERT_TRUE(revived.Stop().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Threaded soak: peer groups spanning shard workers (TSan coverage).
+
+TEST(StreamEnginePeer, ThreadedEngineScoresPeersAcrossShards) {
+  StreamEngineOptions options;
+  options.num_shards = 4;
+  options.monitor.warmup = 64;
+  options.peer = FastOptions();
+  options.queue_capacity = 128;
+  options.peer.peer_freshness = 256.0;
+  // Threaded feeds see skew: a stalled shard freezes its sensors' last
+  // values, and when it resumes the group reference jumps. A step in the
+  // middle of a residual ring fits as a slope, so a threaded deployment
+  // must budget slope_z for the transport's skew (the step artifact is
+  // bounded by the noise range over the skew window; genuine drift keeps
+  // growing). 8 clears the artifact while the victim's full-ring drift
+  // statistic sits around 40.
+  options.peer.slope_z = 8.0;
+  options.health.staleness_timeout = 0.0;
+  StreamEngine engine(options);
+  std::vector<std::string> members;
+  for (int i = 0; i < 8; ++i) members.push_back("s" + std::to_string(i));
+  for (const std::string& id : members) {
+    ASSERT_TRUE(engine.AddSensor(id, ProductionLevel::kPhase).ok());
+  }
+  ASSERT_TRUE(engine.AddPeerGroup("g0", {members[0], members[1], members[2],
+                                         members[3]})
+                  .ok());
+  ASSERT_TRUE(engine.AddPeerGroup("g1", {members[4], members[5], members[6],
+                                         members[7]})
+                  .ok());
+  ASSERT_TRUE(engine.Start().ok());
+  Rng rng(41);
+  for (size_t t = 0; t < 600; ++t) {
+    for (const std::string& id : members) {
+      auto ack = engine.Ingest(
+          {id, ProductionLevel::kPhase, static_cast<double>(t),
+           MemberValue(rng, 50.0, t, id == members[2], 200, 0.002)});
+      ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+    }
+    // Shard workers drain at different speeds, so one member's last value
+    // can lag another's by up to a full queue of ticks — and through that
+    // skew a drifting victim can perturb a lagging bystander's reference
+    // (which would, correctly, fire too). A periodic barrier bounds the
+    // skew so the only-the-victim assertion below stays meaningful under
+    // arbitrary scheduling (TSan slows workers by an order of magnitude).
+    if (t % 16 == 15) ASSERT_TRUE(engine.Flush().ok());
+  }
+  ASSERT_TRUE(engine.Flush().ok());
+  ASSERT_TRUE(engine.Stop().ok());
+  const std::vector<PeerDeviation> deviations = engine.PeerDeviations();
+  ASSERT_FALSE(deviations.empty());
+  for (const PeerDeviation& deviation : deviations) {
+    EXPECT_EQ(deviation.sensor_id, members[2])
+        << "group=" << deviation.group_id << " ts=" << deviation.ts
+        << " value=" << deviation.value << " residual=" << deviation.residual
+        << " value_z=" << deviation.value_z
+        << " slope_z=" << deviation.slope_z;
+  }
+  EXPECT_EQ(engine.stats().peer_deviations, deviations.size());
+}
+
+}  // namespace
+}  // namespace hod::stream

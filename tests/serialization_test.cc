@@ -93,6 +93,38 @@ TEST(Serialization, SensorMetadataSurvives) {
   EXPECT_EQ(group[0], "line1.m1.bed_temp_b");
 }
 
+TEST(Serialization, RedundancyGroupMembershipSurvivesRoundTrip) {
+  // The peer-group layer is configured from CorrespondingSensors, so a
+  // restored production must answer that query identically — including
+  // the degenerate cases (singleton group, no group).
+  Production production;
+  ASSERT_TRUE(
+      production.sensors.Register({"m1.bed_a", "", "degC", "m1", "bed"}).ok());
+  ASSERT_TRUE(
+      production.sensors.Register({"m1.bed_b", "", "degC", "m1", "bed"}).ok());
+  ASSERT_TRUE(
+      production.sensors.Register({"m1.bed_c", "", "degC", "m1", "bed"}).ok());
+  ASSERT_TRUE(
+      production.sensors.Register({"m1.gyro", "", "dps", "m1", "imu"}).ok());
+  ASSERT_TRUE(
+      production.sensors.Register({"m1.free", "", "", "m1", ""}).ok());
+
+  std::stringstream stream;
+  ASSERT_TRUE(WriteProduction(production, stream).ok());
+  auto restored = ReadProduction(stream).value();
+  ASSERT_EQ(restored.sensors.size(), production.sensors.size());
+  for (const std::string& id : production.sensors.ids()) {
+    auto want = production.sensors.CorrespondingSensors(id).value();
+    auto got = restored.sensors.CorrespondingSensors(id).value();
+    EXPECT_EQ(got, want) << id;
+  }
+  EXPECT_EQ(restored.sensors.CorrespondingSensors("m1.bed_a").value().size(),
+            2u);
+  EXPECT_TRUE(
+      restored.sensors.CorrespondingSensors("m1.gyro").value().empty());
+  EXPECT_FALSE(restored.sensors.CorrespondingSensors("ghost").ok());
+}
+
 TEST(Serialization, RejectsGarbage) {
   std::stringstream empty;
   EXPECT_FALSE(ReadProduction(empty).ok());

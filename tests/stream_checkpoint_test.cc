@@ -164,6 +164,63 @@ TEST(EngineCheckpoint, KillAndRestoreResumesByteIdentically) {
   EXPECT_EQ(run_a.Episodes().size(), run_b.Episodes().size());
 }
 
+TEST(EngineCheckpoint, RestoredIdleEngineDoesNotAgeChannelsStale) {
+  // Regression: a checkpoint taken while one sensor lags the frontier
+  // beyond the staleness timeout, restored into a threaded engine with a
+  // fast watchdog. The restored engine is idle — no ingest advances stream
+  // time — so the wall-clock sweep cadence must NOT quarantine the laggard:
+  // staleness means "the plant moved on without you", and a paused plant
+  // moves for nobody.
+  StreamEngineOptions sync_options = SyncOptions();
+  sync_options.health.staleness_timeout = 30.0;
+  sync_options.health_sweep_every = 1 << 20;  // no sweep before the kill
+  std::string bytes;
+  {
+    StreamEngine engine(sync_options);
+    ASSERT_TRUE(engine.AddSensor("victim", ProductionLevel::kPhase).ok());
+    ASSERT_TRUE(engine.AddSensor("live", ProductionLevel::kPhase).ok());
+    ASSERT_TRUE(engine.Start().ok());
+    const std::vector<double> values = MakeStream(41, 80);
+    Feed(engine, "victim", values, 0, 10);
+    Feed(engine, "live", values, 0, 60);  // victim now lags 49 > 30
+    bytes = CheckpointBytes(engine);
+  }
+
+  StreamEngineOptions threaded = SyncOptions();
+  threaded.synchronous = false;
+  threaded.health.staleness_timeout = 30.0;
+  threaded.watchdog_interval = std::chrono::milliseconds(5);
+  std::istringstream is(bytes);
+  auto restored = StreamEngine::Restore(is, threaded);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  StreamEngine& engine = **restored;
+
+  // Dozens of watchdog sweeps pass over the idle engine.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(engine.HealthStateOf("victim"), SensorHealthState::kHealthy)
+      << "an idle restored engine quarantined a channel on wall-clock time";
+
+  // Fresh ingest moves the frontier: the lag is now real staleness, and
+  // the next sweep may quarantine the victim.
+  const std::vector<double> values = MakeStream(41, 80);
+  Feed(engine, "live", values, 60, 70);
+  ASSERT_TRUE(engine.Flush().ok());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (engine.HealthStateOf("victim") != SensorHealthState::kQuarantined &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(engine.HealthStateOf("victim"), SensorHealthState::kQuarantined);
+  bool stale_transition = false;
+  for (const HealthTransition& transition : engine.HealthTransitions()) {
+    stale_transition |= transition.sensor_id == "victim" &&
+                        transition.reason == HealthSignal::kStale;
+  }
+  EXPECT_TRUE(stale_transition);
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
 TEST(EngineCheckpoint, RestoreRejectsMismatchedMonitorOptions) {
   StreamEngine engine(SyncOptions());
   ASSERT_TRUE(engine.AddSensor("s", ProductionLevel::kPhase).ok());

@@ -139,6 +139,53 @@ TEST(SensorHealthTracker, SweepStaleQuarantinesLaggingSensors) {
   EXPECT_TRUE(tracker.SweepStale().empty());
 }
 
+TEST(SensorHealthTracker, SweepNeedsAFrontierAdvanceBetweenRuns) {
+  SensorHealthTracker tracker(FastOptions());  // staleness_timeout = 100
+  ASSERT_TRUE(tracker.AddSensor("live", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(tracker.AddSensor("lagging", ProductionLevel::kPhase).ok());
+  tracker.Observe("lagging", 0.0, 1.0);
+  tracker.Observe("live", 90.0, 2.0);
+
+  // The lagging sensor is 90 behind — inside the timeout. The sweep finds
+  // nothing, and repeating it while the stream is paused must keep finding
+  // nothing: wall-clock sweep cadences do not age a paused plant.
+  EXPECT_TRUE(tracker.SweepStale().empty());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(tracker.SweepStale().empty());
+  EXPECT_EQ(tracker.StateOf("lagging"), SensorHealthState::kHealthy);
+
+  // Fresh ingest advances the frontier past the timeout: now the lag is
+  // real staleness and the next sweep quarantines it.
+  tracker.Observe("live", 150.0, 3.0);
+  std::vector<HealthTransition> transitions = tracker.SweepStale();
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].sensor_id, "lagging");
+  EXPECT_EQ(transitions[0].reason, HealthSignal::kStale);
+}
+
+TEST(SensorHealthTracker, RestoredStateIsTreatedAsAlreadySwept) {
+  SensorHealthTracker original(FastOptions());
+  ASSERT_TRUE(original.AddSensor("live", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(original.AddSensor("lagging", ProductionLevel::kPhase).ok());
+  original.Observe("lagging", 0.0, 1.0);
+  original.Observe("live", 150.0, 2.0);  // lag 150 > timeout 100
+
+  SensorHealthTracker restored(FastOptions());
+  ASSERT_TRUE(restored.AddSensor("live", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(restored.AddSensor("lagging", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(restored.RestoreState(original.SaveState()).ok());
+
+  // The restart itself proves nothing about the lagging sensor: the first
+  // sweep of an idle restored tracker must not quarantine it.
+  EXPECT_TRUE(restored.SweepStale().empty());
+  EXPECT_EQ(restored.StateOf("lagging"), SensorHealthState::kHealthy);
+
+  // Quarantine decisions belong to fresh ingest advancing stream time.
+  restored.Observe("live", 151.0, 3.0);
+  std::vector<HealthTransition> transitions = restored.SweepStale();
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].sensor_id, "lagging");
+}
+
 TEST(SensorHealthTracker, DisabledTrackerIsInert) {
   SensorHealthOptions options = FastOptions();
   options.enabled = false;
