@@ -1,0 +1,328 @@
+#include "core/batch_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "detect/ar_detector.h"
+#include "timeseries/time_series.h"
+#include "util/simd.h"
+
+namespace hod::core {
+
+namespace {
+/// Same floor Push/FitModel apply — see OnlineMonitor.
+constexpr double kSigmaFloor = 1e-9;
+}  // namespace
+
+BatchMonitorBank::BatchMonitorBank(OnlineMonitorOptions options)
+    : options_(options),
+      order_(options.ar_order),
+      alpha_(1.0 - options.scale_forgetting) {}
+
+StatusOr<size_t> BatchMonitorBank::AddSensor(const std::string& sensor_id) {
+  const size_t lane = size();
+  auto [it, inserted] = index_.emplace(sensor_id, lane);
+  if (!inserted) {
+    return Status::InvalidArgument("sensor already in bank: " + sensor_id);
+  }
+  phi_.resize(phi_.size() + order_, 0.0);
+  phi_len_.push_back(0);
+  intercept_.push_back(0.0);
+  sigma_.push_back(1.0);
+  ring_.resize(ring_.size() + order_, 0.0);
+  ring_pos_.push_back(0);
+  model_ready_.push_back(0);
+  alarm_.push_back(0);
+  above_streak_.push_back(0);
+  below_streak_.push_back(0);
+  samples_seen_.push_back(0);
+  alarms_raised_.push_back(0);
+  warmup_.emplace_back();
+  warmup_.back().reserve(options_.warmup);
+  return lane;
+}
+
+size_t BatchMonitorBank::IndexOf(const std::string& sensor_id) const {
+  auto it = index_.find(sensor_id);
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+size_t BatchMonitorBank::RingSlot(size_t lane, size_t k) const {
+  // Most recent window sample sits one slot behind the write position.
+  // pos + order - 1 - k lies in [0, 2*order): a conditional subtract
+  // replaces the modulo (a hardware divide on the hot gather path).
+  size_t slot = ring_pos_[lane] + order_ - 1 - k;
+  if (slot >= order_) slot -= order_;
+  return slot;
+}
+
+double BatchMonitorBank::Predict(size_t lane) const {
+  double prediction = intercept_[lane];
+  const double* phi = &phi_[lane * order_];
+  const double* ring = &ring_[lane * order_];
+  const size_t len = phi_len_[lane];
+  // Same term order as OnlineMonitor::Predict: k walks from the most
+  // recent sample backwards.
+  for (size_t k = 0; k < len; ++k) {
+    prediction += phi[k] * ring[RingSlot(lane, k)];
+  }
+  return prediction;
+}
+
+Status BatchMonitorBank::FitModel(size_t lane) {
+  detect::ArOptions ar_options;
+  ar_options.order = options_.ar_order;
+  detect::ArDetector fitter(ar_options);
+  ts::TimeSeries warmup("warmup", 0.0, 1.0, warmup_[lane]);
+  HOD_RETURN_IF_ERROR(fitter.Train({warmup}));
+  const std::vector<double>& phi = fitter.coefficients();
+  if (phi.size() > order_) {
+    return Status::Internal("AR fit produced more than ar_order coefficients");
+  }
+  double* phi_slot = &phi_[lane * order_];
+  std::fill(phi_slot, phi_slot + order_, 0.0);
+  std::copy(phi.begin(), phi.end(), phi_slot);
+  phi_len_[lane] = static_cast<uint32_t>(phi.size());
+  intercept_[lane] = fitter.intercept();
+  sigma_[lane] = std::max(fitter.residual_sigma(), kSigmaFloor);
+  // Seed the window with the last samples of the warmup, oldest first.
+  const std::vector<double>& buffer = warmup_[lane];
+  double* ring = &ring_[lane * order_];
+  for (size_t j = 0; j < order_; ++j) {
+    ring[j] = buffer[buffer.size() - order_ + j];
+  }
+  ring_pos_[lane] = 0;
+  model_ready_[lane] = 1;
+  return Status::Ok();
+}
+
+StatusOr<MonitorUpdate> BatchMonitorBank::PushWarmup(size_t lane,
+                                                     double sample) {
+  MonitorUpdate update;
+  warmup_[lane].push_back(sample);
+  if (warmup_[lane].size() >= options_.warmup) {
+    HOD_RETURN_IF_ERROR(FitModel(lane));
+  }
+  update.model_ready = model_ready_[lane] != 0;
+  return update;
+}
+
+void BatchMonitorBank::FinishUpdate(size_t lane, double sample, double pred,
+                                    double score, MonitorUpdate& update) {
+  // Hysteresis — identical to OnlineMonitor::Push.
+  if (score > options_.threshold) {
+    ++above_streak_[lane];
+    below_streak_[lane] = 0;
+    if (alarm_[lane] == 0 && above_streak_[lane] >= options_.raise_after) {
+      alarm_[lane] = 1;
+      update.alarm_raised = true;
+      ++alarms_raised_[lane];
+    }
+  } else {
+    ++below_streak_[lane];
+    above_streak_[lane] = 0;
+    if (alarm_[lane] != 0 && below_streak_[lane] >= options_.clear_after) {
+      alarm_[lane] = 0;
+      update.alarm_cleared = true;
+    }
+  }
+  update.alarm = alarm_[lane] != 0;
+  // Anomaly correction: an alarming sample's window slot takes the model
+  // forecast instead of the raw reading (Hill & Minsker), as in
+  // OnlineMonitor — the prediction is the one already computed this step.
+  const double window_sample = score > options_.threshold ? pred : sample;
+  ring_[lane * order_ + ring_pos_[lane]] = window_sample;
+  const uint32_t next = ring_pos_[lane] + 1;
+  ring_pos_[lane] = next == order_ ? 0 : next;
+}
+
+StatusOr<MonitorUpdate> BatchMonitorBank::Push(size_t lane, double sample) {
+  if (lane >= size()) {
+    return Status::OutOfRange("monitor lane out of range");
+  }
+  if (!std::isfinite(sample)) {
+    return Status::InvalidArgument("non-finite sample");
+  }
+  ++samples_seen_[lane];
+  if (model_ready_[lane] == 0) {
+    return PushWarmup(lane, sample);
+  }
+  MonitorUpdate update;
+  const double pred = Predict(lane);
+  const double residual = sample - pred;
+  const double z = std::fabs(residual) / sigma_[lane];
+  const double excess = z - 1.0;
+  update.score =
+      excess <= 0.0 ? 0.0 : excess / (excess + options_.sigma_scale);
+  update.model_ready = true;
+  if (update.score <= options_.threshold &&
+      options_.scale_forgetting < 1.0) {
+    sigma_[lane] = std::sqrt((1.0 - alpha_) * sigma_[lane] * sigma_[lane] +
+                             alpha_ * residual * residual);
+    sigma_[lane] = std::max(sigma_[lane], kSigmaFloor);
+  }
+  FinishUpdate(lane, sample, pred, update.score, update);
+  return update;
+}
+
+void BatchMonitorBank::PushBatch(const size_t* lanes, const double* values,
+                                 size_t n, MonitorUpdate* updates,
+                                 unsigned char* scored) {
+  if (wave_epoch_.size() < size()) wave_epoch_.resize(size(), 0);
+  if (lane_sample_.size() < n) {
+    lane_sample_.resize(n);
+    lane_pred_.resize(n);
+    lane_sigma_.resize(n);
+    lane_score_.resize(n);
+    lane_phi_k_.resize(n);
+    lane_recent_k_.resize(n);
+  }
+  const double alpha =
+      options_.scale_forgetting < 1.0 ? alpha_ : 0.0;
+  size_t i = 0;
+  while (i < n) {
+    // Wave: the maximal run of samples whose (valid) lanes are pairwise
+    // distinct. A repeated lane ends the wave, so consecutive samples of
+    // one sensor are applied strictly in order, state carrying between
+    // waves exactly as between sequential Push calls.
+    ++epoch_;
+    size_t end = i;
+    while (end < n) {
+      const size_t lane = lanes[end];
+      if (lane < size()) {
+        if (wave_epoch_[lane] == epoch_) break;
+        wave_epoch_[lane] = epoch_;
+      }
+      ++end;
+    }
+    // Pass 1: route every row. Warming-up lanes (and the degenerate case
+    // of a fit narrower than ar_order) take the scalar path — within a
+    // wave all lanes are distinct, so their relative order is free.
+    wave_rows_.clear();
+    wave_lanes_.clear();
+    for (size_t j = i; j < end; ++j) {
+      updates[j] = MonitorUpdate{};
+      scored[j] = 0;
+      const size_t lane = lanes[j];
+      if (lane >= size() || !std::isfinite(values[j])) continue;
+      if (model_ready_[lane] == 0 || phi_len_[lane] != order_) {
+        StatusOr<MonitorUpdate> update = Push(lane, values[j]);
+        if (update.ok()) {
+          updates[j] = update.value();
+          scored[j] = 1;
+        }
+        continue;
+      }
+      wave_rows_.push_back(j);
+      wave_lanes_.push_back(lane);
+    }
+    // Pass 2: the vectorized wave. Gather lane state into contiguous
+    // scratch, run the prediction dot and the score/sigma kernel across
+    // lanes, scatter back, then finish each lane's scalar bookkeeping.
+    const size_t w = wave_rows_.size();
+    if (w > 0) {
+      for (size_t t = 0; t < w; ++t) {
+        const size_t lane = wave_lanes_[t];
+        lane_sample_[t] = values[wave_rows_[t]];
+        lane_sigma_[t] = sigma_[lane];
+        lane_pred_[t] = intercept_[lane];
+      }
+      for (size_t k = 0; k < order_; ++k) {
+        for (size_t t = 0; t < w; ++t) {
+          const size_t lane = wave_lanes_[t];
+          lane_phi_k_[t] = phi_[lane * order_ + k];
+          lane_recent_k_[t] = ring_[lane * order_ + RingSlot(lane, k)];
+        }
+        util::simd::MulAccumulate(lane_pred_.data(), lane_phi_k_.data(),
+                                  lane_recent_k_.data(), w);
+      }
+      util::simd::MonitorScoreLanes(lane_sample_.data(), lane_pred_.data(),
+                                    lane_sigma_.data(), lane_score_.data(), w,
+                                    options_.sigma_scale, options_.threshold,
+                                    alpha, kSigmaFloor);
+      for (size_t t = 0; t < w; ++t) {
+        const size_t j = wave_rows_[t];
+        const size_t lane = wave_lanes_[t];
+        sigma_[lane] = lane_sigma_[t];
+        ++samples_seen_[lane];
+        MonitorUpdate& update = updates[j];
+        update.score = lane_score_[t];
+        update.model_ready = true;
+        FinishUpdate(lane, lane_sample_[t], lane_pred_[t], lane_score_[t],
+                     update);
+        scored[j] = 1;
+      }
+    }
+    i = end;
+  }
+}
+
+OnlineMonitorState BatchMonitorBank::SaveState(size_t lane) const {
+  OnlineMonitorState state;
+  state.warmup_buffer = warmup_[lane];
+  if (model_ready_[lane] != 0) {
+    state.recent.reserve(order_);
+    for (size_t j = 0; j < order_; ++j) {
+      state.recent.push_back(
+          ring_[lane * order_ + (ring_pos_[lane] + j) % order_]);
+    }
+  }
+  const double* phi = &phi_[lane * order_];
+  state.phi.assign(phi, phi + phi_len_[lane]);
+  state.intercept = intercept_[lane];
+  state.residual_sigma = sigma_[lane];
+  state.model_ready = model_ready_[lane] != 0;
+  state.alarm = alarm_[lane] != 0;
+  state.above_streak = above_streak_[lane];
+  state.below_streak = below_streak_[lane];
+  state.samples_seen = samples_seen_[lane];
+  state.alarms_raised = alarms_raised_[lane];
+  return state;
+}
+
+Status BatchMonitorBank::RestoreState(size_t lane,
+                                      const OnlineMonitorState& state) {
+  if (lane >= size()) {
+    return Status::OutOfRange("monitor lane out of range");
+  }
+  if (state.model_ready && state.recent.size() != options_.ar_order) {
+    return Status::InvalidArgument(
+        "monitor state window length does not match ar_order");
+  }
+  if (!state.model_ready && state.warmup_buffer.size() >= options_.warmup) {
+    return Status::InvalidArgument(
+        "monitor state has a full warmup buffer but no fitted model");
+  }
+  if (state.residual_sigma <= 0.0) {
+    return Status::InvalidArgument("monitor state residual sigma must be > 0");
+  }
+  if (state.phi.size() > order_) {
+    return Status::InvalidArgument(
+        "monitor state has more coefficients than ar_order");
+  }
+  warmup_[lane] = state.warmup_buffer;
+  double* ring = &ring_[lane * order_];
+  std::fill(ring, ring + order_, 0.0);
+  if (state.model_ready) {
+    std::copy(state.recent.begin(), state.recent.end(), ring);
+  }
+  ring_pos_[lane] = 0;
+  double* phi = &phi_[lane * order_];
+  std::fill(phi, phi + order_, 0.0);
+  std::copy(state.phi.begin(), state.phi.end(), phi);
+  phi_len_[lane] = static_cast<uint32_t>(state.phi.size());
+  intercept_[lane] = state.intercept;
+  // Same floor Push and FitModel enforce: a checkpoint carrying a
+  // degenerate sigma (e.g. 1e-300) must not resume into astronomical
+  // z-scores and an alarm storm.
+  sigma_[lane] = std::max(state.residual_sigma, kSigmaFloor);
+  model_ready_[lane] = state.model_ready ? 1 : 0;
+  alarm_[lane] = state.alarm ? 1 : 0;
+  above_streak_[lane] = state.above_streak;
+  below_streak_[lane] = state.below_streak;
+  samples_seen_[lane] = state.samples_seen;
+  alarms_raised_[lane] = state.alarms_raised;
+  return Status::Ok();
+}
+
+}  // namespace hod::core

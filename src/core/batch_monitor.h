@@ -1,0 +1,132 @@
+#ifndef HOD_CORE_BATCH_MONITOR_H_
+#define HOD_CORE_BATCH_MONITOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/monitor.h"
+#include "util/statusor.h"
+
+namespace hod::core {
+
+/// Structure-of-arrays bank of per-sensor streaming monitors — the
+/// micro-batched twin of core::OnlineMonitor for the shard scoring hot
+/// path. One bank holds every monitor of one shard: coefficients, recent
+/// windows, residual scales, streak counters, and alarm flags live in
+/// parallel arrays indexed by a dense lane id, so a micro-batch of samples
+/// is scored with vectorized rolling-stat updates (util/simd.h) instead of
+/// a string-keyed map lookup, a deque shuffle, and scalar math per sample.
+///
+/// Parity contract: every lane applies the exact operation sequence of
+/// OnlineMonitor::Push — per-lane IEEE arithmetic in the same order, no
+/// FMA contraction — so scores, alarm transitions, counters, and saved
+/// state are bit-identical to a per-sample OnlineMonitor fed the same
+/// values (tests/batch_monitor_test.cc pins this). Checkpoints travel in
+/// the unchanged OnlineMonitorState format.
+///
+/// All monitors in a bank share one OnlineMonitorOptions (true of every
+/// shard today). Not thread-safe: a bank belongs to exactly one shard
+/// worker, like the map it replaces.
+class BatchMonitorBank {
+ public:
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+
+  explicit BatchMonitorBank(OnlineMonitorOptions options = {});
+
+  /// Registers a sensor and returns its dense lane index. Errors on
+  /// duplicates.
+  StatusOr<size_t> AddSensor(const std::string& sensor_id);
+
+  /// Lane index of a sensor, or kNotFound.
+  size_t IndexOf(const std::string& sensor_id) const;
+
+  size_t size() const { return sigma_.size(); }
+  const OnlineMonitorOptions& options() const { return options_; }
+
+  /// Scores one sample on one lane — op-for-op OnlineMonitor::Push.
+  /// Errors only on non-finite input or an out-of-range lane.
+  StatusOr<MonitorUpdate> Push(size_t lane, double sample);
+
+  /// Scores a micro-batch. lanes/values/updates/scored are parallel arrays
+  /// of length n; samples are applied in array order, so two samples for
+  /// the same lane keep their relative order (state carries between them).
+  /// scored[i] is 0 when values[i] was non-finite or lanes[i] out of range
+  /// (that lane's state is untouched and updates[i] stays default).
+  /// Internally the batch is cut into waves of distinct lanes and each
+  /// wave's ready lanes run through the vectorized score kernel; results
+  /// are bit-identical to n sequential Push calls.
+  void PushBatch(const size_t* lanes, const double* values, size_t n,
+                 MonitorUpdate* updates, unsigned char* scored);
+
+  uint64_t samples_seen(size_t lane) const { return samples_seen_[lane]; }
+  uint64_t alarms_raised(size_t lane) const { return alarms_raised_[lane]; }
+  bool alarm(size_t lane) const { return alarm_[lane] != 0; }
+  bool model_ready(size_t lane) const { return model_ready_[lane] != 0; }
+
+  /// Checkpointing: the unchanged OnlineMonitorState wire format.
+  OnlineMonitorState SaveState(size_t lane) const;
+  /// Mirrors OnlineMonitor::RestoreState, including the residual-sigma
+  /// floor (a checkpointed sigma below 1e-9 is floored exactly like
+  /// Push/FitModel would, instead of amplifying every z-score after
+  /// resume). Additionally rejects phi longer than ar_order — the SoA
+  /// layout reserves ar_order coefficient slots per lane.
+  Status RestoreState(size_t lane, const OnlineMonitorState& state);
+
+ private:
+  /// One-step AR prediction for a ready lane (same term order as
+  /// OnlineMonitor::Predict).
+  double Predict(size_t lane) const;
+  /// Warmup-path push: buffer the sample and fit once full (same fitter
+  /// and seeding as OnlineMonitor::FitModel).
+  StatusOr<MonitorUpdate> PushWarmup(size_t lane, double sample);
+  Status FitModel(size_t lane);
+  /// Post-score scalar tail shared by Push and PushBatch: hysteresis,
+  /// alarm bookkeeping, and the anomaly-corrected window update.
+  void FinishUpdate(size_t lane, double sample, double pred, double score,
+                    MonitorUpdate& update);
+  /// Ring slot of the sample `k` steps behind the most recent one.
+  size_t RingSlot(size_t lane, size_t k) const;
+
+  OnlineMonitorOptions options_;
+  size_t order_ = 0;
+  /// 1 - scale_forgetting when adaptation is on, else 0 (frozen scale).
+  double alpha_ = 0.0;
+
+  std::unordered_map<std::string, size_t> index_;
+
+  // Lane-major SoA state. phi_ and ring_ hold `order_` slots per lane
+  // (phi zero-padded past phi_len_); ring_pos_ is the slot of the oldest
+  // window sample (== the next write position).
+  std::vector<double> phi_;
+  std::vector<uint32_t> phi_len_;
+  std::vector<double> intercept_;
+  std::vector<double> sigma_;
+  std::vector<double> ring_;
+  std::vector<uint32_t> ring_pos_;
+  std::vector<uint8_t> model_ready_;
+  std::vector<uint8_t> alarm_;
+  std::vector<uint64_t> above_streak_;
+  std::vector<uint64_t> below_streak_;
+  std::vector<uint64_t> samples_seen_;
+  std::vector<uint64_t> alarms_raised_;
+  std::vector<std::vector<double>> warmup_;  // cold path, per lane
+
+  // Wave scratch (sized to the largest batch seen; reused across calls).
+  std::vector<uint64_t> wave_epoch_;  // per lane: epoch of last wave use
+  uint64_t epoch_ = 0;
+  std::vector<size_t> wave_rows_;   // batch positions of the vector wave
+  std::vector<size_t> wave_lanes_;  // lane ids of the vector wave
+  std::vector<double> lane_sample_;
+  std::vector<double> lane_pred_;
+  std::vector<double> lane_sigma_;
+  std::vector<double> lane_score_;
+  std::vector<double> lane_phi_k_;
+  std::vector<double> lane_recent_k_;
+};
+
+}  // namespace hod::core
+
+#endif  // HOD_CORE_BATCH_MONITOR_H_

@@ -135,7 +135,10 @@ Status OnlineMonitor::RestoreState(const OnlineMonitorState& state) {
   recent_.assign(state.recent.begin(), state.recent.end());
   phi_ = state.phi;
   intercept_ = state.intercept;
-  residual_sigma_ = state.residual_sigma;
+  // Same floor Push and FitModel apply. A checkpoint carrying a
+  // degenerate sigma (say 1e-300) would otherwise resume into
+  // astronomical z-scores and alarm on every sample.
+  residual_sigma_ = std::max(state.residual_sigma, 1e-9);
   model_ready_ = state.model_ready;
   alarm_ = state.alarm;
   above_streak_ = state.above_streak;

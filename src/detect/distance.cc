@@ -1,0 +1,19 @@
+#include "detect/distance.h"
+
+namespace hod::detect {
+
+StatusOr<double> SquaredDistance(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("distance kernel dimension mismatch");
+  }
+  return SquaredDistance(a.data(), b.data(), a.size());
+}
+
+StatusOr<double> Distance(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  HOD_ASSIGN_OR_RETURN(double sq, SquaredDistance(a, b));
+  return std::sqrt(sq);
+}
+
+}  // namespace hod::detect

@@ -1,0 +1,54 @@
+#ifndef HOD_DETECT_DISTANCE_H_
+#define HOD_DETECT_DISTANCE_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/simd.h"
+#include "util/statusor.h"
+
+namespace hod::detect {
+
+/// Shared squared-Euclidean kernel for the batch detectors. One
+/// implementation replaces the four duplicated `Distance` /
+/// `SquaredDistance` helpers that used to live in knn_detector.cc,
+/// lof_detector.cc, kmeans.cc, and single_linkage.cc — each of which
+/// iterated over `a.size()` with no dimension check, so a longer first
+/// argument read past the end of the second.
+///
+/// Two layers:
+///  - pointer kernels: the hot path. The caller has validated dimensions
+///    once at its own boundary (Train/Score reject ragged or mismatched
+///    rows) and guarantees both arrays hold `n` doubles. Dispatched to the
+///    vectorized backend (util/simd.h); summation order is deterministic
+///    but may differ from the scalar reference by blocked accumulation.
+///  - checked overloads: the kernel boundary for callers whose operand
+///    shapes are not structurally guaranteed. Mismatched dimensions return
+///    InvalidArgument instead of reading out of bounds.
+
+/// sum (a[i]-b[i])^2 over n dimensions. Caller guarantees sizes.
+inline double SquaredDistance(const double* a, const double* b, size_t n) {
+  return util::simd::SquaredL2(a, b, n);
+}
+
+/// Euclidean distance over n dimensions. Caller guarantees sizes.
+inline double Distance(const double* a, const double* b, size_t n) {
+  return std::sqrt(util::simd::SquaredL2(a, b, n));
+}
+
+/// Scalar left-to-right reference kernel (parity tests, bench baseline).
+inline double SquaredDistanceReference(const double* a, const double* b,
+                                       size_t n) {
+  return util::simd::SquaredL2Reference(a, b, n);
+}
+
+/// Checked boundary: InvalidArgument on dimension mismatch.
+StatusOr<double> SquaredDistance(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+StatusOr<double> Distance(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+}  // namespace hod::detect
+
+#endif  // HOD_DETECT_DISTANCE_H_

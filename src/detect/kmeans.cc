@@ -4,23 +4,10 @@
 #include <cmath>
 #include <limits>
 
+#include "detect/distance.h"
 #include "util/rng.h"
 
 namespace hod::detect {
-
-namespace {
-
-double SquaredDistance(const std::vector<double>& a,
-                       const std::vector<double>& b) {
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return sum;
-}
-
-}  // namespace
 
 StatusOr<NearestCentroid> FindNearestCentroid(
     const std::vector<std::vector<double>>& centroids,
@@ -34,7 +21,8 @@ StatusOr<NearestCentroid> FindNearestCentroid(
     if (centroids[c].size() != point.size()) {
       return Status::InvalidArgument("dimension mismatch vs centroid");
     }
-    const double d = SquaredDistance(centroids[c], point);
+    const double d = SquaredDistance(centroids[c].data(), point.data(),
+                                     point.size());
     if (d < best.distance) {
       best.distance = d;
       best.index = c;
@@ -65,7 +53,9 @@ StatusOr<KMeansResult> KMeans(const std::vector<std::vector<double>>& data,
                              std::numeric_limits<double>::infinity());
   while (centroids.size() < k) {
     for (size_t i = 0; i < data.size(); ++i) {
-      min_sq[i] = std::min(min_sq[i], SquaredDistance(data[i], centroids.back()));
+      min_sq[i] = std::min(min_sq[i], SquaredDistance(data[i].data(),
+                                                      centroids.back().data(),
+                                                      dim));
     }
     const size_t next = rng.WeightedIndex(min_sq);
     centroids.push_back(data[next]);
@@ -80,7 +70,8 @@ StatusOr<KMeansResult> KMeans(const std::vector<std::vector<double>>& data,
       size_t best = 0;
       double best_d = std::numeric_limits<double>::infinity();
       for (size_t c = 0; c < centroids.size(); ++c) {
-        const double d = SquaredDistance(data[i], centroids[c]);
+        const double d =
+            SquaredDistance(data[i].data(), centroids[c].data(), dim);
         if (d < best_d) {
           best_d = d;
           best = c;
@@ -112,8 +103,8 @@ StatusOr<KMeansResult> KMeans(const std::vector<std::vector<double>>& data,
   result.distances.resize(data.size());
   result.cluster_sizes.assign(k, 0);
   for (size_t i = 0; i < data.size(); ++i) {
-    result.distances[i] = std::sqrt(
-        SquaredDistance(data[i], result.centroids[result.assignments[i]]));
+    result.distances[i] = std::sqrt(SquaredDistance(
+        data[i].data(), result.centroids[result.assignments[i]].data(), dim));
     ++result.cluster_sizes[result.assignments[i]];
   }
   return result;

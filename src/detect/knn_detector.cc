@@ -4,22 +4,17 @@
 #include <cmath>
 #include <limits>
 
+#include "detect/distance.h"
 #include "timeseries/stats.h"
 
 namespace hod::detect {
 
 namespace {
 
-double Distance(const std::vector<double>& a, const std::vector<double>& b) {
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return std::sqrt(sum);
-}
-
 /// Keeps the k smallest values seen (simple insertion; k is small).
+/// Seeded with +inf sentinels, which Mean()/Max() filter — so a caller
+/// that offers fewer than k finite values must clamp k first, or every
+/// query degenerates to 0.0 (see KnnDetector::Train).
 class TopKSmallest {
  public:
   explicit TopKSmallest(size_t k) : values_(k, std::numeric_limits<double>::infinity()) {}
@@ -66,6 +61,11 @@ Status KnnDetector::Train(const std::vector<std::vector<double>>& data) {
   HOD_ASSIGN_OR_RETURN(scaler_, ColumnScaler::Fit(data));
   train_ = data;
   HOD_RETURN_IF_ERROR(scaler_.Apply(train_));
+  // A leave-one-out query sees train_.size()-1 candidates. Asking for more
+  // neighbors than that used to leave +inf sentinels in TopKSmallest, whose
+  // Mean() then filtered every entry and returned 0.0 — the detector
+  // silently scored everything as a perfect inlier. Clamp instead.
+  k_ = std::min(options_.k, train_.size() - 1);
 
   // Baseline: q95 of the leave-one-out knn statistic on training data.
   std::vector<double> stats(train_.size());
@@ -80,10 +80,13 @@ Status KnnDetector::Train(const std::vector<std::vector<double>>& data) {
 
 double KnnDetector::KnnDistance(const std::vector<double>& scaled,
                                 size_t skip) const {
-  TopKSmallest nearest(options_.k);
+  // Dimensions guaranteed by the Train/Score boundary: every training row
+  // passed ColumnScaler::Fit's ragged check and every query was validated
+  // against dim_ before scaling.
+  TopKSmallest nearest(k_);
   for (size_t j = 0; j < train_.size(); ++j) {
     if (j == skip) continue;
-    nearest.Offer(Distance(scaled, train_[j]));
+    nearest.Offer(Distance(scaled.data(), train_[j].data(), dim_));
   }
   return nearest.Mean();
 }
@@ -131,7 +134,8 @@ Status ReverseNnDetector::Train(const std::vector<std::vector<double>>& data) {
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < n; ++j) {
       distances[j] = {j == i ? std::numeric_limits<double>::infinity()
-                             : Distance(train_[i], train_[j]),
+                             : Distance(train_[i].data(), train_[j].data(),
+                                        dim_),
                       j};
     }
     std::partial_sort(distances.begin(), distances.begin() + options_.k,
@@ -162,7 +166,9 @@ StatusOr<std::vector<double>> ReverseNnDetector::Score(
     // k-distance exceeds the distance to the query.
     size_t reverse = 0;
     for (size_t j = 0; j < train_.size(); ++j) {
-      if (Distance(row, train_[j]) <= k_distance_[j]) ++reverse;
+      if (Distance(row.data(), train_[j].data(), dim_) <= k_distance_[j]) {
+        ++reverse;
+      }
     }
     // Antihub score: 0 reverse neighbors -> 1; expected count -> ~0.
     const double deficit =

@@ -38,6 +38,10 @@ class KnnDetector : public VectorDetector {
   KnnOptions options_;
   ColumnScaler scaler_;
   std::vector<std::vector<double>> train_;
+  /// options_.k clamped to the leave-one-out candidate count (n-1); with
+  /// the raw k, a small training set under-fills the neighbor heap and
+  /// every score collapses to 0.
+  size_t k_ = 0;
   double baseline_ = 1.0;  // training q95 of the knn statistic
   size_t dim_ = 0;
   bool trained_ = false;

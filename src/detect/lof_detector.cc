@@ -5,20 +5,9 @@
 #include <limits>
 #include <numeric>
 
+#include "detect/distance.h"
+
 namespace hod::detect {
-
-namespace {
-
-double Distance(const std::vector<double>& a, const std::vector<double>& b) {
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return std::sqrt(sum);
-}
-
-}  // namespace
 
 LofDetector::LofDetector(LofOptions options) : options_(options) {}
 
@@ -26,9 +15,11 @@ LofDetector::Neighbors LofDetector::FindNeighbors(
     const std::vector<double>& scaled, size_t skip) const {
   std::vector<std::pair<double, size_t>> all;
   all.reserve(train_.size());
+  // Dimensions guaranteed by the Train/RawLof boundary (ragged training
+  // data is rejected by ColumnScaler::Fit; queries are checked vs dim_).
   for (size_t j = 0; j < train_.size(); ++j) {
     if (j == skip) continue;
-    all.emplace_back(Distance(scaled, train_[j]), j);
+    all.emplace_back(Distance(scaled.data(), train_[j].data(), dim_), j);
   }
   const size_t k = std::min(options_.k, all.size());
   std::partial_sort(all.begin(), all.begin() + k, all.end());

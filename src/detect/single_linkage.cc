@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "detect/distance.h"
 #include "timeseries/stats.h"
 
 namespace hod::detect {
@@ -27,16 +28,14 @@ Status SingleLinkageDetector::Train(
   centers_.clear();
   counts_.clear();
   for (const auto& point : scaled) {
-    // Nearest existing center.
+    // Nearest existing center. Dimensions are uniform here: every point
+    // passed ColumnScaler::Fit's ragged check and centers are built from
+    // those points.
     size_t best = centers_.size();
     double best_d = std::numeric_limits<double>::infinity();
     for (size_t c = 0; c < centers_.size(); ++c) {
-      double d = 0.0;
-      for (size_t k = 0; k < point.size(); ++k) {
-        const double dev = point[k] - centers_[c][k];
-        d += dev * dev;
-      }
-      d = std::sqrt(d);
+      const double d =
+          Distance(point.data(), centers_[c].data(), point.size());
       if (d < best_d) {
         best_d = d;
         best = c;
@@ -85,12 +84,8 @@ StatusOr<std::vector<double>> SingleLinkageDetector::Score(
     size_t best = 0;
     double best_d = std::numeric_limits<double>::infinity();
     for (size_t c = 0; c < centers_.size(); ++c) {
-      double d = 0.0;
-      for (size_t k = 0; k < point.size(); ++k) {
-        const double dev = point[k] - centers_[c][k];
-        d += dev * dev;
-      }
-      d = std::sqrt(d);
+      const double d =
+          Distance(point.data(), centers_[c].data(), point.size());
       if (d < best_d) {
         best_d = d;
         best = c;

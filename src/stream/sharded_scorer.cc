@@ -22,7 +22,7 @@ ShardedScorer::ShardedScorer(const ShardedScorerOptions& options,
   for (size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>(
         options_.producer_hint, options_.queue_capacity,
-        options_.backpressure, options_.block_timeout));
+        options_.backpressure, options_.block_timeout, options_.monitor));
   }
 }
 
@@ -35,9 +35,7 @@ Status ShardedScorer::AddSensor(size_t shard, const std::string& sensor_id) {
   if (shard >= shards_.size()) {
     return Status::OutOfRange("shard index out of range");
   }
-  auto [it, inserted] = shards_[shard]->monitors.emplace(
-      sensor_id, core::OnlineMonitor(options_.monitor));
-  if (!inserted) {
+  if (!shards_[shard]->bank.AddSensor(sensor_id).ok()) {
     return Status::InvalidArgument("sensor already on shard: " + sensor_id);
   }
   return Status::Ok();
@@ -174,14 +172,14 @@ StatusOr<InlineScore> ShardedScorer::ScoreNow(size_t shard,
     return Status::OutOfRange("shard index out of range");
   }
   Shard& s = *shards_[shard];
-  auto it = s.monitors.find(sample.sensor_id);
-  if (it == s.monitors.end()) {
+  const size_t lane = s.bank.IndexOf(sample.sensor_id);
+  if (lane == core::BatchMonitorBank::kNotFound) {
     return Status::NotFound("no monitor for sensor: " + sample.sensor_id);
   }
   const HealthGateResult gate = HealthGate(sample);
   InlineScore result;
   if (!gate.score) return result;  // quarantined: withheld from the monitor
-  HOD_ASSIGN_OR_RETURN(result.update, it->second.Push(sample.value));
+  HOD_ASSIGN_OR_RETURN(result.update, s.bank.Push(lane, sample.value));
   result.scored = true;
   ObservePeers(sample, gate.forward);
   const core::MonitorUpdate& update = result.update;
@@ -315,13 +313,13 @@ StatusOr<SensorProbe> ShardedScorer::Probe(
         "Probe requires a stopped or synchronous scorer");
   }
   for (const auto& shard : shards_) {
-    auto it = shard->monitors.find(sensor_id);
-    if (it == shard->monitors.end()) continue;
+    const size_t lane = shard->bank.IndexOf(sensor_id);
+    if (lane == core::BatchMonitorBank::kNotFound) continue;
     SensorProbe probe;
-    probe.samples_seen = it->second.samples_seen();
-    probe.alarms_raised = it->second.alarms_raised();
-    probe.alarm = it->second.alarm();
-    probe.model_ready = it->second.model_ready();
+    probe.samples_seen = shard->bank.samples_seen(lane);
+    probe.alarms_raised = shard->bank.alarms_raised(lane);
+    probe.alarm = shard->bank.alarm(lane);
+    probe.model_ready = shard->bank.model_ready(lane);
     return probe;
   }
   return Status::NotFound("no monitor for sensor: " + sensor_id);
@@ -334,9 +332,9 @@ StatusOr<core::OnlineMonitorState> ShardedScorer::SaveMonitor(
         "SaveMonitor requires a stopped or synchronous scorer");
   }
   for (const auto& shard : shards_) {
-    auto it = shard->monitors.find(sensor_id);
-    if (it == shard->monitors.end()) continue;
-    return it->second.SaveState();
+    const size_t lane = shard->bank.IndexOf(sensor_id);
+    if (lane == core::BatchMonitorBank::kNotFound) continue;
+    return shard->bank.SaveState(lane);
   }
   return Status::NotFound("no monitor for sensor: " + sensor_id);
 }
@@ -344,9 +342,9 @@ StatusOr<core::OnlineMonitorState> ShardedScorer::SaveMonitor(
 StatusOr<core::OnlineMonitorState> ShardedScorer::SaveMonitorQuiesced(
     const std::string& sensor_id) const {
   for (const auto& shard : shards_) {
-    auto it = shard->monitors.find(sensor_id);
-    if (it == shard->monitors.end()) continue;
-    return it->second.SaveState();
+    const size_t lane = shard->bank.IndexOf(sensor_id);
+    if (lane == core::BatchMonitorBank::kNotFound) continue;
+    return shard->bank.SaveState(lane);
   }
   return Status::NotFound("no monitor for sensor: " + sensor_id);
 }
@@ -358,9 +356,9 @@ Status ShardedScorer::RestoreMonitor(const std::string& sensor_id,
         "RestoreMonitor requires a stopped or synchronous scorer");
   }
   for (const auto& shard : shards_) {
-    auto it = shard->monitors.find(sensor_id);
-    if (it == shard->monitors.end()) continue;
-    return it->second.RestoreState(state);
+    const size_t lane = shard->bank.IndexOf(sensor_id);
+    if (lane == core::BatchMonitorBank::kNotFound) continue;
+    return shard->bank.RestoreState(lane, state);
   }
   return Status::NotFound("no monitor for sensor: " + sensor_id);
 }
@@ -380,9 +378,66 @@ void ShardedScorer::ProcessBatch(size_t shard_index,
                                  std::vector<SensorSample>& batch) {
   Shard& shard = *shards_[shard_index];
   if (stats_ != nullptr) stats_->RecordBatch(batch.size());
+
+  // Pass 1 — sample order: lane lookup and health gating. Quarantine and
+  // recovery events forward here, so health transitions keep their
+  // per-sensor order relative to this sensor's later samples.
+  shard.batch_rows.clear();
+  shard.batch_lanes.clear();
+  shard.batch_values.clear();
+  shard.batch_forward.clear();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const SensorSample& sample = batch[i];
+    const size_t lane = shard.bank.IndexOf(sample.sensor_id);
+    if (lane == core::BatchMonitorBank::kNotFound) {
+      continue;  // router guarantees this
+    }
+    const HealthGateResult gate = HealthGate(sample);
+    if (!gate.score) continue;  // quarantined: withheld from the monitor
+    shard.batch_rows.push_back(i);
+    shard.batch_lanes.push_back(lane);
+    shard.batch_values.push_back(sample.value);
+    shard.batch_forward.push_back(gate.forward ? 1 : 0);
+  }
+
+  // Pass 2 — the vectorized hot path: one PushBatch scores every admitted
+  // sample through the SoA bank.
+  const size_t admitted = shard.batch_rows.size();
+  shard.batch_updates.resize(admitted);
+  shard.batch_scored.resize(admitted);
+  shard.bank.PushBatch(shard.batch_lanes.data(), shard.batch_values.data(),
+                       admitted, shard.batch_updates.data(),
+                       shard.batch_scored.data());
+
+  // Pass 3 — sample order again: peer observation, alarm accounting, and
+  // collector forwarding, gated exactly as the per-sample path was.
   size_t scored = 0;
-  for (SensorSample& sample : batch) {
-    if (ScoreOne(shard, sample)) ++scored;
+  for (size_t t = 0; t < admitted; ++t) {
+    if (shard.batch_scored[t] == 0) continue;  // router filters non-finites
+    ++scored;
+    SensorSample& sample = batch[shard.batch_rows[t]];
+    const bool forward = shard.batch_forward[t] != 0;
+    ObservePeers(sample, forward);
+    const core::MonitorUpdate& update = shard.batch_updates[t];
+    // Recovering sensors feed their monitor (to re-warm the baseline) but
+    // their updates are withheld from the collector — and from the alarm
+    // counters, or a phantom alarm raised against a half-warmed model
+    // would be reported while the level aggregates never see it.
+    if (stats_ != nullptr && forward) {
+      if (update.alarm_raised) stats_->RecordAlarmRaised();
+      if (update.alarm_cleared) stats_->RecordAlarmCleared();
+    }
+    if (collector_ != nullptr && forward &&
+        (update.alarm_raised || update.alarm_cleared ||
+         update.score > options_.forward_threshold)) {
+      ScoredSample out;
+      out.sensor_id = std::move(sample.sensor_id);
+      out.level = sample.level;
+      out.ts = sample.ts;
+      out.value = sample.value;
+      out.update = update;
+      ForwardToCollector(std::move(out));
+    }
   }
   if (stats_ != nullptr && scored > 0) stats_->RecordScored(scored);
   shard.processed.fetch_add(batch.size(), std::memory_order_release);
@@ -468,37 +523,6 @@ void ShardedScorer::ForwardToCollector(ScoredSample event) {
   // Flush wait for a collected_ count that can never arrive.
   forward_failed_.fetch_add(1, std::memory_order_release);
   if (stats_ != nullptr) stats_->RecordForwardFailed();
-}
-
-bool ShardedScorer::ScoreOne(Shard& shard, SensorSample& sample) {
-  auto it = shard.monitors.find(sample.sensor_id);
-  if (it == shard.monitors.end()) return false;  // router guarantees this
-  const HealthGateResult gate = HealthGate(sample);
-  if (!gate.score) return false;  // quarantined: withheld from the monitor
-  auto update_or = it->second.Push(sample.value);
-  if (!update_or.ok()) return false;  // router already filtered non-finites
-  ObservePeers(sample, gate.forward);
-  const core::MonitorUpdate& update = update_or.value();
-  // Recovering sensors feed their monitor (to re-warm the baseline) but
-  // their updates are withheld from the collector — and from the alarm
-  // counters, or a phantom alarm raised against a half-warmed model would
-  // be reported while the level aggregates never see it.
-  if (stats_ != nullptr && gate.forward) {
-    if (update.alarm_raised) stats_->RecordAlarmRaised();
-    if (update.alarm_cleared) stats_->RecordAlarmCleared();
-  }
-  if (collector_ != nullptr && gate.forward &&
-      (update.alarm_raised || update.alarm_cleared ||
-       update.score > options_.forward_threshold)) {
-    ScoredSample scored;
-    scored.sensor_id = std::move(sample.sensor_id);
-    scored.level = sample.level;
-    scored.ts = sample.ts;
-    scored.value = sample.value;
-    scored.update = update;
-    ForwardToCollector(std::move(scored));
-  }
-  return true;
 }
 
 }  // namespace hod::stream

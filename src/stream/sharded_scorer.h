@@ -6,7 +6,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -15,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/batch_monitor.h"
 #include "core/monitor.h"
 #include "stream/health.h"
 #include "stream/queue.h"
@@ -120,12 +120,17 @@ struct ShardedScorerOptions {
 };
 
 /// The scoring tier: N shards, each owning a bounded queue, a worker
-/// thread, and the `core::OnlineMonitor` instances of the sensors hashed
-/// to it. Shard state is strictly thread-private — a sensor's samples are
-/// only ever scored by its shard's worker, so the hot path touches no
-/// shared mutable state and takes no lock (the queue mutex is amortized
-/// over micro-batches; the optional health tracker adds one uncontended
-/// per-sensor mutex acquisition per sample).
+/// thread, and a `core::BatchMonitorBank` holding the monitors of the
+/// sensors hashed to it in structure-of-arrays form. Shard state is
+/// strictly thread-private — a sensor's samples are only ever scored by
+/// its shard's worker, so the hot path touches no shared mutable state
+/// and takes no lock (the queue mutex is amortized over micro-batches;
+/// the optional health tracker adds one uncontended per-sensor mutex
+/// acquisition per sample). A drained micro-batch is scored in one
+/// BatchMonitorBank::PushBatch call, so the residual/z/EWMA-sigma math
+/// runs through the vectorized util/simd.h kernels instead of a map
+/// lookup and scalar update per sample; scores, counters, and checkpoint
+/// state are bit-identical to the per-sample path.
 class ShardedScorer {
  public:
   /// `stats`, `collector`, `health`, and `peers` must outlive the scorer.
@@ -215,11 +220,23 @@ class ShardedScorer {
  private:
   struct Shard {
     Shard(ProducerHint hint, size_t capacity, BackpressurePolicy policy,
-          std::chrono::milliseconds block_timeout)
+          std::chrono::milliseconds block_timeout,
+          const core::OnlineMonitorOptions& monitor_options)
         : queue(MakeShardQueue<SensorSample>(hint, capacity, policy,
-                                            block_timeout)) {}
+                                            block_timeout)),
+          bank(monitor_options) {}
     std::unique_ptr<ShardQueue<SensorSample>> queue;
-    std::map<std::string, core::OnlineMonitor> monitors;
+    /// SoA bank of this shard's per-sensor monitors. Touched only by the
+    /// shard's drain thread (or the caller in synchronous mode).
+    core::BatchMonitorBank bank;
+    /// ProcessBatch scratch, parallel over the health-admitted samples of
+    /// one micro-batch. Owned by the drain thread; reused across batches.
+    std::vector<size_t> batch_rows;     ///< positions in the drained batch
+    std::vector<size_t> batch_lanes;
+    std::vector<double> batch_values;
+    std::vector<unsigned char> batch_forward;
+    std::vector<core::MonitorUpdate> batch_updates;
+    std::vector<unsigned char> batch_scored;
     std::atomic<uint64_t> submitted{0};
     std::atomic<uint64_t> processed{0};
     std::atomic<uint64_t> heartbeat{0};
@@ -247,12 +264,13 @@ class ShardedScorer {
   /// Executor mode: the pooled drain body for one shard.
   void DrainTask(size_t shard_index);
   /// Scores one drained batch on the calling thread and publishes the
-  /// shard's progress counters. Shared by WorkerLoop and the post-join
-  /// straggler drain in Stop().
+  /// shard's progress counters. Shared by WorkerLoop, DrainTask, and the
+  /// post-join straggler drain in Stop(). Three passes: health-gate in
+  /// sample order (gate events forward here), one vectorized
+  /// BatchMonitorBank::PushBatch over the admitted samples, then peer
+  /// observation / alarm accounting / collector forwarding in sample
+  /// order. Per-sensor event order is unchanged from the per-sample path.
   void ProcessBatch(size_t shard_index, std::vector<SensorSample>& batch);
-  /// Scores one sample against its monitor; forwards interesting updates.
-  /// Returns true when the sample reached the monitor (not quarantined).
-  bool ScoreOne(Shard& shard, SensorSample& sample);
   /// Pushes one event to the collector, counting it in forwarded_ only on
   /// success and in forward_failed_ (+ stats) otherwise.
   void ForwardToCollector(ScoredSample event);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/simd.h"
+
 namespace hod::ts {
 
 StatusOr<double> SquaredEuclideanDistance(const std::vector<double>& a,
@@ -11,12 +13,7 @@ StatusOr<double> SquaredEuclideanDistance(const std::vector<double>& a,
   if (a.size() != b.size()) {
     return Status::InvalidArgument("size mismatch in Euclidean distance");
   }
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return sum;
+  return util::simd::SquaredL2(a.data(), b.data(), a.size());
 }
 
 StatusOr<double> EuclideanDistance(const std::vector<double>& a,

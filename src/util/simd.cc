@@ -1,0 +1,358 @@
+#include "util/simd.h"
+
+#include <cmath>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define HOD_SIMD_X86 1
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#define HOD_SIMD_NEON 1
+#endif
+
+namespace hod::util::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. These spell out the exact IEEE operation order
+// of the loops they replaced (knn/lof/kmeans/single_linkage distance loops,
+// OnlineMonitor::Push), and double as the tail handler of every vector path.
+// ---------------------------------------------------------------------------
+
+double SquaredL2Scalar(const double* a, const double* b, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+void MulAccumulateScalar(double* acc, const double* x, const double* y,
+                         size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    acc[i] += x[i] * y[i];
+  }
+}
+
+void MonitorScoreLanesScalar(const double* sample, const double* pred,
+                             double* sigma, double* score, size_t n,
+                             double sigma_scale, double threshold,
+                             double alpha, double sigma_floor) {
+  for (size_t i = 0; i < n; ++i) {
+    const double residual = sample[i] - pred[i];
+    const double z = std::fabs(residual) / sigma[i];
+    const double excess = z - 1.0;
+    score[i] = excess <= 0.0 ? 0.0 : excess / (excess + sigma_scale);
+    if (alpha > 0.0 && score[i] <= threshold) {
+      // Same association as the monitor: ((1-a)*s)*s + (a*r)*r.
+      const double next = std::sqrt((1.0 - alpha) * sigma[i] * sigma[i] +
+                                    alpha * residual * residual);
+      sigma[i] = std::max(next, sigma_floor);
+    }
+  }
+}
+
+#if defined(HOD_SIMD_X86)
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels. Compiled with a function-level target attribute so the rest
+// of the binary stays baseline x86-64; only executed after the runtime
+// __builtin_cpu_supports("avx2") check passes. No FMA anywhere: the scalar
+// paths these must match compile to separate mul+add on the baseline ISA.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) double SquaredL2Avx2(const double* a,
+                                                     const double* b,
+                                                     size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256d d0 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4));
+    const __m256d d2 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i + 8), _mm256_loadu_pd(b + i + 8));
+    const __m256d d3 = _mm256_sub_pd(_mm256_loadu_pd(a + i + 12),
+                                     _mm256_loadu_pd(b + i + 12));
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(d0, d0));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(d1, d1));
+    acc2 = _mm256_add_pd(acc2, _mm256_mul_pd(d2, d2));
+    acc3 = _mm256_add_pd(acc3, _mm256_mul_pd(d3, d3));
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(d, d));
+  }
+  const __m256d acc =
+      _mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3));
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  double sum = _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+__attribute__((target("avx2"))) void MulAccumulateAvx2(double* acc,
+                                                       const double* x,
+                                                       const double* y,
+                                                       size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod =
+        _mm256_mul_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i));
+    _mm256_storeu_pd(acc + i, _mm256_add_pd(_mm256_loadu_pd(acc + i), prod));
+  }
+  MulAccumulateScalar(acc + i, x + i, y + i, n - i);
+}
+
+__attribute__((target("avx2"))) void MonitorScoreLanesAvx2(
+    const double* sample, const double* pred, double* sigma, double* score,
+    size_t n, double sigma_scale, double threshold, double alpha,
+    double sigma_floor) {
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vone = _mm256_set1_pd(1.0);
+  const __m256d vscale = _mm256_set1_pd(sigma_scale);
+  const __m256d vthreshold = _mm256_set1_pd(threshold);
+  const __m256d valpha = _mm256_set1_pd(alpha);
+  const __m256d vretain = _mm256_set1_pd(1.0 - alpha);
+  const __m256d vfloor = _mm256_set1_pd(sigma_floor);
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  const bool adapt = alpha > 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vsigma = _mm256_loadu_pd(sigma + i);
+    const __m256d residual =
+        _mm256_sub_pd(_mm256_loadu_pd(sample + i), _mm256_loadu_pd(pred + i));
+    const __m256d z =
+        _mm256_div_pd(_mm256_and_pd(residual, abs_mask), vsigma);
+    const __m256d excess = _mm256_sub_pd(z, vone);
+    const __m256d ratio =
+        _mm256_div_pd(excess, _mm256_add_pd(excess, vscale));
+    // excess <= 0 -> score 0; the masked-out lanes' ratio is discarded.
+    const __m256d positive = _mm256_cmp_pd(excess, vzero, _CMP_GT_OQ);
+    const __m256d vscore = _mm256_and_pd(positive, ratio);
+    _mm256_storeu_pd(score + i, vscore);
+    if (adapt) {
+      // ((1-a)*s)*s + (a*r)*r, sqrt, floor — same association as scalar.
+      const __m256d decayed = _mm256_mul_pd(
+          _mm256_mul_pd(vretain, vsigma), vsigma);
+      const __m256d injected = _mm256_mul_pd(
+          _mm256_mul_pd(valpha, residual), residual);
+      const __m256d next = _mm256_max_pd(
+          _mm256_sqrt_pd(_mm256_add_pd(decayed, injected)), vfloor);
+      const __m256d within =
+          _mm256_cmp_pd(vscore, vthreshold, _CMP_LE_OQ);
+      _mm256_storeu_pd(sigma + i, _mm256_blendv_pd(vsigma, next, within));
+    }
+  }
+  MonitorScoreLanesScalar(sample + i, pred + i, sigma + i, score + i, n - i,
+                          sigma_scale, threshold, alpha, sigma_floor);
+}
+
+#endif  // HOD_SIMD_X86
+
+#if defined(HOD_SIMD_NEON)
+
+// ---------------------------------------------------------------------------
+// NEON kernels (aarch64; NEON is part of the baseline ISA there, so no
+// runtime probe is needed). Same no-FMA, same per-lane operation order.
+// ---------------------------------------------------------------------------
+
+double SquaredL2Neon(const double* a, const double* b, size_t n) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float64x2_t d0 = vsubq_f64(vld1q_f64(a + i), vld1q_f64(b + i));
+    const float64x2_t d1 =
+        vsubq_f64(vld1q_f64(a + i + 2), vld1q_f64(b + i + 2));
+    acc0 = vaddq_f64(acc0, vmulq_f64(d0, d0));
+    acc1 = vaddq_f64(acc1, vmulq_f64(d1, d1));
+  }
+  double sum = vaddvq_f64(vaddq_f64(acc0, acc1));
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+void MulAccumulateNeon(double* acc, const double* x, const double* y,
+                       size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t prod = vmulq_f64(vld1q_f64(x + i), vld1q_f64(y + i));
+    vst1q_f64(acc + i, vaddq_f64(vld1q_f64(acc + i), prod));
+  }
+  MulAccumulateScalar(acc + i, x + i, y + i, n - i);
+}
+
+void MonitorScoreLanesNeon(const double* sample, const double* pred,
+                           double* sigma, double* score, size_t n,
+                           double sigma_scale, double threshold, double alpha,
+                           double sigma_floor) {
+  const float64x2_t vzero = vdupq_n_f64(0.0);
+  const float64x2_t vone = vdupq_n_f64(1.0);
+  const float64x2_t vscale = vdupq_n_f64(sigma_scale);
+  const float64x2_t vthreshold = vdupq_n_f64(threshold);
+  const float64x2_t valpha = vdupq_n_f64(alpha);
+  const float64x2_t vretain = vdupq_n_f64(1.0 - alpha);
+  const float64x2_t vfloor = vdupq_n_f64(sigma_floor);
+  const bool adapt = alpha > 0.0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t vsigma = vld1q_f64(sigma + i);
+    const float64x2_t residual =
+        vsubq_f64(vld1q_f64(sample + i), vld1q_f64(pred + i));
+    const float64x2_t z = vdivq_f64(vabsq_f64(residual), vsigma);
+    const float64x2_t excess = vsubq_f64(z, vone);
+    const float64x2_t ratio = vdivq_f64(excess, vaddq_f64(excess, vscale));
+    const uint64x2_t positive = vcgtq_f64(excess, vzero);
+    const float64x2_t vscore = vbslq_f64(positive, ratio, vzero);
+    vst1q_f64(score + i, vscore);
+    if (adapt) {
+      const float64x2_t decayed =
+          vmulq_f64(vmulq_f64(vretain, vsigma), vsigma);
+      const float64x2_t injected =
+          vmulq_f64(vmulq_f64(valpha, residual), residual);
+      const float64x2_t next =
+          vmaxq_f64(vsqrtq_f64(vaddq_f64(decayed, injected)), vfloor);
+      const uint64x2_t within = vcleq_f64(vscore, vthreshold);
+      vst1q_f64(sigma + i, vbslq_f64(within, next, vsigma));
+    }
+  }
+  MonitorScoreLanesScalar(sample + i, pred + i, sigma + i, score + i, n - i,
+                          sigma_scale, threshold, alpha, sigma_floor);
+}
+
+#endif  // HOD_SIMD_NEON
+
+// ---------------------------------------------------------------------------
+// Dispatch table, resolved once at first use.
+// ---------------------------------------------------------------------------
+
+struct Dispatch {
+  Backend backend = Backend::kScalar;
+  double (*squared_l2)(const double*, const double*, size_t) =
+      &SquaredL2Scalar;
+  void (*mul_accumulate)(double*, const double*, const double*, size_t) =
+      &MulAccumulateScalar;
+  void (*monitor_score)(const double*, const double*, double*, double*,
+                        size_t, double, double, double, double) =
+      &MonitorScoreLanesScalar;
+};
+
+bool BackendAvailable(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+#if defined(HOD_SIMD_X86)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Backend::kNeon:
+#if defined(HOD_SIMD_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Dispatch MakeDispatch(Backend backend) {
+  Dispatch d;
+  d.backend = backend;
+  switch (backend) {
+    case Backend::kScalar:
+      break;
+#if defined(HOD_SIMD_X86)
+    case Backend::kAvx2:
+      d.squared_l2 = &SquaredL2Avx2;
+      d.mul_accumulate = &MulAccumulateAvx2;
+      d.monitor_score = &MonitorScoreLanesAvx2;
+      break;
+#endif
+#if defined(HOD_SIMD_NEON)
+    case Backend::kNeon:
+      d.squared_l2 = &SquaredL2Neon;
+      d.mul_accumulate = &MulAccumulateNeon;
+      d.monitor_score = &MonitorScoreLanesNeon;
+      break;
+#endif
+    default:
+      d.backend = Backend::kScalar;
+      break;
+  }
+  return d;
+}
+
+Backend DetectBackend() {
+  if (BackendAvailable(Backend::kAvx2)) return Backend::kAvx2;
+  if (BackendAvailable(Backend::kNeon)) return Backend::kNeon;
+  return Backend::kScalar;
+}
+
+Dispatch& ActiveDispatch() {
+  static Dispatch dispatch = MakeDispatch(DetectBackend());
+  return dispatch;
+}
+
+}  // namespace
+
+Backend ActiveBackend() { return ActiveDispatch().backend; }
+
+std::string_view BackendName() {
+  switch (ActiveBackend()) {
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+    case Backend::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+Backend SetBackendForTest(Backend backend) {
+  if (BackendAvailable(backend)) {
+    ActiveDispatch() = MakeDispatch(backend);
+  }
+  return ActiveBackend();
+}
+
+double SquaredL2(const double* a, const double* b, size_t n) {
+  return ActiveDispatch().squared_l2(a, b, n);
+}
+
+double SquaredL2Reference(const double* a, const double* b, size_t n) {
+  return SquaredL2Scalar(a, b, n);
+}
+
+void MulAccumulate(double* acc, const double* x, const double* y, size_t n) {
+  ActiveDispatch().mul_accumulate(acc, x, y, n);
+}
+
+void MonitorScoreLanes(const double* sample, const double* pred,
+                       double* sigma, double* score, size_t n,
+                       double sigma_scale, double threshold, double alpha,
+                       double sigma_floor) {
+  ActiveDispatch().monitor_score(sample, pred, sigma, score, n, sigma_scale,
+                                 threshold, alpha, sigma_floor);
+}
+
+}  // namespace hod::util::simd

@@ -1,0 +1,72 @@
+#ifndef HOD_UTIL_SIMD_H_
+#define HOD_UTIL_SIMD_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace hod::util::simd {
+
+/// Which vector backend the process dispatches to. Selected once at
+/// startup: AVX2 when the CPU reports it (x86-64), NEON on aarch64 (part
+/// of the baseline ISA there), scalar otherwise. Every kernel below has a
+/// scalar reference implementation with identical per-element IEEE
+/// semantics, so the backend choice never changes *lane-wise* results —
+/// only horizontal reductions (SquaredL2) may differ in summation order.
+enum class Backend {
+  kScalar,
+  kAvx2,
+  kNeon,
+};
+
+/// The backend the dispatcher currently routes to.
+Backend ActiveBackend();
+
+/// Human-readable backend tag ("avx2", "neon", "scalar") for bench output
+/// and logs.
+std::string_view BackendName();
+
+/// Test seam: force a backend (pass kScalar to pin the reference path for
+/// parity tests). Forcing a backend the CPU cannot execute is ignored.
+/// Returns the backend actually in effect afterwards. Not thread-safe
+/// against concurrent kernel calls; call from test setup only.
+Backend SetBackendForTest(Backend backend);
+
+/// sum_i (a[i] - b[i])^2 over two contiguous arrays of length n.
+/// Dispatched: the vector path accumulates in independent partial sums
+/// (deterministic run-to-run, but a different rounding order than the
+/// reference). Caller guarantees both arrays hold n readable doubles —
+/// dimension checks belong at the call boundary (see detect/distance.h).
+double SquaredL2(const double* a, const double* b, size_t n);
+
+/// The scalar left-to-right reference for SquaredL2 — the exact summation
+/// order of the loops this kernel replaced. Kept callable for parity
+/// tests and the bench's scalar leg.
+double SquaredL2Reference(const double* a, const double* b, size_t n);
+
+/// acc[i] += x[i] * y[i], elementwise over n lanes. Mul-then-add (never
+/// FMA-contracted), so each lane matches the scalar expression
+/// `acc += x * y` bit-for-bit.
+void MulAccumulate(double* acc, const double* x, const double* y, size_t n);
+
+/// The vectorized core of one OnlineMonitor scoring step, elementwise
+/// over n independent monitor lanes (lane = one sensor; see
+/// core::BatchMonitorBank). For every lane i, with r = sample[i] - pred[i]
+/// and z = |r| / sigma[i]:
+///
+///   excess   = z - 1
+///   score[i] = excess <= 0 ? 0 : excess / (excess + sigma_scale)
+///   if (alpha > 0 && score[i] <= threshold)            // EWMA adaptation
+///     sigma[i] = max(sqrt((1-alpha)*sigma[i]^2 + alpha*r^2), sigma_floor)
+///
+/// Every operation is per-lane IEEE arithmetic in the same order as
+/// core::OnlineMonitor::Push, so each lane's score and updated sigma are
+/// bit-identical to the scalar monitor. Pass alpha <= 0 for a frozen
+/// scale (scale_forgetting == 1.0).
+void MonitorScoreLanes(const double* sample, const double* pred,
+                       double* sigma, double* score, size_t n,
+                       double sigma_scale, double threshold, double alpha,
+                       double sigma_floor);
+
+}  // namespace hod::util::simd
+
+#endif  // HOD_UTIL_SIMD_H_

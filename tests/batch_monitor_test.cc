@@ -1,0 +1,306 @@
+// Parity suite for core::BatchMonitorBank: the SoA micro-batched bank
+// must be bit-identical to a per-sensor core::OnlineMonitor fed the same
+// samples — scores, alarm transitions, counters, and checkpoint state —
+// regardless of batch size, lane interleaving, or the active SIMD
+// backend. Also pins the checkpoint-restore fixes (residual-sigma floor,
+// phi width validation).
+#include "core/batch_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/monitor.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace hod::core {
+namespace {
+
+OnlineMonitorOptions FastOptions() {
+  OnlineMonitorOptions options;
+  options.warmup = 16;
+  options.ar_order = 4;
+  options.raise_after = 2;
+  options.clear_after = 3;
+  return options;
+}
+
+void ExpectStatesIdentical(const OnlineMonitorState& got,
+                           const OnlineMonitorState& want) {
+  EXPECT_EQ(got.warmup_buffer, want.warmup_buffer);
+  EXPECT_EQ(got.recent, want.recent);
+  EXPECT_EQ(got.phi, want.phi);
+  EXPECT_EQ(got.intercept, want.intercept);
+  EXPECT_EQ(got.residual_sigma, want.residual_sigma);
+  EXPECT_EQ(got.model_ready, want.model_ready);
+  EXPECT_EQ(got.alarm, want.alarm);
+  EXPECT_EQ(got.above_streak, want.above_streak);
+  EXPECT_EQ(got.below_streak, want.below_streak);
+  EXPECT_EQ(got.samples_seen, want.samples_seen);
+  EXPECT_EQ(got.alarms_raised, want.alarms_raised);
+}
+
+void ExpectUpdatesIdentical(const MonitorUpdate& got,
+                            const MonitorUpdate& want) {
+  EXPECT_EQ(got.score, want.score);
+  EXPECT_EQ(got.alarm, want.alarm);
+  EXPECT_EQ(got.alarm_raised, want.alarm_raised);
+  EXPECT_EQ(got.alarm_cleared, want.alarm_cleared);
+  EXPECT_EQ(got.model_ready, want.model_ready);
+}
+
+/// One sensor's sample stream: AR(1)-ish noise around a level, with a
+/// burst of spikes to drive alarms (and the anomaly-corrected window).
+std::vector<double> SensorStream(uint64_t seed, size_t n, double level) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  double noise = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    noise = 0.6 * noise + rng.Gaussian(0.0, 0.4);
+    double v = level + noise;
+    if (i > n / 2 && i < n / 2 + 8) v += 25.0;  // fault burst
+    if (i > 3 * n / 4 && i % 7 == 0) v -= 12.0;  // sporadic dips
+    values.push_back(v);
+  }
+  return values;
+}
+
+TEST(BatchMonitorBank, SingleLanePushMatchesOnlineMonitor) {
+  const OnlineMonitorOptions options = FastOptions();
+  BatchMonitorBank bank(options);
+  const size_t lane = bank.AddSensor("s0").value();
+  OnlineMonitor monitor(options);
+
+  for (double v : SensorStream(1, 600, 50.0)) {
+    auto got = bank.Push(lane, v);
+    auto want = monitor.Push(v);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(want.ok());
+    ExpectUpdatesIdentical(got.value(), want.value());
+  }
+  EXPECT_GT(bank.alarms_raised(lane), 0u) << "stream must exercise alarms";
+  EXPECT_EQ(bank.samples_seen(lane), 600u);
+  ExpectStatesIdentical(bank.SaveState(lane), monitor.SaveState());
+}
+
+/// Feeds interleaved multi-sensor streams through PushBatch (with
+/// repeated lanes inside a batch, forcing wave splits) and through
+/// per-sensor OnlineMonitors, comparing every update and final state.
+void RunBatchParity(size_t batch_size) {
+  const OnlineMonitorOptions options = FastOptions();
+  constexpr size_t kSensors = 7;
+  constexpr size_t kSamplesPerSensor = 400;
+
+  BatchMonitorBank bank(options);
+  std::vector<OnlineMonitor> monitors;
+  std::vector<std::vector<double>> streams;
+  for (size_t s = 0; s < kSensors; ++s) {
+    ASSERT_EQ(bank.AddSensor("s" + std::to_string(s)).value(), s);
+    monitors.emplace_back(options);
+    streams.push_back(SensorStream(100 + s, kSamplesPerSensor, 30.0 + 5.0 * s));
+  }
+
+  // Interleave: sensor s emits its i-th sample at position i*kSensors+s,
+  // except sensor 0 which emits twice per round (adjacent duplicates —
+  // every batch containing them must split into waves).
+  std::vector<size_t> lanes;
+  std::vector<double> values;
+  std::vector<size_t> cursor(kSensors, 0);
+  for (size_t i = 0; i < kSamplesPerSensor; ++i) {
+    for (size_t s = 0; s < kSensors; ++s) {
+      if (cursor[s] >= streams[s].size()) continue;
+      lanes.push_back(s);
+      values.push_back(streams[s][cursor[s]++]);
+      if (s == 0 && i % 2 == 1 && cursor[0] < streams[0].size()) {
+        lanes.push_back(0);
+        values.push_back(streams[0][cursor[0]++]);
+      }
+    }
+  }
+
+  std::vector<MonitorUpdate> updates(batch_size);
+  std::vector<unsigned char> scored(batch_size);
+  for (size_t start = 0; start < lanes.size(); start += batch_size) {
+    const size_t n = std::min(batch_size, lanes.size() - start);
+    bank.PushBatch(&lanes[start], &values[start], n, updates.data(),
+                   scored.data());
+    for (size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(scored[j], 1u);
+      auto want = monitors[lanes[start + j]].Push(values[start + j]);
+      ASSERT_TRUE(want.ok());
+      ExpectUpdatesIdentical(updates[j], want.value());
+    }
+  }
+  for (size_t s = 0; s < kSensors; ++s) {
+    ExpectStatesIdentical(bank.SaveState(s), monitors[s].SaveState());
+    EXPECT_EQ(bank.alarms_raised(s), monitors[s].alarms_raised());
+  }
+  EXPECT_GT(bank.alarms_raised(0), 0u) << "stream must exercise alarms";
+}
+
+TEST(BatchMonitorBank, PushBatchMatchesOnlineMonitorBatch1) {
+  RunBatchParity(1);
+}
+TEST(BatchMonitorBank, PushBatchMatchesOnlineMonitorBatch3) {
+  RunBatchParity(3);
+}
+TEST(BatchMonitorBank, PushBatchMatchesOnlineMonitorBatch16) {
+  RunBatchParity(16);
+}
+TEST(BatchMonitorBank, PushBatchMatchesOnlineMonitorBatch64) {
+  RunBatchParity(64);
+}
+
+TEST(BatchMonitorBank, ScalarBackendParity) {
+  // The vector backend is exercised by the tests above (on capable CPUs);
+  // pinning scalar here proves the bank's own wave logic is
+  // backend-independent.
+  const util::simd::Backend original = util::simd::ActiveBackend();
+  ASSERT_EQ(util::simd::SetBackendForTest(util::simd::Backend::kScalar),
+            util::simd::Backend::kScalar);
+  RunBatchParity(32);
+  util::simd::SetBackendForTest(original);
+}
+
+TEST(BatchMonitorBank, NonFiniteSampleIsSkippedAndStateUntouched) {
+  BatchMonitorBank bank(FastOptions());
+  const size_t lane = bank.AddSensor("s0").value();
+  for (double v : SensorStream(3, 100, 10.0)) {
+    ASSERT_TRUE(bank.Push(lane, v).ok());
+  }
+  const OnlineMonitorState before = bank.SaveState(lane);
+
+  const size_t lanes[] = {lane, lane, lane};
+  const double values[] = {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(), 10.0};
+  MonitorUpdate updates[3];
+  unsigned char scored[3];
+  bank.PushBatch(lanes, values, 3, updates, scored);
+  EXPECT_EQ(scored[0], 0u);
+  EXPECT_EQ(scored[1], 0u);
+  EXPECT_EQ(scored[2], 1u);
+  EXPECT_EQ(bank.samples_seen(lane), before.samples_seen + 1);
+  EXPECT_FALSE(bank.Push(lane, std::numeric_limits<double>::quiet_NaN()).ok());
+}
+
+TEST(BatchMonitorBank, OutOfRangeLaneIsSkipped) {
+  BatchMonitorBank bank(FastOptions());
+  const size_t lane = bank.AddSensor("s0").value();
+  const size_t lanes[] = {lane + 7, lane};
+  const double values[] = {1.0, 2.0};
+  MonitorUpdate updates[2];
+  unsigned char scored[2];
+  bank.PushBatch(lanes, values, 2, updates, scored);
+  EXPECT_EQ(scored[0], 0u);
+  EXPECT_EQ(scored[1], 1u);
+  EXPECT_EQ(bank.samples_seen(lane), 1u);
+}
+
+TEST(BatchMonitorBank, RegistryRejectsDuplicatesAndReportsNotFound) {
+  BatchMonitorBank bank(FastOptions());
+  EXPECT_EQ(bank.AddSensor("a").value(), 0u);
+  EXPECT_EQ(bank.AddSensor("b").value(), 1u);
+  EXPECT_FALSE(bank.AddSensor("a").ok());
+  EXPECT_EQ(bank.size(), 2u);
+  EXPECT_EQ(bank.IndexOf("b"), 1u);
+  EXPECT_EQ(bank.IndexOf("zzz"), BatchMonitorBank::kNotFound);
+}
+
+TEST(BatchMonitorBank, CheckpointRoundTripsAgainstOnlineMonitor) {
+  const OnlineMonitorOptions options = FastOptions();
+  OnlineMonitor monitor(options);
+  const std::vector<double> stream = SensorStream(9, 300, 42.0);
+  for (double v : stream) ASSERT_TRUE(monitor.Push(v).ok());
+
+  // Monitor state -> bank lane; both continue on the same tail.
+  BatchMonitorBank bank(options);
+  const size_t lane = bank.AddSensor("s0").value();
+  ASSERT_TRUE(bank.RestoreState(lane, monitor.SaveState()).ok());
+  ExpectStatesIdentical(bank.SaveState(lane), monitor.SaveState());
+  for (double v : SensorStream(10, 200, 42.0)) {
+    auto got = bank.Push(lane, v);
+    auto want = monitor.Push(v);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(want.ok());
+    ExpectUpdatesIdentical(got.value(), want.value());
+  }
+
+  // Bank state -> fresh OnlineMonitor: the wire format is unchanged.
+  OnlineMonitor resumed(options);
+  ASSERT_TRUE(resumed.RestoreState(bank.SaveState(lane)).ok());
+  ExpectStatesIdentical(resumed.SaveState(), monitor.SaveState());
+}
+
+TEST(BatchMonitorBank, MidWarmupCheckpointRoundTrips) {
+  const OnlineMonitorOptions options = FastOptions();
+  OnlineMonitor monitor(options);
+  for (double v : SensorStream(11, 7, 5.0)) ASSERT_TRUE(monitor.Push(v).ok());
+
+  BatchMonitorBank bank(options);
+  const size_t lane = bank.AddSensor("s0").value();
+  ASSERT_TRUE(bank.RestoreState(lane, monitor.SaveState()).ok());
+  for (double v : SensorStream(12, 100, 5.0)) {
+    auto got = bank.Push(lane, v);
+    auto want = monitor.Push(v);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(want.ok());
+    ExpectUpdatesIdentical(got.value(), want.value());
+  }
+  ExpectStatesIdentical(bank.SaveState(lane), monitor.SaveState());
+}
+
+TEST(BatchMonitorBank, RestoreFloorsDegenerateSigma) {
+  // Regression: a checkpoint carrying residual_sigma = 1e-300 (legal per
+  // the > 0 validation) used to resume with every z-score astronomically
+  // inflated. Restore must apply the same 1e-9 floor as Push/FitModel.
+  const OnlineMonitorOptions options = FastOptions();
+  OnlineMonitor monitor(options);
+  for (double v : SensorStream(13, 200, 20.0)) {
+    ASSERT_TRUE(monitor.Push(v).ok());
+  }
+  OnlineMonitorState state = monitor.SaveState();
+  state.residual_sigma = 1e-300;
+
+  BatchMonitorBank bank(options);
+  const size_t lane = bank.AddSensor("s0").value();
+  ASSERT_TRUE(bank.RestoreState(lane, state).ok());
+  EXPECT_EQ(bank.SaveState(lane).residual_sigma, 1e-9);
+
+  OnlineMonitor restored(options);
+  ASSERT_TRUE(restored.RestoreState(state).ok());
+  EXPECT_EQ(restored.SaveState().residual_sigma, 1e-9);
+
+  // And the two floored implementations keep agreeing after resume.
+  for (double v : SensorStream(14, 50, 20.0)) {
+    auto got = bank.Push(lane, v);
+    auto want = restored.Push(v);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(want.ok());
+    ExpectUpdatesIdentical(got.value(), want.value());
+  }
+}
+
+TEST(BatchMonitorBank, RestoreRejectsInvalidStates) {
+  const OnlineMonitorOptions options = FastOptions();
+  BatchMonitorBank bank(options);
+  const size_t lane = bank.AddSensor("s0").value();
+
+  OnlineMonitorState state;
+  state.residual_sigma = 0.0;  // must be > 0
+  EXPECT_FALSE(bank.RestoreState(lane, state).ok());
+
+  state.residual_sigma = 1.0;
+  state.phi.assign(options.ar_order + 1, 0.1);  // wider than the SoA slot
+  EXPECT_FALSE(bank.RestoreState(lane, state).ok());
+
+  state.phi.clear();
+  EXPECT_FALSE(bank.RestoreState(lane + 1, state).ok()) << "bad lane";
+}
+
+}  // namespace
+}  // namespace hod::core

@@ -95,6 +95,26 @@ TEST(Knn, TrainingPointsScoreNearZero) {
   EXPECT_GT(zero, scores.size() * 8 / 10);
 }
 
+TEST(Knn, ClampsKToLeaveOneOutCandidates) {
+  // Regression: with k > n-1 the top-k set never filled, so the knn
+  // statistic silently changed meaning — at score time it averaged the
+  // distance to ALL n training points (the +inf sentinels are filtered)
+  // instead of the k nearest, while the leave-one-out baseline only ever
+  // saw n-1. An oversized k must behave exactly like k = n-1.
+  const std::vector<std::vector<double>> train = {{0.0}, {0.5}, {1.0},
+                                                  {1.5}, {2.0}};
+  KnnDetector oversized(KnnOptions{.k = 50});
+  KnnDetector clamped(KnnOptions{.k = 4});
+  ASSERT_TRUE(oversized.Train(train).ok());
+  ASSERT_TRUE(clamped.Train(train).ok());
+  auto a = oversized.Score({{100.0}, {1.0}}).value();
+  auto b = clamped.Score({{100.0}, {1.0}}).value();
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a[1], b[1]);
+  EXPECT_GT(a[0], 0.5) << "distant probe must score high";
+  EXPECT_LT(a[1], a[0]);
+}
+
 TEST(Knn, RejectsDegenerateInput) {
   KnnDetector detector;
   EXPECT_FALSE(detector.Train({{1.0}}).ok());

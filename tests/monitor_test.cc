@@ -96,5 +96,37 @@ TEST(OnlineMonitor, SlowDriftAbsorbedByAdaptation) {
   EXPECT_EQ(monitor.alarms_raised(), 0u);
 }
 
+TEST(OnlineMonitor, RestoreFloorsDegenerateResidualSigma) {
+  // Regression (kill-and-restore): a checkpoint carrying a residual sigma
+  // like 1e-300 passes the > 0 validation, but Push and FitModel never
+  // produce a sigma below 1e-9 — resuming from the raw value inflated
+  // every z-score by ~10^291 and alarmed on the first nominal sample.
+  // RestoreState now applies the same floor.
+  OnlineMonitor monitor;
+  Rng rng(21);
+  FeedNormal(monitor, 200, rng);
+  OnlineMonitorState state = monitor.SaveState();
+  state.residual_sigma = 1e-300;
+
+  OnlineMonitor restored;
+  ASSERT_TRUE(restored.RestoreState(state).ok());
+  EXPECT_EQ(restored.SaveState().residual_sigma, 1e-9);
+
+  // The restored monitor behaves exactly like one whose checkpoint
+  // already sat at the floor.
+  state.residual_sigma = 1e-9;
+  OnlineMonitor at_floor;
+  ASSERT_TRUE(at_floor.RestoreState(state).ok());
+  for (size_t i = 0; i < 50; ++i) {
+    const double v = 50.0 + rng.Gaussian(0.0, 0.4);
+    auto got = restored.Push(v);
+    auto want = at_floor.Push(v);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(got->score, want->score);
+    EXPECT_EQ(got->alarm, want->alarm);
+  }
+}
+
 }  // namespace
 }  // namespace hod::core

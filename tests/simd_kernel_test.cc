@@ -1,0 +1,244 @@
+// Parity tests for the util/simd.h dispatch shim. Lane-wise kernels
+// (MulAccumulate, MonitorScoreLanes) must be bit-identical across
+// backends; the horizontally-reduced SquaredL2 may re-associate its sum
+// but must agree with the scalar reference to rounding, on random and
+// adversarial inputs (denormals, mixed magnitudes, dim 1, dims off the
+// vector lane multiple). Also pins the checked detect/distance.h
+// boundary that replaced the unchecked per-detector helpers.
+#include "util/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "detect/distance.h"
+#include "util/rng.h"
+
+namespace hod::util::simd {
+namespace {
+
+/// Restores the process-default backend when a test scope ends.
+class BackendGuard {
+ public:
+  BackendGuard() : original_(ActiveBackend()) {}
+  ~BackendGuard() { SetBackendForTest(original_); }
+
+ private:
+  Backend original_;
+};
+
+/// Backends the running CPU can actually execute.
+std::vector<Backend> AvailableBackends() {
+  BackendGuard guard;
+  std::vector<Backend> available;
+  for (Backend b : {Backend::kScalar, Backend::kAvx2, Backend::kNeon}) {
+    if (SetBackendForTest(b) == b) available.push_back(b);
+  }
+  return available;
+}
+
+std::vector<double> RandomVector(Rng& rng, size_t n, double scale = 1.0) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Gaussian(0.0, scale);
+  return v;
+}
+
+/// Dimensions around the AVX2 (4) and unrolled (16) lane multiples.
+const size_t kDims[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 67};
+
+TEST(SimdDispatch, ReportsABackend) {
+  const Backend backend = ActiveBackend();
+  EXPECT_TRUE(backend == Backend::kScalar || backend == Backend::kAvx2 ||
+              backend == Backend::kNeon);
+  EXPECT_FALSE(BackendName().empty());
+}
+
+TEST(SimdDispatch, ForcingUnavailableBackendIsIgnored) {
+  BackendGuard guard;
+#if defined(__x86_64__) || defined(_M_X64)
+  // NEON does not exist on x86-64: the request leaves the backend alone.
+  const Backend before = ActiveBackend();
+  EXPECT_EQ(SetBackendForTest(Backend::kNeon), before);
+#endif
+  // Scalar is always available.
+  EXPECT_EQ(SetBackendForTest(Backend::kScalar), Backend::kScalar);
+}
+
+TEST(SquaredL2, MatchesReferenceAcrossDimsAndBackends) {
+  BackendGuard guard;
+  Rng rng(42);
+  for (Backend backend : AvailableBackends()) {
+    ASSERT_EQ(SetBackendForTest(backend), backend);
+    for (size_t n : kDims) {
+      const std::vector<double> a = RandomVector(rng, n, 3.0);
+      const std::vector<double> b = RandomVector(rng, n, 3.0);
+      const double got = SquaredL2(a.data(), b.data(), n);
+      const double want = SquaredL2Reference(a.data(), b.data(), n);
+      // Re-associated sum: agree to a few ulps, scaled by the magnitude.
+      EXPECT_NEAR(got, want, 1e-12 * std::max(1.0, want))
+          << "backend " << static_cast<int>(backend) << " dim " << n;
+    }
+  }
+}
+
+TEST(SquaredL2, ScalarBackendIsTheReference) {
+  BackendGuard guard;
+  ASSERT_EQ(SetBackendForTest(Backend::kScalar), Backend::kScalar);
+  Rng rng(7);
+  for (size_t n : kDims) {
+    const std::vector<double> a = RandomVector(rng, n);
+    const std::vector<double> b = RandomVector(rng, n);
+    EXPECT_EQ(SquaredL2(a.data(), b.data(), n),
+              SquaredL2Reference(a.data(), b.data(), n));
+  }
+}
+
+TEST(SquaredL2, AdversarialInputs) {
+  BackendGuard guard;
+  const double denormal = 5e-324;
+  const double tiny = 1e-308;
+  for (Backend backend : AvailableBackends()) {
+    ASSERT_EQ(SetBackendForTest(backend), backend);
+    // Identical vectors: exactly zero.
+    const std::vector<double> same = {1.5, -2.25, 1e300, denormal};
+    EXPECT_EQ(SquaredL2(same.data(), same.data(), same.size()), 0.0);
+    // Denormal differences underflow to zero when squared — consistently.
+    const std::vector<double> a = {denormal, tiny, 0.0, -denormal, tiny};
+    const std::vector<double> b = {0.0, -tiny, denormal, denormal, tiny};
+    EXPECT_EQ(SquaredL2(a.data(), b.data(), a.size()),
+              SquaredL2Reference(a.data(), b.data(), a.size()));
+    // Mixed magnitudes: the large term dominates in every association.
+    const std::vector<double> big = {1e8, 1e-8, -1e8, 1e-8, 3.0};
+    const std::vector<double> small = {0.0, 2e-8, 1e8, -1e-8, -3.0};
+    const double want =
+        SquaredL2Reference(big.data(), small.data(), big.size());
+    EXPECT_NEAR(SquaredL2(big.data(), small.data(), big.size()), want,
+                1e-12 * want);
+    // Dimension 1 (pure tail) and 0 (empty).
+    EXPECT_EQ(SquaredL2(big.data(), small.data(), 1), 1e16);
+    EXPECT_EQ(SquaredL2(big.data(), small.data(), 0), 0.0);
+  }
+}
+
+TEST(MulAccumulate, BitIdenticalAcrossBackends) {
+  BackendGuard guard;
+  Rng rng(99);
+  for (size_t n : kDims) {
+    const std::vector<double> x = RandomVector(rng, n, 2.0);
+    const std::vector<double> y = RandomVector(rng, n, 2.0);
+    const std::vector<double> acc0 = RandomVector(rng, n, 5.0);
+
+    ASSERT_EQ(SetBackendForTest(Backend::kScalar), Backend::kScalar);
+    std::vector<double> want = acc0;
+    MulAccumulate(want.data(), x.data(), y.data(), n);
+
+    for (Backend backend : AvailableBackends()) {
+      ASSERT_EQ(SetBackendForTest(backend), backend);
+      std::vector<double> got = acc0;
+      MulAccumulate(got.data(), x.data(), y.data(), n);
+      if (n > 0) {
+        EXPECT_EQ(std::memcmp(got.data(), want.data(), n * sizeof(double)),
+                  0)
+            << "backend " << static_cast<int>(backend) << " dim " << n;
+      }
+    }
+  }
+}
+
+/// The scalar monitor step MonitorScoreLanes must reproduce, lifted
+/// verbatim from core::OnlineMonitor::Push.
+void ScalarMonitorStep(double sample, double pred, double& sigma,
+                       double& score, double sigma_scale, double threshold,
+                       double alpha, double sigma_floor) {
+  const double residual = sample - pred;
+  const double z = std::fabs(residual) / sigma;
+  const double excess = z - 1.0;
+  score = excess <= 0.0 ? 0.0 : excess / (excess + sigma_scale);
+  if (alpha > 0.0 && score <= threshold) {
+    sigma = std::sqrt((1.0 - alpha) * sigma * sigma +
+                      alpha * residual * residual);
+    sigma = std::max(sigma, sigma_floor);
+  }
+}
+
+TEST(MonitorScoreLanes, BitIdenticalToScalarMonitorStep) {
+  BackendGuard guard;
+  Rng rng(1234);
+  const double sigma_scale = 3.0;
+  const double threshold = 0.5;
+  const double sigma_floor = 1e-9;
+  for (double alpha : {0.001, 0.25, 0.0}) {
+    for (size_t n : kDims) {
+      std::vector<double> sample = RandomVector(rng, n, 10.0);
+      std::vector<double> pred = RandomVector(rng, n, 10.0);
+      std::vector<double> sigma0(n);
+      for (double& s : sigma0) s = std::fabs(rng.Gaussian(1.0, 0.5)) + 0.01;
+      // Adversarial lanes: a near-floor sigma (floor clamp engages), a
+      // huge residual (score far above threshold, scale frozen), and a
+      // denormal-feeding residual.
+      if (n >= 3) {
+        sigma0[0] = sigma_floor;
+        sample[1] = pred[1] + 1e6;
+        sample[2] = pred[2] + 1e-160;
+        sigma0[2] = 1.0;
+      }
+
+      std::vector<double> want_sigma = sigma0;
+      std::vector<double> want_score(n, -1.0);
+      for (size_t i = 0; i < n; ++i) {
+        ScalarMonitorStep(sample[i], pred[i], want_sigma[i], want_score[i],
+                          sigma_scale, threshold, alpha, sigma_floor);
+      }
+
+      for (Backend backend : AvailableBackends()) {
+        ASSERT_EQ(SetBackendForTest(backend), backend);
+        std::vector<double> got_sigma = sigma0;
+        std::vector<double> got_score(n, -1.0);
+        MonitorScoreLanes(sample.data(), pred.data(), got_sigma.data(),
+                          got_score.data(), n, sigma_scale, threshold, alpha,
+                          sigma_floor);
+        if (n == 0) continue;
+        EXPECT_EQ(std::memcmp(got_sigma.data(), want_sigma.data(),
+                              n * sizeof(double)),
+                  0)
+            << "sigma: backend " << static_cast<int>(backend) << " dim " << n
+            << " alpha " << alpha;
+        EXPECT_EQ(std::memcmp(got_score.data(), want_score.data(),
+                              n * sizeof(double)),
+                  0)
+            << "score: backend " << static_cast<int>(backend) << " dim " << n
+            << " alpha " << alpha;
+      }
+    }
+  }
+}
+
+TEST(CheckedDistance, RejectsDimensionMismatch) {
+  // Regression: the per-detector Distance helpers iterated over a.size()
+  // with no check, so a longer first argument read past the end of the
+  // second (ASan catches the old pattern). The shared kernel boundary
+  // errors instead.
+  const std::vector<double> longer = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> shorter = {1.0, 2.0};
+  auto squared = detect::SquaredDistance(longer, shorter);
+  EXPECT_EQ(squared.status().code(), StatusCode::kInvalidArgument);
+  auto dist = detect::Distance(shorter, longer);
+  EXPECT_EQ(dist.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckedDistance, MatchesPointerKernelOnEqualDims) {
+  Rng rng(5);
+  const std::vector<double> a = RandomVector(rng, 9);
+  const std::vector<double> b = RandomVector(rng, 9);
+  EXPECT_EQ(detect::SquaredDistance(a, b).value(),
+            detect::SquaredDistance(a.data(), b.data(), a.size()));
+  EXPECT_EQ(detect::Distance(a, b).value(),
+            detect::Distance(a.data(), b.data(), a.size()));
+}
+
+}  // namespace
+}  // namespace hod::util::simd
