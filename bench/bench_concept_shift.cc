@@ -1,0 +1,439 @@
+// E13 — online concept-shift re-baselining (hod::core BOCPD in the
+// streaming path).
+//
+// Four parts:
+//   1. Shift drill: injected setpoint changes (steps and ramps) on half
+//      the fleet. Per victim the engine must confirm exactly ONE
+//      kConceptShift finding within a fixed sample budget after the
+//      ground-truth instant, retract the stale alarm, and re-baseline —
+//      measured against a control engine with the shift layer off, whose
+//      old-regime baseline keeps alarming until it slowly re-adapts.
+//   2. Shift-free control: the same fleet with no injected shifts must
+//      produce ZERO re-baselines — a false re-baseline erases a healthy
+//      baseline and blinds the detector exactly when it must not.
+//   3. Hierarchy hand-off: the EscalationBridge consumes the confirmed
+//      shift from the snapshot and MarkDirty's the sensor's covering
+//      scopes, so the batch tier's epoch cache rebuilds its models
+//      against post-shift data (visible in cache_stats()).
+//   4. Lane cache: sensor-id -> lane resolved once at ingress instead of
+//      one hash probe per sample; identical scoring required, time delta
+//      reported.
+//
+// Emits human-readable tables on stdout and BENCH_SHIFT.json in the
+// working directory; CI gates on the JSON.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/hierarchical_detector.h"
+#include "core/report.h"
+#include "sim/fault_injector.h"
+#include "sim/plant.h"
+#include "stream/engine.h"
+#include "stream/escalation.h"
+#include "util/rng.h"
+
+namespace {
+
+using hod::hierarchy::ProductionLevel;
+using hod::sim::FaultInjector;
+using hod::stream::ConceptShiftEvent;
+using hod::stream::SensorSample;
+using hod::stream::StreamEngine;
+using hod::stream::StreamEngineOptions;
+
+constexpr size_t kSensors = 8;
+constexpr size_t kVictims = 4;
+constexpr size_t kSteps = 1400;
+constexpr double kShiftStart = 700.0;
+// Confirmation budget in samples past the instant the new level is fully
+// in place (ground-truth start + ramp). The posterior needs
+// min_run_for_shift (8) samples of the new regime to concentrate, plus
+// slack for the noise to average out; 32 is four times that minimum and
+// far below the ~100-sample tail a forgetting baseline needs.
+constexpr double kDelayBudget = 32.0;
+
+std::string SensorId(size_t i) { return "m" + std::to_string(i) + ".t"; }
+
+StreamEngineOptions EngineOptions(bool shift_enabled) {
+  StreamEngineOptions options;
+  options.synchronous = true;
+  options.monitor.warmup = 100;
+  options.shift.enabled = shift_enabled;
+  return options;
+}
+
+/// Per-sensor AR(1) noise around a flat setpoint — the stream-tier test
+/// fixture. Shifts come from the injector, not the generator, so the
+/// ground-truth instants live in one place.
+struct Fleet {
+  std::vector<hod::Rng> rngs;
+  std::vector<double> noise;
+  explicit Fleet(uint64_t seed) : noise(kSensors, 0.0) {
+    for (size_t i = 0; i < kSensors; ++i) rngs.emplace_back(seed + i);
+  }
+  double Value(size_t i) {
+    noise[i] = 0.7 * noise[i] + rngs[i].Gaussian(0.0, 0.25);
+    return 50.0 + noise[i];
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Part 1: shift drill — detection delay, finding count, alarm retraction.
+
+struct ShiftRow {
+  std::string sensor;
+  double ramp = 0.0;
+  size_t findings = 0;
+  double delay = -1.0;           // confirm ts - (start + ramp)
+  double alarm_tail_shift = 0.0;  // last alarm-active ts - start, layer on
+  double alarm_tail_control = 0.0;  // same with the layer off
+};
+
+struct ShiftResult {
+  std::vector<ShiftRow> rows;
+  size_t clean_findings = 0;      // kConceptShift on non-victims — want 0
+  double max_delay = -1.0;
+  bool one_finding_each = true;
+  size_t active_alarms_end = 0;   // shift engine — want 0
+  size_t control_alarms_end = 0;
+  uint64_t baseline_resets = 0;
+  uint64_t deferred_resets = 0;
+};
+
+ShiftResult RunShiftDrill() {
+  FaultInjector injector;
+  // Two steps and two ramps, alternating sign so the drill covers both
+  // directions of re-baseline. Steep ramps confirm mid-ramp, as soon as
+  // the moved level clears the magnitude gate (delay relative to ramp
+  // completion can be negative). A slow creep (many tens of samples per
+  // sigma) is absorbed by the conjugate model as inflated noise — that
+  // regime belongs to the gain-drift/peer-group axis (E12), not
+  // changepoints.
+  const double deltas[kVictims] = {6.0, -5.0, 6.0, -6.0};
+  const double ramps[kVictims] = {0.0, 0.0, 8.0, 6.0};
+  const double tail = static_cast<double>(kSteps) - kShiftStart;
+  for (size_t v = 0; v < kVictims; ++v) {
+    (void)injector.AddLevelShift(SensorId(v), kShiftStart, tail, deltas[v],
+                                 ramps[v]);
+  }
+
+  StreamEngine engine(EngineOptions(true));
+  StreamEngine control(EngineOptions(false));
+  for (size_t i = 0; i < kSensors; ++i) {
+    (void)engine.AddSensor(SensorId(i), ProductionLevel::kPhase);
+    (void)control.AddSensor(SensorId(i), ProductionLevel::kPhase);
+  }
+  (void)engine.Start();
+  (void)control.Start();
+
+  std::map<std::string, double> last_alarm_shift;
+  std::map<std::string, double> last_alarm_control;
+  Fleet fleet(6100);
+  for (size_t t = 0; t < kSteps; ++t) {
+    for (size_t i = 0; i < kSensors; ++i) {
+      SensorSample clean{SensorId(i), ProductionLevel::kPhase,
+                         static_cast<double>(t), fleet.Value(i)};
+      // kLevelShift keeps no injector state, so one Apply feeds both
+      // engines the identical corrupted sample.
+      for (const SensorSample& sample : injector.Apply(clean)) {
+        auto ack = engine.Ingest(sample);
+        if (ack.ok() && ack->update.has_value() && ack->update->alarm) {
+          last_alarm_shift[sample.sensor_id] = sample.ts;
+        }
+        auto control_ack = control.Ingest(sample);
+        if (control_ack.ok() && control_ack->update.has_value() &&
+            control_ack->update->alarm) {
+          last_alarm_control[sample.sensor_id] = sample.ts;
+        }
+      }
+    }
+  }
+  (void)engine.Flush();
+  (void)control.Flush();
+
+  ShiftResult result;
+  std::map<std::string, size_t> finding_count;
+  for (const hod::core::OutlierFinding& finding : engine.Findings()) {
+    if (finding.kind == hod::core::FindingKind::kConceptShift) {
+      ++finding_count[finding.origin.entity];
+    }
+  }
+  std::map<std::string, double> confirm_ts;
+  for (const ConceptShiftEvent& shift : engine.Snapshot().concept_shifts) {
+    if (confirm_ts.find(shift.sensor_id) == confirm_ts.end()) {
+      confirm_ts[shift.sensor_id] = shift.ts;
+    }
+  }
+  for (size_t v = 0; v < kVictims; ++v) {
+    ShiftRow row;
+    row.sensor = SensorId(v);
+    row.ramp = ramps[v];
+    row.findings = finding_count[row.sensor];
+    if (row.findings != 1) result.one_finding_each = false;
+    auto it = confirm_ts.find(row.sensor);
+    if (it != confirm_ts.end()) {
+      row.delay = it->second - (kShiftStart + ramps[v]);
+      result.max_delay = std::max(result.max_delay, row.delay);
+    } else {
+      result.one_finding_each = false;  // never confirmed
+    }
+    auto shift_it = last_alarm_shift.find(row.sensor);
+    if (shift_it != last_alarm_shift.end()) {
+      row.alarm_tail_shift = shift_it->second - kShiftStart;
+    }
+    auto control_it = last_alarm_control.find(row.sensor);
+    if (control_it != last_alarm_control.end()) {
+      row.alarm_tail_control = control_it->second - kShiftStart;
+    }
+    result.rows.push_back(row);
+  }
+  for (size_t i = kVictims; i < kSensors; ++i) {
+    result.clean_findings += finding_count[SensorId(i)];
+  }
+  result.active_alarms_end = engine.Snapshot().active_alarms.size();
+  result.control_alarms_end = control.Snapshot().active_alarms.size();
+  result.baseline_resets = engine.stats().baseline_resets;
+  result.deferred_resets = engine.stats().baseline_resets_deferred;
+  (void)engine.Stop();
+  (void)control.Stop();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: shift-free control — zero false re-baselines.
+
+struct FalseRebaselineResult {
+  uint64_t concept_shifts = 0;
+  uint64_t baseline_resets = 0;
+  uint64_t samples = 0;
+};
+
+FalseRebaselineResult RunShiftFreeControl() {
+  StreamEngine engine(EngineOptions(true));
+  for (size_t i = 0; i < kSensors; ++i) {
+    (void)engine.AddSensor(SensorId(i), ProductionLevel::kPhase);
+  }
+  (void)engine.Start();
+  Fleet fleet(7300);
+  for (size_t t = 0; t < kSteps; ++t) {
+    for (size_t i = 0; i < kSensors; ++i) {
+      (void)engine.Ingest({SensorId(i), ProductionLevel::kPhase,
+                           static_cast<double>(t), fleet.Value(i)});
+    }
+  }
+  (void)engine.Flush();
+  FalseRebaselineResult result;
+  result.concept_shifts = engine.stats().concept_shifts;
+  result.baseline_resets = engine.stats().baseline_resets;
+  result.samples = engine.stats().ingested;
+  (void)engine.Stop();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Part 3: MarkDirty hand-off into the batch tier's epoch cache.
+
+struct MarkDirtyResult {
+  uint64_t shifts_marked = 0;
+  uint64_t invalidations = 0;
+  uint64_t models_before = 0;   // models built by the warm-up query
+  uint64_t models_rebuilt = 0;  // extra builds after the shift dirtied them
+  bool cache_rebuilt = false;
+};
+
+MarkDirtyResult RunMarkDirtyDrill() {
+  hod::sim::PlantOptions plant_options;
+  plant_options.num_lines = 1;
+  plant_options.machines_per_line = 2;
+  plant_options.jobs_per_machine = 6;
+  plant_options.seed = 61;
+  auto plant = hod::sim::BuildPlant(plant_options, {}).value();
+  const auto& machine = plant.production.lines[0].machines[0];
+  const std::string sensor = machine.id + ".bed_temp_a";
+  const double t0 = machine.jobs.front().start_time;
+
+  StreamEngineOptions options = EngineOptions(true);
+  options.snapshot_every = 8;
+  options.health.staleness_timeout = 0.0;
+  StreamEngine engine(options);
+  (void)engine.AddSensor(sensor, ProductionLevel::kPhase);
+  (void)engine.Start();
+  hod::Rng rng(17);
+  for (size_t t = 0; t < 500; ++t) {
+    const double base = t >= 300 ? 56.0 : 50.0;
+    (void)engine.Ingest({sensor, ProductionLevel::kPhase,
+                         t0 + static_cast<double>(t),
+                         base + rng.Gaussian(0.0, 0.25)});
+  }
+  (void)engine.Flush();
+
+  MarkDirtyResult result;
+  hod::core::HierarchicalDetector detector(&plant.production);
+  // Warm the epoch cache with the queries the escalation path runs.
+  (void)detector.EscalateAlarm(ProductionLevel::kPhase, sensor, t0 + 10.0);
+  result.models_before = detector.cache_stats().models_built;
+
+  hod::stream::EscalationBridge bridge(&engine, &detector);
+  (void)bridge.Poll();
+  result.shifts_marked = bridge.shifts_marked();
+  result.invalidations = detector.cache_stats().invalidations;
+
+  // The same query must now REBUILD the dirtied models instead of serving
+  // the ones fit to the pre-shift regime.
+  (void)detector.EscalateAlarm(ProductionLevel::kPhase, sensor, t0 + 10.0);
+  result.models_rebuilt =
+      detector.cache_stats().models_built - result.models_before;
+  result.cache_rebuilt = result.models_rebuilt > 0;
+  (void)engine.Stop();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Part 4: lane cache — resolve sensor -> lane once at ingress.
+
+struct LaneCacheResult {
+  double cached_ns_per_sample = 0.0;
+  double lookup_ns_per_sample = 0.0;
+  double speedup = 0.0;
+  uint64_t shifts_cached = 0;
+  uint64_t shifts_lookup = 0;
+  bool parity_ok = false;
+};
+
+LaneCacheResult RunLaneCacheBench() {
+  constexpr size_t kLaneSensors = 64;
+  constexpr size_t kLaneSteps = 4000;
+  auto run = [&](bool lane_cache, uint64_t& shifts_out) {
+    StreamEngineOptions options = EngineOptions(true);
+    options.lane_cache = lane_cache;
+    StreamEngine engine(options);
+    for (size_t i = 0; i < kLaneSensors; ++i) {
+      (void)engine.AddSensor("lane" + std::to_string(i),
+                             ProductionLevel::kPhase);
+    }
+    (void)engine.Start();
+    std::vector<hod::Rng> rngs;
+    for (size_t i = 0; i < kLaneSensors; ++i) rngs.emplace_back(9100 + i);
+    const auto begin = std::chrono::steady_clock::now();
+    for (size_t t = 0; t < kLaneSteps; ++t) {
+      for (size_t i = 0; i < kLaneSensors; ++i) {
+        const double base = t >= 3000 && i % 4 == 0 ? 55.0 : 50.0;
+        (void)engine.Ingest({"lane" + std::to_string(i),
+                             ProductionLevel::kPhase, static_cast<double>(t),
+                             base + rngs[i].Gaussian(0.0, 0.25)});
+      }
+    }
+    const auto end = std::chrono::steady_clock::now();
+    (void)engine.Flush();
+    shifts_out = engine.stats().concept_shifts;
+    (void)engine.Stop();
+    return std::chrono::duration<double, std::nano>(end - begin).count() /
+           static_cast<double>(kLaneSteps * kLaneSensors);
+  };
+  LaneCacheResult result;
+  result.lookup_ns_per_sample = run(false, result.shifts_lookup);
+  result.cached_ns_per_sample = run(true, result.shifts_cached);
+  result.speedup = result.cached_ns_per_sample > 0.0
+                       ? result.lookup_ns_per_sample /
+                             result.cached_ns_per_sample
+                       : 0.0;
+  // Identical confirm accounting is the cheap end-to-end parity signal;
+  // stream_shift_test pins per-sample score equality.
+  result.parity_ok = result.shifts_cached == result.shifts_lookup &&
+                     result.shifts_cached == kLaneSensors / 4;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  hod::bench::PrintHeader(
+      "E13", "Online concept-shift re-baselining",
+      "BOCPD in the streaming path: detection delay, alarm retraction, "
+      "epoch-cache hand-off");
+
+  hod::bench::PrintSection("injected setpoint changes");
+  const ShiftResult drill = RunShiftDrill();
+  std::printf("%-8s %-6s %-9s %-10s %-16s %s\n", "victim", "ramp",
+              "findings", "delay", "alarm tail (on)", "alarm tail (off)");
+  for (const ShiftRow& row : drill.rows) {
+    std::printf("%-8s %-6.0f %-9zu %-10.0f %-16.0f %.0f\n",
+                row.sensor.c_str(), row.ramp, row.findings, row.delay,
+                row.alarm_tail_shift, row.alarm_tail_control);
+  }
+  std::printf("max delay %.0f samples (budget %.0f)  clean-channel "
+              "findings %zu  resets %llu (%llu deferred)\n",
+              drill.max_delay, kDelayBudget, drill.clean_findings,
+              static_cast<unsigned long long>(drill.baseline_resets),
+              static_cast<unsigned long long>(drill.deferred_resets));
+  std::printf("active alarms at end: %zu with the layer, %zu without\n",
+              drill.active_alarms_end, drill.control_alarms_end);
+
+  hod::bench::PrintSection("shift-free control");
+  const FalseRebaselineResult control = RunShiftFreeControl();
+  std::printf("%llu samples, %llu re-baselines (want 0), "
+              "%llu concept shifts (want 0)\n",
+              static_cast<unsigned long long>(control.samples),
+              static_cast<unsigned long long>(control.baseline_resets),
+              static_cast<unsigned long long>(control.concept_shifts));
+
+  hod::bench::PrintSection("epoch-cache hand-off");
+  const MarkDirtyResult dirty = RunMarkDirtyDrill();
+  std::printf("shifts marked %llu  invalidations %llu  models rebuilt "
+              "%llu (cache %s)\n",
+              static_cast<unsigned long long>(dirty.shifts_marked),
+              static_cast<unsigned long long>(dirty.invalidations),
+              static_cast<unsigned long long>(dirty.models_rebuilt),
+              dirty.cache_rebuilt ? "rebuilt" : "STALE");
+
+  hod::bench::PrintSection("lane cache");
+  const LaneCacheResult lane = RunLaneCacheBench();
+  std::printf("per-sample lookup %.0f ns  cached %.0f ns  speedup %.2fx  "
+              "shifts %llu/%llu  parity %s\n",
+              lane.lookup_ns_per_sample, lane.cached_ns_per_sample,
+              lane.speedup,
+              static_cast<unsigned long long>(lane.shifts_lookup),
+              static_cast<unsigned long long>(lane.shifts_cached),
+              lane.parity_ok ? "ok" : "BROKEN");
+
+  std::ofstream json("BENCH_SHIFT.json");
+  json << "{\n  \"experiment\": \"concept_shift\",\n"
+       << "  \"shift_drill\": {\n"
+       << "    \"victims\": " << drill.rows.size() << ",\n"
+       << "    \"one_finding_each\": "
+       << (drill.one_finding_each ? "true" : "false") << ",\n"
+       << "    \"max_detection_delay_samples\": " << drill.max_delay << ",\n"
+       << "    \"delay_budget_samples\": " << kDelayBudget << ",\n"
+       << "    \"clean_channel_findings\": " << drill.clean_findings << ",\n"
+       << "    \"baseline_resets\": " << drill.baseline_resets << ",\n"
+       << "    \"active_alarms_end\": " << drill.active_alarms_end << ",\n"
+       << "    \"control_alarms_end\": " << drill.control_alarms_end
+       << "\n  },\n"
+       << "  \"shift_free\": {\n"
+       << "    \"samples\": " << control.samples << ",\n"
+       << "    \"false_rebaselines\": " << control.baseline_resets << ",\n"
+       << "    \"false_shifts\": " << control.concept_shifts << "\n  },\n"
+       << "  \"mark_dirty\": {\n"
+       << "    \"shifts_marked\": " << dirty.shifts_marked << ",\n"
+       << "    \"invalidations\": " << dirty.invalidations << ",\n"
+       << "    \"models_rebuilt\": " << dirty.models_rebuilt << ",\n"
+       << "    \"cache_rebuilt\": " << (dirty.cache_rebuilt ? "true" : "false")
+       << "\n  },\n"
+       << "  \"lane_cache\": {\n"
+       << "    \"lookup_ns_per_sample\": " << lane.lookup_ns_per_sample
+       << ",\n"
+       << "    \"cached_ns_per_sample\": " << lane.cached_ns_per_sample
+       << ",\n"
+       << "    \"speedup\": " << lane.speedup << ",\n"
+       << "    \"parity_ok\": " << (lane.parity_ok ? "true" : "false")
+       << "\n  }\n}\n";
+  std::printf("\nwrote BENCH_SHIFT.json\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+#include "core/baseline_lifecycle.h"
+
+namespace hod::core {
+
+std::string_view BaselineActorName(BaselineActor actor) {
+  switch (actor) {
+    case BaselineActor::kOperator:
+      return "operator";
+    case BaselineActor::kConceptShift:
+      return "concept-shift";
+    case BaselineActor::kHealthQuarantine:
+      return "health-quarantine";
+    case BaselineActor::kGroupOutage:
+      return "group-outage";
+    case BaselineActor::kCheckpointRestore:
+      return "checkpoint-restore";
+  }
+  return "?";
+}
+
+}  // namespace hod::core

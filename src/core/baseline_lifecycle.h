@@ -1,0 +1,84 @@
+#ifndef HOD_CORE_BASELINE_LIFECYCLE_H_
+#define HOD_CORE_BASELINE_LIFECYCLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace hod::core {
+
+/// Posterior summary used to seed a freshly-reset baseline so a channel
+/// resumes scoring immediately at its new regime instead of re-entering
+/// warmup blind. Produced by whoever confirmed the regime change (BOCPD's
+/// post-shift run-length bucket, an operator-entered setpoint, ...).
+struct BaselineSeed {
+  /// New process level (becomes the model intercept).
+  double level = 0.0;
+  /// Residual scale at the new level (floored to the monitor's sigma
+  /// floor on installation).
+  double sigma = 1.0;
+  /// Number of samples backing the estimate — diagnostic only, recorded
+  /// so audits can tell a 3-sample seed from a 300-sample one.
+  uint64_t support = 0;
+};
+
+/// Who is clearing / freezing a baseline. Every lifecycle mutation is
+/// attributed to an actor so "who may clear a baseline, and when" is one
+/// audited contract instead of three divergent code paths.
+enum class BaselineActor : uint8_t {
+  /// Manual intervention (examples, tooling).
+  kOperator,
+  /// A confirmed online concept shift (BOCPD) re-baselining the channel.
+  kConceptShift,
+  /// The sensor-health FSM excluding a quarantined channel.
+  kHealthQuarantine,
+  /// Quarantine-onset correlation freezing a whole group at once.
+  kGroupOutage,
+  /// Checkpoint restore re-installing persisted state.
+  kCheckpointRestore,
+};
+
+std::string_view BaselineActorName(BaselineActor actor);
+
+/// The single contract for clearing, suspending, and resuming a channel's
+/// learned baseline. Implemented by `OnlineMonitor` (one channel) and
+/// `BatchMonitorBank` lanes (per-lane, without disturbing siblings or the
+/// SIMD wave path); the stream health FSM and checkpoint v5 speak the
+/// same vocabulary.
+///
+/// Rules of the contract:
+///  - `ResetBaseline` with a seed installs a degenerate ready model at
+///    `seed.level` (scoring resumes immediately); without a seed the
+///    channel returns to warmup. Either way alarm state and hysteresis
+///    streaks clear; identity counters (samples seen, alarms raised)
+///    survive.
+///  - A reset on a FROZEN baseline does not apply immediately: it is
+///    recorded and applied at the next `ThawBaseline`. This is what makes
+///    "a shift confirmed during quarantine must not thaw the channel
+///    early, and recovery seeds from the post-shift posterior" hold by
+///    construction.
+///  - `FreezeBaseline` marks the baseline immutable; it does NOT change
+///    push behaviour (the health FSM both freezes and withholds samples).
+///  - `baseline_epoch()` increments once per APPLIED reset — deferred
+///    resets bump it when applied, so equality of epochs across a
+///    checkpoint round-trip certifies lifecycle parity.
+class BaselineLifecycle {
+ public:
+  virtual ~BaselineLifecycle() = default;
+
+  /// Clears the learned baseline (deferred while frozen — see above).
+  virtual void ResetBaseline(BaselineActor actor,
+                             const std::optional<BaselineSeed>& seed) = 0;
+  /// Marks the baseline immutable. Idempotent.
+  virtual void FreezeBaseline(BaselineActor actor) = 0;
+  /// Lifts a freeze, applying any reset deferred while frozen. Returns
+  /// true when a pending reset was applied. Idempotent (false if not
+  /// frozen or nothing pending).
+  virtual bool ThawBaseline(BaselineActor actor) = 0;
+  virtual bool baseline_frozen() const = 0;
+  virtual uint64_t baseline_epoch() const = 0;
+};
+
+}  // namespace hod::core
+
+#endif  // HOD_CORE_BASELINE_LIFECYCLE_H_

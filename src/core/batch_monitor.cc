@@ -39,7 +39,82 @@ StatusOr<size_t> BatchMonitorBank::AddSensor(const std::string& sensor_id) {
   alarms_raised_.push_back(0);
   warmup_.emplace_back();
   warmup_.back().reserve(options_.warmup);
+  baseline_epoch_.push_back(0);
+  frozen_.push_back(0);
+  pending_reset_.push_back(0);
+  pending_level_.push_back(0.0);
+  pending_sigma_.push_back(0.0);
+  pending_support_.push_back(0);
   return lane;
+}
+
+void BatchMonitorBank::ApplyResetLane(
+    size_t lane, const std::optional<BaselineSeed>& seed) {
+  warmup_[lane].clear();
+  alarm_[lane] = 0;
+  above_streak_[lane] = 0;
+  below_streak_[lane] = 0;
+  double* phi = &phi_[lane * order_];
+  std::fill(phi, phi + order_, 0.0);
+  double* ring = &ring_[lane * order_];
+  ring_pos_[lane] = 0;
+  if (seed.has_value()) {
+    // Degenerate order-0 model at the seeded level: Predict() returns
+    // the intercept and PushBatch's phi_len != order check routes the
+    // lane to the scalar path, so sibling lanes' wave batching is
+    // untouched. Scoring resumes immediately at the new regime.
+    phi_len_[lane] = 0;
+    intercept_[lane] = seed->level;
+    sigma_[lane] = std::max(seed->sigma, kSigmaFloor);
+    std::fill(ring, ring + order_, seed->level);
+    model_ready_[lane] = 1;
+  } else {
+    phi_len_[lane] = 0;
+    intercept_[lane] = 0.0;
+    sigma_[lane] = 1.0;
+    std::fill(ring, ring + order_, 0.0);
+    model_ready_[lane] = 0;
+  }
+  ++baseline_epoch_[lane];
+}
+
+void BatchMonitorBank::ResetBaselineLane(
+    size_t lane, BaselineActor /*actor*/,
+    const std::optional<BaselineSeed>& seed) {
+  if (lane >= size()) return;
+  if (frozen_[lane] != 0) {
+    // Deferred to the thaw; last writer wins.
+    pending_reset_[lane] = seed.has_value() ? 2 : 1;
+    pending_level_[lane] = seed ? seed->level : 0.0;
+    pending_sigma_[lane] = seed ? seed->sigma : 0.0;
+    pending_support_[lane] = seed ? seed->support : 0;
+    return;
+  }
+  ApplyResetLane(lane, seed);
+}
+
+void BatchMonitorBank::FreezeBaselineLane(size_t lane,
+                                          BaselineActor /*actor*/) {
+  if (lane >= size()) return;
+  frozen_[lane] = 1;
+}
+
+bool BatchMonitorBank::ThawBaselineLane(size_t lane,
+                                        BaselineActor /*actor*/) {
+  if (lane >= size() || frozen_[lane] == 0) return false;
+  frozen_[lane] = 0;
+  if (pending_reset_[lane] == 0) return false;
+  std::optional<BaselineSeed> seed;
+  if (pending_reset_[lane] == 2) {
+    seed = BaselineSeed{pending_level_[lane], pending_sigma_[lane],
+                        pending_support_[lane]};
+  }
+  pending_reset_[lane] = 0;
+  pending_level_[lane] = 0.0;
+  pending_sigma_[lane] = 0.0;
+  pending_support_[lane] = 0;
+  ApplyResetLane(lane, seed);
+  return true;
 }
 
 size_t BatchMonitorBank::IndexOf(const std::string& sensor_id) const {
@@ -277,6 +352,12 @@ OnlineMonitorState BatchMonitorBank::SaveState(size_t lane) const {
   state.below_streak = below_streak_[lane];
   state.samples_seen = samples_seen_[lane];
   state.alarms_raised = alarms_raised_[lane];
+  state.baseline_epoch = baseline_epoch_[lane];
+  state.frozen = frozen_[lane] != 0;
+  state.pending_reset = pending_reset_[lane];
+  state.pending_level = pending_level_[lane];
+  state.pending_sigma = pending_sigma_[lane];
+  state.pending_support = pending_support_[lane];
   return state;
 }
 
@@ -322,6 +403,12 @@ Status BatchMonitorBank::RestoreState(size_t lane,
   below_streak_[lane] = state.below_streak;
   samples_seen_[lane] = state.samples_seen;
   alarms_raised_[lane] = state.alarms_raised;
+  baseline_epoch_[lane] = state.baseline_epoch;
+  frozen_[lane] = state.frozen ? 1 : 0;
+  pending_reset_[lane] = state.pending_reset > 2 ? 0 : state.pending_reset;
+  pending_level_[lane] = state.pending_level;
+  pending_sigma_[lane] = state.pending_sigma;
+  pending_support_[lane] = state.pending_support;
   return Status::Ok();
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -75,7 +76,56 @@ class BatchMonitorBank {
   /// layout reserves ar_order coefficient slots per lane.
   Status RestoreState(size_t lane, const OnlineMonitorState& state);
 
+  /// ---- Per-lane BaselineLifecycle (see core/baseline_lifecycle.h) -----
+  /// Semantics are identical to OnlineMonitor's overrides, scoped to one
+  /// lane: sibling lanes and the SIMD wave path are untouched (a seeded
+  /// reset leaves the lane with phi_len = 0, which PushBatch already
+  /// routes to the scalar path, so no wave bookkeeping changes). Out of
+  /// range lanes are ignored (Reset/Freeze) or return false (Thaw).
+  void ResetBaselineLane(size_t lane, BaselineActor actor,
+                         const std::optional<BaselineSeed>& seed);
+  void FreezeBaselineLane(size_t lane, BaselineActor actor);
+  /// Returns true when a reset deferred during the freeze was applied.
+  bool ThawBaselineLane(size_t lane, BaselineActor actor);
+  bool baseline_frozen(size_t lane) const {
+    return lane < size() && frozen_[lane] != 0;
+  }
+  uint64_t baseline_epoch(size_t lane) const {
+    return lane < size() ? baseline_epoch_[lane] : 0;
+  }
+
+  /// Adapter giving one lane the virtual BaselineLifecycle interface
+  /// (audit tooling / tests that speak only the contract). Borrows the
+  /// bank; the lane must stay valid.
+  class LaneLifecycle : public BaselineLifecycle {
+   public:
+    LaneLifecycle(BatchMonitorBank* bank, size_t lane)
+        : bank_(bank), lane_(lane) {}
+    void ResetBaseline(BaselineActor actor,
+                       const std::optional<BaselineSeed>& seed) override {
+      bank_->ResetBaselineLane(lane_, actor, seed);
+    }
+    void FreezeBaseline(BaselineActor actor) override {
+      bank_->FreezeBaselineLane(lane_, actor);
+    }
+    bool ThawBaseline(BaselineActor actor) override {
+      return bank_->ThawBaselineLane(lane_, actor);
+    }
+    bool baseline_frozen() const override {
+      return bank_->baseline_frozen(lane_);
+    }
+    uint64_t baseline_epoch() const override {
+      return bank_->baseline_epoch(lane_);
+    }
+
+   private:
+    BatchMonitorBank* bank_;
+    size_t lane_;
+  };
+  LaneLifecycle Lifecycle(size_t lane) { return LaneLifecycle(this, lane); }
+
  private:
+  void ApplyResetLane(size_t lane, const std::optional<BaselineSeed>& seed);
   /// One-step AR prediction for a ready lane (same term order as
   /// OnlineMonitor::Predict).
   double Predict(size_t lane) const;
@@ -113,6 +163,15 @@ class BatchMonitorBank {
   std::vector<uint64_t> samples_seen_;
   std::vector<uint64_t> alarms_raised_;
   std::vector<std::vector<double>> warmup_;  // cold path, per lane
+
+  // Per-lane baseline-lifecycle state (cold: touched only on reset /
+  // freeze / thaw / checkpoint, never in the scoring waves).
+  std::vector<uint64_t> baseline_epoch_;
+  std::vector<uint8_t> frozen_;
+  std::vector<uint8_t> pending_reset_;  // 0 none, 1 unseeded, 2 seeded
+  std::vector<double> pending_level_;
+  std::vector<double> pending_sigma_;
+  std::vector<uint64_t> pending_support_;
 
   // Wave scratch (sized to the largest batch seen; reused across calls).
   std::vector<uint64_t> wave_epoch_;  // per lane: epoch of last wave use

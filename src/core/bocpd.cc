@@ -1,0 +1,322 @@
+#include "core/bocpd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hod::core {
+
+namespace {
+
+constexpr double kSigmaFloor = 1e-9;
+
+/// Log-gamma without the libm `signgam` global: `std::lgamma` stores the
+/// sign there, which is a data race when shard workers score concurrently.
+/// Arguments here are always positive, so the sign output is discarded.
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__) || defined(_GNU_SOURCE)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+/// Student-t density with `df` degrees of freedom, location `mean`,
+/// scale `scale` — the Normal-Gamma posterior predictive.
+double StudentTPdf(double x, double df, double mean, double scale) {
+  const double z = (x - mean) / scale;
+  const double log_pdf = LogGamma((df + 1.0) * 0.5) -
+                         LogGamma(df * 0.5) -
+                         0.5 * std::log(df * M_PI) - std::log(scale) -
+                         (df + 1.0) * 0.5 * std::log1p(z * z / df);
+  return std::exp(log_pdf);
+}
+
+bool FinitePositive(double v) { return std::isfinite(v) && v > 0.0; }
+
+}  // namespace
+
+BocpdDetector::BocpdDetector(BocpdOptions options) : options_(options) {
+  if (!(options_.hazard_lambda > 1.0)) options_.hazard_lambda = 250.0;
+  if (options_.max_run_length < 8) options_.max_run_length = 8;
+  if (options_.min_run_for_shift < 1) options_.min_run_for_shift = 1;
+  if (options_.min_run_for_shift >= options_.max_run_length) {
+    options_.min_run_for_shift = options_.max_run_length / 2;
+  }
+  if (!(options_.shift_posterior > 0.0 && options_.shift_posterior <= 1.0)) {
+    options_.shift_posterior = 0.8;
+  }
+  if (!FinitePositive(options_.prior_kappa)) options_.prior_kappa = 1.0;
+  if (!FinitePositive(options_.prior_alpha)) options_.prior_alpha = 1.0;
+  if (!FinitePositive(options_.prior_beta)) options_.prior_beta = 1.0;
+  const size_t cap = options_.max_run_length + 2;
+  weight_.reserve(cap);
+  mu_.reserve(cap);
+  kappa_.reserve(cap);
+  alpha_.reserve(cap);
+  beta_.reserve(cap);
+  run_length_.reserve(cap);
+  next_weight_.reserve(cap);
+  next_mu_.reserve(cap);
+  next_kappa_.reserve(cap);
+  next_alpha_.reserve(cap);
+  next_beta_.reserve(cap);
+  next_run_length_.reserve(cap);
+}
+
+void BocpdDetector::Rebase(double mean, double kappa, double alpha,
+                           double beta, uint64_t run_length) {
+  weight_.assign(1, 1.0);
+  mu_.assign(1, mean);
+  kappa_.assign(1, kappa);
+  alpha_.assign(1, alpha);
+  beta_.assign(1, beta);
+  run_length_.assign(1, run_length);
+}
+
+std::optional<BocpdShift> BocpdDetector::Push(double value) {
+  if (!std::isfinite(value)) return std::nullopt;
+  if (!prior_seeded_) {
+    // Empirical prior: center the Normal-Gamma on the first sample so
+    // absolute data scale (a channel living at 100.0) does not read as a
+    // permanent changepoint against a fixed mu0 = 0.
+    prior_seeded_ = true;
+    prior_mean_ = value;
+    Rebase(prior_mean_, options_.prior_kappa, options_.prior_alpha,
+           options_.prior_beta, 0);
+  }
+  ++samples_seen_;
+
+  const double hazard = 1.0 / options_.hazard_lambda;
+  const size_t n = weight_.size();
+  next_weight_.assign(n + 1, 0.0);
+  next_mu_.resize(n + 1);
+  next_kappa_.resize(n + 1);
+  next_alpha_.resize(n + 1);
+  next_beta_.resize(n + 1);
+  next_run_length_.resize(n + 1);
+  // Slot 0 is the fresh-changepoint bucket (r = 0, prior stats).
+  next_mu_[0] = prior_mean_;
+  next_kappa_[0] = options_.prior_kappa;
+  next_alpha_[0] = options_.prior_alpha;
+  next_beta_[0] = options_.prior_beta;
+  next_run_length_[0] = 0;
+
+  double normalizer = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double scale = std::sqrt(
+        std::max(beta_[i] * (kappa_[i] + 1.0) / (alpha_[i] * kappa_[i]),
+                 kSigmaFloor * kSigmaFloor));
+    const double pred = StudentTPdf(value, 2.0 * alpha_[i], mu_[i], scale);
+    const double mass = weight_[i] * pred;
+    // Growth: this regime absorbs the sample.
+    next_weight_[i + 1] = mass * (1.0 - hazard);
+    next_mu_[i + 1] = (kappa_[i] * mu_[i] + value) / (kappa_[i] + 1.0);
+    next_kappa_[i + 1] = kappa_[i] + 1.0;
+    next_alpha_[i + 1] = alpha_[i] + 0.5;
+    next_beta_[i + 1] =
+        beta_[i] +
+        kappa_[i] * (value - mu_[i]) * (value - mu_[i]) /
+            (2.0 * (kappa_[i] + 1.0));
+    next_run_length_[i + 1] = run_length_[i] + 1;
+    // Changepoint: mass routed to r = 0.
+    next_weight_[0] += mass * hazard;
+    normalizer += mass;
+  }
+
+  if (!(normalizer > 0.0) || !std::isfinite(normalizer)) {
+    // Every predictive underflowed (a sample absurdly far from every
+    // regime). Restart the posterior at the observed value — the only
+    // deterministic recovery that keeps scoring meaningful.
+    Rebase(value, options_.prior_kappa, options_.prior_alpha,
+           options_.prior_beta, 0);
+  } else {
+    for (auto& w : next_weight_) w /= normalizer;
+    // Constant-memory truncation: merge the two longest-run buckets
+    // (weights add, the longer run's statistics win — they summarize
+    // strictly more data).
+    while (next_weight_.size() > options_.max_run_length) {
+      const size_t last = next_weight_.size() - 1;
+      next_weight_[last - 1] += next_weight_[last];
+      next_mu_[last - 1] = next_mu_[last];
+      next_kappa_[last - 1] = next_kappa_[last];
+      next_alpha_[last - 1] = next_alpha_[last];
+      next_beta_[last - 1] = next_beta_[last];
+      next_run_length_[last - 1] = next_run_length_[last];
+      next_weight_.pop_back();
+      next_mu_.pop_back();
+      next_kappa_.pop_back();
+      next_alpha_.pop_back();
+      next_beta_.pop_back();
+      next_run_length_.pop_back();
+    }
+    weight_.swap(next_weight_);
+    mu_.swap(next_mu_);
+    kappa_.swap(next_kappa_);
+    alpha_.swap(next_alpha_);
+    beta_.swap(next_beta_);
+    run_length_.swap(next_run_length_);
+  }
+
+  // Track the last established regime: the overall MAP bucket, when its
+  // run is long enough to count as "settled". This is the `before` side
+  // of any future confirmed shift.
+  size_t map_idx = 0;
+  for (size_t i = 1; i < weight_.size(); ++i) {
+    if (weight_[i] > weight_[map_idx]) map_idx = i;
+  }
+  if (run_length_[map_idx] >= 2 * options_.min_run_for_shift) {
+    stable_mean_ = mu_[map_idx];
+    stable_sigma_ = std::max(std::sqrt(beta_[map_idx] / alpha_[map_idx]),
+                             kSigmaFloor);
+    stable_support_ = run_length_[map_idx];
+  }
+
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    return std::nullopt;
+  }
+  if (samples_seen_ <= options_.warmup || stable_support_ == 0) {
+    return std::nullopt;
+  }
+
+  // Posterior mass on "a changepoint happened recently".
+  double recent_mass = 0.0;
+  size_t best_recent = 0;  // MAP bucket among recent runs >= 1
+  bool have_recent = false;
+  for (size_t i = 0; i < weight_.size(); ++i) {
+    if (run_length_[i] <= options_.min_run_for_shift) {
+      recent_mass += weight_[i];
+      if (run_length_[i] >= 1 &&
+          (!have_recent || weight_[i] > weight_[best_recent])) {
+        best_recent = i;
+        have_recent = true;
+      }
+    }
+  }
+  if (recent_mass < options_.shift_posterior || !have_recent) {
+    return std::nullopt;
+  }
+
+  const double after_mean = mu_[best_recent];
+  const double after_sigma = std::max(
+      std::sqrt(beta_[best_recent] / alpha_[best_recent]), kSigmaFloor);
+  const double magnitude =
+      std::abs(after_mean - stable_mean_) / stable_sigma_;
+  if (magnitude < options_.min_magnitude_sigmas) {
+    // The posterior says "recent changepoint" but the level barely
+    // moved — setpoint jitter or variance churn. Skip exactly one sample
+    // before re-evaluating: a longer penalty (e.g. min_run_for_shift)
+    // blanks out precisely the window in which a steep ramp crosses the
+    // magnitude gate, leaving ramped shifts permanently unconfirmable.
+    cooldown_left_ = 1;
+    return std::nullopt;
+  }
+
+  BocpdShift confirmed;
+  confirmed.shift.index = static_cast<size_t>(samples_seen_);
+  confirmed.shift.time = 0.0;  // stamped by the caller
+  confirmed.shift.before_mean = stable_mean_;
+  confirmed.shift.after_mean = after_mean;
+  confirmed.shift.magnitude_sigmas = magnitude;
+  confirmed.after_sigma = after_sigma;
+  confirmed.run_length = static_cast<size_t>(run_length_[best_recent]);
+  confirmed.evidence = recent_mass;
+
+  // Exactly-once: collapse onto the confirmed post-shift regime and hold
+  // off until it has had time to establish itself.
+  Rebase(mu_[best_recent], kappa_[best_recent], alpha_[best_recent],
+         beta_[best_recent], run_length_[best_recent]);
+  stable_mean_ = after_mean;
+  stable_sigma_ = after_sigma;
+  stable_support_ = run_length_[0];
+  cooldown_left_ = options_.cooldown;
+  ++shifts_confirmed_;
+  return confirmed;
+}
+
+double BocpdDetector::shift_mass() const {
+  double mass = 0.0;
+  for (size_t i = 0; i < weight_.size(); ++i) {
+    if (run_length_[i] <= options_.min_run_for_shift) mass += weight_[i];
+  }
+  return mass;
+}
+
+size_t BocpdDetector::map_run_length() const {
+  if (weight_.empty()) return 0;
+  size_t map_idx = 0;
+  for (size_t i = 1; i < weight_.size(); ++i) {
+    if (weight_[i] > weight_[map_idx]) map_idx = i;
+  }
+  return static_cast<size_t>(run_length_[map_idx]);
+}
+
+BocpdState BocpdDetector::SaveState() const {
+  BocpdState state;
+  state.weight = weight_;
+  state.mu = mu_;
+  state.kappa = kappa_;
+  state.alpha = alpha_;
+  state.beta = beta_;
+  state.run_length = run_length_;
+  state.samples_seen = samples_seen_;
+  state.shifts_confirmed = shifts_confirmed_;
+  state.cooldown_left = cooldown_left_;
+  state.prior_seeded = prior_seeded_;
+  state.prior_mean = prior_mean_;
+  state.stable_mean = stable_mean_;
+  state.stable_sigma = stable_sigma_;
+  state.stable_support = stable_support_;
+  return state;
+}
+
+Status BocpdDetector::RestoreState(const BocpdState& state) {
+  const size_t n = state.weight.size();
+  if (state.mu.size() != n || state.kappa.size() != n ||
+      state.alpha.size() != n || state.beta.size() != n ||
+      state.run_length.size() != n) {
+    return Status::InvalidArgument("bocpd state: bucket array length skew");
+  }
+  if (state.prior_seeded && n == 0) {
+    return Status::InvalidArgument("bocpd state: seeded but no buckets");
+  }
+  if (n > options_.max_run_length + 1) {
+    return Status::InvalidArgument("bocpd state: more buckets than cap");
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(state.weight[i]) || state.weight[i] < 0.0 ||
+        !std::isfinite(state.mu[i]) || !FinitePositive(state.kappa[i]) ||
+        !FinitePositive(state.alpha[i]) || !FinitePositive(state.beta[i])) {
+      return Status::InvalidArgument("bocpd state: non-finite bucket");
+    }
+    sum += state.weight[i];
+  }
+  if (n > 0 && !(sum > 0.0)) {
+    return Status::InvalidArgument("bocpd state: zero posterior mass");
+  }
+  if (!std::isfinite(state.prior_mean) || !std::isfinite(state.stable_mean) ||
+      !FinitePositive(state.stable_sigma)) {
+    return Status::InvalidArgument("bocpd state: non-finite regime");
+  }
+  weight_ = state.weight;
+  for (auto& w : weight_) w /= (n > 0 ? sum : 1.0);
+  mu_ = state.mu;
+  kappa_ = state.kappa;
+  alpha_ = state.alpha;
+  beta_ = state.beta;
+  run_length_ = state.run_length;
+  samples_seen_ = state.samples_seen;
+  shifts_confirmed_ = state.shifts_confirmed;
+  cooldown_left_ = state.cooldown_left;
+  prior_seeded_ = state.prior_seeded;
+  prior_mean_ = state.prior_mean;
+  stable_mean_ = state.stable_mean;
+  stable_sigma_ = std::max(state.stable_sigma, kSigmaFloor);
+  stable_support_ = state.stable_support;
+  return Status::Ok();
+}
+
+}  // namespace hod::core

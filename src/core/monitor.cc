@@ -103,6 +103,66 @@ StatusOr<MonitorUpdate> OnlineMonitor::Push(double sample) {
   return update;
 }
 
+void OnlineMonitor::ApplyReset(const std::optional<BaselineSeed>& seed) {
+  warmup_buffer_.clear();
+  alarm_ = false;
+  above_streak_ = 0;
+  below_streak_ = 0;
+  if (seed.has_value()) {
+    // Degenerate order-0 model at the seeded level: Predict() returns the
+    // intercept, so scoring resumes immediately at the new regime. The
+    // window is filled with the level so a later checkpoint round-trip
+    // sees a consistent ready model.
+    phi_.clear();
+    intercept_ = seed->level;
+    residual_sigma_ = std::max(seed->sigma, 1e-9);
+    recent_.assign(options_.ar_order, seed->level);
+    model_ready_ = true;
+  } else {
+    phi_.clear();
+    intercept_ = 0.0;
+    residual_sigma_ = 1.0;
+    recent_.clear();
+    model_ready_ = false;
+  }
+  ++baseline_epoch_;
+}
+
+void OnlineMonitor::ResetBaseline(BaselineActor /*actor*/,
+                                  const std::optional<BaselineSeed>& seed) {
+  if (frozen_) {
+    // Contract: a reset during a freeze is deferred to the thaw. Last
+    // writer wins — a seeded reset supersedes an earlier unseeded one and
+    // vice versa.
+    pending_reset_ = seed.has_value() ? 2 : 1;
+    pending_level_ = seed ? seed->level : 0.0;
+    pending_sigma_ = seed ? seed->sigma : 0.0;
+    pending_support_ = seed ? seed->support : 0;
+    return;
+  }
+  ApplyReset(seed);
+}
+
+void OnlineMonitor::FreezeBaseline(BaselineActor /*actor*/) {
+  frozen_ = true;
+}
+
+bool OnlineMonitor::ThawBaseline(BaselineActor /*actor*/) {
+  if (!frozen_) return false;
+  frozen_ = false;
+  if (pending_reset_ == 0) return false;
+  std::optional<BaselineSeed> seed;
+  if (pending_reset_ == 2) {
+    seed = BaselineSeed{pending_level_, pending_sigma_, pending_support_};
+  }
+  pending_reset_ = 0;
+  pending_level_ = 0.0;
+  pending_sigma_ = 0.0;
+  pending_support_ = 0;
+  ApplyReset(seed);
+  return true;
+}
+
 OnlineMonitorState OnlineMonitor::SaveState() const {
   OnlineMonitorState state;
   state.warmup_buffer = warmup_buffer_;
@@ -116,6 +176,12 @@ OnlineMonitorState OnlineMonitor::SaveState() const {
   state.below_streak = below_streak_;
   state.samples_seen = samples_seen_;
   state.alarms_raised = alarms_raised_;
+  state.baseline_epoch = baseline_epoch_;
+  state.frozen = frozen_;
+  state.pending_reset = pending_reset_;
+  state.pending_level = pending_level_;
+  state.pending_sigma = pending_sigma_;
+  state.pending_support = pending_support_;
   return state;
 }
 
@@ -145,6 +211,12 @@ Status OnlineMonitor::RestoreState(const OnlineMonitorState& state) {
   below_streak_ = state.below_streak;
   samples_seen_ = state.samples_seen;
   alarms_raised_ = state.alarms_raised;
+  baseline_epoch_ = state.baseline_epoch;
+  frozen_ = state.frozen;
+  pending_reset_ = state.pending_reset > 2 ? 0 : state.pending_reset;
+  pending_level_ = state.pending_level;
+  pending_sigma_ = state.pending_sigma;
+  pending_support_ = state.pending_support;
   return Status::Ok();
 }
 

@@ -2,9 +2,12 @@
 #define HOD_CORE_MONITOR_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <optional>
 #include <vector>
 
+#include "core/baseline_lifecycle.h"
 #include "util/statusor.h"
 
 namespace hod::core {
@@ -51,6 +54,15 @@ struct OnlineMonitorState {
   uint64_t below_streak = 0;
   uint64_t samples_seen = 0;
   uint64_t alarms_raised = 0;
+  /// ---- Baseline lifecycle (checkpoint v5) -----------------------------
+  /// Applied-reset generation; 0 for a never-reset monitor.
+  uint64_t baseline_epoch = 0;
+  bool frozen = false;
+  /// 0 = none, 1 = unseeded reset pending, 2 = seeded reset pending.
+  uint8_t pending_reset = 0;
+  double pending_level = 0.0;
+  double pending_sigma = 0.0;
+  uint64_t pending_support = 0;
 };
 
 /// Result of pushing one sample.
@@ -67,7 +79,7 @@ struct MonitorUpdate {
   bool model_ready = false;
 };
 
-class OnlineMonitor {
+class OnlineMonitor : public BaselineLifecycle {
  public:
   explicit OnlineMonitor(OnlineMonitorOptions options = {});
 
@@ -89,9 +101,23 @@ class OnlineMonitor {
   /// ready model whose window length differs from ar_order).
   Status RestoreState(const OnlineMonitorState& state);
 
+  /// ---- BaselineLifecycle ----------------------------------------------
+  /// With a seed: installs a degenerate ready model at `seed.level`
+  /// (order-0 predictor, sigma floored) so scoring resumes immediately at
+  /// the new regime; without a seed: returns to warmup. Deferred while
+  /// frozen. Alarm + streak state clears either way; samples_seen /
+  /// alarms_raised survive.
+  void ResetBaseline(BaselineActor actor,
+                     const std::optional<BaselineSeed>& seed) override;
+  void FreezeBaseline(BaselineActor actor) override;
+  bool ThawBaseline(BaselineActor actor) override;
+  bool baseline_frozen() const override { return frozen_; }
+  uint64_t baseline_epoch() const override { return baseline_epoch_; }
+
  private:
   Status FitModel();
   double Predict() const;
+  void ApplyReset(const std::optional<BaselineSeed>& seed);
 
   OnlineMonitorOptions options_;
   std::vector<double> warmup_buffer_;
@@ -105,6 +131,12 @@ class OnlineMonitor {
   size_t below_streak_ = 0;
   size_t samples_seen_ = 0;
   size_t alarms_raised_ = 0;
+  uint64_t baseline_epoch_ = 0;
+  bool frozen_ = false;
+  uint8_t pending_reset_ = 0;  // 0 none, 1 unseeded, 2 seeded
+  double pending_level_ = 0.0;
+  double pending_sigma_ = 0.0;
+  uint64_t pending_support_ = 0;
 };
 
 }  // namespace hod::core

@@ -28,6 +28,8 @@ std::string_view FindingKindName(FindingKind kind) {
       return "peer-drift";
     case FindingKind::kGroupOutage:
       return "group-outage";
+    case FindingKind::kConceptShift:
+      return "concept-shift";
   }
   return "?";
 }
@@ -37,6 +39,11 @@ AlertSeverity ClassifyAlert(const OutlierFinding& finding) {
     // A whole line going silent at once is an infrastructure incident —
     // operators must see it above any single-sensor episode.
     return AlertSeverity::kCritical;
+  }
+  if (finding.kind == FindingKind::kConceptShift) {
+    // A confirmed setpoint change: the process moved and the channel was
+    // re-baselined. Operators should know, but nothing is broken.
+    return AlertSeverity::kWarning;
   }
   if (finding.kind == FindingKind::kSensorFault ||
       finding.kind == FindingKind::kPeerDrift ||

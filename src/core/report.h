@@ -26,16 +26,20 @@ struct LevelOutlier {
 /// What a finding asserts about the plant: a genuine process outlier, a
 /// sensor/engine fault detected by the health layer (the paper's
 /// measurement-error branch made operational), a space-axis peer-group
-/// drift, or a correlated group outage. Sensor-fault and peer-drift
-/// findings are routed to the calibration queue, never to the
-/// stop-the-line board; a group outage (a whole line going silent at
-/// once — a transport/power problem, not N independent sensor faults) is
-/// a first-class critical board row.
+/// drift, a correlated group outage, or a confirmed concept shift.
+/// Sensor-fault and peer-drift findings are routed to the calibration
+/// queue, never to the stop-the-line board; a group outage (a whole line
+/// going silent at once — a transport/power problem, not N independent
+/// sensor faults) is a first-class critical board row. A concept shift
+/// (the process genuinely moved to a new setpoint and the channel was
+/// re-baselined) is a process-board row: one informative finding instead
+/// of an unbounded alarm storm on the new regime.
 enum class FindingKind {
   kOutlier,
   kSensorFault,
   kPeerDrift,
   kGroupOutage,
+  kConceptShift,
 };
 
 std::string_view FindingKindName(FindingKind kind);

@@ -1,6 +1,7 @@
 #include "sim/fault_injector.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <set>
 
@@ -15,6 +16,7 @@ std::string_view FaultKindName(FaultKind kind) {
     case FaultKind::kDuplicate: return "duplicate";
     case FaultKind::kClockSkew: return "clock-skew";
     case FaultKind::kLineOutage: return "line-outage";
+    case FaultKind::kLevelShift: return "level-shift";
   }
   return "?";
 }
@@ -115,6 +117,30 @@ Status FaultInjector::AddLineOutage(
   return Status::Ok();
 }
 
+Status FaultInjector::AddLevelShift(const std::string& sensor_id,
+                                    ts::TimePoint start, double duration,
+                                    double delta, double ramp) {
+  if (sensor_id.empty()) return Status::InvalidArgument("empty sensor id");
+  if (!(duration > 0.0)) {
+    return Status::InvalidArgument("fault duration must be positive");
+  }
+  if (!std::isfinite(delta) || delta == 0.0) {
+    return Status::InvalidArgument("level shift delta must be finite and "
+                                   "nonzero");
+  }
+  if (!std::isfinite(ramp) || ramp < 0.0) {
+    return Status::InvalidArgument("level shift ramp must be finite and "
+                                   "non-negative");
+  }
+  FaultProfile profile;
+  profile.kind = FaultKind::kLevelShift;
+  profile.start = start;
+  profile.duration = duration;
+  profile.shift_delta = delta;
+  profile.shift_ramp = ramp;
+  return AddFault(sensor_id, profile);
+}
+
 std::vector<stream::SensorSample> FaultInjector::Apply(
     const stream::SensorSample& sample) {
   std::vector<stream::SensorSample> out;
@@ -153,6 +179,15 @@ std::vector<stream::SensorSample> FaultInjector::Apply(
       case FaultKind::kClockSkew:
         corrupted.ts -= fault.profile.skew;
         break;
+      case FaultKind::kLevelShift: {
+        const double ramp = fault.profile.shift_ramp;
+        const double fraction =
+            ramp <= 0.0
+                ? 1.0
+                : std::min(1.0, (sample.ts - fault.profile.start) / ramp);
+        corrupted.value += fault.profile.shift_delta * fraction;
+        break;
+      }
     }
   }
   if (dropped) return out;

@@ -33,6 +33,14 @@ enum class FaultKind {
   /// via AddLineOutage, never drawn by PlanRandom (a random per-sensor
   /// draw would destroy exactly the correlation the kind exists to model).
   kLineOutage,
+  /// Setpoint change: the process genuinely moves to a new operating
+  /// level (step, or ramp over shift_ramp seconds). NOT a measurement
+  /// error — the ground-truth instant is what concept-shift detection is
+  /// measured against, so the channel should be re-baselined, not
+  /// quarantined. Scheduled via AddLevelShift, never drawn by PlanRandom
+  /// (shift benchmarks need exact, intentional instants, and a random
+  /// setpoint change would poison fault-detection ground truth).
+  kLevelShift,
 };
 
 std::string_view FaultKindName(FaultKind kind);
@@ -47,6 +55,10 @@ struct FaultProfile {
   double gain_rate = 0.02;
   /// kClockSkew: seconds subtracted from each timestamp.
   double skew = 32.0;
+  /// kLevelShift: level offset added while the fault is active, and the
+  /// seconds over which it ramps in (0 = instantaneous step).
+  double shift_delta = 0.0;
+  double shift_ramp = 0.0;
 };
 
 /// Ground-truth record of one injected fault (for detection metrics).
@@ -103,6 +115,15 @@ class FaultInjector {
   /// list, a duplicated id, an empty id, or a non-positive duration.
   Status AddLineOutage(const std::vector<std::string>& sensor_ids,
                        ts::TimePoint start, double duration);
+
+  /// Schedules one kLevelShift: `delta` is added to the sensor's values
+  /// over [start, start+duration), ramping in over `ramp` seconds (0 =
+  /// step). The ground-truth interval records the exact shift instant
+  /// for detection-delay metrics. InvalidArgument on an empty id, a
+  /// non-positive duration, a zero or non-finite delta, or a negative or
+  /// non-finite ramp; a rejected call schedules nothing.
+  Status AddLevelShift(const std::string& sensor_id, ts::TimePoint start,
+                       double duration, double delta, double ramp = 0.0);
 
   /// Transforms one clean sample into the samples the wire would deliver:
   /// empty (dropout), one (possibly corrupted), or two (duplicate).

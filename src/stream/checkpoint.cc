@@ -17,8 +17,16 @@ namespace bin = hierarchy::bin;
 ///     kPeerDrift and kGroupOutage; StreamStatsSnapshot gained the
 ///     peer_deviations / group_outages / group_outage_recoveries /
 ///     suppressed_sensor_faults counters.
+/// v5: concept-shift layer — shift_enabled flag + BocpdOptions
+///     fingerprint in the header, per-sensor BOCPD run-length posterior
+///     and baseline-lifecycle fields (epoch / frozen / pending reset) in
+///     the monitor state, the collector's concept-shift ring + total,
+///     FindingKind gained kConceptShift, and StreamStatsSnapshot gained
+///     concept_shifts / baseline_resets / baseline_resets_deferred.
+///     v4 images still restore (new fields default to "layer off").
 constexpr uint32_t kMagic = 0x43444F48u;
-constexpr uint32_t kVersion = 4;
+constexpr uint32_t kVersion = 5;
+constexpr uint32_t kMinVersion = 4;
 
 void WriteBool(std::ostream& os, bool value) {
   bin::WriteU8(os, value ? 1 : 0);
@@ -68,6 +76,25 @@ StatusOr<std::vector<double>> ReadF64Vector(std::istream& is) {
   return values;
 }
 
+void WriteU64Vector(std::ostream& os, const std::vector<uint64_t>& values) {
+  bin::WriteU32(os, static_cast<uint32_t>(values.size()));
+  for (uint64_t value : values) bin::WriteU64(os, value);
+}
+
+StatusOr<std::vector<uint64_t>> ReadU64Vector(std::istream& is) {
+  HOD_ASSIGN_OR_RETURN(uint32_t count, bin::ReadU32(is));
+  if (count > (1u << 24)) {
+    return Status::InvalidArgument("implausible vector length");
+  }
+  std::vector<uint64_t> values;
+  values.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    HOD_ASSIGN_OR_RETURN(uint64_t value, bin::ReadU64(is));
+    values.push_back(value);
+  }
+  return values;
+}
+
 void WriteMonitorOptions(std::ostream& os,
                          const core::OnlineMonitorOptions& options) {
   bin::WriteU64(os, options.warmup);
@@ -108,9 +135,17 @@ void WriteMonitorState(std::ostream& os,
   bin::WriteU64(os, state.below_streak);
   bin::WriteU64(os, state.samples_seen);
   bin::WriteU64(os, state.alarms_raised);
+  // v5: baseline lifecycle.
+  bin::WriteU64(os, state.baseline_epoch);
+  WriteBool(os, state.frozen);
+  bin::WriteU8(os, state.pending_reset);
+  bin::WriteF64(os, state.pending_level);
+  bin::WriteF64(os, state.pending_sigma);
+  bin::WriteU64(os, state.pending_support);
 }
 
-Status ReadMonitorState(std::istream& is, core::OnlineMonitorState& state) {
+Status ReadMonitorState(std::istream& is, uint32_t version,
+                        core::OnlineMonitorState& state) {
   HOD_ASSIGN_OR_RETURN(state.warmup_buffer, ReadF64Vector(is));
   HOD_ASSIGN_OR_RETURN(state.recent, ReadF64Vector(is));
   HOD_ASSIGN_OR_RETURN(state.phi, ReadF64Vector(is));
@@ -122,6 +157,106 @@ Status ReadMonitorState(std::istream& is, core::OnlineMonitorState& state) {
   HOD_ASSIGN_OR_RETURN(state.below_streak, bin::ReadU64(is));
   HOD_ASSIGN_OR_RETURN(state.samples_seen, bin::ReadU64(is));
   HOD_ASSIGN_OR_RETURN(state.alarms_raised, bin::ReadU64(is));
+  if (version >= 5) {
+    HOD_ASSIGN_OR_RETURN(state.baseline_epoch, bin::ReadU64(is));
+    HOD_ASSIGN_OR_RETURN(state.frozen, ReadBool(is));
+    HOD_ASSIGN_OR_RETURN(state.pending_reset, bin::ReadU8(is));
+    if (state.pending_reset > 2) {
+      return Status::InvalidArgument("bad pending-reset byte");
+    }
+    HOD_ASSIGN_OR_RETURN(state.pending_level, bin::ReadF64(is));
+    HOD_ASSIGN_OR_RETURN(state.pending_sigma, bin::ReadF64(is));
+    HOD_ASSIGN_OR_RETURN(state.pending_support, bin::ReadU64(is));
+  }
+  return Status::Ok();
+}
+
+void WriteBocpdOptions(std::ostream& os, const core::BocpdOptions& options) {
+  bin::WriteF64(os, options.hazard_lambda);
+  bin::WriteU64(os, options.max_run_length);
+  bin::WriteU64(os, options.warmup);
+  bin::WriteU64(os, options.min_run_for_shift);
+  bin::WriteF64(os, options.shift_posterior);
+  bin::WriteF64(os, options.min_magnitude_sigmas);
+  bin::WriteU64(os, options.cooldown);
+  bin::WriteF64(os, options.prior_kappa);
+  bin::WriteF64(os, options.prior_alpha);
+  bin::WriteF64(os, options.prior_beta);
+  bin::WriteF64(os, options.prior_mean);
+}
+
+Status ReadBocpdOptions(std::istream& is, core::BocpdOptions& options) {
+  HOD_ASSIGN_OR_RETURN(options.hazard_lambda, bin::ReadF64(is));
+  HOD_ASSIGN_OR_RETURN(uint64_t max_run_length, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(options.warmup, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(uint64_t min_run_for_shift, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(options.shift_posterior, bin::ReadF64(is));
+  HOD_ASSIGN_OR_RETURN(options.min_magnitude_sigmas, bin::ReadF64(is));
+  HOD_ASSIGN_OR_RETURN(options.cooldown, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(options.prior_kappa, bin::ReadF64(is));
+  HOD_ASSIGN_OR_RETURN(options.prior_alpha, bin::ReadF64(is));
+  HOD_ASSIGN_OR_RETURN(options.prior_beta, bin::ReadF64(is));
+  HOD_ASSIGN_OR_RETURN(options.prior_mean, bin::ReadF64(is));
+  options.max_run_length = static_cast<size_t>(max_run_length);
+  options.min_run_for_shift = static_cast<size_t>(min_run_for_shift);
+  return Status::Ok();
+}
+
+void WriteBocpdState(std::ostream& os, const core::BocpdState& state) {
+  WriteF64Vector(os, state.weight);
+  WriteF64Vector(os, state.mu);
+  WriteF64Vector(os, state.kappa);
+  WriteF64Vector(os, state.alpha);
+  WriteF64Vector(os, state.beta);
+  WriteU64Vector(os, state.run_length);
+  bin::WriteU64(os, state.samples_seen);
+  bin::WriteU64(os, state.shifts_confirmed);
+  bin::WriteU64(os, state.cooldown_left);
+  WriteBool(os, state.prior_seeded);
+  bin::WriteF64(os, state.prior_mean);
+  bin::WriteF64(os, state.stable_mean);
+  bin::WriteF64(os, state.stable_sigma);
+  bin::WriteU64(os, state.stable_support);
+}
+
+Status ReadBocpdState(std::istream& is, core::BocpdState& state) {
+  HOD_ASSIGN_OR_RETURN(state.weight, ReadF64Vector(is));
+  HOD_ASSIGN_OR_RETURN(state.mu, ReadF64Vector(is));
+  HOD_ASSIGN_OR_RETURN(state.kappa, ReadF64Vector(is));
+  HOD_ASSIGN_OR_RETURN(state.alpha, ReadF64Vector(is));
+  HOD_ASSIGN_OR_RETURN(state.beta, ReadF64Vector(is));
+  HOD_ASSIGN_OR_RETURN(state.run_length, ReadU64Vector(is));
+  HOD_ASSIGN_OR_RETURN(state.samples_seen, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(state.shifts_confirmed, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(state.cooldown_left, bin::ReadU64(is));
+  HOD_ASSIGN_OR_RETURN(state.prior_seeded, ReadBool(is));
+  HOD_ASSIGN_OR_RETURN(state.prior_mean, bin::ReadF64(is));
+  HOD_ASSIGN_OR_RETURN(state.stable_mean, bin::ReadF64(is));
+  HOD_ASSIGN_OR_RETURN(state.stable_sigma, bin::ReadF64(is));
+  HOD_ASSIGN_OR_RETURN(state.stable_support, bin::ReadU64(is));
+  return Status::Ok();
+}
+
+void WriteShiftEvent(std::ostream& os, const ConceptShiftEvent& shift) {
+  bin::WriteString(os, shift.sensor_id);
+  WriteLevel(os, shift.level);
+  bin::WriteF64(os, shift.ts);
+  bin::WriteF64(os, shift.before_mean);
+  bin::WriteF64(os, shift.after_mean);
+  bin::WriteF64(os, shift.magnitude_sigmas);
+  bin::WriteF64(os, shift.evidence);
+  bin::WriteU64(os, shift.run_length);
+}
+
+Status ReadShiftEvent(std::istream& is, ConceptShiftEvent& shift) {
+  HOD_ASSIGN_OR_RETURN(shift.sensor_id, bin::ReadString(is));
+  HOD_ASSIGN_OR_RETURN(shift.level, ReadLevel(is));
+  HOD_ASSIGN_OR_RETURN(shift.ts, bin::ReadF64(is));
+  HOD_ASSIGN_OR_RETURN(shift.before_mean, bin::ReadF64(is));
+  HOD_ASSIGN_OR_RETURN(shift.after_mean, bin::ReadF64(is));
+  HOD_ASSIGN_OR_RETURN(shift.magnitude_sigmas, bin::ReadF64(is));
+  HOD_ASSIGN_OR_RETURN(shift.evidence, bin::ReadF64(is));
+  HOD_ASSIGN_OR_RETURN(shift.run_length, bin::ReadU64(is));
   return Status::Ok();
 }
 
@@ -209,7 +344,7 @@ Status ReadFinding(std::istream& is, core::OutlierFinding& finding) {
   HOD_ASSIGN_OR_RETURN(
       finding.kind,
       ReadEnum<core::FindingKind>(
-          is, static_cast<uint8_t>(core::FindingKind::kGroupOutage),
+          is, static_cast<uint8_t>(core::FindingKind::kConceptShift),
           "finding kind"));
   HOD_ASSIGN_OR_RETURN(finding.origin.level, ReadLevel(is));
   HOD_ASSIGN_OR_RETURN(finding.origin.entity, bin::ReadString(is));
@@ -277,13 +412,18 @@ void WriteStats(std::ostream& os, const StreamStatsSnapshot& stats) {
   bin::WriteU64(os, stats.group_outages);
   bin::WriteU64(os, stats.group_outage_recoveries);
   bin::WriteU64(os, stats.suppressed_sensor_faults);
+  // v5: concept-shift counters.
+  bin::WriteU64(os, stats.concept_shifts);
+  bin::WriteU64(os, stats.baseline_resets);
+  bin::WriteU64(os, stats.baseline_resets_deferred);
   for (uint64_t count : stats.level_dropped) bin::WriteU64(os, count);
   for (uint64_t count : stats.level_rejected) bin::WriteU64(os, count);
   for (uint64_t count : stats.level_quarantined) bin::WriteU64(os, count);
   for (uint64_t count : stats.batch_size_histogram) bin::WriteU64(os, count);
 }
 
-Status ReadStats(std::istream& is, StreamStatsSnapshot& stats) {
+Status ReadStats(std::istream& is, uint32_t version,
+                 StreamStatsSnapshot& stats) {
   HOD_ASSIGN_OR_RETURN(stats.ingested, bin::ReadU64(is));
   HOD_ASSIGN_OR_RETURN(stats.scored, bin::ReadU64(is));
   HOD_ASSIGN_OR_RETURN(stats.dropped, bin::ReadU64(is));
@@ -314,6 +454,11 @@ Status ReadStats(std::istream& is, StreamStatsSnapshot& stats) {
   HOD_ASSIGN_OR_RETURN(stats.group_outages, bin::ReadU64(is));
   HOD_ASSIGN_OR_RETURN(stats.group_outage_recoveries, bin::ReadU64(is));
   HOD_ASSIGN_OR_RETURN(stats.suppressed_sensor_faults, bin::ReadU64(is));
+  if (version >= 5) {
+    HOD_ASSIGN_OR_RETURN(stats.concept_shifts, bin::ReadU64(is));
+    HOD_ASSIGN_OR_RETURN(stats.baseline_resets, bin::ReadU64(is));
+    HOD_ASSIGN_OR_RETURN(stats.baseline_resets_deferred, bin::ReadU64(is));
+  }
   for (uint64_t& count : stats.level_dropped) {
     HOD_ASSIGN_OR_RETURN(count, bin::ReadU64(is));
   }
@@ -388,6 +533,8 @@ Status WriteEngineCheckpoint(const EngineCheckpoint& checkpoint,
   bin::WriteU32(os, kVersion);
   WriteMonitorOptions(os, checkpoint.monitor);
   bin::WriteF64(os, checkpoint.out_of_order_tolerance);
+  WriteBool(os, checkpoint.shift_enabled);
+  WriteBocpdOptions(os, checkpoint.bocpd);
 
   bin::WriteU32(os, static_cast<uint32_t>(checkpoint.sensors.size()));
   for (const EngineCheckpoint::SensorState& sensor : checkpoint.sensors) {
@@ -398,6 +545,8 @@ Status WriteEngineCheckpoint(const EngineCheckpoint& checkpoint,
     bin::WriteF64(os, sensor.frontier);
     WriteHealthStatus(os, sensor.health);
     WriteMonitorState(os, sensor.monitor);
+    WriteBool(os, sensor.has_bocpd);
+    if (sensor.has_bocpd) WriteBocpdState(os, sensor.bocpd);
   }
 
   for (const LevelOutlierState& level : checkpoint.levels) {
@@ -441,6 +590,12 @@ Status WriteEngineCheckpoint(const EngineCheckpoint& checkpoint,
   }
   bin::WriteF64(os, checkpoint.collector_frontier);
 
+  bin::WriteU32(os, static_cast<uint32_t>(checkpoint.recent_shifts.size()));
+  for (const ConceptShiftEvent& shift : checkpoint.recent_shifts) {
+    WriteShiftEvent(os, shift);
+  }
+  bin::WriteU64(os, checkpoint.concept_shifts_total);
+
   bin::WriteU32(os, static_cast<uint32_t>(checkpoint.findings.size()));
   for (const core::OutlierFinding& finding : checkpoint.findings) {
     WriteFinding(os, finding);
@@ -457,13 +612,17 @@ StatusOr<EngineCheckpoint> ReadEngineCheckpoint(std::istream& is) {
     return Status::InvalidArgument("not an engine checkpoint (bad magic)");
   }
   HOD_ASSIGN_OR_RETURN(uint32_t version, bin::ReadU32(is));
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     return Status::InvalidArgument("unsupported checkpoint version " +
                                    std::to_string(version));
   }
   EngineCheckpoint checkpoint;
   HOD_RETURN_IF_ERROR(ReadMonitorOptions(is, checkpoint.monitor));
   HOD_ASSIGN_OR_RETURN(checkpoint.out_of_order_tolerance, bin::ReadF64(is));
+  if (version >= 5) {
+    HOD_ASSIGN_OR_RETURN(checkpoint.shift_enabled, ReadBool(is));
+    HOD_RETURN_IF_ERROR(ReadBocpdOptions(is, checkpoint.bocpd));
+  }
 
   HOD_ASSIGN_OR_RETURN(uint32_t num_sensors, bin::ReadU32(is));
   if (num_sensors > (1u << 22)) {
@@ -482,7 +641,13 @@ StatusOr<EngineCheckpoint> ReadEngineCheckpoint(std::istream& is) {
     HOD_RETURN_IF_ERROR(ReadHealthStatus(is, sensor.health));
     sensor.health.sensor_id = sensor.sensor_id;
     sensor.health.level = sensor.level;
-    HOD_RETURN_IF_ERROR(ReadMonitorState(is, sensor.monitor));
+    HOD_RETURN_IF_ERROR(ReadMonitorState(is, version, sensor.monitor));
+    if (version >= 5) {
+      HOD_ASSIGN_OR_RETURN(sensor.has_bocpd, ReadBool(is));
+      if (sensor.has_bocpd) {
+        HOD_RETURN_IF_ERROR(ReadBocpdState(is, sensor.bocpd));
+      }
+    }
     checkpoint.sensors.push_back(std::move(sensor));
   }
 
@@ -561,6 +726,18 @@ StatusOr<EngineCheckpoint> ReadEngineCheckpoint(std::istream& is) {
   }
   HOD_ASSIGN_OR_RETURN(checkpoint.collector_frontier, bin::ReadF64(is));
 
+  if (version >= 5) {
+    HOD_ASSIGN_OR_RETURN(uint32_t num_shifts, bin::ReadU32(is));
+    if (num_shifts > (1u << 20)) {
+      return Status::InvalidArgument("implausible shift count");
+    }
+    checkpoint.recent_shifts.resize(num_shifts);
+    for (uint32_t i = 0; i < num_shifts; ++i) {
+      HOD_RETURN_IF_ERROR(ReadShiftEvent(is, checkpoint.recent_shifts[i]));
+    }
+    HOD_ASSIGN_OR_RETURN(checkpoint.concept_shifts_total, bin::ReadU64(is));
+  }
+
   HOD_ASSIGN_OR_RETURN(uint32_t num_findings, bin::ReadU32(is));
   if (num_findings > (1u << 24)) {
     return Status::InvalidArgument("implausible finding count");
@@ -570,7 +747,7 @@ StatusOr<EngineCheckpoint> ReadEngineCheckpoint(std::istream& is) {
     HOD_RETURN_IF_ERROR(ReadFinding(is, checkpoint.findings[i]));
   }
 
-  HOD_RETURN_IF_ERROR(ReadStats(is, checkpoint.stats));
+  HOD_RETURN_IF_ERROR(ReadStats(is, version, checkpoint.stats));
   return checkpoint;
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/bocpd.h"
 #include "core/monitor.h"
 #include "core/report.h"
 #include "stream/engine.h"
@@ -28,6 +29,12 @@ struct EngineCheckpoint {
   /// Configuration fingerprint (validated on restore).
   core::OnlineMonitorOptions monitor;
   double out_of_order_tolerance = 0.0;
+  /// Concept-shift layer fingerprint (v5): whether BOCPD ran, and under
+  /// which tuning — restoring a shift-enabled image under different BOCPD
+  /// options would silently change detection behavior, so it is refused
+  /// like a monitor-options mismatch.
+  bool shift_enabled = false;
+  core::BocpdOptions bocpd;
 
   struct SensorState {
     std::string sensor_id;
@@ -38,6 +45,10 @@ struct EngineCheckpoint {
     ts::TimePoint frontier = 0.0;
     SensorHealthStatus health;
     core::OnlineMonitorState monitor;
+    /// v5: the sensor's BOCPD run-length posterior, present iff the
+    /// engine ran with the concept-shift layer enabled.
+    bool has_bocpd = false;
+    core::BocpdState bocpd;
   };
   /// Sorted by sensor id (deterministic bytes for identical state).
   std::vector<SensorState> sensors;
@@ -59,6 +70,12 @@ struct EngineCheckpoint {
   std::vector<std::string> outage_members;
   ts::TimePoint collector_frontier =
       -std::numeric_limits<ts::TimePoint>::infinity();
+
+  /// Concept-shift audit ring + lifetime total (v5): what the snapshot
+  /// publishes so a restored engine's EscalationBridge still sees shifts
+  /// that confirmed before the kill.
+  std::vector<ConceptShiftEvent> recent_shifts;
+  uint64_t concept_shifts_total = 0;
 
   /// Alert manager input (episodes are re-derived on demand).
   std::vector<core::OutlierFinding> findings;

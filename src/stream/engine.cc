@@ -33,6 +33,8 @@ ShardedScorerOptions StreamEngine::MakeScorerOptions(
   scorer.producer_hint = options.producer_hint;
   scorer.monitor = options.monitor;
   scorer.forward_threshold = options.monitor.threshold;
+  scorer.shift_enabled = options.shift.enabled;
+  scorer.bocpd = options.shift.bocpd;
   scorer.worker_tick_hook = options.worker_tick_hook_for_test;
   if (options.executor != nullptr && !options.synchronous) {
     scorer.executor = options.executor;
@@ -108,6 +110,16 @@ Status StreamEngine::PopulateScorer() {
   for (size_t shard = 0; shard < scorer_.num_shards(); ++shard) {
     for (const std::string& sensor_id : router_.SensorsForShard(shard)) {
       HOD_RETURN_IF_ERROR(scorer_.AddSensor(shard, sensor_id));
+      if (options_.lane_cache) {
+        // Lanes are append-only and never move, so resolving each id once
+        // here lets Ingest hand the scorer a pre-resolved lane and skip
+        // the per-sample hash lookup.
+        const size_t lane = scorer_.LaneOf(shard, sensor_id);
+        if (lane != core::BatchMonitorBank::kNotFound) {
+          HOD_RETURN_IF_ERROR(
+              router_.SetLane(sensor_id, static_cast<uint32_t>(lane)));
+        }
+      }
     }
   }
   scorer_populated_ = true;
@@ -188,8 +200,10 @@ StatusOr<IngestAck> StreamEngine::Ingest(const SensorSample& sample) {
   const RouteTarget target = route_or.value();
   IngestAck ack;
   if (options_.synchronous) {
-    HOD_ASSIGN_OR_RETURN(InlineScore result,
-                         scorer_.ScoreNow(target.shard, sample));
+    HOD_ASSIGN_OR_RETURN(
+        InlineScore result,
+        scorer_.ScoreNow(target.shard, sample,
+                         options_.lane_cache ? target.lane : kNoLane));
     ack.enqueued = true;
     if (result.scored) ack.update = result.update;
     ++ingested_since_sweep_;
@@ -204,8 +218,11 @@ StatusOr<IngestAck> StreamEngine::Ingest(const SensorSample& sample) {
     DrainCollectorQueueSync();
     return ack;
   }
-  HOD_RETURN_IF_ERROR(scorer_.Submit(
-      target.shard, sample, target.policy.value_or(options_.backpressure)));
+  SensorSample routed = sample;
+  if (options_.lane_cache) routed.lane = target.lane;
+  HOD_RETURN_IF_ERROR(
+      scorer_.Submit(target.shard, std::move(routed),
+                     target.policy.value_or(options_.backpressure)));
   ack.enqueued = true;
   return ack;
 }
@@ -427,6 +444,8 @@ void StreamEngine::ReportEscalation(
 Status StreamEngine::FillCheckpoint(EngineCheckpoint& checkpoint) const {
   checkpoint.monitor = options_.monitor;
   checkpoint.out_of_order_tolerance = options_.out_of_order_tolerance;
+  checkpoint.shift_enabled = options_.shift.enabled;
+  checkpoint.bocpd = options_.shift.bocpd;
 
   std::map<std::string, SensorHealthStatus> health_by_id;
   for (SensorHealthStatus& status : health_.SaveState()) {
@@ -448,6 +467,11 @@ Status StreamEngine::FillCheckpoint(EngineCheckpoint& checkpoint) const {
     }
     HOD_ASSIGN_OR_RETURN(sensor.monitor,
                          scorer_.SaveMonitorQuiesced(registered.sensor_id));
+    if (options_.shift.enabled) {
+      HOD_ASSIGN_OR_RETURN(sensor.bocpd,
+                           scorer_.SaveBocpdQuiesced(registered.sensor_id));
+      sensor.has_bocpd = true;
+    }
     checkpoint.sensors.push_back(std::move(sensor));
   }
 
@@ -472,6 +496,9 @@ Status StreamEngine::FillCheckpoint(EngineCheckpoint& checkpoint) const {
                                      outage_->members.end());
   }
   checkpoint.collector_frontier = collector_frontier_;
+  checkpoint.recent_shifts.assign(recent_shifts_.begin(),
+                                  recent_shifts_.end());
+  checkpoint.concept_shifts_total = concept_shifts_total_;
 
   {
     std::lock_guard<std::mutex> lock(alerts_mu_);
@@ -504,6 +531,29 @@ Status StreamEngine::ApplyCheckpoint(const EngineCheckpoint& checkpoint) {
         "checkpoint was taken under different scoring options; a restored "
         "engine could not resume byte-identically");
   }
+  if (options_.shift.enabled != checkpoint.shift_enabled) {
+    return Status::InvalidArgument(
+        "checkpoint concept-shift layer state does not match the restore "
+        "options (enabled on one side only)");
+  }
+  if (options_.shift.enabled) {
+    const core::BocpdOptions& mine = options_.shift.bocpd;
+    const core::BocpdOptions& its = checkpoint.bocpd;
+    if (mine.hazard_lambda != its.hazard_lambda ||
+        mine.max_run_length != its.max_run_length ||
+        mine.warmup != its.warmup ||
+        mine.min_run_for_shift != its.min_run_for_shift ||
+        mine.shift_posterior != its.shift_posterior ||
+        mine.min_magnitude_sigmas != its.min_magnitude_sigmas ||
+        mine.cooldown != its.cooldown || mine.prior_kappa != its.prior_kappa ||
+        mine.prior_alpha != its.prior_alpha ||
+        mine.prior_beta != its.prior_beta ||
+        mine.prior_mean != its.prior_mean) {
+      return Status::InvalidArgument(
+          "checkpoint was taken under different BOCPD options; a restored "
+          "engine would not detect shifts identically");
+    }
+  }
   for (const EngineCheckpoint::SensorState& sensor : checkpoint.sensors) {
     std::optional<BackpressurePolicy> policy;
     if (sensor.has_policy) policy = sensor.policy;
@@ -515,6 +565,10 @@ Status StreamEngine::ApplyCheckpoint(const EngineCheckpoint& checkpoint) {
   for (const EngineCheckpoint::SensorState& sensor : checkpoint.sensors) {
     HOD_RETURN_IF_ERROR(
         scorer_.RestoreMonitor(sensor.sensor_id, sensor.monitor));
+    if (sensor.has_bocpd) {
+      HOD_RETURN_IF_ERROR(
+          scorer_.RestoreBocpd(sensor.sensor_id, sensor.bocpd));
+    }
     HOD_RETURN_IF_ERROR(router_.SetFrontier(sensor.sensor_id,
                                             sensor.frontier));
     health_states.push_back(sensor.health);
@@ -556,6 +610,9 @@ Status StreamEngine::ApplyCheckpoint(const EngineCheckpoint& checkpoint) {
     outage_ = std::move(outage);
   }
   collector_frontier_ = checkpoint.collector_frontier;
+  recent_shifts_.assign(checkpoint.recent_shifts.begin(),
+                        checkpoint.recent_shifts.end());
+  concept_shifts_total_ = checkpoint.concept_shifts_total;
 
   {
     std::lock_guard<std::mutex> lock(alerts_mu_);
@@ -791,6 +848,9 @@ void StreamEngine::ConsumeScored(const ScoredSample& scored) {
     case StreamEventKind::kPeerDeviation:
       ConsumePeerDeviation(scored);
       break;
+    case StreamEventKind::kConceptShift:
+      ConsumeConceptShift(scored);
+      break;
     case StreamEventKind::kScore: {
       const size_t level_index = StreamStats::LevelIndex(scored.level);
       LevelOutlierState& level = levels_[level_index];
@@ -976,6 +1036,58 @@ void StreamEngine::ConsumePeerDeviation(const ScoredSample& event) {
   pending_findings_.push_back(std::move(finding));
 }
 
+void StreamEngine::ConsumeConceptShift(const ScoredSample& event) {
+  const size_t level_index = StreamStats::LevelIndex(event.level);
+  LevelOutlierState& level = levels_[level_index];
+
+  // The alarm (if any) was raised by the old baseline against the new
+  // regime — a stale verdict, not a process alarm. Retract it; the
+  // re-baselined monitor re-raises only if the process is genuinely off
+  // its NEW setpoint.
+  auto alarm_it = active_alarms_.find(event.sensor_id);
+  if (alarm_it != active_alarms_.end()) {
+    if (level.active_alarms > 0) --level.active_alarms;
+    active_alarms_.erase(alarm_it);
+  }
+
+  ConceptShiftEvent shift;
+  shift.sensor_id = event.sensor_id;
+  shift.level = event.level;
+  shift.ts = event.ts;
+  shift.before_mean = event.shift_before;
+  shift.after_mean = event.shift_after;
+  shift.magnitude_sigmas = event.shift_magnitude;
+  shift.evidence = event.shift_evidence;
+  shift.run_length = event.shift_run_length;
+  recent_shifts_.push_back(shift);
+  constexpr size_t kMaxRecentShifts = 64;
+  while (recent_shifts_.size() > kMaxRecentShifts) recent_shifts_.pop_front();
+  ++concept_shifts_total_;
+
+  // Exactly one process-board row per confirmed shift: the level moved,
+  // the channel was re-baselined — instead of an alarm storm on the new
+  // regime.
+  core::OutlierFinding finding;
+  finding.kind = core::FindingKind::kConceptShift;
+  finding.origin.level = event.level;
+  finding.origin.entity = event.sensor_id;
+  finding.origin.time = event.ts;
+  finding.origin.score = event.shift_magnitude;
+  finding.global_score = 1;
+  finding.outlierness = std::min(1.0, event.shift_magnitude / 10.0);
+  finding.support = event.shift_evidence;
+  finding.corresponding_sensors = 0;
+  finding.measurement_error_warning = false;
+  finding.confirmed_levels = {event.level};
+  finding.warnings = {
+      "concept shift: level " + std::to_string(event.shift_before) + " -> " +
+      std::to_string(event.shift_after) +
+      " (magnitude=" + std::to_string(event.shift_magnitude) +
+      " sigmas, evidence=" + std::to_string(event.shift_evidence) +
+      ", run=" + std::to_string(event.shift_run_length) + ")"};
+  pending_findings_.push_back(std::move(finding));
+}
+
 void StreamEngine::ConsumeSensorRecovery(const ScoredSample& event) {
   auto it = quarantined_.find(event.sensor_id);
   if (it == quarantined_.end()) return;
@@ -1013,6 +1125,9 @@ void StreamEngine::PublishSnapshot() {
     snapshot.group_outage_since = outage_->since;
     snapshot.group_outage_sensors = outage_->members.size();
   }
+  snapshot.concept_shifts.assign(recent_shifts_.begin(),
+                                 recent_shifts_.end());
+  snapshot.concept_shifts_total = concept_shifts_total_;
   events_at_last_snapshot_ = events_seen_;
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   published_ = std::move(snapshot);

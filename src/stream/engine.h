@@ -79,6 +79,23 @@ struct StreamEngineOptions {
   /// groups are registered via AddPeerGroup / AddPeerGroupsFromRegistry;
   /// outage correlation stays off until peer.outage_min_sensors > 0.
   PeerGroupOptions peer;
+  /// Time-axis concept-shift layer: one core::BocpdDetector per sensor
+  /// watches the accepted sample stream; a confirmed setpoint change
+  /// re-baselines that sensor's monitor in place (seeded from the
+  /// post-shift posterior) and emits a single kConceptShift finding
+  /// instead of an unbounded alarm storm on the new regime. Off by
+  /// default — the scoring path is then byte-identical to an engine
+  /// built before this option existed.
+  struct ConceptShiftOptions {
+    bool enabled = false;
+    core::BocpdOptions bocpd;
+  } shift;
+  /// Resolve each sensor's string id to its (shard, lane) pair once at
+  /// ingress and carry the lane with the sample, so the scorer skips its
+  /// per-sample hash lookup. Lanes are write-once (assigned at Start,
+  /// never moved by quarantine), so the cache needs no invalidation; off
+  /// turns the fast path into a pure fallback for A/B measurement.
+  bool lane_cache = true;
   /// Synchronous mode: run the staleness sweep every this many accepted
   /// samples. Threaded mode sweeps on the watchdog cadence instead.
   size_t health_sweep_every = 256;
@@ -163,6 +180,20 @@ struct QuarantinedSensor {
   HealthSignal reason = HealthSignal::kClean;
 };
 
+/// One confirmed concept shift (online re-baseline). The snapshot carries
+/// the most recent ones so the EscalationBridge can MarkDirty the covering
+/// hierarchy scopes — their cached models were fit to the old regime.
+struct ConceptShiftEvent {
+  std::string sensor_id;
+  hierarchy::ProductionLevel level = hierarchy::ProductionLevel::kPhase;
+  ts::TimePoint ts = 0.0;            ///< confirming sample's timestamp
+  double before_mean = 0.0;          ///< stable level before the shift
+  double after_mean = 0.0;           ///< post-shift level estimate
+  double magnitude_sigmas = 0.0;     ///< |after - before| / sigma_before
+  double evidence = 0.0;             ///< posterior mass behind the shift
+  uint64_t run_length = 0;           ///< post-shift run length at confirm
+};
+
 /// Periodic cross-level outlier snapshot — the escalation hook: the
 /// EscalationBridge (stream/escalation.h) diffs consecutive snapshots'
 /// active alarms and runs core::HierarchicalDetector::EscalateAlarm over
@@ -184,6 +215,11 @@ struct EngineSnapshot {
   std::string group_outage_entity;
   ts::TimePoint group_outage_since = 0.0;
   uint64_t group_outage_sensors = 0;
+  /// Most recent confirmed concept shifts (bounded ring; newest last) and
+  /// the total confirmed since start — the EscalationBridge diffs these to
+  /// MarkDirty the covering hierarchy scopes.
+  std::vector<ConceptShiftEvent> concept_shifts;
+  uint64_t concept_shifts_total = 0;
 };
 
 /// Aggregate result of one escalation pass (one snapshot diff), reported
@@ -396,6 +432,11 @@ class StreamEngine {
   void ConsumeSensorRecovery(const ScoredSample& event);
   /// Converts a fired peer deviation into a kPeerDrift finding.
   void ConsumePeerDeviation(const ScoredSample& event);
+  /// Converts a confirmed concept shift into exactly one kConceptShift
+  /// finding, retracts the sensor's now-stale active alarm (the old
+  /// baseline raised it against the new regime), and records the event
+  /// for snapshot publication.
+  void ConsumeConceptShift(const ScoredSample& event);
   /// Quarantine-onset correlation (collector-private). With correlation
   /// off (peer.outage_min_sensors == 0) every quarantine emits its own
   /// kSensorFault finding immediately; with it on, staleness onsets are
@@ -468,6 +509,10 @@ class StreamEngine {
   };
   std::deque<QuarantinedSensor> pending_faults_;
   std::optional<ActiveOutage> outage_;
+  /// Concept-shift audit ring (collector-private, bounded) + lifetime
+  /// total; published into EngineSnapshot.
+  std::deque<ConceptShiftEvent> recent_shifts_;
+  uint64_t concept_shifts_total_ = 0;
   ts::TimePoint collector_frontier_ =
       -std::numeric_limits<ts::TimePoint>::infinity();
   uint64_t events_seen_ = 0;

@@ -48,6 +48,21 @@ StatusOr<size_t> EscalationBridge::Poll() {
   }
   last_sequence_ = snapshot.sequence;
 
+  // Concept shifts first: a re-baselined sensor means every cached model
+  // covering it was fit to the old regime. MarkDirty bumps the epoch so
+  // the next escalation over that scope rebuilds instead of serving a
+  // stale fit. The snapshot's ring may re-publish old shifts; the
+  // consumed map keeps each (sensor, confirm-ts) to one MarkDirty.
+  for (const ConceptShiftEvent& shift : snapshot.concept_shifts) {
+    auto it = shifts_consumed_.find(shift.sensor_id);
+    if (it != shifts_consumed_.end() && it->second >= shift.ts) continue;
+    shifts_consumed_[shift.sensor_id] = shift.ts;
+    // NotFound (entity outside the detector's production) is not an
+    // error: the stream tier may watch sensors the hierarchy does not.
+    (void)detector_->MarkDirty(shift.sensor_id);
+    ++shifts_marked_;
+  }
+
   // Diff: fresh = alarms we have not escalated at this `since` yet.
   std::vector<ActiveAlarm> fresh;
   std::set<std::string> active_ids;

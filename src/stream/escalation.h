@@ -61,6 +61,11 @@ class EscalationBridge {
   /// Escalation passes that found at least one fresh alarm.
   uint64_t runs() const { return runs_; }
 
+  /// Concept shifts consumed from snapshots so far — each one MarkDirty'd
+  /// its sensor's covering scopes so the epoch cache rebuilds them against
+  /// the post-shift data instead of serving models fit to the old regime.
+  uint64_t shifts_marked() const { return shifts_marked_; }
+
  private:
   void Loop(const std::stop_token& stop);
 
@@ -75,6 +80,11 @@ class EscalationBridge {
   /// cleared alarm is pruned so a later re-raise is fresh.
   std::map<std::string, ts::TimePoint> escalated_;
   uint64_t runs_ = 0;
+  /// sensor id -> confirm timestamp of the last concept shift already
+  /// MarkDirty'd, so one shift dirties its scopes exactly once however
+  /// many snapshots re-publish it from the bounded ring.
+  std::map<std::string, ts::TimePoint> shifts_consumed_;
+  uint64_t shifts_marked_ = 0;
 
   std::jthread worker_;
 };

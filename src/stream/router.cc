@@ -84,7 +84,7 @@ StatusOr<RouteTarget> IngestRouter::Route(const SensorSample& sample) {
     }
   }
   if (stats_ != nullptr) stats_->RecordIngested();
-  return RouteTarget{entry.shard, entry.policy};
+  return RouteTarget{entry.shard, entry.policy, entry.lane};
 }
 
 std::vector<std::string> IngestRouter::SensorsForShard(size_t shard) const {
@@ -130,6 +130,15 @@ Status IngestRouter::SetFrontier(const std::string& sensor_id,
     return Status::NotFound("unknown sensor: " + sensor_id);
   }
   it->second->last_ts.store(frontier, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status IngestRouter::SetLane(const std::string& sensor_id, uint32_t lane) {
+  auto it = sensors_.find(sensor_id);
+  if (it == sensors_.end()) {
+    return Status::NotFound("unknown sensor: " + sensor_id);
+  }
+  it->second->lane = lane;
   return Status::Ok();
 }
 

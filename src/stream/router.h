@@ -19,6 +19,10 @@
 
 namespace hod::stream {
 
+/// Sentinel for "monitor lane not resolved": samples built by producers
+/// carry it, and the scorer falls back to the string-keyed lane lookup.
+inline constexpr uint32_t kNoLane = 0xFFFFFFFFu;
+
 /// One timestamped reading from one sensor, as it arrives off the wire.
 struct SensorSample {
   std::string sensor_id;
@@ -28,6 +32,10 @@ struct SensorSample {
   hierarchy::ProductionLevel level = hierarchy::ProductionLevel::kPhase;
   ts::TimePoint ts = 0.0;
   double value = 0.0;
+  /// Monitor lane within the destination shard, resolved once at ingress
+  /// by the router (kNoLane until the engine stamps it). Lets the shard
+  /// worker skip the per-sample string-keyed hash lookup.
+  uint32_t lane = kNoLane;
 };
 
 /// Stable 64-bit FNV-1a hash — the shard assignment must not change across
@@ -41,6 +49,9 @@ struct RouteTarget {
   size_t shard = 0;
   /// Empty = use the engine-wide default.
   std::optional<BackpressurePolicy> policy;
+  /// Monitor lane within the shard (kNoLane until the engine published
+  /// the scorer's lane table via SetLane).
+  uint32_t lane = kNoLane;
 };
 
 /// Registration record, exposed for checkpointing.
@@ -99,11 +110,20 @@ class IngestRouter {
   /// Restores a sensor's frontier from a checkpoint.
   Status SetFrontier(const std::string& sensor_id, ts::TimePoint frontier);
 
+  /// Publishes a sensor's monitor lane so Route stamps it on every
+  /// accepted sample (the sensor-id → lane cache). Called by the engine
+  /// after the scorer's banks are populated — lanes are write-once per
+  /// engine lifetime (quarantine never moves a lane), so no further
+  /// invalidation is needed; a restored or rebuilt engine re-publishes.
+  /// Not thread-safe; call before producers start.
+  Status SetLane(const std::string& sensor_id, uint32_t lane);
+
  private:
   struct SensorEntry {
     hierarchy::ProductionLevel level;
     size_t shard;
     std::optional<BackpressurePolicy> policy;
+    uint32_t lane = kNoLane;
     /// Last accepted timestamp; CAS-max so it only moves forward.
     std::atomic<ts::TimePoint> last_ts{
         -std::numeric_limits<ts::TimePoint>::infinity()};

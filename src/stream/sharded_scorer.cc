@@ -38,7 +38,93 @@ Status ShardedScorer::AddSensor(size_t shard, const std::string& sensor_id) {
   if (!shards_[shard]->bank.AddSensor(sensor_id).ok()) {
     return Status::InvalidArgument("sensor already on shard: " + sensor_id);
   }
+  if (options_.shift_enabled) {
+    // Lane ids are append-only, so the detector vector stays parallel to
+    // the bank's lanes.
+    shards_[shard]->bocpd.emplace_back(options_.bocpd);
+  }
   return Status::Ok();
+}
+
+size_t ShardedScorer::LaneOf(size_t shard, const std::string& sensor_id) const {
+  if (shard >= shards_.size()) return core::BatchMonitorBank::kNotFound;
+  return shards_[shard]->bank.IndexOf(sensor_id);
+}
+
+void ShardedScorer::SyncBaselineFreeze(Shard& shard, size_t lane,
+                                       bool admitted) {
+  if (!admitted) {
+    // First quarantined sample: freeze the baseline so nothing (notably a
+    // concept shift confirmed from samples still in flight) can clear it
+    // while the health FSM owns the channel.
+    if (!shard.bank.baseline_frozen(lane)) {
+      shard.bank.FreezeBaselineLane(lane,
+                                    core::BaselineActor::kHealthQuarantine);
+    }
+    return;
+  }
+  if (shard.bank.baseline_frozen(lane)) {
+    // First admitted sample after quarantine (kRecovering): thaw. A reset
+    // a concept shift parked during the freeze applies now — recovery
+    // seeds from the post-shift posterior instead of the stale regime.
+    if (shard.bank.ThawBaselineLane(lane,
+                                    core::BaselineActor::kHealthQuarantine) &&
+        stats_ != nullptr) {
+      stats_->RecordBaselineReset();
+    }
+  }
+}
+
+std::optional<core::BocpdShift> ShardedScorer::FeedBocpd(
+    Shard& shard, size_t lane, const SensorSample& sample, bool* deferred) {
+  if (lane >= shard.bocpd.size()) return std::nullopt;
+  std::optional<core::BocpdShift> confirmed =
+      shard.bocpd[lane].Push(sample.value);
+  if (!confirmed.has_value()) return std::nullopt;
+  confirmed->shift.time = sample.ts;
+  if (deferred != nullptr) {
+    *deferred = ApplyShiftReset(shard, lane, *confirmed);
+  }
+  return confirmed;
+}
+
+bool ShardedScorer::ApplyShiftReset(Shard& shard, size_t lane,
+                                    const core::BocpdShift& shift) {
+  const bool frozen = shard.bank.baseline_frozen(lane);
+  core::BaselineSeed seed;
+  seed.level = shift.shift.after_mean;
+  seed.sigma = shift.after_sigma;
+  seed.support = shift.run_length;
+  // While frozen this parks the reset for the thaw (quarantine exit
+  // timing stays solely with the health FSM's clean streak).
+  shard.bank.ResetBaselineLane(lane, core::BaselineActor::kConceptShift,
+                               seed);
+  if (stats_ != nullptr) {
+    stats_->RecordConceptShift();
+    if (frozen) {
+      stats_->RecordBaselineResetDeferred();
+    } else {
+      stats_->RecordBaselineReset();
+    }
+  }
+  return frozen;
+}
+
+void ShardedScorer::ForwardShiftEvent(const SensorSample& sample,
+                                      const core::BocpdShift& shift) {
+  if (collector_ == nullptr) return;
+  ScoredSample event;
+  event.kind = StreamEventKind::kConceptShift;
+  event.sensor_id = sample.sensor_id;
+  event.level = sample.level;
+  event.ts = sample.ts;
+  event.value = sample.value;
+  event.shift_before = shift.shift.before_mean;
+  event.shift_after = shift.shift.after_mean;
+  event.shift_magnitude = shift.shift.magnitude_sigmas;
+  event.shift_evidence = shift.evidence;
+  event.shift_run_length = shift.run_length;
+  ForwardToCollector(std::move(event));
 }
 
 Status ShardedScorer::Start() {
@@ -163,7 +249,8 @@ void ShardedScorer::DrainTask(size_t shard_index) {
 }
 
 StatusOr<InlineScore> ShardedScorer::ScoreNow(size_t shard,
-                                              const SensorSample& sample) {
+                                              const SensorSample& sample,
+                                              uint32_t lane_hint) {
   if (running()) {
     return Status::FailedPrecondition(
         "ScoreNow is synchronous-mode only; workers are running");
@@ -172,11 +259,16 @@ StatusOr<InlineScore> ShardedScorer::ScoreNow(size_t shard,
     return Status::OutOfRange("shard index out of range");
   }
   Shard& s = *shards_[shard];
-  const size_t lane = s.bank.IndexOf(sample.sensor_id);
+  const size_t lane = (lane_hint != kNoLane && lane_hint < s.bank.size())
+                          ? static_cast<size_t>(lane_hint)
+                          : s.bank.IndexOf(sample.sensor_id);
   if (lane == core::BatchMonitorBank::kNotFound) {
     return Status::NotFound("no monitor for sensor: " + sample.sensor_id);
   }
   const HealthGateResult gate = HealthGate(sample);
+  if (health_ != nullptr && health_->enabled()) {
+    SyncBaselineFreeze(s, lane, gate.score);
+  }
   InlineScore result;
   if (!gate.score) return result;  // quarantined: withheld from the monitor
   HOD_ASSIGN_OR_RETURN(result.update, s.bank.Push(lane, sample.value));
@@ -204,6 +296,15 @@ StatusOr<InlineScore> ShardedScorer::ScoreNow(size_t shard,
     scored.update = update;
     // Internal pipeline edge: lossless regardless of the ingress policy.
     ForwardToCollector(std::move(scored));
+  }
+  // The shift detector sees the sample after the monitor scored it, so a
+  // confirm re-baselines before the NEXT sample — same sequencing as the
+  // batch path's segmented PushBatch.
+  if (!s.bocpd.empty()) {
+    bool deferred = false;
+    std::optional<core::BocpdShift> shift =
+        FeedBocpd(s, lane, sample, &deferred);
+    if (shift.has_value()) ForwardShiftEvent(sample, *shift);
   }
   return result;
 }
@@ -363,6 +464,36 @@ Status ShardedScorer::RestoreMonitor(const std::string& sensor_id,
   return Status::NotFound("no monitor for sensor: " + sensor_id);
 }
 
+StatusOr<core::BocpdState> ShardedScorer::SaveBocpdQuiesced(
+    const std::string& sensor_id) const {
+  for (const auto& shard : shards_) {
+    const size_t lane = shard->bank.IndexOf(sensor_id);
+    if (lane == core::BatchMonitorBank::kNotFound) continue;
+    if (lane >= shard->bocpd.size()) {
+      return Status::NotFound("no shift detector for sensor: " + sensor_id);
+    }
+    return shard->bocpd[lane].SaveState();
+  }
+  return Status::NotFound("no monitor for sensor: " + sensor_id);
+}
+
+Status ShardedScorer::RestoreBocpd(const std::string& sensor_id,
+                                   const core::BocpdState& state) {
+  if (running()) {
+    return Status::FailedPrecondition(
+        "RestoreBocpd requires a stopped or synchronous scorer");
+  }
+  for (const auto& shard : shards_) {
+    const size_t lane = shard->bank.IndexOf(sensor_id);
+    if (lane == core::BatchMonitorBank::kNotFound) continue;
+    if (lane >= shard->bocpd.size()) {
+      return Status::NotFound("no shift detector for sensor: " + sensor_id);
+    }
+    return shard->bocpd[lane].RestoreState(state);
+  }
+  return Status::NotFound("no monitor for sensor: " + sensor_id);
+}
+
 void ShardedScorer::WorkerLoop(size_t shard_index) {
   Shard& shard = *shards_[shard_index];
   std::vector<SensorSample> batch;
@@ -379,43 +510,86 @@ void ShardedScorer::ProcessBatch(size_t shard_index,
   Shard& shard = *shards_[shard_index];
   if (stats_ != nullptr) stats_->RecordBatch(batch.size());
 
-  // Pass 1 — sample order: lane lookup and health gating. Quarantine and
-  // recovery events forward here, so health transitions keep their
-  // per-sensor order relative to this sensor's later samples.
+  // Pass 1 — sample order: lane lookup (the router's cached lane when the
+  // sample carries one, the string-keyed map otherwise) and health gating.
+  // Quarantine and recovery events forward here, so health transitions
+  // keep their per-sensor order relative to this sensor's later samples.
+  // Admitted samples also feed their lane's BOCPD detector here; a
+  // confirmed shift is recorded by admitted row so pass 2 can sequence
+  // the re-baseline exactly where the synchronous path would.
   shard.batch_rows.clear();
   shard.batch_lanes.clear();
   shard.batch_values.clear();
   shard.batch_forward.clear();
+  shard.batch_shifts.clear();
   for (size_t i = 0; i < batch.size(); ++i) {
     const SensorSample& sample = batch[i];
-    const size_t lane = shard.bank.IndexOf(sample.sensor_id);
+    const size_t lane =
+        (sample.lane != kNoLane && sample.lane < shard.bank.size())
+            ? static_cast<size_t>(sample.lane)
+            : shard.bank.IndexOf(sample.sensor_id);
     if (lane == core::BatchMonitorBank::kNotFound) {
       continue;  // router guarantees this
     }
     const HealthGateResult gate = HealthGate(sample);
+    if (health_ != nullptr && health_->enabled()) {
+      SyncBaselineFreeze(shard, lane, gate.score);
+    }
     if (!gate.score) continue;  // quarantined: withheld from the monitor
+    if (!shard.bocpd.empty()) {
+      std::optional<core::BocpdShift> shift =
+          FeedBocpd(shard, lane, sample, nullptr);
+      if (shift.has_value()) {
+        shard.batch_shifts.push_back(Shard::PendingShift{
+            shard.batch_rows.size(), lane, *shift, false});
+      }
+    }
     shard.batch_rows.push_back(i);
     shard.batch_lanes.push_back(lane);
     shard.batch_values.push_back(sample.value);
     shard.batch_forward.push_back(gate.forward ? 1 : 0);
   }
 
-  // Pass 2 — the vectorized hot path: one PushBatch scores every admitted
-  // sample through the SoA bank.
+  // Pass 2 — the vectorized hot path: PushBatch scores every admitted
+  // sample through the SoA bank. A confirmed shift cuts the batch after
+  // its confirming row: the re-baseline applies between segments, so the
+  // confirming sample scores against the old model and every later sample
+  // of that sensor against the new one — the synchronous sequencing.
   const size_t admitted = shard.batch_rows.size();
   shard.batch_updates.resize(admitted);
   shard.batch_scored.resize(admitted);
-  shard.bank.PushBatch(shard.batch_lanes.data(), shard.batch_values.data(),
-                       admitted, shard.batch_updates.data(),
-                       shard.batch_scored.data());
+  // (Frozen state is read at apply time, after all of pass 1: if a later
+  // sample in this same batch froze the lane, the reset parks as pending
+  // where the synchronous path would have applied it before the freeze.
+  // Either way the seed survives and installs on thaw.)
+  size_t seg_start = 0;
+  for (auto& pending : shard.batch_shifts) {
+    const size_t seg_end = pending.admitted_row + 1;
+    shard.bank.PushBatch(shard.batch_lanes.data() + seg_start,
+                         shard.batch_values.data() + seg_start,
+                         seg_end - seg_start,
+                         shard.batch_updates.data() + seg_start,
+                         shard.batch_scored.data() + seg_start);
+    pending.deferred = ApplyShiftReset(shard, pending.lane, pending.shift);
+    seg_start = seg_end;
+  }
+  shard.bank.PushBatch(shard.batch_lanes.data() + seg_start,
+                       shard.batch_values.data() + seg_start,
+                       admitted - seg_start,
+                       shard.batch_updates.data() + seg_start,
+                       shard.batch_scored.data() + seg_start);
 
   // Pass 3 — sample order again: peer observation, alarm accounting, and
   // collector forwarding, gated exactly as the per-sample path was.
+  // Concept-shift events follow their confirming sample's score event.
   size_t scored = 0;
+  size_t shift_idx = 0;
   for (size_t t = 0; t < admitted; ++t) {
     if (shard.batch_scored[t] == 0) continue;  // router filters non-finites
     ++scored;
     SensorSample& sample = batch[shard.batch_rows[t]];
+    const bool has_shift = shift_idx < shard.batch_shifts.size() &&
+                           shard.batch_shifts[shift_idx].admitted_row == t;
     const bool forward = shard.batch_forward[t] != 0;
     ObservePeers(sample, forward);
     const core::MonitorUpdate& update = shard.batch_updates[t];
@@ -431,12 +605,22 @@ void ShardedScorer::ProcessBatch(size_t shard_index,
         (update.alarm_raised || update.alarm_cleared ||
          update.score > options_.forward_threshold)) {
       ScoredSample out;
-      out.sensor_id = std::move(sample.sensor_id);
+      if (has_shift) {
+        out.sensor_id = sample.sensor_id;  // the shift event still needs it
+      } else {
+        out.sensor_id = std::move(sample.sensor_id);
+      }
       out.level = sample.level;
       out.ts = sample.ts;
       out.value = sample.value;
       out.update = update;
       ForwardToCollector(std::move(out));
+    }
+    if (has_shift) {
+      // Operational metadata, forwarded regardless of the recovery gate:
+      // the collector must learn the channel was re-baselined.
+      ForwardShiftEvent(sample, shard.batch_shifts[shift_idx].shift);
+      ++shift_idx;
     }
   }
   if (stats_ != nullptr && scored > 0) stats_->RecordScored(scored);

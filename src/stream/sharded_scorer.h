@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/batch_monitor.h"
+#include "core/bocpd.h"
 #include "core/monitor.h"
 #include "stream/health.h"
 #include "stream/queue.h"
@@ -35,12 +36,15 @@ class PeerGroupMonitor;
 /// health events mark a sensor entering quarantine (the stream tier's
 /// measurement-error verdict) or completing recovery; peer-deviation
 /// events mark a channel drifting away from its redundancy group (the
-/// space-axis verdict — see stream/peer_group.h).
+/// space-axis verdict — see stream/peer_group.h); concept-shift events
+/// mark a BOCPD-confirmed regime change that re-baselined the channel
+/// (see core/bocpd.h).
 enum class StreamEventKind {
   kScore,
   kSensorFault,
   kSensorRecovered,
   kPeerDeviation,
+  kConceptShift,
 };
 
 /// A scored sample forwarded to the collector: the original reading plus
@@ -62,6 +66,14 @@ struct ScoredSample {
   std::string peer_group;
   double peer_value_z = 0.0;
   double peer_slope_z = 0.0;
+  /// Set on kConceptShift events: the confirmed pre/post level estimates,
+  /// the magnitude in pre-shift sigmas, and the run-length evidence
+  /// (posterior mass on a recent changepoint, and samples since it).
+  double shift_before = 0.0;
+  double shift_after = 0.0;
+  double shift_magnitude = 0.0;
+  double shift_evidence = 0.0;
+  uint64_t shift_run_length = 0;
 };
 
 /// Read-only view of one sensor's monitor, for tests and diagnostics.
@@ -102,6 +114,14 @@ struct ShardedScorerOptions {
   /// Scores above this are forwarded to the collector even without an
   /// alarm transition (feeds the per-level outlier snapshot).
   double forward_threshold = 0.5;
+  /// Online concept-shift detection: when enabled, every scored sample
+  /// also feeds a per-lane core::BocpdDetector, and a confirmed shift
+  /// re-baselines the lane (seeded from the post-shift posterior; deferred
+  /// while the lane's baseline is frozen by quarantine) and forwards a
+  /// kConceptShift event. Disabled by default — the scoring path is then
+  /// byte-identical to a scorer built before this option existed.
+  bool shift_enabled = false;
+  core::BocpdOptions bocpd;
   /// Test seam: called by each worker once per drain iteration with its
   /// shard index. Lets liveness tests wedge a worker deterministically
   /// (watchdog / shutdown-under-saturation coverage). Must be cheap and
@@ -162,7 +182,15 @@ class ShardedScorer {
   /// Scores a sample inline on the caller's thread (synchronous mode).
   /// Must not be mixed with running workers. A quarantined sensor's
   /// sample is withheld from its monitor (result.scored == false).
-  StatusOr<InlineScore> ScoreNow(size_t shard, const SensorSample& sample);
+  /// `lane_hint` (the router's cached lane, kNoLane when unresolved)
+  /// skips the string-keyed lane lookup when valid.
+  StatusOr<InlineScore> ScoreNow(size_t shard, const SensorSample& sample,
+                                 uint32_t lane_hint = kNoLane);
+
+  /// Lane of a sensor on one shard, or BatchMonitorBank::kNotFound. Used
+  /// by the engine to publish the sensor-id → (shard, lane) cache to the
+  /// router after the banks are populated.
+  size_t LaneOf(size_t shard, const std::string& sensor_id) const;
 
   /// Blocks until every submitted sample has been scored. Producers must
   /// be quiescent for the post-condition to be meaningful.
@@ -217,6 +245,15 @@ class ShardedScorer {
   Status RestoreMonitor(const std::string& sensor_id,
                         const core::OnlineMonitorState& state);
 
+  /// Checkpoint support for the per-lane BOCPD detectors. Same quiescence
+  /// contract as SaveMonitorQuiesced. NotFound when the sensor is unknown
+  /// or shift detection is disabled.
+  StatusOr<core::BocpdState> SaveBocpdQuiesced(
+      const std::string& sensor_id) const;
+  Status RestoreBocpd(const std::string& sensor_id,
+                      const core::BocpdState& state);
+  bool shift_enabled() const { return options_.shift_enabled; }
+
  private:
   struct Shard {
     Shard(ProducerHint hint, size_t capacity, BackpressurePolicy policy,
@@ -229,6 +266,20 @@ class ShardedScorer {
     /// SoA bank of this shard's per-sensor monitors. Touched only by the
     /// shard's drain thread (or the caller in synchronous mode).
     core::BatchMonitorBank bank;
+    /// Per-lane BOCPD detectors (same indexing as the bank's lanes).
+    /// Empty unless options.shift_enabled; thread-private like the bank.
+    std::vector<core::BocpdDetector> bocpd;
+    /// Shifts confirmed in pass 1 of the current batch, by admitted-row
+    /// index — pass 2 segments PushBatch at these rows so post-confirm
+    /// samples score against the re-baselined model exactly as in
+    /// synchronous mode, and pass 3 forwards the events in order.
+    struct PendingShift {
+      size_t admitted_row;
+      size_t lane;
+      core::BocpdShift shift;
+      bool deferred;  ///< lane was frozen: reset parked until thaw
+    };
+    std::vector<PendingShift> batch_shifts;
     /// ProcessBatch scratch, parallel over the health-admitted samples of
     /// one micro-batch. Owned by the drain thread; reused across batches.
     std::vector<size_t> batch_rows;     ///< positions in the drained batch
@@ -281,6 +332,29 @@ class ShardedScorer {
     bool forward = true;  ///< let scores/alarms reach the collector
   };
   HealthGateResult HealthGate(const SensorSample& sample);
+  /// Baseline-lifecycle transitions driven by the health gate: the first
+  /// quarantined sample freezes the lane's baseline, the first admitted
+  /// sample after quarantine thaws it (applying any reset a concept shift
+  /// parked during the freeze). Call after HealthGate, before scoring.
+  void SyncBaselineFreeze(Shard& shard, size_t lane, bool admitted);
+  /// Feeds one scored sample to the lane's BOCPD detector; a confirmed
+  /// shift is returned with the sample's timestamp stamped. When
+  /// `deferred` is non-null the re-baseline is applied immediately
+  /// (synchronous path); when null the caller sequences ApplyShiftReset
+  /// itself (ProcessBatch applies it between PushBatch segments so
+  /// post-confirm samples score against the new model, exactly as in
+  /// synchronous mode).
+  std::optional<core::BocpdShift> FeedBocpd(Shard& shard, size_t lane,
+                                            const SensorSample& sample,
+                                            bool* deferred);
+  /// Re-baselines one lane from a confirmed shift's posterior (deferred
+  /// while frozen) and bumps the shift counters. Returns whether the
+  /// reset was parked for the thaw.
+  bool ApplyShiftReset(Shard& shard, size_t lane,
+                       const core::BocpdShift& shift);
+  /// Builds and forwards one kConceptShift collector event.
+  void ForwardShiftEvent(const SensorSample& sample,
+                         const core::BocpdShift& shift);
   void ForwardEvent(StreamEventKind kind, const SensorSample& sample,
                     HealthSignal reason);
   /// Feeds one health-admitted sample to the peer-group monitor; a fired

@@ -70,6 +70,10 @@ StreamStatsSnapshot StreamStats::Snapshot() const {
       group_outage_recoveries_.load(std::memory_order_relaxed);
   snapshot.suppressed_sensor_faults =
       suppressed_sensor_faults_.load(std::memory_order_relaxed);
+  snapshot.concept_shifts = concept_shifts_.load(std::memory_order_relaxed);
+  snapshot.baseline_resets = baseline_resets_.load(std::memory_order_relaxed);
+  snapshot.baseline_resets_deferred =
+      baseline_resets_deferred_.load(std::memory_order_relaxed);
   for (int i = 0; i < hierarchy::kNumLevels; ++i) {
     snapshot.level_dropped[i] = level_dropped_[i].load(std::memory_order_relaxed);
     snapshot.level_rejected[i] =
@@ -138,6 +142,10 @@ void StreamStats::Restore(const StreamStatsSnapshot& snapshot) {
                                  std::memory_order_relaxed);
   suppressed_sensor_faults_.store(snapshot.suppressed_sensor_faults,
                                   std::memory_order_relaxed);
+  concept_shifts_.store(snapshot.concept_shifts, std::memory_order_relaxed);
+  baseline_resets_.store(snapshot.baseline_resets, std::memory_order_relaxed);
+  baseline_resets_deferred_.store(snapshot.baseline_resets_deferred,
+                                  std::memory_order_relaxed);
   for (int i = 0; i < hierarchy::kNumLevels; ++i) {
     level_dropped_[i].store(snapshot.level_dropped[i],
                             std::memory_order_relaxed);
@@ -184,6 +192,9 @@ StreamStatsSnapshot& StreamStatsSnapshot::operator+=(
   group_outages += other.group_outages;
   group_outage_recoveries += other.group_outage_recoveries;
   suppressed_sensor_faults += other.suppressed_sensor_faults;
+  concept_shifts += other.concept_shifts;
+  baseline_resets += other.baseline_resets;
+  baseline_resets_deferred += other.baseline_resets_deferred;
   for (int i = 0; i < hierarchy::kNumLevels; ++i) {
     level_dropped[i] += other.level_dropped[i];
     level_rejected[i] += other.level_rejected[i];
@@ -242,6 +253,9 @@ std::string StreamStatsSnapshot::ToString() const {
       << " group_outages=" << group_outages
       << " group_outage_recoveries=" << group_outage_recoveries
       << " suppressed_sensor_faults=" << suppressed_sensor_faults << "\n";
+  out << "shift: concept_shifts=" << concept_shifts
+      << " baseline_resets=" << baseline_resets
+      << " baseline_resets_deferred=" << baseline_resets_deferred << "\n";
   out << "per-level drop/reject/quarantine:";
   for (int i = 0; i < hierarchy::kNumLevels; ++i) {
     if (level_dropped[i] == 0 && level_rejected[i] == 0 &&

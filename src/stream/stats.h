@@ -85,6 +85,15 @@ struct StreamStatsSnapshot {
   /// untouched by suppression — it counts quarantine entries, not
   /// findings.
   uint64_t suppressed_sensor_faults = 0;
+  /// ---- Online concept-shift tier (BOCPD re-baselining) ------------------
+  /// Shifts the per-lane BOCPD detectors confirmed.
+  uint64_t concept_shifts = 0;
+  /// Baseline resets actually applied (a reset deferred during quarantine
+  /// counts here when the thaw applies it).
+  uint64_t baseline_resets = 0;
+  /// Concept-shift resets that found the lane frozen and were parked
+  /// until the thaw.
+  uint64_t baseline_resets_deferred = 0;
   /// Per-level accounting (indexed by LevelValue(level) - 1): what was
   /// lost (drops + rejects) and what was withheld (quarantine) at each
   /// hierarchy level — the observability half of per-sensor-class
@@ -184,6 +193,9 @@ class StreamStats {
   void RecordGroupOutage() { Bump(group_outages_); }
   void RecordGroupOutageRecovery() { Bump(group_outage_recoveries_); }
   void RecordSuppressedSensorFault() { Bump(suppressed_sensor_faults_); }
+  void RecordConceptShift() { Bump(concept_shifts_); }
+  void RecordBaselineReset() { Bump(baseline_resets_); }
+  void RecordBaselineResetDeferred() { Bump(baseline_resets_deferred_); }
   /// Records one worker drain of `batch` samples into the histogram.
   void RecordBatch(size_t batch);
   /// Raises shard `shard`'s high-water mark to `depth` if deeper.
@@ -240,6 +252,9 @@ class StreamStats {
   std::atomic<uint64_t> group_outages_{0};
   std::atomic<uint64_t> group_outage_recoveries_{0};
   std::atomic<uint64_t> suppressed_sensor_faults_{0};
+  std::atomic<uint64_t> concept_shifts_{0};
+  std::atomic<uint64_t> baseline_resets_{0};
+  std::atomic<uint64_t> baseline_resets_deferred_{0};
   std::array<std::atomic<uint64_t>, hierarchy::kNumLevels> level_dropped_{};
   std::array<std::atomic<uint64_t>, hierarchy::kNumLevels> level_rejected_{};
   std::array<std::atomic<uint64_t>, hierarchy::kNumLevels>

@@ -1,0 +1,200 @@
+#include "core/bocpd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hod::core {
+namespace {
+
+/// Gaussian stream around `level` with one step of `delta` at `shift_at`.
+std::vector<double> MakeStepStream(uint64_t seed, size_t n, size_t shift_at,
+                                   double level, double sigma, double delta) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  for (size_t t = 0; t < n; ++t) {
+    const double base = t >= shift_at ? level + delta : level;
+    values.push_back(base + rng.Gaussian(0.0, sigma));
+  }
+  return values;
+}
+
+TEST(BocpdDetector, ConfirmsStepShiftWithinSampleBudget) {
+  BocpdOptions options;
+  options.warmup = 32;
+  BocpdDetector detector(options);
+
+  const size_t shift_at = 200;
+  const std::vector<double> values =
+      MakeStepStream(7, 300, shift_at, 55.0, 0.25, 6.0);
+  std::optional<BocpdShift> confirmed;
+  size_t confirmed_at = 0;
+  for (size_t t = 0; t < values.size(); ++t) {
+    auto shift = detector.Push(values[t]);
+    if (shift.has_value()) {
+      ASSERT_FALSE(confirmed.has_value()) << "second confirm at t=" << t;
+      confirmed = shift;
+      confirmed_at = t;
+    }
+  }
+  ASSERT_TRUE(confirmed.has_value());
+  EXPECT_GE(confirmed_at, shift_at);
+  // Detection delay: the posterior must concentrate within the
+  // min_run_for_shift window plus slack — the budget the streaming gate
+  // holds the detector to.
+  EXPECT_LE(confirmed_at - shift_at, 2 * options.min_run_for_shift)
+      << "confirmed at " << confirmed_at;
+  EXPECT_NEAR(confirmed->shift.before_mean, 55.0, 0.5);
+  // The after-level is the winning bucket's posterior mean over just a
+  // few post-shift samples, so it is still pulled toward the prior — it
+  // must clearly sit in the new regime, not match it exactly yet.
+  EXPECT_GT(confirmed->shift.after_mean, 57.0);
+  EXPECT_LT(confirmed->shift.after_mean, 62.0);
+  EXPECT_GE(confirmed->shift.magnitude_sigmas, options.min_magnitude_sigmas);
+  EXPECT_GE(confirmed->evidence, options.shift_posterior);
+  EXPECT_GE(confirmed->run_length, 1u);
+  EXPECT_EQ(detector.shifts_confirmed(), 1u);
+}
+
+TEST(BocpdDetector, StationaryStreamNeverConfirms) {
+  BocpdDetector detector;
+  Rng rng(13);
+  for (size_t t = 0; t < 5000; ++t) {
+    auto shift = detector.Push(42.0 + rng.Gaussian(0.0, 0.5));
+    EXPECT_FALSE(shift.has_value()) << "false re-baseline at t=" << t;
+  }
+  EXPECT_EQ(detector.shifts_confirmed(), 0u);
+}
+
+TEST(BocpdDetector, MagnitudeGateIgnoresSetpointJitter) {
+  BocpdOptions options;
+  options.min_magnitude_sigmas = 3.0;
+  BocpdDetector detector(options);
+  // A 1-sigma step: a genuine changepoint statistically, but below the
+  // magnitude gate — jitter, not a regime change.
+  const std::vector<double> values =
+      MakeStepStream(21, 400, 200, 10.0, 0.5, 0.5);
+  for (double value : values) {
+    EXPECT_FALSE(detector.Push(value).has_value());
+  }
+  EXPECT_EQ(detector.shifts_confirmed(), 0u);
+}
+
+TEST(BocpdDetector, EachPhysicalShiftConfirmsExactlyOnce) {
+  BocpdOptions options;
+  options.cooldown = 48;
+  BocpdDetector detector(options);
+  Rng rng(31);
+  size_t confirms = 0;
+  // Three regimes: 0, +8, -4 — two physical shifts.
+  for (size_t t = 0; t < 900; ++t) {
+    double level = 0.0;
+    if (t >= 300) level = 8.0;
+    if (t >= 600) level = -4.0;
+    if (detector.Push(level + rng.Gaussian(0.0, 0.4)).has_value()) {
+      ++confirms;
+    }
+  }
+  EXPECT_EQ(confirms, 2u);
+  EXPECT_EQ(detector.shifts_confirmed(), 2u);
+}
+
+TEST(BocpdDetector, SaveRestoreResumesBitIdentically) {
+  BocpdOptions options;
+  BocpdDetector original(options);
+  const std::vector<double> values =
+      MakeStepStream(43, 400, 260, 20.0, 0.3, 5.0);
+  // Feed half, snapshot, then compare the tail sample by sample.
+  const size_t split = 200;
+  for (size_t t = 0; t < split; ++t) (void)original.Push(values[t]);
+
+  BocpdState state = original.SaveState();
+  BocpdDetector restored(options);
+  ASSERT_TRUE(restored.RestoreState(state).ok());
+
+  for (size_t t = split; t < values.size(); ++t) {
+    auto a = original.Push(values[t]);
+    auto b = restored.Push(values[t]);
+    ASSERT_EQ(a.has_value(), b.has_value()) << "t=" << t;
+    if (a.has_value()) {
+      EXPECT_EQ(a->shift.before_mean, b->shift.before_mean);
+      EXPECT_EQ(a->shift.after_mean, b->shift.after_mean);
+      EXPECT_EQ(a->shift.magnitude_sigmas, b->shift.magnitude_sigmas);
+      EXPECT_EQ(a->evidence, b->evidence);
+      EXPECT_EQ(a->run_length, b->run_length);
+    }
+    EXPECT_EQ(original.shift_mass(), restored.shift_mass()) << "t=" << t;
+    EXPECT_EQ(original.map_run_length(), restored.map_run_length());
+  }
+  EXPECT_EQ(original.shifts_confirmed(), restored.shifts_confirmed());
+}
+
+TEST(BocpdDetector, TruncationKeepsStateConstantSize) {
+  BocpdOptions options;
+  options.max_run_length = 32;
+  BocpdDetector detector(options);
+  Rng rng(3);
+  for (size_t t = 0; t < 10000; ++t) {
+    (void)detector.Push(rng.Gaussian(0.0, 1.0));
+    if (t % 1000 == 999) {
+      EXPECT_LE(detector.SaveState().weight.size(),
+                options.max_run_length + 1);
+    }
+  }
+}
+
+TEST(BocpdDetector, SanitizesDegenerateOptions) {
+  BocpdOptions options;
+  options.hazard_lambda = 0.0;      // would divide by zero
+  options.max_run_length = 0;       // no room for any posterior
+  options.min_run_for_shift = 999;  // larger than the truncation bound
+  options.shift_posterior = -1.0;
+  options.prior_kappa = 0.0;
+  BocpdDetector detector(options);
+  Rng rng(5);
+  for (size_t t = 0; t < 500; ++t) {
+    (void)detector.Push(rng.Gaussian(0.0, 1.0));
+  }
+  EXPECT_TRUE(std::isfinite(detector.shift_mass()));
+}
+
+TEST(BocpdDetector, RestoreRejectsMalformedState) {
+  BocpdDetector detector;
+  (void)detector.Push(1.0);
+  BocpdState skewed = detector.SaveState();
+  skewed.mu.push_back(0.0);  // length skew across the parallel arrays
+  EXPECT_FALSE(BocpdDetector().RestoreState(skewed).ok());
+
+  BocpdState negative = detector.SaveState();
+  for (double& k : negative.kappa) k = -1.0;
+  EXPECT_FALSE(BocpdDetector().RestoreState(negative).ok());
+
+  BocpdState empty_but_seeded;
+  empty_but_seeded.prior_seeded = true;
+  EXPECT_FALSE(BocpdDetector().RestoreState(empty_but_seeded).ok());
+}
+
+TEST(BocpdDetector, SurvivesExtremeValuesWithoutNonFiniteState) {
+  BocpdDetector detector;
+  Rng rng(17);
+  for (size_t t = 0; t < 200; ++t) {
+    (void)detector.Push(rng.Gaussian(0.0, 1.0));
+  }
+  // A value far outside any predictive support underflows every bucket's
+  // likelihood; the detector must recover deterministically, not emit
+  // NaNs forever.
+  (void)detector.Push(1e300);
+  for (size_t t = 0; t < 200; ++t) {
+    (void)detector.Push(rng.Gaussian(0.0, 1.0));
+    EXPECT_TRUE(std::isfinite(detector.shift_mass()));
+  }
+}
+
+}  // namespace
+}  // namespace hod::core

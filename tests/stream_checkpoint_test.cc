@@ -5,11 +5,13 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "hierarchy/serialization.h"
 #include "stream/engine.h"
 #include "util/rng.h"
 
@@ -492,6 +494,243 @@ TEST(EngineCheckpoint, BackgroundTimerCheckpointsAndSurvivesKill) {
   auto ack = engine.Ingest({"s", ProductionLevel::kPhase, 400.0, 50.0});
   EXPECT_TRUE(ack.ok()) << ack.status().ToString();
   ASSERT_TRUE(engine.Stop().ok());
+}
+
+// ---- Concept-shift layer (checkpoint v5) -----------------------------------
+
+/// Sync engine options with the BOCPD layer on.
+StreamEngineOptions ShiftOptions() {
+  StreamEngineOptions options = SyncOptions();
+  options.shift.enabled = true;
+  return options;
+}
+
+/// Stream with a genuine setpoint change (not a burst): level `delta`
+/// from `shift_at` on, so the shift layer confirms and re-baselines.
+std::vector<double> MakeShiftStream(uint64_t seed, size_t n, size_t shift_at,
+                                    double delta) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  for (size_t t = 0; t < n; ++t) {
+    const double base = t >= shift_at ? 50.0 + delta : 50.0;
+    values.push_back(base + rng.Gaussian(0.0, 0.25));
+  }
+  return values;
+}
+
+TEST(EngineCheckpoint, V5RoundTripsBocpdAndLifecycleState) {
+  StreamEngine engine(ShiftOptions());
+  ASSERT_TRUE(engine.AddSensor("s", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  const std::vector<double> values = MakeShiftStream(101, 500, 300, 6.0);
+  Feed(engine, "s", values, 0, 500);
+  ASSERT_TRUE(engine.Flush().ok());
+  ASSERT_EQ(engine.stats().concept_shifts, 1u) << "fixture must shift";
+
+  const std::string bytes = CheckpointBytes(engine);
+  std::istringstream is(bytes);
+  auto checkpoint = ReadEngineCheckpoint(is);
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
+
+  // The shift layer's full state is in the image...
+  EXPECT_TRUE(checkpoint->shift_enabled);
+  ASSERT_EQ(checkpoint->sensors.size(), 1u);
+  ASSERT_TRUE(checkpoint->sensors[0].has_bocpd);
+  EXPECT_GT(checkpoint->sensors[0].bocpd.samples_seen, 0u);
+  EXPECT_EQ(checkpoint->sensors[0].bocpd.shifts_confirmed, 1u);
+  EXPECT_FALSE(checkpoint->sensors[0].bocpd.weight.empty());
+  EXPECT_EQ(checkpoint->sensors[0].monitor.baseline_epoch, 1u)
+      << "the re-baseline must be visible in the lifecycle state";
+  ASSERT_EQ(checkpoint->recent_shifts.size(), 1u);
+  EXPECT_EQ(checkpoint->recent_shifts[0].sensor_id, "s");
+  EXPECT_EQ(checkpoint->concept_shifts_total, 1u);
+  EXPECT_EQ(checkpoint->stats.concept_shifts, 1u);
+  EXPECT_EQ(checkpoint->stats.baseline_resets, 1u);
+
+  // ...and the encoding stays canonical.
+  std::ostringstream os;
+  ASSERT_TRUE(WriteEngineCheckpoint(*checkpoint, os).ok());
+  EXPECT_EQ(os.str(), bytes);
+}
+
+TEST(EngineCheckpoint, KillAndRestoreResumesByteIdenticallyWithShiftLayer) {
+  // Same contract as KillAndRestoreResumesByteIdentically, but with BOCPD
+  // running and the kill placed between two setpoint changes: the first
+  // shift's re-baseline and hot run-length posterior must survive the
+  // restore, and the second shift must confirm identically in both lives.
+  const std::vector<double> s1 = MakeShiftStream(111, 600, 150, 5.0);
+  std::vector<double> second = s1;
+  for (size_t t = 450; t < second.size(); ++t) second[t] -= 4.0;
+
+  StreamEngine run_a(ShiftOptions());
+  ASSERT_TRUE(run_a.AddSensor("s1", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(run_a.Start().ok());
+  Feed(run_a, "s1", second, 0, 600);
+  const std::string final_a = CheckpointBytes(run_a);
+  ASSERT_EQ(run_a.stats().concept_shifts, 2u) << "fixture must shift twice";
+
+  std::string midpoint;
+  {
+    StreamEngine engine(ShiftOptions());
+    ASSERT_TRUE(engine.AddSensor("s1", ProductionLevel::kPhase).ok());
+    ASSERT_TRUE(engine.Start().ok());
+    Feed(engine, "s1", second, 0, 300);
+    EXPECT_EQ(engine.stats().concept_shifts, 1u);
+    midpoint = CheckpointBytes(engine);
+  }
+
+  std::istringstream is(midpoint);
+  auto restored = StreamEngine::Restore(is, ShiftOptions());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  StreamEngine& run_b = **restored;
+  Feed(run_b, "s1", second, 300, 600);
+  const std::string final_b = CheckpointBytes(run_b);
+
+  EXPECT_EQ(run_b.stats().concept_shifts, 2u);
+  EXPECT_TRUE(final_a == final_b)
+      << "restore with the shift layer must leave no seam";
+}
+
+TEST(EngineCheckpoint, RestoreRejectsShiftLayerMismatch) {
+  // The shift layer is part of the scoring fingerprint: enabling,
+  // disabling, or re-tuning it across a restore silently changes every
+  // later score, so all three must be refused.
+  StreamEngine engine(ShiftOptions());
+  ASSERT_TRUE(engine.AddSensor("s", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  const std::vector<double> values = MakeStream(103, 100);
+  Feed(engine, "s", values, 0, 100);
+  const std::string bytes = CheckpointBytes(engine);
+
+  {
+    std::istringstream is(bytes);
+    auto restored = StreamEngine::Restore(is, SyncOptions());  // layer off
+    EXPECT_FALSE(restored.ok());
+    EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    StreamEngineOptions retuned = ShiftOptions();
+    retuned.shift.bocpd.cooldown += 1;
+    std::istringstream is(bytes);
+    EXPECT_FALSE(StreamEngine::Restore(is, retuned).ok());
+  }
+  {
+    // And the reverse: a shift-free checkpoint into a shift-enabled engine.
+    StreamEngine plain(SyncOptions());
+    ASSERT_TRUE(plain.AddSensor("s", ProductionLevel::kPhase).ok());
+    ASSERT_TRUE(plain.Start().ok());
+    Feed(plain, "s", values, 0, 100);
+    const std::string plain_bytes = CheckpointBytes(plain);
+    std::istringstream is(plain_bytes);
+    EXPECT_FALSE(StreamEngine::Restore(is, ShiftOptions()).ok());
+  }
+}
+
+/// Hand-serializes a minimal, valid v4 image (one fresh sensor, no shift
+/// layer, zeroed aggregates) byte for byte — the compatibility contract
+/// with images written before the concept-shift layer existed.
+std::string MakeV4Image(const StreamEngineOptions& options) {
+  namespace bin = hierarchy::bin;
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  std::ostringstream os;
+  bin::WriteU32(os, 0x43444F48u);  // "HODC"
+  bin::WriteU32(os, 4u);
+  bin::WriteU64(os, options.monitor.warmup);
+  bin::WriteU64(os, options.monitor.ar_order);
+  bin::WriteF64(os, options.monitor.threshold);
+  bin::WriteU64(os, options.monitor.raise_after);
+  bin::WriteU64(os, options.monitor.clear_after);
+  bin::WriteF64(os, options.monitor.sigma_scale);
+  bin::WriteF64(os, options.monitor.scale_forgetting);
+  bin::WriteF64(os, options.out_of_order_tolerance);
+  // v4 has no shift_enabled flag and no BocpdOptions here.
+  bin::WriteU32(os, 1u);  // one sensor
+  bin::WriteString(os, "legacy");
+  bin::WriteU8(os, static_cast<uint8_t>(
+                       hierarchy::LevelValue(ProductionLevel::kPhase)));
+  bin::WriteU8(os, 0);  // has_policy = false
+  bin::WriteU8(os, 0);  // policy byte (ignored)
+  bin::WriteF64(os, neg_inf);  // frontier: nothing ingested yet
+  // Health: healthy, no evidence, never seen.
+  bin::WriteU8(os, 0);  // kHealthy
+  bin::WriteU64(os, 0);
+  bin::WriteU64(os, 0);
+  bin::WriteU64(os, 0);
+  bin::WriteU8(os, 0);  // has_last_value = false
+  bin::WriteF64(os, 0.0);
+  bin::WriteF64(os, neg_inf);
+  bin::WriteF64(os, neg_inf);
+  bin::WriteU8(os, 0);  // kClean
+  bin::WriteU64(os, 0);
+  // Monitor state, v4 layout: 3 vectors + scalars, NO lifecycle fields.
+  bin::WriteU32(os, 0);  // warmup_buffer
+  bin::WriteU32(os, 0);  // recent
+  bin::WriteU32(os, 0);  // phi
+  bin::WriteF64(os, 0.0);
+  bin::WriteF64(os, 1.0);  // residual_sigma
+  bin::WriteU8(os, 0);     // model_ready = false
+  bin::WriteU8(os, 0);     // alarm = false
+  bin::WriteU64(os, 0);
+  bin::WriteU64(os, 0);
+  bin::WriteU64(os, 0);
+  bin::WriteU64(os, 0);
+  // v4 has no has_bocpd byte.
+  for (int level = 0; level < hierarchy::kNumLevels; ++level) {
+    for (int field = 0; field < 6; ++field) bin::WriteU64(os, 0);
+    bin::WriteF64(os, 0.0);
+    bin::WriteF64(os, neg_inf);
+  }
+  bin::WriteU32(os, 0);    // active alarms
+  bin::WriteU32(os, 0);    // quarantined
+  bin::WriteU64(os, 0);    // events_seen
+  bin::WriteU64(os, 0);    // events_at_last_snapshot
+  bin::WriteU64(os, 1);    // next_sequence
+  bin::WriteU32(os, 0);    // peer groups
+  bin::WriteU32(os, 0);    // pending faults
+  bin::WriteU8(os, 0);     // outage_active = false
+  bin::WriteF64(os, 0.0);  // outage_since
+  bin::WriteU32(os, 0);    // outage members
+  bin::WriteF64(os, neg_inf);  // collector_frontier
+  // v4 has no recent-shift ring or total.
+  bin::WriteU32(os, 0);  // findings
+  for (int i = 0; i < 30; ++i) bin::WriteU64(os, 0);  // v4 counters
+  for (int i = 0; i < 3 * hierarchy::kNumLevels; ++i) bin::WriteU64(os, 0);
+  for (size_t i = 0; i < kBatchBuckets; ++i) bin::WriteU64(os, 0);
+  return os.str();
+}
+
+TEST(EngineCheckpoint, V4ImageStillRestoresWithShiftLayerDefaultedOff) {
+  StreamEngineOptions options = SyncOptions();
+  const std::string bytes = MakeV4Image(options);
+
+  std::istringstream parse(bytes);
+  auto checkpoint = ReadEngineCheckpoint(parse);
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
+  // Every v5 field defaults to "layer off / nothing happened".
+  EXPECT_FALSE(checkpoint->shift_enabled);
+  ASSERT_EQ(checkpoint->sensors.size(), 1u);
+  EXPECT_FALSE(checkpoint->sensors[0].has_bocpd);
+  EXPECT_EQ(checkpoint->sensors[0].monitor.baseline_epoch, 0u);
+  EXPECT_FALSE(checkpoint->sensors[0].monitor.frozen);
+  EXPECT_TRUE(checkpoint->recent_shifts.empty());
+  EXPECT_EQ(checkpoint->concept_shifts_total, 0u);
+  EXPECT_EQ(checkpoint->stats.concept_shifts, 0u);
+  EXPECT_EQ(checkpoint->stats.baseline_resets, 0u);
+
+  // The engine accepts the old image and keeps scoring.
+  std::istringstream is(bytes);
+  auto restored = StreamEngine::Restore(is, options);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  StreamEngine& engine = **restored;
+  const std::vector<double> values = MakeStream(107, 100);
+  Feed(engine, "legacy", values, 0, 100);
+  EXPECT_EQ(engine.stats().ingested, 100u);
+
+  // But a v4 image cannot enter a shift-enabled engine: the fingerprint
+  // check treats "no shift layer recorded" as a mismatch, not a default.
+  std::istringstream is2(bytes);
+  EXPECT_FALSE(StreamEngine::Restore(is2, ShiftOptions()).ok());
 }
 
 }  // namespace

@@ -246,5 +246,50 @@ TEST_F(StreamEscalationTest, BridgeThreadRunsAgainstLiveEngine) {
   EXPECT_EQ(stats.checkpoint_failures, 0u);
 }
 
+TEST_F(StreamEscalationTest, ConceptShiftMarksCoveringScopesDirtyOnce) {
+  const auto& machine = plant_.production.lines[0].machines[0];
+  const std::string sensor = machine.id + ".bed_temp_a";
+  const double t0 = machine.jobs.front().start_time;
+
+  StreamEngineOptions options = SyncOptions();
+  options.shift.enabled = true;
+  StreamEngine engine(options);
+  ASSERT_TRUE(engine.AddSensor(sensor, ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.AddSensor("ghost.x", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  // A genuine setpoint change on both: +6 units from sample 300 on.
+  auto feed_shift = [&](const std::string& id, uint64_t seed) {
+    Rng rng(seed);
+    for (size_t i = 0; i < 500; ++i) {
+      const double base = i >= 300 ? 56.0 : 50.0;
+      auto ack = engine.Ingest({id, ProductionLevel::kPhase, t0 + i,
+                                base + rng.Gaussian(0.0, 0.25)});
+      ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+    }
+  };
+  feed_shift(sensor, 7);
+  feed_shift("ghost.x", 9);
+  ASSERT_TRUE(engine.Flush().ok());
+  ASSERT_EQ(engine.stats().concept_shifts, 2u);
+
+  core::HierarchicalDetector detector(&plant_.production);
+  const uint64_t epoch_before = detector.cache_stats().epoch;
+  EscalationBridge bridge(&engine, &detector);
+  ASSERT_TRUE(bridge.Poll().ok());
+  // Both shifts were consumed; only the one the production knows dirtied
+  // a scope (ghost.x is NotFound — tolerated, not fatal).
+  EXPECT_EQ(bridge.shifts_marked(), 2u);
+  EXPECT_EQ(detector.cache_stats().invalidations, 1u);
+  EXPECT_GT(detector.cache_stats().epoch, epoch_before)
+      << "MarkDirty must bump the epoch so stale models rebuild";
+
+  // Re-published snapshots must not re-dirty the same shift.
+  ASSERT_TRUE(engine.Flush().ok());
+  ASSERT_TRUE(bridge.Poll().ok());
+  EXPECT_EQ(bridge.shifts_marked(), 2u);
+  EXPECT_EQ(detector.cache_stats().invalidations, 1u);
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
 }  // namespace
 }  // namespace hod::stream

@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/baseline_lifecycle.h"
+#include "core/batch_monitor.h"
+#include "core/monitor.h"
+#include "core/report.h"
+#include "sim/fault_injector.h"
+#include "stream/engine.h"
+#include "util/rng.h"
+
+namespace hod::stream {
+namespace {
+
+using hierarchy::ProductionLevel;
+
+/// Stationary Gaussian stream around `level`.
+std::vector<double> MakeFlatStream(uint64_t seed, size_t n, double level,
+                                   double sigma) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  for (size_t t = 0; t < n; ++t) {
+    values.push_back(level + rng.Gaussian(0.0, sigma));
+  }
+  return values;
+}
+
+StreamEngineOptions ShiftOptions(bool synchronous = true) {
+  StreamEngineOptions options;
+  options.synchronous = synchronous;
+  options.monitor.warmup = 64;
+  options.shift.enabled = true;
+  return options;
+}
+
+size_t CountShiftFindings(const StreamEngine& engine) {
+  size_t count = 0;
+  for (const core::OutlierFinding& finding : engine.Findings()) {
+    if (finding.kind == core::FindingKind::kConceptShift) ++count;
+  }
+  return count;
+}
+
+/// Feeds a flat stream through a level-shift injector into the engine.
+void RunShiftedTrace(StreamEngine& engine, sim::FaultInjector& injector,
+                     const std::string& sensor_id,
+                     const std::vector<double>& values) {
+  for (size_t t = 0; t < values.size(); ++t) {
+    SensorSample clean{sensor_id, ProductionLevel::kPhase,
+                       static_cast<double>(t), values[t]};
+    for (const SensorSample& sample : injector.Apply(clean)) {
+      auto ack = engine.Ingest(sample);
+      ASSERT_TRUE(ack.ok()) << "t=" << t << ": " << ack.status().ToString();
+    }
+  }
+}
+
+TEST(StreamShift, InjectedLevelShiftEmitsExactlyOneFindingAndEndsAlarms) {
+  StreamEngine engine(ShiftOptions());
+  ASSERT_TRUE(engine.AddSensor("m1.t", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.Start().ok());
+
+  sim::FaultInjector injector;
+  ASSERT_TRUE(injector.AddLevelShift("m1.t", 400.0, 1e6, 6.0).ok());
+  const std::vector<double> values = MakeFlatStream(11, 800, 55.0, 0.25);
+  RunShiftedTrace(engine, injector, "m1.t", values);
+  ASSERT_TRUE(engine.Flush().ok());
+
+  // Exactly one process-board row for the setpoint change...
+  EXPECT_EQ(CountShiftFindings(engine), 1u);
+  const StreamStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(stats.concept_shifts, 1u);
+  EXPECT_EQ(stats.baseline_resets, 1u);
+  EXPECT_EQ(stats.baseline_resets_deferred, 0u);
+
+  // ...and no standing alarm: the old-baseline alarm was retracted and
+  // the re-baselined monitor accepts the new regime.
+  const EngineSnapshot snapshot = engine.Snapshot();
+  EXPECT_TRUE(snapshot.active_alarms.empty());
+  EXPECT_EQ(snapshot.concept_shifts_total, 1u);
+  ASSERT_EQ(snapshot.concept_shifts.size(), 1u);
+  EXPECT_EQ(snapshot.concept_shifts[0].sensor_id, "m1.t");
+  EXPECT_NEAR(snapshot.concept_shifts[0].before_mean, 55.0, 0.5);
+  EXPECT_GT(snapshot.concept_shifts[0].after_mean, 57.0);
+  EXPECT_GE(snapshot.concept_shifts[0].magnitude_sigmas, 3.0);
+  // Detection delay against the injector's ground truth.
+  ASSERT_EQ(injector.GroundTruth().size(), 1u);
+  EXPECT_GE(snapshot.concept_shifts[0].ts, 400.0);
+  EXPECT_LE(snapshot.concept_shifts[0].ts - 400.0, 32.0)
+      << "shift confirmed too slowly";
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+TEST(StreamShift, ShiftFreeTraceNeverRebaselines) {
+  StreamEngine engine(ShiftOptions());
+  ASSERT_TRUE(engine.AddSensor("m1.t", ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  const std::vector<double> values = MakeFlatStream(29, 2000, 42.0, 0.5);
+  for (size_t t = 0; t < values.size(); ++t) {
+    ASSERT_TRUE(engine
+                    .Ingest({"m1.t", ProductionLevel::kPhase,
+                             static_cast<double>(t), values[t]})
+                    .ok());
+  }
+  ASSERT_TRUE(engine.Stop().ok());
+  EXPECT_EQ(engine.stats().concept_shifts, 0u);
+  EXPECT_EQ(engine.stats().baseline_resets, 0u);
+  EXPECT_EQ(CountShiftFindings(engine), 0u);
+}
+
+TEST(StreamShift, ThreadedMatchesSynchronousOnShiftTrace) {
+  const std::vector<double> values = MakeFlatStream(17, 800, 20.0, 0.3);
+
+  auto run = [&](bool synchronous) {
+    StreamEngineOptions options = ShiftOptions(synchronous);
+    options.num_shards = 2;
+    StreamEngine engine(options);
+    EXPECT_TRUE(engine.AddSensor("a.t", ProductionLevel::kPhase).ok());
+    EXPECT_TRUE(engine.AddSensor("b.t", ProductionLevel::kPhase).ok());
+    EXPECT_TRUE(engine.Start().ok());
+    sim::FaultInjector injector;
+    EXPECT_TRUE(injector.AddLevelShift("a.t", 400.0, 1e6, -5.0).ok());
+    for (size_t t = 0; t < values.size(); ++t) {
+      for (const char* id : {"a.t", "b.t"}) {
+        SensorSample clean{id, ProductionLevel::kPhase,
+                           static_cast<double>(t), values[t]};
+        for (const SensorSample& sample : injector.Apply(clean)) {
+          EXPECT_TRUE(engine.Ingest(sample).ok());
+        }
+      }
+    }
+    EXPECT_TRUE(engine.Flush().ok());
+    EXPECT_TRUE(engine.Stop().ok());
+    return std::tuple(engine.stats().concept_shifts,
+                      engine.stats().baseline_resets, CountShiftFindings(engine),
+                      engine.Snapshot().concept_shifts_total);
+  };
+
+  const auto sync_result = run(true);
+  const auto threaded_result = run(false);
+  EXPECT_EQ(std::get<0>(sync_result), 1u);
+  EXPECT_EQ(sync_result, threaded_result)
+      << "threaded concept-shift accounting diverged from synchronous";
+}
+
+TEST(StreamShift, LaneCacheDoesNotChangeScores) {
+  const std::vector<double> values = MakeFlatStream(23, 600, 30.0, 0.4);
+
+  auto run = [&](bool lane_cache) {
+    StreamEngineOptions options = ShiftOptions(true);
+    options.lane_cache = lane_cache;
+    StreamEngine engine(options);
+    EXPECT_TRUE(engine.AddSensor("s1", ProductionLevel::kPhase).ok());
+    EXPECT_TRUE(engine.Start().ok());
+    sim::FaultInjector injector;
+    EXPECT_TRUE(injector.AddLevelShift("s1", 300.0, 1e6, 4.0).ok());
+    std::vector<double> scores;
+    for (size_t t = 0; t < values.size(); ++t) {
+      SensorSample clean{"s1", ProductionLevel::kPhase,
+                         static_cast<double>(t), values[t]};
+      for (const SensorSample& sample : injector.Apply(clean)) {
+        auto ack = engine.Ingest(sample);
+        EXPECT_TRUE(ack.ok());
+        if (ack.ok() && ack->update.has_value()) {
+          scores.push_back(ack->update->score);
+        }
+      }
+    }
+    EXPECT_TRUE(engine.Stop().ok());
+    return std::pair(std::move(scores), engine.stats().concept_shifts);
+  };
+
+  const auto with_cache = run(true);
+  const auto without_cache = run(false);
+  EXPECT_EQ(with_cache.second, 1u);
+  EXPECT_EQ(without_cache.second, 1u);
+  ASSERT_EQ(with_cache.first.size(), without_cache.first.size());
+  for (size_t i = 0; i < with_cache.first.size(); ++i) {
+    EXPECT_EQ(with_cache.first[i], without_cache.first[i]) << "i=" << i;
+  }
+}
+
+TEST(StreamShift, QuarantineTimingUnchangedByShiftLayer) {
+  // The concept-shift layer must not perturb the health FSM: identical
+  // fault evidence must produce identical transitions at identical
+  // timestamps whether or not BOCPD is running.
+  const std::vector<double> values = MakeFlatStream(37, 900, 60.0, 0.3);
+
+  auto run = [&](bool shift_enabled) {
+    StreamEngineOptions options = ShiftOptions(true);
+    options.shift.enabled = shift_enabled;
+    options.health.suspect_after = 4;
+    options.health.quarantine_after = 16;
+    options.health.recovery_clean_streak = 32;
+    StreamEngine engine(options);
+    EXPECT_TRUE(engine.AddSensor("s1", ProductionLevel::kPhase).ok());
+    EXPECT_TRUE(engine.Start().ok());
+    sim::FaultInjector injector;
+    sim::FaultProfile nan_burst;
+    nan_burst.kind = sim::FaultKind::kNaNBurst;
+    nan_burst.start = 500.0;
+    nan_burst.duration = 60.0;
+    EXPECT_TRUE(injector.AddFault("s1", nan_burst).ok());
+    EXPECT_TRUE(injector.AddLevelShift("s1", 300.0, 1e6, 6.0).ok());
+    for (size_t t = 0; t < values.size(); ++t) {
+      SensorSample clean{"s1", ProductionLevel::kPhase,
+                         static_cast<double>(t), values[t]};
+      for (const SensorSample& sample : injector.Apply(clean)) {
+        (void)engine.Ingest(sample);  // NaNs are rejected by design
+      }
+    }
+    EXPECT_TRUE(engine.Stop().ok());
+    return std::pair(engine.HealthTransitions(),
+                     engine.stats().concept_shifts);
+  };
+
+  const auto with_shift = run(true);
+  const auto without_shift = run(false);
+  EXPECT_EQ(with_shift.second, 1u);
+  EXPECT_EQ(without_shift.second, 0u);
+  ASSERT_EQ(with_shift.first.size(), without_shift.first.size());
+  bool saw_quarantine = false;
+  for (size_t i = 0; i < with_shift.first.size(); ++i) {
+    EXPECT_EQ(with_shift.first[i].from, without_shift.first[i].from);
+    EXPECT_EQ(with_shift.first[i].to, without_shift.first[i].to);
+    EXPECT_EQ(with_shift.first[i].ts, without_shift.first[i].ts);
+    if (with_shift.first[i].to == SensorHealthState::kQuarantined) {
+      saw_quarantine = true;
+    }
+  }
+  EXPECT_TRUE(saw_quarantine) << "the NaN burst must quarantine";
+}
+
+TEST(StreamShift, BankDefersConceptShiftResetWhileFrozen) {
+  // The unit-level pin of the lifecycle contract the quarantine path
+  // relies on: a concept-shift reset landing on a frozen lane parks as
+  // pending (no early thaw, no model change) and installs its seed only
+  // when the freeze owner thaws — so recovery resumes from the
+  // post-shift posterior, not the stale pre-shift baseline.
+  core::BatchMonitorBank bank;
+  ASSERT_TRUE(bank.AddSensor("a").ok());
+  ASSERT_TRUE(bank.AddSensor("b").ok());
+  Rng rng(41);
+  for (size_t t = 0; t < 200; ++t) {
+    const double v = 10.0 + rng.Gaussian(0.0, 0.5);
+    ASSERT_TRUE(bank.Push(0, v).ok());
+    ASSERT_TRUE(bank.Push(1, v).ok());
+  }
+  ASSERT_TRUE(bank.model_ready(0));
+
+  bank.FreezeBaselineLane(0, core::BaselineActor::kHealthQuarantine);
+  EXPECT_TRUE(bank.baseline_frozen(0));
+
+  core::BaselineSeed seed;
+  seed.level = 16.0;
+  seed.sigma = 0.5;
+  seed.support = 12;
+  bank.ResetBaselineLane(0, core::BaselineActor::kConceptShift, seed);
+  // Deferred: still frozen, epoch unchanged, model untouched.
+  EXPECT_TRUE(bank.baseline_frozen(0));
+  EXPECT_EQ(bank.baseline_epoch(0), 0u);
+  EXPECT_TRUE(bank.model_ready(0));
+
+  // Sibling lane is completely undisturbed.
+  EXPECT_FALSE(bank.baseline_frozen(1));
+  EXPECT_EQ(bank.baseline_epoch(1), 0u);
+
+  // Thaw applies the parked seed: epoch bumps, and the lane scores
+  // against the post-shift level immediately (seeded, not re-warming).
+  EXPECT_TRUE(bank.ThawBaselineLane(0, core::BaselineActor::kHealthQuarantine));
+  EXPECT_FALSE(bank.baseline_frozen(0));
+  EXPECT_EQ(bank.baseline_epoch(0), 1u);
+  EXPECT_TRUE(bank.model_ready(0));
+  auto update = bank.Push(0, 16.0);
+  ASSERT_TRUE(update.ok());
+  EXPECT_TRUE(update->model_ready);
+  EXPECT_LT(update->score, 0.5)
+      << "seeded baseline must predict the post-shift level";
+
+  // A second thaw with nothing pending is a no-op.
+  bank.FreezeBaselineLane(0, core::BaselineActor::kHealthQuarantine);
+  EXPECT_FALSE(
+      bank.ThawBaselineLane(0, core::BaselineActor::kHealthQuarantine));
+}
+
+TEST(StreamShift, MonitorLifecycleMatchesBankSemantics) {
+  core::OnlineMonitor monitor;
+  Rng rng(43);
+  for (size_t t = 0; t < 200; ++t) {
+    ASSERT_TRUE(monitor.Push(5.0 + rng.Gaussian(0.0, 0.2)).ok());
+  }
+  EXPECT_EQ(monitor.baseline_epoch(), 0u);
+
+  monitor.FreezeBaseline(core::BaselineActor::kGroupOutage);
+  core::BaselineSeed first{8.0, 0.2, 4};
+  core::BaselineSeed second{9.0, 0.3, 6};
+  monitor.ResetBaseline(core::BaselineActor::kConceptShift, first);
+  monitor.ResetBaseline(core::BaselineActor::kConceptShift, second);
+  EXPECT_EQ(monitor.baseline_epoch(), 0u);
+  // Last writer wins among deferred resets.
+  EXPECT_TRUE(monitor.ThawBaseline(core::BaselineActor::kGroupOutage));
+  EXPECT_EQ(monitor.baseline_epoch(), 1u);
+  auto update = monitor.Push(9.0);
+  ASSERT_TRUE(update.ok());
+  EXPECT_TRUE(update->model_ready);
+  EXPECT_LT(update->score, 0.5);
+
+  // An unfrozen reset applies immediately; unseeded goes back to warmup.
+  monitor.ResetBaseline(core::BaselineActor::kOperator, std::nullopt);
+  EXPECT_EQ(monitor.baseline_epoch(), 2u);
+  EXPECT_FALSE(monitor.model_ready());
+}
+
+}  // namespace
+}  // namespace hod::stream
