@@ -1,0 +1,255 @@
+// E14 — read-side serving tier fan-out (hod::serve).
+//
+// Two claims gated by CI:
+//
+//  1. Ingest isolation: attaching a SnapshotHub in async mode and fanning
+//     snapshots to 10,000 subscribers must not slow the collector. The
+//     publish hook costs one lock-free ring push regardless of reader
+//     count; slow readers drop (newest-wins at the intake,
+//     drop-to-keyframe at each subscriber queue) instead of exerting
+//     backpressure. Measured as ingest throughput with 10k subscribers
+//     over the zero-subscriber baseline: `retention`, floored at 0.95.
+//
+//  2. Delta fidelity: a subscriber that keeps pace reconstructs, from the
+//     keyframe + delta stream alone, a snapshot byte-identical to what
+//     the engine published — checked against the engine's own Snapshot()
+//     after every publish of a real scored stream.
+//
+// Emits the human-readable table on stdout and BENCH_SERVE.json in the
+// working directory for the CI trajectory.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/codec.h"
+#include "serve/hub.h"
+#include "stream/engine.h"
+#include "util/rng.h"
+
+namespace {
+
+using hod::Rng;
+using hod::hierarchy::ProductionLevel;
+using hod::serve::SnapshotHub;
+using hod::serve::SnapshotHubOptions;
+using hod::serve::Subscription;
+using hod::stream::StreamEngine;
+using hod::stream::StreamEngineOptions;
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kSensors = 8;
+// Long enough that each timed point runs for a few hundred ms: the
+// fan-out's fixed startup work (real pushes until every parked queue
+// fills) is bounded, so a longer run measures the steady state where
+// full-queue skips dominate — and the two noisy rates divide stably.
+constexpr size_t kSamplesPerSensor = 240000;
+constexpr size_t kFanoutSubscribers = 10000;
+
+std::string SensorId(size_t s) { return "s" + std::to_string(s); }
+
+StreamEngineOptions EngineOptions() {
+  StreamEngineOptions options;
+  options.synchronous = true;  // pure ingest-path cost, no queue noise
+  options.monitor.warmup = 64;
+  options.snapshot_every = 256;  // ~25 publishes/s here, still far above a
+                                 // real dashboard refresh cadence
+  options.health.staleness_timeout = 0.0;  // sensors are fed round-robin
+  return options;
+}
+
+struct RunStats {
+  uint64_t publishes = 0;
+  uint64_t processed = 0;
+  uint64_t intake_dropped = 0;
+};
+
+/// One timed run: every sensor scored for kSamplesPerSensor ticks with
+/// the hub attached and `subscribers` registered readers. Returns
+/// samples/sec of the ingest loop.
+double TimedRun(size_t subscribers, uint64_t seed,
+                RunStats* stats = nullptr) {
+  SnapshotHubOptions hub_options;
+  hub_options.async = true;  // collector pays one ring push per publish
+  hub_options.keyframe_every = 32;
+  // Depth 2 is the latest-state dashboard shape: one update being applied,
+  // one pending. Parked readers transition to the cheap awaiting-keyframe
+  // skip after two publishes instead of eight.
+  hub_options.subscriber_queue_capacity = 2;
+  SnapshotHub hub(hub_options);
+  StreamEngineOptions options = EngineOptions();
+  options.snapshot_sink = [&hub](const hod::stream::EngineSnapshot& snap) {
+    hub.Publish(snap);
+  };
+  StreamEngine engine(options);
+  for (size_t s = 0; s < kSensors; ++s) {
+    if (!engine.AddSensor(SensorId(s), ProductionLevel::kPhase).ok()) {
+      return 0.0;
+    }
+  }
+  if (!engine.Start().ok()) return 0.0;
+
+  // Subscribers attach after the engine is laid out, as they would in a
+  // live deployment — the engine's hot state occupies the same heap
+  // region in the 0-subscriber and 10k-subscriber runs, so the ratio
+  // compares fan-out cost, not allocator layout.
+  std::vector<std::unique_ptr<Subscription>> subs;
+  subs.reserve(subscribers);
+  for (size_t i = 0; i < subscribers; ++i) subs.push_back(hub.Subscribe());
+
+  Rng rng(seed);
+  const auto start = Clock::now();
+  for (size_t t = 0; t < kSamplesPerSensor; ++t) {
+    for (size_t s = 0; s < kSensors; ++s) {
+      const double value = (t % 997 == 996)
+                               ? 30.0
+                               : 50.0 + rng.Gaussian(0.0, 0.25);
+      auto ack = engine.Ingest({SensorId(s), ProductionLevel::kPhase,
+                                static_cast<double>(t), value});
+      if (!ack.ok()) return 0.0;
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  (void)engine.Stop();
+  hub.Quiesce();
+  if (stats != nullptr) {
+    const auto hub_stats = hub.Stats();
+    stats->publishes = hub_stats.publishes_seen;
+    stats->processed = hub_stats.publishes_processed;
+    stats->intake_dropped = hub_stats.intake_dropped;
+  }
+  return static_cast<double>(kSensors * kSamplesPerSensor) / seconds;
+}
+
+/// Delta fidelity over a real scored stream: a sync hub (deterministic
+/// interleaving) with one draining subscriber; after every publish the
+/// reconstructed view must equal the engine's latest snapshot
+/// byte-for-byte.
+bool DeltaParity(size_t* checks_out) {
+  SnapshotHubOptions hub_options;
+  hub_options.keyframe_every = 16;
+  hub_options.subscriber_queue_capacity = 64;
+  SnapshotHub hub(hub_options);
+  auto sub = hub.Subscribe();
+
+  StreamEngineOptions options = EngineOptions();
+  options.snapshot_every = 16;
+  options.snapshot_sink = [&hub](const hod::stream::EngineSnapshot& snap) {
+    hub.Publish(snap);
+  };
+  StreamEngine engine(options);
+  for (size_t s = 0; s < kSensors; ++s) {
+    if (!engine.AddSensor(SensorId(s), ProductionLevel::kPhase).ok()) {
+      return false;
+    }
+  }
+  if (!engine.Start().ok()) return false;
+
+  Rng rng(17);
+  size_t checks = 0;
+  bool all_equal = true;
+  for (size_t t = 0; t < 4000; ++t) {
+    for (size_t s = 0; s < kSensors; ++s) {
+      const double value = (t % 211 == 210)
+                               ? 35.0
+                               : 50.0 + rng.Gaussian(0.0, 0.25);
+      auto ack = engine.Ingest({SensorId(s), ProductionLevel::kPhase,
+                                static_cast<double>(t), value});
+      if (!ack.ok()) return false;
+    }
+    if (sub->Drain() > 0 && sub->has_view()) {
+      ++checks;
+      if (hod::serve::EncodeSnapshotBytes(sub->View()) !=
+          hod::serve::EncodeSnapshotBytes(engine.Snapshot())) {
+        all_equal = false;
+      }
+    }
+  }
+  (void)engine.Stop();
+  sub->Drain();
+  if (sub->has_view()) {
+    ++checks;
+    if (hod::serve::EncodeSnapshotBytes(sub->View()) !=
+        hod::serve::EncodeSnapshotBytes(engine.Snapshot())) {
+      all_equal = false;
+    }
+  }
+  *checks_out = checks;
+  return all_equal && checks > 0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E14: read-side serving tier fan-out\n");
+  std::printf("sensors %zu, samples/sensor %zu, fan-out %zu subscribers\n\n",
+              kSensors, kSamplesPerSensor, kFanoutSubscribers);
+
+  size_t parity_checks = 0;
+  const bool parity = DeltaParity(&parity_checks);
+  std::printf("delta parity: %zu reconstructions, %s\n", parity_checks,
+              parity ? "all byte-identical" : "MISMATCH");
+
+  // Each rep runs baseline and fan-out back to back with the *same* seed
+  // (identical sample stream; only the subscriber count varies) and takes
+  // their ratio: adjacent runs share the host's noise state, so the pair
+  // cancels most of it. The gate is the median pairwise ratio — one noisy
+  // pair cannot flip it in either direction, while a real fan-out
+  // regression shifts every pair. Nine reps: a multi-second host-noise
+  // burst poisons a ratio only when it starts or ends mid-pair, and the
+  // median needs five poisoned pairs to move below the floor.
+  double baseline = 0.0;
+  double fanout = 0.0;
+  RunStats fan_stats;
+  std::vector<double> ratios;
+  for (uint64_t rep = 0; rep < 9; ++rep) {
+    const double base_rate = TimedRun(0, 100 + rep);
+    baseline = std::max(baseline, base_rate);
+    RunStats stats;
+    const double rate = TimedRun(kFanoutSubscribers, 100 + rep, &stats);
+    if (rate > fanout) {
+      fanout = rate;
+      fan_stats = stats;
+    }
+    if (base_rate > 0.0) ratios.push_back(rate / base_rate);
+    std::printf("  rep %llu: baseline %.0f, fanout %.0f, ratio %.3f\n",
+                static_cast<unsigned long long>(rep), base_rate, rate,
+                base_rate > 0.0 ? rate / base_rate : 0.0);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double retention =
+      ratios.empty() ? 0.0 : ratios[ratios.size() / 2];
+
+  std::printf("ingest, 0 subscribers      %12.0f samples/s (best rep)\n",
+              baseline);
+  std::printf("ingest, %zu subscribers %12.0f samples/s (best rep)\n",
+              kFanoutSubscribers, fanout);
+  std::printf("retention (median ratio)   %12.3f  (floor 0.95)\n", retention);
+  std::printf("publishes %llu, fanned out %llu, coalesced at intake %llu\n",
+              static_cast<unsigned long long>(fan_stats.publishes),
+              static_cast<unsigned long long>(fan_stats.processed),
+              static_cast<unsigned long long>(fan_stats.intake_dropped));
+
+  std::ofstream json("BENCH_SERVE.json");
+  json << "{\n  \"experiment\": \"serving_fanout\",\n"
+       << "  \"sensors\": " << kSensors << ",\n"
+       << "  \"samples_per_sensor\": " << kSamplesPerSensor << ",\n"
+       << "  \"subscribers\": " << kFanoutSubscribers << ",\n"
+       << "  \"baseline_per_sec\": " << static_cast<uint64_t>(baseline)
+       << ",\n"
+       << "  \"fanout_per_sec\": " << static_cast<uint64_t>(fanout) << ",\n"
+       << "  \"retention\": " << retention << ",\n"
+       << "  \"retention_floor\": 0.95,\n"
+       << "  \"delta_parity_checks\": " << parity_checks << ",\n"
+       << "  \"delta_parity\": " << (parity ? "true" : "false") << "\n"
+       << "}\n";
+  json.close();
+  std::printf("\nWrote BENCH_SERVE.json\n");
+  return parity ? 0 : 1;
+}

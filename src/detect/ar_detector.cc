@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "timeseries/stats.h"
+#include "util/simd.h"
 
 namespace hod::detect {
 
@@ -46,26 +47,52 @@ Status ArDetector::Train(const std::vector<ts::TimeSeries>& normal) {
   const size_t p = options_.order;
   // Assemble the least-squares normal equations over all training series:
   // design rows are [1, x_{t-1}, ..., x_{t-p}], target x_t.
+  //
+  // The accumulation runs through the SIMD dispatch shim: per sample t,
+  // the upper-triangle products row[i]*row[j] (j >= i) plus the A^T b
+  // products row[i]*x[t] are laid out as one flat lane array and folded
+  // with a single MulAccumulate. Each accumulator lane still receives
+  // exactly one mul-then-add per t, in t order, so the sums are
+  // bit-identical to the scalar nested loops on every backend.
   const size_t d = p + 1;
-  std::vector<std::vector<double>> ata(d, std::vector<double>(d, 0.0));
-  std::vector<double> atb(d, 0.0);
+  const size_t lanes = d * (d + 1) / 2 + d;  // upper triangle + A^T b
+  std::vector<double> acc(lanes, 0.0);
+  std::vector<double> left(lanes, 0.0);
+  std::vector<double> right(lanes, 0.0);
+  std::vector<double> row(d, 0.0);
   size_t rows = 0;
   for (const auto& series : normal) {
     HOD_RETURN_IF_ERROR(series.Validate());
     const auto& x = series.values();
     for (size_t t = p; t < x.size(); ++t) {
-      std::vector<double> row(d);
       row[0] = 1.0;
       for (size_t k = 0; k < p; ++k) row[k + 1] = x[t - 1 - k];
+      size_t lane = 0;
       for (size_t i = 0; i < d; ++i) {
-        for (size_t j = i; j < d; ++j) ata[i][j] += row[i] * row[j];
-        atb[i] += row[i] * x[t];
+        for (size_t j = i; j < d; ++j) {
+          left[lane] = row[i];
+          right[lane] = row[j];
+          ++lane;
+        }
+        left[lane] = row[i];
+        right[lane] = x[t];
+        ++lane;
       }
+      util::simd::MulAccumulate(acc.data(), left.data(), right.data(), lanes);
       ++rows;
     }
   }
   if (rows < d) {
     return Status::InvalidArgument("not enough samples for AR order");
+  }
+  std::vector<std::vector<double>> ata(d, std::vector<double>(d, 0.0));
+  std::vector<double> atb(d, 0.0);
+  {
+    size_t lane = 0;
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = i; j < d; ++j) ata[i][j] = acc[lane++];
+      atb[i] = acc[lane++];
+    }
   }
   for (size_t i = 0; i < d; ++i) {
     for (size_t j = 0; j < i; ++j) ata[i][j] = ata[j][i];
@@ -76,14 +103,22 @@ Status ArDetector::Train(const std::vector<ts::TimeSeries>& normal) {
   intercept_ = beta[0];
   phi_.assign(beta.begin() + 1, beta.end());
 
-  // Training residual sigma (robust: MAD over all residuals).
+  // Training residual sigma (robust: MAD over all residuals). The
+  // forecast pass is one Axpy per lag coefficient: element t accumulates
+  // phi_[k] * x[t-1-k] in ascending k, the same per-element mul-then-add
+  // order as the scalar inner loop — bit-identical on every backend.
   std::vector<double> residuals;
+  std::vector<double> pred;
   for (const auto& series : normal) {
     const auto& x = series.values();
+    if (x.size() <= p) continue;
+    const size_t m = x.size() - p;
+    pred.assign(m, intercept_);
+    for (size_t k = 0; k < p; ++k) {
+      util::simd::Axpy(pred.data(), phi_[k], x.data() + (p - 1 - k), m);
+    }
     for (size_t t = p; t < x.size(); ++t) {
-      double pred = intercept_;
-      for (size_t k = 0; k < p; ++k) pred += phi_[k] * x[t - 1 - k];
-      residuals.push_back(x[t] - pred);
+      residuals.push_back(x[t] - pred[t - p]);
     }
   }
   residual_sigma_ = ts::Mad(residuals);

@@ -47,6 +47,9 @@ FleetManager::FleetManager(FleetManagerOptions options)
     owned_pool_ = std::make_unique<util::ThreadPool>(pool_options);
     pool_ = owned_pool_.get();
   }
+  if (options_.enable_serving) {
+    serving_ = std::make_unique<serve::FleetHub>(options_.serving);
+  }
 }
 
 FleetManager::~FleetManager() {
@@ -64,6 +67,14 @@ stream::StreamEngineOptions FleetManager::BuildEngineOptions(
                                    ? std::chrono::milliseconds(0)
                                    : options_.checkpoint_interval;
   engine.checkpoint_phase = CheckpointPhaseOf(plant_id);
+  if (serving_ != nullptr) {
+    // One hub per plant; re-adding after RestorePlant reuses the existing
+    // hub, whose sequence-regression guard keyframes the resync.
+    serve::SnapshotHub* hub = serving_->AddPlant(plant_id);
+    engine.snapshot_sink = [hub](const stream::EngineSnapshot& snapshot) {
+      hub->Publish(snapshot);
+    };
+  }
   return engine;
 }
 
@@ -171,6 +182,10 @@ Status FleetManager::RemovePlantLocked(const std::string& plant_id) {
     retired_ += handle->engine->stats();
     ++removed_plants_;
   }
+  // The engine above is stopped, so its sink can no longer fire; the
+  // plant's hub (and any reader still holding a Subscription into it)
+  // goes away with it.
+  if (serving_ != nullptr) serving_->RemovePlant(plant_id);
   return Status::Ok();
 }
 

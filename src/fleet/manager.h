@@ -12,6 +12,7 @@
 #include "fleet/alert_board.h"
 #include "fleet/router.h"
 #include "fleet/stats.h"
+#include "serve/fleet_hub.h"
 #include "stream/engine.h"
 #include "util/statusor.h"
 #include "util/thread_pool.h"
@@ -58,6 +59,12 @@ struct FleetManagerOptions {
   size_t checkpoint_stagger_slots = 16;
   /// Placement slot space of the FleetRouter.
   size_t router_slots = 256;
+  /// Read-side serving tier: when true the manager owns a
+  /// serve::FleetHub with one SnapshotHub per plant, and every plant
+  /// engine's snapshot_sink publishes into its hub. Dashboards subscribe
+  /// via Serving()->Hub(plant_id)->Subscribe() and never touch an engine.
+  bool enable_serving = false;
+  serve::SnapshotHubOptions serving;
 };
 
 /// The multi-plant tier: owns one stream::StreamEngine per plant behind a
@@ -143,6 +150,10 @@ class FleetManager {
     return router_.Place(plant_id);
   }
 
+  /// The fleet serving tier (nullptr unless options.enable_serving).
+  serve::FleetHub* Serving() { return serving_.get(); }
+  const serve::FleetHub* Serving() const { return serving_.get(); }
+
   size_t num_plants() const { return router_.size(); }
   std::vector<std::string> PlantIds() const { return router_.PlantIds(); }
   /// The shared executor every plant engine runs on.
@@ -161,6 +172,9 @@ class FleetManager {
   util::ThreadPool* pool_;
   FleetRouter router_;
   FleetAlertBoard board_;
+  /// Destroyed after Stop() has quiesced every engine, so no
+  /// snapshot_sink can fire into a dead hub.
+  std::unique_ptr<serve::FleetHub> serving_;
 
   /// Serializes plant admission/removal (engine construction is not
   /// cheap; racing Add/Remove on one id would be a user bug anyway).

@@ -1,0 +1,83 @@
+#ifndef HOD_SERVE_FLEET_HUB_H_
+#define HOD_SERVE_FLEET_HUB_H_
+
+#include <cstdint>
+#include <optional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "detect/olap_cube.h"
+#include "serve/hub.h"
+#include "serve/query.h"
+#include "util/statusor.h"
+
+namespace hod::serve {
+
+/// One cell of a fleet-wide roll-up: plant × level × time bucket.
+struct FleetRollupCell {
+  std::string plant_id;
+  RollupCell cell;
+};
+
+struct FleetRollupResult {
+  std::vector<FleetRollupCell> cells;
+  uint64_t version = 0;  ///< fleet epoch (sum of plant publish epochs)
+  size_t cube_cells = 0;
+};
+
+/// The fleet-level serving tier: one SnapshotHub per plant, a merged
+/// alert board over every plant's latest view, and cross-plant OLAP
+/// roll-ups with dims = plant × level × bucket. FleetManager owns one of
+/// these when serving is enabled and routes each plant engine's
+/// snapshot_sink into the matching per-plant hub.
+///
+/// Thread-safe. Plant hubs are created/removed under the admin lock;
+/// Publish traffic goes straight to the per-plant hub (no fleet lock).
+class FleetHub {
+ public:
+  explicit FleetHub(SnapshotHubOptions per_plant = {});
+
+  /// Creates (or returns) the hub for `plant_id`. The pointer stays valid
+  /// until RemovePlant.
+  SnapshotHub* AddPlant(const std::string& plant_id);
+  SnapshotHub* Hub(const std::string& plant_id) const;
+  /// Drops the plant's hub. The plant engine must already be stopped: its
+  /// snapshot_sink must never fire again.
+  void RemovePlant(const std::string& plant_id);
+  std::vector<std::string> Plants() const;
+
+  /// Monotone fleet version: bumps whenever any plant processes a
+  /// publish. Poll it to drive a merged-board subscription cheaply.
+  uint64_t Version() const;
+
+  struct BoardEntry {
+    std::string plant_id;
+    stream::ActiveAlarm alarm;
+  };
+  struct Board {
+    uint64_t version = 0;
+    std::vector<BoardEntry> alarms;  ///< ordered by (plant, sensor id)
+  };
+  /// Merged board poll: nullopt when nothing changed since
+  /// `since_version` (pass 0 to always fetch).
+  std::optional<Board> BoardSince(uint64_t since_version) const;
+
+  /// Fleet-wide drill-down: the per-plant bucket aggregation feeds one
+  /// cube whose dimensions are plant × level × bucket, so a plant whose
+  /// outlier profile deviates from its siblings stands out in the plant
+  /// subspace.
+  StatusOr<FleetRollupResult> Rollup(const RollupQuery& query,
+                                     detect::OlapCubeOptions cube = {}) const;
+
+ private:
+  const SnapshotHubOptions per_plant_;
+  mutable std::mutex mu_;  ///< guards the hub map shape only
+  std::map<std::string, std::unique_ptr<SnapshotHub>> hubs_;
+};
+
+}  // namespace hod::serve
+
+#endif  // HOD_SERVE_FLEET_HUB_H_

@@ -1,0 +1,103 @@
+#ifndef HOD_SERVE_HISTORY_H_
+#define HOD_SERVE_HISTORY_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "timeseries/time_series.h"
+
+namespace hod::serve {
+
+/// Fixed-capacity time-indexed ring: O(1) append (evicting the oldest
+/// entry once full), O(log n) time lookup. Timestamps are expected to be
+/// non-decreasing — the producer is the serve hub appending one entry per
+/// published snapshot, and the publish sequence is monotone in event time.
+/// Not internally synchronized; the hub guards it with its own mutex.
+template <typename T>
+class HistoryRing {
+ public:
+  struct Entry {
+    ts::TimePoint ts = 0.0;
+    T value{};
+  };
+
+  explicit HistoryRing(size_t capacity)
+      : buf_(capacity == 0 ? 1 : capacity) {}
+
+  size_t capacity() const { return buf_.size(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Entries pushed out of the window since construction (or Clear).
+  uint64_t evicted() const { return evicted_; }
+
+  void Append(ts::TimePoint ts, T value) {
+    const size_t slot = (head_ + size_) % buf_.size();
+    buf_[slot] = Entry{ts, std::move(value)};
+    if (size_ < buf_.size()) {
+      ++size_;
+    } else {
+      head_ = (head_ + 1) % buf_.size();
+      ++evicted_;
+    }
+  }
+
+  /// Index 0 is the oldest retained entry.
+  const Entry& At(size_t index) const { return buf_[(head_ + index) % buf_.size()]; }
+
+  const Entry& Oldest() const { return At(0); }
+  const Entry& Newest() const { return At(size_ - 1); }
+
+  /// First logical index with ts >= t (== size() when none).
+  size_t LowerBound(ts::TimePoint t) const {
+    size_t lo = 0;
+    size_t hi = size_;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (At(mid).ts < t) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Retained entries with t0 <= ts < t1, oldest first.
+  std::vector<Entry> Window(ts::TimePoint t0, ts::TimePoint t1) const {
+    std::vector<Entry> out;
+    for (size_t i = LowerBound(t0); i < size_; ++i) {
+      const Entry& entry = At(i);
+      if (entry.ts >= t1) break;
+      out.push_back(entry);
+    }
+    return out;
+  }
+
+  /// Newest entry with ts < t — the roll-up baseline for a window opening
+  /// at t (cumulative counters diff against it).
+  std::optional<Entry> Before(ts::TimePoint t) const {
+    const size_t idx = LowerBound(t);
+    if (idx == 0) return std::nullopt;
+    return At(idx - 1);
+  }
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+    evicted_ = 0;
+  }
+
+ private:
+  std::vector<Entry> buf_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  uint64_t evicted_ = 0;
+};
+
+}  // namespace hod::serve
+
+#endif  // HOD_SERVE_HISTORY_H_

@@ -1,0 +1,82 @@
+#ifndef HOD_SERVE_QUERY_H_
+#define HOD_SERVE_QUERY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "detect/olap_cube.h"
+#include "serve/hub.h"
+#include "timeseries/time_series.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace hod::serve {
+
+/// One drill-down roll-up request: bucket the hub's per-level history
+/// over [start, end) and flag anomalous (level, bucket) cells.
+struct RollupQuery {
+  ts::TimePoint start = 0.0;
+  ts::TimePoint end = 0.0;       ///< half-open window [start, end)
+  double bucket_width = 60.0;    ///< seconds per time bucket
+  /// Level indices to include (LevelValue(level) - 1); empty = all.
+  std::vector<int> levels;
+};
+
+/// One populated roll-up cell.
+struct RollupCell {
+  int level = 0;
+  int64_t bucket = 0;            ///< floor((ts - start) / bucket_width)
+  ts::TimePoint bucket_start = 0.0;
+  double outliers = 0.0;         ///< outlier samples attributed to the cell
+  double score = 0.0;            ///< OLAP outlierness in [0, 1)
+  bool anomalous = false;        ///< score >= 0.5 (>= sigma_scale sigmas)
+};
+
+struct RollupResult {
+  std::vector<RollupCell> cells;  ///< ordered by (level, bucket)
+  uint64_t epoch = 0;             ///< hub publish epoch the result reflects
+  bool cache_hit = false;
+  size_t cube_cells = 0;          ///< populated OLAP cells analyzed
+};
+
+/// Answers drill-down roll-ups ("plant → line → machine over the last
+/// hour") from the hub's history rings by feeding per-bucket outlier
+/// deltas through detect::OlapCubeDetector (dims = level × time bucket).
+/// Results are memoized in an epoch-stamped cache: a hit requires the
+/// hub's publish epoch to be unchanged, so any new publish invalidates
+/// every cached answer without bookkeeping on the hot publish path.
+///
+/// Thread-safe; the hub must outlive the service.
+class QueryService {
+ public:
+  explicit QueryService(const SnapshotHub* hub,
+                        detect::OlapCubeOptions cube = {});
+
+  StatusOr<RollupResult> Rollup(const RollupQuery& query);
+
+  uint64_t cache_hits() const;
+  uint64_t cache_misses() const;
+  size_t cache_size() const;
+
+ private:
+  StatusOr<RollupResult> Compute(const RollupQuery& query,
+                                 uint64_t epoch) const;
+
+  const SnapshotHub* hub_;
+  const detect::OlapCubeOptions cube_;
+
+  mutable std::mutex mu_;
+  /// Key = canonical query string; entries carry the epoch they were
+  /// computed at and are stale once the hub moves past it.
+  std::map<std::string, RollupResult> cache_;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+};
+
+}  // namespace hod::serve
+
+#endif  // HOD_SERVE_QUERY_H_

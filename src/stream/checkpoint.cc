@@ -24,8 +24,11 @@ namespace bin = hierarchy::bin;
 ///     FindingKind gained kConceptShift, and StreamStatsSnapshot gained
 ///     concept_shifts / baseline_resets / baseline_resets_deferred.
 ///     v4 images still restore (new fields default to "layer off").
+/// v6: read-side serving tier — StreamStatsSnapshot gained
+///     snapshots_published. v4/v5 images still restore (counter resumes
+///     at zero).
 constexpr uint32_t kMagic = 0x43444F48u;
-constexpr uint32_t kVersion = 5;
+constexpr uint32_t kVersion = 6;
 constexpr uint32_t kMinVersion = 4;
 
 void WriteBool(std::ostream& os, bool value) {
@@ -416,6 +419,8 @@ void WriteStats(std::ostream& os, const StreamStatsSnapshot& stats) {
   bin::WriteU64(os, stats.concept_shifts);
   bin::WriteU64(os, stats.baseline_resets);
   bin::WriteU64(os, stats.baseline_resets_deferred);
+  // v6: serving-tier counter.
+  bin::WriteU64(os, stats.snapshots_published);
   for (uint64_t count : stats.level_dropped) bin::WriteU64(os, count);
   for (uint64_t count : stats.level_rejected) bin::WriteU64(os, count);
   for (uint64_t count : stats.level_quarantined) bin::WriteU64(os, count);
@@ -458,6 +463,9 @@ Status ReadStats(std::istream& is, uint32_t version,
     HOD_ASSIGN_OR_RETURN(stats.concept_shifts, bin::ReadU64(is));
     HOD_ASSIGN_OR_RETURN(stats.baseline_resets, bin::ReadU64(is));
     HOD_ASSIGN_OR_RETURN(stats.baseline_resets_deferred, bin::ReadU64(is));
+  }
+  if (version >= 6) {
+    HOD_ASSIGN_OR_RETURN(stats.snapshots_published, bin::ReadU64(is));
   }
   for (uint64_t& count : stats.level_dropped) {
     HOD_ASSIGN_OR_RETURN(count, bin::ReadU64(is));

@@ -105,6 +105,24 @@ Status StreamEngine::AddPeerGroupsFromRegistry(
   return Status::Ok();
 }
 
+Status StreamEngine::AddPeerGroupsFromConfiguration(
+    const hierarchy::Production& production, double tolerance) {
+  if (state_.load() != kConfiguring) {
+    return Status::FailedPrecondition("engine already started");
+  }
+  for (const auto& [group_id, members] :
+       ConfigurationCohorts(production, tolerance)) {
+    std::vector<std::string> registered;
+    registered.reserve(members.size());
+    for (const std::string& member : members) {
+      if (router_.Frontier(member).ok()) registered.push_back(member);
+    }
+    if (registered.size() < 2) continue;  // cohort collapsed to one sensor
+    HOD_RETURN_IF_ERROR(peers_.AddGroup(group_id, registered));
+  }
+  return Status::Ok();
+}
+
 Status StreamEngine::PopulateScorer() {
   if (scorer_populated_) return Status::Ok();
   for (size_t shard = 0; shard < scorer_.num_shards(); ++shard) {
@@ -832,8 +850,10 @@ void StreamEngine::PushHealthEvent(const HealthTransition& transition) {
 
 void StreamEngine::ConsumeScored(const ScoredSample& scored) {
   ++events_seen_;
+  // The frontier is both the outage-expiry clock and the published
+  // snapshot's event-time stamp, so it advances unconditionally.
+  collector_frontier_ = std::max(collector_frontier_, scored.ts);
   if (options_.peer.outage_min_sensors > 0) {
-    collector_frontier_ = std::max(collector_frontier_, scored.ts);
     // Pending onsets age against the event clock; once the window has
     // passed without the cluster forming, they were uncorrelated faults.
     if (!outage_.has_value()) ExpirePendingFaults(collector_frontier_);
@@ -1110,6 +1130,7 @@ void StreamEngine::PublishSnapshot() {
   EngineSnapshot snapshot;
   snapshot.sequence = next_sequence_++;
   snapshot.events_seen = events_seen_;
+  snapshot.ts = std::isfinite(collector_frontier_) ? collector_frontier_ : 0.0;
   snapshot.levels = levels_;
   snapshot.active_alarms.reserve(active_alarms_.size());
   for (const auto& [id, alarm] : active_alarms_) {
@@ -1129,6 +1150,17 @@ void StreamEngine::PublishSnapshot() {
                                  recent_shifts_.end());
   snapshot.concept_shifts_total = concept_shifts_total_;
   events_at_last_snapshot_ = events_seen_;
+  stats_.RecordSnapshotPublished();
+  if (options_.snapshot_sink) {
+    {
+      std::lock_guard<std::mutex> lock(snapshot_mu_);
+      published_ = snapshot;
+    }
+    // Outside the lock: the sink (a hub ring push) must never be able to
+    // stall a concurrent Snapshot() reader.
+    options_.snapshot_sink(snapshot);
+    return;
+  }
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   published_ = std::move(snapshot);
 }

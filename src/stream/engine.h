@@ -38,6 +38,7 @@ class ThreadPool;
 namespace hod::stream {
 
 struct EngineCheckpoint;
+struct EngineSnapshot;
 
 /// Configuration of the whole streaming engine.
 struct StreamEngineOptions {
@@ -120,6 +121,13 @@ struct StreamEngineOptions {
   /// Collector publishes a fresh EngineSnapshot every this many outlier
   /// events (and always on Flush/Stop).
   size_t snapshot_every = 256;
+  /// Read-side publish hook. When set, every published EngineSnapshot is
+  /// also handed to this sink (after it became visible via Snapshot()),
+  /// on the collector thread — the serve tier's SnapshotHub attaches
+  /// here. The sink MUST be cheap and non-blocking (a bounded ring push):
+  /// it runs on the pipeline's single consumer, so a slow sink stalls
+  /// collection exactly like a slow collector would.
+  std::function<void(const EngineSnapshot&)> snapshot_sink;
   /// Borrowed executor (fleet mode). When set on a threaded engine, the
   /// engine spawns NO threads of its own: shard drains run as pooled
   /// tasks on the executor's worker lane, the collector drain on its
@@ -204,6 +212,10 @@ struct EngineSnapshot {
   uint64_t sequence = 0;
   /// Collector events consumed when this snapshot was taken.
   uint64_t events_seen = 0;
+  /// Event-time frontier at publish (max event timestamp consumed; 0.0
+  /// until the first event) — the time axis of the serve tier's history
+  /// rings.
+  ts::TimePoint ts = 0.0;
   /// Indexed by LevelValue(level) - 1.
   std::array<LevelOutlierState, hierarchy::kNumLevels> levels{};
   /// Sensors in alarm right now, sorted by id.
@@ -277,6 +289,15 @@ class StreamEngine {
   /// engine-registered members (sensors the registry knows but the engine
   /// does not are skipped, as are singleton groups). Call before Start().
   Status AddPeerGroupsFromRegistry(const hierarchy::SensorRegistry& registry);
+
+  /// Registers every machine-configuration-similarity cohort of
+  /// `production` (see stream::ConfigurationCohorts) whose engine-
+  /// registered membership still spans at least two sensors. Closes the
+  /// gap the redundancy-group path leaves: machines doing the same work
+  /// with the same configuration are peers even without shared redundancy
+  /// groups. Call before Start().
+  Status AddPeerGroupsFromConfiguration(const hierarchy::Production& production,
+                                        double tolerance = 1e-6);
 
   /// Seals the registry and (threaded mode) spawns workers + collector +
   /// watchdog.

@@ -19,7 +19,88 @@ double MedianInPlace(std::vector<double>& values) {
   return 0.5 * (lower + upper);
 }
 
+/// Exact-schema check: cohort machines must expose the same configuration
+/// components in the same order (configs stamped from one template do).
+bool SameConfigurationSchema(const ts::FeatureVector& a,
+                             const ts::FeatureVector& b) {
+  return a.names() == b.names();
+}
+
+double ConfigurationDistance(const ts::FeatureVector& a,
+                             const ts::FeatureVector& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
 }  // namespace
+
+std::map<std::string, std::vector<std::string>> ConfigurationCohorts(
+    const hierarchy::Production& production, double tolerance) {
+  // Greedy deterministic clustering over machines in hierarchy order.
+  struct Cluster {
+    const hierarchy::Machine* representative;
+    std::vector<const hierarchy::Machine*> machines;
+  };
+  std::vector<Cluster> clusters;
+  for (const auto& line : production.lines) {
+    for (const auto& machine : line.machines) {
+      if (machine.configuration.size() == 0 ||
+          !machine.configuration.Validate().ok()) {
+        continue;  // no configuration to compare on
+      }
+      bool placed = false;
+      for (Cluster& cluster : clusters) {
+        if (SameConfigurationSchema(cluster.representative->configuration,
+                                    machine.configuration) &&
+            ConfigurationDistance(cluster.representative->configuration,
+                                  machine.configuration) <= tolerance) {
+          cluster.machines.push_back(&machine);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) clusters.push_back({&machine, {&machine}});
+    }
+  }
+
+  // Sensors per machine, in registry order.
+  std::map<std::string, std::vector<hierarchy::SensorInfo>> by_machine;
+  for (const std::string& id : production.sensors.ids()) {
+    auto info = production.sensors.Get(id);
+    if (!info.ok() || info->machine_id.empty()) continue;
+    by_machine[info->machine_id].push_back(std::move(info).value());
+  }
+
+  std::map<std::string, std::vector<std::string>> cohorts;
+  for (const Cluster& cluster : clusters) {
+    if (cluster.machines.size() < 2) continue;
+    // Role = measured quantity; the same role across cohort machines is a
+    // comparable peer set. Distinct-machine count gates the cohort so two
+    // sensors on one machine (already a redundancy pair) don't qualify.
+    std::map<std::string, std::vector<std::string>> role_members;
+    std::map<std::string, std::set<std::string>> role_machines;
+    for (const hierarchy::Machine* machine : cluster.machines) {
+      auto it = by_machine.find(machine->id);
+      if (it == by_machine.end()) continue;
+      for (const hierarchy::SensorInfo& info : it->second) {
+        const std::string role =
+            info.name.empty() ? info.id : info.name + "|" + info.unit;
+        role_members[role].push_back(info.id);
+        role_machines[role].insert(machine->id);
+      }
+    }
+    for (auto& [role, members] : role_members) {
+      if (members.size() < 2 || role_machines[role].size() < 2) continue;
+      cohorts["cfg:" + cluster.representative->id + ":" + role] =
+          std::move(members);
+    }
+  }
+  return cohorts;
+}
 
 PeerGroupMonitor::PeerGroupMonitor(PeerGroupOptions options,
                                    StreamStats* stats)
@@ -70,6 +151,15 @@ Status PeerGroupMonitor::AddGroupsFromRegistry(
   }
   for (const auto& [group_id, members] : by_group) {
     if (members.size() < 2) continue;  // singleton groups have no peers
+    HOD_RETURN_IF_ERROR(AddGroup(group_id, members));
+  }
+  return Status::Ok();
+}
+
+Status PeerGroupMonitor::AddGroupsFromConfiguration(
+    const hierarchy::Production& production, double tolerance) {
+  for (const auto& [group_id, members] :
+       ConfigurationCohorts(production, tolerance)) {
     HOD_RETURN_IF_ERROR(AddGroup(group_id, members));
   }
   return Status::Ok();

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "hierarchy/level.h"
+#include "hierarchy/production.h"
 #include "hierarchy/sensor_registry.h"
 #include "stream/stats.h"
 #include "timeseries/time_series.h"
@@ -62,6 +63,19 @@ struct PeerGroupOptions {
   /// Entity name the single kGroupOutage finding is filed under.
   std::string outage_entity = "plant";
 };
+
+/// Same-configuration cohorts derived from machine-configuration
+/// similarity: machines are greedily clustered (hierarchy order, each
+/// joining the first cluster whose representative shares its
+/// configuration schema with L2 value distance <= `tolerance`), and each
+/// sensor role (name|unit) spanning >= 2 machines of a cluster becomes
+/// one cohort "cfg:<representative machine>:<role>". Deterministic:
+/// clustering visits machines in hierarchy order and emits sorted map
+/// keys. This is the paper's "same configuration" comparison basis —
+/// peers need not be redundant sensors of one machine, just like sensors
+/// on machines doing the same work.
+std::map<std::string, std::vector<std::string>> ConfigurationCohorts(
+    const hierarchy::Production& production, double tolerance = 1e-6);
 
 /// One fired space-axis deviation.
 struct PeerDeviation {
@@ -121,6 +135,12 @@ class PeerGroupMonitor {
 
   /// Registers every redundancy group of `registry` with >= 2 members.
   Status AddGroupsFromRegistry(const hierarchy::SensorRegistry& registry);
+
+  /// Registers every ConfigurationCohorts group of `production` — the
+  /// machine-configuration-similarity counterpart of the redundancy-group
+  /// path above.
+  Status AddGroupsFromConfiguration(const hierarchy::Production& production,
+                                    double tolerance = 1e-6);
 
   bool enabled() const { return options_.enabled; }
   const PeerGroupOptions& options() const { return options_; }

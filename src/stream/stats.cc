@@ -64,6 +64,8 @@ StreamStatsSnapshot StreamStats::Snapshot() const {
       checkpoints_written_.load(std::memory_order_relaxed);
   snapshot.checkpoint_failures =
       checkpoint_failures_.load(std::memory_order_relaxed);
+  snapshot.snapshots_published =
+      snapshots_published_.load(std::memory_order_relaxed);
   snapshot.peer_deviations = peer_deviations_.load(std::memory_order_relaxed);
   snapshot.group_outages = group_outages_.load(std::memory_order_relaxed);
   snapshot.group_outage_recoveries =
@@ -136,6 +138,8 @@ void StreamStats::Restore(const StreamStatsSnapshot& snapshot) {
                              std::memory_order_relaxed);
   checkpoint_failures_.store(snapshot.checkpoint_failures,
                              std::memory_order_relaxed);
+  snapshots_published_.store(snapshot.snapshots_published,
+                             std::memory_order_relaxed);
   peer_deviations_.store(snapshot.peer_deviations, std::memory_order_relaxed);
   group_outages_.store(snapshot.group_outages, std::memory_order_relaxed);
   group_outage_recoveries_.store(snapshot.group_outage_recoveries,
@@ -188,6 +192,7 @@ StreamStatsSnapshot& StreamStatsSnapshot::operator+=(
   escalation_latency_us += other.escalation_latency_us;
   checkpoints_written += other.checkpoints_written;
   checkpoint_failures += other.checkpoint_failures;
+  snapshots_published += other.snapshots_published;
   peer_deviations += other.peer_deviations;
   group_outages += other.group_outages;
   group_outage_recoveries += other.group_outage_recoveries;
@@ -248,7 +253,8 @@ std::string StreamStatsSnapshot::ToString() const {
       << " cache_misses=" << escalation_cache_misses
       << " latency_us=" << escalation_latency_us
       << " checkpoints=" << checkpoints_written
-      << " checkpoint_failures=" << checkpoint_failures << "\n";
+      << " checkpoint_failures=" << checkpoint_failures
+      << " snapshots_published=" << snapshots_published << "\n";
   out << "peer: deviations=" << peer_deviations
       << " group_outages=" << group_outages
       << " group_outage_recoveries=" << group_outage_recoveries

@@ -72,6 +72,10 @@ struct StreamStatsSnapshot {
   /// ---- Background checkpointing ----------------------------------------
   uint64_t checkpoints_written = 0;
   uint64_t checkpoint_failures = 0;
+  /// ---- Read-side serving tier -------------------------------------------
+  /// EngineSnapshots published by the collector (each one is a potential
+  /// serve-tier delta; the hub's own fan-out counters live hub-side).
+  uint64_t snapshots_published = 0;
   /// ---- Peer-group (space-axis) tier -------------------------------------
   /// Deviations fired by the peer-group monitor (a channel leaving its
   /// redundancy group's band, by level or by slope).
@@ -189,6 +193,7 @@ class StreamStats {
   }
   void RecordCheckpointWritten() { Bump(checkpoints_written_); }
   void RecordCheckpointFailure() { Bump(checkpoint_failures_); }
+  void RecordSnapshotPublished() { Bump(snapshots_published_); }
   void RecordPeerDeviation() { Bump(peer_deviations_); }
   void RecordGroupOutage() { Bump(group_outages_); }
   void RecordGroupOutageRecovery() { Bump(group_outage_recoveries_); }
@@ -248,6 +253,7 @@ class StreamStats {
   std::atomic<uint64_t> escalation_latency_us_{0};
   std::atomic<uint64_t> checkpoints_written_{0};
   std::atomic<uint64_t> checkpoint_failures_{0};
+  std::atomic<uint64_t> snapshots_published_{0};
   std::atomic<uint64_t> peer_deviations_{0};
   std::atomic<uint64_t> group_outages_{0};
   std::atomic<uint64_t> group_outage_recoveries_{0};

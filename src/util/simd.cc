@@ -36,6 +36,12 @@ void MulAccumulateScalar(double* acc, const double* x, const double* y,
   }
 }
 
+void AxpyScalar(double* acc, double a, const double* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    acc[i] += a * x[i];
+  }
+}
+
 void MonitorScoreLanesScalar(const double* sample, const double* pred,
                              double* sigma, double* score, size_t n,
                              double sigma_scale, double threshold,
@@ -114,6 +120,17 @@ __attribute__((target("avx2"))) void MulAccumulateAvx2(double* acc,
     _mm256_storeu_pd(acc + i, _mm256_add_pd(_mm256_loadu_pd(acc + i), prod));
   }
   MulAccumulateScalar(acc + i, x + i, y + i, n - i);
+}
+
+__attribute__((target("avx2"))) void AxpyAvx2(double* acc, double a,
+                                              const double* x, size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(acc + i, _mm256_add_pd(_mm256_loadu_pd(acc + i), prod));
+  }
+  AxpyScalar(acc + i, a, x + i, n - i);
 }
 
 __attribute__((target("avx2"))) void MonitorScoreLanesAvx2(
@@ -199,6 +216,16 @@ void MulAccumulateNeon(double* acc, const double* x, const double* y,
   MulAccumulateScalar(acc + i, x + i, y + i, n - i);
 }
 
+void AxpyNeon(double* acc, double a, const double* x, size_t n) {
+  const float64x2_t va = vdupq_n_f64(a);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t prod = vmulq_f64(va, vld1q_f64(x + i));
+    vst1q_f64(acc + i, vaddq_f64(vld1q_f64(acc + i), prod));
+  }
+  AxpyScalar(acc + i, a, x + i, n - i);
+}
+
 void MonitorScoreLanesNeon(const double* sample, const double* pred,
                            double* sigma, double* score, size_t n,
                            double sigma_scale, double threshold, double alpha,
@@ -249,6 +276,7 @@ struct Dispatch {
       &SquaredL2Scalar;
   void (*mul_accumulate)(double*, const double*, const double*, size_t) =
       &MulAccumulateScalar;
+  void (*axpy)(double*, double, const double*, size_t) = &AxpyScalar;
   void (*monitor_score)(const double*, const double*, double*, double*,
                         size_t, double, double, double, double) =
       &MonitorScoreLanesScalar;
@@ -284,6 +312,7 @@ Dispatch MakeDispatch(Backend backend) {
     case Backend::kAvx2:
       d.squared_l2 = &SquaredL2Avx2;
       d.mul_accumulate = &MulAccumulateAvx2;
+      d.axpy = &AxpyAvx2;
       d.monitor_score = &MonitorScoreLanesAvx2;
       break;
 #endif
@@ -291,6 +320,7 @@ Dispatch MakeDispatch(Backend backend) {
     case Backend::kNeon:
       d.squared_l2 = &SquaredL2Neon;
       d.mul_accumulate = &MulAccumulateNeon;
+      d.axpy = &AxpyNeon;
       d.monitor_score = &MonitorScoreLanesNeon;
       break;
 #endif
@@ -345,6 +375,10 @@ double SquaredL2Reference(const double* a, const double* b, size_t n) {
 
 void MulAccumulate(double* acc, const double* x, const double* y, size_t n) {
   ActiveDispatch().mul_accumulate(acc, x, y, n);
+}
+
+void Axpy(double* acc, double a, const double* x, size_t n) {
+  ActiveDispatch().axpy(acc, a, x, n);
 }
 
 void MonitorScoreLanes(const double* sample, const double* pred,

@@ -48,6 +48,12 @@ double SquaredL2Reference(const double* a, const double* b, size_t n);
 /// `acc += x * y` bit-for-bit.
 void MulAccumulate(double* acc, const double* x, const double* y, size_t n);
 
+/// acc[i] += a * x[i], elementwise over n lanes (scaled accumulate — the
+/// inner step of an AR forecast pass, one call per lag coefficient).
+/// Mul-then-add, never FMA-contracted, so each lane matches the scalar
+/// expression `acc += a * x` bit-for-bit.
+void Axpy(double* acc, double a, const double* x, size_t n);
+
 /// The vectorized core of one OnlineMonitor scoring step, elementwise
 /// over n independent monitor lanes (lane = one sensor; see
 /// core::BatchMonitorBank). For every lane i, with r = sample[i] - pred[i]

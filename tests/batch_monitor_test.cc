@@ -167,6 +167,49 @@ TEST(BatchMonitorBank, ScalarBackendParity) {
   util::simd::SetBackendForTest(original);
 }
 
+TEST(BatchMonitorBank, WarmupFitIsBitIdenticalAcrossBackends) {
+  // The AR warmup fit (normal-equation accumulation + residual pass) now
+  // runs through the util/simd.h dispatch. The kernels are lane-exact
+  // (one mul-then-add per accumulator lane per sample, in sample order),
+  // so the fitted model — phi, intercept, residual sigma — and every
+  // downstream score must be byte-equal no matter which backend fit it.
+  const util::simd::Backend original = util::simd::ActiveBackend();
+  const OnlineMonitorOptions options = FastOptions();
+  const std::vector<double> values = SensorStream(77, 300, 12.0);
+
+  std::vector<util::simd::Backend> available;
+  for (util::simd::Backend b :
+       {util::simd::Backend::kScalar, util::simd::Backend::kAvx2,
+        util::simd::Backend::kNeon}) {
+    if (util::simd::SetBackendForTest(b) == b) available.push_back(b);
+  }
+
+  std::vector<OnlineMonitorState> states;
+  std::vector<std::vector<double>> scores;
+  for (util::simd::Backend backend : available) {
+    ASSERT_EQ(util::simd::SetBackendForTest(backend), backend);
+    BatchMonitorBank bank(options);
+    const size_t lane = bank.AddSensor("s0").value();
+    std::vector<double> lane_scores;
+    for (double v : values) {
+      auto update = bank.Push(lane, v);
+      ASSERT_TRUE(update.ok());
+      lane_scores.push_back(update.value().score);
+    }
+    states.push_back(bank.SaveState(lane));
+    scores.push_back(std::move(lane_scores));
+  }
+  util::simd::SetBackendForTest(original);
+
+  ASSERT_FALSE(states.empty());
+  for (size_t i = 1; i < states.size(); ++i) {
+    ExpectStatesIdentical(states[i], states[0]);
+    EXPECT_EQ(scores[i], scores[0])
+        << "backend " << static_cast<int>(available[i]);
+  }
+  EXPECT_TRUE(states[0].model_ready) << "stream must complete warmup";
+}
+
 TEST(BatchMonitorBank, NonFiniteSampleIsSkippedAndStateUntouched) {
   BatchMonitorBank bank(FastOptions());
   const size_t lane = bank.AddSensor("s0").value();

@@ -1,0 +1,682 @@
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/codec.h"
+#include "serve/fleet_hub.h"
+#include "serve/history.h"
+#include "serve/hub.h"
+#include "serve/query.h"
+#include "stream/engine.h"
+#include "util/rng.h"
+
+namespace hod::serve {
+namespace {
+
+using stream::EngineSnapshot;
+
+hierarchy::ProductionLevel LevelAt(int index) {
+  return hierarchy::LevelFromValue(index + 1).value();
+}
+
+/// A random but *internally consistent* snapshot: sorted alarm /
+/// quarantine vectors, bounded shift ring — the shapes the engine
+/// actually publishes.
+EngineSnapshot RandomSnapshot(Rng& rng, uint64_t sequence) {
+  EngineSnapshot snap;
+  snap.sequence = sequence;
+  snap.events_seen = rng.NextBelow(1 << 20);
+  snap.ts = rng.Uniform(0.0, 1e6);
+  for (auto& level : snap.levels) {
+    level.outlier_samples = rng.NextBelow(1000);
+    level.alarms_raised = rng.NextBelow(100);
+    level.alarms_cleared = rng.NextBelow(100);
+    level.active_alarms = rng.NextBelow(10);
+    level.sensor_faults = rng.NextBelow(10);
+    level.quarantined_sensors = rng.NextBelow(5);
+    level.peak_score = rng.NextDouble();
+    level.last_outlier_ts = rng.Uniform(0.0, 1e6);
+  }
+  const size_t alarms = rng.NextBelow(6);
+  for (size_t i = 0; i < alarms; ++i) {
+    stream::ActiveAlarm alarm;
+    alarm.sensor_id = "s" + std::to_string(rng.NextBelow(16));
+    alarm.level = LevelAt(static_cast<int>(rng.NextBelow(5)));
+    alarm.since = rng.Uniform(0.0, 1e6);
+    alarm.peak_score = rng.NextDouble();
+    snap.active_alarms.push_back(std::move(alarm));
+  }
+  std::sort(snap.active_alarms.begin(), snap.active_alarms.end(),
+            [](const auto& a, const auto& b) { return a.sensor_id < b.sensor_id; });
+  snap.active_alarms.erase(
+      std::unique(snap.active_alarms.begin(), snap.active_alarms.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.sensor_id == b.sensor_id;
+                  }),
+      snap.active_alarms.end());
+  const size_t quarantined = rng.NextBelow(4);
+  for (size_t i = 0; i < quarantined; ++i) {
+    stream::QuarantinedSensor q;
+    q.sensor_id = "q" + std::to_string(rng.NextBelow(12));
+    q.level = LevelAt(static_cast<int>(rng.NextBelow(5)));
+    q.since = rng.Uniform(0.0, 1e6);
+    q.reason = static_cast<stream::HealthSignal>(rng.NextBelow(6));
+    snap.quarantined.push_back(std::move(q));
+  }
+  std::sort(snap.quarantined.begin(), snap.quarantined.end(),
+            [](const auto& a, const auto& b) { return a.sensor_id < b.sensor_id; });
+  snap.quarantined.erase(
+      std::unique(snap.quarantined.begin(), snap.quarantined.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.sensor_id == b.sensor_id;
+                  }),
+      snap.quarantined.end());
+  snap.group_outage_active = rng.NextBelow(2) == 1;
+  if (snap.group_outage_active) {
+    snap.group_outage_entity = "plant" + std::to_string(rng.NextBelow(3));
+    snap.group_outage_since = rng.Uniform(0.0, 1e6);
+    snap.group_outage_sensors = rng.NextBelow(8) + 2;
+  }
+  const size_t shifts = rng.NextBelow(5);
+  for (size_t i = 0; i < shifts; ++i) {
+    stream::ConceptShiftEvent shift;
+    shift.sensor_id = "c" + std::to_string(rng.NextBelow(8));
+    shift.level = LevelAt(static_cast<int>(rng.NextBelow(5)));
+    shift.ts = rng.Uniform(0.0, 1e6);
+    shift.before_mean = rng.Uniform(-10.0, 10.0);
+    shift.after_mean = rng.Uniform(-10.0, 10.0);
+    shift.magnitude_sigmas = rng.Uniform(0.0, 12.0);
+    shift.evidence = rng.NextDouble();
+    shift.run_length = rng.NextBelow(64);
+    snap.concept_shifts.push_back(std::move(shift));
+  }
+  snap.concept_shifts_total = snap.concept_shifts.size() + rng.NextBelow(100);
+  return snap;
+}
+
+/// Evolves `base` the way one engine publish cadence would: bump
+/// counters, mutate some level states, append shifts.
+EngineSnapshot EvolveSnapshot(Rng& rng, const EngineSnapshot& base) {
+  EngineSnapshot next = base;
+  next.sequence = base.sequence + 1;
+  next.events_seen = base.events_seen + rng.NextBelow(256);
+  next.ts = base.ts + rng.Uniform(0.0, 10.0);
+  for (auto& level : next.levels) {
+    if (rng.NextBelow(3) == 0) {
+      level.outlier_samples += rng.NextBelow(8);
+      level.peak_score = std::max(level.peak_score, rng.NextDouble());
+    }
+  }
+  if (rng.NextBelow(2) == 0 && !next.active_alarms.empty()) {
+    next.active_alarms.erase(next.active_alarms.begin() +
+                             rng.NextBelow(next.active_alarms.size()));
+  }
+  if (rng.NextBelow(2) == 0) {
+    stream::ActiveAlarm alarm;
+    alarm.sensor_id = "s" + std::to_string(rng.NextBelow(16));
+    alarm.level = LevelAt(static_cast<int>(rng.NextBelow(5)));
+    alarm.since = next.ts;
+    alarm.peak_score = rng.NextDouble();
+    auto pos = std::lower_bound(
+        next.active_alarms.begin(), next.active_alarms.end(), alarm,
+        [](const auto& a, const auto& b) { return a.sensor_id < b.sensor_id; });
+    if (pos != next.active_alarms.end() && pos->sensor_id == alarm.sensor_id) {
+      *pos = alarm;
+    } else {
+      next.active_alarms.insert(pos, alarm);
+    }
+  }
+  const size_t appended = rng.NextBelow(3);
+  for (size_t i = 0; i < appended; ++i) {
+    stream::ConceptShiftEvent shift;
+    shift.sensor_id = "c" + std::to_string(rng.NextBelow(8));
+    shift.level = LevelAt(static_cast<int>(rng.NextBelow(5)));
+    shift.ts = next.ts;
+    shift.magnitude_sigmas = rng.Uniform(0.0, 12.0);
+    next.concept_shifts.push_back(std::move(shift));
+    ++next.concept_shifts_total;
+  }
+  while (next.concept_shifts.size() > 64) {
+    next.concept_shifts.erase(next.concept_shifts.begin());
+  }
+  return next;
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+TEST(ServeCodec, SnapshotBytesRoundTrip) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const EngineSnapshot snap = RandomSnapshot(rng, i + 1);
+    const std::string bytes = EncodeSnapshotBytes(snap);
+    std::istringstream is(bytes);
+    auto decoded = ReadSnapshot(is);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(EncodeSnapshotBytes(decoded.value()), bytes);
+  }
+}
+
+/// The parity property the whole tier rests on: for 1k random snapshot
+/// pairs — both evolution chains (producer-consecutive) and entirely
+/// unrelated pairs — delta apply reconstructs the target byte-for-byte.
+TEST(ServeCodec, DeltaApplyEqualsFullSnapshotOn1kRandomPairs) {
+  Rng rng(42);
+  EngineSnapshot chained = RandomSnapshot(rng, 1);
+  for (int i = 0; i < 1000; ++i) {
+    EngineSnapshot base;
+    EngineSnapshot next;
+    if (i % 2 == 0) {
+      base = chained;
+      next = EvolveSnapshot(rng, base);
+      chained = next;
+    } else {
+      base = RandomSnapshot(rng, rng.NextBelow(1000) + 1);
+      next = RandomSnapshot(rng, base.sequence + 1 + rng.NextBelow(10));
+    }
+    const SnapshotDelta delta = EncodeDelta(base, next);
+    auto applied = ApplyDelta(base, delta);
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+    ASSERT_EQ(EncodeSnapshotBytes(applied.value()), EncodeSnapshotBytes(next))
+        << "pair " << i;
+  }
+}
+
+TEST(ServeCodec, DeltaOmitsUnchangedState) {
+  Rng rng(3);
+  const EngineSnapshot base = RandomSnapshot(rng, 5);
+  EngineSnapshot next = base;
+  next.sequence = 6;
+  next.events_seen += 10;
+  next.levels[2].outlier_samples += 1;
+  const SnapshotDelta delta = EncodeDelta(base, next);
+  EXPECT_EQ(delta.levels.size(), 1u);
+  EXPECT_EQ(delta.levels[0].index, 2);
+  EXPECT_TRUE(delta.alarm_upserts.empty());
+  EXPECT_TRUE(delta.alarm_removals.empty());
+  EXPECT_FALSE(delta.outage_changed);
+  EXPECT_FALSE(delta.shifts_full);
+  EXPECT_TRUE(delta.shift_events.empty());
+  // And the wire form is far smaller than the keyframe.
+  EXPECT_LT(EncodeDeltaBytes(delta).size(),
+            EncodeSnapshotBytes(next).size());
+}
+
+TEST(ServeCodec, ApplyRejectsStaleBase) {
+  Rng rng(11);
+  const EngineSnapshot base = RandomSnapshot(rng, 5);
+  const EngineSnapshot next = EvolveSnapshot(rng, base);
+  const SnapshotDelta delta = EncodeDelta(base, next);
+  EngineSnapshot wrong = base;
+  wrong.sequence = 4;
+  const auto applied = ApplyDelta(wrong, delta);
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// History ring
+// ---------------------------------------------------------------------------
+
+TEST(HistoryRing, AppendEvictLookup) {
+  HistoryRing<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 6; ++i) ring.Append(10.0 * i, i);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.evicted(), 2u);
+  EXPECT_EQ(ring.Oldest().value, 2);
+  EXPECT_EQ(ring.Newest().value, 5);
+
+  const auto window = ring.Window(25.0, 45.0);
+  ASSERT_EQ(window.size(), 2u);
+  EXPECT_EQ(window[0].value, 3);
+  EXPECT_EQ(window[1].value, 4);
+
+  const auto before = ring.Before(35.0);
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(before->value, 3);
+  EXPECT_FALSE(ring.Before(20.0).has_value());
+
+  ring.Clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.evicted(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Hub fan-out
+// ---------------------------------------------------------------------------
+
+SnapshotHubOptions SyncHub(uint64_t keyframe_every = 4,
+                           size_t queue_capacity = 64) {
+  SnapshotHubOptions options;
+  options.keyframe_every = keyframe_every;
+  options.subscriber_queue_capacity = queue_capacity;
+  options.history_capacity = 128;
+  options.async = false;
+  return options;
+}
+
+TEST(SnapshotHub, SubscriberTracksPublisherThroughDeltas) {
+  SnapshotHub hub(SyncHub());
+  auto sub = hub.Subscribe();
+  Rng rng(17);
+  EngineSnapshot snap = RandomSnapshot(rng, 1);
+  hub.Publish(snap);
+  for (int i = 0; i < 40; ++i) {
+    snap = EvolveSnapshot(rng, snap);
+    hub.Publish(snap);
+  }
+  sub->Drain();
+  ASSERT_TRUE(sub->has_view());
+  EXPECT_EQ(EncodeSnapshotBytes(sub->View()), EncodeSnapshotBytes(snap));
+  EXPECT_GT(sub->deltas_applied(), 0u);
+  EXPECT_GT(sub->keyframes_applied(), 0u);
+  EXPECT_EQ(sub->stale_skipped(), 0u);
+
+  const HubStatsSnapshot stats = hub.Stats();
+  EXPECT_EQ(stats.publishes_seen, 41u);
+  EXPECT_EQ(stats.publishes_processed, 41u);
+  EXPECT_EQ(stats.keyframes_encoded + stats.deltas_encoded, 41u);
+}
+
+TEST(SnapshotHub, LateJoinerIsSeededWithKeyframe) {
+  SnapshotHub hub(SyncHub(/*keyframe_every=*/1000));
+  Rng rng(23);
+  EngineSnapshot snap = RandomSnapshot(rng, 1);
+  hub.Publish(snap);
+  for (int i = 0; i < 10; ++i) {
+    snap = EvolveSnapshot(rng, snap);
+    hub.Publish(snap);
+  }
+  auto sub = hub.Subscribe();
+  sub->Drain();
+  ASSERT_TRUE(sub->has_view());
+  EXPECT_EQ(EncodeSnapshotBytes(sub->View()), EncodeSnapshotBytes(snap));
+  EXPECT_EQ(hub.Stats().seed_keyframes, 1u);
+}
+
+/// Slow reader: never drains until the end. Its queue fills, deltas are
+/// dropped (never blocking the publisher), and the drop-to-keyframe
+/// accounting reconciles exactly: every offer has exactly one outcome.
+TEST(SnapshotHub, SlowReaderDropToKeyframeAccountingReconciles) {
+  SnapshotHub hub(SyncHub(/*keyframe_every=*/8, /*queue_capacity=*/4));
+  auto sub = hub.Subscribe();
+  Rng rng(29);
+  EngineSnapshot snap = RandomSnapshot(rng, 1);
+  hub.Publish(snap);
+  const int kPublishes = 200;
+  for (int i = 1; i < kPublishes; ++i) {
+    snap = EvolveSnapshot(rng, snap);
+    hub.Publish(snap);
+  }
+  const SubscriberChannelStats channel = sub->ChannelStats();
+  EXPECT_EQ(channel.offers, static_cast<uint64_t>(kPublishes));
+  EXPECT_EQ(channel.offers, channel.deltas_served + channel.keyframes_served +
+                                channel.delta_dropped +
+                                channel.keyframes_dropped);
+  EXPECT_GT(channel.delta_dropped, 0u);
+  EXPECT_TRUE(channel.awaiting_keyframe);
+
+  const HubStatsSnapshot stats = hub.Stats();
+  EXPECT_EQ(stats.delta_dropped, channel.delta_dropped);
+  EXPECT_EQ(stats.deltas_served + stats.keyframes_served +
+                stats.delta_dropped + stats.keyframes_dropped,
+            static_cast<uint64_t>(kPublishes));
+
+  // The reader catches up: it drains its (stale) backlog, and the next
+  // publish reaches it as a resync keyframe — not a delta against a base
+  // it never saw — after which its view matches the live state again.
+  sub->Drain();
+  ASSERT_TRUE(sub->has_view());
+  snap = EvolveSnapshot(rng, snap);
+  hub.Publish(snap);
+  sub->Drain();
+  EXPECT_EQ(EncodeSnapshotBytes(sub->View()), EncodeSnapshotBytes(snap));
+  EXPECT_EQ(sub->stale_skipped(), 0u);
+}
+
+/// A reader that keeps pace plus one that never drains: the slow one
+/// must not affect the fast one's delivery.
+TEST(SnapshotHub, SlowReaderDoesNotStallFastReader) {
+  SnapshotHub hub(SyncHub(/*keyframe_every=*/16, /*queue_capacity=*/2));
+  auto fast = hub.Subscribe();
+  auto slow = hub.Subscribe();
+  Rng rng(31);
+  EngineSnapshot snap = RandomSnapshot(rng, 1);
+  for (int i = 0; i < 100; ++i) {
+    hub.Publish(snap);
+    fast->Drain();
+    snap = EvolveSnapshot(rng, snap);
+  }
+  const SubscriberChannelStats fast_channel = fast->ChannelStats();
+  EXPECT_EQ(fast_channel.delta_dropped + fast_channel.keyframes_dropped, 0u);
+  EXPECT_GT(slow->ChannelStats().delta_dropped, 0u);
+  ASSERT_TRUE(fast->has_view());
+}
+
+TEST(SnapshotHub, SequenceRegressionForcesKeyframeResync) {
+  SnapshotHub hub(SyncHub(/*keyframe_every=*/1000));
+  auto sub = hub.Subscribe();
+  Rng rng(37);
+  EngineSnapshot snap = RandomSnapshot(rng, 1);
+  hub.Publish(snap);
+  for (int i = 0; i < 5; ++i) {
+    snap = EvolveSnapshot(rng, snap);
+    hub.Publish(snap);
+  }
+  sub->Drain();
+  // A restored engine re-publishes from an older sequence: the hub must
+  // broadcast a keyframe, not a delta against a base subscribers lack.
+  Rng rng2(99);
+  EngineSnapshot restored = RandomSnapshot(rng2, 3);
+  hub.Publish(restored);
+  sub->Drain();
+  ASSERT_TRUE(sub->has_view());
+  EXPECT_EQ(EncodeSnapshotBytes(sub->View()), EncodeSnapshotBytes(restored));
+  EXPECT_EQ(hub.Stats().resyncs_forced, 1u);
+  EXPECT_EQ(sub->stale_skipped(), 0u);
+}
+
+TEST(SnapshotHub, HistoryRingsFollowPublishes) {
+  SnapshotHub hub(SyncHub());
+  Rng rng(41);
+  EngineSnapshot snap = RandomSnapshot(rng, 1);
+  snap.ts = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    snap.ts = 10.0 * i;
+    snap.levels[0].outlier_samples = 5 * i;
+    hub.Publish(snap);
+    snap.sequence++;
+  }
+  EXPECT_EQ(hub.HistorySize(0), 20u);
+  const auto window = hub.LevelWindow(0, 50.0, 100.0);
+  ASSERT_EQ(window.size(), 5u);
+  EXPECT_EQ(window.front().value.outlier_samples, 25u);
+  const auto before = hub.LevelBefore(0, 50.0);
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(before->value.outlier_samples, 20u);
+}
+
+/// Subscribe/unsubscribe churn racing a publisher: no crashes, no lost
+/// hub invariants, and every surviving subscriber converges.
+TEST(SnapshotHub, SubscriberChurnRacingPublish) {
+  SnapshotHubOptions options = SyncHub(/*keyframe_every=*/4,
+                                       /*queue_capacity=*/8);
+  SnapshotHub hub(options);
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    Rng rng(51);
+    EngineSnapshot snap = RandomSnapshot(rng, 1);
+    while (!stop.load()) {
+      hub.Publish(snap);
+      snap = EvolveSnapshot(rng, snap);
+    }
+  });
+  std::vector<std::thread> churners;
+  for (int t = 0; t < 4; ++t) {
+    churners.emplace_back([&hub, t] {
+      for (int i = 0; i < 200; ++i) {
+        auto sub = hub.Subscribe();
+        sub->Drain();
+        if ((i + t) % 3 == 0) {
+          sub->Drain();
+        }
+        // Subscription destructor unsubscribes while publishes race.
+      }
+    });
+  }
+  for (auto& churner : churners) churner.join();
+  stop.store(true);
+  publisher.join();
+  const HubStatsSnapshot stats = hub.Stats();
+  EXPECT_EQ(stats.subscribes, 800u);
+  EXPECT_EQ(stats.unsubscribes, 800u);
+  EXPECT_EQ(stats.subscribers, 0u);
+  // A fresh subscriber still syncs cleanly after the storm.
+  auto sub = hub.Subscribe();
+  sub->Drain();
+  EXPECT_TRUE(sub->has_view());
+}
+
+TEST(SnapshotHub, AsyncModeDeliversAndQuiesces) {
+  SnapshotHubOptions options = SyncHub(/*keyframe_every=*/8);
+  options.async = true;
+  options.intake_capacity = 16;
+  SnapshotHub hub(options);
+  auto sub = hub.Subscribe();
+  Rng rng(61);
+  EngineSnapshot snap = RandomSnapshot(rng, 1);
+  for (int i = 0; i < 50; ++i) {
+    hub.Publish(snap);
+    snap = EvolveSnapshot(rng, snap);
+  }
+  hub.Quiesce();
+  const HubStatsSnapshot stats = hub.Stats();
+  EXPECT_EQ(stats.publishes_seen, 50u);
+  EXPECT_EQ(stats.publishes_processed + stats.intake_dropped, 50u);
+  sub->Drain();
+  EXPECT_TRUE(sub->has_view());
+}
+
+TEST(SnapshotHub, SaveRestoreForcesKeyframeAndKeepsHistory) {
+  SnapshotHub hub(SyncHub(/*keyframe_every=*/1000));
+  Rng rng(71);
+  EngineSnapshot snap = RandomSnapshot(rng, 1);
+  snap.ts = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    snap.ts = 5.0 * i;
+    hub.Publish(snap);
+    snap = EvolveSnapshot(rng, snap);
+    snap.ts = 5.0 * (i + 1);
+  }
+  std::ostringstream os;
+  ASSERT_TRUE(hub.SaveState(os).ok());
+
+  SnapshotHub revived(SyncHub(/*keyframe_every=*/1000));
+  std::istringstream is(os.str());
+  ASSERT_TRUE(revived.RestoreState(is).ok());
+  EXPECT_EQ(revived.HistorySize(0), hub.HistorySize(0));
+  const auto latest = revived.Latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(EncodeSnapshotBytes(*latest),
+            EncodeSnapshotBytes(*hub.Latest()));
+
+  // First publish after restore reaches a fresh subscriber as a keyframe
+  // even though the cadence would have said delta.
+  auto sub = revived.Subscribe();
+  sub->Drain();  // seeded view from the restored state
+  EngineSnapshot resumed = EvolveSnapshot(rng, *latest);
+  revived.Publish(resumed);
+  sub->Drain();
+  ASSERT_TRUE(sub->has_view());
+  EXPECT_EQ(EncodeSnapshotBytes(sub->View()), EncodeSnapshotBytes(resumed));
+  EXPECT_GE(revived.Stats().keyframes_encoded, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Query service
+// ---------------------------------------------------------------------------
+
+TEST(QueryService, RollupBucketsAndCacheEpoch) {
+  SnapshotHub hub(SyncHub());
+  EngineSnapshot snap;
+  // Level 0 gains 1 outlier per publish; level 1 is quiet except one
+  // violent burst at t = 40 (bucket 8 under a width of 5).
+  for (int i = 0; i < 60; ++i) {
+    snap.sequence = i + 1;
+    snap.ts = static_cast<double>(i);
+    snap.levels[0].outlier_samples = i;
+    snap.levels[1].outlier_samples = (i >= 40) ? 1000 : 0;
+    hub.Publish(snap);
+  }
+  QueryService service(&hub);
+  RollupQuery query;
+  query.start = 0.0;
+  query.end = 60.0;
+  query.bucket_width = 5.0;
+  query.levels = {0, 1};
+  auto result = service.Rollup(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->cache_hit);
+  EXPECT_FALSE(result->cells.empty());
+  // The burst bucket (level 1, t in [40,45)) must be flagged; the steady
+  // drip on level 0 must not.
+  bool burst_flagged = false;
+  for (const RollupCell& cell : result->cells) {
+    if (cell.level == 1 && cell.bucket == 8) {
+      EXPECT_GT(cell.outliers, 500.0);
+      burst_flagged = cell.anomalous;
+    } else {
+      EXPECT_FALSE(cell.anomalous)
+          << "level " << cell.level << " bucket " << cell.bucket;
+    }
+  }
+  EXPECT_TRUE(burst_flagged);
+
+  // Second identical query: cache hit, same epoch.
+  auto again = service.Rollup(query);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->cache_hit);
+  EXPECT_EQ(service.cache_hits(), 1u);
+  EXPECT_EQ(service.cache_misses(), 1u);
+
+  // A new publish moves the epoch and invalidates the cache.
+  snap.sequence++;
+  snap.ts = 60.0;
+  hub.Publish(snap);
+  auto after = service.Rollup(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->cache_hit);
+  EXPECT_EQ(service.cache_misses(), 2u);
+}
+
+TEST(QueryService, RejectsBadWindows) {
+  SnapshotHub hub(SyncHub());
+  QueryService service(&hub);
+  RollupQuery query;
+  query.start = 10.0;
+  query.end = 10.0;
+  EXPECT_EQ(service.Rollup(query).status().code(),
+            StatusCode::kInvalidArgument);
+  query.end = 20.0;
+  query.bucket_width = 0.0;
+  EXPECT_EQ(service.Rollup(query).status().code(),
+            StatusCode::kInvalidArgument);
+  query.bucket_width = 5.0;
+  query.levels = {7};
+  EXPECT_EQ(service.Rollup(query).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet hub
+// ---------------------------------------------------------------------------
+
+TEST(FleetHub, MergedBoardAndCrossPlantRollup) {
+  FleetHub fleet(SyncHub());
+  SnapshotHub* berlin = fleet.AddPlant("berlin");
+  SnapshotHub* munich = fleet.AddPlant("munich");
+  ASSERT_NE(berlin, nullptr);
+  ASSERT_NE(munich, nullptr);
+  EXPECT_EQ(fleet.AddPlant("berlin"), berlin);  // idempotent
+
+  EngineSnapshot snap;
+  for (int i = 0; i < 60; ++i) {
+    snap.sequence = i + 1;
+    snap.ts = static_cast<double>(i);
+    snap.levels[0].outlier_samples = i;  // steady
+    berlin->Publish(snap);
+  }
+  EngineSnapshot hot;
+  for (int i = 0; i < 60; ++i) {
+    hot.sequence = i + 1;
+    hot.ts = static_cast<double>(i);
+    // Steady like berlin until t = 40, then one violent burst.
+    hot.levels[0].outlier_samples = (i >= 40) ? 1000 : i;
+    hot.active_alarms.clear();
+    if (i >= 40) {
+      stream::ActiveAlarm alarm;
+      alarm.sensor_id = "m7.temp";
+      alarm.since = hot.ts;
+      alarm.peak_score = 0.9;
+      hot.active_alarms.push_back(alarm);
+    }
+    munich->Publish(hot);
+  }
+
+  const auto board = fleet.BoardSince(0);
+  ASSERT_TRUE(board.has_value());
+  ASSERT_EQ(board->alarms.size(), 1u);
+  EXPECT_EQ(board->alarms[0].plant_id, "munich");
+  EXPECT_EQ(board->alarms[0].alarm.sensor_id, "m7.temp");
+  // Unchanged version -> no refetch.
+  EXPECT_FALSE(fleet.BoardSince(board->version).has_value());
+
+  RollupQuery query;
+  query.start = 0.0;
+  query.end = 60.0;
+  query.bucket_width = 5.0;
+  query.levels = {0};
+  auto rollup = fleet.Rollup(query);
+  ASSERT_TRUE(rollup.ok()) << rollup.status().ToString();
+  EXPECT_FALSE(rollup->cells.empty());
+  bool munich_hot = false;
+  bool berlin_hot = false;
+  for (const FleetRollupCell& cell : rollup->cells) {
+    if (!cell.cell.anomalous) continue;
+    if (cell.plant_id == "munich") munich_hot = true;
+    if (cell.plant_id == "berlin") berlin_hot = true;
+  }
+  EXPECT_TRUE(munich_hot);
+  EXPECT_FALSE(berlin_hot);
+
+  fleet.RemovePlant("munich");
+  EXPECT_EQ(fleet.Hub("munich"), nullptr);
+  EXPECT_EQ(fleet.Plants().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: engine -> hub via snapshot_sink
+// ---------------------------------------------------------------------------
+
+TEST(ServeEndToEnd, EngineSinkFeedsHubAndSubscriberMatchesEngineSnapshot) {
+  SnapshotHub hub(SyncHub(/*keyframe_every=*/4));
+  stream::StreamEngineOptions options;
+  options.synchronous = true;
+  options.snapshot_every = 16;
+  options.monitor.warmup = 64;
+  options.snapshot_sink = [&hub](const EngineSnapshot& snapshot) {
+    hub.Publish(snapshot);
+  };
+  stream::StreamEngine engine(options);
+  ASSERT_TRUE(
+      engine.AddSensor("s1", hierarchy::ProductionLevel::kPhase).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  auto sub = hub.Subscribe();
+  Rng rng(87);
+  for (int i = 0; i < 400; ++i) {
+    const double value =
+        (i % 97 == 96) ? 40.0 : rng.Uniform(-0.1, 0.1);
+    auto ack = engine.Ingest({"s1", hierarchy::ProductionLevel::kPhase,
+                              static_cast<double>(i), value});
+    ASSERT_TRUE(ack.ok()) << "sample " << i << ": "
+                          << ack.status().ToString();
+  }
+  ASSERT_TRUE(engine.Flush().ok());
+  sub->Drain();
+  ASSERT_TRUE(sub->has_view());
+  const EngineSnapshot direct = engine.Snapshot();
+  EXPECT_EQ(EncodeSnapshotBytes(sub->View()), EncodeSnapshotBytes(direct));
+  EXPECT_EQ(engine.stats().snapshots_published, hub.Stats().publishes_seen);
+  EXPECT_GT(hub.Stats().publishes_seen, 0u);
+  ASSERT_TRUE(engine.Stop().ok());
+}
+
+}  // namespace
+}  // namespace hod::serve

@@ -149,6 +149,55 @@ TEST(MulAccumulate, BitIdenticalAcrossBackends) {
   }
 }
 
+TEST(Axpy, BitIdenticalAcrossBackends) {
+  BackendGuard guard;
+  Rng rng(314);
+  for (size_t n : kDims) {
+    const std::vector<double> x = RandomVector(rng, n, 2.0);
+    const std::vector<double> acc0 = RandomVector(rng, n, 5.0);
+    for (double a : {0.0, 1.0, -0.75, 3.5e8, 1e-160}) {
+      ASSERT_EQ(SetBackendForTest(Backend::kScalar), Backend::kScalar);
+      std::vector<double> want = acc0;
+      Axpy(want.data(), a, x.data(), n);
+
+      for (Backend backend : AvailableBackends()) {
+        ASSERT_EQ(SetBackendForTest(backend), backend);
+        std::vector<double> got = acc0;
+        Axpy(got.data(), a, x.data(), n);
+        if (n > 0) {
+          EXPECT_EQ(
+              std::memcmp(got.data(), want.data(), n * sizeof(double)), 0)
+              << "backend " << static_cast<int>(backend) << " dim " << n
+              << " a " << a;
+        }
+      }
+    }
+  }
+}
+
+TEST(Axpy, MatchesMulThenAddExactly) {
+  // The contract: acc[i] += a * x[i] with a plain multiply then a plain
+  // add — no FMA contraction anywhere, or vector and scalar lanes would
+  // round differently and the AR fit would stop being bit-reproducible.
+  BackendGuard guard;
+  Rng rng(2718);
+  const size_t n = 33;
+  const std::vector<double> x = RandomVector(rng, n, 4.0);
+  const std::vector<double> acc0 = RandomVector(rng, n, 4.0);
+  const double a = 1.0 / 3.0;
+  for (Backend backend : AvailableBackends()) {
+    ASSERT_EQ(SetBackendForTest(backend), backend);
+    std::vector<double> got = acc0;
+    Axpy(got.data(), a, x.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      volatile double product = a * x[i];  // volatile: forbid contraction
+      const double want = acc0[i] + product;
+      EXPECT_EQ(got[i], want)
+          << "backend " << static_cast<int>(backend) << " lane " << i;
+    }
+  }
+}
+
 /// The scalar monitor step MonitorScoreLanes must reproduce, lifted
 /// verbatim from core::OnlineMonitor::Push.
 void ScalarMonitorStep(double sample, double pred, double& sigma,

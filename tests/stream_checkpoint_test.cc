@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "hierarchy/serialization.h"
+#include "serve/codec.h"
+#include "serve/hub.h"
 #include "stream/engine.h"
 #include "util/rng.h"
 
@@ -731,6 +733,62 @@ TEST(EngineCheckpoint, V4ImageStillRestoresWithShiftLayerDefaultedOff) {
   // check treats "no shift layer recorded" as a mismatch, not a default.
   std::istringstream is2(bytes);
   EXPECT_FALSE(StreamEngine::Restore(is2, ShiftOptions()).ok());
+}
+
+TEST(EngineCheckpoint, KillAndRestoreRepublishesKeyframeToHubSubscribers) {
+  // The serve-tier contract across an engine kill/restore: the restored
+  // engine's snapshot sequence restarts behind what the hub already fanned
+  // out, so the hub must detect the regression, force a keyframe, and
+  // every subscriber must resync to the resumed engine's state — no delta
+  // ever applies against a base from the previous life.
+  serve::SnapshotHubOptions hub_options;
+  hub_options.keyframe_every = 1000;  // cadence alone would never resync
+  hub_options.subscriber_queue_capacity = 256;
+  serve::SnapshotHub hub(hub_options);
+  auto sub = hub.Subscribe();
+
+  const std::vector<double> s1 = MakeStream(91, 400);
+  StreamEngineOptions options = SyncOptions();
+  options.snapshot_sink = [&hub](const EngineSnapshot& snapshot) {
+    hub.Publish(snapshot);
+  };
+
+  std::string midpoint;
+  {
+    StreamEngine engine(options);
+    ASSERT_TRUE(engine.AddSensor("s1", ProductionLevel::kPhase).ok());
+    ASSERT_TRUE(engine.Start().ok());
+    Feed(engine, "s1", s1, 0, 250);
+    midpoint = CheckpointBytes(engine);
+    // Publishes that the checkpoint does not know about: everything after
+    // the image was taken still reaches the hub before the kill.
+    Feed(engine, "s1", s1, 250, 300);
+    ASSERT_TRUE(engine.Flush().ok());
+    sub->Drain();
+    ASSERT_TRUE(sub->has_view());
+    // Killed here without Stop().
+  }
+  const uint64_t view_before_restore = sub->View().sequence;
+  EXPECT_GT(view_before_restore, 0u);
+  const uint64_t resyncs_before = hub.Stats().resyncs_forced;
+
+  std::istringstream is(midpoint);
+  auto restored = StreamEngine::Restore(is, options);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  StreamEngine& engine = **restored;
+  Feed(engine, "s1", s1, 250, 400);
+  ASSERT_TRUE(engine.Flush().ok());
+
+  // The resumed engine re-published from a sequence at or below what the
+  // subscriber had already applied; the hub absorbed it as forced
+  // keyframes and the subscriber's view now tracks the second life.
+  EXPECT_GT(hub.Stats().resyncs_forced, resyncs_before);
+  sub->Drain();
+  ASSERT_TRUE(sub->has_view());
+  EXPECT_EQ(serve::EncodeSnapshotBytes(sub->View()),
+            serve::EncodeSnapshotBytes(engine.Snapshot()));
+  EXPECT_EQ(sub->stale_skipped(), 0u);
+  ASSERT_TRUE(engine.Stop().ok());
 }
 
 }  // namespace
